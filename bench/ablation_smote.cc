@@ -1,0 +1,61 @@
+// Ablation: SMOTE oversampling in the individual-IOC pipeline (paper
+// Section VI-A preprocessing). Balanced accuracy on the imbalanced APT
+// classes should drop without it; plain accuracy may move little.
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/ioc_dataset.h"
+#include "ml/gbt.h"
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+#include "ml/smote.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace trail;
+  bench::BenchEnv env = bench::BuildEnv();
+  bench::PrintHeader("Ablation — SMOTE oversampling (domain IOCs, XGB)", env);
+  const int num_classes = env.num_apts();
+
+  core::IocDataset ds = core::ExtractIocDataset(
+      env.graph(), graph::NodeType::kDomain, num_classes);
+  Rng rng(17);
+  auto folds = ml::StratifiedKFold(ds.data.y, bench::NumFolds(), &rng);
+
+  TablePrinter table({"Preprocessing", "Acc", "B-Acc"});
+  for (bool use_smote : {true, false}) {
+    std::vector<double> accs;
+    std::vector<double> baccs;
+    for (const ml::Fold& fold : folds) {
+      ml::Dataset train = ds.data.Select(fold.train);
+      ml::Dataset test = ds.data.Select(fold.test);
+      if (use_smote) {
+        ml::SmoteOptions smote;
+        smote.max_neighbors_pool = 400;
+        train = ml::SmoteOversample(train, smote, &rng);
+      }
+      ml::StandardScaler scaler;
+      train.x = scaler.FitTransform(train.x);
+      test.x = scaler.Transform(test.x);
+      ml::GbtClassifier model;
+      ml::GbtOptions opts;
+      opts.num_rounds = bench::QuickMode() ? 8 : 25;
+      model.Fit(train, opts, &rng);
+      auto pred = model.PredictBatch(test.x);
+      accs.push_back(ml::Accuracy(test.y, pred));
+      baccs.push_back(ml::BalancedAccuracy(test.y, pred, num_classes));
+    }
+    table.AddRow({use_smote ? "SMOTE + scaling (paper)" : "scaling only",
+                  ml::FormatMeanStd(ml::ComputeMeanStd(accs)),
+                  ml::FormatMeanStd(ml::ComputeMeanStd(baccs))});
+  }
+  table.Print();
+  std::printf("\nShape check: under heavy class imbalance SMOTE lifts "
+              "balanced accuracy; with the synthetic world's milder "
+              "imbalance (25-64 events/class) the effect can be within "
+              "noise — the pipeline keeps it for protocol fidelity with "
+              "the paper.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace trail::bench {
+
+bool QuickMode() {
+  const char* env = std::getenv("TRAIL_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+int NumFolds() { return QuickMode() ? 2 : 5; }
+
+osint::WorldConfig BenchWorldConfig() {
+  osint::WorldConfig config;  // calibrated defaults
+  if (QuickMode()) {
+    config.num_apts = 8;
+    config.min_events_per_apt = 10;
+    config.max_events_per_apt = 20;
+    config.end_day = 1200;
+  }
+  return config;
+}
+
+BenchEnv BuildEnv() {
+  SetLogLevel(LogLevel::kWarning);
+  BenchEnv env;
+  env.world = std::make_unique<osint::World>(BenchWorldConfig());
+  env.feed = std::make_unique<osint::FeedClient>(env.world.get());
+  env.builder = std::make_unique<core::TkgBuilder>(env.feed.get(),
+                                                   core::TkgBuildOptions{});
+  Status st = env.builder->IngestAll(
+      env.feed->FetchReports(0, BenchWorldConfig().end_day));
+  TRAIL_CHECK(st.ok()) << st;
+  return env;
+}
+
+void PrintHeader(const std::string& title, const BenchEnv& env) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "world: %d APTs, %zu reports ingested, TKG %zu nodes / %zu edges%s\n\n",
+      env.num_apts(), env.builder->num_events(), env.graph().num_nodes(),
+      env.graph().num_edges(), QuickMode() ? " [QUICK MODE]" : "");
+}
+
+}  // namespace trail::bench

@@ -1,0 +1,45 @@
+#ifndef TRAIL_BENCH_COMMON_H_
+#define TRAIL_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "core/tkg_builder.h"
+#include "core/trail.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+
+namespace trail::bench {
+
+/// True when TRAIL_BENCH_QUICK=1: reproduction benches shrink folds and
+/// epochs so the whole suite smoke-runs in about a minute.
+bool QuickMode();
+
+/// Number of cross-validation folds (5 per the paper; 2 in quick mode).
+int NumFolds();
+
+/// The standard reproduction world: defaults from WorldConfig, which are
+/// calibrated against the paper's reported metrics (see EXPERIMENTS.md).
+osint::WorldConfig BenchWorldConfig();
+
+/// A fully built bench environment: world + feed + TKG ingested up to the
+/// training cutoff (end_day). Post-cutoff reports are left out for the
+/// longitudinal experiments.
+struct BenchEnv {
+  std::unique_ptr<osint::World> world;
+  std::unique_ptr<osint::FeedClient> feed;
+  std::unique_ptr<core::TkgBuilder> builder;
+
+  const graph::PropertyGraph& graph() const { return builder->graph(); }
+  int num_apts() const { return builder->num_apts(); }
+};
+
+/// Builds the environment (word of caution: ~1-2 s).
+BenchEnv BuildEnv();
+
+/// Prints the standard bench header with world scale and mode.
+void PrintHeader(const std::string& title, const BenchEnv& env);
+
+}  // namespace trail::bench
+
+#endif  // TRAIL_BENCH_COMMON_H_

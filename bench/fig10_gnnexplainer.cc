@@ -1,0 +1,111 @@
+// Reproduces paper Fig. 10: GNNExplainer applied to a trained 3-layer GNN
+// classifying an APT28 event — the most important nodes/edges of the
+// subgraph the model used, with the learned edge mask as importance.
+//
+// Paper finding: most of the important edges connect the event to its own
+// IOCs (feature evidence) rather than forming inter-event reuse paths,
+// plus one reused domain bridging to another APT28 event.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "util/logging.h"
+#include "core/encoders.h"
+#include "gnn/event_gnn.h"
+#include "gnn/explainer.h"
+#include "graph/algorithms.h"
+#include "graph/csr.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace trail;
+  bench::BenchEnv env = bench::BuildEnv();
+  bench::PrintHeader("Fig. 10 — GNNExplainer subgraph for an APT28 event",
+                     env);
+  const auto& g = env.graph();
+  const int num_classes = env.num_apts();
+  const int apt28 = env.builder->AptIdFor("APT28");
+
+  // Train a 3-layer GNN on all labeled events.
+  core::IocEncoders encoders;
+  gnn::AutoencoderOptions ae_opts;
+  ae_opts.hidden = 128;
+  ae_opts.epochs = bench::QuickMode() ? 2 : 6;
+  ae_opts.max_train_rows = 4000;
+  encoders.Fit(g, ae_opts);
+  ml::Matrix encoded = encoders.EncodeAll(g);
+  gnn::GnnGraph gg = core::BuildGnnGraph(g, encoded);
+  std::vector<int> labels(g.num_nodes(), -1);
+  for (graph::NodeId event : g.NodesOfType(graph::NodeType::kEvent)) {
+    labels[event] = g.label(event);
+  }
+  gnn::EventGnn model;
+  gnn::EventGnnOptions gnn_opts;
+  gnn_opts.layers = 3;
+  gnn_opts.epochs = bench::QuickMode() ? 15 : 80;
+  model.Train(gg, labels, num_classes, gnn_opts);
+
+  // Pick an APT28 event and extract its 3-hop subgraph (BFS-capped so the
+  // explainer's mask stays small enough to optimize quickly).
+  graph::NodeId target = graph::kInvalidNode;
+  for (graph::NodeId event : g.NodesOfType(graph::NodeType::kEvent)) {
+    if (g.label(event) == apt28 && g.degree(event) >= 8) {
+      target = event;
+      break;
+    }
+  }
+  TRAIL_CHECK(target != graph::kInvalidNode);
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  std::vector<graph::NodeId> hood = graph::KHopNeighborhood(csr, target, 3);
+  if (hood.size() > 600) hood.resize(600);  // BFS order keeps the closest
+  gnn::GnnGraph sub = core::BuildGnnSubgraph(g, encoded, hood);
+
+  // Labels visible inside the subgraph except the explained event itself.
+  std::vector<int> visible(sub.num_nodes, -1);
+  for (uint32_t local = 0; local < hood.size(); ++local) {
+    if (hood[local] != target) visible[local] = labels[hood[local]];
+  }
+  uint32_t local_target = 0;  // BFS order: the center comes first
+
+  gnn::ExplainOptions explain_opts;
+  explain_opts.steps = bench::QuickMode() ? 30 : 150;
+  gnn::Explanation explanation = gnn::ExplainEvent(
+      model, sub, local_target, apt28, visible, explain_opts);
+
+  std::printf("explained event: %s (APT28), subgraph %zu nodes / %zu "
+              "undirected edges\n",
+              g.value(target).c_str(), sub.num_nodes,
+              explanation.edges.size());
+  std::printf("P(APT28 | full subgraph)   = %.3f\n",
+              explanation.full_probability);
+  std::printf("P(APT28 | learned mask)    = %.3f\n\n",
+              explanation.masked_probability);
+
+  TablePrinter table({"Importance", "Edge", "Detail"});
+  int printed = 0;
+  int event_event_paths = 0;
+  for (const gnn::EdgeImportance& edge : explanation.edges) {
+    if (printed >= 15) break;
+    graph::NodeId a = hood[edge.src];
+    graph::NodeId b = hood[edge.dst];
+    std::string detail = std::string(graph::NodeTypeName(g.type(a))) + " " +
+                         g.value(a) + "  <->  " +
+                         graph::NodeTypeName(g.type(b)) + " " + g.value(b);
+    bool touches_target = a == target || b == target;
+    table.AddRow({FormatDouble(edge.weight, 3),
+                  touches_target ? "event-IOC" : "IOC-IOC", detail});
+    if (g.type(a) == graph::NodeType::kEvent ||
+        g.type(b) == graph::NodeType::kEvent) {
+      if (!touches_target) ++event_event_paths;
+    }
+    ++printed;
+  }
+  table.Print();
+  std::printf("\n%d of the top-15 edges touch another event (inter-event "
+              "reuse paths); the paper observes most important edges are "
+              "event-to-own-IOC feature evidence.\n",
+              event_event_paths);
+  return 0;
+}

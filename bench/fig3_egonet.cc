@@ -1,0 +1,49 @@
+// Reproduces paper Fig. 3: the enriched ego-net around a single APT28 event.
+// The paper's example subgraph has 239 related IOCs (94 IPs, 95 domains,
+// 50 URLs) within 2 hops. We print the same census for the first APT28
+// event of the synthetic TKG.
+
+#include <cstdio>
+
+#include "common.h"
+#include "graph/algorithms.h"
+#include "graph/csr.h"
+
+int main() {
+  using namespace trail;
+  bench::BenchEnv env = bench::BuildEnv();
+  bench::PrintHeader("Fig. 3 — ego-net around an APT28 event", env);
+
+  const auto& g = env.graph();
+  int apt28 = env.builder->AptIdFor("APT28");
+  graph::NodeId ego_event = graph::kInvalidNode;
+  for (graph::NodeId event : g.NodesOfType(graph::NodeType::kEvent)) {
+    if (g.label(event) == apt28 && g.degree(event) >= 10) {
+      ego_event = event;
+      break;
+    }
+  }
+  if (ego_event == graph::kInvalidNode) {
+    std::printf("no APT28 event with >= 10 IOCs found\n");
+    return 1;
+  }
+
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  for (int hops : {1, 2}) {
+    graph::EgoNet ego = graph::ExtractEgoNet(csr, ego_event, hops);
+    size_t counts[graph::kNumNodeTypes] = {};
+    for (graph::NodeId node : ego.nodes) {
+      counts[static_cast<int>(g.type(node))]++;
+    }
+    std::printf("%d-hop ego-net of %s: %zu nodes, %zu edges\n", hops,
+                g.value(ego_event).c_str(), ego.nodes.size(),
+                ego.edges.size());
+    std::printf("  events: %zu  IPs: %zu  domains: %zu  URLs: %zu  "
+                "ASNs: %zu\n",
+                counts[0], counts[1], counts[2], counts[3], counts[4]);
+  }
+  std::printf("\nPaper's example (2-hop): 239 related IOCs — 94 IPs, 95 "
+              "domains, 50 URLs. Shape check: a few hundred IOCs with "
+              "domains and IPs dominating.\n");
+  return 0;
+}

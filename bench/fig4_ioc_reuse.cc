@@ -1,0 +1,49 @@
+// Reproduces paper Fig. 4: the IOC reuse distribution per type — how many
+// first-order IOCs appear in exactly k incident reports. The paper's shape:
+// a steep power-law-like decay (most IOCs in 1-2 reports, a heavy tail of
+// shared C2 infrastructure).
+
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "core/stats.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace trail;
+  bench::BenchEnv env = bench::BuildEnv();
+  bench::PrintHeader("Fig. 4 — IOC reuse by IOC type", env);
+
+  const graph::NodeType types[] = {graph::NodeType::kIp,
+                                   graph::NodeType::kUrl,
+                                   graph::NodeType::kDomain};
+  std::map<int, std::map<int, size_t>> histograms;  // type -> reuse -> count
+  int max_reuse = 1;
+  for (graph::NodeType type : types) {
+    auto histogram = core::ReuseHistogram(env.graph(), type);
+    for (const auto& [reuse, count] : histogram) {
+      histograms[static_cast<int>(type)][reuse] = count;
+      max_reuse = std::max(max_reuse, reuse);
+    }
+  }
+
+  TablePrinter table({"Reuse (reports)", "IPs", "URLs", "Domains"});
+  for (int reuse = 1; reuse <= max_reuse; ++reuse) {
+    auto count_of = [&](graph::NodeType type) -> std::string {
+      auto& h = histograms[static_cast<int>(type)];
+      auto it = h.find(reuse);
+      return it == h.end() ? "0" : WithThousands(it->second);
+    };
+    table.AddRow({std::to_string(reuse), count_of(graph::NodeType::kIp),
+                  count_of(graph::NodeType::kUrl),
+                  count_of(graph::NodeType::kDomain)});
+  }
+  table.Print();
+
+  std::printf("\nShape check: counts must decay steeply with reuse; a small "
+              "tail of heavily reused infrastructure (the paper's Cobalt "
+              "Strike C2 servers) should remain.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Reproduces the paper's Section VII-C case study (Figs. 5 and 6): a new
+// APT38 report arrives after the TKG cutoff; TRAIL merges it unlabeled,
+// enriches it, and inspects its 2-hop and 3-hop attributed-event
+// neighborhoods, then attributes it with LP and with the GNN — with and
+// without knowledge of the neighbors' labels.
+//
+// Paper reference: 20 reported IOCs enrich to 2,668; 14 attributed events
+// 2 hops away and 24 events 3 hops away, overwhelmingly APT38; GNN
+// confidence 48% blind, 88% with neighbor labels; LP attributes trivially.
+
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "util/logging.h"
+#include "core/trail.h"
+#include "ioc/ioc.h"
+#include "util/string_util.h"
+#include "graph/algorithms.h"
+#include "graph/csr.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace trail;
+  bench::BenchEnv env = bench::BuildEnv();
+  bench::PrintHeader("Figs. 5/6 — case study: attributing a new event", env);
+  const auto config = bench::BenchWorldConfig();
+
+  // Stand up the full TRAIL system on the same world.
+  core::TrailOptions options;
+  options.autoencoder.hidden = 128;
+  options.autoencoder.epochs = bench::QuickMode() ? 2 : 8;
+  options.autoencoder.max_train_rows = 4000;
+  options.gnn.epochs = bench::QuickMode() ? 15 : 100;
+  core::Trail trail(env.feed.get(), options);
+  Status st = trail.Ingest(env.feed->FetchReports(0, config.end_day));
+  TRAIL_CHECK(st.ok()) << st;
+  st = trail.TrainModels();
+  TRAIL_CHECK(st.ok()) << st;
+
+  // A post-cutoff report that overlaps the existing TKG (the paper's case
+  // is part of an ongoing campaign, "Operation DreamJob"): prefer APT38,
+  // require >= 10 indicators with at least two already known to the TKG.
+  auto post = env.world->ReportsBetween(config.end_day,
+                                        config.end_day + config.post_days);
+  // "Campaign overlap" = indicators already in the TKG whose adjacent
+  // attributed events are mostly this report's actor (shared noise
+  // infrastructure linking to everyone does not count).
+  auto campaign_overlap = [&](const osint::PulseReport& report) {
+    const int apt_id = trail.builder().graph().num_nodes() == 0
+                           ? -1
+                           : env.world->AptIdByName(report.apt);
+    int overlapping = 0;
+    for (const osint::ReportedIndicator& indicator : report.indicators) {
+      std::string value = ioc::Refang(indicator.value);
+      ioc::IocType type = ioc::ClassifyIoc(value);
+      if (type == ioc::IocType::kUnknown) continue;
+      if (type == ioc::IocType::kDomain) value = ToLower(value);
+      graph::NodeId node =
+          trail.graph().FindNode(ioc::ToNodeType(type), value);
+      if (node == graph::kInvalidNode) continue;
+      int same = 0;
+      int other = 0;
+      for (const graph::Neighbor& nb : trail.graph().neighbors(node)) {
+        if (trail.graph().type(nb.node) != graph::NodeType::kEvent) continue;
+        int label = trail.graph().label(nb.node);
+        if (label < 0) continue;
+        const std::string& name = trail.apt_names()[label];
+        (env.world->AptIdByName(name) == apt_id ? same : other)++;
+      }
+      if (same > other && same >= 1) ++overlapping;
+    }
+    return overlapping;
+  };
+  const osint::PulseReport* chosen = nullptr;
+  for (const std::string& wanted : {std::string("APT38"), std::string()}) {
+    for (const osint::PulseReport* report : post) {
+      if (!wanted.empty() && report->apt != wanted) continue;
+      if (report->indicators.size() >= 10 && campaign_overlap(*report) >= 2) {
+        chosen = report;
+        break;
+      }
+    }
+    if (chosen != nullptr) break;
+  }
+  if (chosen == nullptr && !post.empty()) chosen = post[0];
+  TRAIL_CHECK(chosen != nullptr) << "no post-cutoff report";
+
+  osint::PulseReport unknown = *chosen;
+  std::string true_apt = unknown.apt;
+  unknown.apt.clear();  // arrives unattributed
+
+  size_t nodes_before = trail.graph().num_nodes();
+  auto event = trail.IngestReport(unknown);
+  TRAIL_CHECK(event.ok()) << event.status();
+  const auto& g = trail.graph();
+  std::printf("New report %s (true actor: %s): %zu reported indicators\n",
+              unknown.id.c_str(), true_apt.c_str(),
+              unknown.indicators.size());
+  std::printf("Enrichment added %zu IOC nodes to the TKG\n\n",
+              g.num_nodes() - nodes_before - 1);
+
+  // Figs. 5/6: attributed events at 2 and 3 hops.
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  for (int hops : {2, 3}) {
+    auto hood = graph::KHopNeighborhood(csr, event.value(), hops);
+    std::map<std::string, int> events_by_apt;
+    size_t ioc_count = 0;
+    for (graph::NodeId node : hood) {
+      if (node == event.value()) continue;
+      if (g.type(node) == graph::NodeType::kEvent) {
+        if (g.label(node) >= 0) {
+          events_by_apt[trail.apt_names()[g.label(node)]]++;
+        }
+      } else {
+        ++ioc_count;
+      }
+    }
+    std::printf("%d-hop neighborhood: %zu IOCs, attributed events by APT:\n",
+                hops, ioc_count);
+    for (const auto& [apt, count] : events_by_apt) {
+      std::printf("  %-12s %d%s\n", apt.c_str(), count,
+                  apt == true_apt ? "   <-- true actor" : "");
+    }
+    if (events_by_apt.empty()) std::printf("  (none)\n");
+  }
+
+  // Attribution.
+  std::printf("\nAttribution of the new event:\n");
+  auto lp = trail.AttributeWithLp(event.value());
+  if (lp.ok()) {
+    std::printf("  LP (4 layers):        %-12s confidence %.2f %s\n",
+                lp->apt_name.c_str(), lp->confidence,
+                lp->apt_name == true_apt ? "[correct]" : "[wrong]");
+  } else {
+    std::printf("  LP (4 layers):        unattributable (%s)\n",
+                lp.status().message().c_str());
+  }
+  auto blind = trail.AttributeWithGnn(event.value(),
+                                      /*hide_neighbor_labels=*/true);
+  TRAIL_CHECK(blind.ok());
+  std::printf("  GNN, labels hidden:   %-12s confidence %.2f %s\n",
+              blind->apt_name.c_str(), blind->confidence,
+              blind->apt_name == true_apt ? "[correct]" : "[wrong]");
+  auto full = trail.AttributeWithGnn(event.value());
+  TRAIL_CHECK(full.ok());
+  std::printf("  GNN, labels visible:  %-12s confidence %.2f %s\n",
+              full->apt_name.c_str(), full->confidence,
+              full->apt_name == true_apt ? "[correct]" : "[wrong]");
+  std::printf("\nPaper: neighborhood dominated by the true actor's events; "
+              "GNN confidence rises sharply when neighbor labels are "
+              "visible (48%% -> 88%%).\n");
+  return 0;
+}

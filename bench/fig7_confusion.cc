@@ -1,0 +1,99 @@
+// Reproduces paper Fig. 7: the confusion matrix of the frozen GNN over the
+// first month of reports after the TKG cutoff (the paper's June 2023:
+// 22 unseen reports; 80% of APT38 and KIMSUKY events correct, APT37
+// misclassified into the other North Korean groups, true positives with
+// confidence > 0.99 and false positives < 0.8).
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common.h"
+#include "util/logging.h"
+#include "core/trail.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace trail;
+  bench::BenchEnv env = bench::BuildEnv();
+  bench::PrintHeader("Fig. 7 — confusion matrix on one unseen month", env);
+  const auto config = bench::BenchWorldConfig();
+
+  core::TrailOptions options;
+  options.autoencoder.hidden = 128;
+  options.autoencoder.epochs = bench::QuickMode() ? 2 : 8;
+  options.autoencoder.max_train_rows = 4000;
+  options.gnn.epochs = bench::QuickMode() ? 15 : 100;
+  core::Trail trail(env.feed.get(), options);
+  TRAIL_CHECK(trail.Ingest(env.feed->FetchReports(0, config.end_day)).ok());
+  TRAIL_CHECK(trail.TrainModels().ok());
+
+  // First post-cutoff month, ingested unlabeled, attributed by the frozen
+  // model.
+  auto month = env.world->ReportsBetween(config.end_day, config.end_day + 30);
+  std::map<std::pair<std::string, std::string>, int> confusion;
+  std::set<std::string> apts_seen;
+  double tp_conf_total = 0;
+  int tp_count = 0;
+  double fp_conf_total = 0;
+  int fp_count = 0;
+  int evaluated = 0;
+  for (const osint::PulseReport* report : month) {
+    osint::PulseReport unknown = *report;
+    std::string truth = unknown.apt;
+    unknown.apt.clear();
+    auto event = trail.IngestReport(unknown);
+    if (!event.ok()) continue;
+    auto attribution = trail.AttributeWithGnn(event.value());
+    if (!attribution.ok()) continue;
+    confusion[{truth, attribution->apt_name}]++;
+    apts_seen.insert(truth);
+    apts_seen.insert(attribution->apt_name);
+    if (attribution->apt_name == truth) {
+      tp_conf_total += attribution->confidence;
+      ++tp_count;
+    } else {
+      fp_conf_total += attribution->confidence;
+      ++fp_count;
+    }
+    ++evaluated;
+  }
+  std::printf("%d unseen reports attributed with the frozen model\n\n",
+              evaluated);
+
+  std::vector<std::string> apt_list(apts_seen.begin(), apts_seen.end());
+  std::vector<std::string> header = {"true \\ pred"};
+  for (const std::string& apt : apt_list) header.push_back(apt);
+  TablePrinter table(header);
+  for (const std::string& truth : apt_list) {
+    std::vector<std::string> row = {truth};
+    bool any = false;
+    for (const std::string& pred : apt_list) {
+      auto it = confusion.find({truth, pred});
+      int count = it == confusion.end() ? 0 : it->second;
+      any |= count > 0;
+      row.push_back(count == 0 ? "." : std::to_string(count));
+    }
+    if (any) table.AddRow(row);
+  }
+  table.Print();
+
+  int correct = tp_count;
+  std::printf("\naccuracy: %.2f (%d/%d)\n",
+              evaluated > 0 ? static_cast<double>(correct) / evaluated : 0.0,
+              correct, evaluated);
+  if (tp_count > 0) {
+    std::printf("mean confidence on correct attributions:   %.3f\n",
+                tp_conf_total / tp_count);
+  }
+  if (fp_count > 0) {
+    std::printf("mean confidence on incorrect attributions: %.3f\n",
+                fp_conf_total / fp_count);
+  }
+  std::printf("\nPaper shape: majority of events correct; confusions "
+              "cluster within the overlapping (North Korean) groups; "
+              "correct attributions carry higher confidence than errors, "
+              "motivating confidence thresholding.\n");
+  return 0;
+}

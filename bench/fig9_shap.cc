@@ -1,0 +1,92 @@
+// Reproduces paper Fig. 9: SHAP analysis of the XGB URL classifier for the
+// APT28 class — the top-10 most impactful features, as a text rendition of
+// the beeswarm plot (mean |SHAP|, mean signed SHAP, and the mean feature
+// value among APT28 samples vs the rest).
+//
+// Paper finding: APT28 URLs show high entropy and gzip-encoded payloads as
+// the dominant positive signals. In the synthetic world the exact features
+// differ run to run (each APT gets generated biases), but the structure is
+// the same: a handful of behavioral features dominating the attribution.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "core/ioc_dataset.h"
+#include "ioc/feature_schema.h"
+#include "ml/gbt.h"
+#include "ml/treeshap.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace trail;
+  bench::BenchEnv env = bench::BuildEnv();
+  bench::PrintHeader("Fig. 9 — SHAP: top URL features for APT28", env);
+  const int num_classes = env.num_apts();
+  const int apt28 = env.builder->AptIdFor("APT28");
+
+  core::IocDataset ds = core::ExtractIocDataset(
+      env.graph(), graph::NodeType::kUrl, num_classes);
+  std::printf("URL dataset: %zu samples x %zu features\n", ds.data.size(),
+              ds.data.x.cols());
+
+  Rng rng(99);
+  ml::GbtClassifier model;
+  ml::GbtOptions opts;
+  opts.num_rounds = bench::QuickMode() ? 8 : 30;
+  model.Fit(ds.data, opts, &rng);
+
+  // SHAP values toward the APT28 margin for a sample of APT28 URLs.
+  std::vector<size_t> apt28_rows;
+  for (size_t i = 0; i < ds.data.size(); ++i) {
+    if (ds.data.y[i] == apt28) apt28_rows.push_back(i);
+  }
+  const size_t sample_count = std::min<size_t>(apt28_rows.size(), 60);
+  std::vector<double> mean_abs(ds.data.x.cols(), 0.0);
+  std::vector<double> mean_signed(ds.data.x.cols(), 0.0);
+  for (size_t s = 0; s < sample_count; ++s) {
+    auto phi = ml::ShapValues(model, ds.data.x.Row(apt28_rows[s]), apt28);
+    for (size_t f = 0; f < phi.size(); ++f) {
+      mean_abs[f] += std::abs(phi[f]) / sample_count;
+      mean_signed[f] += phi[f] / sample_count;
+    }
+  }
+
+  // Rank features by mean |SHAP|.
+  std::vector<size_t> order(mean_abs.size());
+  for (size_t f = 0; f < order.size(); ++f) order[f] = f;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return mean_abs[a] > mean_abs[b];
+  });
+
+  // Mean feature values for APT28 vs other classes (the beeswarm color).
+  auto mean_value = [&](size_t feature, bool in_class) {
+    double total = 0;
+    size_t count = 0;
+    for (size_t i = 0; i < ds.data.size(); ++i) {
+      if ((ds.data.y[i] == apt28) != in_class) continue;
+      total += ds.data.x.At(i, feature);
+      ++count;
+    }
+    return count == 0 ? 0.0 : total / count;
+  };
+
+  const auto& schemas = ioc::FeatureSchemas::Get();
+  TablePrinter table({"Rank", "Feature", "mean|SHAP|", "mean SHAP",
+                      "APT28 mean", "others mean"});
+  for (int r = 0; r < 10 && r < static_cast<int>(order.size()); ++r) {
+    size_t f = order[r];
+    table.AddRow({std::to_string(r + 1),
+                  schemas.UrlFeatureName(static_cast<int>(f)),
+                  FormatDouble(mean_abs[f], 4), FormatDouble(mean_signed[f], 4),
+                  FormatDouble(mean_value(f, true), 3),
+                  FormatDouble(mean_value(f, false), 3)});
+  }
+  table.Print();
+  std::printf("\nShape check: a few behavioral features (server stack, "
+              "encoding, lexical style, TLD) dominate with positive SHAP "
+              "toward the class when the feature value is elevated among "
+              "APT28 samples — the paper's high-entropy + gzip finding.\n");
+  return 0;
+}

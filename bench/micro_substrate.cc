@@ -1,0 +1,195 @@
+// google-benchmark microbenchmarks of the TRAIL substrates: graph store,
+// CSR compilation, traversal, label propagation, vectorizers, and the ML
+// kernels. These guard the performance envelope the reproduction benches
+// depend on (a full Table IV run performs thousands of these operations).
+
+#include <benchmark/benchmark.h>
+
+#include "gnn/label_propagation.h"
+#include "graph/algorithms.h"
+#include "graph/csr.h"
+#include "graph/property_graph.h"
+#include "ioc/vectorizers.h"
+#include "ml/autograd.h"
+#include "ml/gbt.h"
+#include "ml/matrix.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace trail;
+
+/// Random sparse graph: n nodes, ~4n edges, preferential-ish attachment.
+graph::PropertyGraph MakeGraph(size_t n) {
+  graph::PropertyGraph g;
+  Rng rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode(graph::NodeType::kIp, "n" + std::to_string(i));
+  }
+  for (size_t i = 1; i < n; ++i) {
+    g.AddEdge(static_cast<graph::NodeId>(i),
+              static_cast<graph::NodeId>(rng.NextBounded(i)),
+              graph::EdgeType::kARecord);
+    for (int k = 0; k < 3; ++k) {
+      graph::NodeId other =
+          static_cast<graph::NodeId>(rng.NextBounded(n));
+      if (other != i) {
+        g.AddEdge(static_cast<graph::NodeId>(i), other,
+                  graph::EdgeType::kResolvesTo);
+      }
+    }
+  }
+  return g;
+}
+
+void BM_PropertyGraphInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::PropertyGraph g;
+    Rng rng(3);
+    for (int i = 0; i < state.range(0); ++i) {
+      graph::NodeId a = g.AddNode(graph::NodeType::kDomain,
+                                  "d" + std::to_string(i));
+      if (i > 0) {
+        g.AddEdge(a, static_cast<graph::NodeId>(rng.NextBounded(i)),
+                  graph::EdgeType::kResolvesTo);
+      }
+    }
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PropertyGraphInsert)->Arg(1000)->Arg(10000);
+
+void BM_CsrBuild(benchmark::State& state) {
+  graph::PropertyGraph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    graph::CsrGraph csr = graph::CsrGraph::Build(g);
+    benchmark::DoNotOptimize(csr.num_directed_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CsrBuild)->Arg(10000)->Arg(50000);
+
+void BM_BfsFullSweep(benchmark::State& state) {
+  graph::PropertyGraph g = MakeGraph(state.range(0));
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  for (auto _ : state) {
+    auto dist = graph::BfsDistances(csr, 0);
+    benchmark::DoNotOptimize(dist.back());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_BfsFullSweep)->Arg(10000)->Arg(50000);
+
+void BM_LabelPropagation4L(benchmark::State& state) {
+  graph::PropertyGraph g = MakeGraph(state.range(0));
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  std::vector<int> labels(g.num_nodes(), -1);
+  std::vector<uint8_t> seeds(g.num_nodes(), 0);
+  Rng rng(5);
+  for (size_t i = 0; i < g.num_nodes() / 10; ++i) {
+    size_t v = rng.NextBounded(g.num_nodes());
+    labels[v] = static_cast<int>(rng.NextBounded(22));
+    seeds[v] = 1;
+  }
+  for (auto _ : state) {
+    auto result = gnn::RunLabelPropagation(csr, labels, seeds, 22, 4);
+    benchmark::DoNotOptimize(result.predictions[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 4);
+}
+BENCHMARK(BM_LabelPropagation4L)->Arg(10000)->Arg(50000);
+
+void BM_VectorizeUrl(benchmark::State& state) {
+  ioc::UrlAnalysis analysis;
+  analysis.file_type = "text/html";
+  analysis.http_code = "200";
+  analysis.encoding = "gzip";
+  analysis.server = "nginx";
+  analysis.services = {"http", "https"};
+  const std::string url = "https://v5y7s3.l2twn2.club/gate.php?id=ab12cd34";
+  for (auto _ : state) {
+    auto v = ioc::VectorizeUrl(url, analysis);
+    benchmark::DoNotOptimize(v[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VectorizeUrl);
+
+void BM_VectorizeDomain(benchmark::State& state) {
+  ioc::DomainAnalysis analysis;
+  analysis.record_counts[0] = 2;
+  for (auto _ : state) {
+    auto v = ioc::VectorizeDomain("v5y7s3.l2twn2.club", analysis);
+    benchmark::DoNotOptimize(v[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VectorizeDomain);
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(9);
+  const size_t n = state.range(0);
+  ml::Matrix a = ml::Matrix::GlorotUniform(n, 64, &rng);
+  ml::Matrix b = ml::Matrix::GlorotUniform(64, 64, &rng);
+  for (auto _ : state) {
+    ml::Matrix c = ml::MatMul(a, b);
+    benchmark::DoNotOptimize(c.At(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+}
+BENCHMARK(BM_MatMul)->Arg(1024)->Arg(16384);
+
+void BM_MeanAggregate(benchmark::State& state) {
+  graph::PropertyGraph g = MakeGraph(state.range(0));
+  Rng rng(11);
+  ml::ag::AggregateSpec spec;
+  spec.offsets.assign(g.num_nodes() + 1, 0);
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    spec.offsets[v + 1] = spec.offsets[v] + g.degree(v);
+  }
+  spec.sources.resize(spec.offsets.back());
+  size_t cursor = 0;
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& nb : g.neighbors(v)) spec.sources[cursor++] = nb.node;
+  }
+  ml::ag::VarPtr x =
+      ml::ag::Constant(ml::Matrix::GlorotUniform(g.num_nodes(), 64, &rng));
+  for (auto _ : state) {
+    ml::ag::VarPtr out = ml::ag::MeanAggregate(spec, x);
+    benchmark::DoNotOptimize(out->value.At(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * spec.sources.size() * 64);
+}
+BENCHMARK(BM_MeanAggregate)->Arg(10000)->Arg(50000);
+
+void BM_GbtFit(benchmark::State& state) {
+  Rng rng(13);
+  ml::Dataset d;
+  d.num_classes = 4;
+  const size_t n = state.range(0);
+  d.x = ml::Matrix(n, 50);
+  for (size_t i = 0; i < n; ++i) {
+    int cls = static_cast<int>(i % 4);
+    d.y.push_back(cls);
+    for (size_t c = 0; c < 50; ++c) {
+      d.x.At(i, c) = static_cast<float>(
+          rng.Normal(c % 4 == static_cast<size_t>(cls) ? 1.0 : 0.0, 1.0));
+    }
+  }
+  ml::GbtOptions opts;
+  opts.num_rounds = 5;
+  opts.colsample_bytree = 1.0;
+  for (auto _ : state) {
+    Rng fit_rng(17);
+    ml::GbtClassifier model;
+    model.Fit(d, opts, &fit_rng);
+    benchmark::DoNotOptimize(model.num_rounds());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GbtFit)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

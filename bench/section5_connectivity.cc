@@ -1,0 +1,40 @@
+// Reproduces the paper's Section V connectivity analysis:
+//   * largest connected component holds 99.94% of nodes;
+//   * restricting to first-order IOCs raises component count (161 -> 477)
+//     and shrinks the largest component's diameter (23 -> 20 in the paper;
+//     enrichment reveals extra links);
+//   * 85% of events are within two hops of another event.
+// The shapes to check here: near-total giant component, fragmentation when
+// enrichment nodes are dropped, and a high two-hop event fraction.
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/stats.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace trail;
+  bench::BenchEnv env = bench::BuildEnv();
+  bench::PrintHeader("Section V — TKG connectivity", env);
+
+  core::ConnectivityReport report = core::ComputeConnectivity(env.graph());
+  std::printf("Full TKG:\n");
+  std::printf("  connected components:        %zu\n", report.full_components);
+  std::printf("  largest component:           %s nodes (%.2f%%)\n",
+              WithThousands(static_cast<int64_t>(report.full_largest)).c_str(),
+              100.0 * report.full_largest_fraction);
+  std::printf("  diameter (largest CC):       %d\n", report.full_diameter);
+  std::printf("First-order subgraph (events + reported IOCs only):\n");
+  std::printf("  connected components:        %zu\n",
+              report.first_order_components);
+  std::printf("  largest component:           %s nodes\n",
+              WithThousands(
+                  static_cast<int64_t>(report.first_order_largest)).c_str());
+  std::printf("  diameter (largest CC):       %d\n",
+              report.first_order_diameter);
+  std::printf("\nEvents within 2 hops of another event: %.1f%% "
+              "(paper: 85%%)\n",
+              100.0 * report.events_within_two_hops);
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Reproduces paper Table III: individual-IOC attribution with traditional
+// classifiers, five-fold cross-validation, SMOTE oversampling + standard
+// scaling on the training folds.
+//
+// Paper reference:
+//   Model  IP acc/b-acc     URL acc/b-acc    Domain acc/b-acc
+//   XGB    0.3174 / 0.1975  0.4590 / 0.2531  0.2894 / 0.1609
+//   NN     0.3796 / 0.2260  0.3395 / 0.1742  0.1087 / 0.1004
+//   RF     0.2431 / 0.1708  0.3419 / 0.2193  0.1297 / 0.1248
+// Shape to check: all models far above the 1/22 random baseline but well
+// below reliable; URLs the most attributable type, domains the least.
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/ioc_dataset.h"
+#include "ml/gbt.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+#include "ml/scaler.h"
+#include "ml/smote.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace trail;
+
+struct CvResult {
+  double acc = 0;
+  double bacc = 0;
+};
+
+template <typename TrainFn, typename PredictFn>
+CvResult CrossValidate(const core::IocDataset& ds, int num_classes,
+                       uint64_t seed, TrainFn&& train, PredictFn&& predict) {
+  Rng rng(seed);
+  auto folds = ml::StratifiedKFold(ds.data.y, bench::NumFolds(), &rng);
+  std::vector<double> accs;
+  std::vector<double> baccs;
+  for (const ml::Fold& fold : folds) {
+    ml::Dataset train_set = ds.data.Select(fold.train);
+    ml::Dataset test_set = ds.data.Select(fold.test);
+    // Preprocessing per the paper: SMOTE then standard scaling, both fitted
+    // on the training fold only.
+    ml::SmoteOptions smote;
+    smote.max_neighbors_pool = 400;
+    train_set = ml::SmoteOversample(train_set, smote, &rng);
+    ml::StandardScaler scaler;
+    train_set.x = scaler.FitTransform(train_set.x);
+    test_set.x = scaler.Transform(test_set.x);
+
+    auto model = train(train_set, &rng);
+    std::vector<int> pred = predict(model, test_set.x);
+    accs.push_back(ml::Accuracy(test_set.y, pred));
+    baccs.push_back(ml::BalancedAccuracy(test_set.y, pred, num_classes));
+  }
+  return {ml::ComputeMeanStd(accs).mean, ml::ComputeMeanStd(baccs).mean};
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::BuildEnv();
+  bench::PrintHeader(
+      "Table III — individual IOC attribution (5-fold CV, SMOTE + scaling)",
+      env);
+  const int num_classes = env.num_apts();
+
+  const graph::NodeType types[] = {graph::NodeType::kIp,
+                                   graph::NodeType::kUrl,
+                                   graph::NodeType::kDomain};
+  // Results indexed [model][type].
+  CvResult results[3][3];
+  Timer total;
+  for (int t = 0; t < 3; ++t) {
+    core::IocDataset ds =
+        core::ExtractIocDataset(env.graph(), types[t], num_classes);
+    std::printf("%-7s dataset: %zu single-label first-order IOCs x %zu "
+                "features\n",
+                graph::NodeTypeName(types[t]), ds.data.size(),
+                ds.data.x.cols());
+
+    // XGB.
+    results[0][t] = CrossValidate(
+        ds, num_classes, 100 + t,
+        [&](const ml::Dataset& train, Rng* rng) {
+          ml::GbtClassifier model;
+          ml::GbtOptions opts;
+          opts.num_rounds = bench::QuickMode() ? 10 : 30;
+          model.Fit(train, opts, rng);
+          return model;
+        },
+        [](const ml::GbtClassifier& m, const ml::Matrix& x) {
+          return m.PredictBatch(x);
+        });
+    // NN (MLP).
+    results[1][t] = CrossValidate(
+        ds, num_classes, 200 + t,
+        [&](const ml::Dataset& train, Rng*) {
+          ml::MlpClassifier model;
+          ml::MlpOptions opts;
+          opts.hidden_sizes = {128, 64};
+          opts.epochs = bench::QuickMode() ? 4 : 12;
+          opts.dropout = 0.5;
+          opts.dropout_layers = 2;
+          model.Fit(train, opts);
+          return model;
+        },
+        [](const ml::MlpClassifier& m, const ml::Matrix& x) {
+          return m.PredictBatch(x);
+        });
+    // RF.
+    results[2][t] = CrossValidate(
+        ds, num_classes, 300 + t,
+        [&](const ml::Dataset& train, Rng* rng) {
+          ml::RandomForest model;
+          ml::RandomForestOptions opts;
+          opts.num_trees = bench::QuickMode() ? 15 : 60;
+          model.Fit(train, opts, rng);
+          return model;
+        },
+        [](const ml::RandomForest& m, const ml::Matrix& x) {
+          return m.PredictBatch(x);
+        });
+  }
+
+  std::printf("\n");
+  TablePrinter table({"Model", "IP Acc.", "IP B-acc.", "URL Acc.",
+                      "URL B-acc.", "Domain Acc.", "Domain B-acc."});
+  const char* names[] = {"XGB", "NN", "RF"};
+  for (int m = 0; m < 3; ++m) {
+    table.AddRow({names[m], FormatDouble(results[m][0].acc, 4),
+                  FormatDouble(results[m][0].bacc, 4),
+                  FormatDouble(results[m][1].acc, 4),
+                  FormatDouble(results[m][1].bacc, 4),
+                  FormatDouble(results[m][2].acc, 4),
+                  FormatDouble(results[m][2].bacc, 4)});
+  }
+  table.Print();
+  std::printf("\nRandom baseline: %.4f. Paper: URLs are the most "
+              "attributable IOC type (XGB 0.4590), domains the least.\n",
+              1.0 / num_classes);
+  std::printf("(total %.1fs)\n", total.ElapsedSeconds());
+  return 0;
+}

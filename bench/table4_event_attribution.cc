@@ -1,0 +1,242 @@
+// Reproduces paper Table IV: event attribution accuracy of the three
+// analysis families over stratified five-fold CV on the TKG —
+// traditional ML voting over per-IOC predictions, label propagation at
+// depths 2/3/4, and the GraphSAGE GNN at depths 2/3/4.
+//
+// Paper reference (acc / b-acc, ± std over folds):
+//   XGB     0.4663 ± 0.0055   0.2911 ± 0.0087
+//   NN      0.2622 ± 0.0095   0.1617 ± 0.0097
+//   RF      0.6878 ± 0.0068   0.5491 ± 0.0061
+//   LP 2L   0.7589 ± 0.0059   0.7434 ± 0.0061
+//   LP 3L   0.7934 ± 0.0053   0.7660 ± 0.0054
+//   LP 4L   0.8236 ± 0.0061   0.7734 ± 0.0057
+//   GNN 2L  0.8338 ± 0.0079   0.7793 ± 0.0086
+//   GNN 3L  0.8396 ± 0.0101   0.7860 ± 0.0131
+//   GNN 4L  0.8405 ± 0.0113   0.7922 ± 0.0098
+// Shapes to check: graph methods beat per-IOC voting; LP improves with
+// depth; GNN beats LP at every depth.
+
+#include <cstdio>
+#include <functional>
+#include <unordered_map>
+
+#include "common.h"
+#include "core/encoders.h"
+#include "core/ioc_dataset.h"
+#include "gnn/event_gnn.h"
+#include "gnn/label_propagation.h"
+#include "graph/csr.h"
+#include "ml/gbt.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+#include "ml/scaler.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace trail;
+
+struct Row {
+  std::string name;
+  ml::MeanStd acc;
+  ml::MeanStd bacc;
+};
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::BuildEnv();
+  bench::PrintHeader("Table IV — event attribution (5-fold CV)", env);
+  const auto& g = env.graph();
+  const int num_classes = env.num_apts();
+
+  // Event folds, stratified on the APT label.
+  std::vector<graph::NodeId> events = g.NodesOfType(graph::NodeType::kEvent);
+  std::vector<int> event_labels;
+  for (graph::NodeId event : events) event_labels.push_back(g.label(event));
+  Rng rng(2024);
+  auto folds = ml::StratifiedKFold(event_labels, bench::NumFolds(), &rng);
+
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  std::vector<Row> rows;
+  Timer total;
+
+  // ---- Traditional ML: per-IOC prediction + mode vote per event. ----
+  using IocModelFn = std::function<std::vector<int>(
+      const ml::Dataset& train, const ml::Matrix& test_x, Rng* rng)>;
+  auto run_ml = [&](const std::string& name, const IocModelFn& model_fn) {
+    std::vector<double> accs;
+    std::vector<double> baccs;
+    for (const ml::Fold& fold : folds) {
+      std::vector<uint8_t> train_event(g.num_nodes(), 0);
+      for (size_t i : fold.train) train_event[events[i]] = 1;
+      // One model per IOC type, trained on train-event-labeled IOCs.
+      std::vector<int> votes_truth;
+      std::vector<std::vector<int>> per_type_pred(3);
+      std::vector<core::IocDataset> per_type_ds(3);
+      const graph::NodeType types[] = {graph::NodeType::kIp,
+                                       graph::NodeType::kUrl,
+                                       graph::NodeType::kDomain};
+      // Map node -> (type slot, row in that type's prediction array).
+      std::unordered_map<graph::NodeId, std::pair<int, size_t>> where;
+      for (int t = 0; t < 3; ++t) {
+        core::IocDataset train_ds = core::ExtractIocDatasetMasked(
+            g, types[t], num_classes, train_event);
+        if (train_ds.data.size() < 10) continue;
+        ml::StandardScaler scaler;
+        ml::Dataset scaled = train_ds.data;
+        scaled.x = scaler.FitTransform(scaled.x);
+        // Collect every first-order IOC of this type (prediction targets).
+        std::vector<graph::NodeId> targets;
+        std::vector<std::vector<float>> rows_x;
+        for (graph::NodeId node : g.NodesOfType(types[t])) {
+          if (!g.first_order(node) || !g.has_features(node)) continue;
+          targets.push_back(node);
+          rows_x.push_back(g.features(node));
+        }
+        ml::Matrix test_x = scaler.Transform(ml::Matrix::FromRows(rows_x));
+        per_type_pred[t] = model_fn(scaled, test_x, &rng);
+        for (size_t i = 0; i < targets.size(); ++i) {
+          where[targets[i]] = {t, i};
+        }
+      }
+      // Mode vote per test event.
+      std::vector<int> truth;
+      std::vector<int> pred;
+      for (size_t i : fold.test) {
+        std::unordered_map<int, int> counts;
+        for (const graph::Neighbor& nb : g.neighbors(events[i])) {
+          auto it = where.find(nb.node);
+          if (it == where.end()) continue;
+          int p = per_type_pred[it->second.first][it->second.second];
+          if (p >= 0) counts[p]++;
+        }
+        int best = -1;
+        int best_count = 0;
+        for (const auto& [cls, count] : counts) {
+          if (count > best_count || (count == best_count && cls < best)) {
+            best = cls;
+            best_count = count;
+          }
+        }
+        truth.push_back(event_labels[i]);
+        pred.push_back(best);
+      }
+      accs.push_back(ml::Accuracy(truth, pred));
+      baccs.push_back(ml::BalancedAccuracy(truth, pred, num_classes));
+    }
+    rows.push_back(
+        {name, ml::ComputeMeanStd(accs), ml::ComputeMeanStd(baccs)});
+    std::printf("  %s done (%.1fs elapsed)\n", name.c_str(),
+                total.ElapsedSeconds());
+  };
+
+  run_ml("XGB", [&](const ml::Dataset& train, const ml::Matrix& x, Rng* r) {
+    ml::GbtClassifier model;
+    ml::GbtOptions opts;
+    opts.num_rounds = bench::QuickMode() ? 8 : 25;
+    model.Fit(train, opts, r);
+    return model.PredictBatch(x);
+  });
+  run_ml("NN", [&](const ml::Dataset& train, const ml::Matrix& x, Rng*) {
+    ml::MlpClassifier model;
+    ml::MlpOptions opts;
+    opts.hidden_sizes = {128, 64};
+    opts.epochs = bench::QuickMode() ? 3 : 10;
+    model.Fit(train, opts);
+    return model.PredictBatch(x);
+  });
+  run_ml("RF", [&](const ml::Dataset& train, const ml::Matrix& x, Rng* r) {
+    ml::RandomForest model;
+    ml::RandomForestOptions opts;
+    opts.num_trees = bench::QuickMode() ? 15 : 50;
+    model.Fit(train, opts, r);
+    return model.PredictBatch(x);
+  });
+
+  // ---- Label propagation at depths 2/3/4. ----
+  for (int layers : {2, 3, 4}) {
+    std::vector<double> accs;
+    std::vector<double> baccs;
+    for (const ml::Fold& fold : folds) {
+      std::vector<int> labels(g.num_nodes(), -1);
+      std::vector<uint8_t> seeds(g.num_nodes(), 0);
+      for (size_t i : fold.train) {
+        labels[events[i]] = event_labels[i];
+        seeds[events[i]] = 1;
+      }
+      auto lp = gnn::RunLabelPropagation(csr, labels, seeds, num_classes,
+                                         layers);
+      std::vector<int> truth;
+      std::vector<int> pred;
+      for (size_t i : fold.test) {
+        truth.push_back(event_labels[i]);
+        pred.push_back(lp.predictions[events[i]]);
+      }
+      accs.push_back(ml::Accuracy(truth, pred));
+      baccs.push_back(ml::BalancedAccuracy(truth, pred, num_classes));
+    }
+    rows.push_back({"LP " + std::to_string(layers) + "L",
+                    ml::ComputeMeanStd(accs), ml::ComputeMeanStd(baccs)});
+  }
+  std::printf("  LP done (%.1fs elapsed)\n", total.ElapsedSeconds());
+
+  // ---- GNN at depths 2/3/4 (shared autoencoder pretraining). ----
+  core::IocEncoders encoders;
+  gnn::AutoencoderOptions ae_opts;
+  ae_opts.hidden = 128;
+  ae_opts.epochs = bench::QuickMode() ? 2 : 8;
+  ae_opts.max_train_rows = 4000;
+  encoders.Fit(g, ae_opts);
+  ml::Matrix encoded = encoders.EncodeAll(g);
+  gnn::GnnGraph gg = core::BuildGnnGraph(g, encoded);
+  std::printf("  autoencoders fitted (%.1fs elapsed)\n",
+              total.ElapsedSeconds());
+
+  for (int layers : {2, 3, 4}) {
+    std::vector<double> accs;
+    std::vector<double> baccs;
+    for (const ml::Fold& fold : folds) {
+      std::vector<int> train_labels(g.num_nodes(), -1);
+      for (size_t i : fold.train) {
+        train_labels[events[i]] = event_labels[i];
+      }
+      gnn::EventGnn model;
+      gnn::EventGnnOptions opts;
+      opts.layers = layers;
+      opts.epochs = bench::QuickMode() ? 15 : 100;
+      model.Train(gg, train_labels, num_classes, opts);
+      auto preds = model.PredictEvents(gg, train_labels);
+      std::vector<int> truth;
+      std::vector<int> pred;
+      for (size_t i : fold.test) {
+        truth.push_back(event_labels[i]);
+        pred.push_back(preds[events[i]]);
+      }
+      accs.push_back(ml::Accuracy(truth, pred));
+      baccs.push_back(ml::BalancedAccuracy(truth, pred, num_classes));
+    }
+    rows.push_back({"GNN " + std::to_string(layers) + "L",
+                    ml::ComputeMeanStd(accs), ml::ComputeMeanStd(baccs)});
+    std::printf("  GNN %dL done (%.1fs elapsed)\n", layers,
+                total.ElapsedSeconds());
+  }
+
+  std::printf("\n");
+  TablePrinter table({"Model", "Acc", "B-Acc."});
+  for (const Row& row : rows) {
+    table.AddRow({row.name, ml::FormatMeanStd(row.acc),
+                  ml::FormatMeanStd(row.bacc)});
+  }
+  table.Print();
+  std::printf("\nShape check: LP 4L > 3L > 2L; GNN >= LP at every matched "
+              "depth (paper's Observation #2). Note: per-IOC mode voting is "
+              "stronger on the synthetic world than on OTX data (many "
+              "single-label IOCs per event), so the paper's large "
+              "ML-vs-graph gap is compressed here — see EXPERIMENTS.md.\n");
+  std::printf("(total %.1fs)\n", total.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Monthly monitoring: the production loop the paper's longitudinal study
+// (Section VII-C, Fig. 8) argues for — keep the TKG current and fine-tune
+// the GNN every month so attribution quality doesn't drift. Driven by the
+// core::Study class, which encapsulates the attribute-on-arrival /
+// merge-confirmed-labels / fine-tune protocol.
+//
+// Run: ./build/examples/monthly_monitoring
+
+#include <cstdio>
+
+#include "core/study.h"
+#include "core/trail.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace trail;
+  SetLogLevel(LogLevel::kWarning);
+
+  osint::WorldConfig config;
+  config.num_apts = 10;
+  config.min_events_per_apt = 14;
+  config.max_events_per_apt = 28;
+  config.end_day = 1800;
+  config.post_days = 180;  // six monitored months
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+
+  core::TrailOptions options;
+  options.autoencoder.epochs = 6;
+  options.gnn.epochs = 80;
+  core::Trail trail(&feed, options);
+  TRAIL_CHECK(trail.Ingest(feed.FetchReports(0, config.end_day)).ok());
+  TRAIL_CHECK(trail.TrainModels().ok());
+  std::printf("initial TKG: %zu nodes, trained on %zu events\n\n",
+              trail.graph().num_nodes(), trail.builder().num_events());
+
+  core::StudyOptions study_options;
+  study_options.retrain_monthly = true;  // the paper's recommended mode
+  study_options.fine_tune_epochs = 8;
+  core::Study study(&trail, study_options);
+
+  for (int month = 0; month < 6; ++month) {
+    int lo = config.end_day + 30 * month;
+    auto reports = world.ReportsBetween(lo, lo + 30);
+    if (reports.empty()) continue;
+    auto outcome = study.RunMonth(reports);
+    TRAIL_CHECK(outcome.ok()) << outcome.status();
+    std::printf("month %d: %2zu new reports, on-arrival accuracy %s "
+                "(balanced %s)\n",
+                outcome->month_index, outcome->num_reports,
+                FormatDouble(outcome->accuracy, 3).c_str(),
+                FormatDouble(outcome->balanced_accuracy, 3).c_str());
+  }
+
+  std::printf("\nfinal TKG: %zu nodes, %zu events — model stays current "
+              "month over month (see bench/fig8_degradation for the "
+              "frozen-model comparison)\n",
+              trail.graph().num_nodes(), trail.builder().num_events());
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quickstart: stand up the TRAIL pipeline end to end in ~80 lines.
+//
+//   1. create a synthetic OSINT world (substitute for the AlienVault OTX
+//      feed the paper collects from),
+//   2. ingest its attributed incident reports into the TRAIL Knowledge
+//      Graph (with two-hop IOC enrichment),
+//   3. train the analysis models (autoencoders + GraphSAGE GNN),
+//   4. attribute a brand-new, unattributed report.
+//
+// Build: cmake --build build --target quickstart
+// Run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/trail.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace trail;
+  SetLogLevel(LogLevel::kWarning);
+
+  // 1. The intelligence exchange. WorldConfig's defaults describe a
+  //    22-actor world calibrated against the paper's statistics; shrink it
+  //    here so the quickstart runs in seconds.
+  osint::WorldConfig world_config;
+  world_config.num_apts = 8;
+  world_config.min_events_per_apt = 12;
+  world_config.max_events_per_apt = 24;
+  world_config.end_day = 1500;
+  osint::World world(world_config);
+  osint::FeedClient feed(&world);
+  std::printf("feed: %zu attributed reports from %d tracked APTs\n",
+              world.reports().size(), world.num_apts());
+
+  // 2. Build the TRAIL Knowledge Graph from every report before the
+  //    training cutoff.
+  core::TrailOptions options;
+  options.autoencoder.epochs = 6;
+  options.gnn.epochs = 60;
+  core::Trail trail(&feed, options);
+  Status st = trail.Ingest(feed.FetchReports(0, world_config.end_day));
+  if (!st.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("TKG: %zu nodes, %zu edges\n", trail.graph().num_nodes(),
+              trail.graph().num_edges());
+
+  // 3. Train the models.
+  st = trail.TrainModels();
+  if (!st.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("models trained\n\n");
+
+  // 4. A new incident lands on the exchange without attribution. Merge it
+  //    (TRAIL enriches its IOCs automatically) and ask both analyzers.
+  auto post_cutoff = world.ReportsBetween(world_config.end_day,
+                                          world_config.end_day + 60);
+  if (post_cutoff.empty()) {
+    std::fprintf(stderr, "no post-cutoff reports generated\n");
+    return 1;
+  }
+  osint::PulseReport incident = *post_cutoff[0];
+  std::string true_actor = incident.apt;
+  incident.apt.clear();  // pretend the analyst left it unattributed
+
+  auto event = trail.IngestReport(incident);
+  if (!event.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 event.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("new incident %s (%zu indicators) — true actor: %s\n",
+              incident.id.c_str(), incident.indicators.size(),
+              true_actor.c_str());
+
+  auto lp = trail.AttributeWithLp(event.value());
+  if (lp.ok()) {
+    std::printf("  label propagation: %-10s (confidence %.2f)\n",
+                lp->apt_name.c_str(), lp->confidence);
+  } else {
+    std::printf("  label propagation: unattributable — no infrastructure "
+                "reuse paths\n");
+  }
+  auto gnn = trail.AttributeWithGnn(event.value());
+  if (gnn.ok()) {
+    std::printf("  GNN:               %-10s (confidence %.2f)\n",
+                gnn->apt_name.c_str(), gnn->confidence);
+    std::printf("  full distribution:");
+    for (size_t i = 0; i < 3 && i < gnn->distribution.size(); ++i) {
+      std::printf("  %s %.2f", gnn->distribution[i].first.c_str(),
+                  gnn->distribution[i].second);
+    }
+    std::printf(" ...\n");
+  }
+  return 0;
+}

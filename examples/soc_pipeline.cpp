@@ -1,0 +1,151 @@
+// SOC pipeline: everything an operations deployment of TRAIL would chain
+// together, end to end —
+//
+//   1. build the TKG and train the models,
+//   2. calibrate the GNN's confidences on a held-out split
+//      (ml::TemperatureScaler) so a verdict threshold is meaningful,
+//   3. run a monthly Study loop: attribute on arrival, auto-accept only
+//      verdicts above the calibrated threshold, triage the rest,
+//   4. export an attributed event back to the exchange in MISP format.
+//
+// Run: ./build/examples/soc_pipeline
+
+#include <cstdio>
+
+#include "core/study.h"
+#include "core/trail.h"
+#include "core/triage.h"
+#include "graph/csr.h"
+#include "ml/calibration.h"
+#include "ml/dataset.h"
+#include "osint/feed_client.h"
+#include "osint/misp_export.h"
+#include "osint/world.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace trail;
+  SetLogLevel(LogLevel::kWarning);
+
+  osint::WorldConfig config;
+  config.num_apts = 10;
+  config.min_events_per_apt = 14;
+  config.max_events_per_apt = 26;
+  config.end_day = 1800;
+  config.post_days = 90;
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+
+  // --- 1. Build + train.
+  core::TrailOptions options;
+  options.autoencoder.epochs = 6;
+  options.gnn.epochs = 80;
+  core::Trail trail(&feed, options);
+  TRAIL_CHECK(trail.Ingest(feed.FetchReports(0, config.end_day)).ok());
+  TRAIL_CHECK(trail.TrainModels().ok());
+  std::printf("TKG %zu nodes, models trained\n", trail.graph().num_nodes());
+
+  // --- 2. Calibrate confidences on the training events themselves,
+  //        leave-own-label-out style: attribute each with its label hidden.
+  const auto& g = trail.graph();
+  auto events = g.NodesOfType(graph::NodeType::kEvent);
+  ml::Matrix probe(events.size() / 4 + 1,
+                   trail.apt_names().size());
+  std::vector<int> probe_labels;
+  size_t row = 0;
+  for (size_t i = 0; i < events.size(); i += 4) {
+    auto verdict = trail.AttributeWithGnn(events[i]);
+    if (!verdict.ok()) continue;
+    for (const auto& [name, p] : verdict->distribution) {
+      for (size_t c = 0; c < trail.apt_names().size(); ++c) {
+        if (trail.apt_names()[c] == name) {
+          probe.At(row, c) = static_cast<float>(p);
+        }
+      }
+    }
+    probe_labels.push_back(g.label(events[i]));
+    ++row;
+  }
+  while (probe_labels.size() < probe.rows()) probe_labels.push_back(-1);
+  ml::TemperatureScaler scaler;
+  scaler.Fit(probe, probe_labels);
+  double ece_before = ml::ExpectedCalibrationError(probe, probe_labels);
+  double ece_after =
+      ml::ExpectedCalibrationError(scaler.Apply(probe), probe_labels);
+  std::printf("calibration: T=%.2f, ECE %.3f -> %.3f\n\n",
+              scaler.temperature(), ece_before, ece_after);
+  const double kAcceptThreshold = 0.75;
+
+  // --- 3. Monthly loop with thresholded verdicts + triage of the rest.
+  core::StudyOptions study_options;
+  study_options.fine_tune_epochs = 6;
+  core::Study study(&trail, study_options);
+  for (int month = 0; month < 3; ++month) {
+    int lo = config.end_day + 30 * month;
+    auto reports = world.ReportsBetween(lo, lo + 30);
+    if (reports.empty()) continue;
+    auto outcome = study.RunMonth(reports);
+    TRAIL_CHECK(outcome.ok()) << outcome.status();
+
+    int auto_accepted = 0;
+    int escalated = 0;
+    graph::NodeId triage_example = graph::kInvalidNode;
+    for (size_t i = 0; i < outcome->event_nodes.size(); ++i) {
+      auto verdict = trail.AttributeWithGnn(outcome->event_nodes[i]);
+      double calibrated = 0.0;
+      if (verdict.ok()) {
+        // Single-row calibration of the top confidence.
+        ml::Matrix one(1, trail.apt_names().size());
+        for (const auto& [name, p] : verdict->distribution) {
+          for (size_t c = 0; c < trail.apt_names().size(); ++c) {
+            if (trail.apt_names()[c] == name) {
+              one.At(0, c) = static_cast<float>(p);
+            }
+          }
+        }
+        ml::Matrix scaled = scaler.Apply(one);
+        for (size_t c = 0; c < scaled.cols(); ++c) {
+          calibrated = std::max<double>(calibrated, scaled.At(0, c));
+        }
+      }
+      if (calibrated >= kAcceptThreshold) {
+        ++auto_accepted;
+      } else {
+        ++escalated;
+        triage_example = outcome->event_nodes[i];
+      }
+    }
+    std::printf("month %d: %2zu reports — accuracy %.2f, auto-accepted %d, "
+                "escalated to analysts %d\n",
+                month + 1, outcome->num_reports, outcome->accuracy,
+                auto_accepted, escalated);
+
+    // Analysts get a ranked IOC worklist for one escalated event.
+    if (triage_example != graph::kInvalidNode) {
+      graph::CsrGraph csr = graph::CsrGraph::Build(trail.graph());
+      core::TriageOptions triage_options;
+      triage_options.max_items = 3;
+      auto worklist =
+          core::TriageEvent(trail.graph(), csr, triage_example,
+                            triage_options);
+      std::printf("  triage for %s:\n",
+                  trail.graph().value(triage_example).c_str());
+      for (const core::TriageItem& item : worklist) {
+        std::printf("    %.3f  %-7s %s (reused in %d reports)\n", item.score,
+                    item.type_name.c_str(), item.value.c_str(),
+                    item.reuse_count);
+      }
+    }
+  }
+
+  // --- 4. Export one attributed event back to the exchange (MISP format).
+  graph::NodeId exported = events[0];
+  auto misp = osint::TkgEventToMisp(
+      trail.graph(), exported,
+      trail.apt_names()[trail.graph().label(exported)]);
+  TRAIL_CHECK(misp.ok());
+  std::printf("\nMISP export of %s (first 400 chars):\n%.400s...\n",
+              trail.graph().value(exported).c_str(),
+              misp->Dump(2).c_str());
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "core/attribution_report.h"
+
+#include <map>
+
+namespace trail::core {
+
+using graph::NodeId;
+using graph::NodeType;
+
+JsonValue AttributionReport::ToJson() const {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("event", JsonValue::MakeString(event_id));
+
+  auto verdict_json = [](const Trail::Attribution& attribution) {
+    JsonValue v = JsonValue::MakeObject();
+    v.Set("apt", JsonValue::MakeString(attribution.apt_name));
+    v.Set("confidence", JsonValue::MakeNumber(attribution.confidence));
+    JsonValue dist = JsonValue::MakeArray();
+    for (size_t i = 0; i < attribution.distribution.size() && i < 5; ++i) {
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("apt", JsonValue::MakeString(attribution.distribution[i].first));
+      entry.Set("p", JsonValue::MakeNumber(attribution.distribution[i].second));
+      dist.Append(std::move(entry));
+    }
+    v.Set("distribution", std::move(dist));
+    return v;
+  };
+  if (lp_ok) root.Set("label_propagation", verdict_json(lp));
+  if (gnn_ok) root.Set("gnn", verdict_json(gnn));
+
+  JsonValue evidence_array = JsonValue::MakeArray();
+  for (const Evidence& item : evidence) {
+    JsonValue e = JsonValue::MakeObject();
+    e.Set("type", JsonValue::MakeString(item.ioc_type));
+    e.Set("indicator", JsonValue::MakeString(item.ioc_value));
+    e.Set("direct", JsonValue::MakeBool(item.direct));
+    JsonValue linked = JsonValue::MakeArray();
+    for (const auto& [apt, count] : item.linked_events) {
+      JsonValue l = JsonValue::MakeObject();
+      l.Set("apt", JsonValue::MakeString(apt));
+      l.Set("events", JsonValue::MakeNumber(count));
+      linked.Append(std::move(l));
+    }
+    e.Set("linked_events", std::move(linked));
+    evidence_array.Append(std::move(e));
+  }
+  root.Set("evidence", std::move(evidence_array));
+  return root;
+}
+
+namespace {
+
+/// Attributed events adjacent to `ioc`, excluding `self`.
+std::vector<std::pair<std::string, int>> LinkedEvents(
+    const Trail& trail, NodeId ioc, NodeId self) {
+  const graph::PropertyGraph& g = trail.graph();
+  std::map<std::string, int> counts;
+  for (const graph::Neighbor& nb : g.neighbors(ioc)) {
+    if (nb.node == self) continue;
+    if (g.type(nb.node) != NodeType::kEvent) continue;
+    if (g.label(nb.node) < 0) continue;
+    counts[trail.apt_names()[g.label(nb.node)]]++;
+  }
+  return {counts.begin(), counts.end()};
+}
+
+}  // namespace
+
+Result<AttributionReport> BuildAttributionReport(const Trail& trail,
+                                                 NodeId event,
+                                                 int max_evidence) {
+  const graph::PropertyGraph& g = trail.graph();
+  if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) {
+    return Status::InvalidArgument("not an event node");
+  }
+  AttributionReport report;
+  report.event_id = g.value(event);
+
+  auto lp = trail.AttributeWithLp(event);
+  if (lp.ok()) {
+    report.lp = lp.value();
+    report.lp_ok = true;
+  }
+  if (trail.models_trained()) {
+    auto gnn = trail.AttributeWithGnn(event);
+    if (gnn.ok()) {
+      report.gnn = gnn.value();
+      report.gnn_ok = true;
+    }
+  }
+
+  // Direct evidence: reported IOCs shared with other attributed events.
+  for (const graph::Neighbor& nb : g.neighbors(event)) {
+    if (static_cast<int>(report.evidence.size()) >= max_evidence) break;
+    auto linked = LinkedEvents(trail, nb.node, event);
+    if (linked.empty()) continue;
+    Evidence item;
+    item.ioc_type = graph::NodeTypeName(g.type(nb.node));
+    item.ioc_value = g.value(nb.node);
+    item.direct = true;
+    item.linked_events = std::move(linked);
+    report.evidence.push_back(std::move(item));
+  }
+  // Indirect evidence: infrastructure one step removed (the enrichment
+  // discoveries the paper's case study surfaces).
+  for (const graph::Neighbor& nb : g.neighbors(event)) {
+    if (static_cast<int>(report.evidence.size()) >= max_evidence) break;
+    for (const graph::Neighbor& nb2 : g.neighbors(nb.node)) {
+      if (static_cast<int>(report.evidence.size()) >= max_evidence) break;
+      if (nb2.node == event || g.type(nb2.node) == NodeType::kEvent) continue;
+      auto linked = LinkedEvents(trail, nb2.node, event);
+      if (linked.empty()) continue;
+      Evidence item;
+      item.ioc_type = graph::NodeTypeName(g.type(nb2.node));
+      item.ioc_value = g.value(nb2.node);
+      item.direct = false;
+      item.linked_events = std::move(linked);
+      report.evidence.push_back(std::move(item));
+    }
+  }
+  return report;
+}
+
+}  // namespace trail::core

@@ -1,0 +1,45 @@
+#ifndef TRAIL_CORE_ATTRIBUTION_REPORT_H_
+#define TRAIL_CORE_ATTRIBUTION_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/trail.h"
+#include "util/json.h"
+
+namespace trail::core {
+
+/// A piece of supporting evidence for an attribution verdict: an indicator
+/// shared (directly or one step removed) with previously attributed events.
+struct Evidence {
+  std::string ioc_type;
+  std::string ioc_value;
+  bool direct = false;  // true: listed in the report; false: via enrichment
+  /// Attributed events reachable through this IOC, as (apt, count).
+  std::vector<std::pair<std::string, int>> linked_events;
+};
+
+/// The analyst-facing output of one attribution: verdicts from both
+/// analyzers plus the concrete reuse evidence, serializable to JSON so it
+/// can be pushed back to an exchange or a ticketing system.
+struct AttributionReport {
+  std::string event_id;
+  Trail::Attribution lp;
+  bool lp_ok = false;
+  Trail::Attribution gnn;
+  bool gnn_ok = false;
+  std::vector<Evidence> evidence;
+
+  JsonValue ToJson() const;
+};
+
+/// Builds the full report for an event already merged into the TKG:
+/// runs both analyzers and collects up to `max_evidence` reuse indicators
+/// (direct first, then one-hop-removed infrastructure).
+Result<AttributionReport> BuildAttributionReport(const Trail& trail,
+                                                 graph::NodeId event,
+                                                 int max_evidence = 10);
+
+}  // namespace trail::core
+
+#endif  // TRAIL_CORE_ATTRIBUTION_REPORT_H_

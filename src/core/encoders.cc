@@ -1,0 +1,137 @@
+#include "core/encoders.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace trail::core {
+
+using graph::NodeId;
+using graph::NodeType;
+
+namespace {
+
+ml::Matrix FeaturesOfType(const graph::PropertyGraph& graph, NodeType type) {
+  std::vector<std::vector<float>> rows;
+  for (NodeId node : graph.NodesOfType(type)) {
+    if (graph.has_features(node)) rows.push_back(graph.features(node));
+  }
+  return ml::Matrix::FromRows(rows);
+}
+
+}  // namespace
+
+void IocEncoders::Fit(const graph::PropertyGraph& graph,
+                      const gnn::AutoencoderOptions& options) {
+  encoding_dim_ = options.encoding;
+  ml::Matrix url_x = FeaturesOfType(graph, NodeType::kUrl);
+  ml::Matrix ip_x = FeaturesOfType(graph, NodeType::kIp);
+  ml::Matrix domain_x = FeaturesOfType(graph, NodeType::kDomain);
+  TRAIL_CHECK(url_x.rows() > 0 && ip_x.rows() > 0 && domain_x.rows() > 0)
+      << "graph lacks featured IOCs of every type";
+  gnn::AutoencoderOptions url_opts = options;
+  gnn::AutoencoderOptions ip_opts = options;
+  ip_opts.seed = options.seed + 1;
+  gnn::AutoencoderOptions domain_opts = options;
+  domain_opts.seed = options.seed + 2;
+  url_.Fit(url_x, url_opts);
+  ip_.Fit(ip_x, ip_opts);
+  domain_.Fit(domain_x, domain_opts);
+  fitted_ = true;
+}
+
+ml::Matrix IocEncoders::EncodeAll(const graph::PropertyGraph& graph) const {
+  TRAIL_CHECK(fitted_) << "encode before fit";
+  ml::Matrix out(graph.num_nodes(), encoding_dim_);
+
+  auto encode_type = [&](NodeType type, const gnn::Autoencoder& encoder) {
+    std::vector<NodeId> nodes;
+    std::vector<std::vector<float>> rows;
+    for (NodeId node : graph.NodesOfType(type)) {
+      if (!graph.has_features(node)) continue;
+      nodes.push_back(node);
+      rows.push_back(graph.features(node));
+    }
+    if (nodes.empty()) return;
+    ml::Matrix encoded = encoder.Encode(ml::Matrix::FromRows(rows));
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      auto src = encoded.Row(i);
+      auto dst = out.Row(nodes[i]);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  };
+  encode_type(NodeType::kUrl, url_);
+  encode_type(NodeType::kIp, ip_);
+  encode_type(NodeType::kDomain, domain_);
+  return out;
+}
+
+gnn::GnnGraph BuildGnnGraph(const graph::PropertyGraph& graph,
+                            const ml::Matrix& encoded) {
+  TRAIL_CHECK(encoded.rows() == graph.num_nodes());
+  gnn::GnnGraph g;
+  g.num_nodes = graph.num_nodes();
+  g.node_type.resize(g.num_nodes);
+  g.encoded = encoded;
+  g.spec.offsets.assign(g.num_nodes + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    g.node_type[v] = static_cast<int>(graph.type(v));
+    g.spec.offsets[v + 1] = g.spec.offsets[v] + graph.degree(v);
+    if (graph.type(v) == NodeType::kEvent) g.events.push_back(v);
+  }
+  g.spec.sources.resize(g.spec.offsets[g.num_nodes]);
+  g.edge_type.resize(g.spec.offsets[g.num_nodes]);
+  size_t cursor = 0;
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (const graph::Neighbor& nb : graph.neighbors(v)) {
+      g.spec.sources[cursor] = nb.node;
+      g.edge_type[cursor++] = static_cast<int>(nb.type);
+    }
+  }
+  return g;
+}
+
+gnn::GnnGraph BuildGnnSubgraph(const graph::PropertyGraph& graph,
+                               const ml::Matrix& encoded,
+                               const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, uint32_t> local;
+  local.reserve(nodes.size());
+  for (uint32_t i = 0; i < nodes.size(); ++i) local.emplace(nodes[i], i);
+
+  gnn::GnnGraph g;
+  g.num_nodes = nodes.size();
+  g.node_type.resize(g.num_nodes);
+  g.encoded = ml::Matrix(g.num_nodes, encoded.cols());
+  g.spec.offsets.assign(g.num_nodes + 1, 0);
+
+  std::vector<std::vector<std::pair<uint32_t, int>>> local_adj(g.num_nodes);
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    NodeId v = nodes[i];
+    g.node_type[i] = static_cast<int>(graph.type(v));
+    auto src = encoded.Row(v);
+    auto dst = g.encoded.Row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+    if (graph.type(v) == NodeType::kEvent) g.events.push_back(i);
+    for (const graph::Neighbor& nb : graph.neighbors(v)) {
+      auto it = local.find(nb.node);
+      if (it != local.end()) {
+        local_adj[i].emplace_back(it->second, static_cast<int>(nb.type));
+      }
+    }
+  }
+  for (uint32_t i = 0; i < g.num_nodes; ++i) {
+    g.spec.offsets[i + 1] = g.spec.offsets[i] + local_adj[i].size();
+  }
+  g.spec.sources.resize(g.spec.offsets[g.num_nodes]);
+  g.edge_type.resize(g.spec.offsets[g.num_nodes]);
+  size_t cursor = 0;
+  for (uint32_t i = 0; i < g.num_nodes; ++i) {
+    for (const auto& [nb, type] : local_adj[i]) {
+      g.spec.sources[cursor] = nb;
+      g.edge_type[cursor++] = type;
+    }
+  }
+  return g;
+}
+
+}  // namespace trail::core

@@ -1,0 +1,52 @@
+#ifndef TRAIL_CORE_ENCODERS_H_
+#define TRAIL_CORE_ENCODERS_H_
+
+#include "gnn/autoencoder.h"
+#include "gnn/event_gnn.h"
+#include "graph/property_graph.h"
+
+namespace trail::core {
+
+/// The trio of per-IOC-type autoencoders of the paper's Section VI-C,
+/// fitted unsupervised on the TKG's feature matrices and used to project
+/// URL / IP / domain features into one shared latent space.
+class IocEncoders {
+ public:
+  /// Trains all three autoencoders on the features present in `graph`.
+  void Fit(const graph::PropertyGraph& graph,
+           const gnn::AutoencoderOptions& options);
+
+  /// Encoded feature matrix for every node of `graph` (zeros for events,
+  /// ASNs, and feature-less nodes), in node-id order.
+  ml::Matrix EncodeAll(const graph::PropertyGraph& graph) const;
+
+  bool fitted() const { return fitted_; }
+  size_t encoding_dim() const { return encoding_dim_; }
+
+  const gnn::Autoencoder& url() const { return url_; }
+  const gnn::Autoencoder& ip() const { return ip_; }
+  const gnn::Autoencoder& domain() const { return domain_; }
+
+ private:
+  gnn::Autoencoder url_;
+  gnn::Autoencoder ip_;
+  gnn::Autoencoder domain_;
+  size_t encoding_dim_ = 0;
+  bool fitted_ = false;
+};
+
+/// Compiles the model view of the TKG: node types, encoded features, the
+/// neighbor-aggregation spec, and the event list. Node ids are preserved.
+gnn::GnnGraph BuildGnnGraph(const graph::PropertyGraph& graph,
+                            const ml::Matrix& encoded);
+
+/// Induced model view on a node subset (e.g. a k-hop ego-net for the
+/// explainer). `nodes[i]` becomes local id i; returns the view plus nothing
+/// else — callers keep `nodes` as the local->global map.
+gnn::GnnGraph BuildGnnSubgraph(const graph::PropertyGraph& graph,
+                               const ml::Matrix& encoded,
+                               const std::vector<graph::NodeId>& nodes);
+
+}  // namespace trail::core
+
+#endif  // TRAIL_CORE_ENCODERS_H_

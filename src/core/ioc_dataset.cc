@@ -1,0 +1,99 @@
+#include "core/ioc_dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace trail::core {
+
+using graph::NodeId;
+using graph::NodeType;
+
+namespace {
+
+IocDataset ExtractImpl(const graph::PropertyGraph& graph, NodeType type,
+                       int num_classes,
+                       const std::vector<uint8_t>* event_visible) {
+  IocDataset out;
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+  for (NodeId node : graph.NodesOfType(type)) {
+    if (!graph.first_order(node) || !graph.has_features(node)) continue;
+    int label = graph::kNoLabel;
+    bool multi = false;
+    for (const graph::Neighbor& nb : graph.neighbors(node)) {
+      if (graph.type(nb.node) != NodeType::kEvent) continue;
+      if (event_visible != nullptr && !(*event_visible)[nb.node]) continue;
+      int event_label = graph.label(nb.node);
+      if (event_label < 0) continue;
+      if (label == graph::kNoLabel) {
+        label = event_label;
+      } else if (label != event_label) {
+        multi = true;
+        break;
+      }
+    }
+    if (multi || label < 0 || label >= num_classes) continue;
+    rows.push_back(graph.features(node));
+    labels.push_back(label);
+    out.nodes.push_back(node);
+  }
+  out.data.x = ml::Matrix::FromRows(rows);
+  out.data.y = std::move(labels);
+  out.data.num_classes = num_classes;
+  return out;
+}
+
+}  // namespace
+
+IocDataset ExtractIocDataset(const graph::PropertyGraph& graph,
+                             NodeType type, int num_classes) {
+  return ExtractImpl(graph, type, num_classes, nullptr);
+}
+
+IocDataset ExtractIocDatasetMasked(const graph::PropertyGraph& graph,
+                                   NodeType type, int num_classes,
+                                   const std::vector<uint8_t>& event_visible) {
+  return ExtractImpl(graph, type, num_classes, &event_visible);
+}
+
+EventIocIndex BuildEventIocIndex(const graph::PropertyGraph& graph,
+                                 const IocDataset& dataset) {
+  std::unordered_map<NodeId, size_t> row_of;
+  for (size_t i = 0; i < dataset.nodes.size(); ++i) {
+    row_of.emplace(dataset.nodes[i], i);
+  }
+  EventIocIndex index;
+  for (NodeId event : graph.NodesOfType(NodeType::kEvent)) {
+    std::vector<size_t> rows;
+    for (const graph::Neighbor& nb : graph.neighbors(event)) {
+      auto it = row_of.find(nb.node);
+      if (it != row_of.end()) rows.push_back(it->second);
+    }
+    index.events.push_back(event);
+    index.rows_per_event.push_back(std::move(rows));
+  }
+  return index;
+}
+
+int ModeVote(const std::vector<int>& ioc_predictions,
+             const std::vector<size_t>& rows) {
+  if (rows.empty()) return -1;
+  std::unordered_map<int, int> counts;
+  for (size_t row : rows) {
+    TRAIL_CHECK(row < ioc_predictions.size());
+    if (ioc_predictions[row] >= 0) counts[ioc_predictions[row]]++;
+  }
+  int best = -1;
+  int best_count = 0;
+  for (const auto& [cls, count] : counts) {
+    if (count > best_count || (count == best_count && cls < best)) {
+      best = cls;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace trail::core

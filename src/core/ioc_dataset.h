@@ -1,0 +1,51 @@
+#ifndef TRAIL_CORE_IOC_DATASET_H_
+#define TRAIL_CORE_IOC_DATASET_H_
+
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "ml/dataset.h"
+
+namespace trail::core {
+
+/// A labeled IOC dataset extracted from the TKG plus the originating node
+/// ids (parallel to the dataset rows).
+struct IocDataset {
+  ml::Dataset data;
+  std::vector<graph::NodeId> nodes;
+};
+
+/// Extracts the individual-IOC attribution dataset for one IOC node type
+/// (paper Section VII-A): first-order IOCs adjacent to exactly one distinct
+/// event label — multi-labeled and secondary IOCs are excluded. Labels are
+/// the adjacent events' APT ids; `num_classes` fixes the label arity.
+IocDataset ExtractIocDataset(const graph::PropertyGraph& graph,
+                             graph::NodeType type, int num_classes);
+
+/// Fold-aware variant: only events with `event_visible[node] != 0` supply
+/// labels, so an IOC shared between a training and a held-out event is
+/// labeled purely from the training side (no label leakage in the
+/// event-attribution protocol). `event_visible` is indexed by node id.
+IocDataset ExtractIocDatasetMasked(const graph::PropertyGraph& graph,
+                                   graph::NodeType type, int num_classes,
+                                   const std::vector<uint8_t>& event_visible);
+
+/// The per-event IOC membership used for event-level voting: for each event
+/// node, the dataset row indices (into `dataset.nodes`) of its first-order
+/// IOCs.
+struct EventIocIndex {
+  std::vector<graph::NodeId> events;
+  std::vector<std::vector<size_t>> rows_per_event;  // parallel to events
+};
+EventIocIndex BuildEventIocIndex(const graph::PropertyGraph& graph,
+                                 const IocDataset& dataset);
+
+/// Majority vote (mode) over per-IOC predictions for one event; ties break
+/// toward the lower class id; -1 when `rows` is empty — the paper's
+/// event-level protocol for the traditional classifiers.
+int ModeVote(const std::vector<int>& ioc_predictions,
+             const std::vector<size_t>& rows);
+
+}  // namespace trail::core
+
+#endif  // TRAIL_CORE_IOC_DATASET_H_

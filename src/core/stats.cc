@@ -1,0 +1,150 @@
+#include "core/stats.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/csr.h"
+
+namespace trail::core {
+
+using graph::NodeId;
+using graph::NodeType;
+
+TkgStatsReport ComputeTkgStats(const graph::PropertyGraph& graph) {
+  TkgStatsReport report;
+  report.num_edges = graph.num_edges();
+  size_t total_first_order_denominator = 0;
+  size_t total_first_order = 0;
+  size_t total_reuse_count = 0;
+  size_t total_reuse_denominator = 0;
+
+  for (int t = 0; t < graph::kNumNodeTypes; ++t) {
+    NodeType type = static_cast<NodeType>(t);
+    TypeStats stats;
+    stats.type_name = graph::NodeTypeName(type);
+    size_t first_order = 0;
+    size_t reuse_sum = 0;
+    for (NodeId node : graph.NodesOfType(type)) {
+      stats.nodes++;
+      stats.edge_endpoints += graph.degree(node);
+      if (graph.first_order(node)) {
+        ++first_order;
+        reuse_sum += graph.report_count(node);
+      }
+    }
+    stats.avg_degree = stats.nodes == 0
+                           ? 0.0
+                           : static_cast<double>(stats.edge_endpoints) /
+                                 stats.nodes;
+    const bool ioc_type = type == NodeType::kIp || type == NodeType::kUrl ||
+                          type == NodeType::kDomain;
+    if (ioc_type && stats.nodes > 0) {
+      stats.first_order_fraction =
+          static_cast<double>(first_order) / stats.nodes;
+      stats.avg_reuse = first_order == 0
+                            ? 0.0
+                            : static_cast<double>(reuse_sum) / first_order;
+      total_first_order_denominator += stats.nodes;
+      total_first_order += first_order;
+      total_reuse_count += reuse_sum;
+      total_reuse_denominator += first_order;
+    }
+    report.per_type.push_back(stats);
+  }
+
+  report.total.type_name = "Total";
+  for (const TypeStats& stats : report.per_type) {
+    report.total.nodes += stats.nodes;
+    report.total.edge_endpoints += stats.edge_endpoints;
+  }
+  report.total.avg_degree =
+      report.total.nodes == 0
+          ? 0.0
+          : static_cast<double>(report.total.edge_endpoints) /
+                report.total.nodes;
+  if (total_first_order_denominator > 0) {
+    report.total.first_order_fraction =
+        static_cast<double>(total_first_order) /
+        total_first_order_denominator;
+  }
+  if (total_reuse_denominator > 0) {
+    report.total.avg_reuse = static_cast<double>(total_reuse_count) /
+                             total_reuse_denominator;
+  }
+  return report;
+}
+
+std::map<int, size_t> ReuseHistogram(const graph::PropertyGraph& graph,
+                                     NodeType type) {
+  std::map<int, size_t> histogram;
+  for (NodeId node : graph.NodesOfType(type)) {
+    if (!graph.first_order(node)) continue;
+    histogram[graph.report_count(node)]++;
+  }
+  return histogram;
+}
+
+ConnectivityReport ComputeConnectivity(const graph::PropertyGraph& graph) {
+  ConnectivityReport report;
+
+  graph::CsrGraph full = graph::CsrGraph::Build(graph);
+  auto full_cc = graph::ConnectedComponents(full);
+  report.full_components = full_cc.num_components;
+  if (full_cc.largest_component >= 0) {
+    report.full_largest = full_cc.sizes[full_cc.largest_component];
+    report.full_largest_fraction =
+        static_cast<double>(report.full_largest) / graph.num_nodes();
+    // Seed the sweep inside the largest component.
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (full_cc.component[v] == full_cc.largest_component) {
+        report.full_diameter = graph::DoubleSweepDiameter(full, v);
+        break;
+      }
+    }
+  }
+
+  // First-order-only subgraph: events + first-order IOCs (ASNs dropped, as
+  // they are enrichment products).
+  std::vector<uint8_t> keep(graph.num_nodes(), 0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.type(v) == NodeType::kEvent || graph.first_order(v)) keep[v] = 1;
+  }
+  graph::CsrGraph first_order = graph::CsrGraph::Build(graph, &keep);
+  auto fo_cc = graph::ConnectedComponents(first_order);
+  report.first_order_components = fo_cc.num_components;
+  if (fo_cc.largest_component >= 0) {
+    report.first_order_largest = fo_cc.sizes[fo_cc.largest_component];
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (keep[v] && fo_cc.component[v] == fo_cc.largest_component) {
+        report.first_order_diameter =
+            graph::DoubleSweepDiameter(first_order, v);
+        break;
+      }
+    }
+  }
+
+  // Fraction of events with another event exactly 2 hops away (shared
+  // first-order IOC) in the full graph.
+  std::vector<NodeId> events = graph.NodesOfType(NodeType::kEvent);
+  size_t with_neighbor_event = 0;
+  for (NodeId event : events) {
+    bool found = false;
+    for (const graph::Neighbor& nb : graph.neighbors(event)) {
+      for (const graph::Neighbor& nb2 : graph.neighbors(nb.node)) {
+        if (nb2.node != event &&
+            graph.type(nb2.node) == NodeType::kEvent) {
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (found) ++with_neighbor_event;
+  }
+  report.events_within_two_hops =
+      events.empty() ? 0.0
+                     : static_cast<double>(with_neighbor_event) / events.size();
+  return report;
+}
+
+}  // namespace trail::core

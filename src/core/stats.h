@@ -1,0 +1,52 @@
+#ifndef TRAIL_CORE_STATS_H_
+#define TRAIL_CORE_STATS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace trail::core {
+
+/// One row of the paper's Table II.
+struct TypeStats {
+  std::string type_name;
+  size_t nodes = 0;
+  size_t edge_endpoints = 0;   // sum of degrees over nodes of this type
+  double avg_degree = 0.0;
+  double first_order_fraction = -1.0;  // -1 = n/a (events, ASNs)
+  double avg_reuse = -1.0;             // mean report_count of 1st-order IOCs
+};
+
+/// Table II: per-type node/edge/degree statistics plus totals.
+struct TkgStatsReport {
+  std::vector<TypeStats> per_type;
+  TypeStats total;
+  size_t num_edges = 0;
+};
+TkgStatsReport ComputeTkgStats(const graph::PropertyGraph& graph);
+
+/// Fig. 4: IOC reuse histogram — for each node type, reuse count ->
+/// number of first-order IOCs appearing in that many reports.
+std::map<int, size_t> ReuseHistogram(const graph::PropertyGraph& graph,
+                                     graph::NodeType type);
+
+/// Section V connectivity: component counts and diameters for the full TKG
+/// vs the first-order-only subgraph, plus the fraction of events within two
+/// hops of another event.
+struct ConnectivityReport {
+  size_t full_components = 0;
+  size_t full_largest = 0;
+  double full_largest_fraction = 0.0;
+  int full_diameter = 0;   // double-sweep lower bound on the largest CC
+  size_t first_order_components = 0;
+  size_t first_order_largest = 0;
+  int first_order_diameter = 0;
+  double events_within_two_hops = 0.0;
+};
+ConnectivityReport ComputeConnectivity(const graph::PropertyGraph& graph);
+
+}  // namespace trail::core
+
+#endif  // TRAIL_CORE_STATS_H_

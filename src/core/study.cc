@@ -1,0 +1,50 @@
+#include "core/study.h"
+
+#include "ml/metrics.h"
+
+namespace trail::core {
+
+Result<MonthOutcome> Study::RunMonth(
+    const std::vector<const osint::PulseReport*>& reports) {
+  if (!trail_->models_trained()) {
+    return Status::FailedPrecondition("train models before running a study");
+  }
+  MonthOutcome outcome;
+  outcome.month_index = static_cast<int>(history_.size()) + 1;
+
+  for (const osint::PulseReport* report : reports) {
+    osint::PulseReport incoming = *report;
+    const std::string actor = incoming.apt;
+    incoming.apt.clear();  // attribution is the system's job
+    auto event = trail_->IngestReport(incoming);
+    if (!event.ok()) continue;  // duplicates etc. are skipped, not fatal
+    auto attribution = trail_->AttributeWithGnn(event.value());
+
+    int actor_id = -1;
+    for (size_t c = 0; c < trail_->apt_names().size(); ++c) {
+      if (trail_->apt_names()[c] == actor) actor_id = static_cast<int>(c);
+    }
+    outcome.event_nodes.push_back(event.value());
+    outcome.truth.push_back(actor_id);
+    outcome.predicted.push_back(attribution.ok() ? attribution->apt : -1);
+  }
+  outcome.num_reports = outcome.truth.size();
+  outcome.accuracy = ml::Accuracy(outcome.truth, outcome.predicted);
+  outcome.balanced_accuracy = ml::BalancedAccuracy(
+      outcome.truth, outcome.predicted,
+      static_cast<int>(trail_->apt_names().size()));
+
+  if (options_.retrain_monthly && outcome.num_reports > 0) {
+    for (size_t i = 0; i < outcome.event_nodes.size(); ++i) {
+      if (outcome.truth[i] >= 0) {
+        trail_->mutable_graph().SetLabel(outcome.event_nodes[i],
+                                         outcome.truth[i]);
+      }
+    }
+    TRAIL_RETURN_NOT_OK(trail_->FineTuneGnn(options_.fine_tune_epochs));
+  }
+  history_.push_back(outcome);
+  return outcome;
+}
+
+}  // namespace trail::core

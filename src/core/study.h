@@ -1,0 +1,56 @@
+#ifndef TRAIL_CORE_STUDY_H_
+#define TRAIL_CORE_STUDY_H_
+
+#include <vector>
+
+#include "core/trail.h"
+#include "osint/report.h"
+
+namespace trail::core {
+
+/// One evaluated month of the longitudinal protocol.
+struct MonthOutcome {
+  int month_index = 0;
+  size_t num_reports = 0;
+  double accuracy = 0.0;
+  double balanced_accuracy = 0.0;
+  std::vector<graph::NodeId> event_nodes;
+  std::vector<int> truth;       // APT ids (-1 unknown actor tag)
+  std::vector<int> predicted;   // -1 = unattributable
+};
+
+struct StudyOptions {
+  /// After evaluating a month, merge its confirmed labels into the TKG and
+  /// fine-tune (the paper's monthly-retraining track). When false the model
+  /// and label set stay frozen (the staleness track).
+  bool retrain_monthly = true;
+  int fine_tune_epochs = 8;
+};
+
+/// Drives the paper's Section VII-C months-long investigation over one
+/// Trail instance: each month's reports arrive unattributed, are attributed
+/// on arrival with the GNN, then (optionally) their confirmed labels are
+/// merged and the model fine-tuned before the next month.
+class Study {
+ public:
+  Study(Trail* trail, StudyOptions options)
+      : trail_(trail), options_(options) {}
+
+  /// Evaluates one month of reports and, in retraining mode, updates the
+  /// system afterwards. Reports whose actor tag is unknown to the roster
+  /// count as truth -1 (always scored wrong, like the paper's unseen-APT
+  /// caveat).
+  Result<MonthOutcome> RunMonth(
+      const std::vector<const osint::PulseReport*>& reports);
+
+  const std::vector<MonthOutcome>& history() const { return history_; }
+
+ private:
+  Trail* trail_;
+  StudyOptions options_;
+  std::vector<MonthOutcome> history_;
+};
+
+}  // namespace trail::core
+
+#endif  // TRAIL_CORE_STUDY_H_

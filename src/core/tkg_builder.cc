@@ -1,0 +1,190 @@
+#include "core/tkg_builder.h"
+
+#include "ioc/ioc.h"
+#include "ioc/url.h"
+#include "ioc/vectorizers.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace trail::core {
+
+using graph::EdgeType;
+using graph::NodeId;
+using graph::NodeType;
+
+TkgBuilder::TkgBuilder(const osint::FeedClient* feed, TkgBuildOptions options)
+    : feed_(feed), options_(options) {}
+
+int TkgBuilder::AptIdFor(const std::string& name) {
+  auto it = apt_ids_.find(name);
+  if (it != apt_ids_.end()) return it->second;
+  int id = static_cast<int>(apt_names_.size());
+  apt_ids_.emplace(name, id);
+  apt_names_.push_back(name);
+  return id;
+}
+
+Result<NodeId> TkgBuilder::IngestReportJson(const std::string& json) {
+  auto report = osint::PulseReport::FromJsonString(json);
+  if (!report.ok()) return report.status();
+  return IngestReport(report.value());
+}
+
+Status TkgBuilder::IngestAll(const std::vector<std::string>& report_jsons) {
+  for (const std::string& json : report_jsons) {
+    auto event = IngestReportJson(json);
+    if (!event.ok()) return event.status();
+  }
+  return Status::Ok();
+}
+
+Result<NodeId> TkgBuilder::IngestReport(const osint::PulseReport& report) {
+  if (report.id.empty()) {
+    return Status::InvalidArgument("report without id");
+  }
+  NodeId event = graph_.AddNode(NodeType::kEvent, report.id);
+  if (graph_.degree(event) > 0) {
+    return Status::AlreadyExists("report already ingested: " + report.id);
+  }
+  if (!report.apt.empty()) {
+    graph_.SetLabel(event, AptIdFor(report.apt));
+  }
+  graph_.SetTimestamp(event, report.day);
+  ++num_events_;
+
+  for (const osint::ReportedIndicator& indicator : report.indicators) {
+    std::string value = ioc::Refang(indicator.value);
+    ioc::IocType type = ioc::ClassifyIoc(value);
+    if (type == ioc::IocType::kUnknown) {
+      if (options_.drop_invalid_indicators) {
+        ++num_dropped_;
+        continue;
+      }
+      ++num_dropped_;
+      continue;
+    }
+    if (type == ioc::IocType::kDomain) value = ToLower(value);
+    NodeId node = TouchIoc(type, value, /*hop=*/1);
+    graph_.SetFirstOrder(node, true);
+    if (graph_.AddEdge(event, node, EdgeType::kInReport)) {
+      graph_.IncrementReportCount(node);
+    }
+  }
+  return event;
+}
+
+NodeId TkgBuilder::TouchIoc(ioc::IocType type, const std::string& value,
+                            int hop) {
+  NodeId node = graph_.AddNode(ioc::ToNodeType(type), value);
+  if (analyzed_.insert(node).second) {
+    AnalyzeNode(node, type, value, hop);
+  }
+  return node;
+}
+
+void TkgBuilder::AnalyzeNode(NodeId node, ioc::IocType type,
+                             const std::string& value, int hop) {
+  const bool may_spawn = hop < options_.enrichment_hops;
+  switch (type) {
+    case ioc::IocType::kIp: {
+      auto analysis = feed_->GetIpAnalysis(value);
+      ioc::IpAnalysis data;
+      if (analysis.ok()) {
+        data = analysis.value();
+      } else {
+        ++num_analysis_misses_;
+      }
+      graph_.SetFeatures(node, ioc::VectorizeIp(data));
+      graph_.SetTimestamp(node, data.first_seen_days);
+      if (data.asn >= 0) {
+        // ASNs are lightweight group nodes; they never spawn further IOCs,
+        // so materialize regardless of hop (paper: InGroup edges from any
+        // analyzed IP).
+        NodeId asn =
+            graph_.AddNode(NodeType::kAsn, "AS" + std::to_string(data.asn));
+        graph_.AddEdge(node, asn, EdgeType::kInGroup);
+      }
+      for (const std::string& domain_name : data.resolved_domains) {
+        std::string domain = ToLower(domain_name);
+        NodeId existing = graph_.FindNode(NodeType::kDomain, domain);
+        if (existing == graph::kInvalidNode && !may_spawn) continue;
+        NodeId target = may_spawn
+                            ? TouchIoc(ioc::IocType::kDomain, domain, hop + 1)
+                            : existing;
+        graph_.AddEdge(node, target, EdgeType::kARecord);
+      }
+      break;
+    }
+    case ioc::IocType::kDomain: {
+      auto analysis = feed_->GetDomainAnalysis(value);
+      ioc::DomainAnalysis data;
+      if (analysis.ok()) {
+        data = analysis.value();
+      } else {
+        ++num_analysis_misses_;
+      }
+      graph_.SetFeatures(node, ioc::VectorizeDomain(value, data));
+      graph_.SetTimestamp(node, data.first_seen_days);
+      for (const std::string& addr : data.resolved_ips) {
+        NodeId existing = graph_.FindNode(NodeType::kIp, addr);
+        if (existing == graph::kInvalidNode && !may_spawn) continue;
+        NodeId target = may_spawn
+                            ? TouchIoc(ioc::IocType::kIp, addr, hop + 1)
+                            : existing;
+        graph_.AddEdge(node, target, EdgeType::kResolvesTo);
+      }
+      break;
+    }
+    case ioc::IocType::kUrl: {
+      auto analysis = feed_->GetUrlAnalysis(value);
+      ioc::UrlAnalysis data;
+      if (analysis.ok()) {
+        data = analysis.value();
+      } else {
+        ++num_analysis_misses_;
+      }
+      graph_.SetFeatures(node, ioc::VectorizeUrl(value, data));
+      // HostedOn is derivable lexically even with no analysis (paper
+      // Table I).
+      auto parsed = ioc::ParseUrl(value);
+      if (parsed.ok()) {
+        const std::string host = ioc::HostDomain(parsed.value());
+        if (!host.empty()) {
+          NodeId existing = graph_.FindNode(NodeType::kDomain, host);
+          if (existing != graph::kInvalidNode || may_spawn) {
+            NodeId target =
+                may_spawn ? TouchIoc(ioc::IocType::kDomain, host, hop + 1)
+                          : existing;
+            graph_.AddEdge(node, target, EdgeType::kHostedOn);
+          }
+        } else if (parsed.value().host_is_ip) {
+          // URL directly on an IP literal.
+          NodeId existing =
+              graph_.FindNode(NodeType::kIp, parsed.value().host);
+          if (existing != graph::kInvalidNode || may_spawn) {
+            NodeId target =
+                may_spawn
+                    ? TouchIoc(ioc::IocType::kIp, parsed.value().host, hop + 1)
+                    : existing;
+            graph_.AddEdge(node, target, EdgeType::kResolvesTo);
+          }
+        }
+      }
+      if (!data.resolved_ip.empty()) {
+        NodeId existing = graph_.FindNode(NodeType::kIp, data.resolved_ip);
+        if (existing != graph::kInvalidNode || may_spawn) {
+          NodeId target =
+              may_spawn
+                  ? TouchIoc(ioc::IocType::kIp, data.resolved_ip, hop + 1)
+                  : existing;
+          graph_.AddEdge(node, target, EdgeType::kResolvesTo);
+        }
+      }
+      break;
+    }
+    case ioc::IocType::kUnknown:
+      break;
+  }
+}
+
+}  // namespace trail::core

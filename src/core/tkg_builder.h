@@ -1,0 +1,78 @@
+#ifndef TRAIL_CORE_TKG_BUILDER_H_
+#define TRAIL_CORE_TKG_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "osint/feed_client.h"
+#include "osint/report.h"
+#include "util/status.h"
+
+namespace trail::core {
+
+struct TkgBuildOptions {
+  /// IOC-discovery radius from the event (paper: "we limit it to two hops").
+  /// Nodes at the limit are still analyzed for features and for edges to
+  /// already-known nodes; they just stop spawning new nodes.
+  int enrichment_hops = 2;
+  /// Drop indicators that fail IOC classification (the paper's scrubbed
+  /// "javascript snippet" artifacts).
+  bool drop_invalid_indicators = true;
+};
+
+/// Builds the TRAIL Knowledge Graph (paper Section IV / Fig. 1a): parses
+/// incident-report JSON, interns event + IOC nodes, queries the feed's
+/// analysis services to extract features and secondary IOCs, and merges
+/// everything into one PropertyGraph. Ingestion is incremental — the
+/// longitudinal study keeps calling IngestReport as new months arrive.
+class TkgBuilder {
+ public:
+  TkgBuilder(const osint::FeedClient* feed, TkgBuildOptions options);
+
+  /// Ingests a raw JSON report (the feed wire format).
+  Result<graph::NodeId> IngestReportJson(const std::string& json);
+
+  /// Ingests a parsed report. Returns the event node id.
+  Result<graph::NodeId> IngestReport(const osint::PulseReport& report);
+
+  /// Ingests every report in the list; stops on the first error.
+  Status IngestAll(const std::vector<std::string>& report_jsons);
+
+  const graph::PropertyGraph& graph() const { return graph_; }
+  graph::PropertyGraph& mutable_graph() { return graph_; }
+
+  /// APT-name <-> label mapping discovered from report tags, in first-seen
+  /// order. Unknown adversary tags get fresh ids.
+  int AptIdFor(const std::string& name);
+  const std::vector<std::string>& apt_names() const { return apt_names_; }
+  int num_apts() const { return static_cast<int>(apt_names_.size()); }
+
+  size_t num_events() const { return num_events_; }
+  size_t num_dropped_indicators() const { return num_dropped_; }
+  size_t num_analysis_misses() const { return num_analysis_misses_; }
+
+ private:
+  /// Ensures the IOC node exists, runs its analysis once, writes features,
+  /// and (when allowed) materializes secondary IOCs. `hop` is the node's
+  /// distance from its first event.
+  graph::NodeId TouchIoc(ioc::IocType type, const std::string& value, int hop);
+  void AnalyzeNode(graph::NodeId node, ioc::IocType type,
+                   const std::string& value, int hop);
+
+  const osint::FeedClient* feed_;
+  TkgBuildOptions options_;
+  graph::PropertyGraph graph_;
+  std::unordered_map<std::string, int> apt_ids_;
+  std::vector<std::string> apt_names_;
+  std::unordered_set<graph::NodeId> analyzed_;
+  size_t num_events_ = 0;
+  size_t num_dropped_ = 0;
+  size_t num_analysis_misses_ = 0;
+};
+
+}  // namespace trail::core
+
+#endif  // TRAIL_CORE_TKG_BUILDER_H_

@@ -1,0 +1,162 @@
+#include "core/trail.h"
+
+#include <algorithm>
+
+#include "gnn/label_propagation.h"
+#include "util/logging.h"
+
+namespace trail::core {
+
+using graph::NodeId;
+using graph::NodeType;
+
+Trail::Trail(const osint::FeedClient* feed, TrailOptions options)
+    : options_(options), builder_(feed, options.build) {}
+
+void Trail::InvalidateCaches() {
+  csr_cache_.reset();
+  gnn_cache_.reset();
+}
+
+const graph::CsrGraph& Trail::Csr() const {
+  if (csr_cache_ == nullptr) {
+    csr_cache_ = std::make_unique<graph::CsrGraph>(
+        graph::CsrGraph::Build(builder_.graph()));
+  }
+  return *csr_cache_;
+}
+
+const gnn::GnnGraph& Trail::Gnn() const {
+  TRAIL_CHECK(encoders_.fitted()) << "TrainModels before GNN attribution";
+  if (gnn_cache_ == nullptr) {
+    ml::Matrix encoded = encoders_.EncodeAll(builder_.graph());
+    gnn_cache_ = std::make_unique<gnn::GnnGraph>(
+        BuildGnnGraph(builder_.graph(), encoded));
+  }
+  return *gnn_cache_;
+}
+
+Status Trail::Ingest(const std::vector<std::string>& report_jsons) {
+  TRAIL_RETURN_NOT_OK(builder_.IngestAll(report_jsons));
+  InvalidateCaches();
+  return Status::Ok();
+}
+
+Result<NodeId> Trail::IngestReport(const osint::PulseReport& report) {
+  auto event = builder_.IngestReport(report);
+  if (event.ok()) InvalidateCaches();
+  return event;
+}
+
+Status Trail::TrainModels() {
+  const graph::PropertyGraph& g = builder_.graph();
+  if (builder_.num_events() == 0) {
+    return Status::FailedPrecondition("no events ingested");
+  }
+  if (!encoders_.fitted()) {
+    encoders_.Fit(g, options_.autoencoder);
+  }
+  gnn_cache_.reset();  // encodings changed
+
+  std::vector<int> train_labels(g.num_nodes(), -1);
+  size_t labeled = 0;
+  for (NodeId event : g.NodesOfType(NodeType::kEvent)) {
+    if (g.label(event) >= 0) {
+      train_labels[event] = g.label(event);
+      ++labeled;
+    }
+  }
+  if (labeled < 2) {
+    return Status::FailedPrecondition("need at least two labeled events");
+  }
+  gnn_.Train(Gnn(), train_labels, builder_.num_apts(), options_.gnn);
+  return Status::Ok();
+}
+
+Status Trail::FineTuneGnn(int epochs) {
+  if (!gnn_.trained()) {
+    return Status::FailedPrecondition("TrainModels before FineTuneGnn");
+  }
+  const graph::PropertyGraph& g = builder_.graph();
+  std::vector<int> train_labels(g.num_nodes(), -1);
+  for (NodeId event : g.NodesOfType(NodeType::kEvent)) {
+    if (g.label(event) >= 0) train_labels[event] = g.label(event);
+  }
+  gnn_.FineTune(Gnn(), train_labels, epochs);
+  return Status::Ok();
+}
+
+Trail::Attribution Trail::MakeAttribution(
+    const std::vector<double>& probs) const {
+  Attribution attribution;
+  for (size_t c = 0; c < probs.size(); ++c) {
+    attribution.distribution.emplace_back(builder_.apt_names()[c], probs[c]);
+  }
+  std::sort(attribution.distribution.begin(), attribution.distribution.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (!attribution.distribution.empty()) {
+    attribution.apt_name = attribution.distribution[0].first;
+    attribution.confidence = attribution.distribution[0].second;
+    for (size_t c = 0; c < probs.size(); ++c) {
+      if (builder_.apt_names()[c] == attribution.apt_name) {
+        attribution.apt = static_cast<int>(c);
+      }
+    }
+  }
+  return attribution;
+}
+
+Result<Trail::Attribution> Trail::AttributeWithLp(NodeId event) const {
+  const graph::PropertyGraph& g = builder_.graph();
+  if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) {
+    return Status::InvalidArgument("not an event node");
+  }
+  const int num_classes = builder_.num_apts();
+  std::vector<int> labels(g.num_nodes(), -1);
+  std::vector<uint8_t> seeds(g.num_nodes(), 0);
+  for (NodeId v : g.NodesOfType(NodeType::kEvent)) {
+    if (v != event && g.label(v) >= 0) {
+      labels[v] = g.label(v);
+      seeds[v] = 1;
+    }
+  }
+  auto lp = gnn::RunLabelPropagation(Csr(), labels, seeds, num_classes,
+                                     options_.lp_layers);
+  if (lp.predictions[event] < 0) {
+    return Status::NotFound("no label mass reached the event (unattributable"
+                            " by resource reuse)");
+  }
+  auto row = lp.scores.Row(event);
+  double total = 0.0;
+  for (int c = 0; c < num_classes; ++c) total += row[c];
+  std::vector<double> probs(num_classes, 0.0);
+  for (int c = 0; c < num_classes; ++c) probs[c] = row[c] / total;
+  return MakeAttribution(probs);
+}
+
+Result<Trail::Attribution> Trail::AttributeWithGnn(
+    NodeId event, bool hide_neighbor_labels) const {
+  if (!gnn_.trained()) {
+    return Status::FailedPrecondition("TrainModels before GNN attribution");
+  }
+  const graph::PropertyGraph& g = builder_.graph();
+  if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) {
+    return Status::InvalidArgument("not an event node");
+  }
+  std::vector<int> visible(g.num_nodes(), -1);
+  if (!hide_neighbor_labels) {
+    for (NodeId v : g.NodesOfType(NodeType::kEvent)) {
+      if (v != event && g.label(v) >= 0) visible[v] = g.label(v);
+    }
+  }
+  ml::Matrix prob_matrix = gnn_.PredictProba(Gnn(), visible);
+  auto row = prob_matrix.Row(event);
+  std::vector<double> probs(row.begin(), row.end());
+  return MakeAttribution(probs);
+}
+
+NodeId Trail::FindEvent(const std::string& report_id) const {
+  return builder_.graph().FindNode(NodeType::kEvent, report_id);
+}
+
+}  // namespace trail::core

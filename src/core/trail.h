@@ -1,0 +1,92 @@
+#ifndef TRAIL_CORE_TRAIL_H_
+#define TRAIL_CORE_TRAIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/encoders.h"
+#include "core/tkg_builder.h"
+#include "gnn/event_gnn.h"
+#include "graph/csr.h"
+
+namespace trail::core {
+
+struct TrailOptions {
+  TkgBuildOptions build;
+  gnn::AutoencoderOptions autoencoder;
+  gnn::EventGnnOptions gnn;
+  /// Label-propagation depth used by AttributeWithLp.
+  int lp_layers = 4;
+};
+
+/// The TRAIL system facade — the paper's full pipeline behind one object:
+/// ingest attributed OSINT reports into the TKG, train the analysis models,
+/// and attribute (new) events by label propagation or by the GNN. Examples
+/// and the longitudinal study drive this API; the reproduction benches use
+/// the lower-level modules directly for their k-fold protocols.
+class Trail {
+ public:
+  Trail(const osint::FeedClient* feed, TrailOptions options);
+
+  /// Merges reports into the TKG (initial load or monthly updates).
+  Status Ingest(const std::vector<std::string>& report_jsons);
+  Result<graph::NodeId> IngestReport(const osint::PulseReport& report);
+
+  /// Fits the autoencoders (once) and trains the GNN from scratch on every
+  /// currently-labeled event.
+  Status TrainModels();
+
+  /// Continues GNN training on the current TKG (the paper's monthly
+  /// fine-tune: "<10 epochs before convergence").
+  Status FineTuneGnn(int epochs = 8);
+
+  struct Attribution {
+    int apt = -1;
+    std::string apt_name;
+    double confidence = 0.0;
+    /// Full class distribution, descending by probability.
+    std::vector<std::pair<std::string, double>> distribution;
+  };
+
+  /// Attributes an event node via label propagation, seeding from every
+  /// other labeled event. Fails NotFound when no label mass reaches it.
+  Result<Attribution> AttributeWithLp(graph::NodeId event) const;
+
+  /// Attributes an event node with the trained GNN. When
+  /// `hide_neighbor_labels` is true the model sees no labels at all (the
+  /// case study's "realistic setting").
+  Result<Attribution> AttributeWithGnn(graph::NodeId event,
+                                       bool hide_neighbor_labels = false) const;
+
+  /// Event node for a report id; kInvalidNode when absent.
+  graph::NodeId FindEvent(const std::string& report_id) const;
+
+  const graph::PropertyGraph& graph() const { return builder_.graph(); }
+  graph::PropertyGraph& mutable_graph() { return builder_.mutable_graph(); }
+  const TkgBuilder& builder() const { return builder_; }
+  const std::vector<std::string>& apt_names() const {
+    return builder_.apt_names();
+  }
+  const IocEncoders& encoders() const { return encoders_; }
+  const gnn::EventGnn& event_gnn() const { return gnn_; }
+  bool models_trained() const { return gnn_.trained(); }
+
+ private:
+  void InvalidateCaches();
+  const graph::CsrGraph& Csr() const;
+  const gnn::GnnGraph& Gnn() const;
+  Attribution MakeAttribution(const std::vector<double>& probs) const;
+
+  TrailOptions options_;
+  TkgBuilder builder_;
+  IocEncoders encoders_;
+  gnn::EventGnn gnn_;
+
+  mutable std::unique_ptr<graph::CsrGraph> csr_cache_;
+  mutable std::unique_ptr<gnn::GnnGraph> gnn_cache_;
+};
+
+}  // namespace trail::core
+
+#endif  // TRAIL_CORE_TRAIL_H_

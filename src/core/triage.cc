@@ -1,0 +1,65 @@
+#include "core/triage.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+#include "graph/analytics.h"
+#include "util/logging.h"
+
+namespace trail::core {
+
+using graph::NodeId;
+using graph::NodeType;
+
+std::vector<TriageItem> TriageEvent(const graph::PropertyGraph& g,
+                                    const graph::CsrGraph& csr,
+                                    NodeId event,
+                                    const TriageOptions& options) {
+  TRAIL_CHECK(event < g.num_nodes() && g.type(event) == NodeType::kEvent)
+      << "triage target must be an event node";
+
+  std::vector<double> pagerank =
+      graph::PageRank(csr, 0.85, options.pagerank_iterations);
+  double max_rank = 1e-12;
+  for (double r : pagerank) max_rank = std::max(max_rank, r);
+  int max_reuse = 1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_reuse = std::max(max_reuse, g.report_count(v));
+  }
+
+  std::unordered_set<NodeId> direct;
+  for (const graph::Neighbor& nb : g.neighbors(event)) {
+    direct.insert(nb.node);
+  }
+
+  std::vector<TriageItem> items;
+  for (NodeId node : graph::KHopNeighborhood(csr, event, 2)) {
+    if (node == event) continue;
+    NodeType type = g.type(node);
+    if (type == NodeType::kEvent || type == NodeType::kAsn) continue;
+    TriageItem item;
+    item.node = node;
+    item.type_name = graph::NodeTypeName(type);
+    item.value = g.value(node);
+    item.reuse_count = g.report_count(node);
+    item.direct = direct.count(node) > 0;
+    const double centrality = pagerank[node] / max_rank;
+    const double reuse =
+        static_cast<double>(item.reuse_count) / max_reuse;
+    item.score = options.centrality_weight * centrality +
+                 (1.0 - options.centrality_weight) * reuse +
+                 (item.direct ? 0.05 : 0.0);  // tie-break toward reported IOCs
+    items.push_back(std::move(item));
+  }
+  std::sort(items.begin(), items.end(),
+            [](const TriageItem& a, const TriageItem& b) {
+              return a.score > b.score;
+            });
+  if (static_cast<int>(items.size()) > options.max_items) {
+    items.resize(options.max_items);
+  }
+  return items;
+}
+
+}  // namespace trail::core

@@ -1,0 +1,43 @@
+#ifndef TRAIL_CORE_TRIAGE_H_
+#define TRAIL_CORE_TRIAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/property_graph.h"
+
+namespace trail::core {
+
+/// One triage row: an IOC of (or near) an event, scored for analyst
+/// attention. The paper's Section VII-D closes with exactly this use case —
+/// "analysts may still use the IOCs identified as important to continue
+/// their search".
+struct TriageItem {
+  graph::NodeId node = graph::kInvalidNode;
+  std::string type_name;
+  std::string value;
+  double score = 0.0;
+  int reuse_count = 0;      // distinct reports listing this IOC
+  bool direct = false;      // listed in the event vs discovered by enrichment
+};
+
+struct TriageOptions {
+  int max_items = 20;
+  /// Weight of graph centrality (PageRank over the TKG) vs reuse evidence.
+  double centrality_weight = 0.5;
+  int pagerank_iterations = 20;
+};
+
+/// Ranks the IOCs within two hops of `event` by a combination of report
+/// reuse (direct evidence of shared infrastructure) and PageRank centrality
+/// in the TKG (hub infrastructure worth pivoting on). Returns descending by
+/// score.
+std::vector<TriageItem> TriageEvent(const graph::PropertyGraph& graph,
+                                    const graph::CsrGraph& csr,
+                                    graph::NodeId event,
+                                    const TriageOptions& options = {});
+
+}  // namespace trail::core
+
+#endif  // TRAIL_CORE_TRIAGE_H_

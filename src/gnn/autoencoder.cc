@@ -1,0 +1,93 @@
+#include "gnn/autoencoder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace trail::gnn {
+
+namespace ag = ml::ag;
+
+ag::VarPtr Autoencoder::EncodeVar(const ag::VarPtr& x) const {
+  ag::VarPtr h = ag::Relu(ag::AddRow(ag::MatMul(x, enc_w1_), enc_b1_));
+  return ag::AddRow(ag::MatMul(h, enc_w2_), enc_b2_);
+}
+
+ag::VarPtr Autoencoder::DecodeVar(const ag::VarPtr& z) const {
+  ag::VarPtr h = ag::Relu(ag::AddRow(ag::MatMul(z, dec_w1_), dec_b1_));
+  return ag::AddRow(ag::MatMul(h, dec_w2_), dec_b2_);
+}
+
+double Autoencoder::Fit(const ml::Matrix& x, const AutoencoderOptions& options) {
+  TRAIL_CHECK(x.rows() > 0) << "empty autoencoder input";
+  options_ = options;
+  Rng rng(options.seed);
+  const size_t in_dim = x.cols();
+
+  enc_w1_ = ag::Param(ml::Matrix::GlorotUniform(in_dim, options.hidden, &rng));
+  enc_b1_ = ag::Param(ml::Matrix(1, options.hidden));
+  enc_w2_ = ag::Param(
+      ml::Matrix::GlorotUniform(options.hidden, options.encoding, &rng));
+  enc_b2_ = ag::Param(ml::Matrix(1, options.encoding));
+  dec_w1_ = ag::Param(
+      ml::Matrix::GlorotUniform(options.encoding, options.hidden, &rng));
+  dec_b1_ = ag::Param(ml::Matrix(1, options.hidden));
+  dec_w2_ = ag::Param(ml::Matrix::GlorotUniform(options.hidden, in_dim, &rng));
+  dec_b2_ = ag::Param(ml::Matrix(1, in_dim));
+
+  ag::Adam opt({enc_w1_, enc_b1_, enc_w2_, enc_b2_, dec_w1_, dec_b1_, dec_w2_,
+                dec_b2_},
+               options.learning_rate);
+
+  std::vector<size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  if (rows.size() > options.max_train_rows) {
+    rng.Shuffle(&rows);
+    rows.resize(options.max_train_rows);
+  }
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&rows);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < rows.size(); start += options.batch_size) {
+      size_t end = std::min(rows.size(), start + options.batch_size);
+      std::vector<size_t> batch(rows.begin() + start, rows.begin() + end);
+      ml::Matrix bx = x.SelectRows(batch);
+      opt.ZeroGrad();
+      ag::VarPtr input = ag::Constant(bx);
+      ag::VarPtr loss = ag::MseLoss(DecodeVar(EncodeVar(input)), bx);
+      ag::Backward(loss);
+      opt.Step();
+      epoch_loss += loss->value.At(0, 0);
+      ++batches;
+    }
+    last_epoch_loss = batches > 0 ? epoch_loss / batches : 0.0;
+  }
+  fitted_ = true;
+  return last_epoch_loss;
+}
+
+ml::Matrix Autoencoder::Encode(const ml::Matrix& x) const {
+  TRAIL_CHECK(fitted_) << "encode before fit";
+  return EncodeVar(ag::Constant(x))->value;
+}
+
+ml::Matrix Autoencoder::Reconstruct(const ml::Matrix& x) const {
+  TRAIL_CHECK(fitted_) << "reconstruct before fit";
+  return DecodeVar(EncodeVar(ag::Constant(x)))->value;
+}
+
+double Autoencoder::ReconstructionError(const ml::Matrix& x) const {
+  ml::Matrix rec = Reconstruct(x);
+  double total = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double d = static_cast<double>(x.data()[i]) - rec.data()[i];
+    total += d * d;
+  }
+  return total / x.size();
+}
+
+}  // namespace trail::gnn

@@ -1,0 +1,55 @@
+#ifndef TRAIL_GNN_AUTOENCODER_H_
+#define TRAIL_GNN_AUTOENCODER_H_
+
+#include "ml/autograd.h"
+#include "ml/matrix.h"
+
+namespace trail::gnn {
+
+struct AutoencoderOptions {
+  size_t hidden = 256;    // paper uses 512; scaled with the synthetic world
+  size_t encoding = 64;   // paper's encoding dimension
+  int epochs = 25;
+  size_t batch_size = 256;
+  double learning_rate = 1e-3;
+  uint64_t seed = 11;
+  /// Training subsample cap (reconstruction converges long before the full
+  /// secondary-domain population is seen).
+  size_t max_train_rows = 6000;
+};
+
+/// The per-IOC-type autoencoder of the paper's Section VI-C (Eq. 5): a
+/// two-layer encoder f and decoder g trained on reconstruction, used to
+/// project URL / IP / domain features into a shared low-dimensional space
+/// before GraphSAGE.
+class Autoencoder {
+ public:
+  /// Trains on the rows of `x`; returns the final epoch's mean
+  /// reconstruction loss.
+  double Fit(const ml::Matrix& x, const AutoencoderOptions& options);
+
+  /// Encodes rows into the latent space. Requires Fit.
+  ml::Matrix Encode(const ml::Matrix& x) const;
+
+  /// Full round trip g(f(x)) — used by tests to check information retention.
+  ml::Matrix Reconstruct(const ml::Matrix& x) const;
+
+  /// Mean squared reconstruction error over rows of `x`.
+  double ReconstructionError(const ml::Matrix& x) const;
+
+  size_t encoding_dim() const { return options_.encoding; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  ml::ag::VarPtr EncodeVar(const ml::ag::VarPtr& x) const;
+  ml::ag::VarPtr DecodeVar(const ml::ag::VarPtr& z) const;
+
+  ml::ag::VarPtr enc_w1_, enc_b1_, enc_w2_, enc_b2_;
+  ml::ag::VarPtr dec_w1_, dec_b1_, dec_w2_, dec_b2_;
+  AutoencoderOptions options_;
+  bool fitted_ = false;
+};
+
+}  // namespace trail::gnn
+
+#endif  // TRAIL_GNN_AUTOENCODER_H_

@@ -1,0 +1,251 @@
+#include "gnn/event_gnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/types.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace trail::gnn {
+
+namespace ag = ml::ag;
+
+namespace {
+
+/// Symmetric-normalized label propagation over the aggregation spec
+/// (identical math to gnn::RunLabelPropagation, but on a GnnGraph and with
+/// L1-normalized accumulated mass so the output is a per-node attribution
+/// prior in [0, 1]). `edge_weights` (nullable, one per directed spec entry)
+/// gates each edge — the GNNExplainer's mask must silence this pathway too,
+/// or label evidence would leak around occluded edges.
+ml::Matrix PropagateVisibleLabels(const GnnGraph& g,
+                                  const std::vector<int>& visible_labels,
+                                  int num_classes, int layers,
+                                  const ml::Matrix* edge_weights) {
+  const size_t n = g.num_nodes;
+  std::vector<float> inv_sqrt_deg(n, 0.0f);
+  for (size_t v = 0; v < n; ++v) {
+    const uint64_t deg = g.spec.offsets[v + 1] - g.spec.offsets[v];
+    if (deg > 0) inv_sqrt_deg[v] = 1.0f / std::sqrt(static_cast<float>(deg));
+  }
+  ml::Matrix f(n, num_classes);
+  for (size_t v = 0; v < n; ++v) {
+    if (visible_labels[v] >= 0 && visible_labels[v] < num_classes) {
+      f.At(v, visible_labels[v]) = 1.0f;
+    }
+  }
+  ml::Matrix scores(n, num_classes);
+  ml::Matrix next(n, num_classes);
+  for (int layer = 0; layer < layers; ++layer) {
+    next.Fill(0.0f);
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        auto dst = next.Row(v);
+        const float dv = inv_sqrt_deg[v];
+        if (dv == 0.0f) continue;
+        for (uint64_t e = g.spec.offsets[v]; e < g.spec.offsets[v + 1]; ++e) {
+          const uint32_t u = g.spec.sources[e];
+          float w = dv * inv_sqrt_deg[u];
+          if (edge_weights != nullptr) w *= edge_weights->At(e, 0);
+          auto src = f.Row(u);
+          for (int c = 0; c < num_classes; ++c) dst[c] += w * src[c];
+        }
+      }
+    }, /*min_chunk=*/1024);
+    std::swap(f, next);
+    scores.AddInPlace(f);
+  }
+  // L1 row normalization.
+  for (size_t v = 0; v < n; ++v) {
+    auto row = scores.Row(v);
+    double total = 0.0;
+    for (float x : row) total += x;
+    if (total > 1e-12) {
+      const float inv = static_cast<float>(1.0 / total);
+      for (float& x : row) x *= inv;
+    }
+  }
+  return scores;
+}
+
+}  // namespace
+
+void EventGnn::BuildParams(size_t enc_dim, Rng* rng) {
+  type_embed_ = ag::Param(
+      ml::Matrix::GlorotUniform(graph::kNumNodeTypes, enc_dim, rng));
+  label_embed_ = ag::Param(
+      ml::Matrix::GlorotUniform(num_classes_ + 1, enc_dim, rng));
+  edge_type_logits_ = ag::Param(ml::Matrix(graph::kNumEdgeTypes, 1, 0.0f));
+  lp_proj_ = ag::Param(
+      ml::Matrix::GlorotUniform(num_classes_, enc_dim, rng));
+  layers_.clear();
+  size_t in_dim = enc_dim;
+  for (int l = 0; l < options_.layers; ++l) {
+    const bool last = l + 1 == options_.layers;
+    size_t out_dim = last ? static_cast<size_t>(num_classes_)
+                          : options_.hidden;
+    SageLayer layer;
+    layer.weight = ag::Param(ml::Matrix::GlorotUniform(in_dim, out_dim, rng));
+    layer.bias = ag::Param(ml::Matrix(1, out_dim));
+    if (!last) {
+      layer.label_embed = ag::Param(
+          ml::Matrix::GlorotUniform(num_classes_ + 1, out_dim, rng));
+    }
+    layers_.push_back(std::move(layer));
+    in_dim = out_dim;
+  }
+}
+
+std::vector<ag::VarPtr> EventGnn::Params() const {
+  std::vector<ag::VarPtr> params = {type_embed_, label_embed_,
+                                    edge_type_logits_, lp_proj_};
+  for (const SageLayer& layer : layers_) {
+    params.push_back(layer.weight);
+    params.push_back(layer.bias);
+    if (layer.label_embed != nullptr) params.push_back(layer.label_embed);
+  }
+  return params;
+}
+
+ag::VarPtr EventGnn::ForwardLogits(const GnnGraph& g,
+                                   const std::vector<int>& visible_labels,
+                                   const ag::VarPtr& edge_mask, bool training,
+                                   Rng* rng) const {
+  TRAIL_CHECK(g.node_type.size() == g.num_nodes);
+  TRAIL_CHECK(visible_labels.size() == g.num_nodes);
+
+  // Input: encoded IOC features + node-type embedding + label embedding.
+  std::vector<int> label_index(g.num_nodes, num_classes_);  // unknown slot
+  for (size_t v = 0; v < g.num_nodes; ++v) {
+    if (g.node_type[v] == static_cast<int>(graph::NodeType::kEvent) &&
+        visible_labels[v] >= 0 && visible_labels[v] < num_classes_) {
+      label_index[v] = visible_labels[v];
+    }
+  }
+  ag::VarPtr h = ag::Add(
+      ag::Add(ag::Constant(g.encoded), ag::Gather(type_embed_, g.node_type)),
+      ag::Gather(label_embed_, label_index));
+  if (options_.label_propagation_features) {
+    // The explainer's mask gates this pathway as well (values only — the
+    // mask gradient flows through the aggregation layers).
+    ml::Matrix lp = PropagateVisibleLabels(
+        g, visible_labels, num_classes_, options_.layers,
+        edge_mask != nullptr ? &edge_mask->value : nullptr);
+    h = ag::Add(h, ag::MatMul(ag::Constant(lp), lp_proj_));
+  }
+
+  // Per-edge aggregation weights from the learned per-type logits; the
+  // explainer's soft mask (if any) multiplies on top.
+  TRAIL_CHECK(g.edge_type.size() == g.spec.sources.size())
+      << "GnnGraph missing edge types";
+  ag::VarPtr edge_weights = ag::Scale(
+      ag::Sigmoid(ag::Gather(edge_type_logits_, g.edge_type)), 2.0f);
+  if (edge_mask != nullptr) {
+    edge_weights = ag::Mul(edge_weights, edge_mask);
+  }
+
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    ag::VarPtr agg = ag::MeanAggregate(g.spec, h, edge_weights);
+    ag::VarPtr z = ag::AddRow(ag::MatMul(agg, layers_[l].weight),
+                              layers_[l].bias);
+    if (l + 1 == layers_.size()) {
+      h = z;  // output logits, no activation
+    } else {
+      h = ag::Relu(z);
+      if (options_.l2_normalize) h = ag::RowL2Normalize(h);
+      // Re-inject visible labels so supervision survives aggregation
+      // dilution across hops.
+      h = ag::Add(h, ag::Gather(layers_[l].label_embed, label_index));
+      if (options_.dropout > 0.0) {
+        h = ag::Dropout(h, options_.dropout, rng, training);
+      }
+    }
+  }
+  return h;
+}
+
+void EventGnn::TrainEpochs(const GnnGraph& g,
+                           const std::vector<int>& train_labels,
+                           ag::Adam* opt, int epochs, Rng* rng) {
+  // Labeled training events.
+  std::vector<uint32_t> labeled_events;
+  for (uint32_t v : g.events) {
+    if (train_labels[v] >= 0) labeled_events.push_back(v);
+  }
+  TRAIL_CHECK(!labeled_events.empty()) << "no labeled training events";
+
+  // Two fixed complementary halves, alternated across epochs (paper
+  // protocol: the model predicts some training events while seeing the
+  // labels of the others; alternating fixed halves keeps the gradient
+  // stable while still covering every event in both roles).
+  std::vector<uint32_t> shuffled = labeled_events;
+  rng->Shuffle(&shuffled);
+  const size_t visible_count = static_cast<size_t>(
+      options_.label_visible_fraction * shuffled.size());
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const bool flip = epoch % 2 == 1;
+    std::vector<int> visible(g.num_nodes, -1);
+    std::vector<int> loss_labels(g.num_nodes, -1);
+    for (size_t i = 0; i < shuffled.size(); ++i) {
+      bool is_visible = (i < visible_count) != flip;
+      if (is_visible) {
+        visible[shuffled[i]] = train_labels[shuffled[i]];
+      } else {
+        loss_labels[shuffled[i]] = train_labels[shuffled[i]];
+      }
+    }
+
+    opt->ZeroGrad();
+    ag::VarPtr logits =
+        ForwardLogits(g, visible, /*edge_mask=*/nullptr, /*training=*/true,
+                      rng);
+    ag::VarPtr loss = ag::SoftmaxCrossEntropy(logits, loss_labels);
+    ag::Backward(loss);
+    opt->Step();
+  }
+}
+
+void EventGnn::Train(const GnnGraph& g, const std::vector<int>& train_labels,
+                     int num_classes, const EventGnnOptions& options) {
+  TRAIL_CHECK(train_labels.size() == g.num_nodes);
+  options_ = options;
+  num_classes_ = num_classes;
+  Rng rng(options.seed);
+  BuildParams(g.encoded.cols(), &rng);
+  ag::Adam opt(Params(), options.learning_rate);
+  TrainEpochs(g, train_labels, &opt, options.epochs, &rng);
+  trained_ = true;
+}
+
+void EventGnn::FineTune(const GnnGraph& g, const std::vector<int>& train_labels,
+                        int epochs, double learning_rate_scale) {
+  TRAIL_CHECK(trained_) << "fine-tune before train";
+  Rng rng(options_.seed ^ 0xF1E7);
+  ag::Adam opt(Params(), options_.learning_rate * learning_rate_scale);
+  TrainEpochs(g, train_labels, &opt, epochs, &rng);
+}
+
+ml::Matrix EventGnn::PredictProba(const GnnGraph& g,
+                                  const std::vector<int>& visible_labels) const {
+  TRAIL_CHECK(trained_) << "predict before train";
+  Rng rng(0);
+  ag::VarPtr logits = ForwardLogits(g, visible_labels, /*edge_mask=*/nullptr,
+                                    /*training=*/false, &rng);
+  return ml::RowSoftmax(logits->value);
+}
+
+std::vector<int> EventGnn::PredictEvents(
+    const GnnGraph& g, const std::vector<int>& visible_labels) const {
+  ml::Matrix probs = PredictProba(g, visible_labels);
+  std::vector<int> out(g.num_nodes, -1);
+  for (uint32_t v : g.events) {
+    auto row = probs.Row(v);
+    out[v] = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+}  // namespace trail::gnn

@@ -1,0 +1,138 @@
+#include "gnn/explainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace trail::gnn {
+
+namespace ag = ml::ag;
+
+Explanation ExplainEvent(const EventGnn& model, const GnnGraph& g,
+                         uint32_t event_node, int target_class,
+                         const std::vector<int>& visible_labels,
+                         const ExplainOptions& options) {
+  TRAIL_CHECK(model.trained());
+  TRAIL_CHECK(event_node < g.num_nodes);
+  const size_t num_entries = g.spec.sources.size();
+  Rng rng(options.seed);
+
+  // CE target: only the explained event carries loss.
+  std::vector<int> loss_labels(g.num_nodes, -1);
+  loss_labels[event_node] = target_class;
+
+  // Baseline probability with the full subgraph.
+  ml::Matrix full_probs = model.PredictProba(g, visible_labels);
+  Explanation explanation;
+  explanation.full_probability = full_probs.At(event_node, target_class);
+
+  // Mask logits start at ~1 (sigmoid(1) ≈ 0.73): near-full graph.
+  ag::VarPtr theta = ag::Param(ml::Matrix(num_entries, 1, 1.0f));
+  ag::Adam opt({theta}, options.learning_rate);
+
+  ml::Matrix probs;
+  for (int step = 0; step < options.steps; ++step) {
+    opt.ZeroGrad();
+    ag::VarPtr mask = ag::Sigmoid(theta);
+    ag::VarPtr logits = model.ForwardLogits(g, visible_labels, mask,
+                                            /*training=*/false, &rng);
+    ag::VarPtr ce = ag::SoftmaxCrossEntropy(logits, loss_labels, nullptr,
+                                            step + 1 == options.steps
+                                                ? &probs
+                                                : nullptr);
+    ag::VarPtr loss = ag::Add(
+        ce, ag::Scale(ag::Mean(mask), static_cast<float>(options.sparsity)));
+    ag::Backward(loss);
+    opt.Step();
+  }
+
+  // Collapse directed entries to undirected edges (max of the two
+  // directions), and record the masked-probability of the target.
+  ml::Matrix final_mask(num_entries, 1);
+  for (size_t e = 0; e < num_entries; ++e) {
+    final_mask.At(e, 0) =
+        1.0f / (1.0f + std::exp(-theta->value.At(e, 0)));
+  }
+  explanation.masked_probability =
+      probs.rows() > event_node ? probs.At(event_node, target_class) : 0.0;
+
+  std::unordered_map<uint64_t, EdgeImportance> best;
+  for (size_t v = 0; v + 1 < g.spec.offsets.size(); ++v) {
+    for (uint64_t e = g.spec.offsets[v]; e < g.spec.offsets[v + 1]; ++e) {
+      uint32_t src = g.spec.sources[e];
+      uint32_t dst = static_cast<uint32_t>(v);
+      uint32_t lo = std::min(src, dst);
+      uint32_t hi = std::max(src, dst);
+      uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+      double w = final_mask.At(e, 0);
+      auto it = best.find(key);
+      if (it == best.end()) {
+        best.emplace(key, EdgeImportance{lo, hi, w});
+      } else if (w > it->second.weight) {
+        it->second.weight = w;
+      }
+    }
+  }
+  explanation.edges.reserve(best.size());
+  for (const auto& [key, edge] : best) explanation.edges.push_back(edge);
+  std::sort(explanation.edges.begin(), explanation.edges.end(),
+            [](const EdgeImportance& a, const EdgeImportance& b) {
+              return a.weight > b.weight;
+            });
+  return explanation;
+}
+
+std::vector<EdgeImportance> OcclusionExplain(
+    const EventGnn& model, const GnnGraph& g, uint32_t event_node,
+    int target_class, const std::vector<int>& visible_labels) {
+  TRAIL_CHECK(model.trained());
+  TRAIL_CHECK(event_node < g.num_nodes);
+  Rng rng(0);
+
+  auto probability_with_mask = [&](const ml::Matrix& mask) {
+    ag::VarPtr logits = model.ForwardLogits(
+        g, visible_labels, ag::Constant(mask), /*training=*/false, &rng);
+    ml::Matrix probs = ml::RowSoftmax(logits->value);
+    return static_cast<double>(probs.At(event_node, target_class));
+  };
+
+  const size_t num_entries = g.spec.sources.size();
+  ml::Matrix full(num_entries, 1, 1.0f);
+  const double baseline = probability_with_mask(full);
+
+  // Directed entry indices of each undirected edge incident to the event.
+  std::unordered_map<uint64_t, std::vector<size_t>> entries_of_edge;
+  auto key_of = [](uint32_t a, uint32_t b) {
+    uint32_t lo = std::min(a, b);
+    uint32_t hi = std::max(a, b);
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  };
+  for (size_t v = 0; v + 1 < g.spec.offsets.size(); ++v) {
+    for (uint64_t e = g.spec.offsets[v]; e < g.spec.offsets[v + 1]; ++e) {
+      uint32_t u = g.spec.sources[e];
+      if (v != event_node && u != event_node) continue;
+      entries_of_edge[key_of(static_cast<uint32_t>(v), u)].push_back(e);
+    }
+  }
+
+  std::vector<EdgeImportance> importances;
+  importances.reserve(entries_of_edge.size());
+  for (const auto& [key, entries] : entries_of_edge) {
+    ml::Matrix mask = full;
+    for (size_t e : entries) mask.At(e, 0) = 0.0f;
+    EdgeImportance importance;
+    importance.src = static_cast<uint32_t>(key >> 32);
+    importance.dst = static_cast<uint32_t>(key & 0xFFFFFFFFu);
+    importance.weight = baseline - probability_with_mask(mask);
+    importances.push_back(importance);
+  }
+  std::sort(importances.begin(), importances.end(),
+            [](const EdgeImportance& a, const EdgeImportance& b) {
+              return a.weight > b.weight;
+            });
+  return importances;
+}
+
+}  // namespace trail::gnn

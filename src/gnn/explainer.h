@@ -1,0 +1,59 @@
+#ifndef TRAIL_GNN_EXPLAINER_H_
+#define TRAIL_GNN_EXPLAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/event_gnn.h"
+
+namespace trail::gnn {
+
+struct ExplainOptions {
+  int steps = 150;
+  double learning_rate = 0.1;
+  /// Weight of the sparsity penalty on the mask (GNNExplainer's size
+  /// regularizer).
+  double sparsity = 0.05;
+  uint64_t seed = 23;
+};
+
+/// One scored aggregation edge of the explained subgraph (local node ids of
+/// the GnnGraph that was explained).
+struct EdgeImportance {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  double weight = 0.0;  // learned mask value in (0, 1)
+};
+
+struct Explanation {
+  /// All undirected edges with their learned importance, descending.
+  std::vector<EdgeImportance> edges;
+  /// Model probability of the target class with the final mask applied.
+  double masked_probability = 0.0;
+  /// Probability with the full (unmasked) subgraph.
+  double full_probability = 0.0;
+};
+
+/// GNNExplainer (Ying et al., 2019) over TRAIL's EventGnn: learns a soft
+/// mask over the aggregation edges of `g` that maximizes the model's
+/// probability of `target_class` for the event at local id `event_node`,
+/// under a sparsity penalty. Gradients flow through the weighted
+/// MeanAggregate op of the autograd engine. This reproduces the paper's
+/// Fig. 10 analysis.
+Explanation ExplainEvent(const EventGnn& model, const GnnGraph& g,
+                         uint32_t event_node, int target_class,
+                         const std::vector<int>& visible_labels,
+                         const ExplainOptions& options);
+
+/// Occlusion baseline: for each undirected edge incident to `event_node`,
+/// the drop in P(target_class) when that edge alone is masked out. Slower
+/// per edge but optimization-free — used to sanity-check the learned mask.
+/// `weight` here is the probability drop (can be negative for edges whose
+/// removal helps).
+std::vector<EdgeImportance> OcclusionExplain(
+    const EventGnn& model, const GnnGraph& g, uint32_t event_node,
+    int target_class, const std::vector<int>& visible_labels);
+
+}  // namespace trail::gnn
+
+#endif  // TRAIL_GNN_EXPLAINER_H_

@@ -1,0 +1,83 @@
+#include "gnn/label_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace trail::gnn {
+
+LabelPropagationResult RunLabelPropagation(const graph::CsrGraph& csr,
+                                           const std::vector<int>& labels,
+                                           const std::vector<uint8_t>& seed_mask,
+                                           int num_classes, int layers) {
+  const size_t n = csr.num_nodes();
+  TRAIL_CHECK(labels.size() == n && seed_mask.size() == n);
+  TRAIL_CHECK(num_classes > 0 && layers >= 1);
+
+  // Precompute 1/sqrt(degree).
+  std::vector<float> inv_sqrt_deg(n, 0.0f);
+  for (size_t v = 0; v < n; ++v) {
+    size_t deg = csr.Degree(v);
+    if (deg > 0) {
+      inv_sqrt_deg[v] = 1.0f / std::sqrt(static_cast<float>(deg));
+    }
+  }
+
+  ml::Matrix f(n, num_classes);
+  for (size_t v = 0; v < n; ++v) {
+    if (seed_mask[v] && labels[v] >= 0 && labels[v] < num_classes) {
+      f.At(v, labels[v]) = 1.0f;
+    }
+  }
+
+  LabelPropagationResult result;
+  result.scores = ml::Matrix(n, num_classes);
+  ml::Matrix next(n, num_classes);
+  for (int layer = 0; layer < layers; ++layer) {
+    next.Fill(0.0f);
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        auto dst = next.Row(v);
+        const float dv = inv_sqrt_deg[v];
+        if (dv == 0.0f) continue;
+        for (const graph::NodeId* it = csr.NeighborsBegin(v);
+             it != csr.NeighborsEnd(v); ++it) {
+          const float w = dv * inv_sqrt_deg[*it];
+          auto src = f.Row(*it);
+          for (int c = 0; c < num_classes; ++c) dst[c] += w * src[c];
+        }
+      }
+    }, /*min_chunk=*/1024);
+    std::swap(f, next);
+    result.scores.AddInPlace(f);
+  }
+
+  result.predictions.assign(n, -1);
+  result.confidence.assign(n, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    auto row = result.scores.Row(v);
+    double total = 0.0;
+    float best = 0.0f;
+    int best_class = -1;
+    for (int c = 0; c < num_classes; ++c) {
+      total += row[c];
+      if (row[c] > best) {
+        best = row[c];
+        best_class = c;
+      }
+    }
+    if (best_class < 0 || total <= 0.0) continue;
+    result.predictions[v] = best_class;
+    // Softmax over the (nonzero) score row, per the paper.
+    double denom = 0.0;
+    for (int c = 0; c < num_classes; ++c) {
+      denom += std::exp(static_cast<double>(row[c]) - best);
+    }
+    result.confidence[v] = 1.0 / denom;
+  }
+  return result;
+}
+
+}  // namespace trail::gnn

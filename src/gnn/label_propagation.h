@@ -1,0 +1,34 @@
+#ifndef TRAIL_GNN_LABEL_PROPAGATION_H_
+#define TRAIL_GNN_LABEL_PROPAGATION_H_
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "ml/matrix.h"
+
+namespace trail::gnn {
+
+struct LabelPropagationResult {
+  /// Accumulated label mass per node (num_nodes x num_classes), i.e. the
+  /// sum of F_n over the propagation iterations of the paper's Eq. 1.
+  ml::Matrix scores;
+  /// Argmax per node; -1 where no label mass arrived (unattributable —
+  /// the LP limitation the paper discusses).
+  std::vector<int> predictions;
+  /// Softmax confidence of the predicted class (0 where unattributed).
+  std::vector<double> confidence;
+};
+
+/// Label propagation over the symmetric-normalized adjacency (Zhou et al.,
+/// the paper's Eq. 1): F_n = D^-1/2 A D^-1/2 F_{n-1}, seeded with one-hot
+/// labels on `seed_mask` nodes, iterated `layers` times with mass
+/// accumulated across iterations. Labels of nodes outside the seed mask are
+/// ignored (they are what we predict).
+LabelPropagationResult RunLabelPropagation(const graph::CsrGraph& csr,
+                                           const std::vector<int>& labels,
+                                           const std::vector<uint8_t>& seed_mask,
+                                           int num_classes, int layers);
+
+}  // namespace trail::gnn
+
+#endif  // TRAIL_GNN_LABEL_PROPAGATION_H_

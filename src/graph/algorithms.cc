@@ -1,0 +1,167 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace trail::graph {
+
+std::vector<int> BfsDistances(const CsrGraph& csr, NodeId source,
+                              int max_depth) {
+  const size_t n = csr.num_nodes();
+  std::vector<int> dist(n, kUnreachable);
+  if (source >= n || !csr.IsKept(source)) return dist;
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    if (max_depth >= 0 && dist[v] >= max_depth) continue;
+    for (const NodeId* it = csr.NeighborsBegin(v); it != csr.NeighborsEnd(v);
+         ++it) {
+      if (dist[*it] == kUnreachable) {
+        dist[*it] = dist[v] + 1;
+        queue.push_back(*it);
+      }
+    }
+  }
+  return dist;
+}
+
+ComponentResult ConnectedComponents(const CsrGraph& csr) {
+  const size_t n = csr.num_nodes();
+  ComponentResult result;
+  result.component.assign(n, kUnreachable);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (!csr.IsKept(start) || result.component[start] != kUnreachable) {
+      continue;
+    }
+    int comp = static_cast<int>(result.num_components++);
+    size_t size = 0;
+    stack.push_back(start);
+    result.component[start] = comp;
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const NodeId* it = csr.NeighborsBegin(v); it != csr.NeighborsEnd(v);
+           ++it) {
+        if (result.component[*it] == kUnreachable) {
+          result.component[*it] = comp;
+          stack.push_back(*it);
+        }
+      }
+    }
+    result.sizes.push_back(size);
+  }
+  if (!result.sizes.empty()) {
+    result.largest_component = static_cast<int>(std::distance(
+        result.sizes.begin(),
+        std::max_element(result.sizes.begin(), result.sizes.end())));
+  }
+  return result;
+}
+
+namespace {
+
+/// BFS returning (farthest node, its distance) within the component.
+std::pair<NodeId, int> FarthestNode(const CsrGraph& csr, NodeId source) {
+  std::vector<int> dist = BfsDistances(csr, source);
+  NodeId best = source;
+  int best_dist = 0;
+  for (NodeId v = 0; v < dist.size(); ++v) {
+    if (dist[v] > best_dist) {
+      best_dist = dist[v];
+      best = v;
+    }
+  }
+  return {best, best_dist};
+}
+
+}  // namespace
+
+int ExactDiameter(const CsrGraph& csr, NodeId seed) {
+  std::vector<int> seed_dist = BfsDistances(csr, seed);
+  int diameter = 0;
+  for (NodeId v = 0; v < seed_dist.size(); ++v) {
+    if (seed_dist[v] == kUnreachable) continue;
+    auto [_, ecc] = FarthestNode(csr, v);
+    diameter = std::max(diameter, ecc);
+  }
+  return diameter;
+}
+
+int DoubleSweepDiameter(const CsrGraph& csr, NodeId seed, int sweeps) {
+  if (seed >= csr.num_nodes() || !csr.IsKept(seed)) return 0;
+  NodeId frontier = seed;
+  int best = 0;
+  for (int i = 0; i < sweeps; ++i) {
+    auto [far_node, dist] = FarthestNode(csr, frontier);
+    if (dist <= best && i > 0) break;
+    best = std::max(best, dist);
+    frontier = far_node;
+  }
+  return best;
+}
+
+std::vector<NodeId> KHopNeighborhood(const CsrGraph& csr, NodeId center,
+                                     int hops) {
+  return KHopNeighborhood(csr, std::vector<NodeId>{center}, hops);
+}
+
+std::vector<NodeId> KHopNeighborhood(const CsrGraph& csr,
+                                     const std::vector<NodeId>& centers,
+                                     int hops) {
+  const size_t n = csr.num_nodes();
+  std::vector<int> dist(n, kUnreachable);
+  std::deque<NodeId> queue;
+  std::vector<NodeId> order;
+  for (NodeId c : centers) {
+    if (c < n && csr.IsKept(c) && dist[c] == kUnreachable) {
+      dist[c] = 0;
+      queue.push_back(c);
+      order.push_back(c);
+    }
+  }
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    if (dist[v] >= hops) continue;
+    for (const NodeId* it = csr.NeighborsBegin(v); it != csr.NeighborsEnd(v);
+         ++it) {
+      if (dist[*it] == kUnreachable) {
+        dist[*it] = dist[v] + 1;
+        queue.push_back(*it);
+        order.push_back(*it);
+      }
+    }
+  }
+  return order;
+}
+
+EgoNet ExtractEgoNet(const CsrGraph& csr, NodeId center, int hops) {
+  EgoNet ego;
+  ego.nodes = KHopNeighborhood(csr, center, hops);
+  std::vector<int> dist = BfsDistances(csr, center, hops);
+  std::vector<uint32_t> local(csr.num_nodes(), static_cast<uint32_t>(-1));
+  for (uint32_t i = 0; i < ego.nodes.size(); ++i) {
+    local[ego.nodes[i]] = i;
+    ego.hop.push_back(dist[ego.nodes[i]]);
+  }
+  for (NodeId v : ego.nodes) {
+    size_t idx = 0;
+    for (const NodeId* it = csr.NeighborsBegin(v); it != csr.NeighborsEnd(v);
+         ++it, ++idx) {
+      if (*it > v) continue;  // each undirected pair once
+      if (local[*it] == static_cast<uint32_t>(-1)) continue;
+      ego.edges.emplace_back(local[v], local[*it]);
+      ego.edge_types.push_back(csr.NeighborEdgeType(v, idx));
+    }
+  }
+  return ego;
+}
+
+}  // namespace trail::graph

@@ -1,0 +1,61 @@
+#ifndef TRAIL_GRAPH_ALGORITHMS_H_
+#define TRAIL_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace trail::graph {
+
+inline constexpr int kUnreachable = -1;
+
+/// BFS hop distances from `source` over the CSR adjacency; kUnreachable for
+/// nodes not reached (or dropped). `max_depth` < 0 means unlimited.
+std::vector<int> BfsDistances(const CsrGraph& csr, NodeId source,
+                              int max_depth = -1);
+
+/// Connected-components labeling. Dropped nodes get component kUnreachable.
+struct ComponentResult {
+  std::vector<int> component;   // per node id; -1 for dropped nodes
+  std::vector<size_t> sizes;    // per component id
+  size_t num_components = 0;
+  int largest_component = -1;   // id of the largest component
+};
+ComponentResult ConnectedComponents(const CsrGraph& csr);
+
+/// Exact eccentricity-based diameter of the component containing `seed`,
+/// computed with BFS from every node in that component. O(V*E) — use only on
+/// small graphs (tests).
+int ExactDiameter(const CsrGraph& csr, NodeId seed);
+
+/// Double-sweep lower bound on the diameter of the component containing
+/// `seed` with `sweeps` refinement rounds: BFS to the farthest node, repeat.
+/// Exact on trees and empirically tight on real graphs; this is how we report
+/// the TKG diameter at scale.
+int DoubleSweepDiameter(const CsrGraph& csr, NodeId seed, int sweeps = 4);
+
+/// The set of nodes within `hops` of `center` (including the center), in BFS
+/// order — the paper's k-hop ego-net.
+std::vector<NodeId> KHopNeighborhood(const CsrGraph& csr, NodeId center,
+                                     int hops);
+
+/// K-hop neighborhood around several seeds at once.
+std::vector<NodeId> KHopNeighborhood(const CsrGraph& csr,
+                                     const std::vector<NodeId>& centers,
+                                     int hops);
+
+/// An extracted ego-net: the induced subgraph on a k-hop neighborhood, with
+/// compact local ids and a mapping back to the parent graph.
+struct EgoNet {
+  std::vector<NodeId> nodes;            // local id -> global id (BFS order)
+  std::vector<int> hop;                 // local id -> hop distance from ego
+  std::vector<std::pair<uint32_t, uint32_t>> edges;  // local id pairs
+  std::vector<EdgeType> edge_types;     // parallel to `edges`
+};
+EgoNet ExtractEgoNet(const CsrGraph& csr, NodeId center, int hops);
+
+}  // namespace trail::graph
+
+#endif  // TRAIL_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,92 @@
+#include "graph/analytics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/random.h"
+
+namespace trail::graph {
+
+std::map<size_t, size_t> DegreeHistogram(const CsrGraph& csr) {
+  std::map<size_t, size_t> histogram;
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (!csr.IsKept(v)) continue;
+    histogram[csr.Degree(v)]++;
+  }
+  return histogram;
+}
+
+double LocalClusteringCoefficient(const CsrGraph& csr, NodeId v) {
+  const size_t degree = csr.Degree(v);
+  if (degree < 2) return 0.0;
+  std::unordered_set<NodeId> neighbors(csr.NeighborsBegin(v),
+                                       csr.NeighborsEnd(v));
+  neighbors.erase(v);
+  size_t k = neighbors.size();
+  if (k < 2) return 0.0;
+  size_t closed = 0;
+  for (NodeId u : neighbors) {
+    for (const NodeId* it = csr.NeighborsBegin(u); it != csr.NeighborsEnd(u);
+         ++it) {
+      // Each triangle edge counted once per direction; halve at the end.
+      if (*it != v && neighbors.count(*it) > 0) ++closed;
+    }
+  }
+  return static_cast<double>(closed) / (static_cast<double>(k) * (k - 1));
+}
+
+double AverageClusteringCoefficient(const CsrGraph& csr, size_t sample_cap,
+                                    uint64_t seed) {
+  std::vector<NodeId> eligible;
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (csr.IsKept(v) && csr.Degree(v) >= 2) eligible.push_back(v);
+  }
+  if (eligible.empty()) return 0.0;
+  if (eligible.size() > sample_cap) {
+    Rng rng(seed);
+    rng.Shuffle(&eligible);
+    eligible.resize(sample_cap);
+  }
+  double total = 0.0;
+  for (NodeId v : eligible) total += LocalClusteringCoefficient(csr, v);
+  return total / eligible.size();
+}
+
+std::vector<double> PageRank(const CsrGraph& csr, double alpha,
+                             int iterations) {
+  const size_t n = csr.num_nodes();
+  std::vector<double> rank(n, 0.0);
+  if (csr.num_kept() == 0) return rank;
+  const double uniform = 1.0 / csr.num_kept();
+  for (NodeId v = 0; v < n; ++v) {
+    if (csr.IsKept(v)) rank[v] = uniform;
+  }
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!csr.IsKept(v)) continue;
+      const size_t degree = csr.Degree(v);
+      if (degree == 0) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = rank[v] / degree;
+      for (const NodeId* nb = csr.NeighborsBegin(v);
+           nb != csr.NeighborsEnd(v); ++nb) {
+        next[*nb] += share;
+      }
+    }
+    const double redistribute =
+        (1.0 - alpha) * uniform + alpha * dangling * uniform;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!csr.IsKept(v)) continue;
+      next[v] = alpha * next[v] + redistribute;
+    }
+    std::swap(rank, next);
+  }
+  return rank;
+}
+
+}  // namespace trail::graph

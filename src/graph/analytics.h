@@ -1,0 +1,37 @@
+#ifndef TRAIL_GRAPH_ANALYTICS_H_
+#define TRAIL_GRAPH_ANALYTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace trail::graph {
+
+/// Degree histogram over kept nodes: degree -> node count. The TKG's
+/// heavy-tailed degree distribution (hub C2 IPs, leaf parked domains) shows
+/// up here.
+std::map<size_t, size_t> DegreeHistogram(const CsrGraph& csr);
+
+/// Local clustering coefficient of one node: closed wedges / possible
+/// wedges among its neighbors. The paper's related work (Pelofske et al.)
+/// observes that shared attack infrastructure forms dense cliques; this is
+/// the standard measure of that density.
+double LocalClusteringCoefficient(const CsrGraph& csr, NodeId v);
+
+/// Mean local clustering coefficient over a sample of kept nodes with
+/// degree >= 2 (exact when sample_cap >= population).
+double AverageClusteringCoefficient(const CsrGraph& csr,
+                                    size_t sample_cap = 4000,
+                                    uint64_t seed = 17);
+
+/// PageRank over the undirected view (damping `alpha`, `iterations` power
+/// steps). Returns one score per node id (zeros for dropped nodes). Useful
+/// for ranking IOC hubs during triage.
+std::vector<double> PageRank(const CsrGraph& csr, double alpha = 0.85,
+                             int iterations = 30);
+
+}  // namespace trail::graph
+
+#endif  // TRAIL_GRAPH_ANALYTICS_H_

@@ -1,0 +1,38 @@
+#include "graph/csr.h"
+
+namespace trail::graph {
+
+CsrGraph CsrGraph::Build(const PropertyGraph& graph,
+                         const std::vector<uint8_t>* keep) {
+  const size_t n = graph.num_nodes();
+  CsrGraph csr;
+  csr.kept_.assign(n, 1);
+  if (keep != nullptr) {
+    for (size_t v = 0; v < n; ++v) csr.kept_[v] = (*keep)[v];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (csr.kept_[v]) ++csr.num_kept_;
+  }
+
+  csr.offsets_.assign(n + 1, 0);
+  for (const Edge& e : graph.edges()) {
+    if (!csr.kept_[e.src] || !csr.kept_[e.dst]) continue;
+    csr.offsets_[e.src + 1]++;
+    csr.offsets_[e.dst + 1]++;
+  }
+  for (size_t v = 0; v < n; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
+
+  csr.targets_.resize(csr.offsets_[n]);
+  csr.edge_types_.resize(csr.offsets_[n]);
+  std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const Edge& e : graph.edges()) {
+    if (!csr.kept_[e.src] || !csr.kept_[e.dst]) continue;
+    csr.targets_[cursor[e.src]] = e.dst;
+    csr.edge_types_[cursor[e.src]++] = e.type;
+    csr.targets_[cursor[e.dst]] = e.src;
+    csr.edge_types_[cursor[e.dst]++] = e.type;
+  }
+  return csr;
+}
+
+}  // namespace trail::graph

@@ -1,0 +1,56 @@
+#ifndef TRAIL_GRAPH_CSR_H_
+#define TRAIL_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "graph/types.h"
+
+namespace trail::graph {
+
+/// An immutable compressed-sparse-row snapshot of a PropertyGraph's
+/// undirected adjacency. Label propagation, the GNN, and the traversal
+/// algorithms all run on this compact representation rather than the
+/// pointer-chasing mutable store.
+class CsrGraph {
+ public:
+  /// Compiles the undirected adjacency of `graph`. Optionally restricts to a
+  /// node subset: `keep[v]` false drops node v and all its edges (used for
+  /// the first-order-only connectivity ablation). Node ids are preserved.
+  static CsrGraph Build(const PropertyGraph& graph,
+                        const std::vector<uint8_t>* keep = nullptr);
+
+  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t num_directed_entries() const { return targets_.size(); }
+
+  /// Undirected degree of v (dropped nodes report 0).
+  size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Neighbor ids of v.
+  const NodeId* NeighborsBegin(NodeId v) const {
+    return targets_.data() + offsets_[v];
+  }
+  const NodeId* NeighborsEnd(NodeId v) const {
+    return targets_.data() + offsets_[v + 1];
+  }
+
+  /// Edge type of the i-th incident entry of v (parallel to neighbors).
+  EdgeType NeighborEdgeType(NodeId v, size_t i) const {
+    return edge_types_[offsets_[v] + i];
+  }
+
+  bool IsKept(NodeId v) const { return kept_[v] != 0; }
+  size_t num_kept() const { return num_kept_; }
+
+ private:
+  std::vector<uint64_t> offsets_;  // size num_nodes + 1
+  std::vector<NodeId> targets_;
+  std::vector<EdgeType> edge_types_;
+  std::vector<uint8_t> kept_;
+  size_t num_kept_ = 0;
+};
+
+}  // namespace trail::graph
+
+#endif  // TRAIL_GRAPH_CSR_H_

@@ -1,0 +1,126 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace trail::graph {
+
+std::string PropertyGraph::MakeKey(NodeType type, std::string_view value) {
+  std::string key;
+  key.reserve(value.size() + 2);
+  key.push_back(static_cast<char>('0' + static_cast<int>(type)));
+  key.push_back(':');
+  key.append(value);
+  return key;
+}
+
+uint64_t PropertyGraph::EdgeKey(NodeId src, NodeId dst, EdgeType /*type*/) {
+  // Orientation-independent key: the schema never produces the same edge
+  // type in both directions between one node pair, so a normalized key
+  // dedupes symmetric re-insertions. The type selects the dedup set.
+  NodeId lo = std::min(src, dst);
+  NodeId hi = std::max(src, dst);
+  return (static_cast<uint64_t>(lo) << 32) | static_cast<uint64_t>(hi);
+}
+
+NodeId PropertyGraph::AddNode(NodeType type, std::string_view value) {
+  std::string key = MakeKey(type, value);
+  auto it = intern_.find(key);
+  if (it != intern_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(types_.size());
+  intern_.emplace(std::move(key), id);
+  types_.push_back(type);
+  values_.emplace_back(value);
+  labels_.push_back(kNoLabel);
+  first_order_.push_back(0);
+  report_counts_.push_back(0);
+  timestamps_.push_back(0.0);
+  features_.emplace_back();
+  adjacency_.emplace_back();
+  return id;
+}
+
+NodeId PropertyGraph::FindNode(NodeType type, std::string_view value) const {
+  auto it = intern_.find(MakeKey(type, value));
+  if (it == intern_.end()) return kInvalidNode;
+  return it->second;
+}
+
+bool PropertyGraph::AddEdge(NodeId src, NodeId dst, EdgeType type) {
+  TRAIL_CHECK(src < types_.size() && dst < types_.size())
+      << "edge endpoint out of range";
+  if (src == dst) return false;
+  uint64_t key = EdgeKey(src, dst, type);
+  if (!edge_set_[static_cast<int>(type)].insert(key).second) return false;
+  edges_.push_back(Edge{src, dst, type});
+  adjacency_[src].push_back(Neighbor{dst, type, /*is_outgoing=*/true});
+  adjacency_[dst].push_back(Neighbor{src, type, /*is_outgoing=*/false});
+  return true;
+}
+
+bool PropertyGraph::HasEdge(NodeId src, NodeId dst, EdgeType type) const {
+  if (src >= types_.size() || dst >= types_.size()) return false;
+  return edge_set_[static_cast<int>(type)].count(EdgeKey(src, dst, type)) > 0;
+}
+
+std::vector<NodeId> PropertyGraph::NodesOfType(NodeType type) const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < types_.size(); ++id) {
+    if (types_[id] == type) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<size_t> PropertyGraph::TypeCounts() const {
+  std::vector<size_t> counts(kNumNodeTypes, 0);
+  for (NodeType t : types_) counts[static_cast<int>(t)]++;
+  return counts;
+}
+
+size_t PropertyGraph::DegreeToType(NodeId id, NodeType type) const {
+  size_t n = 0;
+  for (const Neighbor& nb : adjacency_[id]) {
+    if (types_[nb.node] == type) ++n;
+  }
+  return n;
+}
+
+Status PropertyGraph::CheckConsistency() const {
+  if (intern_.size() != types_.size()) {
+    return Status::Internal("intern table size mismatch");
+  }
+  size_t adjacency_total = 0;
+  for (NodeId id = 0; id < types_.size(); ++id) {
+    adjacency_total += adjacency_[id].size();
+    for (const Neighbor& nb : adjacency_[id]) {
+      if (nb.node >= types_.size()) {
+        return Status::Internal("neighbor id out of range");
+      }
+      // Symmetry: the mirrored entry must exist with flipped direction.
+      const auto& back = adjacency_[nb.node];
+      bool found = std::any_of(back.begin(), back.end(), [&](const Neighbor& b) {
+        return b.node == id && b.type == nb.type &&
+               b.is_outgoing != nb.is_outgoing;
+      });
+      if (!found) return Status::Internal("asymmetric adjacency entry");
+    }
+  }
+  if (adjacency_total != 2 * edges_.size()) {
+    return Status::Internal("adjacency count != 2 * edge count");
+  }
+  size_t set_total = 0;
+  for (const auto& s : edge_set_) set_total += s.size();
+  if (set_total != edges_.size()) {
+    return Status::Internal("edge set / edge list size mismatch");
+  }
+  for (const Edge& e : edges_) {
+    if (e.src >= types_.size() || e.dst >= types_.size()) {
+      return Status::Internal("edge endpoint out of range");
+    }
+    if (e.src == e.dst) return Status::Internal("self loop present");
+  }
+  return Status::Ok();
+}
+
+}  // namespace trail::graph

@@ -1,0 +1,113 @@
+#ifndef TRAIL_GRAPH_PROPERTY_GRAPH_H_
+#define TRAIL_GRAPH_PROPERTY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace trail::graph {
+
+/// A mutable in-memory typed property graph — TRAIL's replacement for the
+/// neo4j database the paper stores the TKG in. Nodes are interned by
+/// (type, value) so merging a new incident report into the TKG is idempotent:
+/// re-adding an existing IOC returns its existing id and only appends the
+/// edges that are new.
+///
+/// Per-node payloads:
+///  * `value`        — the IOC text ("1.0.36.127", "evil.example", ...)
+///  * `label`        — APT class for attributed events, kNoLabel otherwise
+///  * `first_order`  — true when the IOC appeared directly in some report
+///  * `report_count` — number of distinct events that listed this IOC
+///  * `features`     — dense feature vector (layout fixed per node type)
+///  * `timestamp`    — days since epoch of first observation
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  /// Adds (or finds) the node keyed by (type, value). Returns its id.
+  NodeId AddNode(NodeType type, std::string_view value);
+
+  /// Looks up a node by key; returns kInvalidNode when absent.
+  NodeId FindNode(NodeType type, std::string_view value) const;
+
+  /// Adds a typed edge if it does not already exist (in either direction for
+  /// the same type). Returns true when a new edge was inserted. Self loops
+  /// are rejected.
+  bool AddEdge(NodeId src, NodeId dst, EdgeType type);
+
+  bool HasEdge(NodeId src, NodeId dst, EdgeType type) const;
+
+  size_t num_nodes() const { return types_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  NodeType type(NodeId id) const { return types_[id]; }
+  const std::string& value(NodeId id) const { return values_[id]; }
+
+  int label(NodeId id) const { return labels_[id]; }
+  void SetLabel(NodeId id, int label) { labels_[id] = label; }
+
+  bool first_order(NodeId id) const { return first_order_[id]; }
+  void SetFirstOrder(NodeId id, bool v) { first_order_[id] = v; }
+
+  int report_count(NodeId id) const { return report_counts_[id]; }
+  void IncrementReportCount(NodeId id) { report_counts_[id]++; }
+
+  double timestamp(NodeId id) const { return timestamps_[id]; }
+  void SetTimestamp(NodeId id, double ts) { timestamps_[id] = ts; }
+
+  const std::vector<float>& features(NodeId id) const { return features_[id]; }
+  void SetFeatures(NodeId id, std::vector<float> f) {
+    features_[id] = std::move(f);
+  }
+  bool has_features(NodeId id) const { return !features_[id].empty(); }
+
+  /// Undirected neighbor view (both edge directions).
+  const std::vector<Neighbor>& neighbors(NodeId id) const {
+    return adjacency_[id];
+  }
+  size_t degree(NodeId id) const { return adjacency_[id].size(); }
+
+  /// All schema edges, in insertion order.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// All node ids of the given type, in id order.
+  std::vector<NodeId> NodesOfType(NodeType type) const;
+
+  /// Count of nodes per type.
+  std::vector<size_t> TypeCounts() const;
+
+  /// Undirected degree restricted to nodes of the queried type — e.g. how
+  /// many Event neighbors an IP has.
+  size_t DegreeToType(NodeId id, NodeType type) const;
+
+  /// Validates internal invariants (interning bijective, adjacency symmetric,
+  /// edge endpoints in range). Used by tests and after deserialization.
+  Status CheckConsistency() const;
+
+ private:
+  static std::string MakeKey(NodeType type, std::string_view value);
+  static uint64_t EdgeKey(NodeId src, NodeId dst, EdgeType type);
+
+  std::unordered_map<std::string, NodeId> intern_;
+  std::vector<NodeType> types_;
+  std::vector<std::string> values_;
+  std::vector<int> labels_;
+  std::vector<uint8_t> first_order_;
+  std::vector<int> report_counts_;
+  std::vector<double> timestamps_;
+  std::vector<std::vector<float>> features_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<Edge> edges_;
+  // One dedup set per edge type so the (src, dst) pair key fits in 64 bits.
+  std::unordered_set<uint64_t> edge_set_[kNumEdgeTypes];
+};
+
+}  // namespace trail::graph
+
+#endif  // TRAIL_GRAPH_PROPERTY_GRAPH_H_

@@ -1,0 +1,176 @@
+#include "graph/serialization.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace trail::graph {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x544B4731;  // "TKG1"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Floats(const std::vector<float>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    Raw(v.data(), v.size() * sizeof(float));
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  void Raw(const void* data, size_t size) {
+    if (!ok_) return;
+    if (size > 0 && std::fwrite(data, 1, size, f_) != size) ok_ = false;
+  }
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint32_t len = U32();
+    if (!ok_ || len > (1u << 24)) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(len, '\0');
+    Raw(s.data(), len);
+    return s;
+  }
+  std::vector<float> Floats() {
+    uint32_t len = U32();
+    if (!ok_ || len > (1u << 24)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<float> v(len);
+    Raw(v.data(), len * sizeof(float));
+    return v;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  void Raw(void* data, size_t size) {
+    if (!ok_) return;
+    if (size > 0 && std::fread(data, 1, size, f_) != size) ok_ = false;
+  }
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Status SaveGraph(const PropertyGraph& graph, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  Writer w(f.get());
+  w.U32(kMagic);
+  w.U32(kVersion);
+  w.U64(graph.num_nodes());
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    w.U32(static_cast<uint32_t>(graph.type(id)));
+    w.Str(graph.value(id));
+    w.U32(static_cast<uint32_t>(graph.label(id)));
+    w.U32(graph.first_order(id) ? 1 : 0);
+    w.U32(static_cast<uint32_t>(graph.report_count(id)));
+    w.F64(graph.timestamp(id));
+    w.Floats(graph.features(id));
+  }
+  w.U64(graph.num_edges());
+  for (const Edge& e : graph.edges()) {
+    w.U32(e.src);
+    w.U32(e.dst);
+    w.U32(static_cast<uint32_t>(e.type));
+  }
+  if (!w.ok()) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Result<PropertyGraph> LoadGraph(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  Reader r(f.get());
+  if (r.U32() != kMagic) return Status::ParseError("bad magic in " + path);
+  if (r.U32() != kVersion) {
+    return Status::ParseError("unsupported version in " + path);
+  }
+  PropertyGraph graph;
+  uint64_t num_nodes = r.U64();
+  if (!r.ok() || num_nodes > (1ull << 32)) {
+    return Status::ParseError("corrupt node count in " + path);
+  }
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    uint32_t type = r.U32();
+    std::string value = r.Str();
+    uint32_t label = r.U32();
+    uint32_t first_order = r.U32();
+    uint32_t report_count = r.U32();
+    double ts = r.F64();
+    std::vector<float> features = r.Floats();
+    if (!r.ok()) return Status::ParseError("truncated node data in " + path);
+    if (type >= kNumNodeTypes) {
+      return Status::ParseError("invalid node type in " + path);
+    }
+    NodeId id = graph.AddNode(static_cast<NodeType>(type), value);
+    if (id != i) {
+      return Status::ParseError("duplicate node key in " + path);
+    }
+    graph.SetLabel(id, static_cast<int>(label));
+    graph.SetFirstOrder(id, first_order != 0);
+    for (uint32_t c = 0; c < report_count; ++c) graph.IncrementReportCount(id);
+    graph.SetTimestamp(id, ts);
+    graph.SetFeatures(id, std::move(features));
+  }
+  uint64_t num_edges = r.U64();
+  if (!r.ok()) return Status::ParseError("truncated edge count in " + path);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint32_t src = r.U32();
+    uint32_t dst = r.U32();
+    uint32_t type = r.U32();
+    if (!r.ok()) return Status::ParseError("truncated edge data in " + path);
+    if (src >= num_nodes || dst >= num_nodes || type >= kNumEdgeTypes) {
+      return Status::ParseError("invalid edge in " + path);
+    }
+    graph.AddEdge(src, dst, static_cast<EdgeType>(type));
+  }
+  TRAIL_RETURN_NOT_OK(graph.CheckConsistency());
+  return graph;
+}
+
+}  // namespace trail::graph

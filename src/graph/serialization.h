@@ -1,0 +1,22 @@
+#ifndef TRAIL_GRAPH_SERIALIZATION_H_
+#define TRAIL_GRAPH_SERIALIZATION_H_
+
+#include <string>
+
+#include "graph/property_graph.h"
+#include "util/status.h"
+
+namespace trail::graph {
+
+/// Writes the full graph — nodes, payloads, features, edges — to a binary
+/// file. The format is versioned and little-endian-native (TRAIL targets a
+/// single architecture per deployment, matching the paper's single-site
+/// database).
+Status SaveGraph(const PropertyGraph& graph, const std::string& path);
+
+/// Reads a graph previously written by SaveGraph and validates consistency.
+Result<PropertyGraph> LoadGraph(const std::string& path);
+
+}  // namespace trail::graph
+
+#endif  // TRAIL_GRAPH_SERIALIZATION_H_

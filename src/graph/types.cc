@@ -1,0 +1,37 @@
+#include "graph/types.h"
+
+namespace trail::graph {
+
+const char* NodeTypeName(NodeType type) {
+  switch (type) {
+    case NodeType::kEvent:
+      return "Event";
+    case NodeType::kIp:
+      return "IP";
+    case NodeType::kDomain:
+      return "Domain";
+    case NodeType::kUrl:
+      return "URL";
+    case NodeType::kAsn:
+      return "ASN";
+  }
+  return "?";
+}
+
+const char* EdgeTypeName(EdgeType type) {
+  switch (type) {
+    case EdgeType::kInReport:
+      return "InReport";
+    case EdgeType::kARecord:
+      return "ARecord";
+    case EdgeType::kInGroup:
+      return "InGroup";
+    case EdgeType::kResolvesTo:
+      return "ResolvesTo";
+    case EdgeType::kHostedOn:
+      return "HostedOn";
+  }
+  return "?";
+}
+
+}  // namespace trail::graph

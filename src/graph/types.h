@@ -1,0 +1,59 @@
+#ifndef TRAIL_GRAPH_TYPES_H_
+#define TRAIL_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace trail::graph {
+
+/// Node identifier within one PropertyGraph. Dense, starting at 0.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Label value for unattributed nodes.
+inline constexpr int kNoLabel = -1;
+
+/// The five node kinds of the TKG schema (paper Fig. 2).
+enum class NodeType : uint8_t {
+  kEvent = 0,
+  kIp = 1,
+  kDomain = 2,
+  kUrl = 3,
+  kAsn = 4,
+};
+inline constexpr int kNumNodeTypes = 5;
+
+/// The edge kinds of the TKG schema (paper Table I).
+enum class EdgeType : uint8_t {
+  kInReport = 0,    // Event -> {IP, Domain, URL}
+  kARecord = 1,     // IP -> Domain (passive DNS historic resolution)
+  kInGroup = 2,     // IP -> ASN
+  kResolvesTo = 3,  // {URL, Domain} -> IP
+  kHostedOn = 4,    // URL -> Domain
+};
+inline constexpr int kNumEdgeTypes = 5;
+
+const char* NodeTypeName(NodeType type);
+const char* EdgeTypeName(EdgeType type);
+
+/// A directed typed edge.
+struct Edge {
+  NodeId src;
+  NodeId dst;
+  EdgeType type;
+
+  bool operator==(const Edge& other) const {
+    return src == other.src && dst == other.dst && type == other.type;
+  }
+};
+
+/// Undirected neighbor reference stored in adjacency lists.
+struct Neighbor {
+  NodeId node;
+  EdgeType type;
+  bool is_outgoing;  // true when this node is the src of the schema edge
+};
+
+}  // namespace trail::graph
+
+#endif  // TRAIL_GRAPH_TYPES_H_

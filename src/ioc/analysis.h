@@ -1,0 +1,57 @@
+#ifndef TRAIL_IOC_ANALYSIS_H_
+#define TRAIL_IOC_ANALYSIS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ioc/feature_schema.h"
+
+namespace trail::ioc {
+
+/// Output of the IP lookup services (geo-IP + passive DNS + whois), the
+/// analogue of what the paper pulls from OTX's archived tool output.
+/// `resolved_domains` are the A-record secondary IOCs; `asn` the InGroup
+/// relation target.
+struct IpAnalysis {
+  std::string country;          // vocab code, may be unknown ("")
+  std::string issuer;           // vocab code, may be unknown ("")
+  double latitude = 0.0;
+  double longitude = 0.0;
+  double first_seen_days = 0.0;  // days since the feed epoch
+  double last_seen_days = 0.0;
+  bool has_reverse_dns = false;
+  bool is_reserved = false;
+  int asn = -1;                  // -1 when unknown
+  std::vector<std::string> resolved_domains;
+};
+
+/// Output of probing a URL (cURL header analysis in the paper) plus its
+/// resolution. `resolved_ip` is the ResolvesTo relation target.
+struct UrlAnalysis {
+  std::string file_type;   // MIME, vocab
+  std::string file_class;  // vocab
+  std::string http_code;   // "200", vocab
+  std::string encoding;    // vocab
+  std::string server;      // server header, vocab
+  std::string os;          // vocab
+  std::vector<std::string> services;  // open services on the host
+  std::string resolved_ip;            // may be empty if dead
+  bool alive = true;
+};
+
+/// Output of domain analysis (dig + passive DNS). `resolved_ips` are
+/// A-record ResolvesTo targets; `cname_domains` additional secondary
+/// domains.
+struct DomainAnalysis {
+  std::array<int, SchemaSizes::kDnsRecordTypes> record_counts{};
+  bool nxdomain = false;
+  double first_seen_days = 0.0;
+  double last_seen_days = 0.0;
+  std::vector<std::string> resolved_ips;
+  std::vector<std::string> cname_domains;
+};
+
+}  // namespace trail::ioc
+
+#endif  // TRAIL_IOC_ANALYSIS_H_

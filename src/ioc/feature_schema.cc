@@ -1,0 +1,364 @@
+#include "ioc/feature_schema.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace trail::ioc {
+
+Vocab::Vocab(std::vector<std::string> entries) : entries_(std::move(entries)) {
+  index_.reserve(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    index_.emplace(entries_[i], static_cast<int>(i));
+  }
+  TRAIL_CHECK(index_.size() == entries_.size()) << "duplicate vocab entry";
+}
+
+int Vocab::IndexOf(std::string_view value) const {
+  auto it = index_.find(std::string(value));
+  if (it == index_.end()) return -1;
+  return it->second;
+}
+
+const char* DnsRecordTypeName(DnsRecordType type) {
+  switch (type) {
+    case DnsRecordType::kA:
+      return "A";
+    case DnsRecordType::kAaaa:
+      return "AAAA";
+    case DnsRecordType::kCname:
+      return "CNAME";
+    case DnsRecordType::kMx:
+      return "MX";
+    case DnsRecordType::kNs:
+      return "NS";
+    case DnsRecordType::kTxt:
+      return "TXT";
+    case DnsRecordType::kSoa:
+      return "SOA";
+    case DnsRecordType::kPtr:
+      return "PTR";
+    case DnsRecordType::kSrv:
+      return "SRV";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Pads `base` with "prefix-NNN" synthetic entries up to exactly `target`.
+std::vector<std::string> PadTo(std::vector<std::string> base,
+                               const std::string& prefix, size_t target) {
+  TRAIL_CHECK(base.size() <= target)
+      << prefix << " base vocabulary larger than target";
+  size_t i = 0;
+  while (base.size() < target) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s-%03zu", prefix.c_str(), i++);
+    base.emplace_back(buf);
+  }
+  return base;
+}
+
+std::vector<std::string> CountryList() {
+  // Real ISO 3166-1 alpha-2 head, heavy on codes that appear in APT
+  // reporting; padded to 249 (ISO has 249 assigned codes).
+  std::vector<std::string> base = {
+      "US", "CN", "RU", "KP", "IR", "LV", "DE", "FR", "GB", "NL", "UA", "PL",
+      "KR", "JP", "IN", "BR", "CA", "AU", "IT", "ES", "SE", "NO", "FI", "DK",
+      "CH", "AT", "BE", "CZ", "RO", "BG", "HU", "TR", "IL", "SA", "AE", "EG",
+      "ZA", "NG", "KE", "MX", "AR", "CL", "CO", "PE", "VE", "VN", "TH", "MY",
+      "SG", "ID", "PH", "TW", "HK", "MO", "PK", "BD", "LK", "NP", "KZ", "UZ",
+      "BY", "MD", "GE", "AM", "AZ", "LT", "EE", "IS", "IE", "PT", "GR", "CY",
+      "MT", "LU", "SK", "SI", "HR", "RS", "BA", "MK", "AL", "ME", "XK", "IQ",
+      "SY", "JO", "LB", "KW", "QA", "BH", "OM", "YE", "AF", "MM", "KH", "LA",
+      "MN", "BT", "MV", "BN", "TL", "PG", "FJ", "NZ", "SB", "VU", "NC", "PF",
+  };
+  return PadTo(std::move(base), "cc", SchemaSizes::kCountries);
+}
+
+std::vector<std::string> IssuerList() {
+  std::vector<std::string> base;
+  const char* registries[] = {"ARIN", "RIPE", "APNIC", "LACNIC", "AFRINIC"};
+  const char* providers[] = {
+      "HostKey",   "OVH",       "Hetzner",   "DigitalOcean", "Linode",
+      "Vultr",     "Leaseweb",  "Choopa",    "Alibaba",      "Tencent",
+      "Selectel",  "TimeWeb",   "M247",      "ColoCrossing", "QuadraNet",
+      "Psychz",    "ServerMania", "WorldStream", "DataWagon", "FranTech",
+      "GCore",     "Contabo",   "Scaleway",  "UpCloud",      "Kamatera",
+  };
+  for (const char* reg : registries) {
+    for (const char* provider : providers) {
+      base.push_back(std::string(reg) + "/" + provider);
+    }
+  }
+  return PadTo(std::move(base), "issuer", SchemaSizes::kIssuers);
+}
+
+std::vector<std::string> FileTypeList() {
+  std::vector<std::string> base = {
+      "text/html",       "text/plain",      "text/css",
+      "text/javascript", "text/xml",        "application/json",
+      "application/xml", "application/zip", "application/x-rar",
+      "application/x-7z-compressed",        "application/x-tar",
+      "application/gzip",                   "application/pdf",
+      "application/msword",                 "application/vnd.ms-excel",
+      "application/vnd.ms-powerpoint",      "application/x-msdownload",
+      "application/x-dosexec",              "application/x-executable",
+      "application/x-sharedlib",            "application/x-shellscript",
+      "application/octet-stream",           "application/x-shockwave-flash",
+      "application/java-archive",           "application/x-iso9660-image",
+      "application/vnd.android.package-archive",
+      "application/x-apple-diskimage",      "application/x-ms-shortcut",
+      "application/hta",                    "application/x-cpl",
+      "image/png",       "image/jpeg",      "image/gif",
+      "image/svg+xml",   "image/x-icon",    "image/webp",
+      "audio/mpeg",      "video/mp4",       "font/woff2",
+      "application/x-pkcs12",               "application/x-x509-ca-cert",
+      "application/pgp-keys",               "application/x-bittorrent",
+  };
+  return PadTo(std::move(base), "filetype", SchemaSizes::kFileTypes);
+}
+
+std::vector<std::string> FileClassList() {
+  std::vector<std::string> base = {
+      "html",    "script",  "document", "archive", "executable",
+      "library", "image",   "media",    "font",    "certificate",
+      "data",    "config",  "installer", "shortcut", "disk-image",
+      "mobile-app", "email", "key-material",
+  };
+  return PadTo(std::move(base), "fileclass", SchemaSizes::kFileClasses);
+}
+
+std::vector<std::string> HttpCodeList() {
+  std::vector<std::string> base = {
+      "100", "101", "102", "103", "200", "201", "202", "203", "204", "205",
+      "206", "207", "208", "226", "300", "301", "302", "303", "304", "305",
+      "307", "308", "400", "401", "402", "403", "404", "405", "406", "407",
+      "408", "409", "410", "411", "412", "413", "414", "415", "416", "417",
+      "418", "421", "422", "423", "424", "425", "426", "428", "429", "431",
+      "451", "500", "501", "502", "503", "504", "505", "506", "507", "508",
+      "510", "511",
+  };
+  return PadTo(std::move(base), "http", SchemaSizes::kHttpCodes);
+}
+
+std::vector<std::string> EncodingList() {
+  std::vector<std::string> base = {
+      "gzip",  "deflate", "br",   "identity", "compress",
+      "zstd",  "chunked", "base64",
+  };
+  return PadTo(std::move(base), "enc", SchemaSizes::kEncodings);
+}
+
+std::vector<std::string> ServerList() {
+  // 16 server products x 59 version strings = 944 exactly.
+  const char* products[] = {
+      "nginx",       "Apache",     "Microsoft-IIS", "LiteSpeed",
+      "openresty",   "cloudflare", "gws",           "Caddy",
+      "lighttpd",    "Tengine",    "gunicorn",      "Werkzeug",
+      "Jetty",       "Tomcat",     "Kestrel",       "SimpleHTTP",
+  };
+  std::vector<std::string> base;
+  base.reserve(SchemaSizes::kServers);
+  for (const char* product : products) {
+    base.emplace_back(product);  // versionless header
+    for (int major = 1; major <= 2 && base.size() < 16u * 59u; ++major) {
+      for (int minor = 0; minor <= 28; ++minor) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s/%d.%d", product, major, minor);
+        base.emplace_back(buf);
+        if (base.size() % 59 == 0) break;
+      }
+      if (base.size() % 59 == 0) break;
+    }
+    // Ensure exactly 59 entries per product.
+    while (base.size() % 59 != 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s/3.%zu", product, base.size() % 59);
+      base.emplace_back(buf);
+    }
+  }
+  TRAIL_CHECK(base.size() == static_cast<size_t>(SchemaSizes::kServers));
+  return base;
+}
+
+std::vector<std::string> OsList() {
+  std::vector<std::string> base = {
+      "Ubuntu",        "Ubuntu 18.04", "Ubuntu 20.04", "Ubuntu 22.04",
+      "Debian",        "Debian 9",     "Debian 10",    "Debian 11",
+      "CentOS",        "CentOS 7",     "CentOS 8",     "RHEL 8",
+      "Windows Server 2012", "Windows Server 2016", "Windows Server 2019",
+      "Windows Server 2022", "FreeBSD", "OpenBSD",     "Alpine",
+      "Fedora",        "Amazon Linux", "Amazon Linux 2",
+  };
+  return PadTo(std::move(base), "os", SchemaSizes::kOses);
+}
+
+std::vector<std::string> ServiceList() {
+  std::vector<std::string> base = {
+      "http",   "https", "ssh",    "ftp",   "smtp",  "pop3",   "imap",
+      "dns",    "mysql", "postgresql",      "redis", "mongodb", "rdp",
+      "vnc",    "telnet", "snmp",  "ntp",   "ldap",  "smb",    "sip",
+      "rtsp",   "irc",   "xmpp",  "socks5", "proxy", "openvpn", "wireguard",
+      "docker", "kubernetes",     "elasticsearch",   "memcached",
+  };
+  return PadTo(std::move(base), "svc", SchemaSizes::kServices);
+}
+
+std::vector<std::string> TldList() {
+  std::vector<std::string> base = {
+      "com",  "net",   "org",    "info",  "biz",  "ru",    "cn",   "club",
+      "top",  "xyz",   "online", "site",  "pw",   "cc",    "tk",   "ml",
+      "ga",   "cf",    "gq",     "io",    "me",   "co",    "us",   "uk",
+      "de",   "fr",    "nl",     "eu",    "kr",   "jp",    "in",   "br",
+      "pl",   "ua",    "by",     "kz",    "ir",   "vn",    "th",   "id",
+      "hk",   "tw",    "sg",     "my",    "es",   "it",    "se",   "ch",
+      "at",   "cz",    "link",   "live",  "life", "world", "today", "space",
+      "store", "shop", "tech",   "icu",   "vip",  "work",  "click", "buzz",
+      "best", "fun",   "host",   "press", "website",       "digital",
+  };
+  return PadTo(std::move(base), "tld", SchemaSizes::kUrlTlds);
+}
+
+}  // namespace
+
+FeatureSchemas::FeatureSchemas()
+    : countries_(CountryList()),
+      issuers_(IssuerList()),
+      file_types_(FileTypeList()),
+      file_classes_(FileClassList()),
+      http_codes_(HttpCodeList()),
+      encodings_(EncodingList()),
+      servers_(ServerList()),
+      oses_(OsList()),
+      services_(ServiceList()),
+      tlds_(TldList()) {
+  TRAIL_CHECK(countries_.size() == SchemaSizes::kCountries);
+  TRAIL_CHECK(issuers_.size() == SchemaSizes::kIssuers);
+  TRAIL_CHECK(file_types_.size() == SchemaSizes::kFileTypes);
+  TRAIL_CHECK(file_classes_.size() == SchemaSizes::kFileClasses);
+  TRAIL_CHECK(http_codes_.size() == SchemaSizes::kHttpCodes);
+  TRAIL_CHECK(encodings_.size() == SchemaSizes::kEncodings);
+  TRAIL_CHECK(servers_.size() == SchemaSizes::kServers);
+  TRAIL_CHECK(oses_.size() == SchemaSizes::kOses);
+  TRAIL_CHECK(services_.size() == SchemaSizes::kServices);
+  TRAIL_CHECK(tlds_.size() == SchemaSizes::kUrlTlds);
+}
+
+const FeatureSchemas& FeatureSchemas::Get() {
+  static const FeatureSchemas* schemas = new FeatureSchemas();
+  return *schemas;
+}
+
+std::string FeatureSchemas::IpFeatureName(int index) const {
+  if (index < IpLayout::kIssuerOffset) {
+    return "country=" + countries_.At(index);
+  }
+  if (index < IpLayout::kNumericOffset) {
+    return "issuer=" + issuers_.At(index - IpLayout::kIssuerOffset);
+  }
+  switch (index) {
+    case IpLayout::kLatitude:
+      return "latitude";
+    case IpLayout::kLongitude:
+      return "longitude";
+    case IpLayout::kARecordCount:
+      return "a_record_count";
+    case IpLayout::kFirstSeen:
+      return "first_seen";
+    case IpLayout::kLastSeen:
+      return "last_seen";
+    case IpLayout::kActivePeriod:
+      return "active_period";
+    case IpLayout::kHasReverseDns:
+      return "has_reverse_dns";
+    case IpLayout::kIsReserved:
+      return "is_reserved";
+    default:
+      return "ip[" + std::to_string(index) + "]";
+  }
+}
+
+std::string FeatureSchemas::UrlFeatureName(int index) const {
+  if (index < UrlLayout::kFileClassOffset) {
+    return "file_type=" + file_types_.At(index);
+  }
+  if (index < UrlLayout::kHttpCodeOffset) {
+    return "file_class=" +
+           file_classes_.At(index - UrlLayout::kFileClassOffset);
+  }
+  if (index < UrlLayout::kEncodingOffset) {
+    return "http_code=" + http_codes_.At(index - UrlLayout::kHttpCodeOffset);
+  }
+  if (index < UrlLayout::kServerOffset) {
+    return "encoding=" + encodings_.At(index - UrlLayout::kEncodingOffset);
+  }
+  if (index < UrlLayout::kOsOffset) {
+    return "server=" + servers_.At(index - UrlLayout::kServerOffset);
+  }
+  if (index < UrlLayout::kServicesOffset) {
+    return "os=" + oses_.At(index - UrlLayout::kOsOffset);
+  }
+  if (index < UrlLayout::kTldOffset) {
+    return "service=" + services_.At(index - UrlLayout::kServicesOffset);
+  }
+  if (index < UrlLayout::kLexicalOffset) {
+    return "tld=" + tlds_.At(index - UrlLayout::kTldOffset);
+  }
+  switch (index) {
+    case UrlLayout::kLength:
+      return "url_length";
+    case UrlLayout::kHostLength:
+      return "host_length";
+    case UrlLayout::kPathLength:
+      return "path_length";
+    case UrlLayout::kQueryLength:
+      return "query_length";
+    case UrlLayout::kDigitCount:
+      return "digit_count";
+    case UrlLayout::kDigitRatio:
+      return "digit_ratio";
+    case UrlLayout::kEntropy:
+      return "url_entropy";
+    case UrlLayout::kPeriodCount:
+      return "period_count";
+    case UrlLayout::kSlashCount:
+      return "slash_count";
+    case UrlLayout::kSpecialCount:
+      return "special_char_count";
+    default:
+      return "url[" + std::to_string(index) + "]";
+  }
+}
+
+std::string FeatureSchemas::DomainFeatureName(int index) const {
+  if (index < DomainLayout::kRecordCountOffset) {
+    return "tld=" + tlds_.At(index);
+  }
+  if (index < DomainLayout::kNxdomain) {
+    return std::string("dns_records_") +
+           DnsRecordTypeName(static_cast<DnsRecordType>(
+               index - DomainLayout::kRecordCountOffset));
+  }
+  switch (index) {
+    case DomainLayout::kNxdomain:
+      return "nxdomain";
+    case DomainLayout::kFirstSeen:
+      return "first_seen";
+    case DomainLayout::kLastSeen:
+      return "last_seen";
+    case DomainLayout::kLength:
+      return "domain_length";
+    case DomainLayout::kDigitCount:
+      return "digit_count";
+    case DomainLayout::kPeriodCount:
+      return "period_count";
+    case DomainLayout::kEntropy:
+      return "domain_entropy";
+    default:
+      return "domain[" + std::to_string(index) + "]";
+  }
+}
+
+}  // namespace trail::ioc

@@ -1,0 +1,174 @@
+#ifndef TRAIL_IOC_FEATURE_SCHEMA_H_
+#define TRAIL_IOC_FEATURE_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace trail::ioc {
+
+/// An ordered categorical vocabulary with reverse lookup. Feature vectors
+/// one-hot against these; the OSINT simulator samples from the same lists so
+/// the "top-N categories" the paper tracks are closed-world here.
+class Vocab {
+ public:
+  explicit Vocab(std::vector<std::string> entries);
+
+  /// Index of `value`, or -1 when out-of-vocabulary (maps to an all-zero
+  /// one-hot block, exactly like an unseen category under a top-N encoder).
+  int IndexOf(std::string_view value) const;
+
+  const std::string& At(size_t i) const { return entries_[i]; }
+  size_t size() const { return entries_.size(); }
+  const std::vector<std::string>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::string> entries_;
+  std::unordered_map<std::string, int> index_;
+};
+
+/// Sizes from the paper (Section IV-B). The URL total differs from the
+/// paper's stated 1,517 because the component sizes it lists sum to 1,494;
+/// we follow the components. The domain total is 116 instead of 115 because
+/// we surface first-seen/last-seen explicitly (the paper engineers
+/// `active_period` from them during preprocessing, so they must exist).
+struct SchemaSizes {
+  static constexpr int kCountries = 249;
+  static constexpr int kIssuers = 250;
+  static constexpr int kIpNumeric = 8;
+  static constexpr int kIpTotal = kCountries + kIssuers + kIpNumeric;  // 507
+
+  static constexpr int kFileTypes = 106;
+  static constexpr int kFileClasses = 21;
+  static constexpr int kHttpCodes = 68;
+  static constexpr int kEncodings = 12;
+  static constexpr int kServers = 944;
+  static constexpr int kOses = 50;
+  static constexpr int kServices = 183;
+  static constexpr int kUrlTlds = 100;
+  static constexpr int kUrlLexical = 10;
+  static constexpr int kUrlTotal = kFileTypes + kFileClasses + kHttpCodes +
+                                   kEncodings + kServers + kOses + kServices +
+                                   kUrlTlds + kUrlLexical;  // 1494
+
+  static constexpr int kDomainTlds = 100;
+  static constexpr int kDnsRecordTypes = 9;
+  static constexpr int kDomainLexical = 4;
+  // TLD + record counts + NXDOMAIN + first/last seen + lexical = 116.
+  static constexpr int kDomainTotal =
+      kDomainTlds + kDnsRecordTypes + 1 + 2 + kDomainLexical;
+};
+
+/// Block offsets within each vector, for vectorizers, tests, and SHAP naming.
+struct IpLayout {
+  static constexpr int kCountryOffset = 0;
+  static constexpr int kIssuerOffset = SchemaSizes::kCountries;
+  static constexpr int kNumericOffset =
+      SchemaSizes::kCountries + SchemaSizes::kIssuers;
+  // Numeric slots.
+  static constexpr int kLatitude = kNumericOffset + 0;
+  static constexpr int kLongitude = kNumericOffset + 1;
+  static constexpr int kARecordCount = kNumericOffset + 2;
+  static constexpr int kFirstSeen = kNumericOffset + 3;
+  static constexpr int kLastSeen = kNumericOffset + 4;
+  static constexpr int kActivePeriod = kNumericOffset + 5;
+  static constexpr int kHasReverseDns = kNumericOffset + 6;
+  static constexpr int kIsReserved = kNumericOffset + 7;
+};
+
+struct UrlLayout {
+  static constexpr int kFileTypeOffset = 0;
+  static constexpr int kFileClassOffset = SchemaSizes::kFileTypes;
+  static constexpr int kHttpCodeOffset =
+      kFileClassOffset + SchemaSizes::kFileClasses;
+  static constexpr int kEncodingOffset =
+      kHttpCodeOffset + SchemaSizes::kHttpCodes;
+  static constexpr int kServerOffset =
+      kEncodingOffset + SchemaSizes::kEncodings;
+  static constexpr int kOsOffset = kServerOffset + SchemaSizes::kServers;
+  static constexpr int kServicesOffset = kOsOffset + SchemaSizes::kOses;
+  static constexpr int kTldOffset = kServicesOffset + SchemaSizes::kServices;
+  static constexpr int kLexicalOffset = kTldOffset + SchemaSizes::kUrlTlds;
+  // Lexical slots.
+  static constexpr int kLength = kLexicalOffset + 0;
+  static constexpr int kHostLength = kLexicalOffset + 1;
+  static constexpr int kPathLength = kLexicalOffset + 2;
+  static constexpr int kQueryLength = kLexicalOffset + 3;
+  static constexpr int kDigitCount = kLexicalOffset + 4;
+  static constexpr int kDigitRatio = kLexicalOffset + 5;
+  static constexpr int kEntropy = kLexicalOffset + 6;
+  static constexpr int kPeriodCount = kLexicalOffset + 7;
+  static constexpr int kSlashCount = kLexicalOffset + 8;
+  static constexpr int kSpecialCount = kLexicalOffset + 9;
+};
+
+struct DomainLayout {
+  static constexpr int kTldOffset = 0;
+  static constexpr int kRecordCountOffset = SchemaSizes::kDomainTlds;
+  static constexpr int kNxdomain =
+      kRecordCountOffset + SchemaSizes::kDnsRecordTypes;
+  static constexpr int kFirstSeen = kNxdomain + 1;
+  static constexpr int kLastSeen = kNxdomain + 2;
+  static constexpr int kLexicalOffset = kNxdomain + 3;
+  static constexpr int kLength = kLexicalOffset + 0;
+  static constexpr int kDigitCount = kLexicalOffset + 1;
+  static constexpr int kPeriodCount = kLexicalOffset + 2;
+  static constexpr int kEntropy = kLexicalOffset + 3;
+};
+
+/// DNS record kinds tracked in passive DNS counts (paper: "9 types").
+enum class DnsRecordType {
+  kA = 0,
+  kAaaa,
+  kCname,
+  kMx,
+  kNs,
+  kTxt,
+  kSoa,
+  kPtr,
+  kSrv,
+};
+const char* DnsRecordTypeName(DnsRecordType type);
+
+/// All vocabularies, built once. Deterministic: real-world head entries
+/// (actual country codes, servers, TLDs, MIME types...) padded to the
+/// paper's exact sizes with synthetic tail entries.
+class FeatureSchemas {
+ public:
+  static const FeatureSchemas& Get();
+
+  const Vocab& countries() const { return countries_; }
+  const Vocab& issuers() const { return issuers_; }
+  const Vocab& file_types() const { return file_types_; }
+  const Vocab& file_classes() const { return file_classes_; }
+  const Vocab& http_codes() const { return http_codes_; }
+  const Vocab& encodings() const { return encodings_; }
+  const Vocab& servers() const { return servers_; }
+  const Vocab& oses() const { return oses_; }
+  const Vocab& services() const { return services_; }
+  const Vocab& tlds() const { return tlds_; }
+
+  /// Human-readable feature names for explainability output (Fig. 9).
+  std::string IpFeatureName(int index) const;
+  std::string UrlFeatureName(int index) const;
+  std::string DomainFeatureName(int index) const;
+
+ private:
+  FeatureSchemas();
+
+  Vocab countries_;
+  Vocab issuers_;
+  Vocab file_types_;
+  Vocab file_classes_;
+  Vocab http_codes_;
+  Vocab encodings_;
+  Vocab servers_;
+  Vocab oses_;
+  Vocab services_;
+  Vocab tlds_;
+};
+
+}  // namespace trail::ioc
+
+#endif  // TRAIL_IOC_FEATURE_SCHEMA_H_

@@ -1,0 +1,153 @@
+#include "ioc/ioc.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace trail::ioc {
+
+const char* IocTypeName(IocType type) {
+  switch (type) {
+    case IocType::kIp:
+      return "IP";
+    case IocType::kDomain:
+      return "Domain";
+    case IocType::kUrl:
+      return "URL";
+    case IocType::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+graph::NodeType ToNodeType(IocType type) {
+  switch (type) {
+    case IocType::kIp:
+      return graph::NodeType::kIp;
+    case IocType::kDomain:
+      return graph::NodeType::kDomain;
+    case IocType::kUrl:
+      return graph::NodeType::kUrl;
+    case IocType::kUnknown:
+      break;
+  }
+  TRAIL_CHECK(false) << "unknown IOC has no node type";
+  return graph::NodeType::kIp;
+}
+
+std::string Refang(std::string_view raw) {
+  std::string s(Trim(raw));
+  auto replace_all = [](std::string* text, std::string_view from,
+                        std::string_view to) {
+    size_t pos = 0;
+    while ((pos = text->find(from, pos)) != std::string::npos) {
+      text->replace(pos, from.size(), to);
+      pos += to.size();
+    }
+  };
+  replace_all(&s, "[.]", ".");
+  replace_all(&s, "(.)", ".");
+  replace_all(&s, "[dot]", ".");
+  replace_all(&s, "{.}", ".");
+  replace_all(&s, "[:]", ":");
+  replace_all(&s, "[://]", "://");
+  // Scheme normalization: only at the front, case-insensitive.
+  std::string lower_prefix = ToLower(s.substr(0, 8));
+  if (StartsWith(lower_prefix, "hxxps://")) {
+    s.replace(0, 8, "https://");
+  } else if (StartsWith(lower_prefix, "hxxp://")) {
+    s.replace(0, 7, "http://");
+  } else if (StartsWith(lower_prefix, "https://")) {
+    s.replace(0, 8, "https://");
+  } else if (StartsWith(lower_prefix, "http://")) {
+    s.replace(0, 7, "http://");
+  }
+  return s;
+}
+
+std::string Defang(std::string_view refanged) {
+  std::string s(refanged);
+  std::string out;
+  size_t start = 0;
+  if (StartsWith(s, "http://")) {
+    out += "hxxp://";
+    start = 7;
+  } else if (StartsWith(s, "https://")) {
+    out += "hxxps://";
+    start = 8;
+  }
+  for (size_t i = start; i < s.size(); ++i) {
+    if (s[i] == '.') {
+      out += "[.]";
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+bool IsIpv4(std::string_view s) {
+  int octets = 0;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    int value = 0;
+    size_t digits = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      value = value * 10 + (s[i] - '0');
+      ++digits;
+      ++i;
+      if (digits > 3 || value > 255) return false;
+    }
+    ++octets;
+    if (octets > 4) return false;
+    if (i < s.size()) {
+      if (s[i] != '.') return false;
+      ++i;
+      if (i == s.size()) return false;  // trailing dot
+    }
+  }
+  return octets == 4;
+}
+
+bool IsDomainName(std::string_view s) {
+  if (s.empty() || s.size() > 253) return false;
+  if (IsIpv4(s)) return false;
+  auto labels = Split(s, '.');
+  if (labels.size() < 2) return false;
+  for (const std::string& label : labels) {
+    if (label.empty() || label.size() > 63) return false;
+    for (char c : label) {
+      unsigned char uc = static_cast<unsigned char>(c);
+      if (!std::isalnum(uc) && c != '-' && c != '_') return false;
+    }
+    if (label.front() == '-' || label.back() == '-') return false;
+  }
+  // TLD must contain a letter (rules out malformed numeric hosts).
+  const std::string& tld = labels.back();
+  bool has_alpha = false;
+  for (char c : tld) {
+    if (std::isalpha(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+IocType ClassifyIoc(std::string_view raw) {
+  std::string s = Refang(raw);
+  if (s.empty()) return IocType::kUnknown;
+  if (s.find("://") != std::string::npos) {
+    // Require a recognizable scheme to keep javascript snippets etc. out.
+    std::string lower = ToLower(s);
+    if (StartsWith(lower, "http://") || StartsWith(lower, "https://") ||
+        StartsWith(lower, "ftp://")) {
+      return IocType::kUrl;
+    }
+    return IocType::kUnknown;
+  }
+  if (IsIpv4(s)) return IocType::kIp;
+  if (IsDomainName(ToLower(s))) return IocType::kDomain;
+  return IocType::kUnknown;
+}
+
+}  // namespace trail::ioc

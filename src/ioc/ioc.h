@@ -1,0 +1,46 @@
+#ifndef TRAIL_IOC_IOC_H_
+#define TRAIL_IOC_IOC_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/types.h"
+
+namespace trail::ioc {
+
+/// Network IOC categories handled by TRAIL (the paper's focus: URLs,
+/// domains, IPs; ASNs only ever appear as enrichment output).
+enum class IocType {
+  kIp,
+  kDomain,
+  kUrl,
+  kUnknown,
+};
+
+const char* IocTypeName(IocType type);
+
+/// Maps an IOC type onto its TKG node type.
+graph::NodeType ToNodeType(IocType type);
+
+/// Classifies a raw indicator string. Accepts defanged input
+/// ("hxxp://evil[.]example"). kUnknown covers the malformed "javascript
+/// snippet" artifacts the paper describes scrubbing from OTX dumps.
+IocType ClassifyIoc(std::string_view raw);
+
+/// Reverses common defanging conventions and lower-cases the scheme/host:
+/// "hxxp://" -> "http://", "[.]"/"(.)"/"[dot]" -> ".", "hxxps" -> "https".
+std::string Refang(std::string_view raw);
+
+/// Applies standard defanging for safe display (used by report writers).
+std::string Defang(std::string_view refanged);
+
+/// True when `s` is a syntactically valid dotted-quad IPv4 address.
+bool IsIpv4(std::string_view s);
+
+/// True when `s` looks like a bare DNS name (labels of [a-z0-9-_],
+/// at least one dot, valid label lengths, non-numeric TLD).
+bool IsDomainName(std::string_view s);
+
+}  // namespace trail::ioc
+
+#endif  // TRAIL_IOC_IOC_H_

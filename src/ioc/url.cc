@@ -1,0 +1,79 @@
+#include "ioc/url.h"
+
+#include <cctype>
+
+#include "ioc/ioc.h"
+#include "util/string_util.h"
+
+namespace trail::ioc {
+
+Result<UrlParts> ParseUrl(std::string_view url) {
+  UrlParts parts;
+  size_t scheme_end = url.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return Status::ParseError("URL missing scheme: " + std::string(url));
+  }
+  parts.scheme = ToLower(url.substr(0, scheme_end));
+  std::string_view rest = url.substr(scheme_end + 3);
+
+  size_t path_start = rest.find_first_of("/?");
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  if (authority.empty()) {
+    return Status::ParseError("URL missing host: " + std::string(url));
+  }
+
+  // Split host[:port]; user-info is not produced by our feeds but strip it
+  // defensively.
+  size_t at = authority.rfind('@');
+  if (at != std::string_view::npos) authority = authority.substr(at + 1);
+  size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    std::string_view port_sv = authority.substr(colon + 1);
+    if (!IsDigits(port_sv)) {
+      return Status::ParseError("invalid port in URL: " + std::string(url));
+    }
+    int port = 0;
+    for (char c : port_sv) port = port * 10 + (c - '0');
+    if (port <= 0 || port > 65535) {
+      return Status::ParseError("port out of range in URL: " +
+                                std::string(url));
+    }
+    parts.port = port;
+    authority = authority.substr(0, colon);
+  }
+  parts.host = ToLower(authority);
+  if (parts.host.empty()) {
+    return Status::ParseError("URL missing host: " + std::string(url));
+  }
+  parts.host_is_ip = IsIpv4(parts.host);
+  if (!parts.host_is_ip && !IsDomainName(parts.host)) {
+    return Status::ParseError("invalid URL host: " + std::string(url));
+  }
+
+  if (path_start != std::string_view::npos) {
+    std::string_view tail = rest.substr(path_start);
+    size_t q = tail.find('?');
+    if (q == std::string_view::npos) {
+      parts.path = std::string(tail);
+    } else {
+      parts.path = std::string(tail.substr(0, q));
+      parts.query = std::string(tail.substr(q + 1));
+    }
+  }
+  return parts;
+}
+
+std::string HostDomain(const UrlParts& parts) {
+  if (parts.host_is_ip) return "";
+  return parts.host;
+}
+
+std::string TopLevelDomain(std::string_view host) {
+  if (IsIpv4(host)) return "";
+  size_t dot = host.rfind('.');
+  if (dot == std::string_view::npos) return "";
+  return ToLower(host.substr(dot + 1));
+}
+
+}  // namespace trail::ioc

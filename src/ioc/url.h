@@ -1,0 +1,36 @@
+#ifndef TRAIL_IOC_URL_H_
+#define TRAIL_IOC_URL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace trail::ioc {
+
+/// Decomposed URL. TRAIL's "lexical analysis of the URL" (paper Table I,
+/// HostedOn edge) runs on these parts.
+struct UrlParts {
+  std::string scheme;  // "http", "https", "ftp"
+  std::string host;    // lower-cased; domain name or IPv4 literal
+  int port = -1;       // -1 when absent
+  std::string path;    // includes leading '/', may be empty
+  std::string query;   // without '?'
+
+  bool host_is_ip = false;
+};
+
+/// Parses a refanged URL. Fails on missing scheme/host or an invalid port.
+Result<UrlParts> ParseUrl(std::string_view url);
+
+/// Extracts the registrable-ish domain of a URL host: the host itself for
+/// domains (TRAIL keeps full hostnames as domain nodes, matching the paper's
+/// subdomain-rich examples), empty for IP-literal hosts.
+std::string HostDomain(const UrlParts& parts);
+
+/// Last dotted label of a host ("club" for "x.l2twn2.club"); empty for IPs.
+std::string TopLevelDomain(std::string_view host);
+
+}  // namespace trail::ioc
+
+#endif  // TRAIL_IOC_URL_H_

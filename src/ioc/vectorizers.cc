@@ -1,0 +1,118 @@
+#include "ioc/vectorizers.h"
+
+#include <cctype>
+
+#include "ioc/url.h"
+#include "util/string_util.h"
+
+namespace trail::ioc {
+
+namespace {
+
+constexpr float kDaysPerYear = 365.25f;
+
+void OneHot(std::vector<float>* v, int offset, int index) {
+  if (index >= 0) (*v)[offset + index] = 1.0f;
+}
+
+}  // namespace
+
+std::vector<float> VectorizeIp(const IpAnalysis& analysis) {
+  const FeatureSchemas& schemas = FeatureSchemas::Get();
+  std::vector<float> v(SchemaSizes::kIpTotal, 0.0f);
+  OneHot(&v, IpLayout::kCountryOffset,
+         schemas.countries().IndexOf(analysis.country));
+  OneHot(&v, IpLayout::kIssuerOffset,
+         schemas.issuers().IndexOf(analysis.issuer));
+  v[IpLayout::kLatitude] = static_cast<float>(analysis.latitude / 90.0);
+  v[IpLayout::kLongitude] = static_cast<float>(analysis.longitude / 180.0);
+  v[IpLayout::kARecordCount] =
+      static_cast<float>(analysis.resolved_domains.size());
+  v[IpLayout::kFirstSeen] =
+      static_cast<float>(analysis.first_seen_days) / kDaysPerYear;
+  v[IpLayout::kLastSeen] =
+      static_cast<float>(analysis.last_seen_days) / kDaysPerYear;
+  v[IpLayout::kActivePeriod] =
+      static_cast<float>(analysis.last_seen_days - analysis.first_seen_days) /
+      kDaysPerYear;
+  v[IpLayout::kHasReverseDns] = analysis.has_reverse_dns ? 1.0f : 0.0f;
+  v[IpLayout::kIsReserved] = analysis.is_reserved ? 1.0f : 0.0f;
+  return v;
+}
+
+std::vector<float> VectorizeUrl(std::string_view url,
+                                const UrlAnalysis& analysis) {
+  const FeatureSchemas& schemas = FeatureSchemas::Get();
+  std::vector<float> v(SchemaSizes::kUrlTotal, 0.0f);
+  OneHot(&v, UrlLayout::kFileTypeOffset,
+         schemas.file_types().IndexOf(analysis.file_type));
+  OneHot(&v, UrlLayout::kFileClassOffset,
+         schemas.file_classes().IndexOf(analysis.file_class));
+  OneHot(&v, UrlLayout::kHttpCodeOffset,
+         schemas.http_codes().IndexOf(analysis.http_code));
+  OneHot(&v, UrlLayout::kEncodingOffset,
+         schemas.encodings().IndexOf(analysis.encoding));
+  OneHot(&v, UrlLayout::kServerOffset,
+         schemas.servers().IndexOf(analysis.server));
+  OneHot(&v, UrlLayout::kOsOffset, schemas.oses().IndexOf(analysis.os));
+  for (const std::string& service : analysis.services) {
+    OneHot(&v, UrlLayout::kServicesOffset,
+           schemas.services().IndexOf(service));  // multi-hot block
+  }
+
+  size_t digits = 0;
+  size_t specials = 0;
+  for (char c : url) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isdigit(uc)) ++digits;
+    if (!std::isalnum(uc) && c != '.' && c != '/' && c != ':') ++specials;
+  }
+  v[UrlLayout::kLength] = static_cast<float>(url.size());
+  v[UrlLayout::kDigitCount] = static_cast<float>(digits);
+  v[UrlLayout::kDigitRatio] =
+      url.empty() ? 0.0f : static_cast<float>(digits) / url.size();
+  v[UrlLayout::kEntropy] = static_cast<float>(ShannonEntropy(url));
+  v[UrlLayout::kPeriodCount] = static_cast<float>(CountChar(url, '.'));
+  v[UrlLayout::kSlashCount] = static_cast<float>(CountChar(url, '/'));
+  v[UrlLayout::kSpecialCount] = static_cast<float>(specials);
+
+  auto parsed = ParseUrl(url);
+  if (parsed.ok()) {
+    const UrlParts& parts = parsed.value();
+    v[UrlLayout::kHostLength] = static_cast<float>(parts.host.size());
+    v[UrlLayout::kPathLength] = static_cast<float>(parts.path.size());
+    v[UrlLayout::kQueryLength] = static_cast<float>(parts.query.size());
+    OneHot(&v, UrlLayout::kTldOffset,
+           schemas.tlds().IndexOf(TopLevelDomain(parts.host)));
+  }
+  return v;
+}
+
+std::vector<float> VectorizeDomain(std::string_view domain,
+                                   const DomainAnalysis& analysis) {
+  const FeatureSchemas& schemas = FeatureSchemas::Get();
+  std::vector<float> v(SchemaSizes::kDomainTotal, 0.0f);
+  OneHot(&v, DomainLayout::kTldOffset,
+         schemas.tlds().IndexOf(TopLevelDomain(domain)));
+  for (int i = 0; i < SchemaSizes::kDnsRecordTypes; ++i) {
+    v[DomainLayout::kRecordCountOffset + i] =
+        static_cast<float>(analysis.record_counts[i]);
+  }
+  v[DomainLayout::kNxdomain] = analysis.nxdomain ? 1.0f : 0.0f;
+  v[DomainLayout::kFirstSeen] =
+      static_cast<float>(analysis.first_seen_days) / kDaysPerYear;
+  v[DomainLayout::kLastSeen] =
+      static_cast<float>(analysis.last_seen_days) / kDaysPerYear;
+
+  size_t digits = 0;
+  for (char c : domain) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  v[DomainLayout::kLength] = static_cast<float>(domain.size());
+  v[DomainLayout::kDigitCount] = static_cast<float>(digits);
+  v[DomainLayout::kPeriodCount] = static_cast<float>(CountChar(domain, '.'));
+  v[DomainLayout::kEntropy] = static_cast<float>(ShannonEntropy(domain));
+  return v;
+}
+
+}  // namespace trail::ioc

@@ -1,0 +1,28 @@
+#ifndef TRAIL_IOC_VECTORIZERS_H_
+#define TRAIL_IOC_VECTORIZERS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "ioc/analysis.h"
+#include "ioc/feature_schema.h"
+
+namespace trail::ioc {
+
+/// Converts an IP analysis into the fixed 507-dim vector (IpLayout).
+/// Timestamps are scaled to years for numeric conditioning.
+std::vector<float> VectorizeIp(const IpAnalysis& analysis);
+
+/// Converts a URL string + its probe analysis into the 1494-dim vector
+/// (UrlLayout). Lexical features are computed here from the refanged URL.
+std::vector<float> VectorizeUrl(std::string_view url,
+                                const UrlAnalysis& analysis);
+
+/// Converts a domain string + its DNS analysis into the 116-dim vector
+/// (DomainLayout).
+std::vector<float> VectorizeDomain(std::string_view domain,
+                                   const DomainAnalysis& analysis);
+
+}  // namespace trail::ioc
+
+#endif  // TRAIL_IOC_VECTORIZERS_H_

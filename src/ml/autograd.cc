@@ -1,0 +1,655 @@
+#include "ml/autograd.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace trail::ml::ag {
+
+void Var::EnsureGrad() {
+  if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+    grad = Matrix(value.rows(), value.cols());
+  }
+}
+
+void Var::ZeroGrad() {
+  if (grad.SameShape(value)) {
+    grad.Fill(0.0f);
+  } else {
+    grad = Matrix(value.rows(), value.cols());
+  }
+}
+
+VarPtr Param(Matrix value) {
+  return std::make_shared<Var>(std::move(value), /*requires_grad=*/true);
+}
+
+VarPtr Constant(Matrix value) {
+  return std::make_shared<Var>(std::move(value), /*requires_grad=*/false);
+}
+
+namespace {
+
+VarPtr MakeNode(Matrix value, std::vector<VarPtr> parents) {
+  bool requires_grad = false;
+  for (const VarPtr& p : parents) requires_grad |= p->requires_grad;
+  auto node = std::make_shared<Var>(std::move(value), requires_grad);
+  node->parents = std::move(parents);
+  return node;
+}
+
+}  // namespace
+
+VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
+  VarPtr node = MakeNode(ml::MatMul(a->value, b->value), {a, b});
+  Var* self = node.get();
+  VarPtr pa = a;
+  VarPtr pb = b;
+  node->backward_fn = [self, pa, pb]() {
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      pa->grad.AddInPlace(MatMulTransB(self->grad, pb->value));
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      pb->grad.AddInPlace(MatMulTransA(pa->value, self->grad));
+    }
+  };
+  return node;
+}
+
+VarPtr Add(const VarPtr& a, const VarPtr& b) {
+  TRAIL_CHECK(a->value.SameShape(b->value)) << "Add shape mismatch";
+  Matrix out = a->value;
+  out.AddInPlace(b->value);
+  VarPtr node = MakeNode(std::move(out), {a, b});
+  Var* self = node.get();
+  VarPtr pa = a;
+  VarPtr pb = b;
+  node->backward_fn = [self, pa, pb]() {
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      pa->grad.AddInPlace(self->grad);
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      pb->grad.AddInPlace(self->grad);
+    }
+  };
+  return node;
+}
+
+VarPtr Mul(const VarPtr& a, const VarPtr& b) {
+  TRAIL_CHECK(a->value.SameShape(b->value)) << "Mul shape mismatch";
+  Matrix out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] *= b->value.data()[i];
+  }
+  VarPtr node = MakeNode(std::move(out), {a, b});
+  Var* self = node.get();
+  VarPtr pa = a;
+  VarPtr pb = b;
+  node->backward_fn = [self, pa, pb]() {
+    const size_t n = self->value.size();
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) {
+        pa->grad.data()[i] += self->grad.data()[i] * pb->value.data()[i];
+      }
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) {
+        pb->grad.data()[i] += self->grad.data()[i] * pa->value.data()[i];
+      }
+    }
+  };
+  return node;
+}
+
+VarPtr AddRow(const VarPtr& x, const VarPtr& bias) {
+  VarPtr node = MakeNode(AddRowBroadcast(x->value, bias->value), {x, bias});
+  Var* self = node.get();
+  VarPtr px = x;
+  VarPtr pbias = bias;
+  node->backward_fn = [self, px, pbias]() {
+    if (px->requires_grad) {
+      px->EnsureGrad();
+      px->grad.AddInPlace(self->grad);
+    }
+    if (pbias->requires_grad) {
+      pbias->EnsureGrad();
+      for (size_t r = 0; r < self->grad.rows(); ++r) {
+        auto row = self->grad.Row(r);
+        for (size_t c = 0; c < row.size(); ++c) pbias->grad.At(0, c) += row[c];
+      }
+    }
+  };
+  return node;
+}
+
+VarPtr Relu(const VarPtr& x) {
+  Matrix out = x->value;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (float& v : out.Row(r)) v = v > 0.0f ? v : 0.0f;
+  }
+  VarPtr node = MakeNode(std::move(out), {x});
+  Var* self = node.get();
+  VarPtr px = x;
+  node->backward_fn = [self, px]() {
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    const float* value = px->value.data();
+    const float* grad_out = self->grad.data();
+    float* grad_in = px->grad.data();
+    for (size_t i = 0; i < px->value.size(); ++i) {
+      if (value[i] > 0.0f) grad_in[i] += grad_out[i];
+    }
+  };
+  return node;
+}
+
+VarPtr Sigmoid(const VarPtr& x) {
+  Matrix out = x->value;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (float& v : out.Row(r)) v = 1.0f / (1.0f + std::exp(-v));
+  }
+  VarPtr node = MakeNode(std::move(out), {x});
+  Var* self = node.get();
+  VarPtr px = x;
+  node->backward_fn = [self, px]() {
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    const float* s = self->value.data();
+    const float* grad_out = self->grad.data();
+    float* grad_in = px->grad.data();
+    for (size_t i = 0; i < px->value.size(); ++i) {
+      grad_in[i] += grad_out[i] * s[i] * (1.0f - s[i]);
+    }
+  };
+  return node;
+}
+
+VarPtr Scale(const VarPtr& x, float s) {
+  Matrix out = x->value;
+  out.ScaleInPlace(s);
+  VarPtr node = MakeNode(std::move(out), {x});
+  Var* self = node.get();
+  VarPtr px = x;
+  node->backward_fn = [self, px, s]() {
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    px->grad.AddInPlace(self->grad, s);
+  };
+  return node;
+}
+
+VarPtr Dropout(const VarPtr& x, double rate, Rng* rng, bool training) {
+  if (!training || rate <= 0.0) return x;
+  TRAIL_CHECK(rate < 1.0) << "dropout rate must be < 1";
+  auto mask = std::make_shared<std::vector<float>>(x->value.size());
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate));
+  Matrix out = x->value;
+  float* data = out.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    float m = rng->Bernoulli(rate) ? 0.0f : keep_scale;
+    (*mask)[i] = m;
+    data[i] *= m;
+  }
+  VarPtr node = MakeNode(std::move(out), {x});
+  Var* self = node.get();
+  VarPtr px = x;
+  node->backward_fn = [self, px, mask]() {
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    const float* grad_out = self->grad.data();
+    float* grad_in = px->grad.data();
+    for (size_t i = 0; i < px->value.size(); ++i) {
+      grad_in[i] += grad_out[i] * (*mask)[i];
+    }
+  };
+  return node;
+}
+
+VarPtr RowL2Normalize(const VarPtr& x) {
+  const size_t rows = x->value.rows();
+  const size_t cols = x->value.cols();
+  auto norms = std::make_shared<std::vector<float>>(rows);
+  Matrix out = x->value;
+  for (size_t r = 0; r < rows; ++r) {
+    auto row = out.Row(r);
+    double total = 0.0;
+    for (float v : row) total += static_cast<double>(v) * v;
+    float norm = static_cast<float>(std::sqrt(total));
+    (*norms)[r] = norm;
+    if (norm > 1e-12f) {
+      for (float& v : row) v /= norm;
+    }
+  }
+  VarPtr node = MakeNode(std::move(out), {x});
+  Var* self = node.get();
+  VarPtr px = x;
+  node->backward_fn = [self, px, norms, cols]() {
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    // d/dx (x/||x||) = (I - y y^T)/||x|| applied to upstream grad, where
+    // y = x/||x||.
+    for (size_t r = 0; r < px->value.rows(); ++r) {
+      float norm = (*norms)[r];
+      auto grad_out = self->grad.Row(r);
+      auto y = self->value.Row(r);
+      auto grad_in = px->grad.Row(r);
+      if (norm <= 1e-12f) {
+        for (size_t c = 0; c < cols; ++c) grad_in[c] += grad_out[c];
+        continue;
+      }
+      double dot = 0.0;
+      for (size_t c = 0; c < cols; ++c) {
+        dot += static_cast<double>(grad_out[c]) * y[c];
+      }
+      for (size_t c = 0; c < cols; ++c) {
+        grad_in[c] += (grad_out[c] - static_cast<float>(dot) * y[c]) / norm;
+      }
+    }
+  };
+  return node;
+}
+
+VarPtr Mean(const VarPtr& x) {
+  Matrix out(1, 1);
+  out.At(0, 0) = x->value.Sum() / static_cast<float>(x->value.size());
+  VarPtr node = MakeNode(std::move(out), {x});
+  Var* self = node.get();
+  VarPtr px = x;
+  node->backward_fn = [self, px]() {
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    const float g = self->grad.At(0, 0) / static_cast<float>(px->value.size());
+    float* grad_in = px->grad.data();
+    for (size_t i = 0; i < px->value.size(); ++i) grad_in[i] += g;
+  };
+  return node;
+}
+
+VarPtr Gather(const VarPtr& table, std::vector<int> indices) {
+  const size_t cols = table->value.cols();
+  Matrix out(indices.size(), cols);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    TRAIL_CHECK(indices[i] >= 0 &&
+                indices[i] < static_cast<int>(table->value.rows()))
+        << "gather index out of range";
+    auto src = table->value.Row(indices[i]);
+    auto dst = out.Row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  VarPtr node = MakeNode(std::move(out), {table});
+  Var* self = node.get();
+  VarPtr ptable = table;
+  auto idx = std::make_shared<std::vector<int>>(std::move(indices));
+  node->backward_fn = [self, ptable, idx]() {
+    if (!ptable->requires_grad) return;
+    ptable->EnsureGrad();
+    const size_t cols = ptable->value.cols();
+    for (size_t i = 0; i < idx->size(); ++i) {
+      auto grad_out = self->grad.Row(i);
+      auto grad_in = ptable->grad.Row((*idx)[i]);
+      for (size_t c = 0; c < cols; ++c) grad_in[c] += grad_out[c];
+    }
+  };
+  return node;
+}
+
+VarPtr BatchNorm(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
+                 Matrix* running_mean, Matrix* running_var, double momentum,
+                 double eps, bool training) {
+  const size_t rows = x->value.rows();
+  const size_t cols = x->value.cols();
+  TRAIL_CHECK(gamma->value.cols() == cols && beta->value.cols() == cols);
+
+  Matrix mean(1, cols);
+  Matrix var(1, cols);
+  if (training && rows > 1) {
+    mean = ColumnMean(x->value);
+    var = ColumnVariance(x->value, mean);
+    if (running_mean != nullptr) {
+      if (running_mean->cols() != cols) {
+        *running_mean = Matrix(1, cols);
+        *running_var = Matrix(1, cols, 1.0f);
+      }
+      for (size_t c = 0; c < cols; ++c) {
+        running_mean->At(0, c) =
+            static_cast<float>((1 - momentum) * running_mean->At(0, c) +
+                               momentum * mean.At(0, c));
+        running_var->At(0, c) =
+            static_cast<float>((1 - momentum) * running_var->At(0, c) +
+                               momentum * var.At(0, c));
+      }
+    }
+  } else {
+    if (running_mean != nullptr && running_mean->cols() == cols) {
+      mean = *running_mean;
+      var = *running_var;
+    } else {
+      var = Matrix(1, cols, 1.0f);
+    }
+  }
+
+  auto inv_std = std::make_shared<std::vector<float>>(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    (*inv_std)[c] =
+        static_cast<float>(1.0 / std::sqrt(var.At(0, c) + eps));
+  }
+  auto x_hat = std::make_shared<Matrix>(rows, cols);
+  Matrix out(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    auto in = x->value.Row(r);
+    auto hat = x_hat->Row(r);
+    auto o = out.Row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      hat[c] = (in[c] - mean.At(0, c)) * (*inv_std)[c];
+      o[c] = gamma->value.At(0, c) * hat[c] + beta->value.At(0, c);
+    }
+  }
+
+  VarPtr node = MakeNode(std::move(out), {x, gamma, beta});
+  Var* self = node.get();
+  VarPtr px = x;
+  VarPtr pgamma = gamma;
+  VarPtr pbeta = beta;
+  const bool use_batch_stats = training && rows > 1;
+  node->backward_fn = [self, px, pgamma, pbeta, x_hat, inv_std,
+                       use_batch_stats]() {
+    const size_t rows = self->value.rows();
+    const size_t cols = self->value.cols();
+    if (pgamma->requires_grad) {
+      pgamma->EnsureGrad();
+      pbeta->EnsureGrad();
+      for (size_t r = 0; r < rows; ++r) {
+        auto g = self->grad.Row(r);
+        auto hat = x_hat->Row(r);
+        for (size_t c = 0; c < cols; ++c) {
+          pgamma->grad.At(0, c) += g[c] * hat[c];
+          pbeta->grad.At(0, c) += g[c];
+        }
+      }
+    }
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    if (!use_batch_stats) {
+      // Inference path: y = gamma * (x - const_mean) * inv_std + beta.
+      for (size_t r = 0; r < rows; ++r) {
+        auto g = self->grad.Row(r);
+        auto grad_in = px->grad.Row(r);
+        for (size_t c = 0; c < cols; ++c) {
+          grad_in[c] += g[c] * pgamma->value.At(0, c) * (*inv_std)[c];
+        }
+      }
+      return;
+    }
+    // Training path: mean/var depend on x.
+    std::vector<double> sum_dy(cols, 0.0);
+    std::vector<double> sum_dy_xhat(cols, 0.0);
+    for (size_t r = 0; r < rows; ++r) {
+      auto g = self->grad.Row(r);
+      auto hat = x_hat->Row(r);
+      for (size_t c = 0; c < cols; ++c) {
+        double dxhat = static_cast<double>(g[c]) * pgamma->value.At(0, c);
+        sum_dy[c] += dxhat;
+        sum_dy_xhat[c] += dxhat * hat[c];
+      }
+    }
+    const double inv_n = 1.0 / static_cast<double>(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      auto g = self->grad.Row(r);
+      auto hat = x_hat->Row(r);
+      auto grad_in = px->grad.Row(r);
+      for (size_t c = 0; c < cols; ++c) {
+        double dxhat = static_cast<double>(g[c]) * pgamma->value.At(0, c);
+        double dx = (*inv_std)[c] *
+                    (dxhat - inv_n * sum_dy[c] - hat[c] * inv_n * sum_dy_xhat[c]);
+        grad_in[c] += static_cast<float>(dx);
+      }
+    }
+  };
+  return node;
+}
+
+VarPtr MeanAggregate(const AggregateSpec& spec, const VarPtr& x,
+                     const VarPtr& edge_weights) {
+  const size_t num_out = spec.offsets.size() - 1;
+  const size_t cols = x->value.cols();
+  const bool weighted = edge_weights != nullptr;
+  if (weighted) {
+    TRAIL_CHECK(edge_weights->value.rows() == spec.sources.size() &&
+                edge_weights->value.cols() == 1)
+        << "edge weight shape mismatch";
+  }
+
+  Matrix out(num_out, cols);
+  auto weight_sums = std::make_shared<std::vector<float>>(num_out, 0.0f);
+  ParallelFor(num_out, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      auto dst = out.Row(v);
+      double total_w = 0.0;
+      for (uint64_t e = spec.offsets[v]; e < spec.offsets[v + 1]; ++e) {
+        const float w = weighted ? edge_weights->value.At(e, 0) : 1.0f;
+        total_w += w;
+        auto src = x->value.Row(spec.sources[e]);
+        for (size_t c = 0; c < cols; ++c) dst[c] += w * src[c];
+      }
+      (*weight_sums)[v] = static_cast<float>(total_w);
+      if (total_w > 1e-12) {
+        const float inv = static_cast<float>(1.0 / total_w);
+        for (size_t c = 0; c < cols; ++c) dst[c] *= inv;
+      } else {
+        for (size_t c = 0; c < cols; ++c) dst[c] = 0.0f;
+      }
+    }
+  }, /*min_chunk=*/512);
+
+  std::vector<VarPtr> parents = {x};
+  if (weighted) parents.push_back(edge_weights);
+  VarPtr node = MakeNode(std::move(out), std::move(parents));
+  Var* self = node.get();
+  VarPtr px = x;
+  VarPtr pw = edge_weights;
+  const AggregateSpec* spec_ptr = &spec;
+  // AggregateSpec must outlive the backward pass; models own their specs.
+  node->backward_fn = [self, px, pw, spec_ptr, weight_sums, weighted]() {
+    const size_t cols = self->value.cols();
+    const size_t num_out = spec_ptr->offsets.size() - 1;
+    if (px->requires_grad) px->EnsureGrad();
+    if (weighted && pw->requires_grad) pw->EnsureGrad();
+    if (px->requires_grad) {
+      // Scatter into x's gradient, parallelized over feature columns so the
+      // per-thread write ranges are disjoint even when sources repeat.
+      ParallelFor(cols, [&](size_t c0, size_t c1) {
+        for (size_t v = 0; v < num_out; ++v) {
+          const float total_w = (*weight_sums)[v];
+          if (total_w <= 1e-12f) continue;
+          auto grad_out = self->grad.Row(v);
+          const float inv = 1.0f / total_w;
+          for (uint64_t e = spec_ptr->offsets[v]; e < spec_ptr->offsets[v + 1];
+               ++e) {
+            const uint32_t src = spec_ptr->sources[e];
+            const float scale =
+                (weighted ? pw->value.At(e, 0) : 1.0f) * inv;
+            auto grad_in = px->grad.Row(src);
+            for (size_t c = c0; c < c1; ++c) {
+              grad_in[c] += scale * grad_out[c];
+            }
+          }
+        }
+      }, /*min_chunk=*/8);
+    }
+    if (weighted && pw->requires_grad) {
+      for (size_t v = 0; v < num_out; ++v) {
+        const float total_w = (*weight_sums)[v];
+        if (total_w <= 1e-12f) continue;
+        auto grad_out = self->grad.Row(v);
+        auto out_row = self->value.Row(v);
+        const float inv = 1.0f / total_w;
+        for (uint64_t e = spec_ptr->offsets[v]; e < spec_ptr->offsets[v + 1];
+             ++e) {
+          // d out_v / d w_e = (x_src - out_v) / W_v.
+          auto src_row = px->value.Row(spec_ptr->sources[e]);
+          double dot = 0.0;
+          for (size_t c = 0; c < cols; ++c) {
+            dot += static_cast<double>(grad_out[c]) *
+                   (src_row[c] - out_row[c]);
+          }
+          pw->grad.At(e, 0) += static_cast<float>(dot * inv);
+        }
+      }
+    }
+  };
+  return node;
+}
+
+VarPtr SoftmaxCrossEntropy(const VarPtr& logits, const std::vector<int>& labels,
+                           const std::vector<uint8_t>* row_mask,
+                           Matrix* out_probs) {
+  const size_t rows = logits->value.rows();
+  const size_t cols = logits->value.cols();
+  TRAIL_CHECK(labels.size() == rows) << "label count mismatch";
+
+  auto probs = std::make_shared<Matrix>(RowSoftmax(logits->value));
+  auto active = std::make_shared<std::vector<uint8_t>>(rows, 0);
+  double loss = 0.0;
+  size_t count = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    if (labels[r] < 0) continue;
+    if (row_mask != nullptr && (*row_mask)[r] == 0) continue;
+    (*active)[r] = 1;
+    ++count;
+    float p = probs->At(r, labels[r]);
+    loss -= std::log(std::max(p, 1e-12f));
+  }
+  if (count > 0) loss /= count;
+  if (out_probs != nullptr) *out_probs = *probs;
+
+  Matrix out(1, 1);
+  out.At(0, 0) = static_cast<float>(loss);
+  VarPtr node = MakeNode(std::move(out), {logits});
+  Var* self = node.get();
+  VarPtr plogits = logits;
+  auto labels_copy = std::make_shared<std::vector<int>>(labels);
+  node->backward_fn = [self, plogits, probs, active, labels_copy, count,
+                       cols]() {
+    if (!plogits->requires_grad || count == 0) return;
+    plogits->EnsureGrad();
+    const float g = self->grad.At(0, 0) / static_cast<float>(count);
+    for (size_t r = 0; r < plogits->value.rows(); ++r) {
+      if (!(*active)[r]) continue;
+      auto grad_in = plogits->grad.Row(r);
+      auto p = probs->Row(r);
+      const int label = (*labels_copy)[r];
+      for (size_t c = 0; c < cols; ++c) {
+        float delta = (static_cast<int>(c) == label) ? 1.0f : 0.0f;
+        grad_in[c] += g * (p[c] - delta);
+      }
+    }
+  };
+  return node;
+}
+
+VarPtr MseLoss(const VarPtr& pred, const Matrix& target) {
+  TRAIL_CHECK(pred->value.SameShape(target)) << "MSE shape mismatch";
+  double loss = 0.0;
+  const float* p = pred->value.data();
+  const float* t = target.data();
+  const size_t n = pred->value.size();
+  for (size_t i = 0; i < n; ++i) {
+    double d = static_cast<double>(p[i]) - t[i];
+    loss += d * d;
+  }
+  loss /= n;
+  Matrix out(1, 1);
+  out.At(0, 0) = static_cast<float>(loss);
+  VarPtr node = MakeNode(std::move(out), {pred});
+  Var* self = node.get();
+  VarPtr ppred = pred;
+  auto target_copy = std::make_shared<Matrix>(target);
+  node->backward_fn = [self, ppred, target_copy]() {
+    if (!ppred->requires_grad) return;
+    ppred->EnsureGrad();
+    const size_t n = ppred->value.size();
+    const float g = self->grad.At(0, 0) * 2.0f / static_cast<float>(n);
+    const float* p = ppred->value.data();
+    const float* t = target_copy->data();
+    float* grad_in = ppred->grad.data();
+    for (size_t i = 0; i < n; ++i) grad_in[i] += g * (p[i] - t[i]);
+  };
+  return node;
+}
+
+void Backward(const VarPtr& root) {
+  TRAIL_CHECK(root->value.rows() == 1 && root->value.cols() == 1)
+      << "Backward expects a scalar root";
+  // Topological order via iterative DFS.
+  std::vector<Var*> order;
+  std::unordered_set<Var*> visited;
+  std::vector<std::pair<Var*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents.size()) {
+      Var* parent = node->parents[child].get();
+      ++child;
+      if (visited.insert(parent).second) stack.emplace_back(parent, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  root->EnsureGrad();
+  root->grad.At(0, 0) = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn && (*it)->requires_grad &&
+        (*it)->grad.SameShape((*it)->value)) {
+      (*it)->backward_fn();
+    }
+  }
+}
+
+Adam::Adam(std::vector<VarPtr> params, double lr, double beta1, double beta2,
+           double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  for (const VarPtr& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (const VarPtr& p : params_) p->ZeroGrad();
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = *params_[i];
+    if (!p.grad.SameShape(p.value)) continue;  // never touched this step
+    float* value = p.value.data();
+    const float* grad = p.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (size_t j = 0; j < p.value.size(); ++j) {
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * grad[j]);
+      v[j] = static_cast<float>(beta2_ * v[j] +
+                                (1.0 - beta2_) * grad[j] * grad[j]);
+      const double m_hat = m[j] / bias1;
+      const double v_hat = v[j] / bias2;
+      value[j] -= static_cast<float>(lr_ * m_hat /
+                                     (std::sqrt(v_hat) + eps_));
+    }
+  }
+}
+
+}  // namespace trail::ml::ag

@@ -1,0 +1,124 @@
+#ifndef TRAIL_ML_AUTOGRAD_H_
+#define TRAIL_ML_AUTOGRAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/random.h"
+
+namespace trail::ml::ag {
+
+/// A node in the dynamic computation graph: a value, its gradient, and the
+/// closure that pushes the gradient to its parents. TRAIL's neural models
+/// (the paper's MLP, the per-IOC-type autoencoders, GraphSAGE, and the
+/// GNNExplainer edge mask) are all trained through this engine — it replaces
+/// the paper's PyTorch / PyTorch-Geometric dependency.
+class Var {
+ public:
+  Var(Matrix value, bool requires_grad)
+      : value(std::move(value)), requires_grad(requires_grad) {}
+
+  Matrix value;
+  Matrix grad;  // allocated lazily, same shape as value
+  bool requires_grad;
+
+  std::vector<std::shared_ptr<Var>> parents;
+  std::function<void()> backward_fn;  // reads this->grad, accumulates parents
+
+  /// Zero-initializes the gradient buffer if absent.
+  void EnsureGrad();
+  void ZeroGrad();
+};
+
+using VarPtr = std::shared_ptr<Var>;
+
+/// Leaf with gradient tracking (trainable parameter).
+VarPtr Param(Matrix value);
+/// Leaf without gradient tracking (input data).
+VarPtr Constant(Matrix value);
+
+// ---- Operators. Each returns a new node wired into the graph. ----
+
+VarPtr MatMul(const VarPtr& a, const VarPtr& b);
+/// Element-wise sum of same-shape matrices.
+VarPtr Add(const VarPtr& a, const VarPtr& b);
+/// Element-wise (Hadamard) product of same-shape matrices.
+VarPtr Mul(const VarPtr& a, const VarPtr& b);
+/// x + bias where bias is 1 x C, broadcast over rows.
+VarPtr AddRow(const VarPtr& x, const VarPtr& bias);
+VarPtr Relu(const VarPtr& x);
+VarPtr Sigmoid(const VarPtr& x);
+VarPtr Scale(const VarPtr& x, float s);
+/// Inverted dropout; identity when `training` is false or rate == 0.
+VarPtr Dropout(const VarPtr& x, double rate, Rng* rng, bool training);
+/// Row-wise L2 normalization (GraphSAGE Eq. 4). Zero rows pass through.
+VarPtr RowL2Normalize(const VarPtr& x);
+/// Mean over all entries -> 1x1 scalar.
+VarPtr Mean(const VarPtr& x);
+
+/// Row gather: out[i] = table[indices[i]]. Backward scatter-adds into the
+/// table — the embedding-lookup primitive (node-type and label embeddings in
+/// the GNN).
+VarPtr Gather(const VarPtr& table, std::vector<int> indices);
+
+/// Batch normalization over the row (batch) dimension with running-stat
+/// tracking. `running_mean` / `running_var` (1 x C) are updated in training
+/// mode and consumed in inference mode.
+VarPtr BatchNorm(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
+                 Matrix* running_mean, Matrix* running_var, double momentum,
+                 double eps, bool training);
+
+/// Fixed gather-aggregate structure for neighbor mean pooling: output row v
+/// averages input rows `sources[offsets[v]..offsets[v+1])`. With
+/// `edge_weights` (num entries x 1) the average is weighted — this is the
+/// hook the GNNExplainer's learned soft edge mask differentiates through.
+struct AggregateSpec {
+  std::vector<uint64_t> offsets;  // size num_outputs + 1
+  std::vector<uint32_t> sources;
+};
+VarPtr MeanAggregate(const AggregateSpec& spec, const VarPtr& x,
+                     const VarPtr& edge_weights = nullptr);
+
+/// Mean softmax cross-entropy over rows where mask (if given) is nonzero.
+/// Rows with label < 0 are always skipped. If `out_probs` is non-null it
+/// receives the full softmax matrix.
+VarPtr SoftmaxCrossEntropy(const VarPtr& logits, const std::vector<int>& labels,
+                           const std::vector<uint8_t>* row_mask = nullptr,
+                           Matrix* out_probs = nullptr);
+
+/// Mean squared error against a constant target (autoencoder loss, Eq. 5).
+VarPtr MseLoss(const VarPtr& pred, const Matrix& target);
+
+/// Reverse-mode sweep from `root` (seeded with unit gradient).
+void Backward(const VarPtr& root);
+
+/// Adam optimizer over a parameter list.
+class Adam {
+ public:
+  explicit Adam(std::vector<VarPtr> params, double lr = 1e-3,
+                double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+
+  void ZeroGrad();
+  void Step();
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+  const std::vector<VarPtr>& params() const { return params_; }
+
+ private:
+  std::vector<VarPtr> params_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  int64_t t_ = 0;
+};
+
+}  // namespace trail::ml::ag
+
+#endif  // TRAIL_ML_AUTOGRAD_H_

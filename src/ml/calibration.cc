@@ -1,0 +1,117 @@
+#include "ml/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace trail::ml {
+
+namespace {
+
+/// Mean negative log-likelihood of temperature-scaled probabilities.
+double ScaledNll(const Matrix& probs, const std::vector<int>& labels,
+                 double temperature) {
+  double nll = 0.0;
+  size_t count = 0;
+  const double inv_t = 1.0 / temperature;
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    if (labels[r] < 0) continue;
+    // softmax(log(p)/T) — compute the target class's scaled probability.
+    double denom = 0.0;
+    for (size_t c = 0; c < probs.cols(); ++c) {
+      denom += std::pow(std::max<double>(probs.At(r, c), 1e-12), inv_t);
+    }
+    double target =
+        std::pow(std::max<double>(probs.At(r, labels[r]), 1e-12), inv_t) /
+        denom;
+    nll -= std::log(std::max(target, 1e-12));
+    ++count;
+  }
+  return count == 0 ? 0.0 : nll / count;
+}
+
+}  // namespace
+
+void TemperatureScaler::Fit(const Matrix& probs,
+                            const std::vector<int>& labels) {
+  TRAIL_CHECK(probs.rows() == labels.size()) << "label count mismatch";
+  // Golden-section search over log T in [log 0.1, log 10].
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = std::log(0.1);
+  double hi = std::log(10.0);
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = ScaledNll(probs, labels, std::exp(x1));
+  double f2 = ScaledNll(probs, labels, std::exp(x2));
+  for (int it = 0; it < 60; ++it) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = ScaledNll(probs, labels, std::exp(x1));
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = ScaledNll(probs, labels, std::exp(x2));
+    }
+  }
+  temperature_ = std::exp((lo + hi) / 2.0);
+  fitted_ = true;
+}
+
+Matrix TemperatureScaler::Apply(const Matrix& probs) const {
+  TRAIL_CHECK(fitted_) << "apply before fit";
+  Matrix out(probs.rows(), probs.cols());
+  const double inv_t = 1.0 / temperature_;
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    double denom = 0.0;
+    for (size_t c = 0; c < probs.cols(); ++c) {
+      out.At(r, c) = static_cast<float>(
+          std::pow(std::max<double>(probs.At(r, c), 1e-12), inv_t));
+      denom += out.At(r, c);
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (size_t c = 0; c < probs.cols(); ++c) out.At(r, c) *= inv;
+  }
+  return out;
+}
+
+double ExpectedCalibrationError(const Matrix& probs,
+                                const std::vector<int>& labels, int bins) {
+  TRAIL_CHECK(probs.rows() == labels.size());
+  TRAIL_CHECK(bins > 0);
+  std::vector<double> bin_conf(bins, 0.0);
+  std::vector<double> bin_acc(bins, 0.0);
+  std::vector<size_t> bin_count(bins, 0);
+  size_t total = 0;
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    if (labels[r] < 0) continue;
+    size_t best = 0;
+    for (size_t c = 1; c < probs.cols(); ++c) {
+      if (probs.At(r, c) > probs.At(r, best)) best = c;
+    }
+    double confidence = probs.At(r, best);
+    int bin = std::min(bins - 1,
+                       static_cast<int>(confidence * bins));
+    bin_conf[bin] += confidence;
+    bin_acc[bin] += static_cast<int>(best) == labels[r] ? 1.0 : 0.0;
+    bin_count[bin]++;
+    ++total;
+  }
+  if (total == 0) return 0.0;
+  double ece = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    if (bin_count[b] == 0) continue;
+    double conf = bin_conf[b] / bin_count[b];
+    double acc = bin_acc[b] / bin_count[b];
+    ece += (static_cast<double>(bin_count[b]) / total) *
+           std::abs(conf - acc);
+  }
+  return ece;
+}
+
+}  // namespace trail::ml

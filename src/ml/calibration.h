@@ -1,0 +1,42 @@
+#ifndef TRAIL_ML_CALIBRATION_H_
+#define TRAIL_ML_CALIBRATION_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace trail::ml {
+
+/// Temperature scaling (Guo et al., 2017): a single scalar T > 0 that
+/// rescales logits (or log-probabilities) so predicted confidences match
+/// empirical accuracy. The companion to the paper's proposed
+/// confidence-thresholding future work — thresholds are only meaningful on
+/// calibrated probabilities.
+class TemperatureScaler {
+ public:
+  /// Fits T by minimizing NLL of `probs` (rows = samples, cols = classes,
+  /// each row a distribution) against `labels` via golden-section search
+  /// on log T. Rows with label < 0 are ignored.
+  void Fit(const Matrix& probs, const std::vector<int>& labels);
+
+  /// Recalibrated copy of `probs` (softmax of log(p)/T).
+  Matrix Apply(const Matrix& probs) const;
+
+  double temperature() const { return temperature_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  double temperature_ = 1.0;
+  bool fitted_ = false;
+};
+
+/// Expected Calibration Error with `bins` equal-width confidence bins:
+/// mean |confidence - accuracy| weighted by bin mass. Rows with label < 0
+/// are ignored.
+double ExpectedCalibrationError(const Matrix& probs,
+                                const std::vector<int>& labels,
+                                int bins = 10);
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_CALIBRATION_H_

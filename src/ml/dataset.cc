@@ -1,0 +1,91 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+
+namespace trail::ml {
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(num_classes, 0);
+  for (int label : y) {
+    if (label >= 0 && label < num_classes) counts[label]++;
+  }
+  return counts;
+}
+
+Dataset Dataset::Select(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.x = x.SelectRows(indices);
+  out.y.reserve(indices.size());
+  for (size_t i : indices) out.y.push_back(y[i]);
+  out.num_classes = num_classes;
+  return out;
+}
+
+Status Dataset::Validate() const {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("feature rows != label count");
+  }
+  if (num_classes <= 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  for (int label : y) {
+    if (label < 0 || label >= num_classes) {
+      return Status::InvalidArgument("label out of range: " +
+                                     std::to_string(label));
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<Fold> StratifiedKFold(const std::vector<int>& y, int k, Rng* rng) {
+  // Group indices per class, shuffle, then deal them round-robin to folds.
+  int num_classes = 0;
+  for (int label : y) num_classes = std::max(num_classes, label + 1);
+  std::vector<std::vector<size_t>> per_class(num_classes);
+  for (size_t i = 0; i < y.size(); ++i) per_class[y[i]].push_back(i);
+
+  std::vector<std::vector<size_t>> fold_test(k);
+  for (auto& members : per_class) {
+    rng->Shuffle(&members);
+    for (size_t i = 0; i < members.size(); ++i) {
+      fold_test[i % k].push_back(members[i]);
+    }
+  }
+
+  std::vector<Fold> folds(k);
+  for (int f = 0; f < k; ++f) {
+    std::vector<uint8_t> in_test(y.size(), 0);
+    for (size_t i : fold_test[f]) in_test[i] = 1;
+    folds[f].test = fold_test[f];
+    std::sort(folds[f].test.begin(), folds[f].test.end());
+    for (size_t i = 0; i < y.size(); ++i) {
+      if (!in_test[i]) folds[f].train.push_back(i);
+    }
+  }
+  return folds;
+}
+
+Fold StratifiedSplit(const std::vector<int>& y, double test_fraction,
+                     Rng* rng) {
+  int num_classes = 0;
+  for (int label : y) num_classes = std::max(num_classes, label + 1);
+  std::vector<std::vector<size_t>> per_class(num_classes);
+  for (size_t i = 0; i < y.size(); ++i) per_class[y[i]].push_back(i);
+
+  Fold fold;
+  for (auto& members : per_class) {
+    rng->Shuffle(&members);
+    size_t test_count = static_cast<size_t>(members.size() * test_fraction);
+    if (test_count == 0 && members.size() > 1 && test_fraction > 0) {
+      test_count = 1;
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      (i < test_count ? fold.test : fold.train).push_back(members[i]);
+    }
+  }
+  std::sort(fold.train.begin(), fold.train.end());
+  std::sort(fold.test.begin(), fold.test.end());
+  return fold;
+}
+
+}  // namespace trail::ml

@@ -1,0 +1,47 @@
+#ifndef TRAIL_ML_DATASET_H_
+#define TRAIL_ML_DATASET_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace trail::ml {
+
+/// A labeled tabular dataset: one feature row per sample plus an integer
+/// class label in [0, num_classes).
+struct Dataset {
+  Matrix x;
+  std::vector<int> y;
+  int num_classes = 0;
+
+  size_t size() const { return y.size(); }
+
+  /// Class frequency histogram.
+  std::vector<size_t> ClassCounts() const;
+
+  /// Subset by sample indices.
+  Dataset Select(const std::vector<size_t>& indices) const;
+
+  Status Validate() const;
+};
+
+/// One train/test split of sample indices.
+struct Fold {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Stratified k-fold: every fold's test set preserves class proportions (the
+/// paper's five-fold cross-validation protocol). Classes with fewer samples
+/// than k still land at most once per fold. Deterministic given `rng`.
+std::vector<Fold> StratifiedKFold(const std::vector<int>& y, int k, Rng* rng);
+
+/// Stratified holdout split; `test_fraction` of each class goes to test.
+Fold StratifiedSplit(const std::vector<int>& y, double test_fraction,
+                     Rng* rng);
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_DATASET_H_

@@ -1,0 +1,165 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace trail::ml {
+
+namespace {
+
+/// Gini impurity of a class histogram with `total` samples.
+double Gini(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) sum_sq += c * c;
+  return 1.0 - sum_sq / (total * total);
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const Matrix& x, const std::vector<int>& y,
+                       int num_classes, const std::vector<size_t>& indices,
+                       const DecisionTreeOptions& options, Rng* rng) {
+  TRAIL_CHECK(!indices.empty()) << "empty training subset";
+  nodes_.clear();
+  num_classes_ = num_classes;
+  max_depth_reached_ = 0;
+  std::vector<size_t> work = indices;
+  BuildNode(x, y, &work, 0, work.size(), 0, options, rng);
+}
+
+int DecisionTree::MakeLeaf(const std::vector<int>& y,
+                           const std::vector<size_t>& indices, size_t begin,
+                           size_t end) {
+  Node leaf;
+  leaf.class_probs.assign(num_classes_, 0.0f);
+  for (size_t i = begin; i < end; ++i) leaf.class_probs[y[indices[i]]] += 1.0f;
+  const float inv = 1.0f / static_cast<float>(end - begin);
+  for (float& p : leaf.class_probs) p *= inv;
+  nodes_.push_back(std::move(leaf));
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
+                            std::vector<size_t>* indices, size_t begin,
+                            size_t end, int depth,
+                            const DecisionTreeOptions& options, Rng* rng) {
+  max_depth_reached_ = std::max(max_depth_reached_, depth);
+  const size_t n = end - begin;
+
+  // Purity check.
+  bool pure = true;
+  int first_label = y[(*indices)[begin]];
+  for (size_t i = begin + 1; i < end; ++i) {
+    if (y[(*indices)[i]] != first_label) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= options.max_depth ||
+      n < static_cast<size_t>(options.min_samples_split)) {
+    return MakeLeaf(y, *indices, begin, end);
+  }
+
+  // Candidate feature subset.
+  size_t num_features = x.cols();
+  size_t features_to_try;
+  if (options.max_features < 0) {
+    features_to_try = num_features;
+  } else if (options.max_features == 0) {
+    features_to_try = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(num_features))));
+  } else {
+    features_to_try =
+        std::min<size_t>(options.max_features, num_features);
+  }
+  std::vector<size_t> feature_candidates =
+      rng->SampleWithoutReplacement(num_features, features_to_try);
+
+  // Parent histogram.
+  std::vector<double> parent_counts(num_classes_, 0.0);
+  for (size_t i = begin; i < end; ++i) parent_counts[y[(*indices)[i]]] += 1.0;
+  const double parent_gini = Gini(parent_counts, static_cast<double>(n));
+
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  double best_gain = 1e-12;
+
+  std::vector<std::pair<float, int>> sorted(n);
+  for (size_t feature : feature_candidates) {
+    for (size_t i = 0; i < n; ++i) {
+      size_t sample = (*indices)[begin + i];
+      sorted[i] = {x.At(sample, feature), y[sample]};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    std::vector<double> left_counts(num_classes_, 0.0);
+    std::vector<double> right_counts = parent_counts;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_counts[sorted[i].second] += 1.0;
+      right_counts[sorted[i].second] -= 1.0;
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const size_t left_n = i + 1;
+      const size_t right_n = n - left_n;
+      if (left_n < static_cast<size_t>(options.min_samples_leaf) ||
+          right_n < static_cast<size_t>(options.min_samples_leaf)) {
+        continue;
+      }
+      double weighted =
+          (left_n * Gini(left_counts, left_n) +
+           right_n * Gini(right_counts, right_n)) /
+          static_cast<double>(n);
+      double gain = parent_gini - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5f * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return MakeLeaf(y, *indices, begin, end);
+
+  // Partition indices in place.
+  auto middle = std::partition(
+      indices->begin() + begin, indices->begin() + end, [&](size_t sample) {
+        return x.At(sample, best_feature) <= best_threshold;
+      });
+  size_t split = static_cast<size_t>(middle - indices->begin());
+  if (split == begin || split == end) return MakeLeaf(y, *indices, begin, end);
+
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  int left =
+      BuildNode(x, y, indices, begin, split, depth + 1, options, rng);
+  int right = BuildNode(x, y, indices, split, end, depth + 1, options, rng);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+std::vector<float> DecisionTree::PredictProba(
+    std::span<const float> row) const {
+  TRAIL_CHECK(!nodes_.empty()) << "predict before fit";
+  int index = 0;
+  for (;;) {
+    const Node& node = nodes_[index];
+    if (node.feature < 0) return node.class_probs;
+    index = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+int DecisionTree::Predict(std::span<const float> row) const {
+  std::vector<float> probs = PredictProba(row);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+}  // namespace trail::ml

@@ -1,0 +1,61 @@
+#ifndef TRAIL_ML_DECISION_TREE_H_
+#define TRAIL_ML_DECISION_TREE_H_
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/random.h"
+
+namespace trail::ml {
+
+struct DecisionTreeOptions {
+  int max_depth = 16;
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+  /// Features examined per split; -1 = all, 0 = floor(sqrt(num_features)).
+  int max_features = -1;
+};
+
+/// A CART classification tree with Gini impurity splits and class-probability
+/// leaves — the unit of the RandomForest below.
+class DecisionTree {
+ public:
+  struct Node {
+    int feature = -1;         // -1 for leaves
+    float threshold = 0.0f;   // go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    std::vector<float> class_probs;  // populated for leaves
+  };
+
+  /// Fits on the subset `indices` of (x, y). `rng` drives feature sampling.
+  void Fit(const Matrix& x, const std::vector<int>& y, int num_classes,
+           const std::vector<size_t>& indices,
+           const DecisionTreeOptions& options, Rng* rng);
+
+  /// Per-class probabilities for one sample row.
+  std::vector<float> PredictProba(std::span<const float> row) const;
+
+  int Predict(std::span<const float> row) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int max_depth_reached() const { return max_depth_reached_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  int BuildNode(const Matrix& x, const std::vector<int>& y,
+                std::vector<size_t>* indices, size_t begin, size_t end,
+                int depth, const DecisionTreeOptions& options, Rng* rng);
+  int MakeLeaf(const std::vector<int>& y, const std::vector<size_t>& indices,
+               size_t begin, size_t end);
+
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+  int max_depth_reached_ = 0;
+};
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_DECISION_TREE_H_

@@ -1,0 +1,354 @@
+#include "ml/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace trail::ml {
+
+float GbtTree::Predict(std::span<const float> row) const {
+  int index = 0;
+  for (;;) {
+    const GbtNode& node = nodes[index];
+    if (node.feature < 0) return node.leaf_value;
+    index = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+namespace {
+
+/// Per-feature quantile bin edges plus the precomputed bin id of every
+/// (sample, feature) pair. Built once per Fit; all trees share it.
+class BinIndex {
+ public:
+  BinIndex(const Matrix& x, int num_bins, Rng* rng) : num_bins_(num_bins) {
+    const size_t n = x.rows();
+    const size_t d = x.cols();
+    edges_.resize(d);
+    bins_.resize(n * d);
+
+    const size_t quantile_sample =
+        std::min<size_t>(n, 2000);
+    std::vector<size_t> sample_rows =
+        rng->SampleWithoutReplacement(n, quantile_sample);
+    std::vector<float> values;
+    for (size_t f = 0; f < d; ++f) {
+      values.clear();
+      for (size_t r : sample_rows) values.push_back(x.At(r, f));
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      auto& cuts = edges_[f];
+      if (values.size() <= 1) {
+        // Constant feature — no cuts, everything lands in bin 0.
+      } else if (values.size() <= static_cast<size_t>(num_bins_)) {
+        for (size_t i = 0; i + 1 < values.size(); ++i) {
+          cuts.push_back(0.5f * (values[i] + values[i + 1]));
+        }
+      } else {
+        for (int b = 1; b < num_bins_; ++b) {
+          size_t idx = values.size() * b / num_bins_;
+          cuts.push_back(values[idx]);
+        }
+        cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+      }
+      for (size_t r = 0; r < n; ++r) {
+        bins_[r * d + f] = BinOf(f, x.At(r, f));
+      }
+    }
+    cols_ = d;
+  }
+
+  uint8_t Bin(size_t row, size_t feature) const {
+    return bins_[row * cols_ + feature];
+  }
+  int NumBins(size_t feature) const {
+    return static_cast<int>(edges_[feature].size()) + 1;
+  }
+  /// Threshold value separating bins b and b+1.
+  float Edge(size_t feature, int b) const { return edges_[feature][b]; }
+
+ private:
+  uint8_t BinOf(size_t feature, float value) const {
+    const auto& cuts = edges_[feature];
+    // First bin whose upper edge is >= value; edges are "left-inclusive".
+    int lo = static_cast<int>(
+        std::lower_bound(cuts.begin(), cuts.end(), value) - cuts.begin());
+    return static_cast<uint8_t>(lo);
+  }
+
+  int num_bins_;
+  size_t cols_ = 0;
+  std::vector<std::vector<float>> edges_;
+  std::vector<uint8_t> bins_;
+};
+
+struct GradHess {
+  double g = 0.0;
+  double h = 0.0;
+};
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const BinIndex& bins, const std::vector<float>& grad,
+              const std::vector<float>& hess,
+              const std::vector<size_t>& features, const GbtOptions& options)
+      : bins_(bins),
+        grad_(grad),
+        hess_(hess),
+        features_(features),
+        options_(options) {}
+
+  GbtTree Build(std::vector<size_t> rows) {
+    tree_.nodes.clear();
+    BuildNode(&rows, 0, rows.size(), 0);
+    return std::move(tree_);
+  }
+
+ private:
+  static double LeafObjective(double g, double h, double lambda) {
+    return g * g / (h + lambda);
+  }
+
+  int MakeLeaf(const std::vector<size_t>& rows, size_t begin, size_t end) {
+    double g = 0.0;
+    double h = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      g += grad_[rows[i]];
+      h += hess_[rows[i]];
+    }
+    GbtNode leaf;
+    leaf.leaf_value =
+        static_cast<float>(-g / (h + options_.reg_lambda));
+    leaf.cover = static_cast<float>(end - begin);
+    tree_.nodes.push_back(leaf);
+    return static_cast<int>(tree_.nodes.size() - 1);
+  }
+
+  int BuildNode(std::vector<size_t>* rows, size_t begin, size_t end,
+                int depth) {
+    const size_t n = end - begin;
+    double total_g = 0.0;
+    double total_h = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      total_g += grad_[(*rows)[i]];
+      total_h += hess_[(*rows)[i]];
+    }
+    if (depth >= options_.max_depth || n < 2 ||
+        total_h < 2 * options_.min_child_weight) {
+      return MakeLeaf(*rows, begin, end);
+    }
+
+    const double parent_obj =
+        LeafObjective(total_g, total_h, options_.reg_lambda);
+    int best_feature = -1;
+    int best_bin = -1;
+    double best_gain = options_.gamma + 1e-12;
+
+    std::vector<GradHess> hist;
+    for (size_t feature : features_) {
+      const int nbins = bins_.NumBins(feature);
+      if (nbins <= 1) continue;
+      hist.assign(nbins, GradHess{});
+      for (size_t i = begin; i < end; ++i) {
+        size_t r = (*rows)[i];
+        auto& cell = hist[bins_.Bin(r, feature)];
+        cell.g += grad_[r];
+        cell.h += hess_[r];
+      }
+      double left_g = 0.0;
+      double left_h = 0.0;
+      for (int b = 0; b + 1 < nbins; ++b) {
+        left_g += hist[b].g;
+        left_h += hist[b].h;
+        const double right_g = total_g - left_g;
+        const double right_h = total_h - left_h;
+        if (left_h < options_.min_child_weight ||
+            right_h < options_.min_child_weight) {
+          continue;
+        }
+        double gain =
+            0.5 * (LeafObjective(left_g, left_h, options_.reg_lambda) +
+                   LeafObjective(right_g, right_h, options_.reg_lambda) -
+                   parent_obj);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(feature);
+          best_bin = b;
+        }
+      }
+    }
+
+    if (best_feature < 0) return MakeLeaf(*rows, begin, end);
+
+    const float threshold = bins_.Edge(best_feature, best_bin);
+    auto middle =
+        std::partition(rows->begin() + begin, rows->begin() + end,
+                       [&](size_t r) {
+                         return bins_.Bin(r, best_feature) <=
+                                static_cast<uint8_t>(best_bin);
+                       });
+    size_t split = static_cast<size_t>(middle - rows->begin());
+    if (split == begin || split == end) return MakeLeaf(*rows, begin, end);
+
+    int node_index = static_cast<int>(tree_.nodes.size());
+    tree_.nodes.emplace_back();
+    tree_.nodes[node_index].feature = best_feature;
+    // Bin b holds values in (Edge(b-1), Edge(b)], so "left = bins <= b" is
+    // exactly the raw-value test x <= Edge(b).
+    tree_.nodes[node_index].threshold = threshold;
+    tree_.nodes[node_index].cover = static_cast<float>(n);
+    int left = BuildNode(rows, begin, split, depth + 1);
+    int right = BuildNode(rows, split, end, depth + 1);
+    tree_.nodes[node_index].left = left;
+    tree_.nodes[node_index].right = right;
+    return node_index;
+  }
+
+  const BinIndex& bins_;
+  const std::vector<float>& grad_;
+  const std::vector<float>& hess_;
+  const std::vector<size_t>& features_;
+  const GbtOptions& options_;
+  GbtTree tree_;
+};
+
+}  // namespace
+
+void GbtClassifier::Fit(const Dataset& train, const GbtOptions& options,
+                        Rng* rng) {
+  TRAIL_CHECK(train.size() > 0) << "empty training set";
+  num_classes_ = train.num_classes;
+  trees_.clear();
+  const size_t n = train.size();
+  const size_t d = train.x.cols();
+
+  BinIndex bins(train.x, options.num_bins, rng);
+
+  // margins[r * K + c] — running additive scores.
+  std::vector<float> margins(n * num_classes_, base_score_);
+  std::vector<float> grad(n);
+  std::vector<float> hess(n);
+  std::vector<float> probs(num_classes_);
+
+  for (int round = 0; round < options.num_rounds; ++round) {
+    // Row subsample for this round.
+    std::vector<size_t> rows;
+    if (options.subsample >= 1.0) {
+      rows.resize(n);
+      for (size_t i = 0; i < n; ++i) rows[i] = i;
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (rng->Bernoulli(options.subsample)) rows.push_back(i);
+      }
+      if (rows.empty()) rows.push_back(rng->NextBounded(n));
+    }
+
+    trees_.emplace_back();
+    auto& round_trees = trees_.back();
+    round_trees.reserve(num_classes_);
+
+    // Softmax probabilities per subsampled row are shared across the K
+    // per-class trees of this round.
+    std::vector<float> round_probs(rows.size() * num_classes_);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const size_t r = rows[i];
+      float max_m = margins[r * num_classes_];
+      for (int c = 1; c < num_classes_; ++c) {
+        max_m = std::max(max_m, margins[r * num_classes_ + c]);
+      }
+      double total = 0.0;
+      for (int c = 0; c < num_classes_; ++c) {
+        float e = std::exp(margins[r * num_classes_ + c] - max_m);
+        round_probs[i * num_classes_ + c] = e;
+        total += e;
+      }
+      const float inv = static_cast<float>(1.0 / total);
+      for (int c = 0; c < num_classes_; ++c) {
+        round_probs[i * num_classes_ + c] *= inv;
+      }
+    }
+
+    for (int cls = 0; cls < num_classes_; ++cls) {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const size_t r = rows[i];
+        const float p = round_probs[i * num_classes_ + cls];
+        grad[r] = p - (train.y[r] == cls ? 1.0f : 0.0f);
+        hess[r] = std::max(p * (1.0f - p), 1e-6f);
+      }
+      // Column subsample per (round, class) tree.
+      std::vector<size_t> features;
+      if (options.colsample_bytree <= 0.0 || options.colsample_bytree >= 1.0) {
+        features.resize(d);
+        for (size_t f = 0; f < d; ++f) features[f] = f;
+      } else {
+        size_t count = std::max<size_t>(
+            1, static_cast<size_t>(d * options.colsample_bytree));
+        features = rng->SampleWithoutReplacement(d, count);
+      }
+
+      TreeBuilder builder(bins, grad, hess, features, options);
+      GbtTree tree = builder.Build(rows);
+
+      // Apply shrinkage and update margins for the subsampled rows and all
+      // other rows (full margin update keeps later rounds consistent).
+      for (GbtNode& node : tree.nodes) {
+        if (node.feature < 0) {
+          node.leaf_value *= static_cast<float>(options.learning_rate);
+        }
+      }
+      for (size_t r = 0; r < n; ++r) {
+        margins[r * num_classes_ + cls] += tree.Predict(train.x.Row(r));
+      }
+      round_trees.push_back(std::move(tree));
+    }
+  }
+}
+
+std::vector<float> GbtClassifier::PredictMargin(
+    std::span<const float> row) const {
+  std::vector<float> margin(num_classes_, base_score_);
+  for (const auto& round_trees : trees_) {
+    for (int c = 0; c < num_classes_; ++c) {
+      margin[c] += round_trees[c].Predict(row);
+    }
+  }
+  return margin;
+}
+
+std::vector<float> GbtClassifier::PredictProba(
+    std::span<const float> row) const {
+  std::vector<float> margin = PredictMargin(row);
+  float max_m = *std::max_element(margin.begin(), margin.end());
+  double total = 0.0;
+  for (float& m : margin) {
+    m = std::exp(m - max_m);
+    total += m;
+  }
+  for (float& m : margin) m = static_cast<float>(m / total);
+  return margin;
+}
+
+int GbtClassifier::Predict(std::span<const float> row) const {
+  std::vector<float> margin = PredictMargin(row);
+  return static_cast<int>(
+      std::max_element(margin.begin(), margin.end()) - margin.begin());
+}
+
+std::vector<int> GbtClassifier::PredictBatch(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.Row(r));
+  return out;
+}
+
+Matrix GbtClassifier::PredictProbaBatch(const Matrix& x) const {
+  Matrix out(x.rows(), num_classes_);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    std::vector<float> probs = PredictProba(x.Row(r));
+    std::copy(probs.begin(), probs.end(), out.Row(r).begin());
+  }
+  return out;
+}
+
+}  // namespace trail::ml

@@ -1,0 +1,73 @@
+#ifndef TRAIL_ML_GBT_H_
+#define TRAIL_ML_GBT_H_
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/random.h"
+
+namespace trail::ml {
+
+/// One node of a boosted regression tree. `cover` (training sample count
+/// reaching the node) is retained for TreeSHAP.
+struct GbtNode {
+  int feature = -1;  // -1 for leaves
+  float threshold = 0.0f;
+  int left = -1;
+  int right = -1;
+  float leaf_value = 0.0f;
+  float cover = 0.0f;
+};
+
+/// A single regression tree of the ensemble.
+struct GbtTree {
+  std::vector<GbtNode> nodes;
+
+  float Predict(std::span<const float> row) const;
+};
+
+struct GbtOptions {
+  int num_rounds = 40;
+  int max_depth = 5;
+  double learning_rate = 0.25;
+  double reg_lambda = 1.0;   // L2 on leaf weights
+  double gamma = 0.0;        // min split gain
+  double min_child_weight = 1.0;
+  double subsample = 0.8;    // row subsample per round
+  /// Features sampled per tree; 0 = all, fraction of total otherwise.
+  double colsample_bytree = 0.25;
+  /// Histogram bins for split finding.
+  int num_bins = 32;
+};
+
+/// Multiclass gradient-boosted trees with the XGBoost objective: second-order
+/// Taylor expansion of softmax cross-entropy ("multi:softprob"), per-class
+/// trees each round, histogram split finding, shrinkage, row/column
+/// subsampling, and L2 leaf regularization.
+class GbtClassifier {
+ public:
+  void Fit(const Dataset& train, const GbtOptions& options, Rng* rng);
+
+  /// Raw additive margins (pre-softmax), one per class.
+  std::vector<float> PredictMargin(std::span<const float> row) const;
+  std::vector<float> PredictProba(std::span<const float> row) const;
+  int Predict(std::span<const float> row) const;
+  std::vector<int> PredictBatch(const Matrix& x) const;
+  Matrix PredictProbaBatch(const Matrix& x) const;
+
+  int num_classes() const { return num_classes_; }
+  int num_rounds() const { return static_cast<int>(trees_.size()); }
+
+  /// trees()[round][class] — exposed for TreeSHAP.
+  const std::vector<std::vector<GbtTree>>& trees() const { return trees_; }
+
+ private:
+  std::vector<std::vector<GbtTree>> trees_;
+  int num_classes_ = 0;
+  float base_score_ = 0.0f;
+};
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_GBT_H_

@@ -1,0 +1,186 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace trail::ml {
+
+Matrix Matrix::GlorotUniform(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng->UniformDouble(-limit, limit));
+  }
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    TRAIL_CHECK(rows[r].size() == m.cols_) << "ragged rows";
+    for (size_t c = 0; c < m.cols_; ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+void Matrix::AddInPlace(const Matrix& other, float scale) {
+  TRAIL_CHECK(SameShape(other)) << "AddInPlace shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Matrix::ScaleInPlace(float scale) {
+  for (float& v : data_) v *= scale;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    TRAIL_CHECK(indices[i] < rows_) << "row index out of range";
+    auto src = Row(indices[i]);
+    auto dst = out.Row(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+float Matrix::Sum() const {
+  double total = 0.0;
+  for (float v : data_) total += v;
+  return static_cast<float>(total);
+}
+
+float Matrix::Norm() const {
+  double total = 0.0;
+  for (float v : data_) total += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(total));
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  TRAIL_CHECK(a.cols() == b.rows()) << "MatMul shape mismatch";
+  Matrix c(a.rows(), b.cols());
+  const size_t n = a.rows();
+  const size_t k = a.cols();
+  const size_t m = b.cols();
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      float* crow = c.data() + i * m;
+      const float* arow = a.data() + i * k;
+      for (size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;  // one-hot inputs are mostly zero
+        const float* brow = b.data() + p * m;
+        for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }, /*min_chunk=*/64);
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  TRAIL_CHECK(a.cols() == b.cols()) << "MatMulTransB shape mismatch";
+  Matrix c(a.rows(), b.rows());
+  const size_t k = a.cols();
+  ParallelFor(a.rows(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* arow = a.data() + i * k;
+      for (size_t j = 0; j < b.rows(); ++j) {
+        const float* brow = b.data() + j * k;
+        double dot = 0.0;
+        for (size_t p = 0; p < k; ++p) {
+          dot += static_cast<double>(arow[p]) * brow[p];
+        }
+        c.At(i, j) = static_cast<float>(dot);
+      }
+    }
+  }, /*min_chunk=*/64);
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  TRAIL_CHECK(a.rows() == b.rows()) << "MatMulTransA shape mismatch";
+  Matrix c(a.cols(), b.cols());
+  const size_t m = b.cols();
+  // Split over output rows (columns of a) so threads write disjoint ranges.
+  ParallelFor(a.cols(), [&](size_t begin, size_t end) {
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const float* arow = a.data() + r * a.cols();
+      const float* brow = b.data() + r * m;
+      for (size_t i = begin; i < end; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c.data() + i * m;
+        for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }, /*min_chunk=*/16);
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) t.At(c, r) = a.At(r, c);
+  }
+  return t;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
+  TRAIL_CHECK(row.rows() == 1 && row.cols() == a.cols())
+      << "broadcast row shape mismatch";
+  Matrix out = a;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    auto dst = out.Row(r);
+    auto src = row.Row(0);
+    for (size_t c = 0; c < a.cols(); ++c) dst[c] += src[c];
+  }
+  return out;
+}
+
+Matrix ColumnMean(const Matrix& a) {
+  Matrix mean(1, a.cols());
+  if (a.rows() == 0) return mean;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    auto row = a.Row(r);
+    for (size_t c = 0; c < a.cols(); ++c) mean.At(0, c) += row[c];
+  }
+  mean.ScaleInPlace(1.0f / static_cast<float>(a.rows()));
+  return mean;
+}
+
+Matrix ColumnVariance(const Matrix& a, const Matrix& mean) {
+  Matrix var(1, a.cols());
+  if (a.rows() == 0) return var;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    auto row = a.Row(r);
+    for (size_t c = 0; c < a.cols(); ++c) {
+      float d = row[c] - mean.At(0, c);
+      var.At(0, c) += d * d;
+    }
+  }
+  var.ScaleInPlace(1.0f / static_cast<float>(a.rows()));
+  return var;
+}
+
+Matrix RowSoftmax(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    auto in = logits.Row(r);
+    auto dst = out.Row(r);
+    float max_v = in[0];
+    for (float v : in) max_v = std::max(max_v, v);
+    double total = 0.0;
+    for (size_t c = 0; c < in.size(); ++c) {
+      dst[c] = std::exp(in[c] - max_v);
+      total += dst[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (size_t c = 0; c < in.size(); ++c) dst[c] *= inv;
+  }
+  return out;
+}
+
+}  // namespace trail::ml

@@ -1,0 +1,94 @@
+#ifndef TRAIL_ML_MATRIX_H_
+#define TRAIL_ML_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/random.h"
+
+namespace trail::ml {
+
+/// Dense row-major float matrix. The whole ML substrate (trees, MLP,
+/// autoencoders, GraphSAGE) runs on this one type; sizes in TRAIL are modest
+/// (at most tens of thousands of rows by ~1.5k columns) so a straightforward
+/// blocked `ikj` matmul is adequate.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+  /// Glorot-uniform initialization, the default for all trainable weights.
+  static Matrix GlorotUniform(size_t rows, size_t cols, Rng* rng);
+
+  /// Builds from nested initializer-like data (tests).
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  float& operator()(size_t r, size_t c) { return At(r, c); }
+  float operator()(size_t r, size_t c) const { return At(r, c); }
+
+  std::span<float> Row(size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> Row(size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v) { data_.assign(data_.size(), v); }
+
+  /// Element-wise in-place helpers used by the optimizers.
+  void AddInPlace(const Matrix& other, float scale = 1.0f);
+  void ScaleInPlace(float scale);
+
+  /// Returns the subset of rows given by `indices`.
+  Matrix SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Sum / mean over all entries.
+  float Sum() const;
+
+  /// Frobenius norm.
+  float Norm() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// C = A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// C = A * B^T (used by backward passes to avoid materializing transposes).
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+/// C = A^T * B.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+Matrix Transpose(const Matrix& a);
+
+/// out[r] = a[r] + row (broadcast add of a 1 x C bias row).
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
+
+/// Column-wise mean / variance (1 x C each), for scalers and batch norm.
+Matrix ColumnMean(const Matrix& a);
+Matrix ColumnVariance(const Matrix& a, const Matrix& mean);
+
+/// Row-wise softmax.
+Matrix RowSoftmax(const Matrix& logits);
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_MATRIX_H_

@@ -1,0 +1,94 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace trail::ml {
+
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted) {
+  TRAIL_CHECK(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] >= 0 && predicted[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / truth.size();
+}
+
+double BalancedAccuracy(const std::vector<int>& truth,
+                        const std::vector<int>& predicted, int num_classes) {
+  TRAIL_CHECK(truth.size() == predicted.size());
+  std::vector<size_t> support(num_classes, 0);
+  std::vector<size_t> hits(num_classes, 0);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0 || truth[i] >= num_classes) continue;
+    support[truth[i]]++;
+    if (predicted[i] == truth[i]) hits[truth[i]]++;
+  }
+  double total = 0.0;
+  int present = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    if (support[c] == 0) continue;
+    total += static_cast<double>(hits[c]) / support[c];
+    ++present;
+  }
+  return present == 0 ? 0.0 : total / present;
+}
+
+std::vector<std::vector<int>> ConfusionMatrix(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    int num_classes) {
+  TRAIL_CHECK(truth.size() == predicted.size());
+  std::vector<std::vector<int>> cm(num_classes,
+                                   std::vector<int>(num_classes, 0));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0 || truth[i] >= num_classes) continue;
+    if (predicted[i] < 0 || predicted[i] >= num_classes) continue;
+    cm[truth[i]][predicted[i]]++;
+  }
+  return cm;
+}
+
+double MacroF1(const std::vector<int>& truth, const std::vector<int>& predicted,
+               int num_classes) {
+  auto cm = ConfusionMatrix(truth, predicted, num_classes);
+  double f1_total = 0.0;
+  int present = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    int tp = cm[c][c];
+    int fn = 0;
+    int fp = 0;
+    for (int other = 0; other < num_classes; ++other) {
+      if (other == c) continue;
+      fn += cm[c][other];
+      fp += cm[other][c];
+    }
+    if (tp + fn == 0) continue;  // class absent from truth
+    ++present;
+    if (tp == 0) continue;
+    double precision = static_cast<double>(tp) / (tp + fp);
+    double recall = static_cast<double>(tp) / (tp + fn);
+    f1_total += 2.0 * precision * recall / (precision + recall);
+  }
+  return present == 0 ? 0.0 : f1_total / present;
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd ms;
+  if (values.empty()) return ms;
+  for (double v : values) ms.mean += v;
+  ms.mean /= values.size();
+  for (double v : values) ms.std += (v - ms.mean) * (v - ms.mean);
+  ms.std = std::sqrt(ms.std / values.size());
+  return ms;
+}
+
+std::string FormatMeanStd(const MeanStd& ms, int precision) {
+  return FormatDouble(ms.mean, precision) + " ± " +
+         FormatDouble(ms.std, precision);
+}
+
+}  // namespace trail::ml

@@ -1,0 +1,41 @@
+#ifndef TRAIL_ML_METRICS_H_
+#define TRAIL_ML_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace trail::ml {
+
+/// Plain accuracy. `predicted` entries < 0 count as wrong (abstentions).
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted);
+
+/// Balanced accuracy: mean per-class recall over classes present in `truth`.
+/// The paper reports this alongside accuracy because the APT classes are
+/// imbalanced.
+double BalancedAccuracy(const std::vector<int>& truth,
+                        const std::vector<int>& predicted, int num_classes);
+
+/// Row = true class, column = predicted class. Predictions < 0 are dropped.
+std::vector<std::vector<int>> ConfusionMatrix(const std::vector<int>& truth,
+                                              const std::vector<int>& predicted,
+                                              int num_classes);
+
+/// Macro-averaged F1 over classes present in `truth`.
+double MacroF1(const std::vector<int>& truth, const std::vector<int>& predicted,
+               int num_classes);
+
+/// Mean and (population) standard deviation of a sample, for the
+/// "acc ± std over folds" rows of Table IV.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+/// Formats "0.8236 ± 0.0061".
+std::string FormatMeanStd(const MeanStd& ms, int precision = 4);
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_METRICS_H_

@@ -1,0 +1,116 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace trail::ml {
+
+ag::VarPtr MlpClassifier::Forward(const Matrix& x, bool training,
+                                  Rng* rng) const {
+  ag::VarPtr h = ag::Constant(x);
+  for (const Layer& layer : layers_) {
+    h = ag::AddRow(ag::MatMul(h, layer.weight), layer.bias);
+    h = ag::Relu(h);
+    if (layer.has_batch_norm) {
+      h = ag::BatchNorm(h, layer.gamma, layer.beta, &layer.running_mean,
+                        &layer.running_var, /*momentum=*/0.1, /*eps=*/1e-5,
+                        training);
+    }
+    if (layer.dropout > 0.0) {
+      h = ag::Dropout(h, layer.dropout, rng, training);
+    }
+  }
+  return ag::AddRow(ag::MatMul(h, out_weight_), out_bias_);
+}
+
+void MlpClassifier::Fit(const Dataset& train, const MlpOptions& options) {
+  TRAIL_CHECK(train.size() > 0) << "empty training set";
+  options_ = options;
+  num_classes_ = train.num_classes;
+  Rng rng(options.seed);
+
+  layers_.clear();
+  size_t in_dim = train.x.cols();
+  int layer_index = 0;
+  for (size_t width : options.hidden_sizes) {
+    Layer layer;
+    layer.weight = ag::Param(Matrix::GlorotUniform(in_dim, width, &rng));
+    layer.bias = ag::Param(Matrix(1, width));
+    layer.has_batch_norm = options.batch_norm;
+    if (layer.has_batch_norm) {
+      layer.gamma = ag::Param(Matrix(1, width, 1.0f));
+      layer.beta = ag::Param(Matrix(1, width));
+    }
+    if (layer_index < options.dropout_layers) layer.dropout = options.dropout;
+    layers_.push_back(std::move(layer));
+    in_dim = width;
+    ++layer_index;
+  }
+  out_weight_ =
+      ag::Param(Matrix::GlorotUniform(in_dim, num_classes_, &rng));
+  out_bias_ = ag::Param(Matrix(1, num_classes_));
+
+  std::vector<ag::VarPtr> params;
+  for (const Layer& layer : layers_) {
+    params.push_back(layer.weight);
+    params.push_back(layer.bias);
+    if (layer.has_batch_norm) {
+      params.push_back(layer.gamma);
+      params.push_back(layer.beta);
+    }
+  }
+  params.push_back(out_weight_);
+  params.push_back(out_bias_);
+  ag::Adam opt(params, options.learning_rate);
+
+  std::vector<size_t> indices(train.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&indices);
+    for (size_t start = 0; start < indices.size();
+         start += options.batch_size) {
+      size_t end = std::min(indices.size(), start + options.batch_size);
+      std::vector<size_t> batch(indices.begin() + start,
+                                indices.begin() + end);
+      if (batch.size() < 2) continue;  // batch norm needs > 1 row
+      Matrix bx = train.x.SelectRows(batch);
+      std::vector<int> by;
+      by.reserve(batch.size());
+      for (size_t i : batch) by.push_back(train.y[i]);
+
+      opt.ZeroGrad();
+      ag::VarPtr logits = Forward(bx, /*training=*/true, &rng);
+      ag::VarPtr loss = ag::SoftmaxCrossEntropy(logits, by);
+      ag::Backward(loss);
+      opt.Step();
+    }
+  }
+}
+
+Matrix MlpClassifier::PredictProbaBatch(const Matrix& x) const {
+  TRAIL_CHECK(!layers_.empty() || out_weight_ != nullptr) << "predict before fit";
+  Rng rng(0);
+  ag::VarPtr logits = Forward(x, /*training=*/false, &rng);
+  return RowSoftmax(logits->value);
+}
+
+std::vector<int> MlpClassifier::PredictBatch(const Matrix& x) const {
+  Matrix probs = PredictProbaBatch(x);
+  std::vector<int> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    auto row = probs.Row(r);
+    out[r] = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+int MlpClassifier::Predict(std::span<const float> row) const {
+  Matrix x(1, row.size());
+  std::copy(row.begin(), row.end(), x.Row(0).begin());
+  return PredictBatch(x)[0];
+}
+
+}  // namespace trail::ml

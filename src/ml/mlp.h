@@ -1,0 +1,63 @@
+#ifndef TRAIL_ML_MLP_H_
+#define TRAIL_ML_MLP_H_
+
+#include <vector>
+
+#include "ml/autograd.h"
+#include "ml/dataset.h"
+
+namespace trail::ml {
+
+struct MlpOptions {
+  /// Hidden layer widths. The paper's architecture is
+  /// {2048, 1024, 512, 128, 64}; TRAIL's default is a proportionally scaled
+  /// stack that trains in seconds on CPU at the synthetic-world scale.
+  std::vector<size_t> hidden_sizes = {256, 128, 64};
+  /// Dropout rate applied to the first `dropout_layers` hidden layers
+  /// (paper: 50% on the first three).
+  double dropout = 0.5;
+  int dropout_layers = 3;
+  bool batch_norm = true;
+  double learning_rate = 1e-3;
+  int epochs = 60;
+  size_t batch_size = 128;
+  uint64_t seed = 7;
+};
+
+/// Feed-forward classifier: Linear -> ReLU -> BatchNorm -> Dropout per
+/// hidden layer, softmax cross-entropy output — the "NN" row of the paper's
+/// Tables III/IV.
+class MlpClassifier {
+ public:
+  void Fit(const Dataset& train, const MlpOptions& options);
+
+  Matrix PredictProbaBatch(const Matrix& x) const;
+  std::vector<int> PredictBatch(const Matrix& x) const;
+  int Predict(std::span<const float> row) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  ag::VarPtr Forward(const Matrix& x, bool training, Rng* rng) const;
+
+  struct Layer {
+    ag::VarPtr weight;
+    ag::VarPtr bias;
+    ag::VarPtr gamma;  // batch-norm scale (1 x C)
+    ag::VarPtr beta;   // batch-norm shift
+    mutable Matrix running_mean;
+    mutable Matrix running_var;
+    bool has_batch_norm = false;
+    double dropout = 0.0;
+  };
+
+  std::vector<Layer> layers_;
+  ag::VarPtr out_weight_;
+  ag::VarPtr out_bias_;
+  MlpOptions options_;
+  int num_classes_ = 0;
+};
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_MLP_H_

@@ -1,0 +1,57 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace trail::ml {
+
+void RandomForest::Fit(const Dataset& train, const RandomForestOptions& options,
+                       Rng* rng) {
+  TRAIL_CHECK(train.size() > 0) << "empty training set";
+  num_classes_ = train.num_classes;
+  trees_.assign(options.num_trees, DecisionTree());
+  const size_t sample_count = std::max<size_t>(
+      1, static_cast<size_t>(train.size() * options.sample_fraction));
+  for (auto& tree : trees_) {
+    std::vector<size_t> bootstrap(sample_count);
+    for (size_t& index : bootstrap) index = rng->NextBounded(train.size());
+    tree.Fit(train.x, train.y, num_classes_, bootstrap, options.tree, rng);
+  }
+}
+
+std::vector<float> RandomForest::PredictProba(
+    std::span<const float> row) const {
+  std::vector<float> probs(num_classes_, 0.0f);
+  for (const auto& tree : trees_) {
+    std::vector<float> p = tree.PredictProba(row);
+    for (int c = 0; c < num_classes_; ++c) probs[c] += p[c];
+  }
+  const float inv = 1.0f / static_cast<float>(trees_.size());
+  for (float& p : probs) p *= inv;
+  return probs;
+}
+
+int RandomForest::Predict(std::span<const float> row) const {
+  std::vector<float> probs = PredictProba(row);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+std::vector<int> RandomForest::PredictBatch(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.Row(r));
+  return out;
+}
+
+Matrix RandomForest::PredictProbaBatch(const Matrix& x) const {
+  Matrix out(x.rows(), num_classes_);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    std::vector<float> probs = PredictProba(x.Row(r));
+    auto dst = out.Row(r);
+    std::copy(probs.begin(), probs.end(), dst.begin());
+  }
+  return out;
+}
+
+}  // namespace trail::ml

@@ -1,0 +1,45 @@
+#ifndef TRAIL_ML_RANDOM_FOREST_H_
+#define TRAIL_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "util/random.h"
+
+namespace trail::ml {
+
+struct RandomForestOptions {
+  int num_trees = 100;
+  DecisionTreeOptions tree;
+  /// Bootstrap sample fraction per tree.
+  double sample_fraction = 1.0;
+
+  RandomForestOptions() {
+    tree.max_features = 0;  // sqrt(num_features), Breiman's default
+    tree.max_depth = 20;
+  }
+};
+
+/// Breiman random forest: bagged CART trees on bootstrap samples with
+/// per-split feature subsampling, soft-voted at prediction time.
+class RandomForest {
+ public:
+  void Fit(const Dataset& train, const RandomForestOptions& options, Rng* rng);
+
+  std::vector<float> PredictProba(std::span<const float> row) const;
+  int Predict(std::span<const float> row) const;
+  std::vector<int> PredictBatch(const Matrix& x) const;
+  Matrix PredictProbaBatch(const Matrix& x) const;
+
+  size_t num_trees() const { return trees_.size(); }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_RANDOM_FOREST_H_

@@ -1,0 +1,33 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace trail::ml {
+
+void StandardScaler::Fit(const Matrix& x) {
+  mean_ = ColumnMean(x);
+  Matrix var = ColumnVariance(x, mean_);
+  stddev_ = Matrix(1, x.cols());
+  for (size_t c = 0; c < x.cols(); ++c) {
+    float sd = std::sqrt(var.At(0, c));
+    stddev_.At(0, c) = sd > 1e-8f ? sd : 1.0f;
+  }
+  fitted_ = true;
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  TRAIL_CHECK(fitted_) << "StandardScaler used before Fit";
+  TRAIL_CHECK(x.cols() == mean_.cols()) << "scaler column mismatch";
+  Matrix out = x;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    auto row = out.Row(r);
+    for (size_t c = 0; c < x.cols(); ++c) {
+      row[c] = (row[c] - mean_.At(0, c)) / stddev_.At(0, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace trail::ml

@@ -1,0 +1,35 @@
+#ifndef TRAIL_ML_SCALER_H_
+#define TRAIL_ML_SCALER_H_
+
+#include "ml/matrix.h"
+
+namespace trail::ml {
+
+/// Standard (z-score) scaler: fit on training data, apply everywhere, per
+/// the paper's preprocessing ("mean 0, variance 1" using training-set
+/// statistics). Constant columns pass through centered but unscaled.
+class StandardScaler {
+ public:
+  void Fit(const Matrix& x);
+
+  /// Returns the transformed copy of `x`. Must be fitted first.
+  Matrix Transform(const Matrix& x) const;
+
+  Matrix FitTransform(const Matrix& x) {
+    Fit(x);
+    return Transform(x);
+  }
+
+  bool fitted() const { return fitted_; }
+  const Matrix& mean() const { return mean_; }
+  const Matrix& stddev() const { return stddev_; }
+
+ private:
+  Matrix mean_;
+  Matrix stddev_;
+  bool fitted_ = false;
+};
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_SCALER_H_

@@ -1,0 +1,97 @@
+#include "ml/smote.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace trail::ml {
+
+namespace {
+
+/// Indices (into `pool`) of the k nearest pool rows to row `q` of `x`,
+/// excluding an identical index. Brute force; the pool is capped.
+std::vector<size_t> KNearest(const Matrix& x, size_t q,
+                             const std::vector<size_t>& pool, int k) {
+  std::vector<std::pair<float, size_t>> dists;
+  dists.reserve(pool.size());
+  auto qrow = x.Row(q);
+  for (size_t idx : pool) {
+    if (idx == q) continue;
+    auto row = x.Row(idx);
+    double d2 = 0.0;
+    for (size_t c = 0; c < qrow.size(); ++c) {
+      double d = static_cast<double>(qrow[c]) - row[c];
+      d2 += d * d;
+    }
+    dists.emplace_back(static_cast<float>(d2), idx);
+  }
+  size_t keep = std::min<size_t>(k, dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + keep, dists.end());
+  std::vector<size_t> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.push_back(dists[i].second);
+  return out;
+}
+
+}  // namespace
+
+Dataset SmoteOversample(const Dataset& data, const SmoteOptions& options,
+                        Rng* rng) {
+  std::vector<size_t> counts = data.ClassCounts();
+  size_t majority = 0;
+  for (size_t c : counts) majority = std::max(majority, c);
+  size_t target =
+      static_cast<size_t>(std::llround(majority * options.target_ratio));
+
+  std::vector<std::vector<size_t>> per_class(data.num_classes);
+  for (size_t i = 0; i < data.y.size(); ++i) {
+    per_class[data.y[i]].push_back(i);
+  }
+
+  std::vector<std::vector<float>> synthetic_rows;
+  std::vector<int> synthetic_labels;
+  for (int cls = 0; cls < data.num_classes; ++cls) {
+    const auto& members = per_class[cls];
+    if (members.size() < 2 || members.size() >= target) continue;
+    std::vector<size_t> pool = members;
+    if (pool.size() > options.max_neighbors_pool) {
+      rng->Shuffle(&pool);
+      pool.resize(options.max_neighbors_pool);
+    }
+    size_t needed = target - members.size();
+    for (size_t s = 0; s < needed; ++s) {
+      size_t base = members[rng->NextBounded(members.size())];
+      std::vector<size_t> neighbors =
+          KNearest(data.x, base, pool, options.k_neighbors);
+      if (neighbors.empty()) break;
+      size_t nb = neighbors[rng->NextBounded(neighbors.size())];
+      float gap = static_cast<float>(rng->UniformDouble());
+      auto brow = data.x.Row(base);
+      auto nrow = data.x.Row(nb);
+      std::vector<float> row(brow.size());
+      for (size_t c = 0; c < brow.size(); ++c) {
+        row[c] = brow[c] + gap * (nrow[c] - brow[c]);
+      }
+      synthetic_rows.push_back(std::move(row));
+      synthetic_labels.push_back(cls);
+    }
+  }
+
+  Dataset out;
+  out.num_classes = data.num_classes;
+  out.x = Matrix(data.x.rows() + synthetic_rows.size(), data.x.cols());
+  for (size_t r = 0; r < data.x.rows(); ++r) {
+    auto src = data.x.Row(r);
+    auto dst = out.x.Row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  for (size_t s = 0; s < synthetic_rows.size(); ++s) {
+    auto dst = out.x.Row(data.x.rows() + s);
+    std::copy(synthetic_rows[s].begin(), synthetic_rows[s].end(), dst.begin());
+  }
+  out.y = data.y;
+  out.y.insert(out.y.end(), synthetic_labels.begin(), synthetic_labels.end());
+  return out;
+}
+
+}  // namespace trail::ml

@@ -1,0 +1,29 @@
+#ifndef TRAIL_ML_SMOTE_H_
+#define TRAIL_ML_SMOTE_H_
+
+#include "ml/dataset.h"
+#include "util/random.h"
+
+namespace trail::ml {
+
+struct SmoteOptions {
+  /// Neighbors considered when interpolating (Chawla et al. use 5).
+  int k_neighbors = 5;
+  /// Per-class cap on samples scanned for neighbor search, to bound the
+  /// quadratic kNN on very large classes.
+  size_t max_neighbors_pool = 2000;
+  /// Oversample each class up to this fraction of the majority count.
+  double target_ratio = 1.0;
+};
+
+/// SMOTE oversampling (Chawla et al., 2002): synthesizes minority-class
+/// samples by interpolating between a real sample and one of its k nearest
+/// same-class neighbors. TRAIL applies it to the IOC training folds before
+/// fitting the traditional classifiers (paper Section VI-A). Returns a new
+/// dataset with the original samples first, synthetic samples appended.
+Dataset SmoteOversample(const Dataset& data, const SmoteOptions& options,
+                        Rng* rng);
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_SMOTE_H_

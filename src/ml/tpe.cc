@@ -1,0 +1,210 @@
+#include "ml/tpe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace trail::ml {
+
+ParamSpec ParamSpec::Uniform(std::string name, double lo, double hi) {
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kUniform;
+  spec.lo = lo;
+  spec.hi = hi;
+  return spec;
+}
+
+ParamSpec ParamSpec::LogUniform(std::string name, double lo, double hi) {
+  TRAIL_CHECK(lo > 0 && hi > lo) << "log-uniform bounds must be positive";
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kLogUniform;
+  spec.lo = lo;
+  spec.hi = hi;
+  return spec;
+}
+
+ParamSpec ParamSpec::Int(std::string name, int lo, int hi) {
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kInt;
+  spec.lo = lo;
+  spec.hi = hi;
+  return spec;
+}
+
+ParamSpec ParamSpec::Categorical(std::string name, int num_choices) {
+  TRAIL_CHECK(num_choices > 0);
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kCategorical;
+  spec.num_choices = num_choices;
+  return spec;
+}
+
+TpeOptimizer::TpeOptimizer(std::vector<ParamSpec> space, TpeOptions options,
+                           uint64_t seed)
+    : space_(std::move(space)), options_(options), rng_(seed) {}
+
+std::vector<double> TpeOptimizer::SampleRandom() {
+  std::vector<double> values(space_.size());
+  for (size_t d = 0; d < space_.size(); ++d) {
+    const ParamSpec& spec = space_[d];
+    switch (spec.kind) {
+      case ParamSpec::Kind::kUniform:
+        values[d] = rng_.UniformDouble(spec.lo, spec.hi);
+        break;
+      case ParamSpec::Kind::kLogUniform:
+        values[d] = std::exp(
+            rng_.UniformDouble(std::log(spec.lo), std::log(spec.hi)));
+        break;
+      case ParamSpec::Kind::kInt:
+        values[d] = static_cast<double>(
+            rng_.UniformInt(static_cast<int64_t>(spec.lo),
+                            static_cast<int64_t>(spec.hi)));
+        break;
+      case ParamSpec::Kind::kCategorical:
+        values[d] = static_cast<double>(rng_.NextBounded(spec.num_choices));
+        break;
+    }
+  }
+  return values;
+}
+
+double TpeOptimizer::LogDensity(const std::vector<const Trial*>& trials,
+                                size_t dim, double value) const {
+  const ParamSpec& spec = space_[dim];
+  if (spec.kind == ParamSpec::Kind::kCategorical) {
+    // Laplace-smoothed categorical frequency.
+    double count = 1.0;
+    for (const Trial* trial : trials) {
+      if (static_cast<int>(trial->values[dim]) == static_cast<int>(value)) {
+        count += 1.0;
+      }
+    }
+    return std::log(count /
+                    (trials.size() + static_cast<double>(spec.num_choices)));
+  }
+
+  // Parzen window of Gaussians centered on observed values; bandwidth
+  // proportional to the range over the observation count (Bergstra's
+  // heuristic, simplified). Log-uniform dims are modeled in log space.
+  const bool log_space = spec.kind == ParamSpec::Kind::kLogUniform;
+  const double lo = log_space ? std::log(spec.lo) : spec.lo;
+  const double hi = log_space ? std::log(spec.hi) : spec.hi;
+  const double x = log_space ? std::log(value) : value;
+  const double range = hi - lo;
+  const double bandwidth =
+      std::max(range / (1.0 + static_cast<double>(trials.size())), range * 0.02);
+  double density = 1e-12;
+  for (const Trial* trial : trials) {
+    const double mu =
+        log_space ? std::log(trial->values[dim]) : trial->values[dim];
+    const double z = (x - mu) / bandwidth;
+    density += std::exp(-0.5 * z * z) / bandwidth;
+  }
+  // Uniform floor keeps unexplored regions reachable.
+  density += 1.0 / std::max(range, 1e-12);
+  return std::log(density / (trials.size() + 1.0));
+}
+
+std::vector<double> TpeOptimizer::Suggest() {
+  if (trials_.size() < static_cast<size_t>(options_.num_startup_trials)) {
+    return SampleRandom();
+  }
+  // Partition into good/bad by loss quantile.
+  std::vector<size_t> order(trials_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return trials_[a].loss < trials_[b].loss;
+  });
+  size_t num_good = std::max<size_t>(
+      1, static_cast<size_t>(options_.gamma * trials_.size()));
+  std::vector<const Trial*> good;
+  std::vector<const Trial*> bad;
+  for (size_t i = 0; i < order.size(); ++i) {
+    (i < num_good ? good : bad).push_back(&trials_[order[i]]);
+  }
+  if (bad.empty()) return SampleRandom();
+
+  // Candidates: perturbations of good trials plus fresh random points,
+  // scored by sum over dims of log l(x) - log g(x).
+  std::vector<double> best_candidate;
+  double best_score = -1e300;
+  for (int c = 0; c < options_.num_candidates; ++c) {
+    std::vector<double> candidate;
+    if (c % 3 == 0) {
+      candidate = SampleRandom();
+    } else {
+      const Trial* base = good[rng_.NextBounded(good.size())];
+      candidate = base->values;
+      // Jitter one random dimension.
+      size_t dim = rng_.NextBounded(space_.size());
+      const ParamSpec& spec = space_[dim];
+      switch (spec.kind) {
+        case ParamSpec::Kind::kUniform: {
+          double jitter = (spec.hi - spec.lo) * 0.1 * rng_.Normal();
+          candidate[dim] =
+              std::clamp(candidate[dim] + jitter, spec.lo, spec.hi);
+          break;
+        }
+        case ParamSpec::Kind::kLogUniform: {
+          double log_v = std::log(candidate[dim]) +
+                         0.1 * (std::log(spec.hi) - std::log(spec.lo)) *
+                             rng_.Normal();
+          candidate[dim] = std::clamp(std::exp(log_v), spec.lo, spec.hi);
+          break;
+        }
+        case ParamSpec::Kind::kInt: {
+          double jitter = (spec.hi - spec.lo) * 0.15 * rng_.Normal();
+          candidate[dim] = std::clamp(std::round(candidate[dim] + jitter),
+                                      spec.lo, spec.hi);
+          break;
+        }
+        case ParamSpec::Kind::kCategorical:
+          candidate[dim] =
+              static_cast<double>(rng_.NextBounded(spec.num_choices));
+          break;
+      }
+    }
+    double score = 0.0;
+    for (size_t d = 0; d < space_.size(); ++d) {
+      score += LogDensity(good, d, candidate[d]) -
+               LogDensity(bad, d, candidate[d]);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_candidate = std::move(candidate);
+    }
+  }
+  return best_candidate;
+}
+
+void TpeOptimizer::Report(std::vector<double> values, double loss) {
+  TRAIL_CHECK(values.size() == space_.size()) << "trial arity mismatch";
+  trials_.push_back(Trial{std::move(values), loss});
+  if (trials_.size() == 1 || loss < trials_[best_index_].loss) {
+    best_index_ = trials_.size() - 1;
+  }
+}
+
+const Trial& TpeOptimizer::best() const {
+  TRAIL_CHECK(!trials_.empty()) << "no trials reported";
+  return trials_[best_index_];
+}
+
+Trial TpeMinimize(const std::vector<ParamSpec>& space,
+                  const std::function<double(const std::vector<double>&)>& fn,
+                  int num_trials, uint64_t seed, TpeOptions options) {
+  TpeOptimizer opt(space, options, seed);
+  for (int t = 0; t < num_trials; ++t) {
+    std::vector<double> values = opt.Suggest();
+    double loss = fn(values);
+    opt.Report(std::move(values), loss);
+  }
+  return opt.best();
+}
+
+}  // namespace trail::ml

@@ -1,0 +1,82 @@
+#ifndef TRAIL_ML_TPE_H_
+#define TRAIL_ML_TPE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace trail::ml {
+
+/// One tunable dimension of a search space.
+struct ParamSpec {
+  enum class Kind { kUniform, kLogUniform, kInt, kCategorical };
+
+  static ParamSpec Uniform(std::string name, double lo, double hi);
+  static ParamSpec LogUniform(std::string name, double lo, double hi);
+  static ParamSpec Int(std::string name, int lo, int hi);
+  static ParamSpec Categorical(std::string name, int num_choices);
+
+  std::string name;
+  Kind kind = Kind::kUniform;
+  double lo = 0.0;
+  double hi = 1.0;
+  int num_choices = 0;  // categorical only
+};
+
+struct Trial {
+  std::vector<double> values;  // one per ParamSpec, in order
+  double loss = 0.0;
+};
+
+struct TpeOptions {
+  int num_startup_trials = 10;  // pure random before the Parzen model kicks in
+  int num_candidates = 24;      // EI candidates sampled per suggestion
+  double gamma = 0.25;          // fraction of trials deemed "good"
+};
+
+/// Tree-of-Parzen-Estimators sequential optimizer (Bergstra et al., 2013) —
+/// the Hyperopt TPE the paper uses to tune XGBoost and Random Forest. Models
+/// good/bad trial densities l(x), g(x) per dimension with Parzen windows and
+/// proposes the candidate maximizing l(x)/g(x). Minimizes the reported loss.
+class TpeOptimizer {
+ public:
+  TpeOptimizer(std::vector<ParamSpec> space, TpeOptions options,
+               uint64_t seed);
+
+  /// Next configuration to evaluate.
+  std::vector<double> Suggest();
+
+  /// Records an evaluated configuration.
+  void Report(std::vector<double> values, double loss);
+
+  /// Best (lowest-loss) trial so far. Requires >= 1 reported trial.
+  const Trial& best() const;
+
+  const std::vector<Trial>& trials() const { return trials_; }
+  const std::vector<ParamSpec>& space() const { return space_; }
+
+ private:
+  std::vector<double> SampleRandom();
+  double LogDensity(const std::vector<const Trial*>& trials, size_t dim,
+                    double value) const;
+
+  std::vector<ParamSpec> space_;
+  TpeOptions options_;
+  Rng rng_;
+  std::vector<Trial> trials_;
+  size_t best_index_ = 0;
+};
+
+/// Convenience driver: runs `num_trials` suggest/evaluate/report rounds and
+/// returns the best configuration.
+Trial TpeMinimize(const std::vector<ParamSpec>& space,
+                  const std::function<double(const std::vector<double>&)>& fn,
+                  int num_trials, uint64_t seed,
+                  TpeOptions options = TpeOptions());
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_TPE_H_

@@ -1,0 +1,177 @@
+#include "ml/treeshap.h"
+
+#include "util/logging.h"
+
+namespace trail::ml {
+
+namespace {
+
+struct PathElement {
+  int feature = -1;
+  double zero_fraction = 1.0;
+  double one_fraction = 1.0;
+  double pweight = 0.0;
+};
+
+/// Appends a split to the decomposition path, updating subset weights.
+void Extend(std::vector<PathElement>* path, double zero_fraction,
+            double one_fraction, int feature) {
+  const int depth = static_cast<int>(path->size());
+  path->push_back(PathElement{feature, zero_fraction, one_fraction,
+                              depth == 0 ? 1.0 : 0.0});
+  auto& m = *path;
+  for (int i = depth - 1; i >= 0; --i) {
+    m[i + 1].pweight +=
+        one_fraction * m[i].pweight * (i + 1) / (depth + 1.0);
+    m[i].pweight =
+        zero_fraction * m[i].pweight * (depth - i) / (depth + 1.0);
+  }
+}
+
+/// Removes the split at `index` from the path (inverse of Extend).
+void Unwind(std::vector<PathElement>* path, int index) {
+  auto& m = *path;
+  const int depth = static_cast<int>(m.size()) - 1;
+  const double one_fraction = m[index].one_fraction;
+  const double zero_fraction = m[index].zero_fraction;
+  double next_one_portion = m[depth].pweight;
+  for (int i = depth - 1; i >= 0; --i) {
+    if (one_fraction != 0.0) {
+      const double tmp = m[i].pweight;
+      m[i].pweight =
+          next_one_portion * (depth + 1.0) / ((i + 1) * one_fraction);
+      next_one_portion =
+          tmp - m[i].pweight * zero_fraction * (depth - i) / (depth + 1.0);
+    } else {
+      m[i].pweight =
+          m[i].pweight * (depth + 1.0) / (zero_fraction * (depth - i));
+    }
+  }
+  for (int i = index; i < depth; ++i) {
+    m[i].feature = m[i + 1].feature;
+    m[i].zero_fraction = m[i + 1].zero_fraction;
+    m[i].one_fraction = m[i + 1].one_fraction;
+  }
+  m.pop_back();
+}
+
+/// Total weight the path would have if the split at `index` were unwound
+/// (without mutating the path).
+double UnwoundSum(const std::vector<PathElement>& m, int index) {
+  const int depth = static_cast<int>(m.size()) - 1;
+  const double one_fraction = m[index].one_fraction;
+  const double zero_fraction = m[index].zero_fraction;
+  double next_one_portion = m[depth].pweight;
+  double total = 0.0;
+  for (int i = depth - 1; i >= 0; --i) {
+    if (one_fraction != 0.0) {
+      const double tmp =
+          next_one_portion * (depth + 1.0) / ((i + 1) * one_fraction);
+      total += tmp;
+      next_one_portion =
+          m[i].pweight - tmp * zero_fraction * (depth - i) / (depth + 1.0);
+    } else {
+      total += m[i].pweight * (depth + 1.0) / (zero_fraction * (depth - i));
+    }
+  }
+  return total;
+}
+
+class ShapWalker {
+ public:
+  ShapWalker(const GbtTree& tree, std::span<const float> row,
+             std::vector<double>* phi)
+      : tree_(tree), row_(row), phi_(phi) {}
+
+  void Run() {
+    std::vector<PathElement> path;
+    Recurse(0, path, 1.0, 1.0, -1);
+  }
+
+ private:
+  void Recurse(int node_index, std::vector<PathElement> path,
+               double parent_zero_fraction, double parent_one_fraction,
+               int parent_feature) {
+    Extend(&path, parent_zero_fraction, parent_one_fraction, parent_feature);
+    const GbtNode& node = tree_.nodes[node_index];
+    if (node.feature < 0) {
+      for (int i = 1; i < static_cast<int>(path.size()); ++i) {
+        const double w = UnwoundSum(path, i);
+        (*phi_)[path[i].feature] +=
+            w * (path[i].one_fraction - path[i].zero_fraction) *
+            node.leaf_value;
+      }
+      return;
+    }
+
+    const bool go_left = row_[node.feature] <= node.threshold;
+    const int hot = go_left ? node.left : node.right;
+    const int cold = go_left ? node.right : node.left;
+    const double hot_cover = tree_.nodes[hot].cover;
+    const double cold_cover = tree_.nodes[cold].cover;
+    const double node_cover = node.cover > 0 ? node.cover : 1.0;
+
+    double incoming_zero = 1.0;
+    double incoming_one = 1.0;
+    // Undo a previous split on the same feature along this path.
+    for (int k = 1; k < static_cast<int>(path.size()); ++k) {
+      if (path[k].feature == node.feature) {
+        incoming_zero = path[k].zero_fraction;
+        incoming_one = path[k].one_fraction;
+        Unwind(&path, k);
+        break;
+      }
+    }
+
+    Recurse(hot, path, incoming_zero * hot_cover / node_cover, incoming_one,
+            node.feature);
+    Recurse(cold, path, incoming_zero * cold_cover / node_cover, 0.0,
+            node.feature);
+  }
+
+  const GbtTree& tree_;
+  std::span<const float> row_;
+  std::vector<double>* phi_;
+};
+
+/// Cover-weighted expected leaf value of one tree.
+double TreeExpectedValue(const GbtTree& tree, int node_index) {
+  const GbtNode& node = tree.nodes[node_index];
+  if (node.feature < 0) return node.leaf_value;
+  const double left_cover = tree.nodes[node.left].cover;
+  const double right_cover = tree.nodes[node.right].cover;
+  const double total = left_cover + right_cover;
+  if (total <= 0) return 0.0;
+  return (left_cover * TreeExpectedValue(tree, node.left) +
+          right_cover * TreeExpectedValue(tree, node.right)) /
+         total;
+}
+
+}  // namespace
+
+void TreeShap(const GbtTree& tree, std::span<const float> row,
+              std::vector<double>* phi) {
+  TRAIL_CHECK(!tree.nodes.empty());
+  if (tree.nodes[0].feature < 0) return;  // constant tree contributes nothing
+  ShapWalker walker(tree, row, phi);
+  walker.Run();
+}
+
+std::vector<double> ShapValues(const GbtClassifier& model,
+                               std::span<const float> row, int cls) {
+  std::vector<double> phi(row.size(), 0.0);
+  for (const auto& round_trees : model.trees()) {
+    TreeShap(round_trees[cls], row, &phi);
+  }
+  return phi;
+}
+
+double ExpectedMargin(const GbtClassifier& model, int cls) {
+  double total = 0.0;
+  for (const auto& round_trees : model.trees()) {
+    total += TreeExpectedValue(round_trees[cls], 0);
+  }
+  return total;
+}
+
+}  // namespace trail::ml

@@ -1,0 +1,31 @@
+#ifndef TRAIL_ML_TREESHAP_H_
+#define TRAIL_ML_TREESHAP_H_
+
+#include <span>
+#include <vector>
+
+#include "ml/gbt.h"
+
+namespace trail::ml {
+
+/// Adds the exact SHAP contributions of one regression tree for sample
+/// `row` into `phi` (size = num features; phi is not cleared). Implements
+/// the polynomial-time Tree SHAP algorithm of Lundberg et al. (2018) using
+/// node covers as the background distribution — the same explainer the
+/// paper's Fig. 9 beeswarm is built from.
+void TreeShap(const GbtTree& tree, std::span<const float> row,
+              std::vector<double>* phi);
+
+/// SHAP values of the full GBT ensemble for one class margin: the sum of
+/// per-tree contributions over every round's tree for `cls`. Returns a
+/// vector of size num-features.
+std::vector<double> ShapValues(const GbtClassifier& model,
+                               std::span<const float> row, int cls);
+
+/// The expected margin of class `cls` over the tree backgrounds (phi_0):
+/// model margin = ExpectedMargin + sum(ShapValues).
+double ExpectedMargin(const GbtClassifier& model, int cls);
+
+}  // namespace trail::ml
+
+#endif  // TRAIL_ML_TREESHAP_H_

@@ -1,0 +1,138 @@
+#include "osint/apt_profile.h"
+
+#include <algorithm>
+
+#include "ioc/feature_schema.h"
+#include "util/logging.h"
+
+namespace trail::osint {
+
+const std::vector<std::string>& AptNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "APT28",   "APT29",    "APT38",  "APT37",  "KIMSUKY", "APT27",
+      "FIN11",   "TA511",    "APT1",   "APT3",   "APT10",   "APT17",
+      "APT32",   "APT33",    "APT34",  "APT40",  "APT41",   "FIN7",
+      "TA505",   "MUDDYWATER", "TURLA", "SANDWORM",
+  };
+  return *names;
+}
+
+LexicalStyle LexicalStyle::Archetype(uint64_t index) {
+  LexicalStyle style;
+  switch (index % 5) {
+    case 0:  // short pronounceable brands
+      style = {5, 9, 0.0, 0.10, 0.10, 0, 0};
+      break;
+    case 1:  // wordy with hyphens
+      style = {8, 14, 0.05, 0.15, 0.35, 0, 0};
+      break;
+    case 2:  // DGA alnum
+      style = {8, 13, 0.25, 0.30, 0.00, 1, 1};
+      break;
+    case 3:  // hex tokens + subdomains
+      style = {6, 10, 0.30, 0.45, 0.00, 2, 2};
+      break;
+    default:  // mixed gibberish
+      style = {7, 12, 0.15, 0.25, 0.05, 1, 2};
+      break;
+  }
+  return style;
+}
+
+Preference Preference::Make(size_t vocab_size, int num_favored,
+                            double sharpness, Rng* rng) {
+  Preference pref;
+  pref.vocab_size_ = vocab_size;
+  num_favored = std::min<int>(num_favored, static_cast<int>(vocab_size));
+  // Favored entries are drawn from a Zipf head over the vocabulary: real
+  // adversaries mostly use the same popular registrars / servers / TLDs as
+  // everyone else, so different groups' preferences overlap heavily and
+  // individual categorical features are only weakly identifying (the paper's
+  // individual-IOC accuracies are 0.29-0.46, far from separable).
+  std::vector<int> seen;
+  int guard = 0;
+  // Very large vocabularies (the 944 server strings) have an even more
+  // concentrated real-world head, so favored picks collide harder there.
+  const double exponent = vocab_size > 300 ? 1.5 : 1.1;
+  while (static_cast<int>(seen.size()) < num_favored && guard++ < 1000) {
+    int pick = static_cast<int>(rng->Zipf(vocab_size, exponent));
+    if (std::find(seen.begin(), seen.end(), pick) == seen.end()) {
+      seen.push_back(pick);
+    }
+  }
+  pref.favored_ = std::move(seen);
+  // Decaying weights over the favored entries; sharper profiles concentrate
+  // more mass on the first picks.
+  pref.weights_.resize(pref.favored_.size());
+  double w = sharpness;
+  for (size_t i = 0; i < pref.weights_.size(); ++i) {
+    pref.weights_[i] = w;
+    w *= 0.55;
+  }
+  // Exploration floor shrinks as sharpness grows.
+  pref.explore_ = std::clamp(0.65 / (1.0 + sharpness), 0.03, 0.5);
+  return pref;
+}
+
+int Preference::Sample(Rng* rng) const {
+  TRAIL_CHECK(vocab_size_ > 0) << "Preference not initialized";
+  if (favored_.empty() || rng->Bernoulli(explore_)) {
+    return static_cast<int>(rng->NextBounded(vocab_size_));
+  }
+  return favored_[rng->WeightedIndex(weights_)];
+}
+
+std::vector<AptProfile> AptProfile::BuildRoster(int num_apts, double sharpness,
+                                                int num_asns, Rng* rng) {
+  const auto& schemas = ioc::FeatureSchemas::Get();
+  const auto& names = AptNames();
+  std::vector<AptProfile> roster;
+  roster.reserve(num_apts);
+  for (int i = 0; i < num_apts; ++i) {
+    AptProfile apt;
+    apt.id = i;
+    apt.name = i < static_cast<int>(names.size())
+                   ? names[i]
+                   : "APT-X" + std::to_string(i);
+    Rng sub = rng->Fork();
+    apt.country = Preference::Make(schemas.countries().size(), 6, sharpness,
+                                   &sub);
+    apt.issuer = Preference::Make(schemas.issuers().size(), 8, sharpness,
+                                  &sub);
+    apt.tld = Preference::Make(schemas.tlds().size(), 8, sharpness, &sub);
+    apt.server = Preference::Make(schemas.servers().size(), 8, sharpness,
+                                  &sub);
+    apt.os = Preference::Make(schemas.oses().size(), 5, sharpness, &sub);
+    apt.encoding = Preference::Make(schemas.encodings().size(), 2, sharpness,
+                                    &sub);
+    apt.file_type = Preference::Make(schemas.file_types().size(), 8,
+                                     sharpness, &sub);
+    apt.http_code = Preference::Make(schemas.http_codes().size(), 5,
+                                     sharpness, &sub);
+    apt.service = Preference::Make(schemas.services().size(), 6, sharpness,
+                                   &sub);
+
+    // ASN pools are popularity-skewed and heavily shared: bulletproof and
+    // cheap hosting providers serve many groups at once, so an ASN narrows
+    // the candidate set without identifying a group outright.
+    const size_t pool = 5 + sub.NextBounded(6);
+    int guard = 0;
+    while (apt.asn_pool.size() < pool && guard++ < 1000) {
+      int pick = static_cast<int>(sub.Zipf(num_asns, 0.9));
+      if (std::find(apt.asn_pool.begin(), apt.asn_pool.end(), pick) ==
+          apt.asn_pool.end()) {
+        apt.asn_pool.push_back(pick);
+      }
+    }
+
+    // Lexical habits come from a small set of shared archetypes (DGA kits
+    // and web panels circulate between groups), so 22 groups collide
+    // heavily on lexical features — individually they are weak evidence.
+    apt.lexical = LexicalStyle::Archetype(sub.NextBounded(5));
+    apt.lexical.path_style = static_cast<int>(sub.NextBounded(3));
+    roster.push_back(std::move(apt));
+  }
+  return roster;
+}
+
+}  // namespace trail::osint

@@ -1,0 +1,83 @@
+#ifndef TRAIL_OSINT_APT_PROFILE_H_
+#define TRAIL_OSINT_APT_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace trail::osint {
+
+/// The 22 threat groups tracked in the synthetic world. The head of the list
+/// matches groups named in the paper (APT28, APT38, APT37, KIMSUKY, APT27,
+/// FIN11, TA511, ...).
+const std::vector<std::string>& AptNames();
+
+/// A sparse categorical preference: a handful of favored vocabulary entries
+/// with decaying weights, plus a uniform exploration floor. This is how an
+/// APT's behavioral biases (preferred registrars, server stacks, TLDs...)
+/// are encoded — the signal the paper's feature-based attribution learns.
+class Preference {
+ public:
+  Preference() = default;
+
+  /// Builds a preference over a vocabulary of `vocab_size` entries with
+  /// `num_favored` favored entries; `sharpness` scales how concentrated the
+  /// favored mass is (higher = more identifiable APT).
+  static Preference Make(size_t vocab_size, int num_favored, double sharpness,
+                         Rng* rng);
+
+  /// Samples an index; with probability `explore` an arbitrary entry.
+  int Sample(Rng* rng) const;
+
+  const std::vector<int>& favored() const { return favored_; }
+
+ private:
+  std::vector<int> favored_;
+  std::vector<double> weights_;  // parallel to favored_
+  size_t vocab_size_ = 0;
+  double explore_ = 0.2;
+};
+
+/// Lexical style parameters for an APT's domain-generation habits.
+struct LexicalStyle {
+  int min_len = 6;
+  int max_len = 12;
+  double digit_ratio = 0.1;       // fraction of digit characters
+  double subdomain_prob = 0.2;    // chance of a generated subdomain label
+  double hyphen_prob = 0.1;
+  /// 0 = pronounceable syllables, 1 = alnum gibberish, 2 = hex-ish.
+  int charset_style = 0;
+  /// URL path style: 0 = wordy paths, 1 = random tokens, 2 = php + query.
+  int path_style = 0;
+
+  /// One of the five shared style archetypes (DGA kits circulate; groups
+  /// rarely have a unique lexical fingerprint).
+  static LexicalStyle Archetype(uint64_t index);
+};
+
+/// Full behavioral profile of one APT in the synthetic world.
+struct AptProfile {
+  int id = 0;
+  std::string name;
+
+  Preference country;
+  Preference issuer;
+  Preference tld;
+  Preference server;
+  Preference os;
+  Preference encoding;
+  Preference file_type;
+  Preference http_code;
+  Preference service;
+  std::vector<int> asn_pool;  // ASNs this group rents infrastructure in
+  LexicalStyle lexical;
+
+  /// Builds the full roster of `num_apts` profiles deterministically.
+  static std::vector<AptProfile> BuildRoster(int num_apts, double sharpness,
+                                             int num_asns, Rng* rng);
+};
+
+}  // namespace trail::osint
+
+#endif  // TRAIL_OSINT_APT_PROFILE_H_

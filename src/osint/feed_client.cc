@@ -1,0 +1,41 @@
+#include "osint/feed_client.h"
+
+namespace trail::osint {
+
+std::vector<std::string> FeedClient::FetchReports(int day_lo,
+                                                  int day_hi) const {
+  std::vector<std::string> out;
+  for (const PulseReport* report : world_->ReportsBetween(day_lo, day_hi)) {
+    out.push_back(report->ToJsonString());
+  }
+  return out;
+}
+
+Result<ioc::IpAnalysis> FeedClient::GetIpAnalysis(
+    const std::string& addr) const {
+  ioc::IpAnalysis analysis;
+  if (!world_->AnalyzeIp(addr, &analysis)) {
+    return Status::NotFound("no analysis for IP " + addr);
+  }
+  return analysis;
+}
+
+Result<ioc::DomainAnalysis> FeedClient::GetDomainAnalysis(
+    const std::string& name) const {
+  ioc::DomainAnalysis analysis;
+  if (!world_->AnalyzeDomain(name, &analysis)) {
+    return Status::NotFound("no analysis for domain " + name);
+  }
+  return analysis;
+}
+
+Result<ioc::UrlAnalysis> FeedClient::GetUrlAnalysis(
+    const std::string& url) const {
+  ioc::UrlAnalysis analysis;
+  if (!world_->AnalyzeUrl(url, &analysis)) {
+    return Status::NotFound("no analysis for URL " + url);
+  }
+  return analysis;
+}
+
+}  // namespace trail::osint

@@ -1,0 +1,37 @@
+#ifndef TRAIL_OSINT_FEED_CLIENT_H_
+#define TRAIL_OSINT_FEED_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "osint/world.h"
+#include "util/status.h"
+
+namespace trail::osint {
+
+/// The TRAIL system's view of the intelligence exchange: the same surface
+/// the paper drives against the AlienVault OTX REST API, backed here by the
+/// synthetic World. Reports travel as JSON strings (the "Raw JSON files" box
+/// of Fig. 1a) so the ingestion pipeline exercises real parsing.
+class FeedClient {
+ public:
+  explicit FeedClient(const World* world) : world_(world) {}
+
+  /// JSON documents of every report tagged with a tracked APT in
+  /// [day_lo, day_hi).
+  std::vector<std::string> FetchReports(int day_lo, int day_hi) const;
+
+  /// IOC analysis endpoints; NotFound when no database knows the indicator.
+  Result<ioc::IpAnalysis> GetIpAnalysis(const std::string& addr) const;
+  Result<ioc::DomainAnalysis> GetDomainAnalysis(const std::string& name) const;
+  Result<ioc::UrlAnalysis> GetUrlAnalysis(const std::string& url) const;
+
+  const World& world() const { return *world_; }
+
+ private:
+  const World* world_;
+};
+
+}  // namespace trail::osint
+
+#endif  // TRAIL_OSINT_FEED_CLIENT_H_

@@ -1,0 +1,130 @@
+#include "osint/misp_export.h"
+
+#include "util/string_util.h"
+
+namespace trail::osint {
+
+namespace {
+
+const char* MispTypeFor(const std::string& trail_type) {
+  if (trail_type == "IPv4" || trail_type == "IP") return "ip-dst";
+  if (trail_type == "domain" || trail_type == "Domain") return "domain";
+  if (trail_type == "URL") return "url";
+  return "other";
+}
+
+std::string TrailTypeForMisp(const std::string& misp_type) {
+  if (misp_type == "ip-src" || misp_type == "ip-dst" || misp_type == "ip") {
+    return "IPv4";
+  }
+  if (misp_type == "domain" || misp_type == "hostname") return "domain";
+  if (misp_type == "url" || misp_type == "uri") return "URL";
+  return "";
+}
+
+}  // namespace
+
+JsonValue ToMispEvent(const PulseReport& report) {
+  JsonValue event = JsonValue::MakeObject();
+  event.Set("uuid", JsonValue::MakeString(report.id));
+  event.Set("info", JsonValue::MakeString("TRAIL export " + report.id));
+  event.Set("date_day", JsonValue::MakeNumber(report.day));
+  event.Set("analysis", JsonValue::MakeNumber(2));  // completed
+
+  JsonValue attributes = JsonValue::MakeArray();
+  for (const ReportedIndicator& indicator : report.indicators) {
+    JsonValue attribute = JsonValue::MakeObject();
+    attribute.Set("type", JsonValue::MakeString(MispTypeFor(indicator.type)));
+    attribute.Set("category",
+                  JsonValue::MakeString("Network activity"));
+    attribute.Set("value", JsonValue::MakeString(indicator.value));
+    attribute.Set("to_ids", JsonValue::MakeBool(true));
+    attributes.Append(std::move(attribute));
+  }
+  event.Set("Attribute", std::move(attributes));
+
+  if (!report.apt.empty()) {
+    JsonValue galaxy = JsonValue::MakeArray();
+    JsonValue tag = JsonValue::MakeObject();
+    tag.Set("name", JsonValue::MakeString(
+                        "misp-galaxy:threat-actor=\"" + report.apt + "\""));
+    galaxy.Append(std::move(tag));
+    event.Set("Tag", std::move(galaxy));
+  }
+
+  JsonValue wrapper = JsonValue::MakeObject();
+  wrapper.Set("Event", std::move(event));
+  return wrapper;
+}
+
+Result<PulseReport> FromMispEvent(const JsonValue& json) {
+  const JsonValue* event = json.Get("Event");
+  if (event == nullptr) event = &json;  // bare event object
+  if (!event->is_object()) {
+    return Status::ParseError("MISP event is not an object");
+  }
+  PulseReport report;
+  report.id = event->GetString("uuid");
+  if (report.id.empty()) return Status::ParseError("MISP event missing uuid");
+  report.day = static_cast<int>(event->GetNumber("date_day", 0));
+
+  // Threat-actor galaxy tag.
+  const JsonValue* tags = event->Get("Tag");
+  if (tags != nullptr && tags->is_array()) {
+    for (const JsonValue& tag : tags->items()) {
+      std::string name = tag.GetString("name");
+      const std::string prefix = "misp-galaxy:threat-actor=\"";
+      if (StartsWith(name, prefix) && EndsWith(name, "\"")) {
+        report.apt =
+            name.substr(prefix.size(), name.size() - prefix.size() - 1);
+      }
+    }
+  }
+
+  const JsonValue* attributes = event->Get("Attribute");
+  if (attributes == nullptr || !attributes->is_array()) {
+    return Status::ParseError("MISP event missing Attribute array");
+  }
+  for (const JsonValue& attribute : attributes->items()) {
+    if (!attribute.is_object()) continue;
+    std::string trail_type = TrailTypeForMisp(attribute.GetString("type"));
+    std::string value = attribute.GetString("value");
+    if (trail_type.empty() || value.empty()) continue;
+    report.indicators.push_back(ReportedIndicator{trail_type, value});
+  }
+  return report;
+}
+
+Result<JsonValue> TkgEventToMisp(const graph::PropertyGraph& graph,
+                                 graph::NodeId event,
+                                 const std::string& apt_name) {
+  if (event >= graph.num_nodes() ||
+      graph.type(event) != graph::NodeType::kEvent) {
+    return Status::InvalidArgument("not an event node");
+  }
+  PulseReport report;
+  report.id = graph.value(event);
+  report.apt = apt_name;
+  report.day = static_cast<int>(graph.timestamp(event));
+  for (const graph::Neighbor& nb : graph.neighbors(event)) {
+    if (nb.type != graph::EdgeType::kInReport) continue;
+    std::string type;
+    switch (graph.type(nb.node)) {
+      case graph::NodeType::kIp:
+        type = "IPv4";
+        break;
+      case graph::NodeType::kDomain:
+        type = "domain";
+        break;
+      case graph::NodeType::kUrl:
+        type = "URL";
+        break;
+      default:
+        continue;
+    }
+    report.indicators.push_back(ReportedIndicator{type, graph.value(nb.node)});
+  }
+  return ToMispEvent(report);
+}
+
+}  // namespace trail::osint

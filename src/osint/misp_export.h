@@ -1,0 +1,33 @@
+#ifndef TRAIL_OSINT_MISP_EXPORT_H_
+#define TRAIL_OSINT_MISP_EXPORT_H_
+
+#include <string>
+
+#include "graph/property_graph.h"
+#include "osint/report.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace trail::osint {
+
+/// Serializes a report as a MISP-core-format event object ("Event" with
+/// "Attribute" rows and a threat-actor galaxy tag) so TRAIL results can
+/// round-trip into MISP-compatible tooling — the exchange format the
+/// paper's OTX feed aggregates from.
+JsonValue ToMispEvent(const PulseReport& report);
+
+/// Parses a MISP-core-format event back into a PulseReport. Accepts both
+/// bare events and the conventional {"Event": {...}} wrapper. Attribute
+/// types are mapped: ip-src/ip-dst -> IPv4, hostname/domain -> domain,
+/// url/uri -> URL; other attribute types are skipped.
+Result<PulseReport> FromMispEvent(const JsonValue& json);
+
+/// Exports one TKG event node and its first-order IOCs as a MISP event
+/// (the path for pushing TRAIL-attributed events back to an exchange).
+Result<JsonValue> TkgEventToMisp(const graph::PropertyGraph& graph,
+                                 graph::NodeId event,
+                                 const std::string& apt_name);
+
+}  // namespace trail::osint
+
+#endif  // TRAIL_OSINT_MISP_EXPORT_H_

@@ -1,0 +1,50 @@
+#include "osint/report.h"
+
+namespace trail::osint {
+
+JsonValue PulseReport::ToJson() const {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("id", JsonValue::MakeString(id));
+  obj.Set("name", JsonValue::MakeString("Activity report " + id));
+  obj.Set("adversary", JsonValue::MakeString(apt));
+  obj.Set("created_day", JsonValue::MakeNumber(day));
+  JsonValue arr = JsonValue::MakeArray();
+  for (const ReportedIndicator& indicator : indicators) {
+    JsonValue row = JsonValue::MakeObject();
+    row.Set("type", JsonValue::MakeString(indicator.type));
+    row.Set("indicator", JsonValue::MakeString(indicator.value));
+    arr.Append(std::move(row));
+  }
+  obj.Set("indicators", std::move(arr));
+  return obj;
+}
+
+Result<PulseReport> PulseReport::FromJson(const JsonValue& json) {
+  if (!json.is_object()) return Status::ParseError("report is not an object");
+  PulseReport report;
+  report.id = json.GetString("id");
+  if (report.id.empty()) return Status::ParseError("report missing id");
+  report.apt = json.GetString("adversary");
+  report.day = static_cast<int>(json.GetNumber("created_day", 0));
+  const JsonValue* indicators = json.Get("indicators");
+  if (indicators == nullptr || !indicators->is_array()) {
+    return Status::ParseError("report missing indicators array");
+  }
+  for (const JsonValue& row : indicators->items()) {
+    if (!row.is_object()) continue;
+    ReportedIndicator indicator;
+    indicator.type = row.GetString("type");
+    indicator.value = row.GetString("indicator");
+    if (indicator.value.empty()) continue;
+    report.indicators.push_back(std::move(indicator));
+  }
+  return report;
+}
+
+Result<PulseReport> PulseReport::FromJsonString(const std::string& text) {
+  auto parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  return FromJson(parsed.value());
+}
+
+}  // namespace trail::osint

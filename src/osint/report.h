@@ -1,0 +1,39 @@
+#ifndef TRAIL_OSINT_REPORT_H_
+#define TRAIL_OSINT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace trail::osint {
+
+/// One indicator row of an incident report, as shared on the exchange.
+struct ReportedIndicator {
+  std::string type;   // "IPv4", "domain", "URL" (OTX-style type tags)
+  std::string value;  // possibly defanged
+};
+
+/// An attributed incident report ("pulse" in OTX terms): the raw unit TRAIL
+/// ingests. `apt` is the analyst-assigned threat-actor tag; `day` is days
+/// since the feed epoch.
+struct PulseReport {
+  std::string id;
+  std::string apt;
+  int day = 0;
+  std::vector<ReportedIndicator> indicators;
+
+  /// Serializes to the feed's JSON wire format.
+  JsonValue ToJson() const;
+  std::string ToJsonString() const { return ToJson().Dump(); }
+
+  /// Parses the wire format; unknown fields are ignored, missing required
+  /// fields are errors.
+  static Result<PulseReport> FromJson(const JsonValue& json);
+  static Result<PulseReport> FromJsonString(const std::string& text);
+};
+
+}  // namespace trail::osint
+
+#endif  // TRAIL_OSINT_REPORT_H_

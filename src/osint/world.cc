@@ -1,0 +1,741 @@
+#include "osint/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace trail::osint {
+
+namespace {
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Deterministic pseudo-coordinates for a country code index.
+void CountryCoords(int country, double* lat, double* lon) {
+  *lat = static_cast<double>((country * 37) % 140) - 70.0;
+  *lon = static_cast<double>((country * 73) % 340) - 170.0;
+}
+
+const char* const kConsonants = "bcdfghklmnprstvz";
+const char* const kVowels = "aeiou";
+const char* const kHex = "0123456789abcdef";
+const char* const kAlnum = "abcdefghijklmnopqrstuvwxyz0123456789";
+
+const char* const kWordyPathParts[] = {
+    "wp-content", "images", "assets", "include", "upload", "static",
+    "themes",     "admin",  "files",  "news",    "docs",   "update",
+};
+const char* const kWordyFiles[] = {
+    "index.html", "login.php", "view.php",  "update.bin", "setup.exe",
+    "doc.pdf",    "report.doc", "data.zip", "main.js",    "style.css",
+};
+
+}  // namespace
+
+WorldConfig WorldConfig::ScaledUp() {
+  WorldConfig config;
+  config.min_events_per_apt = 80;
+  config.max_events_per_apt = 400;
+  config.mean_ips_per_event = 8.0;
+  config.mean_domains_per_event = 14.0;
+  config.mean_urls_per_event = 11.0;
+  config.mean_parked_domains_per_ip = 14.0;
+  config.num_noise_ips = 200;
+  config.num_noise_domains = 400;
+  return config;
+}
+
+World::World(const WorldConfig& config) : config_(config), rng_(config.seed) {
+  TRAIL_CHECK(config.num_apts >= 2) << "need at least two groups";
+  apts_ = AptProfile::BuildRoster(config.num_apts, config.feature_sharpness,
+                                  config.num_asns, &rng_);
+  apt_ip_pool_.resize(apts_.size());
+  apt_domain_pool_.resize(apts_.size());
+  apt_url_pool_.resize(apts_.size());
+  // The confusable cluster: the "North Korean overlap" groups — in the
+  // default roster indices 2, 3, 4 are APT38, APT37, KIMSUKY.
+  if (config.num_apts > 4) confusable_ = {2, 3, 4};
+  BuildNoiseInfrastructure();
+  BuildTimeline();
+  std::sort(reports_.begin(), reports_.end(),
+            [](const PulseReport& a, const PulseReport& b) {
+              return a.day < b.day;
+            });
+}
+
+int World::AptIdByName(const std::string& name) const {
+  for (const AptProfile& apt : apts_) {
+    if (apt.name == name) return apt.id;
+  }
+  return -1;
+}
+
+std::vector<const PulseReport*> World::ReportsBetween(int day_lo,
+                                                      int day_hi) const {
+  std::vector<const PulseReport*> out;
+  for (const PulseReport& report : reports_) {
+    if (report.day >= day_lo && report.day < day_hi) out.push_back(&report);
+  }
+  return out;
+}
+
+void World::BuildNoiseInfrastructure() {
+  // Shared public IPs (DNS resolvers, CDN edges) and benign domains that
+  // many unrelated incidents touch.
+  for (int i = 0; i < config_.num_noise_ips; ++i) {
+    uint32_t ip = CreateIp(/*apt=*/-1, config_.start_day, &rng_);
+    noise_ips_.push_back(ip);
+  }
+  const char* const kBenignNames[] = {
+      "cdn-assets", "static-host", "public-dns", "mail-relay", "img-cache",
+      "api-gateway", "update-mirror", "analytics", "fonts-edge", "ns",
+  };
+  for (int i = 0; i < config_.num_noise_domains; ++i) {
+    std::string name = std::string(kBenignNames[i % 10]) + "-" +
+                       std::to_string(i / 10) + ".net";
+    if (domain_index_.count(name) > 0) continue;
+    DomainEntity domain;
+    domain.name = name;
+    domain.apt = -1;
+    domain.first_day = config_.start_day;
+    domain.last_day = config_.end_day + config_.post_days;
+    // Benign domains resolve to a few shared IPs.
+    size_t count = 1 + rng_.NextBounded(3);
+    for (size_t k = 0; k < count && !noise_ips_.empty(); ++k) {
+      uint32_t ip = noise_ips_[rng_.NextBounded(noise_ips_.size())];
+      domain.a_records.push_back(ip);
+    }
+    domain.record_counts[static_cast<int>(ioc::DnsRecordType::kA)] =
+        static_cast<int>(domain.a_records.size());
+    domain.record_counts[static_cast<int>(ioc::DnsRecordType::kNs)] =
+        2 + static_cast<int>(rng_.NextBounded(3));
+    uint32_t id = static_cast<uint32_t>(domains_.size());
+    domain_index_.emplace(domain.name, id);
+    for (uint32_t ip : domain.a_records) ips_[ip].domains.push_back(id);
+    domains_.push_back(std::move(domain));
+    noise_domains_.push_back(id);
+  }
+}
+
+uint32_t World::CreateIp(int apt, int day, Rng* rng) {
+  std::string addr;
+  do {
+    addr = std::to_string(1 + rng->NextBounded(222)) + "." +
+           std::to_string(rng->NextBounded(256)) + "." +
+           std::to_string(rng->NextBounded(256)) + "." +
+           std::to_string(1 + rng->NextBounded(254));
+  } while (ip_index_.count(addr) > 0);
+
+  IpEntity ip;
+  ip.addr = addr;
+  ip.apt = apt;
+  if (apt >= 0) {
+    const AptProfile& profile = apts_[apt];
+    ip.country = profile.country.Sample(rng);
+    ip.issuer = profile.issuer.Sample(rng);
+    ip.asn = rng->Bernoulli(config_.asn_noise_rate)
+                 ? static_cast<int>(rng->Zipf(config_.num_asns, 0.9))
+                 : profile.asn_pool[rng->NextBounded(profile.asn_pool.size())];
+  } else {
+    ip.country = static_cast<int>(
+        rng->NextBounded(ioc::SchemaSizes::kCountries));
+    ip.issuer =
+        static_cast<int>(rng->NextBounded(ioc::SchemaSizes::kIssuers));
+    ip.asn = static_cast<int>(rng->NextBounded(config_.num_asns));
+  }
+  CountryCoords(ip.country, &ip.latitude, &ip.longitude);
+  ip.latitude += rng->UniformDouble(-3.0, 3.0);
+  ip.longitude += rng->UniformDouble(-3.0, 3.0);
+  ip.reserved = rng->Bernoulli(0.02);
+  ip.reverse_dns = rng->Bernoulli(0.4);
+  ip.first_day = day;
+  ip.last_day = std::min(day + 30 + static_cast<int>(rng->NextBounded(400)),
+                         config_.end_day + config_.post_days);
+
+  uint32_t id = static_cast<uint32_t>(ips_.size());
+  ip_index_.emplace(addr, id);
+  ips_.push_back(std::move(ip));
+  if (apt >= 0) AttachParkedDomains(id, apt, day, rng);
+  return id;
+}
+
+void World::AttachParkedDomains(uint32_t ip_id, int apt, int day, Rng* rng) {
+  // Historic / parked domains only discoverable through passive DNS: the
+  // secondary-IOC population (75% of the paper's TKG).
+  int count = rng->Poisson(config_.mean_parked_domains_per_ip);
+  for (int i = 0; i < count; ++i) {
+    std::string name = GenerateDomainName(apts_[apt], rng);
+    if (domain_index_.count(name) > 0) continue;
+    DomainEntity domain;
+    domain.name = name;
+    domain.apt = apt;
+    domain.first_day = std::max(config_.start_day, day - 600 +
+                                static_cast<int>(rng->NextBounded(600)));
+    domain.last_day = day + static_cast<int>(rng->NextBounded(200));
+    domain.nxdomain = rng->Bernoulli(0.5);  // most parked infra is dead
+    domain.a_records.push_back(ip_id);
+    domain.record_counts[static_cast<int>(ioc::DnsRecordType::kA)] = 1;
+    uint32_t id = static_cast<uint32_t>(domains_.size());
+    domain_index_.emplace(domain.name, id);
+    domains_.push_back(std::move(domain));
+    ips_[ip_id].domains.push_back(id);
+  }
+}
+
+std::string World::GenerateDomainName(const AptProfile& apt, Rng* rng) {
+  const auto& schemas = ioc::FeatureSchemas::Get();
+  const LexicalStyle style =
+      rng->Bernoulli(config_.lexical_confusion)
+          ? LexicalStyle::Archetype(rng->NextBounded(5))
+          : apt.lexical;
+  auto make_label = [&](int length) {
+    std::string label;
+    label.reserve(length);
+    switch (style.charset_style) {
+      case 0:  // pronounceable
+        for (int i = 0; i < length; ++i) {
+          label.push_back(i % 2 == 0 ? kConsonants[rng->NextBounded(16)]
+                                     : kVowels[rng->NextBounded(5)]);
+        }
+        break;
+      case 1:  // alnum gibberish
+        for (int i = 0; i < length; ++i) {
+          label.push_back(kAlnum[rng->NextBounded(36)]);
+        }
+        break;
+      default:  // hex-ish
+        label.push_back(kConsonants[rng->NextBounded(16)]);  // leading letter
+        for (int i = 1; i < length; ++i) {
+          label.push_back(kHex[rng->NextBounded(16)]);
+        }
+        break;
+    }
+    // Force digits toward the profile's digit ratio.
+    int digits = static_cast<int>(style.digit_ratio * length);
+    for (int i = 0; i < digits; ++i) {
+      size_t pos = rng->NextBounded(label.size());
+      if (pos == 0) continue;  // keep leading char alphabetic
+      label[pos] = static_cast<char>('0' + rng->NextBounded(10));
+    }
+    if (style.hyphen_prob > 0 && length > 4 &&
+        rng->Bernoulli(style.hyphen_prob)) {
+      label[1 + rng->NextBounded(label.size() - 2)] = '-';
+    }
+    return label;
+  };
+
+  int length = style.min_len +
+               static_cast<int>(rng->NextBounded(
+                   static_cast<uint64_t>(style.max_len - style.min_len + 1)));
+  std::string name = make_label(length);
+  if (rng->Bernoulli(style.subdomain_prob)) {
+    name = make_label(3 + rng->NextBounded(5)) + "." + name;
+  }
+  name += ".";
+  name += schemas.tlds().At(apt.tld.Sample(rng));
+  return name;
+}
+
+std::string World::GenerateUrlString(const AptProfile& apt,
+                                     const std::string& host, Rng* rng) {
+  std::string url = rng->Bernoulli(0.5) ? "https://" : "http://";
+  url += host;
+  const int path_style = rng->Bernoulli(config_.lexical_confusion)
+                             ? static_cast<int>(rng->NextBounded(3))
+                             : apt.lexical.path_style;
+  switch (path_style) {
+    case 0: {  // wordy
+      int segments = 1 + rng->NextBounded(3);
+      for (int i = 0; i < segments; ++i) {
+        url += "/";
+        url += kWordyPathParts[rng->NextBounded(12)];
+      }
+      url += "/";
+      url += kWordyFiles[rng->NextBounded(10)];
+      break;
+    }
+    case 1: {  // random tokens
+      int segments = 1 + rng->NextBounded(3);
+      for (int i = 0; i < segments; ++i) {
+        url += "/";
+        int length = 4 + rng->NextBounded(8);
+        for (int c = 0; c < length; ++c) {
+          url.push_back(kAlnum[rng->NextBounded(36)]);
+        }
+      }
+      break;
+    }
+    default: {  // gate.php + query
+      url += "/";
+      const char* const kGates[] = {"gate", "panel", "load", "check", "in"};
+      url += kGates[rng->NextBounded(5)];
+      url += ".php?";
+      const char* const kKeys[] = {"id", "q", "token", "s", "h"};
+      url += kKeys[rng->NextBounded(5)];
+      url += "=";
+      int length = 6 + rng->NextBounded(10);
+      for (int c = 0; c < length; ++c) {
+        url.push_back(kHex[rng->NextBounded(16)]);
+      }
+      break;
+    }
+  }
+  return url;
+}
+
+uint32_t World::CreateDomain(int apt, int day,
+                             const std::vector<uint32_t>& ip_pool, Rng* rng) {
+  std::string name;
+  do {
+    name = GenerateDomainName(apts_[apt], rng);
+  } while (domain_index_.count(name) > 0);
+
+  DomainEntity domain;
+  domain.name = name;
+  domain.apt = apt;
+  domain.first_day = day;
+  domain.last_day = std::min(day + 20 + static_cast<int>(rng->NextBounded(300)),
+                             config_.end_day + config_.post_days);
+  domain.nxdomain = rng->Bernoulli(0.25);
+
+  size_t record_count =
+      std::min<size_t>(1 + rng->NextBounded(3), ip_pool.size());
+  std::vector<size_t> picks =
+      rng->SampleWithoutReplacement(ip_pool.size(), record_count);
+  for (size_t pick : picks) domain.a_records.push_back(ip_pool[pick]);
+
+  domain.record_counts[static_cast<int>(ioc::DnsRecordType::kA)] =
+      static_cast<int>(domain.a_records.size());
+  domain.record_counts[static_cast<int>(ioc::DnsRecordType::kNs)] =
+      static_cast<int>(rng->NextBounded(3));
+  domain.record_counts[static_cast<int>(ioc::DnsRecordType::kTxt)] =
+      static_cast<int>(rng->NextBounded(2));
+  domain.record_counts[static_cast<int>(ioc::DnsRecordType::kMx)] =
+      rng->Bernoulli(0.15) ? 1 : 0;
+
+  uint32_t id = static_cast<uint32_t>(domains_.size());
+  domain_index_.emplace(domain.name, id);
+  for (uint32_t ip : domain.a_records) ips_[ip].domains.push_back(id);
+  domains_.push_back(std::move(domain));
+  return id;
+}
+
+uint32_t World::CreateUrl(int apt, uint32_t domain_id, Rng* rng) {
+  const AptProfile& profile = apts_[apt];
+  std::string url;
+  do {
+    url = GenerateUrlString(profile, domains_[domain_id].name, rng);
+  } while (url_index_.count(url) > 0);
+
+  UrlEntity entity;
+  entity.url = url;
+  entity.apt = apt;
+  entity.domain = domain_id;
+  const auto& a_records = domains_[domain_id].a_records;
+  entity.ip = a_records.empty()
+                  ? (noise_ips_.empty() ? 0
+                                        : noise_ips_[rng->NextBounded(
+                                              noise_ips_.size())])
+                  : a_records[rng->NextBounded(a_records.size())];
+  // Many APT URLs sit on compromised legitimate servers whose stack says
+  // nothing about the group; those attributes are sampled uniformly.
+  auto pick = [&](const Preference& pref, int vocab_size) {
+    return rng->Bernoulli(config_.url_attr_confusion)
+               ? static_cast<int>(rng->NextBounded(vocab_size))
+               : pref.Sample(rng);
+  };
+  entity.server = pick(profile.server, ioc::SchemaSizes::kServers);
+  entity.os = pick(profile.os, ioc::SchemaSizes::kOses);
+  entity.encoding = pick(profile.encoding, ioc::SchemaSizes::kEncodings);
+  entity.file_type = pick(profile.file_type, ioc::SchemaSizes::kFileTypes);
+  // File class follows the type loosely: derive deterministically.
+  entity.file_class = entity.file_type % ioc::SchemaSizes::kFileClasses;
+  entity.http_code = pick(profile.http_code, ioc::SchemaSizes::kHttpCodes);
+  size_t service_count = 1 + rng->NextBounded(3);
+  for (size_t i = 0; i < service_count; ++i) {
+    entity.services.push_back(pick(profile.service,
+                                   ioc::SchemaSizes::kServices));
+  }
+  entity.alive = rng->Bernoulli(0.6);
+
+  uint32_t id = static_cast<uint32_t>(urls_.size());
+  url_index_.emplace(entity.url, id);
+  urls_.push_back(std::move(entity));
+  return id;
+}
+
+void World::BuildTimeline() {
+  // Event counts per APT: rank-decayed between max and min.
+  const int total_days = config_.end_day + config_.post_days;
+  int pulse_counter = 0;
+  for (int apt = 0; apt < num_apts(); ++apt) {
+    double t = num_apts() > 1
+                   ? static_cast<double>(apt) / (num_apts() - 1)
+                   : 0.0;
+    int events = static_cast<int>(
+        config_.max_events_per_apt -
+        t * (config_.max_events_per_apt - config_.min_events_per_apt));
+    // Scale event volume so the post-cutoff window also gets coverage.
+    events = static_cast<int>(events * (1.0 + static_cast<double>(
+                                                  config_.post_days) /
+                                                  config_.end_day));
+
+    int produced = 0;
+    while (produced < events) {
+      // One campaign.
+      int campaign_events =
+          1 + rng_.Poisson(config_.mean_events_per_campaign - 1.0);
+      campaign_events = std::min(campaign_events, events - produced);
+      int campaign_start =
+          config_.start_day +
+          static_cast<int>(rng_.NextBounded(
+              static_cast<uint64_t>(total_days - config_.start_day - 60)));
+      int campaign_span = 30 + static_cast<int>(rng_.NextBounded(180));
+
+      Campaign campaign;
+      campaign.apt = apt;
+      campaign.start_day = campaign_start;
+      campaign.end_day = campaign_start + campaign_span;
+
+      // Seed infrastructure for the campaign. More IPs are stood up than
+      // ever get reported — the unreported ones surface only as secondary
+      // IOCs through domain A records (paper: only ~52% of IPs are
+      // first-order).
+      int seed_ips = 4 + rng_.Poisson(3.0);
+      for (int i = 0; i < seed_ips; ++i) {
+        // Cross-campaign indirect reuse: sometimes rent the same server the
+        // group used before instead of standing up a new one.
+        if (!apt_ip_pool_[apt].empty() &&
+            rng_.Bernoulli(config_.cross_campaign_ip_reuse * 0.4)) {
+          campaign.ips.push_back(
+              apt_ip_pool_[apt][rng_.NextBounded(apt_ip_pool_[apt].size())]);
+        } else {
+          campaign.ips.push_back(CreateIp(apt, campaign_start, &rng_));
+        }
+      }
+      int seed_domains = 3 + rng_.Poisson(3.0);
+      for (int i = 0; i < seed_domains; ++i) {
+        std::vector<uint32_t> ip_pool = campaign.ips;
+        if (!apt_ip_pool_[apt].empty() &&
+            rng_.Bernoulli(config_.cross_campaign_ip_reuse)) {
+          // One historic A record to an APT-pool IP creates the indirect
+          // (>2-hop) linkage the enrichment step surfaces.
+          ip_pool.push_back(
+              apt_ip_pool_[apt][rng_.NextBounded(apt_ip_pool_[apt].size())]);
+        }
+        campaign.domains.push_back(
+            CreateDomain(apt, campaign_start, ip_pool, &rng_));
+      }
+      int seed_urls = 3 + rng_.Poisson(3.0);
+      for (int i = 0; i < seed_urls; ++i) {
+        uint32_t domain =
+            campaign.domains[rng_.NextBounded(campaign.domains.size())];
+        campaign.urls.push_back(CreateUrl(apt, domain, &rng_));
+      }
+
+      // Emit the campaign's events.
+      for (int e = 0; e < campaign_events; ++e) {
+        int day = campaign.start_day +
+                  static_cast<int>(rng_.NextBounded(
+                      static_cast<uint64_t>(campaign_span + 1)));
+        bool isolated = rng_.Bernoulli(config_.isolated_event_rate);
+        PulseReport report =
+            MakeReport(campaign, apt, day, isolated, &campaign.ips,
+                       &campaign.domains, &campaign.urls, &rng_);
+        report.id = "PULSE-" + std::to_string(pulse_counter++);
+        reports_.push_back(std::move(report));
+        ++produced;
+      }
+
+      // Fold the campaign infrastructure into the APT-wide pools.
+      auto& ip_pool = apt_ip_pool_[apt];
+      ip_pool.insert(ip_pool.end(), campaign.ips.begin(), campaign.ips.end());
+      auto& domain_pool = apt_domain_pool_[apt];
+      domain_pool.insert(domain_pool.end(), campaign.domains.begin(),
+                         campaign.domains.end());
+      auto& url_pool = apt_url_pool_[apt];
+      url_pool.insert(url_pool.end(), campaign.urls.begin(),
+                      campaign.urls.end());
+    }
+  }
+}
+
+PulseReport World::MakeReport(const Campaign& /*campaign*/, int apt, int day,
+                              bool isolated,
+                              std::vector<uint32_t>* campaign_ips,
+                              std::vector<uint32_t>* campaign_domains,
+                              std::vector<uint32_t>* campaign_urls,
+                              Rng* rng) {
+  PulseReport report;
+  report.apt = apts_[apt].name;
+  report.day = day;
+
+  // Confusable borrowing source (one of the other cluster members).
+  int borrow_from = -1;
+  if (std::find(confusable_.begin(), confusable_.end(), apt) !=
+      confusable_.end()) {
+    do {
+      borrow_from = confusable_[rng->NextBounded(confusable_.size())];
+    } while (borrow_from == apt);
+  }
+
+  // Isolated events draw only from a private fresh infrastructure set.
+  std::vector<uint32_t> private_ips;
+  if (isolated) {
+    int count = 2 + rng->Poisson(1.5);
+    for (int i = 0; i < count; ++i) {
+      private_ips.push_back(CreateIp(apt, day, rng));
+    }
+  }
+
+  auto add_indicator = [&](const std::string& type, const std::string& value) {
+    std::string out = value;
+    if (rng->Bernoulli(config_.defang_rate)) out = ioc::Defang(out);
+    report.indicators.push_back(ReportedIndicator{type, out});
+  };
+
+  enum Source { kCampaign, kAptPool, kNoise, kFresh, kBorrow };
+  auto roll_source = [&]() -> Source {
+    if (isolated) return kFresh;
+    double r = rng->UniformDouble();
+    if (r < config_.campaign_reuse) return kCampaign;
+    r -= config_.campaign_reuse;
+    if (r < config_.apt_reuse) return kAptPool;
+    r -= config_.apt_reuse;
+    if (r < config_.global_noise) return kNoise;
+    r -= config_.global_noise;
+    if (borrow_from >= 0 && r < config_.confusable_borrow_rate) return kBorrow;
+    return kFresh;
+  };
+
+  int want_ips = 1 + rng->Poisson(config_.mean_ips_per_event - 1.0);
+  for (int i = 0; i < want_ips; ++i) {
+    uint32_t id;
+    switch (roll_source()) {
+      case kCampaign:
+        id = (*campaign_ips)[rng->NextBounded(campaign_ips->size())];
+        break;
+      case kAptPool:
+        if (apt_ip_pool_[apt].empty()) continue;
+        id = apt_ip_pool_[apt][rng->NextBounded(apt_ip_pool_[apt].size())];
+        break;
+      case kNoise:
+        id = noise_ips_[rng->NextBounded(noise_ips_.size())];
+        break;
+      case kBorrow:
+        if (apt_ip_pool_[borrow_from].empty()) continue;
+        id = apt_ip_pool_[borrow_from][rng->NextBounded(
+            apt_ip_pool_[borrow_from].size())];
+        break;
+      default:
+        if (isolated) {
+          id = private_ips[rng->NextBounded(private_ips.size())];
+        } else {
+          id = CreateIp(apt, day, rng);
+          campaign_ips->push_back(id);
+        }
+    }
+    add_indicator("IPv4", ips_[id].addr);
+  }
+
+  int want_domains = 1 + rng->Poisson(config_.mean_domains_per_event - 1.0);
+  for (int i = 0; i < want_domains; ++i) {
+    uint32_t id;
+    switch (roll_source()) {
+      case kCampaign:
+        id = (*campaign_domains)[rng->NextBounded(campaign_domains->size())];
+        break;
+      case kAptPool:
+        if (apt_domain_pool_[apt].empty()) continue;
+        id = apt_domain_pool_[apt][rng->NextBounded(
+            apt_domain_pool_[apt].size())];
+        break;
+      case kNoise:
+        id = noise_domains_[rng->NextBounded(noise_domains_.size())];
+        break;
+      case kBorrow:
+        if (apt_domain_pool_[borrow_from].empty()) continue;
+        id = apt_domain_pool_[borrow_from][rng->NextBounded(
+            apt_domain_pool_[borrow_from].size())];
+        break;
+      default:
+        if (isolated) {
+          id = CreateDomain(apt, day, private_ips, rng);
+        } else {
+          id = CreateDomain(apt, day, *campaign_ips, rng);
+          campaign_domains->push_back(id);
+        }
+    }
+    add_indicator("domain", domains_[id].name);
+  }
+
+  int want_urls = 1 + rng->Poisson(config_.mean_urls_per_event - 1.0);
+  for (int i = 0; i < want_urls; ++i) {
+    uint32_t id;
+    switch (roll_source()) {
+      case kCampaign:
+        id = (*campaign_urls)[rng->NextBounded(campaign_urls->size())];
+        break;
+      case kAptPool:
+        if (apt_url_pool_[apt].empty()) continue;
+        id = apt_url_pool_[apt][rng->NextBounded(apt_url_pool_[apt].size())];
+        break;
+      case kNoise: {
+        // Benign URLs are rare; host one on a noise domain on demand.
+        uint32_t domain =
+            noise_domains_[rng->NextBounded(noise_domains_.size())];
+        id = CreateUrl(apt, domain, rng);
+        break;
+      }
+      case kBorrow:
+        if (apt_url_pool_[borrow_from].empty()) continue;
+        id = apt_url_pool_[borrow_from][rng->NextBounded(
+            apt_url_pool_[borrow_from].size())];
+        break;
+      default: {
+        uint32_t domain;
+        if (isolated) {
+          domain = CreateDomain(apt, day, private_ips, rng);
+        } else if (!campaign_domains->empty() && rng->Bernoulli(0.6)) {
+          domain =
+              (*campaign_domains)[rng->NextBounded(campaign_domains->size())];
+        } else {
+          domain = CreateDomain(apt, day, *campaign_ips, rng);
+          campaign_domains->push_back(domain);
+        }
+        id = CreateUrl(apt, domain, rng);
+        if (!isolated) campaign_urls->push_back(id);
+      }
+    }
+    add_indicator("URL", urls_[id].url);
+  }
+
+  // Occasional junk rows (the paper's "javascript snippet" artifacts).
+  if (rng->Bernoulli(config_.junk_indicator_rate)) {
+    report.indicators.push_back(
+        ReportedIndicator{"URL", "javascript:void(window.location)"});
+  }
+  return report;
+}
+
+bool World::AnalyzeIp(const std::string& addr, ioc::IpAnalysis* out) const {
+  auto it = ip_index_.find(addr);
+  if (it == ip_index_.end()) return false;
+  const IpEntity& ip = ips_[it->second];
+  const auto& schemas = ioc::FeatureSchemas::Get();
+  Rng noise(HashString(addr) ^ config_.seed);
+
+  *out = ioc::IpAnalysis();
+  if (!noise.Bernoulli(config_.analysis_missing_rate)) {
+    out->country = schemas.countries().At(ip.country);
+    out->latitude = ip.latitude;
+    out->longitude = ip.longitude;
+  }
+  if (!noise.Bernoulli(config_.analysis_missing_rate)) {
+    out->issuer = schemas.issuers().At(ip.issuer);
+  }
+  if (!noise.Bernoulli(config_.analysis_missing_rate * 0.5)) {
+    out->asn = 10000 + ip.asn;
+  }
+  out->first_seen_days =
+      ip.first_day + noise.Normal(0.0, config_.timestamp_jitter_days);
+  out->last_seen_days =
+      ip.last_day + noise.Normal(0.0, config_.timestamp_jitter_days);
+  out->has_reverse_dns = ip.reverse_dns;
+  out->is_reserved = ip.reserved;
+  // Passive DNS: historic domains, capped like a real service's response.
+  constexpr size_t kMaxPdnsRows = 25;
+  if (ip.domains.size() <= kMaxPdnsRows) {
+    for (uint32_t d : ip.domains) {
+      out->resolved_domains.push_back(domains_[d].name);
+    }
+  } else {
+    std::vector<size_t> picks =
+        noise.SampleWithoutReplacement(ip.domains.size(), kMaxPdnsRows);
+    for (size_t pick : picks) {
+      out->resolved_domains.push_back(domains_[ip.domains[pick]].name);
+    }
+  }
+  return true;
+}
+
+bool World::AnalyzeDomain(const std::string& name,
+                          ioc::DomainAnalysis* out) const {
+  auto it = domain_index_.find(name);
+  if (it == domain_index_.end()) return false;
+  const DomainEntity& domain = domains_[it->second];
+  *out = ioc::DomainAnalysis();
+  out->record_counts = domain.record_counts;
+  out->nxdomain = domain.nxdomain;
+  Rng noise(HashString(name) ^ config_.seed);
+  out->first_seen_days =
+      domain.first_day + noise.Normal(0.0, config_.timestamp_jitter_days);
+  out->last_seen_days =
+      domain.last_day + noise.Normal(0.0, config_.timestamp_jitter_days);
+  for (uint32_t ip : domain.a_records) {
+    out->resolved_ips.push_back(ips_[ip].addr);
+  }
+  for (uint32_t cname : domain.cnames) {
+    out->cname_domains.push_back(domains_[cname].name);
+  }
+  return true;
+}
+
+bool World::AnalyzeUrl(const std::string& url, ioc::UrlAnalysis* out) const {
+  auto it = url_index_.find(url);
+  if (it == url_index_.end()) return false;
+  const UrlEntity& entity = urls_[it->second];
+  const auto& schemas = ioc::FeatureSchemas::Get();
+  Rng noise(HashString(url) ^ config_.seed);
+
+  *out = ioc::UrlAnalysis();
+  out->alive = entity.alive;
+  if (entity.alive || !noise.Bernoulli(0.7)) {
+    // Dead URLs keep cached header data half of the time (OTX archives).
+    if (!noise.Bernoulli(config_.analysis_missing_rate)) {
+      out->server = schemas.servers().At(entity.server);
+    }
+    if (!noise.Bernoulli(config_.analysis_missing_rate)) {
+      out->os = schemas.oses().At(entity.os);
+    }
+    out->encoding = schemas.encodings().At(entity.encoding);
+    out->file_type = schemas.file_types().At(entity.file_type);
+    out->file_class = schemas.file_classes().At(entity.file_class);
+    out->http_code = schemas.http_codes().At(entity.http_code);
+    for (int service : entity.services) {
+      out->services.push_back(schemas.services().At(service));
+    }
+  }
+  out->resolved_ip = ips_[entity.ip].addr;
+  return true;
+}
+
+int World::TrueApt(ioc::IocType type, const std::string& value) const {
+  switch (type) {
+    case ioc::IocType::kIp: {
+      auto it = ip_index_.find(value);
+      return it == ip_index_.end() ? -1 : ips_[it->second].apt;
+    }
+    case ioc::IocType::kDomain: {
+      auto it = domain_index_.find(value);
+      return it == domain_index_.end() ? -1 : domains_[it->second].apt;
+    }
+    case ioc::IocType::kUrl: {
+      auto it = url_index_.find(value);
+      return it == url_index_.end() ? -1 : urls_[it->second].apt;
+    }
+    default:
+      return -1;
+  }
+}
+
+}  // namespace trail::osint

@@ -1,0 +1,238 @@
+#ifndef TRAIL_OSINT_WORLD_H_
+#define TRAIL_OSINT_WORLD_H_
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ioc/analysis.h"
+#include "ioc/ioc.h"
+#include "osint/apt_profile.h"
+#include "osint/report.h"
+#include "util/random.h"
+
+namespace trail::osint {
+
+/// Knobs of the synthetic OSINT world. Defaults are tuned so the
+/// reproduction benches land in the paper's accuracy regimes at a scale that
+/// builds and trains in seconds on a laptop CPU; `ScaledUp()` describes how
+/// to approach the paper's full 4,512-event scale.
+struct WorldConfig {
+  uint64_t seed = 42;
+  int num_apts = 22;
+
+  // Event volume: per-APT counts decay by rank (the dataset is imbalanced,
+  // like the paper's; every tracked APT still has >= min_events_per_apt).
+  int min_events_per_apt = 25;
+  int max_events_per_apt = 64;
+
+  // Timeline (days since epoch). The paper's collection spans Feb 2015 to
+  // May 2023 (~3000 days) plus an 8-month longitudinal tail.
+  int start_day = 0;
+  int end_day = 3000;
+  int post_days = 240;
+
+  // First-order IOC volume per event.
+  double mean_ips_per_event = 4.0;
+  double mean_domains_per_event = 7.0;
+  double mean_urls_per_event = 6.0;
+
+  // Campaign structure: events per campaign ~ 1 + Poisson(mean - 1).
+  double mean_events_per_campaign = 3.0;
+
+  // IOC sourcing mix (probabilities; remainder = freshly created IOCs).
+  double campaign_reuse = 0.33;  // from this campaign's pool
+  double apt_reuse = 0.03;       // from the APT-wide pool (cross-campaign)
+  double global_noise = 0.08;    // shared benign/public infrastructure
+
+  /// Fraction of events built entirely from fresh infrastructure — the
+  /// events topology alone cannot attribute.
+  double isolated_event_rate = 0.16;
+
+  /// Cross-campaign indirect linkage: chance a campaign domain resolves to
+  /// an APT-pool IP from an earlier campaign (creates >2-hop paths).
+  double cross_campaign_ip_reuse = 0.45;
+
+  /// Pairs of groups that sometimes borrow from each other's pools (the
+  /// North-Korean-cluster confusion of the paper's Fig. 7). Indices into the
+  /// roster; probability applied per borrowed IOC.
+  double confusable_borrow_rate = 0.12;
+
+  /// How identifiable APT behavioral preferences are (higher = sharper
+  /// categorical biases = easier feature-only attribution).
+  double feature_sharpness = 0.45;
+
+  /// Chance an APT machine is rented outside the group's usual ASNs.
+  double asn_noise_rate = 0.60;
+
+  /// Chance a generated name/path follows a random archetype instead of the
+  /// group's own style (compromised or rented infrastructure).
+  double lexical_confusion = 0.55;
+
+  /// Chance a URL server attribute reflects a compromised victim host
+  /// rather than the group's own stack (the paper's case-study reports call
+  /// compromised legitimate servers "typical, yet weak-confidence"
+  /// behavior).
+  double url_attr_confusion = 0.55;
+
+  /// Chance an analysis lookup is missing a given attribute.
+  double analysis_missing_rate = 0.25;
+
+  /// Stddev (days) of the jitter on passive-DNS first/last-seen timestamps
+  /// (coverage of real passive DNS is spotty).
+  double timestamp_jitter_days = 90.0;
+
+  /// Parked/historic domains attached to each APT C2 IP (discovered only
+  /// through passive DNS — the paper's 75%-secondary-IOC population).
+  double mean_parked_domains_per_ip = 7.0;
+
+  /// Shared benign infrastructure sizes.
+  int num_noise_ips = 60;
+  int num_noise_domains = 90;
+  int num_asns = 40;
+
+  /// Chance a reported indicator value arrives defanged.
+  double defang_rate = 0.3;
+  /// Chance of a junk (non-IOC) indicator row in a report.
+  double junk_indicator_rate = 0.02;
+
+  /// A configuration ~6x larger, nearer the paper's event count.
+  static WorldConfig ScaledUp();
+};
+
+/// Ground-truth infrastructure entities (internal but exposed for tests and
+/// dataset statistics).
+struct IpEntity {
+  std::string addr;
+  int apt = -1;  // -1 = shared/noise infrastructure
+  int country = -1;
+  int issuer = -1;
+  double latitude = 0.0;
+  double longitude = 0.0;
+  int asn = -1;
+  bool reserved = false;
+  bool reverse_dns = false;
+  int first_day = 0;
+  int last_day = 0;
+  std::vector<uint32_t> domains;  // DomainEntity ids with A records here
+};
+
+struct DomainEntity {
+  std::string name;
+  int apt = -1;
+  bool nxdomain = false;
+  int first_day = 0;
+  int last_day = 0;
+  std::vector<uint32_t> a_records;  // IpEntity ids
+  std::vector<uint32_t> cnames;     // DomainEntity ids
+  std::array<int, ioc::SchemaSizes::kDnsRecordTypes> record_counts{};
+};
+
+struct UrlEntity {
+  std::string url;
+  int apt = -1;
+  uint32_t domain = 0;
+  uint32_t ip = 0;  // resolution target
+  int server = -1;
+  int os = -1;
+  int encoding = -1;
+  int file_type = -1;
+  int file_class = -1;
+  int http_code = -1;
+  std::vector<int> services;
+  bool alive = true;
+};
+
+/// The synthetic OSINT universe: 22 APT profiles, their campaign-structured
+/// infrastructure, a timeline of attributed incident reports, and the lookup
+/// services (passive DNS / geo-IP / URL probing) that the TRAIL enrichment
+/// pipeline queries. This module substitutes for AlienVault OTX + the
+/// paper's open-source analysis tools (see DESIGN.md, substitution table).
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+
+  const WorldConfig& config() const { return config_; }
+  const std::vector<AptProfile>& apts() const { return apts_; }
+  int num_apts() const { return static_cast<int>(apts_.size()); }
+
+  /// APT id for a threat-actor tag; -1 when unknown.
+  int AptIdByName(const std::string& name) const;
+
+  /// All generated reports, in chronological order.
+  const std::vector<PulseReport>& reports() const { return reports_; }
+
+  /// Reports with day in [day_lo, day_hi).
+  std::vector<const PulseReport*> ReportsBetween(int day_lo,
+                                                 int day_hi) const;
+
+  // -- Lookup services (the "Analyze IOC" boxes of the paper's Fig. 1a). --
+  // Return false when the indicator is unknown to every database.
+
+  bool AnalyzeIp(const std::string& addr, ioc::IpAnalysis* out) const;
+  bool AnalyzeDomain(const std::string& name, ioc::DomainAnalysis* out) const;
+  bool AnalyzeUrl(const std::string& url, ioc::UrlAnalysis* out) const;
+
+  /// Ground-truth owner of an IOC (-1 for shared/unknown). Test hook.
+  int TrueApt(ioc::IocType type, const std::string& value) const;
+
+  // Entity registries (dataset statistics + tests).
+  const std::vector<IpEntity>& ips() const { return ips_; }
+  const std::vector<DomainEntity>& domains() const { return domains_; }
+  const std::vector<UrlEntity>& urls() const { return urls_; }
+
+ private:
+  struct Campaign {
+    int apt = 0;
+    int start_day = 0;
+    int end_day = 0;
+    std::vector<uint32_t> ips;
+    std::vector<uint32_t> domains;
+    std::vector<uint32_t> urls;
+  };
+
+  void BuildNoiseInfrastructure();
+  void BuildTimeline();
+  uint32_t CreateIp(int apt, int day, Rng* rng);
+  uint32_t CreateDomain(int apt, int day, const std::vector<uint32_t>& ip_pool,
+                        Rng* rng);
+  uint32_t CreateUrl(int apt, uint32_t domain_id, Rng* rng);
+  void AttachParkedDomains(uint32_t ip_id, int apt, int day, Rng* rng);
+  std::string GenerateDomainName(const AptProfile& apt, Rng* rng);
+  std::string GenerateUrlString(const AptProfile& apt,
+                                const std::string& host, Rng* rng);
+  PulseReport MakeReport(const Campaign& campaign, int apt, int day,
+                         bool isolated, std::vector<uint32_t>* campaign_ips,
+                         std::vector<uint32_t>* campaign_domains,
+                         std::vector<uint32_t>* campaign_urls, Rng* rng);
+
+  WorldConfig config_;
+  std::vector<AptProfile> apts_;
+  std::vector<PulseReport> reports_;
+
+  std::vector<IpEntity> ips_;
+  std::vector<DomainEntity> domains_;
+  std::vector<UrlEntity> urls_;
+  std::unordered_map<std::string, uint32_t> ip_index_;
+  std::unordered_map<std::string, uint32_t> domain_index_;
+  std::unordered_map<std::string, uint32_t> url_index_;
+
+  // APT-wide reusable pools (grow as campaigns run).
+  std::vector<std::vector<uint32_t>> apt_ip_pool_;
+  std::vector<std::vector<uint32_t>> apt_domain_pool_;
+  std::vector<std::vector<uint32_t>> apt_url_pool_;
+
+  // Shared benign infrastructure.
+  std::vector<uint32_t> noise_ips_;
+  std::vector<uint32_t> noise_domains_;
+
+  // Confusable cluster (indices of mutually-borrowing groups).
+  std::vector<int> confusable_;
+
+  Rng rng_;
+};
+
+}  // namespace trail::osint
+
+#endif  // TRAIL_OSINT_WORLD_H_

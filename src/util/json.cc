@@ -1,0 +1,417 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace trail {
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Get(std::string_view key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  type_ = Type::kObject;
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* v = Get(key);
+  if (v != nullptr && v->is_string()) return v->AsString();
+  return fallback;
+}
+
+double JsonValue::GetNumber(std::string_view key, double fallback) const {
+  const JsonValue* v = Get(key);
+  if (v != nullptr && v->is_number()) return v->AsNumber();
+  return fallback;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Get(key);
+  if (v != nullptr && v->is_bool()) return v->AsBool();
+  return fallback;
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberTo(double d, std::string* out) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    *out += buf;
+  }
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      NumberTo(number_, out);
+      break;
+    case Type::kString:
+      EscapeTo(string_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Indent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) Indent(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Indent(out, indent, depth + 1);
+        EscapeTo(object_[i].first, out);
+        *out += indent > 0 ? ": " : ":";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) Indent(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    JsonValue v;
+    TRAIL_RETURN_NOT_OK(ParseValue(&v));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters at offset " +
+                                std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  Status ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    // The parser is recursive; bound nesting so hostile feed content cannot
+    // exhaust the stack.
+    if (depth_ > kMaxDepth) return Err("nesting too deep");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        TRAIL_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::MakeString(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::MakeBool(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue::MakeBool(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue::MakeNull(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view lit, JsonValue v, JsonValue* out) {
+    if (text_.substr(pos_, lit.size()) != lit) return Err("bad literal");
+    pos_ += lit.size();
+    *out = std::move(v);
+    return Status::Ok();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool any = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+      any = true;
+    }
+    if (!any) return Err("invalid number");
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Err("invalid number");
+    *out = JsonValue::MakeNumber(d);
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Err("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Err("bad \\u escape");
+              }
+            }
+            // UTF-8 encode (basic multilingual plane only; IOC text is ASCII).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Err("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseArray(JsonValue* out) {
+    *out = JsonValue::MakeArray();
+    ++depth_;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      --depth_;
+      return Status::Ok();
+    }
+    for (;;) {
+      JsonValue item;
+      SkipWs();
+      TRAIL_RETURN_NOT_OK(ParseValue(&item));
+      out->Append(std::move(item));
+      SkipWs();
+      if (pos_ >= text_.size()) return Err("unterminated array");
+      char c = text_[pos_++];
+      if (c == ']') {
+        --depth_;
+        return Status::Ok();
+      }
+      if (c != ',') return Err("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    *out = JsonValue::MakeObject();
+    ++depth_;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      std::string key;
+      TRAIL_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_++] != ':') {
+        return Err("expected ':' in object");
+      }
+      SkipWs();
+      JsonValue value;
+      TRAIL_RETURN_NOT_OK(ParseValue(&value));
+      out->Set(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Err("unterminated object");
+      char c = text_[pos_++];
+      if (c == '}') {
+        --depth_;
+        return Status::Ok();
+      }
+      if (c != ',') return Err("expected ',' or '}' in object");
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Err(std::string_view what) {
+    return Status::ParseError(std::string(what) + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace trail

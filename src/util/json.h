@@ -1,0 +1,80 @@
+#ifndef TRAIL_UTIL_JSON_H_
+#define TRAIL_UTIL_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace trail {
+
+/// A small owning JSON document model. The OSINT feed emits incident reports
+/// as JSON (mirroring the paper's raw-OTX-pulse ingestion path) and the TKG
+/// builder parses them back, so TRAIL carries its own reader/writer instead
+/// of depending on an external JSON library.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  /// Array access.
+  const std::vector<JsonValue>& items() const { return array_; }
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+  size_t size() const { return array_.size(); }
+  const JsonValue& operator[](size_t i) const { return array_[i]; }
+
+  /// Object access. `Get` returns nullptr for a missing key.
+  const JsonValue* Get(std::string_view key) const;
+  void Set(std::string key, JsonValue v);
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  /// Convenience typed getters with fallbacks, for tolerant report parsing.
+  std::string GetString(std::string_view key, std::string fallback = "") const;
+  double GetNumber(std::string_view key, double fallback = 0.0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+
+  /// Serializes to compact JSON; `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a complete JSON document. Trailing garbage is an error.
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace trail
+
+#endif  // TRAIL_UTIL_JSON_H_

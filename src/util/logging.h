@@ -1,0 +1,69 @@
+#ifndef TRAIL_UTIL_LOGGING_H_
+#define TRAIL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace trail {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Benchmarks raise this
+/// to kWarning so tables are not interleaved with progress chatter.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define TRAIL_LOG(level)                                            \
+  ::trail::internal::LogMessage(::trail::LogLevel::k##level,        \
+                                __FILE__, __LINE__)
+
+/// Invariant check: aborts with a message when `cond` is false. Used for
+/// programming errors only; recoverable failures go through Status.
+#define TRAIL_CHECK(cond)                                           \
+  if (cond) {                                                       \
+  } else                                                            \
+    ::trail::internal::FatalMessage(__FILE__, __LINE__, #cond)
+
+#define TRAIL_DCHECK(cond) TRAIL_CHECK(cond)
+
+}  // namespace trail
+
+#endif  // TRAIL_UTIL_LOGGING_H_

@@ -1,0 +1,39 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace trail {
+
+int ParallelWorkers() {
+  static const int workers = []() {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 4;
+    return static_cast<int>(std::min(hw, 16u));
+  }();
+  return workers;
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
+                 size_t min_chunk) {
+  if (n == 0) return;
+  const int workers = ParallelWorkers();
+  if (workers <= 1 || n <= min_chunk) {
+    fn(0, n);
+    return;
+  }
+  const size_t chunks = std::min<size_t>(workers, (n + min_chunk - 1) / min_chunk);
+  const size_t per_chunk = (n + chunks - 1) / chunks;
+  std::vector<std::thread> threads;
+  threads.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t begin = c * per_chunk;
+    size_t end = std::min(n, begin + per_chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, begin, end]() { fn(begin, end); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace trail

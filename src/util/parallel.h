@@ -1,0 +1,21 @@
+#ifndef TRAIL_UTIL_PARALLEL_H_
+#define TRAIL_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace trail {
+
+/// Number of worker threads ParallelFor will use (hardware concurrency,
+/// capped at 16).
+int ParallelWorkers();
+
+/// Runs fn(begin, end) over a partition of [0, n) across worker threads.
+/// Falls back to a single inline call for small n. Blocks until done. The
+/// callback must write only to disjoint output ranges.
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
+                 size_t min_chunk = 1024);
+
+}  // namespace trail
+
+#endif  // TRAIL_UTIL_PARALLEL_H_

@@ -1,0 +1,80 @@
+#ifndef TRAIL_UTIL_RANDOM_H_
+#define TRAIL_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace trail {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**), used
+/// everywhere in TRAIL instead of std::mt19937 so that synthetic worlds,
+/// data splits, and model initializations are reproducible across platforms
+/// and standard-library implementations.
+class Rng {
+ public:
+  /// Seeds the four-word state from a single seed via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller (no cached spare; stateless per call pair).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed count (Knuth's method; fine for small means).
+  int Poisson(double mean);
+
+  /// Geometric-ish heavy-tailed count >= 1: 1 + floor of an exponential.
+  int HeavyTailCount(double mean_extra);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights need not be normalized; all-zero weights sample uniformly.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Samples an index in [0, n) from a Zipf-like distribution with
+  /// exponent `s` (rank 0 most likely). Used for realistic IOC reuse skew.
+  size_t Zipf(size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k clamped to n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; streams do not overlap in
+  /// practice because the derivation passes through SplitMix64.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace trail
+
+#endif  // TRAIL_UTIL_RANDOM_H_

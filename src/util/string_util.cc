@@ -1,0 +1,114 @@
+#include "util/string_util.h"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace trail {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool IsDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+size_t CountChar(std::string_view s, char c) {
+  size_t n = 0;
+  for (char ch : s) {
+    if (ch == c) ++n;
+  }
+  return n;
+}
+
+double ShannonEntropy(std::string_view s) {
+  if (s.empty()) return 0.0;
+  std::array<int, 256> counts{};
+  for (unsigned char c : s) counts[c]++;
+  double entropy = 0.0;
+  const double n = static_cast<double>(s.size());
+  for (int count : counts) {
+    if (count == 0) continue;
+    double p = count / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string WithThousands(int64_t v) {
+  // Magnitude via unsigned arithmetic so INT64_MIN does not overflow.
+  uint64_t magnitude =
+      v < 0 ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter > 0 && counter % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++counter;
+  }
+  if (v < 0) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace trail

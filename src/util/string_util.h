@@ -1,0 +1,42 @@
+#ifndef TRAIL_UTIL_STRING_UTIL_H_
+#define TRAIL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trail {
+
+/// Splits `s` on every occurrence of `sep`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins strings with the given separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (IOC values are ASCII by construction).
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True when every character is an ASCII digit (and s is non-empty).
+bool IsDigits(std::string_view s);
+
+/// Count of characters in `s` equal to `c`.
+size_t CountChar(std::string_view s, char c);
+
+/// Shannon entropy over byte frequencies, in bits per character.
+double ShannonEntropy(std::string_view s);
+
+/// Formats a double with fixed precision (benchmark table output helper).
+std::string FormatDouble(double v, int precision);
+
+/// Renders an integer with thousands separators ("2,125,066").
+std::string WithThousands(int64_t v);
+
+}  // namespace trail
+
+#endif  // TRAIL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,33 @@
+#ifndef TRAIL_UTIL_TABLE_PRINTER_H_
+#define TRAIL_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace trail {
+
+/// Renders aligned plain-text tables; every reproduction bench uses it so
+/// output rows look like the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace trail
+
+#endif  // TRAIL_UTIL_TABLE_PRINTER_H_

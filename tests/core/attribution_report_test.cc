@@ -1,0 +1,113 @@
+#include "core/attribution_report.h"
+
+#include <gtest/gtest.h>
+
+#include "osint/feed_client.h"
+#include "osint/world.h"
+
+namespace trail::core {
+namespace {
+
+using graph::NodeType;
+
+class AttributionReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    osint::WorldConfig config;
+    config.num_apts = 5;
+    config.min_events_per_apt = 10;
+    config.max_events_per_apt = 14;
+    config.end_day = 900;
+    config.seed = 33;
+    world_ = new osint::World(config);
+    feed_ = new osint::FeedClient(world_);
+    TrailOptions options;
+    options.autoencoder.hidden = 32;
+    options.autoencoder.encoding = 16;
+    options.autoencoder.epochs = 2;
+    options.autoencoder.max_train_rows = 400;
+    options.gnn.hidden = 32;
+    options.gnn.epochs = 20;
+    trail_ = new Trail(feed_, options);
+    ASSERT_TRUE(trail_->Ingest(feed_->FetchReports(0, 900)).ok());
+    ASSERT_TRUE(trail_->TrainModels().ok());
+  }
+  static void TearDownTestSuite() {
+    delete trail_;
+    delete feed_;
+    delete world_;
+  }
+
+  static osint::World* world_;
+  static osint::FeedClient* feed_;
+  static Trail* trail_;
+};
+
+osint::World* AttributionReportTest::world_ = nullptr;
+osint::FeedClient* AttributionReportTest::feed_ = nullptr;
+Trail* AttributionReportTest::trail_ = nullptr;
+
+TEST_F(AttributionReportTest, BuildsReportWithVerdictsAndEvidence) {
+  auto events = trail_->graph().NodesOfType(NodeType::kEvent);
+  // Find an event with shared infrastructure (reuse evidence must exist).
+  graph::NodeId chosen = graph::kInvalidNode;
+  for (graph::NodeId event : events) {
+    for (const graph::Neighbor& nb : trail_->graph().neighbors(event)) {
+      if (trail_->graph().report_count(nb.node) > 1) {
+        chosen = event;
+        break;
+      }
+    }
+    if (chosen != graph::kInvalidNode) break;
+  }
+  ASSERT_NE(chosen, graph::kInvalidNode);
+
+  auto report = BuildAttributionReport(*trail_, chosen, 6);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->event_id, trail_->graph().value(chosen));
+  EXPECT_TRUE(report->gnn_ok);
+  EXPECT_FALSE(report->evidence.empty());
+  EXPECT_LE(report->evidence.size(), 6u);
+  for (const Evidence& item : report->evidence) {
+    EXPECT_FALSE(item.ioc_value.empty());
+    EXPECT_FALSE(item.linked_events.empty());
+  }
+}
+
+TEST_F(AttributionReportTest, DirectEvidenceComesFirst) {
+  auto events = trail_->graph().NodesOfType(NodeType::kEvent);
+  auto report = BuildAttributionReport(*trail_, events[0], 10);
+  ASSERT_TRUE(report.ok());
+  bool seen_indirect = false;
+  for (const Evidence& item : report->evidence) {
+    if (!item.direct) seen_indirect = true;
+    if (seen_indirect) {
+      EXPECT_FALSE(item.direct);
+    }
+  }
+}
+
+TEST_F(AttributionReportTest, JsonSerializationParses) {
+  auto events = trail_->graph().NodesOfType(NodeType::kEvent);
+  auto report = BuildAttributionReport(*trail_, events[1]);
+  ASSERT_TRUE(report.ok());
+  std::string json = report->ToJson().Dump(2);
+  auto parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->GetString("event"), report->event_id);
+  const JsonValue* gnn = parsed->Get("gnn");
+  ASSERT_NE(gnn, nullptr);
+  EXPECT_FALSE(gnn->GetString("apt").empty());
+  EXPECT_GT(gnn->GetNumber("confidence"), 0.0);
+  ASSERT_NE(parsed->Get("evidence"), nullptr);
+  EXPECT_TRUE(parsed->Get("evidence")->is_array());
+}
+
+TEST_F(AttributionReportTest, RejectsNonEventNodes) {
+  auto ips = trail_->graph().NodesOfType(NodeType::kIp);
+  ASSERT_FALSE(ips.empty());
+  EXPECT_FALSE(BuildAttributionReport(*trail_, ips[0]).ok());
+}
+
+}  // namespace
+}  // namespace trail::core

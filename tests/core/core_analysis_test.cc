@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "core/encoders.h"
+#include "core/ioc_dataset.h"
+#include "core/stats.h"
+#include "core/tkg_builder.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+
+namespace trail::core {
+namespace {
+
+using graph::EdgeType;
+using graph::NodeId;
+using graph::NodeType;
+
+osint::WorldConfig SmallConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 5;
+  config.min_events_per_apt = 8;
+  config.max_events_per_apt = 12;
+  config.end_day = 900;
+  config.post_days = 60;
+  config.seed = 13;
+  return config;
+}
+
+/// Shared fixture: one fully-ingested small TKG for all analysis tests.
+class CoreAnalysisTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new osint::World(SmallConfig());
+    feed_ = new osint::FeedClient(world_);
+    builder_ = new TkgBuilder(feed_, TkgBuildOptions{});
+    ASSERT_TRUE(
+        builder_->IngestAll(feed_->FetchReports(0, SmallConfig().end_day))
+            .ok());
+  }
+  static void TearDownTestSuite() {
+    delete builder_;
+    delete feed_;
+    delete world_;
+    builder_ = nullptr;
+    feed_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static osint::World* world_;
+  static osint::FeedClient* feed_;
+  static TkgBuilder* builder_;
+};
+
+osint::World* CoreAnalysisTest::world_ = nullptr;
+osint::FeedClient* CoreAnalysisTest::feed_ = nullptr;
+TkgBuilder* CoreAnalysisTest::builder_ = nullptr;
+
+TEST_F(CoreAnalysisTest, ExtractIocDatasetShapes) {
+  const auto& g = builder_->graph();
+  int num_classes = builder_->num_apts();
+  for (NodeType type : {NodeType::kIp, NodeType::kUrl, NodeType::kDomain}) {
+    IocDataset ds = ExtractIocDataset(g, type, num_classes);
+    EXPECT_GT(ds.data.size(), 0u) << graph::NodeTypeName(type);
+    EXPECT_EQ(ds.data.size(), ds.nodes.size());
+    EXPECT_TRUE(ds.data.Validate().ok());
+    for (NodeId node : ds.nodes) {
+      EXPECT_EQ(g.type(node), type);
+      EXPECT_TRUE(g.first_order(node));
+    }
+  }
+}
+
+TEST_F(CoreAnalysisTest, MultiLabelIocsExcluded) {
+  const auto& g = builder_->graph();
+  IocDataset ds = ExtractIocDataset(g, NodeType::kIp, builder_->num_apts());
+  for (size_t i = 0; i < ds.nodes.size(); ++i) {
+    // Adjacent labeled events must all agree with the dataset label.
+    for (const graph::Neighbor& nb : g.neighbors(ds.nodes[i])) {
+      if (g.type(nb.node) != NodeType::kEvent) continue;
+      if (g.label(nb.node) < 0) continue;
+      EXPECT_EQ(g.label(nb.node), ds.data.y[i]);
+    }
+  }
+}
+
+TEST_F(CoreAnalysisTest, EventIocIndexCoversEvents) {
+  const auto& g = builder_->graph();
+  IocDataset ds = ExtractIocDataset(g, NodeType::kDomain,
+                                    builder_->num_apts());
+  EventIocIndex index = BuildEventIocIndex(g, ds);
+  EXPECT_EQ(index.events.size(), g.NodesOfType(NodeType::kEvent).size());
+  size_t nonempty = 0;
+  for (size_t i = 0; i < index.events.size(); ++i) {
+    for (size_t row : index.rows_per_event[i]) {
+      ASSERT_LT(row, ds.nodes.size());
+      // The IOC is actually adjacent to this event.
+      EXPECT_TRUE(g.HasEdge(index.events[i], ds.nodes[row],
+                            EdgeType::kInReport));
+    }
+    nonempty += !index.rows_per_event[i].empty();
+  }
+  EXPECT_GT(nonempty, index.events.size() / 2);
+}
+
+TEST(ModeVoteTest, MajorityAndTies) {
+  std::vector<int> preds = {0, 1, 1, 2, 1, 0};
+  EXPECT_EQ(ModeVote(preds, {0, 1, 2, 4}), 1);   // three 1s
+  EXPECT_EQ(ModeVote(preds, {0, 1}), 0);          // tie 0/1 -> lower id
+  EXPECT_EQ(ModeVote(preds, {}), -1);
+  std::vector<int> with_abstain = {-1, -1, 2};
+  EXPECT_EQ(ModeVote(with_abstain, {0, 1, 2}), 2);  // abstentions ignored
+  EXPECT_EQ(ModeVote(with_abstain, {0, 1}), -1);
+}
+
+TEST_F(CoreAnalysisTest, TkgStatsConsistentWithGraph) {
+  const auto& g = builder_->graph();
+  TkgStatsReport report = ComputeTkgStats(g);
+  EXPECT_EQ(report.total.nodes, g.num_nodes());
+  EXPECT_EQ(report.num_edges, g.num_edges());
+  // Sum of per-type degree endpoints = 2 * edges.
+  EXPECT_EQ(report.total.edge_endpoints, 2 * g.num_edges());
+  // Per-type sanity.
+  const TypeStats& events = report.per_type[0];
+  EXPECT_EQ(events.type_name, "Event");
+  EXPECT_EQ(events.nodes, g.NodesOfType(NodeType::kEvent).size());
+  EXPECT_LT(events.first_order_fraction, 0);  // n/a for events
+  const TypeStats& urls =
+      report.per_type[static_cast<int>(NodeType::kUrl)];
+  EXPECT_GE(urls.avg_reuse, 1.0);
+  EXPECT_GT(urls.first_order_fraction, 0.0);
+  EXPECT_LE(urls.first_order_fraction, 1.0);
+}
+
+TEST_F(CoreAnalysisTest, ReuseHistogramSumsToFirstOrderCount) {
+  const auto& g = builder_->graph();
+  auto histogram = ReuseHistogram(g, NodeType::kIp);
+  size_t total = 0;
+  for (const auto& [reuse, count] : histogram) {
+    EXPECT_GE(reuse, 1);
+    total += count;
+  }
+  size_t first_order = 0;
+  for (NodeId v : g.NodesOfType(NodeType::kIp)) {
+    first_order += g.first_order(v);
+  }
+  EXPECT_EQ(total, first_order);
+}
+
+TEST_F(CoreAnalysisTest, ConnectivityReportShape) {
+  ConnectivityReport report = ComputeConnectivity(builder_->graph());
+  EXPECT_GE(report.full_components, 1u);
+  EXPECT_GT(report.full_largest_fraction, 0.5);
+  EXPECT_LE(report.full_largest_fraction, 1.0);
+  EXPECT_GT(report.full_diameter, 1);
+  // Dropping enrichment nodes can only fragment the graph.
+  EXPECT_GE(report.first_order_components, report.full_components);
+  EXPECT_GT(report.events_within_two_hops, 0.3);
+  EXPECT_LE(report.events_within_two_hops, 1.0);
+}
+
+TEST_F(CoreAnalysisTest, EncodersProduceAlignedEncodings) {
+  const auto& g = builder_->graph();
+  IocEncoders encoders;
+  gnn::AutoencoderOptions opts;
+  opts.hidden = 32;
+  opts.encoding = 8;
+  opts.epochs = 2;
+  opts.max_train_rows = 500;
+  encoders.Fit(g, opts);
+  ASSERT_TRUE(encoders.fitted());
+  ml::Matrix encoded = encoders.EncodeAll(g);
+  EXPECT_EQ(encoded.rows(), g.num_nodes());
+  EXPECT_EQ(encoded.cols(), 8u);
+  // Events and ASNs have zero encodings; featured IOCs are nonzero.
+  for (NodeId v : g.NodesOfType(NodeType::kEvent)) {
+    for (float x : encoded.Row(v)) EXPECT_FLOAT_EQ(x, 0.0f);
+  }
+  size_t nonzero_iocs = 0;
+  for (NodeId v : g.NodesOfType(NodeType::kIp)) {
+    float norm = 0;
+    for (float x : encoded.Row(v)) norm += x * x;
+    nonzero_iocs += norm > 0;
+  }
+  EXPECT_GT(nonzero_iocs, 0u);
+}
+
+TEST_F(CoreAnalysisTest, BuildGnnGraphMirrorsAdjacency) {
+  const auto& g = builder_->graph();
+  ml::Matrix encoded(g.num_nodes(), 4);
+  gnn::GnnGraph gg = BuildGnnGraph(g, encoded);
+  EXPECT_EQ(gg.num_nodes, g.num_nodes());
+  EXPECT_EQ(gg.events.size(), g.NodesOfType(NodeType::kEvent).size());
+  EXPECT_EQ(gg.spec.sources.size(), 2 * g.num_edges());
+  EXPECT_EQ(gg.edge_type.size(), gg.spec.sources.size());
+  // Spot-check: spec neighborhood of node 0 equals graph adjacency.
+  ASSERT_EQ(gg.spec.offsets[1] - gg.spec.offsets[0], g.degree(0));
+  for (size_t i = 0; i < g.degree(0); ++i) {
+    EXPECT_EQ(gg.spec.sources[gg.spec.offsets[0] + i],
+              g.neighbors(0)[i].node);
+    EXPECT_EQ(gg.edge_type[gg.spec.offsets[0] + i],
+              static_cast<int>(g.neighbors(0)[i].type));
+  }
+}
+
+TEST_F(CoreAnalysisTest, BuildGnnSubgraphInducesCorrectly) {
+  const auto& g = builder_->graph();
+  ml::Matrix encoded(g.num_nodes(), 4);
+  // Take an event and its direct neighbors.
+  NodeId event = g.NodesOfType(NodeType::kEvent)[0];
+  std::vector<NodeId> nodes = {event};
+  for (const graph::Neighbor& nb : g.neighbors(event)) {
+    nodes.push_back(nb.node);
+  }
+  gnn::GnnGraph sub = BuildGnnSubgraph(g, encoded, nodes);
+  EXPECT_EQ(sub.num_nodes, nodes.size());
+  // Local id 0 = the event, with all its neighbors present.
+  EXPECT_EQ(sub.node_type[0], static_cast<int>(NodeType::kEvent));
+  EXPECT_EQ(sub.spec.offsets[1] - sub.spec.offsets[0], g.degree(event));
+  // Edges to outside nodes are dropped: every source is in range.
+  for (uint32_t src : sub.spec.sources) EXPECT_LT(src, sub.num_nodes);
+}
+
+}  // namespace
+}  // namespace trail::core

@@ -1,0 +1,66 @@
+// Integration: a fully built synthetic TKG must survive a save/load round
+// trip with every statistic intact — the deployment path where the TKG is
+// built once and analyzed by separate processes.
+
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "core/tkg_builder.h"
+#include "graph/serialization.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+
+namespace trail::core {
+namespace {
+
+TEST(PersistenceTest, FullTkgRoundTripPreservesStatistics) {
+  osint::WorldConfig config;
+  config.num_apts = 5;
+  config.min_events_per_apt = 6;
+  config.max_events_per_apt = 10;
+  config.end_day = 700;
+  config.seed = 77;
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  TkgBuilder builder(&feed, TkgBuildOptions{});
+  ASSERT_TRUE(builder.IngestAll(feed.FetchReports(0, config.end_day)).ok());
+  const graph::PropertyGraph& original = builder.graph();
+
+  std::string path = testing::TempDir() + "/full_world.tkg";
+  ASSERT_TRUE(graph::SaveGraph(original, path).ok());
+  auto loaded = graph::LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+
+  TkgStatsReport before = ComputeTkgStats(original);
+  TkgStatsReport after = ComputeTkgStats(loaded.value());
+  for (size_t t = 0; t < before.per_type.size(); ++t) {
+    EXPECT_EQ(before.per_type[t].nodes, after.per_type[t].nodes);
+    EXPECT_EQ(before.per_type[t].edge_endpoints,
+              after.per_type[t].edge_endpoints);
+    EXPECT_DOUBLE_EQ(before.per_type[t].avg_reuse,
+                     after.per_type[t].avg_reuse);
+  }
+
+  ConnectivityReport conn_before = ComputeConnectivity(original);
+  ConnectivityReport conn_after = ComputeConnectivity(loaded.value());
+  EXPECT_EQ(conn_before.full_components, conn_after.full_components);
+  EXPECT_EQ(conn_before.full_largest, conn_after.full_largest);
+  EXPECT_DOUBLE_EQ(conn_before.events_within_two_hops,
+                   conn_after.events_within_two_hops);
+
+  // Feature vectors survive byte-exactly.
+  for (graph::NodeId v = 0; v < original.num_nodes(); v += 97) {
+    ASSERT_EQ(loaded->features(v).size(), original.features(v).size());
+    for (size_t i = 0; i < original.features(v).size(); ++i) {
+      EXPECT_EQ(loaded->features(v)[i], original.features(v)[i]);
+    }
+    EXPECT_EQ(loaded->label(v), original.label(v));
+    EXPECT_EQ(loaded->value(v), original.value(v));
+  }
+}
+
+}  // namespace
+}  // namespace trail::core

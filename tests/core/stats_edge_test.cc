@@ -1,0 +1,76 @@
+// Hand-constructed graphs exercising the TkgStats edge cases that the
+// world-scale fixture cannot isolate.
+
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "graph/property_graph.h"
+
+namespace trail::core {
+namespace {
+
+using graph::EdgeType;
+using graph::NodeId;
+using graph::NodeType;
+
+TEST(StatsEdgeTest, TwoHopEventFractionExact) {
+  // e0 and e1 share an IOC (both within 2 hops of each other); e2 has its
+  // own private IOC -> fraction = 2/3.
+  graph::PropertyGraph g;
+  NodeId e0 = g.AddNode(NodeType::kEvent, "e0");
+  NodeId e1 = g.AddNode(NodeType::kEvent, "e1");
+  NodeId e2 = g.AddNode(NodeType::kEvent, "e2");
+  NodeId shared = g.AddNode(NodeType::kIp, "1.1.1.1");
+  NodeId lonely = g.AddNode(NodeType::kIp, "2.2.2.2");
+  g.AddEdge(e0, shared, EdgeType::kInReport);
+  g.AddEdge(e1, shared, EdgeType::kInReport);
+  g.AddEdge(e2, lonely, EdgeType::kInReport);
+  ConnectivityReport report = ComputeConnectivity(g);
+  EXPECT_NEAR(report.events_within_two_hops, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(report.full_components, 2u);
+}
+
+TEST(StatsEdgeTest, ReuseAveragesOnlyFirstOrderIocs) {
+  graph::PropertyGraph g;
+  NodeId e0 = g.AddNode(NodeType::kEvent, "e0");
+  NodeId e1 = g.AddNode(NodeType::kEvent, "e1");
+  NodeId first = g.AddNode(NodeType::kIp, "1.1.1.1");
+  NodeId secondary = g.AddNode(NodeType::kIp, "2.2.2.2");
+  g.SetFirstOrder(first, true);
+  g.IncrementReportCount(first);
+  g.IncrementReportCount(first);
+  g.AddEdge(e0, first, EdgeType::kInReport);
+  g.AddEdge(e1, first, EdgeType::kInReport);
+  g.AddEdge(first, secondary, EdgeType::kResolvesTo);
+
+  TkgStatsReport report = ComputeTkgStats(g);
+  const TypeStats& ips = report.per_type[static_cast<int>(NodeType::kIp)];
+  EXPECT_EQ(ips.nodes, 2u);
+  EXPECT_DOUBLE_EQ(ips.first_order_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(ips.avg_reuse, 2.0);  // the secondary IOC is excluded
+}
+
+TEST(StatsEdgeTest, EmptyGraph) {
+  graph::PropertyGraph g;
+  TkgStatsReport report = ComputeTkgStats(g);
+  EXPECT_EQ(report.total.nodes, 0u);
+  EXPECT_EQ(report.num_edges, 0u);
+  ConnectivityReport conn = ComputeConnectivity(g);
+  EXPECT_EQ(conn.full_components, 0u);
+  EXPECT_DOUBLE_EQ(conn.events_within_two_hops, 0.0);
+}
+
+TEST(StatsEdgeTest, ReuseHistogramIgnoresSecondaries) {
+  graph::PropertyGraph g;
+  NodeId a = g.AddNode(NodeType::kDomain, "a.x");
+  NodeId b = g.AddNode(NodeType::kDomain, "b.x");
+  g.SetFirstOrder(a, true);
+  g.IncrementReportCount(a);
+  (void)b;  // secondary: never first-order
+  auto histogram = ReuseHistogram(g, NodeType::kDomain);
+  EXPECT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram[1], 1u);
+}
+
+}  // namespace
+}  // namespace trail::core

@@ -1,0 +1,94 @@
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+#include "osint/feed_client.h"
+#include "osint/world.h"
+
+namespace trail::core {
+namespace {
+
+osint::WorldConfig StudyConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 4;
+  config.min_events_per_apt = 10;
+  config.max_events_per_apt = 14;
+  config.end_day = 800;
+  config.post_days = 90;
+  config.seed = 61;
+  return config;
+}
+
+TrailOptions FastOptions() {
+  TrailOptions options;
+  options.autoencoder.hidden = 32;
+  options.autoencoder.encoding = 16;
+  options.autoencoder.epochs = 2;
+  options.autoencoder.max_train_rows = 400;
+  options.gnn.hidden = 32;
+  options.gnn.epochs = 25;
+  return options;
+}
+
+TEST(StudyTest, RequiresTrainedModels) {
+  osint::World world(StudyConfig());
+  osint::FeedClient feed(&world);
+  Trail trail(&feed, FastOptions());
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, 800)).ok());
+  Study study(&trail, StudyOptions{});
+  auto outcome = study.RunMonth(world.ReportsBetween(800, 830));
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(StudyTest, MonthsAccumulateAndRetrain) {
+  osint::World world(StudyConfig());
+  osint::FeedClient feed(&world);
+  Trail trail(&feed, FastOptions());
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, 800)).ok());
+  ASSERT_TRUE(trail.TrainModels().ok());
+
+  StudyOptions study_options;
+  study_options.fine_tune_epochs = 2;
+  Study study(&trail, study_options);
+  size_t events_before = trail.graph().NodesOfType(
+      graph::NodeType::kEvent).size();
+  for (int month = 0; month < 2; ++month) {
+    auto reports = world.ReportsBetween(800 + 30 * month, 830 + 30 * month);
+    if (reports.empty()) continue;
+    auto outcome = study.RunMonth(reports);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_EQ(outcome->num_reports, reports.size());
+    EXPECT_GE(outcome->accuracy, 0.0);
+    EXPECT_LE(outcome->accuracy, 1.0);
+    // Retraining mode merges the labels.
+    for (size_t i = 0; i < outcome->event_nodes.size(); ++i) {
+      if (outcome->truth[i] >= 0) {
+        EXPECT_EQ(trail.graph().label(outcome->event_nodes[i]),
+                  outcome->truth[i]);
+      }
+    }
+  }
+  EXPECT_EQ(study.history().size(), 2u);
+  EXPECT_GT(trail.graph().NodesOfType(graph::NodeType::kEvent).size(),
+            events_before);
+}
+
+TEST(StudyTest, FrozenModeLeavesLabelsUnset) {
+  osint::World world(StudyConfig());
+  osint::FeedClient feed(&world);
+  Trail trail(&feed, FastOptions());
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, 800)).ok());
+  ASSERT_TRUE(trail.TrainModels().ok());
+
+  StudyOptions frozen;
+  frozen.retrain_monthly = false;
+  Study study(&trail, frozen);
+  auto outcome = study.RunMonth(world.ReportsBetween(800, 830));
+  ASSERT_TRUE(outcome.ok());
+  for (graph::NodeId node : outcome->event_nodes) {
+    EXPECT_EQ(trail.graph().label(node), graph::kNoLabel);
+  }
+}
+
+}  // namespace
+}  // namespace trail::core

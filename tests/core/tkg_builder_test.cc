@@ -1,0 +1,185 @@
+#include "core/tkg_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "ioc/ioc.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+
+namespace trail::core {
+namespace {
+
+using graph::EdgeType;
+using graph::NodeId;
+using graph::NodeType;
+
+osint::WorldConfig SmallConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 5;
+  config.min_events_per_apt = 6;
+  config.max_events_per_apt = 10;
+  config.end_day = 800;
+  config.post_days = 60;
+  config.seed = 7;
+  return config;
+}
+
+class TkgBuilderTest : public ::testing::Test {
+ protected:
+  TkgBuilderTest()
+      : world_(SmallConfig()), feed_(&world_),
+        builder_(&feed_, TkgBuildOptions{}) {}
+
+  osint::World world_;
+  osint::FeedClient feed_;
+  TkgBuilder builder_;
+};
+
+TEST_F(TkgBuilderTest, IngestSingleReportCreatesEventAndIocs) {
+  const osint::PulseReport& report = world_.reports()[0];
+  auto event = builder_.IngestReport(report);
+  ASSERT_TRUE(event.ok()) << event.status();
+  const auto& g = builder_.graph();
+  EXPECT_EQ(g.type(event.value()), NodeType::kEvent);
+  EXPECT_EQ(g.value(event.value()), report.id);
+  EXPECT_GE(g.label(event.value()), 0);
+  EXPECT_DOUBLE_EQ(g.timestamp(event.value()), report.day);
+  // Every edge from the event is InReport to a first-order IOC.
+  EXPECT_GT(g.degree(event.value()), 0u);
+  for (const graph::Neighbor& nb : g.neighbors(event.value())) {
+    EXPECT_EQ(nb.type, EdgeType::kInReport);
+    EXPECT_TRUE(g.first_order(nb.node));
+    EXPECT_GE(g.report_count(nb.node), 1);
+  }
+  EXPECT_EQ(builder_.num_events(), 1u);
+}
+
+TEST_F(TkgBuilderTest, DuplicateIngestIsRejected) {
+  const osint::PulseReport& report = world_.reports()[0];
+  ASSERT_TRUE(builder_.IngestReport(report).ok());
+  auto again = builder_.IngestReport(report);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(TkgBuilderTest, EnrichmentDiscoversSecondaryIocs) {
+  ASSERT_TRUE(builder_.IngestReport(world_.reports()[0]).ok());
+  const auto& g = builder_.graph();
+  size_t secondary = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.type(v) == NodeType::kEvent || g.type(v) == NodeType::kAsn) continue;
+    if (!g.first_order(v)) ++secondary;
+  }
+  EXPECT_GT(secondary, 0u);
+}
+
+TEST_F(TkgBuilderTest, EnrichedIocsHaveFeatures) {
+  ASSERT_TRUE(builder_.IngestReport(world_.reports()[0]).ok());
+  const auto& g = builder_.graph();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    NodeType type = g.type(v);
+    if (type == NodeType::kEvent || type == NodeType::kAsn) continue;
+    EXPECT_TRUE(g.has_features(v)) << g.value(v);
+  }
+}
+
+TEST_F(TkgBuilderTest, EnrichmentHopLimitRespected) {
+  // With 0 hops, no IOC may spawn neighbors beyond the report itself.
+  TkgBuildOptions opts;
+  opts.enrichment_hops = 1;
+  TkgBuilder shallow(&feed_, opts);
+  ASSERT_TRUE(shallow.IngestReport(world_.reports()[0]).ok());
+  const auto& g = shallow.graph();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.type(v) == NodeType::kEvent || g.type(v) == NodeType::kAsn) continue;
+    EXPECT_TRUE(g.first_order(v))
+        << "hop limit 1 must not create secondary IOC " << g.value(v);
+  }
+  // Deeper enrichment yields strictly more nodes.
+  ASSERT_TRUE(builder_.IngestReport(world_.reports()[0]).ok());
+  EXPECT_GT(builder_.graph().num_nodes(), g.num_nodes());
+}
+
+TEST_F(TkgBuilderTest, JunkIndicatorsDropped) {
+  osint::PulseReport report;
+  report.id = "JUNKY";
+  report.apt = "APT28";
+  report.indicators.push_back({"URL", "javascript:void(0)"});
+  report.indicators.push_back({"IPv4", "1.2.3.4.5.6"});
+  auto event = builder_.IngestReport(report);
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(builder_.graph().degree(event.value()), 0u);
+  EXPECT_EQ(builder_.num_dropped_indicators(), 2u);
+}
+
+TEST_F(TkgBuilderTest, DefangedIndicatorsNormalized) {
+  osint::PulseReport report;
+  report.id = "DEFANGED";
+  report.apt = "APT28";
+  report.indicators.push_back({"IPv4", "1[.]2[.]3[.]4"});
+  auto event = builder_.IngestReport(report);
+  ASSERT_TRUE(event.ok());
+  EXPECT_NE(builder_.graph().FindNode(NodeType::kIp, "1.2.3.4"),
+            graph::kInvalidNode);
+}
+
+TEST_F(TkgBuilderTest, SharedIocsMergeAcrossReports) {
+  // Ingest everything; shared infrastructure must produce reuse counts > 1.
+  ASSERT_TRUE(
+      builder_.IngestAll(feed_.FetchReports(0, SmallConfig().end_day)).ok());
+  const auto& g = builder_.graph();
+  int max_reuse = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_reuse = std::max(max_reuse, g.report_count(v));
+  }
+  EXPECT_GT(max_reuse, 1);
+  EXPECT_TRUE(g.CheckConsistency().ok());
+}
+
+TEST_F(TkgBuilderTest, UrlsLinkToHostDomainAndIp) {
+  ASSERT_TRUE(
+      builder_.IngestAll(feed_.FetchReports(0, SmallConfig().end_day)).ok());
+  const auto& g = builder_.graph();
+  size_t hosted_on = 0;
+  size_t url_resolves = 0;
+  for (const graph::Edge& e : g.edges()) {
+    if (e.type == EdgeType::kHostedOn) ++hosted_on;
+    if (e.type == EdgeType::kResolvesTo &&
+        (g.type(e.src) == NodeType::kUrl || g.type(e.dst) == NodeType::kUrl)) {
+      ++url_resolves;
+    }
+  }
+  EXPECT_GT(hosted_on, 0u);
+  EXPECT_GT(url_resolves, 0u);
+}
+
+TEST_F(TkgBuilderTest, AsnNodesOnlyFromIpAnalysis) {
+  ASSERT_TRUE(
+      builder_.IngestAll(feed_.FetchReports(0, SmallConfig().end_day)).ok());
+  const auto& g = builder_.graph();
+  for (NodeId asn : g.NodesOfType(NodeType::kAsn)) {
+    EXPECT_GT(g.degree(asn), 0u);
+    for (const graph::Neighbor& nb : g.neighbors(asn)) {
+      EXPECT_EQ(g.type(nb.node), NodeType::kIp);
+      EXPECT_EQ(nb.type, EdgeType::kInGroup);
+    }
+  }
+  EXPECT_GT(g.NodesOfType(NodeType::kAsn).size(), 0u);
+}
+
+TEST_F(TkgBuilderTest, AptIdsStableFirstSeenOrder) {
+  int id1 = builder_.AptIdFor("APT28");
+  int id2 = builder_.AptIdFor("TURLA");
+  EXPECT_EQ(builder_.AptIdFor("APT28"), id1);
+  EXPECT_EQ(id2, id1 + 1);
+  EXPECT_EQ(builder_.num_apts(), 2);
+  EXPECT_EQ(builder_.apt_names()[0], "APT28");
+}
+
+TEST_F(TkgBuilderTest, InvalidJsonPropagatesError) {
+  EXPECT_FALSE(builder_.IngestReportJson("{bad json").ok());
+  EXPECT_FALSE(builder_.IngestReportJson(R"({"no": "id"})").ok());
+}
+
+}  // namespace
+}  // namespace trail::core

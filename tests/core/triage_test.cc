@@ -1,0 +1,89 @@
+#include "core/triage.h"
+
+#include <gtest/gtest.h>
+
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "core/tkg_builder.h"
+
+namespace trail::core {
+namespace {
+
+using graph::EdgeType;
+using graph::NodeId;
+using graph::NodeType;
+
+TEST(TriageTest, RanksReusedHubAboveOneOffIocs) {
+  graph::PropertyGraph g;
+  NodeId target = g.AddNode(NodeType::kEvent, "target");
+  NodeId e1 = g.AddNode(NodeType::kEvent, "e1");
+  NodeId e2 = g.AddNode(NodeType::kEvent, "e2");
+  NodeId hub = g.AddNode(NodeType::kIp, "1.1.1.1");  // reused C2
+  NodeId lonely = g.AddNode(NodeType::kIp, "2.2.2.2");
+  g.SetFirstOrder(hub, true);
+  for (int i = 0; i < 3; ++i) g.IncrementReportCount(hub);
+  g.SetFirstOrder(lonely, true);
+  g.IncrementReportCount(lonely);
+  g.AddEdge(target, hub, EdgeType::kInReport);
+  g.AddEdge(e1, hub, EdgeType::kInReport);
+  g.AddEdge(e2, hub, EdgeType::kInReport);
+  g.AddEdge(target, lonely, EdgeType::kInReport);
+
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  auto items = TriageEvent(g, csr, target);
+  ASSERT_GE(items.size(), 2u);
+  EXPECT_EQ(items[0].value, "1.1.1.1");
+  EXPECT_GT(items[0].score, items[1].score);
+  EXPECT_EQ(items[0].reuse_count, 3);
+  EXPECT_TRUE(items[0].direct);
+}
+
+TEST(TriageTest, IncludesEnrichmentDiscoveries) {
+  graph::PropertyGraph g;
+  NodeId target = g.AddNode(NodeType::kEvent, "target");
+  NodeId domain = g.AddNode(NodeType::kDomain, "a.example");
+  NodeId secondary_ip = g.AddNode(NodeType::kIp, "3.3.3.3");
+  g.AddEdge(target, domain, EdgeType::kInReport);
+  g.AddEdge(domain, secondary_ip, EdgeType::kResolvesTo);
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  auto items = TriageEvent(g, csr, target);
+  bool found_secondary = false;
+  for (const TriageItem& item : items) {
+    if (item.value == "3.3.3.3") {
+      found_secondary = true;
+      EXPECT_FALSE(item.direct);
+    }
+  }
+  EXPECT_TRUE(found_secondary);
+}
+
+TEST(TriageTest, RespectsMaxItemsAndSortsDescending) {
+  osint::WorldConfig config;
+  config.num_apts = 4;
+  config.min_events_per_apt = 6;
+  config.max_events_per_apt = 8;
+  config.end_day = 500;
+  config.seed = 9;
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  TkgBuilder builder(&feed, TkgBuildOptions{});
+  ASSERT_TRUE(builder.IngestAll(feed.FetchReports(0, 500)).ok());
+  const auto& g = builder.graph();
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+
+  TriageOptions options;
+  options.max_items = 5;
+  NodeId event = g.NodesOfType(NodeType::kEvent)[0];
+  auto items = TriageEvent(g, csr, event, options);
+  EXPECT_LE(items.size(), 5u);
+  for (size_t i = 1; i < items.size(); ++i) {
+    EXPECT_GE(items[i - 1].score, items[i].score);
+  }
+  for (const TriageItem& item : items) {
+    EXPECT_NE(item.type_name, "Event");
+    EXPECT_NE(item.type_name, "ASN");
+  }
+}
+
+}  // namespace
+}  // namespace trail::core

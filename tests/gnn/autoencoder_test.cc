@@ -1,0 +1,106 @@
+#include "gnn/autoencoder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace trail::gnn {
+namespace {
+
+/// Data on a low-dimensional manifold: 2 latent factors -> 20 dims.
+ml::Matrix MakeLowRankData(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  ml::Matrix basis = ml::Matrix::GlorotUniform(2, 20, &rng);
+  ml::Matrix latent(rows, 2);
+  for (size_t r = 0; r < rows; ++r) {
+    latent.At(r, 0) = static_cast<float>(rng.Normal(0, 1));
+    latent.At(r, 1) = static_cast<float>(rng.Normal(0, 1));
+  }
+  return ml::MatMul(latent, basis);
+}
+
+TEST(AutoencoderTest, ReconstructsLowRankData) {
+  ml::Matrix x = MakeLowRankData(400, 1);
+  Autoencoder ae;
+  AutoencoderOptions opts;
+  opts.hidden = 32;
+  opts.encoding = 4;
+  opts.epochs = 60;
+  double final_loss = ae.Fit(x, opts);
+
+  // Reconstruction error far below the data variance.
+  double data_var = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    data_var += static_cast<double>(x.data()[i]) * x.data()[i];
+  }
+  data_var /= x.size();
+  EXPECT_LT(final_loss, data_var * 0.2);
+  EXPECT_LT(ae.ReconstructionError(x), data_var * 0.2);
+}
+
+TEST(AutoencoderTest, EncodeShape) {
+  ml::Matrix x = MakeLowRankData(50, 2);
+  Autoencoder ae;
+  AutoencoderOptions opts;
+  opts.hidden = 16;
+  opts.encoding = 5;
+  opts.epochs = 3;
+  ae.Fit(x, opts);
+  ml::Matrix z = ae.Encode(x);
+  EXPECT_EQ(z.rows(), 50u);
+  EXPECT_EQ(z.cols(), 5u);
+  EXPECT_EQ(ae.encoding_dim(), 5u);
+  ml::Matrix rec = ae.Reconstruct(x);
+  EXPECT_EQ(rec.rows(), x.rows());
+  EXPECT_EQ(rec.cols(), x.cols());
+}
+
+TEST(AutoencoderTest, EncodingPreservesNeighborhoodStructure) {
+  // Two well-separated clusters must stay separated in latent space.
+  Rng rng(3);
+  ml::Matrix x(200, 10);
+  for (size_t r = 0; r < 200; ++r) {
+    float offset = r < 100 ? 0.0f : 8.0f;
+    for (size_t c = 0; c < 10; ++c) {
+      x.At(r, c) = offset + static_cast<float>(rng.Normal(0, 0.5));
+    }
+  }
+  Autoencoder ae;
+  AutoencoderOptions opts;
+  opts.hidden = 16;
+  opts.encoding = 3;
+  opts.epochs = 40;
+  ae.Fit(x, opts);
+  ml::Matrix z = ae.Encode(x);
+  // Centroid distance in latent space >> intra-cluster spread.
+  std::vector<double> c0(3, 0.0);
+  std::vector<double> c1(3, 0.0);
+  for (size_t r = 0; r < 200; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      (r < 100 ? c0 : c1)[c] += z.At(r, c) / 100.0;
+    }
+  }
+  double dist = 0;
+  for (size_t c = 0; c < 3; ++c) dist += (c0[c] - c1[c]) * (c0[c] - c1[c]);
+  EXPECT_GT(dist, 1.0);
+}
+
+TEST(AutoencoderTest, DeterministicForSeed) {
+  ml::Matrix x = MakeLowRankData(60, 4);
+  AutoencoderOptions opts;
+  opts.hidden = 8;
+  opts.encoding = 2;
+  opts.epochs = 5;
+  Autoencoder a;
+  a.Fit(x, opts);
+  Autoencoder b;
+  b.Fit(x, opts);
+  ml::Matrix za = a.Encode(x);
+  ml::Matrix zb = b.Encode(x);
+  for (size_t i = 0; i < za.size(); ++i) {
+    EXPECT_FLOAT_EQ(za.data()[i], zb.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace trail::gnn

@@ -1,0 +1,123 @@
+// Configuration-space coverage for the EventGnn: every option combination
+// the benches exercise must train and predict without degenerate output.
+
+#include <gtest/gtest.h>
+
+#include "gnn/event_gnn.h"
+#include "graph/types.h"
+#include "ml/metrics.h"
+#include "util/random.h"
+
+namespace trail::gnn {
+namespace {
+
+/// Same toy construction as event_gnn_test, kept local for independence.
+struct Toy {
+  GnnGraph g;
+  std::vector<int> truth;
+
+  explicit Toy(uint64_t seed) {
+    Rng rng(seed);
+    const int events_per_class = 12;
+    const int pool = 5;
+    const int num_events = events_per_class * 2;
+    g.num_nodes = num_events + pool * 2;
+    g.encoded = ml::Matrix(g.num_nodes, 6);
+    g.node_type.assign(g.num_nodes, static_cast<int>(graph::NodeType::kIp));
+    std::vector<std::vector<std::pair<uint32_t, int>>> adj(g.num_nodes);
+    for (int e = 0; e < num_events; ++e) {
+      g.node_type[e] = static_cast<int>(graph::NodeType::kEvent);
+      g.events.push_back(e);
+      int cls = e % 2;
+      truth.push_back(cls);
+      for (int k = 0; k < 3; ++k) {
+        uint32_t ioc = num_events + cls * pool +
+                       static_cast<uint32_t>(rng.NextBounded(pool));
+        int type = static_cast<int>(graph::EdgeType::kInReport);
+        adj[e].emplace_back(ioc, type);
+        adj[ioc].emplace_back(e, type);
+      }
+    }
+    for (int i = 0; i < pool * 2; ++i) {
+      int cls = i / pool;
+      auto row = g.encoded.Row(num_events + i);
+      for (size_t c = 0; c < row.size(); ++c) {
+        row[c] = static_cast<float>(rng.Normal(static_cast<int>(c % 2) == cls ? 1.0 : 0.0, 0.3));
+      }
+    }
+    g.spec.offsets.assign(g.num_nodes + 1, 0);
+    for (size_t v = 0; v < g.num_nodes; ++v) {
+      g.spec.offsets[v + 1] = g.spec.offsets[v] + adj[v].size();
+    }
+    g.spec.sources.resize(g.spec.offsets[g.num_nodes]);
+    g.edge_type.resize(g.spec.sources.size());
+    size_t cursor = 0;
+    for (size_t v = 0; v < g.num_nodes; ++v) {
+      for (const auto& [nb, type] : adj[v]) {
+        g.spec.sources[cursor] = nb;
+        g.edge_type[cursor++] = type;
+      }
+    }
+  }
+};
+
+struct OptionsCase {
+  int layers;
+  bool l2_normalize;
+  bool lp_features;
+  double dropout;
+};
+
+class EventGnnOptionsTest : public ::testing::TestWithParam<OptionsCase> {};
+
+TEST_P(EventGnnOptionsTest, TrainsAndGeneralizes) {
+  const OptionsCase& param = GetParam();
+  Toy toy(9);
+  std::vector<int> train_labels(toy.g.num_nodes, -1);
+  std::vector<uint32_t> test_events;
+  std::vector<int> test_truth;
+  for (size_t i = 0; i < toy.g.events.size(); ++i) {
+    if (i % 4 == 0) {
+      test_events.push_back(toy.g.events[i]);
+      test_truth.push_back(toy.truth[i]);
+    } else {
+      train_labels[toy.g.events[i]] = toy.truth[i];
+    }
+  }
+  EventGnn model;
+  EventGnnOptions opts;
+  opts.layers = param.layers;
+  opts.hidden = 12;
+  opts.epochs = 50;
+  opts.learning_rate = 0.02;
+  opts.l2_normalize = param.l2_normalize;
+  opts.label_propagation_features = param.lp_features;
+  opts.dropout = param.dropout;
+  model.Train(toy.g, train_labels, 2, opts);
+
+  auto preds = model.PredictEvents(toy.g, train_labels);
+  std::vector<int> test_preds;
+  for (uint32_t e : test_events) test_preds.push_back(preds[e]);
+  // Each configuration must clear a generous floor (random = 0.5).
+  EXPECT_GT(ml::Accuracy(test_truth, test_preds), 0.6)
+      << "layers=" << param.layers << " l2=" << param.l2_normalize
+      << " lp=" << param.lp_features << " dropout=" << param.dropout;
+
+  // No NaNs in the probabilities under any configuration.
+  ml::Matrix probs = model.PredictProba(toy.g, train_labels);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(probs.data()[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, EventGnnOptionsTest,
+    ::testing::Values(OptionsCase{2, true, true, 0.0},
+                      OptionsCase{3, true, true, 0.15},
+                      OptionsCase{4, true, true, 0.0},
+                      OptionsCase{2, false, true, 0.0},
+                      OptionsCase{2, true, false, 0.0},
+                      OptionsCase{3, false, false, 0.3}));
+
+}  // namespace
+}  // namespace trail::gnn

@@ -1,0 +1,139 @@
+#include "gnn/label_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/property_graph.h"
+
+namespace trail::gnn {
+namespace {
+
+using graph::EdgeType;
+using graph::NodeId;
+using graph::NodeType;
+
+/// Two labeled events bridged through IOCs:
+///   e0(label 0) - ioc0 - e1(?) ; e2(label 1) - ioc1 ; ioc2 isolated.
+struct TestGraph {
+  graph::PropertyGraph g;
+  NodeId e0, e1, e2, ioc0, ioc1, ioc2;
+
+  TestGraph() {
+    e0 = g.AddNode(NodeType::kEvent, "e0");
+    e1 = g.AddNode(NodeType::kEvent, "e1");
+    e2 = g.AddNode(NodeType::kEvent, "e2");
+    ioc0 = g.AddNode(NodeType::kIp, "1.1.1.1");
+    ioc1 = g.AddNode(NodeType::kIp, "2.2.2.2");
+    ioc2 = g.AddNode(NodeType::kIp, "3.3.3.3");
+    g.AddEdge(e0, ioc0, EdgeType::kInReport);
+    g.AddEdge(e1, ioc0, EdgeType::kInReport);
+    g.AddEdge(e2, ioc1, EdgeType::kInReport);
+  }
+};
+
+TEST(LabelPropagationTest, TwoHopNeighborAdoptsSeedLabel) {
+  TestGraph t;
+  graph::CsrGraph csr = graph::CsrGraph::Build(t.g);
+  std::vector<int> labels(t.g.num_nodes(), -1);
+  std::vector<uint8_t> seeds(t.g.num_nodes(), 0);
+  labels[t.e0] = 0;
+  seeds[t.e0] = 1;
+  labels[t.e2] = 1;
+  seeds[t.e2] = 1;
+
+  auto result = RunLabelPropagation(csr, labels, seeds, 2, 2);
+  EXPECT_EQ(result.predictions[t.e1], 0);   // reached via shared ioc0
+  EXPECT_EQ(result.predictions[t.ioc0], 0);
+  EXPECT_EQ(result.predictions[t.ioc1], 1);
+  EXPECT_EQ(result.predictions[t.ioc2], -1);  // isolated: unattributable
+  EXPECT_DOUBLE_EQ(result.confidence[t.ioc2], 0.0);
+  EXPECT_GT(result.confidence[t.e1], 0.0);
+}
+
+TEST(LabelPropagationTest, UnreachableWithTooFewLayers) {
+  // Chain: e0 - a - b - e1: label needs 3 hops to reach e1.
+  graph::PropertyGraph g;
+  NodeId e0 = g.AddNode(NodeType::kEvent, "e0");
+  NodeId a = g.AddNode(NodeType::kDomain, "a.x");
+  NodeId b = g.AddNode(NodeType::kIp, "1.1.1.1");
+  NodeId e1 = g.AddNode(NodeType::kEvent, "e1");
+  g.AddEdge(e0, a, EdgeType::kInReport);
+  g.AddEdge(a, b, EdgeType::kResolvesTo);
+  g.AddEdge(e1, b, EdgeType::kInReport);
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  std::vector<int> labels(g.num_nodes(), -1);
+  std::vector<uint8_t> seeds(g.num_nodes(), 0);
+  labels[e0] = 0;
+  seeds[e0] = 1;
+
+  auto two = RunLabelPropagation(csr, labels, seeds, 1, 2);
+  EXPECT_EQ(two.predictions[e1], -1);
+  auto three = RunLabelPropagation(csr, labels, seeds, 1, 3);
+  EXPECT_EQ(three.predictions[e1], 0);
+}
+
+TEST(LabelPropagationTest, CloserSeedWins) {
+  // e1 is 2 hops from seed A but 4 hops from seed B -> predicted A.
+  graph::PropertyGraph g;
+  NodeId seed_a = g.AddNode(NodeType::kEvent, "A");
+  NodeId seed_b = g.AddNode(NodeType::kEvent, "B");
+  NodeId target = g.AddNode(NodeType::kEvent, "t");
+  NodeId x = g.AddNode(NodeType::kIp, "1.1.1.1");
+  NodeId y = g.AddNode(NodeType::kDomain, "y.z");
+  NodeId z = g.AddNode(NodeType::kIp, "2.2.2.2");
+  g.AddEdge(seed_a, x, EdgeType::kInReport);
+  g.AddEdge(target, x, EdgeType::kInReport);
+  g.AddEdge(target, z, EdgeType::kInReport);
+  g.AddEdge(z, y, EdgeType::kARecord);
+  g.AddEdge(seed_b, y, EdgeType::kInReport);
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  std::vector<int> labels(g.num_nodes(), -1);
+  std::vector<uint8_t> seeds(g.num_nodes(), 0);
+  labels[seed_a] = 0;
+  seeds[seed_a] = 1;
+  labels[seed_b] = 1;
+  seeds[seed_b] = 1;
+
+  auto result = RunLabelPropagation(csr, labels, seeds, 2, 4);
+  EXPECT_EQ(result.predictions[target], 0);
+}
+
+TEST(LabelPropagationTest, NonSeedLabelsIgnored) {
+  TestGraph t;
+  graph::CsrGraph csr = graph::CsrGraph::Build(t.g);
+  std::vector<int> labels(t.g.num_nodes(), -1);
+  std::vector<uint8_t> seeds(t.g.num_nodes(), 0);
+  labels[t.e0] = 0;
+  seeds[t.e0] = 1;
+  labels[t.e1] = 1;  // labeled but NOT a seed: must not propagate
+  auto result = RunLabelPropagation(csr, labels, seeds, 2, 3);
+  EXPECT_EQ(result.predictions[t.ioc0], 0);
+}
+
+TEST(LabelPropagationTest, HubNoisePropagatesWeakerThanCleanPath) {
+  // Seeds of both classes share a hub IOC; a clean exclusive IOC links only
+  // class 0. The target connected to both should prefer class 0.
+  graph::PropertyGraph g;
+  NodeId s0 = g.AddNode(NodeType::kEvent, "s0");
+  NodeId s1 = g.AddNode(NodeType::kEvent, "s1");
+  NodeId target = g.AddNode(NodeType::kEvent, "t");
+  NodeId hub = g.AddNode(NodeType::kIp, "9.9.9.9");
+  NodeId clean = g.AddNode(NodeType::kIp, "1.1.1.1");
+  g.AddEdge(s0, hub, EdgeType::kInReport);
+  g.AddEdge(s1, hub, EdgeType::kInReport);
+  g.AddEdge(target, hub, EdgeType::kInReport);
+  g.AddEdge(s0, clean, EdgeType::kInReport);
+  g.AddEdge(target, clean, EdgeType::kInReport);
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  std::vector<int> labels(g.num_nodes(), -1);
+  std::vector<uint8_t> seeds(g.num_nodes(), 0);
+  labels[s0] = 0;
+  seeds[s0] = 1;
+  labels[s1] = 1;
+  seeds[s1] = 1;
+  auto result = RunLabelPropagation(csr, labels, seeds, 2, 2);
+  EXPECT_EQ(result.predictions[target], 0);
+  EXPECT_GT(result.scores.At(target, 0), result.scores.At(target, 1));
+}
+
+}  // namespace
+}  // namespace trail::gnn

@@ -1,0 +1,159 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.h"
+#include "graph/property_graph.h"
+#include "util/random.h"
+
+namespace trail::graph {
+namespace {
+
+/// Path graph 0-1-2-3-4 plus isolated node 5 and a triangle 6-7-8.
+PropertyGraph MakeTestGraph() {
+  PropertyGraph g;
+  for (int i = 0; i < 9; ++i) {
+    g.AddNode(NodeType::kIp, "n" + std::to_string(i));
+  }
+  for (int i = 0; i < 4; ++i) g.AddEdge(i, i + 1, EdgeType::kARecord);
+  g.AddEdge(6, 7, EdgeType::kARecord);
+  g.AddEdge(7, 8, EdgeType::kARecord);
+  g.AddEdge(8, 6, EdgeType::kARecord);
+  return g;
+}
+
+TEST(CsrTest, BuildMatchesDegrees) {
+  PropertyGraph g = MakeTestGraph();
+  CsrGraph csr = CsrGraph::Build(g);
+  EXPECT_EQ(csr.num_nodes(), 9u);
+  EXPECT_EQ(csr.num_directed_entries(), 2 * g.num_edges());
+  EXPECT_EQ(csr.Degree(0), 1u);
+  EXPECT_EQ(csr.Degree(1), 2u);
+  EXPECT_EQ(csr.Degree(5), 0u);
+  EXPECT_EQ(csr.Degree(7), 2u);
+  EXPECT_EQ(csr.num_kept(), 9u);
+}
+
+TEST(CsrTest, NeighborEdgeTypesPreserved) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeType::kEvent, "e");
+  NodeId b = g.AddNode(NodeType::kIp, "1.1.1.1");
+  g.AddEdge(a, b, EdgeType::kInReport);
+  CsrGraph csr = CsrGraph::Build(g);
+  ASSERT_EQ(csr.Degree(a), 1u);
+  EXPECT_EQ(*csr.NeighborsBegin(a), b);
+  EXPECT_EQ(csr.NeighborEdgeType(a, 0), EdgeType::kInReport);
+}
+
+TEST(CsrTest, KeepMaskDropsNodesAndIncidentEdges) {
+  PropertyGraph g = MakeTestGraph();
+  std::vector<uint8_t> keep(9, 1);
+  keep[2] = 0;  // break the path
+  CsrGraph csr = CsrGraph::Build(g, &keep);
+  EXPECT_EQ(csr.Degree(1), 1u);  // edge 1-2 dropped
+  EXPECT_EQ(csr.Degree(2), 0u);
+  EXPECT_FALSE(csr.IsKept(2));
+  EXPECT_EQ(csr.num_kept(), 8u);
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  CsrGraph csr = CsrGraph::Build(MakeTestGraph());
+  std::vector<int> dist = BfsDistances(csr, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[4], 4);
+  EXPECT_EQ(dist[5], kUnreachable);
+  EXPECT_EQ(dist[6], kUnreachable);
+}
+
+TEST(BfsTest, MaxDepthLimits) {
+  CsrGraph csr = CsrGraph::Build(MakeTestGraph());
+  std::vector<int> dist = BfsDistances(csr, 0, 2);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(ConnectedComponentsTest, FindsAllComponents) {
+  CsrGraph csr = CsrGraph::Build(MakeTestGraph());
+  ComponentResult cc = ConnectedComponents(csr);
+  EXPECT_EQ(cc.num_components, 3u);  // path, isolated, triangle
+  ASSERT_GE(cc.largest_component, 0);
+  EXPECT_EQ(cc.sizes[cc.largest_component], 5u);
+  // All triangle members share a component.
+  EXPECT_EQ(cc.component[6], cc.component[7]);
+  EXPECT_EQ(cc.component[7], cc.component[8]);
+  EXPECT_NE(cc.component[0], cc.component[6]);
+}
+
+TEST(DiameterTest, ExactOnKnownGraphs) {
+  CsrGraph csr = CsrGraph::Build(MakeTestGraph());
+  EXPECT_EQ(ExactDiameter(csr, 0), 4);   // path of 5 nodes
+  EXPECT_EQ(ExactDiameter(csr, 6), 1);   // triangle
+}
+
+TEST(DiameterTest, DoubleSweepMatchesExactOnPath) {
+  CsrGraph csr = CsrGraph::Build(MakeTestGraph());
+  EXPECT_EQ(DoubleSweepDiameter(csr, 2), 4);
+  EXPECT_EQ(DoubleSweepDiameter(csr, 7), 1);
+}
+
+TEST(DiameterTest, LowerBoundsExactOnRandomGraphs) {
+  trail::Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    PropertyGraph g;
+    const int n = 30;
+    for (int i = 0; i < n; ++i) {
+      g.AddNode(NodeType::kIp, "x" + std::to_string(i));
+    }
+    // Random tree + extra edges keeps it connected.
+    for (int i = 1; i < n; ++i) {
+      g.AddEdge(i, rng.NextBounded(i), EdgeType::kARecord);
+    }
+    for (int i = 0; i < 10; ++i) {
+      NodeId a = rng.NextBounded(n);
+      NodeId b = rng.NextBounded(n);
+      if (a != b) g.AddEdge(a, b, EdgeType::kResolvesTo);
+    }
+    CsrGraph csr = CsrGraph::Build(g);
+    int exact = ExactDiameter(csr, 0);
+    int sweep = DoubleSweepDiameter(csr, 0);
+    EXPECT_LE(sweep, exact);
+    EXPECT_GE(sweep, exact - 1);  // double sweep is near-tight in practice
+  }
+}
+
+TEST(KHopTest, NeighborhoodSizes) {
+  CsrGraph csr = CsrGraph::Build(MakeTestGraph());
+  EXPECT_EQ(KHopNeighborhood(csr, 0, 0).size(), 1u);
+  EXPECT_EQ(KHopNeighborhood(csr, 0, 1).size(), 2u);
+  EXPECT_EQ(KHopNeighborhood(csr, 0, 2).size(), 3u);
+  EXPECT_EQ(KHopNeighborhood(csr, 0, 10).size(), 5u);
+  EXPECT_EQ(KHopNeighborhood(csr, 7, 1).size(), 3u);
+}
+
+TEST(KHopTest, MultiSeed) {
+  CsrGraph csr = CsrGraph::Build(MakeTestGraph());
+  auto hood = KHopNeighborhood(csr, std::vector<NodeId>{0, 6}, 1);
+  EXPECT_EQ(hood.size(), 5u);  // {0,1} and {6,7,8}
+}
+
+TEST(EgoNetTest, ExtractsInducedSubgraph) {
+  CsrGraph csr = CsrGraph::Build(MakeTestGraph());
+  EgoNet ego = ExtractEgoNet(csr, 1, 1);
+  // Nodes {1, 0, 2}; edges 0-1 and 1-2 (2-3 excluded: 3 outside).
+  EXPECT_EQ(ego.nodes.size(), 3u);
+  EXPECT_EQ(ego.edges.size(), 2u);
+  EXPECT_EQ(ego.nodes[0], 1u);  // ego first
+  EXPECT_EQ(ego.hop[0], 0);
+  for (size_t i = 1; i < ego.hop.size(); ++i) EXPECT_EQ(ego.hop[i], 1);
+  EXPECT_EQ(ego.edge_types.size(), ego.edges.size());
+}
+
+TEST(EgoNetTest, TriangleKeepsAllEdges) {
+  CsrGraph csr = CsrGraph::Build(MakeTestGraph());
+  EgoNet ego = ExtractEgoNet(csr, 6, 1);
+  EXPECT_EQ(ego.nodes.size(), 3u);
+  EXPECT_EQ(ego.edges.size(), 3u);  // includes the 7-8 edge between alters
+}
+
+}  // namespace
+}  // namespace trail::graph

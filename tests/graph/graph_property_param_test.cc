@@ -1,0 +1,149 @@
+// Parameterized property sweeps over random graphs: structural invariants
+// of the store, CSR view, and traversal algorithms.
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/csr.h"
+#include "graph/property_graph.h"
+#include "util/random.h"
+
+namespace trail::graph {
+namespace {
+
+struct GraphCase {
+  size_t nodes;
+  size_t extra_edges;
+  uint64_t seed;
+};
+
+class RandomGraphProperty : public ::testing::TestWithParam<GraphCase> {
+ protected:
+  PropertyGraph MakeGraph() const {
+    const GraphCase& param = GetParam();
+    Rng rng(param.seed);
+    PropertyGraph g;
+    for (size_t i = 0; i < param.nodes; ++i) {
+      g.AddNode(static_cast<NodeType>(rng.NextBounded(kNumNodeTypes)),
+                "n" + std::to_string(i));
+    }
+    // Random tree + extra edges (connected by construction).
+    for (size_t i = 1; i < param.nodes; ++i) {
+      g.AddEdge(static_cast<NodeId>(i),
+                static_cast<NodeId>(rng.NextBounded(i)),
+                static_cast<EdgeType>(rng.NextBounded(kNumEdgeTypes)));
+    }
+    for (size_t e = 0; e < param.extra_edges; ++e) {
+      NodeId a = static_cast<NodeId>(rng.NextBounded(param.nodes));
+      NodeId b = static_cast<NodeId>(rng.NextBounded(param.nodes));
+      if (a != b) {
+        g.AddEdge(a, b,
+                  static_cast<EdgeType>(rng.NextBounded(kNumEdgeTypes)));
+      }
+    }
+    return g;
+  }
+};
+
+TEST_P(RandomGraphProperty, StoreInvariantsHold) {
+  PropertyGraph g = MakeGraph();
+  EXPECT_TRUE(g.CheckConsistency().ok());
+  // Handshake lemma.
+  size_t degree_total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degree_total += g.degree(v);
+  EXPECT_EQ(degree_total, 2 * g.num_edges());
+  // Type counts partition the node set.
+  auto counts = g.TypeCounts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), size_t{0}),
+            g.num_nodes());
+}
+
+TEST_P(RandomGraphProperty, CsrAgreesWithStore) {
+  PropertyGraph g = MakeGraph();
+  CsrGraph csr = CsrGraph::Build(g);
+  EXPECT_EQ(csr.num_nodes(), g.num_nodes());
+  EXPECT_EQ(csr.num_directed_entries(), 2 * g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(csr.Degree(v), g.degree(v));
+    // Neighbor multisets agree.
+    std::vector<NodeId> from_store;
+    for (const Neighbor& nb : g.neighbors(v)) from_store.push_back(nb.node);
+    std::vector<NodeId> from_csr(csr.NeighborsBegin(v), csr.NeighborsEnd(v));
+    std::sort(from_store.begin(), from_store.end());
+    std::sort(from_csr.begin(), from_csr.end());
+    EXPECT_EQ(from_store, from_csr);
+  }
+}
+
+TEST_P(RandomGraphProperty, ComponentsPartitionNodes) {
+  PropertyGraph g = MakeGraph();
+  CsrGraph csr = CsrGraph::Build(g);
+  ComponentResult cc = ConnectedComponents(csr);
+  EXPECT_EQ(std::accumulate(cc.sizes.begin(), cc.sizes.end(), size_t{0}),
+            g.num_nodes());
+  // Tree construction keeps the graph connected.
+  EXPECT_EQ(cc.num_components, 1u);
+  // Every node has a valid component id.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_GE(cc.component[v], 0);
+    ASSERT_LT(cc.component[v], static_cast<int>(cc.num_components));
+  }
+}
+
+TEST_P(RandomGraphProperty, BfsDistancesAreMetricLike) {
+  PropertyGraph g = MakeGraph();
+  CsrGraph csr = CsrGraph::Build(g);
+  std::vector<int> dist = BfsDistances(csr, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_GE(dist[v], 0) << "connected graph: everything reachable";
+    // Edge relaxation: adjacent nodes differ by at most 1.
+    for (const NodeId* it = csr.NeighborsBegin(v); it != csr.NeighborsEnd(v);
+         ++it) {
+      EXPECT_LE(std::abs(dist[v] - dist[*it]), 1);
+    }
+  }
+  // Double sweep never exceeds the exact diameter.
+  int exact = ExactDiameter(csr, 0);
+  EXPECT_LE(DoubleSweepDiameter(csr, 0), exact);
+  // And every BFS eccentricity lower-bounds the diameter.
+  EXPECT_LE(*std::max_element(dist.begin(), dist.end()), exact);
+}
+
+TEST_P(RandomGraphProperty, KHopMonotoneInRadius) {
+  PropertyGraph g = MakeGraph();
+  CsrGraph csr = CsrGraph::Build(g);
+  size_t previous = 0;
+  for (int hops = 0; hops <= 4; ++hops) {
+    size_t size = KHopNeighborhood(csr, 0, hops).size();
+    EXPECT_GE(size, previous);
+    previous = size;
+  }
+}
+
+TEST_P(RandomGraphProperty, EgoNetEdgesAreInduced) {
+  PropertyGraph g = MakeGraph();
+  CsrGraph csr = CsrGraph::Build(g);
+  EgoNet ego = ExtractEgoNet(csr, 0, 2);
+  std::set<NodeId> members(ego.nodes.begin(), ego.nodes.end());
+  for (const auto& [src, dst] : ego.edges) {
+    ASSERT_LT(src, ego.nodes.size());
+    ASSERT_LT(dst, ego.nodes.size());
+    // Edge exists in the parent graph (some type).
+    NodeId a = ego.nodes[src];
+    NodeId b = ego.nodes[dst];
+    bool adjacent = false;
+    for (const Neighbor& nb : g.neighbors(a)) adjacent |= nb.node == b;
+    EXPECT_TRUE(adjacent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RandomGraphProperty,
+    ::testing::Values(GraphCase{10, 5, 1}, GraphCase{50, 40, 2},
+                      GraphCase{200, 150, 3}, GraphCase{500, 800, 4},
+                      GraphCase{1000, 200, 5}));
+
+}  // namespace
+}  // namespace trail::graph

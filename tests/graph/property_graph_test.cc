@@ -1,0 +1,134 @@
+#include "graph/property_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace trail::graph {
+namespace {
+
+TEST(PropertyGraphTest, AddNodeInternsByTypeAndValue) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeType::kIp, "1.2.3.4");
+  NodeId b = g.AddNode(NodeType::kIp, "1.2.3.4");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  // Same value under a different type is a different node.
+  NodeId c = g.AddNode(NodeType::kDomain, "1.2.3.4");
+  EXPECT_NE(a, c);
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(PropertyGraphTest, FindNode) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeType::kDomain, "evil.example");
+  EXPECT_EQ(g.FindNode(NodeType::kDomain, "evil.example"), a);
+  EXPECT_EQ(g.FindNode(NodeType::kDomain, "other.example"), kInvalidNode);
+  EXPECT_EQ(g.FindNode(NodeType::kUrl, "evil.example"), kInvalidNode);
+}
+
+TEST(PropertyGraphTest, AddEdgeDeduplicates) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeType::kEvent, "e1");
+  NodeId b = g.AddNode(NodeType::kIp, "1.2.3.4");
+  EXPECT_TRUE(g.AddEdge(a, b, EdgeType::kInReport));
+  EXPECT_FALSE(g.AddEdge(a, b, EdgeType::kInReport));
+  // Reversed orientation of the same type is also a duplicate.
+  EXPECT_FALSE(g.AddEdge(b, a, EdgeType::kInReport));
+  EXPECT_EQ(g.num_edges(), 1u);
+  // A different edge type between the same pair is a new edge.
+  EXPECT_TRUE(g.AddEdge(a, b, EdgeType::kResolvesTo));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(PropertyGraphTest, SelfLoopsRejected) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeType::kIp, "1.2.3.4");
+  EXPECT_FALSE(g.AddEdge(a, a, EdgeType::kARecord));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(PropertyGraphTest, HasEdgeIsOrientationInsensitive) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeType::kUrl, "http://x.example/a");
+  NodeId b = g.AddNode(NodeType::kDomain, "x.example");
+  g.AddEdge(a, b, EdgeType::kHostedOn);
+  EXPECT_TRUE(g.HasEdge(a, b, EdgeType::kHostedOn));
+  EXPECT_TRUE(g.HasEdge(b, a, EdgeType::kHostedOn));
+  EXPECT_FALSE(g.HasEdge(a, b, EdgeType::kARecord));
+}
+
+TEST(PropertyGraphTest, AdjacencyIsSymmetricWithDirectionFlags) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeType::kIp, "1.1.1.1");
+  NodeId b = g.AddNode(NodeType::kAsn, "AS100");
+  g.AddEdge(a, b, EdgeType::kInGroup);
+  ASSERT_EQ(g.degree(a), 1u);
+  ASSERT_EQ(g.degree(b), 1u);
+  EXPECT_EQ(g.neighbors(a)[0].node, b);
+  EXPECT_TRUE(g.neighbors(a)[0].is_outgoing);
+  EXPECT_EQ(g.neighbors(b)[0].node, a);
+  EXPECT_FALSE(g.neighbors(b)[0].is_outgoing);
+}
+
+TEST(PropertyGraphTest, PayloadsDefaultAndSet) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeType::kEvent, "e1");
+  EXPECT_EQ(g.label(a), kNoLabel);
+  EXPECT_FALSE(g.first_order(a));
+  EXPECT_EQ(g.report_count(a), 0);
+  EXPECT_FALSE(g.has_features(a));
+
+  g.SetLabel(a, 7);
+  g.SetFirstOrder(a, true);
+  g.IncrementReportCount(a);
+  g.IncrementReportCount(a);
+  g.SetTimestamp(a, 123.5);
+  g.SetFeatures(a, {1.0f, 2.0f});
+  EXPECT_EQ(g.label(a), 7);
+  EXPECT_TRUE(g.first_order(a));
+  EXPECT_EQ(g.report_count(a), 2);
+  EXPECT_DOUBLE_EQ(g.timestamp(a), 123.5);
+  ASSERT_TRUE(g.has_features(a));
+  EXPECT_EQ(g.features(a).size(), 2u);
+}
+
+TEST(PropertyGraphTest, NodesOfTypeAndTypeCounts) {
+  PropertyGraph g;
+  g.AddNode(NodeType::kEvent, "e1");
+  g.AddNode(NodeType::kIp, "1.1.1.1");
+  g.AddNode(NodeType::kIp, "2.2.2.2");
+  g.AddNode(NodeType::kDomain, "a.example");
+  EXPECT_EQ(g.NodesOfType(NodeType::kIp).size(), 2u);
+  auto counts = g.TypeCounts();
+  EXPECT_EQ(counts[static_cast<int>(NodeType::kEvent)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(NodeType::kIp)], 2u);
+  EXPECT_EQ(counts[static_cast<int>(NodeType::kUrl)], 0u);
+}
+
+TEST(PropertyGraphTest, DegreeToType) {
+  PropertyGraph g;
+  NodeId ip = g.AddNode(NodeType::kIp, "1.1.1.1");
+  NodeId e1 = g.AddNode(NodeType::kEvent, "e1");
+  NodeId e2 = g.AddNode(NodeType::kEvent, "e2");
+  NodeId d = g.AddNode(NodeType::kDomain, "a.example");
+  g.AddEdge(e1, ip, EdgeType::kInReport);
+  g.AddEdge(e2, ip, EdgeType::kInReport);
+  g.AddEdge(ip, d, EdgeType::kARecord);
+  EXPECT_EQ(g.DegreeToType(ip, NodeType::kEvent), 2u);
+  EXPECT_EQ(g.DegreeToType(ip, NodeType::kDomain), 1u);
+  EXPECT_EQ(g.DegreeToType(ip, NodeType::kUrl), 0u);
+}
+
+TEST(PropertyGraphTest, ConsistencyHoldsAfterManyInserts) {
+  PropertyGraph g;
+  for (int i = 0; i < 50; ++i) {
+    g.AddNode(NodeType::kIp, "ip" + std::to_string(i));
+  }
+  for (int i = 0; i < 49; ++i) {
+    g.AddEdge(i, i + 1, EdgeType::kARecord);
+    g.AddEdge(i, (i * 7 + 3) % 50, EdgeType::kResolvesTo);
+  }
+  EXPECT_TRUE(g.CheckConsistency().ok());
+}
+
+}  // namespace
+}  // namespace trail::graph

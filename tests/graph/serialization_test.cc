@@ -1,0 +1,107 @@
+#include "graph/serialization.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace trail::graph {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+PropertyGraph MakeGraph() {
+  PropertyGraph g;
+  NodeId e = g.AddNode(NodeType::kEvent, "PULSE-1");
+  NodeId ip = g.AddNode(NodeType::kIp, "9.8.7.6");
+  NodeId d = g.AddNode(NodeType::kDomain, "x.example");
+  NodeId asn = g.AddNode(NodeType::kAsn, "AS123");
+  g.SetLabel(e, 3);
+  g.SetFirstOrder(ip, true);
+  g.IncrementReportCount(ip);
+  g.SetTimestamp(e, 99.5);
+  g.SetFeatures(ip, {0.5f, -1.0f, 3.25f});
+  g.AddEdge(e, ip, EdgeType::kInReport);
+  g.AddEdge(ip, d, EdgeType::kARecord);
+  g.AddEdge(ip, asn, EdgeType::kInGroup);
+  return g;
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  PropertyGraph g = MakeGraph();
+  std::string path = TempPath("roundtrip.tkg");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const PropertyGraph& g2 = loaded.value();
+  EXPECT_EQ(g2.num_nodes(), g.num_nodes());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+
+  NodeId e = g2.FindNode(NodeType::kEvent, "PULSE-1");
+  NodeId ip = g2.FindNode(NodeType::kIp, "9.8.7.6");
+  ASSERT_NE(e, kInvalidNode);
+  ASSERT_NE(ip, kInvalidNode);
+  EXPECT_EQ(g2.label(e), 3);
+  EXPECT_DOUBLE_EQ(g2.timestamp(e), 99.5);
+  EXPECT_TRUE(g2.first_order(ip));
+  EXPECT_EQ(g2.report_count(ip), 1);
+  ASSERT_EQ(g2.features(ip).size(), 3u);
+  EXPECT_FLOAT_EQ(g2.features(ip)[2], 3.25f);
+  EXPECT_TRUE(g2.HasEdge(e, ip, EdgeType::kInReport));
+  EXPECT_TRUE(g2.CheckConsistency().ok());
+}
+
+TEST(SerializationTest, MissingFileIsIoError) {
+  auto loaded = LoadGraph(TempPath("does_not_exist.tkg"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializationTest, BadMagicIsParseError) {
+  std::string path = TempPath("bad_magic.tkg");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOTATKG!", 1, 8, f);
+  std::fclose(f);
+  auto loaded = LoadGraph(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(SerializationTest, TruncatedFileIsParseError) {
+  PropertyGraph g = MakeGraph();
+  std::string path = TempPath("full.tkg");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string data(size / 2, '\0');
+  ASSERT_EQ(std::fread(data.data(), 1, data.size(), f), data.size());
+  std::fclose(f);
+  std::string trunc_path = TempPath("truncated.tkg");
+  f = std::fopen(trunc_path.c_str(), "wb");
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+
+  auto loaded = LoadGraph(trunc_path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializationTest, EmptyGraphRoundTrips) {
+  PropertyGraph g;
+  std::string path = TempPath("empty.tkg");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 0u);
+  EXPECT_EQ(loaded->num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace trail::graph

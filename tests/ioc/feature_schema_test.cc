@@ -1,0 +1,108 @@
+#include "ioc/feature_schema.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace trail::ioc {
+namespace {
+
+TEST(VocabTest, IndexRoundTrip) {
+  Vocab v({"a", "b", "c"});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.IndexOf("b"), 1);
+  EXPECT_EQ(v.At(2), "c");
+  EXPECT_EQ(v.IndexOf("missing"), -1);
+}
+
+TEST(FeatureSchemasTest, VocabularySizesMatchPaper) {
+  const FeatureSchemas& s = FeatureSchemas::Get();
+  EXPECT_EQ(s.countries().size(), 249u);
+  EXPECT_EQ(s.issuers().size(), 250u);
+  EXPECT_EQ(s.file_types().size(), 106u);
+  EXPECT_EQ(s.file_classes().size(), 21u);
+  EXPECT_EQ(s.http_codes().size(), 68u);
+  EXPECT_EQ(s.encodings().size(), 12u);
+  EXPECT_EQ(s.servers().size(), 944u);
+  EXPECT_EQ(s.oses().size(), 50u);
+  EXPECT_EQ(s.services().size(), 183u);
+  EXPECT_EQ(s.tlds().size(), 100u);
+}
+
+TEST(FeatureSchemasTest, TotalDimensions) {
+  EXPECT_EQ(SchemaSizes::kIpTotal, 507);       // matches the paper exactly
+  EXPECT_EQ(SchemaSizes::kUrlTotal, 1494);     // sum of the paper's blocks
+  EXPECT_EQ(SchemaSizes::kDomainTotal, 116);   // paper's 115 + explicit seen
+}
+
+TEST(FeatureSchemasTest, LayoutsAreContiguousAndDisjoint) {
+  EXPECT_EQ(IpLayout::kCountryOffset, 0);
+  EXPECT_EQ(IpLayout::kIssuerOffset, 249);
+  EXPECT_EQ(IpLayout::kNumericOffset, 499);
+  EXPECT_EQ(IpLayout::kIsReserved, SchemaSizes::kIpTotal - 1);
+
+  EXPECT_EQ(UrlLayout::kFileTypeOffset, 0);
+  EXPECT_EQ(UrlLayout::kLexicalOffset + SchemaSizes::kUrlLexical,
+            SchemaSizes::kUrlTotal);
+  EXPECT_EQ(DomainLayout::kLexicalOffset + SchemaSizes::kDomainLexical,
+            SchemaSizes::kDomainTotal);
+}
+
+TEST(FeatureSchemasTest, VocabulariesHaveNoDuplicates) {
+  const FeatureSchemas& s = FeatureSchemas::Get();
+  for (const Vocab* vocab :
+       {&s.countries(), &s.issuers(), &s.file_types(), &s.file_classes(),
+        &s.http_codes(), &s.encodings(), &s.servers(), &s.oses(),
+        &s.services(), &s.tlds()}) {
+    std::set<std::string> unique(vocab->entries().begin(),
+                                 vocab->entries().end());
+    EXPECT_EQ(unique.size(), vocab->size());
+  }
+}
+
+TEST(FeatureSchemasTest, RealWorldHeadEntriesPresent) {
+  const FeatureSchemas& s = FeatureSchemas::Get();
+  EXPECT_GE(s.countries().IndexOf("US"), 0);
+  EXPECT_GE(s.countries().IndexOf("KP"), 0);
+  EXPECT_GE(s.servers().IndexOf("nginx"), 0);
+  EXPECT_GE(s.encodings().IndexOf("gzip"), 0);
+  EXPECT_GE(s.tlds().IndexOf("club"), 0);
+  EXPECT_GE(s.http_codes().IndexOf("200"), 0);
+  EXPECT_GE(s.file_types().IndexOf("text/html"), 0);
+}
+
+TEST(FeatureNameTest, IpNames) {
+  const FeatureSchemas& s = FeatureSchemas::Get();
+  EXPECT_EQ(s.IpFeatureName(0), "country=US");
+  EXPECT_EQ(s.IpFeatureName(IpLayout::kIssuerOffset),
+            "issuer=" + s.issuers().At(0));
+  EXPECT_EQ(s.IpFeatureName(IpLayout::kLatitude), "latitude");
+  EXPECT_EQ(s.IpFeatureName(IpLayout::kActivePeriod), "active_period");
+}
+
+TEST(FeatureNameTest, UrlNames) {
+  const FeatureSchemas& s = FeatureSchemas::Get();
+  EXPECT_EQ(s.UrlFeatureName(0), "file_type=text/html");
+  EXPECT_EQ(s.UrlFeatureName(UrlLayout::kEncodingOffset), "encoding=gzip");
+  EXPECT_EQ(s.UrlFeatureName(UrlLayout::kEntropy), "url_entropy");
+  EXPECT_EQ(s.UrlFeatureName(UrlLayout::kServerOffset),
+            "server=" + s.servers().At(0));
+}
+
+TEST(FeatureNameTest, DomainNames) {
+  const FeatureSchemas& s = FeatureSchemas::Get();
+  EXPECT_EQ(s.DomainFeatureName(0), "tld=com");
+  EXPECT_EQ(s.DomainFeatureName(DomainLayout::kRecordCountOffset),
+            "dns_records_A");
+  EXPECT_EQ(s.DomainFeatureName(DomainLayout::kNxdomain), "nxdomain");
+  EXPECT_EQ(s.DomainFeatureName(DomainLayout::kEntropy), "domain_entropy");
+}
+
+TEST(DnsRecordTypeTest, Names) {
+  EXPECT_STREQ(DnsRecordTypeName(DnsRecordType::kA), "A");
+  EXPECT_STREQ(DnsRecordTypeName(DnsRecordType::kCname), "CNAME");
+  EXPECT_STREQ(DnsRecordTypeName(DnsRecordType::kSrv), "SRV");
+}
+
+}  // namespace
+}  // namespace trail::ioc

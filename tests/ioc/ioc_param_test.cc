@@ -1,0 +1,100 @@
+// Parameterized sweeps over the IOC layer: defang/refang round trips over
+// a generated corpus, classification of everything the synthetic world
+// emits, and vectorizer shape invariants.
+
+#include <gtest/gtest.h>
+
+#include "ioc/ioc.h"
+#include "ioc/vectorizers.h"
+#include "osint/world.h"
+#include "util/string_util.h"
+
+namespace trail::ioc {
+namespace {
+
+class DefangRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DefangRoundTrip, RefangInvertsDefangOnWorldIocs) {
+  osint::WorldConfig config;
+  config.num_apts = 4;
+  config.min_events_per_apt = 4;
+  config.max_events_per_apt = 6;
+  config.end_day = 400;
+  config.post_days = 30;
+  config.seed = GetParam();
+  osint::World world(config);
+  int checked = 0;
+  for (const auto& ip : world.ips()) {
+    EXPECT_EQ(Refang(Defang(ip.addr)), ip.addr);
+    EXPECT_EQ(ClassifyIoc(Defang(ip.addr)), IocType::kIp);
+    if (++checked > 100) break;
+  }
+  checked = 0;
+  for (const auto& domain : world.domains()) {
+    EXPECT_EQ(Refang(Defang(domain.name)), domain.name) << domain.name;
+    EXPECT_EQ(ClassifyIoc(Defang(domain.name)), IocType::kDomain)
+        << domain.name;
+    if (++checked > 200) break;
+  }
+  checked = 0;
+  for (const auto& url : world.urls()) {
+    EXPECT_EQ(Refang(Defang(url.url)), url.url) << url.url;
+    EXPECT_EQ(ClassifyIoc(Defang(url.url)), IocType::kUrl) << url.url;
+    if (++checked > 200) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DefangRoundTrip,
+                         ::testing::Values<uint64_t>(3, 17, 4242));
+
+class VectorizerShapes : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VectorizerShapes, WorldAnalysesVectorizeToFixedDims) {
+  osint::WorldConfig config;
+  config.num_apts = 4;
+  config.min_events_per_apt = 4;
+  config.max_events_per_apt = 6;
+  config.end_day = 400;
+  config.seed = GetParam() + 1000;
+  osint::World world(config);
+
+  int checked = 0;
+  for (const auto& ip : world.ips()) {
+    IpAnalysis analysis;
+    ASSERT_TRUE(world.AnalyzeIp(ip.addr, &analysis));
+    auto v = VectorizeIp(analysis);
+    ASSERT_EQ(v.size(), static_cast<size_t>(SchemaSizes::kIpTotal));
+    // One-hot blocks hold at most a single bit.
+    float country_bits = 0;
+    for (int i = 0; i < SchemaSizes::kCountries; ++i) country_bits += v[i];
+    EXPECT_LE(country_bits, 1.0f);
+    for (float value : v) EXPECT_TRUE(std::isfinite(value));
+    if (++checked > 60) break;
+  }
+  checked = 0;
+  for (const auto& url : world.urls()) {
+    UrlAnalysis analysis;
+    ASSERT_TRUE(world.AnalyzeUrl(url.url, &analysis));
+    auto v = VectorizeUrl(url.url, analysis);
+    ASSERT_EQ(v.size(), static_cast<size_t>(SchemaSizes::kUrlTotal));
+    EXPECT_GT(v[UrlLayout::kLength], 0.0f);
+    for (float value : v) EXPECT_TRUE(std::isfinite(value));
+    if (++checked > 60) break;
+  }
+  checked = 0;
+  for (const auto& domain : world.domains()) {
+    DomainAnalysis analysis;
+    ASSERT_TRUE(world.AnalyzeDomain(domain.name, &analysis));
+    auto v = VectorizeDomain(domain.name, analysis);
+    ASSERT_EQ(v.size(), static_cast<size_t>(SchemaSizes::kDomainTotal));
+    EXPECT_GT(v[DomainLayout::kLength], 0.0f);
+    for (float value : v) EXPECT_TRUE(std::isfinite(value));
+    if (++checked > 60) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorizerShapes,
+                         ::testing::Values<uint64_t>(1, 2, 3));
+
+}  // namespace
+}  // namespace trail::ioc

@@ -1,0 +1,110 @@
+#include "ioc/ioc.h"
+
+#include <gtest/gtest.h>
+
+namespace trail::ioc {
+namespace {
+
+TEST(IsIpv4Test, ValidAddresses) {
+  EXPECT_TRUE(IsIpv4("0.0.0.0"));
+  EXPECT_TRUE(IsIpv4("1.2.3.4"));
+  EXPECT_TRUE(IsIpv4("255.255.255.255"));
+  EXPECT_TRUE(IsIpv4("192.168.1.100"));
+}
+
+TEST(IsIpv4Test, InvalidAddresses) {
+  EXPECT_FALSE(IsIpv4(""));
+  EXPECT_FALSE(IsIpv4("1.2.3"));
+  EXPECT_FALSE(IsIpv4("1.2.3.4.5"));
+  EXPECT_FALSE(IsIpv4("256.1.1.1"));
+  EXPECT_FALSE(IsIpv4("1.2.3.999"));
+  EXPECT_FALSE(IsIpv4("1.2.3.4."));
+  EXPECT_FALSE(IsIpv4(".1.2.3.4"));
+  EXPECT_FALSE(IsIpv4("a.b.c.d"));
+  EXPECT_FALSE(IsIpv4("1..2.3"));
+  EXPECT_FALSE(IsIpv4("1.2.3.1234"));
+}
+
+TEST(IsDomainNameTest, ValidDomains) {
+  EXPECT_TRUE(IsDomainName("example.com"));
+  EXPECT_TRUE(IsDomainName("a.b.c.example.co"));
+  EXPECT_TRUE(IsDomainName("v5y7s3.l2twn2.club"));
+  EXPECT_TRUE(IsDomainName("xn--80ak6aa92e.com"));
+  EXPECT_TRUE(IsDomainName("under_score.example.net"));
+}
+
+TEST(IsDomainNameTest, InvalidDomains) {
+  EXPECT_FALSE(IsDomainName(""));
+  EXPECT_FALSE(IsDomainName("nodots"));
+  EXPECT_FALSE(IsDomainName("1.2.3.4"));           // an IP, not a domain
+  EXPECT_FALSE(IsDomainName("has space.com"));
+  EXPECT_FALSE(IsDomainName("-leading.com"));
+  EXPECT_FALSE(IsDomainName("trailing-.com"));
+  EXPECT_FALSE(IsDomainName("double..dot.com"));
+  EXPECT_FALSE(IsDomainName("numeric.tld.123"));   // non-alpha TLD
+  EXPECT_FALSE(IsDomainName(std::string(254, 'a') + ".com"));
+}
+
+TEST(RefangTest, SchemeAndDots) {
+  EXPECT_EQ(Refang("hxxp://evil[.]example/x"), "http://evil.example/x");
+  EXPECT_EQ(Refang("hxxps://a[.]b[.]c"), "https://a.b.c");
+  EXPECT_EQ(Refang("evil(.)example"), "evil.example");
+  EXPECT_EQ(Refang("evil[dot]example"), "evil.example");
+  EXPECT_EQ(Refang("1[.]0[.]36[.]127"), "1.0.36.127");
+  EXPECT_EQ(Refang("  padded.example  "), "padded.example");
+}
+
+TEST(RefangTest, LeavesCleanValuesAlone) {
+  EXPECT_EQ(Refang("http://ok.example/a?b=c"), "http://ok.example/a?b=c");
+  EXPECT_EQ(Refang("plain.example"), "plain.example");
+}
+
+TEST(DefangTest, RoundTripsWithRefang) {
+  for (const char* original :
+       {"http://evil.example/gate.php", "https://x.y.club/a",
+        "5.6.7.8", "deep.sub.domain.example"}) {
+    std::string defanged = Defang(original);
+    EXPECT_EQ(defanged.find("http://"), std::string::npos);
+    EXPECT_EQ(Refang(defanged), original) << original;
+  }
+}
+
+TEST(ClassifyIocTest, Urls) {
+  EXPECT_EQ(ClassifyIoc("http://evil.example/a"), IocType::kUrl);
+  EXPECT_EQ(ClassifyIoc("https://1.2.3.4/x"), IocType::kUrl);
+  EXPECT_EQ(ClassifyIoc("hxxp://sfj54f7[.]17ti3sk[.]club/?H3%2540ba&d"),
+            IocType::kUrl);
+  EXPECT_EQ(ClassifyIoc("ftp://files.example/pub"), IocType::kUrl);
+}
+
+TEST(ClassifyIocTest, IpsAndDomains) {
+  EXPECT_EQ(ClassifyIoc("10.0.0.1"), IocType::kIp);
+  EXPECT_EQ(ClassifyIoc("1[.]0[.]36[.]127"), IocType::kIp);
+  EXPECT_EQ(ClassifyIoc("v5y7s3[.]l2twn2[.]club"), IocType::kDomain);
+  EXPECT_EQ(ClassifyIoc("EVIL.EXAMPLE"), IocType::kDomain);
+}
+
+TEST(ClassifyIocTest, JunkIsUnknown) {
+  EXPECT_EQ(ClassifyIoc(""), IocType::kUnknown);
+  EXPECT_EQ(ClassifyIoc("javascript:void(window.location)"),
+            IocType::kUnknown);
+  EXPECT_EQ(ClassifyIoc("not a domain"), IocType::kUnknown);
+  EXPECT_EQ(ClassifyIoc("weird://scheme.example/x"), IocType::kUnknown);
+  EXPECT_EQ(ClassifyIoc("localhost"), IocType::kUnknown);
+}
+
+TEST(ToNodeTypeTest, Mapping) {
+  EXPECT_EQ(ToNodeType(IocType::kIp), graph::NodeType::kIp);
+  EXPECT_EQ(ToNodeType(IocType::kDomain), graph::NodeType::kDomain);
+  EXPECT_EQ(ToNodeType(IocType::kUrl), graph::NodeType::kUrl);
+}
+
+TEST(IocTypeNameTest, Names) {
+  EXPECT_STREQ(IocTypeName(IocType::kIp), "IP");
+  EXPECT_STREQ(IocTypeName(IocType::kDomain), "Domain");
+  EXPECT_STREQ(IocTypeName(IocType::kUrl), "URL");
+  EXPECT_STREQ(IocTypeName(IocType::kUnknown), "Unknown");
+}
+
+}  // namespace
+}  // namespace trail::ioc

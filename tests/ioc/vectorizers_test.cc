@@ -1,0 +1,137 @@
+#include "ioc/vectorizers.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace trail::ioc {
+namespace {
+
+float Sum(const std::vector<float>& v, int begin, int end) {
+  float total = 0;
+  for (int i = begin; i < end; ++i) total += v[i];
+  return total;
+}
+
+TEST(VectorizeIpTest, DimensionsAndOneHots) {
+  IpAnalysis a;
+  a.country = "CN";
+  a.issuer = FeatureSchemas::Get().issuers().At(5);
+  a.latitude = 45.0;
+  a.longitude = -90.0;
+  a.first_seen_days = 365.25;
+  a.last_seen_days = 730.5;
+  a.has_reverse_dns = true;
+  a.resolved_domains = {"a.example", "b.example"};
+
+  std::vector<float> v = VectorizeIp(a);
+  ASSERT_EQ(v.size(), static_cast<size_t>(SchemaSizes::kIpTotal));
+  // Exactly one country bit and one issuer bit.
+  EXPECT_FLOAT_EQ(Sum(v, 0, IpLayout::kIssuerOffset), 1.0f);
+  EXPECT_FLOAT_EQ(Sum(v, IpLayout::kIssuerOffset, IpLayout::kNumericOffset),
+                  1.0f);
+  int cn = FeatureSchemas::Get().countries().IndexOf("CN");
+  EXPECT_FLOAT_EQ(v[cn], 1.0f);
+  EXPECT_FLOAT_EQ(v[IpLayout::kIssuerOffset + 5], 1.0f);
+  EXPECT_FLOAT_EQ(v[IpLayout::kLatitude], 0.5f);
+  EXPECT_FLOAT_EQ(v[IpLayout::kLongitude], -0.5f);
+  EXPECT_FLOAT_EQ(v[IpLayout::kARecordCount], 2.0f);
+  EXPECT_FLOAT_EQ(v[IpLayout::kFirstSeen], 1.0f);
+  EXPECT_FLOAT_EQ(v[IpLayout::kLastSeen], 2.0f);
+  EXPECT_FLOAT_EQ(v[IpLayout::kActivePeriod], 1.0f);
+  EXPECT_FLOAT_EQ(v[IpLayout::kHasReverseDns], 1.0f);
+  EXPECT_FLOAT_EQ(v[IpLayout::kIsReserved], 0.0f);
+}
+
+TEST(VectorizeIpTest, UnknownCategoriesYieldZeroBlocks) {
+  IpAnalysis a;  // everything missing
+  std::vector<float> v = VectorizeIp(a);
+  EXPECT_FLOAT_EQ(Sum(v, 0, IpLayout::kNumericOffset), 0.0f);
+}
+
+TEST(VectorizeUrlTest, CategoricalBlocksAndLexical) {
+  const auto& s = FeatureSchemas::Get();
+  UrlAnalysis a;
+  a.file_type = "application/zip";
+  a.file_class = "archive";
+  a.http_code = "200";
+  a.encoding = "gzip";
+  a.server = "nginx";
+  a.os = "Ubuntu";
+  a.services = {"http", "ssh"};
+  const std::string url = "http://files.evil.club/a/b.zip?id=12345";
+  std::vector<float> v = VectorizeUrl(url, a);
+  ASSERT_EQ(v.size(), static_cast<size_t>(SchemaSizes::kUrlTotal));
+
+  EXPECT_FLOAT_EQ(v[s.file_types().IndexOf("application/zip")], 1.0f);
+  EXPECT_FLOAT_EQ(
+      v[UrlLayout::kEncodingOffset + s.encodings().IndexOf("gzip")], 1.0f);
+  EXPECT_FLOAT_EQ(
+      v[UrlLayout::kServerOffset + s.servers().IndexOf("nginx")], 1.0f);
+  // Multi-hot services: two bits set.
+  EXPECT_FLOAT_EQ(Sum(v, UrlLayout::kServicesOffset, UrlLayout::kTldOffset),
+                  2.0f);
+  EXPECT_FLOAT_EQ(v[UrlLayout::kTldOffset + s.tlds().IndexOf("club")], 1.0f);
+
+  EXPECT_FLOAT_EQ(v[UrlLayout::kLength], static_cast<float>(url.size()));
+  EXPECT_FLOAT_EQ(v[UrlLayout::kHostLength], 15.0f);  // files.evil.club
+  EXPECT_FLOAT_EQ(v[UrlLayout::kPathLength], 8.0f);   // /a/b.zip
+  EXPECT_FLOAT_EQ(v[UrlLayout::kQueryLength], 8.0f);  // id=12345
+  EXPECT_FLOAT_EQ(v[UrlLayout::kDigitCount], 5.0f);
+  EXPECT_NEAR(v[UrlLayout::kDigitRatio], 5.0f / url.size(), 1e-6);
+  EXPECT_GT(v[UrlLayout::kEntropy], 0.0f);
+  EXPECT_FLOAT_EQ(v[UrlLayout::kPeriodCount], 3.0f);
+  EXPECT_FLOAT_EQ(v[UrlLayout::kSlashCount], 4.0f);
+}
+
+TEST(VectorizeUrlTest, UnparseableUrlStillGetsGlobalLexical) {
+  UrlAnalysis a;
+  std::vector<float> v = VectorizeUrl("http://", a);
+  ASSERT_EQ(v.size(), static_cast<size_t>(SchemaSizes::kUrlTotal));
+  EXPECT_GT(v[UrlLayout::kLength], 0.0f);
+  EXPECT_FLOAT_EQ(v[UrlLayout::kHostLength], 0.0f);
+}
+
+TEST(VectorizeDomainTest, AllBlocks) {
+  DomainAnalysis a;
+  a.record_counts[static_cast<int>(DnsRecordType::kA)] = 3;
+  a.record_counts[static_cast<int>(DnsRecordType::kNs)] = 2;
+  a.nxdomain = true;
+  a.first_seen_days = 730.5;
+  a.last_seen_days = 1096.0;
+  const std::string domain = "v5y7s3.l2twn2.club";
+  std::vector<float> v = VectorizeDomain(domain, a);
+  ASSERT_EQ(v.size(), static_cast<size_t>(SchemaSizes::kDomainTotal));
+
+  const auto& s = FeatureSchemas::Get();
+  EXPECT_FLOAT_EQ(v[DomainLayout::kTldOffset + s.tlds().IndexOf("club")],
+                  1.0f);
+  EXPECT_FLOAT_EQ(
+      v[DomainLayout::kRecordCountOffset + static_cast<int>(DnsRecordType::kA)],
+      3.0f);
+  EXPECT_FLOAT_EQ(
+      v[DomainLayout::kRecordCountOffset +
+        static_cast<int>(DnsRecordType::kNs)],
+      2.0f);
+  EXPECT_FLOAT_EQ(v[DomainLayout::kNxdomain], 1.0f);
+  EXPECT_FLOAT_EQ(v[DomainLayout::kFirstSeen], 2.0f);
+  EXPECT_FLOAT_EQ(v[DomainLayout::kLength],
+                  static_cast<float>(domain.size()));
+  EXPECT_FLOAT_EQ(v[DomainLayout::kDigitCount], 5.0f);
+  EXPECT_FLOAT_EQ(v[DomainLayout::kPeriodCount], 2.0f);
+  EXPECT_GT(v[DomainLayout::kEntropy], 2.0f);
+}
+
+TEST(VectorizeDomainTest, EmptyAnalysisIsMostlyZero) {
+  DomainAnalysis a;
+  std::vector<float> v = VectorizeDomain("plain.com", a);
+  EXPECT_FLOAT_EQ(v[DomainLayout::kNxdomain], 0.0f);
+  EXPECT_FLOAT_EQ(Sum(v, DomainLayout::kRecordCountOffset,
+                      DomainLayout::kNxdomain),
+                  0.0f);
+  // TLD "com" still one-hot from the name itself.
+  EXPECT_FLOAT_EQ(v[FeatureSchemas::Get().tlds().IndexOf("com")], 1.0f);
+}
+
+}  // namespace
+}  // namespace trail::ioc

@@ -1,0 +1,272 @@
+#include "ml/autograd.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+namespace trail::ml::ag {
+namespace {
+
+/// Central-difference gradient check: for every entry of `param`, compares
+/// the analytic gradient of the scalar produced by `loss_fn` against the
+/// numeric finite difference. `loss_fn` must rebuild the graph each call.
+void CheckGradients(const VarPtr& param,
+                    const std::function<VarPtr()>& loss_fn,
+                    double tolerance = 2e-2, double epsilon = 1e-3) {
+  VarPtr loss = loss_fn();
+  param->ZeroGrad();
+  Backward(loss);
+  Matrix analytic = param->grad;
+  for (size_t i = 0; i < param->value.size(); ++i) {
+    float original = param->value.data()[i];
+    param->value.data()[i] = original + static_cast<float>(epsilon);
+    double up = loss_fn()->value.At(0, 0);
+    param->value.data()[i] = original - static_cast<float>(epsilon);
+    double down = loss_fn()->value.At(0, 0);
+    param->value.data()[i] = original;
+    double numeric = (up - down) / (2 * epsilon);
+    EXPECT_NEAR(analytic.data()[i], numeric,
+                tolerance * std::max(1.0, std::abs(numeric)))
+        << "entry " << i;
+  }
+}
+
+TEST(AutogradTest, MatMulGradients) {
+  Rng rng(1);
+  VarPtr w = Param(Matrix::GlorotUniform(3, 2, &rng));
+  Matrix x = Matrix::GlorotUniform(4, 3, &rng);
+  Matrix target(4, 2, 0.3f);
+  auto loss_fn = [&]() { return MseLoss(MatMul(Constant(x), w), target); };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, AddAndAddRowGradients) {
+  Rng rng(2);
+  VarPtr bias = Param(Matrix::GlorotUniform(1, 3, &rng));
+  Matrix x = Matrix::GlorotUniform(5, 3, &rng);
+  Matrix target(5, 3, 0.0f);
+  auto loss_fn = [&]() { return MseLoss(AddRow(Constant(x), bias), target); };
+  CheckGradients(bias, loss_fn);
+
+  VarPtr a = Param(Matrix::GlorotUniform(2, 2, &rng));
+  Matrix b = Matrix::GlorotUniform(2, 2, &rng);
+  Matrix t2(2, 2, 1.0f);
+  auto loss_fn2 = [&]() { return MseLoss(Add(a, Constant(b)), t2); };
+  CheckGradients(a, loss_fn2);
+}
+
+TEST(AutogradTest, MulGradients) {
+  Rng rng(12);
+  VarPtr a = Param(Matrix::GlorotUniform(3, 3, &rng));
+  Matrix b = Matrix::GlorotUniform(3, 3, &rng);
+  Matrix target(3, 3, 0.1f);
+  auto loss_fn = [&]() { return MseLoss(Mul(a, Constant(b)), target); };
+  CheckGradients(a, loss_fn);
+}
+
+TEST(AutogradTest, ReluGradients) {
+  Rng rng(3);
+  VarPtr w = Param(Matrix::GlorotUniform(4, 4, &rng));
+  // Shift values away from 0 so the finite difference never crosses the kink.
+  for (size_t i = 0; i < w->value.size(); ++i) {
+    float& v = w->value.data()[i];
+    v += (v >= 0 ? 0.05f : -0.05f);
+  }
+  Matrix target(4, 4, 0.2f);
+  auto loss_fn = [&]() { return MseLoss(Relu(w), target); };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, SigmoidGradients) {
+  Rng rng(4);
+  VarPtr w = Param(Matrix::GlorotUniform(3, 3, &rng));
+  Matrix target(3, 3, 0.5f);
+  auto loss_fn = [&]() { return MseLoss(Sigmoid(w), target); };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, ScaleAndMeanGradients) {
+  Rng rng(5);
+  VarPtr w = Param(Matrix::GlorotUniform(2, 5, &rng));
+  auto loss_fn = [&]() { return Mean(Scale(w, 3.0f)); };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, RowL2NormalizeGradients) {
+  Rng rng(6);
+  VarPtr w = Param(Matrix::GlorotUniform(3, 4, &rng));
+  // Avoid near-zero rows.
+  for (size_t i = 0; i < w->value.size(); ++i) w->value.data()[i] += 0.5f;
+  Matrix target(3, 4, 0.25f);
+  auto loss_fn = [&]() { return MseLoss(RowL2Normalize(w), target); };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, GatherGradients) {
+  Rng rng(7);
+  VarPtr table = Param(Matrix::GlorotUniform(4, 3, &rng));
+  std::vector<int> idx = {2, 0, 2, 3};
+  Matrix target(4, 3, 0.0f);
+  auto loss_fn = [&]() { return MseLoss(Gather(table, idx), target); };
+  CheckGradients(table, loss_fn);
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyGradients) {
+  Rng rng(8);
+  VarPtr w = Param(Matrix::GlorotUniform(5, 3, &rng));
+  std::vector<int> labels = {0, 2, -1, 1, 2};  // row 2 skipped
+  auto loss_fn = [&]() { return SoftmaxCrossEntropy(w, labels); };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyValue) {
+  // Uniform logits over K classes -> loss = log K.
+  VarPtr logits = Param(Matrix(2, 4, 0.0f));
+  std::vector<int> labels = {1, 3};
+  VarPtr loss = SoftmaxCrossEntropy(logits, labels);
+  EXPECT_NEAR(loss->value.At(0, 0), std::log(4.0), 1e-5);
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyRowMask) {
+  VarPtr logits = Param(Matrix(2, 2, 0.0f));
+  logits->value.At(0, 0) = 100.0f;  // row 0 confidently class 0
+  std::vector<int> labels = {1, 0};
+  std::vector<uint8_t> mask = {0, 1};  // only row 1 counted
+  VarPtr loss = SoftmaxCrossEntropy(logits, labels, &mask);
+  EXPECT_NEAR(loss->value.At(0, 0), std::log(2.0), 1e-5);
+}
+
+TEST(AutogradTest, MeanAggregateUnweightedGradients) {
+  // Two outputs: out0 = mean(x0, x1), out1 = mean(x1).
+  AggregateSpec spec;
+  spec.offsets = {0, 2, 3};
+  spec.sources = {0, 1, 1};
+  Rng rng(9);
+  VarPtr x = Param(Matrix::GlorotUniform(2, 3, &rng));
+  Matrix target(2, 3, 0.5f);
+  auto loss_fn = [&]() { return MseLoss(MeanAggregate(spec, x), target); };
+  CheckGradients(x, loss_fn);
+}
+
+TEST(AutogradTest, MeanAggregateWeightedGradients) {
+  AggregateSpec spec;
+  spec.offsets = {0, 3};
+  spec.sources = {0, 1, 2};
+  Rng rng(10);
+  Matrix x_val = Matrix::GlorotUniform(3, 2, &rng);
+  VarPtr weights = Param(Matrix(3, 1, 0.7f));
+  weights->value.At(1, 0) = 1.3f;
+  Matrix target(1, 2, 0.1f);
+  auto loss_fn = [&]() {
+    return MseLoss(MeanAggregate(spec, Constant(x_val), weights), target);
+  };
+  CheckGradients(weights, loss_fn, /*tolerance=*/3e-2);
+}
+
+TEST(AutogradTest, MeanAggregateEmptyNeighborhoodIsZero) {
+  AggregateSpec spec;
+  spec.offsets = {0, 0, 1};
+  spec.sources = {0};
+  Matrix x = Matrix::FromRows({{2, 4}, {6, 8}});
+  VarPtr out = MeanAggregate(spec, Constant(x));
+  EXPECT_FLOAT_EQ(out->value.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out->value.At(1, 0), 2.0f);
+}
+
+TEST(AutogradTest, BatchNormGradients) {
+  Rng rng(11);
+  VarPtr x = Param(Matrix::GlorotUniform(6, 3, &rng));
+  VarPtr gamma = Param(Matrix(1, 3, 1.2f));
+  VarPtr beta = Param(Matrix(1, 3, 0.1f));
+  Matrix running_mean;
+  Matrix running_var;
+  Matrix target(6, 3, 0.0f);
+  auto loss_fn = [&]() {
+    return MseLoss(BatchNorm(x, gamma, beta, &running_mean, &running_var,
+                             0.1, 1e-5, /*training=*/true),
+                   target);
+  };
+  CheckGradients(gamma, loss_fn, 3e-2);
+  CheckGradients(beta, loss_fn, 3e-2);
+  CheckGradients(x, loss_fn, 5e-2);
+}
+
+TEST(AutogradTest, BatchNormNormalizesColumns) {
+  Rng rng(13);
+  VarPtr x = Constant(Matrix::GlorotUniform(64, 2, &rng));
+  for (size_t r = 0; r < 64; ++r) x->value.At(r, 0) += 10.0f;  // offset col 0
+  VarPtr gamma = Param(Matrix(1, 2, 1.0f));
+  VarPtr beta = Param(Matrix(1, 2, 0.0f));
+  Matrix rm;
+  Matrix rv;
+  VarPtr out = BatchNorm(x, gamma, beta, &rm, &rv, 0.1, 1e-5, true);
+  // Output columns have ~zero mean and ~unit variance.
+  Matrix mean = ColumnMean(out->value);
+  Matrix var = ColumnVariance(out->value, mean);
+  EXPECT_NEAR(mean.At(0, 0), 0.0f, 1e-4);
+  EXPECT_NEAR(var.At(0, 0), 1.0f, 1e-2);
+  // Running stats tracked the raw column offset.
+  EXPECT_GT(rm.At(0, 0), 0.5f);
+}
+
+TEST(AutogradTest, DropoutTrainingAndInference) {
+  Rng rng(14);
+  VarPtr x = Param(Matrix(10, 10, 1.0f));
+  VarPtr dropped = Dropout(x, 0.5, &rng, /*training=*/true);
+  // Some entries zeroed, survivors scaled by 2.
+  int zeros = 0;
+  for (size_t i = 0; i < dropped->value.size(); ++i) {
+    float v = dropped->value.data()[i];
+    EXPECT_TRUE(v == 0.0f || std::abs(v - 2.0f) < 1e-6);
+    zeros += v == 0.0f;
+  }
+  EXPECT_GT(zeros, 20);
+  EXPECT_LT(zeros, 80);
+  // Inference mode is identity (same node returned).
+  VarPtr same = Dropout(x, 0.5, &rng, /*training=*/false);
+  EXPECT_EQ(same.get(), x.get());
+}
+
+TEST(AutogradTest, BackwardThroughDiamondAccumulates) {
+  // loss = mean(w + w) -> dloss/dw = 2/size.
+  VarPtr w = Param(Matrix(2, 2, 1.0f));
+  VarPtr loss = Mean(Add(w, w));
+  w->ZeroGrad();
+  Backward(loss);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w->grad.data()[i], 2.0f / 4.0f, 1e-6);
+  }
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||w - 3||^2.
+  VarPtr w = Param(Matrix(1, 4, 0.0f));
+  Matrix target(1, 4, 3.0f);
+  Adam opt({w}, 0.1);
+  for (int step = 0; step < 300; ++step) {
+    opt.ZeroGrad();
+    VarPtr loss = MseLoss(w, target);
+    Backward(loss);
+    opt.Step();
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w->value.data()[i], 3.0f, 0.05f);
+  }
+}
+
+TEST(AdamTest, SkipsUntouchedParams) {
+  VarPtr used = Param(Matrix(1, 1, 0.0f));
+  VarPtr unused = Param(Matrix(1, 1, 5.0f));
+  Adam opt({used, unused}, 0.1);
+  opt.ZeroGrad();
+  VarPtr loss = MseLoss(used, Matrix(1, 1, 1.0f));
+  Backward(loss);
+  unused->grad = Matrix();  // simulate never-touched gradient
+  opt.Step();
+  EXPECT_FLOAT_EQ(unused->value.At(0, 0), 5.0f);
+  EXPECT_NE(used->value.At(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace trail::ml::ag

@@ -1,0 +1,118 @@
+#include "ml/calibration.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace trail::ml {
+namespace {
+
+/// Overconfident synthetic classifier: true accuracy ~70%, reported
+/// confidence ~95%.
+void MakeOverconfident(Matrix* probs, std::vector<int>* labels,
+                       uint64_t seed, size_t n = 600) {
+  Rng rng(seed);
+  *probs = Matrix(n, 3);
+  labels->clear();
+  for (size_t r = 0; r < n; ++r) {
+    int predicted = static_cast<int>(rng.NextBounded(3));
+    bool correct = rng.Bernoulli(0.7);
+    int truth = correct ? predicted
+                        : static_cast<int>((predicted + 1 +
+                                            rng.NextBounded(2)) % 3);
+    labels->push_back(truth);
+    for (int c = 0; c < 3; ++c) {
+      probs->At(r, c) = c == predicted ? 0.95f : 0.025f;
+    }
+  }
+}
+
+TEST(TemperatureScalerTest, RaisesTemperatureForOverconfidentModel) {
+  Matrix probs;
+  std::vector<int> labels;
+  MakeOverconfident(&probs, &labels, 1);
+  TemperatureScaler scaler;
+  scaler.Fit(probs, labels);
+  EXPECT_GT(scaler.temperature(), 1.2);  // must soften
+}
+
+TEST(TemperatureScalerTest, ImprovesCalibrationError) {
+  Matrix probs;
+  std::vector<int> labels;
+  MakeOverconfident(&probs, &labels, 2);
+  double before = ExpectedCalibrationError(probs, labels);
+  TemperatureScaler scaler;
+  scaler.Fit(probs, labels);
+  Matrix calibrated = scaler.Apply(probs);
+  double after = ExpectedCalibrationError(calibrated, labels);
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 0.1);
+}
+
+TEST(TemperatureScalerTest, ApplyPreservesArgmaxAndNormalization) {
+  Matrix probs;
+  std::vector<int> labels;
+  MakeOverconfident(&probs, &labels, 3, 50);
+  TemperatureScaler scaler;
+  scaler.Fit(probs, labels);
+  Matrix calibrated = scaler.Apply(probs);
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    size_t argmax_before = 0;
+    size_t argmax_after = 0;
+    float total = 0;
+    for (size_t c = 0; c < 3; ++c) {
+      if (probs.At(r, c) > probs.At(r, argmax_before)) argmax_before = c;
+      if (calibrated.At(r, c) > calibrated.At(r, argmax_after)) {
+        argmax_after = c;
+      }
+      total += calibrated.At(r, c);
+    }
+    EXPECT_EQ(argmax_before, argmax_after);
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+}
+
+TEST(TemperatureScalerTest, WellCalibratedModelKeepsTemperatureNearOne) {
+  // Confidence 0.7 with 70% accuracy is already calibrated.
+  Rng rng(4);
+  Matrix probs(600, 2);
+  std::vector<int> labels;
+  for (size_t r = 0; r < 600; ++r) {
+    int predicted = static_cast<int>(rng.NextBounded(2));
+    labels.push_back(rng.Bernoulli(0.7) ? predicted : 1 - predicted);
+    probs.At(r, predicted) = 0.7f;
+    probs.At(r, 1 - predicted) = 0.3f;
+  }
+  TemperatureScaler scaler;
+  scaler.Fit(probs, labels);
+  EXPECT_NEAR(scaler.temperature(), 1.0, 0.35);
+}
+
+TEST(EceTest, PerfectCalibrationIsZero) {
+  // Always confidence 1.0 and always right.
+  Matrix probs(10, 2);
+  std::vector<int> labels(10, 0);
+  for (size_t r = 0; r < 10; ++r) probs.At(r, 0) = 1.0f;
+  EXPECT_NEAR(ExpectedCalibrationError(probs, labels), 0.0, 1e-9);
+}
+
+TEST(EceTest, MaximallyMiscalibrated) {
+  // Confidence 1.0, always wrong -> ECE = 1.
+  Matrix probs(10, 2);
+  std::vector<int> labels(10, 1);
+  for (size_t r = 0; r < 10; ++r) probs.At(r, 0) = 1.0f;
+  EXPECT_NEAR(ExpectedCalibrationError(probs, labels), 1.0, 1e-9);
+}
+
+TEST(EceTest, IgnoresUnlabeledRows) {
+  Matrix probs(2, 2);
+  probs.At(0, 0) = 1.0f;
+  probs.At(1, 0) = 1.0f;
+  std::vector<int> labels = {0, -1};
+  EXPECT_NEAR(ExpectedCalibrationError(probs, labels), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace trail::ml

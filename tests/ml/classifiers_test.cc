@@ -1,0 +1,292 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/gbt.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+#include "ml/scaler.h"
+#include "ml/smote.h"
+
+namespace trail::ml {
+namespace {
+
+/// Three Gaussian blobs in `dims` dimensions — linearly separable when
+/// `separation` is large, noisy when small.
+Dataset MakeBlobs(int per_class, int dims, double separation, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  d.num_classes = 3;
+  d.x = Matrix(3 * per_class, dims);
+  for (int cls = 0; cls < 3; ++cls) {
+    for (int i = 0; i < per_class; ++i) {
+      size_t row = cls * per_class + i;
+      d.y.push_back(cls);
+      for (int c = 0; c < dims; ++c) {
+        double center = (c % 3 == cls) ? separation : 0.0;
+        d.x.At(row, c) = static_cast<float>(rng.Normal(center, 1.0));
+      }
+    }
+  }
+  return d;
+}
+
+TEST(StandardScalerTest, NormalizesTrainingColumns) {
+  Rng rng(1);
+  Matrix x(200, 3);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    x.At(r, 0) = static_cast<float>(rng.Normal(5.0, 2.0));
+    x.At(r, 1) = static_cast<float>(rng.Normal(-10.0, 0.5));
+    x.At(r, 2) = 7.0f;  // constant column
+  }
+  StandardScaler scaler;
+  Matrix z = scaler.FitTransform(x);
+  Matrix mean = ColumnMean(z);
+  Matrix var = ColumnVariance(z, mean);
+  EXPECT_NEAR(mean.At(0, 0), 0.0f, 1e-4);
+  EXPECT_NEAR(var.At(0, 0), 1.0f, 1e-3);
+  EXPECT_NEAR(mean.At(0, 1), 0.0f, 1e-4);
+  // Constant column: centered but not blown up.
+  EXPECT_NEAR(z.At(0, 2), 0.0f, 1e-5);
+}
+
+TEST(StandardScalerTest, TransformUsesTrainStatistics) {
+  Matrix train = Matrix::FromRows({{0}, {10}});
+  StandardScaler scaler;
+  scaler.Fit(train);
+  Matrix test = Matrix::FromRows({{5}});
+  Matrix z = scaler.Transform(test);
+  EXPECT_NEAR(z.At(0, 0), 0.0f, 1e-5);  // 5 is the train mean
+}
+
+TEST(SmoteTest, BalancesMinorityClasses) {
+  Dataset d = MakeBlobs(10, 4, 3.0, 2);
+  // Drop most of class 2 to create imbalance.
+  std::vector<size_t> keep;
+  int class2 = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (d.y[i] == 2 && ++class2 > 3) continue;
+    keep.push_back(i);
+  }
+  Dataset imbalanced = d.Select(keep);
+  Rng rng(3);
+  Dataset balanced = SmoteOversample(imbalanced, SmoteOptions(), &rng);
+  auto counts = balanced.ClassCounts();
+  EXPECT_EQ(counts[0], counts[2]);
+  EXPECT_EQ(counts[1], counts[2]);
+  // Originals preserved at the front.
+  for (size_t i = 0; i < imbalanced.size(); ++i) {
+    EXPECT_EQ(balanced.y[i], imbalanced.y[i]);
+  }
+}
+
+TEST(SmoteTest, SyntheticSamplesInterpolateWithinClass) {
+  // Class 1 lives strictly in [10, 11] on every axis; synthetics must too.
+  Rng rng(4);
+  Dataset d;
+  d.num_classes = 2;
+  d.x = Matrix(24, 2);
+  for (int i = 0; i < 24; ++i) {
+    bool minority = i >= 20;
+    d.y.push_back(minority ? 1 : 0);
+    for (int c = 0; c < 2; ++c) {
+      d.x.At(i, c) =
+          minority ? static_cast<float>(10.0 + rng.UniformDouble()) : 0.0f;
+    }
+  }
+  Dataset balanced = SmoteOversample(d, SmoteOptions(), &rng);
+  for (size_t i = d.size(); i < balanced.size(); ++i) {
+    EXPECT_EQ(balanced.y[i], 1);
+    EXPECT_GE(balanced.x.At(i, 0), 10.0f);
+    EXPECT_LE(balanced.x.At(i, 0), 11.0f);
+  }
+}
+
+TEST(SmoteTest, SingletonClassIsLeftAlone) {
+  Dataset d;
+  d.num_classes = 2;
+  d.x = Matrix(5, 1);
+  d.y = {0, 0, 0, 0, 1};
+  Rng rng(5);
+  Dataset out = SmoteOversample(d, SmoteOptions(), &rng);
+  EXPECT_EQ(out.ClassCounts()[1], 1u);  // cannot interpolate a single point
+}
+
+TEST(DecisionTreeTest, FitsXorPattern) {
+  // XOR needs depth >= 2; impossible for a single linear split.
+  Dataset d;
+  d.num_classes = 2;
+  std::vector<std::vector<float>> rows;
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    float a = static_cast<float>(rng.UniformDouble());
+    float b = static_cast<float>(rng.UniformDouble());
+    rows.push_back({a, b});
+    d.y.push_back((a > 0.5f) != (b > 0.5f) ? 1 : 0);
+  }
+  d.x = Matrix::FromRows(rows);
+  std::vector<size_t> all(d.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  DecisionTree tree;
+  tree.Fit(d.x, d.y, 2, all, DecisionTreeOptions(), &rng);
+  std::vector<int> pred;
+  for (size_t i = 0; i < d.size(); ++i) pred.push_back(tree.Predict(d.x.Row(i)));
+  EXPECT_GT(Accuracy(d.y, pred), 0.95);
+  EXPECT_GE(tree.max_depth_reached(), 2);
+}
+
+TEST(DecisionTreeTest, MaxDepthZeroIsMajorityLeaf) {
+  Dataset d = MakeBlobs(20, 2, 5.0, 7);
+  std::vector<size_t> all(d.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  DecisionTreeOptions opts;
+  opts.max_depth = 0;
+  Rng rng(8);
+  DecisionTree tree;
+  tree.Fit(d.x, d.y, 3, all, opts, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  auto probs = tree.PredictProba(d.x.Row(0));
+  float total = 0;
+  for (float p : probs) total += p;
+  EXPECT_NEAR(total, 1.0f, 1e-5);
+}
+
+TEST(DecisionTreeTest, PureSubsetMakesLeafImmediately) {
+  Dataset d = MakeBlobs(10, 2, 1.0, 9);
+  std::vector<size_t> only_class0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (d.y[i] == 0) only_class0.push_back(i);
+  }
+  Rng rng(10);
+  DecisionTree tree;
+  tree.Fit(d.x, d.y, 3, only_class0, DecisionTreeOptions(), &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.Predict(d.x.Row(only_class0[0])), 0);
+}
+
+TEST(RandomForestTest, SeparableBlobsHighAccuracy) {
+  Dataset d = MakeBlobs(60, 6, 4.0, 11);
+  Rng rng(12);
+  Fold split = StratifiedSplit(d.y, 0.3, &rng);
+  RandomForestOptions opts;
+  opts.num_trees = 30;
+  RandomForest forest;
+  forest.Fit(d.Select(split.train), opts, &rng);
+  Dataset test = d.Select(split.test);
+  EXPECT_GT(Accuracy(test.y, forest.PredictBatch(test.x)), 0.95);
+  EXPECT_EQ(forest.num_trees(), 30u);
+}
+
+TEST(RandomForestTest, ProbabilitiesSumToOne) {
+  Dataset d = MakeBlobs(30, 4, 2.0, 13);
+  Rng rng(14);
+  RandomForestOptions opts;
+  opts.num_trees = 10;
+  RandomForest forest;
+  forest.Fit(d, opts, &rng);
+  Matrix probs = forest.PredictProbaBatch(d.x);
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    float total = 0;
+    for (float p : probs.Row(r)) total += p;
+    EXPECT_NEAR(total, 1.0f, 1e-4);
+  }
+}
+
+TEST(GbtTest, SeparableBlobsHighAccuracy) {
+  Dataset d = MakeBlobs(60, 6, 4.0, 15);
+  Rng rng(16);
+  Fold split = StratifiedSplit(d.y, 0.3, &rng);
+  GbtOptions opts;
+  opts.num_rounds = 20;
+  opts.colsample_bytree = 1.0;
+  GbtClassifier gbt;
+  gbt.Fit(d.Select(split.train), opts, &rng);
+  Dataset test = d.Select(split.test);
+  EXPECT_GT(Accuracy(test.y, gbt.PredictBatch(test.x)), 0.95);
+  EXPECT_EQ(gbt.num_rounds(), 20);
+}
+
+TEST(GbtTest, MarginsImproveWithRounds) {
+  Dataset d = MakeBlobs(40, 4, 2.0, 17);
+  Rng rng(18);
+  GbtOptions short_opts;
+  short_opts.num_rounds = 2;
+  short_opts.colsample_bytree = 1.0;
+  GbtClassifier short_model;
+  short_model.Fit(d, short_opts, &rng);
+  Rng rng2(18);
+  GbtOptions long_opts = short_opts;
+  long_opts.num_rounds = 25;
+  GbtClassifier long_model;
+  long_model.Fit(d, long_opts, &rng2);
+  EXPECT_GE(Accuracy(d.y, long_model.PredictBatch(d.x)),
+            Accuracy(d.y, short_model.PredictBatch(d.x)));
+}
+
+TEST(GbtTest, ProbabilitiesFormDistribution) {
+  Dataset d = MakeBlobs(20, 3, 3.0, 19);
+  Rng rng(20);
+  GbtOptions opts;
+  opts.num_rounds = 5;
+  GbtClassifier gbt;
+  gbt.Fit(d, opts, &rng);
+  auto probs = gbt.PredictProba(d.x.Row(0));
+  float total = 0;
+  for (float p : probs) {
+    EXPECT_GE(p, 0.0f);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-4);
+}
+
+TEST(MlpTest, LearnsSeparableBlobs) {
+  Dataset d = MakeBlobs(60, 6, 4.0, 21);
+  Rng rng(22);
+  Fold split = StratifiedSplit(d.y, 0.3, &rng);
+  MlpOptions opts;
+  opts.hidden_sizes = {32, 16};
+  opts.epochs = 60;
+  MlpClassifier mlp;
+  mlp.Fit(d.Select(split.train), opts);
+  Dataset test = d.Select(split.test);
+  EXPECT_GT(Accuracy(test.y, mlp.PredictBatch(test.x)), 0.9);
+}
+
+TEST(MlpTest, LearnsXorWithHiddenLayer) {
+  Dataset d;
+  d.num_classes = 2;
+  std::vector<std::vector<float>> rows;
+  Rng rng(23);
+  for (int i = 0; i < 400; ++i) {
+    float a = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+    float b = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+    rows.push_back({a + static_cast<float>(rng.Normal(0, 0.1)),
+                    b + static_cast<float>(rng.Normal(0, 0.1))});
+    d.y.push_back(a * b > 0 ? 1 : 0);
+  }
+  d.x = Matrix::FromRows(rows);
+  MlpOptions opts;
+  opts.hidden_sizes = {16};
+  opts.epochs = 80;
+  opts.dropout = 0.0;
+  MlpClassifier mlp;
+  mlp.Fit(d, opts);
+  EXPECT_GT(Accuracy(d.y, mlp.PredictBatch(d.x)), 0.95);
+}
+
+TEST(MlpTest, SingleSamplePredictMatchesBatch) {
+  Dataset d = MakeBlobs(20, 4, 3.0, 24);
+  MlpOptions opts;
+  opts.hidden_sizes = {16};
+  opts.epochs = 20;
+  MlpClassifier mlp;
+  mlp.Fit(d, opts);
+  auto batch = mlp.PredictBatch(d.x);
+  EXPECT_EQ(mlp.Predict(d.x.Row(5)), batch[5]);
+}
+
+}  // namespace
+}  // namespace trail::ml

@@ -1,0 +1,122 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace trail::ml {
+namespace {
+
+Dataset MakeDataset(const std::vector<int>& labels) {
+  Dataset d;
+  d.num_classes = 1 + *std::max_element(labels.begin(), labels.end());
+  d.y = labels;
+  d.x = Matrix(labels.size(), 2);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    d.x.At(i, 0) = static_cast<float>(i);
+  }
+  return d;
+}
+
+TEST(DatasetTest, ClassCountsAndValidate) {
+  Dataset d = MakeDataset({0, 0, 1, 2, 2, 2});
+  EXPECT_EQ(d.ClassCounts(), (std::vector<size_t>{2, 1, 3}));
+  EXPECT_TRUE(d.Validate().ok());
+  d.y[0] = 99;
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, SelectKeepsRowsAndLabelsAligned) {
+  Dataset d = MakeDataset({0, 1, 0, 1});
+  Dataset s = d.Select({3, 0});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.y, (std::vector<int>{1, 0}));
+  EXPECT_FLOAT_EQ(s.x.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(s.x.At(1, 0), 0.0f);
+}
+
+TEST(StratifiedKFoldTest, PartitionsAllSamples) {
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) y.push_back(i % 4);
+  Rng rng(1);
+  auto folds = StratifiedKFold(y, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> test_hits(y.size(), 0);
+  for (const Fold& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), y.size());
+    std::set<size_t> train_set(fold.train.begin(), fold.train.end());
+    for (size_t t : fold.test) {
+      EXPECT_EQ(train_set.count(t), 0u);
+      test_hits[t]++;
+    }
+  }
+  // Every sample appears in exactly one fold's test set.
+  for (int hits : test_hits) EXPECT_EQ(hits, 1);
+}
+
+TEST(StratifiedKFoldTest, PreservesClassProportions) {
+  std::vector<int> y;
+  for (int i = 0; i < 50; ++i) y.push_back(0);
+  for (int i = 0; i < 25; ++i) y.push_back(1);
+  Rng rng(2);
+  auto folds = StratifiedKFold(y, 5, &rng);
+  for (const Fold& fold : folds) {
+    int c0 = 0;
+    int c1 = 0;
+    for (size_t t : fold.test) (y[t] == 0 ? c0 : c1)++;
+    EXPECT_EQ(c0, 10);
+    EXPECT_EQ(c1, 5);
+  }
+}
+
+TEST(StratifiedKFoldTest, RareClassAppearsAtMostOncePerFold) {
+  std::vector<int> y(40, 0);
+  y.push_back(1);
+  y.push_back(1);
+  y.push_back(1);
+  Rng rng(3);
+  auto folds = StratifiedKFold(y, 5, &rng);
+  int total_rare_tests = 0;
+  for (const Fold& fold : folds) {
+    int rare = 0;
+    for (size_t t : fold.test) rare += y[t] == 1;
+    EXPECT_LE(rare, 1);
+    total_rare_tests += rare;
+  }
+  EXPECT_EQ(total_rare_tests, 3);
+}
+
+TEST(StratifiedSplitTest, FractionRespectedPerClass) {
+  std::vector<int> y;
+  for (int i = 0; i < 80; ++i) y.push_back(0);
+  for (int i = 0; i < 20; ++i) y.push_back(1);
+  Rng rng(4);
+  Fold fold = StratifiedSplit(y, 0.25, &rng);
+  int test0 = 0;
+  int test1 = 0;
+  for (size_t t : fold.test) (y[t] == 0 ? test0 : test1)++;
+  EXPECT_EQ(test0, 20);
+  EXPECT_EQ(test1, 5);
+  EXPECT_EQ(fold.train.size() + fold.test.size(), y.size());
+}
+
+TEST(StratifiedSplitTest, TinyClassStillGetsTestSample) {
+  std::vector<int> y = {0, 0, 0, 0, 1, 1};
+  Rng rng(5);
+  Fold fold = StratifiedSplit(y, 0.1, &rng);
+  int rare_test = 0;
+  for (size_t t : fold.test) rare_test += y[t] == 1;
+  EXPECT_EQ(rare_test, 1);
+}
+
+TEST(StratifiedSplitTest, ZeroFractionKeepsEverythingInTrain) {
+  std::vector<int> y = {0, 1, 0, 1};
+  Rng rng(6);
+  Fold fold = StratifiedSplit(y, 0.0, &rng);
+  EXPECT_TRUE(fold.test.empty());
+  EXPECT_EQ(fold.train.size(), 4u);
+}
+
+}  // namespace
+}  // namespace trail::ml

@@ -1,0 +1,110 @@
+// Reproducibility guarantees: every model must be bit-deterministic given
+// the same seed — the property the longitudinal study and the calibrated
+// benches rely on.
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.h"
+#include "ml/gbt.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+
+namespace trail::ml {
+namespace {
+
+Dataset MakeData(uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  d.num_classes = 3;
+  d.x = Matrix(90, 6);
+  for (size_t i = 0; i < 90; ++i) {
+    d.y.push_back(static_cast<int>(i % 3));
+    for (size_t c = 0; c < 6; ++c) {
+      d.x.At(i, c) = static_cast<float>(rng.Normal(d.y[i], 1.0));
+    }
+  }
+  return d;
+}
+
+TEST(DeterminismTest, GbtSameSeedSamePredictions) {
+  Dataset d = MakeData(1);
+  GbtOptions opts;
+  opts.num_rounds = 10;
+  Rng rng_a(42);
+  GbtClassifier a;
+  a.Fit(d, opts, &rng_a);
+  Rng rng_b(42);
+  GbtClassifier b;
+  b.Fit(d, opts, &rng_b);
+  for (size_t i = 0; i < d.size(); ++i) {
+    auto ma = a.PredictMargin(d.x.Row(i));
+    auto mb = b.PredictMargin(d.x.Row(i));
+    for (int c = 0; c < 3; ++c) ASSERT_FLOAT_EQ(ma[c], mb[c]);
+  }
+}
+
+TEST(DeterminismTest, GbtDifferentSeedDiffers) {
+  Dataset d = MakeData(1);
+  GbtOptions opts;
+  opts.num_rounds = 10;
+  opts.subsample = 0.7;
+  Rng rng_a(42);
+  GbtClassifier a;
+  a.Fit(d, opts, &rng_a);
+  Rng rng_b(43);
+  GbtClassifier b;
+  b.Fit(d, opts, &rng_b);
+  bool any_diff = false;
+  for (size_t i = 0; i < d.size() && !any_diff; ++i) {
+    auto ma = a.PredictMargin(d.x.Row(i));
+    auto mb = b.PredictMargin(d.x.Row(i));
+    for (int c = 0; c < 3; ++c) any_diff |= ma[c] != mb[c];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DeterminismTest, RandomForestSameSeedSamePredictions) {
+  Dataset d = MakeData(2);
+  RandomForestOptions opts;
+  opts.num_trees = 12;
+  Rng rng_a(7);
+  RandomForest a;
+  a.Fit(d, opts, &rng_a);
+  Rng rng_b(7);
+  RandomForest b;
+  b.Fit(d, opts, &rng_b);
+  EXPECT_EQ(a.PredictBatch(d.x), b.PredictBatch(d.x));
+}
+
+TEST(DeterminismTest, MlpSeedControlsInitialization) {
+  Dataset d = MakeData(3);
+  MlpOptions opts;
+  opts.hidden_sizes = {16};
+  opts.epochs = 10;
+  opts.seed = 5;
+  MlpClassifier a;
+  a.Fit(d, opts);
+  MlpClassifier b;
+  b.Fit(d, opts);
+  Matrix pa = a.PredictProbaBatch(d.x);
+  Matrix pb = b.PredictProbaBatch(d.x);
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_FLOAT_EQ(pa.data()[i], pb.data()[i]);
+  }
+}
+
+TEST(DeterminismTest, KFoldDeterministicPerSeed) {
+  std::vector<int> y(60);
+  for (size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 4);
+  Rng rng_a(11);
+  Rng rng_b(11);
+  auto fa = StratifiedKFold(y, 5, &rng_a);
+  auto fb = StratifiedKFold(y, 5, &rng_b);
+  for (int f = 0; f < 5; ++f) {
+    EXPECT_EQ(fa[f].train, fb[f].train);
+    EXPECT_EQ(fa[f].test, fb[f].test);
+  }
+}
+
+}  // namespace
+}  // namespace trail::ml

@@ -1,0 +1,146 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace trail::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 0.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 0.5f);
+  m(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(m(0, 1), 7.0f);
+}
+
+TEST(MatrixTest, FromRowsAndRowSpan) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  auto row = m.Row(1);
+  EXPECT_FLOAT_EQ(row[0], 3.0f);
+  EXPECT_FLOAT_EQ(row[1], 4.0f);
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 50.0f);
+}
+
+TEST(MatrixTest, MatMulRectangular) {
+  Matrix a = Matrix::FromRows({{1, 0, 2}});       // 1x3
+  Matrix b = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});  // 3x2
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 7.0f);
+}
+
+TEST(MatrixTest, TransposedMultipliesAgreeWithExplicitTranspose) {
+  Rng rng(3);
+  Matrix a = Matrix::GlorotUniform(4, 6, &rng);
+  Matrix b = Matrix::GlorotUniform(5, 6, &rng);
+  Matrix via_trans_b = MatMulTransB(a, b);
+  Matrix expected = MatMul(a, Transpose(b));
+  ASSERT_TRUE(via_trans_b.SameShape(expected));
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(via_trans_b.data()[i], expected.data()[i], 1e-5);
+  }
+
+  Matrix c = Matrix::GlorotUniform(4, 5, &rng);
+  Matrix via_trans_a = MatMulTransA(a, c);  // a^T (6x4) * c (4x5)
+  Matrix expected2 = MatMul(Transpose(a), c);
+  ASSERT_TRUE(via_trans_a.SameShape(expected2));
+  for (size_t i = 0; i < expected2.size(); ++i) {
+    EXPECT_NEAR(via_trans_a.data()[i], expected2.data()[i], 1e-5);
+  }
+}
+
+TEST(MatrixTest, LargeMatMulParallelConsistency) {
+  // Exercises the ParallelFor path (rows > chunk) against a serial result.
+  Rng rng(11);
+  Matrix a = Matrix::GlorotUniform(300, 40, &rng);
+  Matrix b = Matrix::GlorotUniform(40, 30, &rng);
+  Matrix c = MatMul(a, b);
+  for (int trial = 0; trial < 3; ++trial) {
+    Matrix c2 = MatMul(a, b);
+    for (size_t i = 0; i < c.size(); ++i) {
+      ASSERT_EQ(c.data()[i], c2.data()[i]);
+    }
+  }
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix bias = Matrix::FromRows({{10, 20}});
+  Matrix out = AddRowBroadcast(a, bias);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 1), 24.0f);
+}
+
+TEST(MatrixTest, ColumnMeanAndVariance) {
+  Matrix a = Matrix::FromRows({{1, 10}, {3, 20}, {5, 30}});
+  Matrix mean = ColumnMean(a);
+  EXPECT_FLOAT_EQ(mean.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(mean.At(0, 1), 20.0f);
+  Matrix var = ColumnVariance(a, mean);
+  EXPECT_NEAR(var.At(0, 0), 8.0f / 3.0f, 1e-5);
+  EXPECT_NEAR(var.At(0, 1), 200.0f / 3.0f, 1e-4);
+}
+
+TEST(MatrixTest, RowSoftmax) {
+  Matrix logits = Matrix::FromRows({{0, 0}, {1000, 1000}, {0, 10}});
+  Matrix probs = RowSoftmax(logits);
+  EXPECT_NEAR(probs.At(0, 0), 0.5f, 1e-6);
+  // Large values must not overflow.
+  EXPECT_NEAR(probs.At(1, 0), 0.5f, 1e-6);
+  EXPECT_GT(probs.At(2, 1), 0.99f);
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    float total = 0;
+    for (float v : probs.Row(r)) total += v;
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix a = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  Matrix s = a.SelectRows({2, 0});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_FLOAT_EQ(s.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(s.At(1, 0), 1.0f);
+}
+
+TEST(MatrixTest, InPlaceOpsAndNorms) {
+  Matrix a = Matrix::FromRows({{3, 4}});
+  EXPECT_FLOAT_EQ(a.Norm(), 5.0f);
+  EXPECT_FLOAT_EQ(a.Sum(), 7.0f);
+  Matrix b = Matrix::FromRows({{1, 1}});
+  a.AddInPlace(b, 2.0f);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 5.0f);
+  a.ScaleInPlace(0.5f);
+  EXPECT_FLOAT_EQ(a.At(0, 1), 3.0f);
+  a.Fill(9.0f);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 9.0f);
+}
+
+TEST(MatrixTest, GlorotUniformWithinLimit) {
+  Rng rng(7);
+  Matrix w = Matrix::GlorotUniform(30, 50, &rng);
+  float limit = std::sqrt(6.0f / 80.0f);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(w.data()[i]), limit);
+  }
+  // Not all zero.
+  EXPECT_GT(w.Norm(), 0.1f);
+}
+
+}  // namespace
+}  // namespace trail::ml

@@ -1,0 +1,86 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace trail::ml {
+namespace {
+
+TEST(AccuracyTest, Basics) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 2, 3}, {0, 1, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(AccuracyTest, AbstentionsCountAsWrong) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 0}, {-1, 0}), 0.5);
+}
+
+TEST(BalancedAccuracyTest, EqualsMeanPerClassRecall) {
+  // Class 0: 2/2 correct; class 1: 1/4 correct -> (1.0 + 0.25)/2.
+  std::vector<int> truth = {0, 0, 1, 1, 1, 1};
+  std::vector<int> pred = {0, 0, 1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(truth, pred, 2), 0.625);
+}
+
+TEST(BalancedAccuracyTest, IgnoresAbsentClasses) {
+  std::vector<int> truth = {0, 0};
+  std::vector<int> pred = {0, 0};
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(truth, pred, 5), 1.0);
+}
+
+TEST(BalancedAccuracyTest, DiffersFromAccuracyUnderImbalance) {
+  // 9 of class 0, 1 of class 1; predict all 0.
+  std::vector<int> truth(9, 0);
+  truth.push_back(1);
+  std::vector<int> pred(10, 0);
+  EXPECT_DOUBLE_EQ(Accuracy(truth, pred), 0.9);
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(truth, pred, 2), 0.5);
+}
+
+TEST(ConfusionMatrixTest, Entries) {
+  std::vector<int> truth = {0, 0, 1, 1, 2};
+  std::vector<int> pred = {0, 1, 1, 1, 0};
+  auto cm = ConfusionMatrix(truth, pred, 3);
+  EXPECT_EQ(cm[0][0], 1);
+  EXPECT_EQ(cm[0][1], 1);
+  EXPECT_EQ(cm[1][1], 2);
+  EXPECT_EQ(cm[2][0], 1);
+  EXPECT_EQ(cm[2][2], 0);
+}
+
+TEST(ConfusionMatrixTest, DropsInvalidPredictions) {
+  auto cm = ConfusionMatrix({0, 1}, {-1, 5}, 2);
+  int total = 0;
+  for (const auto& row : cm) {
+    for (int v : row) total += v;
+  }
+  EXPECT_EQ(total, 0);
+}
+
+TEST(MacroF1Test, PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 0, 1}, {0, 1, 0, 1}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1({0, 0}, {1, 1}, 2), 0.0);
+}
+
+TEST(MacroF1Test, KnownValue) {
+  // Class 0: tp=1 fp=1 fn=1 -> p=r=0.5, f1=0.5. Class 1: tp=1 fp=1 fn=1 -> 0.5.
+  std::vector<int> truth = {0, 0, 1, 1};
+  std::vector<int> pred = {0, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(MacroF1(truth, pred, 2), 0.5);
+}
+
+TEST(MeanStdTest, KnownValues) {
+  MeanStd ms = ComputeMeanStd({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.std, 2.0);
+  MeanStd empty = ComputeMeanStd({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(MeanStdTest, Formatting) {
+  EXPECT_EQ(FormatMeanStd({0.8236, 0.0061}), "0.8236 ± 0.0061");
+  EXPECT_EQ(FormatMeanStd({0.5, 0.125}, 2), "0.50 ± 0.12");
+}
+
+}  // namespace
+}  // namespace trail::ml

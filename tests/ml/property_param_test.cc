@@ -1,0 +1,241 @@
+// Property-style parameterized sweeps over the ML substrate: invariants
+// that must hold for any seed / shape, not just the hand-picked examples in
+// the unit tests.
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ml/autograd.h"
+#include "ml/dataset.h"
+#include "ml/gbt.h"
+#include "ml/matrix.h"
+#include "ml/smote.h"
+#include "ml/treeshap.h"
+
+namespace trail::ml {
+namespace {
+
+// ---------------------------------------------------------------- softmax
+class SoftmaxProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoftmaxProperty, RowsAreDistributionsAndOrderPreserving) {
+  Rng rng(GetParam());
+  size_t rows = 1 + rng.NextBounded(16);
+  size_t cols = 2 + rng.NextBounded(30);
+  Matrix logits(rows, cols);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = static_cast<float>(rng.Normal(0, 5));
+  }
+  Matrix probs = RowSoftmax(logits);
+  for (size_t r = 0; r < rows; ++r) {
+    float total = 0;
+    size_t argmax_logit = 0;
+    size_t argmax_prob = 0;
+    for (size_t c = 0; c < cols; ++c) {
+      float p = probs.At(r, c);
+      EXPECT_GT(p, 0.0f);
+      EXPECT_LE(p, 1.0f);
+      total += p;
+      if (logits.At(r, c) > logits.At(r, argmax_logit)) argmax_logit = c;
+      if (probs.At(r, c) > probs.At(r, argmax_prob)) argmax_prob = c;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-4);
+    EXPECT_EQ(argmax_logit, argmax_prob);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxProperty,
+                         ::testing::Range<uint64_t>(0, 8));
+
+// ------------------------------------------------------------ matmul laws
+class MatMulProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatMulProperty, DistributesOverAddition) {
+  Rng rng(GetParam());
+  size_t n = 1 + rng.NextBounded(12);
+  size_t k = 1 + rng.NextBounded(12);
+  size_t m = 1 + rng.NextBounded(12);
+  Matrix a = Matrix::GlorotUniform(n, k, &rng);
+  Matrix b = Matrix::GlorotUniform(k, m, &rng);
+  Matrix c = Matrix::GlorotUniform(k, m, &rng);
+  Matrix b_plus_c = b;
+  b_plus_c.AddInPlace(c);
+  Matrix lhs = MatMul(a, b_plus_c);
+  Matrix rhs = MatMul(a, b);
+  rhs.AddInPlace(MatMul(a, c));
+  ASSERT_TRUE(lhs.SameShape(rhs));
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4);
+  }
+}
+
+TEST_P(MatMulProperty, TransposeIdentity) {
+  // (A B)^T == B^T A^T.
+  Rng rng(GetParam() + 100);
+  size_t n = 1 + rng.NextBounded(10);
+  size_t k = 1 + rng.NextBounded(10);
+  size_t m = 1 + rng.NextBounded(10);
+  Matrix a = Matrix::GlorotUniform(n, k, &rng);
+  Matrix b = Matrix::GlorotUniform(k, m, &rng);
+  Matrix lhs = Transpose(MatMul(a, b));
+  Matrix rhs = MatMul(Transpose(b), Transpose(a));
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatMulProperty,
+                         ::testing::Range<uint64_t>(0, 8));
+
+// ------------------------------------------------------- k-fold invariants
+class KFoldProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(KFoldProperty, PartitionInvariants) {
+  auto [num_classes, k, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<int> y;
+  for (int c = 0; c < num_classes; ++c) {
+    int count = 3 + static_cast<int>(rng.NextBounded(40));
+    for (int i = 0; i < count; ++i) y.push_back(c);
+  }
+  rng.Shuffle(&y);
+  auto folds = StratifiedKFold(y, k, &rng);
+  ASSERT_EQ(folds.size(), static_cast<size_t>(k));
+  std::vector<int> covered(y.size(), 0);
+  for (const Fold& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), y.size());
+    std::set<size_t> train(fold.train.begin(), fold.train.end());
+    for (size_t t : fold.test) {
+      EXPECT_EQ(train.count(t), 0u);
+      covered[t]++;
+    }
+    // Stratification: per-class test counts within 1 of each other across
+    // folds is guaranteed by round-robin dealing; check totals per class.
+  }
+  for (int hits : covered) EXPECT_EQ(hits, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KFoldProperty,
+    ::testing::Combine(::testing::Values(2, 5, 22), ::testing::Values(2, 5),
+                       ::testing::Values<uint64_t>(1, 99)));
+
+// ----------------------------------------------------------------- SMOTE
+class SmoteProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SmoteProperty, NeverShrinksAndRespectsBoundingBox) {
+  Rng rng(GetParam());
+  Dataset d;
+  d.num_classes = 3;
+  size_t n = 30 + rng.NextBounded(40);
+  d.x = Matrix(n, 4);
+  for (size_t i = 0; i < n; ++i) {
+    int cls = static_cast<int>(rng.NextBounded(3));
+    // Skew class sizes.
+    if (cls == 2 && rng.Bernoulli(0.7)) cls = 0;
+    d.y.push_back(cls);
+    for (size_t c = 0; c < 4; ++c) {
+      d.x.At(i, c) = static_cast<float>(cls * 10 + rng.UniformDouble());
+    }
+  }
+  Dataset out = SmoteOversample(d, SmoteOptions(), &rng);
+  EXPECT_GE(out.size(), d.size());
+  // Synthetic rows lie inside the class's bounding box (convex combination).
+  for (size_t i = d.size(); i < out.size(); ++i) {
+    int cls = out.y[i];
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_GE(out.x.At(i, c), cls * 10 - 1e-4);
+      EXPECT_LE(out.x.At(i, c), cls * 10 + 1 + 1e-4);
+    }
+  }
+  // Class counts are non-decreasing and at most the majority count.
+  auto before = d.ClassCounts();
+  auto after = out.ClassCounts();
+  size_t majority = *std::max_element(before.begin(), before.end());
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_GE(after[c], before[c]);
+    EXPECT_LE(after[c], std::max(majority, before[c]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmoteProperty,
+                         ::testing::Range<uint64_t>(0, 10));
+
+// -------------------------------------------------- TreeSHAP local accuracy
+class TreeShapProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeShapProperty, LocalAccuracyOnRandomEnsembles) {
+  Rng rng(GetParam());
+  Dataset d;
+  d.num_classes = 2 + static_cast<int>(rng.NextBounded(3));
+  size_t n = 60;
+  size_t dims = 4 + rng.NextBounded(6);
+  d.x = Matrix(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    d.y.push_back(static_cast<int>(i) % d.num_classes);
+    for (size_t c = 0; c < dims; ++c) {
+      d.x.At(i, c) = static_cast<float>(rng.Normal(d.y[i], 1.5));
+    }
+  }
+  GbtOptions opts;
+  opts.num_rounds = 4;
+  opts.colsample_bytree = 1.0;
+  opts.subsample = 1.0;
+  GbtClassifier model;
+  model.Fit(d, opts, &rng);
+
+  size_t sample = rng.NextBounded(n);
+  auto margins = model.PredictMargin(d.x.Row(sample));
+  for (int cls = 0; cls < d.num_classes; ++cls) {
+    auto phi = ShapValues(model, d.x.Row(sample), cls);
+    double total = ExpectedMargin(model, cls);
+    total = std::accumulate(phi.begin(), phi.end(), total);
+    EXPECT_NEAR(total, margins[cls], 1e-2) << "class " << cls;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeShapProperty,
+                         ::testing::Range<uint64_t>(0, 10));
+
+// ------------------------------------------------ aggregation = mean check
+class AggregateProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregateProperty, MatchesExplicitMean) {
+  Rng rng(GetParam());
+  size_t num_in = 2 + rng.NextBounded(20);
+  size_t num_out = 1 + rng.NextBounded(10);
+  size_t cols = 1 + rng.NextBounded(8);
+  ag::AggregateSpec spec;
+  spec.offsets.push_back(0);
+  for (size_t v = 0; v < num_out; ++v) {
+    size_t deg = rng.NextBounded(6);
+    for (size_t e = 0; e < deg; ++e) {
+      spec.sources.push_back(
+          static_cast<uint32_t>(rng.NextBounded(num_in)));
+    }
+    spec.offsets.push_back(spec.sources.size());
+  }
+  Matrix x = Matrix::GlorotUniform(num_in, cols, &rng);
+  ag::VarPtr out = ag::MeanAggregate(spec, ag::Constant(x));
+  for (size_t v = 0; v < num_out; ++v) {
+    size_t deg = spec.offsets[v + 1] - spec.offsets[v];
+    for (size_t c = 0; c < cols; ++c) {
+      double expected = 0;
+      for (size_t e = spec.offsets[v]; e < spec.offsets[v + 1]; ++e) {
+        expected += x.At(spec.sources[e], c);
+      }
+      if (deg > 0) expected /= deg;
+      EXPECT_NEAR(out->value.At(v, c), expected, 1e-5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateProperty,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace trail::ml

@@ -1,0 +1,103 @@
+#include "ml/tpe.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace trail::ml {
+namespace {
+
+TEST(ParamSpecTest, Factories) {
+  ParamSpec u = ParamSpec::Uniform("lr", 0.0, 1.0);
+  EXPECT_EQ(u.kind, ParamSpec::Kind::kUniform);
+  ParamSpec l = ParamSpec::LogUniform("lambda", 1e-4, 1.0);
+  EXPECT_EQ(l.kind, ParamSpec::Kind::kLogUniform);
+  ParamSpec i = ParamSpec::Int("depth", 2, 8);
+  EXPECT_EQ(i.kind, ParamSpec::Kind::kInt);
+  ParamSpec c = ParamSpec::Categorical("kernel", 3);
+  EXPECT_EQ(c.num_choices, 3);
+}
+
+TEST(TpeTest, SuggestionsRespectBounds) {
+  std::vector<ParamSpec> space = {
+      ParamSpec::Uniform("a", -2.0, 3.0),
+      ParamSpec::LogUniform("b", 0.01, 10.0),
+      ParamSpec::Int("c", 1, 5),
+      ParamSpec::Categorical("d", 4),
+  };
+  TpeOptimizer opt(space, TpeOptions(), 1);
+  for (int t = 0; t < 60; ++t) {
+    std::vector<double> values = opt.Suggest();
+    ASSERT_EQ(values.size(), 4u);
+    EXPECT_GE(values[0], -2.0);
+    EXPECT_LE(values[0], 3.0);
+    EXPECT_GE(values[1], 0.01);
+    EXPECT_LE(values[1], 10.0);
+    EXPECT_GE(values[2], 1.0);
+    EXPECT_LE(values[2], 5.0);
+    EXPECT_DOUBLE_EQ(values[2], std::round(values[2]));
+    EXPECT_GE(values[3], 0.0);
+    EXPECT_LT(values[3], 4.0);
+    opt.Report(values, values[0] * values[0]);
+  }
+}
+
+TEST(TpeTest, FindsQuadraticMinimum) {
+  std::vector<ParamSpec> space = {ParamSpec::Uniform("x", -10.0, 10.0)};
+  Trial best = TpeMinimize(
+      space,
+      [](const std::vector<double>& v) {
+        return (v[0] - 3.0) * (v[0] - 3.0);
+      },
+      80, 7);
+  EXPECT_NEAR(best.values[0], 3.0, 1.0);
+  EXPECT_LT(best.loss, 1.0);
+}
+
+TEST(TpeTest, BeatsRandomSearchOnAverage) {
+  // Same budget; TPE's best loss should not be (much) worse than random's.
+  auto objective = [](const std::vector<double>& v) {
+    return std::abs(v[0] - 0.7) + std::abs(v[1] - 0.2);
+  };
+  std::vector<ParamSpec> space = {ParamSpec::Uniform("a", 0.0, 1.0),
+                                  ParamSpec::Uniform("b", 0.0, 1.0)};
+  double tpe_total = 0;
+  double random_total = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Trial tpe = TpeMinimize(space, objective, 60, seed);
+    tpe_total += tpe.loss;
+    Rng rng(seed + 100);
+    double best_random = 1e9;
+    for (int t = 0; t < 60; ++t) {
+      std::vector<double> v = {rng.UniformDouble(), rng.UniformDouble()};
+      best_random = std::min(best_random, objective(v));
+    }
+    random_total += best_random;
+  }
+  EXPECT_LE(tpe_total, random_total * 1.5);
+}
+
+TEST(TpeTest, CategoricalOptimization) {
+  // Choice 2 is the only good one.
+  std::vector<ParamSpec> space = {ParamSpec::Categorical("c", 5)};
+  Trial best = TpeMinimize(
+      space,
+      [](const std::vector<double>& v) {
+        return static_cast<int>(v[0]) == 2 ? 0.0 : 1.0;
+      },
+      40, 3);
+  EXPECT_EQ(static_cast<int>(best.values[0]), 2);
+}
+
+TEST(TpeTest, BestTracksMinimum) {
+  TpeOptimizer opt({ParamSpec::Uniform("x", 0, 1)}, TpeOptions(), 5);
+  opt.Report({0.5}, 10.0);
+  opt.Report({0.2}, 3.0);
+  opt.Report({0.9}, 7.0);
+  EXPECT_DOUBLE_EQ(opt.best().loss, 3.0);
+  EXPECT_DOUBLE_EQ(opt.best().values[0], 0.2);
+  EXPECT_EQ(opt.trials().size(), 3u);
+}
+
+}  // namespace
+}  // namespace trail::ml

@@ -1,0 +1,122 @@
+// Decision-tree and GBT edge cases: constraints, degenerate features, and
+// tiny datasets.
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "ml/gbt.h"
+
+namespace trail::ml {
+namespace {
+
+TEST(DecisionTreeEdgeTest, MinSamplesLeafRespected) {
+  // 10 samples, perfectly separable at x=0.5, but min_samples_leaf = 6
+  // forbids the 5/5 split -> single leaf.
+  Matrix x(10, 1);
+  std::vector<int> y;
+  for (int i = 0; i < 10; ++i) {
+    x.At(i, 0) = i < 5 ? 0.0f : 1.0f;
+    y.push_back(i < 5 ? 0 : 1);
+  }
+  std::vector<size_t> all(10);
+  for (size_t i = 0; i < 10; ++i) all[i] = i;
+  DecisionTreeOptions opts;
+  opts.min_samples_leaf = 6;
+  Rng rng(1);
+  DecisionTree tree;
+  tree.Fit(x, y, 2, all, opts, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+
+  opts.min_samples_leaf = 1;
+  DecisionTree tree2;
+  tree2.Fit(x, y, 2, all, opts, &rng);
+  EXPECT_GT(tree2.num_nodes(), 1u);
+  EXPECT_EQ(tree2.Predict(x.Row(0)), 0);
+  EXPECT_EQ(tree2.Predict(x.Row(9)), 1);
+}
+
+TEST(DecisionTreeEdgeTest, ConstantFeaturesYieldLeaf) {
+  Matrix x(8, 3, 2.5f);  // all features constant
+  std::vector<int> y = {0, 1, 0, 1, 0, 1, 0, 1};
+  std::vector<size_t> all(8);
+  for (size_t i = 0; i < 8; ++i) all[i] = i;
+  Rng rng(2);
+  DecisionTree tree;
+  tree.Fit(x, y, 2, all, DecisionTreeOptions(), &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  auto probs = tree.PredictProba(x.Row(0));
+  EXPECT_NEAR(probs[0], 0.5f, 1e-6);
+}
+
+TEST(DecisionTreeEdgeTest, SingleSampleSubset) {
+  Matrix x(3, 2);
+  std::vector<int> y = {0, 1, 2};
+  Rng rng(3);
+  DecisionTree tree;
+  tree.Fit(x, y, 3, {1}, DecisionTreeOptions(), &rng);
+  EXPECT_EQ(tree.Predict(x.Row(0)), 1);
+}
+
+TEST(GbtEdgeTest, ConstantFeaturesStillProduceValidModel) {
+  Dataset d;
+  d.num_classes = 2;
+  d.x = Matrix(20, 4, 1.0f);
+  for (int i = 0; i < 20; ++i) d.y.push_back(i % 2);
+  GbtOptions opts;
+  opts.num_rounds = 3;
+  Rng rng(4);
+  GbtClassifier model;
+  model.Fit(d, opts, &rng);
+  auto probs = model.PredictProba(d.x.Row(0));
+  // No information: both classes near 0.5.
+  EXPECT_NEAR(probs[0], 0.5f, 0.1f);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0f, 1e-4);
+}
+
+TEST(GbtEdgeTest, AbsentClassGetsLowProbability) {
+  // Labels only use classes 0 and 2 out of 3.
+  Dataset d;
+  d.num_classes = 3;
+  d.x = Matrix(30, 2);
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    int cls = (i % 2) * 2;  // 0 or 2
+    d.y.push_back(cls);
+    d.x.At(i, 0) = static_cast<float>(rng.Normal(cls, 0.3));
+  }
+  GbtOptions opts;
+  opts.num_rounds = 10;
+  opts.colsample_bytree = 1.0;
+  GbtClassifier model;
+  model.Fit(d, opts, &rng);
+  for (int i = 0; i < 30; ++i) {
+    auto probs = model.PredictProba(d.x.Row(i));
+    EXPECT_LT(probs[1], 0.34f) << "absent class should never dominate";
+  }
+}
+
+TEST(GbtEdgeTest, DeepTreesRespectMaxDepth) {
+  Dataset d;
+  d.num_classes = 2;
+  d.x = Matrix(64, 1);
+  Rng rng(6);
+  for (int i = 0; i < 64; ++i) {
+    d.x.At(i, 0) = static_cast<float>(i);
+    d.y.push_back((i / 4) % 2);  // alternating blocks; needs depth
+  }
+  GbtOptions opts;
+  opts.num_rounds = 2;
+  opts.max_depth = 2;
+  opts.colsample_bytree = 1.0;
+  GbtClassifier model;
+  model.Fit(d, opts, &rng);
+  for (const auto& round : model.trees()) {
+    for (const GbtTree& tree : round) {
+      // depth-2 binary tree has at most 7 nodes.
+      EXPECT_LE(tree.nodes.size(), 7u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trail::ml

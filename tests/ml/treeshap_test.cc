@@ -1,0 +1,137 @@
+#include "ml/treeshap.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.h"
+
+namespace trail::ml {
+namespace {
+
+/// Builds a manual stump: x[f] <= t ? left_value : right_value, with covers.
+GbtTree MakeStump(int feature, float threshold, float left_value,
+                  float right_value, float left_cover, float right_cover) {
+  GbtTree tree;
+  tree.nodes.resize(3);
+  tree.nodes[0].feature = feature;
+  tree.nodes[0].threshold = threshold;
+  tree.nodes[0].left = 1;
+  tree.nodes[0].right = 2;
+  tree.nodes[0].cover = left_cover + right_cover;
+  tree.nodes[1].leaf_value = left_value;
+  tree.nodes[1].cover = left_cover;
+  tree.nodes[2].leaf_value = right_value;
+  tree.nodes[2].cover = right_cover;
+  return tree;
+}
+
+TEST(TreeShapTest, StumpShapMatchesClosedForm) {
+  // Balanced stump: E[f] = (v_l + v_r)/2; SHAP of the split feature is
+  // f(x) - E[f], all other features get 0.
+  GbtTree stump = MakeStump(1, 0.5f, -1.0f, 2.0f, 10.0f, 10.0f);
+  std::vector<float> x = {9.0f, 0.2f, 7.0f};
+  std::vector<double> phi(3, 0.0);
+  TreeShap(stump, x, &phi);
+  EXPECT_NEAR(phi[1], -1.0 - 0.5, 1e-6);  // f(x) = -1, E = 0.5
+  EXPECT_NEAR(phi[0], 0.0, 1e-9);
+  EXPECT_NEAR(phi[2], 0.0, 1e-9);
+}
+
+TEST(TreeShapTest, UnbalancedCoversShiftBaseline) {
+  GbtTree stump = MakeStump(0, 0.0f, 1.0f, 5.0f, 30.0f, 10.0f);
+  // E[f] = (30*1 + 10*5)/40 = 2.0.
+  std::vector<float> x = {1.0f};  // goes right -> f(x) = 5
+  std::vector<double> phi(1, 0.0);
+  TreeShap(stump, x, &phi);
+  EXPECT_NEAR(phi[0], 5.0 - 2.0, 1e-6);
+}
+
+TEST(TreeShapTest, LocalAccuracyOnDepth2Tree) {
+  // Tree: split f0; left child splits f1.
+  GbtTree tree;
+  tree.nodes.resize(5);
+  tree.nodes[0] = {0, 0.0f, 1, 2, 0.0f, 40.0f};
+  tree.nodes[1] = {1, 0.0f, 3, 4, 0.0f, 20.0f};
+  tree.nodes[2] = {-1, 0.0f, -1, -1, 7.0f, 20.0f};
+  tree.nodes[3] = {-1, 0.0f, -1, -1, -3.0f, 12.0f};
+  tree.nodes[4] = {-1, 0.0f, -1, -1, 2.0f, 8.0f};
+
+  // Local accuracy: sum(phi) + E[f] == f(x) for several inputs.
+  const double expected_value =
+      (20.0 * 7.0 + 12.0 * -3.0 + 8.0 * 2.0) / 40.0;
+  for (std::vector<float> x : {std::vector<float>{-1.0f, -1.0f},
+                               std::vector<float>{-1.0f, 1.0f},
+                               std::vector<float>{1.0f, 0.0f}}) {
+    std::vector<double> phi(2, 0.0);
+    TreeShap(tree, x, &phi);
+    double prediction = tree.Predict(x);
+    EXPECT_NEAR(phi[0] + phi[1] + expected_value, prediction, 1e-5)
+        << "x = (" << x[0] << ", " << x[1] << ")";
+  }
+}
+
+TEST(TreeShapTest, SymmetryOnIdenticalFeatures) {
+  // Two features split identically at the two levels; by symmetry their
+  // attributions must be equal when both route the same way.
+  GbtTree tree;
+  tree.nodes.resize(5);
+  tree.nodes[0] = {0, 0.0f, 1, 2, 0.0f, 40.0f};
+  tree.nodes[1] = {1, 0.0f, 3, 4, 0.0f, 20.0f};
+  tree.nodes[2] = {-1, 0.0f, -1, -1, 0.0f, 20.0f};
+  tree.nodes[3] = {-1, 0.0f, -1, -1, 4.0f, 10.0f};
+  tree.nodes[4] = {-1, 0.0f, -1, -1, 0.0f, 10.0f};
+  std::vector<float> x = {-1.0f, -1.0f};
+  std::vector<double> phi(2, 0.0);
+  TreeShap(tree, x, &phi);
+  EXPECT_NEAR(phi[0], phi[1], 1e-6);
+}
+
+TEST(TreeShapTest, EnsembleLocalAccuracy) {
+  // Train a real GBT and verify sum(phi) + expected margin = margin for
+  // every class on a handful of samples (the defining SHAP property).
+  Rng rng(5);
+  Dataset d;
+  d.num_classes = 3;
+  d.x = Matrix(90, 5);
+  for (int i = 0; i < 90; ++i) {
+    int cls = i % 3;
+    d.y.push_back(cls);
+    for (int c = 0; c < 5; ++c) {
+      d.x.At(i, c) = static_cast<float>(rng.Normal(cls == c % 3 ? 2.0 : 0.0,
+                                                   1.0));
+    }
+  }
+  GbtOptions opts;
+  opts.num_rounds = 8;
+  opts.colsample_bytree = 1.0;
+  opts.subsample = 1.0;
+  GbtClassifier model;
+  model.Fit(d, opts, &rng);
+
+  for (size_t sample : {0u, 7u, 42u}) {
+    auto margins = model.PredictMargin(d.x.Row(sample));
+    for (int cls = 0; cls < 3; ++cls) {
+      auto phi = ShapValues(model, d.x.Row(sample), cls);
+      double total = ExpectedMargin(model, cls);
+      for (double p : phi) total += p;
+      EXPECT_NEAR(total, margins[cls], 5e-3)
+          << "sample " << sample << " class " << cls;
+    }
+  }
+}
+
+TEST(TreeShapTest, ConstantTreeContributesNothing) {
+  GbtTree tree;
+  tree.nodes.resize(1);
+  tree.nodes[0].leaf_value = 3.0f;
+  tree.nodes[0].cover = 10.0f;
+  std::vector<float> x = {1.0f, 2.0f};
+  std::vector<double> phi(2, 0.0);
+  TreeShap(tree, x, &phi);
+  EXPECT_DOUBLE_EQ(phi[0], 0.0);
+  EXPECT_DOUBLE_EQ(phi[1], 0.0);
+}
+
+}  // namespace
+}  // namespace trail::ml

@@ -1,0 +1,112 @@
+#include "osint/misp_export.h"
+
+#include <gtest/gtest.h>
+
+namespace trail::osint {
+namespace {
+
+PulseReport SampleReport() {
+  PulseReport report;
+  report.id = "PULSE-42";
+  report.apt = "APT28";
+  report.day = 777;
+  report.indicators.push_back({"IPv4", "1.2.3.4"});
+  report.indicators.push_back({"domain", "evil.example"});
+  report.indicators.push_back({"URL", "http://evil.example/gate.php"});
+  return report;
+}
+
+TEST(MispExportTest, RoundTripPreservesIndicatorsAndActor) {
+  PulseReport original = SampleReport();
+  JsonValue misp = ToMispEvent(original);
+  auto back = FromMispEvent(misp);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->id, original.id);
+  EXPECT_EQ(back->apt, "APT28");
+  EXPECT_EQ(back->day, original.day);
+  ASSERT_EQ(back->indicators.size(), original.indicators.size());
+  EXPECT_EQ(back->indicators[0].type, "IPv4");
+  EXPECT_EQ(back->indicators[0].value, "1.2.3.4");
+  EXPECT_EQ(back->indicators[1].type, "domain");
+  EXPECT_EQ(back->indicators[2].type, "URL");
+}
+
+TEST(MispExportTest, StructureMatchesMispConventions) {
+  JsonValue misp = ToMispEvent(SampleReport());
+  const JsonValue* event = misp.Get("Event");
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->GetString("uuid"), "PULSE-42");
+  const JsonValue* attributes = event->Get("Attribute");
+  ASSERT_NE(attributes, nullptr);
+  ASSERT_TRUE(attributes->is_array());
+  EXPECT_EQ((*attributes)[0].GetString("type"), "ip-dst");
+  EXPECT_EQ((*attributes)[0].GetString("category"), "Network activity");
+  const JsonValue* tags = event->Get("Tag");
+  ASSERT_NE(tags, nullptr);
+  EXPECT_EQ((*tags)[0].GetString("name"),
+            "misp-galaxy:threat-actor=\"APT28\"");
+}
+
+TEST(MispExportTest, ParsesBareEventWithoutWrapper) {
+  JsonValue wrapped = ToMispEvent(SampleReport());
+  const JsonValue* bare = wrapped.Get("Event");
+  ASSERT_NE(bare, nullptr);
+  auto back = FromMispEvent(*bare);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, "PULSE-42");
+}
+
+TEST(MispExportTest, SkipsUnknownAttributeTypes) {
+  auto parsed = JsonValue::Parse(R"({
+    "Event": {
+      "uuid": "X-1",
+      "Attribute": [
+        {"type": "sha256", "value": "abc123"},
+        {"type": "ip-src", "value": "9.9.9.9"},
+        {"type": "hostname", "value": "h.example"}
+      ]
+    }})");
+  ASSERT_TRUE(parsed.ok());
+  auto report = FromMispEvent(parsed.value());
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->indicators.size(), 2u);  // sha256 skipped
+  EXPECT_EQ(report->indicators[0].type, "IPv4");
+  EXPECT_EQ(report->indicators[1].type, "domain");
+  EXPECT_TRUE(report->apt.empty());  // no galaxy tag
+}
+
+TEST(MispExportTest, ErrorsOnMalformedEvents) {
+  EXPECT_FALSE(FromMispEvent(JsonValue::MakeArray()).ok());
+  auto no_uuid = JsonValue::Parse(R"({"Event": {"Attribute": []}})");
+  ASSERT_TRUE(no_uuid.ok());
+  EXPECT_FALSE(FromMispEvent(no_uuid.value()).ok());
+  auto no_attrs = JsonValue::Parse(R"({"Event": {"uuid": "u"}})");
+  ASSERT_TRUE(no_attrs.ok());
+  EXPECT_FALSE(FromMispEvent(no_attrs.value()).ok());
+}
+
+TEST(MispExportTest, TkgEventExport) {
+  graph::PropertyGraph g;
+  graph::NodeId event = g.AddNode(graph::NodeType::kEvent, "PULSE-7");
+  graph::NodeId ip = g.AddNode(graph::NodeType::kIp, "5.6.7.8");
+  graph::NodeId domain = g.AddNode(graph::NodeType::kDomain, "x.example");
+  graph::NodeId secondary = g.AddNode(graph::NodeType::kIp, "9.9.9.9");
+  g.SetTimestamp(event, 321);
+  g.AddEdge(event, ip, graph::EdgeType::kInReport);
+  g.AddEdge(event, domain, graph::EdgeType::kInReport);
+  g.AddEdge(domain, secondary, graph::EdgeType::kResolvesTo);
+
+  auto misp = TkgEventToMisp(g, event, "TURLA");
+  ASSERT_TRUE(misp.ok());
+  auto back = FromMispEvent(misp.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->apt, "TURLA");
+  EXPECT_EQ(back->day, 321);
+  // Only InReport neighbors exported, not enrichment discoveries.
+  EXPECT_EQ(back->indicators.size(), 2u);
+
+  EXPECT_FALSE(TkgEventToMisp(g, ip, "TURLA").ok());
+}
+
+}  // namespace
+}  // namespace trail::osint

@@ -1,0 +1,69 @@
+#include "osint/report.h"
+
+#include <gtest/gtest.h>
+
+namespace trail::osint {
+namespace {
+
+TEST(PulseReportTest, JsonRoundTrip) {
+  PulseReport report;
+  report.id = "PULSE-7";
+  report.apt = "APT28";
+  report.day = 1234;
+  report.indicators.push_back({"IPv4", "1.2.3.4"});
+  report.indicators.push_back({"domain", "evil[.]example"});
+  report.indicators.push_back({"URL", "hxxp://evil[.]example/x"});
+
+  std::string json = report.ToJsonString();
+  auto parsed = PulseReport::FromJsonString(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->id, "PULSE-7");
+  EXPECT_EQ(parsed->apt, "APT28");
+  EXPECT_EQ(parsed->day, 1234);
+  ASSERT_EQ(parsed->indicators.size(), 3u);
+  EXPECT_EQ(parsed->indicators[1].type, "domain");
+  EXPECT_EQ(parsed->indicators[1].value, "evil[.]example");
+}
+
+TEST(PulseReportTest, MissingIdIsError) {
+  auto parsed = PulseReport::FromJsonString(
+      R"({"adversary": "APT1", "indicators": []})");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(PulseReportTest, MissingIndicatorsIsError) {
+  auto parsed = PulseReport::FromJsonString(
+      R"({"id": "X", "adversary": "APT1"})");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(PulseReportTest, NonObjectIsError) {
+  EXPECT_FALSE(PulseReport::FromJsonString("[1,2]").ok());
+  EXPECT_FALSE(PulseReport::FromJsonString("not json").ok());
+}
+
+TEST(PulseReportTest, TolerantOfMalformedIndicatorRows) {
+  auto parsed = PulseReport::FromJsonString(R"({
+    "id": "X", "adversary": "APT1", "created_day": 5,
+    "indicators": [
+      {"type": "IPv4", "indicator": "1.1.1.1"},
+      "just a string",
+      {"type": "IPv4"},
+      {"indicator": "2.2.2.2"}
+    ]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->indicators.size(), 2u);  // string + missing-value dropped
+  EXPECT_EQ(parsed->indicators[0].value, "1.1.1.1");
+  EXPECT_EQ(parsed->indicators[1].value, "2.2.2.2");
+  EXPECT_TRUE(parsed->indicators[1].type.empty());
+}
+
+TEST(PulseReportTest, UnattributedReportAllowed) {
+  auto parsed = PulseReport::FromJsonString(
+      R"({"id": "X", "indicators": []})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->apt.empty());
+}
+
+}  // namespace
+}  // namespace trail::osint

@@ -1,0 +1,134 @@
+// Behavioral properties of the synthetic world that the reproduction
+// depends on: campaign reuse, confusable-cluster borrowing, isolated
+// events, and the secondary-IOC population.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ioc/ioc.h"
+#include "osint/world.h"
+#include "util/string_util.h"
+
+namespace trail::osint {
+namespace {
+
+WorldConfig MidConfig() {
+  WorldConfig config;
+  config.num_apts = 8;
+  config.min_events_per_apt = 12;
+  config.max_events_per_apt = 20;
+  config.end_day = 1200;
+  config.post_days = 60;
+  config.seed = 5;
+  return config;
+}
+
+class WorldBehaviorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { world_ = new World(MidConfig()); }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* WorldBehaviorTest::world_ = nullptr;
+
+TEST_F(WorldBehaviorTest, CampaignsReuseInfrastructureAcrossEvents) {
+  // Some reported IOC values appear in more than one report.
+  std::map<std::string, int> appearances;
+  for (const PulseReport& report : world_->reports()) {
+    std::set<std::string> in_this_report;
+    for (const ReportedIndicator& indicator : report.indicators) {
+      in_this_report.insert(ioc::Refang(indicator.value));
+    }
+    for (const std::string& value : in_this_report) appearances[value]++;
+  }
+  int reused = 0;
+  int max_reuse = 0;
+  for (const auto& [value, count] : appearances) {
+    reused += count > 1;
+    max_reuse = std::max(max_reuse, count);
+  }
+  EXPECT_GT(reused, 50);       // reuse is common...
+  EXPECT_GT(max_reuse, 3);     // ...with a heavy tail
+  // ...but most IOCs still appear exactly once (the paper's Fig. 4 shape).
+  EXPECT_GT(appearances.size(), static_cast<size_t>(reused) * 2);
+}
+
+TEST_F(WorldBehaviorTest, ConfusableClusterBorrowsInfrastructure) {
+  // Groups 2/3/4 (APT38/APT37/KIMSUKY) borrow from each other; count
+  // reported IPs whose true owner is a different cluster member.
+  std::set<int> cluster = {2, 3, 4};
+  int borrowed = 0;
+  for (const PulseReport& report : world_->reports()) {
+    int apt = world_->AptIdByName(report.apt);
+    if (cluster.count(apt) == 0) continue;
+    for (const ReportedIndicator& indicator : report.indicators) {
+      std::string value = ioc::Refang(indicator.value);
+      if (ioc::ClassifyIoc(value) != ioc::IocType::kIp) continue;
+      int owner = world_->TrueApt(ioc::IocType::kIp, value);
+      if (owner >= 0 && owner != apt && cluster.count(owner) > 0) ++borrowed;
+    }
+  }
+  EXPECT_GT(borrowed, 0);
+}
+
+TEST_F(WorldBehaviorTest, SecondaryIocPopulationExists) {
+  // Parked domains exist that never appear in any report (reachable only
+  // through passive DNS) — the paper's 75%-secondary population.
+  std::set<std::string> reported;
+  for (const PulseReport& report : world_->reports()) {
+    for (const ReportedIndicator& indicator : report.indicators) {
+      reported.insert(trail::ToLower(ioc::Refang(indicator.value)));
+    }
+  }
+  size_t unreported_domains = 0;
+  for (const DomainEntity& domain : world_->domains()) {
+    if (reported.count(domain.name) == 0) ++unreported_domains;
+  }
+  EXPECT_GT(unreported_domains, world_->domains().size() / 2);
+}
+
+TEST_F(WorldBehaviorTest, SharedNoiseInfrastructureSpansGroups) {
+  // At least one noise IP (apt == -1) is reported by two different APTs.
+  std::map<std::string, std::set<std::string>> ip_users;
+  for (const PulseReport& report : world_->reports()) {
+    for (const ReportedIndicator& indicator : report.indicators) {
+      std::string value = ioc::Refang(indicator.value);
+      if (ioc::ClassifyIoc(value) != ioc::IocType::kIp) continue;
+      if (world_->TrueApt(ioc::IocType::kIp, value) == -1) {
+        ip_users[value].insert(report.apt);
+      }
+    }
+  }
+  bool cross_group = false;
+  for (const auto& [value, users] : ip_users) {
+    cross_group |= users.size() >= 2;
+  }
+  EXPECT_TRUE(cross_group);
+}
+
+TEST_F(WorldBehaviorTest, PostCutoffMonthsHaveReports) {
+  const WorldConfig config = MidConfig();
+  for (int month = 0; month < config.post_days / 30; ++month) {
+    int lo = config.end_day + month * 30;
+    EXPECT_FALSE(world_->ReportsBetween(lo, lo + 30).empty())
+        << "month " << month;
+  }
+}
+
+TEST(WorldScaledUpTest, FactoryEnlargesTheWorld) {
+  WorldConfig scaled = WorldConfig::ScaledUp();
+  WorldConfig defaults;
+  EXPECT_GT(scaled.min_events_per_apt, defaults.min_events_per_apt);
+  EXPECT_GT(scaled.max_events_per_apt, defaults.max_events_per_apt);
+  EXPECT_GT(scaled.mean_parked_domains_per_ip,
+            defaults.mean_parked_domains_per_ip);
+}
+
+}  // namespace
+}  // namespace trail::osint

@@ -1,0 +1,210 @@
+#include "osint/world.h"
+
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "ioc/ioc.h"
+#include "osint/feed_client.h"
+
+namespace trail::osint {
+namespace {
+
+WorldConfig SmallConfig() {
+  WorldConfig config;
+  config.num_apts = 6;
+  config.min_events_per_apt = 8;
+  config.max_events_per_apt = 14;
+  config.end_day = 1000;
+  config.post_days = 60;
+  config.seed = 99;
+  return config;
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  WorldTest() : world_(SmallConfig()) {}
+  World world_;
+};
+
+TEST_F(WorldTest, RosterAndNames) {
+  EXPECT_EQ(world_.num_apts(), 6);
+  EXPECT_EQ(world_.apts()[0].name, "APT28");
+  EXPECT_EQ(world_.AptIdByName("APT38"), 2);
+  EXPECT_EQ(world_.AptIdByName("NOPE"), -1);
+}
+
+TEST_F(WorldTest, EveryAptMeetsMinimumEventCount) {
+  std::unordered_map<std::string, int> counts;
+  for (const PulseReport& report : world_.reports()) counts[report.apt]++;
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [apt, count] : counts) {
+    EXPECT_GE(count, SmallConfig().min_events_per_apt) << apt;
+  }
+}
+
+TEST_F(WorldTest, ReportsAreChronological) {
+  int last_day = -1;
+  for (const PulseReport& report : world_.reports()) {
+    EXPECT_GE(report.day, last_day);
+    last_day = report.day;
+  }
+  EXPECT_LE(last_day, SmallConfig().end_day + SmallConfig().post_days);
+}
+
+TEST_F(WorldTest, ReportsBetweenFilters) {
+  auto window = world_.ReportsBetween(100, 500);
+  for (const PulseReport* report : window) {
+    EXPECT_GE(report->day, 100);
+    EXPECT_LT(report->day, 500);
+  }
+  EXPECT_EQ(world_.ReportsBetween(0, SmallConfig().end_day +
+                                         SmallConfig().post_days + 1)
+                .size(),
+            world_.reports().size());
+}
+
+TEST_F(WorldTest, ReportedIndicatorsResolveInLookups) {
+  int checked = 0;
+  for (const PulseReport& report : world_.reports()) {
+    for (const ReportedIndicator& indicator : report.indicators) {
+      std::string value = ioc::Refang(indicator.value);
+      ioc::IocType type = ioc::ClassifyIoc(value);
+      if (type == ioc::IocType::kUnknown) continue;  // junk rows
+      if (type == ioc::IocType::kIp) {
+        ioc::IpAnalysis a;
+        EXPECT_TRUE(world_.AnalyzeIp(value, &a)) << value;
+      } else if (type == ioc::IocType::kDomain) {
+        ioc::DomainAnalysis a;
+        EXPECT_TRUE(world_.AnalyzeDomain(value, &a)) << value;
+      } else {
+        ioc::UrlAnalysis a;
+        EXPECT_TRUE(world_.AnalyzeUrl(value, &a)) << value;
+      }
+      if (++checked > 500) return;
+    }
+  }
+}
+
+TEST_F(WorldTest, AnalysisIsDeterministicPerIoc) {
+  const std::string addr = world_.ips()[0].addr;
+  ioc::IpAnalysis a1;
+  ioc::IpAnalysis a2;
+  ASSERT_TRUE(world_.AnalyzeIp(addr, &a1));
+  ASSERT_TRUE(world_.AnalyzeIp(addr, &a2));
+  EXPECT_EQ(a1.country, a2.country);
+  EXPECT_EQ(a1.issuer, a2.issuer);
+  EXPECT_EQ(a1.asn, a2.asn);
+  EXPECT_DOUBLE_EQ(a1.first_seen_days, a2.first_seen_days);
+  EXPECT_EQ(a1.resolved_domains, a2.resolved_domains);
+}
+
+TEST_F(WorldTest, UnknownIndicatorsReturnFalse) {
+  ioc::IpAnalysis ip;
+  EXPECT_FALSE(world_.AnalyzeIp("250.250.250.250", &ip));
+  ioc::DomainAnalysis domain;
+  EXPECT_FALSE(world_.AnalyzeDomain("never-generated.example", &domain));
+  ioc::UrlAnalysis url;
+  EXPECT_FALSE(world_.AnalyzeUrl("http://never.example/x", &url));
+}
+
+TEST_F(WorldTest, PassiveDnsIsBidirectionallyConsistent) {
+  int checked = 0;
+  for (const DomainEntity& domain : world_.domains()) {
+    ioc::DomainAnalysis analysis;
+    if (!world_.AnalyzeDomain(domain.name, &analysis)) continue;
+    for (const std::string& addr : analysis.resolved_ips) {
+      ioc::IpAnalysis ip;
+      ASSERT_TRUE(world_.AnalyzeIp(addr, &ip));
+    }
+    if (++checked > 200) break;
+  }
+}
+
+TEST_F(WorldTest, TrueAptConsistentWithReportAttribution) {
+  // First-order fresh IOCs must belong to the event's APT or be shared
+  // noise/borrowed infrastructure (never silently a different exclusive
+  // owner at creation).
+  int own = 0;
+  int other = 0;
+  for (const PulseReport& report : world_.reports()) {
+    int apt = world_.AptIdByName(report.apt);
+    for (const ReportedIndicator& indicator : report.indicators) {
+      std::string value = ioc::Refang(indicator.value);
+      if (ioc::ClassifyIoc(value) != ioc::IocType::kIp) continue;
+      int owner = world_.TrueApt(ioc::IocType::kIp, value);
+      if (owner == apt) {
+        ++own;
+      } else {
+        ++other;
+      }
+    }
+  }
+  // The own fraction dominates (noise + confusable borrowing are the rest).
+  EXPECT_GT(own, other * 3);
+}
+
+TEST_F(WorldTest, DeterministicAcrossConstructions) {
+  World again(SmallConfig());
+  ASSERT_EQ(again.reports().size(), world_.reports().size());
+  for (size_t i = 0; i < again.reports().size(); ++i) {
+    EXPECT_EQ(again.reports()[i].ToJsonString(),
+              world_.reports()[i].ToJsonString());
+  }
+}
+
+TEST_F(WorldTest, DifferentSeedsDiffer) {
+  WorldConfig other_config = SmallConfig();
+  other_config.seed = 1234;
+  World other(other_config);
+  // Same scale knobs but different infrastructure values.
+  EXPECT_NE(other.ips()[0].addr, world_.ips()[0].addr);
+}
+
+TEST(FeedClientTest, FetchAndAnalyze) {
+  World world(SmallConfig());
+  FeedClient feed(&world);
+  auto jsons = feed.FetchReports(0, 2000);
+  EXPECT_FALSE(jsons.empty());
+  auto report = PulseReport::FromJsonString(jsons[0]);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->apt.empty());
+
+  EXPECT_FALSE(feed.GetIpAnalysis("250.250.250.250").ok());
+  const std::string known = world.ips()[0].addr;
+  EXPECT_TRUE(feed.GetIpAnalysis(known).ok());
+}
+
+TEST(PreferenceTest, SharpnessControlsConcentration) {
+  Rng rng(3);
+  Preference sharp = Preference::Make(100, 4, 8.0, &rng);
+  Rng rng2(3);
+  Preference flat = Preference::Make(100, 4, 0.2, &rng2);
+  auto top_fraction = [](const Preference& pref, Rng* sample_rng) {
+    std::unordered_map<int, int> counts;
+    for (int i = 0; i < 5000; ++i) counts[pref.Sample(sample_rng)]++;
+    int top = 0;
+    for (const auto& [value, count] : counts) top = std::max(top, count);
+    return static_cast<double>(top) / 5000;
+  };
+  Rng s1(7);
+  Rng s2(7);
+  EXPECT_GT(top_fraction(sharp, &s1), top_fraction(flat, &s2));
+}
+
+TEST(LexicalStyleTest, ArchetypesAreStable) {
+  LexicalStyle a = LexicalStyle::Archetype(2);
+  LexicalStyle b = LexicalStyle::Archetype(7);  // 7 % 5 == 2
+  EXPECT_EQ(a.charset_style, b.charset_style);
+  EXPECT_EQ(a.min_len, b.min_len);
+  // All five archetypes are valid.
+  for (uint64_t i = 0; i < 5; ++i) {
+    LexicalStyle style = LexicalStyle::Archetype(i);
+    EXPECT_GT(style.min_len, 0);
+    EXPECT_GE(style.max_len, style.min_len);
+  }
+}
+
+}  // namespace
+}  // namespace trail::osint

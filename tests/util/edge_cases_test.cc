@@ -1,0 +1,54 @@
+// Edge cases and failure-injection tests across util: invariant-violation
+// aborts (TRAIL_CHECK), numeric extremes, and log-level gating.
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace trail {
+namespace {
+
+TEST(WithThousandsTest, Int64Extremes) {
+  EXPECT_EQ(WithThousands(std::numeric_limits<int64_t>::max()),
+            "9,223,372,036,854,775,807");
+  EXPECT_EQ(WithThousands(std::numeric_limits<int64_t>::min()),
+            "-9,223,372,036,854,775,808");
+}
+
+TEST(TablePrinterDeathTest, WrongArityAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TablePrinter table({"A", "B"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "row arity");
+}
+
+TEST(LogLevelTest, GateRespectsThreshold) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Suppressed levels must not crash and must not evaluate visibly.
+  TRAIL_LOG(Debug) << "suppressed";
+  TRAIL_LOG(Info) << "suppressed";
+  TRAIL_LOG(Warning) << "suppressed";
+  SetLogLevel(original);
+}
+
+TEST(FormatDoubleTest, Extremes) {
+  EXPECT_EQ(FormatDouble(0.0, 0), "0");
+  EXPECT_EQ(FormatDouble(-0.0001, 2), "-0.00");
+  // Huge but finite values still format.
+  EXPECT_FALSE(FormatDouble(1e300, 2).empty());
+}
+
+TEST(ShannonEntropyTest, MaxFor256DistinctBytes) {
+  std::string all_bytes;
+  for (int i = 0; i < 256; ++i) all_bytes.push_back(static_cast<char>(i));
+  EXPECT_NEAR(ShannonEntropy(all_bytes), 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace trail

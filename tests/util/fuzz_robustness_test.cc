@@ -1,0 +1,119 @@
+// Failure-injection / fuzz-style robustness: the ingestion surface (JSON
+// parser, report parser, IOC refanging/classification, MISP import) must
+// reject or survive arbitrary malformed input without crashing — OSINT
+// feeds are adversarial by nature (the paper's "erroneous URLs ...
+// javascript snippets" data-quality discussion).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ioc/ioc.h"
+#include "ioc/url.h"
+#include "osint/misp_export.h"
+#include "osint/report.h"
+#include "util/json.h"
+#include "util/random.h"
+
+namespace trail {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  size_t len = rng->NextBounded(max_len);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->NextBounded(256)));
+  }
+  return out;
+}
+
+std::string RandomJsonish(Rng* rng, size_t max_len) {
+  static const char kAlphabet[] = "{}[]\",:0123456789.eE+-truefalsnl \n\t";
+  size_t len = rng->NextBounded(max_len);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+class FuzzRobustness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzRobustness, JsonParserNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    std::string input =
+        i % 2 == 0 ? RandomBytes(&rng, 200) : RandomJsonish(&rng, 200);
+    auto parsed = JsonValue::Parse(input);
+    if (parsed.ok()) {
+      // Whatever parsed must re-serialize and re-parse.
+      auto round = JsonValue::Parse(parsed->Dump());
+      EXPECT_TRUE(round.ok()) << input;
+    }
+  }
+}
+
+TEST_P(FuzzRobustness, ReportParserNeverCrashes) {
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 300; ++i) {
+    (void)osint::PulseReport::FromJsonString(RandomJsonish(&rng, 300));
+  }
+  // Near-valid documents with hostile values.
+  for (int i = 0; i < 100; ++i) {
+    std::string hostile = RandomBytes(&rng, 40);
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("id", JsonValue::MakeString(hostile));
+    doc.Set("adversary", JsonValue::MakeString(hostile));
+    JsonValue arr = JsonValue::MakeArray();
+    JsonValue row = JsonValue::MakeObject();
+    row.Set("type", JsonValue::MakeString(hostile));
+    row.Set("indicator", JsonValue::MakeString(hostile));
+    arr.Append(std::move(row));
+    doc.Set("indicators", std::move(arr));
+    auto report = osint::PulseReport::FromJsonString(doc.Dump());
+    if (!hostile.empty()) {
+      ASSERT_TRUE(report.ok());
+      // Hostile indicator strings classify without crashing.
+      for (const auto& indicator : report->indicators) {
+        (void)ioc::ClassifyIoc(indicator.value);
+        (void)ioc::Refang(indicator.value);
+      }
+    }
+  }
+}
+
+TEST_P(FuzzRobustness, UrlParserNeverCrashes) {
+  Rng rng(GetParam() + 200);
+  for (int i = 0; i < 500; ++i) {
+    std::string input = "http://" + RandomBytes(&rng, 100);
+    (void)ioc::ParseUrl(input);
+    (void)ioc::ClassifyIoc(input);
+  }
+}
+
+TEST_P(FuzzRobustness, MispImportNeverCrashes) {
+  Rng rng(GetParam() + 300);
+  for (int i = 0; i < 200; ++i) {
+    auto parsed = JsonValue::Parse(RandomJsonish(&rng, 300));
+    if (parsed.ok()) {
+      (void)osint::FromMispEvent(parsed.value());
+    }
+  }
+}
+
+TEST_P(FuzzRobustness, DefangRefangIdempotentOnGarbage) {
+  Rng rng(GetParam() + 400);
+  for (int i = 0; i < 300; ++i) {
+    std::string garbage = RandomBytes(&rng, 120);
+    std::string refanged = ioc::Refang(garbage);
+    // Refang must be idempotent.
+    EXPECT_EQ(ioc::Refang(refanged), refanged);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRobustness,
+                         ::testing::Values<uint64_t>(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace trail

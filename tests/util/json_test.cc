@@ -1,0 +1,135 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace trail {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("42")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-3.5e2")->AsNumber(), -350.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = JsonValue::Parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeUtf8) {
+  auto v = JsonValue::Parse(R"("é")");  // é
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "\xc3\xa9");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto v = JsonValue::Parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->size(), 3u);
+  EXPECT_TRUE((*a)[2].GetBool("b"));
+  EXPECT_TRUE(v->Get("c")->is_null());
+  EXPECT_EQ(v->Get("missing"), nullptr);
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto v = JsonValue::Parse("  {\n\t\"k\" :\r [ ] }  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->Get("k")->is_array());
+}
+
+TEST(JsonParseTest, ErrorsOnMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("tru").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(JsonValue::Parse("{'a': 1}").ok());
+}
+
+TEST(JsonDumpTest, CompactRoundTrip) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("name", JsonValue::MakeString("trail"));
+  obj.Set("count", JsonValue::MakeNumber(3));
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue::MakeBool(true));
+  arr.Append(JsonValue::MakeNull());
+  obj.Set("flags", std::move(arr));
+
+  std::string dumped = obj.Dump();
+  auto reparsed = JsonValue::Parse(dumped);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->GetString("name"), "trail");
+  EXPECT_DOUBLE_EQ(reparsed->GetNumber("count"), 3.0);
+  EXPECT_EQ(reparsed->Get("flags")->size(), 2u);
+}
+
+TEST(JsonDumpTest, EscapesSpecialCharacters) {
+  JsonValue v = JsonValue::MakeString("a\"b\\c\nd");
+  std::string dumped = v.Dump();
+  auto reparsed = JsonValue::Parse(dumped);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->AsString(), "a\"b\\c\nd");
+}
+
+TEST(JsonDumpTest, IntegersRenderWithoutDecimalPoint) {
+  EXPECT_EQ(JsonValue::MakeNumber(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::MakeNumber(-7).Dump(), "-7");
+}
+
+TEST(JsonDumpTest, PrettyPrintReparses) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("a", JsonValue::MakeNumber(1));
+  JsonValue inner = JsonValue::MakeObject();
+  inner.Set("b", JsonValue::MakeString("x"));
+  obj.Set("nested", std::move(inner));
+  std::string pretty = obj.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  ASSERT_TRUE(JsonValue::Parse(pretty).ok());
+}
+
+TEST(JsonObjectTest, SetOverwritesExistingKey) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("k", JsonValue::MakeNumber(1));
+  obj.Set("k", JsonValue::MakeNumber(2));
+  EXPECT_DOUBLE_EQ(obj.GetNumber("k"), 2.0);
+  EXPECT_EQ(obj.members().size(), 1u);
+}
+
+TEST(JsonParseTest, DeepNestingRejectedNotCrashed) {
+  // 256 levels parse; pathological depth is a clean ParseError, not a
+  // stack overflow (hostile-feed protection).
+  std::string shallow(200, '[');
+  shallow += std::string(200, ']');
+  EXPECT_TRUE(JsonValue::Parse(shallow).ok());
+  std::string deep(100000, '[');
+  deep += std::string(100000, ']');
+  auto result = JsonValue::Parse(deep);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  std::string deep_objects;
+  for (int i = 0; i < 5000; ++i) deep_objects += "{\"k\":";
+  deep_objects += "1";
+  for (int i = 0; i < 5000; ++i) deep_objects += "}";
+  EXPECT_FALSE(JsonValue::Parse(deep_objects).ok());
+}
+
+TEST(JsonObjectTest, TypedGettersFallBack) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("n", JsonValue::MakeNumber(5));
+  EXPECT_EQ(obj.GetString("n", "fb"), "fb");  // wrong type -> fallback
+  EXPECT_DOUBLE_EQ(obj.GetNumber("absent", -1.0), -1.0);
+  EXPECT_TRUE(obj.GetBool("absent", true));
+}
+
+}  // namespace
+}  // namespace trail

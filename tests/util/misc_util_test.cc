@@ -1,0 +1,81 @@
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace trail {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumnsAndCountsRows) {
+  TablePrinter table({"Model", "Acc"});
+  table.AddRow({"XGB", "0.4663"});
+  table.AddRow({"RandomForest", "0.6878"});
+  EXPECT_EQ(table.num_rows(), 2u);
+  std::string out = table.ToString();
+  // Header, separator, two rows.
+  size_t lines = std::count(out.begin(), out.end(), '\n');
+  EXPECT_EQ(lines, 4u);
+  // Columns aligned: the "Acc" column starts at the same offset in every
+  // line that carries it.
+  std::vector<std::string> rows;
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t nl = out.find('\n', start);
+    rows.push_back(out.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].find("Acc"), rows[2].find("0.4663"));
+  EXPECT_EQ(rows[2].find("0.4663"), rows[3].find("0.6878"));
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter table({"A"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("A"), std::string::npos);
+}
+
+TEST(ParallelForTest, CoversFullRangeExactlyOnce) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i]++;
+  }, /*min_chunk=*/16);
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ZeroAndSmallN) {
+  int calls = 0;
+  ParallelFor(0, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::vector<int> hits(3, 0);
+  ParallelFor(3, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(ParallelForTest, WorkerCountPositive) {
+  EXPECT_GE(ParallelWorkers(), 1);
+  EXPECT_LE(ParallelWorkers(), 16);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());
+  double before = t.ElapsedSeconds();
+  t.Reset();
+  EXPECT_LE(t.ElapsedSeconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace trail

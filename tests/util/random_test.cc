@@ -1,0 +1,171 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace trail {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(11);
+  double total = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) total += rng.UniformDouble();
+  EXPECT_NEAR(total / kSamples, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMeanAndVariance) {
+  Rng rng(13);
+  double sum = 0;
+  double sum_sq = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kSamples;
+  double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(19);
+  double total = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) total += rng.Poisson(4.0);
+  EXPECT_NEAR(total / kSamples, 4.0, 0.1);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(21);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) counts[rng.WeightedIndex(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(25);
+  std::vector<double> weights = {0.0, 0.0};
+  std::set<size_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.WeightedIndex(weights));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(RngTest, ZipfPrefersLowRanks) {
+  Rng rng(27);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(10, 1.2)]++;
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(29);
+  EXPECT_EQ(rng.Zipf(1, 1.0), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementUnique) {
+  Rng rng(33);
+  for (size_t k : {0u, 3u, 50u, 100u}) {
+    std::vector<size_t> sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (size_t s : sample) EXPECT_LT(s, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsToN) {
+  Rng rng(35);
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 10).size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(37);
+  Rng fork = a.Fork();
+  // The fork must not replay the parent's stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == fork.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, HeavyTailCountAtLeastOne) {
+  Rng rng(39);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.HeavyTailCount(2.0), 1);
+  }
+  EXPECT_EQ(rng.HeavyTailCount(0.0), 1);
+}
+
+}  // namespace
+}  // namespace trail

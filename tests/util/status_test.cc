@@ -1,0 +1,99 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace trail {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status st = Status::ParseError("bad token");
+  EXPECT_EQ(st.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status UsesReturnNotOk(int x) {
+  TRAIL_RETURN_NOT_OK(FailsWhenNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_EQ(UsesReturnNotOk(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  TRAIL_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(StatusTest, AssignOrReturnMacro) {
+  auto r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+}  // namespace
+}  // namespace trail

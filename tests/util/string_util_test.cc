@@ -1,0 +1,92 @@
+#include "util/string_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace trail {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a.b.c", '.'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  EXPECT_EQ(Split("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(".a.", '.'), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitTest, EmptyStringYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", '.'), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "."), "x.y.z");
+  EXPECT_EQ(Split(Join(parts, "."), '.'), parts);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(ToLowerTest, AsciiLowering) {
+  EXPECT_EQ(ToLower("EvIl.ExAmPlE"), "evil.example");
+  EXPECT_EQ(ToLower("123-abc"), "123-abc");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("htt", "http"));
+  EXPECT_TRUE(EndsWith("file.exe", ".exe"));
+  EXPECT_FALSE(EndsWith("exe", ".exe"));
+}
+
+TEST(TrimTest, StripsWhitespace) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(IsDigitsTest, Classification) {
+  EXPECT_TRUE(IsDigits("0123"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("12a"));
+  EXPECT_FALSE(IsDigits("-1"));
+}
+
+TEST(CountCharTest, Counts) {
+  EXPECT_EQ(CountChar("a.b.c.", '.'), 3u);
+  EXPECT_EQ(CountChar("", '.'), 0u);
+}
+
+TEST(ShannonEntropyTest, UniformVsConstant) {
+  EXPECT_DOUBLE_EQ(ShannonEntropy(""), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy("aaaa"), 0.0);
+  // Two symbols, equal frequency -> 1 bit.
+  EXPECT_NEAR(ShannonEntropy("abab"), 1.0, 1e-9);
+  // Four distinct symbols -> 2 bits.
+  EXPECT_NEAR(ShannonEntropy("abcd"), 2.0, 1e-9);
+  // High-entropy strings beat low-entropy ones.
+  EXPECT_GT(ShannonEntropy("x7f2qz91"), ShannonEntropy("aaaaaaab"));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.82357, 4), "0.8236");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(WithThousandsTest, Separators) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(2125066), "2,125,066");
+  EXPECT_EQ(WithThousands(-12345), "-12,345");
+}
+
+}  // namespace
+}  // namespace trail

@@ -1,0 +1,204 @@
+// trail_cli — operational front end for the TRAIL pipeline.
+//
+//   trail_cli generate --out DIR [--seed N]         write feed reports as JSON
+//   trail_cli build --out TKG [--seed N]            build + save the TKG
+//   trail_cli stats --tkg TKG                       Table II-style statistics
+//   trail_cli attribute --report FILE [--seed N]    attribute a report JSON
+//                                                   against a freshly built
+//                                                   TKG (prints the evidence
+//                                                   report as JSON)
+//
+// The feed is the synthetic world (see DESIGN.md); `--seed` selects the
+// universe. In a production deployment `osint::FeedClient` would be backed
+// by a live exchange instead.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/attribution_report.h"
+#include "core/stats.h"
+#include "core/tkg_builder.h"
+#include "core/trail.h"
+#include "graph/serialization.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace trail;
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& fallback = "") {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (name == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+osint::WorldConfig CliWorldConfig(int argc, char** argv) {
+  osint::WorldConfig config;
+  std::string seed = GetFlag(argc, argv, "--seed");
+  if (!seed.empty()) config.seed = std::stoull(seed);
+  return config;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  std::string out = GetFlag(argc, argv, "--out");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate requires --out DIR\n");
+    return 2;
+  }
+  osint::World world(CliWorldConfig(argc, argv));
+  int written = 0;
+  for (const osint::PulseReport& report : world.reports()) {
+    std::ofstream file(out + "/" + report.id + ".json");
+    if (!file) {
+      std::fprintf(stderr, "cannot write to %s\n", out.c_str());
+      return 1;
+    }
+    file << report.ToJson().Dump(2) << "\n";
+    ++written;
+  }
+  std::printf("wrote %d report JSON files to %s\n", written, out.c_str());
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  std::string out = GetFlag(argc, argv, "--out");
+  if (out.empty()) {
+    std::fprintf(stderr, "build requires --out FILE\n");
+    return 2;
+  }
+  osint::WorldConfig config = CliWorldConfig(argc, argv);
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  core::TkgBuilder builder(&feed, core::TkgBuildOptions{});
+  Status st = builder.IngestAll(feed.FetchReports(0, config.end_day));
+  if (!st.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = graph::SaveGraph(builder.graph(), out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("TKG saved to %s: %zu nodes, %zu edges, %zu events\n",
+              out.c_str(), builder.graph().num_nodes(),
+              builder.graph().num_edges(), builder.num_events());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  std::string path = GetFlag(argc, argv, "--tkg");
+  if (path.empty()) {
+    std::fprintf(stderr, "stats requires --tkg FILE\n");
+    return 2;
+  }
+  auto loaded = graph::LoadGraph(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  core::TkgStatsReport report = core::ComputeTkgStats(loaded.value());
+  TablePrinter table({"Type", "Nodes", "Avg. Degree", "1st Order",
+                      "Avg. Reuse"});
+  auto add = [&](const core::TypeStats& stats) {
+    table.AddRow({stats.type_name,
+                  WithThousands(static_cast<int64_t>(stats.nodes)),
+                  FormatDouble(stats.avg_degree, 3),
+                  stats.first_order_fraction < 0
+                      ? "N/a"
+                      : FormatDouble(100.0 * stats.first_order_fraction, 2) +
+                            "%",
+                  stats.avg_reuse < 0 ? "N/a"
+                                      : FormatDouble(stats.avg_reuse, 3)});
+  };
+  for (const auto& stats : report.per_type) add(stats);
+  add(report.total);
+  table.Print();
+  core::ConnectivityReport conn = core::ComputeConnectivity(loaded.value());
+  std::printf("\nlargest component %.2f%%, diameter %d, events within "
+              "2 hops of another event %.1f%%\n",
+              100.0 * conn.full_largest_fraction, conn.full_diameter,
+              100.0 * conn.events_within_two_hops);
+  return 0;
+}
+
+int CmdAttribute(int argc, char** argv) {
+  std::string path = GetFlag(argc, argv, "--report");
+  if (path.empty()) {
+    std::fprintf(stderr, "attribute requires --report FILE\n");
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string json((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  auto report = osint::PulseReport::FromJsonString(json);
+  if (!report.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  osint::WorldConfig config = CliWorldConfig(argc, argv);
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  core::TrailOptions options;
+  options.autoencoder.epochs = 6;
+  options.gnn.epochs = 80;
+  core::Trail trail(&feed, options);
+  std::fprintf(stderr, "building TKG + training models...\n");
+  Status st = trail.Ingest(feed.FetchReports(0, config.end_day));
+  if (st.ok()) st = trail.TrainModels();
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  osint::PulseReport incident = report.value();
+  incident.apt.clear();  // attribution is TRAIL's job
+  auto event = trail.IngestReport(incident);
+  if (!event.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 event.status().ToString().c_str());
+    return 1;
+  }
+  auto attribution = core::BuildAttributionReport(trail, event.value());
+  if (!attribution.ok()) {
+    std::fprintf(stderr, "attribution failed: %s\n",
+                 attribution.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", attribution->ToJson().Dump(2).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  trail::SetLogLevel(trail::LogLevel::kWarning);
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: trail_cli <generate|build|stats|attribute> "
+                 "[flags]\n");
+    return 2;
+  }
+  std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "build") return CmdBuild(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  if (command == "attribute") return CmdAttribute(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}
