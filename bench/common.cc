@@ -3,9 +3,36 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/manifest.h"
 #include "util/logging.h"
 
 namespace trail::bench {
+
+namespace {
+
+/// Every bench binary records what it did: metric values, span timings, and
+/// build provenance land in run_manifest.json (TRAIL_RUN_MANIFEST overrides
+/// the path, "none" disables). Registered once, written at process exit so
+/// the manifest sees the metrics of the whole run.
+void RegisterManifestAtExit() {
+  static bool registered = false;
+  if (registered) return;
+  registered = true;
+  std::atexit([] {
+    const char* path = std::getenv("TRAIL_RUN_MANIFEST");
+    std::string out = path != nullptr && path[0] != '\0' ? path
+                                                         : "run_manifest.json";
+    if (out == "none") return;
+    obs::RunManifest manifest("bench");
+    Status st = manifest.WriteFile(out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench manifest write failed: %s\n",
+                   st.ToString().c_str());
+    }
+  });
+}
+
+}  // namespace
 
 bool QuickMode() {
   const char* env = std::getenv("TRAIL_BENCH_QUICK");
@@ -27,6 +54,7 @@ osint::WorldConfig BenchWorldConfig() {
 
 BenchEnv BuildEnv() {
   SetLogLevel(LogLevel::kWarning);
+  RegisterManifestAtExit();
   BenchEnv env;
   env.world = std::make_unique<osint::World>(BenchWorldConfig());
   env.feed = std::make_unique<osint::FeedClient>(env.world.get());

@@ -7,7 +7,7 @@
 //   * lists the specific reused IOCs that justify the attribution —
 //     the evidence a human analyst would cite.
 //
-// Run: ./build/examples/campaign_investigation
+// Run: ./build/examples/campaign_investigation [--trace-out trace.json]
 
 #include <algorithm>
 #include <cstdio>
@@ -16,13 +16,16 @@
 #include "core/trail.h"
 #include "graph/algorithms.h"
 #include "graph/csr.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "osint/feed_client.h"
 #include "osint/world.h"
 #include "util/logging.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trail;
   SetLogLevel(LogLevel::kWarning);
+  obs::RunContext run("campaign_investigation", argc, argv);
 
   osint::WorldConfig config;
   config.num_apts = 10;
@@ -36,99 +39,110 @@ int main() {
   options.autoencoder.epochs = 6;
   options.gnn.epochs = 80;
   core::Trail trail(&feed, options);
-  TRAIL_CHECK(trail.Ingest(feed.FetchReports(0, config.end_day)).ok());
-  TRAIL_CHECK(trail.TrainModels().ok());
+  run.manifest().AddOption("trail", core::OptionsToJson(options));
+  {
+    TRAIL_TRACE_SPAN("phase.ingest");
+    TRAIL_CHECK(trail.Ingest(feed.FetchReports(0, config.end_day)).ok());
+  }
+  {
+    TRAIL_TRACE_SPAN("phase.train");
+    TRAIL_CHECK(trail.TrainModels().ok());
+  }
   std::printf("TKG ready: %zu nodes, %zu edges, %zu events\n\n",
               trail.graph().num_nodes(), trail.graph().num_edges(),
               trail.builder().num_events());
 
-  // The incident under investigation: first post-cutoff report with a
-  // reasonable number of indicators.
-  auto post = world.ReportsBetween(config.end_day, config.end_day + 90);
-  const osint::PulseReport* chosen = nullptr;
-  for (const osint::PulseReport* report : post) {
-    if (report->indicators.size() >= 8) {
-      chosen = report;
-      break;
-    }
-  }
-  TRAIL_CHECK(chosen != nullptr);
-  osint::PulseReport incident = *chosen;
-  std::string true_actor = incident.apt;
-  incident.apt.clear();
-
-  size_t nodes_before = trail.graph().num_nodes();
-  auto event = trail.IngestReport(incident);
-  TRAIL_CHECK(event.ok());
-  const auto& g = trail.graph();
-
-  std::printf("INCIDENT %s\n", incident.id.c_str());
-  std::printf("  reported indicators: %zu\n", incident.indicators.size());
-  std::printf("  IOCs after enrichment: +%zu nodes\n\n",
-              g.num_nodes() - nodes_before - 1);
-
-  // Neighborhood walk: who else used this infrastructure?
-  graph::CsrGraph csr = graph::CsrGraph::Build(g);
-  for (int hops : {2, 3}) {
-    auto hood = graph::KHopNeighborhood(csr, event.value(), hops);
-    std::map<std::string, int> related;
-    for (graph::NodeId node : hood) {
-      if (node != event.value() && g.type(node) == graph::NodeType::kEvent &&
-          g.label(node) >= 0) {
-        related[trail.apt_names()[g.label(node)]]++;
+  {
+    TRAIL_TRACE_SPAN("phase.investigate");
+    // The incident under investigation: first post-cutoff report with a
+    // reasonable number of indicators.
+    auto post = world.ReportsBetween(config.end_day, config.end_day + 90);
+    const osint::PulseReport* chosen = nullptr;
+    for (const osint::PulseReport* report : post) {
+      if (report->indicators.size() >= 8) {
+        chosen = report;
+        break;
       }
     }
-    std::printf("related attributed events within %d hops:\n", hops);
-    if (related.empty()) std::printf("  none\n");
-    for (const auto& [apt, count] : related) {
-      std::printf("  %-12s %d\n", apt.c_str(), count);
-    }
-  }
+    TRAIL_CHECK(chosen != nullptr);
+    osint::PulseReport incident = *chosen;
+    std::string true_actor = incident.apt;
+    incident.apt.clear();
 
-  // The concrete shared infrastructure (evidence for the report).
-  std::printf("\ndirectly reused indicators (evidence):\n");
-  int evidence = 0;
-  for (const graph::Neighbor& nb : g.neighbors(event.value())) {
-    if (g.report_count(nb.node) < 2) continue;
-    // Find the other attributed events using this IOC.
-    std::map<std::string, int> users;
-    for (const graph::Neighbor& nb2 : g.neighbors(nb.node)) {
-      if (nb2.node != event.value() &&
-          g.type(nb2.node) == graph::NodeType::kEvent &&
-          g.label(nb2.node) >= 0) {
-        users[trail.apt_names()[g.label(nb2.node)]]++;
+    size_t nodes_before = trail.graph().num_nodes();
+    auto event = trail.IngestReport(incident);
+    TRAIL_CHECK(event.ok());
+    const auto& g = trail.graph();
+
+    std::printf("INCIDENT %s\n", incident.id.c_str());
+    std::printf("  reported indicators: %zu\n", incident.indicators.size());
+    std::printf("  IOCs after enrichment: +%zu nodes\n\n",
+                g.num_nodes() - nodes_before - 1);
+
+    // Neighborhood walk: who else used this infrastructure?
+    graph::CsrGraph csr = graph::CsrGraph::Build(g);
+    for (int hops : {2, 3}) {
+      auto hood = graph::KHopNeighborhood(csr, event.value(), hops);
+      std::map<std::string, int> related;
+      for (graph::NodeId node : hood) {
+        if (node != event.value() && g.type(node) == graph::NodeType::kEvent &&
+            g.label(node) >= 0) {
+          related[trail.apt_names()[g.label(node)]]++;
+        }
+      }
+      std::printf("related attributed events within %d hops:\n", hops);
+      if (related.empty()) std::printf("  none\n");
+      for (const auto& [apt, count] : related) {
+        std::printf("  %-12s %d\n", apt.c_str(), count);
       }
     }
-    if (users.empty()) continue;
-    std::printf("  %s %s — also used by:",
-                graph::NodeTypeName(g.type(nb.node)),
-                g.value(nb.node).c_str());
-    for (const auto& [apt, count] : users) {
-      std::printf(" %s(x%d)", apt.c_str(), count);
-    }
-    std::printf("\n");
-    if (++evidence >= 8) break;
-  }
-  if (evidence == 0) {
-    std::printf("  none — attribution must rest on indirect paths and "
-                "feature evidence\n");
-  }
 
-  // Attribution verdicts.
-  std::printf("\nATTRIBUTION (true actor: %s)\n", true_actor.c_str());
-  auto lp = trail.AttributeWithLp(event.value());
-  if (lp.ok()) {
-    std::printf("  label propagation: %-12s confidence %.2f\n",
-                lp->apt_name.c_str(), lp->confidence);
-  } else {
-    std::printf("  label propagation: unattributable\n");
+    // The concrete shared infrastructure (evidence for the report).
+    std::printf("\ndirectly reused indicators (evidence):\n");
+    int evidence = 0;
+    for (const graph::Neighbor& nb : g.neighbors(event.value())) {
+      if (g.report_count(nb.node) < 2) continue;
+      // Find the other attributed events using this IOC.
+      std::map<std::string, int> users;
+      for (const graph::Neighbor& nb2 : g.neighbors(nb.node)) {
+        if (nb2.node != event.value() &&
+            g.type(nb2.node) == graph::NodeType::kEvent &&
+            g.label(nb2.node) >= 0) {
+          users[trail.apt_names()[g.label(nb2.node)]]++;
+        }
+      }
+      if (users.empty()) continue;
+      std::printf("  %s %s — also used by:",
+                  graph::NodeTypeName(g.type(nb.node)),
+                  g.value(nb.node).c_str());
+      for (const auto& [apt, count] : users) {
+        std::printf(" %s(x%d)", apt.c_str(), count);
+      }
+      std::printf("\n");
+      if (++evidence >= 8) break;
+    }
+    if (evidence == 0) {
+      std::printf("  none — attribution must rest on indirect paths and "
+                  "feature evidence\n");
+    }
+
+    // Attribution verdicts.
+    std::printf("\nATTRIBUTION (true actor: %s)\n", true_actor.c_str());
+    auto lp = trail.AttributeWithLp(event.value());
+    if (lp.ok()) {
+      std::printf("  label propagation: %-12s confidence %.2f\n",
+                  lp->apt_name.c_str(), lp->confidence);
+    } else {
+      std::printf("  label propagation: unattributable\n");
+    }
+    auto blind = trail.AttributeWithGnn(event.value(), true);
+    auto informed = trail.AttributeWithGnn(event.value(), false);
+    TRAIL_CHECK(blind.ok() && informed.ok());
+    std::printf("  GNN (labels hidden):  %-12s confidence %.2f\n",
+                blind->apt_name.c_str(), blind->confidence);
+    std::printf("  GNN (labels visible): %-12s confidence %.2f\n",
+                informed->apt_name.c_str(), informed->confidence);
   }
-  auto blind = trail.AttributeWithGnn(event.value(), true);
-  auto informed = trail.AttributeWithGnn(event.value(), false);
-  TRAIL_CHECK(blind.ok() && informed.ok());
-  std::printf("  GNN (labels hidden):  %-12s confidence %.2f\n",
-              blind->apt_name.c_str(), blind->confidence);
-  std::printf("  GNN (labels visible): %-12s confidence %.2f\n",
-              informed->apt_name.c_str(), informed->confidence);
+  obs::PrintPhaseSummary();
   return 0;
 }

@@ -5,7 +5,7 @@
 //   * GNNExplainer over the GraphSAGE model — which edges of the knowledge
 //     graph carried the attribution (the paper's Fig. 10 subgraph).
 //
-// Run: ./build/examples/explain_attribution
+// Run: ./build/examples/explain_attribution [--trace-out trace.json]
 
 #include <algorithm>
 #include <cstdio>
@@ -20,14 +20,17 @@
 #include "ioc/feature_schema.h"
 #include "ml/gbt.h"
 #include "ml/treeshap.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "osint/feed_client.h"
 #include "osint/world.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trail;
   SetLogLevel(LogLevel::kWarning);
+  obs::RunContext run("explain_attribution", argc, argv);
 
   osint::WorldConfig config;
   config.num_apts = 10;
@@ -37,104 +40,114 @@ int main() {
   osint::World world(config);
   osint::FeedClient feed(&world);
   core::TkgBuilder builder(&feed, core::TkgBuildOptions{});
-  TRAIL_CHECK(builder.IngestAll(feed.FetchReports(0, config.end_day)).ok());
+  {
+    TRAIL_TRACE_SPAN("phase.ingest");
+    TRAIL_CHECK(builder.IngestAll(feed.FetchReports(0, config.end_day)).ok());
+  }
   const auto& g = builder.graph();
   const int num_classes = builder.num_apts();
   const int target_apt = builder.AptIdFor("APT28");
   std::printf("TKG: %zu nodes / %zu edges\n\n", g.num_nodes(), g.num_edges());
 
   // ---------- Part 1: TreeSHAP on the URL classifier ----------
-  core::IocDataset urls =
-      core::ExtractIocDataset(g, graph::NodeType::kUrl, num_classes);
-  Rng rng(41);
-  ml::GbtClassifier gbt;
-  ml::GbtOptions gbt_opts;
-  gbt_opts.num_rounds = 25;
-  gbt.Fit(urls.data, gbt_opts, &rng);
+  {
+    TRAIL_TRACE_SPAN("phase.treeshap");
+    core::IocDataset urls =
+        core::ExtractIocDataset(g, graph::NodeType::kUrl, num_classes);
+    Rng rng(41);
+    ml::GbtClassifier gbt;
+    ml::GbtOptions gbt_opts;
+    gbt_opts.num_rounds = 25;
+    gbt.Fit(urls.data, gbt_opts, &rng);
 
-  // Explain one correctly-classified APT28 URL.
-  size_t sample = urls.data.size();
-  for (size_t i = 0; i < urls.data.size(); ++i) {
-    if (urls.data.y[i] == target_apt &&
-        gbt.Predict(urls.data.x.Row(i)) == target_apt) {
-      sample = i;
-      break;
+    // Explain one correctly-classified APT28 URL.
+    size_t sample = urls.data.size();
+    for (size_t i = 0; i < urls.data.size(); ++i) {
+      if (urls.data.y[i] == target_apt &&
+          gbt.Predict(urls.data.x.Row(i)) == target_apt) {
+        sample = i;
+        break;
+      }
     }
-  }
-  if (sample < urls.data.size()) {
-    std::printf("SHAP explanation for URL %s (classified APT28):\n",
-                g.value(urls.nodes[sample]).c_str());
-    auto phi = ml::ShapValues(gbt, urls.data.x.Row(sample), target_apt);
-    std::vector<size_t> order(phi.size());
-    for (size_t f = 0; f < phi.size(); ++f) order[f] = f;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return std::abs(phi[a]) > std::abs(phi[b]);
-    });
-    const auto& schemas = ioc::FeatureSchemas::Get();
-    for (int r = 0; r < 8; ++r) {
-      size_t f = order[r];
-      std::printf("  %+7.4f  %-34s (value %.2f)\n", phi[f],
-                  schemas.UrlFeatureName(static_cast<int>(f)).c_str(),
-                  urls.data.x.At(sample, f));
+    if (sample < urls.data.size()) {
+      std::printf("SHAP explanation for URL %s (classified APT28):\n",
+                  g.value(urls.nodes[sample]).c_str());
+      auto phi = ml::ShapValues(gbt, urls.data.x.Row(sample), target_apt);
+      std::vector<size_t> order(phi.size());
+      for (size_t f = 0; f < phi.size(); ++f) order[f] = f;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return std::abs(phi[a]) > std::abs(phi[b]);
+      });
+      const auto& schemas = ioc::FeatureSchemas::Get();
+      for (int r = 0; r < 8; ++r) {
+        size_t f = order[r];
+        std::printf("  %+7.4f  %-34s (value %.2f)\n", phi[f],
+                    schemas.UrlFeatureName(static_cast<int>(f)).c_str(),
+                    urls.data.x.At(sample, f));
+      }
+      std::printf("  (positive SHAP pushes toward APT28; the margin equals "
+                  "base + sum of all contributions)\n\n");
     }
-    std::printf("  (positive SHAP pushes toward APT28; the margin equals "
-                "base + sum of all contributions)\n\n");
   }
 
   // ---------- Part 2: GNNExplainer on an event attribution ----------
-  core::IocEncoders encoders;
-  gnn::AutoencoderOptions ae_opts;
-  ae_opts.hidden = 128;
-  ae_opts.epochs = 5;
-  ae_opts.max_train_rows = 3000;
-  encoders.Fit(g, ae_opts);
-  ml::Matrix encoded = encoders.EncodeAll(g);
-  gnn::GnnGraph gg = core::BuildGnnGraph(g, encoded);
-  std::vector<int> labels(g.num_nodes(), -1);
-  for (graph::NodeId event : g.NodesOfType(graph::NodeType::kEvent)) {
-    labels[event] = g.label(event);
-  }
-  gnn::EventGnn model;
-  gnn::EventGnnOptions gnn_opts;
-  gnn_opts.layers = 3;
-  gnn_opts.epochs = 70;
-  model.Train(gg, labels, num_classes, gnn_opts);
-
-  graph::NodeId target = graph::kInvalidNode;
-  for (graph::NodeId event : g.NodesOfType(graph::NodeType::kEvent)) {
-    if (g.label(event) == target_apt && g.degree(event) >= 8) {
-      target = event;
-      break;
+  {
+    TRAIL_TRACE_SPAN("phase.gnn_explain");
+    core::IocEncoders encoders;
+    gnn::AutoencoderOptions ae_opts;
+    ae_opts.hidden = 128;
+    ae_opts.epochs = 5;
+    ae_opts.max_train_rows = 3000;
+    encoders.Fit(g, ae_opts);
+    ml::Matrix encoded = encoders.EncodeAll(g);
+    gnn::GnnGraph gg = core::BuildGnnGraph(g, encoded);
+    std::vector<int> labels(g.num_nodes(), -1);
+    for (graph::NodeId event : g.NodesOfType(graph::NodeType::kEvent)) {
+      labels[event] = g.label(event);
     }
-  }
-  TRAIL_CHECK(target != graph::kInvalidNode);
-  graph::CsrGraph csr = graph::CsrGraph::Build(g);
-  auto hood = graph::KHopNeighborhood(csr, target, 3);
-  if (hood.size() > 500) hood.resize(500);
-  gnn::GnnGraph sub = core::BuildGnnSubgraph(g, encoded, hood);
-  std::vector<int> visible(sub.num_nodes, -1);
-  for (uint32_t i = 0; i < hood.size(); ++i) {
-    if (hood[i] != target) visible[i] = labels[hood[i]];
-  }
+    gnn::EventGnn model;
+    gnn::EventGnnOptions gnn_opts;
+    gnn_opts.layers = 3;
+    gnn_opts.epochs = 70;
+    model.Train(gg, labels, num_classes, gnn_opts);
 
-  gnn::ExplainOptions explain_opts;
-  explain_opts.steps = 100;
-  auto explanation =
-      gnn::ExplainEvent(model, sub, 0, target_apt, visible, explain_opts);
-  std::printf("GNNExplainer for event %s (APT28):\n",
-              g.value(target).c_str());
-  std::printf("  P(APT28) full subgraph %.3f, under learned mask %.3f\n",
-              explanation.full_probability, explanation.masked_probability);
-  std::printf("  most important edges:\n");
-  for (size_t i = 0; i < 8 && i < explanation.edges.size(); ++i) {
-    const auto& edge = explanation.edges[i];
-    graph::NodeId a = hood[edge.src];
-    graph::NodeId b = hood[edge.dst];
-    std::printf("   %.3f  %s %s <-> %s %s\n", edge.weight,
-                graph::NodeTypeName(g.type(a)), g.value(a).c_str(),
-                graph::NodeTypeName(g.type(b)), g.value(b).c_str());
+    graph::NodeId target = graph::kInvalidNode;
+    for (graph::NodeId event : g.NodesOfType(graph::NodeType::kEvent)) {
+      if (g.label(event) == target_apt && g.degree(event) >= 8) {
+        target = event;
+        break;
+      }
+    }
+    TRAIL_CHECK(target != graph::kInvalidNode);
+    graph::CsrGraph csr = graph::CsrGraph::Build(g);
+    auto hood = graph::KHopNeighborhood(csr, target, 3);
+    if (hood.size() > 500) hood.resize(500);
+    gnn::GnnGraph sub = core::BuildGnnSubgraph(g, encoded, hood);
+    std::vector<int> visible(sub.num_nodes, -1);
+    for (uint32_t i = 0; i < hood.size(); ++i) {
+      if (hood[i] != target) visible[i] = labels[hood[i]];
+    }
+
+    gnn::ExplainOptions explain_opts;
+    explain_opts.steps = 100;
+    auto explanation =
+        gnn::ExplainEvent(model, sub, 0, target_apt, visible, explain_opts);
+    std::printf("GNNExplainer for event %s (APT28):\n",
+                g.value(target).c_str());
+    std::printf("  P(APT28) full subgraph %.3f, under learned mask %.3f\n",
+                explanation.full_probability, explanation.masked_probability);
+    std::printf("  most important edges:\n");
+    for (size_t i = 0; i < 8 && i < explanation.edges.size(); ++i) {
+      const auto& edge = explanation.edges[i];
+      graph::NodeId a = hood[edge.src];
+      graph::NodeId b = hood[edge.dst];
+      std::printf("   %.3f  %s %s <-> %s %s\n", edge.weight,
+                  graph::NodeTypeName(g.type(a)), g.value(a).c_str(),
+                  graph::NodeTypeName(g.type(b)), g.value(b).c_str());
+    }
+    std::printf("  (analysts triage these IOCs first — even a wrong "
+                "prediction points at the evidence to check)\n");
   }
-  std::printf("  (analysts triage these IOCs first — even a wrong "
-              "prediction points at the evidence to check)\n");
+  obs::PrintPhaseSummary();
   return 0;
 }

@@ -4,20 +4,23 @@
 // core::Study class, which encapsulates the attribute-on-arrival /
 // merge-confirmed-labels / fine-tune protocol.
 //
-// Run: ./build/examples/monthly_monitoring
+// Run: ./build/examples/monthly_monitoring [--trace-out trace.json]
 
 #include <cstdio>
 
 #include "core/study.h"
 #include "core/trail.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "osint/feed_client.h"
 #include "osint/world.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trail;
   SetLogLevel(LogLevel::kWarning);
+  obs::RunContext run("monthly_monitoring", argc, argv);
 
   osint::WorldConfig config;
   config.num_apts = 10;
@@ -32,8 +35,15 @@ int main() {
   options.autoencoder.epochs = 6;
   options.gnn.epochs = 80;
   core::Trail trail(&feed, options);
-  TRAIL_CHECK(trail.Ingest(feed.FetchReports(0, config.end_day)).ok());
-  TRAIL_CHECK(trail.TrainModels().ok());
+  run.manifest().AddOption("trail", core::OptionsToJson(options));
+  {
+    TRAIL_TRACE_SPAN("phase.ingest");
+    TRAIL_CHECK(trail.Ingest(feed.FetchReports(0, config.end_day)).ok());
+  }
+  {
+    TRAIL_TRACE_SPAN("phase.train");
+    TRAIL_CHECK(trail.TrainModels().ok());
+  }
   std::printf("initial TKG: %zu nodes, trained on %zu events\n\n",
               trail.graph().num_nodes(), trail.builder().num_events());
 
@@ -43,6 +53,7 @@ int main() {
   core::Study study(&trail, study_options);
 
   for (int month = 0; month < 6; ++month) {
+    TRAIL_TRACE_SPAN("phase.monitor_month");
     int lo = config.end_day + 30 * month;
     auto reports = world.ReportsBetween(lo, lo + 30);
     if (reports.empty()) continue;
@@ -59,5 +70,6 @@ int main() {
               "month over month (see bench/fig8_degradation for the "
               "frozen-model comparison)\n",
               trail.graph().num_nodes(), trail.builder().num_events());
+  obs::PrintPhaseSummary();
   return 0;
 }

@@ -8,18 +8,26 @@
 //   4. attribute a brand-new, unattributed report.
 //
 // Build: cmake --build build --target quickstart
-// Run:   ./build/examples/quickstart
+// Run:   ./build/examples/quickstart [--trace-out trace.json]
+//                                    [--manifest-out FILE] [--log-level L]
+//
+// The run writes run_manifest.json (counters, latency histograms, phase
+// timings, build info) and, with --trace-out, a Chrome trace-event
+// timeline. See docs/OBSERVABILITY.md.
 
 #include <cstdio>
 
 #include "core/trail.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "osint/feed_client.h"
 #include "osint/world.h"
 #include "util/logging.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trail;
   SetLogLevel(LogLevel::kWarning);
+  obs::RunContext run("quickstart", argc, argv);
 
   // 1. The intelligence exchange. WorldConfig's defaults describe a
   //    22-actor world calibrated against the paper's statistics; shrink it
@@ -39,64 +47,75 @@ int main() {
   core::TrailOptions options;
   options.autoencoder.epochs = 6;
   options.gnn.epochs = 60;
+  run.manifest().AddOption("trail", core::OptionsToJson(options));
   core::Trail trail(&feed, options);
-  Status st = trail.Ingest(feed.FetchReports(0, world_config.end_day));
-  if (!st.ok()) {
-    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
-    return 1;
+  {
+    TRAIL_TRACE_SPAN("phase.ingest");
+    Status st = trail.Ingest(feed.FetchReports(0, world_config.end_day));
+    if (!st.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   std::printf("TKG: %zu nodes, %zu edges\n", trail.graph().num_nodes(),
               trail.graph().num_edges());
 
   // 3. Train the models.
-  st = trail.TrainModels();
-  if (!st.ok()) {
-    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
-    return 1;
+  {
+    TRAIL_TRACE_SPAN("phase.train");
+    Status st = trail.TrainModels();
+    if (!st.ok()) {
+      std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   std::printf("models trained\n\n");
 
   // 4. A new incident lands on the exchange without attribution. Merge it
   //    (TRAIL enriches its IOCs automatically) and ask both analyzers.
-  auto post_cutoff = world.ReportsBetween(world_config.end_day,
-                                          world_config.end_day + 60);
-  if (post_cutoff.empty()) {
-    std::fprintf(stderr, "no post-cutoff reports generated\n");
-    return 1;
-  }
-  osint::PulseReport incident = *post_cutoff[0];
-  std::string true_actor = incident.apt;
-  incident.apt.clear();  // pretend the analyst left it unattributed
-
-  auto event = trail.IngestReport(incident);
-  if (!event.ok()) {
-    std::fprintf(stderr, "merge failed: %s\n",
-                 event.status().ToString().c_str());
-    return 1;
-  }
-
-  std::printf("new incident %s (%zu indicators) — true actor: %s\n",
-              incident.id.c_str(), incident.indicators.size(),
-              true_actor.c_str());
-
-  auto lp = trail.AttributeWithLp(event.value());
-  if (lp.ok()) {
-    std::printf("  label propagation: %-10s (confidence %.2f)\n",
-                lp->apt_name.c_str(), lp->confidence);
-  } else {
-    std::printf("  label propagation: unattributable — no infrastructure "
-                "reuse paths\n");
-  }
-  auto gnn = trail.AttributeWithGnn(event.value());
-  if (gnn.ok()) {
-    std::printf("  GNN:               %-10s (confidence %.2f)\n",
-                gnn->apt_name.c_str(), gnn->confidence);
-    std::printf("  full distribution:");
-    for (size_t i = 0; i < 3 && i < gnn->distribution.size(); ++i) {
-      std::printf("  %s %.2f", gnn->distribution[i].first.c_str(),
-                  gnn->distribution[i].second);
+  {
+    TRAIL_TRACE_SPAN("phase.attribute");
+    auto post_cutoff = world.ReportsBetween(world_config.end_day,
+                                            world_config.end_day + 60);
+    if (post_cutoff.empty()) {
+      std::fprintf(stderr, "no post-cutoff reports generated\n");
+      return 1;
     }
-    std::printf(" ...\n");
+    osint::PulseReport incident = *post_cutoff[0];
+    std::string true_actor = incident.apt;
+    incident.apt.clear();  // pretend the analyst left it unattributed
+
+    auto event = trail.IngestReport(incident);
+    if (!event.ok()) {
+      std::fprintf(stderr, "merge failed: %s\n",
+                   event.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("new incident %s (%zu indicators) — true actor: %s\n",
+                incident.id.c_str(), incident.indicators.size(),
+                true_actor.c_str());
+
+    auto lp = trail.AttributeWithLp(event.value());
+    if (lp.ok()) {
+      std::printf("  label propagation: %-10s (confidence %.2f)\n",
+                  lp->apt_name.c_str(), lp->confidence);
+    } else {
+      std::printf("  label propagation: unattributable — no infrastructure "
+                  "reuse paths\n");
+    }
+    auto gnn = trail.AttributeWithGnn(event.value());
+    if (gnn.ok()) {
+      std::printf("  GNN:               %-10s (confidence %.2f)\n",
+                  gnn->apt_name.c_str(), gnn->confidence);
+      std::printf("  full distribution:");
+      for (size_t i = 0; i < 3 && i < gnn->distribution.size(); ++i) {
+        std::printf("  %s %.2f", gnn->distribution[i].first.c_str(),
+                    gnn->distribution[i].second);
+      }
+      std::printf(" ...\n");
+    }
   }
+  obs::PrintPhaseSummary();
   return 0;
 }

@@ -8,7 +8,7 @@
 //      verdicts above the calibrated threshold, triage the rest,
 //   4. export an attributed event back to the exchange in MISP format.
 //
-// Run: ./build/examples/soc_pipeline
+// Run: ./build/examples/soc_pipeline [--trace-out trace.json]
 
 #include <cstdio>
 
@@ -18,14 +18,17 @@
 #include "graph/csr.h"
 #include "ml/calibration.h"
 #include "ml/dataset.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "osint/feed_client.h"
 #include "osint/misp_export.h"
 #include "osint/world.h"
 #include "util/logging.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trail;
   SetLogLevel(LogLevel::kWarning);
+  obs::RunContext run("soc_pipeline", argc, argv);
 
   osint::WorldConfig config;
   config.num_apts = 10;
@@ -41,39 +44,49 @@ int main() {
   options.autoencoder.epochs = 6;
   options.gnn.epochs = 80;
   core::Trail trail(&feed, options);
-  TRAIL_CHECK(trail.Ingest(feed.FetchReports(0, config.end_day)).ok());
-  TRAIL_CHECK(trail.TrainModels().ok());
+  run.manifest().AddOption("trail", core::OptionsToJson(options));
+  {
+    TRAIL_TRACE_SPAN("phase.ingest");
+    TRAIL_CHECK(trail.Ingest(feed.FetchReports(0, config.end_day)).ok());
+  }
+  {
+    TRAIL_TRACE_SPAN("phase.train");
+    TRAIL_CHECK(trail.TrainModels().ok());
+  }
   std::printf("TKG %zu nodes, models trained\n", trail.graph().num_nodes());
 
   // --- 2. Calibrate confidences on the training events themselves,
   //        leave-own-label-out style: attribute each with its label hidden.
   const auto& g = trail.graph();
   auto events = g.NodesOfType(graph::NodeType::kEvent);
-  ml::Matrix probe(events.size() / 4 + 1,
-                   trail.apt_names().size());
-  std::vector<int> probe_labels;
-  size_t row = 0;
-  for (size_t i = 0; i < events.size(); i += 4) {
-    auto verdict = trail.AttributeWithGnn(events[i]);
-    if (!verdict.ok()) continue;
-    for (const auto& [name, p] : verdict->distribution) {
-      for (size_t c = 0; c < trail.apt_names().size(); ++c) {
-        if (trail.apt_names()[c] == name) {
-          probe.At(row, c) = static_cast<float>(p);
+  ml::TemperatureScaler scaler;
+  {
+    TRAIL_TRACE_SPAN("phase.calibrate");
+    ml::Matrix probe(events.size() / 4 + 1,
+                     trail.apt_names().size());
+    std::vector<int> probe_labels;
+    size_t row = 0;
+    for (size_t i = 0; i < events.size(); i += 4) {
+      auto verdict = trail.AttributeWithGnn(events[i]);
+      if (!verdict.ok()) continue;
+      for (const auto& [name, p] : verdict->distribution) {
+        for (size_t c = 0; c < trail.apt_names().size(); ++c) {
+          if (trail.apt_names()[c] == name) {
+            probe.At(row, c) = static_cast<float>(p);
+          }
         }
       }
+      probe_labels.push_back(g.label(events[i]));
+      ++row;
     }
-    probe_labels.push_back(g.label(events[i]));
-    ++row;
+    while (probe_labels.size() < probe.rows()) probe_labels.push_back(-1);
+    scaler.Fit(probe, probe_labels);
+    double ece_before = ml::ExpectedCalibrationError(probe, probe_labels);
+    double ece_after =
+        ml::ExpectedCalibrationError(scaler.Apply(probe), probe_labels);
+    std::printf("calibration: T=%.2f, ECE %.3f -> %.3f\n\n",
+                scaler.temperature(), ece_before, ece_after);
   }
-  while (probe_labels.size() < probe.rows()) probe_labels.push_back(-1);
-  ml::TemperatureScaler scaler;
-  scaler.Fit(probe, probe_labels);
-  double ece_before = ml::ExpectedCalibrationError(probe, probe_labels);
-  double ece_after =
-      ml::ExpectedCalibrationError(scaler.Apply(probe), probe_labels);
-  std::printf("calibration: T=%.2f, ECE %.3f -> %.3f\n\n",
-              scaler.temperature(), ece_before, ece_after);
   const double kAcceptThreshold = 0.75;
 
   // --- 3. Monthly loop with thresholded verdicts + triage of the rest.
@@ -81,6 +94,7 @@ int main() {
   study_options.fine_tune_epochs = 6;
   core::Study study(&trail, study_options);
   for (int month = 0; month < 3; ++month) {
+    TRAIL_TRACE_SPAN("phase.monitor_month");
     int lo = config.end_day + 30 * month;
     auto reports = world.ReportsBetween(lo, lo + 30);
     if (reports.empty()) continue;
@@ -139,13 +153,17 @@ int main() {
   }
 
   // --- 4. Export one attributed event back to the exchange (MISP format).
-  graph::NodeId exported = events[0];
-  auto misp = osint::TkgEventToMisp(
-      trail.graph(), exported,
-      trail.apt_names()[trail.graph().label(exported)]);
-  TRAIL_CHECK(misp.ok());
-  std::printf("\nMISP export of %s (first 400 chars):\n%.400s...\n",
-              trail.graph().value(exported).c_str(),
-              misp->Dump(2).c_str());
+  {
+    TRAIL_TRACE_SPAN("phase.export");
+    graph::NodeId exported = events[0];
+    auto misp = osint::TkgEventToMisp(
+        trail.graph(), exported,
+        trail.apt_names()[trail.graph().label(exported)]);
+    TRAIL_CHECK(misp.ok());
+    std::printf("\nMISP export of %s (first 400 chars):\n%.400s...\n",
+                trail.graph().value(exported).c_str(),
+                misp->Dump(2).c_str());
+  }
+  obs::PrintPhaseSummary();
   return 0;
 }

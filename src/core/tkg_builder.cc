@@ -1,5 +1,7 @@
 #include "core/tkg_builder.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ioc/ioc.h"
 #include "ioc/url.h"
 #include "ioc/vectorizers.h"
@@ -31,19 +33,25 @@ Result<NodeId> TkgBuilder::IngestReportJson(const std::string& json) {
 }
 
 Status TkgBuilder::IngestAll(const std::vector<std::string>& report_jsons) {
+  TRAIL_TRACE_SPAN("graph.ingest_all");
   for (const std::string& json : report_jsons) {
     auto event = IngestReportJson(json);
     if (!event.ok()) return event.status();
   }
+  TRAIL_LOG(Info) << "ingested " << report_jsons.size() << " reports; TKG now "
+                  << graph_.num_nodes() << " nodes, " << graph_.num_edges()
+                  << " edges";
   return Status::Ok();
 }
 
 Result<NodeId> TkgBuilder::IngestReport(const osint::PulseReport& report) {
+  TRAIL_TRACE_SPAN("graph.ingest_report");
   if (report.id.empty()) {
     return Status::InvalidArgument("report without id");
   }
   NodeId event = graph_.AddNode(NodeType::kEvent, report.id);
   if (graph_.degree(event) > 0) {
+    TRAIL_METRIC_INC("graph.merge_collisions");
     return Status::AlreadyExists("report already ingested: " + report.id);
   }
   if (!report.apt.empty()) {
@@ -56,11 +64,8 @@ Result<NodeId> TkgBuilder::IngestReport(const osint::PulseReport& report) {
     std::string value = ioc::Refang(indicator.value);
     ioc::IocType type = ioc::ClassifyIoc(value);
     if (type == ioc::IocType::kUnknown) {
-      if (options_.drop_invalid_indicators) {
-        ++num_dropped_;
-        continue;
-      }
       ++num_dropped_;
+      TRAIL_METRIC_INC("graph.indicators_dropped");
       continue;
     }
     if (type == ioc::IocType::kDomain) value = ToLower(value);
@@ -70,6 +75,9 @@ Result<NodeId> TkgBuilder::IngestReport(const osint::PulseReport& report) {
       graph_.IncrementReportCount(node);
     }
   }
+  TRAIL_METRIC_INC("graph.events_ingested");
+  TRAIL_METRIC_SET("graph.nodes", graph_.num_nodes());
+  TRAIL_METRIC_SET("graph.edges", graph_.num_edges());
   return event;
 }
 
@@ -77,6 +85,8 @@ NodeId TkgBuilder::TouchIoc(ioc::IocType type, const std::string& value,
                             int hop) {
   NodeId node = graph_.AddNode(ioc::ToNodeType(type), value);
   if (analyzed_.insert(node).second) {
+    TRAIL_METRIC_INC("graph.iocs_analyzed");
+    if (hop > 1) TRAIL_METRIC_INC("graph.secondary_iocs_discovered");
     AnalyzeNode(node, type, value, hop);
   }
   return node;
@@ -93,6 +103,7 @@ void TkgBuilder::AnalyzeNode(NodeId node, ioc::IocType type,
         data = analysis.value();
       } else {
         ++num_analysis_misses_;
+        TRAIL_METRIC_INC("graph.analysis_misses");
       }
       graph_.SetFeatures(node, ioc::VectorizeIp(data));
       graph_.SetTimestamp(node, data.first_seen_days);
@@ -122,6 +133,7 @@ void TkgBuilder::AnalyzeNode(NodeId node, ioc::IocType type,
         data = analysis.value();
       } else {
         ++num_analysis_misses_;
+        TRAIL_METRIC_INC("graph.analysis_misses");
       }
       graph_.SetFeatures(node, ioc::VectorizeDomain(value, data));
       graph_.SetTimestamp(node, data.first_seen_days);
@@ -142,6 +154,7 @@ void TkgBuilder::AnalyzeNode(NodeId node, ioc::IocType type,
         data = analysis.value();
       } else {
         ++num_analysis_misses_;
+        TRAIL_METRIC_INC("graph.analysis_misses");
       }
       graph_.SetFeatures(node, ioc::VectorizeUrl(value, data));
       // HostedOn is derivable lexically even with no analysis (paper

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "gnn/label_propagation.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace trail::core {
@@ -37,18 +40,21 @@ const gnn::GnnGraph& Trail::Gnn() const {
 }
 
 Status Trail::Ingest(const std::vector<std::string>& report_jsons) {
+  TRAIL_METRIC_ADD("core.reports_ingested", report_jsons.size());
   TRAIL_RETURN_NOT_OK(builder_.IngestAll(report_jsons));
   InvalidateCaches();
   return Status::Ok();
 }
 
 Result<NodeId> Trail::IngestReport(const osint::PulseReport& report) {
+  TRAIL_METRIC_INC("core.reports_ingested");
   auto event = builder_.IngestReport(report);
   if (event.ok()) InvalidateCaches();
   return event;
 }
 
 Status Trail::TrainModels() {
+  TRAIL_TRACE_SPAN("core.train_models");
   const graph::PropertyGraph& g = builder_.graph();
   if (builder_.num_events() == 0) {
     return Status::FailedPrecondition("no events ingested");
@@ -69,11 +75,15 @@ Status Trail::TrainModels() {
   if (labeled < 2) {
     return Status::FailedPrecondition("need at least two labeled events");
   }
+  TRAIL_LOG(Info) << "training GNN on " << labeled << " labeled events, "
+                  << builder_.num_apts() << " classes";
   gnn_.Train(Gnn(), train_labels, builder_.num_apts(), options_.gnn);
+  TRAIL_LOG(Info) << "models trained";
   return Status::Ok();
 }
 
 Status Trail::FineTuneGnn(int epochs) {
+  TRAIL_TRACE_SPAN("core.fine_tune_gnn");
   if (!gnn_.trained()) {
     return Status::FailedPrecondition("TrainModels before FineTuneGnn");
   }
@@ -107,6 +117,8 @@ Trail::Attribution Trail::MakeAttribution(
 }
 
 Result<Trail::Attribution> Trail::AttributeWithLp(NodeId event) const {
+  TRAIL_TRACE_SPAN("core.attribute_lp");
+  TRAIL_METRIC_INC("core.lp_attributions");
   const graph::PropertyGraph& g = builder_.graph();
   if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) {
     return Status::InvalidArgument("not an event node");
@@ -123,6 +135,7 @@ Result<Trail::Attribution> Trail::AttributeWithLp(NodeId event) const {
   auto lp = gnn::RunLabelPropagation(Csr(), labels, seeds, num_classes,
                                      options_.lp_layers);
   if (lp.predictions[event] < 0) {
+    TRAIL_METRIC_INC("core.lp_unattributable");
     return Status::NotFound("no label mass reached the event (unattributable"
                             " by resource reuse)");
   }
@@ -136,6 +149,8 @@ Result<Trail::Attribution> Trail::AttributeWithLp(NodeId event) const {
 
 Result<Trail::Attribution> Trail::AttributeWithGnn(
     NodeId event, bool hide_neighbor_labels) const {
+  TRAIL_TRACE_SPAN("core.attribute_gnn");
+  TRAIL_METRIC_INC("core.gnn_attributions");
   if (!gnn_.trained()) {
     return Status::FailedPrecondition("TrainModels before GNN attribution");
   }
@@ -157,6 +172,69 @@ Result<Trail::Attribution> Trail::AttributeWithGnn(
 
 NodeId Trail::FindEvent(const std::string& report_id) const {
   return builder_.graph().FindNode(NodeType::kEvent, report_id);
+}
+
+JsonValue OptionsToJson(const TrailOptions& options) {
+  JsonValue build = JsonValue::MakeObject();
+  build.Set("enrichment_hops",
+            JsonValue::MakeNumber(options.build.enrichment_hops));
+  build.Set("drop_invalid_indicators",
+            JsonValue::MakeBool(options.build.drop_invalid_indicators));
+
+  JsonValue ae = JsonValue::MakeObject();
+  ae.Set("hidden", JsonValue::MakeNumber(
+                       static_cast<double>(options.autoencoder.hidden)));
+  ae.Set("encoding", JsonValue::MakeNumber(
+                         static_cast<double>(options.autoencoder.encoding)));
+  ae.Set("epochs", JsonValue::MakeNumber(options.autoencoder.epochs));
+  ae.Set("batch_size", JsonValue::MakeNumber(
+                           static_cast<double>(options.autoencoder.batch_size)));
+  ae.Set("learning_rate",
+         JsonValue::MakeNumber(options.autoencoder.learning_rate));
+  ae.Set("seed", JsonValue::MakeNumber(
+                     static_cast<double>(options.autoencoder.seed)));
+  ae.Set("max_train_rows",
+         JsonValue::MakeNumber(
+             static_cast<double>(options.autoencoder.max_train_rows)));
+
+  JsonValue gnn = JsonValue::MakeObject();
+  gnn.Set("layers", JsonValue::MakeNumber(options.gnn.layers));
+  gnn.Set("hidden",
+          JsonValue::MakeNumber(static_cast<double>(options.gnn.hidden)));
+  gnn.Set("learning_rate", JsonValue::MakeNumber(options.gnn.learning_rate));
+  gnn.Set("epochs", JsonValue::MakeNumber(options.gnn.epochs));
+  gnn.Set("dropout", JsonValue::MakeNumber(options.gnn.dropout));
+  gnn.Set("l2_normalize", JsonValue::MakeBool(options.gnn.l2_normalize));
+  gnn.Set("seed",
+          JsonValue::MakeNumber(static_cast<double>(options.gnn.seed)));
+  gnn.Set("label_visible_fraction",
+          JsonValue::MakeNumber(options.gnn.label_visible_fraction));
+  gnn.Set("label_propagation_features",
+          JsonValue::MakeBool(options.gnn.label_propagation_features));
+
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("build", std::move(build));
+  out.Set("autoencoder", std::move(ae));
+  out.Set("gnn", std::move(gnn));
+  out.Set("lp_layers", JsonValue::MakeNumber(options.lp_layers));
+  return out;
+}
+
+Status Trail::WriteRunManifest(const std::string& path) const {
+  obs::RunManifest manifest("trail");
+  manifest.AddOption("trail", OptionsToJson(options_));
+
+  JsonValue state = JsonValue::MakeObject();
+  state.Set("nodes", JsonValue::MakeNumber(
+                         static_cast<double>(graph().num_nodes())));
+  state.Set("edges", JsonValue::MakeNumber(
+                         static_cast<double>(graph().num_edges())));
+  state.Set("events", JsonValue::MakeNumber(
+                          static_cast<double>(builder_.num_events())));
+  state.Set("apts", JsonValue::MakeNumber(builder_.num_apts()));
+  state.Set("models_trained", JsonValue::MakeBool(models_trained()));
+  manifest.AddOption("tkg", std::move(state));
+  return manifest.WriteFile(path);
 }
 
 }  // namespace trail::core

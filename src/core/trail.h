@@ -9,6 +9,7 @@
 #include "core/tkg_builder.h"
 #include "gnn/event_gnn.h"
 #include "graph/csr.h"
+#include "util/json.h"
 
 namespace trail::core {
 
@@ -19,6 +20,10 @@ struct TrailOptions {
   /// Label-propagation depth used by AttributeWithLp.
   int lp_layers = 4;
 };
+
+/// Serializes the full option tree for run manifests, so every recorded run
+/// can be reproduced from its manifest alone.
+JsonValue OptionsToJson(const TrailOptions& options);
 
 /// The TRAIL system facade — the paper's full pipeline behind one object:
 /// ingest attributed OSINT reports into the TKG, train the analysis models,
@@ -61,6 +66,11 @@ class Trail {
 
   /// Event node for a report id; kInvalidNode when absent.
   graph::NodeId FindEvent(const std::string& report_id) const;
+
+  /// Writes a run manifest (build info, the option tree, graph scale, and
+  /// every registry metric) to `path` — the machine-readable record of what
+  /// this pipeline instance did.
+  Status WriteRunManifest(const std::string& path) const;
 
   const graph::PropertyGraph& graph() const { return builder_.graph(); }
   graph::PropertyGraph& mutable_graph() { return builder_.mutable_graph(); }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace trail::gnn {
@@ -20,6 +22,7 @@ ag::VarPtr Autoencoder::DecodeVar(const ag::VarPtr& z) const {
 }
 
 double Autoencoder::Fit(const ml::Matrix& x, const AutoencoderOptions& options) {
+  TRAIL_TRACE_SPAN("gnn.autoencoder_fit");
   TRAIL_CHECK(x.rows() > 0) << "empty autoencoder input";
   options_ = options;
   Rng rng(options.seed);
@@ -49,6 +52,7 @@ double Autoencoder::Fit(const ml::Matrix& x, const AutoencoderOptions& options) 
 
   double last_epoch_loss = 0.0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    TRAIL_TRACE_SPAN("gnn.autoencoder_epoch");
     rng.Shuffle(&rows);
     double epoch_loss = 0.0;
     size_t batches = 0;
@@ -65,6 +69,8 @@ double Autoencoder::Fit(const ml::Matrix& x, const AutoencoderOptions& options) 
       ++batches;
     }
     last_epoch_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    TRAIL_METRIC_INC("gnn.autoencoder_epochs_trained");
+    TRAIL_METRIC_OBSERVE("gnn.autoencoder_epoch_loss", last_epoch_loss);
   }
   fitted_ = true;
   return last_epoch_loss;

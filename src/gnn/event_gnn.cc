@@ -4,8 +4,11 @@
 #include <cmath>
 
 #include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/timer.h"
 
 namespace trail::gnn {
 
@@ -185,6 +188,7 @@ void EventGnn::TrainEpochs(const GnnGraph& g,
       options_.label_visible_fraction * shuffled.size());
 
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    TRAIL_TRACE_SPAN("gnn.train_epoch");
     const bool flip = epoch % 2 == 1;
     std::vector<int> visible(g.num_nodes, -1);
     std::vector<int> loss_labels(g.num_nodes, -1);
@@ -204,11 +208,19 @@ void EventGnn::TrainEpochs(const GnnGraph& g,
     ag::VarPtr loss = ag::SoftmaxCrossEntropy(logits, loss_labels);
     ag::Backward(loss);
     opt->Step();
+    TRAIL_METRIC_INC("gnn.epochs_trained");
+    TRAIL_METRIC_OBSERVE("gnn.epoch_loss", loss->value.At(0, 0));
+    // Each epoch's forward mean-aggregates every directed spec entry once
+    // per layer (the "neighbor sampling" volume of a full-graph SAGE pass).
+    TRAIL_METRIC_ADD("gnn.neighbors_aggregated",
+                     g.spec.sources.size() * layers_.size());
   }
 }
 
 void EventGnn::Train(const GnnGraph& g, const std::vector<int>& train_labels,
                      int num_classes, const EventGnnOptions& options) {
+  TRAIL_TRACE_SPAN("gnn.train");
+  TRAIL_METRIC_INC("gnn.trainings");
   TRAIL_CHECK(train_labels.size() == g.num_nodes);
   options_ = options;
   num_classes_ = num_classes;
@@ -229,6 +241,7 @@ void EventGnn::FineTune(const GnnGraph& g, const std::vector<int>& train_labels,
 
 ml::Matrix EventGnn::PredictProba(const GnnGraph& g,
                                   const std::vector<int>& visible_labels) const {
+  TRAIL_TRACE_SPAN("gnn.predict");
   TRAIL_CHECK(trained_) << "predict before train";
   Rng rng(0);
   ag::VarPtr logits = ForwardLogits(g, visible_labels, /*edge_mask=*/nullptr,

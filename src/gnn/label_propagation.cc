@@ -1,8 +1,11 @@
 #include "gnn/label_propagation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -12,6 +15,13 @@ LabelPropagationResult RunLabelPropagation(const graph::CsrGraph& csr,
                                            const std::vector<int>& labels,
                                            const std::vector<uint8_t>& seed_mask,
                                            int num_classes, int layers) {
+  TRAIL_TRACE_SPAN("gnn.label_propagation");
+  TRAIL_METRIC_INC("gnn.lp_runs");
+  TRAIL_METRIC_ADD("gnn.lp_iterations", layers);
+  // Per-layer frontier sizes cost an extra O(num_classes) row scan per node,
+  // so they are collected only under detailed metrics (tools/examples).
+  const bool detail = obs::DetailedMetricsEnabled();
+
   const size_t n = csr.num_nodes();
   TRAIL_CHECK(labels.size() == n && seed_mask.size() == n);
   TRAIL_CHECK(num_classes > 0 && layers >= 1);
@@ -37,7 +47,9 @@ LabelPropagationResult RunLabelPropagation(const graph::CsrGraph& csr,
   ml::Matrix next(n, num_classes);
   for (int layer = 0; layer < layers; ++layer) {
     next.Fill(0.0f);
+    std::atomic<int64_t> frontier{0};
     ParallelFor(n, [&](size_t begin, size_t end) {
+      int64_t chunk_frontier = 0;
       for (size_t v = begin; v < end; ++v) {
         auto dst = next.Row(v);
         const float dv = inv_sqrt_deg[v];
@@ -48,8 +60,23 @@ LabelPropagationResult RunLabelPropagation(const graph::CsrGraph& csr,
           auto src = f.Row(*it);
           for (int c = 0; c < num_classes; ++c) dst[c] += w * src[c];
         }
+        if (detail) {
+          for (int c = 0; c < num_classes; ++c) {
+            if (dst[c] > 0.0f) {
+              ++chunk_frontier;
+              break;
+            }
+          }
+        }
+      }
+      if (chunk_frontier > 0) {
+        frontier.fetch_add(chunk_frontier, std::memory_order_relaxed);
       }
     }, /*min_chunk=*/1024);
+    if (detail) {
+      TRAIL_METRIC_OBSERVE("gnn.lp_frontier_size",
+                           frontier.load(std::memory_order_relaxed));
+    }
     std::swap(f, next);
     result.scores.AddInPlace(f);
   }

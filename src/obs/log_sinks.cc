@@ -1,0 +1,78 @@
+#include "obs/log_sinks.h"
+
+#include "util/json.h"
+
+namespace trail::obs {
+
+void StderrTextSink::Write(const LogRecord& record) {
+  std::string line;
+  line.reserve(record.message.size() + 32);
+  line += '[';
+  line += LogLevelName(record.level);
+  line += ' ';
+  line += record.file;
+  line += ':';
+  line += std::to_string(record.line);
+  line += "] ";
+  line += record.message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+JsonLinesFileSink::JsonLinesFileSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "a")) {}
+
+JsonLinesFileSink::~JsonLinesFileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonLinesFileSink::Write(const LogRecord& record) {
+  if (file_ == nullptr) return;
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("ts_us", JsonValue::MakeNumber(static_cast<double>(record.time_us)));
+  obj.Set("level", JsonValue::MakeString(LogLevelName(record.level)));
+  obj.Set("file", JsonValue::MakeString(record.file));
+  obj.Set("line", JsonValue::MakeNumber(record.line));
+  obj.Set("msg", JsonValue::MakeString(std::string(record.message)));
+  std::string line = obj.Dump();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+}
+
+void JsonLinesFileSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void RingBufferSink::Write(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= capacity_) entries_.pop_front();
+  entries_.push_back(Entry{record.level, record.file, record.line,
+                           std::string(record.message)});
+}
+
+std::vector<RingBufferSink::Entry> RingBufferSink::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Entry>(entries_.begin(), entries_.end());
+}
+
+size_t RingBufferSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+bool RingBufferSink::Contains(std::string_view substring) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : entries_) {
+    if (entry.message.find(substring) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void RingBufferSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace trail::obs

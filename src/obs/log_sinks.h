@@ -1,0 +1,84 @@
+#ifndef TRAIL_OBS_LOG_SINKS_H_
+#define TRAIL_OBS_LOG_SINKS_H_
+
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace trail::obs {
+
+/// The default text format, made explicit: one "[LEVEL file:line] msg" line
+/// per record, a single fwrite each. Register it alongside other sinks to
+/// keep stderr output once a sink list exists.
+class StderrTextSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override;
+};
+
+/// JSON-lines structured log file: one compact object per record —
+/// {"ts_us":..., "level":"INFO", "file":"x.cc", "line":12, "msg":"..."}.
+class JsonLinesFileSink : public LogSink {
+ public:
+  /// Opens `path` for appending; `ok()` is false when the open failed (the
+  /// sink then drops records).
+  explicit JsonLinesFileSink(const std::string& path);
+  ~JsonLinesFileSink() override;
+
+  bool ok() const { return file_ != nullptr; }
+  void Write(const LogRecord& record) override;
+  void Flush();
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Bounded in-memory sink for tests: keeps the most recent `capacity`
+/// records (formatted copies) so assertions can inspect log output without
+/// scraping stderr.
+class RingBufferSink : public LogSink {
+ public:
+  struct Entry {
+    LogLevel level;
+    std::string file;
+    int line;
+    std::string message;
+  };
+
+  explicit RingBufferSink(size_t capacity = 256) : capacity_(capacity) {}
+
+  void Write(const LogRecord& record) override;
+
+  std::vector<Entry> entries() const;
+  size_t size() const;
+  /// True when any buffered message contains `substring`.
+  bool Contains(std::string_view substring) const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<Entry> entries_;
+};
+
+/// RAII registration so sinks always deregister before destruction.
+class ScopedLogSink {
+ public:
+  explicit ScopedLogSink(LogSink* sink) : sink_(sink) { AddLogSink(sink_); }
+  ~ScopedLogSink() { RemoveLogSink(sink_); }
+
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+
+ private:
+  LogSink* sink_;
+};
+
+}  // namespace trail::obs
+
+#endif  // TRAIL_OBS_LOG_SINKS_H_

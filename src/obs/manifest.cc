@@ -1,0 +1,177 @@
+#include "obs/manifest.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+#ifndef TRAIL_GIT_DESCRIBE
+#define TRAIL_GIT_DESCRIBE "unknown"
+#endif
+#ifndef TRAIL_BUILD_TYPE
+#define TRAIL_BUILD_TYPE "unknown"
+#endif
+#ifndef TRAIL_COMPILER
+#define TRAIL_COMPILER "unknown"
+#endif
+#ifndef TRAIL_CXX_FLAGS
+#define TRAIL_CXX_FLAGS ""
+#endif
+
+namespace trail::obs {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{TRAIL_GIT_DESCRIBE, TRAIL_BUILD_TYPE,
+                              TRAIL_COMPILER, TRAIL_CXX_FLAGS};
+  return info;
+}
+
+void RunManifest::SetArgs(int argc, char** argv) {
+  args_.assign(argv, argv + argc);
+}
+
+void RunManifest::AddOption(const std::string& key, JsonValue value) {
+  options_.Set(key, std::move(value));
+}
+
+JsonValue RunManifest::ToJson() const {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("tool", JsonValue::MakeString(tool_));
+
+  JsonValue args = JsonValue::MakeArray();
+  for (const std::string& arg : args_) {
+    args.Append(JsonValue::MakeString(arg));
+  }
+  doc.Set("args", std::move(args));
+
+  const BuildInfo& info = GetBuildInfo();
+  JsonValue build = JsonValue::MakeObject();
+  build.Set("git_describe", JsonValue::MakeString(info.git_describe));
+  build.Set("build_type", JsonValue::MakeString(info.build_type));
+  build.Set("compiler", JsonValue::MakeString(info.compiler));
+  build.Set("cxx_flags", JsonValue::MakeString(info.cxx_flags));
+  doc.Set("build", std::move(build));
+
+  doc.Set("options", options_);
+
+  // Phase wall times, derived from the span histograms the phases recorded.
+  constexpr std::string_view kPhasePrefix = "span.phase.";
+  JsonValue phases = JsonValue::MakeObject();
+  for (const MetricSnapshot& snap : MetricsRegistry::Global().Snapshot()) {
+    if (snap.kind != MetricKind::kHistogram) continue;
+    if (snap.name.compare(0, kPhasePrefix.size(), kPhasePrefix) != 0) continue;
+    phases.Set(snap.name.substr(kPhasePrefix.size()),
+               JsonValue::MakeNumber(snap.value));
+  }
+  doc.Set("phases", std::move(phases));
+
+  doc.Set("metrics", MetricsRegistry::Global().ToJson());
+
+  if (!trace_file_.empty()) {
+    doc.Set("trace_file", JsonValue::MakeString(trace_file_));
+  }
+  doc.Set("exit_code", JsonValue::MakeNumber(exit_code_));
+  return doc;
+}
+
+Status RunManifest::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot write manifest: " + path);
+  file << ToJson().Dump(2) << "\n";
+  if (!file.good()) return Status::IoError("manifest write failed: " + path);
+  return Status::Ok();
+}
+
+namespace {
+
+/// Fetches "--name value" or "--name=value" from argv; empty when absent.
+std::string FlagValue(int argc, char** argv, std::string_view name) {
+  const std::string eq = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == name && i + 1 < argc) return argv[i + 1];
+    if (arg.size() > eq.size() && arg.compare(0, eq.size(), eq) == 0) {
+      return std::string(arg.substr(eq.size()));
+    }
+  }
+  return "";
+}
+
+StderrTextSink* StderrSinkSingleton() {
+  static StderrTextSink* sink = new StderrTextSink();  // never freed
+  return sink;
+}
+
+/// Command-line flag wins; environment variable is the fallback.
+std::string FlagOrEnv(int argc, char** argv, std::string_view flag,
+                      const char* env) {
+  std::string value = FlagValue(argc, argv, flag);
+  if (!value.empty()) return value;
+  const char* from_env = std::getenv(env);
+  return from_env != nullptr ? from_env : "";
+}
+
+}  // namespace
+
+RunContext::RunContext(std::string tool, int argc, char** argv)
+    : manifest_(std::move(tool)) {
+  manifest_.SetArgs(argc, argv);
+  SetDetailedMetrics(true);
+
+  std::string level_name =
+      FlagOrEnv(argc, argv, "--log-level", "TRAIL_LOG_LEVEL");
+  if (!level_name.empty()) {
+    LogLevel level;
+    if (ParseLogLevel(level_name, &level)) {
+      SetLogLevel(level);
+    } else {
+      TRAIL_LOG(Warning) << "unknown --log-level '" << level_name
+                         << "', keeping current level";
+    }
+  }
+
+  std::string log_json = FlagValue(argc, argv, "--log-json");
+  if (!log_json.empty()) {
+    json_sink_ = std::make_unique<JsonLinesFileSink>(log_json);
+    if (json_sink_->ok()) {
+      // Keep human-readable stderr alongside the structured file.
+      AddLogSink(StderrSinkSingleton());
+      AddLogSink(json_sink_.get());
+    } else {
+      TRAIL_LOG(Warning) << "cannot open --log-json file " << log_json;
+      json_sink_.reset();
+    }
+  }
+
+  trace_path_ = FlagOrEnv(argc, argv, "--trace-out", "TRAIL_TRACE_OUT");
+  if (!trace_path_.empty()) {
+    TraceRecorder::Global().SetEnabled(true);
+    manifest_.SetTraceFile(trace_path_);
+  }
+
+  std::string manifest_flag =
+      FlagOrEnv(argc, argv, "--manifest-out", "TRAIL_RUN_MANIFEST");
+  if (!manifest_flag.empty()) manifest_path_ = manifest_flag;
+}
+
+RunContext::~RunContext() {
+  SetDetailedMetrics(false);
+  if (!trace_path_.empty()) {
+    TraceRecorder::Global().SetEnabled(false);
+    Status st = TraceRecorder::Global().WriteChromeTrace(trace_path_);
+    if (!st.ok()) TRAIL_LOG(Error) << "trace write failed: " << st;
+  }
+  if (!manifest_path_.empty() && manifest_path_ != "none") {
+    Status st = manifest_.WriteFile(manifest_path_);
+    if (!st.ok()) TRAIL_LOG(Error) << "manifest write failed: " << st;
+  }
+  if (json_sink_ != nullptr) {
+    RemoveLogSink(json_sink_.get());
+    RemoveLogSink(StderrSinkSingleton());
+    json_sink_->Flush();
+  }
+}
+
+}  // namespace trail::obs

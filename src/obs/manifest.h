@@ -1,0 +1,87 @@
+#ifndef TRAIL_OBS_MANIFEST_H_
+#define TRAIL_OBS_MANIFEST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/log_sinks.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace trail::obs {
+
+/// Compile-time provenance baked in by src/obs/CMakeLists.txt.
+struct BuildInfo {
+  std::string git_describe;
+  std::string build_type;
+  std::string compiler;
+  std::string cxx_flags;
+};
+const BuildInfo& GetBuildInfo();
+
+/// Machine-readable record of one run: tool name + argv, build provenance,
+/// caller-supplied option structs, every metric in the registry, and the
+/// per-phase timings derived from "span.phase.*" histograms. This is the
+/// artifact the longitudinal staleness study and the BENCH_*.json
+/// trajectory compare across months/commits.
+class RunManifest {
+ public:
+  explicit RunManifest(std::string tool) : tool_(std::move(tool)) {}
+
+  void SetArgs(int argc, char** argv);
+  /// Attaches an option struct (e.g. core::OptionsToJson(trail_options)).
+  void AddOption(const std::string& key, JsonValue value);
+  void SetTraceFile(std::string path) { trace_file_ = std::move(path); }
+  void SetExitCode(int code) { exit_code_ = code; }
+
+  /// Schema: {"tool", "args", "build": {...}, "options": {...},
+  ///          "phases": {...seconds...}, "metrics": {...}, "trace_file",
+  ///          "exit_code"}.
+  JsonValue ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string tool_;
+  std::vector<std::string> args_;
+  JsonValue options_ = JsonValue::MakeObject();
+  std::string trace_file_;
+  int exit_code_ = 0;
+};
+
+/// Program-scope observability harness for tools, examples, and benches.
+/// Construction parses the shared flags (both "--flag value" and
+/// "--flag=value" forms; unknown flags are left for the caller):
+///
+///   --log-level LEVEL     debug|info|warning|error
+///   --log-json FILE       add a JSON-lines log sink (stderr stays on)
+///   --trace-out FILE      enable tracing; Chrome trace written at exit
+///   --manifest-out FILE   manifest path ("none" disables; default
+///                         run_manifest.json)
+///
+/// Environment fallbacks: TRAIL_TRACE_OUT, TRAIL_RUN_MANIFEST,
+/// TRAIL_LOG_LEVEL. Destruction writes the trace file and the manifest.
+/// Detailed metrics collection is enabled for the scope's lifetime.
+class RunContext {
+ public:
+  RunContext(std::string tool, int argc, char** argv);
+  ~RunContext();
+
+  RunManifest& manifest() { return manifest_; }
+  const std::string& manifest_path() const { return manifest_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+  void set_exit_code(int code) { manifest_.SetExitCode(code); }
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+ private:
+  RunManifest manifest_;
+  std::string manifest_path_ = "run_manifest.json";
+  std::string trace_path_;
+  std::unique_ptr<JsonLinesFileSink> json_sink_;
+};
+
+}  // namespace trail::obs
+
+#endif  // TRAIL_OBS_MANIFEST_H_

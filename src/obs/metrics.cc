@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+namespace trail::obs {
+
+namespace {
+std::atomic<bool> g_detailed_metrics{false};
+}  // namespace
+
+bool DetailedMetricsEnabled() {
+  return g_detailed_metrics.load(std::memory_order_relaxed);
+}
+
+void SetDetailedMetrics(bool enabled) {
+  g_detailed_metrics.store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::AddToSum(double delta) {
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > kFirstBound)) return 0;  // also catches NaN and negatives
+  int idx = static_cast<int>(std::ceil(std::log2(value / kFirstBound)));
+  if (idx < 1) idx = 1;
+  if (idx >= kNumBuckets) return kNumBuckets - 1;
+  // log2 rounding can land one bucket off right at a boundary; nudge so
+  // bucket i really is (BucketBound(i-1), BucketBound(i)].
+  if (value <= BucketBound(idx - 1)) {
+    --idx;
+  } else if (value > BucketBound(idx) && idx + 1 < kNumBuckets) {
+    ++idx;
+  }
+  return idx;
+}
+
+double Histogram::BucketBound(int i) {
+  return kFirstBound * std::exp2(static_cast<double>(i));
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AddToSum(value);
+}
+
+double Histogram::Quantile(double q) const {
+  const int64_t n = count();
+  if (n <= 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += bucket_count(i);
+    if (static_cast<double>(cumulative) >= target) return BucketBound(i);
+  }
+  return BucketBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+namespace {
+
+/// The lookup key carries the kind so the same name requested as two
+/// different kinds yields two independent metrics instead of a nullptr
+/// from the mismatched entry.
+std::string IndexKey(MetricKind kind, std::string_view name) {
+  std::string key;
+  key.reserve(name.size() + 2);
+  switch (kind) {
+    case MetricKind::kCounter:
+      key += "c:";
+      break;
+    case MetricKind::kGauge:
+      key += "g:";
+      break;
+    case MetricKind::kHistogram:
+      key += "h:";
+      break;
+  }
+  key += name;
+  return key;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = IndexKey(MetricKind::kCounter, name);
+  auto it = index_.find(key);
+  if (it != index_.end()) return entries_[it->second].counter.get();
+  Entry entry;
+  entry.kind = MetricKind::kCounter;
+  entry.counter.reset(new Counter(std::string(name)));
+  Counter* out = entry.counter.get();
+  index_.emplace(std::move(key), entries_.size());
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = IndexKey(MetricKind::kGauge, name);
+  auto it = index_.find(key);
+  if (it != index_.end()) return entries_[it->second].gauge.get();
+  Entry entry;
+  entry.kind = MetricKind::kGauge;
+  entry.gauge.reset(new Gauge(std::string(name)));
+  Gauge* out = entry.gauge.get();
+  index_.emplace(std::move(key), entries_.size());
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = IndexKey(MetricKind::kHistogram, name);
+  auto it = index_.find(key);
+  if (it != index_.end()) return entries_[it->second].histogram.get();
+  Entry entry;
+  entry.kind = MetricKind::kHistogram;
+  entry.histogram.reset(new Histogram(std::string(name)));
+  Histogram* out = entry.histogram.get();
+  index_.emplace(std::move(key), entries_.size());
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    MetricSnapshot snap;
+    snap.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        snap.name = entry.counter->name();
+        snap.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricKind::kGauge:
+        snap.name = entry.gauge->name();
+        snap.value = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        snap.name = entry.histogram->name();
+        snap.value = entry.histogram->sum();
+        snap.count = entry.histogram->count();
+        snap.mean = entry.histogram->mean();
+        snap.p50 = entry.histogram->Quantile(0.5);
+        snap.p99 = entry.histogram->Quantile(0.99);
+        break;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  JsonValue metrics = JsonValue::MakeObject();
+  for (const MetricSnapshot& snap : Snapshot()) {
+    switch (snap.kind) {
+      case MetricKind::kCounter: {
+        JsonValue m = JsonValue::MakeObject();
+        m.Set("type", JsonValue::MakeString("counter"));
+        m.Set("value", JsonValue::MakeNumber(snap.value));
+        metrics.Set(snap.name, std::move(m));
+        break;
+      }
+      case MetricKind::kGauge: {
+        JsonValue m = JsonValue::MakeObject();
+        m.Set("type", JsonValue::MakeString("gauge"));
+        m.Set("value", JsonValue::MakeNumber(snap.value));
+        metrics.Set(snap.name, std::move(m));
+        break;
+      }
+      case MetricKind::kHistogram: {
+        JsonValue m = JsonValue::MakeObject();
+        m.Set("type", JsonValue::MakeString("histogram"));
+        m.Set("count", JsonValue::MakeNumber(static_cast<double>(snap.count)));
+        m.Set("sum", JsonValue::MakeNumber(snap.value));
+        m.Set("mean", JsonValue::MakeNumber(snap.mean));
+        m.Set("p50", JsonValue::MakeNumber(snap.p50));
+        m.Set("p99", JsonValue::MakeNumber(snap.p99));
+        metrics.Set(snap.name, std::move(m));
+        break;
+      }
+    }
+  }
+  return metrics;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& entry : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace trail::obs

@@ -1,0 +1,191 @@
+#ifndef TRAIL_OBS_METRICS_H_
+#define TRAIL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/json.h"
+
+namespace trail::obs {
+
+/// Naming convention (see docs/OBSERVABILITY.md): `subsystem.verb_noun`,
+/// e.g. "osint.reports_fetched", "graph.events_ingested". Span latency
+/// histograms are auto-named "span.<span name>".
+
+/// Monotonically increasing count. Increment is a single relaxed atomic
+/// add — safe and cheap from any thread, including ParallelFor workers.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. "graph.nodes").
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary latency/size histogram. Buckets are geometric: bucket i
+/// holds observations in (kFirstBound * 2^(i-1), kFirstBound * 2^i], with
+/// bucket 0 catching everything <= kFirstBound and the last bucket open
+/// above. With kFirstBound = 1e-9 the 64 buckets cover one nanosecond to
+/// ~18e9 units, which spans both second-denominated span latencies and
+/// count-valued observations (frontier sizes, epoch losses). The hot path
+/// is a log2 + three relaxed atomic adds — no locks.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr double kFirstBound = 1e-9;
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double mean() const {
+    int64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  int64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper boundary of bucket i (inclusive).
+  static double BucketBound(int i);
+  /// Index of the bucket `value` falls into.
+  static int BucketIndex(double value);
+  /// Approximate quantile: the upper bound of the bucket where the
+  /// cumulative count crosses `q * count()`. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  void Reset();
+  void AddToSum(double delta);
+
+  std::string name_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time value of one metric, for manifests and summaries.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;        // counter/gauge value; histogram sum
+  int64_t count = 0;         // histogram observation count
+  double mean = 0.0;         // histogram only
+  double p50 = 0.0, p99 = 0.0;  // histogram only
+};
+
+/// Process-global registry. Lookup takes a mutex; instrumented call sites
+/// amortize it by caching the returned handle in a function-local static
+/// (see TRAIL_METRIC_* below). Handles stay valid for the process lifetime —
+/// ResetForTest zeroes values but never invalidates pointers.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// All metrics in registration order.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// {"name": {...}} object with every metric's current value; embedded in
+  /// run manifests.
+  JsonValue ToJson() const;
+
+  /// Zeroes every registered metric. Handles remain valid.
+  void ResetForTest();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;                       // registration order
+  std::unordered_map<std::string, size_t> index_;  // kind:name -> entries_ idx
+};
+
+/// Detailed (higher-overhead) metrics gate: per-layer frontier sizes and
+/// similar O(n)-extra-work collection. Off by default so microbenchmarks
+/// and library users pay nothing; RunContext turns it on for tools and
+/// examples.
+bool DetailedMetricsEnabled();
+void SetDetailedMetrics(bool enabled);
+
+}  // namespace trail::obs
+
+/// Handle-cached instrumentation macros: the registry lookup happens once
+/// per call site, after which the cost is one relaxed atomic op.
+#define TRAIL_METRIC_INC(name)                                             \
+  do {                                                                     \
+    static ::trail::obs::Counter* _trail_c =                               \
+        ::trail::obs::MetricsRegistry::Global().GetCounter(name);          \
+    _trail_c->Increment();                                                 \
+  } while (false)
+
+#define TRAIL_METRIC_ADD(name, delta)                                      \
+  do {                                                                     \
+    static ::trail::obs::Counter* _trail_c =                               \
+        ::trail::obs::MetricsRegistry::Global().GetCounter(name);          \
+    _trail_c->Increment(static_cast<int64_t>(delta));                      \
+  } while (false)
+
+#define TRAIL_METRIC_SET(name, value)                                      \
+  do {                                                                     \
+    static ::trail::obs::Gauge* _trail_g =                                 \
+        ::trail::obs::MetricsRegistry::Global().GetGauge(name);            \
+    _trail_g->Set(static_cast<double>(value));                             \
+  } while (false)
+
+#define TRAIL_METRIC_OBSERVE(name, value)                                  \
+  do {                                                                     \
+    static ::trail::obs::Histogram* _trail_h =                             \
+        ::trail::obs::MetricsRegistry::Global().GetHistogram(name);        \
+    _trail_h->Observe(static_cast<double>(value));                         \
+  } while (false)
+
+#endif  // TRAIL_OBS_METRICS_H_

@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace trail::obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never freed
+  return *recorder;
+}
+
+int64_t TraceRecorder::NowMicros() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+int TraceRecorder::TidIndexLocked(std::thread::id id) {
+  auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  int tid = static_cast<int>(tids_.size());
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void TraceRecorder::RecordComplete(const char* name, int64_t start_us,
+                                   int64_t dur_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(TraceEvent{name, start_us, dur_us,
+                               TidIndexLocked(std::this_thread::get_id())});
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0);
+}
+
+JsonValue TraceRecorder::ToJson() const {
+  JsonValue trace_events = JsonValue::MakeArray();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TraceEvent& event : events_) {
+      JsonValue e = JsonValue::MakeObject();
+      e.Set("name", JsonValue::MakeString(event.name));
+      e.Set("cat", JsonValue::MakeString("trail"));
+      e.Set("ph", JsonValue::MakeString("X"));
+      e.Set("ts", JsonValue::MakeNumber(static_cast<double>(event.start_us)));
+      e.Set("dur", JsonValue::MakeNumber(static_cast<double>(event.dur_us)));
+      e.Set("pid", JsonValue::MakeNumber(1));
+      e.Set("tid", JsonValue::MakeNumber(event.tid));
+      trace_events.Append(std::move(e));
+    }
+  }
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("traceEvents", std::move(trace_events));
+  doc.Set("displayTimeUnit", JsonValue::MakeString("ms"));
+  return doc;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot write trace file: " + path);
+  file << ToJson().Dump(2) << "\n";
+  if (!file.good()) return Status::IoError("trace write failed: " + path);
+  return Status::Ok();
+}
+
+void PrintPhaseSummary() {
+  constexpr std::string_view kPrefix = "span.phase.";
+  std::string line;
+  double total = 0.0;
+  for (const MetricSnapshot& snap : MetricsRegistry::Global().Snapshot()) {
+    if (snap.kind != MetricKind::kHistogram) continue;
+    if (snap.name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    if (!line.empty()) line += " | ";
+    line += snap.name.substr(kPrefix.size());
+    line += " " + FormatDouble(snap.value, 2) + "s";
+    total += snap.value;
+  }
+  if (line.empty()) return;
+  std::printf("[phases] %s (total %s s)\n", line.c_str(),
+              FormatDouble(total, 2).c_str());
+}
+
+}  // namespace trail::obs

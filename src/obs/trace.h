@@ -1,0 +1,123 @@
+#ifndef TRAIL_OBS_TRACE_H_
+#define TRAIL_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace trail::obs {
+
+/// One completed span, in Chrome trace_event "X" (complete-event) terms.
+struct TraceEvent {
+  const char* name;   // span name; must outlive the recorder (string literal)
+  int64_t start_us;   // microseconds since process trace epoch
+  int64_t dur_us;
+  int tid;            // small dense thread index, not the OS id
+};
+
+/// Process-global timeline recorder. Disabled by default: spans then cost
+/// only their latency-histogram observation. When enabled (--trace-out),
+/// completed spans are buffered and can be written as Chrome trace-event
+/// JSON loadable in chrome://tracing or Perfetto.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void RecordComplete(const char* name, int64_t start_us, int64_t dur_us);
+
+  size_t num_events() const;
+  /// Events dropped after the buffer cap was reached.
+  int64_t num_dropped() const { return dropped_.load(); }
+  void Clear();
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  JsonValue ToJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Microseconds since the process trace epoch (first call).
+  static int64_t NowMicros();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  TraceRecorder() = default;
+  int TidIndexLocked(std::thread::id id);
+
+  static constexpr size_t kMaxEvents = 1 << 20;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, int> tids_;
+};
+
+/// RAII scope timer: on destruction records wall time into `histogram`
+/// (seconds) and, when tracing is enabled, appends a timeline event. Use
+/// via TRAIL_TRACE_SPAN so the histogram handle is cached per call site.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, Histogram* histogram)
+      : name_(name),
+        histogram_(histogram),
+        start_(std::chrono::steady_clock::now()),
+        start_us_(TraceRecorder::Global().enabled() ? TraceRecorder::NowMicros()
+                                                    : -1) {}
+
+  ~TraceSpan() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double seconds =
+        std::chrono::duration<double>(elapsed).count();
+    if (histogram_ != nullptr) histogram_->Observe(seconds);
+    if (start_us_ >= 0) {
+      TraceRecorder::Global().RecordComplete(
+          name_, start_us_,
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+              .count());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+  int64_t start_us_;
+};
+
+/// Prints a one-line summary of every "span.phase.*" histogram, in
+/// registration (i.e. execution) order: `[phases] ingest 1.20s | train 3.4s`.
+void PrintPhaseSummary();
+
+}  // namespace trail::obs
+
+#define TRAIL_OBS_CONCAT_INNER(a, b) a##b
+#define TRAIL_OBS_CONCAT(a, b) TRAIL_OBS_CONCAT_INNER(a, b)
+
+/// Scoped span: records wall time into histogram "span.<name>" and into the
+/// --trace-out timeline. `name` must be a string literal (it is retained by
+/// the recorder unescaped and un-copied).
+#define TRAIL_TRACE_SPAN(name)                                              \
+  static ::trail::obs::Histogram* TRAIL_OBS_CONCAT(_trail_span_hist_,       \
+                                                   __LINE__) =              \
+      ::trail::obs::MetricsRegistry::Global().GetHistogram("span." name);   \
+  ::trail::obs::TraceSpan TRAIL_OBS_CONCAT(_trail_span_, __LINE__)(         \
+      name, TRAIL_OBS_CONCAT(_trail_span_hist_, __LINE__))
+
+#endif  // TRAIL_OBS_TRACE_H_

@@ -1,20 +1,27 @@
 #include "osint/feed_client.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace trail::osint {
 
 std::vector<std::string> FeedClient::FetchReports(int day_lo,
                                                   int day_hi) const {
+  TRAIL_TRACE_SPAN("osint.fetch_reports");
   std::vector<std::string> out;
   for (const PulseReport* report : world_->ReportsBetween(day_lo, day_hi)) {
     out.push_back(report->ToJsonString());
   }
+  TRAIL_METRIC_ADD("osint.reports_fetched", out.size());
   return out;
 }
 
 Result<ioc::IpAnalysis> FeedClient::GetIpAnalysis(
     const std::string& addr) const {
+  TRAIL_METRIC_INC("osint.ip_lookups");
   ioc::IpAnalysis analysis;
   if (!world_->AnalyzeIp(addr, &analysis)) {
+    TRAIL_METRIC_INC("osint.ip_lookup_misses");
     return Status::NotFound("no analysis for IP " + addr);
   }
   return analysis;
@@ -22,8 +29,10 @@ Result<ioc::IpAnalysis> FeedClient::GetIpAnalysis(
 
 Result<ioc::DomainAnalysis> FeedClient::GetDomainAnalysis(
     const std::string& name) const {
+  TRAIL_METRIC_INC("osint.domain_lookups");
   ioc::DomainAnalysis analysis;
   if (!world_->AnalyzeDomain(name, &analysis)) {
+    TRAIL_METRIC_INC("osint.domain_lookup_misses");
     return Status::NotFound("no analysis for domain " + name);
   }
   return analysis;
@@ -31,8 +40,10 @@ Result<ioc::DomainAnalysis> FeedClient::GetDomainAnalysis(
 
 Result<ioc::UrlAnalysis> FeedClient::GetUrlAnalysis(
     const std::string& url) const {
+  TRAIL_METRIC_INC("osint.url_lookups");
   ioc::UrlAnalysis analysis;
   if (!world_->AnalyzeUrl(url, &analysis)) {
+    TRAIL_METRIC_INC("osint.url_lookup_misses");
     return Status::NotFound("no analysis for URL " + url);
   }
   return analysis;

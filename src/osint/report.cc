@@ -1,5 +1,7 @@
 #include "osint/report.h"
 
+#include "obs/metrics.h"
+
 namespace trail::osint {
 
 JsonValue PulseReport::ToJson() const {
@@ -43,8 +45,17 @@ Result<PulseReport> PulseReport::FromJson(const JsonValue& json) {
 
 Result<PulseReport> PulseReport::FromJsonString(const std::string& text) {
   auto parsed = JsonValue::Parse(text);
-  if (!parsed.ok()) return parsed.status();
-  return FromJson(parsed.value());
+  if (!parsed.ok()) {
+    TRAIL_METRIC_INC("osint.report_parse_failures");
+    return parsed.status();
+  }
+  auto report = FromJson(parsed.value());
+  if (report.ok()) {
+    TRAIL_METRIC_INC("osint.reports_parsed");
+  } else {
+    TRAIL_METRIC_INC("osint.report_parse_failures");
+  }
+  return report;
 }
 
 }  // namespace trail::osint

@@ -1,13 +1,80 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
 
 namespace trail {
 
 namespace {
+
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
-const char* LevelName(LogLevel level) {
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();  // never freed
+  return *mu;
+}
+
+std::vector<LogSink*>& Sinks() {
+  static std::vector<LogSink*>* sinks = new std::vector<LogSink*>();
+  return *sinks;
+}
+
+int64_t LogNowMicros() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+const char* Basename(const char* file) {
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  return basename;
+}
+
+/// Formats the default text line and emits it with a single fwrite, so
+/// concurrent messages from worker threads interleave at line granularity
+/// rather than tearing mid-line (stderr is unbuffered).
+void EmitStderrLine(const LogRecord& record) {
+  std::string line;
+  line.reserve(record.message.size() + 32);
+  line += '[';
+  line += LogLevelName(record.level);
+  line += ' ';
+  line += record.file;
+  line += ':';
+  line += std::to_string(record.line);
+  line += "] ";
+  line += record.message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+void Dispatch(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (Sinks().empty()) {
+    EmitStderrLine(record);
+    return;
+  }
+  for (LogSink* sink : Sinks()) sink->Write(record);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -20,41 +87,91 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-void SetLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level));
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
 }
 
-LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load());
+void AddLogSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sinks().push_back(sink);
+}
+
+bool RemoveLogSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  auto& sinks = Sinks();
+  for (auto it = sinks.begin(); it != sinks.end(); ++it) {
+    if (*it == sink) {
+      sinks.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= g_min_level.load()), level_(level) {
-  if (enabled_) {
-    const char* basename = file;
-    for (const char* p = file; *p != '\0'; ++p) {
-      if (*p == '/') basename = p + 1;
-    }
-    stream_ << "[" << LevelName(level_) << " " << basename << ":" << line
-            << "] ";
-  }
-}
+    : enabled_(static_cast<int>(level) >=
+               g_min_level.load(std::memory_order_relaxed)),
+      level_(level),
+      file_(Basename(file)),
+      line_(line) {}
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (!enabled_) return;
+  const std::string message = stream_.str();
+  LogRecord record;
+  record.level = level_;
+  record.file = file_;
+  record.line = line_;
+  record.time_us = LogNowMicros();
+  record.message = message;
+  Dispatch(record);
 }
 
-FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
-  stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
-          << condition << " ";
+FatalMessage::FatalMessage(const char* file, int line, const char* condition)
+    : file_(Basename(file)), line_(line) {
+  stream_ << "Check failed: " << condition << " ";
 }
 
 FatalMessage::~FatalMessage() {
-  std::cerr << stream_.str() << std::endl;
+  const std::string message = stream_.str();
+  // Route through sinks too (a test ring buffer may capture it), but always
+  // hit stderr directly — this is the last thing the process says.
+  LogRecord record;
+  record.level = LogLevel::kError;
+  record.file = file_;
+  record.line = line_;
+  record.time_us = LogNowMicros();
+  record.message = message;
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    for (LogSink* sink : Sinks()) sink->Write(record);
+  }
+  std::string line = "[FATAL ";
+  line += file_;
+  line += ':';
+  line += std::to_string(line_);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
   std::abort();
 }
 

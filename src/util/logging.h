@@ -1,19 +1,54 @@
 #ifndef TRAIL_UTIL_LOGGING_H_
 #define TRAIL_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace trail {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Global minimum level; messages below it are dropped. Benchmarks raise this
-/// to kWarning so tables are not interleaved with progress chatter.
+/// to kWarning so tables are not interleaved with progress chatter. Level
+/// reads/writes are atomic — safe from ParallelFor workers.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warning" / "error" (case-insensitive; "warn"
+/// accepted). Returns false and leaves `out` untouched on unknown names.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+const char* LogLevelName(LogLevel level);
+
+/// One emitted log message, as handed to sinks. `message` is the streamed
+/// payload without the "[LEVEL file:line]" prefix; `file` is the basename.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";
+  int line = 0;
+  int64_t time_us = 0;  // microseconds since the process log epoch
+  std::string_view message;
+};
+
+/// Pluggable destination behind TRAIL_LOG. When no sink is registered the
+/// default stderr text sink applies (one write(2)-equivalent per message,
+/// so concurrent logs never tear mid-line). Implementations live in
+/// src/obs/log_sinks.h; sinks must be thread-safe and are not owned by the
+/// registry.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+/// Registers / removes a sink. While at least one sink is registered the
+/// built-in stderr emission is suppressed (register an obs::StderrTextSink
+/// to keep it alongside others). RemoveLogSink returns false when `sink`
+/// was not registered.
+void AddLogSink(LogSink* sink);
+bool RemoveLogSink(LogSink* sink);
 
 namespace internal {
 
@@ -31,6 +66,8 @@ class LogMessage {
  private:
   bool enabled_;
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 
@@ -46,6 +83,8 @@ class FatalMessage {
   }
 
  private:
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 
@@ -62,7 +101,14 @@ class FatalMessage {
   } else                                                            \
     ::trail::internal::FatalMessage(__FILE__, __LINE__, #cond)
 
+/// Debug-only invariant: full TRAIL_CHECK in debug builds, compiled out in
+/// NDEBUG builds. The short-circuit keeps `cond` type-checked but never
+/// evaluated, so release hot paths pay nothing.
+#ifdef NDEBUG
+#define TRAIL_DCHECK(cond) TRAIL_CHECK(true || (cond))
+#else
 #define TRAIL_DCHECK(cond) TRAIL_CHECK(cond)
+#endif
 
 }  // namespace trail
 

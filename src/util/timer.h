@@ -2,25 +2,64 @@
 #define TRAIL_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace trail {
 
 /// Wall-clock stopwatch for coarse phase timing in benches and examples.
+/// Supports lap accumulation: Stop() banks the elapsed time, Resume()
+/// continues, and the Elapsed* accessors always report the accumulated
+/// total (plus the running lap, when running).
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  /// Clears accumulated time and restarts the stopwatch.
+  void Reset() {
+    accumulated_ = Clock::duration::zero();
+    start_ = Clock::now();
+    running_ = true;
+  }
+
+  /// Banks the current lap; no-op when already stopped.
+  void Stop() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  /// Starts a new lap; no-op when already running.
+  void Resume() {
+    if (running_) return;
+    start_ = Clock::now();
+    running_ = true;
+  }
+
+  bool running() const { return running_; }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Elapsed())
+        .count();
+  }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return std::chrono::duration<double>(Elapsed()).count();
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  Clock::duration Elapsed() const {
+    Clock::duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return total;
+  }
+
   Clock::time_point start_;
+  Clock::duration accumulated_ = Clock::duration::zero();
+  bool running_ = true;
 };
 
 }  // namespace trail

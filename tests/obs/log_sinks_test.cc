@@ -1,0 +1,141 @@
+#include "obs/log_sinks.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace trail::obs {
+namespace {
+
+class LogSinksTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetLogLevel(LogLevel::kInfo); }
+  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+};
+
+TEST_F(LogSinksTest, RingBufferCapturesTrailLog) {
+  RingBufferSink ring;
+  ScopedLogSink scoped(&ring);
+  TRAIL_LOG(Info) << "observable message " << 42;
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_TRUE(ring.Contains("observable message 42"));
+  auto entries = ring.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].level, LogLevel::kInfo);
+  EXPECT_EQ(entries[0].file, "log_sinks_test.cc");
+  EXPECT_GT(entries[0].line, 0);
+}
+
+TEST_F(LogSinksTest, LevelFilteringDropsBelowMinimum) {
+  RingBufferSink ring;
+  ScopedLogSink scoped(&ring);
+  SetLogLevel(LogLevel::kWarning);
+  TRAIL_LOG(Debug) << "dropped debug";
+  TRAIL_LOG(Info) << "dropped info";
+  TRAIL_LOG(Warning) << "kept warning";
+  TRAIL_LOG(Error) << "kept error";
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_FALSE(ring.Contains("dropped"));
+  EXPECT_TRUE(ring.Contains("kept warning"));
+  EXPECT_TRUE(ring.Contains("kept error"));
+}
+
+TEST_F(LogSinksTest, RingBufferEvictsOldestBeyondCapacity) {
+  RingBufferSink ring(/*capacity=*/3);
+  ScopedLogSink scoped(&ring);
+  for (int i = 0; i < 5; ++i) TRAIL_LOG(Info) << "msg-" << i;
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_FALSE(ring.Contains("msg-0"));
+  EXPECT_FALSE(ring.Contains("msg-1"));
+  EXPECT_TRUE(ring.Contains("msg-2"));
+  EXPECT_TRUE(ring.Contains("msg-4"));
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST_F(LogSinksTest, ScopedSinkDeregistersOnExit) {
+  RingBufferSink ring;
+  {
+    ScopedLogSink scoped(&ring);
+    TRAIL_LOG(Info) << "inside scope";
+  }
+  TRAIL_LOG(Info) << "outside scope";
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_TRUE(ring.Contains("inside scope"));
+  EXPECT_FALSE(ring.Contains("outside scope"));
+}
+
+TEST_F(LogSinksTest, MultipleSinksEachReceiveEveryRecord) {
+  RingBufferSink a, b;
+  ScopedLogSink sa(&a), sb(&b);
+  TRAIL_LOG(Info) << "fan-out";
+  EXPECT_TRUE(a.Contains("fan-out"));
+  EXPECT_TRUE(b.Contains("fan-out"));
+}
+
+TEST_F(LogSinksTest, ConcurrentLoggingIsLossless) {
+  RingBufferSink ring(/*capacity=*/100000);
+  ScopedLogSink scoped(&ring);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TRAIL_LOG(Info) << "thread " << t << " msg " << i;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(ring.size(), size_t{kThreads} * kPerThread);
+}
+
+TEST_F(LogSinksTest, JsonLinesFileSinkWritesParseableRecords) {
+  std::string path = ::testing::TempDir() + "trail_log_sink_test.jsonl";
+  std::remove(path.c_str());
+  {
+    JsonLinesFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    ScopedLogSink scoped(&sink);
+    TRAIL_LOG(Info) << "structured \"quoted\" payload";
+    TRAIL_LOG(Warning) << "second line";
+    sink.Flush();
+  }
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  auto first = JsonValue::Parse(lines[0]);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->GetString("level"), "INFO");
+  EXPECT_EQ(first->GetString("msg"), "structured \"quoted\" payload");
+  EXPECT_EQ(first->GetString("file"), "log_sinks_test.cc");
+  EXPECT_GT(first->GetNumber("line"), 0.0);
+  EXPECT_GE(first->GetNumber("ts_us", -1.0), 0.0);
+  auto second = JsonValue::Parse(lines[1]);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->GetString("level"), "WARN");
+  std::remove(path.c_str());
+}
+
+TEST_F(LogSinksTest, JsonLinesFileSinkReportsOpenFailure) {
+  JsonLinesFileSink sink("/nonexistent-dir/definitely/not/here.jsonl");
+  EXPECT_FALSE(sink.ok());
+  // Writing through a failed sink must not crash.
+  ScopedLogSink scoped(&sink);
+  TRAIL_LOG(Info) << "dropped on the floor";
+}
+
+}  // namespace
+}  // namespace trail::obs

@@ -1,0 +1,156 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace trail::obs {
+namespace {
+
+TEST(BuildInfoTest, FieldsArePopulated) {
+  const BuildInfo& info = GetBuildInfo();
+  EXPECT_FALSE(info.git_describe.empty());
+  EXPECT_FALSE(info.build_type.empty());
+  EXPECT_FALSE(info.compiler.empty());
+}
+
+TEST(RunManifestTest, JsonSchema) {
+  MetricsRegistry::Global().ResetForTest();
+  MetricsRegistry::Global().GetCounter("test.manifest_counter")->Increment(3);
+  // Phases are derived from "span.phase.*" histograms.
+  MetricsRegistry::Global().GetHistogram("span.phase.test_ingest")->Observe(1.5);
+
+  RunManifest manifest("unit_test");
+  const char* argv[] = {"unit_test", "--flag", "value"};
+  manifest.SetArgs(3, const_cast<char**>(argv));
+  JsonValue option = JsonValue::MakeObject();
+  option.Set("epochs", JsonValue::MakeNumber(6));
+  manifest.AddOption("trainer", std::move(option));
+  manifest.SetTraceFile("trace.json");
+  manifest.SetExitCode(0);
+
+  JsonValue json = manifest.ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_EQ(json.GetString("tool"), "unit_test");
+
+  const JsonValue* args = json.Get("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_EQ(args->size(), 3u);
+  EXPECT_EQ((*args)[1].AsString(), "--flag");
+
+  const JsonValue* build = json.Get("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(build->GetString("git_describe").empty());
+
+  const JsonValue* options = json.Get("options");
+  ASSERT_NE(options, nullptr);
+  const JsonValue* trainer = options->Get("trainer");
+  ASSERT_NE(trainer, nullptr);
+  EXPECT_DOUBLE_EQ(trainer->GetNumber("epochs"), 6.0);
+
+  const JsonValue* phases = json.Get("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_DOUBLE_EQ(phases->GetNumber("test_ingest"), 1.5);
+
+  const JsonValue* metrics = json.Get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->Get("test.manifest_counter"), nullptr);
+  EXPECT_DOUBLE_EQ(
+      metrics->Get("test.manifest_counter")->GetNumber("value"), 3.0);
+
+  EXPECT_EQ(json.GetString("trace_file"), "trace.json");
+  EXPECT_DOUBLE_EQ(json.GetNumber("exit_code", -1.0), 0.0);
+}
+
+TEST(RunManifestTest, WriteFileRoundTrips) {
+  RunManifest manifest("roundtrip_test");
+  manifest.SetExitCode(7);
+  std::string path = ::testing::TempDir() + "trail_manifest_test.json";
+  Status st = manifest.WriteFile(path);
+  ASSERT_TRUE(st.ok()) << st;
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  auto parsed = JsonValue::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->GetString("tool"), "roundtrip_test");
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("exit_code", -1.0), 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(RunManifestTest, WriteFileToBadPathFails) {
+  RunManifest manifest("bad_path_test");
+  Status st = manifest.WriteFile("/nonexistent-dir/nope/manifest.json");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(RunContextTest, ParsesFlagsAndWritesArtifactsAtExit) {
+  std::string manifest_path =
+      ::testing::TempDir() + "trail_ctx_manifest.json";
+  std::string trace_path = ::testing::TempDir() + "trail_ctx_trace.json";
+  std::remove(manifest_path.c_str());
+  std::remove(trace_path.c_str());
+  {
+    const char* argv[] = {"ctx_test",
+                          "--manifest-out", manifest_path.c_str(),
+                          "--trace-out", trace_path.c_str(),
+                          "--log-level", "error"};
+    RunContext run("ctx_test", 7, const_cast<char**>(argv));
+    EXPECT_EQ(run.manifest_path(), manifest_path);
+    EXPECT_EQ(run.trace_path(), trace_path);
+    EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+    EXPECT_TRUE(DetailedMetricsEnabled());
+    {
+      TRAIL_TRACE_SPAN("phase.ctx_test_phase");
+    }
+    run.set_exit_code(0);
+  }
+  // Destruction restores defaults and writes both artifacts.
+  EXPECT_FALSE(DetailedMetricsEnabled());
+  EXPECT_FALSE(TraceRecorder::Global().enabled());
+
+  std::ifstream mf(manifest_path);
+  ASSERT_TRUE(mf.good()) << "manifest not written";
+  std::stringstream mbuf;
+  mbuf << mf.rdbuf();
+  auto manifest = JsonValue::Parse(mbuf.str());
+  ASSERT_TRUE(manifest.ok()) << manifest.status();
+  EXPECT_EQ(manifest->GetString("tool"), "ctx_test");
+  const JsonValue* phases = manifest->Get("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_NE(phases->Get("ctx_test_phase"), nullptr);
+
+  std::ifstream tf(trace_path);
+  ASSERT_TRUE(tf.good()) << "trace not written";
+  std::stringstream tbuf;
+  tbuf << tf.rdbuf();
+  auto trace = JsonValue::Parse(tbuf.str());
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  ASSERT_NE(trace->Get("traceEvents"), nullptr);
+  EXPECT_GE(trace->Get("traceEvents")->size(), 1u);
+
+  SetLogLevel(LogLevel::kWarning);
+  std::remove(manifest_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(RunContextTest, EqualsFormAndManifestNone) {
+  std::string arg = "--manifest-out=none";
+  {
+    const char* argv[] = {"ctx_test2", arg.c_str(), "--log-level=info"};
+    RunContext run("ctx_test2", 3, const_cast<char**>(argv));
+    EXPECT_EQ(run.manifest_path(), "none");
+    EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+  }
+  SetLogLevel(LogLevel::kWarning);
+}
+
+}  // namespace
+}  // namespace trail::obs

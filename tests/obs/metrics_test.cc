@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace trail::obs {
+namespace {
+
+MetricsRegistry& Reg() { return MetricsRegistry::Global(); }
+
+TEST(CounterTest, IncrementAndHandleStability) {
+  Counter* c = Reg().GetCounter("test.counter_basic");
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42);
+  // Same name, same handle — call sites can cache the pointer.
+  EXPECT_EQ(Reg().GetCounter("test.counter_basic"), c);
+  // ResetForTest zeroes the value but keeps the handle valid.
+  Reg().ResetForTest();
+  EXPECT_EQ(c->value(), 0);
+  c->Increment();
+  EXPECT_EQ(c->value(), 1);
+}
+
+TEST(CounterTest, MultithreadedIncrementsAreLossless) {
+  Counter* c = Reg().GetCounter("test.counter_mt");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      // Exercise the macro path (function-local static handle) from every
+      // thread, not just the raw pointer.
+      for (int i = 0; i < kPerThread; ++i) TRAIL_METRIC_INC("test.counter_mt");
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c->value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge* g = Reg().GetGauge("test.gauge");
+  g->Set(3.5);
+  g->Set(-1.25);
+  EXPECT_DOUBLE_EQ(g->value(), -1.25);
+  TRAIL_METRIC_SET("test.gauge", 7);
+  EXPECT_DOUBLE_EQ(g->value(), 7.0);
+}
+
+TEST(HistogramTest, BucketMath) {
+  // Bucket 0 catches everything at or below the first bound.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-5.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kFirstBound), 0);
+  // Bounds are geometric and indices honor them: a value equal to
+  // BucketBound(i) lands in bucket i, just above it in bucket i+1.
+  for (int i = 0; i < 20; ++i) {
+    double bound = Histogram::BucketBound(i);
+    EXPECT_DOUBLE_EQ(bound, Histogram::kFirstBound * std::pow(2.0, i));
+    EXPECT_EQ(Histogram::BucketIndex(bound), i) << "bound " << bound;
+    EXPECT_EQ(Histogram::BucketIndex(bound * 1.5), i + 1);
+  }
+  // Far beyond the last bound clamps to the final bucket.
+  EXPECT_EQ(Histogram::BucketIndex(1e30), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, CountSumMeanAndBuckets) {
+  Histogram* h = Reg().GetHistogram("test.hist_basic");
+  h->Observe(1.0);
+  h->Observe(2.0);
+  h->Observe(3.0);
+  EXPECT_EQ(h->count(), 3);
+  EXPECT_DOUBLE_EQ(h->sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 2.0);
+  // 1.0, 2.0, and 3.0 land in consecutive geometric buckets (~1.07, ~2.15,
+  // ~4.29 upper bounds), one observation each; every other bucket is empty.
+  EXPECT_EQ(h->bucket_count(Histogram::BucketIndex(1.0)), 1);
+  EXPECT_EQ(h->bucket_count(Histogram::BucketIndex(2.0)), 1);
+  EXPECT_EQ(h->bucket_count(Histogram::BucketIndex(3.0)), 1);
+  int64_t total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) total += h->bucket_count(i);
+  EXPECT_EQ(total, 3);
+}
+
+TEST(HistogramTest, QuantileFromCumulativeCounts) {
+  Histogram* h = Reg().GetHistogram("test.hist_quantile");
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0) << "empty histogram";
+  for (int i = 0; i < 99; ++i) h->Observe(0.001);  // ~1ms
+  h->Observe(10.0);                                // one 10s outlier
+  double p50 = h->Quantile(0.5);
+  double p99 = h->Quantile(0.99);
+  double p999 = h->Quantile(0.999);
+  // Quantiles report bucket upper bounds: p50/p99 stay in the 1ms bucket's
+  // neighborhood, p99.9 jumps to the outlier's bucket.
+  EXPECT_LT(p50, 0.01);
+  EXPECT_LT(p99, 0.01);
+  EXPECT_GE(p999, 10.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+}
+
+TEST(HistogramTest, MultithreadedObserve) {
+  Histogram* h = Reg().GetHistogram("test.hist_mt");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([h] {
+      for (int i = 0; i < kPerThread; ++i) h->Observe(1.0);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h->count(), int64_t{kThreads} * kPerThread);
+  // The CAS-loop sum loses nothing either.
+  EXPECT_DOUBLE_EQ(h->sum(), kThreads * kPerThread * 1.0);
+}
+
+TEST(RegistryTest, KindMismatchReturnsDistinctMetric) {
+  Counter* c = Reg().GetCounter("test.kind_shared");
+  Histogram* h = Reg().GetHistogram("test.kind_shared");
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(h, nullptr);
+  c->Increment();
+  h->Observe(1.0);
+  EXPECT_EQ(c->value(), 1);
+  EXPECT_EQ(h->count(), 1);
+}
+
+TEST(RegistryTest, SnapshotAndToJson) {
+  Reg().ResetForTest();
+  Reg().GetCounter("test.snap_counter")->Increment(5);
+  Reg().GetGauge("test.snap_gauge")->Set(2.5);
+  Reg().GetHistogram("test.snap_hist")->Observe(1.0);
+
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const MetricSnapshot& s : Reg().Snapshot()) {
+    if (s.name == "test.snap_counter") {
+      saw_counter = true;
+      EXPECT_EQ(s.kind, MetricKind::kCounter);
+      EXPECT_DOUBLE_EQ(s.value, 5.0);
+    } else if (s.name == "test.snap_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(s.kind, MetricKind::kGauge);
+      EXPECT_DOUBLE_EQ(s.value, 2.5);
+    } else if (s.name == "test.snap_hist") {
+      saw_hist = true;
+      EXPECT_EQ(s.kind, MetricKind::kHistogram);
+      EXPECT_EQ(s.count, 1);
+      EXPECT_DOUBLE_EQ(s.mean, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+
+  JsonValue json = Reg().ToJson();
+  ASSERT_TRUE(json.is_object());
+  const JsonValue* counter = json.Get("test.snap_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->GetString("type"), "counter");
+  EXPECT_DOUBLE_EQ(counter->GetNumber("value"), 5.0);
+  const JsonValue* hist = json.Get("test.snap_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->GetString("type"), "histogram");
+  EXPECT_DOUBLE_EQ(hist->GetNumber("count"), 1.0);
+  // The JSON round-trips through our own parser.
+  auto parsed = JsonValue::Parse(json.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+}
+
+TEST(DetailedMetricsTest, DefaultOffAndToggles) {
+  // Tests run without a RunContext, so the gate must default to off — the
+  // library hot paths rely on this.
+  EXPECT_FALSE(DetailedMetricsEnabled());
+  SetDetailedMetrics(true);
+  EXPECT_TRUE(DetailedMetricsEnabled());
+  SetDetailedMetrics(false);
+  EXPECT_FALSE(DetailedMetricsEnabled());
+}
+
+}  // namespace
+}  // namespace trail::obs

@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace trail::obs {
+namespace {
+
+void SpinFor(std::chrono::milliseconds d) {
+  auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().SetEnabled(false);
+    TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().SetEnabled(false);
+    TraceRecorder::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, SpanAlwaysFeedsLatencyHistogram) {
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("span.test_span_hist_only");
+  int64_t before = h->count();
+  {
+    TRAIL_TRACE_SPAN("test_span_hist_only");
+    SpinFor(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(h->count(), before + 1);
+  EXPECT_GE(h->sum(), 0.002) << "span shorter than the spin it wrapped";
+  // Recorder stayed disabled: no timeline event was buffered.
+  EXPECT_EQ(TraceRecorder::Global().num_events(), 0u);
+}
+
+TEST_F(TraceTest, EnabledRecorderBuffersCompleteEvents) {
+  TraceRecorder::Global().SetEnabled(true);
+  {
+    TRAIL_TRACE_SPAN("test_span_recorded");
+    SpinFor(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(TraceRecorder::Global().num_events(), 1u);
+  EXPECT_EQ(TraceRecorder::Global().num_dropped(), 0);
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  TraceRecorder::Global().SetEnabled(true);
+  {
+    TRAIL_TRACE_SPAN("test_outer");
+    TRAIL_TRACE_SPAN("test_inner");
+    SpinFor(std::chrono::milliseconds(1));
+  }
+  JsonValue json = TraceRecorder::Global().ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_EQ(json.GetString("displayTimeUnit"), "ms");
+  const JsonValue* events = json.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 2u);
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = (*events)[i];
+    EXPECT_EQ(e.GetString("ph"), "X");
+    EXPECT_EQ(e.GetString("cat"), "trail");
+    EXPECT_GE(e.GetNumber("ts", -1.0), 0.0);
+    EXPECT_GE(e.GetNumber("dur", -1.0), 0.0);
+    EXPECT_NE(e.Get("pid"), nullptr);
+    EXPECT_NE(e.Get("tid"), nullptr);
+  }
+  // Inner span closed first, so it is recorded first; both names present.
+  EXPECT_EQ((*events)[0].GetString("name"), "test_inner");
+  EXPECT_EQ((*events)[1].GetString("name"), "test_outer");
+}
+
+TEST_F(TraceTest, ThreadsGetDenseTidIndices) {
+  TraceRecorder::Global().SetEnabled(true);
+  std::thread worker([] {
+    TRAIL_TRACE_SPAN("test_worker_span");
+    SpinFor(std::chrono::milliseconds(1));
+  });
+  worker.join();
+  {
+    TRAIL_TRACE_SPAN("test_main_span");
+  }
+  JsonValue json = TraceRecorder::Global().ToJson();
+  const JsonValue* events = json.Get("traceEvents");
+  ASSERT_EQ(events->size(), 2u);
+  double tid0 = (*events)[0].GetNumber("tid", -1.0);
+  double tid1 = (*events)[1].GetNumber("tid", -1.0);
+  EXPECT_NE(tid0, tid1);
+  EXPECT_GE(tid0, 0.0);
+  EXPECT_GE(tid1, 0.0);
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTrips) {
+  TraceRecorder::Global().SetEnabled(true);
+  {
+    TRAIL_TRACE_SPAN("test_file_span");
+    SpinFor(std::chrono::milliseconds(1));
+  }
+  std::string path = ::testing::TempDir() + "trail_trace_test.json";
+  Status st = TraceRecorder::Global().WriteChromeTrace(path);
+  ASSERT_TRUE(st.ok()) << st;
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  auto parsed = JsonValue::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* events = parsed->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ClearEmptiesBuffer) {
+  TraceRecorder::Global().SetEnabled(true);
+  {
+    TRAIL_TRACE_SPAN("test_cleared");
+  }
+  EXPECT_EQ(TraceRecorder::Global().num_events(), 1u);
+  TraceRecorder::Global().Clear();
+  EXPECT_EQ(TraceRecorder::Global().num_events(), 0u);
+}
+
+TEST_F(TraceTest, NowMicrosIsMonotonic) {
+  int64_t a = TraceRecorder::NowMicros();
+  SpinFor(std::chrono::milliseconds(1));
+  int64_t b = TraceRecorder::NowMicros();
+  EXPECT_GE(a, 0);
+  EXPECT_GT(b, a);
+}
+
+}  // namespace
+}  // namespace trail::obs

@@ -1,0 +1,77 @@
+#include "util/timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace trail {
+namespace {
+
+void SpinFor(std::chrono::milliseconds d) {
+  auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(TimerTest, StartsRunning) {
+  Timer t;
+  EXPECT_TRUE(t.running());
+  SpinFor(std::chrono::milliseconds(1));
+  EXPECT_GT(t.ElapsedNanos(), 0);
+}
+
+TEST(TimerTest, StopFreezesElapsed) {
+  Timer t;
+  SpinFor(std::chrono::milliseconds(2));
+  t.Stop();
+  EXPECT_FALSE(t.running());
+  int64_t frozen = t.ElapsedNanos();
+  EXPECT_GT(frozen, 0);
+  SpinFor(std::chrono::milliseconds(5));
+  EXPECT_EQ(t.ElapsedNanos(), frozen);
+  // A second Stop is a no-op.
+  t.Stop();
+  EXPECT_EQ(t.ElapsedNanos(), frozen);
+}
+
+TEST(TimerTest, ResumeAccumulatesLaps) {
+  Timer t;
+  SpinFor(std::chrono::milliseconds(2));
+  t.Stop();
+  int64_t lap1 = t.ElapsedNanos();
+  t.Resume();
+  EXPECT_TRUE(t.running());
+  SpinFor(std::chrono::milliseconds(2));
+  t.Stop();
+  int64_t total = t.ElapsedNanos();
+  EXPECT_GT(total, lap1);
+  // The stopped gap between the laps is not counted: the total is the sum
+  // of two ~2ms laps, not the ~9ms wall window.
+  EXPECT_LT(total, lap1 + 8 * 1000 * 1000);
+  // Resume while running is a no-op.
+  t.Resume();
+  t.Resume();
+  EXPECT_TRUE(t.running());
+}
+
+TEST(TimerTest, ResetClearsAccumulation) {
+  Timer t;
+  SpinFor(std::chrono::milliseconds(3));
+  t.Stop();
+  t.Reset();
+  EXPECT_TRUE(t.running());
+  EXPECT_LT(t.ElapsedMillis(), 3.0);
+}
+
+TEST(TimerTest, UnitAccessorsAgree) {
+  Timer t;
+  SpinFor(std::chrono::milliseconds(1));
+  t.Stop();
+  double seconds = t.ElapsedSeconds();
+  EXPECT_NEAR(t.ElapsedMillis(), seconds * 1e3, 1e-9);
+  EXPECT_NEAR(static_cast<double>(t.ElapsedNanos()), seconds * 1e9, 1e3);
+}
+
+}  // namespace
+}  // namespace trail

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Smoke-checks the observability layer end to end: runs the quickstart
+# example with tracing on, then validates the run manifest, the Chrome
+# trace, and a JSON-lines log file with tools/json_verify (which uses the
+# project's own JSON parser).
+#
+# Usage: tools/check_observability.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+if [[ ! -x "$BUILD_DIR/examples/quickstart" || ! -x "$BUILD_DIR/tools/json_verify" ]]; then
+  echo "check_observability: build 'quickstart' and 'json_verify' first" \
+       "(cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+echo "== quickstart with --trace-out / --manifest-out / --log-json =="
+"$BUILD_DIR/examples/quickstart" \
+    --trace-out "$WORK_DIR/trace.json" \
+    --manifest-out "$WORK_DIR/run_manifest.json" \
+    --log-json "$WORK_DIR/log.jsonl" \
+    --log-level info
+
+echo
+echo "== validating artifacts =="
+"$BUILD_DIR/tools/json_verify" manifest "$WORK_DIR/run_manifest.json" \
+    --min-metrics 15 --require-subsystems osint,graph,gnn,core
+"$BUILD_DIR/tools/json_verify" trace "$WORK_DIR/trace.json" --min-events 10
+"$BUILD_DIR/tools/json_verify" jsonl "$WORK_DIR/log.jsonl"
+
+echo
+echo "check_observability: PASS"

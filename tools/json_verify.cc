@@ -1,0 +1,171 @@
+// json_verify — validates the observability artifacts a TRAIL run emits,
+// using the project's own JSON parser (src/util/json.h). Exits nonzero on
+// the first violated expectation, so shell smoke tests can assert on it.
+//
+//   json_verify manifest FILE [--min-metrics N] [--require-subsystems a,b]
+//       FILE parses, has the run-manifest schema (tool/build/phases/metrics/
+//       exit_code), carries at least N distinct metrics, and covers every
+//       named subsystem prefix.
+//   json_verify trace FILE [--min-events N]
+//       FILE parses as Chrome trace-event JSON: a traceEvents array of
+//       complete ("ph":"X") events with name/ts/dur, at least N of them.
+//   json_verify jsonl FILE
+//       Every line of FILE parses as a JSON object (structured log check).
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace {
+
+using trail::JsonValue;
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream file(path);
+  if (!file) return false;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "json_verify: FAIL: %s\n", message.c_str());
+  return 1;
+}
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& fallback) {
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (name == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int VerifyManifest(const std::string& path, int min_metrics,
+                   const std::vector<std::string>& subsystems) {
+  std::string text;
+  if (!ReadFile(path, &text)) return Fail("cannot read " + path);
+  auto parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) return Fail(path + ": " + parsed.status().ToString());
+  const JsonValue& doc = parsed.value();
+
+  if (doc.GetString("tool").empty()) return Fail("missing/empty \"tool\"");
+  const JsonValue* build = doc.Get("build");
+  if (build == nullptr || !build->is_object()) return Fail("missing \"build\"");
+  if (build->GetString("git_describe").empty()) {
+    return Fail("build.git_describe empty");
+  }
+  if (doc.Get("phases") == nullptr || !doc.Get("phases")->is_object()) {
+    return Fail("missing \"phases\" object");
+  }
+  if (doc.Get("exit_code") == nullptr) return Fail("missing \"exit_code\"");
+
+  const JsonValue* metrics = doc.Get("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return Fail("missing \"metrics\" object");
+  }
+  int count = static_cast<int>(metrics->members().size());
+  if (count < min_metrics) {
+    return Fail("only " + std::to_string(count) + " metrics, expected >= " +
+                std::to_string(min_metrics));
+  }
+  std::set<std::string> seen;
+  for (const auto& [name, value] : metrics->members()) {
+    size_t dot = name.find('.');
+    if (dot != std::string::npos) seen.insert(name.substr(0, dot));
+    if (value.GetString("type").empty()) {
+      return Fail("metric " + name + " missing \"type\"");
+    }
+  }
+  for (const std::string& subsystem : subsystems) {
+    if (seen.count(subsystem) == 0) {
+      return Fail("no metrics from subsystem \"" + subsystem + "\"");
+    }
+  }
+  std::printf("json_verify: OK manifest %s (%d metrics, %zu subsystems)\n",
+              path.c_str(), count, seen.size());
+  return 0;
+}
+
+int VerifyTrace(const std::string& path, int min_events) {
+  std::string text;
+  if (!ReadFile(path, &text)) return Fail("cannot read " + path);
+  auto parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) return Fail(path + ": " + parsed.status().ToString());
+  const JsonValue* events = parsed->Get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail("missing \"traceEvents\" array");
+  }
+  if (static_cast<int>(events->size()) < min_events) {
+    return Fail("only " + std::to_string(events->size()) +
+                " trace events, expected >= " + std::to_string(min_events));
+  }
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = (*events)[i];
+    if (e.GetString("ph") != "X") return Fail("event ph != \"X\"");
+    if (e.GetString("name").empty()) return Fail("event missing name");
+    if (e.Get("ts") == nullptr || e.Get("dur") == nullptr) {
+      return Fail("event missing ts/dur");
+    }
+    if (e.GetNumber("dur", -1.0) < 0.0) return Fail("negative event dur");
+  }
+  std::printf("json_verify: OK trace %s (%zu events)\n", path.c_str(),
+              events->size());
+  return 0;
+}
+
+int VerifyJsonl(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Fail("cannot read " + path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    auto parsed = JsonValue::Parse(line);
+    if (!parsed.ok()) {
+      return Fail(path + " line " + std::to_string(lines) + ": " +
+                  parsed.status().ToString());
+    }
+    if (!parsed->is_object()) {
+      return Fail(path + " line " + std::to_string(lines) + ": not an object");
+    }
+  }
+  std::printf("json_verify: OK jsonl %s (%d records)\n", path.c_str(), lines);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: json_verify <manifest|trace|jsonl> FILE [flags]\n");
+    return 2;
+  }
+  std::string mode = argv[1];
+  std::string path = argv[2];
+  if (mode == "manifest") {
+    int min_metrics = std::stoi(GetFlag(argc, argv, "--min-metrics", "0"));
+    std::vector<std::string> subsystems;
+    std::string req = GetFlag(argc, argv, "--require-subsystems", "");
+    if (!req.empty()) subsystems = trail::Split(req, ',');
+    return VerifyManifest(path, min_metrics, subsystems);
+  }
+  if (mode == "trace") {
+    int min_events = std::stoi(GetFlag(argc, argv, "--min-events", "1"));
+    return VerifyTrace(path, min_events);
+  }
+  if (mode == "jsonl") {
+    return VerifyJsonl(path);
+  }
+  std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+  return 2;
+}

@@ -8,6 +8,13 @@
 //                                                   TKG (prints the evidence
 //                                                   report as JSON)
 //
+// Observability flags (any command; see docs/OBSERVABILITY.md):
+//   --log-level LEVEL     debug|info|warning|error (default warning)
+//   --log-json FILE       mirror logs to a JSON-lines file
+//   --trace-out FILE      write a Chrome trace-event timeline at exit
+//   --manifest-out FILE   run-manifest path (default run_manifest.json,
+//                         "none" disables)
+//
 // The feed is the synthetic world (see DESIGN.md); `--seed` selects the
 // universe. In a production deployment `osint::FeedClient` would be backed
 // by a live exchange instead.
@@ -22,6 +29,8 @@
 #include "core/tkg_builder.h"
 #include "core/trail.h"
 #include "graph/serialization.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "osint/feed_client.h"
 #include "osint/world.h"
 #include "util/logging.h"
@@ -188,17 +197,29 @@ int CmdAttribute(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   trail::SetLogLevel(trail::LogLevel::kWarning);
+  // Parses --log-level/--log-json/--trace-out/--manifest-out and writes the
+  // run manifest (and trace, when requested) when it goes out of scope.
+  trail::obs::RunContext run("trail_cli", argc, argv);
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: trail_cli <generate|build|stats|attribute> "
                  "[flags]\n");
+    run.set_exit_code(2);
     return 2;
   }
   std::string command = argv[1];
-  if (command == "generate") return CmdGenerate(argc, argv);
-  if (command == "build") return CmdBuild(argc, argv);
-  if (command == "stats") return CmdStats(argc, argv);
-  if (command == "attribute") return CmdAttribute(argc, argv);
-  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-  return 2;
+  int rc = 2;
+  if (command == "generate") {
+    rc = CmdGenerate(argc, argv);
+  } else if (command == "build") {
+    rc = CmdBuild(argc, argv);
+  } else if (command == "stats") {
+    rc = CmdStats(argc, argv);
+  } else if (command == "attribute") {
+    rc = CmdAttribute(argc, argv);
+  } else {
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  }
+  run.set_exit_code(rc);
+  return rc;
 }
