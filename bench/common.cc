@@ -4,7 +4,9 @@
 #include <cstdlib>
 
 #include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace trail::bench {
 
@@ -55,6 +57,9 @@ osint::WorldConfig BenchWorldConfig() {
 BenchEnv BuildEnv() {
   SetLogLevel(LogLevel::kWarning);
   RegisterManifestAtExit();
+  // pool.* metrics land in the manifest (including its "threads" field), so
+  // a BENCH_*.json trajectory can tell a 1-thread run from an N-thread run.
+  obs::InstallParallelMetricsBridge();
   BenchEnv env;
   env.world = std::make_unique<osint::World>(BenchWorldConfig());
   env.feed = std::make_unique<osint::FeedClient>(env.world.get());
@@ -69,9 +74,11 @@ BenchEnv BuildEnv() {
 void PrintHeader(const std::string& title, const BenchEnv& env) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf(
-      "world: %d APTs, %zu reports ingested, TKG %zu nodes / %zu edges%s\n\n",
+      "world: %d APTs, %zu reports ingested, TKG %zu nodes / %zu edges, "
+      "%d threads%s\n\n",
       env.num_apts(), env.builder->num_events(), env.graph().num_nodes(),
-      env.graph().num_edges(), QuickMode() ? " [QUICK MODE]" : "");
+      env.graph().num_edges(), ParallelWorkers(),
+      QuickMode() ? " [QUICK MODE]" : "");
 }
 
 }  // namespace trail::bench

@@ -6,6 +6,7 @@
 #include "ioc/url.h"
 #include "ioc/vectorizers.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace trail::core {
@@ -34,14 +35,164 @@ Result<NodeId> TkgBuilder::IngestReportJson(const std::string& json) {
 
 Status TkgBuilder::IngestAll(const std::vector<std::string>& report_jsons) {
   TRAIL_TRACE_SPAN("graph.ingest_all");
-  for (const std::string& json : report_jsons) {
-    auto event = IngestReportJson(json);
-    if (!event.ok()) return event.status();
+  const size_t n = report_jsons.size();
+
+  // Phase 1: parse every report in parallel into indexed slots. Ingest
+  // order below stays serial, so node ids, APT ids, and error behavior are
+  // identical to a fully serial run.
+  std::vector<osint::PulseReport> reports(n);
+  std::vector<Status> parse_status(n);
+  ParallelForEachIndex(n, [&](size_t i) {
+    auto report = osint::PulseReport::FromJsonString(report_jsons[i]);
+    if (report.ok()) {
+      reports[i] = std::move(report).value();
+    } else {
+      parse_status[i] = report.status();
+    }
+  }, /*min_chunk=*/8);
+
+  // Reports past the first parse failure are unreachable in the serial
+  // path too, so exclude them from ingest and prefetch alike.
+  size_t limit = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (!parse_status[i].ok()) {
+      limit = i;
+      break;
+    }
   }
+
+  // Phase 2: analyze + vectorize all new hop-1 indicators in parallel; the
+  // serial ingest consumes the caches instead of querying the feed.
+  PrefetchHop1Analyses(reports, limit);
+
+  for (size_t i = 0; i < limit; ++i) {
+    auto event = IngestReport(reports[i]);
+    if (!event.ok()) {
+      ClearAnalysisCaches();
+      return event.status();
+    }
+  }
+  ClearAnalysisCaches();
+  if (limit < n) return parse_status[limit];
   TRAIL_LOG(Info) << "ingested " << report_jsons.size() << " reports; TKG now "
                   << graph_.num_nodes() << " nodes, " << graph_.num_edges()
                   << " edges";
   return Status::Ok();
+}
+
+void TkgBuilder::PrefetchHop1Analyses(
+    const std::vector<osint::PulseReport>& reports, size_t limit) {
+  TRAIL_TRACE_SPAN("graph.prefetch_analyses");
+  // Unique, not-yet-analyzed hop-1 indicators in first-seen order, after
+  // the same normalization IngestReport applies. Nodes analyzed by an
+  // earlier ingest keep their features — the serial path never re-queries
+  // them, so neither does the prefetch.
+  std::vector<std::string> ip_values;
+  std::vector<std::string> domain_values;
+  std::vector<std::string> url_values;
+  std::unordered_set<std::string> seen_ips;
+  std::unordered_set<std::string> seen_domains;
+  std::unordered_set<std::string> seen_urls;
+  for (size_t i = 0; i < limit; ++i) {
+    for (const osint::ReportedIndicator& indicator : reports[i].indicators) {
+      std::string value = ioc::Refang(indicator.value);
+      ioc::IocType type = ioc::ClassifyIoc(value);
+      if (type == ioc::IocType::kUnknown) continue;
+      if (type == ioc::IocType::kDomain) value = ToLower(value);
+      NodeId existing = graph_.FindNode(ioc::ToNodeType(type), value);
+      if (existing != graph::kInvalidNode && analyzed_.count(existing) > 0) {
+        continue;
+      }
+      switch (type) {
+        case ioc::IocType::kIp:
+          if (seen_ips.insert(value).second) {
+            ip_values.push_back(std::move(value));
+          }
+          break;
+        case ioc::IocType::kDomain:
+          if (seen_domains.insert(value).second) {
+            domain_values.push_back(std::move(value));
+          }
+          break;
+        case ioc::IocType::kUrl:
+          if (seen_urls.insert(value).second) {
+            url_values.push_back(std::move(value));
+          }
+          break;
+        case ioc::IocType::kUnknown:
+          break;
+      }
+    }
+  }
+
+  // Feed lookups land in indexed slots (the underlying World is immutable
+  // and the metric counters are atomic, so concurrent lookups are safe).
+  std::vector<CachedIpAnalysis> ips(ip_values.size());
+  ParallelForEachIndex(ip_values.size(), [&](size_t i) {
+    auto analysis = feed_->GetIpAnalysis(ip_values[i]);
+    ips[i].found = analysis.ok();
+    if (analysis.ok()) ips[i].data = std::move(analysis).value();
+  }, /*min_chunk=*/4);
+  std::vector<CachedDomainAnalysis> domains(domain_values.size());
+  ParallelForEachIndex(domain_values.size(), [&](size_t i) {
+    auto analysis = feed_->GetDomainAnalysis(domain_values[i]);
+    domains[i].found = analysis.ok();
+    if (analysis.ok()) domains[i].data = std::move(analysis).value();
+  }, /*min_chunk=*/4);
+  std::vector<CachedUrlAnalysis> urls(url_values.size());
+  ParallelForEachIndex(url_values.size(), [&](size_t i) {
+    auto analysis = feed_->GetUrlAnalysis(url_values[i]);
+    urls[i].found = analysis.ok();
+    if (analysis.ok()) urls[i].data = std::move(analysis).value();
+  }, /*min_chunk=*/4);
+
+  // Vectorize through the batch APIs (parallel inside; a missed lookup
+  // vectorizes its default-constructed analysis, same as AnalyzeNode).
+  {
+    std::vector<const ioc::IpAnalysis*> ptrs(ips.size());
+    for (size_t i = 0; i < ips.size(); ++i) ptrs[i] = &ips[i].data;
+    std::vector<std::vector<float>> features = ioc::VectorizeIpBatch(ptrs);
+    for (size_t i = 0; i < ips.size(); ++i) {
+      ips[i].features = std::move(features[i]);
+    }
+  }
+  {
+    std::vector<std::string_view> views(domain_values.begin(),
+                                        domain_values.end());
+    std::vector<const ioc::DomainAnalysis*> ptrs(domains.size());
+    for (size_t i = 0; i < domains.size(); ++i) ptrs[i] = &domains[i].data;
+    std::vector<std::vector<float>> features =
+        ioc::VectorizeDomainBatch(views, ptrs);
+    for (size_t i = 0; i < domains.size(); ++i) {
+      domains[i].features = std::move(features[i]);
+    }
+  }
+  {
+    std::vector<std::string_view> views(url_values.begin(), url_values.end());
+    std::vector<const ioc::UrlAnalysis*> ptrs(urls.size());
+    for (size_t i = 0; i < urls.size(); ++i) ptrs[i] = &urls[i].data;
+    std::vector<std::vector<float>> features =
+        ioc::VectorizeUrlBatch(views, ptrs);
+    for (size_t i = 0; i < urls.size(); ++i) {
+      urls[i].features = std::move(features[i]);
+    }
+  }
+
+  for (size_t i = 0; i < ip_values.size(); ++i) {
+    ip_cache_.emplace(std::move(ip_values[i]), std::move(ips[i]));
+  }
+  for (size_t i = 0; i < domain_values.size(); ++i) {
+    domain_cache_.emplace(std::move(domain_values[i]), std::move(domains[i]));
+  }
+  for (size_t i = 0; i < url_values.size(); ++i) {
+    url_cache_.emplace(std::move(url_values[i]), std::move(urls[i]));
+  }
+}
+
+void TkgBuilder::ClearAnalysisCaches() {
+  ip_cache_.clear();
+  domain_cache_.clear();
+  url_cache_.clear();
 }
 
 Result<NodeId> TkgBuilder::IngestReport(const osint::PulseReport& report) {
@@ -97,15 +248,26 @@ void TkgBuilder::AnalyzeNode(NodeId node, ioc::IocType type,
   const bool may_spawn = hop < options_.enrichment_hops;
   switch (type) {
     case ioc::IocType::kIp: {
-      auto analysis = feed_->GetIpAnalysis(value);
       ioc::IpAnalysis data;
-      if (analysis.ok()) {
-        data = analysis.value();
+      std::vector<float> features;
+      bool found;
+      auto cached = ip_cache_.find(value);
+      if (cached != ip_cache_.end()) {
+        found = cached->second.found;
+        data = std::move(cached->second.data);
+        features = std::move(cached->second.features);
+        ip_cache_.erase(cached);
       } else {
+        auto analysis = feed_->GetIpAnalysis(value);
+        found = analysis.ok();
+        if (found) data = std::move(analysis).value();
+        features = ioc::VectorizeIp(data);
+      }
+      if (!found) {
         ++num_analysis_misses_;
         TRAIL_METRIC_INC("graph.analysis_misses");
       }
-      graph_.SetFeatures(node, ioc::VectorizeIp(data));
+      graph_.SetFeatures(node, std::move(features));
       graph_.SetTimestamp(node, data.first_seen_days);
       if (data.asn >= 0) {
         // ASNs are lightweight group nodes; they never spawn further IOCs,
@@ -127,15 +289,26 @@ void TkgBuilder::AnalyzeNode(NodeId node, ioc::IocType type,
       break;
     }
     case ioc::IocType::kDomain: {
-      auto analysis = feed_->GetDomainAnalysis(value);
       ioc::DomainAnalysis data;
-      if (analysis.ok()) {
-        data = analysis.value();
+      std::vector<float> features;
+      bool found;
+      auto cached = domain_cache_.find(value);
+      if (cached != domain_cache_.end()) {
+        found = cached->second.found;
+        data = std::move(cached->second.data);
+        features = std::move(cached->second.features);
+        domain_cache_.erase(cached);
       } else {
+        auto analysis = feed_->GetDomainAnalysis(value);
+        found = analysis.ok();
+        if (found) data = std::move(analysis).value();
+        features = ioc::VectorizeDomain(value, data);
+      }
+      if (!found) {
         ++num_analysis_misses_;
         TRAIL_METRIC_INC("graph.analysis_misses");
       }
-      graph_.SetFeatures(node, ioc::VectorizeDomain(value, data));
+      graph_.SetFeatures(node, std::move(features));
       graph_.SetTimestamp(node, data.first_seen_days);
       for (const std::string& addr : data.resolved_ips) {
         NodeId existing = graph_.FindNode(NodeType::kIp, addr);
@@ -148,15 +321,26 @@ void TkgBuilder::AnalyzeNode(NodeId node, ioc::IocType type,
       break;
     }
     case ioc::IocType::kUrl: {
-      auto analysis = feed_->GetUrlAnalysis(value);
       ioc::UrlAnalysis data;
-      if (analysis.ok()) {
-        data = analysis.value();
+      std::vector<float> features;
+      bool found;
+      auto cached = url_cache_.find(value);
+      if (cached != url_cache_.end()) {
+        found = cached->second.found;
+        data = std::move(cached->second.data);
+        features = std::move(cached->second.features);
+        url_cache_.erase(cached);
       } else {
+        auto analysis = feed_->GetUrlAnalysis(value);
+        found = analysis.ok();
+        if (found) data = std::move(analysis).value();
+        features = ioc::VectorizeUrl(value, data);
+      }
+      if (!found) {
         ++num_analysis_misses_;
         TRAIL_METRIC_INC("graph.analysis_misses");
       }
-      graph_.SetFeatures(node, ioc::VectorizeUrl(value, data));
+      graph_.SetFeatures(node, std::move(features));
       // HostedOn is derivable lexically even with no analysis (paper
       // Table I).
       auto parsed = ioc::ParseUrl(value);

@@ -55,6 +55,28 @@ class TkgBuilder {
   size_t num_analysis_misses() const { return num_analysis_misses_; }
 
  private:
+  /// One prefetched analysis: the feed lookup's outcome, its raw data, and
+  /// the feature vector computed from it. AnalyzeNode consumes cache
+  /// entries instead of re-querying the feed, so a batch prefetch can run
+  /// the expensive lookups + vectorization in parallel while ingest itself
+  /// (node interning, edge wiring, label assignment) stays serial and
+  /// order-identical.
+  struct CachedIpAnalysis {
+    bool found = false;
+    ioc::IpAnalysis data;
+    std::vector<float> features;
+  };
+  struct CachedDomainAnalysis {
+    bool found = false;
+    ioc::DomainAnalysis data;
+    std::vector<float> features;
+  };
+  struct CachedUrlAnalysis {
+    bool found = false;
+    ioc::UrlAnalysis data;
+    std::vector<float> features;
+  };
+
   /// Ensures the IOC node exists, runs its analysis once, writes features,
   /// and (when allowed) materializes secondary IOCs. `hop` is the node's
   /// distance from its first event.
@@ -62,12 +84,23 @@ class TkgBuilder {
   void AnalyzeNode(graph::NodeId node, ioc::IocType type,
                    const std::string& value, int hop);
 
+  /// Analyzes + vectorizes every new hop-1 indicator of reports[0, limit)
+  /// in parallel, filling the caches AnalyzeNode consumes. Only touches
+  /// indicators whose node is not already analyzed, so feed lookup counts
+  /// match the serial path.
+  void PrefetchHop1Analyses(const std::vector<osint::PulseReport>& reports,
+                            size_t limit);
+  void ClearAnalysisCaches();
+
   const osint::FeedClient* feed_;
   TkgBuildOptions options_;
   graph::PropertyGraph graph_;
   std::unordered_map<std::string, int> apt_ids_;
   std::vector<std::string> apt_names_;
   std::unordered_set<graph::NodeId> analyzed_;
+  std::unordered_map<std::string, CachedIpAnalysis> ip_cache_;
+  std::unordered_map<std::string, CachedDomainAnalysis> domain_cache_;
+  std::unordered_map<std::string, CachedUrlAnalysis> url_cache_;
   size_t num_events_ = 0;
   size_t num_dropped_ = 0;
   size_t num_analysis_misses_ = 0;

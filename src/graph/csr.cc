@@ -1,6 +1,22 @@
 #include "graph/csr.h"
 
+#include <algorithm>
+
+#include "util/parallel.h"
+
 namespace trail::graph {
+
+namespace {
+
+/// Edge count below which the serial two-pass build wins; the parallel
+/// build allocates O(chunks * nodes) count/cursor scratch.
+constexpr size_t kParallelBuildMinEdges = 65536;
+/// Fixed chunk count for the parallel build. Independent of the worker
+/// count, so the adjacency layout is identical at any thread count (and
+/// identical to the serial edge-order fill).
+constexpr size_t kParallelBuildChunks = 8;
+
+}  // namespace
 
 CsrGraph CsrGraph::Build(const PropertyGraph& graph,
                          const std::vector<uint8_t>* keep) {
@@ -14,24 +30,84 @@ CsrGraph CsrGraph::Build(const PropertyGraph& graph,
     if (csr.kept_[v]) ++csr.num_kept_;
   }
 
+  const auto& edges = graph.edges();
   csr.offsets_.assign(n + 1, 0);
-  for (const Edge& e : graph.edges()) {
-    if (!csr.kept_[e.src] || !csr.kept_[e.dst]) continue;
-    csr.offsets_[e.src + 1]++;
-    csr.offsets_[e.dst + 1]++;
+
+  if (edges.size() < kParallelBuildMinEdges) {
+    for (const Edge& e : edges) {
+      if (!csr.kept_[e.src] || !csr.kept_[e.dst]) continue;
+      csr.offsets_[e.src + 1]++;
+      csr.offsets_[e.dst + 1]++;
+    }
+    for (size_t v = 0; v < n; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
+
+    csr.targets_.resize(csr.offsets_[n]);
+    csr.edge_types_.resize(csr.offsets_[n]);
+    std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+    for (const Edge& e : edges) {
+      if (!csr.kept_[e.src] || !csr.kept_[e.dst]) continue;
+      csr.targets_[cursor[e.src]] = e.dst;
+      csr.edge_types_[cursor[e.src]++] = e.type;
+      csr.targets_[cursor[e.dst]] = e.src;
+      csr.edge_types_[cursor[e.dst]++] = e.type;
+    }
+    return csr;
   }
-  for (size_t v = 0; v < n; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
+
+  // Parallel two-pass build over fixed edge chunks. Chunk k fills node v's
+  // adjacency slots starting at offsets_[v] + sum of v's degree in chunks
+  // before k — exactly the positions the serial edge-order fill produces,
+  // so the result is bit-identical to the serial path.
+  const size_t num_chunks = kParallelBuildChunks;
+  const size_t per_chunk = (edges.size() + num_chunks - 1) / num_chunks;
+
+  std::vector<std::vector<uint32_t>> chunk_counts(num_chunks);
+  ParallelForEachIndex(num_chunks, [&](size_t k) {
+    auto& counts = chunk_counts[k];
+    counts.assign(n, 0);
+    const size_t begin = k * per_chunk;
+    const size_t end = std::min(edges.size(), begin + per_chunk);
+    for (size_t i = begin; i < end; ++i) {
+      const Edge& e = edges[i];
+      if (!csr.kept_[e.src] || !csr.kept_[e.dst]) continue;
+      ++counts[e.src];
+      ++counts[e.dst];
+    }
+  }, /*min_chunk=*/1);
+
+  for (size_t v = 0; v < n; ++v) {
+    uint64_t degree = 0;
+    for (size_t k = 0; k < num_chunks; ++k) degree += chunk_counts[k][v];
+    csr.offsets_[v + 1] = csr.offsets_[v] + degree;
+  }
 
   csr.targets_.resize(csr.offsets_[n]);
   csr.edge_types_.resize(csr.offsets_[n]);
-  std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
-  for (const Edge& e : graph.edges()) {
-    if (!csr.kept_[e.src] || !csr.kept_[e.dst]) continue;
-    csr.targets_[cursor[e.src]] = e.dst;
-    csr.edge_types_[cursor[e.src]++] = e.type;
-    csr.targets_[cursor[e.dst]] = e.src;
-    csr.edge_types_[cursor[e.dst]++] = e.type;
+
+  std::vector<std::vector<uint64_t>> chunk_cursor(
+      num_chunks, std::vector<uint64_t>(n));
+  for (size_t v = 0; v < n; ++v) {
+    uint64_t running = csr.offsets_[v];
+    for (size_t k = 0; k < num_chunks; ++k) {
+      chunk_cursor[k][v] = running;
+      running += chunk_counts[k][v];
+    }
   }
+
+  ParallelForEachIndex(num_chunks, [&](size_t k) {
+    auto& cursor = chunk_cursor[k];
+    const size_t begin = k * per_chunk;
+    const size_t end = std::min(edges.size(), begin + per_chunk);
+    for (size_t i = begin; i < end; ++i) {
+      const Edge& e = edges[i];
+      if (!csr.kept_[e.src] || !csr.kept_[e.dst]) continue;
+      csr.targets_[cursor[e.src]] = e.dst;
+      csr.edge_types_[cursor[e.src]++] = e.type;
+      csr.targets_[cursor[e.dst]] = e.src;
+      csr.edge_types_[cursor[e.dst]++] = e.type;
+    }
+  }, /*min_chunk=*/1);
+
   return csr;
 }
 

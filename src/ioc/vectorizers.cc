@@ -3,6 +3,8 @@
 #include <cctype>
 
 #include "ioc/url.h"
+#include "util/logging.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace trail::ioc {
@@ -113,6 +115,47 @@ std::vector<float> VectorizeDomain(std::string_view domain,
   v[DomainLayout::kPeriodCount] = static_cast<float>(CountChar(domain, '.'));
   v[DomainLayout::kEntropy] = static_cast<float>(ShannonEntropy(domain));
   return v;
+}
+
+namespace {
+
+/// Shared per-IOC batch driver. FeatureSchemas::Get() is forced once up
+/// front so the singleton's lazy construction never races across workers.
+template <typename Fn>
+std::vector<std::vector<float>> VectorizeBatch(size_t n, const Fn& one) {
+  FeatureSchemas::Get();
+  std::vector<std::vector<float>> out(n);
+  ParallelForEachIndex(n, [&](size_t i) { out[i] = one(i); },
+                       /*min_chunk=*/16);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<float>> VectorizeIpBatch(
+    const std::vector<const IpAnalysis*>& analyses) {
+  return VectorizeBatch(analyses.size(),
+                        [&](size_t i) { return VectorizeIp(*analyses[i]); });
+}
+
+std::vector<std::vector<float>> VectorizeUrlBatch(
+    const std::vector<std::string_view>& urls,
+    const std::vector<const UrlAnalysis*>& analyses) {
+  TRAIL_CHECK(urls.size() == analyses.size())
+      << "url/analysis batch size mismatch";
+  return VectorizeBatch(urls.size(), [&](size_t i) {
+    return VectorizeUrl(urls[i], *analyses[i]);
+  });
+}
+
+std::vector<std::vector<float>> VectorizeDomainBatch(
+    const std::vector<std::string_view>& domains,
+    const std::vector<const DomainAnalysis*>& analyses) {
+  TRAIL_CHECK(domains.size() == analyses.size())
+      << "domain/analysis batch size mismatch";
+  return VectorizeBatch(domains.size(), [&](size_t i) {
+    return VectorizeDomain(domains[i], *analyses[i]);
+  });
 }
 
 }  // namespace trail::ioc

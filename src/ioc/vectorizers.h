@@ -23,6 +23,18 @@ std::vector<float> VectorizeUrl(std::string_view url,
 std::vector<float> VectorizeDomain(std::string_view domain,
                                    const DomainAnalysis& analysis);
 
+/// Batch variants: vectorize many IOCs at once, in parallel across the
+/// thread pool. Output order matches input order and each row is
+/// bit-identical to the corresponding single-IOC call at any thread count.
+std::vector<std::vector<float>> VectorizeIpBatch(
+    const std::vector<const IpAnalysis*>& analyses);
+std::vector<std::vector<float>> VectorizeUrlBatch(
+    const std::vector<std::string_view>& urls,
+    const std::vector<const UrlAnalysis*>& analyses);
+std::vector<std::vector<float>> VectorizeDomainBatch(
+    const std::vector<std::string_view>& domains,
+    const std::vector<const DomainAnalysis*>& analyses);
+
 }  // namespace trail::ioc
 
 #endif  // TRAIL_IOC_VECTORIZERS_H_

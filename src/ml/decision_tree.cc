@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace trail::ml {
 
@@ -18,6 +19,21 @@ double Gini(const std::vector<double>& counts, double total) {
   for (double c : counts) sum_sq += c * c;
   return 1.0 - sum_sq / (total * total);
 }
+
+/// Best split found while scanning a single candidate feature. Each
+/// candidate's scan is self-contained (own sort buffer, own histograms), so
+/// candidates can be evaluated in parallel and reduced in candidate order —
+/// the result is bit-identical to the serial scan at any thread count.
+struct CandidateSplit {
+  double gain = 0.0;
+  float threshold = 0.0f;
+  bool valid = false;
+};
+
+/// Samples at a node below which the per-feature scan runs serially; deep,
+/// small nodes would otherwise pay more in task overhead than the scan
+/// costs. The gate only changes scheduling, never results.
+constexpr size_t kParallelSplitMinSamples = 1024;
 
 }  // namespace
 
@@ -85,19 +101,21 @@ int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
   for (size_t i = begin; i < end; ++i) parent_counts[y[(*indices)[i]]] += 1.0;
   const double parent_gini = Gini(parent_counts, static_cast<double>(n));
 
-  int best_feature = -1;
-  float best_threshold = 0.0f;
-  double best_gain = 1e-12;
-
-  std::vector<std::pair<float, int>> sorted(n);
-  for (size_t feature : feature_candidates) {
+  // Scan each candidate feature independently, then reduce in candidate
+  // order with a strict > (first candidate wins ties) so the winner matches
+  // the serial scan exactly regardless of how the scans were scheduled.
+  std::vector<CandidateSplit> candidate_splits(feature_candidates.size());
+  auto scan_candidate = [&](size_t j) {
+    const size_t feature = feature_candidates[j];
+    std::vector<std::pair<float, int>> sorted(n);
     for (size_t i = 0; i < n; ++i) {
       size_t sample = (*indices)[begin + i];
       sorted[i] = {x.At(sample, feature), y[sample]};
     }
     std::sort(sorted.begin(), sorted.end());
-    if (sorted.front().first == sorted.back().first) continue;
+    if (sorted.front().first == sorted.back().first) return;
 
+    CandidateSplit best;
     std::vector<double> left_counts(num_classes_, 0.0);
     std::vector<double> right_counts = parent_counts;
     for (size_t i = 0; i + 1 < n; ++i) {
@@ -115,11 +133,29 @@ int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
            right_n * Gini(right_counts, right_n)) /
           static_cast<double>(n);
       double gain = parent_gini - weighted;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = static_cast<int>(feature);
-        best_threshold = 0.5f * (sorted[i].first + sorted[i + 1].first);
+      if (!best.valid || gain > best.gain) {
+        best.gain = gain;
+        best.threshold = 0.5f * (sorted[i].first + sorted[i + 1].first);
+        best.valid = true;
       }
+    }
+    candidate_splits[j] = best;
+  };
+  if (n >= kParallelSplitMinSamples && feature_candidates.size() > 1) {
+    ParallelForEachIndex(feature_candidates.size(), scan_candidate);
+  } else {
+    for (size_t j = 0; j < feature_candidates.size(); ++j) scan_candidate(j);
+  }
+
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  double best_gain = 1e-12;
+  for (size_t j = 0; j < feature_candidates.size(); ++j) {
+    const CandidateSplit& split = candidate_splits[j];
+    if (split.valid && split.gain > best_gain) {
+      best_gain = split.gain;
+      best_feature = static_cast<int>(feature_candidates[j]);
+      best_threshold = split.threshold;
     }
   }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace trail::ml {
 
@@ -33,9 +34,13 @@ class BinIndex {
         std::min<size_t>(n, 2000);
     std::vector<size_t> sample_rows =
         rng->SampleWithoutReplacement(n, quantile_sample);
-    std::vector<float> values;
-    for (size_t f = 0; f < d; ++f) {
-      values.clear();
+    cols_ = d;
+    // Each feature's edges and bin column are independent of the others, so
+    // features bin in parallel (writes to edges_[f] and the f-strided
+    // column of bins_ are disjoint).
+    ParallelForEachIndex(d, [&](size_t f) {
+      std::vector<float> values;
+      values.reserve(sample_rows.size());
       for (size_t r : sample_rows) values.push_back(x.At(r, f));
       std::sort(values.begin(), values.end());
       values.erase(std::unique(values.begin(), values.end()), values.end());
@@ -56,8 +61,7 @@ class BinIndex {
       for (size_t r = 0; r < n; ++r) {
         bins_[r * d + f] = BinOf(f, x.At(r, f));
       }
-    }
-    cols_ = d;
+    });
   }
 
   uint8_t Bin(size_t row, size_t feature) const {
@@ -88,6 +92,21 @@ struct GradHess {
   double g = 0.0;
   double h = 0.0;
 };
+
+/// Best split found while scanning a single candidate feature's histogram.
+/// Each feature's scan is self-contained (own histogram), so features can be
+/// scanned in parallel and reduced in feature order — bit-identical to the
+/// serial scan at any thread count.
+struct FeatureSplit {
+  double gain = 0.0;
+  int bin = -1;
+  bool valid = false;
+};
+
+/// Node size below which the per-feature histogram scan runs serially; small
+/// nodes would pay more in task overhead than the scan costs. Changes
+/// scheduling only, never results.
+constexpr size_t kParallelHistMinSamples = 1024;
 
 class TreeBuilder {
  public:
@@ -142,21 +161,25 @@ class TreeBuilder {
 
     const double parent_obj =
         LeafObjective(total_g, total_h, options_.reg_lambda);
-    int best_feature = -1;
-    int best_bin = -1;
-    double best_gain = options_.gamma + 1e-12;
 
-    std::vector<GradHess> hist;
-    for (size_t feature : features_) {
+    // Scan every candidate feature's histogram independently, then reduce
+    // the per-feature winners in feature order with a strict > (first
+    // feature wins ties, first bin wins within a feature) — exactly the
+    // order the old serial loop visited them, so the chosen (feature, bin)
+    // is identical at any thread count.
+    std::vector<FeatureSplit> feature_splits(features_.size());
+    auto scan_feature = [&](size_t j) {
+      const size_t feature = features_[j];
       const int nbins = bins_.NumBins(feature);
-      if (nbins <= 1) continue;
-      hist.assign(nbins, GradHess{});
+      if (nbins <= 1) return;
+      std::vector<GradHess> hist(nbins);
       for (size_t i = begin; i < end; ++i) {
         size_t r = (*rows)[i];
         auto& cell = hist[bins_.Bin(r, feature)];
         cell.g += grad_[r];
         cell.h += hess_[r];
       }
+      FeatureSplit best;
       double left_g = 0.0;
       double left_h = 0.0;
       for (int b = 0; b + 1 < nbins; ++b) {
@@ -172,11 +195,29 @@ class TreeBuilder {
             0.5 * (LeafObjective(left_g, left_h, options_.reg_lambda) +
                    LeafObjective(right_g, right_h, options_.reg_lambda) -
                    parent_obj);
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_feature = static_cast<int>(feature);
-          best_bin = b;
+        if (!best.valid || gain > best.gain) {
+          best.gain = gain;
+          best.bin = b;
+          best.valid = true;
         }
+      }
+      feature_splits[j] = best;
+    };
+    if (n >= kParallelHistMinSamples && features_.size() > 1) {
+      ParallelForEachIndex(features_.size(), scan_feature);
+    } else {
+      for (size_t j = 0; j < features_.size(); ++j) scan_feature(j);
+    }
+
+    int best_feature = -1;
+    int best_bin = -1;
+    double best_gain = options_.gamma + 1e-12;
+    for (size_t j = 0; j < features_.size(); ++j) {
+      const FeatureSplit& split = feature_splits[j];
+      if (split.valid && split.gain > best_gain) {
+        best_gain = split.gain;
+        best_feature = static_cast<int>(features_[j]);
+        best_bin = split.bin;
       }
     }
 
@@ -252,31 +293,35 @@ void GbtClassifier::Fit(const Dataset& train, const GbtOptions& options,
     // Softmax probabilities per subsampled row are shared across the K
     // per-class trees of this round.
     std::vector<float> round_probs(rows.size() * num_classes_);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const size_t r = rows[i];
-      float max_m = margins[r * num_classes_];
-      for (int c = 1; c < num_classes_; ++c) {
-        max_m = std::max(max_m, margins[r * num_classes_ + c]);
+    ParallelFor(rows.size(), [&](size_t chunk_begin, size_t chunk_end) {
+      for (size_t i = chunk_begin; i < chunk_end; ++i) {
+        const size_t r = rows[i];
+        float max_m = margins[r * num_classes_];
+        for (int c = 1; c < num_classes_; ++c) {
+          max_m = std::max(max_m, margins[r * num_classes_ + c]);
+        }
+        double total = 0.0;
+        for (int c = 0; c < num_classes_; ++c) {
+          float e = std::exp(margins[r * num_classes_ + c] - max_m);
+          round_probs[i * num_classes_ + c] = e;
+          total += e;
+        }
+        const float inv = static_cast<float>(1.0 / total);
+        for (int c = 0; c < num_classes_; ++c) {
+          round_probs[i * num_classes_ + c] *= inv;
+        }
       }
-      double total = 0.0;
-      for (int c = 0; c < num_classes_; ++c) {
-        float e = std::exp(margins[r * num_classes_ + c] - max_m);
-        round_probs[i * num_classes_ + c] = e;
-        total += e;
-      }
-      const float inv = static_cast<float>(1.0 / total);
-      for (int c = 0; c < num_classes_; ++c) {
-        round_probs[i * num_classes_ + c] *= inv;
-      }
-    }
+    }, /*min_chunk=*/256);
 
     for (int cls = 0; cls < num_classes_; ++cls) {
-      for (size_t i = 0; i < rows.size(); ++i) {
-        const size_t r = rows[i];
-        const float p = round_probs[i * num_classes_ + cls];
-        grad[r] = p - (train.y[r] == cls ? 1.0f : 0.0f);
-        hess[r] = std::max(p * (1.0f - p), 1e-6f);
-      }
+      ParallelFor(rows.size(), [&](size_t chunk_begin, size_t chunk_end) {
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          const size_t r = rows[i];
+          const float p = round_probs[i * num_classes_ + cls];
+          grad[r] = p - (train.y[r] == cls ? 1.0f : 0.0f);
+          hess[r] = std::max(p * (1.0f - p), 1e-6f);
+        }
+      }, /*min_chunk=*/1024);
       // Column subsample per (round, class) tree.
       std::vector<size_t> features;
       if (options.colsample_bytree <= 0.0 || options.colsample_bytree >= 1.0) {
@@ -298,9 +343,11 @@ void GbtClassifier::Fit(const Dataset& train, const GbtOptions& options,
           node.leaf_value *= static_cast<float>(options.learning_rate);
         }
       }
-      for (size_t r = 0; r < n; ++r) {
-        margins[r * num_classes_ + cls] += tree.Predict(train.x.Row(r));
-      }
+      ParallelFor(n, [&](size_t chunk_begin, size_t chunk_end) {
+        for (size_t r = chunk_begin; r < chunk_end; ++r) {
+          margins[r * num_classes_ + cls] += tree.Predict(train.x.Row(r));
+        }
+      }, /*min_chunk=*/256);
       round_trees.push_back(std::move(tree));
     }
   }
@@ -338,16 +385,20 @@ int GbtClassifier::Predict(std::span<const float> row) const {
 
 std::vector<int> GbtClassifier::PredictBatch(const Matrix& x) const {
   std::vector<int> out(x.rows());
-  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.Row(r));
+  ParallelFor(x.rows(), [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) out[r] = Predict(x.Row(r));
+  }, /*min_chunk=*/32);
   return out;
 }
 
 Matrix GbtClassifier::PredictProbaBatch(const Matrix& x) const {
   Matrix out(x.rows(), num_classes_);
-  for (size_t r = 0; r < x.rows(); ++r) {
-    std::vector<float> probs = PredictProba(x.Row(r));
-    std::copy(probs.begin(), probs.end(), out.Row(r).begin());
-  }
+  ParallelFor(x.rows(), [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      std::vector<float> probs = PredictProba(x.Row(r));
+      std::copy(probs.begin(), probs.end(), out.Row(r).begin());
+    }
+  }, /*min_chunk=*/32);
   return out;
 }
 

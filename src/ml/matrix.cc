@@ -48,14 +48,31 @@ Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
 }
 
 float Matrix::Sum() const {
-  double total = 0.0;
-  for (float v : data_) total += v;
+  // Fixed-chunk-order combine: the chunking depends only on the element
+  // count, so the float result is identical at any thread count (and to
+  // the serial loop whenever a single chunk suffices).
+  double total = ParallelReduce<double>(
+      data_.size(), 0.0,
+      [&](size_t begin, size_t end) {
+        double partial = 0.0;
+        for (size_t i = begin; i < end; ++i) partial += data_[i];
+        return partial;
+      },
+      [](double a, double b) { return a + b; }, /*min_chunk=*/4096);
   return static_cast<float>(total);
 }
 
 float Matrix::Norm() const {
-  double total = 0.0;
-  for (float v : data_) total += static_cast<double>(v) * v;
+  double total = ParallelReduce<double>(
+      data_.size(), 0.0,
+      [&](size_t begin, size_t end) {
+        double partial = 0.0;
+        for (size_t i = begin; i < end; ++i) {
+          partial += static_cast<double>(data_[i]) * data_[i];
+        }
+        return partial;
+      },
+      [](double a, double b) { return a + b; }, /*min_chunk=*/4096);
   return static_cast<float>(std::sqrt(total));
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace trail::ml {
 
@@ -13,11 +14,23 @@ void RandomForest::Fit(const Dataset& train, const RandomForestOptions& options,
   trees_.assign(options.num_trees, DecisionTree());
   const size_t sample_count = std::max<size_t>(
       1, static_cast<size_t>(train.size() * options.sample_fraction));
-  for (auto& tree : trees_) {
+
+  // One RNG stream per tree, forked in tree order from the caller's
+  // generator. Keying the stream by tree index (never by thread id) is what
+  // makes the fit bit-identical at any worker count.
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(trees_.size());
+  for (size_t t = 0; t < trees_.size(); ++t) tree_rngs.push_back(rng->Fork());
+
+  ParallelForEachIndex(trees_.size(), [&](size_t t) {
+    Rng& tree_rng = tree_rngs[t];
     std::vector<size_t> bootstrap(sample_count);
-    for (size_t& index : bootstrap) index = rng->NextBounded(train.size());
-    tree.Fit(train.x, train.y, num_classes_, bootstrap, options.tree, rng);
-  }
+    for (size_t& index : bootstrap) {
+      index = tree_rng.NextBounded(train.size());
+    }
+    trees_[t].Fit(train.x, train.y, num_classes_, bootstrap, options.tree,
+                  &tree_rng);
+  });
 }
 
 std::vector<float> RandomForest::PredictProba(
@@ -40,17 +53,21 @@ int RandomForest::Predict(std::span<const float> row) const {
 
 std::vector<int> RandomForest::PredictBatch(const Matrix& x) const {
   std::vector<int> out(x.rows());
-  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.Row(r));
+  ParallelFor(x.rows(), [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) out[r] = Predict(x.Row(r));
+  }, /*min_chunk=*/32);
   return out;
 }
 
 Matrix RandomForest::PredictProbaBatch(const Matrix& x) const {
   Matrix out(x.rows(), num_classes_);
-  for (size_t r = 0; r < x.rows(); ++r) {
-    std::vector<float> probs = PredictProba(x.Row(r));
-    auto dst = out.Row(r);
-    std::copy(probs.begin(), probs.end(), dst.begin());
-  }
+  ParallelFor(x.rows(), [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      std::vector<float> probs = PredictProba(x.Row(r));
+      auto dst = out.Row(r);
+      std::copy(probs.begin(), probs.end(), dst.begin());
+    }
+  }, /*min_chunk=*/32);
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/parallel.h"
+
 namespace trail::ml {
 
 namespace {
@@ -59,20 +61,40 @@ Dataset SmoteOversample(const Dataset& data, const SmoteOptions& options,
       pool.resize(options.max_neighbors_pool);
     }
     size_t needed = target - members.size();
-    for (size_t s = 0; s < needed; ++s) {
-      size_t base = members[rng->NextBounded(members.size())];
+
+    // One RNG stream per synthetic sample, forked in sample order. Keying
+    // the stream by sample index (never by thread id) is what keeps the
+    // oversample bit-identical at any worker count; the dominant cost per
+    // sample is the brute-force KNearest scan.
+    std::vector<Rng> sample_rngs;
+    sample_rngs.reserve(needed);
+    for (size_t s = 0; s < needed; ++s) sample_rngs.push_back(rng->Fork());
+
+    std::vector<std::vector<float>> cls_rows(needed);
+    std::vector<char> cls_valid(needed, 0);
+    ParallelForEachIndex(needed, [&](size_t s) {
+      Rng& sample_rng = sample_rngs[s];
+      size_t base = members[sample_rng.NextBounded(members.size())];
       std::vector<size_t> neighbors =
           KNearest(data.x, base, pool, options.k_neighbors);
-      if (neighbors.empty()) break;
-      size_t nb = neighbors[rng->NextBounded(neighbors.size())];
-      float gap = static_cast<float>(rng->UniformDouble());
+      if (neighbors.empty()) return;
+      size_t nb = neighbors[sample_rng.NextBounded(neighbors.size())];
+      float gap = static_cast<float>(sample_rng.UniformDouble());
       auto brow = data.x.Row(base);
       auto nrow = data.x.Row(nb);
       std::vector<float> row(brow.size());
       for (size_t c = 0; c < brow.size(); ++c) {
         row[c] = brow[c] + gap * (nrow[c] - brow[c]);
       }
-      synthetic_rows.push_back(std::move(row));
+      cls_rows[s] = std::move(row);
+      cls_valid[s] = 1;
+    }, /*min_chunk=*/8);
+
+    // Append in sample order so the output layout never depends on
+    // scheduling.
+    for (size_t s = 0; s < needed; ++s) {
+      if (!cls_valid[s]) continue;
+      synthetic_rows.push_back(std::move(cls_rows[s]));
       synthetic_labels.push_back(cls);
     }
   }

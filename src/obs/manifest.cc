@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 #ifndef TRAIL_GIT_DESCRIBE
 #define TRAIL_GIT_DESCRIBE "unknown"
@@ -55,6 +56,9 @@ JsonValue RunManifest::ToJson() const {
   doc.Set("build", std::move(build));
 
   doc.Set("options", options_);
+  // Worker-thread count of the parallel runtime, so BENCH_*.json
+  // trajectories can tell a 1-thread run from an N-thread run.
+  doc.Set("threads", JsonValue::MakeNumber(ParallelWorkers()));
 
   // Phase wall times, derived from the span histograms the phases recorded.
   constexpr std::string_view kPhasePrefix = "span.phase.";
@@ -119,6 +123,19 @@ RunContext::RunContext(std::string tool, int argc, char** argv)
     : manifest_(std::move(tool)) {
   manifest_.SetArgs(argc, argv);
   SetDetailedMetrics(true);
+  InstallParallelMetricsBridge();
+
+  std::string threads = FlagValue(argc, argv, "--threads");
+  if (!threads.empty()) {
+    const int n = std::atoi(threads.c_str());
+    if (n > 0) {
+      SetParallelWorkers(n);
+      TRAIL_METRIC_SET("pool.workers", ParallelWorkers());
+    } else {
+      TRAIL_LOG(Warning) << "ignoring non-positive --threads '" << threads
+                         << "'";
+    }
+  }
 
   std::string level_name =
       FlagOrEnv(argc, argv, "--log-level", "TRAIL_LOG_LEVEL");
@@ -154,6 +171,8 @@ RunContext::RunContext(std::string tool, int argc, char** argv)
   std::string manifest_flag =
       FlagOrEnv(argc, argv, "--manifest-out", "TRAIL_RUN_MANIFEST");
   if (!manifest_flag.empty()) manifest_path_ = manifest_flag;
+
+  metrics_path_ = FlagOrEnv(argc, argv, "--metrics-out", "TRAIL_METRICS_OUT");
 }
 
 RunContext::~RunContext() {
@@ -166,6 +185,15 @@ RunContext::~RunContext() {
   if (!manifest_path_.empty() && manifest_path_ != "none") {
     Status st = manifest_.WriteFile(manifest_path_);
     if (!st.ok()) TRAIL_LOG(Error) << "manifest write failed: " << st;
+  }
+  if (!metrics_path_.empty()) {
+    std::ofstream file(metrics_path_);
+    if (file) {
+      file << MetricsRegistry::Global().ToPrometheusText();
+    }
+    if (!file.good()) {
+      TRAIL_LOG(Error) << "metrics write failed: " << metrics_path_;
+    }
   }
   if (json_sink_ != nullptr) {
     RemoveLogSink(json_sink_.get());

@@ -58,10 +58,16 @@ class RunManifest {
 ///   --trace-out FILE      enable tracing; Chrome trace written at exit
 ///   --manifest-out FILE   manifest path ("none" disables; default
 ///                         run_manifest.json)
+///   --threads N           worker threads for the parallel runtime
+///                         (overrides TRAIL_THREADS; see docs/PARALLELISM.md)
+///   --metrics-out FILE    write the metrics registry in Prometheus text
+///                         format at exit
 ///
 /// Environment fallbacks: TRAIL_TRACE_OUT, TRAIL_RUN_MANIFEST,
-/// TRAIL_LOG_LEVEL. Destruction writes the trace file and the manifest.
-/// Detailed metrics collection is enabled for the scope's lifetime.
+/// TRAIL_LOG_LEVEL, TRAIL_THREADS, TRAIL_METRICS_OUT. Destruction writes
+/// the trace file, the manifest, and the Prometheus dump. Detailed metrics
+/// collection (and the pool.* metrics bridge) is enabled for the scope's
+/// lifetime.
 class RunContext {
  public:
   RunContext(std::string tool, int argc, char** argv);
@@ -70,6 +76,7 @@ class RunContext {
   RunManifest& manifest() { return manifest_; }
   const std::string& manifest_path() const { return manifest_path_; }
   const std::string& trace_path() const { return trace_path_; }
+  const std::string& metrics_path() const { return metrics_path_; }
   void set_exit_code(int code) { manifest_.SetExitCode(code); }
 
   RunContext(const RunContext&) = delete;
@@ -79,6 +86,7 @@ class RunContext {
   RunManifest manifest_;
   std::string manifest_path_ = "run_manifest.json";
   std::string trace_path_;
+  std::string metrics_path_;
   std::unique_ptr<JsonLinesFileSink> json_sink_;
 };
 

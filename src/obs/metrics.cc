@@ -1,6 +1,9 @@
 #include "obs/metrics.h"
 
 #include <cmath>
+#include <cstdio>
+
+#include "util/parallel.h"
 
 namespace trail::obs {
 
@@ -204,6 +207,113 @@ JsonValue MetricsRegistry::ToJson() const {
     }
   }
   return metrics;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the dots
+/// of the registry convention, quotes, spaces) collapses to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "trail_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// HELP text escaping per the exposition format: backslash and newline.
+std::string PrometheusHelpEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendHeader(std::string* out, const std::string& pname,
+                  const std::string& raw_name, const char* type) {
+  *out += "# HELP " + pname + " " + PrometheusHelpEscape(raw_name) + "\n";
+  *out += "# TYPE " + pname + " ";
+  *out += type;
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const Entry& entry : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter: {
+        const std::string pname =
+            PrometheusName(entry.counter->name()) + "_total";
+        AppendHeader(&out, pname, entry.counter->name(), "counter");
+        out += pname + " " + std::to_string(entry.counter->value()) + "\n";
+        break;
+      }
+      case MetricKind::kGauge: {
+        const std::string pname = PrometheusName(entry.gauge->name());
+        AppendHeader(&out, pname, entry.gauge->name(), "gauge");
+        out += pname + " " + PrometheusNumber(entry.gauge->value()) + "\n";
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        const std::string pname = PrometheusName(h.name());
+        AppendHeader(&out, pname, h.name(), "histogram");
+        int64_t cumulative = 0;
+        // Skip the all-zero tail: emit up to the last non-empty bucket so
+        // 64-bucket geometric histograms stay readable, then +Inf.
+        int last_used = -1;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          if (h.bucket_count(i) > 0) last_used = i;
+        }
+        for (int i = 0; i <= last_used; ++i) {
+          cumulative += h.bucket_count(i);
+          out += pname + "_bucket{le=\"" +
+                 PrometheusNumber(Histogram::BucketBound(i)) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) +
+               "\n";
+        out += pname + "_sum " + PrometheusNumber(h.sum()) + "\n";
+        out += pname + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void PublishParallelForEvent(const ParallelForEvent& event) {
+  TRAIL_METRIC_ADD("pool.tasks", event.chunks);
+  TRAIL_METRIC_SET("pool.queue_depth", event.queue_depth);
+  TRAIL_METRIC_OBSERVE("span.parallel_for", event.seconds);
+}
+
+}  // namespace
+
+void InstallParallelMetricsBridge() {
+  SetParallelForObserver(&PublishParallelForEvent);
+  TRAIL_METRIC_SET("pool.workers", ParallelWorkers());
 }
 
 void MetricsRegistry::ResetForTest() {

@@ -128,6 +128,15 @@ class MetricsRegistry {
   /// run manifests.
   JsonValue ToJson() const;
 
+  /// Prometheus text exposition format (0.0.4) of every registered metric,
+  /// for `--metrics-out` scraping of long-running deployments. Dotted names
+  /// are sanitized to `trail_<name with '.' -> '_'>`; counters gain the
+  /// conventional `_total` suffix; histograms emit cumulative `_bucket`
+  /// series (with an `le="+Inf"` catch-all) plus `_sum` and `_count`. The
+  /// original dotted name travels in the `# HELP` line, escaped per the
+  /// exposition spec (backslash and newline).
+  std::string ToPrometheusText() const;
+
   /// Zeroes every registered metric. Handles remain valid.
   void ResetForTest();
 
@@ -155,6 +164,15 @@ class MetricsRegistry {
 /// examples.
 bool DetailedMetricsEnabled();
 void SetDetailedMetrics(bool enabled);
+
+/// Wires the thread-pool runtime into the registry: every top-level
+/// ParallelFor reports `pool.tasks` (chunks executed), the
+/// `pool.queue_depth` gauge, and a `span.parallel_for` latency histogram,
+/// and `pool.workers` records the resolved worker count. util cannot link
+/// obs (obs depends on util), so the pool exposes an observer hook and this
+/// function installs the registry-publishing side. Idempotent; called by
+/// RunContext and the bench harness.
+void InstallParallelMetricsBridge();
 
 }  // namespace trail::obs
 

@@ -1,39 +1,181 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace trail {
 
-int ParallelWorkers() {
-  static const int workers = []() {
-    unsigned hw = std::thread::hardware_concurrency();
-    if (hw == 0) hw = 4;
-    return static_cast<int>(std::min(hw, 16u));
-  }();
-  return workers;
+namespace {
+
+/// Upper bound on chunks per call. Fixed (not worker-derived) so chunk
+/// boundaries never depend on the thread count; large enough that up to 256
+/// workers still all get work, small enough that queue traffic stays cheap.
+constexpr size_t kMaxChunks = 256;
+
+std::atomic<int> g_requested_workers{0};  // 0 = auto-detect
+std::atomic<ParallelForObserver> g_observer{nullptr};
+
+/// Shared state of one ParallelFor call. Chunks are claimed via an atomic
+/// cursor: assignment of chunk -> thread varies run to run, but the chunk
+/// boundaries (and therefore everything the callback can observe) do not.
+struct ParallelForState {
+  ParallelForState(const std::function<void(size_t, size_t)>& body, size_t n,
+                   ParallelChunking split)
+      : fn(body), n(n), per_chunk(split.per_chunk), chunks(split.chunks) {}
+
+  const std::function<void(size_t, size_t)>& fn;
+  const size_t n;
+  const size_t per_chunk;
+  const size_t chunks;
+  std::atomic<size_t> next_chunk{1};  // chunk 0 is reserved for the caller
+  std::atomic<size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void RunChunk(size_t c) {
+    if (!failed.load(std::memory_order_relaxed)) {
+      try {
+        const size_t begin = c * per_chunk;
+        const size_t end = std::min(n, begin + per_chunk);
+        fn(begin, end);
+      } catch (...) {
+        if (!failed.exchange(true, std::memory_order_acq_rel)) {
+          std::lock_guard<std::mutex> lock(mu);
+          error = std::current_exception();
+        }
+      }
+    }
+    if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+      std::lock_guard<std::mutex> lock(mu);
+      cv.notify_all();
+    }
+  }
+
+  /// Claims and runs chunks until the cursor is exhausted.
+  void Drain() {
+    for (;;) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      RunChunk(c);
+    }
+  }
+};
+
+void RunChunksInline(size_t n, const std::function<void(size_t, size_t)>& fn,
+                     const ParallelChunking& split) {
+  for (size_t c = 0; c < split.chunks; ++c) {
+    const size_t begin = c * split.per_chunk;
+    const size_t end = std::min(n, begin + split.per_chunk);
+    fn(begin, end);
+  }
+}
+
+}  // namespace
+
+int ResolveParallelWorkers() {
+  const int requested = g_requested_workers.load(std::memory_order_relaxed);
+  if (requested > 0) return requested;
+  const char* env = std::getenv("TRAIL_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    const int from_env = std::atoi(env);
+    if (from_env > 0) return from_env;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  return static_cast<int>(hw);
+}
+
+int ParallelWorkers() { return ThreadPool::Global().num_threads(); }
+
+void SetParallelWorkers(int n) {
+  g_requested_workers.store(n > 0 ? n : 0, std::memory_order_relaxed);
+  ThreadPool::Global().Resize(ResolveParallelWorkers());
+}
+
+void SetParallelForObserver(ParallelForObserver observer) {
+  g_observer.store(observer, std::memory_order_relaxed);
+}
+
+ParallelChunking ComputeParallelChunking(size_t n, size_t min_chunk) {
+  ParallelChunking split;
+  if (n == 0) return split;
+  if (min_chunk == 0) min_chunk = 1;
+  size_t chunks = (n + min_chunk - 1) / min_chunk;
+  chunks = std::min(chunks, kMaxChunks);
+  split.per_chunk = (n + chunks - 1) / chunks;
+  // Recompute so a short tail never yields an empty chunk.
+  split.chunks = (n + split.per_chunk - 1) / split.per_chunk;
+  return split;
 }
 
 void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
                  size_t min_chunk) {
   if (n == 0) return;
-  const int workers = ParallelWorkers();
-  if (workers <= 1 || n <= min_chunk) {
-    fn(0, n);
+  const ParallelChunking split = ComputeParallelChunking(n, min_chunk);
+
+  // Nested parallelism (a ParallelFor inside a pool task) degrades to the
+  // same chunked loop inline: submitting to the pool we are running on
+  // could deadlock, and the outer call already owns the workers.
+  if (ThreadPool::OnWorkerThread()) {
+    RunChunksInline(n, fn, split);
     return;
   }
-  const size_t chunks = std::min<size_t>(workers, (n + min_chunk - 1) / min_chunk);
-  const size_t per_chunk = (n + chunks - 1) / chunks;
-  std::vector<std::thread> threads;
-  threads.reserve(chunks);
-  for (size_t c = 0; c < chunks; ++c) {
-    size_t begin = c * per_chunk;
-    size_t end = std::min(n, begin + per_chunk);
-    if (begin >= end) break;
-    threads.emplace_back([&fn, begin, end]() { fn(begin, end); });
+
+  ThreadPool& pool = ThreadPool::Global();
+  const int workers = pool.num_threads();
+  const ParallelForObserver observer =
+      g_observer.load(std::memory_order_relaxed);
+  const auto t0 = observer != nullptr ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point();
+
+  if (split.chunks == 1 || workers <= 1) {
+    // Serial path: identical chunk boundaries, zero queue traffic.
+    RunChunksInline(n, fn, split);
+  } else {
+    auto state = std::make_shared<ParallelForState>(fn, n, split);
+    // One helper per worker is enough: each helper drains the shared chunk
+    // cursor rather than owning a single chunk.
+    const size_t helpers =
+        std::min<size_t>(static_cast<size_t>(workers), split.chunks - 1);
+    for (size_t h = 0; h < helpers; ++h) {
+      pool.Submit([state]() { state->Drain(); });
+    }
+    // The caller is a full participant: chunk 0 runs inline here, then this
+    // thread helps drain whatever the workers have not claimed yet.
+    state->RunChunk(0);
+    state->Drain();
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait(lock, [&]() {
+        return state->done.load(std::memory_order_acquire) == state->chunks;
+      });
+    }
+    if (state->failed.load(std::memory_order_acquire)) {
+      std::rethrow_exception(state->error);
+    }
   }
-  for (auto& t : threads) t.join();
+
+  if (observer != nullptr) {
+    ParallelForEvent event;
+    event.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    event.items = n;
+    event.chunks = split.chunks;
+    event.queue_depth = pool.QueueDepth();
+    observer(event);
+  }
 }
 
 }  // namespace trail

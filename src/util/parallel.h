@@ -2,19 +2,104 @@
 #define TRAIL_UTIL_PARALLEL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 namespace trail {
 
-/// Number of worker threads ParallelFor will use (hardware concurrency,
-/// capped at 16).
+/// Number of worker threads the global pool runs. Precedence:
+/// SetParallelWorkers (the `--threads` flag) > TRAIL_THREADS environment
+/// variable > std::thread::hardware_concurrency (uncapped; 4 when unknown).
 int ParallelWorkers();
 
-/// Runs fn(begin, end) over a partition of [0, n) across worker threads.
-/// Falls back to a single inline call for small n. Blocks until done. The
-/// callback must write only to disjoint output ranges.
+/// Overrides the worker count (n <= 0 restores auto-detection). If the
+/// global pool is already running it is drained and resized, so tests can
+/// re-run the same workload at 1, 2, and 8 threads in one process. Must not
+/// be called while a ParallelFor is in flight.
+void SetParallelWorkers(int n);
+
+/// Resolves the effective worker count from the precedence chain above
+/// without touching the pool. Used by ThreadPool::Global() at first start.
+int ResolveParallelWorkers();
+
+/// How ParallelFor splits [0, n): `chunks` chunks of `per_chunk` indices
+/// (the last chunk may be short). The split depends ONLY on n and
+/// min_chunk — never on the worker count — so per-chunk scratch, partial
+/// sums, and RNG consumption are bit-identical at any thread count.
+struct ParallelChunking {
+  size_t chunks = 1;
+  size_t per_chunk = 0;
+};
+ParallelChunking ComputeParallelChunking(size_t n, size_t min_chunk);
+
+/// Runs fn(begin, end) over the deterministic partition of [0, n) described
+/// by ComputeParallelChunking. Chunks beyond the first are offered to the
+/// global ThreadPool while the calling thread executes chunk 0 inline and
+/// then helps drain the rest; the call blocks until every chunk finished.
+/// Nested calls (from inside a pool worker) run all chunks inline, in
+/// order. The callback must write only to disjoint output ranges. If fn
+/// throws, the first exception is rethrown on the caller after in-flight
+/// chunks finish; chunks not yet started are abandoned.
 void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
                  size_t min_chunk = 1024);
+
+/// Per-index convenience wrapper: fn(i) for every i in [0, n), chunked as
+/// ParallelFor. min_chunk defaults to 1 because callers typically hand in
+/// coarse items (one tree, one feature, one report).
+template <typename Fn>
+void ParallelForEachIndex(size_t n, Fn&& fn, size_t min_chunk = 1) {
+  const Fn& f = fn;
+  ParallelFor(
+      n,
+      [&f](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) f(i);
+      },
+      min_chunk);
+}
+
+/// Deterministic parallel reduction: `map(begin, end)` produces one partial
+/// per chunk, and `combine` folds the partials **in chunk order** starting
+/// from `identity`. Because the chunking is thread-count independent and the
+/// combine order is fixed, floating-point reductions return bit-identical
+/// results at any worker count (including 1). With a single chunk the result
+/// equals the plain serial loop.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(size_t n, T identity, MapFn&& map, CombineFn&& combine,
+                 size_t min_chunk = 1024) {
+  if (n == 0) return identity;
+  const ParallelChunking split = ComputeParallelChunking(n, min_chunk);
+  if (split.chunks == 1) return combine(std::move(identity), map(0, n));
+  std::vector<T> partials(split.chunks, identity);
+  const MapFn& m = map;
+  ParallelFor(
+      split.chunks,
+      [&](size_t cb, size_t ce) {
+        for (size_t c = cb; c < ce; ++c) {
+          const size_t begin = c * split.per_chunk;
+          const size_t end = std::min(n, begin + split.per_chunk);
+          partials[c] = m(begin, end);
+        }
+      },
+      /*min_chunk=*/1);
+  T acc = std::move(identity);
+  for (T& partial : partials) acc = combine(std::move(acc), std::move(partial));
+  return acc;
+}
+
+/// Observability hook: invoked after every top-level ParallelFor with its
+/// wall time and shape. Installed by obs::InstallParallelMetricsBridge so
+/// trail_util never links against the metrics registry (obs depends on
+/// util, not the reverse).
+struct ParallelForEvent {
+  double seconds = 0.0;   // wall time of the whole call
+  size_t items = 0;       // n
+  size_t chunks = 0;      // tasks the call split into
+  size_t queue_depth = 0; // pool queue depth observed at completion
+};
+using ParallelForObserver = void (*)(const ParallelForEvent&);
+void SetParallelForObserver(ParallelForObserver observer);
 
 }  // namespace trail
 

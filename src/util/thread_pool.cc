@@ -1,0 +1,98 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace trail {
+
+namespace {
+thread_local bool tl_on_worker_thread = false;
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool =
+      new ThreadPool(ResolveParallelWorkers());  // never freed
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {}
+
+ThreadPool::~ThreadPool() { StopAndJoin(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) StartLocked();
+    queue_.push_back(std::move(task));
+    ++total_submitted_;
+  }
+  cv_.notify_one();
+}
+
+int ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_threads_;
+}
+
+void ThreadPool::Resize(int num_threads) {
+  TRAIL_CHECK(!OnWorkerThread()) << "ThreadPool::Resize from a worker thread";
+  StopAndJoin();
+  std::lock_guard<std::mutex> lock(mu_);
+  num_threads_ = std::max(1, num_threads);
+  // Workers restart lazily on the next Submit.
+}
+
+bool ThreadPool::OnWorkerThread() { return tl_on_worker_thread; }
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t ThreadPool::TotalSubmitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_submitted_;
+}
+
+void ThreadPool::StartLocked() {
+  stopping_ = false;
+  workers_.reserve(num_threads_);
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+  started_ = true;
+}
+
+void ThreadPool::StopAndJoin() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+    to_join.swap(workers_);
+    started_ = false;
+  }
+  cv_.notify_all();
+  for (std::thread& t : to_join) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  tl_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping so Resize never drops work.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace trail

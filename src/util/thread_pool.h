@@ -1,0 +1,76 @@
+#ifndef TRAIL_UTIL_THREAD_POOL_H_
+#define TRAIL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trail {
+
+/// A persistent worker pool: threads are started lazily on first Submit and
+/// then reused for the lifetime of the pool, so hot loops (matrix kernels,
+/// per-tree fits, split scans) pay a queue push instead of a thread spawn.
+///
+/// The process-global pool behind ParallelFor/ParallelReduce is
+/// ThreadPool::Global(); its size comes from SetParallelWorkers (the
+/// `--threads` flag), the TRAIL_THREADS environment variable, or
+/// hardware_concurrency, in that order of precedence (see util/parallel.h).
+class ThreadPool {
+ public:
+  /// The process-global pool. Created on first use; sized by
+  /// ResolveParallelWorkers(). Never destroyed (workers are detached-joined
+  /// at exit by the OS; the pool outlives all library callers).
+  static ThreadPool& Global();
+
+  /// A standalone pool with `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Workers are started on the first call. Tasks must
+  /// not block waiting for later-submitted tasks (ParallelFor's chunk-claim
+  /// protocol never does).
+  void Submit(std::function<void()> task);
+
+  /// Number of worker threads this pool runs once started.
+  int num_threads() const;
+
+  /// Joins every worker (after the queue drains) and restarts lazily with
+  /// the new count. Must not be called from inside a worker. Callers must
+  /// guarantee no ParallelFor is in flight (tests and CLI startup do).
+  void Resize(int num_threads);
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Nested
+  /// parallel constructs use this to degrade to inline execution instead of
+  /// deadlocking on their own pool.
+  static bool OnWorkerThread();
+
+  /// Tasks currently waiting in the queue (excludes running tasks).
+  size_t QueueDepth() const;
+
+  /// Total tasks ever submitted (monotonic, for observability bridges).
+  uint64_t TotalSubmitted() const;
+
+ private:
+  void StartLocked();
+  void StopAndJoin();
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int num_threads_;
+  uint64_t total_submitted_ = 0;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace trail
+
+#endif  // TRAIL_UTIL_THREAD_POOL_H_

@@ -1,0 +1,281 @@
+// Cross-thread-count determinism: every parallelized pipeline stage must
+// produce bit-identical output at 1, 2, and 8 worker threads. This is the
+// contract that lets `--threads N` be a pure performance knob — the
+// longitudinal study, the calibrated benches, and the persistence golden
+// files never see a different result because of the pool size.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tkg_builder.h"
+#include "gnn/label_propagation.h"
+#include "graph/csr.h"
+#include "graph/property_graph.h"
+#include "ml/dataset.h"
+#include "ml/gbt.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+#include "ml/smote.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "util/parallel.h"
+
+namespace trail {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+/// Restores auto-detection when the scope closes.
+class ScopedWorkerCount {
+ public:
+  explicit ScopedWorkerCount(int n) { SetParallelWorkers(n); }
+  ~ScopedWorkerCount() { SetParallelWorkers(0); }
+};
+
+/// Bitwise equality for float/double buffers: FLOAT_EQ tolerance would hide
+/// exactly the reduction-order drift this suite exists to catch.
+template <typename T>
+::testing::AssertionResult BitsEqual(const std::vector<T>& a,
+                                     const std::vector<T>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  if (!a.empty() &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) != 0) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::memcmp(&a[i], &b[i], sizeof(T)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first bit difference at index " << i << ": " << a[i]
+               << " vs " << b[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult BitsEqual(const ml::Matrix& a, const ml::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure() << "shape mismatch";
+  }
+  if (a.size() != 0 &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+    return ::testing::AssertionFailure() << "matrix payload differs";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+ml::Dataset MakeBlobs(uint64_t seed, size_t rows, size_t cols,
+                      int num_classes) {
+  Rng rng(seed);
+  ml::Dataset d;
+  d.num_classes = num_classes;
+  d.x = ml::Matrix(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    d.y.push_back(static_cast<int>(i % num_classes));
+    for (size_t c = 0; c < cols; ++c) {
+      d.x.At(i, c) = static_cast<float>(rng.Normal(d.y[i] * 2.0, 1.0));
+    }
+  }
+  return d;
+}
+
+TEST(ParallelDeterminismTest, RandomForestBitIdenticalAcrossThreadCounts) {
+  ml::Dataset d = MakeBlobs(11, 300, 8, 3);
+  ml::RandomForestOptions opts;
+  opts.num_trees = 16;
+  ml::Matrix reference;
+  for (int threads : kThreadCounts) {
+    ScopedWorkerCount scoped(threads);
+    Rng rng(99);
+    ml::RandomForest model;
+    model.Fit(d, opts, &rng);
+    ml::Matrix probs = model.PredictProbaBatch(d.x);
+    if (threads == kThreadCounts[0]) {
+      reference = std::move(probs);
+    } else {
+      EXPECT_TRUE(BitsEqual(reference, probs)) << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, GbtBitIdenticalAcrossThreadCounts) {
+  ml::Dataset d = MakeBlobs(12, 400, 6, 3);
+  ml::GbtOptions opts;
+  opts.num_rounds = 8;
+  opts.subsample = 0.8;
+  std::vector<float> reference;
+  for (int threads : kThreadCounts) {
+    ScopedWorkerCount scoped(threads);
+    Rng rng(123);
+    ml::GbtClassifier model;
+    model.Fit(d, opts, &rng);
+    std::vector<float> margins;
+    for (size_t i = 0; i < d.size(); ++i) {
+      auto m = model.PredictMargin(d.x.Row(i));
+      margins.insert(margins.end(), m.begin(), m.end());
+    }
+    if (threads == kThreadCounts[0]) {
+      reference = std::move(margins);
+    } else {
+      EXPECT_TRUE(BitsEqual(reference, margins)) << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, MlpBitIdenticalAcrossThreadCounts) {
+  ml::Dataset d = MakeBlobs(13, 200, 10, 3);
+  ml::MlpOptions opts;
+  opts.hidden_sizes = {24};
+  opts.epochs = 6;
+  opts.seed = 31;
+  ml::Matrix reference;
+  for (int threads : kThreadCounts) {
+    ScopedWorkerCount scoped(threads);
+    ml::MlpClassifier model;
+    model.Fit(d, opts);
+    ml::Matrix probs = model.PredictProbaBatch(d.x);
+    if (threads == kThreadCounts[0]) {
+      reference = std::move(probs);
+    } else {
+      EXPECT_TRUE(BitsEqual(reference, probs)) << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, SmoteBitIdenticalAcrossThreadCounts) {
+  // Imbalanced blobs: class 0 has 160 samples, classes 1 and 2 have 20
+  // each, so SMOTE synthesizes heavily for both minorities.
+  Rng data_rng(14);
+  ml::Dataset d;
+  d.num_classes = 3;
+  const size_t counts[] = {160, 20, 20};
+  size_t rows = counts[0] + counts[1] + counts[2];
+  d.x = ml::Matrix(rows, 5);
+  size_t r = 0;
+  for (int cls = 0; cls < 3; ++cls) {
+    for (size_t i = 0; i < counts[cls]; ++i, ++r) {
+      d.y.push_back(cls);
+      for (size_t c = 0; c < 5; ++c) {
+        d.x.At(r, c) = static_cast<float>(data_rng.Normal(cls * 3.0, 1.0));
+      }
+    }
+  }
+
+  ml::SmoteOptions opts;
+  ml::Matrix reference_x;
+  std::vector<int> reference_y;
+  for (int threads : kThreadCounts) {
+    ScopedWorkerCount scoped(threads);
+    Rng rng(77);
+    ml::Dataset out = ml::SmoteOversample(d, opts, &rng);
+    if (threads == kThreadCounts[0]) {
+      reference_x = std::move(out.x);
+      reference_y = std::move(out.y);
+    } else {
+      EXPECT_EQ(reference_y, out.y) << threads << " threads";
+      EXPECT_TRUE(BitsEqual(reference_x, out.x)) << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, LabelPropagationBitIdenticalAcrossThreadCounts) {
+  // Synthetic ring + chords, labels seeded on every third node.
+  graph::PropertyGraph g;
+  constexpr size_t kNodes = 120;
+  for (size_t v = 0; v < kNodes; ++v) {
+    g.AddNode(graph::NodeType::kIp, "10.0.0." + std::to_string(v));
+  }
+  for (size_t v = 0; v < kNodes; ++v) {
+    g.AddEdge(v, (v + 1) % kNodes, graph::EdgeType::kResolvesTo);
+    g.AddEdge(v, (v + 17) % kNodes, graph::EdgeType::kARecord);
+  }
+  std::vector<int> labels(kNodes, -1);
+  std::vector<uint8_t> seed_mask(kNodes, 0);
+  for (size_t v = 0; v < kNodes; v += 3) {
+    labels[v] = static_cast<int>(v % 4);
+    seed_mask[v] = 1;
+  }
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+
+  ml::Matrix ref_scores;
+  std::vector<int> ref_predictions;
+  std::vector<double> ref_confidence;
+  for (int threads : kThreadCounts) {
+    ScopedWorkerCount scoped(threads);
+    gnn::LabelPropagationResult result =
+        gnn::RunLabelPropagation(csr, labels, seed_mask, 4, /*layers=*/5);
+    if (threads == kThreadCounts[0]) {
+      ref_scores = std::move(result.scores);
+      ref_predictions = std::move(result.predictions);
+      ref_confidence = std::move(result.confidence);
+    } else {
+      EXPECT_EQ(ref_predictions, result.predictions) << threads << " threads";
+      EXPECT_TRUE(BitsEqual(ref_scores, result.scores))
+          << threads << " threads";
+      EXPECT_TRUE(BitsEqual(ref_confidence, result.confidence))
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, TkgBuildBitIdenticalAcrossThreadCounts) {
+  osint::WorldConfig config;
+  config.num_apts = 3;
+  config.min_events_per_apt = 3;
+  config.max_events_per_apt = 5;
+  config.end_day = 400;
+  config.post_days = 30;
+  config.seed = 19;
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  std::vector<std::string> reports = feed.FetchReports(0, config.end_day);
+  ASSERT_GT(reports.size(), 0u);
+
+  // Reference build at 1 thread, then byte-for-byte structural comparison
+  // at 2 and 8 threads: same nodes in the same id order, same features,
+  // same adjacency, same counters.
+  auto build = [&](int threads) {
+    ScopedWorkerCount scoped(threads);
+    auto builder =
+        std::make_unique<core::TkgBuilder>(&feed, core::TkgBuildOptions{});
+    EXPECT_TRUE(builder->IngestAll(reports).ok());
+    return builder;
+  };
+  auto reference = build(kThreadCounts[0]);
+  const graph::PropertyGraph& rg = reference->graph();
+
+  for (size_t t = 1; t < 3; ++t) {
+    const int threads = kThreadCounts[t];
+    auto other = build(threads);
+    const graph::PropertyGraph& og = other->graph();
+    ASSERT_EQ(rg.num_nodes(), og.num_nodes()) << threads << " threads";
+    ASSERT_EQ(rg.num_edges(), og.num_edges()) << threads << " threads";
+    EXPECT_EQ(reference->num_events(), other->num_events());
+    EXPECT_EQ(reference->num_dropped_indicators(),
+              other->num_dropped_indicators());
+    EXPECT_EQ(reference->num_analysis_misses(), other->num_analysis_misses());
+    EXPECT_EQ(reference->apt_names(), other->apt_names());
+    for (graph::NodeId v = 0; v < rg.num_nodes(); ++v) {
+      ASSERT_EQ(rg.type(v), og.type(v)) << "node " << v;
+      ASSERT_EQ(rg.value(v), og.value(v)) << "node " << v;
+      ASSERT_EQ(rg.label(v), og.label(v)) << "node " << v;
+      ASSERT_EQ(rg.timestamp(v), og.timestamp(v)) << "node " << v;
+      ASSERT_TRUE(BitsEqual(rg.features(v), og.features(v))) << "node " << v;
+      const auto& rn = rg.neighbors(v);
+      const auto& on = og.neighbors(v);
+      ASSERT_EQ(rn.size(), on.size()) << "node " << v;
+      for (size_t i = 0; i < rn.size(); ++i) {
+        ASSERT_EQ(rn[i].node, on[i].node) << "node " << v << " nb " << i;
+        ASSERT_EQ(rn[i].type, on[i].type) << "node " << v << " nb " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trail

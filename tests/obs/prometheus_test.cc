@@ -1,0 +1,109 @@
+// ToPrometheusText: exposition-format (0.0.4) rendering of the registry —
+// name sanitization, HELP escaping, counter/gauge lines, and cumulative
+// histogram buckets. A scrape-side parser is strict about all four.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace trail::obs {
+namespace {
+
+/// Number of times `needle` occurs in `haystack`.
+size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(PrometheusTextTest, CounterRendersSanitizedNameWithTotalSuffix) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("promtest.events_ingested")->Increment(42);
+  std::string out = registry.ToPrometheusText();
+  EXPECT_NE(out.find("# HELP trail_promtest_events_ingested_total "
+                     "promtest.events_ingested\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("# TYPE trail_promtest_events_ingested_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("trail_promtest_events_ingested_total 42\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTextTest, GaugeRendersValue) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("promtest.pool_workers")->Set(2.5);
+  std::string out = registry.ToPrometheusText();
+  EXPECT_NE(out.find("# TYPE trail_promtest_pool_workers gauge\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("trail_promtest_pool_workers 2.5\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, HelpLineEscapesBackslashAndNewline) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("promtest.weird\\name\nsecond")->Increment();
+  std::string out = registry.ToPrometheusText();
+  // Both hostile characters collapse to '_' in the metric name...
+  EXPECT_NE(out.find("trail_promtest_weird_name_second_total 1\n"),
+            std::string::npos)
+      << out;
+  // ...and are escaped (not emitted raw) in the HELP line, so the original
+  // dotted name survives round-tripping through a line-oriented parser.
+  EXPECT_NE(out.find("# HELP trail_promtest_weird_name_second_total "
+                     "promtest.weird\\\\name\\nsecond\n"),
+            std::string::npos)
+      << out;
+}
+
+TEST(PrometheusTextTest, HistogramEmitsCumulativeBucketsAndInf) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram* h = registry.GetHistogram("promtest.latency");
+  // 1e-9 lands in bucket 0, the two others in bucket 1 — so exactly two
+  // finite bucket lines are emitted (the all-zero tail is skipped).
+  h->Observe(1e-9);
+  h->Observe(1.5e-9);
+  h->Observe(2e-9);
+  std::string out = registry.ToPrometheusText();
+
+  EXPECT_NE(out.find("# TYPE trail_promtest_latency histogram\n"),
+            std::string::npos);
+  EXPECT_EQ(CountOccurrences(out, "trail_promtest_latency_bucket{le="), 3u)
+      << out;
+  // Buckets are cumulative: 1 observation <= bound(0), all 3 <= bound(1).
+  EXPECT_EQ(CountOccurrences(out, "\"} 1\n"), 1u) << out;
+  EXPECT_EQ(CountOccurrences(out, "\"} 3\n"), 2u) << out;
+  EXPECT_NE(out.find("trail_promtest_latency_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("trail_promtest_latency_count 3\n"), std::string::npos);
+  // The sum line exists and is a finite positive number.
+  EXPECT_NE(out.find("trail_promtest_latency_sum "), std::string::npos);
+}
+
+TEST(PrometheusTextTest, EverySeriesLineIsWellFormed) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("promtest.more_events")->Increment();
+  registry.GetGauge("promtest.depth")->Set(7);
+  std::string out = registry.ToPrometheusText();
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+  // Each non-comment line is "<name possibly with {labels}> <value>".
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t end = out.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string line = out.substr(start, end - start);
+    start = end + 1;
+    if (line.rfind("# ", 0) == 0) continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+    EXPECT_EQ(line.rfind("trail_", 0), 0u) << line;
+  }
+}
+
+}  // namespace
+}  // namespace trail::obs

@@ -1,0 +1,253 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace trail {
+namespace {
+
+/// Restores auto-detected worker sizing when a test body returns, so a
+/// failing assertion can't leak an override into later tests.
+class ScopedWorkerCount {
+ public:
+  explicit ScopedWorkerCount(int n) { SetParallelWorkers(n); }
+  ~ScopedWorkerCount() { SetParallelWorkers(0); }
+};
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(2);
+  constexpr int kTasks = 64;
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (done.fetch_add(1) + 1 == kTasks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done.load() == kTasks; }));
+  EXPECT_EQ(pool.TotalSubmitted(), static_cast<uint64_t>(kTasks));
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&] { done.fetch_add(1); });
+    }
+  }
+  // Join-on-destroy must have executed every queued task, not dropped them.
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, WorkerThreadFlag) {
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+  ThreadPool pool(1);
+  std::atomic<bool> on_worker{false};
+  std::atomic<bool> ran{false};
+  pool.Submit([&] {
+    on_worker = ThreadPool::OnWorkerThread();
+    ran = true;
+  });
+  for (int i = 0; i < 3000 && !ran; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(ran.load());
+  EXPECT_TRUE(on_worker.load());
+}
+
+TEST(ThreadPoolTest, ResizeChangesCountAndKeepsWorking) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> done{0};
+  pool.Submit([&] { done.fetch_add(1); });
+  pool.Resize(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  // Resize drains before joining, so the earlier task already ran.
+  EXPECT_EQ(done.load(), 1);
+  pool.Submit([&] { done.fetch_add(1); });
+  pool.Resize(1);  // drains again
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPoolTest, SetParallelWorkersOverridesAndRestores) {
+  ScopedWorkerCount scoped(5);
+  EXPECT_EQ(ParallelWorkers(), 5);
+  SetParallelWorkers(2);
+  EXPECT_EQ(ParallelWorkers(), 2);
+  SetParallelWorkers(0);  // back to auto-detection
+  EXPECT_GE(ParallelWorkers(), 1);
+}
+
+TEST(ParallelChunkingTest, CoversRangeAndIgnoresWorkerCount) {
+  for (size_t n : {1u, 7u, 1000u, 1024u, 1025u, 123457u}) {
+    for (size_t min_chunk : {1u, 16u, 1024u}) {
+      ParallelChunking split = ComputeParallelChunking(n, min_chunk);
+      ASSERT_GE(split.chunks, 1u);
+      ASSERT_LE(split.chunks, 256u);
+      // Chunks tile [0, n) exactly.
+      ASSERT_GE(split.chunks * split.per_chunk, n);
+      ASSERT_LT((split.chunks - 1) * split.per_chunk, n);
+      // min_chunk bounds the number of chunks: never more than
+      // ceil(n / min_chunk) tasks.
+      EXPECT_LE(split.chunks, (n + min_chunk - 1) / min_chunk);
+    }
+  }
+}
+
+/// Collects the exact (begin, end) pairs a ParallelFor callback saw.
+std::set<std::pair<size_t, size_t>> RecordChunks(size_t n, size_t min_chunk) {
+  std::mutex mu;
+  std::set<std::pair<size_t, size_t>> chunks;
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace(begin, end);
+  }, min_chunk);
+  return chunks;
+}
+
+TEST(ParallelForDeterminismTest, ChunkBoundariesIdenticalAcrossThreadCounts) {
+  constexpr size_t kN = 50000;
+  constexpr size_t kMinChunk = 512;
+  std::set<std::pair<size_t, size_t>> at_one;
+  {
+    ScopedWorkerCount scoped(1);
+    at_one = RecordChunks(kN, kMinChunk);
+  }
+  for (int threads : {2, 8}) {
+    ScopedWorkerCount scoped(threads);
+    EXPECT_EQ(RecordChunks(kN, kMinChunk), at_one) << threads << " threads";
+  }
+  // The single-worker path must still honor the chunked contract (the old
+  // implementation collapsed to one giant chunk when workers <= 1).
+  ParallelChunking split = ComputeParallelChunking(kN, kMinChunk);
+  EXPECT_EQ(at_one.size(), split.chunks);
+}
+
+TEST(ParallelForDeterminismTest, CoverageExactlyOnceAtEachThreadCount) {
+  constexpr size_t kN = 20000;
+  for (int threads : {1, 2, 8}) {
+    ScopedWorkerCount scoped(threads);
+    std::vector<std::atomic<int>> hits(kN);
+    ParallelFor(kN, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    }, /*min_chunk=*/64);
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads;
+    }
+  }
+}
+
+TEST(ParallelForDeterminismTest, ReduceBitIdenticalAcrossThreadCounts) {
+  // Values spanning ten orders of magnitude: any change in summation order
+  // perturbs the low bits, so bit-equality is a real determinism check.
+  constexpr size_t kN = 100000;
+  std::vector<float> values(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    values[i] = static_cast<float>((i % 997) + 1) * 1e-5f *
+                ((i % 7 == 0) ? 1e8f : 1.0f) * ((i % 2 == 0) ? 1.0f : -1.0f);
+  }
+  auto reduce = [&] {
+    return ParallelReduce<double>(
+        kN, 0.0,
+        [&](size_t begin, size_t end) {
+          double partial = 0.0;
+          for (size_t i = begin; i < end; ++i) partial += values[i];
+          return partial;
+        },
+        [](double a, double b) { return a + b; }, /*min_chunk=*/256);
+  };
+  double reference;
+  {
+    ScopedWorkerCount scoped(1);
+    reference = reduce();
+  }
+  for (int threads : {2, 8}) {
+    ScopedWorkerCount scoped(threads);
+    double got = reduce();
+    EXPECT_EQ(std::memcmp(&got, &reference, sizeof(double)), 0)
+        << "sum drifted at " << threads << " threads: " << got << " vs "
+        << reference;
+  }
+}
+
+TEST(ParallelForStressTest, NestedCallsRunInlineWithoutDeadlock) {
+  ScopedWorkerCount scoped(4);
+  constexpr size_t kOuter = 64;
+  constexpr size_t kInner = 256;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  ParallelFor(kOuter, [&](size_t ob, size_t oe) {
+    for (size_t o = ob; o < oe; ++o) {
+      ParallelFor(kInner, [&](size_t ib, size_t ie) {
+        for (size_t i = ib; i < ie; ++i) hits[o * kInner + i].fetch_add(1);
+      }, /*min_chunk=*/16);
+    }
+  }, /*min_chunk=*/1);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForStressTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ScopedWorkerCount scoped(4);
+  constexpr size_t kN = 10000;
+  EXPECT_THROW(
+      ParallelFor(kN, [&](size_t begin, size_t) {
+        if (begin >= kN / 2) throw std::runtime_error("chunk failure");
+      }, /*min_chunk=*/16),
+      std::runtime_error);
+
+  // The pool must have fully drained the failed call: a fresh ParallelFor
+  // sees every index exactly once.
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  }, /*min_chunk=*/16);
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForStressTest, ReusableAfterIdlePeriod) {
+  ScopedWorkerCount scoped(2);
+  std::atomic<size_t> total{0};
+  ParallelFor(1000, [&](size_t begin, size_t end) {
+    total.fetch_add(end - begin);
+  }, /*min_chunk=*/10);
+  EXPECT_EQ(total.load(), 1000u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ParallelFor(1000, [&](size_t begin, size_t end) {
+    total.fetch_add(end - begin);
+  }, /*min_chunk=*/10);
+  EXPECT_EQ(total.load(), 2000u);
+}
+
+TEST(ParallelForStressTest, ManyConsecutiveCallsStaySound) {
+  ScopedWorkerCount scoped(8);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<size_t> covered{0};
+    ParallelFor(512, [&](size_t begin, size_t end) {
+      covered.fetch_add(end - begin);
+    }, /*min_chunk=*/8);
+    ASSERT_EQ(covered.load(), 512u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace trail

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Records before/after wall times for the thread-pool runtime: runs
+# table4_event_attribution and the micro_substrate suite at 1 thread and at
+# N threads (default: nproc), then writes BENCH_parallel.json with both
+# timings, the speedup, and the host's core count. Honest numbers only — a
+# 1-core container reports ~1.0x and says so.
+#
+# Usage: tools/bench_parallel.sh [BUILD_DIR] [THREADS]
+#   BUILD_DIR  default: build
+#   THREADS    default: nproc
+# Honors TRAIL_BENCH_QUICK=1 for the fast calibration sizes.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+THREADS="${2:-$(nproc)}"
+OUT="${TRAIL_BENCH_PARALLEL_OUT:-BENCH_parallel.json}"
+
+for bin in table4_event_attribution micro_substrate; do
+  if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
+    echo "bench_parallel: build '$bin' first (cmake --build $BUILD_DIR)" >&2
+    exit 2
+  fi
+done
+
+wall() {  # wall <threads> <binary> [args...] -> seconds on stdout
+  local threads="$1"; shift
+  local start end
+  start=$(date +%s.%N)
+  TRAIL_THREADS="$threads" TRAIL_RUN_MANIFEST=none "$@" >/dev/null 2>&1
+  end=$(date +%s.%N)
+  echo "$start $end" | awk '{printf "%.3f", $2 - $1}'
+}
+
+echo "== table4_event_attribution: 1 thread =="
+T4_ONE=$(wall 1 "$BUILD_DIR/bench/table4_event_attribution")
+echo "   ${T4_ONE}s"
+echo "== table4_event_attribution: $THREADS threads =="
+T4_N=$(wall "$THREADS" "$BUILD_DIR/bench/table4_event_attribution")
+echo "   ${T4_N}s"
+
+MICRO_ARGS=(--benchmark_min_time=0.05)
+echo "== micro_substrate: 1 thread =="
+MS_ONE=$(wall 1 "$BUILD_DIR/bench/micro_substrate" "${MICRO_ARGS[@]}")
+echo "   ${MS_ONE}s"
+echo "== micro_substrate: $THREADS threads =="
+MS_N=$(wall "$THREADS" "$BUILD_DIR/bench/micro_substrate" "${MICRO_ARGS[@]}")
+echo "   ${MS_N}s"
+
+T4_SPEEDUP=$(echo "$T4_ONE $T4_N" | awk '{printf "%.2f", ($2 > 0) ? $1 / $2 : 0}')
+MS_SPEEDUP=$(echo "$MS_ONE $MS_N" | awk '{printf "%.2f", ($2 > 0) ? $1 / $2 : 0}')
+QUICK=$([[ "${TRAIL_BENCH_QUICK:-0}" == "1" ]] && echo true || echo false)
+
+cat > "$OUT" <<EOF
+{
+  "bench": "parallel_runtime",
+  "host_cores": $(nproc),
+  "threads_compared": [1, $THREADS],
+  "quick_mode": $QUICK,
+  "table4_event_attribution": {
+    "seconds_1_thread": $T4_ONE,
+    "seconds_n_threads": $T4_N,
+    "speedup": $T4_SPEEDUP
+  },
+  "micro_substrate": {
+    "seconds_1_thread": $MS_ONE,
+    "seconds_n_threads": $MS_N,
+    "speedup": $MS_SPEEDUP
+  }
+}
+EOF
+echo
+echo "bench_parallel: wrote $OUT (speedups: table4 ${T4_SPEEDUP}x," \
+     "micro ${MS_SPEEDUP}x on $(nproc)-core host)"

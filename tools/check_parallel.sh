@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Race-checks the parallel runtime: configures a ThreadSanitizer build in
+# its own tree, builds the two pool-heavy test binaries, and runs the
+# tsan-labelled ctest tier (thread_pool_test + parallel_determinism_test)
+# with several worker counts. Any data race in the pool, the chunk-claim
+# protocol, or a parallelized pipeline stage fails the script.
+#
+# Usage: tools/check_parallel.sh [TSAN_BUILD_DIR]   (default: build-tsan)
+set -euo pipefail
+
+BUILD_DIR="${1:-build-tsan}"
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== configuring ThreadSanitizer build in $BUILD_DIR =="
+cmake -S "$SOURCE_DIR" -B "$BUILD_DIR" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTRAIL_SANITIZE=thread >/dev/null
+
+echo
+echo "== building tsan test binaries =="
+cmake --build "$BUILD_DIR" -j \
+    --target util_thread_pool_test ml_parallel_determinism_test
+
+echo
+echo "== ctest -L tsan (auto worker count) =="
+(cd "$BUILD_DIR" && ctest -L tsan --output-on-failure)
+
+# The determinism suites set their own worker counts internally; an
+# explicit high TRAIL_THREADS additionally stresses the pool start/resize
+# paths under contention.
+echo
+echo "== ctest -L tsan (TRAIL_THREADS=8) =="
+(cd "$BUILD_DIR" && TRAIL_THREADS=8 ctest -L tsan --output-on-failure)
+
+echo
+echo "check_parallel: PASS"

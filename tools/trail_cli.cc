@@ -14,6 +14,12 @@
 //   --trace-out FILE      write a Chrome trace-event timeline at exit
 //   --manifest-out FILE   run-manifest path (default run_manifest.json,
 //                         "none" disables)
+//   --metrics-out FILE    write Prometheus text-format metrics at exit
+//
+// Runtime flags (see docs/PARALLELISM.md):
+//   --threads N           worker threads for parallel stages (overrides
+//                         TRAIL_THREADS; default: hardware concurrency).
+//                         Results are bit-identical at any thread count.
 //
 // The feed is the synthetic world (see DESIGN.md); `--seed` selects the
 // universe. In a production deployment `osint::FeedClient` would be backed
