@@ -1,0 +1,155 @@
+// Scratch-vs-incremental longitudinal retraining: two identical systems run
+// the same post-cutoff months through core::Study, one retraining the GNN
+// from scratch every month, the other delta-appending the month and
+// warm-start fine-tuning. Reports per-month wall time and macro-F1 for both
+// tracks and writes the comparison (speedup + F1 delta) to a JSON file for
+// CI tracking.
+//
+// Run: ./build/bench/longitudinal_incremental [--out BENCH_incremental.json]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/study.h"
+#include "core/trail.h"
+#include "util/logging.h"
+#include "util/json.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace trail;
+
+core::TrailOptions ModelOptions() {
+  core::TrailOptions options;
+  options.autoencoder.hidden = 128;
+  options.autoencoder.epochs = bench::QuickMode() ? 2 : 8;
+  options.autoencoder.max_train_rows = 4000;
+  options.gnn.epochs = bench::QuickMode() ? 15 : 100;
+  return options;
+}
+
+struct Track {
+  core::RetrainMode mode = core::RetrainMode::kScratch;
+  std::unique_ptr<core::Trail> trail;
+  std::unique_ptr<core::Study> study;
+  double retrain_wall_ms = 0.0;
+  double month_wall_ms = 0.0;
+  double macro_f1_sum = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_incremental.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  bench::BenchEnv env = bench::BuildEnv();
+  bench::PrintHeader("Longitudinal retraining — scratch vs incremental", env);
+  const auto config = bench::BenchWorldConfig();
+  const int months = bench::QuickMode()
+                         ? 2
+                         : std::max(1, config.post_days / 30);
+
+  auto initial = env.feed->FetchReports(0, config.end_day);
+  Track tracks[2];
+  tracks[0].mode = core::RetrainMode::kScratch;
+  tracks[1].mode = core::RetrainMode::kIncremental;
+  for (Track& track : tracks) {
+    track.trail = std::make_unique<core::Trail>(env.feed.get(), ModelOptions());
+    TRAIL_CHECK(track.trail->Ingest(initial).ok());
+    TRAIL_CHECK(track.trail->TrainModels().ok());
+    core::StudyOptions options;
+    options.retrain_monthly = true;
+    options.retrain_mode = track.mode;
+    options.fine_tune_epochs = bench::QuickMode() ? 3 : 8;
+    track.study = std::make_unique<core::Study>(track.trail.get(), options);
+  }
+
+  TablePrinter table({"Month", "Reports", "Scratch F1", "Scratch ms",
+                      "Incr F1", "Incr ms", "Speedup"});
+  int months_run = 0;
+  for (int m = 0; m < months; ++m) {
+    int lo = config.end_day + 30 * m;
+    auto month = env.world->ReportsBetween(lo, lo + 30);
+    if (month.empty()) continue;
+
+    core::MonthOutcome outcomes[2];
+    for (int t = 0; t < 2; ++t) {
+      auto outcome = tracks[t].study->RunMonth(month);
+      TRAIL_CHECK(outcome.ok()) << outcome.status();
+      outcomes[t] = *outcome;
+      tracks[t].retrain_wall_ms += outcome->retrain_wall_ms;
+      tracks[t].month_wall_ms += outcome->wall_ms;
+      tracks[t].macro_f1_sum += outcome->macro_f1;
+    }
+    ++months_run;
+    const double speedup =
+        outcomes[1].retrain_wall_ms > 0.0
+            ? outcomes[0].retrain_wall_ms / outcomes[1].retrain_wall_ms
+            : 0.0;
+    table.AddRow({
+        std::to_string(m + 1),
+        std::to_string(month.size()),
+        FormatDouble(outcomes[0].macro_f1, 4),
+        FormatDouble(outcomes[0].retrain_wall_ms, 1),
+        FormatDouble(outcomes[1].macro_f1, 4),
+        FormatDouble(outcomes[1].retrain_wall_ms, 1),
+        FormatDouble(speedup, 2),
+    });
+  }
+  table.Print();
+
+  const double scratch_mean_f1 =
+      months_run > 0 ? tracks[0].macro_f1_sum / months_run : 0.0;
+  const double incr_mean_f1 =
+      months_run > 0 ? tracks[1].macro_f1_sum / months_run : 0.0;
+  const double speedup = tracks[1].retrain_wall_ms > 0.0
+                             ? tracks[0].retrain_wall_ms /
+                                   tracks[1].retrain_wall_ms
+                             : 0.0;
+  std::printf("\ntotals over %d months: scratch retrain %.1f ms, "
+              "incremental %.1f ms — %.2fx speedup; mean macro-F1 "
+              "%.4f (scratch) vs %.4f (incremental), delta %+.4f\n",
+              months_run, tracks[0].retrain_wall_ms,
+              tracks[1].retrain_wall_ms, speedup, scratch_mean_f1,
+              incr_mean_f1, incr_mean_f1 - scratch_mean_f1);
+
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("bench", JsonValue::MakeString("longitudinal_incremental"));
+  out.Set("quick_mode", JsonValue::MakeBool(bench::QuickMode()));
+  out.Set("months", JsonValue::MakeNumber(months_run));
+  out.Set("host_hardware_threads",
+          JsonValue::MakeNumber(
+              static_cast<double>(std::thread::hardware_concurrency())));
+  out.Set("scratch_retrain_wall_ms",
+          JsonValue::MakeNumber(tracks[0].retrain_wall_ms));
+  out.Set("incremental_retrain_wall_ms",
+          JsonValue::MakeNumber(tracks[1].retrain_wall_ms));
+  out.Set("scratch_month_wall_ms",
+          JsonValue::MakeNumber(tracks[0].month_wall_ms));
+  out.Set("incremental_month_wall_ms",
+          JsonValue::MakeNumber(tracks[1].month_wall_ms));
+  out.Set("retrain_speedup", JsonValue::MakeNumber(speedup));
+  out.Set("scratch_mean_macro_f1", JsonValue::MakeNumber(scratch_mean_f1));
+  out.Set("incremental_mean_macro_f1", JsonValue::MakeNumber(incr_mean_f1));
+  out.Set("macro_f1_delta",
+          JsonValue::MakeNumber(incr_mean_f1 - scratch_mean_f1));
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  TRAIL_CHECK(f != nullptr) << "cannot write " << out_path;
+  const std::string text = out.Dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
 
   core::StudyOptions study_options;
   study_options.retrain_monthly = true;  // the paper's recommended mode
+  // Warm-start fine-tune by default; rebuild from scratch only when a
+  // month's macro-F1 craters (concept drift).
+  study_options.retrain_mode = core::RetrainMode::kAuto;
   study_options.fine_tune_epochs = 8;
   core::Study study(&trail, study_options);
 
@@ -59,11 +62,16 @@ int main(int argc, char** argv) {
     if (reports.empty()) continue;
     auto outcome = study.RunMonth(reports);
     TRAIL_CHECK(outcome.ok()) << outcome.status();
-    std::printf("month %d: %2zu new reports, on-arrival accuracy %s "
-                "(balanced %s)\n",
+    std::printf("month %d: %2zu new reports, accuracy %s (balanced %s, "
+                "macro-F1 %s) — %s update in %s ms (month %s ms)%s\n",
                 outcome->month_index, outcome->num_reports,
                 FormatDouble(outcome->accuracy, 3).c_str(),
-                FormatDouble(outcome->balanced_accuracy, 3).c_str());
+                FormatDouble(outcome->balanced_accuracy, 3).c_str(),
+                FormatDouble(outcome->macro_f1, 3).c_str(),
+                core::RetrainModeName(outcome->mode_used),
+                FormatDouble(outcome->retrain_wall_ms, 1).c_str(),
+                FormatDouble(outcome->wall_ms, 1).c_str(),
+                outcome->scratch_fallback ? " [drift fallback]" : "");
   }
 
   std::printf("\nfinal TKG: %zu nodes, %zu events — model stays current "

@@ -66,6 +66,58 @@ ml::Matrix IocEncoders::EncodeAll(const graph::PropertyGraph& graph) const {
   return out;
 }
 
+ml::Matrix IocEncoders::EncodeFrom(const graph::PropertyGraph& graph,
+                                   NodeId first_node) const {
+  TRAIL_CHECK(fitted_) << "encode before fit";
+  TRAIL_CHECK(first_node <= graph.num_nodes());
+  ml::Matrix out(graph.num_nodes() - first_node, encoding_dim_);
+
+  auto encode_type = [&](NodeType type, const gnn::Autoencoder& encoder) {
+    std::vector<NodeId> nodes;
+    std::vector<std::vector<float>> rows;
+    for (NodeId node : graph.NodesOfType(type)) {
+      if (node < first_node || !graph.has_features(node)) continue;
+      nodes.push_back(node);
+      rows.push_back(graph.features(node));
+    }
+    if (nodes.empty()) return;
+    ml::Matrix encoded = encoder.Encode(ml::Matrix::FromRows(rows));
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      auto src = encoded.Row(i);
+      auto dst = out.Row(nodes[i] - first_node);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  };
+  encode_type(NodeType::kUrl, url_);
+  encode_type(NodeType::kIp, ip_);
+  encode_type(NodeType::kDomain, domain_);
+  return out;
+}
+
+void IocEncoders::SaveState(BinaryWriter* w) const {
+  TRAIL_CHECK(fitted_) << "save before fit";
+  w->U64(encoding_dim_);
+  url_.SaveState(w);
+  ip_.SaveState(w);
+  domain_.SaveState(w);
+}
+
+Status IocEncoders::LoadState(BinaryReader* r) {
+  const size_t encoding_dim = r->U64();
+  TRAIL_RETURN_NOT_OK(url_.LoadState(r));
+  TRAIL_RETURN_NOT_OK(ip_.LoadState(r));
+  TRAIL_RETURN_NOT_OK(domain_.LoadState(r));
+  if (url_.encoding_dim() != encoding_dim ||
+      ip_.encoding_dim() != encoding_dim ||
+      domain_.encoding_dim() != encoding_dim) {
+    r->MarkFailed();
+    return Status::ParseError("IOC encoder dimensions disagree");
+  }
+  encoding_dim_ = encoding_dim;
+  fitted_ = true;
+  return Status::Ok();
+}
+
 gnn::GnnGraph BuildGnnGraph(const graph::PropertyGraph& graph,
                             const ml::Matrix& encoded) {
   TRAIL_CHECK(encoded.rows() == graph.num_nodes());
@@ -132,6 +184,35 @@ gnn::GnnGraph BuildGnnSubgraph(const graph::PropertyGraph& graph,
     }
   }
   return g;
+}
+
+void ExtendGnnGraph(const graph::PropertyGraph& graph,
+                    const ml::Matrix& encoded_new, gnn::GnnGraph* g) {
+  const size_t old_n = g->num_nodes;
+  TRAIL_CHECK(old_n + encoded_new.rows() == graph.num_nodes())
+      << "encoded_new does not cover exactly the appended nodes";
+  g->encoded.AppendRows(encoded_new);
+  g->num_nodes = graph.num_nodes();
+  g->node_type.resize(g->num_nodes);
+  for (NodeId v = old_n; v < g->num_nodes; ++v) {
+    g->node_type[v] = static_cast<int>(graph.type(v));
+    if (graph.type(v) == NodeType::kEvent) g->events.push_back(v);
+  }
+  // Appended edges extend old nodes' neighborhoods too, so the spec is
+  // rebuilt over the full graph (cheap next to encoding/training).
+  g->spec.offsets.assign(g->num_nodes + 1, 0);
+  for (NodeId v = 0; v < g->num_nodes; ++v) {
+    g->spec.offsets[v + 1] = g->spec.offsets[v] + graph.degree(v);
+  }
+  g->spec.sources.resize(g->spec.offsets[g->num_nodes]);
+  g->edge_type.resize(g->spec.offsets[g->num_nodes]);
+  size_t cursor = 0;
+  for (NodeId v = 0; v < g->num_nodes; ++v) {
+    for (const graph::Neighbor& nb : graph.neighbors(v)) {
+      g->spec.sources[cursor] = nb.node;
+      g->edge_type[cursor++] = static_cast<int>(nb.type);
+    }
+  }
 }
 
 }  // namespace trail::core

@@ -4,6 +4,8 @@
 #include "gnn/autoencoder.h"
 #include "gnn/event_gnn.h"
 #include "graph/property_graph.h"
+#include "util/binary_io.h"
+#include "util/status.h"
 
 namespace trail::core {
 
@@ -20,8 +22,23 @@ class IocEncoders {
   /// ASNs, and feature-less nodes), in node-id order.
   ml::Matrix EncodeAll(const graph::PropertyGraph& graph) const;
 
+  /// Encoded features for nodes [first_node, num_nodes) only — one row per
+  /// such node, in node-id order. Because every encoder op is row-independent
+  /// with a fixed accumulation order, row (v - first_node) here is bitwise
+  /// identical to row v of EncodeAll; the incremental monthly append encodes
+  /// just the new nodes and still matches a from-scratch encoding exactly.
+  ml::Matrix EncodeFrom(const graph::PropertyGraph& graph,
+                        graph::NodeId first_node) const;
+
   bool fitted() const { return fitted_; }
   size_t encoding_dim() const { return encoding_dim_; }
+
+  /// Writes the three fitted autoencoders as one checkpoint section.
+  void SaveState(BinaryWriter* w) const;
+
+  /// Restores a section written by SaveState; fails cleanly on truncation
+  /// or inconsistent encoder dimensions.
+  Status LoadState(BinaryReader* r);
 
   const gnn::Autoencoder& url() const { return url_; }
   const gnn::Autoencoder& ip() const { return ip_; }
@@ -46,6 +63,16 @@ gnn::GnnGraph BuildGnnGraph(const graph::PropertyGraph& graph,
 gnn::GnnGraph BuildGnnSubgraph(const graph::PropertyGraph& graph,
                                const ml::Matrix& encoded,
                                const std::vector<graph::NodeId>& nodes);
+
+/// Grows an existing model view in place after a TKG append: `g` was built
+/// over the first g->num_nodes nodes of `graph`, `encoded_new` holds one row
+/// per node added since (from IocEncoders::EncodeFrom). Old encoded rows are
+/// kept verbatim (IOC features are frozen after first analysis); the
+/// aggregation spec is rebuilt from the full graph because appended edges
+/// also extend old nodes' neighborhoods. The result is bitwise identical to
+/// BuildGnnGraph(graph, EncodeAll(graph)).
+void ExtendGnnGraph(const graph::PropertyGraph& graph,
+                    const ml::Matrix& encoded_new, gnn::GnnGraph* g);
 
 }  // namespace trail::core
 

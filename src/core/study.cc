@@ -1,38 +1,72 @@
 #include "core/study.h"
 
+#include <algorithm>
+
 #include "ml/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace trail::core {
 
+const char* RetrainModeName(RetrainMode mode) {
+  switch (mode) {
+    case RetrainMode::kScratch:
+      return "scratch";
+    case RetrainMode::kIncremental:
+      return "incremental";
+    case RetrainMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
 Result<MonthOutcome> Study::RunMonth(
     const std::vector<const osint::PulseReport*>& reports) {
+  TRAIL_TRACE_SPAN("study.run_month");
   if (!trail_->models_trained()) {
     return Status::FailedPrecondition("train models before running a study");
   }
+  Timer month_timer;
   MonthOutcome outcome;
   outcome.month_index = static_cast<int>(history_.size()) + 1;
 
+  // The month arrives as one unattributed batch: strip the actor tags
+  // (attribution is the system's job) and delta-append, then attribute
+  // every new event against the incrementally extended TKG.
+  std::vector<osint::PulseReport> incoming;
+  incoming.reserve(reports.size());
+  std::vector<int> truth;
+  truth.reserve(reports.size());
   for (const osint::PulseReport* report : reports) {
-    osint::PulseReport incoming = *report;
-    const std::string actor = incoming.apt;
-    incoming.apt.clear();  // attribution is the system's job
-    auto event = trail_->IngestReport(incoming);
-    if (!event.ok()) continue;  // duplicates etc. are skipped, not fatal
-    auto attribution = trail_->AttributeWithGnn(event.value());
-
+    osint::PulseReport stripped = *report;
     int actor_id = -1;
     for (size_t c = 0; c < trail_->apt_names().size(); ++c) {
-      if (trail_->apt_names()[c] == actor) actor_id = static_cast<int>(c);
+      if (trail_->apt_names()[c] == stripped.apt) {
+        actor_id = static_cast<int>(c);
+      }
     }
-    outcome.event_nodes.push_back(event.value());
-    outcome.truth.push_back(actor_id);
+    stripped.apt.clear();
+    incoming.push_back(std::move(stripped));
+    truth.push_back(actor_id);
+  }
+  auto delta = trail_->AppendReports(incoming);
+  if (!delta.ok()) return delta.status();
+
+  for (size_t i = 0; i < delta->event_nodes.size(); ++i) {
+    graph::NodeId event = delta->event_nodes[i];
+    if (event == graph::kInvalidNode) continue;  // duplicate delivery
+    auto attribution = trail_->AttributeWithGnn(event);
+    outcome.event_nodes.push_back(event);
+    outcome.truth.push_back(truth[i]);
     outcome.predicted.push_back(attribution.ok() ? attribution->apt : -1);
   }
   outcome.num_reports = outcome.truth.size();
+  const int num_classes = static_cast<int>(trail_->apt_names().size());
   outcome.accuracy = ml::Accuracy(outcome.truth, outcome.predicted);
-  outcome.balanced_accuracy = ml::BalancedAccuracy(
-      outcome.truth, outcome.predicted,
-      static_cast<int>(trail_->apt_names().size()));
+  outcome.balanced_accuracy =
+      ml::BalancedAccuracy(outcome.truth, outcome.predicted, num_classes);
+  outcome.macro_f1 = ml::MacroF1(outcome.truth, outcome.predicted, num_classes);
 
   if (options_.retrain_monthly && outcome.num_reports > 0) {
     for (size_t i = 0; i < outcome.event_nodes.size(); ++i) {
@@ -41,10 +75,66 @@ Result<MonthOutcome> Study::RunMonth(
                                          outcome.truth[i]);
       }
     }
-    TRAIL_RETURN_NOT_OK(trail_->FineTuneGnn(options_.fine_tune_epochs));
+    TRAIL_RETURN_NOT_OK(Retrain(&outcome));
   }
+  best_macro_f1_ = std::max(best_macro_f1_, outcome.macro_f1);
+  outcome.wall_ms = month_timer.ElapsedMillis();
+
+  TRAIL_METRIC_INC("study.months_run");
+  TRAIL_METRIC_OBSERVE("study.month_macro_f1", outcome.macro_f1);
+  TRAIL_METRIC_OBSERVE("study.month_wall_ms", outcome.wall_ms);
+  TRAIL_METRIC_OBSERVE("study.retrain_wall_ms", outcome.retrain_wall_ms);
   history_.push_back(outcome);
   return outcome;
+}
+
+Status Study::Retrain(MonthOutcome* outcome) {
+  TRAIL_TRACE_SPAN("study.retrain");
+  Timer retrain_timer;
+  RetrainMode mode = options_.retrain_mode;
+  bool fallback = false;
+
+  if (mode == RetrainMode::kAuto) {
+    const double drop = best_macro_f1_ - outcome->macro_f1;
+    if (drop > options_.auto_scratch_drop) {
+      // Staleness policy: quality cratered relative to the best month —
+      // treat it as concept drift and rebuild the model from scratch.
+      mode = RetrainMode::kScratch;
+      fallback = true;
+      TRAIL_METRIC_INC("study.auto_scratch_fallbacks");
+    } else {
+      mode = RetrainMode::kIncremental;
+    }
+  }
+  if (mode == RetrainMode::kIncremental) {
+    Status fine_tune = trail_->FineTuneGnn(options_.fine_tune_epochs);
+    if (!fine_tune.ok() &&
+        fine_tune.code() == StatusCode::kFailedPrecondition) {
+      // The month introduced APT classes the model cannot grow into by
+      // fine-tuning; scratch retraining is the only correct update.
+      mode = RetrainMode::kScratch;
+      fallback = true;
+      TRAIL_METRIC_INC("study.class_growth_fallbacks");
+    } else {
+      TRAIL_RETURN_NOT_OK(fine_tune);
+    }
+  }
+  if (mode == RetrainMode::kScratch) {
+    TRAIL_RETURN_NOT_OK(trail_->TrainModels());
+  }
+
+  outcome->mode_used = mode;
+  outcome->retrained = true;
+  outcome->scratch_fallback = fallback;
+  outcome->retrain_wall_ms = retrain_timer.ElapsedMillis();
+  // The metric macros cache their handle per call site, so each name needs
+  // its own site.
+  if (mode == RetrainMode::kScratch) {
+    TRAIL_METRIC_INC("study.scratch_retrains");
+  } else {
+    TRAIL_METRIC_INC("study.incremental_retrains");
+  }
+  return Status::Ok();
 }
 
 }  // namespace trail::core

@@ -8,12 +8,40 @@
 
 namespace trail::core {
 
+/// How the monthly-retraining track updates the model after each month.
+enum class RetrainMode {
+  /// Retrain the GNN from scratch on the grown TKG every month (the
+  /// paper's baseline protocol; most faithful, most expensive).
+  kScratch,
+  /// Warm-start: delta-append the month into the TKG/CSR/model view and
+  /// fine-tune the existing GNN for a few epochs.
+  kIncremental,
+  /// Incremental by default, falling back to a scratch retrain when the
+  /// month's macro-F1 drops more than `auto_scratch_drop` below the best
+  /// month seen so far — the staleness policy's concept-drift response.
+  kAuto,
+};
+
+const char* RetrainModeName(RetrainMode mode);
+
 /// One evaluated month of the longitudinal protocol.
 struct MonthOutcome {
   int month_index = 0;
   size_t num_reports = 0;
   double accuracy = 0.0;
   double balanced_accuracy = 0.0;
+  double macro_f1 = 0.0;
+  /// Wall time of the whole month (append + attribution + retrain) and of
+  /// just the model update, for the scratch-vs-incremental comparison.
+  double wall_ms = 0.0;
+  double retrain_wall_ms = 0.0;
+  /// What actually ran this month. `mode_used` records the executed update
+  /// (kScratch when auto or class growth forced a fallback), `retrained`
+  /// whether any update ran, `scratch_fallback` whether an incremental
+  /// request was escalated to scratch.
+  RetrainMode mode_used = RetrainMode::kIncremental;
+  bool retrained = false;
+  bool scratch_fallback = false;
   std::vector<graph::NodeId> event_nodes;
   std::vector<int> truth;       // APT ids (-1 unknown actor tag)
   std::vector<int> predicted;   // -1 = unattributable
@@ -21,16 +49,21 @@ struct MonthOutcome {
 
 struct StudyOptions {
   /// After evaluating a month, merge its confirmed labels into the TKG and
-  /// fine-tune (the paper's monthly-retraining track). When false the model
-  /// and label set stay frozen (the staleness track).
+  /// update the model (the paper's monthly-retraining track). When false
+  /// the model and label set stay frozen (the staleness track).
   bool retrain_monthly = true;
+  RetrainMode retrain_mode = RetrainMode::kIncremental;
   int fine_tune_epochs = 8;
+  /// kAuto falls back to scratch when a month's macro-F1 is more than this
+  /// far below the best month observed so far.
+  double auto_scratch_drop = 0.15;
 };
 
 /// Drives the paper's Section VII-C months-long investigation over one
-/// Trail instance: each month's reports arrive unattributed, are attributed
-/// on arrival with the GNN, then (optionally) their confirmed labels are
-/// merged and the model fine-tuned before the next month.
+/// Trail instance: each month's reports arrive unattributed and are
+/// delta-appended as one batch, every new event is attributed with the GNN,
+/// then (optionally) the confirmed labels are merged and the model updated
+/// — incrementally, from scratch, or adaptively — before the next month.
 class Study {
  public:
   Study(Trail* trail, StudyOptions options)
@@ -45,10 +78,17 @@ class Study {
 
   const std::vector<MonthOutcome>& history() const { return history_; }
 
+  /// Best monthly macro-F1 observed so far (the kAuto staleness baseline).
+  double best_macro_f1() const { return best_macro_f1_; }
+
  private:
+  /// Runs the post-evaluation model update and returns the executed mode.
+  Status Retrain(MonthOutcome* outcome);
+
   Trail* trail_;
   StudyOptions options_;
   std::vector<MonthOutcome> history_;
+  double best_macro_f1_ = 0.0;
 };
 
 }  // namespace trail::core

@@ -80,6 +80,38 @@ Status TkgBuilder::IngestAll(const std::vector<std::string>& report_jsons) {
   return Status::Ok();
 }
 
+Result<TkgAppendDelta> TkgBuilder::AppendReports(
+    const std::vector<osint::PulseReport>& reports) {
+  TRAIL_TRACE_SPAN("graph.append_reports");
+  TkgAppendDelta delta;
+  delta.first_new_node = graph_.num_nodes();
+  delta.first_new_edge = graph_.num_edges();
+  delta.event_nodes.reserve(reports.size());
+
+  PrefetchHop1Analyses(reports, reports.size());
+  for (const osint::PulseReport& report : reports) {
+    auto event = IngestReport(report);
+    if (event.ok()) {
+      delta.event_nodes.push_back(event.value());
+    } else if (event.status().code() == StatusCode::kAlreadyExists) {
+      delta.event_nodes.push_back(graph::kInvalidNode);
+    } else {
+      ClearAnalysisCaches();
+      return event.status();
+    }
+  }
+  ClearAnalysisCaches();
+
+  delta.num_new_nodes = graph_.num_nodes() - delta.first_new_node;
+  delta.num_new_edges = graph_.num_edges() - delta.first_new_edge;
+  TRAIL_METRIC_INC("graph.appends");
+  TRAIL_METRIC_OBSERVE("graph.append_new_nodes",
+                       static_cast<double>(delta.num_new_nodes));
+  TRAIL_METRIC_OBSERVE("graph.append_new_edges",
+                       static_cast<double>(delta.num_new_edges));
+  return delta;
+}
+
 void TkgBuilder::PrefetchHop1Analyses(
     const std::vector<osint::PulseReport>& reports, size_t limit) {
   TRAIL_TRACE_SPAN("graph.prefetch_analyses");

@@ -23,6 +23,21 @@ struct TkgBuildOptions {
   bool drop_invalid_indicators = true;
 };
 
+/// Watermarks describing what one AppendReports call added to the TKG.
+/// Downstream incremental consumers (CsrGraph::Append, the warm-start GNN
+/// cache) key off the node/edge boundaries; everything at id >=
+/// first_new_node / first_new_edge is this month's delta.
+struct TkgAppendDelta {
+  graph::NodeId first_new_node = 0;
+  size_t first_new_edge = 0;
+  size_t num_new_nodes = 0;
+  size_t num_new_edges = 0;
+  /// Event node per input report, in order; graph::kInvalidNode for reports
+  /// that were already ingested (duplicate feed deliveries are skipped, not
+  /// errors, on the append path).
+  std::vector<graph::NodeId> event_nodes;
+};
+
 /// Builds the TRAIL Knowledge Graph (paper Section IV / Fig. 1a): parses
 /// incident-report JSON, interns event + IOC nodes, queries the feed's
 /// analysis services to extract features and secondary IOCs, and merges
@@ -40,6 +55,16 @@ class TkgBuilder {
 
   /// Ingests every report in the list; stops on the first error.
   Status IngestAll(const std::vector<std::string>& report_jsons);
+
+  /// Delta-appends one batch (typically a month) of parsed reports: hop-1
+  /// analyses are prefetched in parallel, then reports ingest serially in
+  /// order, exactly as IngestAll would — the resulting graph is identical
+  /// to having ingested these reports one by one. Returns the node/edge
+  /// watermarks of the appended delta. Duplicate reports are skipped (their
+  /// event_nodes entry is kInvalidNode); any other per-report failure stops
+  /// the append and returns its status.
+  Result<TkgAppendDelta> AppendReports(
+      const std::vector<osint::PulseReport>& reports);
 
   const graph::PropertyGraph& graph() const { return graph_; }
   graph::PropertyGraph& mutable_graph() { return graph_; }

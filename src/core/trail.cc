@@ -53,6 +53,100 @@ Result<NodeId> Trail::IngestReport(const osint::PulseReport& report) {
   return event;
 }
 
+Result<TkgAppendDelta> Trail::AppendReports(
+    const std::vector<osint::PulseReport>& reports) {
+  TRAIL_TRACE_SPAN("core.append_reports");
+  TRAIL_METRIC_ADD("core.reports_ingested", reports.size());
+  auto delta = builder_.AppendReports(reports);
+  if (!delta.ok()) {
+    // The builder may have partially ingested; stale caches would be wrong.
+    InvalidateCaches();
+    return delta.status();
+  }
+  if (csr_cache_ != nullptr) {
+    csr_cache_->Append(builder_.graph(), delta->first_new_edge);
+    TRAIL_METRIC_INC("core.csr_incremental_extends");
+  }
+  if (gnn_cache_ != nullptr) {
+    if (encoders_.fitted()) {
+      ml::Matrix encoded_new =
+          encoders_.EncodeFrom(builder_.graph(), delta->first_new_node);
+      ExtendGnnGraph(builder_.graph(), encoded_new, gnn_cache_.get());
+      TRAIL_METRIC_INC("core.gnn_cache_incremental_extends");
+    } else {
+      gnn_cache_.reset();
+    }
+  }
+  return delta;
+}
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x54434B31;  // "TCK1"
+constexpr uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+Status Trail::SaveCheckpoint(const std::string& path) const {
+  TRAIL_TRACE_SPAN("core.save_checkpoint");
+  if (!gnn_.trained() || !encoders_.fitted()) {
+    return Status::FailedPrecondition("TrainModels before SaveCheckpoint");
+  }
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  BinaryWriter w(f.get());
+  w.U32(kCheckpointMagic);
+  w.U32(kCheckpointVersion);
+  const std::vector<std::string>& apts = builder_.apt_names();
+  w.U32(static_cast<uint32_t>(apts.size()));
+  for (const std::string& name : apts) w.Str(name);
+  encoders_.SaveState(&w);
+  gnn_.SaveState(&w);
+  if (!w.ok()) return Status::IoError("short write: " + path);
+  TRAIL_METRIC_INC("core.checkpoints_saved");
+  return Status::Ok();
+}
+
+Status Trail::LoadCheckpoint(const std::string& path) {
+  TRAIL_TRACE_SPAN("core.load_checkpoint");
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  BinaryReader r(f.get());
+  if (r.U32() != kCheckpointMagic) {
+    return Status::ParseError("bad magic in " + path);
+  }
+  if (r.U32() != kCheckpointVersion) {
+    return Status::ParseError("unsupported checkpoint version in " + path);
+  }
+  const uint32_t num_apts = r.U32();
+  if (!r.ok() || num_apts > BinaryReader::kMaxLen) {
+    return Status::ParseError("corrupt checkpoint header in " + path);
+  }
+  std::vector<std::string> apts(num_apts);
+  for (std::string& name : apts) name = r.Str();
+  if (!r.ok()) return Status::ParseError("truncated checkpoint in " + path);
+  if (apts != builder_.apt_names()) {
+    return Status::FailedPrecondition(
+        "checkpoint APT label space does not match the TKG: " + path);
+  }
+  // Stage into fresh instances so a mid-blob failure cannot leave this
+  // Trail with half-restored models.
+  IocEncoders encoders;
+  gnn::EventGnn gnn;
+  TRAIL_RETURN_NOT_OK(encoders.LoadState(&r));
+  TRAIL_RETURN_NOT_OK(gnn.LoadState(&r));
+  if (!r.ok()) return Status::ParseError("truncated checkpoint in " + path);
+  if (gnn.num_classes() != static_cast<int>(num_apts)) {
+    return Status::ParseError(
+        "checkpoint GNN class count disagrees with its APT list: " + path);
+  }
+  encoders_ = std::move(encoders);
+  gnn_ = std::move(gnn);
+  gnn_cache_.reset();  // encodings changed
+  TRAIL_METRIC_INC("core.checkpoints_loaded");
+  return Status::Ok();
+}
+
 Status Trail::TrainModels() {
   TRAIL_TRACE_SPAN("core.train_models");
   const graph::PropertyGraph& g = builder_.graph();
@@ -86,6 +180,11 @@ Status Trail::FineTuneGnn(int epochs) {
   TRAIL_TRACE_SPAN("core.fine_tune_gnn");
   if (!gnn_.trained()) {
     return Status::FailedPrecondition("TrainModels before FineTuneGnn");
+  }
+  if (builder_.num_apts() != gnn_.num_classes()) {
+    return Status::FailedPrecondition(
+        "TKG discovered new APT classes; retrain from scratch to grow the"
+        " class space");
   }
   const graph::PropertyGraph& g = builder_.graph();
   std::vector<int> train_labels(g.num_nodes(), -1);

@@ -38,13 +38,38 @@ class Trail {
   Status Ingest(const std::vector<std::string>& report_jsons);
   Result<graph::NodeId> IngestReport(const osint::PulseReport& report);
 
+  /// Delta-appends a batch (typically one month) of parsed reports and
+  /// incrementally extends the derived caches instead of invalidating them:
+  /// the CSR grows via CsrGraph::Append over the new edge range, and the
+  /// model view encodes only the new nodes (IocEncoders::EncodeFrom +
+  /// ExtendGnnGraph). Both extensions are bitwise identical to a
+  /// from-scratch rebuild, so every attribution after an append matches the
+  /// Ingest-then-rebuild path exactly — just without the O(graph) rebuild.
+  Result<TkgAppendDelta> AppendReports(
+      const std::vector<osint::PulseReport>& reports);
+
   /// Fits the autoencoders (once) and trains the GNN from scratch on every
   /// currently-labeled event.
   Status TrainModels();
 
   /// Continues GNN training on the current TKG (the paper's monthly
-  /// fine-tune: "<10 epochs before convergence").
+  /// fine-tune: "<10 epochs before convergence"). Fails FailedPrecondition
+  /// when the TKG has discovered APT classes the trained model does not
+  /// know about — the caller must retrain from scratch to grow the class
+  /// space.
   Status FineTuneGnn(int epochs = 8);
+
+  /// Writes the trained models (APT label space, the three IOC
+  /// autoencoders, and the GNN) to `path` as one versioned binary blob
+  /// (magic "TCK1"). The longitudinal warm start loads this instead of
+  /// refitting encoders and retraining from scratch.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores models written by SaveCheckpoint. The checkpoint's APT label
+  /// space must exactly match this instance's TKG (same names, same order);
+  /// a corrupt, truncated, or mismatched blob fails cleanly and leaves the
+  /// models untrained.
+  Status LoadCheckpoint(const std::string& path);
 
   struct Attribution {
     int apt = -1;

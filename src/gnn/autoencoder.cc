@@ -76,6 +76,63 @@ double Autoencoder::Fit(const ml::Matrix& x, const AutoencoderOptions& options) 
   return last_epoch_loss;
 }
 
+void Autoencoder::SaveState(BinaryWriter* w) const {
+  TRAIL_CHECK(fitted_) << "save before fit";
+  w->U64(options_.hidden);
+  w->U64(options_.encoding);
+  w->I32(options_.epochs);
+  w->U64(options_.batch_size);
+  w->F64(options_.learning_rate);
+  w->U64(options_.seed);
+  w->U64(options_.max_train_rows);
+  for (const ml::ag::VarPtr& p : {enc_w1_, enc_b1_, enc_w2_, enc_b2_, dec_w1_,
+                                  dec_b1_, dec_w2_, dec_b2_}) {
+    ml::WriteMatrix(w, p->value);
+  }
+}
+
+Status Autoencoder::LoadState(BinaryReader* r) {
+  AutoencoderOptions options;
+  options.hidden = r->U64();
+  options.encoding = r->U64();
+  options.epochs = r->I32();
+  options.batch_size = r->U64();
+  options.learning_rate = r->F64();
+  options.seed = r->U64();
+  options.max_train_rows = r->U64();
+  std::vector<ml::Matrix> weights;
+  for (int i = 0; i < 8; ++i) weights.push_back(ml::ReadMatrix(r));
+  if (!r->ok()) return Status::ParseError("truncated autoencoder state");
+  const size_t in_dim = weights[0].rows();
+  const bool shapes_ok =
+      in_dim > 0 &&
+      weights[0].cols() == options.hidden &&                       // enc_w1
+      weights[1].rows() == 1 && weights[1].cols() == options.hidden &&
+      weights[2].rows() == options.hidden &&
+      weights[2].cols() == options.encoding &&                     // enc_w2
+      weights[3].rows() == 1 && weights[3].cols() == options.encoding &&
+      weights[4].rows() == options.encoding &&
+      weights[4].cols() == options.hidden &&                       // dec_w1
+      weights[5].rows() == 1 && weights[5].cols() == options.hidden &&
+      weights[6].rows() == options.hidden && weights[6].cols() == in_dim &&
+      weights[7].rows() == 1 && weights[7].cols() == in_dim;
+  if (!shapes_ok) {
+    r->MarkFailed();
+    return Status::ParseError("inconsistent autoencoder weight shapes");
+  }
+  options_ = options;
+  enc_w1_ = ag::Param(std::move(weights[0]));
+  enc_b1_ = ag::Param(std::move(weights[1]));
+  enc_w2_ = ag::Param(std::move(weights[2]));
+  enc_b2_ = ag::Param(std::move(weights[3]));
+  dec_w1_ = ag::Param(std::move(weights[4]));
+  dec_b1_ = ag::Param(std::move(weights[5]));
+  dec_w2_ = ag::Param(std::move(weights[6]));
+  dec_b2_ = ag::Param(std::move(weights[7]));
+  fitted_ = true;
+  return Status::Ok();
+}
+
 ml::Matrix Autoencoder::Encode(const ml::Matrix& x) const {
   TRAIL_CHECK(fitted_) << "encode before fit";
   return EncodeVar(ag::Constant(x))->value;

@@ -3,6 +3,8 @@
 
 #include "ml/autograd.h"
 #include "ml/matrix.h"
+#include "util/binary_io.h"
+#include "util/status.h"
 
 namespace trail::gnn {
 
@@ -39,6 +41,15 @@ class Autoencoder {
 
   size_t encoding_dim() const { return options_.encoding; }
   bool fitted() const { return fitted_; }
+
+  /// Writes the fitted model (options + all eight weight matrices) to the
+  /// stream — one section of the versioned Trail checkpoint blob.
+  void SaveState(BinaryWriter* w) const;
+
+  /// Restores a model written by SaveState. Shape inconsistencies and
+  /// truncation fail the reader; the model is only usable when the returned
+  /// status is OK.
+  Status LoadState(BinaryReader* r);
 
  private:
   ml::ag::VarPtr EncodeVar(const ml::ag::VarPtr& x) const;

@@ -239,6 +239,134 @@ void EventGnn::FineTune(const GnnGraph& g, const std::vector<int>& train_labels,
   TrainEpochs(g, train_labels, &opt, epochs, &rng);
 }
 
+namespace {
+
+constexpr uint32_t kGnnMagic = 0x474E4E31;  // "GNN1"
+constexpr uint32_t kGnnVersion = 1;
+
+}  // namespace
+
+void EventGnn::SaveState(BinaryWriter* w) const {
+  TRAIL_CHECK(trained_) << "save before train";
+  w->I32(options_.layers);
+  w->U64(options_.hidden);
+  w->F64(options_.learning_rate);
+  w->I32(options_.epochs);
+  w->F64(options_.dropout);
+  w->U32(options_.l2_normalize ? 1 : 0);
+  w->U64(options_.seed);
+  w->F64(options_.label_visible_fraction);
+  w->U32(options_.label_propagation_features ? 1 : 0);
+  w->I32(num_classes_);
+  ml::WriteMatrix(w, type_embed_->value);
+  ml::WriteMatrix(w, label_embed_->value);
+  ml::WriteMatrix(w, edge_type_logits_->value);
+  ml::WriteMatrix(w, lp_proj_->value);
+  for (const SageLayer& layer : layers_) {
+    ml::WriteMatrix(w, layer.weight->value);
+    ml::WriteMatrix(w, layer.bias->value);
+    if (layer.label_embed != nullptr) {
+      ml::WriteMatrix(w, layer.label_embed->value);
+    }
+  }
+}
+
+Status EventGnn::LoadState(BinaryReader* r) {
+  EventGnnOptions options;
+  options.layers = r->I32();
+  options.hidden = r->U64();
+  options.learning_rate = r->F64();
+  options.epochs = r->I32();
+  options.dropout = r->F64();
+  options.l2_normalize = r->U32() != 0;
+  options.seed = r->U64();
+  options.label_visible_fraction = r->F64();
+  options.label_propagation_features = r->U32() != 0;
+  const int num_classes = r->I32();
+  if (!r->ok() || options.layers < 1 || options.layers > 64 ||
+      num_classes < 1 || num_classes > 1 << 20) {
+    r->MarkFailed();
+    return Status::ParseError("corrupt GNN state header");
+  }
+  ml::Matrix type_embed = ml::ReadMatrix(r);
+  ml::Matrix label_embed = ml::ReadMatrix(r);
+  ml::Matrix edge_logits = ml::ReadMatrix(r);
+  ml::Matrix lp_proj = ml::ReadMatrix(r);
+  std::vector<SageLayer> layers;
+  size_t in_dim = type_embed.cols();
+  for (int l = 0; l < options.layers; ++l) {
+    const bool last = l + 1 == options.layers;
+    const size_t out_dim =
+        last ? static_cast<size_t>(num_classes) : options.hidden;
+    SageLayer layer;
+    ml::Matrix weight = ml::ReadMatrix(r);
+    ml::Matrix bias = ml::ReadMatrix(r);
+    if (!r->ok() || weight.rows() != in_dim || weight.cols() != out_dim ||
+        bias.rows() != 1 || bias.cols() != out_dim) {
+      r->MarkFailed();
+      return Status::ParseError("inconsistent GNN layer shapes");
+    }
+    layer.weight = ag::Param(std::move(weight));
+    layer.bias = ag::Param(std::move(bias));
+    if (!last) {
+      ml::Matrix table = ml::ReadMatrix(r);
+      if (!r->ok() || table.rows() != static_cast<size_t>(num_classes) + 1 ||
+          table.cols() != out_dim) {
+        r->MarkFailed();
+        return Status::ParseError("inconsistent GNN label-embed shapes");
+      }
+      layer.label_embed = ag::Param(std::move(table));
+    }
+    layers.push_back(std::move(layer));
+    in_dim = out_dim;
+  }
+  const size_t enc_dim = type_embed.cols();
+  if (!r->ok() || type_embed.rows() != graph::kNumNodeTypes || enc_dim == 0 ||
+      label_embed.rows() != static_cast<size_t>(num_classes) + 1 ||
+      label_embed.cols() != enc_dim ||
+      edge_logits.rows() != graph::kNumEdgeTypes || edge_logits.cols() != 1 ||
+      lp_proj.rows() != static_cast<size_t>(num_classes) ||
+      lp_proj.cols() != enc_dim) {
+    r->MarkFailed();
+    return Status::ParseError("inconsistent GNN embedding shapes");
+  }
+  options_ = options;
+  num_classes_ = num_classes;
+  type_embed_ = ag::Param(std::move(type_embed));
+  label_embed_ = ag::Param(std::move(label_embed));
+  edge_type_logits_ = ag::Param(std::move(edge_logits));
+  lp_proj_ = ag::Param(std::move(lp_proj));
+  layers_ = std::move(layers);
+  trained_ = true;
+  return Status::Ok();
+}
+
+Status EventGnn::SaveState(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  BinaryWriter w(f.get());
+  w.U32(kGnnMagic);
+  w.U32(kGnnVersion);
+  SaveState(&w);
+  if (!w.ok()) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Status EventGnn::LoadState(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  BinaryReader r(f.get());
+  if (r.U32() != kGnnMagic) {
+    return Status::ParseError("bad magic in " + path);
+  }
+  if (r.U32() != kGnnVersion) {
+    return Status::ParseError("unsupported GNN state version in " + path);
+  }
+  TRAIL_RETURN_NOT_OK(LoadState(&r));
+  if (!r.ok()) return Status::ParseError("truncated GNN state in " + path);
+  return Status::Ok();
+}
+
 ml::Matrix EventGnn::PredictProba(const GnnGraph& g,
                                   const std::vector<int>& visible_labels) const {
   TRAIL_TRACE_SPAN("gnn.predict");

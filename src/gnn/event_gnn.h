@@ -2,10 +2,13 @@
 #define TRAIL_GNN_EVENT_GNN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ml/autograd.h"
 #include "ml/matrix.h"
+#include "util/binary_io.h"
+#include "util/status.h"
 
 namespace trail::gnn {
 
@@ -82,6 +85,21 @@ class EventGnn {
   int num_classes() const { return num_classes_; }
   bool trained() const { return trained_; }
   const EventGnnOptions& options() const { return options_; }
+
+  /// Writes the trained model to `path` as a versioned binary blob (magic
+  /// "GNN1"): options, class count, and every parameter matrix. The monthly
+  /// warm-start path loads this instead of retraining from scratch.
+  Status SaveState(const std::string& path) const;
+
+  /// Restores a model written by SaveState. A wrong magic, unsupported
+  /// version, truncated payload, or inconsistent shape fails cleanly; the
+  /// model is trained() only after an OK load.
+  Status LoadState(const std::string& path);
+
+  /// Stream variants, for embedding the GNN section inside the combined
+  /// Trail checkpoint (which also carries the per-IOC-type autoencoders).
+  void SaveState(BinaryWriter* w) const;
+  Status LoadState(BinaryReader* r);
 
  private:
   void BuildParams(size_t enc_dim, Rng* rng);

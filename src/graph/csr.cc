@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
 #include "util/parallel.h"
 
 namespace trail::graph {
@@ -109,6 +110,85 @@ CsrGraph CsrGraph::Build(const PropertyGraph& graph,
   }, /*min_chunk=*/1);
 
   return csr;
+}
+
+void CsrGraph::Append(const PropertyGraph& graph, size_t from_edge) {
+  const size_t n_old = num_nodes();
+  const size_t n = graph.num_nodes();
+  TRAIL_CHECK(num_kept_ == n_old) << "Append requires a full-graph snapshot";
+  TRAIL_CHECK(n >= n_old) << "graph shrank since the snapshot";
+  TRAIL_CHECK(from_edge <= graph.num_edges()) << "edge watermark out of range";
+  const auto& edges = graph.edges();
+  const size_t num_new = edges.size() - from_edge;
+
+  kept_.resize(n, 1);
+  num_kept_ = n;
+  if (num_new == 0 && n == n_old) return;
+
+  // Pass 1: per-node degree of the new edge range. Small deltas count
+  // serially; large ones reuse the fixed-chunk parallel count (the chunk
+  // layout depends only on the delta size, so the fill below is identical
+  // at any thread count).
+  const bool parallel = num_new >= kParallelBuildMinEdges;
+  const size_t num_chunks = parallel ? kParallelBuildChunks : 1;
+  const size_t per_chunk = (num_new + num_chunks - 1) / num_chunks;
+  std::vector<std::vector<uint32_t>> chunk_counts(num_chunks);
+  ParallelForEachIndex(num_chunks, [&](size_t k) {
+    auto& counts = chunk_counts[k];
+    counts.assign(n, 0);
+    const size_t begin = from_edge + k * per_chunk;
+    const size_t end = std::min(edges.size(), begin + per_chunk);
+    for (size_t i = begin; i < end; ++i) {
+      const Edge& e = edges[i];
+      ++counts[e.src];
+      ++counts[e.dst];
+    }
+  }, /*min_chunk=*/1);
+
+  // New offsets: old degree (0 for appended nodes) plus the delta degree.
+  std::vector<uint64_t> offsets(n + 1, 0);
+  std::vector<std::vector<uint64_t>> chunk_cursor(
+      num_chunks, std::vector<uint64_t>(n));
+  for (size_t v = 0; v < n; ++v) {
+    const uint64_t old_degree = v < n_old ? offsets_[v + 1] - offsets_[v] : 0;
+    uint64_t running = offsets[v] + old_degree;
+    for (size_t k = 0; k < num_chunks; ++k) {
+      chunk_cursor[k][v] = running;
+      running += chunk_counts[k][v];
+    }
+    offsets[v + 1] = running;
+  }
+
+  // Relocate each node's existing adjacency slice (disjoint destinations,
+  // safe to move in parallel), then fill the new entries at each tail.
+  std::vector<NodeId> targets(offsets[n]);
+  std::vector<EdgeType> edge_types(offsets[n]);
+  ParallelFor(n_old, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      std::copy(targets_.begin() + offsets_[v], targets_.begin() + offsets_[v + 1],
+                targets.begin() + offsets[v]);
+      std::copy(edge_types_.begin() + offsets_[v],
+                edge_types_.begin() + offsets_[v + 1],
+                edge_types.begin() + offsets[v]);
+    }
+  }, /*min_chunk=*/4096);
+
+  ParallelForEachIndex(num_chunks, [&](size_t k) {
+    auto& cursor = chunk_cursor[k];
+    const size_t begin = from_edge + k * per_chunk;
+    const size_t end = std::min(edges.size(), begin + per_chunk);
+    for (size_t i = begin; i < end; ++i) {
+      const Edge& e = edges[i];
+      targets[cursor[e.src]] = e.dst;
+      edge_types[cursor[e.src]++] = e.type;
+      targets[cursor[e.dst]] = e.src;
+      edge_types[cursor[e.dst]++] = e.type;
+    }
+  }, /*min_chunk=*/1);
+
+  offsets_ = std::move(offsets);
+  targets_ = std::move(targets);
+  edge_types_ = std::move(edge_types);
 }
 
 }  // namespace trail::graph

@@ -9,10 +9,12 @@
 
 namespace trail::graph {
 
-/// An immutable compressed-sparse-row snapshot of a PropertyGraph's
-/// undirected adjacency. Label propagation, the GNN, and the traversal
-/// algorithms all run on this compact representation rather than the
-/// pointer-chasing mutable store.
+/// A compressed-sparse-row snapshot of a PropertyGraph's undirected
+/// adjacency. Label propagation, the GNN, and the traversal algorithms all
+/// run on this compact representation rather than the pointer-chasing
+/// mutable store. Snapshots are immutable except for Append, which extends
+/// a full-graph snapshot in place with a delta of new nodes and edges (the
+/// longitudinal monthly update).
 class CsrGraph {
  public:
   /// Compiles the undirected adjacency of `graph`. Optionally restricts to a
@@ -20,6 +22,17 @@ class CsrGraph {
   /// the first-order-only connectivity ablation). Node ids are preserved.
   static CsrGraph Build(const PropertyGraph& graph,
                         const std::vector<uint8_t>* keep = nullptr);
+
+  /// Extends this snapshot with everything appended to `graph` since it was
+  /// built: nodes >= num_nodes() are added and edges
+  /// [from_edge, graph.num_edges()) are merged, reusing the two-pass
+  /// parallel fill over the new edge range. PropertyGraph only ever appends
+  /// (nodes are interned, edges deduped), so the result is bit-identical to
+  /// a scratch Build(graph): a node's appended neighbors land at the tail
+  /// of its adjacency, exactly where the serial edge-order fill puts them.
+  /// Requires a full-graph snapshot (built without a keep mask) and
+  /// `from_edge` equal to the edge count this snapshot was built from.
+  void Append(const PropertyGraph& graph, size_t from_edge);
 
   size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
   size_t num_directed_entries() const { return targets_.size(); }

@@ -1,8 +1,9 @@
 #include "graph/serialization.h"
 
 #include <cstdio>
-#include <memory>
 #include <vector>
+
+#include "util/binary_io.h"
 
 namespace trail::graph {
 
@@ -11,88 +12,8 @@ namespace {
 constexpr uint32_t kMagic = 0x544B4731;  // "TKG1"
 constexpr uint32_t kVersion = 1;
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-class Writer {
- public:
-  explicit Writer(std::FILE* f) : f_(f) {}
-
-  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
-  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
-  void F64(double v) { Raw(&v, sizeof(v)); }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    Raw(s.data(), s.size());
-  }
-  void Floats(const std::vector<float>& v) {
-    U32(static_cast<uint32_t>(v.size()));
-    Raw(v.data(), v.size() * sizeof(float));
-  }
-  bool ok() const { return ok_; }
-
- private:
-  void Raw(const void* data, size_t size) {
-    if (!ok_) return;
-    if (size > 0 && std::fwrite(data, 1, size, f_) != size) ok_ = false;
-  }
-  std::FILE* f_;
-  bool ok_ = true;
-};
-
-class Reader {
- public:
-  explicit Reader(std::FILE* f) : f_(f) {}
-
-  uint32_t U32() {
-    uint32_t v = 0;
-    Raw(&v, sizeof(v));
-    return v;
-  }
-  uint64_t U64() {
-    uint64_t v = 0;
-    Raw(&v, sizeof(v));
-    return v;
-  }
-  double F64() {
-    double v = 0;
-    Raw(&v, sizeof(v));
-    return v;
-  }
-  std::string Str() {
-    uint32_t len = U32();
-    if (!ok_ || len > (1u << 24)) {
-      ok_ = false;
-      return {};
-    }
-    std::string s(len, '\0');
-    Raw(s.data(), len);
-    return s;
-  }
-  std::vector<float> Floats() {
-    uint32_t len = U32();
-    if (!ok_ || len > (1u << 24)) {
-      ok_ = false;
-      return {};
-    }
-    std::vector<float> v(len);
-    Raw(v.data(), len * sizeof(float));
-    return v;
-  }
-  bool ok() const { return ok_; }
-
- private:
-  void Raw(void* data, size_t size) {
-    if (!ok_) return;
-    if (size > 0 && std::fread(data, 1, size, f_) != size) ok_ = false;
-  }
-  std::FILE* f_;
-  bool ok_ = true;
-};
+using Writer = BinaryWriter;
+using Reader = BinaryReader;
 
 }  // namespace
 

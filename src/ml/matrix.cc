@@ -47,6 +47,17 @@ Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
   return out;
 }
 
+void Matrix::AppendRows(const Matrix& other) {
+  if (other.rows_ == 0) return;
+  if (rows_ == 0) {
+    *this = other;
+    return;
+  }
+  TRAIL_CHECK(cols_ == other.cols_) << "AppendRows column mismatch";
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows_;
+}
+
 float Matrix::Sum() const {
   // Fixed-chunk-order combine: the chunking depends only on the element
   // count, so the float result is identical at any thread count (and to
@@ -198,6 +209,26 @@ Matrix RowSoftmax(const Matrix& logits) {
     for (size_t c = 0; c < in.size(); ++c) dst[c] *= inv;
   }
   return out;
+}
+
+void WriteMatrix(BinaryWriter* w, const Matrix& m) {
+  w->U64(m.rows());
+  w->U64(m.cols());
+  w->Raw(m.data(), m.size() * sizeof(float));
+}
+
+Matrix ReadMatrix(BinaryReader* r) {
+  const uint64_t rows = r->U64();
+  const uint64_t cols = r->U64();
+  if (!r->ok() || rows > BinaryReader::kMaxLen || cols > BinaryReader::kMaxLen ||
+      rows * cols > BinaryReader::kMaxLen) {
+    r->MarkFailed();
+    return Matrix();
+  }
+  Matrix m(rows, cols);
+  r->Raw(m.data(), m.size() * sizeof(float));
+  if (!r->ok()) return Matrix();
+  return m;
 }
 
 }  // namespace trail::ml

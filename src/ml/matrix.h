@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "util/binary_io.h"
 #include "util/random.h"
 
 namespace trail::ml {
@@ -54,6 +55,11 @@ class Matrix {
   /// Returns the subset of rows given by `indices`.
   Matrix SelectRows(const std::vector<size_t>& indices) const;
 
+  /// Appends the rows of `other` below this matrix (column counts must
+  /// match; appending to an empty matrix adopts the other's shape). Grows
+  /// the GNN's node-feature rows when a month of reports is delta-appended.
+  void AppendRows(const Matrix& other);
+
   /// Sum / mean over all entries.
   float Sum() const;
 
@@ -88,6 +94,14 @@ Matrix ColumnVariance(const Matrix& a, const Matrix& mean);
 
 /// Row-wise softmax.
 Matrix RowSoftmax(const Matrix& logits);
+
+/// Binary serialization (shape header + raw row-major floats), used by the
+/// model checkpoint formats.
+void WriteMatrix(BinaryWriter* w, const Matrix& m);
+/// Reads a matrix written by WriteMatrix. Dimension prefixes are bounded
+/// (BinaryReader::kMaxLen per axis and for the total size) so corrupt blobs
+/// fail the reader instead of allocating wildly.
+Matrix ReadMatrix(BinaryReader* r);
 
 }  // namespace trail::ml
 

@@ -1,0 +1,120 @@
+#ifndef TRAIL_UTIL_BINARY_IO_H_
+#define TRAIL_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace trail {
+
+/// Closes the wrapped FILE* on scope exit; shared by every binary format
+/// (graph snapshots, model checkpoints).
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Little-endian-native binary writer over a FILE*. Errors are sticky: the
+/// first short write flips ok() and every later call is a no-op, so callers
+/// check once at the end (TRAIL targets a single architecture per
+/// deployment, matching the paper's single-site database).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::FILE* f) : f_(f) {}
+
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Floats(const std::vector<float>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    Raw(v.data(), v.size() * sizeof(float));
+  }
+  void Raw(const void* data, size_t size) {
+    if (!ok_) return;
+    if (size > 0 && std::fwrite(data, 1, size, f_) != size) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+/// Matching reader. Errors are sticky; a truncated or corrupt payload turns
+/// every later read into a zero value with ok() false, never UB — length
+/// prefixes are bounded before allocation so a flipped size byte cannot
+/// trigger a giant allocation.
+class BinaryReader {
+ public:
+  /// Largest accepted string/float-array length prefix (16M entries).
+  static constexpr uint32_t kMaxLen = 1u << 24;
+
+  explicit BinaryReader(std::FILE* f) : f_(f) {}
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint32_t len = U32();
+    if (!ok_ || len > kMaxLen) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(len, '\0');
+    Raw(s.data(), len);
+    return s;
+  }
+  std::vector<float> Floats() {
+    uint32_t len = U32();
+    if (!ok_ || len > kMaxLen) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<float> v(len);
+    Raw(v.data(), len * sizeof(float));
+    return v;
+  }
+  void Raw(void* data, size_t size) {
+    if (!ok_) return;
+    if (size > 0 && std::fread(data, 1, size, f_) != size) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+  /// Marks the stream failed (semantic validation errors during load).
+  void MarkFailed() { ok_ = false; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+}  // namespace trail
+
+#endif  // TRAIL_UTIL_BINARY_IO_H_

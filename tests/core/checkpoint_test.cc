@@ -1,0 +1,197 @@
+// Trail checkpoint contract: SaveCheckpoint captures the APT label space,
+// the three IOC autoencoders, and the GNN; LoadCheckpoint into a Trail with
+// the same TKG restores bit-identical attribution, refuses a mismatched
+// label space, and fails cleanly on corrupt blobs.
+
+#include "core/trail.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "osint/feed_client.h"
+#include "osint/world.h"
+
+namespace trail::core {
+namespace {
+
+osint::WorldConfig SmallConfig(uint64_t seed = 61) {
+  osint::WorldConfig config;
+  config.num_apts = 4;
+  config.min_events_per_apt = 10;
+  config.max_events_per_apt = 14;
+  config.end_day = 800;
+  config.post_days = 90;
+  config.seed = seed;
+  return config;
+}
+
+TrailOptions FastOptions() {
+  TrailOptions options;
+  options.autoencoder.hidden = 32;
+  options.autoencoder.encoding = 16;
+  options.autoencoder.epochs = 2;
+  options.autoencoder.max_train_rows = 400;
+  options.gnn.hidden = 32;
+  options.gnn.epochs = 25;
+  return options;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<double> EventProbs(const Trail& trail, graph::NodeId event) {
+  auto attribution = trail.AttributeWithGnn(event);
+  EXPECT_TRUE(attribution.ok()) << attribution.status();
+  std::vector<double> probs;
+  for (const auto& [name, p] : attribution->distribution) probs.push_back(p);
+  return probs;
+}
+
+TEST(TrailCheckpointTest, RoundTripRestoresBitIdenticalAttribution) {
+  osint::World world(SmallConfig());
+  osint::FeedClient feed(&world);
+  auto reports = feed.FetchReports(0, 800);
+
+  Trail original(&feed, FastOptions());
+  ASSERT_TRUE(original.Ingest(reports).ok());
+  ASSERT_TRUE(original.TrainModels().ok());
+  const std::string path = TempPath("trail_roundtrip.ckpt");
+  ASSERT_TRUE(original.SaveCheckpoint(path).ok());
+
+  // Same TKG, models restored from the blob instead of retrained.
+  Trail restored(&feed, FastOptions());
+  ASSERT_TRUE(restored.Ingest(reports).ok());
+  ASSERT_FALSE(restored.models_trained());
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok()) << path;
+  ASSERT_TRUE(restored.models_trained());
+  EXPECT_EQ(restored.event_gnn().num_classes(),
+            original.event_gnn().num_classes());
+
+  const auto events =
+      original.graph().NodesOfType(graph::NodeType::kEvent);
+  ASSERT_GT(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); i += events.size() / 4) {
+    std::vector<double> a = EventProbs(original, events[i]);
+    std::vector<double> b = EventProbs(restored, events[i]);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << "event " << events[i];
+  }
+}
+
+TEST(TrailCheckpointTest, WarmStartSupportsFineTuneAndAppend) {
+  osint::World world(SmallConfig());
+  osint::FeedClient feed(&world);
+  auto reports = feed.FetchReports(0, 800);
+
+  Trail original(&feed, FastOptions());
+  ASSERT_TRUE(original.Ingest(reports).ok());
+  ASSERT_TRUE(original.TrainModels().ok());
+  const std::string path = TempPath("trail_warmstart.ckpt");
+  ASSERT_TRUE(original.SaveCheckpoint(path).ok());
+
+  Trail restored(&feed, FastOptions());
+  ASSERT_TRUE(restored.Ingest(reports).ok());
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+
+  // The restored model continues the longitudinal protocol: delta-append a
+  // month and fine-tune without ever having called TrainModels.
+  auto month = world.ReportsBetween(800, 830);
+  ASSERT_FALSE(month.empty());
+  std::vector<osint::PulseReport> parsed;
+  for (const osint::PulseReport* report : month) parsed.push_back(*report);
+  auto delta = restored.AppendReports(parsed);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  EXPECT_GT(delta->num_new_nodes, 0u);
+  for (graph::NodeId event : delta->event_nodes) {
+    if (event == graph::kInvalidNode) continue;
+    EXPECT_TRUE(restored.AttributeWithGnn(event).ok());
+  }
+  EXPECT_TRUE(restored.FineTuneGnn(2).ok());
+}
+
+TEST(TrailCheckpointTest, MismatchedAptRosterIsRejected) {
+  osint::World world(SmallConfig(61));
+  osint::FeedClient feed(&world);
+  Trail original(&feed, FastOptions());
+  ASSERT_TRUE(original.Ingest(feed.FetchReports(0, 800)).ok());
+  ASSERT_TRUE(original.TrainModels().ok());
+  const std::string path = TempPath("trail_mismatch.ckpt");
+  ASSERT_TRUE(original.SaveCheckpoint(path).ok());
+
+  // A different world discovers a different APT roster.
+  osint::World other_world(SmallConfig(77));
+  osint::FeedClient other_feed(&other_world);
+  Trail other(&other_feed, FastOptions());
+  ASSERT_TRUE(other.Ingest(other_feed.FetchReports(0, 800)).ok());
+
+  Status status = other.LoadCheckpoint(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(other.models_trained());
+}
+
+TEST(TrailCheckpointTest, CorruptAndTruncatedBlobsFailCleanly) {
+  osint::World world(SmallConfig());
+  osint::FeedClient feed(&world);
+  auto reports = feed.FetchReports(0, 800);
+  Trail original(&feed, FastOptions());
+  ASSERT_TRUE(original.Ingest(reports).ok());
+  ASSERT_TRUE(original.TrainModels().ok());
+  const std::string path = TempPath("trail_corrupt.ckpt");
+  ASSERT_TRUE(original.SaveCheckpoint(path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string blob;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) blob.append(buf, n);
+  std::fclose(f);
+  ASSERT_GT(blob.size(), 256u);
+
+  auto write_and_load = [&](const std::string& data) {
+    const std::string bad_path = TempPath("trail_corrupt_case.ckpt");
+    std::FILE* out = std::fopen(bad_path.c_str(), "wb");
+    EXPECT_NE(out, nullptr);
+    std::fwrite(data.data(), 1, data.size(), out);
+    std::fclose(out);
+    Trail victim(&feed, FastOptions());
+    EXPECT_TRUE(victim.Ingest(reports).ok());
+    Status status = victim.LoadCheckpoint(bad_path);
+    EXPECT_FALSE(status.ok());
+    EXPECT_FALSE(victim.models_trained());
+  };
+
+  std::string bad_magic = blob;
+  bad_magic[1] ^= 0xFF;
+  write_and_load(bad_magic);
+
+  std::string bad_version = blob;
+  bad_version[4] = 99;
+  write_and_load(bad_version);
+
+  for (size_t len : {size_t{0}, size_t{6}, blob.size() / 3, blob.size() - 5}) {
+    write_and_load(blob.substr(0, len));
+  }
+
+  ASSERT_TRUE(original.SaveCheckpoint(path).ok());  // original unaffected
+}
+
+TEST(TrailCheckpointTest, SaveRequiresTrainedModels) {
+  osint::World world(SmallConfig());
+  osint::FeedClient feed(&world);
+  Trail trail(&feed, FastOptions());
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, 800)).ok());
+  Status status = trail.SaveCheckpoint(TempPath("untrained.ckpt"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace trail::core

@@ -1,0 +1,222 @@
+// Equivalence contract of the incremental longitudinal path:
+//  * delta-appending a month and extending the cached CSR + model view is
+//    bitwise identical to invalidating and rebuilding them from scratch;
+//  * month-by-month append + fine-tune reaches macro-F1 within a pinned
+//    tolerance of the monthly scratch retrain;
+//  * kAuto's staleness policy falls back to a scratch retrain when an
+//    adversarial drift month craters macro-F1.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "core/trail.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+
+namespace trail::core {
+namespace {
+
+osint::WorldConfig StudyConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 4;
+  config.min_events_per_apt = 10;
+  config.max_events_per_apt = 14;
+  config.end_day = 800;
+  config.post_days = 90;
+  config.seed = 61;
+  return config;
+}
+
+TrailOptions FastOptions() {
+  TrailOptions options;
+  options.autoencoder.hidden = 32;
+  options.autoencoder.encoding = 16;
+  options.autoencoder.epochs = 2;
+  options.autoencoder.max_train_rows = 400;
+  options.gnn.hidden = 32;
+  options.gnn.epochs = 25;
+  return options;
+}
+
+std::vector<osint::PulseReport> Unlabeled(
+    const std::vector<const osint::PulseReport*>& month) {
+  std::vector<osint::PulseReport> parsed;
+  for (const osint::PulseReport* report : month) {
+    parsed.push_back(*report);
+    parsed.back().apt.clear();
+  }
+  return parsed;
+}
+
+std::vector<double> GnnProbs(const Trail& trail, graph::NodeId event) {
+  auto attribution = trail.AttributeWithGnn(event);
+  EXPECT_TRUE(attribution.ok()) << attribution.status();
+  std::vector<double> probs;
+  for (const auto& [name, p] : attribution->distribution) probs.push_back(p);
+  return probs;
+}
+
+TEST(IncrementalEquivalenceTest, CacheExtensionBitIdenticalToRebuild) {
+  osint::World world(StudyConfig());
+  osint::FeedClient feed(&world);
+  auto initial = feed.FetchReports(0, 800);
+  auto month = Unlabeled(world.ReportsBetween(800, 830));
+  ASSERT_FALSE(month.empty());
+
+  // `warm` has live CSR + model-view caches when the month arrives, so
+  // AppendReports extends them in place; `cold` builds both from scratch
+  // after the append. Identical seeds -> identical models, so any
+  // difference below would be the incremental extension's fault.
+  Trail warm(&feed, FastOptions());
+  Trail cold(&feed, FastOptions());
+  for (Trail* trail : {&warm, &cold}) {
+    ASSERT_TRUE(trail->Ingest(initial).ok());
+    ASSERT_TRUE(trail->TrainModels().ok());
+  }
+  const auto trained_events = warm.graph().NodesOfType(
+      graph::NodeType::kEvent);
+  ASSERT_FALSE(trained_events.empty());
+  // Touch both cache layers of `warm` so the append path must extend them.
+  ASSERT_TRUE(warm.AttributeWithGnn(trained_events[0]).ok());
+  warm.AttributeWithLp(trained_events[0]).status();  // builds the CSR cache
+
+  auto warm_delta = warm.AppendReports(month);
+  auto cold_delta = cold.AppendReports(month);
+  ASSERT_TRUE(warm_delta.ok()) << warm_delta.status();
+  ASSERT_TRUE(cold_delta.ok()) << cold_delta.status();
+  ASSERT_EQ(warm_delta->first_new_node, cold_delta->first_new_node);
+  ASSERT_EQ(warm_delta->num_new_nodes, cold_delta->num_new_nodes);
+  ASSERT_EQ(warm_delta->event_nodes, cold_delta->event_nodes);
+  ASSERT_GT(warm_delta->num_new_edges, 0u);
+
+  // Every appended event and a sample of old events attribute identically
+  // (bitwise) through both cache paths — GNN and label propagation.
+  std::vector<graph::NodeId> probes;
+  for (graph::NodeId event : warm_delta->event_nodes) {
+    if (event != graph::kInvalidNode) probes.push_back(event);
+  }
+  ASSERT_FALSE(probes.empty());
+  probes.push_back(trained_events[0]);
+  probes.push_back(trained_events[trained_events.size() / 2]);
+  for (graph::NodeId event : probes) {
+    std::vector<double> a = GnnProbs(warm, event);
+    std::vector<double> b = GnnProbs(cold, event);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << "event " << event;
+    auto lp_a = warm.AttributeWithLp(event);
+    auto lp_b = cold.AttributeWithLp(event);
+    ASSERT_EQ(lp_a.ok(), lp_b.ok()) << "event " << event;
+    if (lp_a.ok()) {
+      EXPECT_EQ(lp_a->apt, lp_b->apt);
+      EXPECT_EQ(lp_a->confidence, lp_b->confidence);
+    }
+  }
+}
+
+TEST(IncrementalEquivalenceTest, FineTuneTracksScratchWithinTolerance) {
+  // The incremental track (delta-append + warm-start fine-tune) must stay
+  // within a pinned macro-F1 tolerance of the monthly scratch retrain. The
+  // bound is deliberately loose — the two protocols legitimately differ —
+  // but it pins "incremental didn't break learning".
+  constexpr double kTolerance = 0.35;
+
+  osint::World world(StudyConfig());
+  osint::FeedClient feed(&world);
+  auto initial = feed.FetchReports(0, 800);
+
+  double mean_f1[2] = {0.0, 0.0};
+  const RetrainMode modes[2] = {RetrainMode::kScratch,
+                                RetrainMode::kIncremental};
+  int months_run = 0;
+  for (int t = 0; t < 2; ++t) {
+    Trail trail(&feed, FastOptions());
+    ASSERT_TRUE(trail.Ingest(initial).ok());
+    ASSERT_TRUE(trail.TrainModels().ok());
+    StudyOptions options;
+    options.retrain_mode = modes[t];
+    options.fine_tune_epochs = 4;
+    Study study(&trail, options);
+    int months = 0;
+    for (int m = 0; m < 3; ++m) {
+      auto month = world.ReportsBetween(800 + 30 * m, 830 + 30 * m);
+      if (month.empty()) continue;
+      auto outcome = study.RunMonth(month);
+      ASSERT_TRUE(outcome.ok()) << outcome.status();
+      EXPECT_EQ(outcome->mode_used, modes[t]);
+      EXPECT_TRUE(outcome->retrained);
+      EXPECT_FALSE(outcome->scratch_fallback);
+      EXPECT_GE(outcome->wall_ms, outcome->retrain_wall_ms);
+      mean_f1[t] += outcome->macro_f1;
+      ++months;
+    }
+    ASSERT_GT(months, 0);
+    mean_f1[t] /= months;
+    months_run = months;
+  }
+  ASSERT_GT(months_run, 0);
+  EXPECT_NEAR(mean_f1[0], mean_f1[1], kTolerance)
+      << "incremental fine-tune drifted from the scratch baseline";
+}
+
+TEST(IncrementalEquivalenceTest, AutoModeFallsBackOnAdversarialDrift) {
+  osint::World world(StudyConfig());
+  osint::FeedClient feed(&world);
+  // The honest month must score well above `auto_scratch_drop` for the drop
+  // to be observable; this world needs the extra GNN epochs to get there.
+  TrailOptions trail_options = FastOptions();
+  trail_options.gnn.epochs = 60;
+  Trail trail(&feed, trail_options);
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, 800)).ok());
+  ASSERT_TRUE(trail.TrainModels().ok());
+
+  StudyOptions options;
+  options.retrain_mode = RetrainMode::kAuto;
+  options.fine_tune_epochs = 2;
+  options.auto_scratch_drop = 0.05;
+  Study study(&trail, options);
+
+  // Month 1: honest labels establish the quality baseline.
+  auto month1 = world.ReportsBetween(800, 830);
+  ASSERT_FALSE(month1.empty());
+  auto outcome1 = study.RunMonth(month1);
+  ASSERT_TRUE(outcome1.ok()) << outcome1.status();
+  EXPECT_EQ(outcome1->mode_used, RetrainMode::kIncremental);
+  EXPECT_FALSE(outcome1->scratch_fallback);
+  ASSERT_GT(study.best_macro_f1(), options.auto_scratch_drop)
+      << "fixture too weak to observe a drop";
+
+  // Month 2: adversarial drift — deterministically rotate every report's
+  // actor tag among the known roster, so infrastructure no longer predicts
+  // the label and macro-F1 craters.
+  auto month2_sources = world.ReportsBetween(830, 860);
+  ASSERT_FALSE(month2_sources.empty());
+  const auto& roster = trail.apt_names();
+  ASSERT_GT(roster.size(), 1u);
+  std::vector<osint::PulseReport> rotated;
+  for (const osint::PulseReport* report : month2_sources) {
+    rotated.push_back(*report);
+    size_t original = 0;
+    for (size_t c = 0; c < roster.size(); ++c) {
+      if (roster[c] == rotated.back().apt) original = c;
+    }
+    rotated.back().apt = roster[(original + 1) % roster.size()];
+  }
+  std::vector<const osint::PulseReport*> month2;
+  for (const osint::PulseReport& report : rotated) month2.push_back(&report);
+
+  auto outcome2 = study.RunMonth(month2);
+  ASSERT_TRUE(outcome2.ok()) << outcome2.status();
+  EXPECT_LT(outcome2->macro_f1,
+            study.best_macro_f1() - options.auto_scratch_drop);
+  EXPECT_EQ(outcome2->mode_used, RetrainMode::kScratch);
+  EXPECT_TRUE(outcome2->scratch_fallback);
+  EXPECT_TRUE(outcome2->retrained);
+}
+
+}  // namespace
+}  // namespace trail::core

@@ -60,6 +60,12 @@ TEST(StudyTest, MonthsAccumulateAndRetrain) {
     EXPECT_EQ(outcome->num_reports, reports.size());
     EXPECT_GE(outcome->accuracy, 0.0);
     EXPECT_LE(outcome->accuracy, 1.0);
+    EXPECT_GE(outcome->macro_f1, 0.0);
+    EXPECT_LE(outcome->macro_f1, 1.0);
+    EXPECT_TRUE(outcome->retrained);
+    EXPECT_EQ(outcome->mode_used, RetrainMode::kIncremental);
+    EXPECT_GT(outcome->wall_ms, 0.0);
+    EXPECT_GE(outcome->wall_ms, outcome->retrain_wall_ms);
     // Retraining mode merges the labels.
     for (size_t i = 0; i < outcome->event_nodes.size(); ++i) {
       if (outcome->truth[i] >= 0) {
@@ -85,6 +91,8 @@ TEST(StudyTest, FrozenModeLeavesLabelsUnset) {
   Study study(&trail, frozen);
   auto outcome = study.RunMonth(world.ReportsBetween(800, 830));
   ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->retrained);
+  EXPECT_EQ(outcome->retrain_wall_ms, 0.0);
   for (graph::NodeId node : outcome->event_nodes) {
     EXPECT_EQ(trail.graph().label(node), graph::kNoLabel);
   }

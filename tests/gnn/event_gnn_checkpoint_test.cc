@@ -1,0 +1,191 @@
+// EventGnn checkpoint contract: SaveState -> LoadState -> PredictProba is
+// bit-identical to the original model, and corrupt / truncated / wrong-kind
+// blobs fail with a clean Status instead of crashing — the properties the
+// longitudinal warm start depends on.
+
+#include "gnn/event_gnn.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/random.h"
+
+namespace trail::gnn {
+namespace {
+
+/// Minimal trained-model fixture: two classes of events over two disjoint
+/// IOC pools with weakly class-biased encodings.
+struct Fixture {
+  GnnGraph g;
+  std::vector<int> labels;
+
+  Fixture() {
+    Rng rng(5);
+    const int num_events = 16;
+    const int num_iocs = 12;
+    g.num_nodes = num_events + num_iocs;
+    g.encoded = ml::Matrix(g.num_nodes, 8);
+    g.node_type.assign(g.num_nodes, static_cast<int>(graph::NodeType::kIp));
+    labels.assign(g.num_nodes, -1);
+    std::vector<std::vector<uint32_t>> adj(g.num_nodes);
+    for (int e = 0; e < num_events; ++e) {
+      g.node_type[e] = static_cast<int>(graph::NodeType::kEvent);
+      g.events.push_back(e);
+      const int cls = e % 2;
+      labels[e] = cls;
+      for (int k = 0; k < 3; ++k) {
+        uint32_t ioc = num_events + cls * (num_iocs / 2) +
+                       static_cast<uint32_t>(rng.NextBounded(num_iocs / 2));
+        adj[e].push_back(ioc);
+        adj[ioc].push_back(e);
+      }
+    }
+    for (int i = 0; i < num_iocs; ++i) {
+      auto row = g.encoded.Row(num_events + i);
+      for (size_t c = 0; c < row.size(); ++c) {
+        row[c] = static_cast<float>(rng.Normal(i < num_iocs / 2 ? 1.0 : -1.0,
+                                               0.4));
+      }
+    }
+    g.spec.offsets.assign(g.num_nodes + 1, 0);
+    for (size_t v = 0; v < g.num_nodes; ++v) {
+      g.spec.offsets[v + 1] = g.spec.offsets[v] + adj[v].size();
+    }
+    g.spec.sources.resize(g.spec.offsets[g.num_nodes]);
+    g.edge_type.assign(g.spec.sources.size(),
+                       static_cast<int>(graph::EdgeType::kInReport));
+    size_t cursor = 0;
+    for (size_t v = 0; v < g.num_nodes; ++v) {
+      for (uint32_t nb : adj[v]) g.spec.sources[cursor++] = nb;
+    }
+  }
+};
+
+EventGnn TrainedModel(const Fixture& fixture) {
+  EventGnnOptions opts;
+  opts.layers = 2;
+  opts.hidden = 16;
+  opts.epochs = 10;
+  opts.dropout = 0.0;
+  EventGnn model;
+  model.Train(fixture.g, fixture.labels, 2, opts);
+  return model;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string data;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  return data;
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  std::fclose(f);
+}
+
+TEST(EventGnnCheckpointTest, RoundTripPredictionsBitIdentical) {
+  Fixture fixture;
+  EventGnn original = TrainedModel(fixture);
+  const std::string path = TempPath("gnn_roundtrip.bin");
+  ASSERT_TRUE(original.SaveState(path).ok());
+
+  EventGnn restored;
+  ASSERT_FALSE(restored.trained());
+  ASSERT_TRUE(restored.LoadState(path).ok());
+  ASSERT_TRUE(restored.trained());
+  EXPECT_EQ(restored.num_classes(), original.num_classes());
+  EXPECT_EQ(restored.options().layers, original.options().layers);
+  EXPECT_EQ(restored.options().seed, original.options().seed);
+
+  std::vector<int> hidden(fixture.g.num_nodes, -1);
+  ml::Matrix a = original.PredictProba(fixture.g, hidden);
+  ml::Matrix b = restored.PredictProba(fixture.g, hidden);
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+
+  // With labels visible, too (exercises the label-embedding tables).
+  ml::Matrix c = original.PredictProba(fixture.g, fixture.labels);
+  ml::Matrix d = restored.PredictProba(fixture.g, fixture.labels);
+  EXPECT_EQ(std::memcmp(c.data(), d.data(), c.size() * sizeof(float)), 0);
+}
+
+TEST(EventGnnCheckpointTest, WrongMagicFailsCleanly) {
+  Fixture fixture;
+  EventGnn original = TrainedModel(fixture);
+  const std::string path = TempPath("gnn_badmagic.bin");
+  ASSERT_TRUE(original.SaveState(path).ok());
+  std::string blob = ReadAll(path);
+  blob[0] ^= 0x5A;
+  WriteAll(path, blob);
+
+  EventGnn restored;
+  Status status = restored.LoadState(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_FALSE(restored.trained());
+}
+
+TEST(EventGnnCheckpointTest, TruncationAtEveryPrefixFailsCleanly) {
+  Fixture fixture;
+  EventGnn original = TrainedModel(fixture);
+  const std::string path = TempPath("gnn_trunc.bin");
+  ASSERT_TRUE(original.SaveState(path).ok());
+  const std::string blob = ReadAll(path);
+  ASSERT_GT(blob.size(), 64u);
+
+  // Sample prefixes across the whole blob, including boundaries inside the
+  // header, the options block, and the weight matrices.
+  const std::string trunc_path = TempPath("gnn_trunc_prefix.bin");
+  for (size_t len = 0; len < blob.size(); len += 1 + blob.size() / 37) {
+    WriteAll(trunc_path, blob.substr(0, len));
+    EventGnn restored;
+    Status status = restored.LoadState(trunc_path);
+    EXPECT_FALSE(status.ok()) << "prefix length " << len;
+    EXPECT_FALSE(restored.trained()) << "prefix length " << len;
+  }
+}
+
+TEST(EventGnnCheckpointTest, CorruptShapeFieldFailsCleanly) {
+  Fixture fixture;
+  EventGnn original = TrainedModel(fixture);
+  const std::string path = TempPath("gnn_badshape.bin");
+  ASSERT_TRUE(original.SaveState(path).ok());
+  std::string blob = ReadAll(path);
+  // magic(4) + version(4) + layers(4) + hidden(8): flip the hidden width so
+  // every downstream matrix shape disagrees with the options.
+  uint64_t bogus = 3;
+  std::memcpy(&blob[12], &bogus, sizeof(bogus));
+  WriteAll(path, blob);
+
+  EventGnn restored;
+  Status status = restored.LoadState(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(restored.trained());
+}
+
+TEST(EventGnnCheckpointTest, MissingFileFailsWithIoError) {
+  EventGnn restored;
+  Status status = restored.LoadState(TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace trail::gnn

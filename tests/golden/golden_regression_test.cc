@@ -1,0 +1,295 @@
+// Golden-regression harness: runs two committed fixture worlds through the
+// full pipeline (ingest -> TKG -> train -> attribute) at a fixed seed and
+// compares against pinned outputs in tests/golden/goldens/*.json — TKG
+// node/edge counts plus label-propagation and GNN per-class F1.
+//
+// The pipeline is deterministic (fixed seeds, thread-count-independent
+// reductions), so any diff here is a real behaviour change. If the change is
+// intentional, regenerate the pinned files with tools/update_goldens.sh
+// (which runs this binary with TRAIL_UPDATE_GOLDENS=1) and commit the diff.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/trail.h"
+#include "ml/metrics.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "util/json.h"
+
+#ifndef TRAIL_GOLDEN_DIR
+#error "TRAIL_GOLDEN_DIR must point at tests/golden/goldens"
+#endif
+
+namespace trail::core {
+namespace {
+
+// JSON doubles print as %.17g, which round-trips bit-exactly, so this
+// tolerance only forgives the representation — not the computation.
+constexpr double kFloatTolerance = 1e-9;
+
+struct FixtureWorld {
+  const char* name;        // goldens/<name>.json
+  osint::WorldConfig config;
+};
+
+std::vector<FixtureWorld> FixtureWorlds() {
+  std::vector<FixtureWorld> worlds;
+  {
+    FixtureWorld w;
+    w.name = "world_small_seed61";
+    w.config.num_apts = 4;
+    w.config.min_events_per_apt = 10;
+    w.config.max_events_per_apt = 14;
+    w.config.end_day = 800;
+    w.config.post_days = 90;
+    w.config.seed = 61;
+    worlds.push_back(w);
+  }
+  {
+    FixtureWorld w;
+    w.name = "world_wide_seed19";
+    w.config.num_apts = 5;
+    w.config.min_events_per_apt = 12;
+    w.config.max_events_per_apt = 18;
+    w.config.end_day = 900;
+    w.config.post_days = 60;
+    w.config.seed = 19;
+    worlds.push_back(w);
+  }
+  return worlds;
+}
+
+TrailOptions PinnedOptions() {
+  TrailOptions options;
+  options.autoencoder.hidden = 32;
+  options.autoencoder.encoding = 16;
+  options.autoencoder.epochs = 2;
+  options.autoencoder.max_train_rows = 400;
+  options.gnn.hidden = 32;
+  options.gnn.epochs = 40;
+  return options;
+}
+
+/// Per-class F1 from the confusion matrix; classes absent from `truth` get
+/// F1 = 0 so the vector length is stable across refactors.
+std::vector<double> PerClassF1(const std::vector<int>& truth,
+                               const std::vector<int>& predicted,
+                               int num_classes) {
+  auto cm = ml::ConfusionMatrix(truth, predicted, num_classes);
+  std::vector<double> f1(num_classes, 0.0);
+  for (int c = 0; c < num_classes; ++c) {
+    double tp = cm[c][c];
+    double fn = 0.0, fp = 0.0;
+    for (int o = 0; o < num_classes; ++o) {
+      if (o == c) continue;
+      fn += cm[c][o];
+      fp += cm[o][c];
+    }
+    // Count abstentions (predicted < 0) as misses.
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (truth[i] == c && predicted[i] < 0) fn += 1.0;
+    }
+    const double denom = 2.0 * tp + fp + fn;
+    f1[c] = denom > 0.0 ? 2.0 * tp / denom : 0.0;
+  }
+  return f1;
+}
+
+/// Runs the pipeline on one fixture world and collects everything we pin.
+JsonValue RunFixture(const FixtureWorld& fixture) {
+  osint::World world(fixture.config);
+  osint::FeedClient feed(&world);
+  Trail trail(&feed, PinnedOptions());
+  EXPECT_TRUE(trail.Ingest(feed.FetchReports(0, fixture.config.end_day)).ok());
+  EXPECT_TRUE(trail.TrainModels().ok());
+
+  const auto& graph = trail.graph();
+  JsonValue tkg = JsonValue::MakeObject();
+  tkg.Set("num_nodes", JsonValue::MakeNumber(
+      static_cast<double>(graph.num_nodes())));
+  tkg.Set("num_edges", JsonValue::MakeNumber(
+      static_cast<double>(graph.num_edges())));
+  tkg.Set("num_events", JsonValue::MakeNumber(static_cast<double>(
+      graph.NodesOfType(graph::NodeType::kEvent).size())));
+  tkg.Set("num_ips", JsonValue::MakeNumber(static_cast<double>(
+      graph.NodesOfType(graph::NodeType::kIp).size())));
+  tkg.Set("num_domains", JsonValue::MakeNumber(static_cast<double>(
+      graph.NodesOfType(graph::NodeType::kDomain).size())));
+  tkg.Set("num_urls", JsonValue::MakeNumber(static_cast<double>(
+      graph.NodesOfType(graph::NodeType::kUrl).size())));
+  tkg.Set("num_apts", JsonValue::MakeNumber(
+      static_cast<double>(trail.apt_names().size())));
+
+  const auto events = graph.NodesOfType(graph::NodeType::kEvent);
+  const int num_classes = static_cast<int>(trail.apt_names().size());
+  std::vector<int> truth, lp_pred, gnn_pred;
+  for (graph::NodeId event : events) {
+    const int label = graph.label(event);
+    if (label < 0) continue;
+    truth.push_back(label);
+    auto lp = trail.AttributeWithLp(event);
+    lp_pred.push_back(lp.ok() ? lp->apt : -1);
+    auto gnn = trail.AttributeWithGnn(event, /*hide_neighbor_labels=*/true);
+    gnn_pred.push_back(gnn.ok() ? gnn->apt : -1);
+  }
+  EXPECT_FALSE(truth.empty());
+
+  auto metrics_json = [&](const std::vector<int>& predicted) {
+    JsonValue m = JsonValue::MakeObject();
+    m.Set("macro_f1", JsonValue::MakeNumber(
+        ml::MacroF1(truth, predicted, num_classes)));
+    JsonValue per_class = JsonValue::MakeArray();
+    for (double f1 : PerClassF1(truth, predicted, num_classes)) {
+      per_class.Append(JsonValue::MakeNumber(f1));
+    }
+    m.Set("per_class_f1", std::move(per_class));
+    return m;
+  };
+
+  JsonValue actual = JsonValue::MakeObject();
+  actual.Set("world_seed", JsonValue::MakeNumber(
+      static_cast<double>(fixture.config.seed)));
+  actual.Set("tkg", std::move(tkg));
+  actual.Set("lp", metrics_json(lp_pred));
+  actual.Set("gnn", metrics_json(gnn_pred));
+  return actual;
+}
+
+std::string GoldenPath(const FixtureWorld& fixture) {
+  return std::string(TRAIL_GOLDEN_DIR) + "/" + fixture.name + ".json";
+}
+
+bool UpdateMode() {
+  const char* env = std::getenv("TRAIL_UPDATE_GOLDENS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Recursively diffs `expected` (golden) against `actual`, appending
+/// human-readable "path: expected X, got Y" lines.
+void DiffJson(const std::string& path, const JsonValue& expected,
+              const JsonValue& actual, std::vector<std::string>* diffs) {
+  if (expected.type() != actual.type()) {
+    diffs->push_back(path + ": golden and actual have different JSON types");
+    return;
+  }
+  switch (expected.type()) {
+    case JsonValue::Type::kNumber: {
+      const double e = expected.AsNumber();
+      const double a = actual.AsNumber();
+      if (std::fabs(e - a) > kFloatTolerance) {
+        char line[256];
+        std::snprintf(line, sizeof(line), "%s: expected %.17g, got %.17g",
+                      path.c_str(), e, a);
+        diffs->push_back(line);
+      }
+      break;
+    }
+    case JsonValue::Type::kArray: {
+      if (expected.size() != actual.size()) {
+        diffs->push_back(path + ": expected " +
+                         std::to_string(expected.size()) + " entries, got " +
+                         std::to_string(actual.size()));
+        return;
+      }
+      for (size_t i = 0; i < expected.size(); ++i) {
+        DiffJson(path + "[" + std::to_string(i) + "]", expected[i], actual[i],
+                 diffs);
+      }
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      for (const auto& [key, value] : expected.members()) {
+        const JsonValue* got = actual.Get(key);
+        if (got == nullptr) {
+          diffs->push_back(path + "." + key + ": missing from actual output");
+          continue;
+        }
+        DiffJson(path + "." + key, value, *got, diffs);
+      }
+      for (const auto& [key, value] : actual.members()) {
+        if (expected.Get(key) == nullptr) {
+          diffs->push_back(path + "." + key + ": not present in golden file");
+        }
+      }
+      break;
+    }
+    default:
+      if (expected.Dump() != actual.Dump()) {
+        diffs->push_back(path + ": expected " + expected.Dump() + ", got " +
+                         actual.Dump());
+      }
+  }
+}
+
+Result<JsonValue> ReadGolden(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(StatusCode::kIoError, "cannot open golden file " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return JsonValue::Parse(text);
+}
+
+Status WriteGolden(const std::string& path, const JsonValue& value) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(StatusCode::kIoError, "cannot write golden file " + path);
+  }
+  const std::string text = value.Dump(2) + "\n";
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+class GoldenRegressionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GoldenRegressionTest, PipelineMatchesPinnedOutputs) {
+  const FixtureWorld fixture = FixtureWorlds()[GetParam()];
+  const std::string path = GoldenPath(fixture);
+  JsonValue actual = RunFixture(fixture);
+
+  if (UpdateMode()) {
+    ASSERT_TRUE(WriteGolden(path, actual).ok()) << path;
+    std::printf("[golden] regenerated %s\n", path.c_str());
+    return;
+  }
+
+  auto golden = ReadGolden(path);
+  ASSERT_TRUE(golden.ok())
+      << golden.status() << "\n"
+      << "No pinned output for fixture '" << fixture.name << "'. "
+      << "Generate it with tools/update_goldens.sh and commit the file.";
+
+  std::vector<std::string> diffs;
+  DiffJson(fixture.name, *golden, actual, &diffs);
+  if (!diffs.empty()) {
+    std::string report = "golden mismatch (" + std::to_string(diffs.size()) +
+                         " field(s)):\n";
+    for (const std::string& d : diffs) report += "  " + d + "\n";
+    report +=
+        "If this change is intentional, regenerate the pinned outputs with\n"
+        "  tools/update_goldens.sh\n"
+        "and commit the updated " + path;
+    FAIL() << report;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, GoldenRegressionTest,
+    ::testing::Range<size_t>(0, FixtureWorlds().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return std::string(FixtureWorlds()[info.param].name);
+    });
+
+}  // namespace
+}  // namespace trail::core

@@ -1,0 +1,164 @@
+// CsrGraph::Append contract: extending a snapshot with a delta of appended
+// nodes/edges must be bit-identical to rebuilding from scratch — at any
+// thread count, across successive appends, and through both the serial and
+// the fixed-chunk parallel fill paths.
+
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "util/parallel.h"
+
+namespace trail::graph {
+namespace {
+
+class ScopedWorkerCount {
+ public:
+  explicit ScopedWorkerCount(int n) { SetParallelWorkers(n); }
+  ~ScopedWorkerCount() { SetParallelWorkers(0); }
+};
+
+::testing::AssertionResult SameCsr(const CsrGraph& a, const CsrGraph& b) {
+  if (a.num_nodes() != b.num_nodes()) {
+    return ::testing::AssertionFailure()
+           << "node count " << a.num_nodes() << " vs " << b.num_nodes();
+  }
+  if (a.num_directed_entries() != b.num_directed_entries()) {
+    return ::testing::AssertionFailure()
+           << "entry count " << a.num_directed_entries() << " vs "
+           << b.num_directed_entries();
+  }
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    if (a.Degree(v) != b.Degree(v)) {
+      return ::testing::AssertionFailure()
+             << "degree of node " << v << ": " << a.Degree(v) << " vs "
+             << b.Degree(v);
+    }
+    const NodeId* an = a.NeighborsBegin(v);
+    const NodeId* bn = b.NeighborsBegin(v);
+    for (size_t i = 0; i < a.Degree(v); ++i) {
+      if (an[i] != bn[i]) {
+        return ::testing::AssertionFailure()
+               << "neighbor " << i << " of node " << v << ": " << an[i]
+               << " vs " << bn[i];
+      }
+      if (a.NeighborEdgeType(v, i) != b.NeighborEdgeType(v, i)) {
+        return ::testing::AssertionFailure()
+               << "edge type " << i << " of node " << v;
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+NodeId Ip(PropertyGraph* g, size_t i) {
+  return g->AddNode(NodeType::kIp, "10.1." + std::to_string(i / 256) + "." +
+                                       std::to_string(i % 256));
+}
+
+/// Adds `count` nodes and wires each to a few earlier nodes, mimicking a
+/// month of reports touching both new and old infrastructure.
+void GrowWorld(PropertyGraph* g, size_t count, int strides) {
+  const size_t base = g->num_nodes();
+  for (size_t i = 0; i < count; ++i) {
+    NodeId v = Ip(g, base + i);
+    for (int s = 1; s <= strides; ++s) {
+      size_t offset = static_cast<size_t>(s) * s * 7 + s;
+      if (offset > static_cast<size_t>(v)) break;
+      g->AddEdge(v, v - offset,
+                 s % 2 == 0 ? EdgeType::kARecord : EdgeType::kResolvesTo);
+    }
+  }
+}
+
+TEST(CsrAppendTest, AppendMatchesScratchBuild) {
+  PropertyGraph g;
+  GrowWorld(&g, 500, 4);
+  CsrGraph incremental = CsrGraph::Build(g);
+  const size_t watermark = g.num_edges();
+
+  GrowWorld(&g, 300, 5);
+  incremental.Append(g, watermark);
+
+  CsrGraph scratch = CsrGraph::Build(g);
+  EXPECT_TRUE(SameCsr(scratch, incremental));
+  EXPECT_EQ(incremental.num_kept(), g.num_nodes());
+}
+
+TEST(CsrAppendTest, SuccessiveAppendsMatchScratchBuild) {
+  PropertyGraph g;
+  GrowWorld(&g, 200, 3);
+  CsrGraph incremental = CsrGraph::Build(g);
+  for (int round = 0; round < 4; ++round) {
+    const size_t watermark = g.num_edges();
+    GrowWorld(&g, 100 + 40 * round, 3 + round);
+    incremental.Append(g, watermark);
+  }
+  CsrGraph scratch = CsrGraph::Build(g);
+  EXPECT_TRUE(SameCsr(scratch, incremental));
+}
+
+TEST(CsrAppendTest, EmptyDeltaIsANoOp) {
+  PropertyGraph g;
+  GrowWorld(&g, 120, 3);
+  CsrGraph incremental = CsrGraph::Build(g);
+  incremental.Append(g, g.num_edges());
+  EXPECT_TRUE(SameCsr(CsrGraph::Build(g), incremental));
+}
+
+TEST(CsrAppendTest, NodesWithoutEdgesExtendTheSnapshot) {
+  PropertyGraph g;
+  GrowWorld(&g, 80, 2);
+  CsrGraph incremental = CsrGraph::Build(g);
+  const size_t watermark = g.num_edges();
+  Ip(&g, 10'000);  // isolated node, no new edges
+  incremental.Append(g, watermark);
+  EXPECT_EQ(incremental.num_nodes(), g.num_nodes());
+  EXPECT_EQ(incremental.Degree(g.num_nodes() - 1), 0u);
+  EXPECT_TRUE(SameCsr(CsrGraph::Build(g), incremental));
+}
+
+TEST(CsrAppendTest, LargeDeltaParallelPathBitIdenticalAcrossThreadCounts) {
+  // A delta past kParallelBuildMinEdges (65536) exercises the fixed-chunk
+  // parallel fill; the layout must not depend on the worker count.
+  PropertyGraph base;
+  GrowWorld(&base, 2000, 6);
+  const size_t watermark_nodes = base.num_nodes();
+  const size_t watermark = base.num_edges();
+
+  auto grown = [&]() {
+    PropertyGraph g = base;
+    GrowWorld(&g, 9000, 9);
+    return g;
+  };
+  {
+    PropertyGraph probe = grown();
+    ASSERT_GE(probe.num_edges() - watermark, 65536u)
+        << "fixture too small to reach the parallel append path";
+    ASSERT_EQ(watermark_nodes, 2000u);
+  }
+
+  CsrGraph reference;
+  bool have_reference = false;
+  for (int threads : {1, 2, 8}) {
+    ScopedWorkerCount scoped(threads);
+    PropertyGraph g = grown();
+    CsrGraph incremental = CsrGraph::Build(base);
+    incremental.Append(g, watermark);
+    EXPECT_TRUE(SameCsr(CsrGraph::Build(g), incremental))
+        << threads << " threads";
+    if (!have_reference) {
+      reference = std::move(incremental);
+      have_reference = true;
+    } else {
+      EXPECT_TRUE(SameCsr(reference, incremental)) << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trail::graph

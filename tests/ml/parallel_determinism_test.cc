@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/tkg_builder.h"
+#include "core/trail.h"
 #include "gnn/label_propagation.h"
 #include "graph/csr.h"
 #include "graph/property_graph.h"
@@ -273,6 +274,73 @@ TEST(ParallelDeterminismTest, TkgBuildBitIdenticalAcrossThreadCounts) {
         ASSERT_EQ(rn[i].node, on[i].node) << "node " << v << " nb " << i;
         ASSERT_EQ(rn[i].type, on[i].type) << "node " << v << " nb " << i;
       }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest,
+     IncrementalAppendFineTuneBitIdenticalAcrossThreadCounts) {
+  // The full longitudinal warm-start path — delta-append a month into the
+  // TKG (parallel prefetch + incremental CSR/model-view extension), then
+  // fine-tune the GNN on the pool — must give bit-identical attributions at
+  // any worker count.
+  osint::WorldConfig config;
+  config.num_apts = 3;
+  config.min_events_per_apt = 6;
+  config.max_events_per_apt = 8;
+  config.end_day = 500;
+  config.post_days = 40;
+  config.seed = 23;
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  std::vector<std::string> initial = feed.FetchReports(0, config.end_day);
+  auto month_sources = world.ReportsBetween(config.end_day,
+                                            config.end_day + 30);
+  ASSERT_FALSE(month_sources.empty());
+  std::vector<osint::PulseReport> month;
+  for (const osint::PulseReport* report : month_sources) {
+    month.push_back(*report);
+    month.back().apt.clear();
+  }
+
+  core::TrailOptions options;
+  options.autoencoder.hidden = 24;
+  options.autoencoder.encoding = 12;
+  options.autoencoder.epochs = 2;
+  options.autoencoder.max_train_rows = 300;
+  options.gnn.hidden = 16;
+  options.gnn.epochs = 8;
+
+  std::vector<double> reference;
+  for (int threads : kThreadCounts) {
+    ScopedWorkerCount scoped(threads);
+    core::Trail trail(&feed, options);
+    ASSERT_TRUE(trail.Ingest(initial).ok());
+    ASSERT_TRUE(trail.TrainModels().ok());
+    // Warm the model-view cache so AppendReports takes the incremental
+    // extension path rather than a scratch rebuild.
+    const auto events = trail.graph().NodesOfType(graph::NodeType::kEvent);
+    ASSERT_FALSE(events.empty());
+    ASSERT_TRUE(trail.AttributeWithGnn(events[0]).ok());
+
+    auto delta = trail.AppendReports(month);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    ASSERT_TRUE(trail.FineTuneGnn(/*epochs=*/3).ok());
+
+    std::vector<double> probs;
+    for (graph::NodeId event : delta->event_nodes) {
+      if (event == graph::kInvalidNode) continue;
+      auto attribution = trail.AttributeWithGnn(event);
+      ASSERT_TRUE(attribution.ok()) << attribution.status();
+      for (const auto& [name, p] : attribution->distribution) {
+        probs.push_back(p);
+      }
+    }
+    ASSERT_FALSE(probs.empty());
+    if (threads == kThreadCounts[0]) {
+      reference = std::move(probs);
+    } else {
+      EXPECT_TRUE(BitsEqual(reference, probs)) << threads << " threads";
     }
   }
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Measures the incremental longitudinal retraining path against the monthly
+# scratch-retrain baseline: runs bench/longitudinal_incremental, which
+# drives two identical systems through the same post-cutoff months (one
+# retraining from scratch, one delta-appending + warm-start fine-tuning)
+# and writes the wall-time and macro-F1 comparison to BENCH_incremental.json.
+# Honest numbers only — the JSON carries the host's core count, and a
+# 1-core container will show a smaller gap than a parallel host.
+#
+# Usage: tools/bench_incremental.sh [BUILD_DIR]
+#   BUILD_DIR  default: build
+# Honors TRAIL_BENCH_QUICK=1 for the fast calibration sizes and
+# TRAIL_BENCH_INCREMENTAL_OUT for the output path.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${TRAIL_BENCH_INCREMENTAL_OUT:-BENCH_incremental.json}"
+
+if [[ ! -x "$BUILD_DIR/bench/longitudinal_incremental" ]]; then
+  echo "bench_incremental: build 'longitudinal_incremental' first" \
+       "(cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+TRAIL_RUN_MANIFEST=none \
+    "$BUILD_DIR/bench/longitudinal_incremental" --out "$OUT"
+
+echo
+echo "bench_incremental: wrote $OUT"

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# The one-stop verification gate: builds and runs the full ctest suite,
+# re-runs the golden-regression tier by label, and race-checks the
+# parallel runtime under ThreadSanitizer. Fails if any test fails, is
+# skipped, or is disabled — a silently skipped tier is treated as red.
+#
+# Usage: tools/check_tests.sh [BUILD_DIR]   (default: build)
+#   TRAIL_SKIP_TSAN=1   skip the ThreadSanitizer tier (e.g. no clang tsan
+#                       runtime on the host); everything else still runs.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== configure + build ($BUILD_DIR) =="
+cmake -S "$SOURCE_DIR" -B "$BUILD_DIR" >/dev/null
+cmake --build "$BUILD_DIR" -j
+
+run_ctest() {
+  local log
+  log="$(mktemp)"
+  # --no-tests=error: an empty label/filter means miswired CMake, not green.
+  if ! (cd "$BUILD_DIR" && ctest --output-on-failure --no-tests=error "$@") \
+      | tee "$log"; then
+    rm -f "$log"
+    return 1
+  fi
+  # ctest exits 0 even when tests were skipped or disabled; refuse that.
+  if grep -qE '\*\*\*Skipped|\bSkipped\b.*[1-9][0-9]* tests|Disabled' "$log" \
+      && ! grep -qE '0 tests skipped' "$log"; then
+    echo "check_tests: FAIL — skipped or disabled tests detected" >&2
+    rm -f "$log"
+    return 1
+  fi
+  rm -f "$log"
+}
+
+echo
+echo "== full ctest suite =="
+run_ctest -j "$(nproc)"
+
+echo
+echo "== golden-regression tier (ctest -L golden) =="
+run_ctest -L golden
+
+if [ "${TRAIL_SKIP_TSAN:-0}" = "1" ]; then
+  echo
+  echo "== ThreadSanitizer tier SKIPPED by TRAIL_SKIP_TSAN=1 =="
+  echo "check_tests: PASS (tsan tier skipped)"
+  exit 0
+fi
+
+echo
+echo "== ThreadSanitizer tier (tools/check_parallel.sh) =="
+"$SOURCE_DIR/tools/check_parallel.sh" "${BUILD_DIR}-tsan"
+
+echo
+echo "check_tests: PASS"

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates the pinned outputs of the golden-regression harness
+# (tests/golden/goldens/*.json). Run this ONLY after verifying that a
+# behaviour change is intentional, then commit the rewritten files — the
+# diff is the review artifact.
+#
+# Usage: tools/update_goldens.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -S "$SOURCE_DIR" -B "$BUILD_DIR" >/dev/null
+fi
+cmake --build "$BUILD_DIR" -j --target golden_golden_regression_test
+
+echo "== regenerating goldens =="
+TRAIL_UPDATE_GOLDENS=1 TRAIL_RUN_MANIFEST=none \
+    "$BUILD_DIR/tests/golden_golden_regression_test"
+
+echo
+echo "== verifying the regenerated goldens pass =="
+TRAIL_RUN_MANIFEST=none "$BUILD_DIR/tests/golden_golden_regression_test"
+
+echo
+echo "update_goldens: done — review and commit tests/golden/goldens/*.json"
