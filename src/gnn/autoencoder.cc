@@ -12,12 +12,15 @@ namespace trail::gnn {
 namespace ag = ml::ag;
 
 ag::VarPtr Autoencoder::EncodeVar(const ag::VarPtr& x) const {
-  ag::VarPtr h = ag::Relu(ag::AddRow(ag::MatMul(x, enc_w1_), enc_b1_));
+  // Encoder inputs are sparse vectorizer features (one-hot-ish), so the
+  // first layer takes the zero-skipping GEMM; everything downstream is
+  // dense and uses the fused bias+ReLU kernels.
+  ag::VarPtr h = ag::AddRowRelu(ag::MatMulSparseA(x, enc_w1_), enc_b1_);
   return ag::AddRow(ag::MatMul(h, enc_w2_), enc_b2_);
 }
 
 ag::VarPtr Autoencoder::DecodeVar(const ag::VarPtr& z) const {
-  ag::VarPtr h = ag::Relu(ag::AddRow(ag::MatMul(z, dec_w1_), dec_b1_));
+  ag::VarPtr h = ag::AddRowRelu(ag::MatMul(z, dec_w1_), dec_b1_);
   return ag::AddRow(ag::MatMul(h, dec_w2_), dec_b2_);
 }
 

@@ -150,12 +150,11 @@ ag::VarPtr EventGnn::ForwardLogits(const GnnGraph& g,
 
   for (size_t l = 0; l < layers_.size(); ++l) {
     ag::VarPtr agg = ag::MeanAggregate(g.spec, h, edge_weights);
-    ag::VarPtr z = ag::AddRow(ag::MatMul(agg, layers_[l].weight),
-                              layers_[l].bias);
+    ag::VarPtr wx = ag::MatMul(agg, layers_[l].weight);
     if (l + 1 == layers_.size()) {
-      h = z;  // output logits, no activation
+      h = ag::AddRow(wx, layers_[l].bias);  // output logits, no activation
     } else {
-      h = ag::Relu(z);
+      h = ag::AddRowRelu(wx, layers_[l].bias);
       if (options_.l2_normalize) h = ag::RowL2Normalize(h);
       // Re-inject visible labels so supervision survives aggregation
       // dilution across hops.

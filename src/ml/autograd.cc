@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "ml/kernels.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -48,13 +49,43 @@ VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
   VarPtr pa = a;
   VarPtr pb = b;
   node->backward_fn = [self, pa, pb]() {
+    // Accumulating GEMM variants: no temporary, same bits as
+    // grad.AddInPlace(MatMulTransX(...)).
     if (pa->requires_grad) {
       pa->EnsureGrad();
-      pa->grad.AddInPlace(MatMulTransB(self->grad, pb->value));
+      kernels::GemmTransB(self->grad, pb->value, &pa->grad,
+                          /*accumulate=*/true);
     }
     if (pb->requires_grad) {
       pb->EnsureGrad();
-      pb->grad.AddInPlace(MatMulTransA(pa->value, self->grad));
+      kernels::GemmTransA(pa->value, self->grad, &pb->grad,
+                          /*accumulate=*/true, /*skip_zeros_in_a=*/false);
+    }
+  };
+  return node;
+}
+
+VarPtr MatMulSparseA(const VarPtr& a, const VarPtr& b) {
+  TRAIL_CHECK(a->value.cols() == b->value.rows())
+      << "MatMulSparseA shape mismatch";
+  Matrix out(a->value.rows(), b->value.cols());
+  kernels::GemmSparseA(a->value, b->value, &out, /*accumulate=*/true);
+  VarPtr node = MakeNode(std::move(out), {a, b});
+  Var* self = node.get();
+  VarPtr pa = a;
+  VarPtr pb = b;
+  node->backward_fn = [self, pa, pb]() {
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      kernels::GemmTransB(self->grad, pb->value, &pa->grad,
+                          /*accumulate=*/true);
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      // The sparsity of a carries over: terms with a[r][i] == 0 contribute
+      // nothing to b's gradient, so skip them.
+      kernels::GemmTransA(pa->value, self->grad, &pb->grad,
+                          /*accumulate=*/true, /*skip_zeros_in_a=*/true);
     }
   };
   return node;
@@ -126,6 +157,27 @@ VarPtr AddRow(const VarPtr& x, const VarPtr& bias) {
         for (size_t c = 0; c < row.size(); ++c) pbias->grad.At(0, c) += row[c];
       }
     }
+  };
+  return node;
+}
+
+VarPtr AddRowRelu(const VarPtr& x, const VarPtr& bias) {
+  TRAIL_CHECK(bias->value.rows() == 1 && bias->value.cols() == x->value.cols())
+      << "AddRowRelu bias shape mismatch";
+  Matrix out(x->value.rows(), x->value.cols());
+  kernels::BiasAddRelu(x->value, bias->value, &out);
+  VarPtr node = MakeNode(std::move(out), {x, bias});
+  Var* self = node.get();
+  VarPtr px = x;
+  VarPtr pbias = bias;
+  node->backward_fn = [self, px, pbias]() {
+    // out > 0 iff the pre-activation x + bias > 0, so the forward output
+    // doubles as the ReLU mask and the pre-activation never materializes.
+    if (px->requires_grad) px->EnsureGrad();
+    if (pbias->requires_grad) pbias->EnsureGrad();
+    kernels::BiasAddReluBackward(
+        self->value, self->grad, px->requires_grad ? &px->grad : nullptr,
+        pbias->requires_grad ? &pbias->grad : nullptr);
   };
   return node;
 }
@@ -429,25 +481,11 @@ VarPtr MeanAggregate(const AggregateSpec& spec, const VarPtr& x,
 
   Matrix out(num_out, cols);
   auto weight_sums = std::make_shared<std::vector<float>>(num_out, 0.0f);
-  ParallelFor(num_out, [&](size_t begin, size_t end) {
-    for (size_t v = begin; v < end; ++v) {
-      auto dst = out.Row(v);
-      double total_w = 0.0;
-      for (uint64_t e = spec.offsets[v]; e < spec.offsets[v + 1]; ++e) {
-        const float w = weighted ? edge_weights->value.At(e, 0) : 1.0f;
-        total_w += w;
-        auto src = x->value.Row(spec.sources[e]);
-        for (size_t c = 0; c < cols; ++c) dst[c] += w * src[c];
-      }
-      (*weight_sums)[v] = static_cast<float>(total_w);
-      if (total_w > 1e-12) {
-        const float inv = static_cast<float>(1.0 / total_w);
-        for (size_t c = 0; c < cols; ++c) dst[c] *= inv;
-      } else {
-        for (size_t c = 0; c < cols; ++c) dst[c] = 0.0f;
-      }
-    }
-  }, /*min_chunk=*/512);
+  // Edge-weight matrices are (num_edges x 1), so the value buffer doubles
+  // as the CSR edge-weight array.
+  kernels::SpmmMeanForward(spec.offsets.data(), num_out, spec.sources.data(),
+                           weighted ? edge_weights->value.data() : nullptr,
+                           x->value, &out, weight_sums->data());
 
   std::vector<VarPtr> parents = {x};
   if (weighted) parents.push_back(edge_weights);
@@ -463,26 +501,10 @@ VarPtr MeanAggregate(const AggregateSpec& spec, const VarPtr& x,
     if (px->requires_grad) px->EnsureGrad();
     if (weighted && pw->requires_grad) pw->EnsureGrad();
     if (px->requires_grad) {
-      // Scatter into x's gradient, parallelized over feature columns so the
-      // per-thread write ranges are disjoint even when sources repeat.
-      ParallelFor(cols, [&](size_t c0, size_t c1) {
-        for (size_t v = 0; v < num_out; ++v) {
-          const float total_w = (*weight_sums)[v];
-          if (total_w <= 1e-12f) continue;
-          auto grad_out = self->grad.Row(v);
-          const float inv = 1.0f / total_w;
-          for (uint64_t e = spec_ptr->offsets[v]; e < spec_ptr->offsets[v + 1];
-               ++e) {
-            const uint32_t src = spec_ptr->sources[e];
-            const float scale =
-                (weighted ? pw->value.At(e, 0) : 1.0f) * inv;
-            auto grad_in = px->grad.Row(src);
-            for (size_t c = c0; c < c1; ++c) {
-              grad_in[c] += scale * grad_out[c];
-            }
-          }
-        }
-      }, /*min_chunk=*/8);
+      kernels::SpmmMeanBackwardX(
+          spec_ptr->offsets.data(), num_out, spec_ptr->sources.data(),
+          weighted ? pw->value.data() : nullptr, weight_sums->data(),
+          self->grad, &px->grad);
     }
     if (weighted && pw->requires_grad) {
       for (size_t v = 0; v < num_out; ++v) {
@@ -515,17 +537,31 @@ VarPtr SoftmaxCrossEntropy(const VarPtr& logits, const std::vector<int>& labels,
   const size_t cols = logits->value.cols();
   TRAIL_CHECK(labels.size() == rows) << "label count mismatch";
 
-  auto probs = std::make_shared<Matrix>(RowSoftmax(logits->value));
   auto active = std::make_shared<std::vector<uint8_t>>(rows, 0);
-  double loss = 0.0;
   size_t count = 0;
   for (size_t r = 0; r < rows; ++r) {
     if (labels[r] < 0) continue;
     if (row_mask != nullptr && (*row_mask)[r] == 0) continue;
     (*active)[r] = 1;
     ++count;
-    float p = probs->At(r, labels[r]);
-    loss -= std::log(std::max(p, 1e-12f));
+  }
+
+  // Fused row pass: softmax and the active rows' -log(p_label) in one sweep
+  // over the logits; the loss itself reduces serially in row order so the
+  // result is thread-count independent.
+  auto probs = std::make_shared<Matrix>(rows, cols);
+  std::vector<float> row_losses(rows, 0.0f);
+  const float* logit_data = logits->value.data();
+  ParallelFor(rows, [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      row_losses[r] = kernels::SoftmaxRow(
+          logit_data + r * cols, probs->data() + r * cols, cols,
+          (*active)[r] ? labels[r] : -1);
+    }
+  }, /*min_chunk=*/512);
+  double loss = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    if ((*active)[r]) loss += row_losses[r];
   }
   if (count > 0) loss /= count;
   if (out_probs != nullptr) *out_probs = *probs;

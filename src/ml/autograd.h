@@ -43,12 +43,23 @@ VarPtr Constant(Matrix value);
 // ---- Operators. Each returns a new node wired into the graph. ----
 
 VarPtr MatMul(const VarPtr& a, const VarPtr& b);
+/// MatMul for row-sparse `a` (one-hot encoder inputs): the forward skips
+/// zero elements of `a` and the backward pass for `b` skips the same
+/// entries. Agrees with MatMul to float rounding (the sparse path
+/// accumulates straight into the output row instead of using the dense
+/// reduction blocking) and is itself fully deterministic; only profitable
+/// when most of `a` is zeros.
+VarPtr MatMulSparseA(const VarPtr& a, const VarPtr& b);
 /// Element-wise sum of same-shape matrices.
 VarPtr Add(const VarPtr& a, const VarPtr& b);
 /// Element-wise (Hadamard) product of same-shape matrices.
 VarPtr Mul(const VarPtr& a, const VarPtr& b);
 /// x + bias where bias is 1 x C, broadcast over rows.
 VarPtr AddRow(const VarPtr& x, const VarPtr& bias);
+/// Fused relu(x + bias): one pass over memory forward and backward,
+/// bit-identical to Relu(AddRow(x, bias)). The hidden-layer hot path of
+/// the MLP, autoencoders, and GraphSAGE.
+VarPtr AddRowRelu(const VarPtr& x, const VarPtr& bias);
 VarPtr Relu(const VarPtr& x);
 VarPtr Sigmoid(const VarPtr& x);
 VarPtr Scale(const VarPtr& x, float s);

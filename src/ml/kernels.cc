@@ -1,0 +1,561 @@
+#include "ml/kernels.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "ml/kernels_internal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace trail::ml::kernels {
+
+namespace detail {
+
+// ---------------------------------------------------------------------------
+// Scalar target. Every loop mirrors the canonical accumulation order the
+// vector targets use (see kernels.h), so "scalar" vs "avx2" is bit-exact.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void ScalarGemmBlock(const float* a, const float* b, float* c, size_t i0,
+                     size_t i1, size_t p0, size_t p1, size_t k, size_t m) {
+  // j in strips of 8 with a local partial per output element: sequential
+  // over p within the block, one add into C afterwards.
+  for (size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    size_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      float acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (size_t p = p0; p < p1; ++p) {
+        const float av = arow[p];
+        const float* brow = b + p * m + j;
+        for (int l = 0; l < 8; ++l) acc[l] += av * brow[l];
+      }
+      for (int l = 0; l < 8; ++l) crow[j + l] += acc[l];
+    }
+    for (; j < m; ++j) {
+      float acc = 0.0f;
+      for (size_t p = p0; p < p1; ++p) acc += arow[p] * b[p * m + j];
+      crow[j] += acc;
+    }
+  }
+}
+
+void ScalarGemmBlockPacked(const float* a, const float* bpack, float* c,
+                           size_t i0, size_t i1, size_t p0, size_t p1,
+                           size_t k, size_t m) {
+  const size_t pk = p1 - p0;
+  for (size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    size_t j = 0;
+    for (size_t panel = 0; panel * kPackNr < m; ++panel, j += kPackNr) {
+      const float* bp = bpack + panel * pk * kPackNr;
+      float acc[kPackNr] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (size_t p = 0; p < pk; ++p) {
+        const float av = arow[p0 + p];
+        const float* bv = bp + p * kPackNr;
+        for (size_t l = 0; l < kPackNr; ++l) acc[l] += av * bv[l];
+      }
+      const size_t width = m - j < kPackNr ? m - j : kPackNr;
+      for (size_t l = 0; l < width; ++l) crow[j + l] += acc[l];
+    }
+  }
+}
+
+void ScalarGemmSparseRows(const float* a, const float* b, float* c, size_t i0,
+                          size_t i1, size_t k, size_t m) {
+  for (size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * m;
+      for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void ScalarGemmTransBRows(const float* a, const float* b, float* c, size_t i0,
+                          size_t i1, size_t k, size_t bn) {
+  for (size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * bn;
+    for (size_t j = 0; j < bn; ++j) {
+      const float* brow = b + j * k;
+      float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (size_t p = 0; p < k; ++p) lanes[p % 8] += arow[p] * brow[p];
+      crow[j] += CombineLanes8(lanes);
+    }
+  }
+}
+
+void ScalarGemmTransABlock(const float* a, const float* b, float* c,
+                           size_t i0, size_t i1, size_t r0, size_t r1,
+                           size_t ac, size_t m, bool skip_zeros) {
+  for (size_t i = i0; i < i1; ++i) {
+    float* crow = c + i * m;
+    size_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      float acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (size_t r = r0; r < r1; ++r) {
+        const float av = a[r * ac + i];
+        if (skip_zeros && av == 0.0f) continue;
+        const float* brow = b + r * m + j;
+        for (int l = 0; l < 8; ++l) acc[l] += av * brow[l];
+      }
+      for (int l = 0; l < 8; ++l) crow[j + l] += acc[l];
+    }
+    for (; j < m; ++j) {
+      float acc = 0.0f;
+      for (size_t r = r0; r < r1; ++r) {
+        const float av = a[r * ac + i];
+        if (skip_zeros && av == 0.0f) continue;
+        acc += av * b[r * m + j];
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+void ScalarAxpy(float* y, const float* x, float s, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += s * x[i];
+}
+
+void ScalarScal(float* y, float s, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] *= s;
+}
+
+void ScalarBiasReluRows(const float* x, const float* bias, float* out,
+                        size_t r0, size_t r1, size_t cols) {
+  for (size_t r = r0; r < r1; ++r) {
+    const float* in = x + r * cols;
+    float* o = out + r * cols;
+    for (size_t c = 0; c < cols; ++c) {
+      const float v = in[c] + bias[c];
+      o[c] = v > 0.0f ? v : 0.0f;
+    }
+  }
+}
+
+void ScalarBiasTanhRows(const float* x, const float* bias, float* out,
+                        size_t r0, size_t r1, size_t cols) {
+  for (size_t r = r0; r < r1; ++r) {
+    const float* in = x + r * cols;
+    float* o = out + r * cols;
+    for (size_t c = 0; c < cols; ++c) o[c] = std::tanh(in[c] + bias[c]);
+  }
+}
+
+void ScalarReluMaskAddRows(const float* out, const float* grad_out,
+                           float* grad_x, size_t r0, size_t r1, size_t cols) {
+  for (size_t r = r0; r < r1; ++r) {
+    const float* o = out + r * cols;
+    const float* g = grad_out + r * cols;
+    float* gx = grad_x + r * cols;
+    for (size_t c = 0; c < cols; ++c) {
+      if (o[c] > 0.0f) gx[c] += g[c];
+    }
+  }
+}
+
+void ScalarReluBiasGrad(const float* out, const float* grad_out,
+                        float* grad_bias, size_t rows, size_t cols) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* o = out + r * cols;
+    const float* g = grad_out + r * cols;
+    for (size_t c = 0; c < cols; ++c) {
+      if (o[c] > 0.0f) grad_bias[c] += g[c];
+    }
+  }
+}
+
+void ScalarSpmmMeanRows(const uint64_t* offsets, const uint32_t* sources,
+                        const float* edge_weights, const float* x, float* out,
+                        float* weight_sums, size_t v0, size_t v1,
+                        size_t cols) {
+  for (size_t v = v0; v < v1; ++v) {
+    float* dst = out + v * cols;
+    double total_w = 0.0;
+    for (uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const float w = edge_weights != nullptr ? edge_weights[e] : 1.0f;
+      total_w += w;
+      const float* src = x + static_cast<size_t>(sources[e]) * cols;
+      for (size_t c = 0; c < cols; ++c) dst[c] += w * src[c];
+    }
+    weight_sums[v] = static_cast<float>(total_w);
+    if (total_w > 1e-12) {
+      const float inv = static_cast<float>(1.0 / total_w);
+      for (size_t c = 0; c < cols; ++c) dst[c] *= inv;
+    } else {
+      for (size_t c = 0; c < cols; ++c) dst[c] = 0.0f;
+    }
+  }
+}
+
+void ScalarSpmmMeanBackXCols(const uint64_t* offsets, size_t num_out,
+                             const uint32_t* sources,
+                             const float* edge_weights,
+                             const float* weight_sums, const float* grad_out,
+                             float* grad_x, size_t c0, size_t c1,
+                             size_t cols) {
+  for (size_t v = 0; v < num_out; ++v) {
+    const float total_w = weight_sums[v];
+    if (total_w <= 1e-12f) continue;
+    const float* gout = grad_out + v * cols;
+    const float inv = 1.0f / total_w;
+    for (uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const float scale =
+          (edge_weights != nullptr ? edge_weights[e] : 1.0f) * inv;
+      float* gx = grad_x + static_cast<size_t>(sources[e]) * cols;
+      for (size_t c = c0; c < c1; ++c) gx[c] += scale * gout[c];
+    }
+  }
+}
+
+constexpr KernelOps kScalarOps = {
+    "scalar",
+    &ScalarGemmBlock,
+    &ScalarGemmBlockPacked,
+    &ScalarGemmSparseRows,
+    &ScalarGemmTransBRows,
+    &ScalarGemmTransABlock,
+    &ScalarAxpy,
+    &ScalarScal,
+    &ScalarBiasReluRows,
+    &ScalarBiasTanhRows,
+    &ScalarReluMaskAddRows,
+    &ScalarReluBiasGrad,
+    &ScalarSpmmMeanRows,
+    &ScalarSpmmMeanBackXCols,
+};
+
+}  // namespace
+
+const KernelOps* GetScalarOps() { return &kScalarOps; }
+
+void PackB(const float* b, size_t p0, size_t p1, size_t m, float* bpack) {
+  const size_t pk = p1 - p0;
+  const size_t num_panels = (m + kPackNr - 1) / kPackNr;
+  for (size_t panel = 0; panel < num_panels; ++panel) {
+    const size_t j0 = panel * kPackNr;
+    const size_t width = m - j0 < kPackNr ? m - j0 : kPackNr;
+    float* dst = bpack + panel * pk * kPackNr;
+    for (size_t p = 0; p < pk; ++p) {
+      const float* src = b + (p0 + p) * m + j0;
+      for (size_t l = 0; l < width; ++l) dst[p * kPackNr + l] = src[l];
+      for (size_t l = width; l < kPackNr; ++l) dst[p * kPackNr + l] = 0.0f;
+    }
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using detail::KernelOps;
+
+const KernelOps* ResolveTarget(const char* request) {
+  const KernelOps* best = detail::GetScalarOps();
+#if defined(__x86_64__) || defined(_M_X64)
+  const KernelOps* avx2 = detail::GetAvx2Ops();
+  if (avx2 != nullptr && __builtin_cpu_supports("avx2")) {
+    best = avx2;
+  } else {
+    avx2 = nullptr;
+  }
+#else
+  const KernelOps* avx2 = nullptr;
+#endif
+  if (request == nullptr || std::strcmp(request, "native") == 0) return best;
+  if (std::strcmp(request, "scalar") == 0) return detail::GetScalarOps();
+  if (std::strcmp(request, "avx2") == 0) {
+    TRAIL_CHECK(avx2 != nullptr)
+        << "TRAIL_KERNELS=avx2 requested but AVX2 is unavailable on this "
+           "host/build";
+    return avx2;
+  }
+  TRAIL_CHECK(false) << "unknown TRAIL_KERNELS value '" << request
+                     << "' (expected scalar|native|avx2)";
+  return best;
+}
+
+/// The active table. Resolved once from TRAIL_KERNELS at first use;
+/// ScopedTargetOverride swaps it temporarily (tests/benches only).
+const KernelOps*& ActiveOpsSlot() {
+  static const KernelOps* active =
+      ResolveTarget(std::getenv("TRAIL_KERNELS"));
+  return active;
+}
+
+const KernelOps& Ops() { return *ActiveOpsSlot(); }
+
+const KernelOps* g_override_saved = nullptr;
+
+}  // namespace
+
+const char* ActiveTargetName() { return Ops().name; }
+
+std::vector<std::string> AvailableTargets() {
+  std::vector<std::string> targets = {"scalar"};
+#if defined(__x86_64__) || defined(_M_X64)
+  if (detail::GetAvx2Ops() != nullptr && __builtin_cpu_supports("avx2")) {
+    targets.push_back("avx2");
+  }
+#endif
+  return targets;
+}
+
+ScopedTargetOverride::ScopedTargetOverride(const std::string& name) {
+  TRAIL_CHECK(g_override_saved == nullptr)
+      << "nested ScopedTargetOverride is not supported";
+  g_override_saved = ActiveOpsSlot();
+  ActiveOpsSlot() = ResolveTarget(name.c_str());
+}
+
+ScopedTargetOverride::~ScopedTargetOverride() {
+  ActiveOpsSlot() = g_override_saved;
+  g_override_saved = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// High-level drivers: shape checks, shape-only blocking/threading, metrics.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using detail::kPackNr;
+using detail::kReductionBlock;
+
+void BumpGemmFlops(size_t n, size_t k, size_t m) {
+  // Nominal dense flop count (2*n*k*m), also for the sparse fast path.
+  TRAIL_METRIC_ADD("ml.gemm_flops", 2 * n * k * m);
+}
+
+/// Packing pays off when the B panel is re-read across many A rows.
+bool ShouldPackB(size_t n, size_t k, size_t m) {
+  return n >= 32 && m >= kPackNr && k >= 16;
+}
+
+void GemmImpl(const Matrix& a, const Matrix& b, Matrix* c) {
+  const size_t n = a.rows();
+  const size_t k = a.cols();
+  const size_t m = b.cols();
+  if (n == 0 || k == 0 || m == 0) return;
+  const KernelOps& ops = Ops();
+  if (ShouldPackB(n, k, m)) {
+    const size_t num_panels = (m + kPackNr - 1) / kPackNr;
+    AlignedFloats bpack(k * num_panels * kPackNr);
+    // Whole-B pack, panel-major per reduction block so the block kernels
+    // read contiguous panels: pack each 256-row block separately.
+    for (size_t p0 = 0; p0 < k; p0 += kReductionBlock) {
+      const size_t p1 = std::min(k, p0 + kReductionBlock);
+      // Block band lives at column-panel stride within the shared buffer:
+      // store band-by-band (band base = p0 * panels * Nr).
+      detail::PackB(b.data(), p0, p1, m, bpack.data() + p0 * num_panels * kPackNr);
+    }
+    ParallelFor(n, [&](size_t i0, size_t i1) {
+      for (size_t p0 = 0; p0 < k; p0 += kReductionBlock) {
+        const size_t p1 = std::min(k, p0 + kReductionBlock);
+        ops.gemm_block_packed(a.data(),
+                              bpack.data() + p0 * num_panels * kPackNr,
+                              c->data(), i0, i1, p0, p1, k, m);
+      }
+    }, /*min_chunk=*/16);
+  } else {
+    ParallelFor(n, [&](size_t i0, size_t i1) {
+      for (size_t p0 = 0; p0 < k; p0 += kReductionBlock) {
+        const size_t p1 = std::min(k, p0 + kReductionBlock);
+        ops.gemm_block(a.data(), b.data(), c->data(), i0, i1, p0, p1, k, m);
+      }
+    }, /*min_chunk=*/16);
+  }
+}
+
+}  // namespace
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
+  TRAIL_CHECK(a.cols() == b.rows()) << "Gemm shape mismatch";
+  TRAIL_CHECK(c->rows() == a.rows() && c->cols() == b.cols())
+      << "Gemm output shape mismatch";
+  if (!accumulate) c->Fill(0.0f);
+  BumpGemmFlops(a.rows(), a.cols(), b.cols());
+  if (obs::DetailedMetricsEnabled()) {
+    TRAIL_TRACE_SPAN("kernel.gemm");
+    GemmImpl(a, b, c);
+    return;
+  }
+  GemmImpl(a, b, c);
+}
+
+void GemmSparseA(const Matrix& a, const Matrix& b, Matrix* c,
+                 bool accumulate) {
+  TRAIL_CHECK(a.cols() == b.rows()) << "GemmSparseA shape mismatch";
+  TRAIL_CHECK(c->rows() == a.rows() && c->cols() == b.cols())
+      << "GemmSparseA output shape mismatch";
+  if (!accumulate) c->Fill(0.0f);
+  const size_t n = a.rows();
+  const size_t k = a.cols();
+  const size_t m = b.cols();
+  if (n == 0 || k == 0 || m == 0) return;
+  BumpGemmFlops(n, k, m);
+  const KernelOps& ops = Ops();
+  ParallelFor(n, [&](size_t i0, size_t i1) {
+    ops.gemm_sparse_rows(a.data(), b.data(), c->data(), i0, i1, k, m);
+  }, /*min_chunk=*/32);
+}
+
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c,
+                bool accumulate) {
+  TRAIL_CHECK(a.cols() == b.cols()) << "GemmTransB shape mismatch";
+  TRAIL_CHECK(c->rows() == a.rows() && c->cols() == b.rows())
+      << "GemmTransB output shape mismatch";
+  if (!accumulate) c->Fill(0.0f);
+  const size_t n = a.rows();
+  const size_t k = a.cols();
+  const size_t bn = b.rows();
+  if (n == 0 || k == 0 || bn == 0) return;
+  BumpGemmFlops(n, k, bn);
+  const KernelOps& ops = Ops();
+  ParallelFor(n, [&](size_t i0, size_t i1) {
+    ops.gemm_transb_rows(a.data(), b.data(), c->data(), i0, i1, k, bn);
+  }, /*min_chunk=*/32);
+}
+
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate,
+                bool skip_zeros_in_a) {
+  TRAIL_CHECK(a.rows() == b.rows()) << "GemmTransA shape mismatch";
+  TRAIL_CHECK(c->rows() == a.cols() && c->cols() == b.cols())
+      << "GemmTransA output shape mismatch";
+  if (!accumulate) c->Fill(0.0f);
+  const size_t ar = a.rows();
+  const size_t ac = a.cols();
+  const size_t m = b.cols();
+  if (ar == 0 || ac == 0 || m == 0) return;
+  BumpGemmFlops(ar, ac, m);
+  const KernelOps& ops = Ops();
+  // Split over output rows (columns of A) so threads write disjoint ranges.
+  ParallelFor(ac, [&](size_t i0, size_t i1) {
+    for (size_t r0 = 0; r0 < ar; r0 += kReductionBlock) {
+      const size_t r1 = std::min(ar, r0 + kReductionBlock);
+      ops.gemm_transa_block(a.data(), b.data(), c->data(), i0, i1, r0, r1,
+                            ac, m, skip_zeros_in_a);
+    }
+  }, /*min_chunk=*/8);
+}
+
+void Axpy(const Matrix& x, float scale, Matrix* y) {
+  TRAIL_CHECK(y->SameShape(x)) << "Axpy shape mismatch";
+  Ops().axpy(y->data(), x.data(), scale, x.size());
+}
+
+void Scal(float scale, Matrix* y) { Ops().scal(y->data(), scale, y->size()); }
+
+void BiasAddRelu(const Matrix& x, const Matrix& bias, Matrix* out) {
+  TRAIL_CHECK(bias.rows() == 1 && bias.cols() == x.cols())
+      << "BiasAddRelu bias shape mismatch";
+  TRAIL_CHECK(out->SameShape(x)) << "BiasAddRelu output shape mismatch";
+  const KernelOps& ops = Ops();
+  const size_t cols = x.cols();
+  ParallelFor(x.rows(), [&](size_t r0, size_t r1) {
+    ops.bias_relu_rows(x.data(), bias.data(), out->data(), r0, r1, cols);
+  }, /*min_chunk=*/256);
+}
+
+void BiasAddTanh(const Matrix& x, const Matrix& bias, Matrix* out) {
+  TRAIL_CHECK(bias.rows() == 1 && bias.cols() == x.cols())
+      << "BiasAddTanh bias shape mismatch";
+  TRAIL_CHECK(out->SameShape(x)) << "BiasAddTanh output shape mismatch";
+  const KernelOps& ops = Ops();
+  const size_t cols = x.cols();
+  ParallelFor(x.rows(), [&](size_t r0, size_t r1) {
+    ops.bias_tanh_rows(x.data(), bias.data(), out->data(), r0, r1, cols);
+  }, /*min_chunk=*/256);
+}
+
+void BiasAddReluBackward(const Matrix& out_value, const Matrix& grad_out,
+                         Matrix* grad_x, Matrix* grad_bias) {
+  TRAIL_CHECK(grad_out.SameShape(out_value));
+  const KernelOps& ops = Ops();
+  const size_t cols = out_value.cols();
+  if (grad_x != nullptr) {
+    TRAIL_CHECK(grad_x->SameShape(out_value));
+    ParallelFor(out_value.rows(), [&](size_t r0, size_t r1) {
+      ops.relu_mask_add_rows(out_value.data(), grad_out.data(),
+                             grad_x->data(), r0, r1, cols);
+    }, /*min_chunk=*/256);
+  }
+  if (grad_bias != nullptr) {
+    TRAIL_CHECK(grad_bias->rows() == 1 && grad_bias->cols() == cols);
+    ops.relu_bias_grad(out_value.data(), grad_out.data(), grad_bias->data(),
+                       out_value.rows(), cols);
+  }
+}
+
+float SoftmaxRow(const float* logits, float* probs, size_t cols, int label) {
+  float max_v = logits[0];
+  for (size_t c = 1; c < cols; ++c) max_v = std::max(max_v, logits[c]);
+  double total = 0.0;
+  for (size_t c = 0; c < cols; ++c) {
+    probs[c] = std::exp(logits[c] - max_v);
+    total += probs[c];
+  }
+  const float inv = static_cast<float>(1.0 / total);
+  for (size_t c = 0; c < cols; ++c) probs[c] *= inv;
+  if (label < 0) return 0.0f;
+  return -std::log(std::max(probs[label], 1e-12f));
+}
+
+void RowSoftmaxInto(const Matrix& logits, Matrix* out) {
+  TRAIL_CHECK(out->SameShape(logits)) << "RowSoftmaxInto shape mismatch";
+  const size_t cols = logits.cols();
+  if (cols == 0) return;
+  ParallelFor(logits.rows(), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      SoftmaxRow(logits.data() + r * cols, out->data() + r * cols, cols, -1);
+    }
+  }, /*min_chunk=*/512);
+}
+
+void SpmmMeanForward(const uint64_t* offsets, size_t num_out,
+                     const uint32_t* sources, const float* edge_weights,
+                     const Matrix& x, Matrix* out, float* weight_sums) {
+  TRAIL_CHECK(out->rows() == num_out && out->cols() == x.cols())
+      << "SpmmMeanForward output shape mismatch";
+  const size_t cols = x.cols();
+  TRAIL_METRIC_ADD("ml.spmm_edges", offsets[num_out]);
+  const KernelOps& ops = Ops();
+  ParallelFor(num_out, [&](size_t v0, size_t v1) {
+    ops.spmm_mean_rows(offsets, sources, edge_weights, x.data(), out->data(),
+                       weight_sums, v0, v1, cols);
+  }, /*min_chunk=*/512);
+}
+
+void SpmmMeanBackwardX(const uint64_t* offsets, size_t num_out,
+                       const uint32_t* sources, const float* edge_weights,
+                       const float* weight_sums, const Matrix& grad_out,
+                       Matrix* grad_x) {
+  const size_t cols = grad_x->cols();
+  TRAIL_CHECK(grad_out.rows() == num_out && grad_out.cols() == cols)
+      << "SpmmMeanBackwardX shape mismatch";
+  const KernelOps& ops = Ops();
+  // Column-partitioned: sources repeat across rows, so the per-thread
+  // write ranges must be disjoint in the column axis.
+  ParallelFor(cols, [&](size_t c0, size_t c1) {
+    ops.spmm_mean_backx_cols(offsets, num_out, sources, edge_weights,
+                             weight_sums, grad_out.data(), grad_x->data(),
+                             c0, c1, cols);
+  }, /*min_chunk=*/8);
+}
+
+}  // namespace trail::ml::kernels

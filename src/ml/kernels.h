@@ -1,0 +1,154 @@
+#ifndef TRAIL_ML_KERNELS_H_
+#define TRAIL_ML_KERNELS_H_
+
+// Vectorized compute-kernel layer for the ML substrate: cache-blocked,
+// register-tiled GEMM (MatMul / MatMulTransA / MatMulTransB), a CSR-driven
+// SpMM for neighbor mean-aggregation, and fused elementwise passes
+// (bias-add+ReLU/tanh, softmax-cross-entropy row pass, axpy/scal). The GNN
+// training loop spends nearly all of its time here, so these kernels are
+// what "as fast as the hardware allows" means for TRAIL's neural models.
+//
+// ## Dispatch
+//
+// A scalar baseline is always available. On x86-64 an AVX2 implementation
+// is compiled into its own translation unit and selected at first use when
+// the CPU supports it. The TRAIL_KERNELS environment variable overrides
+// the choice for A/B testing and reproducibility:
+//
+//   TRAIL_KERNELS=scalar   force the scalar baseline
+//   TRAIL_KERNELS=native   best target the host supports (the default)
+//   TRAIL_KERNELS=avx2     require AVX2 (aborts if the host lacks it)
+//
+// ## Accumulation policy (pinned by tests/ml/kernels_test.cc)
+//
+// All GEMM-family kernels accumulate in float32. FMA contraction is
+// disabled (the ISA TUs build with -ffp-contract=off and without -mfma):
+// every multiply and add rounds exactly as the scalar expression does,
+// which is what makes the scalar and vector targets BIT-IDENTICAL — the
+// vector kernels only reassociate where the policy below says they may,
+// and the scalar kernels implement the same association order:
+//
+//   - MatMul (C = A*B) and MatMulTransA (C = A^T*B): the reduction axis is
+//     processed in consecutive blocks of 256 elements; within a block each
+//     output element accumulates sequentially in reduction order, and the
+//     block partials are added to C in ascending block order. Vector lanes
+//     run along the j (output-column) axis, which never reassociates.
+//   - MatMulTransB (C = A*B^T): each dot product accumulates in 8 striped
+//     lanes (index p contributes to lane p % 8) combined by the fixed tree
+//     of kernels_internal.h CombineLanes8.
+//   - The sparse-row fast path (one-hot inputs) accumulates directly into
+//     the C row, sequentially over the nonzero reduction indices.
+//   - SpMM, axpy/scal and the fused elementwise kernels perform no
+//     cross-element reduction at all (per-column/per-element arithmetic in
+//     a fixed order), so vectorization cannot change their results.
+//
+// Consequences: results are bit-identical across dispatch targets AND
+// across thread counts (chunking is shape-only, see util/parallel.h), so
+// TRAIL_KERNELS and --threads are pure performance knobs. The policy DOES
+// differ from naive sequential float accumulation (blocking reassociates
+// across 256-element block boundaries) and from the pre-kernel code that
+// accumulated MatMulTransB in double — goldens were regenerated once when
+// this layer landed.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace trail::ml::kernels {
+
+/// Name of the dispatch target currently in effect ("scalar" or "avx2").
+const char* ActiveTargetName();
+
+/// Dispatch targets reachable on this host, best last ("scalar" always;
+/// "avx2" when compiled in and supported by the CPU).
+std::vector<std::string> AvailableTargets();
+
+/// Test/bench hook: force a target by name ("scalar", "avx2", "native")
+/// for the lifetime of the object, then restore the previous choice. Not
+/// thread-safe — construct only while no kernel calls are in flight.
+class ScopedTargetOverride {
+ public:
+  explicit ScopedTargetOverride(const std::string& name);
+  ~ScopedTargetOverride();
+
+  ScopedTargetOverride(const ScopedTargetOverride&) = delete;
+  ScopedTargetOverride& operator=(const ScopedTargetOverride&) = delete;
+};
+
+// ---- GEMM family. All variants ADD into *c when `accumulate` is true and
+// overwrite it (after a zero fill) otherwise; `c` must be pre-sized to the
+// result shape. Rows are parallelized over the global pool with shape-only
+// chunking. ----
+
+/// C (+)= A * B. Dense: no zero skipping (see GemmSparseA).
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate);
+
+/// C (+)= A * B for row-sparse A (one-hot encoder inputs): skips zero
+/// elements of A. Only profitable when most of A is zeros.
+void GemmSparseA(const Matrix& a, const Matrix& b, Matrix* c,
+                 bool accumulate);
+
+/// C (+)= A * B^T.
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c,
+                bool accumulate);
+
+/// C (+)= A^T * B. With `skip_zeros_in_a`, zero elements of A are skipped
+/// (the backward companion of GemmSparseA).
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate,
+                bool skip_zeros_in_a);
+
+// ---- Fused elementwise kernels. ----
+
+/// y += scale * x (same shape).
+void Axpy(const Matrix& x, float scale, Matrix* y);
+
+/// y *= scale.
+void Scal(float scale, Matrix* y);
+
+/// out[r, c] = max(0, x[r, c] + bias[c]); bias is 1 x C. One pass.
+void BiasAddRelu(const Matrix& x, const Matrix& bias, Matrix* out);
+
+/// out[r, c] = tanh(x[r, c] + bias[c]); bias is 1 x C. One pass.
+void BiasAddTanh(const Matrix& x, const Matrix& bias, Matrix* out);
+
+/// Backward of BiasAddRelu: using out_value (= the forward output, whose
+/// positivity equals the pre-activation's), accumulates
+///   grad_x[r, c]    += grad_out[r, c] * (out_value[r, c] > 0)
+///   grad_bias[0, c] += grad_out[r, c] * (out_value[r, c] > 0)  (r ascending)
+/// Either gradient pointer may be null to skip that half.
+void BiasAddReluBackward(const Matrix& out_value, const Matrix& grad_out,
+                         Matrix* grad_x, Matrix* grad_bias);
+
+/// Fused softmax(+cross-entropy) row pass: writes the softmax of
+/// logits[0..cols) into probs and, when label >= 0, returns
+/// -log(max(probs[label], 1e-12)); returns 0.0 otherwise. Identical
+/// numerics to the historical RowSoftmax (max-shifted exp, double sum).
+float SoftmaxRow(const float* logits, float* probs, size_t cols, int label);
+
+/// Row-parallel softmax into a pre-sized matrix (same shape as logits).
+void RowSoftmaxInto(const Matrix& logits, Matrix* out);
+
+// ---- CSR SpMM (the MeanAggregate forward/backward, driven directly over
+// the aggregation spec's row ranges instead of per-edge autograd gathers).
+// `offsets` has num_out + 1 entries; `sources` indexes rows of x. ----
+
+/// out[v, :] = weighted mean of x[sources[e], :] over v's edge range;
+/// weight_sums[v] (size num_out) receives the per-row total weight.
+/// edge_weights may be null (unweighted mean).
+void SpmmMeanForward(const uint64_t* offsets, size_t num_out,
+                     const uint32_t* sources, const float* edge_weights,
+                     const Matrix& x, Matrix* out, float* weight_sums);
+
+/// Accumulates the x-gradient of SpmmMeanForward into grad_x
+/// (column-partitioned across the pool so writes stay disjoint).
+void SpmmMeanBackwardX(const uint64_t* offsets, size_t num_out,
+                       const uint32_t* sources, const float* edge_weights,
+                       const float* weight_sums, const Matrix& grad_out,
+                       Matrix* grad_x);
+
+}  // namespace trail::ml::kernels
+
+#endif  // TRAIL_ML_KERNELS_H_

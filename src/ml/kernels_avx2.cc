@@ -1,0 +1,320 @@
+// AVX2 implementations of the KernelOps table. Compiled as its own
+// translation unit with -mavx2 -ffp-contract=off (and WITHOUT -mfma): every
+// mul/add here rounds exactly like the scalar expression, and vector lanes
+// run only along axes the pinned policy allows (output columns, or the
+// 8-lane stripes of the TransB dot), so this target is bit-identical to the
+// scalar one. See kernels.h for the policy and kernels_internal.h for the
+// per-entry contracts.
+
+#include "ml/kernels_internal.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace trail::ml::kernels::detail {
+namespace {
+
+void Avx2GemmBlock(const float* a, const float* b, float* c, size_t i0,
+                   size_t i1, size_t p0, size_t p1, size_t k, size_t m) {
+  for (size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    size_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (size_t p = p0; p < p1; ++p) {
+        const __m256 av = _mm256_set1_ps(arow[p]);
+        const __m256 bv = _mm256_loadu_ps(b + p * m + j);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+      }
+      _mm256_storeu_ps(crow + j,
+                       _mm256_add_ps(_mm256_loadu_ps(crow + j), acc));
+    }
+    for (; j < m; ++j) {
+      float acc = 0.0f;
+      for (size_t p = p0; p < p1; ++p) acc += arow[p] * b[p * m + j];
+      crow[j] += acc;
+    }
+  }
+}
+
+void Avx2GemmBlockPacked(const float* a, const float* bpack, float* c,
+                         size_t i0, size_t i1, size_t p0, size_t p1, size_t k,
+                         size_t m) {
+  const size_t pk = p1 - p0;
+  static_assert(kPackNr == 8, "packed panels are one AVX2 vector wide");
+  for (size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    size_t j = 0;
+    for (size_t panel = 0; panel * kPackNr < m; ++panel, j += kPackNr) {
+      const float* bp = bpack + panel * pk * kPackNr;
+      __m256 acc = _mm256_setzero_ps();
+      for (size_t p = 0; p < pk; ++p) {
+        const __m256 av = _mm256_set1_ps(arow[p0 + p]);
+        const __m256 bv = _mm256_load_ps(bp + p * kPackNr);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+      }
+      if (m - j >= kPackNr) {
+        _mm256_storeu_ps(crow + j,
+                         _mm256_add_ps(_mm256_loadu_ps(crow + j), acc));
+      } else {
+        alignas(32) float lanes[8];
+        _mm256_store_ps(lanes, acc);
+        for (size_t l = 0; l < m - j; ++l) crow[j + l] += lanes[l];
+      }
+    }
+  }
+}
+
+void Avx2GemmSparseRows(const float* a, const float* b, float* c, size_t i0,
+                        size_t i1, size_t k, size_t m) {
+  for (size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * m;
+      const __m256 avv = _mm256_set1_ps(av);
+      size_t j = 0;
+      for (; j + 8 <= m; j += 8) {
+        const __m256 prod = _mm256_mul_ps(avv, _mm256_loadu_ps(brow + j));
+        _mm256_storeu_ps(crow + j,
+                         _mm256_add_ps(_mm256_loadu_ps(crow + j), prod));
+      }
+      for (; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void Avx2GemmTransBRows(const float* a, const float* b, float* c, size_t i0,
+                        size_t i1, size_t k, size_t bn) {
+  for (size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * bn;
+    for (size_t j = 0; j < bn; ++j) {
+      const float* brow = b + j * k;
+      __m256 acc = _mm256_setzero_ps();
+      size_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_loadu_ps(arow + p),
+                                               _mm256_loadu_ps(brow + p)));
+      }
+      alignas(32) float lanes[8];
+      _mm256_store_ps(lanes, acc);
+      for (; p < k; ++p) lanes[p % 8] += arow[p] * brow[p];
+      crow[j] += CombineLanes8(lanes);
+    }
+  }
+}
+
+void Avx2GemmTransABlock(const float* a, const float* b, float* c, size_t i0,
+                         size_t i1, size_t r0, size_t r1, size_t ac, size_t m,
+                         bool skip_zeros) {
+  for (size_t i = i0; i < i1; ++i) {
+    float* crow = c + i * m;
+    size_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (size_t r = r0; r < r1; ++r) {
+        const float av = a[r * ac + i];
+        if (skip_zeros && av == 0.0f) continue;
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av),
+                                               _mm256_loadu_ps(b + r * m + j)));
+      }
+      _mm256_storeu_ps(crow + j,
+                       _mm256_add_ps(_mm256_loadu_ps(crow + j), acc));
+    }
+    for (; j < m; ++j) {
+      float acc = 0.0f;
+      for (size_t r = r0; r < r1; ++r) {
+        const float av = a[r * ac + i];
+        if (skip_zeros && av == 0.0f) continue;
+        acc += av * b[r * m + j];
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+void Avx2Axpy(float* y, const float* x, float s, size_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(sv, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+void Avx2Scal(float* y, float s, size_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(sv, _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] *= s;
+}
+
+void Avx2BiasReluRows(const float* x, const float* bias, float* out,
+                      size_t r0, size_t r1, size_t cols) {
+  const __m256 zero = _mm256_setzero_ps();
+  for (size_t r = r0; r < r1; ++r) {
+    const float* in = x + r * cols;
+    float* o = out + r * cols;
+    size_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const __m256 v = _mm256_add_ps(_mm256_loadu_ps(in + c),
+                                     _mm256_loadu_ps(bias + c));
+      _mm256_storeu_ps(o + c, _mm256_max_ps(v, zero));
+    }
+    for (; c < cols; ++c) {
+      const float v = in[c] + bias[c];
+      o[c] = v > 0.0f ? v : 0.0f;
+    }
+  }
+}
+
+void Avx2BiasTanhRows(const float* x, const float* bias, float* out,
+                      size_t r0, size_t r1, size_t cols) {
+  // tanh stays scalar libm (a vector polynomial would change results); the
+  // fusion win here is the single pass, not the transcendental itself.
+  for (size_t r = r0; r < r1; ++r) {
+    const float* in = x + r * cols;
+    float* o = out + r * cols;
+    for (size_t c = 0; c < cols; ++c) o[c] = std::tanh(in[c] + bias[c]);
+  }
+}
+
+void Avx2ReluMaskAddRows(const float* out, const float* grad_out,
+                         float* grad_x, size_t r0, size_t r1, size_t cols) {
+  const __m256 zero = _mm256_setzero_ps();
+  for (size_t r = r0; r < r1; ++r) {
+    const float* o = out + r * cols;
+    const float* g = grad_out + r * cols;
+    float* gx = grad_x + r * cols;
+    size_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const __m256 mask = _mm256_cmp_ps(_mm256_loadu_ps(o + c), zero,
+                                        _CMP_GT_OQ);
+      const __m256 add = _mm256_and_ps(mask, _mm256_loadu_ps(g + c));
+      _mm256_storeu_ps(gx + c, _mm256_add_ps(_mm256_loadu_ps(gx + c), add));
+    }
+    for (; c < cols; ++c) {
+      if (o[c] > 0.0f) gx[c] += g[c];
+    }
+  }
+}
+
+void Avx2ReluBiasGrad(const float* out, const float* grad_out,
+                      float* grad_bias, size_t rows, size_t cols) {
+  const __m256 zero = _mm256_setzero_ps();
+  for (size_t r = 0; r < rows; ++r) {
+    const float* o = out + r * cols;
+    const float* g = grad_out + r * cols;
+    size_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const __m256 mask = _mm256_cmp_ps(_mm256_loadu_ps(o + c), zero,
+                                        _CMP_GT_OQ);
+      const __m256 add = _mm256_and_ps(mask, _mm256_loadu_ps(g + c));
+      _mm256_storeu_ps(grad_bias + c,
+                       _mm256_add_ps(_mm256_loadu_ps(grad_bias + c), add));
+    }
+    for (; c < cols; ++c) {
+      if (o[c] > 0.0f) grad_bias[c] += g[c];
+    }
+  }
+}
+
+void Avx2SpmmMeanRows(const uint64_t* offsets, const uint32_t* sources,
+                      const float* edge_weights, const float* x, float* out,
+                      float* weight_sums, size_t v0, size_t v1, size_t cols) {
+  for (size_t v = v0; v < v1; ++v) {
+    float* dst = out + v * cols;
+    double total_w = 0.0;
+    for (uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const float w = edge_weights != nullptr ? edge_weights[e] : 1.0f;
+      total_w += w;
+      const float* src = x + static_cast<size_t>(sources[e]) * cols;
+      const __m256 wv = _mm256_set1_ps(w);
+      size_t c = 0;
+      for (; c + 8 <= cols; c += 8) {
+        const __m256 prod = _mm256_mul_ps(wv, _mm256_loadu_ps(src + c));
+        _mm256_storeu_ps(dst + c,
+                         _mm256_add_ps(_mm256_loadu_ps(dst + c), prod));
+      }
+      for (; c < cols; ++c) dst[c] += w * src[c];
+    }
+    weight_sums[v] = static_cast<float>(total_w);
+    if (total_w > 1e-12) {
+      const float inv = static_cast<float>(1.0 / total_w);
+      const __m256 iv = _mm256_set1_ps(inv);
+      size_t c = 0;
+      for (; c + 8 <= cols; c += 8) {
+        _mm256_storeu_ps(dst + c, _mm256_mul_ps(iv, _mm256_loadu_ps(dst + c)));
+      }
+      for (; c < cols; ++c) dst[c] *= inv;
+    } else {
+      for (size_t c = 0; c < cols; ++c) dst[c] = 0.0f;
+    }
+  }
+}
+
+void Avx2SpmmMeanBackXCols(const uint64_t* offsets, size_t num_out,
+                           const uint32_t* sources, const float* edge_weights,
+                           const float* weight_sums, const float* grad_out,
+                           float* grad_x, size_t c0, size_t c1, size_t cols) {
+  for (size_t v = 0; v < num_out; ++v) {
+    const float total_w = weight_sums[v];
+    if (total_w <= 1e-12f) continue;
+    const float* gout = grad_out + v * cols;
+    const float inv = 1.0f / total_w;
+    for (uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const float scale =
+          (edge_weights != nullptr ? edge_weights[e] : 1.0f) * inv;
+      float* gx = grad_x + static_cast<size_t>(sources[e]) * cols;
+      const __m256 sv = _mm256_set1_ps(scale);
+      size_t c = c0;
+      for (; c + 8 <= c1; c += 8) {
+        const __m256 prod = _mm256_mul_ps(sv, _mm256_loadu_ps(gout + c));
+        _mm256_storeu_ps(gx + c, _mm256_add_ps(_mm256_loadu_ps(gx + c), prod));
+      }
+      for (; c < c1; ++c) gx[c] += scale * gout[c];
+    }
+  }
+}
+
+constexpr KernelOps kAvx2Ops = {
+    "avx2",
+    &Avx2GemmBlock,
+    &Avx2GemmBlockPacked,
+    &Avx2GemmSparseRows,
+    &Avx2GemmTransBRows,
+    &Avx2GemmTransABlock,
+    &Avx2Axpy,
+    &Avx2Scal,
+    &Avx2BiasReluRows,
+    &Avx2BiasTanhRows,
+    &Avx2ReluMaskAddRows,
+    &Avx2ReluBiasGrad,
+    &Avx2SpmmMeanRows,
+    &Avx2SpmmMeanBackXCols,
+};
+
+}  // namespace
+
+const KernelOps* GetAvx2Ops() { return &kAvx2Ops; }
+
+}  // namespace trail::ml::kernels::detail
+
+#else  // !defined(__AVX2__)
+
+namespace trail::ml::kernels::detail {
+const KernelOps* GetAvx2Ops() { return nullptr; }
+}  // namespace trail::ml::kernels::detail
+
+#endif  // defined(__AVX2__)

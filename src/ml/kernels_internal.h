@@ -1,0 +1,132 @@
+#ifndef TRAIL_ML_KERNELS_INTERNAL_H_
+#define TRAIL_ML_KERNELS_INTERNAL_H_
+
+// Shared between the dispatch driver (kernels.cc) and the ISA-specific
+// translation units (kernels_avx2.cc). Every function pointer in KernelOps
+// must implement the accumulation policy documented in kernels.h EXACTLY —
+// the cross-target bit-identity contract depends on it.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace trail::ml::kernels::detail {
+
+/// Canonical reduction block: the k axis of C = A*B and the r axis of
+/// C = A^T*B are processed in consecutive blocks of this many elements,
+/// each block accumulated in registers and added to C in ascending block
+/// order. Part of the pinned numeric policy — changing it changes results.
+constexpr size_t kReductionBlock = 256;
+
+/// B-panel width used by PackB / gemm_block_packed.
+constexpr size_t kPackNr = 8;
+
+/// Fixed combine tree for the 8-lane striped dot product (C = A*B^T).
+/// Lane l holds the partial sum over indices p with p % 8 == l. This exact
+/// association order is what _mm256 lo/hi + pairwise adds produce, so the
+/// scalar path reproduces the vector path bit for bit.
+inline float CombineLanes8(const float* l) {
+  const float s0 = l[0] + l[4];
+  const float s1 = l[1] + l[5];
+  const float s2 = l[2] + l[6];
+  const float s3 = l[3] + l[7];
+  const float t0 = s0 + s2;
+  const float t1 = s1 + s3;
+  return t0 + t1;
+}
+
+/// Row-range compute kernels over raw row-major buffers. All "gemm" entries
+/// ACCUMULATE into C (callers zero-fill or deliberately accumulate).
+struct KernelOps {
+  const char* name;
+
+  /// C[i0..i1, 0..m) += A[i0..i1, p0..p1) * B[p0..p1, 0..m).
+  /// lda == k, ldb == m, ldc == m. Register accumulation over [p0, p1),
+  /// sequential in p per output element, then one add into C.
+  void (*gemm_block)(const float* a, const float* b, float* c, size_t i0,
+                     size_t i1, size_t p0, size_t p1, size_t k, size_t m);
+
+  /// Same contract, B pre-packed by PackB (panel-major, kPackNr columns per
+  /// panel, zero-padded tail panel).
+  void (*gemm_block_packed)(const float* a, const float* bpack, float* c,
+                            size_t i0, size_t i1, size_t p0, size_t p1,
+                            size_t k, size_t m);
+
+  /// Sparse-row fast path: C[i, :] += a[i][p] * B[p, :] for every NONZERO
+  /// a[i][p], p ascending, accumulating directly into the C row (no
+  /// reduction blocking). Only used for one-hot-style inputs.
+  void (*gemm_sparse_rows)(const float* a, const float* b, float* c,
+                           size_t i0, size_t i1, size_t k, size_t m);
+
+  /// C[i0..i1, j) += dot(A_i, B_j) for j in [0, bn), 8-lane striped
+  /// accumulation over the full k with the CombineLanes8 tree. lda=ldb=k.
+  void (*gemm_transb_rows)(const float* a, const float* b, float* c,
+                           size_t i0, size_t i1, size_t k, size_t bn);
+
+  /// C[i0..i1, 0..m) += sum_r A[r, i] * B[r, 0..m) over r in [r0, r1).
+  /// A is ar x ac (i indexes columns of A), B is ar x m. Register
+  /// accumulation sequential in r per output element. With skip_zeros,
+  /// terms with a[r][i] == 0.0f are skipped (identical skip decision in
+  /// every target).
+  void (*gemm_transa_block)(const float* a, const float* b, float* c,
+                            size_t i0, size_t i1, size_t r0, size_t r1,
+                            size_t ac, size_t m, bool skip_zeros);
+
+  /// y[i] += s * x[i].
+  void (*axpy)(float* y, const float* x, float s, size_t n);
+  /// y[i] *= s.
+  void (*scal)(float* y, float s, size_t n);
+
+  /// out[r, c] = max(0, x[r, c] + bias[c]) for r in [r0, r1).
+  void (*bias_relu_rows)(const float* x, const float* bias, float* out,
+                         size_t r0, size_t r1, size_t cols);
+  /// out[r, c] = tanh(x[r, c] + bias[c]).
+  void (*bias_tanh_rows)(const float* x, const float* bias, float* out,
+                         size_t r0, size_t r1, size_t cols);
+  /// grad_x[r, c] += grad_out[r, c] where out[r, c] > 0 (fused
+  /// bias-add+ReLU backward, input-gradient half).
+  void (*relu_mask_add_rows)(const float* out, const float* grad_out,
+                             float* grad_x, size_t r0, size_t r1,
+                             size_t cols);
+  /// grad_bias[c] += grad_out[r, c] where out[r, c] > 0, r ascending
+  /// (fused bias-add+ReLU backward, bias half; single-threaded).
+  void (*relu_bias_grad)(const float* out, const float* grad_out,
+                         float* grad_bias, size_t rows, size_t cols);
+
+  /// Mean aggregation over CSR row ranges: for v in [v0, v1):
+  ///   out[v, :] = sum_e w_e * x[sources[e], :] / sum_e w_e
+  /// over e in [offsets[v], offsets[v+1]), edge order ascending, per-column
+  /// float accumulation, weight sum in double. weight_sums[v] receives the
+  /// total weight (0-neighbor rows produce zero output).
+  void (*spmm_mean_rows)(const uint64_t* offsets, const uint32_t* sources,
+                         const float* edge_weights, const float* x,
+                         float* out, float* weight_sums, size_t v0,
+                         size_t v1, size_t cols);
+
+  /// Backward of spmm_mean_rows w.r.t. x over the column range [c0, c1):
+  ///   grad_x[src, c] += (w_e / weight_sums[v]) * grad_out[v, c]
+  /// iterating v ascending then e ascending (matches the forward edge
+  /// order; column-partitioned so parallel writers stay disjoint).
+  void (*spmm_mean_backx_cols)(const uint64_t* offsets, size_t num_out,
+                               const uint32_t* sources,
+                               const float* edge_weights,
+                               const float* weight_sums,
+                               const float* grad_out, float* grad_x,
+                               size_t c0, size_t c1, size_t cols);
+};
+
+/// Always available.
+const KernelOps* GetScalarOps();
+
+/// Compiled only when the toolchain supports -mavx2 (TRAIL_HAVE_AVX2_TU);
+/// callers must additionally runtime-check CPU support before using it.
+const KernelOps* GetAvx2Ops();
+
+/// Packs B rows [p0, p1) x [0, m) into kPackNr-wide column panels:
+/// element (p, j) lands at bpack[((j / Nr) * (p1 - p0) + (p - p0)) * Nr +
+/// j % Nr]; the final panel is zero-padded to Nr columns. Pure data
+/// movement — no arithmetic, so packing never affects results.
+void PackB(const float* b, size_t p0, size_t p1, size_t m, float* bpack);
+
+}  // namespace trail::ml::kernels::detail
+
+#endif  // TRAIL_ML_KERNELS_INTERNAL_H_

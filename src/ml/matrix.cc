@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ml/kernels.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -29,12 +30,10 @@ Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
 
 void Matrix::AddInPlace(const Matrix& other, float scale) {
   TRAIL_CHECK(SameShape(other)) << "AddInPlace shape mismatch";
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+  kernels::Axpy(other, scale, this);
 }
 
-void Matrix::ScaleInPlace(float scale) {
-  for (float& v : data_) v *= scale;
-}
+void Matrix::ScaleInPlace(float scale) { kernels::Scal(scale, this); }
 
 Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
   Matrix out(indices.size(), cols_);
@@ -88,63 +87,21 @@ float Matrix::Norm() const {
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  TRAIL_CHECK(a.cols() == b.rows()) << "MatMul shape mismatch";
   Matrix c(a.rows(), b.cols());
-  const size_t n = a.rows();
-  const size_t k = a.cols();
-  const size_t m = b.cols();
-  ParallelFor(n, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      float* crow = c.data() + i * m;
-      const float* arow = a.data() + i * k;
-      for (size_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;  // one-hot inputs are mostly zero
-        const float* brow = b.data() + p * m;
-        for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }, /*min_chunk=*/64);
+  kernels::Gemm(a, b, &c, /*accumulate=*/true);  // fresh c is already zero
   return c;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
-  TRAIL_CHECK(a.cols() == b.cols()) << "MatMulTransB shape mismatch";
   Matrix c(a.rows(), b.rows());
-  const size_t k = a.cols();
-  ParallelFor(a.rows(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const float* arow = a.data() + i * k;
-      for (size_t j = 0; j < b.rows(); ++j) {
-        const float* brow = b.data() + j * k;
-        double dot = 0.0;
-        for (size_t p = 0; p < k; ++p) {
-          dot += static_cast<double>(arow[p]) * brow[p];
-        }
-        c.At(i, j) = static_cast<float>(dot);
-      }
-    }
-  }, /*min_chunk=*/64);
+  kernels::GemmTransB(a, b, &c, /*accumulate=*/true);
   return c;
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
-  TRAIL_CHECK(a.rows() == b.rows()) << "MatMulTransA shape mismatch";
   Matrix c(a.cols(), b.cols());
-  const size_t m = b.cols();
-  // Split over output rows (columns of a) so threads write disjoint ranges.
-  ParallelFor(a.cols(), [&](size_t begin, size_t end) {
-    for (size_t r = 0; r < a.rows(); ++r) {
-      const float* arow = a.data() + r * a.cols();
-      const float* brow = b.data() + r * m;
-      for (size_t i = begin; i < end; ++i) {
-        const float av = arow[i];
-        if (av == 0.0f) continue;
-        float* crow = c.data() + i * m;
-        for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }, /*min_chunk=*/16);
+  kernels::GemmTransA(a, b, &c, /*accumulate=*/true,
+                      /*skip_zeros_in_a=*/false);
   return c;
 }
 
@@ -195,19 +152,7 @@ Matrix ColumnVariance(const Matrix& a, const Matrix& mean) {
 
 Matrix RowSoftmax(const Matrix& logits) {
   Matrix out(logits.rows(), logits.cols());
-  for (size_t r = 0; r < logits.rows(); ++r) {
-    auto in = logits.Row(r);
-    auto dst = out.Row(r);
-    float max_v = in[0];
-    for (float v : in) max_v = std::max(max_v, v);
-    double total = 0.0;
-    for (size_t c = 0; c < in.size(); ++c) {
-      dst[c] = std::exp(in[c] - max_v);
-      total += dst[c];
-    }
-    const float inv = static_cast<float>(1.0 / total);
-    for (size_t c = 0; c < in.size(); ++c) dst[c] *= inv;
-  }
+  kernels::RowSoftmaxInto(logits, &out);
   return out;
 }
 

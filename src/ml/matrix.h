@@ -2,6 +2,7 @@
 #define TRAIL_ML_MATRIX_H_
 
 #include <cstddef>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -10,10 +11,50 @@
 
 namespace trail::ml {
 
+/// Minimal over-aligned allocator so Matrix rows start on cache-line (and
+/// AVX) boundaries: vector loads in the kernel layer never straddle lines
+/// and the packed-B panels can use aligned loads.
+template <typename T, size_t Alignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// 64-byte-aligned float storage: Matrix data and kernel scratch buffers.
+using AlignedFloats = std::vector<float, AlignedAllocator<float, 64>>;
+
 /// Dense row-major float matrix. The whole ML substrate (trees, MLP,
-/// autoencoders, GraphSAGE) runs on this one type; sizes in TRAIL are modest
-/// (at most tens of thousands of rows by ~1.5k columns) so a straightforward
-/// blocked `ikj` matmul is adequate.
+/// autoencoders, GraphSAGE) runs on this one type. Storage is 64-byte
+/// aligned and the MatMul family below dispatches into the blocked/SIMD
+/// kernel layer (ml/kernels.h), which pins the accumulation policy: all
+/// GEMM reductions accumulate in float32 with a shape-only blocking order,
+/// so results are bit-identical across thread counts and dispatch targets.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -73,7 +114,7 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<float> data_;
+  AlignedFloats data_;
 };
 
 /// C = A * B.

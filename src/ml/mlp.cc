@@ -11,8 +11,7 @@ ag::VarPtr MlpClassifier::Forward(const Matrix& x, bool training,
                                   Rng* rng) const {
   ag::VarPtr h = ag::Constant(x);
   for (const Layer& layer : layers_) {
-    h = ag::AddRow(ag::MatMul(h, layer.weight), layer.bias);
-    h = ag::Relu(h);
+    h = ag::AddRowRelu(ag::MatMul(h, layer.weight), layer.bias);
     if (layer.has_batch_norm) {
       h = ag::BatchNorm(h, layer.gamma, layer.beta, &layer.running_mean,
                         &layer.running_var, /*momentum=*/0.1, /*eps=*/1e-5,

@@ -16,8 +16,10 @@
 #include "gnn/label_propagation.h"
 #include "graph/csr.h"
 #include "graph/property_graph.h"
+#include "ml/autograd.h"
 #include "ml/dataset.h"
 #include "ml/gbt.h"
+#include "ml/kernels.h"
 #include "ml/mlp.h"
 #include "ml/random_forest.h"
 #include "ml/smote.h"
@@ -341,6 +343,71 @@ TEST(ParallelDeterminismTest,
       reference = std::move(probs);
     } else {
       EXPECT_TRUE(BitsEqual(reference, probs)) << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, KernelLayerBitIdenticalAcrossThreadCounts) {
+  // Every kernel-layer entry point, per dispatch target: the blocking and
+  // chunking depend only on shapes, so 1/2/8 workers must agree bitwise.
+  Rng rng(67);
+  auto random_matrix = [&rng](size_t rows, size_t cols) {
+    ml::Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i) {
+      m.data()[i] = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+    }
+    return m;
+  };
+  const ml::Matrix a = random_matrix(130, 300);
+  const ml::Matrix b = random_matrix(300, 48);
+  const ml::Matrix bt = random_matrix(48, 300);
+  const ml::Matrix bias = random_matrix(1, 48);
+
+  ml::ag::AggregateSpec spec;
+  spec.offsets.push_back(0);
+  for (size_t v = 0; v < 200; ++v) {
+    const size_t degree = v % 5;
+    for (size_t d = 0; d < degree; ++d) {
+      spec.sources.push_back(static_cast<uint32_t>((v * 7 + d * 13) % 130));
+    }
+    spec.offsets.push_back(spec.sources.size());
+  }
+  const size_t num_out = spec.offsets.size() - 1;
+
+  for (const std::string& target : ml::kernels::AvailableTargets()) {
+    ml::kernels::ScopedTargetOverride ovr(target);
+    std::vector<ml::Matrix> reference;
+    for (int threads : kThreadCounts) {
+      ScopedWorkerCount scoped(threads);
+      std::vector<ml::Matrix> results;
+      results.push_back(ml::MatMul(a, b));
+      results.push_back(ml::MatMulTransB(a, bt));
+      results.push_back(ml::MatMulTransA(a, a));
+      ml::Matrix fused(a.rows(), 48);
+      ml::kernels::BiasAddRelu(results[0], bias, &fused);
+      results.push_back(fused);
+      results.push_back(ml::RowSoftmax(results[0]));
+      ml::Matrix agg(num_out, a.cols());
+      std::vector<float> sums(num_out, 0.0f);
+      ml::kernels::SpmmMeanForward(spec.offsets.data(), num_out,
+                                   spec.sources.data(), nullptr, a, &agg,
+                                   sums.data());
+      results.push_back(agg);
+      ml::Matrix grad_x(a.rows(), a.cols());
+      ml::kernels::SpmmMeanBackwardX(spec.offsets.data(), num_out,
+                                     spec.sources.data(), nullptr,
+                                     sums.data(), agg, &grad_x);
+      results.push_back(grad_x);
+
+      if (threads == kThreadCounts[0]) {
+        reference = std::move(results);
+      } else {
+        ASSERT_EQ(reference.size(), results.size());
+        for (size_t i = 0; i < results.size(); ++i) {
+          EXPECT_TRUE(BitsEqual(reference[i], results[i]))
+              << target << " result " << i << " at " << threads << " threads";
+        }
+      }
     }
   }
 }

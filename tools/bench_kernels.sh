@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the kernel-layer microbenchmarks (bench/kernels): GFLOP/s per GEMM
+# variant across the GNN's shapes, CSR SpMM edge throughput, fused
+# elementwise bandwidth, and a GraphSAGE-style end-to-end training-step
+# comparison, for the naive pre-kernel loops and every dispatch target the
+# host can reach. Writes BENCH_kernels.json. Honest numbers only — the JSON
+# records the hardware thread count, and a 1-core container's speedups come
+# from vectorization and blocking alone.
+#
+# Usage: tools/bench_kernels.sh [BUILD_DIR]
+#   BUILD_DIR  default: build
+# Honors TRAIL_BENCH_QUICK=1 for small fast shapes and
+# TRAIL_BENCH_KERNELS_OUT for the output path.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${TRAIL_BENCH_KERNELS_OUT:-BENCH_kernels.json}"
+
+if [[ ! -x "$BUILD_DIR/bench/kernels" ]]; then
+  echo "bench_kernels: build 'kernels' first (cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+TRAIL_RUN_MANIFEST=none "$BUILD_DIR/bench/kernels" --out "$OUT"
+
+echo
+echo "bench_kernels: wrote $OUT"

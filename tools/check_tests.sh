@@ -43,6 +43,20 @@ echo
 echo "== golden-regression tier (ctest -L golden) =="
 run_ctest -L golden
 
+# Kernel equivalence tier: the same suite under both dispatch targets, so a
+# host whose default is AVX2 still proves the scalar baseline (and vice
+# versa — on a host without AVX2, "native" resolves to scalar and this
+# simply runs the suite twice; cheap either way).
+echo
+echo "== kernels tier, TRAIL_KERNELS=scalar (ctest -L kernels) =="
+export TRAIL_KERNELS=scalar
+run_ctest -L kernels
+echo
+echo "== kernels tier, TRAIL_KERNELS=native (ctest -L kernels) =="
+export TRAIL_KERNELS=native
+run_ctest -L kernels
+unset TRAIL_KERNELS
+
 if [ "${TRAIL_SKIP_TSAN:-0}" = "1" ]; then
   echo
   echo "== ThreadSanitizer tier SKIPPED by TRAIL_SKIP_TSAN=1 =="
