@@ -8,9 +8,19 @@
 //      verdicts above the calibrated threshold, triage the rest,
 //   4. export an attributed event back to the exchange in MISP format.
 //
+// Attribution queries (the calibration probes and the monthly verdicts) go
+// through serve::AttributionService — the same micro-batching front door a
+// production deployment would expose over TCP (docs/SERVING.md) — so each
+// phase's requests coalesce into a handful of batched GNN forwards instead
+// of one forward per event. The service is scoped per phase: the Study
+// loop mutates the Trail (delta-appends + fine-tunes), and the serving
+// contract requires draining requests before mutating.
+//
 // Run: ./build/examples/soc_pipeline [--trace-out trace.json]
 
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "core/study.h"
 #include "core/trail.h"
@@ -23,7 +33,38 @@
 #include "osint/feed_client.h"
 #include "osint/misp_export.h"
 #include "osint/world.h"
+#include "serve/attribution_service.h"
 #include "util/logging.h"
+
+namespace {
+
+/// Submits every event to a phase-scoped AttributionService and returns
+/// the resolved responses in submission order. One service per call: by
+/// the time this returns, the queue is drained and the Trail is free to
+/// be mutated again.
+std::vector<trail::serve::ServeResponse> AttributeBatched(
+    trail::core::Trail* trail,
+    const std::vector<trail::graph::NodeId>& events) {
+  trail::serve::ServeOptions options;
+  options.max_batch_size = 64;
+  trail::serve::AttributionService service(trail, options);
+  std::vector<std::future<trail::serve::ServeResponse>> futures;
+  futures.reserve(events.size());
+  for (trail::graph::NodeId event : events) {
+    futures.push_back(service.SubmitEvent(event));
+  }
+  std::vector<trail::serve::ServeResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& future : futures) responses.push_back(future.get());
+  const auto stats = service.GetStats();
+  std::printf("  [serve] %llu requests in %llu batches (max batch %zu)\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.batches),
+              stats.max_batch_size);
+  return responses;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace trail;
@@ -62,21 +103,28 @@ int main(int argc, char** argv) {
   ml::TemperatureScaler scaler;
   {
     TRAIL_TRACE_SPAN("phase.calibrate");
-    ml::Matrix probe(events.size() / 4 + 1,
-                     trail.apt_names().size());
+    // Probe every 4th event through the serving front door: the service
+    // coalesces them into micro-batches, so the probe sweep costs a few
+    // batched forwards instead of |events|/4 full-graph forwards.
+    std::vector<graph::NodeId> probe_events;
+    for (size_t i = 0; i < events.size(); i += 4) {
+      probe_events.push_back(events[i]);
+    }
+    std::vector<serve::ServeResponse> verdicts =
+        AttributeBatched(&trail, probe_events);
+    ml::Matrix probe(probe_events.size() + 1, trail.apt_names().size());
     std::vector<int> probe_labels;
     size_t row = 0;
-    for (size_t i = 0; i < events.size(); i += 4) {
-      auto verdict = trail.AttributeWithGnn(events[i]);
-      if (!verdict.ok()) continue;
-      for (const auto& [name, p] : verdict->distribution) {
+    for (size_t i = 0; i < verdicts.size(); ++i) {
+      if (!verdicts[i].status.ok()) continue;
+      for (const auto& [name, p] : verdicts[i].attribution.distribution) {
         for (size_t c = 0; c < trail.apt_names().size(); ++c) {
           if (trail.apt_names()[c] == name) {
             probe.At(row, c) = static_cast<float>(p);
           }
         }
       }
-      probe_labels.push_back(g.label(events[i]));
+      probe_labels.push_back(g.label(probe_events[i]));
       ++row;
     }
     while (probe_labels.size() < probe.rows()) probe_labels.push_back(-1);
@@ -101,16 +149,21 @@ int main(int argc, char** argv) {
     auto outcome = study.RunMonth(reports);
     TRAIL_CHECK(outcome.ok()) << outcome.status();
 
+    // The month's arrivals are attributed through the serving front door
+    // in one shot — RunMonth has finished mutating the Trail by now, and
+    // AttributeBatched drains before returning, so the next RunMonth is
+    // safe again.
+    std::vector<serve::ServeResponse> verdicts =
+        AttributeBatched(&trail, outcome->event_nodes);
     int auto_accepted = 0;
     int escalated = 0;
     graph::NodeId triage_example = graph::kInvalidNode;
-    for (size_t i = 0; i < outcome->event_nodes.size(); ++i) {
-      auto verdict = trail.AttributeWithGnn(outcome->event_nodes[i]);
+    for (size_t i = 0; i < verdicts.size(); ++i) {
       double calibrated = 0.0;
-      if (verdict.ok()) {
+      if (verdicts[i].status.ok()) {
         // Single-row calibration of the top confidence.
         ml::Matrix one(1, trail.apt_names().size());
-        for (const auto& [name, p] : verdict->distribution) {
+        for (const auto& [name, p] : verdicts[i].attribution.distribution) {
           for (size_t c = 0; c < trail.apt_names().size(); ++c) {
             if (trail.apt_names()[c] == name) {
               one.At(0, c) = static_cast<float>(p);

@@ -1,6 +1,7 @@
 #include "core/trail.h"
 
 #include <algorithm>
+#include <map>
 
 #include "gnn/label_propagation.h"
 #include "obs/manifest.h"
@@ -14,11 +15,15 @@ using graph::NodeId;
 using graph::NodeType;
 
 Trail::Trail(const osint::FeedClient* feed, TrailOptions options)
-    : options_(options), builder_(feed, options.build) {}
+    : options_(options), builder_(feed, options.build) {
+  models_.store(std::make_shared<ModelSlot>(), std::memory_order_release);
+}
 
 void Trail::InvalidateCaches() {
   csr_cache_.reset();
-  gnn_cache_.reset();
+  std::shared_ptr<ModelSlot> slot = Slot();
+  std::lock_guard<std::mutex> lock(slot->view_mu);
+  slot->view.reset();
 }
 
 const graph::CsrGraph& Trail::Csr() const {
@@ -29,14 +34,15 @@ const graph::CsrGraph& Trail::Csr() const {
   return *csr_cache_;
 }
 
-const gnn::GnnGraph& Trail::Gnn() const {
-  TRAIL_CHECK(encoders_.fitted()) << "TrainModels before GNN attribution";
-  if (gnn_cache_ == nullptr) {
-    ml::Matrix encoded = encoders_.EncodeAll(builder_.graph());
-    gnn_cache_ = std::make_unique<gnn::GnnGraph>(
+const gnn::GnnGraph& Trail::ViewOf(ModelSlot& slot) const {
+  TRAIL_CHECK(slot.encoders.fitted()) << "TrainModels before GNN attribution";
+  std::lock_guard<std::mutex> lock(slot.view_mu);
+  if (slot.view == nullptr) {
+    ml::Matrix encoded = slot.encoders.EncodeAll(builder_.graph());
+    slot.view = std::make_shared<gnn::GnnGraph>(
         BuildGnnGraph(builder_.graph(), encoded));
   }
-  return *gnn_cache_;
+  return *slot.view;
 }
 
 Status Trail::Ingest(const std::vector<std::string>& report_jsons) {
@@ -67,14 +73,18 @@ Result<TkgAppendDelta> Trail::AppendReports(
     csr_cache_->Append(builder_.graph(), delta->first_new_edge);
     TRAIL_METRIC_INC("core.csr_incremental_extends");
   }
-  if (gnn_cache_ != nullptr) {
-    if (encoders_.fitted()) {
-      ml::Matrix encoded_new =
-          encoders_.EncodeFrom(builder_.graph(), delta->first_new_node);
-      ExtendGnnGraph(builder_.graph(), encoded_new, gnn_cache_.get());
-      TRAIL_METRIC_INC("core.gnn_cache_incremental_extends");
-    } else {
-      gnn_cache_.reset();
+  std::shared_ptr<ModelSlot> slot = Slot();
+  {
+    std::lock_guard<std::mutex> lock(slot->view_mu);
+    if (slot->view != nullptr) {
+      if (slot->encoders.fitted()) {
+        ml::Matrix encoded_new =
+            slot->encoders.EncodeFrom(builder_.graph(), delta->first_new_node);
+        ExtendGnnGraph(builder_.graph(), encoded_new, slot->view.get());
+        TRAIL_METRIC_INC("core.gnn_cache_incremental_extends");
+      } else {
+        slot->view.reset();
+      }
     }
   }
   return delta;
@@ -89,7 +99,8 @@ constexpr uint32_t kCheckpointVersion = 1;
 
 Status Trail::SaveCheckpoint(const std::string& path) const {
   TRAIL_TRACE_SPAN("core.save_checkpoint");
-  if (!gnn_.trained() || !encoders_.fitted()) {
+  std::shared_ptr<ModelSlot> slot = Slot();
+  if (!slot->gnn.trained() || !slot->encoders.fitted()) {
     return Status::FailedPrecondition("TrainModels before SaveCheckpoint");
   }
   FilePtr f(std::fopen(path.c_str(), "wb"));
@@ -100,8 +111,8 @@ Status Trail::SaveCheckpoint(const std::string& path) const {
   const std::vector<std::string>& apts = builder_.apt_names();
   w.U32(static_cast<uint32_t>(apts.size()));
   for (const std::string& name : apts) w.Str(name);
-  encoders_.SaveState(&w);
-  gnn_.SaveState(&w);
+  slot->encoders.SaveState(&w);
+  slot->gnn.SaveState(&w);
   if (!w.ok()) return Status::IoError("short write: " + path);
   TRAIL_METRIC_INC("core.checkpoints_saved");
   return Status::Ok();
@@ -129,20 +140,27 @@ Status Trail::LoadCheckpoint(const std::string& path) {
     return Status::FailedPrecondition(
         "checkpoint APT label space does not match the TKG: " + path);
   }
-  // Stage into fresh instances so a mid-blob failure cannot leave this
-  // Trail with half-restored models.
-  IocEncoders encoders;
-  gnn::EventGnn gnn;
-  TRAIL_RETURN_NOT_OK(encoders.LoadState(&r));
-  TRAIL_RETURN_NOT_OK(gnn.LoadState(&r));
+  // Stage into a fresh model slot so a mid-blob failure cannot leave this
+  // Trail with half-restored models, and so the install below is one atomic
+  // pointer store (the hot-swap protocol; see the header).
+  auto staged = std::make_shared<ModelSlot>();
+  TRAIL_RETURN_NOT_OK(staged->encoders.LoadState(&r));
+  TRAIL_RETURN_NOT_OK(staged->gnn.LoadState(&r));
   if (!r.ok()) return Status::ParseError("truncated checkpoint in " + path);
-  if (gnn.num_classes() != static_cast<int>(num_apts)) {
+  if (staged->gnn.num_classes() != static_cast<int>(num_apts)) {
     return Status::ParseError(
         "checkpoint GNN class count disagrees with its APT list: " + path);
   }
-  encoders_ = std::move(encoders);
-  gnn_ = std::move(gnn);
-  gnn_cache_.reset();  // encodings changed
+  // The old slot's view was encoded by the old encoders; prebuild the new
+  // one off to the side (still before the install) so in-flight readers
+  // keep serving the old generation and the first post-swap batch starts
+  // on a ready view instead of stalling on EncodeAll.
+  if (builder_.graph().num_nodes() > 0 && staged->encoders.fitted()) {
+    ml::Matrix encoded = staged->encoders.EncodeAll(builder_.graph());
+    staged->view = std::make_shared<gnn::GnnGraph>(
+        BuildGnnGraph(builder_.graph(), encoded));
+  }
+  models_.store(staged, std::memory_order_release);
   TRAIL_METRIC_INC("core.checkpoints_loaded");
   return Status::Ok();
 }
@@ -153,10 +171,14 @@ Status Trail::TrainModels() {
   if (builder_.num_events() == 0) {
     return Status::FailedPrecondition("no events ingested");
   }
-  if (!encoders_.fitted()) {
-    encoders_.Fit(g, options_.autoencoder);
+  std::shared_ptr<ModelSlot> slot = Slot();
+  if (!slot->encoders.fitted()) {
+    slot->encoders.Fit(g, options_.autoencoder);
   }
-  gnn_cache_.reset();  // encodings changed
+  {
+    std::lock_guard<std::mutex> lock(slot->view_mu);
+    slot->view.reset();  // encodings (or the graph under them) changed
+  }
 
   std::vector<int> train_labels(g.num_nodes(), -1);
   size_t labeled = 0;
@@ -171,17 +193,19 @@ Status Trail::TrainModels() {
   }
   TRAIL_LOG(Info) << "training GNN on " << labeled << " labeled events, "
                   << builder_.num_apts() << " classes";
-  gnn_.Train(Gnn(), train_labels, builder_.num_apts(), options_.gnn);
+  slot->gnn.Train(ViewOf(*slot), train_labels, builder_.num_apts(),
+                  options_.gnn);
   TRAIL_LOG(Info) << "models trained";
   return Status::Ok();
 }
 
 Status Trail::FineTuneGnn(int epochs) {
   TRAIL_TRACE_SPAN("core.fine_tune_gnn");
-  if (!gnn_.trained()) {
+  std::shared_ptr<ModelSlot> slot = Slot();
+  if (!slot->gnn.trained()) {
     return Status::FailedPrecondition("TrainModels before FineTuneGnn");
   }
-  if (builder_.num_apts() != gnn_.num_classes()) {
+  if (builder_.num_apts() != slot->gnn.num_classes()) {
     return Status::FailedPrecondition(
         "TKG discovered new APT classes; retrain from scratch to grow the"
         " class space");
@@ -191,7 +215,7 @@ Status Trail::FineTuneGnn(int epochs) {
   for (NodeId event : g.NodesOfType(NodeType::kEvent)) {
     if (g.label(event) >= 0) train_labels[event] = g.label(event);
   }
-  gnn_.FineTune(Gnn(), train_labels, epochs);
+  slot->gnn.FineTune(ViewOf(*slot), train_labels, epochs);
   return Status::Ok();
 }
 
@@ -250,7 +274,8 @@ Result<Trail::Attribution> Trail::AttributeWithGnn(
     NodeId event, bool hide_neighbor_labels) const {
   TRAIL_TRACE_SPAN("core.attribute_gnn");
   TRAIL_METRIC_INC("core.gnn_attributions");
-  if (!gnn_.trained()) {
+  std::shared_ptr<ModelSlot> slot = Slot();
+  if (!slot->gnn.trained()) {
     return Status::FailedPrecondition("TrainModels before GNN attribution");
   }
   const graph::PropertyGraph& g = builder_.graph();
@@ -263,10 +288,80 @@ Result<Trail::Attribution> Trail::AttributeWithGnn(
       if (v != event && g.label(v) >= 0) visible[v] = g.label(v);
     }
   }
-  ml::Matrix prob_matrix = gnn_.PredictProba(Gnn(), visible);
+  ml::Matrix prob_matrix = slot->gnn.PredictProba(ViewOf(*slot), visible);
   auto row = prob_matrix.Row(event);
   std::vector<double> probs(row.begin(), row.end());
   return MakeAttribution(probs);
+}
+
+std::vector<Result<Trail::Attribution>> Trail::AttributeBatchWithGnn(
+    const std::vector<NodeId>& events, bool hide_neighbor_labels) const {
+  TRAIL_TRACE_SPAN("core.attribute_gnn_batch");
+  TRAIL_METRIC_ADD("core.gnn_attributions", events.size());
+  std::vector<Result<Attribution>> out;
+  out.reserve(events.size());
+  std::shared_ptr<ModelSlot> slot = Slot();
+  if (!slot->gnn.trained()) {
+    for (size_t i = 0; i < events.size(); ++i) {
+      out.push_back(
+          Status::FailedPrecondition("TrainModels before GNN attribution"));
+    }
+    return out;
+  }
+  const graph::PropertyGraph& g = builder_.graph();
+
+  // The visible-label context every request shares: all analyst labels.
+  // AttributeWithGnn(e) removes e's own label from it — a no-op for
+  // unlabeled events (the serving case), so those share one forward pass.
+  // Labeled events genuinely see a different context and each get their
+  // own pass (one per distinct node; duplicates share).
+  std::vector<int> base(g.num_nodes(), -1);
+  if (!hide_neighbor_labels) {
+    for (NodeId v : g.NodesOfType(NodeType::kEvent)) {
+      if (g.label(v) >= 0) base[v] = g.label(v);
+    }
+  }
+
+  bool need_shared = false;
+  for (NodeId event : events) {
+    if (event < g.num_nodes() && g.type(event) == NodeType::kEvent &&
+        (hide_neighbor_labels || g.label(event) < 0)) {
+      need_shared = true;
+      break;
+    }
+  }
+  ml::Matrix shared_probs;
+  if (need_shared) {
+    TRAIL_METRIC_INC("core.gnn_batch_forwards");
+    shared_probs = slot->gnn.PredictProba(ViewOf(*slot), base);
+  }
+  // Per-event forwards for already-labeled events, deduplicated by node.
+  std::map<NodeId, ml::Matrix> labeled_probs;
+  for (NodeId event : events) {
+    if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) continue;
+    if (hide_neighbor_labels || g.label(event) < 0) continue;
+    if (labeled_probs.count(event) > 0) continue;
+    TRAIL_METRIC_INC("core.gnn_batch_forwards");
+    std::vector<int> visible = base;
+    visible[event] = -1;
+    labeled_probs.emplace(event,
+                          slot->gnn.PredictProba(ViewOf(*slot), visible));
+  }
+
+  for (NodeId event : events) {
+    if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) {
+      out.push_back(Status::InvalidArgument("not an event node"));
+      continue;
+    }
+    const ml::Matrix& probs_matrix =
+        (hide_neighbor_labels || g.label(event) < 0)
+            ? shared_probs
+            : labeled_probs.at(event);
+    auto row = probs_matrix.Row(event);
+    std::vector<double> probs(row.begin(), row.end());
+    out.push_back(MakeAttribution(probs));
+  }
+  return out;
 }
 
 NodeId Trail::FindEvent(const std::string& report_id) const {

@@ -1,7 +1,9 @@
 #ifndef TRAIL_CORE_TRAIL_H_
 #define TRAIL_CORE_TRAIL_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -69,6 +71,17 @@ class Trail {
   /// space must exactly match this instance's TKG (same names, same order);
   /// a corrupt, truncated, or mismatched blob fails cleanly and leaves the
   /// models untrained.
+  ///
+  /// Hot-swap semantics: the new model slot — encoders, GNN, and the
+  /// pre-encoded model view of the current graph — is built entirely off to
+  /// the side and installed with one atomic shared-ptr store. Attribution
+  /// calls in flight on other threads keep the slot they snapshotted at
+  /// entry, which retires only when the last such reader drains, so a
+  /// serving deployment (serve::AttributionService) swaps monthly retrains
+  /// in with zero downtime and zero torn reads. LoadCheckpoint is the only
+  /// mutator that is safe to run concurrently with attribution reads; every
+  /// other mutator (Ingest, AppendReports, TrainModels, FineTuneGnn) still
+  /// requires external write exclusion.
   Status LoadCheckpoint(const std::string& path);
 
   struct Attribution {
@@ -89,6 +102,20 @@ class Trail {
   Result<Attribution> AttributeWithGnn(graph::NodeId event,
                                        bool hide_neighbor_labels = false) const;
 
+  /// Attributes a batch of event nodes in (at best) one GNN forward pass.
+  /// Element i is exactly what AttributeWithGnn(events[i],
+  /// hide_neighbor_labels) would return — same statuses, bit-identical
+  /// probabilities — but events whose visible-label vector coincides share
+  /// a single forward. Unlabeled events (every serving request: the node
+  /// under attribution carries no analyst label yet) and all events under
+  /// hide_neighbor_labels see the identical label context, so a serving
+  /// micro-batch of N requests costs one forward instead of N. Already
+  /// labeled events each exclude their own label and therefore fall back to
+  /// a per-event forward (deduplicated by node id).
+  std::vector<Result<Attribution>> AttributeBatchWithGnn(
+      const std::vector<graph::NodeId>& events,
+      bool hide_neighbor_labels = false) const;
+
   /// Event node for a report id; kInvalidNode when absent.
   graph::NodeId FindEvent(const std::string& report_id) const;
 
@@ -103,23 +130,44 @@ class Trail {
   const std::vector<std::string>& apt_names() const {
     return builder_.apt_names();
   }
-  const IocEncoders& encoders() const { return encoders_; }
-  const gnn::EventGnn& event_gnn() const { return gnn_; }
-  bool models_trained() const { return gnn_.trained(); }
+  /// References into the currently installed model slot. Valid until the
+  /// next LoadCheckpoint (hot-swap) retires the slot; single-threaded
+  /// callers (benches, examples, tests) never notice.
+  const IocEncoders& encoders() const { return Slot()->encoders; }
+  const gnn::EventGnn& event_gnn() const { return Slot()->gnn; }
+  bool models_trained() const { return Slot()->gnn.trained(); }
 
  private:
+  /// One generation of the trained models plus the lazily built model view
+  /// of the TKG they encode. Attribution readers snapshot the slot pointer
+  /// once at entry; LoadCheckpoint installs a fully built replacement with
+  /// an atomic store, and the old generation is freed when its last
+  /// in-flight reader releases it (drain-before-retire by refcount).
+  struct ModelSlot {
+    IocEncoders encoders;
+    gnn::EventGnn gnn;
+    /// Model view of the graph under `encoders`; built on first use under
+    /// `view_mu`, extended in place by AppendReports (write-exclusive), and
+    /// prebuilt eagerly by LoadCheckpoint so a hot-swap never stalls the
+    /// first post-swap batch on EncodeAll.
+    mutable std::mutex view_mu;
+    std::shared_ptr<gnn::GnnGraph> view;
+  };
+
+  std::shared_ptr<ModelSlot> Slot() const {
+    return models_.load(std::memory_order_acquire);
+  }
   void InvalidateCaches();
   const graph::CsrGraph& Csr() const;
-  const gnn::GnnGraph& Gnn() const;
+  /// The slot's model view, built lazily from the current graph.
+  const gnn::GnnGraph& ViewOf(ModelSlot& slot) const;
   Attribution MakeAttribution(const std::vector<double>& probs) const;
 
   TrailOptions options_;
   TkgBuilder builder_;
-  IocEncoders encoders_;
-  gnn::EventGnn gnn_;
+  std::atomic<std::shared_ptr<ModelSlot>> models_;
 
   mutable std::unique_ptr<graph::CsrGraph> csr_cache_;
-  mutable std::unique_ptr<gnn::GnnGraph> gnn_cache_;
 };
 
 }  // namespace trail::core

@@ -166,8 +166,9 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
         snap.value = entry.histogram->sum();
         snap.count = entry.histogram->count();
         snap.mean = entry.histogram->mean();
-        snap.p50 = entry.histogram->Quantile(0.5);
-        snap.p99 = entry.histogram->Quantile(0.99);
+        snap.p50 = entry.histogram->P50();
+        snap.p95 = entry.histogram->P95();
+        snap.p99 = entry.histogram->P99();
         break;
     }
     out.push_back(std::move(snap));
@@ -200,6 +201,7 @@ JsonValue MetricsRegistry::ToJson() const {
         m.Set("sum", JsonValue::MakeNumber(snap.value));
         m.Set("mean", JsonValue::MakeNumber(snap.mean));
         m.Set("p50", JsonValue::MakeNumber(snap.p50));
+        m.Set("p95", JsonValue::MakeNumber(snap.p95));
         m.Set("p99", JsonValue::MakeNumber(snap.p99));
         metrics.Set(snap.name, std::move(m));
         break;

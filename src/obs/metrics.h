@@ -82,6 +82,11 @@ class Histogram {
   /// Approximate quantile: the upper bound of the bucket where the
   /// cumulative count crosses `q * count()`. Returns 0 when empty.
   double Quantile(double q) const;
+  /// Named latency percentiles, for serving summary tables and the
+  /// snapshot/export paths (same bucket-bound approximation as Quantile).
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
 
   const std::string& name() const { return name_; }
 
@@ -106,7 +111,7 @@ struct MetricSnapshot {
   double value = 0.0;        // counter/gauge value; histogram sum
   int64_t count = 0;         // histogram observation count
   double mean = 0.0;         // histogram only
-  double p50 = 0.0, p99 = 0.0;  // histogram only
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  // histogram only
 };
 
 /// Process-global registry. Lookup takes a mutex; instrumented call sites

@@ -1,0 +1,359 @@
+#include "serve/attribution_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "osint/report.h"
+#include "util/logging.h"
+
+namespace trail::serve {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+AttributionService::AttributionService(core::Trail* trail,
+                                       ServeOptions options)
+    : trail_(trail), options_(options) {
+  TRAIL_CHECK(trail_ != nullptr);
+  if (options_.auto_start) Start();
+}
+
+AttributionService::~AttributionService() { Shutdown(); }
+
+void AttributionService::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void AttributionService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // A concurrent or earlier Shutdown owns the join; nothing to do here
+      // beyond waiting for the worker via the joinable check below.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // Never started: answer whatever queued (possible with auto_start=false).
+  std::deque<Request> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (Request& request : leftover) {
+    ServeResponse response;
+    response.status = Status::Overloaded("service shut down before serving");
+    request.promise.set_value(std::move(response));
+  }
+}
+
+std::future<ServeResponse> AttributionService::Submit(Request request,
+                                                      int64_t deadline_ms) {
+  TRAIL_METRIC_INC("serve.requests");
+  request.submitted_at = Clock::now();
+  if (deadline_ms < 0) deadline_ms = options_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    request.has_deadline = true;
+    request.deadline =
+        request.submitted_at + std::chrono::milliseconds(deadline_ms);
+  }
+  std::future<ServeResponse> future = request.promise.get_future();
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= options_.queue_depth) {
+      shed = true;
+    } else {
+      queue_.push_back(std::move(request));
+      TRAIL_METRIC_SET("serve.queue_depth", queue_.size());
+    }
+  }
+  if (shed) {
+    TRAIL_METRIC_INC("serve.shed");
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed;
+    }
+    ServeResponse response;
+    response.status = Status::Overloaded(
+        "admission queue full (depth " +
+        std::to_string(options_.queue_depth) + "); request shed");
+    request.promise.set_value(std::move(response));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::future<ServeResponse> AttributionService::SubmitEvent(
+    graph::NodeId event, int64_t deadline_ms) {
+  Request request;
+  request.kind = Request::Kind::kEvent;
+  request.event = event;
+  return Submit(std::move(request), deadline_ms);
+}
+
+std::future<ServeResponse> AttributionService::SubmitReportId(
+    std::string report_id, int64_t deadline_ms) {
+  Request request;
+  request.kind = Request::Kind::kReportId;
+  request.payload = std::move(report_id);
+  return Submit(std::move(request), deadline_ms);
+}
+
+std::future<ServeResponse> AttributionService::SubmitReportJson(
+    std::string report_json, int64_t deadline_ms) {
+  Request request;
+  request.kind = Request::Kind::kReportJson;
+  request.payload = std::move(report_json);
+  return Submit(std::move(request), deadline_ms);
+}
+
+void AttributionService::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      // Dynamic micro-batching: the batch opens with the first waiting
+      // request and closes on max_batch_size or max_linger_us, whichever
+      // comes first. While draining a shutdown, flush immediately.
+      if (!stopping_ && options_.max_linger_us > 0) {
+        const Clock::time_point flush_at =
+            Clock::now() + std::chrono::microseconds(options_.max_linger_us);
+        while (queue_.size() < options_.max_batch_size && !stopping_) {
+          if (cv_.wait_until(lock, flush_at) == std::cv_status::timeout) {
+            break;
+          }
+        }
+      }
+      const size_t take = std::min(queue_.size(), options_.max_batch_size);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      TRAIL_METRIC_SET("serve.queue_depth", queue_.size());
+    }
+    RunBatch(std::move(batch));
+  }
+}
+
+void AttributionService::IngestBatchReports(std::vector<Request>* batch,
+                                            std::vector<bool>* done) {
+  std::vector<osint::PulseReport> reports;
+  std::vector<size_t> report_requests;  // batch index per reports entry
+  for (size_t i = 0; i < batch->size(); ++i) {
+    Request& request = (*batch)[i];
+    if ((*done)[i] || request.kind != Request::Kind::kReportJson) continue;
+    auto parsed = osint::PulseReport::FromJsonString(request.payload);
+    if (!parsed.ok()) {
+      ServeResponse response;
+      response.status = parsed.status();
+      request.promise.set_value(std::move(response));
+      (*done)[i] = true;
+      continue;
+    }
+    reports.push_back(std::move(parsed).value());
+    report_requests.push_back(i);
+  }
+  if (reports.empty()) return;
+
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
+  auto delta = trail_->AppendReports(reports);
+  if (!delta.ok()) {
+    for (size_t i : report_requests) {
+      ServeResponse response;
+      response.status = delta.status();
+      (*batch)[i].promise.set_value(std::move(response));
+      (*done)[i] = true;
+    }
+    return;
+  }
+  for (size_t r = 0; r < report_requests.size(); ++r) {
+    const size_t i = report_requests[r];
+    graph::NodeId event = delta->event_nodes[r];
+    if (event == graph::kInvalidNode) {
+      // Duplicate delivery: the report is already in the TKG; attribute the
+      // event it produced back then.
+      event = trail_->FindEvent(reports[r].id);
+    }
+    if (event == graph::kInvalidNode) {
+      ServeResponse response;
+      response.status =
+          Status::NotFound("report ingested but its event was not found: " +
+                           reports[r].id);
+      (*batch)[i].promise.set_value(std::move(response));
+      (*done)[i] = true;
+    } else {
+      (*batch)[i].event = event;
+    }
+  }
+}
+
+void AttributionService::RunBatch(std::vector<Request> batch) {
+  TRAIL_TRACE_SPAN("serve.batch");
+  TRAIL_METRIC_INC("serve.batches");
+  TRAIL_METRIC_OBSERVE("serve.batch_size", batch.size());
+  const Clock::time_point formed_at = Clock::now();
+  {
+    // `completed` is bumped up front: every request in a formed batch is
+    // answered before RunBatch returns (the DCHECK below), and counting
+    // here keeps the stat ordered before any of the batch's promises
+    // resolve — a caller who just got a reply sees itself counted.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batches;
+    ++stats_.batch_size_counts[batch.size()];
+    stats_.max_batch_size = std::max(stats_.max_batch_size, batch.size());
+    stats_.completed += batch.size();
+  }
+
+  std::vector<bool> done(batch.size(), false);
+
+  // 1. Shed requests whose deadline already passed while they queued.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Request& request = batch[i];
+    if (request.has_deadline && request.deadline < formed_at) {
+      TRAIL_METRIC_INC("serve.deadline_expired");
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.deadline_expired;
+      }
+      ServeResponse response;
+      response.status =
+          Status::DeadlineExceeded("deadline passed in the admission queue");
+      response.queue_seconds = Seconds(formed_at - request.submitted_at);
+      request.promise.set_value(std::move(response));
+      done[i] = true;
+    }
+  }
+
+  // 2. Delta-append raw incident reports (the only graph mutation).
+  IngestBatchReports(&batch, &done);
+
+  // 3. One batched GNN forward for everything still live.
+  std::vector<size_t> live;
+  std::vector<graph::NodeId> events;
+  {
+    std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (done[i]) continue;
+      if (batch[i].kind == Request::Kind::kReportId) {
+        batch[i].event = trail_->FindEvent(batch[i].payload);
+        if (batch[i].event == graph::kInvalidNode) {
+          ServeResponse response;
+          response.status =
+              Status::NotFound("no ingested report with id: " +
+                               batch[i].payload);
+          batch[i].promise.set_value(std::move(response));
+          done[i] = true;
+          continue;
+        }
+      }
+      live.push_back(i);
+      events.push_back(batch[i].event);
+    }
+    if (!events.empty()) {
+      auto results = trail_->AttributeBatchWithGnn(
+          events, options_.hide_neighbor_labels);
+      const Clock::time_point finished_at = Clock::now();
+      for (size_t r = 0; r < live.size(); ++r) {
+        Request& request = batch[live[r]];
+        ServeResponse response;
+        response.event = events[r];
+        response.batch_size = batch.size();
+        response.queue_seconds = Seconds(formed_at - request.submitted_at);
+        if (request.has_deadline && request.deadline < finished_at) {
+          // The work happened but too late to be useful; report that
+          // honestly instead of pretending the deadline held.
+          TRAIL_METRIC_INC("serve.deadline_expired");
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.deadline_expired;
+          response.status =
+              Status::DeadlineExceeded("batch finished after the deadline");
+        } else if (results[r].ok()) {
+          response.status = Status::Ok();
+          response.attribution = std::move(results[r]).value();
+        } else {
+          response.status = results[r].status();
+        }
+        request.promise.set_value(std::move(response));
+        done[live[r]] = true;
+      }
+    }
+  }
+
+  size_t answered = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (done[i]) ++answered;
+  }
+  TRAIL_DCHECK(answered == batch.size())
+      << "every request must be answered";
+}
+
+Status AttributionService::HotSwapCheckpoint(const std::string& path) {
+  TRAIL_TRACE_SPAN("serve.hot_swap");
+  // Serialize swappers; share the graph with in-flight batches so staging
+  // (blob parse + EncodeAll of the new slot, inside LoadCheckpoint) never
+  // pauses serving — only appends wait, and only for the staging window.
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  TRAIL_RETURN_NOT_OK(trail_->LoadCheckpoint(path));
+  TRAIL_METRIC_INC("serve.hot_swaps");
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.hot_swaps;
+  }
+  TRAIL_LOG(Info) << "hot-swapped checkpoint " << path;
+  return Status::Ok();
+}
+
+Status AttributionService::SaveCheckpoint(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return trail_->SaveCheckpoint(path);
+}
+
+std::vector<std::string> AttributionService::SampleEventIds(
+    size_t limit) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  const graph::PropertyGraph& g = trail_->graph();
+  std::vector<graph::NodeId> events =
+      g.NodesOfType(graph::NodeType::kEvent);
+  std::vector<std::string> out;
+  if (events.empty() || limit == 0) return out;
+  const size_t stride = std::max<size_t>(1, events.size() / limit);
+  for (size_t i = 0; i < events.size() && out.size() < limit; i += stride) {
+    out.push_back(g.value(events[i]));
+  }
+  return out;
+}
+
+AttributionService::Stats AttributionService::GetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+size_t AttributionService::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace trail::serve

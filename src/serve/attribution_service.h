@@ -1,0 +1,192 @@
+#ifndef TRAIL_SERVE_ATTRIBUTION_SERVICE_H_
+#define TRAIL_SERVE_ATTRIBUTION_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trail.h"
+#include "util/status.h"
+
+namespace trail::serve {
+
+/// Tuning knobs of the serving subsystem (see docs/SERVING.md).
+struct ServeOptions {
+  /// Flush a micro-batch when this many requests have coalesced...
+  size_t max_batch_size = 32;
+  /// ...or when the batch has lingered this long since it was opened,
+  /// whichever comes first. 0 flushes immediately (no coalescing beyond
+  /// whatever is already queued).
+  int64_t max_linger_us = 2000;
+  /// Admission bound: requests beyond this many queued are shed with an
+  /// explicit kOverloaded status instead of queueing unboundedly.
+  size_t queue_depth = 256;
+  /// Deadline applied to requests that do not carry their own, in
+  /// milliseconds from submission. 0 disables the default deadline.
+  int64_t default_deadline_ms = 0;
+  /// Forwarded to Trail::Attribute(Batch)WithGnn: when true the model sees
+  /// no analyst labels at all (the paper's "realistic setting").
+  bool hide_neighbor_labels = false;
+  /// When false the worker thread is not started by the constructor; call
+  /// Start() explicitly. Tests use this to exercise admission control
+  /// deterministically against a stopped drain.
+  bool auto_start = true;
+};
+
+/// What a request resolves to. `status` is always meaningful: kOverloaded
+/// when the admission queue shed the request, kDeadlineExceeded when its
+/// deadline passed (before or during the batch), otherwise whatever the
+/// underlying attribution returned. The attribution fields are valid only
+/// when status.ok().
+struct ServeResponse {
+  Status status;
+  core::Trail::Attribution attribution;
+  /// The resolved event node (also for ingest-then-attribute requests).
+  graph::NodeId event = graph::kInvalidNode;
+  /// Size of the micro-batch this request was served in (0 when shed).
+  size_t batch_size = 0;
+  /// Seconds the request waited in the admission queue before its batch
+  /// was formed.
+  double queue_seconds = 0.0;
+};
+
+/// The in-process attribution server: accepts concurrent requests from any
+/// thread, coalesces them in a dynamic micro-batcher (flush on
+/// max_batch_size or max_linger_us, whichever first), and runs each batch
+/// through Trail::AttributeBatchWithGnn so the GNN forward cost is
+/// amortized over the whole batch — the PR 4 follow-up of keeping GEMM `n`
+/// large under serving traffic. Admission is bounded: beyond `queue_depth`
+/// waiting requests, submissions resolve immediately with kOverloaded (shed,
+/// never silently dropped), and per-request deadlines resolve to
+/// kDeadlineExceeded. Raw incident-report JSON is delta-appended to the TKG
+/// (Trail::AppendReports) before its batch is attributed.
+///
+/// Threading: submissions and stats are safe from any thread. One worker
+/// thread owns all Trail mutation (appends) and inference; checkpoint
+/// hot-swaps run on the caller's thread, staging the new model slot off to
+/// the side (Trail::LoadCheckpoint) under a shared graph lock so in-flight
+/// batches keep serving the old generation until they drain — zero
+/// downtime, zero failed requests. The Trail must not be mutated by other
+/// threads while the service is running (drain with Shutdown first).
+class AttributionService {
+ public:
+  AttributionService(core::Trail* trail, ServeOptions options);
+  ~AttributionService();
+
+  AttributionService(const AttributionService&) = delete;
+  AttributionService& operator=(const AttributionService&) = delete;
+
+  /// Starts the worker thread (idempotent; the constructor already does
+  /// this unless options.auto_start is false).
+  void Start();
+
+  /// Stops admission (subsequent submissions are shed), drains every
+  /// queued request through the normal batch path, and joins the worker.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// Attribute an existing event node. `deadline_ms` < 0 applies the
+  /// configured default; 0 means no deadline.
+  std::future<ServeResponse> SubmitEvent(graph::NodeId event,
+                                         int64_t deadline_ms = -1);
+
+  /// Attribute the event of an already-ingested report by its report id.
+  std::future<ServeResponse> SubmitReportId(std::string report_id,
+                                            int64_t deadline_ms = -1);
+
+  /// Ingest a raw incident-report JSON (the feed wire format) into the TKG
+  /// via delta-append, then attribute its event in the same micro-batch.
+  /// Duplicate deliveries attribute the already-ingested event.
+  std::future<ServeResponse> SubmitReportJson(std::string report_json,
+                                              int64_t deadline_ms = -1);
+
+  /// Swaps in the models of a SaveCheckpoint blob with zero downtime: the
+  /// new model slot (including its pre-encoded view of the current graph)
+  /// is built on this thread while batches keep serving, then installed
+  /// with one atomic pointer store; the retired generation is freed when
+  /// its last in-flight batch drains. Concurrent hot-swaps serialize.
+  Status HotSwapCheckpoint(const std::string& path);
+
+  /// Writes the currently served models as a checkpoint (the blob
+  /// HotSwapCheckpoint consumes).
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Report ids of up to `limit` event nodes, sampled evenly across the
+  /// graph — the load generator's working set.
+  std::vector<std::string> SampleEventIds(size_t limit) const;
+
+  /// Point-in-time serving counters (also exported via the serve.* metrics;
+  /// this struct is for in-process callers like the stats op and tests).
+  struct Stats {
+    uint64_t submitted = 0;         // admitted into the queue
+    uint64_t shed = 0;              // rejected with kOverloaded
+    uint64_t completed = 0;         // answered via a batch (any status)
+    uint64_t deadline_expired = 0;  // resolved kDeadlineExceeded
+    uint64_t batches = 0;
+    uint64_t hot_swaps = 0;
+    size_t max_batch_size = 0;
+    /// batch size -> number of batches of that size.
+    std::map<size_t, uint64_t> batch_size_counts;
+  };
+  Stats GetStats() const;
+
+  /// Requests currently waiting for a batch (excludes the batch in flight).
+  size_t QueueDepth() const;
+
+  const ServeOptions& options() const { return options_; }
+  const core::Trail& trail() const { return *trail_; }
+
+ private:
+  struct Request {
+    enum class Kind { kEvent, kReportId, kReportJson };
+    Kind kind = Kind::kEvent;
+    graph::NodeId event = graph::kInvalidNode;
+    std::string payload;  // report id or raw report JSON
+    std::chrono::steady_clock::time_point submitted_at;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+    std::promise<ServeResponse> promise;
+  };
+
+  std::future<ServeResponse> Submit(Request request, int64_t deadline_ms);
+  void WorkerLoop();
+  void RunBatch(std::vector<Request> batch);
+  /// Delta-appends the batch's raw-JSON requests and resolves their event
+  /// nodes; failed requests are answered and marked done.
+  void IngestBatchReports(std::vector<Request>* batch,
+                          std::vector<bool>* done);
+
+  core::Trail* trail_;
+  const ServeOptions options_;
+
+  mutable std::mutex mu_;  // guards queue_, stopping_, started_
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::thread worker_;
+
+  /// Appends (worker) take this exclusively; batch inference (worker) and
+  /// hot-swap staging / checkpoint saves / event sampling (any thread) take
+  /// it shared. This is what lets a hot-swap stage its slot while batches
+  /// keep flowing, yet never observe a half-appended graph.
+  mutable std::shared_mutex graph_mu_;
+  /// Serializes concurrent HotSwapCheckpoint callers.
+  std::mutex swap_mu_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace trail::serve
+
+#endif  // TRAIL_SERVE_ATTRIBUTION_SERVICE_H_

@@ -1,0 +1,211 @@
+#include "serve/frontend.h"
+
+#include <utility>
+
+#include "util/json.h"
+
+namespace trail::serve {
+
+namespace {
+
+Reply Ready(std::string line, bool shutdown = false) {
+  std::promise<std::string> p;
+  p.set_value(std::move(line));
+  Reply reply;
+  reply.line = p.get_future();
+  reply.shutdown = shutdown;
+  return reply;
+}
+
+JsonValue BaseResponse(const JsonValue& request) {
+  JsonValue out = JsonValue::MakeObject();
+  if (const JsonValue* id = request.Get("id")) out.Set("id", *id);
+  return out;
+}
+
+JsonValue ErrorBody(const JsonValue& request, const Status& status) {
+  JsonValue out = BaseResponse(request);
+  out.Set("ok", JsonValue::MakeBool(false));
+  out.Set("code", JsonValue::MakeString(StatusCodeName(status.code())));
+  out.Set("error", JsonValue::MakeString(std::string(status.message())));
+  return out;
+}
+
+std::string RenderServeResponse(const JsonValue& request,
+                                const ServeResponse& response) {
+  if (!response.status.ok()) {
+    JsonValue out = ErrorBody(request, response.status);
+    out.Set("batch_size",
+            JsonValue::MakeNumber(static_cast<double>(response.batch_size)));
+    return out.Dump();
+  }
+  JsonValue out = BaseResponse(request);
+  out.Set("ok", JsonValue::MakeBool(true));
+  out.Set("apt", JsonValue::MakeString(response.attribution.apt_name));
+  out.Set("confidence", JsonValue::MakeNumber(response.attribution.confidence));
+  out.Set("event", JsonValue::MakeNumber(static_cast<double>(response.event)));
+  out.Set("batch_size",
+          JsonValue::MakeNumber(static_cast<double>(response.batch_size)));
+  out.Set("queue_ms", JsonValue::MakeNumber(response.queue_seconds * 1e3));
+  JsonValue dist = JsonValue::MakeArray();
+  for (const auto& [name, p] : response.attribution.distribution) {
+    JsonValue entry = JsonValue::MakeArray();
+    entry.Append(JsonValue::MakeString(name));
+    entry.Append(JsonValue::MakeNumber(p));
+    dist.Append(std::move(entry));
+  }
+  out.Set("distribution", std::move(dist));
+  return out.Dump();
+}
+
+/// Wraps a service future so the writer side renders the JSON only when it
+/// drains the reply (deferred), preserving submission order per connection.
+Reply Deferred(const JsonValue& request,
+               std::future<ServeResponse> response) {
+  Reply reply;
+  reply.line = std::async(
+      std::launch::deferred,
+      [request, moved = std::move(response)]() mutable {
+        return RenderServeResponse(request, moved.get());
+      });
+  return reply;
+}
+
+}  // namespace
+
+Reply Frontend::Handle(const std::string& line) {
+  auto parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) {
+    return Ready(ErrorBody(JsonValue::MakeObject(),
+                           Status::ParseError("bad request line: " +
+                                              std::string(
+                                                  parsed.status().message())))
+                     .Dump());
+  }
+  JsonValue request = std::move(parsed).value();
+  if (!request.is_object()) {
+    return Ready(
+        ErrorBody(JsonValue::MakeObject(),
+                  Status::InvalidArgument("request must be a JSON object"))
+            .Dump());
+  }
+  const std::string op = request.GetString("op");
+  const int64_t deadline_ms =
+      static_cast<int64_t>(request.GetNumber("deadline_ms", -1.0));
+
+  if (op == "ping") {
+    JsonValue out = BaseResponse(request);
+    out.Set("ok", JsonValue::MakeBool(true));
+    out.Set("op", JsonValue::MakeString("ping"));
+    return Ready(out.Dump());
+  }
+
+  if (op == "attribute") {
+    const std::string report = request.GetString("report");
+    if (report.empty()) {
+      return Ready(ErrorBody(request, Status::InvalidArgument(
+                                          "attribute needs a \"report\" id"))
+                       .Dump());
+    }
+    return Deferred(request, service_->SubmitReportId(report, deadline_ms));
+  }
+
+  if (op == "attribute_event") {
+    const JsonValue* node = request.Get("node");
+    if (node == nullptr || !node->is_number()) {
+      return Ready(ErrorBody(request,
+                             Status::InvalidArgument(
+                                 "attribute_event needs a numeric \"node\""))
+                       .Dump());
+    }
+    return Deferred(request,
+                    service_->SubmitEvent(
+                        static_cast<graph::NodeId>(node->AsInt()),
+                        deadline_ms));
+  }
+
+  if (op == "ingest") {
+    const JsonValue* report = request.Get("report");
+    if (report == nullptr || !report->is_object()) {
+      return Ready(ErrorBody(request,
+                             Status::InvalidArgument(
+                                 "ingest needs a \"report\" object"))
+                       .Dump());
+    }
+    return Deferred(request,
+                    service_->SubmitReportJson(report->Dump(), deadline_ms));
+  }
+
+  if (op == "list_events") {
+    const size_t limit =
+        static_cast<size_t>(request.GetNumber("limit", 64.0));
+    JsonValue out = BaseResponse(request);
+    out.Set("ok", JsonValue::MakeBool(true));
+    JsonValue events = JsonValue::MakeArray();
+    for (std::string& id : service_->SampleEventIds(limit)) {
+      events.Append(JsonValue::MakeString(std::move(id)));
+    }
+    out.Set("events", std::move(events));
+    return Ready(out.Dump());
+  }
+
+  if (op == "stats") {
+    const AttributionService::Stats stats = service_->GetStats();
+    JsonValue out = BaseResponse(request);
+    out.Set("ok", JsonValue::MakeBool(true));
+    out.Set("submitted",
+            JsonValue::MakeNumber(static_cast<double>(stats.submitted)));
+    out.Set("shed", JsonValue::MakeNumber(static_cast<double>(stats.shed)));
+    out.Set("completed",
+            JsonValue::MakeNumber(static_cast<double>(stats.completed)));
+    out.Set("deadline_expired",
+            JsonValue::MakeNumber(
+                static_cast<double>(stats.deadline_expired)));
+    out.Set("batches",
+            JsonValue::MakeNumber(static_cast<double>(stats.batches)));
+    out.Set("hot_swaps",
+            JsonValue::MakeNumber(static_cast<double>(stats.hot_swaps)));
+    out.Set("max_batch_size",
+            JsonValue::MakeNumber(static_cast<double>(stats.max_batch_size)));
+    out.Set("queue_depth",
+            JsonValue::MakeNumber(
+                static_cast<double>(service_->QueueDepth())));
+    JsonValue sizes = JsonValue::MakeObject();
+    for (const auto& [size, count] : stats.batch_size_counts) {
+      sizes.Set(std::to_string(size),
+                JsonValue::MakeNumber(static_cast<double>(count)));
+    }
+    out.Set("batch_size_counts", std::move(sizes));
+    return Ready(out.Dump());
+  }
+
+  if (op == "save_checkpoint" || op == "hot_swap") {
+    const std::string path = request.GetString("path");
+    if (path.empty()) {
+      return Ready(
+          ErrorBody(request, Status::InvalidArgument(op + " needs a \"path\""))
+              .Dump());
+    }
+    const Status status = op == "hot_swap"
+                              ? service_->HotSwapCheckpoint(path)
+                              : service_->SaveCheckpoint(path);
+    if (!status.ok()) return Ready(ErrorBody(request, status).Dump());
+    JsonValue out = BaseResponse(request);
+    out.Set("ok", JsonValue::MakeBool(true));
+    out.Set("op", JsonValue::MakeString(op));
+    return Ready(out.Dump());
+  }
+
+  if (op == "shutdown") {
+    JsonValue out = BaseResponse(request);
+    out.Set("ok", JsonValue::MakeBool(true));
+    out.Set("op", JsonValue::MakeString("shutdown"));
+    return Ready(out.Dump(), /*shutdown=*/true);
+  }
+
+  return Ready(
+      ErrorBody(request, Status::InvalidArgument("unknown op: \"" + op + "\""))
+          .Dump());
+}
+
+}  // namespace trail::serve

@@ -1,0 +1,54 @@
+#ifndef TRAIL_SERVE_FRONTEND_H_
+#define TRAIL_SERVE_FRONTEND_H_
+
+#include <future>
+#include <string>
+
+#include "serve/attribution_service.h"
+
+namespace trail::serve {
+
+/// One handled request line. `line` resolves to the LDJSON response (one
+/// compact JSON object, no trailing newline); for batched ops it blocks on
+/// the micro-batch, so callers should buffer several replies before
+/// draining them in order (pipelining). `shutdown` is set when the client
+/// asked the server to stop after this reply.
+struct Reply {
+  std::future<std::string> line;
+  bool shutdown = false;
+};
+
+/// The LDJSON protocol: each request is one JSON object per line with an
+/// "op" field, each response one JSON object per line echoing the request's
+/// optional "id". See docs/SERVING.md for the op reference:
+///
+///   {"op":"ping"}
+///   {"op":"attribute","report":"<report id>","deadline_ms":50}
+///   {"op":"attribute_event","node":123}
+///   {"op":"ingest","report":{...feed wire format...}}
+///   {"op":"list_events","limit":64}
+///   {"op":"stats"}
+///   {"op":"save_checkpoint","path":"..."}
+///   {"op":"hot_swap","path":"..."}
+///   {"op":"shutdown"}
+///
+/// Responses carry "ok" (bool), "code"/"error" when !ok (the StatusCode
+/// name — "Overloaded" and "DeadlineExceeded" are load-shedding, not
+/// protocol failures), and op-specific payload fields.
+class Frontend {
+ public:
+  explicit Frontend(AttributionService* service) : service_(service) {}
+
+  /// Parses and dispatches one request line. Never throws; malformed input
+  /// yields an immediately-ready error reply. Thread-safe: ops delegate to
+  /// the service, which serializes internally (hot_swap runs on the calling
+  /// connection's thread, staging concurrently with serving batches).
+  Reply Handle(const std::string& line);
+
+ private:
+  AttributionService* service_;
+};
+
+}  // namespace trail::serve
+
+#endif  // TRAIL_SERVE_FRONTEND_H_

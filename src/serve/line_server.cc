@@ -1,0 +1,238 @@
+#include "serve/line_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace trail::serve {
+
+/// Per-connection state. The reader thread parses request lines and pushes
+/// replies (futures) onto a bounded queue; the writer thread resolves and
+/// writes them in order, so pipelined clients get responses in request
+/// order even though batches complete asynchronously.
+struct LineServer::Connection {
+  int fd = -1;
+  std::thread reader;
+  std::thread writer;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Reply> replies;
+  bool reader_done = false;
+  bool finished = false;  // both threads exited; safe to reap
+
+  /// Pipelining bound: with this many replies unwritten the reader stops
+  /// pulling from the socket, pushing backpressure into the client's TCP
+  /// window instead of buffering unboundedly.
+  static constexpr size_t kMaxPipelined = 1024;
+};
+
+LineServer::LineServer(Frontend* frontend) : frontend_(frontend) {}
+
+LineServer::~LineServer() { Stop(); }
+
+namespace {
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status LineServer::Start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  TRAIL_LOG(Info) << "serving LDJSON on 127.0.0.1:" << port_;
+  return Status::Ok();
+}
+
+void LineServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed under us
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    Connection* raw = conn.get();
+    raw->fd = fd;
+    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      connections_.push_back(std::move(conn));
+    }
+    Reap(/*all=*/false);
+  }
+}
+
+void LineServer::ReaderLoop(Connection* conn) {
+  std::string pending;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or Stop()'s shutdown(fd)
+    pending.append(buf, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = pending.find('\n', start); nl != std::string::npos;
+         nl = pending.find('\n', start)) {
+      std::string line = pending.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      Reply reply = frontend_->Handle(line);
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv.wait(lock, [conn] {
+        return conn->replies.size() < Connection::kMaxPipelined;
+      });
+      conn->replies.push_back(std::move(reply));
+      conn->cv.notify_all();
+    }
+    pending.erase(0, start);
+  }
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->reader_done = true;
+  conn->cv.notify_all();
+}
+
+void LineServer::WriterLoop(Connection* conn) {
+  for (;;) {
+    Reply reply;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv.wait(lock, [conn] {
+        return !conn->replies.empty() || conn->reader_done;
+      });
+      if (conn->replies.empty()) break;  // reader done and queue drained
+      reply = std::move(conn->replies.front());
+      conn->replies.pop_front();
+      conn->cv.notify_all();  // reopen the pipelining window
+    }
+    // Resolving the future may block on the micro-batch; that is the point
+    // of the two-thread split — the reader keeps admitting meanwhile.
+    std::string line = reply.line.get();
+    line += '\n';
+    if (!SendAll(conn->fd, line)) break;
+    if (reply.shutdown) SignalStop();
+  }
+  // Half-close so a still-reading client sees EOF even if our reader is
+  // blocked; full teardown happens in Reap/Stop.
+  ::shutdown(conn->fd, SHUT_WR);
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->finished = true;
+}
+
+void LineServer::SignalStop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_requested_ = true;
+  stop_cv_.notify_all();
+}
+
+void LineServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_ || stopping_; });
+}
+
+void LineServer::Reap(bool all) {
+  // Joins must not hold mu_: a writer thread takes mu_ inside SignalStop,
+  // so extract the connections to tear down first, then join unlocked.
+  std::vector<std::unique_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      Connection* conn = it->get();
+      bool done;
+      {
+        std::lock_guard<std::mutex> conn_lock(conn->mu);
+        done = conn->finished && conn->reader_done;
+      }
+      if (done || all) {
+        dead.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::unique_ptr<Connection>& conn : dead) {
+    ::shutdown(conn->fd, SHUT_RDWR);  // unblocks a still-live reader/writer
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    ::close(conn->fd);
+  }
+}
+
+void LineServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  Reap(/*all=*/true);
+}
+
+}  // namespace trail::serve

@@ -1,0 +1,70 @@
+#ifndef TRAIL_SERVE_LINE_SERVER_H_
+#define TRAIL_SERVE_LINE_SERVER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/frontend.h"
+#include "util/status.h"
+
+namespace trail::serve {
+
+/// A minimal LDJSON-over-TCP front door for AttributionService: one JSON
+/// request per line in, one JSON response per line out, responses in
+/// request order per connection. Connections are pipelined — a reader
+/// thread admits requests into the micro-batcher while a writer thread
+/// drains earlier replies, which is what keeps batches full from even a
+/// single connection. Loopback only (binds 127.0.0.1): this is a bench and
+/// integration harness, not a hardened network service.
+class LineServer {
+ public:
+  // Both out of line: Connection is incomplete here and the
+  // vector<unique_ptr<Connection>> member needs it complete.
+  explicit LineServer(Frontend* frontend);
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// starts the accept thread.
+  Status Start(int port);
+
+  /// The bound port (after Start succeeds).
+  int port() const { return port_; }
+
+  /// Blocks until a client sends {"op":"shutdown"} or Stop() is called.
+  void Wait();
+
+  /// Stops accepting, unblocks every connection, joins all threads.
+  /// Idempotent; also run by the destructor. Does not touch the service.
+  void Stop();
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* conn);
+  void WriterLoop(Connection* conn);
+  void SignalStop();
+  /// Joins and frees connections whose threads have finished.
+  void Reap(bool all);
+
+  Frontend* frontend_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;  // guards connections_, stopping_, stop_requested_
+  std::condition_variable stop_cv_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  bool stopping_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace trail::serve
+
+#endif  // TRAIL_SERVE_LINE_SERVER_H_

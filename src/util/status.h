@@ -21,6 +21,11 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kInternal,
+  /// The admission queue of a serving component is full; the request was
+  /// shed, not enqueued. Retry after backoff (see src/serve/).
+  kOverloaded,
+  /// The request's deadline passed before a result could be produced.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -60,6 +65,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

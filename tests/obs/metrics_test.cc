@@ -102,6 +102,43 @@ TEST(HistogramTest, QuantileFromCumulativeCounts) {
   EXPECT_LE(p99, p999);
 }
 
+TEST(HistogramTest, NamedPercentileAccessors) {
+  Histogram* h = Reg().GetHistogram("test.hist_pxx");
+  // Empty histogram: every named percentile is 0, like Quantile.
+  EXPECT_DOUBLE_EQ(h->P50(), 0.0);
+  EXPECT_DOUBLE_EQ(h->P95(), 0.0);
+  EXPECT_DOUBLE_EQ(h->P99(), 0.0);
+  // 100 observations: 90 at ~1ms, 8 at ~100ms, 2 at ~10s. Cumulative counts
+  // put p50 in the 1ms bucket, p95 in the 100ms bucket, and p99 in the 10s
+  // bucket, each reported as that bucket's upper bound.
+  for (int i = 0; i < 90; ++i) h->Observe(0.001);
+  for (int i = 0; i < 8; ++i) h->Observe(0.1);
+  for (int i = 0; i < 2; ++i) h->Observe(10.0);
+  EXPECT_DOUBLE_EQ(h->P50(), Histogram::BucketBound(Histogram::BucketIndex(0.001)));
+  EXPECT_DOUBLE_EQ(h->P95(), Histogram::BucketBound(Histogram::BucketIndex(0.1)));
+  EXPECT_DOUBLE_EQ(h->P99(), Histogram::BucketBound(Histogram::BucketIndex(10.0)));
+  // The named accessors are exactly Quantile at the matching q.
+  EXPECT_DOUBLE_EQ(h->P50(), h->Quantile(0.50));
+  EXPECT_DOUBLE_EQ(h->P95(), h->Quantile(0.95));
+  EXPECT_DOUBLE_EQ(h->P99(), h->Quantile(0.99));
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesP95) {
+  Histogram* h = Reg().GetHistogram("test.hist_snapshot_p95");
+  for (int i = 0; i < 100; ++i) h->Observe(i < 96 ? 0.001 : 10.0);
+  bool found = false;
+  for (const MetricSnapshot& snap : Reg().Snapshot()) {
+    if (snap.name != "test.hist_snapshot_p95") continue;
+    found = true;
+    EXPECT_DOUBLE_EQ(snap.p50, h->P50());
+    EXPECT_DOUBLE_EQ(snap.p95, h->P95());
+    EXPECT_DOUBLE_EQ(snap.p99, h->P99());
+    EXPECT_LT(snap.p50, 0.01);
+    EXPECT_GE(snap.p99, 10.0);
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(HistogramTest, MultithreadedObserve) {
   Histogram* h = Reg().GetHistogram("test.hist_mt");
   constexpr int kThreads = 8;

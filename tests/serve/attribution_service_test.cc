@@ -1,0 +1,386 @@
+// AttributionService behavior: micro-batching, bounded admission with
+// explicit kOverloaded shedding, deadline expiry, checkpoint hot-swap, the
+// LDJSON frontend protocol, and the serve.* metrics contract (Prometheus
+// names are format-pinned here; dashboards depend on them).
+
+#include "serve/attribution_service.h"
+
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "serve/frontend.h"
+#include "util/json.h"
+
+namespace trail::serve {
+namespace {
+
+osint::WorldConfig SmallConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 5;
+  config.min_events_per_apt = 10;
+  config.max_events_per_apt = 16;
+  config.end_day = 900;
+  config.post_days = 120;
+  config.seed = 21;
+  return config;
+}
+
+core::TrailOptions FastTrailOptions() {
+  core::TrailOptions options;
+  options.autoencoder.hidden = 32;
+  options.autoencoder.encoding = 16;
+  options.autoencoder.epochs = 2;
+  options.autoencoder.max_train_rows = 500;
+  options.gnn.hidden = 32;
+  options.gnn.epochs = 40;
+  options.gnn.layers = 2;
+  return options;
+}
+
+/// One trained Trail shared across the whole suite (training dominates the
+/// suite's runtime; every test drives its own AttributionService on top,
+/// and appends only add events, which no test below assumes absent).
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new osint::World(SmallConfig());
+    feed_ = new osint::FeedClient(world_);
+    trail_ = new core::Trail(feed_, FastTrailOptions());
+    ASSERT_TRUE(
+        trail_->Ingest(feed_->FetchReports(0, SmallConfig().end_day)).ok());
+    ASSERT_TRUE(trail_->TrainModels().ok());
+  }
+  static void TearDownTestSuite() {
+    delete trail_;
+    delete feed_;
+    delete world_;
+    trail_ = nullptr;
+    feed_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static std::vector<graph::NodeId> SomeEvents(size_t n) {
+    std::vector<graph::NodeId> events =
+        trail_->graph().NodesOfType(graph::NodeType::kEvent);
+    if (events.size() > n) events.resize(n);
+    return events;
+  }
+
+  /// An unlabeled post-cutoff report not yet in the TKG, as wire JSON.
+  static std::string FreshReportJson(int skip) {
+    for (const osint::PulseReport* report : world_->ReportsBetween(
+             SmallConfig().end_day,
+             SmallConfig().end_day + SmallConfig().post_days)) {
+      if (trail_->FindEvent(report->id) != graph::kInvalidNode) continue;
+      if (skip-- > 0) continue;
+      osint::PulseReport unlabeled = *report;
+      unlabeled.apt.clear();
+      return unlabeled.ToJsonString();
+    }
+    return "";
+  }
+
+  static osint::World* world_;
+  static osint::FeedClient* feed_;
+  static core::Trail* trail_;
+};
+
+osint::World* ServiceTest::world_ = nullptr;
+osint::FeedClient* ServiceTest::feed_ = nullptr;
+core::Trail* ServiceTest::trail_ = nullptr;
+
+TEST_F(ServiceTest, ServesSingleEvent) {
+  AttributionService service(trail_, ServeOptions{});
+  std::vector<graph::NodeId> events = SomeEvents(1);
+  ASSERT_FALSE(events.empty());
+  ServeResponse response = service.SubmitEvent(events[0]).get();
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_EQ(response.event, events[0]);
+  EXPECT_GE(response.batch_size, 1u);
+  EXPECT_FALSE(response.attribution.apt_name.empty());
+  // The served answer is exactly the direct API's answer.
+  auto direct = trail_->AttributeWithGnn(events[0]);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(response.attribution.apt_name, direct->apt_name);
+  EXPECT_EQ(response.attribution.confidence, direct->confidence);
+}
+
+TEST_F(ServiceTest, CoalescesQueuedRequestsIntoOneBatch) {
+  ServeOptions options;
+  options.auto_start = false;  // queue against a stopped drain...
+  AttributionService service(trail_, options);
+  std::vector<graph::NodeId> events = SomeEvents(8);
+  ASSERT_GE(events.size(), 8u);
+  std::vector<std::future<ServeResponse>> futures;
+  for (graph::NodeId event : events) {
+    futures.push_back(service.SubmitEvent(event));
+  }
+  EXPECT_EQ(service.QueueDepth(), events.size());
+  service.Start();  // ...then everything lands in one micro-batch
+  for (auto& f : futures) {
+    ServeResponse response = f.get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_EQ(response.batch_size, events.size());
+  }
+  AttributionService::Stats stats = service.GetStats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.max_batch_size, events.size());
+  EXPECT_EQ(stats.batch_size_counts.at(events.size()), 1u);
+  EXPECT_EQ(stats.completed, events.size());
+}
+
+TEST_F(ServiceTest, MaxBatchSizeSplitsTheQueue) {
+  ServeOptions options;
+  options.auto_start = false;
+  options.max_batch_size = 3;
+  AttributionService service(trail_, options);
+  std::vector<graph::NodeId> events = SomeEvents(7);
+  ASSERT_GE(events.size(), 7u);
+  std::vector<std::future<ServeResponse>> futures;
+  for (graph::NodeId event : events) {
+    futures.push_back(service.SubmitEvent(event));
+  }
+  service.Start();
+  for (auto& f : futures) {
+    ServeResponse response = f.get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_LE(response.batch_size, 3u);
+  }
+  AttributionService::Stats stats = service.GetStats();
+  EXPECT_EQ(stats.batches, 3u);  // 3 + 3 + 1
+  EXPECT_EQ(stats.max_batch_size, 3u);
+}
+
+TEST_F(ServiceTest, ShedsBeyondQueueDepthWithExplicitOverloaded) {
+  ServeOptions options;
+  options.auto_start = false;
+  options.queue_depth = 4;
+  AttributionService service(trail_, options);
+  std::vector<graph::NodeId> events = SomeEvents(1);
+  std::vector<std::future<ServeResponse>> admitted;
+  for (int i = 0; i < 4; ++i) {
+    admitted.push_back(service.SubmitEvent(events[0]));
+  }
+  // The 5th is shed immediately — resolved future, explicit status.
+  std::future<ServeResponse> shed = service.SubmitEvent(events[0]);
+  ServeResponse response = shed.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(response.batch_size, 0u);
+  AttributionService::Stats stats = service.GetStats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.submitted, 4u);
+  // The admitted ones all still get served once the drain starts.
+  service.Start();
+  for (auto& f : admitted) EXPECT_TRUE(f.get().status.ok());
+}
+
+TEST_F(ServiceTest, ExpiredDeadlinesResolveDeadlineExceeded) {
+  ServeOptions options;
+  options.auto_start = false;
+  AttributionService service(trail_, options);
+  std::vector<graph::NodeId> events = SomeEvents(1);
+  std::future<ServeResponse> doomed =
+      service.SubmitEvent(events[0], /*deadline_ms=*/1);
+  std::future<ServeResponse> fine = service.SubmitEvent(events[0]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Start();
+  ServeResponse response = doomed.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(response.queue_seconds, 0.0);
+  EXPECT_TRUE(fine.get().status.ok());
+  EXPECT_EQ(service.GetStats().deadline_expired, 1u);
+}
+
+TEST_F(ServiceTest, DefaultDeadlineApplies) {
+  ServeOptions options;
+  options.auto_start = false;
+  options.default_deadline_ms = 1;
+  AttributionService service(trail_, options);
+  std::vector<graph::NodeId> events = SomeEvents(1);
+  std::future<ServeResponse> doomed = service.SubmitEvent(events[0]);
+  // An explicit 0 opts out of the default.
+  std::future<ServeResponse> opted_out =
+      service.SubmitEvent(events[0], /*deadline_ms=*/0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Start();
+  EXPECT_EQ(doomed.get().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(opted_out.get().status.ok());
+}
+
+TEST_F(ServiceTest, IngestsReportJsonAndAttributesIt) {
+  AttributionService service(trail_, ServeOptions{});
+  const std::string json = FreshReportJson(0);
+  ASSERT_FALSE(json.empty());
+  ServeResponse response = service.SubmitReportJson(json).get();
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  ASSERT_NE(response.event, graph::kInvalidNode);
+  EXPECT_FALSE(response.attribution.apt_name.empty());
+  // Duplicate delivery: already in the TKG now, resolves to the same
+  // event and still attributes instead of failing.
+  ServeResponse again = service.SubmitReportJson(json).get();
+  ASSERT_TRUE(again.status.ok()) << again.status;
+  EXPECT_EQ(again.event, response.event);
+  // And the id is now addressable via SubmitReportId.
+  auto parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok());
+  ServeResponse by_id =
+      service.SubmitReportId(parsed->GetString("id")).get();
+  ASSERT_TRUE(by_id.status.ok()) << by_id.status;
+  EXPECT_EQ(by_id.event, response.event);
+}
+
+TEST_F(ServiceTest, MalformedAndUnknownRequestsFailPerElement) {
+  AttributionService service(trail_, ServeOptions{});
+  EXPECT_FALSE(service.SubmitReportJson("{not json").get().status.ok());
+  ServeResponse missing = service.SubmitReportId("no-such-report").get();
+  EXPECT_EQ(missing.status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServiceTest, HotSwapKeepsServingIdenticalAnswers) {
+  const std::string path = ::testing::TempDir() + "/serve_swap.ckpt";
+  AttributionService service(trail_, ServeOptions{});
+  std::vector<graph::NodeId> events = SomeEvents(4);
+  ServeResponse before = service.SubmitEvent(events[0]).get();
+  ASSERT_TRUE(before.status.ok());
+  ASSERT_TRUE(service.SaveCheckpoint(path).ok());
+  ASSERT_TRUE(service.HotSwapCheckpoint(path).ok());
+  EXPECT_EQ(service.GetStats().hot_swaps, 1u);
+  // Round-tripped models serve the same answers as the retired slot.
+  ServeResponse after = service.SubmitEvent(events[0]).get();
+  ASSERT_TRUE(after.status.ok()) << after.status;
+  EXPECT_EQ(after.attribution.apt_name, before.attribution.apt_name);
+  EXPECT_EQ(after.attribution.confidence, before.attribution.confidence);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceTest, ShutdownDrainsQueuedRequests) {
+  ServeOptions options;
+  options.auto_start = false;
+  AttributionService service(trail_, options);
+  std::vector<graph::NodeId> events = SomeEvents(3);
+  std::vector<std::future<ServeResponse>> futures;
+  for (graph::NodeId event : events) {
+    futures.push_back(service.SubmitEvent(event));
+  }
+  service.Start();
+  service.Shutdown();
+  // Every admitted request was answered before Shutdown returned...
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+  // ...and post-shutdown submissions shed instead of hanging.
+  EXPECT_EQ(service.SubmitEvent(events[0]).get().status.code(),
+            StatusCode::kOverloaded);
+}
+
+TEST_F(ServiceTest, SampleEventIdsRoundTripThroughFindEvent) {
+  AttributionService service(trail_, ServeOptions{});
+  std::vector<std::string> ids = service.SampleEventIds(16);
+  ASSERT_FALSE(ids.empty());
+  EXPECT_LE(ids.size(), 16u);
+  for (const std::string& id : ids) {
+    EXPECT_NE(trail_->FindEvent(id), graph::kInvalidNode) << id;
+  }
+}
+
+TEST_F(ServiceTest, FrontendSpeaksTheLdjsonProtocol) {
+  AttributionService service(trail_, ServeOptions{});
+  Frontend frontend(&service);
+
+  auto call = [&](const std::string& line) {
+    auto parsed = JsonValue::Parse(frontend.Handle(line).line.get());
+    EXPECT_TRUE(parsed.ok());
+    return parsed.ok() ? std::move(parsed).value() : JsonValue::MakeObject();
+  };
+
+  JsonValue pong = call("{\"op\":\"ping\",\"id\":7}");
+  EXPECT_TRUE(pong.GetBool("ok"));
+  EXPECT_EQ(pong.GetNumber("id"), 7.0);
+
+  JsonValue listed = call("{\"op\":\"list_events\",\"limit\":4}");
+  ASSERT_TRUE(listed.GetBool("ok"));
+  const JsonValue* ids = listed.Get("events");
+  ASSERT_NE(ids, nullptr);
+  ASSERT_GT(ids->size(), 0u);
+
+  JsonValue attributed = call(
+      "{\"op\":\"attribute\",\"report\":\"" + (*ids)[0].AsString() +
+      "\",\"id\":8}");
+  EXPECT_TRUE(attributed.GetBool("ok")) << attributed.Dump();
+  EXPECT_EQ(attributed.GetNumber("id"), 8.0);
+  EXPECT_FALSE(attributed.GetString("apt").empty());
+  EXPECT_GE(attributed.GetNumber("batch_size"), 1.0);
+  ASSERT_NE(attributed.Get("distribution"), nullptr);
+
+  JsonValue stats = call("{\"op\":\"stats\"}");
+  EXPECT_TRUE(stats.GetBool("ok"));
+  EXPECT_GE(stats.GetNumber("completed"), 1.0);
+
+  // Errors are structured, never dropped connections: the wire carries the
+  // StatusCode name the loadgen and smoke script match on.
+  JsonValue bad = call("this is not json");
+  EXPECT_FALSE(bad.GetBool("ok"));
+  EXPECT_EQ(bad.GetString("code"), "ParseError");
+  JsonValue unknown = call("{\"op\":\"frobnicate\"}");
+  EXPECT_FALSE(unknown.GetBool("ok"));
+  EXPECT_EQ(unknown.GetString("code"), "InvalidArgument");
+  JsonValue missing = call("{\"op\":\"attribute\",\"report\":\"nope\"}");
+  EXPECT_FALSE(missing.GetBool("ok"));
+  EXPECT_EQ(missing.GetString("code"), "NotFound");
+
+  JsonValue shutdown_reply = call("{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(shutdown_reply.GetBool("ok"));
+  EXPECT_TRUE(frontend.Handle("{\"op\":\"shutdown\"}").shutdown);
+}
+
+TEST_F(ServiceTest, ServeMetricsAreExportedWithPinnedPrometheusNames) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  {
+    ServeOptions options;
+    options.auto_start = false;
+    options.queue_depth = 2;
+    AttributionService service(trail_, options);
+    std::vector<graph::NodeId> events = SomeEvents(1);
+    std::vector<std::future<ServeResponse>> futures;
+    futures.push_back(service.SubmitEvent(events[0]));
+    futures.push_back(service.SubmitEvent(events[0], /*deadline_ms=*/1));
+    futures.push_back(service.SubmitEvent(events[0]));  // shed (depth 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    service.Start();
+    for (auto& f : futures) f.wait();
+    ASSERT_TRUE(service.SaveCheckpoint(::testing::TempDir() +
+                                       "/serve_metrics.ckpt")
+                    .ok());
+    ASSERT_TRUE(service.HotSwapCheckpoint(::testing::TempDir() +
+                                          "/serve_metrics.ckpt")
+                    .ok());
+  }
+  const std::string text =
+      obs::MetricsRegistry::Global().ToPrometheusText();
+  // Format-pinned: these exact series names are the dashboard contract
+  // (docs/SERVING.md). Renaming a metric must show up in this test.
+  EXPECT_NE(text.find("trail_serve_requests_total 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("trail_serve_batches_total"), std::string::npos);
+  EXPECT_NE(text.find("trail_serve_shed_total 1"), std::string::npos);
+  EXPECT_NE(text.find("trail_serve_deadline_expired_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("trail_serve_hot_swaps_total 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE trail_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE trail_serve_batch_size histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("trail_serve_batch_size_count"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE trail_span_serve_batch histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("trail_span_serve_batch_count"), std::string::npos);
+  std::remove((::testing::TempDir() + "/serve_metrics.ckpt").c_str());
+}
+
+}  // namespace
+}  // namespace trail::serve

@@ -1,0 +1,213 @@
+// Satellite of the serving subsystem (docs/SERVING.md): the micro-batcher
+// is only allowed to exist because Trail::AttributeBatchWithGnn is
+// bit-identical to the sequential per-event loop. This suite pins that
+// equivalence — same apt, same confidence, same full distribution, compared
+// with exact double equality — across worker-thread counts (the batched
+// forward goes through the deterministic parallel runtime) and under
+// whichever kernel backend TRAIL_KERNELS selects (tools/check_tests.sh
+// re-runs the "kernels" label under scalar and native).
+
+#include "core/trail.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "util/parallel.h"
+
+namespace trail::core {
+namespace {
+
+osint::WorldConfig SmallConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 5;
+  config.min_events_per_apt = 10;
+  config.max_events_per_apt = 16;
+  config.end_day = 900;
+  config.post_days = 120;
+  config.seed = 21;
+  return config;
+}
+
+TrailOptions FastTrailOptions() {
+  TrailOptions options;
+  options.autoencoder.hidden = 32;
+  options.autoencoder.encoding = 16;
+  options.autoencoder.epochs = 2;
+  options.autoencoder.max_train_rows = 500;
+  options.gnn.hidden = 32;
+  options.gnn.epochs = 40;
+  options.gnn.layers = 2;
+  return options;
+}
+
+class BatchEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new osint::World(SmallConfig());
+    feed_ = new osint::FeedClient(world_);
+    trail_ = new Trail(feed_, FastTrailOptions());
+    ASSERT_TRUE(
+        trail_->Ingest(feed_->FetchReports(0, SmallConfig().end_day)).ok());
+    ASSERT_TRUE(trail_->TrainModels().ok());
+    // Append a few unlabeled post-cutoff incidents: the serving-shaped
+    // case (fresh events, no analyst label yet).
+    std::vector<osint::PulseReport> incoming;
+    for (const osint::PulseReport* report : world_->ReportsBetween(
+             SmallConfig().end_day, SmallConfig().end_day + 60)) {
+      osint::PulseReport unlabeled = *report;
+      unlabeled.apt.clear();
+      incoming.push_back(std::move(unlabeled));
+      if (incoming.size() == 6) break;
+    }
+    ASSERT_GE(incoming.size(), 3u);
+    auto delta = trail_->AppendReports(incoming);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    for (graph::NodeId event : delta->event_nodes) {
+      ASSERT_NE(event, graph::kInvalidNode);
+      unlabeled_events_.push_back(event);
+    }
+    // Labeled (training-time) events exercise the per-event
+    // exclude-own-label path of the batch API.
+    std::vector<graph::NodeId> all_events =
+        trail_->graph().NodesOfType(graph::NodeType::kEvent);
+    for (size_t i = 0; i < all_events.size() && i < 5; ++i) {
+      labeled_events_.push_back(all_events[i]);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete trail_;
+    delete feed_;
+    delete world_;
+    trail_ = nullptr;
+    feed_ = nullptr;
+    world_ = nullptr;
+    unlabeled_events_.clear();
+    labeled_events_.clear();
+  }
+
+  static void ExpectBitIdentical(const std::vector<graph::NodeId>& events,
+                                 bool hide_neighbor_labels) {
+    std::vector<Result<Trail::Attribution>> batched =
+        trail_->AttributeBatchWithGnn(events, hide_neighbor_labels);
+    ASSERT_EQ(batched.size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      Result<Trail::Attribution> sequential =
+          trail_->AttributeWithGnn(events[i], hide_neighbor_labels);
+      ASSERT_EQ(batched[i].ok(), sequential.ok()) << "event index " << i;
+      if (!sequential.ok()) {
+        EXPECT_EQ(batched[i].status().code(), sequential.status().code());
+        continue;
+      }
+      EXPECT_EQ(batched[i]->apt, sequential->apt) << "event index " << i;
+      EXPECT_EQ(batched[i]->apt_name, sequential->apt_name);
+      // Exact equality, not near: the whole point is the shared forward
+      // produces the same bits as N single forwards.
+      EXPECT_EQ(batched[i]->confidence, sequential->confidence);
+      ASSERT_EQ(batched[i]->distribution.size(),
+                sequential->distribution.size());
+      for (size_t k = 0; k < sequential->distribution.size(); ++k) {
+        EXPECT_EQ(batched[i]->distribution[k].first,
+                  sequential->distribution[k].first);
+        EXPECT_EQ(batched[i]->distribution[k].second,
+                  sequential->distribution[k].second);
+      }
+    }
+  }
+
+  static std::vector<graph::NodeId> MixedEvents() {
+    std::vector<graph::NodeId> events = unlabeled_events_;
+    events.insert(events.end(), labeled_events_.begin(),
+                  labeled_events_.end());
+    // Duplicates must also match the sequential loop (same event twice in
+    // one serving batch is legal).
+    events.push_back(unlabeled_events_.front());
+    events.push_back(labeled_events_.front());
+    return events;
+  }
+
+  static osint::World* world_;
+  static osint::FeedClient* feed_;
+  static Trail* trail_;
+  static std::vector<graph::NodeId> unlabeled_events_;
+  static std::vector<graph::NodeId> labeled_events_;
+};
+
+osint::World* BatchEquivalenceTest::world_ = nullptr;
+osint::FeedClient* BatchEquivalenceTest::feed_ = nullptr;
+Trail* BatchEquivalenceTest::trail_ = nullptr;
+std::vector<graph::NodeId> BatchEquivalenceTest::unlabeled_events_;
+std::vector<graph::NodeId> BatchEquivalenceTest::labeled_events_;
+
+class ScopedWorkers {
+ public:
+  explicit ScopedWorkers(int n) { SetParallelWorkers(n); }
+  ~ScopedWorkers() { SetParallelWorkers(0); }
+};
+
+TEST_F(BatchEquivalenceTest, MatchesSequentialLoop) {
+  ExpectBitIdentical(MixedEvents(), /*hide_neighbor_labels=*/false);
+}
+
+TEST_F(BatchEquivalenceTest, MatchesSequentialLoopHidingLabels) {
+  ExpectBitIdentical(MixedEvents(), /*hide_neighbor_labels=*/true);
+}
+
+TEST_F(BatchEquivalenceTest, BitIdenticalAcrossThreadCounts) {
+  // The serving batch must not depend on the worker count either: the
+  // deterministic parallel runtime guarantees it for one forward, and the
+  // batch API must preserve it end to end.
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ScopedWorkers workers(threads);
+    ExpectBitIdentical(MixedEvents(), /*hide_neighbor_labels=*/false);
+  }
+}
+
+TEST_F(BatchEquivalenceTest, PerElementErrorsMatchSequential) {
+  // A non-event node in the middle of the batch fails that element alone,
+  // with the same status the sequential call produces, and does not poison
+  // its neighbors.
+  std::vector<graph::NodeId> ips =
+      trail_->graph().NodesOfType(graph::NodeType::kIp);
+  ASSERT_FALSE(ips.empty());
+  std::vector<graph::NodeId> events = {unlabeled_events_.front(), ips[0],
+                                       labeled_events_.front()};
+  auto batched = trail_->AttributeBatchWithGnn(events, false);
+  ASSERT_EQ(batched.size(), 3u);
+  EXPECT_TRUE(batched[0].ok());
+  ASSERT_FALSE(batched[1].ok());
+  EXPECT_EQ(batched[1].status().code(),
+            trail_->AttributeWithGnn(ips[0], false).status().code());
+  EXPECT_TRUE(batched[2].ok());
+}
+
+TEST_F(BatchEquivalenceTest, EmptyBatchIsEmpty) {
+  EXPECT_TRUE(trail_->AttributeBatchWithGnn({}, false).empty());
+}
+
+TEST(BatchUntrainedTest, FailsPreconditionLikeSequential) {
+  osint::WorldConfig config = SmallConfig();
+  config.num_apts = 3;
+  config.min_events_per_apt = 4;
+  config.max_events_per_apt = 6;
+  config.end_day = 300;
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  Trail trail(&feed, FastTrailOptions());
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, config.end_day)).ok());
+  std::vector<graph::NodeId> events =
+      trail.graph().NodesOfType(graph::NodeType::kEvent);
+  ASSERT_FALSE(events.empty());
+  auto batched = trail.AttributeBatchWithGnn({events[0]}, false);
+  ASSERT_EQ(batched.size(), 1u);
+  ASSERT_FALSE(batched[0].ok());
+  EXPECT_EQ(batched[0].status().code(),
+            trail.AttributeWithGnn(events[0], false).status().code());
+}
+
+}  // namespace
+}  // namespace trail::core

@@ -22,7 +22,20 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ServingCodesHaveStableNames) {
+  // The serving front-end puts these names on the wire; tools/trail_loadgen
+  // and the smoke script match on them.
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOverloaded), "Overloaded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_EQ(Status::Overloaded("queue full").ToString(),
+            "Overloaded: queue full");
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {

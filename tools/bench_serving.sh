@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# Serving-path benchmark (docs/SERVING.md): boots trail_serve three times
+# from one shared checkpoint and records BENCH_serving.json with
+#
+#   baseline — micro-batching off (--max-batch 1): every request pays a
+#              full-graph GNN forward of its own;
+#   batched  — the real configuration (--max-batch 32), with a checkpoint
+#              hot-swap fired mid-run (zero failed requests is asserted);
+#   overload — open-loop load at ~2x the batched throughput against a
+#              capped batch ceiling, a small admission queue, and a
+#              per-request deadline, to show load shedding is explicit
+#              (Overloaded / DeadlineExceeded) while admitted requests
+#              stay within their deadline.
+#
+# Throughput, p50/p95/p99 latency, batch-size distribution, and shed rate
+# come from tools/trail_loadgen summaries embedded verbatim.
+#
+# Usage: tools/bench_serving.sh [BUILD_DIR]   (default: build)
+#   TRAIL_BENCH_QUICK=1          smaller world + fewer requests
+#   TRAIL_BENCH_SERVING_OUT=F    output path (default BENCH_serving.json)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${TRAIL_BENCH_SERVING_OUT:-BENCH_serving.json}"
+WORK_DIR="$(mktemp -d)"
+SERVER_PID=""
+
+if [[ "${TRAIL_BENCH_QUICK:-0}" == "1" ]]; then
+  WORLD_ARGS=(--apts 4 --end-day 600 --gnn-epochs 20 --ae-epochs 2)
+  REQUESTS=300
+  QUICK=true
+else
+  WORLD_ARGS=(--apts 8 --end-day 1200 --gnn-epochs 60 --ae-epochs 3)
+  REQUESTS=1500
+  QUICK=false
+fi
+# All phases serve in the paper's realistic setting (no analyst labels
+# visible to the model) — the serving case, where every request in a
+# micro-batch shares one GNN forward. Without it, attributing an
+# already-labeled training event needs a leave-own-label-out forward of
+# its own and batching (correctly) cannot amortize anything.
+WORLD_ARGS+=(--hide-labels)
+CONNS=8
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+echo "== building serving binaries =="
+cmake -S "$SOURCE_DIR" -B "$BUILD_DIR" >/dev/null
+cmake --build "$BUILD_DIR" -j --target trail_serve_bin trail_loadgen >/dev/null
+SERVE="$BUILD_DIR/tools/trail_serve"
+LOADGEN="$BUILD_DIR/tools/trail_loadgen"
+
+start_server() {  # start_server <name> [extra serve flags...]
+  local name="$1"; shift
+  "$SERVE" --port 0 "${WORLD_ARGS[@]}" --manifest-out none "$@" \
+      > "$WORK_DIR/$name.out" 2> "$WORK_DIR/$name.err" &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 1200); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "bench_serving: server '$name' died during startup" >&2
+      cat "$WORK_DIR/$name.err" >&2
+      exit 1
+    fi
+    PORT="$(sed -n 's/^READY port=\([0-9]*\).*/\1/p' "$WORK_DIR/$name.out")"
+    [ -n "$PORT" ] && break
+    sleep 0.5
+  done
+  [ -n "$PORT" ] || { echo "bench_serving: no READY from $name" >&2; exit 1; }
+  echo "server '$name' ready on port $PORT"
+}
+
+stop_server() {
+  "$LOADGEN" --port "$PORT" --op shutdown >/dev/null
+  wait "$SERVER_PID" || true
+  SERVER_PID=""
+}
+
+json_num() {  # json_num <file> <key> -> first numeric value of key
+  sed -n "s/.*\"$2\": \([0-9.e+-]*\).*/\1/p" "$1" | head -1
+}
+
+echo
+echo "== phase 1: baseline (micro-batching off, --max-batch 1) =="
+start_server baseline --max-batch 1 --linger-us 0
+"$LOADGEN" --port "$PORT" --op save_checkpoint \
+    --path "$WORK_DIR/bench.ckpt" >/dev/null
+"$LOADGEN" --port "$PORT" --mode closed --conns "$CONNS" \
+    --requests "$REQUESTS" --out "$WORK_DIR/baseline.json" >/dev/null
+stop_server
+echo "   $(json_num "$WORK_DIR/baseline.json" throughput_rps) req/s"
+
+echo
+echo "== phase 2: batched (--max-batch 32) with mid-run hot-swap =="
+start_server batched --max-batch 32 --linger-us 2000 \
+    --checkpoint "$WORK_DIR/bench.ckpt"
+"$LOADGEN" --port "$PORT" --mode closed --conns "$CONNS" \
+    --requests "$REQUESTS" --out "$WORK_DIR/batched.json" >/dev/null &
+LOAD_PID=$!
+sleep 1
+if "$LOADGEN" --port "$PORT" --op hot_swap --path "$WORK_DIR/bench.ckpt" \
+    >/dev/null; then
+  HOT_SWAP_OK=0
+else
+  echo "bench_serving: FAIL — mid-run hot-swap was rejected" >&2
+  exit 1
+fi
+wait "$LOAD_PID"
+BATCHED_RPS="$(json_num "$WORK_DIR/batched.json" throughput_rps)"
+BATCHED_FAILED="$(json_num "$WORK_DIR/batched.json" failed)"
+echo "   $BATCHED_RPS req/s (hot-swap rc=$HOT_SWAP_OK," \
+     "failed=$BATCHED_FAILED)"
+if [ "${BATCHED_FAILED%%.*}" != "0" ]; then
+  echo "bench_serving: FAIL — requests failed during the hot-swap run" >&2
+  exit 1
+fi
+
+echo
+echo "== phase 3: overload (open loop at ~2x batched throughput) =="
+# The batch ceiling is capped at 8 here: at --max-batch 32 the
+# micro-batcher simply grows its batches and absorbs 2x the closed-loop
+# throughput without ever queueing (a good property, but it demonstrates
+# nothing about admission control). Capping the batch pins sustainable
+# capacity below the offered rate so the bounded queue actually fills
+# and shedding is observable.
+RATE="$(echo "$BATCHED_RPS" | awk '{r = int($1 * 2); print (r < 20) ? 20 : r}')"
+start_server overload --max-batch 8 --linger-us 2000 --queue-depth 64 \
+    --checkpoint "$WORK_DIR/bench.ckpt"
+"$LOADGEN" --port "$PORT" --mode open --rate "$RATE" \
+    --requests "$REQUESTS" --deadline-ms 1000 \
+    --out "$WORK_DIR/overload.json" >/dev/null
+stop_server
+echo "   offered $RATE req/s:" \
+     "shed_rate=$(json_num "$WORK_DIR/overload.json" shed_rate)," \
+     "failed=$(json_num "$WORK_DIR/overload.json" failed)"
+
+BASELINE_RPS="$(json_num "$WORK_DIR/baseline.json" throughput_rps)"
+SPEEDUP="$(echo "$BASELINE_RPS $BATCHED_RPS" |
+    awk '{printf "%.2f", ($1 > 0) ? $2 / $1 : 0}')"
+
+{
+  echo "{"
+  echo "  \"bench\": \"attribution_serving\","
+  echo "  \"host_cores\": $(nproc),"
+  echo "  \"quick_mode\": $QUICK,"
+  echo "  \"requests_per_phase\": $REQUESTS,"
+  echo "  \"closed_loop_connections\": $CONNS,"
+  echo "  \"note\": \"all phases serve with --hide-labels (the paper's realistic setting — the serving case, and the only one where batching can amortize: attributing an already-labeled event needs its own leave-own-label-out forward). baseline is --max-batch 1 (one full-graph GNN forward per request); batched amortizes the forward over the micro-batch, so the speedup holds even on a 1-core host. The batched phase includes a mid-run checkpoint hot-swap with zero failed requests. Overload offers ~2x the batched closed-loop throughput open-loop against --max-batch 8 / --queue-depth 64 with a 1000ms deadline (the batch ceiling is capped because at 32 the batcher absorbs the 2x offered load outright — larger batches, no queueing, nothing shed); latency percentiles there cover admitted-and-served requests only, shed/expired are counted in shed_rate.\","
+  echo "  \"batched_vs_baseline_speedup\": $SPEEDUP,"
+  echo "  \"baseline\": $(cat "$WORK_DIR/baseline.json"),"
+  echo "  \"batched_with_hot_swap\": $(cat "$WORK_DIR/batched.json"),"
+  echo "  \"overload\": $(cat "$WORK_DIR/overload.json")"
+  echo "}"
+} > "$OUT"
+
+echo
+echo "bench_serving: wrote $OUT (speedup ${SPEEDUP}x)"

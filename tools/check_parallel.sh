@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Race-checks the parallel runtime: configures a ThreadSanitizer build in
-# its own tree, builds the two pool-heavy test binaries, and runs the
-# tsan-labelled ctest tier (thread_pool_test + parallel_determinism_test)
+# Race-checks the parallel runtime and the serving subsystem: configures a
+# ThreadSanitizer build in its own tree, builds the pool-heavy and
+# serving-concurrency test binaries, and runs the tsan-labelled ctest tier
+# (thread_pool_test + parallel_determinism_test + service_concurrency_test)
 # with several worker counts. Any data race in the pool, the chunk-claim
-# protocol, or a parallelized pipeline stage fails the script.
+# protocol, a parallelized pipeline stage, or the micro-batcher /
+# admission-queue / hot-swap paths fails the script.
 #
 # Usage: tools/check_parallel.sh [TSAN_BUILD_DIR]   (default: build-tsan)
 set -euo pipefail
@@ -19,7 +21,8 @@ cmake -S "$SOURCE_DIR" -B "$BUILD_DIR" \
 echo
 echo "== building tsan test binaries =="
 cmake --build "$BUILD_DIR" -j \
-    --target util_thread_pool_test ml_parallel_determinism_test
+    --target util_thread_pool_test ml_parallel_determinism_test \
+             serve_service_concurrency_test
 
 echo
 echo "== ctest -L tsan (auto worker count) =="

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the serving subsystem (docs/SERVING.md): boots
+# trail_serve on an ephemeral port with a small world, drives the LDJSON
+# protocol over real TCP with trail_loadgen (ping, closed-loop load,
+# checkpoint save + hot-swap, stats, shutdown), and checks that the
+# serve.* metrics made it into the Prometheus dump. Fast enough to run on
+# every change; the statistical bench lives in tools/bench_serving.sh.
+#
+# Usage: tools/check_serving.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+WORK_DIR="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+echo "== building serving binaries =="
+cmake -S "$SOURCE_DIR" -B "$BUILD_DIR" >/dev/null
+cmake --build "$BUILD_DIR" -j --target trail_serve_bin trail_loadgen >/dev/null
+
+SERVE="$BUILD_DIR/tools/trail_serve"
+LOADGEN="$BUILD_DIR/tools/trail_loadgen"
+
+echo
+echo "== starting trail_serve (small world, ephemeral port) =="
+"$SERVE" --port 0 --apts 4 --end-day 600 --gnn-epochs 20 --ae-epochs 2 \
+    --max-batch 16 --linger-us 1000 \
+    --metrics-out "$WORK_DIR/metrics.prom" \
+    --manifest-out none \
+    > "$WORK_DIR/server.out" 2> "$WORK_DIR/server.err" &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 600); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "check_serving: FAIL — server died during startup" >&2
+    cat "$WORK_DIR/server.err" >&2
+    exit 1
+  fi
+  PORT="$(sed -n 's/^READY port=\([0-9]*\).*/\1/p' "$WORK_DIR/server.out")"
+  [ -n "$PORT" ] && break
+  sleep 0.5
+done
+if [ -z "$PORT" ]; then
+  echo "check_serving: FAIL — no READY line after 300s" >&2
+  exit 1
+fi
+echo "server ready on port $PORT"
+
+echo
+echo "== ping =="
+"$LOADGEN" --port "$PORT" --op ping
+
+echo
+echo "== closed-loop load (200 requests, 2 connections) =="
+"$LOADGEN" --port "$PORT" --mode closed --conns 2 --requests 200 \
+    --out "$WORK_DIR/closed.json"
+OK="$(sed -n 's/.*"ok": \([0-9]*\).*/\1/p' "$WORK_DIR/closed.json" | head -1)"
+if [ "${OK:-0}" -ne 200 ]; then
+  echo "check_serving: FAIL — expected 200 ok responses, got '${OK:-0}'" >&2
+  exit 1
+fi
+
+echo
+echo "== checkpoint save + hot-swap while serving =="
+"$LOADGEN" --port "$PORT" --op save_checkpoint --path "$WORK_DIR/live.ckpt"
+"$LOADGEN" --port "$PORT" --mode closed --conns 2 --requests 100 >/dev/null &
+LOAD_PID=$!
+"$LOADGEN" --port "$PORT" --op hot_swap --path "$WORK_DIR/live.ckpt"
+wait "$LOAD_PID"
+
+echo
+echo "== stats + shutdown =="
+STATS="$("$LOADGEN" --port "$PORT" --op stats)"
+echo "$STATS"
+echo "$STATS" | grep -q '"hot_swaps": *1' || {
+  echo "check_serving: FAIL — stats does not show the hot swap" >&2
+  exit 1
+}
+"$LOADGEN" --port "$PORT" --op shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo
+echo "== serve.* metrics in the Prometheus dump =="
+for series in trail_serve_requests_total trail_serve_batches_total \
+              trail_serve_batch_size_count trail_serve_hot_swaps_total \
+              trail_span_serve_batch_count; do
+  grep -q "^$series" "$WORK_DIR/metrics.prom" || {
+    echo "check_serving: FAIL — $series missing from metrics dump" >&2
+    exit 1
+  }
+done
+
+echo
+echo "check_serving: PASS"

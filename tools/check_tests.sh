@@ -43,6 +43,10 @@ echo
 echo "== golden-regression tier (ctest -L golden) =="
 run_ctest -L golden
 
+echo
+echo "== serving tier (ctest -L serve) =="
+run_ctest -L serve
+
 # Kernel equivalence tier: the same suite under both dispatch targets, so a
 # host whose default is AVX2 still proves the scalar baseline (and vice
 # versa — on a host without AVX2, "native" resolves to scalar and this

@@ -1,0 +1,471 @@
+// trail_loadgen — closed- and open-loop load generator for trail_serve.
+//
+//   trail_loadgen --port P --mode closed --conns 4 --requests 2000
+//   trail_loadgen --port P --mode open --rate 500 --requests 2000
+//   trail_loadgen --port P --op ping|stats|hot_swap|save_checkpoint|
+//                          list_events|shutdown [--path FILE]
+//
+// Load modes fetch a working set of event report-ids via list_events, then
+// fire {"op":"attribute"} requests and report a latency/throughput summary
+// as one JSON object on stdout (optionally also --out FILE):
+//
+//   closed — `--conns` connections, each submit-wait-repeat. Concurrency
+//            is the knob; total offered load adapts to service speed.
+//   open   — one pipelined connection paced at `--rate` req/s regardless
+//            of completions; latency is measured from the *scheduled* send
+//            time, so queueing delay under overload is not hidden
+//            (no coordinated omission). The knob that produces honest
+//            overload: offered load does not slow down when the server does.
+//
+// `--deadline-ms` attaches a per-request deadline; shed (Overloaded) and
+// expired (DeadlineExceeded) replies are counted separately from failures,
+// and their latencies are excluded from the percentile summary (those are
+// the service refusing work, not serving it).
+//
+// The single-op mode is the control plane used by tools/bench_serving.sh
+// and tools/check_serving.sh (e.g. mid-run checkpoint hot-swaps).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace {
+
+using namespace trail;
+using Clock = std::chrono::steady_clock;
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& fallback = "") {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (name == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int64_t IntFlag(int argc, char** argv, const std::string& name,
+                int64_t fallback) {
+  std::string v = GetFlag(argc, argv, name);
+  return v.empty() ? fallback : std::stoll(v);
+}
+
+/// Blocking LDJSON client: one line out, one line in, in order.
+class LineClient {
+ public:
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Connect(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad host: " + host);
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return Status::IoError(std::string("connect: ") + std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Status::Ok();
+  }
+
+  Status SendLine(std::string line) {
+    line += '\n';
+    size_t sent = 0;
+    while (sent < line.size()) {
+      ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(std::string("send: ") + std::strerror(errno));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> RecvLine() {
+    for (;;) {
+      size_t nl = pending_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = pending_.substr(0, nl);
+        pending_.erase(0, nl + 1);
+        return line;
+      }
+      char buf[1 << 16];
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return Status::IoError("connection closed by server");
+      pending_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  Result<JsonValue> Call(const std::string& line) {
+    TRAIL_RETURN_NOT_OK(SendLine(line));
+    TRAIL_ASSIGN_OR_RETURN(std::string reply, RecvLine());
+    return JsonValue::Parse(reply);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string pending_;
+};
+
+/// One completed request as the load threads record it.
+struct Sample {
+  double latency_ms = 0.0;
+  size_t batch_size = 0;
+  std::string code;  // empty when ok
+};
+
+struct Totals {
+  std::vector<double> ok_latencies_ms;
+  std::vector<size_t> batch_sizes;
+  std::map<std::string, int64_t> by_code;  // "" key = ok
+  int64_t ok = 0, shed = 0, expired = 0, failed = 0;
+
+  void Add(const Sample& s) {
+    ++by_code[s.code];
+    if (s.code.empty()) {
+      ++ok;
+      ok_latencies_ms.push_back(s.latency_ms);
+      batch_sizes.push_back(s.batch_size);
+    } else if (s.code == "Overloaded") {
+      ++shed;
+    } else if (s.code == "DeadlineExceeded") {
+      ++expired;
+    } else {
+      ++failed;
+    }
+  }
+};
+
+Sample ParseReply(const JsonValue& reply, double latency_ms) {
+  Sample s;
+  s.latency_ms = latency_ms;
+  if (reply.GetBool("ok")) {
+    s.batch_size = static_cast<size_t>(reply.GetNumber("batch_size"));
+  } else {
+    s.code = reply.GetString("code", "ProtocolError");
+  }
+  return s;
+}
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+JsonValue Summarize(const Totals& totals, double duration_s,
+                    int64_t requested, const std::string& mode) {
+  std::vector<double> lat = totals.ok_latencies_ms;
+  std::sort(lat.begin(), lat.end());
+  double sum = 0.0;
+  for (double v : lat) sum += v;
+
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("mode", JsonValue::MakeString(mode));
+  out.Set("requests", JsonValue::MakeNumber(static_cast<double>(requested)));
+  out.Set("duration_s", JsonValue::MakeNumber(duration_s));
+  out.Set("ok", JsonValue::MakeNumber(static_cast<double>(totals.ok)));
+  out.Set("shed", JsonValue::MakeNumber(static_cast<double>(totals.shed)));
+  out.Set("deadline_exceeded",
+          JsonValue::MakeNumber(static_cast<double>(totals.expired)));
+  out.Set("failed", JsonValue::MakeNumber(static_cast<double>(totals.failed)));
+  out.Set("throughput_rps",
+          JsonValue::MakeNumber(
+              duration_s > 0 ? static_cast<double>(totals.ok) / duration_s
+                             : 0.0));
+  out.Set("shed_rate",
+          JsonValue::MakeNumber(
+              requested > 0
+                  ? static_cast<double>(totals.shed + totals.expired) /
+                        static_cast<double>(requested)
+                  : 0.0));
+
+  JsonValue latency = JsonValue::MakeObject();
+  latency.Set("mean_ms",
+              JsonValue::MakeNumber(
+                  lat.empty() ? 0.0
+                              : sum / static_cast<double>(lat.size())));
+  latency.Set("p50_ms", JsonValue::MakeNumber(Percentile(lat, 0.50)));
+  latency.Set("p95_ms", JsonValue::MakeNumber(Percentile(lat, 0.95)));
+  latency.Set("p99_ms", JsonValue::MakeNumber(Percentile(lat, 0.99)));
+  latency.Set("max_ms",
+              JsonValue::MakeNumber(lat.empty() ? 0.0 : lat.back()));
+  out.Set("latency", std::move(latency));
+
+  JsonValue batches = JsonValue::MakeObject();
+  std::map<size_t, int64_t> size_counts;
+  double batch_sum = 0.0;
+  size_t batch_max = 0;
+  for (size_t b : totals.batch_sizes) {
+    ++size_counts[b];
+    batch_sum += static_cast<double>(b);
+    batch_max = std::max(batch_max, b);
+  }
+  batches.Set("mean",
+              JsonValue::MakeNumber(
+                  totals.batch_sizes.empty()
+                      ? 0.0
+                      : batch_sum /
+                            static_cast<double>(totals.batch_sizes.size())));
+  batches.Set("max",
+              JsonValue::MakeNumber(static_cast<double>(batch_max)));
+  JsonValue hist = JsonValue::MakeObject();
+  for (const auto& [size, count] : size_counts) {
+    hist.Set(std::to_string(size),
+             JsonValue::MakeNumber(static_cast<double>(count)));
+  }
+  batches.Set("histogram", std::move(hist));
+  out.Set("batch_size", std::move(batches));
+  return out;
+}
+
+std::string AttributeLine(const std::string& report_id, int64_t deadline_ms) {
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("op", JsonValue::MakeString("attribute"));
+  request.Set("report", JsonValue::MakeString(report_id));
+  if (deadline_ms > 0) {
+    request.Set("deadline_ms",
+                JsonValue::MakeNumber(static_cast<double>(deadline_ms)));
+  }
+  return request.Dump();
+}
+
+Result<std::vector<std::string>> FetchWorkingSet(const std::string& host,
+                                                 int port, size_t limit) {
+  LineClient client;
+  TRAIL_RETURN_NOT_OK(client.Connect(host, port));
+  TRAIL_ASSIGN_OR_RETURN(
+      JsonValue reply,
+      client.Call("{\"op\":\"list_events\",\"limit\":" +
+                  std::to_string(limit) + "}"));
+  if (!reply.GetBool("ok")) {
+    return Status::Internal("list_events failed: " + reply.Dump());
+  }
+  std::vector<std::string> ids;
+  const JsonValue* events = reply.Get("events");
+  if (events != nullptr && events->is_array()) {
+    for (size_t i = 0; i < events->size(); ++i) {
+      ids.push_back((*events)[i].AsString());
+    }
+  }
+  if (ids.empty()) return Status::NotFound("server returned no events");
+  return ids;
+}
+
+int RunClosed(const std::string& host, int port,
+              const std::vector<std::string>& ids, int64_t requests,
+              int conns, int64_t deadline_ms, Totals* totals,
+              double* duration_s) {
+  std::atomic<int64_t> next{0};
+  std::mutex totals_mu;
+  std::atomic<bool> failed{false};
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> workers;
+  for (int c = 0; c < conns; ++c) {
+    workers.emplace_back([&, c] {
+      LineClient client;
+      if (!client.Connect(host, port).ok()) {
+        failed = true;
+        return;
+      }
+      Totals local;
+      for (int64_t i = next.fetch_add(1); i < requests;
+           i = next.fetch_add(1)) {
+        const std::string& id = ids[static_cast<size_t>(i) % ids.size()];
+        const Clock::time_point sent = Clock::now();
+        auto reply = client.Call(AttributeLine(id, deadline_ms));
+        if (!reply.ok()) {
+          failed = true;
+          return;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - sent)
+                .count();
+        local.Add(ParseReply(reply.value(), ms));
+      }
+      std::lock_guard<std::mutex> lock(totals_mu);
+      for (double v : local.ok_latencies_ms) {
+        totals->ok_latencies_ms.push_back(v);
+      }
+      for (size_t b : local.batch_sizes) totals->batch_sizes.push_back(b);
+      for (const auto& [code, count] : local.by_code) {
+        totals->by_code[code] += count;
+      }
+      totals->ok += local.ok;
+      totals->shed += local.shed;
+      totals->expired += local.expired;
+      totals->failed += local.failed;
+    });
+  }
+  for (auto& w : workers) w.join();
+  *duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (failed) {
+    std::fprintf(stderr, "a load connection failed\n");
+    return 1;
+  }
+  return 0;
+}
+
+int RunOpen(const std::string& host, int port,
+            const std::vector<std::string>& ids, int64_t requests,
+            double rate, int64_t deadline_ms, Totals* totals,
+            double* duration_s) {
+  if (rate <= 0) {
+    std::fprintf(stderr, "open mode requires --rate > 0\n");
+    return 2;
+  }
+  LineClient client;
+  Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const Clock::time_point start = Clock::now();
+  const std::chrono::nanoseconds interval(
+      static_cast<int64_t>(1e9 / rate));
+  std::vector<Clock::time_point> scheduled(
+      static_cast<size_t>(requests));
+  for (int64_t i = 0; i < requests; ++i) {
+    scheduled[static_cast<size_t>(i)] = start + interval * i;
+  }
+
+  // Reader drains replies (in request order) while the sender paces.
+  std::thread reader([&] {
+    for (int64_t i = 0; i < requests; ++i) {
+      auto line = client.RecvLine();
+      if (!line.ok()) return;  // sender notices via short totals
+      auto reply = JsonValue::Parse(line.value());
+      if (!reply.ok()) return;
+      const double ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - scheduled[static_cast<size_t>(i)])
+                            .count();
+      totals->Add(ParseReply(reply.value(), ms));
+    }
+  });
+  for (int64_t i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(scheduled[static_cast<size_t>(i)]);
+    const std::string& id = ids[static_cast<size_t>(i) % ids.size()];
+    st = client.SendLine(AttributeLine(id, deadline_ms));
+    if (!st.ok()) break;
+  }
+  reader.join();
+  *duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (!st.ok()) {
+    std::fprintf(stderr, "send failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int RunSingleOp(int argc, char** argv, const std::string& host, int port,
+                const std::string& op) {
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("op", JsonValue::MakeString(op));
+  const std::string path = GetFlag(argc, argv, "--path");
+  if (!path.empty()) request.Set("path", JsonValue::MakeString(path));
+  const int64_t limit = IntFlag(argc, argv, "--limit", 0);
+  if (limit > 0) {
+    request.Set("limit", JsonValue::MakeNumber(static_cast<double>(limit)));
+  }
+  LineClient client;
+  Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto reply = client.Call(request.Dump());
+  if (!reply.ok()) {
+    std::fprintf(stderr, "call failed: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", reply->Dump().c_str());
+  return reply->GetBool("ok") ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int port = static_cast<int>(IntFlag(argc, argv, "--port", 0));
+  if (port <= 0) {
+    std::fprintf(stderr, "usage: trail_loadgen --port P [--mode closed|open "
+                         "| --op OP] [flags]\n");
+    return 2;
+  }
+  const std::string host = GetFlag(argc, argv, "--host", "127.0.0.1");
+
+  const std::string op = GetFlag(argc, argv, "--op");
+  if (!op.empty()) return RunSingleOp(argc, argv, host, port, op);
+
+  const std::string mode = GetFlag(argc, argv, "--mode", "closed");
+  const int64_t requests = IntFlag(argc, argv, "--requests", 2000);
+  const int64_t deadline_ms = IntFlag(argc, argv, "--deadline-ms", 0);
+  auto ids = FetchWorkingSet(host, port,
+                             static_cast<size_t>(
+                                 IntFlag(argc, argv, "--working-set", 256)));
+  if (!ids.ok()) {
+    std::fprintf(stderr, "working set fetch failed: %s\n",
+                 ids.status().ToString().c_str());
+    return 1;
+  }
+
+  Totals totals;
+  double duration_s = 0.0;
+  int rc;
+  if (mode == "closed") {
+    rc = RunClosed(host, port, ids.value(), requests,
+                   static_cast<int>(IntFlag(argc, argv, "--conns", 4)),
+                   deadline_ms, &totals, &duration_s);
+  } else if (mode == "open") {
+    rc = RunOpen(host, port, ids.value(), requests,
+                 std::stod(GetFlag(argc, argv, "--rate", "200")),
+                 deadline_ms, &totals, &duration_s);
+  } else {
+    std::fprintf(stderr, "unknown --mode: %s\n", mode.c_str());
+    return 2;
+  }
+  if (rc != 0) return rc;
+
+  JsonValue summary = Summarize(totals, duration_s, requests, mode);
+  const std::string dumped = summary.Dump(2);
+  std::printf("%s\n", dumped.c_str());
+  const std::string out_path = GetFlag(argc, argv, "--out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << dumped << "\n";
+  }
+  return 0;
+}

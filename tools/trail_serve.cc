@@ -1,0 +1,142 @@
+// trail_serve — LDJSON-over-TCP front end for the attribution serving
+// subsystem (docs/SERVING.md).
+//
+//   trail_serve [--port P] [--seed N] [--end-day D] [--apts N]
+//               [--max-batch N] [--linger-us N] [--queue-depth N]
+//               [--deadline-ms N] [--checkpoint FILE]
+//               [--ae-epochs N] [--gnn-epochs N]
+//
+// Builds the synthetic TKG, trains (or loads --checkpoint) the models, then
+// serves attribution requests on 127.0.0.1:P (0 = ephemeral). Prints one
+//
+//   READY port=<port> events=<count>
+//
+// line to stdout once accepting, which is what tools/bench_serving.sh and
+// tools/check_serving.sh wait for. Stops on {"op":"shutdown"} or SIGINT is
+// not handled — use the shutdown op for a clean exit with metrics export.
+//
+// Observability flags (--log-level, --trace-out, --manifest-out,
+// --metrics-out, --threads) work as in trail_cli; serve.* metrics and the
+// span.serve.batch histogram land in the --metrics-out Prometheus dump.
+
+#include <cstdio>
+#include <string>
+
+#include "core/trail.h"
+#include "obs/manifest.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "serve/attribution_service.h"
+#include "serve/frontend.h"
+#include "serve/line_server.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace trail;
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& fallback = "") {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (name == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int64_t IntFlag(int argc, char** argv, const std::string& name,
+                int64_t fallback) {
+  std::string v = GetFlag(argc, argv, name);
+  return v.empty() ? fallback : std::stoll(v);
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (name == argv[i]) return true;
+  }
+  return false;
+}
+
+int Run(int argc, char** argv) {
+  osint::WorldConfig config;
+  config.seed = static_cast<uint64_t>(IntFlag(argc, argv, "--seed", 42));
+  config.num_apts = static_cast<int>(IntFlag(argc, argv, "--apts", 8));
+  config.min_events_per_apt = 12;
+  config.max_events_per_apt = 30;
+  config.end_day = static_cast<int>(IntFlag(argc, argv, "--end-day", 1200));
+
+  core::TrailOptions options;
+  options.autoencoder.epochs =
+      static_cast<int>(IntFlag(argc, argv, "--ae-epochs", 3));
+  options.gnn.epochs =
+      static_cast<int>(IntFlag(argc, argv, "--gnn-epochs", 60));
+
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  core::Trail trail(&feed, options);
+  std::fprintf(stderr, "building TKG...\n");
+  Status st = trail.Ingest(feed.FetchReports(0, config.end_day));
+  if (!st.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const std::string checkpoint = GetFlag(argc, argv, "--checkpoint");
+  if (checkpoint.empty()) {
+    std::fprintf(stderr, "training models...\n");
+    st = trail.TrainModels();
+  } else {
+    std::fprintf(stderr, "loading checkpoint %s...\n", checkpoint.c_str());
+    st = trail.LoadCheckpoint(checkpoint);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "model setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.max_batch_size =
+      static_cast<size_t>(IntFlag(argc, argv, "--max-batch", 32));
+  serve_options.max_linger_us = IntFlag(argc, argv, "--linger-us", 2000);
+  serve_options.queue_depth =
+      static_cast<size_t>(IntFlag(argc, argv, "--queue-depth", 256));
+  serve_options.default_deadline_ms = IntFlag(argc, argv, "--deadline-ms", 0);
+  // The paper's realistic setting: the model sees no analyst labels, so
+  // every request in a micro-batch shares one GNN forward.
+  serve_options.hide_neighbor_labels = HasFlag(argc, argv, "--hide-labels");
+
+  serve::AttributionService service(&trail, serve_options);
+  serve::Frontend frontend(&service);
+  serve::LineServer server(&frontend);
+  st = server.Start(static_cast<int>(IntFlag(argc, argv, "--port", 0)));
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("READY port=%d events=%zu\n", server.port(),
+              trail.graph().NodesOfType(graph::NodeType::kEvent).size());
+  std::fflush(stdout);
+
+  server.Wait();
+  server.Stop();
+  service.Shutdown();
+  const serve::AttributionService::Stats stats = service.GetStats();
+  std::fprintf(stderr,
+               "served %llu requests in %llu batches (max batch %zu, "
+               "shed %llu, deadline-expired %llu, hot swaps %llu)\n",
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.batches),
+               stats.max_batch_size,
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.deadline_expired),
+               static_cast<unsigned long long>(stats.hot_swaps));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  trail::SetLogLevel(trail::LogLevel::kWarning);
+  trail::obs::RunContext run("trail_serve", argc, argv);
+  int rc = Run(argc, argv);
+  run.set_exit_code(rc);
+  return rc;
+}
