@@ -29,6 +29,8 @@
 #include "ml/calibration.h"
 #include "ml/dataset.h"
 #include "obs/manifest.h"
+#include "obs/request_trace.h"
+#include "obs/sliding_window.h"
 #include "obs/trace.h"
 #include "osint/feed_client.h"
 #include "osint/misp_export.h"
@@ -41,10 +43,13 @@ namespace {
 /// Submits every event to a phase-scoped AttributionService and returns
 /// the resolved responses in submission order. One service per call: by
 /// the time this returns, the queue is drained and the Trail is free to
-/// be mutated again.
+/// be mutated again. Each drained request's end-to-end latency and
+/// outcome are recorded into `slo`, so the SOC's own serving SLO view
+/// accumulates across the monthly sweeps.
 std::vector<trail::serve::ServeResponse> AttributeBatched(
     trail::core::Trail* trail,
-    const std::vector<trail::graph::NodeId>& events) {
+    const std::vector<trail::graph::NodeId>& events,
+    trail::obs::SloTracker* slo) {
   trail::serve::ServeOptions options;
   options.max_batch_size = 64;
   trail::serve::AttributionService service(trail, options);
@@ -56,6 +61,12 @@ std::vector<trail::serve::ServeResponse> AttributeBatched(
   std::vector<trail::serve::ServeResponse> responses;
   responses.reserve(futures.size());
   for (auto& future : futures) responses.push_back(future.get());
+  if (slo != nullptr && service.trace_ring() != nullptr) {
+    for (const trail::obs::RequestTrace& t :
+         service.trace_ring()->Snapshot()) {
+      slo->Record(t.TotalSeconds(), t.status_code == 0);
+    }
+  }
   const auto stats = service.GetStats();
   std::printf("  [serve] %llu requests in %llu batches (max batch %zu)\n",
               static_cast<unsigned long long>(stats.completed),
@@ -111,7 +122,7 @@ int main(int argc, char** argv) {
       probe_events.push_back(events[i]);
     }
     std::vector<serve::ServeResponse> verdicts =
-        AttributeBatched(&trail, probe_events);
+        AttributeBatched(&trail, probe_events, /*slo=*/nullptr);
     ml::Matrix probe(probe_events.size() + 1, trail.apt_names().size());
     std::vector<int> probe_labels;
     size_t row = 0;
@@ -138,6 +149,10 @@ int main(int argc, char** argv) {
   const double kAcceptThreshold = 0.75;
 
   // --- 3. Monthly loop with thresholded verdicts + triage of the rest.
+  // The SOC also watches its own serving SLO: every monthly sweep's
+  // request latencies/outcomes accumulate here (docs/OBSERVABILITY.md,
+  // "The live serving plane").
+  obs::SloTracker serving_slo;
   core::StudyOptions study_options;
   study_options.fine_tune_epochs = 6;
   core::Study study(&trail, study_options);
@@ -154,7 +169,7 @@ int main(int argc, char** argv) {
     // AttributeBatched drains before returning, so the next RunMonth is
     // safe again.
     std::vector<serve::ServeResponse> verdicts =
-        AttributeBatched(&trail, outcome->event_nodes);
+        AttributeBatched(&trail, outcome->event_nodes, &serving_slo);
     int auto_accepted = 0;
     int escalated = 0;
     graph::NodeId triage_example = graph::kInvalidNode;
@@ -216,6 +231,14 @@ int main(int argc, char** argv) {
     std::printf("\nMISP export of %s (first 400 chars):\n%.400s...\n",
                 trail.graph().value(exported).c_str(),
                 misp->Dump(2).c_str());
+  }
+  // The accumulated serving-SLO view over the monthly sweeps.
+  {
+    obs::SlidingWindow::Snapshot window = serving_slo.Window(3600);
+    std::printf("\nserving SLO (1h window): %zu requests, availability "
+                "%.4f, p99 %.1fms, 1h burn rate %.2f\n",
+                static_cast<size_t>(window.total), window.availability,
+                window.p99_s * 1e3, serving_slo.BurnRate(3600));
   }
   obs::PrintPhaseSummary();
   return 0;

@@ -162,6 +162,8 @@ Status Trail::LoadCheckpoint(const std::string& path) {
   }
   models_.store(staged, std::memory_order_release);
   TRAIL_METRIC_INC("core.checkpoints_loaded");
+  TRAIL_METRIC_SET("core.model_generation",
+                   generation_.fetch_add(1, std::memory_order_acq_rel) + 1);
   return Status::Ok();
 }
 
@@ -196,6 +198,8 @@ Status Trail::TrainModels() {
   slot->gnn.Train(ViewOf(*slot), train_labels, builder_.num_apts(),
                   options_.gnn);
   TRAIL_LOG(Info) << "models trained";
+  TRAIL_METRIC_SET("core.model_generation",
+                   generation_.fetch_add(1, std::memory_order_acq_rel) + 1);
   return Status::Ok();
 }
 
@@ -316,9 +320,12 @@ std::vector<Result<Trail::Attribution>> Trail::AttributeBatchWithGnn(
   // Labeled events genuinely see a different context and each get their
   // own pass (one per distinct node; duplicates share).
   std::vector<int> base(g.num_nodes(), -1);
-  if (!hide_neighbor_labels) {
-    for (NodeId v : g.NodesOfType(NodeType::kEvent)) {
-      if (g.label(v) >= 0) base[v] = g.label(v);
+  {
+    TRAIL_TRACE_SPAN("core.batch_label_context");
+    if (!hide_neighbor_labels) {
+      for (NodeId v : g.NodesOfType(NodeType::kEvent)) {
+        if (g.label(v) >= 0) base[v] = g.label(v);
+      }
     }
   }
 
@@ -331,21 +338,29 @@ std::vector<Result<Trail::Attribution>> Trail::AttributeBatchWithGnn(
     }
   }
   ml::Matrix shared_probs;
-  if (need_shared) {
-    TRAIL_METRIC_INC("core.gnn_batch_forwards");
-    shared_probs = slot->gnn.PredictProba(ViewOf(*slot), base);
-  }
-  // Per-event forwards for already-labeled events, deduplicated by node.
   std::map<NodeId, ml::Matrix> labeled_probs;
-  for (NodeId event : events) {
-    if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) continue;
-    if (hide_neighbor_labels || g.label(event) < 0) continue;
-    if (labeled_probs.count(event) > 0) continue;
-    TRAIL_METRIC_INC("core.gnn_batch_forwards");
-    std::vector<int> visible = base;
-    visible[event] = -1;
-    labeled_probs.emplace(event,
-                          slot->gnn.PredictProba(ViewOf(*slot), visible));
+  {
+    // The inference stage proper, separated from the context build above so
+    // a serving trace can tell model time from bookkeeping time (the
+    // "batched -> inferred" stage in /tracez is dominated by this block).
+    TRAIL_TRACE_SPAN("core.batch_forward");
+    if (need_shared) {
+      TRAIL_METRIC_INC("core.gnn_batch_forwards");
+      shared_probs = slot->gnn.PredictProba(ViewOf(*slot), base);
+    }
+    // Per-event forwards for already-labeled events, deduplicated by node.
+    for (NodeId event : events) {
+      if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) {
+        continue;
+      }
+      if (hide_neighbor_labels || g.label(event) < 0) continue;
+      if (labeled_probs.count(event) > 0) continue;
+      TRAIL_METRIC_INC("core.gnn_batch_forwards");
+      std::vector<int> visible = base;
+      visible[event] = -1;
+      labeled_probs.emplace(event,
+                            slot->gnn.PredictProba(ViewOf(*slot), visible));
+    }
   }
 
   for (NodeId event : events) {

@@ -137,6 +137,14 @@ class Trail {
   const gnn::EventGnn& event_gnn() const { return Slot()->gnn; }
   bool models_trained() const { return Slot()->gnn.trained(); }
 
+  /// Monotonic model generation: 0 until the first TrainModels /
+  /// LoadCheckpoint succeeds, then bumped by every successful one. A
+  /// serving deployment surfaces this in /statusz so an operator can
+  /// confirm a hot-swap actually took.
+  uint64_t model_generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
  private:
   /// One generation of the trained models plus the lazily built model view
   /// of the TKG they encode. Attribution readers snapshot the slot pointer
@@ -166,6 +174,7 @@ class Trail {
   TrailOptions options_;
   TkgBuilder builder_;
   std::atomic<std::shared_ptr<ModelSlot>> models_;
+  std::atomic<uint64_t> generation_{0};
 
   mutable std::unique_ptr<graph::CsrGraph> csr_cache_;
 };

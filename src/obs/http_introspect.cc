@@ -1,0 +1,305 @@
+#include "obs/http_introspect.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace trail::obs {
+
+int64_t HttpRequest::QueryInt(const std::string& key, int64_t fallback) const {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.compare(0, eq, key) == 0) {
+      const std::string value = pair.substr(eq + 1);
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end != value.c_str() && *end == '\0') return parsed;
+      return fallback;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
+HttpResponse HttpResponse::Json(const std::string& body) {
+  HttpResponse r;
+  r.body = body;
+  return r;
+}
+
+HttpResponse HttpResponse::Text(const std::string& body) {
+  HttpResponse r;
+  r.content_type = "text/plain; charset=utf-8";
+  r.body = body;
+  return r;
+}
+
+HttpResponse HttpResponse::NotFound(const std::string& what) {
+  HttpResponse r;
+  r.status = 404;
+  r.content_type = "text/plain; charset=utf-8";
+  r.body = "not found: " + what + "\n";
+  return r;
+}
+
+HttpResponse HttpResponse::Unavailable(const std::string& why) {
+  HttpResponse r;
+  r.status = 503;
+  r.content_type = "text/plain; charset=utf-8";
+  r.body = why + "\n";
+  return r;
+}
+
+/// One in-flight scrape connection (same reap discipline as
+/// serve::LineServer::Connection, minus the reply pipeline — HTTP here is
+/// strictly one request, one response, close).
+struct HttpIntrospectServer::Connection {
+  int fd = -1;
+  std::thread worker;
+  std::atomic<bool> finished{false};
+};
+
+HttpIntrospectServer::HttpIntrospectServer() = default;
+
+HttpIntrospectServer::~HttpIntrospectServer() { Stop(); }
+
+void HttpIntrospectServer::Handle(const std::string& path,
+                                  HttpHandler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+std::vector<std::string> HttpIntrospectServer::paths() const {
+  std::vector<std::string> out;
+  out.reserve(handlers_.size());
+  for (const auto& [path, handler] : handlers_) out.push_back(path);
+  return out;
+}
+
+Status HttpIntrospectServer::Start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  TRAIL_LOG(Info) << "introspection endpoints on 127.0.0.1:" << port_;
+  return Status::Ok();
+}
+
+void HttpIntrospectServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed under us
+    }
+    // A stalled scraper must not pin a connection thread forever.
+    timeval timeout{};
+    timeout.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    Connection* raw = conn.get();
+    raw->fd = fd;
+    raw->worker = std::thread([this, raw] { ServeConnection(raw); });
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      connections_.push_back(std::move(conn));
+    }
+    Reap(/*all=*/false);
+  }
+}
+
+namespace {
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// `head` omits the body but keeps Content-Length describing what a GET
+/// would have returned, per the HEAD contract.
+std::string RenderResponse(const HttpResponse& response, bool head) {
+  const char* reason = "OK";
+  switch (response.status) {
+    case 200: reason = "OK"; break;
+    case 400: reason = "Bad Request"; break;
+    case 404: reason = "Not Found"; break;
+    case 405: reason = "Method Not Allowed"; break;
+    case 503: reason = "Service Unavailable"; break;
+    default: reason = "Status"; break;
+  }
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    reason + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (!head) out += response.body;
+  return out;
+}
+
+/// Reads until the end of the request headers ("\r\n\r\n"). GET requests
+/// have no body, so nothing further is consumed. False on EOF/timeout or a
+/// header block past the sanity cap.
+bool ReadHeaders(int fd, std::string* raw) {
+  constexpr size_t kMaxHeaderBytes = 64 * 1024;
+  char buf[4096];
+  while (raw->find("\r\n\r\n") == std::string::npos) {
+    if (raw->size() > kMaxHeaderBytes) return false;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    raw->append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpResponse HttpIntrospectServer::Dispatch(const HttpRequest& request)
+    const {
+  if (request.method != "GET" && request.method != "HEAD") {
+    HttpResponse r;
+    r.status = 405;
+    r.content_type = "text/plain; charset=utf-8";
+    r.body = "only GET is supported\n";
+    return r;
+  }
+  auto it = handlers_.find(request.path);
+  if (it == handlers_.end()) {
+    if (request.path == "/") {
+      std::string index;
+      for (const std::string& path : paths()) index += path + "\n";
+      return HttpResponse::Text(index);
+    }
+    return HttpResponse::NotFound(request.path);
+  }
+  return it->second(request);
+}
+
+void HttpIntrospectServer::ServeConnection(Connection* conn) {
+  std::string raw;
+  HttpResponse response;
+  bool head = false;
+  if (!ReadHeaders(conn->fd, &raw)) {
+    response.status = 400;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "malformed request\n";
+  } else {
+    // Request line: METHOD SP TARGET SP VERSION.
+    const size_t line_end = raw.find("\r\n");
+    const std::string line = raw.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                : line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) {
+      response.status = 400;
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = "malformed request line\n";
+    } else {
+      HttpRequest request;
+      request.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t question = target.find('?');
+      if (question != std::string::npos) {
+        request.query = target.substr(question + 1);
+        target.resize(question);
+      }
+      request.path = std::move(target);
+      head = request.method == "HEAD";
+      response = Dispatch(request);
+    }
+  }
+  SendAll(conn->fd, RenderResponse(response, head));
+  ::shutdown(conn->fd, SHUT_WR);
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void HttpIntrospectServer::Reap(bool all) {
+  std::vector<std::unique_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if (all || (*it)->finished.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::unique_ptr<Connection>& conn : dead) {
+    ::shutdown(conn->fd, SHUT_RDWR);  // unblocks a still-live recv
+    if (conn->worker.joinable()) conn->worker.join();
+    ::close(conn->fd);
+  }
+}
+
+void HttpIntrospectServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  Reap(/*all=*/true);
+}
+
+}  // namespace trail::obs

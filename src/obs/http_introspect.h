@@ -1,0 +1,93 @@
+#ifndef TRAIL_OBS_HTTP_INTROSPECT_H_
+#define TRAIL_OBS_HTTP_INTROSPECT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace trail::obs {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/statusz" (query string stripped)
+  std::string query;   // "limit=32" (no leading '?')
+
+  /// Numeric query parameter, `fallback` when absent or non-numeric.
+  int64_t QueryInt(const std::string& key, int64_t fallback) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse Json(const std::string& body);
+  static HttpResponse Text(const std::string& body);
+  static HttpResponse NotFound(const std::string& what);
+  /// 503 with a plain-text body — the not-ready /readyz shape.
+  static HttpResponse Unavailable(const std::string& why);
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// A minimal dependency-free HTTP/1.1 server for live introspection of a
+/// long-running process: GET-only, exact-path routing, one response per
+/// connection (Connection: close). Built on the same loopback-socket
+/// pattern as serve::LineServer — accept thread plus one short-lived thread
+/// per connection, reaped as they finish — because scrape requests are tiny
+/// and rare compared to serving traffic; this is an admin plane, not a web
+/// server. Handlers run on the connection's thread and must be thread-safe
+/// against each other and against the process they introspect.
+class HttpIntrospectServer {
+ public:
+  HttpIntrospectServer();
+  ~HttpIntrospectServer();
+
+  HttpIntrospectServer(const HttpIntrospectServer&) = delete;
+  HttpIntrospectServer& operator=(const HttpIntrospectServer&) = delete;
+
+  /// Registers `handler` for exact path `path` (e.g. "/metrics"). Must be
+  /// called before Start.
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// starts the accept thread.
+  Status Start(int port);
+
+  /// The bound port (after Start succeeds).
+  int port() const { return port_; }
+
+  /// Registered paths, sorted — the "/" index page body.
+  std::vector<std::string> paths() const;
+
+  /// Stops accepting, unblocks in-flight connections, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+  void Reap(bool all);
+
+  std::map<std::string, HttpHandler> handlers_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;  // guards connections_, stopping_
+  std::vector<std::unique_ptr<Connection>> connections_;
+  bool stopping_ = false;
+};
+
+}  // namespace trail::obs
+
+#endif  // TRAIL_OBS_HTTP_INTROSPECT_H_

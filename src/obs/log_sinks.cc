@@ -1,5 +1,7 @@
 #include "obs/log_sinks.h"
 
+#include <chrono>
+
 #include "util/json.h"
 
 namespace trail::obs {
@@ -46,10 +48,15 @@ void JsonLinesFileSink::Flush() {
 }
 
 void RingBufferSink::Write(const LogRecord& record) {
+  const int64_t wall_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
   std::lock_guard<std::mutex> lock(mu_);
   if (entries_.size() >= capacity_) entries_.pop_front();
   entries_.push_back(Entry{record.level, record.file, record.line,
-                           std::string(record.message)});
+                           std::string(record.message), record.time_us,
+                           wall_us});
 }
 
 std::vector<RingBufferSink::Entry> RingBufferSink::entries() const {
@@ -73,6 +80,28 @@ bool RingBufferSink::Contains(std::string_view substring) const {
 void RingBufferSink::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+}
+
+JsonValue RingBufferSink::ToJson() const {
+  JsonValue out = JsonValue::MakeObject();
+  JsonValue entries = JsonValue::MakeArray();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& entry : entries_) {
+      JsonValue obj = JsonValue::MakeObject();
+      obj.Set("level", JsonValue::MakeString(LogLevelName(entry.level)));
+      obj.Set("file", JsonValue::MakeString(entry.file));
+      obj.Set("line", JsonValue::MakeNumber(entry.line));
+      obj.Set("msg", JsonValue::MakeString(entry.message));
+      obj.Set("ts_us",
+              JsonValue::MakeNumber(static_cast<double>(entry.time_us)));
+      obj.Set("wall_us",
+              JsonValue::MakeNumber(static_cast<double>(entry.wall_us)));
+      entries.Append(std::move(obj));
+    }
+  }
+  out.Set("entries", std::move(entries));
+  return out;
 }
 
 }  // namespace trail::obs

@@ -1,12 +1,14 @@
 #ifndef TRAIL_OBS_LOG_SINKS_H_
 #define TRAIL_OBS_LOG_SINKS_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/status.h"
 
@@ -38,9 +40,13 @@ class JsonLinesFileSink : public LogSink {
   std::FILE* file_ = nullptr;
 };
 
-/// Bounded in-memory sink for tests: keeps the most recent `capacity`
-/// records (formatted copies) so assertions can inspect log output without
-/// scraping stderr.
+/// Bounded in-memory sink: keeps the most recent `capacity` records
+/// (formatted copies) so tests can inspect log output without scraping
+/// stderr, and so a live server can expose its log tail at /logz. Entries
+/// carry both the record's monotonic timestamp (`time_us`, process log
+/// epoch) and a wall clock captured at write time (`wall_us`, Unix epoch
+/// microseconds) — the wall stamp is what lets a /logz line be correlated
+/// with a /tracez request trace or an external log pipeline.
 class RingBufferSink : public LogSink {
  public:
   struct Entry {
@@ -48,6 +54,8 @@ class RingBufferSink : public LogSink {
     std::string file;
     int line;
     std::string message;
+    int64_t time_us = 0;  // monotonic, process log epoch
+    int64_t wall_us = 0;  // wall clock, Unix epoch microseconds
   };
 
   explicit RingBufferSink(size_t capacity = 256) : capacity_(capacity) {}
@@ -59,6 +67,10 @@ class RingBufferSink : public LogSink {
   /// True when any buffered message contains `substring`.
   bool Contains(std::string_view substring) const;
   void Clear();
+
+  /// {"entries": [{"level","file","line","msg","ts_us","wall_us"}...]},
+  /// oldest first — the /logz body.
+  JsonValue ToJson() const;
 
  private:
   mutable std::mutex mu_;

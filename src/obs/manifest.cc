@@ -1,5 +1,7 @@
 #include "obs/manifest.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
@@ -118,6 +120,63 @@ std::string FlagOrEnv(int argc, char** argv, std::string_view flag,
 }
 
 }  // namespace
+
+PeriodicMetricsFlusher::PeriodicMetricsFlusher(
+    std::string path, double interval_s, std::function<void()> pre_flush)
+    : path_(std::move(path)),
+      interval_s_(interval_s),
+      pre_flush_(std::move(pre_flush)) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicMetricsFlusher::~PeriodicMetricsFlusher() { Stop(); }
+
+void PeriodicMetricsFlusher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  FlushOnce();  // the final dump reflects everything up to Stop
+}
+
+void PeriodicMetricsFlusher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval = std::chrono::duration<double>(
+      interval_s_ > 0.0 ? interval_s_ : 1.0);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    FlushOnce();
+    lock.lock();
+  }
+}
+
+void PeriodicMetricsFlusher::FlushOnce() {
+  if (pre_flush_) pre_flush_();
+  Status st = WriteAtomic(path_);
+  if (!st.ok()) {
+    TRAIL_LOG(Warning) << "periodic metrics flush failed: " << st;
+    return;
+  }
+  flushes_.fetch_add(1);
+}
+
+Status PeriodicMetricsFlusher::WriteAtomic(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp);
+    if (!file) return Status::IoError("cannot write " + tmp);
+    file << MetricsRegistry::Global().ToPrometheusText();
+    if (!file.good()) return Status::IoError("metrics write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename to " + path + " failed");
+  }
+  return Status::Ok();
+}
 
 RunContext::RunContext(std::string tool, int argc, char** argv)
     : manifest_(std::move(tool)) {

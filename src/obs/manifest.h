@@ -1,8 +1,13 @@
 #ifndef TRAIL_OBS_MANIFEST_H_
 #define TRAIL_OBS_MANIFEST_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/log_sinks.h"
@@ -47,6 +52,47 @@ class RunManifest {
   JsonValue options_ = JsonValue::MakeObject();
   std::string trace_file_;
   int exit_code_ = 0;
+};
+
+/// Fixes the exit-only metrics gap for long-running servers: a background
+/// thread rewrites `path` with the registry's Prometheus text every
+/// `interval_s` seconds (and once more on Stop), via write-to-temp +
+/// atomic rename so a concurrent scraper of the file never sees a torn or
+/// half-written dump. Independent of the HTTP introspection endpoint — this
+/// is the file-based path for hosts where only a node-exporter-style
+/// textfile collector is available.
+class PeriodicMetricsFlusher {
+ public:
+  /// `pre_flush` (optional) runs before every dump — e.g. refreshing the
+  /// serve.slo.* gauges so the file carries current window values.
+  PeriodicMetricsFlusher(std::string path, double interval_s,
+                         std::function<void()> pre_flush = nullptr);
+  ~PeriodicMetricsFlusher();
+
+  /// Flushes once more and joins the thread. Idempotent.
+  void Stop();
+
+  /// Dumps the registry to `path` via temp-file + rename. Also usable
+  /// standalone for one-shot atomic dumps.
+  static Status WriteAtomic(const std::string& path);
+
+  int64_t flushes() const { return flushes_.load(); }
+
+  PeriodicMetricsFlusher(const PeriodicMetricsFlusher&) = delete;
+  PeriodicMetricsFlusher& operator=(const PeriodicMetricsFlusher&) = delete;
+
+ private:
+  void Loop();
+  void FlushOnce();
+
+  std::string path_;
+  double interval_s_;
+  std::function<void()> pre_flush_;
+  std::atomic<int64_t> flushes_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
 };
 
 /// Program-scope observability harness for tools, examples, and benches.

@@ -1,0 +1,142 @@
+#include "obs/request_trace.h"
+
+#include <algorithm>
+
+namespace trail::obs {
+
+JsonValue RequestTrace::ToJson() const {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("trace_id", JsonValue::MakeNumber(static_cast<double>(trace_id)));
+  out.Set("batch_id", JsonValue::MakeNumber(static_cast<double>(batch_id)));
+  out.Set("batch_size",
+          JsonValue::MakeNumber(static_cast<double>(batch_size)));
+  out.Set("status_code",
+          JsonValue::MakeNumber(static_cast<double>(status_code)));
+  out.Set("queued_us", JsonValue::MakeNumber(static_cast<double>(queued_us)));
+  out.Set("admitted_us",
+          JsonValue::MakeNumber(static_cast<double>(admitted_us)));
+  out.Set("batched_us",
+          JsonValue::MakeNumber(static_cast<double>(batched_us)));
+  out.Set("inferred_us",
+          JsonValue::MakeNumber(static_cast<double>(inferred_us)));
+  out.Set("replied_us",
+          JsonValue::MakeNumber(static_cast<double>(replied_us)));
+  out.Set("wall_queued_us",
+          JsonValue::MakeNumber(static_cast<double>(wall_queued_us)));
+  out.Set("total_ms", JsonValue::MakeNumber(TotalSeconds() * 1e3));
+  return out;
+}
+
+RequestTraceRing::RequestTraceRing(size_t capacity) {
+  size_t rounded = 2;
+  while (rounded < capacity) rounded <<= 1;
+  slots_ = std::vector<Slot>(rounded);
+  mask_ = rounded - 1;
+  exemplars_.reserve(kNumExemplars);
+}
+
+void RequestTraceRing::Publish(const RequestTrace& trace) {
+  Slot& slot = slots_[next_.fetch_add(1, std::memory_order_relaxed) & mask_];
+  // Claim the slot: even -> odd. A failed claim means another publisher
+  // lapped the ring into this very slot mid-write; losing one sample beats
+  // spinning on the serving hot path.
+  uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  if ((seq & 1) != 0 ||
+      !slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acq_rel)) {
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.trace_id.store(trace.trace_id, std::memory_order_relaxed);
+  slot.batch_id.store(trace.batch_id, std::memory_order_relaxed);
+  slot.batch_size.store(trace.batch_size, std::memory_order_relaxed);
+  slot.status_code.store(trace.status_code, std::memory_order_relaxed);
+  slot.queued_us.store(trace.queued_us, std::memory_order_relaxed);
+  slot.admitted_us.store(trace.admitted_us, std::memory_order_relaxed);
+  slot.batched_us.store(trace.batched_us, std::memory_order_relaxed);
+  slot.inferred_us.store(trace.inferred_us, std::memory_order_relaxed);
+  slot.replied_us.store(trace.replied_us, std::memory_order_relaxed);
+  slot.wall_queued_us.store(trace.wall_queued_us, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
+
+  // Tail-latency exemplars: fast requests bail on one relaxed load.
+  const int64_t total_us = trace.replied_us - trace.queued_us;
+  if (total_us < exemplar_floor_us_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (exemplars_.size() >= kNumExemplars &&
+      total_us <= exemplars_.back().replied_us - exemplars_.back().queued_us) {
+    return;  // floor raced ahead; still not slow enough
+  }
+  exemplars_.push_back(trace);
+  std::sort(exemplars_.begin(), exemplars_.end(),
+            [](const RequestTrace& a, const RequestTrace& b) {
+              return a.replied_us - a.queued_us > b.replied_us - b.queued_us;
+            });
+  if (exemplars_.size() > kNumExemplars) exemplars_.resize(kNumExemplars);
+  if (exemplars_.size() == kNumExemplars) {
+    exemplar_floor_us_.store(
+        exemplars_.back().replied_us - exemplars_.back().queued_us,
+        std::memory_order_relaxed);
+  }
+}
+
+bool RequestTraceRing::ReadSlot(const Slot& slot, RequestTrace* out) {
+  const uint64_t before = slot.seq.load(std::memory_order_acquire);
+  if (before == 0 || (before & 1) != 0) return false;
+  out->trace_id = slot.trace_id.load(std::memory_order_relaxed);
+  out->batch_id = slot.batch_id.load(std::memory_order_relaxed);
+  out->batch_size = slot.batch_size.load(std::memory_order_relaxed);
+  out->status_code = slot.status_code.load(std::memory_order_relaxed);
+  out->queued_us = slot.queued_us.load(std::memory_order_relaxed);
+  out->admitted_us = slot.admitted_us.load(std::memory_order_relaxed);
+  out->batched_us = slot.batched_us.load(std::memory_order_relaxed);
+  out->inferred_us = slot.inferred_us.load(std::memory_order_relaxed);
+  out->replied_us = slot.replied_us.load(std::memory_order_relaxed);
+  out->wall_queued_us = slot.wall_queued_us.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return slot.seq.load(std::memory_order_relaxed) == before;
+}
+
+std::vector<RequestTrace> RequestTraceRing::Snapshot(size_t limit) const {
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  const uint64_t span =
+      std::min<uint64_t>(end, static_cast<uint64_t>(slots_.size()));
+  std::vector<RequestTrace> out;
+  out.reserve(limit > 0 ? std::min<uint64_t>(span, limit) : span);
+  for (uint64_t back = 1; back <= span; ++back) {
+    if (limit > 0 && out.size() >= limit) break;
+    RequestTrace trace;
+    if (ReadSlot(slots_[(end - back) & mask_], &trace)) {
+      out.push_back(trace);
+    }
+  }
+  return out;
+}
+
+std::vector<RequestTrace> RequestTraceRing::SlowestExemplars() const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return exemplars_;
+}
+
+JsonValue RequestTraceRing::ToJson(size_t limit) const {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("published",
+          JsonValue::MakeNumber(static_cast<double>(published())));
+  out.Set("capacity",
+          JsonValue::MakeNumber(static_cast<double>(capacity())));
+  out.Set("contended",
+          JsonValue::MakeNumber(static_cast<double>(contended())));
+  JsonValue traces = JsonValue::MakeArray();
+  for (const RequestTrace& trace : Snapshot(limit)) {
+    traces.Append(trace.ToJson());
+  }
+  out.Set("traces", std::move(traces));
+  JsonValue slowest = JsonValue::MakeArray();
+  for (const RequestTrace& trace : SlowestExemplars()) {
+    slowest.Append(trace.ToJson());
+  }
+  out.Set("slowest", std::move(slowest));
+  return out;
+}
+
+}  // namespace trail::obs

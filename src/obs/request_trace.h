@@ -1,0 +1,125 @@
+#ifndef TRAIL_OBS_REQUEST_TRACE_H_
+#define TRAIL_OBS_REQUEST_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/json.h"
+
+namespace trail::obs {
+
+/// One served request's life, as five stage timestamps on the process trace
+/// clock (TraceRecorder::NowMicros — the same epoch --trace-out spans use,
+/// so a /tracez entry lines up with a Chrome trace of the same run):
+///
+///   queued   — submission arrived (before admission control)
+///   admitted — passed the bounded admission queue (0 when shed)
+///   batched  — the micro-batch containing it was formed
+///   inferred — the shared GNN forward for that batch finished (0 when the
+///              request was answered before inference: shed, expired,
+///              parse/lookup failures)
+///   replied  — the response was resolved to the caller
+///
+/// `wall_queued_us` is the wall clock (Unix epoch microseconds) at the
+/// queued stage, the bridge for correlating /tracez with /logz and external
+/// systems. `batch_id`/`batch_size` link a slow request to the exact batch
+/// that served it (0 when it never reached one).
+struct RequestTrace {
+  uint64_t trace_id = 0;
+  uint64_t batch_id = 0;
+  uint32_t batch_size = 0;
+  /// util StatusCode as int; 0 == ok.
+  int32_t status_code = 0;
+  int64_t queued_us = 0;
+  int64_t admitted_us = 0;
+  int64_t batched_us = 0;
+  int64_t inferred_us = 0;
+  int64_t replied_us = 0;
+  int64_t wall_queued_us = 0;
+
+  /// End-to-end latency (replied - queued), in seconds.
+  double TotalSeconds() const {
+    return static_cast<double>(replied_us - queued_us) * 1e-6;
+  }
+  JsonValue ToJson() const;
+};
+
+/// Bounded ring of the most recent completed request traces, plus a small
+/// set of slowest-request exemplars. Publication is lock-free: the writer
+/// claims a slot with one fetch_add and guards it with a per-slot seqlock
+/// (odd = write in progress), every payload field a relaxed atomic — so the
+/// serving hot path never takes a lock and a concurrent /tracez scrape
+/// never blocks it. Readers that catch a slot mid-write skip it (the
+/// snapshot is a sample, not an audit log). The exemplar table is updated
+/// under a mutex, but only after a relaxed threshold check that makes the
+/// common (fast-request) case one atomic load.
+class RequestTraceRing {
+ public:
+  static constexpr size_t kNumExemplars = 8;
+
+  /// `capacity` is rounded up to a power of two; minimum 2.
+  explicit RequestTraceRing(size_t capacity = 2048);
+
+  /// Publishes a completed trace. Thread-safe, lock-free on the ring path.
+  void Publish(const RequestTrace& trace);
+
+  /// Most recent traces, newest first, at most `limit` (0 = all readable).
+  /// Slots being concurrently rewritten are skipped.
+  std::vector<RequestTrace> Snapshot(size_t limit = 0) const;
+
+  /// The slowest completed requests seen so far, slowest first.
+  std::vector<RequestTrace> SlowestExemplars() const;
+
+  size_t capacity() const { return slots_.size(); }
+  /// Total traces ever published (ring overwrites are not drops).
+  uint64_t published() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// Traces skipped because their slot was contended mid-wrap.
+  uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+
+  /// {"published": N, "traces": [...], "slowest": [...]} — the /tracez body.
+  JsonValue ToJson(size_t limit = 256) const;
+
+ private:
+  /// Seqlock-guarded slot. Payload fields are relaxed atomics (not a plain
+  /// struct) so concurrent read/write is defined behavior; the seq check
+  /// gives the consistency.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // even = stable, odd = being written
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> batch_id{0};
+    std::atomic<uint32_t> batch_size{0};
+    std::atomic<int32_t> status_code{0};
+    std::atomic<int64_t> queued_us{0};
+    std::atomic<int64_t> admitted_us{0};
+    std::atomic<int64_t> batched_us{0};
+    std::atomic<int64_t> inferred_us{0};
+    std::atomic<int64_t> replied_us{0};
+    std::atomic<int64_t> wall_queued_us{0};
+  };
+
+  /// Reads `slot` into `out` iff a consistent (even, unchanged) seq pair
+  /// brackets the field reads.
+  static bool ReadSlot(const Slot& slot, RequestTrace* out);
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> contended_{0};
+
+  /// Fast-path filter for the exemplar table: publishes below this total
+  /// latency (microseconds) skip the mutex entirely.
+  std::atomic<int64_t> exemplar_floor_us_{0};
+  mutable std::mutex exemplar_mu_;
+  std::vector<RequestTrace> exemplars_;  // sorted slowest first
+};
+
+}  // namespace trail::obs
+
+#endif  // TRAIL_OBS_REQUEST_TRACE_H_

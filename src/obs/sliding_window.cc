@@ -1,0 +1,144 @@
+#include "obs/sliding_window.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace trail::obs {
+
+void SlidingWindow::Record(int64_t now_s, double latency_s, bool ok,
+                           bool within_slo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = buckets_[static_cast<size_t>(
+      ((now_s % kNumBuckets) + kNumBuckets) % kNumBuckets)];
+  if (bucket.second != now_s) {
+    // Stale bucket from >= kNumBuckets seconds ago: restamp and zero.
+    bucket.second = now_s;
+    bucket.total = 0;
+    bucket.errors = 0;
+    bucket.slo_misses = 0;
+    bucket.latency.fill(0);
+  }
+  ++bucket.total;
+  if (!ok) {
+    ++bucket.errors;
+  } else if (!within_slo) {
+    ++bucket.slo_misses;
+  }
+  int idx = Histogram::BucketIndex(latency_s);
+  idx = std::min(idx, kLatencyBuckets - 1);
+  ++bucket.latency[static_cast<size_t>(idx)];
+}
+
+SlidingWindow::Snapshot SlidingWindow::Over(int64_t now_s,
+                                            int window_s) const {
+  window_s = std::clamp(window_s, 1, kNumBuckets);
+  Snapshot snap;
+  std::array<int64_t, kLatencyBuckets> latency{};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int back = 0; back < window_s; ++back) {
+      const int64_t second = now_s - back;
+      if (second < 0) break;
+      const Bucket& bucket = buckets_[static_cast<size_t>(
+          second % kNumBuckets)];
+      if (bucket.second != second) continue;  // idle or stale second
+      snap.total += bucket.total;
+      snap.errors += bucket.errors;
+      snap.slo_misses += bucket.slo_misses;
+      for (int i = 0; i < kLatencyBuckets; ++i) {
+        latency[static_cast<size_t>(i)] +=
+            bucket.latency[static_cast<size_t>(i)];
+      }
+    }
+  }
+  if (snap.total == 0) return snap;
+  snap.availability = 1.0 - static_cast<double>(snap.errors) /
+                                static_cast<double>(snap.total);
+  snap.bad_fraction = static_cast<double>(snap.errors + snap.slo_misses) /
+                      static_cast<double>(snap.total);
+  // Same bound approximation as Histogram::Quantile: the upper bound of the
+  // bucket where the cumulative count crosses the rank.
+  auto quantile = [&](double q) {
+    const int64_t rank = static_cast<int64_t>(
+        q * static_cast<double>(snap.total) + 0.5);
+    int64_t cumulative = 0;
+    for (int i = 0; i < kLatencyBuckets; ++i) {
+      cumulative += latency[static_cast<size_t>(i)];
+      if (cumulative >= rank && cumulative > 0) {
+        return Histogram::BucketBound(i);
+      }
+    }
+    return Histogram::BucketBound(kLatencyBuckets - 1);
+  };
+  snap.p50_s = quantile(0.50);
+  snap.p95_s = quantile(0.95);
+  snap.p99_s = quantile(0.99);
+  return snap;
+}
+
+double SloTracker::BurnRateAt(int64_t now_s, int window_s) const {
+  const SlidingWindow::Snapshot snap = window_.Over(now_s, window_s);
+  const double budget = 1.0 - options_.objective;
+  if (budget <= 0.0) return snap.bad_fraction > 0.0 ? 1e9 : 0.0;
+  return snap.bad_fraction / budget;
+}
+
+namespace {
+
+JsonValue SnapshotToJson(const SlidingWindow::Snapshot& snap) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("total", JsonValue::MakeNumber(static_cast<double>(snap.total)));
+  out.Set("errors", JsonValue::MakeNumber(static_cast<double>(snap.errors)));
+  out.Set("slo_misses",
+          JsonValue::MakeNumber(static_cast<double>(snap.slo_misses)));
+  out.Set("availability", JsonValue::MakeNumber(snap.availability));
+  out.Set("p50_ms", JsonValue::MakeNumber(snap.p50_s * 1e3));
+  out.Set("p95_ms", JsonValue::MakeNumber(snap.p95_s * 1e3));
+  out.Set("p99_ms", JsonValue::MakeNumber(snap.p99_s * 1e3));
+  return out;
+}
+
+}  // namespace
+
+JsonValue SloTracker::ToJson() const {
+  const int64_t now_s = NowSeconds();
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("latency_slo_ms", JsonValue::MakeNumber(options_.latency_ms));
+  out.Set("objective", JsonValue::MakeNumber(options_.objective));
+  JsonValue windows = JsonValue::MakeObject();
+  windows.Set("1m", SnapshotToJson(window_.Over(now_s, 60)));
+  windows.Set("5m", SnapshotToJson(window_.Over(now_s, 300)));
+  windows.Set("1h", SnapshotToJson(window_.Over(now_s, 3600)));
+  out.Set("windows", std::move(windows));
+  JsonValue burn = JsonValue::MakeObject();
+  burn.Set("5m", JsonValue::MakeNumber(BurnRateAt(now_s, 300)));
+  burn.Set("1h", JsonValue::MakeNumber(BurnRateAt(now_s, 3600)));
+  out.Set("burn_rate", std::move(burn));
+  return out;
+}
+
+void SloTracker::PublishGauges() const {
+  const int64_t now_s = NowSeconds();
+  const SlidingWindow::Snapshot m1 = window_.Over(now_s, 60);
+  const SlidingWindow::Snapshot m5 = window_.Over(now_s, 300);
+  const SlidingWindow::Snapshot h1 = window_.Over(now_s, 3600);
+  TRAIL_METRIC_SET("serve.slo.availability_1m", m1.availability);
+  TRAIL_METRIC_SET("serve.slo.availability_5m", m5.availability);
+  TRAIL_METRIC_SET("serve.slo.availability_1h", h1.availability);
+  TRAIL_METRIC_SET("serve.slo.p50_ms_1m", m1.p50_s * 1e3);
+  TRAIL_METRIC_SET("serve.slo.p95_ms_1m", m1.p95_s * 1e3);
+  TRAIL_METRIC_SET("serve.slo.p99_ms_1m", m1.p99_s * 1e3);
+  TRAIL_METRIC_SET("serve.slo.burn_rate_5m", BurnRateAt(now_s, 300));
+  TRAIL_METRIC_SET("serve.slo.burn_rate_1h", BurnRateAt(now_s, 3600));
+  TRAIL_METRIC_SET("serve.slo.latency_target_ms", options_.latency_ms);
+  TRAIL_METRIC_SET("serve.slo.objective", options_.objective);
+}
+
+int64_t SloTracker::NowSeconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+}  // namespace trail::obs

@@ -1,0 +1,133 @@
+#ifndef TRAIL_OBS_SLIDING_WINDOW_H_
+#define TRAIL_OBS_SLIDING_WINDOW_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace trail::obs {
+
+/// Rolling request accounting for a live server: one-second buckets in a
+/// fixed circular array, aggregated on demand into 1m/5m/1h views. A bucket
+/// holds a request count, an error count, an SLO-miss count (ok but slower
+/// than the configured latency objective), and a compact geometric latency
+/// histogram reusing Histogram's bucket math — so window percentiles come
+/// out of the same bound approximation as the process-lifetime histograms.
+///
+/// Rotation is stamp-based instead of cursor-based: every bucket remembers
+/// the absolute second it was last written for, and both Record and
+/// aggregation ignore buckets whose stamp does not match the second they
+/// would represent. Seconds that saw no traffic therefore cost nothing to
+/// skip, and a burst after an idle hour cannot double-count stale buckets.
+///
+/// All methods take the current time explicitly (seconds on the caller's
+/// monotonic clock) so window rotation and burn-rate math are unit-testable
+/// without sleeping; SloTracker below layers the real clock on top.
+class SlidingWindow {
+ public:
+  /// One hour of one-second buckets — the largest aggregation window.
+  static constexpr int kNumBuckets = 3600;
+  /// Latency resolution: Histogram's first 48 geometric buckets span 1ns to
+  /// ~280s, far beyond any serving latency this system produces.
+  static constexpr int kLatencyBuckets = 48;
+
+  struct Snapshot {
+    int64_t total = 0;
+    int64_t errors = 0;      // !ok outcomes (shed, expired, failed)
+    int64_t slo_misses = 0;  // ok but over the latency objective
+    /// 1.0 when the window saw no traffic (no data is not an outage).
+    double availability = 1.0;
+    /// errors + slo_misses over total (the "bad event" fraction burn rates
+    /// are computed from); 0.0 on an empty window.
+    double bad_fraction = 0.0;
+    double p50_s = 0.0, p95_s = 0.0, p99_s = 0.0;
+  };
+
+  /// Records one finished request into the bucket for `now_s`.
+  void Record(int64_t now_s, double latency_s, bool ok, bool within_slo);
+
+  /// Aggregates the `window_s` seconds ending at `now_s` (inclusive).
+  /// `window_s` is clamped to kNumBuckets.
+  Snapshot Over(int64_t now_s, int window_s) const;
+
+ private:
+  struct Bucket {
+    int64_t second = -1;  // absolute second this bucket currently holds
+    int64_t total = 0;
+    int64_t errors = 0;
+    int64_t slo_misses = 0;
+    std::array<int32_t, kLatencyBuckets> latency{};
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Bucket> buckets_{static_cast<size_t>(kNumBuckets)};
+};
+
+struct SloOptions {
+  /// Latency objective: an ok reply slower than this is an SLO miss.
+  double latency_ms = 250.0;
+  /// Availability/latency objective the error budget is measured against,
+  /// e.g. 0.999 = "99.9% of requests succeed within latency_ms".
+  double objective = 0.999;
+};
+
+/// The serving SLO view over a SlidingWindow: availability and latency
+/// percentiles per window, plus multi-window burn rates — the rate at which
+/// the error budget (1 - objective) is being consumed. Burn rate 1.0 means
+/// "spending the budget exactly as fast as the objective allows"; the
+/// classic page-worthy signal is a high burn on a short AND a long window
+/// simultaneously (fast burn that is not just one bad second).
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions options = {}) : options_(options) {}
+
+  const SloOptions& options() const { return options_; }
+
+  /// Records a finished request at the tracker's own monotonic clock.
+  void Record(double latency_s, bool ok) {
+    RecordAt(NowSeconds(), latency_s, ok);
+  }
+  /// Deterministic-time variant for tests.
+  void RecordAt(int64_t now_s, double latency_s, bool ok) {
+    window_.Record(now_s, latency_s, ok,
+                   latency_s * 1e3 <= options_.latency_ms);
+  }
+
+  SlidingWindow::Snapshot Window(int window_s) const {
+    return WindowAt(NowSeconds(), window_s);
+  }
+  SlidingWindow::Snapshot WindowAt(int64_t now_s, int window_s) const {
+    return window_.Over(now_s, window_s);
+  }
+
+  /// bad_fraction / (1 - objective) over the window; 0.0 on empty windows.
+  double BurnRate(int window_s) const {
+    return BurnRateAt(NowSeconds(), window_s);
+  }
+  double BurnRateAt(int64_t now_s, int window_s) const;
+
+  /// {"latency_slo_ms", "objective", "windows": {"1m": {...}, ...},
+  ///  "burn_rate": {"5m": x, "1h": y}} — the /statusz "slo" section.
+  JsonValue ToJson() const;
+
+  /// Publishes the serve.slo.* gauges (availability/p50/p95/p99 per window,
+  /// burn rates, and the configured objective) into the global registry so
+  /// /metrics scrapes and periodic Prometheus flushes see fresh values.
+  void PublishGauges() const;
+
+  /// Seconds on the process monotonic clock (steady_clock based).
+  static int64_t NowSeconds();
+
+ private:
+  SloOptions options_;
+  SlidingWindow window_;
+};
+
+}  // namespace trail::obs
+
+#endif  // TRAIL_OBS_SLIDING_WINDOW_H_

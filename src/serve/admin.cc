@@ -1,0 +1,85 @@
+#include "serve/admin.h"
+
+#include <thread>
+
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace trail::serve {
+
+using obs::HttpRequest;
+using obs::HttpResponse;
+
+AdminPlane::AdminPlane(AttributionService* service,
+                       const obs::RingBufferSink* log_ring)
+    : service_(service),
+      log_ring_(log_ring),
+      started_us_(obs::TraceRecorder::NowMicros()) {
+  http_.Handle("/metrics", [this](const HttpRequest&) {
+    // Refresh the SLO gauges so every scrape carries current windows, not
+    // whatever the last request happened to leave behind.
+    service_->UpdateSloGauges();
+    HttpResponse response =
+        HttpResponse::Text(obs::MetricsRegistry::Global().ToPrometheusText());
+    response.content_type = "text/plain; version=0.0.4";
+    return response;
+  });
+
+  http_.Handle("/healthz", [](const HttpRequest&) {
+    return HttpResponse::Text("ok\n");
+  });
+
+  http_.Handle("/readyz", [this](const HttpRequest&) {
+    if (service_->Ready()) return HttpResponse::Text("ready\n");
+    return HttpResponse::Unavailable("not ready\n");
+  });
+
+  http_.Handle("/statusz", [this](const HttpRequest&) {
+    JsonValue out = JsonValue::MakeObject();
+    const obs::BuildInfo& build = obs::GetBuildInfo();
+    JsonValue build_json = JsonValue::MakeObject();
+    build_json.Set("git_describe", JsonValue::MakeString(build.git_describe));
+    build_json.Set("build_type", JsonValue::MakeString(build.build_type));
+    build_json.Set("compiler", JsonValue::MakeString(build.compiler));
+    out.Set("build", std::move(build_json));
+    out.Set("uptime_s",
+            JsonValue::MakeNumber(
+                static_cast<double>(obs::TraceRecorder::NowMicros() -
+                                    started_us_) *
+                1e-6));
+    out.Set("hardware_threads",
+            JsonValue::MakeNumber(
+                static_cast<double>(std::thread::hardware_concurrency())));
+    out.Set("service", service_->StatusJson());
+    return HttpResponse::Json(out.Dump());
+  });
+
+  http_.Handle("/tracez", [this](const HttpRequest& request) {
+    const obs::RequestTraceRing* ring = service_->trace_ring();
+    if (ring == nullptr) {
+      JsonValue out = JsonValue::MakeObject();
+      out.Set("enabled", JsonValue::MakeBool(false));
+      out.Set("traces", JsonValue::MakeArray());
+      return HttpResponse::Json(out.Dump());
+    }
+    const int64_t limit = request.QueryInt("limit", 256);
+    return HttpResponse::Json(
+        ring->ToJson(static_cast<size_t>(limit < 0 ? 0 : limit)).Dump());
+  });
+
+  http_.Handle("/logz", [this](const HttpRequest&) {
+    if (log_ring_ == nullptr) {
+      JsonValue out = JsonValue::MakeObject();
+      out.Set("enabled", JsonValue::MakeBool(false));
+      out.Set("entries", JsonValue::MakeArray());
+      return HttpResponse::Json(out.Dump());
+    }
+    return HttpResponse::Json(log_ring_->ToJson().Dump());
+  });
+}
+
+Status AdminPlane::Start(int port) { return http_.Start(port); }
+
+}  // namespace trail::serve

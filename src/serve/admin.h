@@ -1,0 +1,53 @@
+#ifndef TRAIL_SERVE_ADMIN_H_
+#define TRAIL_SERVE_ADMIN_H_
+
+#include <memory>
+#include <string>
+
+#include "obs/http_introspect.h"
+#include "obs/log_sinks.h"
+#include "serve/attribution_service.h"
+
+namespace trail::serve {
+
+/// The serving admin plane: wires an AttributionService (and optionally the
+/// process log ring) into an obs::HttpIntrospectServer. Endpoints
+/// (docs/OBSERVABILITY.md has the full reference):
+///
+///   /metrics   live Prometheus text (serve.slo.* gauges refreshed per
+///              scrape)
+///   /healthz   liveness — 200 "ok" whenever the process answers
+///   /readyz    readiness — 503 while not started / stopping / a hot-swap
+///              is staging its new model slot
+///   /statusz   JSON: build info, uptime, model generation, queue depth,
+///              serving stats, SLO windows and burn rates
+///   /tracez    JSON: the recent-request trace ring, newest first, plus the
+///              slowest-request exemplars (?limit=N caps the list)
+///   /logz      JSON: the in-memory log tail (?limit=N caps the list)
+///
+/// The HTTP server itself lives in obs and knows nothing about serving;
+/// this class is the only place the two meet.
+class AdminPlane {
+ public:
+  /// `log_ring` may be null; /logz then reports an empty tail with
+  /// "enabled": false.
+  AdminPlane(AttributionService* service, const obs::RingBufferSink* log_ring);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()).
+  Status Start(int port);
+  int port() const { return http_.port(); }
+  void Stop() { http_.Stop(); }
+
+  obs::HttpIntrospectServer& http() { return http_; }
+
+ private:
+  AttributionService* service_;
+  const obs::RingBufferSink* log_ring_;
+  /// Process trace epoch at construction — /statusz uptime.
+  int64_t started_us_ = 0;
+  obs::HttpIntrospectServer http_;
+};
+
+}  // namespace trail::serve
+
+#endif  // TRAIL_SERVE_ADMIN_H_

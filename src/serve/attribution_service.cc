@@ -22,8 +22,12 @@ double Seconds(Clock::duration d) {
 
 AttributionService::AttributionService(core::Trail* trail,
                                        ServeOptions options)
-    : trail_(trail), options_(options) {
+    : trail_(trail), options_(options), slo_(options.slo) {
   TRAIL_CHECK(trail_ != nullptr);
+  if (options_.trace_ring_capacity > 0) {
+    trace_ring_ = std::make_unique<obs::RequestTraceRing>(
+        options_.trace_ring_capacity);
+  }
   if (options_.auto_start) Start();
 }
 
@@ -56,14 +60,42 @@ void AttributionService::Shutdown() {
   for (Request& request : leftover) {
     ServeResponse response;
     response.status = Status::Overloaded("service shut down before serving");
-    request.promise.set_value(std::move(response));
+    Resolve(&request, std::move(response));
   }
+}
+
+void AttributionService::Resolve(Request* request, ServeResponse response) {
+  response.trace_id = request->trace_id;
+  const int64_t replied_us = obs::TraceRecorder::NowMicros();
+  if (trace_ring_ != nullptr) {
+    obs::RequestTrace trace;
+    trace.trace_id = request->trace_id;
+    trace.batch_id = request->batch_id;
+    trace.batch_size = static_cast<uint32_t>(response.batch_size);
+    trace.status_code = static_cast<int32_t>(response.status.code());
+    trace.queued_us = request->queued_us;
+    trace.admitted_us = request->admitted_us;
+    trace.batched_us = request->batched_us;
+    trace.inferred_us = request->inferred_us;
+    trace.replied_us = replied_us;
+    trace.wall_queued_us = request->wall_queued_us;
+    trace_ring_->Publish(trace);
+  }
+  slo_.Record(static_cast<double>(replied_us - request->queued_us) * 1e-6,
+              response.status.ok());
+  request->promise.set_value(std::move(response));
 }
 
 std::future<ServeResponse> AttributionService::Submit(Request request,
                                                       int64_t deadline_ms) {
   TRAIL_METRIC_INC("serve.requests");
   request.submitted_at = Clock::now();
+  request.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  request.queued_us = obs::TraceRecorder::NowMicros();
+  request.wall_queued_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
   if (deadline_ms < 0) deadline_ms = options_.default_deadline_ms;
   if (deadline_ms > 0) {
     request.has_deadline = true;
@@ -77,6 +109,7 @@ std::future<ServeResponse> AttributionService::Submit(Request request,
     if (stopping_ || queue_.size() >= options_.queue_depth) {
       shed = true;
     } else {
+      request.admitted_us = obs::TraceRecorder::NowMicros();
       queue_.push_back(std::move(request));
       TRAIL_METRIC_SET("serve.queue_depth", queue_.size());
     }
@@ -91,7 +124,7 @@ std::future<ServeResponse> AttributionService::Submit(Request request,
     response.status = Status::Overloaded(
         "admission queue full (depth " +
         std::to_string(options_.queue_depth) + "); request shed");
-    request.promise.set_value(std::move(response));
+    Resolve(&request, std::move(response));
     return future;
   }
   {
@@ -168,7 +201,7 @@ void AttributionService::IngestBatchReports(std::vector<Request>* batch,
     if (!parsed.ok()) {
       ServeResponse response;
       response.status = parsed.status();
-      request.promise.set_value(std::move(response));
+      Resolve(&request, std::move(response));
       (*done)[i] = true;
       continue;
     }
@@ -183,7 +216,7 @@ void AttributionService::IngestBatchReports(std::vector<Request>* batch,
     for (size_t i : report_requests) {
       ServeResponse response;
       response.status = delta.status();
-      (*batch)[i].promise.set_value(std::move(response));
+      Resolve(&(*batch)[i], std::move(response));
       (*done)[i] = true;
     }
     return;
@@ -201,7 +234,7 @@ void AttributionService::IngestBatchReports(std::vector<Request>* batch,
       response.status =
           Status::NotFound("report ingested but its event was not found: " +
                            reports[r].id);
-      (*batch)[i].promise.set_value(std::move(response));
+      Resolve(&(*batch)[i], std::move(response));
       (*done)[i] = true;
     } else {
       (*batch)[i].event = event;
@@ -214,6 +247,13 @@ void AttributionService::RunBatch(std::vector<Request> batch) {
   TRAIL_METRIC_INC("serve.batches");
   TRAIL_METRIC_OBSERVE("serve.batch_size", batch.size());
   const Clock::time_point formed_at = Clock::now();
+  const uint64_t batch_id =
+      next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t batched_us = obs::TraceRecorder::NowMicros();
+  for (Request& request : batch) {
+    request.batch_id = batch_id;
+    request.batched_us = batched_us;
+  }
   {
     // `completed` is bumped up front: every request in a formed batch is
     // answered before RunBatch returns (the DCHECK below), and counting
@@ -241,7 +281,7 @@ void AttributionService::RunBatch(std::vector<Request> batch) {
       response.status =
           Status::DeadlineExceeded("deadline passed in the admission queue");
       response.queue_seconds = Seconds(formed_at - request.submitted_at);
-      request.promise.set_value(std::move(response));
+      Resolve(&request, std::move(response));
       done[i] = true;
     }
   }
@@ -263,7 +303,7 @@ void AttributionService::RunBatch(std::vector<Request> batch) {
           response.status =
               Status::NotFound("no ingested report with id: " +
                                batch[i].payload);
-          batch[i].promise.set_value(std::move(response));
+          Resolve(&batch[i], std::move(response));
           done[i] = true;
           continue;
         }
@@ -275,8 +315,10 @@ void AttributionService::RunBatch(std::vector<Request> batch) {
       auto results = trail_->AttributeBatchWithGnn(
           events, options_.hide_neighbor_labels);
       const Clock::time_point finished_at = Clock::now();
+      const int64_t inferred_us = obs::TraceRecorder::NowMicros();
       for (size_t r = 0; r < live.size(); ++r) {
         Request& request = batch[live[r]];
+        request.inferred_us = inferred_us;
         ServeResponse response;
         response.event = events[r];
         response.batch_size = batch.size();
@@ -295,7 +337,7 @@ void AttributionService::RunBatch(std::vector<Request> batch) {
         } else {
           response.status = results[r].status();
         }
-        request.promise.set_value(std::move(response));
+        Resolve(&request, std::move(response));
         done[live[r]] = true;
       }
     }
@@ -316,7 +358,12 @@ Status AttributionService::HotSwapCheckpoint(const std::string& path) {
   // pauses serving — only appends wait, and only for the staging window.
   std::lock_guard<std::mutex> swap_lock(swap_mu_);
   std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
-  TRAIL_RETURN_NOT_OK(trail_->LoadCheckpoint(path));
+  // /readyz goes transiently not-ready for the staging window so a load
+  // balancer can drain instead of racing the swap.
+  swapping_.store(true, std::memory_order_release);
+  Status loaded = trail_->LoadCheckpoint(path);
+  swapping_.store(false, std::memory_order_release);
+  TRAIL_RETURN_NOT_OK(loaded);
   TRAIL_METRIC_INC("serve.hot_swaps");
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -354,6 +401,56 @@ AttributionService::Stats AttributionService::GetStats() const {
 size_t AttributionService::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+bool AttributionService::Ready() const {
+  if (swapping_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && !stopping_;
+}
+
+JsonValue AttributionService::StatusJson() const {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("ready", JsonValue::MakeBool(Ready()));
+  out.Set("model_generation",
+          JsonValue::MakeNumber(static_cast<double>(ModelGeneration())));
+  out.Set("queue_depth",
+          JsonValue::MakeNumber(static_cast<double>(QueueDepth())));
+  const Stats stats = GetStats();
+  JsonValue stats_json = JsonValue::MakeObject();
+  stats_json.Set("submitted",
+                 JsonValue::MakeNumber(static_cast<double>(stats.submitted)));
+  stats_json.Set("shed",
+                 JsonValue::MakeNumber(static_cast<double>(stats.shed)));
+  stats_json.Set("completed",
+                 JsonValue::MakeNumber(static_cast<double>(stats.completed)));
+  stats_json.Set("deadline_expired",
+                 JsonValue::MakeNumber(
+                     static_cast<double>(stats.deadline_expired)));
+  stats_json.Set("batches",
+                 JsonValue::MakeNumber(static_cast<double>(stats.batches)));
+  stats_json.Set("hot_swaps",
+                 JsonValue::MakeNumber(static_cast<double>(stats.hot_swaps)));
+  stats_json.Set("max_batch_size",
+                 JsonValue::MakeNumber(
+                     static_cast<double>(stats.max_batch_size)));
+  out.Set("stats", std::move(stats_json));
+  out.Set("slo", slo_.ToJson());
+  JsonValue options_json = JsonValue::MakeObject();
+  options_json.Set("max_batch_size",
+                   JsonValue::MakeNumber(
+                       static_cast<double>(options_.max_batch_size)));
+  options_json.Set("max_linger_us",
+                   JsonValue::MakeNumber(
+                       static_cast<double>(options_.max_linger_us)));
+  options_json.Set("queue_depth",
+                   JsonValue::MakeNumber(
+                       static_cast<double>(options_.queue_depth)));
+  options_json.Set("trace_ring_capacity",
+                   JsonValue::MakeNumber(
+                       static_cast<double>(options_.trace_ring_capacity)));
+  out.Set("options", std::move(options_json));
+  return out;
 }
 
 }  // namespace trail::serve

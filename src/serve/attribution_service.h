@@ -1,6 +1,7 @@
 #ifndef TRAIL_SERVE_ATTRIBUTION_SERVICE_H_
 #define TRAIL_SERVE_ATTRIBUTION_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -15,6 +16,8 @@
 #include <vector>
 
 #include "core/trail.h"
+#include "obs/request_trace.h"
+#include "obs/sliding_window.h"
 #include "util/status.h"
 
 namespace trail::serve {
@@ -40,6 +43,13 @@ struct ServeOptions {
   /// Start() explicitly. Tests use this to exercise admission control
   /// deterministically against a stopped drain.
   bool auto_start = true;
+  /// Capacity of the recent-request trace ring behind /tracez (rounded up
+  /// to a power of two). 0 disables per-request trace retention entirely —
+  /// requests still get trace ids, but nothing is recorded.
+  size_t trace_ring_capacity = 2048;
+  /// Latency objective and error-budget target for the rolling SLO tracker
+  /// (availability, window percentiles, burn rates; docs/OBSERVABILITY.md).
+  obs::SloOptions slo;
 };
 
 /// What a request resolves to. `status` is always meaningful: kOverloaded
@@ -57,6 +67,9 @@ struct ServeResponse {
   /// Seconds the request waited in the admission queue before its batch
   /// was formed.
   double queue_seconds = 0.0;
+  /// Unique per-submission id, echoed as "trace_id" in LDJSON replies and
+  /// resolvable in the /tracez recent-request ring. Never 0.
+  uint64_t trace_id = 0;
 };
 
 /// The in-process attribution server: accepts concurrent requests from any
@@ -142,6 +155,33 @@ class AttributionService {
   /// Requests currently waiting for a batch (excludes the batch in flight).
   size_t QueueDepth() const;
 
+  /// True while the service is accepting and the model plane is stable:
+  /// started, not shutting down, and no hot-swap staging in flight. /readyz
+  /// serves this — a load balancer drains traffic for the staging window of
+  /// a swap instead of racing it.
+  bool Ready() const;
+
+  /// The served model generation (core::Trail::model_generation) — bumps on
+  /// every successful hot-swap; surfaced in /statusz.
+  uint64_t ModelGeneration() const { return trail_->model_generation(); }
+
+  /// Recent-request trace ring behind /tracez; nullptr when
+  /// options.trace_ring_capacity == 0.
+  const obs::RequestTraceRing* trace_ring() const {
+    return trace_ring_.get();
+  }
+
+  /// Rolling SLO windows over everything this service resolved.
+  const obs::SloTracker& slo() const { return slo_; }
+
+  /// Publishes the serve.slo.* gauges from the current windows. Called by
+  /// /metrics scrapes and the periodic flush so exports are never stale.
+  void UpdateSloGauges() const { slo_.PublishGauges(); }
+
+  /// Point-in-time service status (ready, generation, queue, stats, SLO
+  /// windows) — the service-level section of /statusz.
+  JsonValue StatusJson() const;
+
   const ServeOptions& options() const { return options_; }
   const core::Trail& trail() const { return *trail_; }
 
@@ -155,9 +195,22 @@ class AttributionService {
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
     std::promise<ServeResponse> promise;
+    /// Per-request trace state (stage stamps on the process trace clock;
+    /// 0 = the request never reached that stage).
+    uint64_t trace_id = 0;
+    uint64_t batch_id = 0;
+    int64_t queued_us = 0;
+    int64_t admitted_us = 0;
+    int64_t batched_us = 0;
+    int64_t inferred_us = 0;
+    int64_t wall_queued_us = 0;
   };
 
   std::future<ServeResponse> Submit(Request request, int64_t deadline_ms);
+  /// The single exit point for every request: stamps the replied stage,
+  /// publishes the trace to the ring, records the SLO sample, and resolves
+  /// the promise. Every promise.set_value in this class goes through here.
+  void Resolve(Request* request, ServeResponse response);
   void WorkerLoop();
   void RunBatch(std::vector<Request> batch);
   /// Delta-appends the batch's raw-JSON requests and resolves their event
@@ -185,6 +238,14 @@ class AttributionService {
 
   mutable std::mutex stats_mu_;
   Stats stats_;
+
+  std::unique_ptr<obs::RequestTraceRing> trace_ring_;
+  mutable obs::SloTracker slo_;
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> next_batch_id_{1};
+  /// True while HotSwapCheckpoint is staging a new slot (the /readyz
+  /// transient-not-ready window).
+  std::atomic<bool> swapping_{false};
 };
 
 }  // namespace trail::serve

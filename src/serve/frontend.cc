@@ -37,10 +37,14 @@ std::string RenderServeResponse(const JsonValue& request,
     JsonValue out = ErrorBody(request, response.status);
     out.Set("batch_size",
             JsonValue::MakeNumber(static_cast<double>(response.batch_size)));
+    out.Set("trace_id",
+            JsonValue::MakeNumber(static_cast<double>(response.trace_id)));
     return out.Dump();
   }
   JsonValue out = BaseResponse(request);
   out.Set("ok", JsonValue::MakeBool(true));
+  out.Set("trace_id",
+          JsonValue::MakeNumber(static_cast<double>(response.trace_id)));
   out.Set("apt", JsonValue::MakeString(response.attribution.apt_name));
   out.Set("confidence", JsonValue::MakeNumber(response.attribution.confidence));
   out.Set("event", JsonValue::MakeNumber(static_cast<double>(response.event)));

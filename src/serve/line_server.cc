@@ -12,6 +12,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace trail::serve {
@@ -121,11 +122,19 @@ void LineServer::AcceptLoop() {
 void LineServer::ReaderLoop(Connection* conn) {
   std::string pending;
   char buf[1 << 16];
+  bool overflowed = false;
   for (;;) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // EOF, error, or Stop()'s shutdown(fd)
     pending.append(buf, static_cast<size_t>(n));
+    if (pending.size() > kMaxLineBytes &&
+        pending.find('\n') == std::string::npos) {
+      // An unterminated line past the cap: reply with a protocol error and
+      // drop the connection rather than buffering the stream unboundedly.
+      overflowed = true;
+      break;
+    }
     size_t start = 0;
     for (size_t nl = pending.find('\n', start); nl != std::string::npos;
          nl = pending.find('\n', start)) {
@@ -133,6 +142,10 @@ void LineServer::ReaderLoop(Connection* conn) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      if (line.size() > kMaxLineBytes) {
+        overflowed = true;
+        break;
+      }
       Reply reply = frontend_->Handle(line);
       std::unique_lock<std::mutex> lock(conn->mu);
       conn->cv.wait(lock, [conn] {
@@ -141,7 +154,23 @@ void LineServer::ReaderLoop(Connection* conn) {
       conn->replies.push_back(std::move(reply));
       conn->cv.notify_all();
     }
+    if (overflowed) break;
     pending.erase(0, start);
+  }
+  if (overflowed) {
+    // One last in-order reply so the client learns why, then close (the
+    // reader_done flag below makes the writer drain and half-close).
+    TRAIL_METRIC_INC("serve.line_overflow");
+    std::promise<std::string> line;
+    line.set_value(
+        "{\"ok\":false,\"code\":\"InvalidArgument\",\"error\":\"request line "
+        "exceeds " +
+        std::to_string(kMaxLineBytes) + " bytes; closing connection\"}");
+    Reply reply;
+    reply.line = line.get_future();
+    std::unique_lock<std::mutex> lock(conn->mu);
+    conn->replies.push_back(std::move(reply));
+    conn->cv.notify_all();
   }
   std::lock_guard<std::mutex> lock(conn->mu);
   conn->reader_done = true;

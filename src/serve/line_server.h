@@ -43,6 +43,11 @@ class LineServer {
   /// Idempotent; also run by the destructor. Does not touch the service.
   void Stop();
 
+  /// A single request line larger than this gets an inline error reply and
+  /// the connection is closed — a client streaming an unterminated line must
+  /// not grow the read buffer without bound.
+  static constexpr size_t kMaxLineBytes = 1 << 20;
+
  private:
   struct Connection;
 

@@ -1,0 +1,184 @@
+// The introspection HTTP server: routing, the index page, query parsing,
+// error statuses (404/400/405), HEAD handling, and concurrent scrapes.
+
+#include "obs/http_introspect.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace trail::obs {
+namespace {
+
+/// One raw request against 127.0.0.1:port; returns the full response text.
+std::string RawRequest(int port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return RawRequest(port, "GET " + path +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+class HttpIntrospectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.Handle("/hello", [](const HttpRequest&) {
+      return HttpResponse::Text("hi\n");
+    });
+    server_.Handle("/echo", [](const HttpRequest& request) {
+      return HttpResponse::Json(
+          "{\"limit\":" + std::to_string(request.QueryInt("limit", -1)) +
+          "}");
+    });
+    server_.Handle("/down", [](const HttpRequest&) {
+      return HttpResponse::Unavailable("draining\n");
+    });
+    ASSERT_TRUE(server_.Start(0).ok());
+    ASSERT_GT(server_.port(), 0);
+  }
+
+  HttpIntrospectServer server_;
+};
+
+TEST_F(HttpIntrospectTest, ServesRegisteredPath) {
+  std::string response = Get(server_.port(), "/hello");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("hi\n"), std::string::npos);
+}
+
+TEST_F(HttpIntrospectTest, ContentLengthMatchesBody) {
+  std::string response = Get(server_.port(), "/hello");
+  EXPECT_NE(response.find("Content-Length: 3"), std::string::npos);
+}
+
+TEST_F(HttpIntrospectTest, QueryParsing) {
+  EXPECT_NE(Get(server_.port(), "/echo?limit=32").find("{\"limit\":32}"),
+            std::string::npos);
+  EXPECT_NE(Get(server_.port(), "/echo").find("{\"limit\":-1}"),
+            std::string::npos);
+  EXPECT_NE(Get(server_.port(), "/echo?limit=junk").find("{\"limit\":-1}"),
+            std::string::npos);
+}
+
+TEST_F(HttpIntrospectTest, UnknownPathIs404) {
+  EXPECT_NE(Get(server_.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+}
+
+TEST_F(HttpIntrospectTest, HandlerStatusPassesThrough) {
+  EXPECT_NE(Get(server_.port(), "/down").find("HTTP/1.1 503"),
+            std::string::npos);
+}
+
+TEST_F(HttpIntrospectTest, NonGetIs405) {
+  std::string response = RawRequest(
+      server_.port(),
+      "POST /hello HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+}
+
+TEST_F(HttpIntrospectTest, HeadOmitsBody) {
+  std::string response = RawRequest(
+      server_.port(), "HEAD /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  // Content-Length still describes the body a GET would return...
+  EXPECT_NE(response.find("Content-Length: 3"), std::string::npos);
+  // ...but the body itself is absent.
+  EXPECT_EQ(response.find("hi\n"), std::string::npos);
+}
+
+TEST_F(HttpIntrospectTest, MalformedRequestLineIs400) {
+  std::string response = RawRequest(server_.port(), "NONSENSE\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+}
+
+TEST_F(HttpIntrospectTest, IndexListsRegisteredPaths) {
+  std::string response = Get(server_.port(), "/");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("/hello"), std::string::npos);
+  EXPECT_NE(response.find("/echo"), std::string::npos);
+}
+
+TEST_F(HttpIntrospectTest, ConcurrentScrapes) {
+  std::vector<std::thread> scrapers;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 8; ++i) {
+    scrapers.emplace_back([&] {
+      for (int j = 0; j < 20; ++j) {
+        if (Get(server_.port(), "/hello").find("HTTP/1.1 200") !=
+            std::string::npos) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  EXPECT_EQ(ok.load(), 8 * 20);
+}
+
+TEST_F(HttpIntrospectTest, ClientDisconnectMidRequestIsHarmless) {
+  // Connect, send half a request line, and slam the connection shut; the
+  // server must neither crash nor wedge its accept loop.
+  for (int i = 0; i < 5; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server_.port()));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    ::send(fd, "GET /hel", 8, 0);
+    ::close(fd);
+  }
+  EXPECT_NE(Get(server_.port(), "/hello").find("HTTP/1.1 200"),
+            std::string::npos);
+}
+
+TEST(HttpIntrospectServerTest, StopIsIdempotent) {
+  HttpIntrospectServer server;
+  server.Handle("/x", [](const HttpRequest&) {
+    return HttpResponse::Text("x");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Stop();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace trail::obs

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/sliding_window.h"
 
 namespace trail::obs {
 namespace {
@@ -83,6 +84,33 @@ TEST(PrometheusTextTest, HistogramEmitsCumulativeBucketsAndInf) {
   EXPECT_NE(out.find("trail_promtest_latency_count 3\n"), std::string::npos);
   // The sum line exists and is a finite positive number.
   EXPECT_NE(out.find("trail_promtest_latency_sum "), std::string::npos);
+}
+
+TEST(PrometheusTextTest, SloGaugeNamesAreFormatPinned) {
+  // Dashboards and the flush-file verifier key on these exact series names;
+  // renaming any of them is a breaking change to the scrape contract.
+  SloTracker slo;
+  slo.Record(0.001, true);
+  slo.PublishGauges();
+  std::string out = MetricsRegistry::Global().ToPrometheusText();
+  for (const char* series :
+       {"trail_serve_slo_availability_1m", "trail_serve_slo_availability_5m",
+        "trail_serve_slo_availability_1h", "trail_serve_slo_burn_rate_5m",
+        "trail_serve_slo_burn_rate_1h", "trail_serve_slo_p50_ms_1m",
+        "trail_serve_slo_p95_ms_1m", "trail_serve_slo_p99_ms_1m",
+        "trail_serve_slo_objective", "trail_serve_slo_latency_target_ms"}) {
+    EXPECT_NE(out.find(std::string("# TYPE ") + series + " gauge\n"),
+              std::string::npos)
+        << series;
+    EXPECT_NE(out.find(std::string(series) + " "), std::string::npos)
+        << series;
+  }
+  // The availability gauges carry real values, not placeholders.
+  EXPECT_NE(out.find("trail_serve_slo_availability_1m 1\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("trail_serve_slo_objective 0.999\n"), std::string::npos)
+      << out;
 }
 
 TEST(PrometheusTextTest, EverySeriesLineIsWellFormed) {

@@ -1,0 +1,158 @@
+// The recent-request trace ring: publish/snapshot ordering, wraparound,
+// exemplar retention, concurrent publishers against concurrent readers
+// (the /tracez-scrape-under-load shape), and the JSON body schema.
+
+#include "obs/request_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace trail::obs {
+namespace {
+
+RequestTrace MakeTrace(uint64_t id, int64_t base_us = 1000,
+                       int64_t total_us = 500) {
+  RequestTrace t;
+  t.trace_id = id;
+  t.batch_id = id / 4 + 1;
+  t.batch_size = 4;
+  t.queued_us = base_us;
+  t.admitted_us = base_us + 1;
+  t.batched_us = base_us + 10;
+  t.inferred_us = base_us + total_us - 5;
+  t.replied_us = base_us + total_us;
+  t.wall_queued_us = 1700000000000000 + base_us;
+  return t;
+}
+
+TEST(RequestTraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(RequestTraceRing(100).capacity(), 128u);
+  EXPECT_EQ(RequestTraceRing(128).capacity(), 128u);
+  EXPECT_EQ(RequestTraceRing(1).capacity(), 2u);
+}
+
+TEST(RequestTraceRingTest, SnapshotIsNewestFirst) {
+  RequestTraceRing ring(16);
+  for (uint64_t id = 1; id <= 5; ++id) ring.Publish(MakeTrace(id));
+  std::vector<RequestTrace> traces = ring.Snapshot();
+  ASSERT_EQ(traces.size(), 5u);
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(traces[i].trace_id, 5 - i);
+  }
+  EXPECT_EQ(ring.published(), 5u);
+}
+
+TEST(RequestTraceRingTest, SnapshotLimit) {
+  RequestTraceRing ring(16);
+  for (uint64_t id = 1; id <= 10; ++id) ring.Publish(MakeTrace(id));
+  std::vector<RequestTrace> traces = ring.Snapshot(3);
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].trace_id, 10u);
+  EXPECT_EQ(traces[2].trace_id, 8u);
+}
+
+TEST(RequestTraceRingTest, WraparoundKeepsTheMostRecent) {
+  RequestTraceRing ring(8);  // exact power of two
+  for (uint64_t id = 1; id <= 20; ++id) ring.Publish(MakeTrace(id));
+  std::vector<RequestTrace> traces = ring.Snapshot();
+  ASSERT_EQ(traces.size(), 8u);
+  EXPECT_EQ(traces.front().trace_id, 20u);
+  EXPECT_EQ(traces.back().trace_id, 13u);
+  EXPECT_EQ(ring.published(), 20u);
+}
+
+TEST(RequestTraceRingTest, ExemplarsKeepTheSlowest) {
+  RequestTraceRing ring(64);
+  // 30 fast requests and 3 distinctly slow ones, interleaved.
+  for (uint64_t id = 1; id <= 30; ++id) {
+    ring.Publish(MakeTrace(id, 1000 * static_cast<int64_t>(id), 100));
+  }
+  ring.Publish(MakeTrace(100, 50000, 900000));   // 0.9s
+  ring.Publish(MakeTrace(101, 60000, 1500000));  // 1.5s
+  ring.Publish(MakeTrace(102, 70000, 600000));   // 0.6s
+  std::vector<RequestTrace> slowest = ring.SlowestExemplars();
+  ASSERT_GE(slowest.size(), 3u);
+  EXPECT_EQ(slowest[0].trace_id, 101u);
+  EXPECT_EQ(slowest[1].trace_id, 100u);
+  EXPECT_EQ(slowest[2].trace_id, 102u);
+  // Sorted slowest first throughout.
+  for (size_t i = 1; i < slowest.size(); ++i) {
+    EXPECT_GE(slowest[i - 1].TotalSeconds(), slowest[i].TotalSeconds());
+  }
+}
+
+TEST(RequestTraceRingTest, ExemplarTableStaysBounded) {
+  RequestTraceRing ring(16);
+  for (uint64_t id = 1; id <= 100; ++id) {
+    ring.Publish(MakeTrace(id, 1000, 100 * static_cast<int64_t>(id)));
+  }
+  EXPECT_LE(ring.SlowestExemplars().size(), RequestTraceRing::kNumExemplars);
+  // The slowest overall must have survived the churn.
+  EXPECT_EQ(ring.SlowestExemplars()[0].trace_id, 100u);
+}
+
+TEST(RequestTraceRingTest, ToJsonSchema) {
+  RequestTraceRing ring(8);
+  ring.Publish(MakeTrace(7));
+  JsonValue json = ring.ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_EQ(json.GetNumber("published", 0.0), 1.0);
+  EXPECT_EQ(json.GetNumber("capacity", 0.0), 8.0);
+  const JsonValue* traces = json.Get("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_TRUE(traces->is_array());
+  ASSERT_EQ(traces->size(), 1u);
+  const JsonValue& t = (*traces)[0];
+  EXPECT_EQ(t.GetNumber("trace_id", 0.0), 7.0);
+  for (const char* key : {"batch_id", "batch_size", "status_code",
+                          "queued_us", "admitted_us", "batched_us",
+                          "inferred_us", "replied_us", "wall_queued_us",
+                          "total_ms"}) {
+    EXPECT_NE(t.Get(key), nullptr) << key;
+  }
+  EXPECT_NE(json.Get("slowest"), nullptr);
+}
+
+TEST(RequestTraceRingTest, ConcurrentPublishersAndReaders) {
+  RequestTraceRing ring(64);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> next_id{1};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+        ring.Publish(MakeTrace(id, static_cast<int64_t>(id) * 10, 50));
+      }
+    });
+  }
+  // Readers snapshot while writers churn; every observed trace must be
+  // internally consistent (the seqlock promise).
+  std::atomic<int64_t> observed{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (const RequestTrace& t : ring.Snapshot()) {
+          ASSERT_GT(t.trace_id, 0u);
+          ASSERT_EQ(t.replied_us, t.queued_us + 50);
+          ASSERT_EQ(t.admitted_us, t.queued_us + 1);
+          observed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop = true;
+  for (auto& t : writers) t.join();
+  for (auto& t : readers) t.join();
+  EXPECT_GT(ring.published(), 100u);
+  EXPECT_GT(observed.load(), 0);
+}
+
+}  // namespace
+}  // namespace trail::obs

@@ -1,0 +1,169 @@
+// Unit coverage for the rolling SLO window math: stamp-based bucket
+// rotation, window-boundary inclusion, percentile aggregation, burn rates
+// at budget boundaries, and the serve.slo.* gauge publication. Everything
+// drives the explicit-time (*At) entry points so no test sleeps.
+
+#include "obs/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace trail::obs {
+namespace {
+
+TEST(SlidingWindowTest, EmptyWindowIsHealthy) {
+  SlidingWindow window;
+  SlidingWindow::Snapshot snap = window.Over(1000, 60);
+  EXPECT_EQ(snap.total, 0);
+  EXPECT_DOUBLE_EQ(snap.availability, 1.0);  // no data is not an outage
+  EXPECT_DOUBLE_EQ(snap.bad_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99_s, 0.0);
+}
+
+TEST(SlidingWindowTest, CountsByOutcome) {
+  SlidingWindow window;
+  window.Record(100, 0.010, /*ok=*/true, /*within_slo=*/true);
+  window.Record(100, 0.020, /*ok=*/true, /*within_slo=*/false);  // slow
+  window.Record(101, 0.005, /*ok=*/false, /*within_slo=*/true);  // error
+  SlidingWindow::Snapshot snap = window.Over(101, 60);
+  EXPECT_EQ(snap.total, 3);
+  EXPECT_EQ(snap.errors, 1);
+  EXPECT_EQ(snap.slo_misses, 1);
+  EXPECT_DOUBLE_EQ(snap.availability, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(snap.bad_fraction, 2.0 / 3.0);
+}
+
+TEST(SlidingWindowTest, WindowBoundaryIsInclusiveOfNow) {
+  SlidingWindow window;
+  window.Record(100, 0.001, true, true);
+  window.Record(159, 0.001, true, true);
+  // [100, 159] spans exactly 60 seconds including both endpoints.
+  EXPECT_EQ(window.Over(159, 60).total, 2);
+  // One second later the 100s bucket ages out of the 60s view...
+  EXPECT_EQ(window.Over(160, 60).total, 1);
+  // ...but a wider window still sees it.
+  EXPECT_EQ(window.Over(160, 300).total, 2);
+}
+
+TEST(SlidingWindowTest, StaleBucketsAreNotDoubleCounted) {
+  SlidingWindow window;
+  window.Record(100, 0.001, true, true);
+  // An hour later the same bucket index comes around again (3600 buckets,
+  // one per second). The old stamp must not leak into the new second.
+  window.Record(100 + SlidingWindow::kNumBuckets, 0.002, true, true);
+  EXPECT_EQ(window.Over(100 + SlidingWindow::kNumBuckets, 60).total, 1);
+  // And the full-hour view sees only the restamped bucket, not both.
+  EXPECT_EQ(
+      window.Over(100 + SlidingWindow::kNumBuckets, SlidingWindow::kNumBuckets)
+          .total,
+      1);
+}
+
+TEST(SlidingWindowTest, BurstAfterIdleGapIgnoresOldBuckets) {
+  SlidingWindow window;
+  for (int s = 0; s < 10; ++s) window.Record(200 + s, 0.001, false, true);
+  // Two hours of silence, then one good request: the errors are long gone.
+  const int64_t later = 200 + 2 * SlidingWindow::kNumBuckets;
+  window.Record(later, 0.001, true, true);
+  SlidingWindow::Snapshot snap = window.Over(later, 3600);
+  EXPECT_EQ(snap.total, 1);
+  EXPECT_EQ(snap.errors, 0);
+}
+
+TEST(SlidingWindowTest, PercentilesComeFromTheWindowOnly) {
+  SlidingWindow window;
+  // A burst of slow requests early, fast requests now — 5% slow overall so
+  // the p99 unambiguously lands in the slow bucket when they're in view.
+  for (int i = 0; i < 5; ++i) window.Record(100, 10.0, true, false);
+  for (int i = 0; i < 95; ++i) window.Record(500, 0.001, true, true);
+  SlidingWindow::Snapshot snap = window.Over(500, 60);
+  EXPECT_LT(snap.p99_s, 0.01);  // the 10s outlier aged out
+  snap = window.Over(500, SlidingWindow::kNumBuckets);
+  EXPECT_GT(snap.p99_s, 1.0);  // the hour view still includes it
+}
+
+TEST(SlidingWindowTest, PercentileOrdering) {
+  SlidingWindow window;
+  for (int i = 0; i < 100; ++i) {
+    window.Record(100, 0.001 * (1 + i % 10), true, true);
+  }
+  SlidingWindow::Snapshot snap = window.Over(100, 60);
+  EXPECT_LE(snap.p50_s, snap.p95_s);
+  EXPECT_LE(snap.p95_s, snap.p99_s);
+  EXPECT_GT(snap.p50_s, 0.0);
+}
+
+TEST(SloTrackerTest, ClassifiesSloMissByLatencyObjective) {
+  SloOptions options;
+  options.latency_ms = 100.0;
+  SloTracker slo(options);
+  slo.RecordAt(50, 0.050, true);  // within
+  slo.RecordAt(50, 0.200, true);  // miss
+  SlidingWindow::Snapshot snap = slo.WindowAt(50, 60);
+  EXPECT_EQ(snap.total, 2);
+  EXPECT_EQ(snap.slo_misses, 1);
+}
+
+TEST(SloTrackerTest, BurnRateAgainstErrorBudget) {
+  SloOptions options;
+  options.latency_ms = 100.0;
+  options.objective = 0.99;  // 1% budget
+  SloTracker slo(options);
+  // 1% bad => burn rate exactly 1.0 (spending the budget at par).
+  for (int i = 0; i < 99; ++i) slo.RecordAt(100, 0.010, true);
+  slo.RecordAt(100, 0.010, false);
+  EXPECT_NEAR(slo.BurnRateAt(100, 60), 1.0, 1e-9);
+  // 100% bad => burn rate 1/budget = 100x.
+  SloTracker burning(options);
+  for (int i = 0; i < 10; ++i) burning.RecordAt(100, 0.010, false);
+  EXPECT_NEAR(burning.BurnRateAt(100, 60), 100.0, 1e-9);
+}
+
+TEST(SloTrackerTest, BurnRateZeroOnEmptyWindow) {
+  SloTracker slo;
+  EXPECT_DOUBLE_EQ(slo.BurnRateAt(100, 60), 0.0);
+  EXPECT_DOUBLE_EQ(slo.BurnRateAt(100, 3600), 0.0);
+}
+
+TEST(SloTrackerTest, BurnRateAtWindowBoundary) {
+  SloOptions options;
+  options.objective = 0.9;  // 10% budget
+  SloTracker slo(options);
+  slo.RecordAt(1000, 0.001, false);
+  // Inside the 5m window ending at 1299 (window = [1000, 1299]).
+  EXPECT_GT(slo.BurnRateAt(1299, 300), 0.0);
+  // One second later the bad request is exactly outside it.
+  EXPECT_DOUBLE_EQ(slo.BurnRateAt(1300, 300), 0.0);
+}
+
+TEST(SloTrackerTest, ToJsonCarriesWindowsAndBurnRates) {
+  SloTracker slo;
+  slo.Record(0.001, true);
+  JsonValue json = slo.ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_NE(json.Get("windows"), nullptr);
+  EXPECT_NE(json.Get("windows")->Get("1m"), nullptr);
+  EXPECT_NE(json.Get("windows")->Get("5m"), nullptr);
+  EXPECT_NE(json.Get("windows")->Get("1h"), nullptr);
+  EXPECT_NE(json.Get("burn_rate"), nullptr);
+  EXPECT_DOUBLE_EQ(json.GetNumber("objective", 0.0), 0.999);
+}
+
+TEST(SloTrackerTest, PublishGaugesLandsInRegistry) {
+  SloTracker slo;
+  slo.Record(0.001, true);
+  slo.PublishGauges();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  EXPECT_DOUBLE_EQ(registry.GetGauge("serve.slo.availability_1m")->value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("serve.slo.objective")->value(), 0.999);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("serve.slo.latency_target_ms")->value(),
+                   250.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("serve.slo.burn_rate_5m")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("serve.slo.burn_rate_1h")->value(), 0.0);
+  EXPECT_GT(registry.GetGauge("serve.slo.p99_ms_1m")->value(), 0.0);
+}
+
+}  // namespace
+}  // namespace trail::obs

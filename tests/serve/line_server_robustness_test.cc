@@ -1,0 +1,241 @@
+// LineServer failure paths over a real socket: malformed LDJSON gets a
+// structured error reply on a connection that stays open, an oversized
+// request line gets an explicit error and a close (never an unbounded read
+// buffer), and clients that vanish mid-request leave the server healthy.
+
+#include "serve/line_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "serve/attribution_service.h"
+#include "serve/frontend.h"
+#include "util/json.h"
+
+namespace trail::serve {
+namespace {
+
+osint::WorldConfig TinyConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 3;
+  config.min_events_per_apt = 5;
+  config.max_events_per_apt = 8;
+  config.end_day = 400;
+  config.post_days = 60;
+  config.seed = 13;
+  return config;
+}
+
+core::TrailOptions TinyOptions() {
+  core::TrailOptions options;
+  options.autoencoder.hidden = 16;
+  options.autoencoder.encoding = 8;
+  options.autoencoder.epochs = 1;
+  options.autoencoder.max_train_rows = 200;
+  options.gnn.hidden = 16;
+  options.gnn.epochs = 8;
+  options.gnn.layers = 2;
+  return options;
+}
+
+/// A blocking loopback LDJSON client with line-framed reads.
+class RawClient {
+ public:
+  explicit RawClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~RawClient() { Close(); }
+
+  void Send(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Next '\n'-terminated line (without the newline); "" on EOF.
+  std::string RecvLine() {
+    for (;;) {
+      size_t nl = pending_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = pending_.substr(0, nl);
+        pending_.erase(0, nl + 1);
+        return line;
+      }
+      char buf[4096];
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return "";
+      pending_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  /// True once the server has half-closed (recv returns 0).
+  bool AtEof() {
+    char buf[256];
+    for (;;) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+      pending_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string pending_;
+};
+
+class LineServerRobustnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new osint::World(TinyConfig());
+    feed_ = new osint::FeedClient(world_);
+    trail_ = new core::Trail(feed_, TinyOptions());
+    ASSERT_TRUE(
+        trail_->Ingest(feed_->FetchReports(0, TinyConfig().end_day)).ok());
+    ASSERT_TRUE(trail_->TrainModels().ok());
+  }
+  static void TearDownTestSuite() {
+    delete trail_;
+    delete feed_;
+    delete world_;
+    trail_ = nullptr;
+    feed_ = nullptr;
+    world_ = nullptr;
+  }
+
+  void SetUp() override {
+    service_ = std::make_unique<AttributionService>(trail_, ServeOptions{});
+    frontend_ = std::make_unique<Frontend>(service_.get());
+    server_ = std::make_unique<LineServer>(frontend_.get());
+    ASSERT_TRUE(server_->Start(0).ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    server_.reset();
+    frontend_.reset();
+    service_->Shutdown();
+    service_.reset();
+  }
+
+  static JsonValue ParseReply(const std::string& line) {
+    auto parsed = JsonValue::Parse(line);
+    EXPECT_TRUE(parsed.ok()) << line;
+    return parsed.ok() ? std::move(parsed).value() : JsonValue::MakeObject();
+  }
+
+  static osint::World* world_;
+  static osint::FeedClient* feed_;
+  static core::Trail* trail_;
+  std::unique_ptr<AttributionService> service_;
+  std::unique_ptr<Frontend> frontend_;
+  std::unique_ptr<LineServer> server_;
+};
+
+osint::World* LineServerRobustnessTest::world_ = nullptr;
+osint::FeedClient* LineServerRobustnessTest::feed_ = nullptr;
+core::Trail* LineServerRobustnessTest::trail_ = nullptr;
+
+TEST_F(LineServerRobustnessTest, MalformedLinesGetStructuredErrorReplies) {
+  RawClient client(server_->port());
+  client.Send("this is not json\n");
+  JsonValue error = ParseReply(client.RecvLine());
+  EXPECT_FALSE(error.GetBool("ok"));
+  EXPECT_EQ(error.GetString("code"), "ParseError");
+
+  // The connection survives a bad line; the next request still works.
+  client.Send("{\"op\":\"ping\"}\n");
+  EXPECT_TRUE(ParseReply(client.RecvLine()).GetBool("ok"));
+
+  // Valid JSON, unknown op: structured InvalidArgument, connection intact.
+  client.Send("{\"op\":\"frobnicate\"}\n{\"op\":\"ping\"}\n");
+  EXPECT_EQ(ParseReply(client.RecvLine()).GetString("code"),
+            "InvalidArgument");
+  EXPECT_TRUE(ParseReply(client.RecvLine()).GetBool("ok"));
+}
+
+TEST_F(LineServerRobustnessTest, OversizedLineGetsErrorReplyAndClose) {
+  RawClient client(server_->port());
+  // One unterminated line just past the cap. The server must reply with an
+  // explicit error and close rather than buffering forever.
+  std::string huge(LineServer::kMaxLineBytes + 1024, 'x');
+  client.Send(huge);
+  JsonValue error = ParseReply(client.RecvLine());
+  EXPECT_FALSE(error.GetBool("ok"));
+  EXPECT_EQ(error.GetString("code"), "InvalidArgument");
+  EXPECT_NE(error.GetString("error").find("exceeds"), std::string::npos);
+  EXPECT_TRUE(client.AtEof());
+
+  // The server itself is unaffected; a fresh connection serves normally.
+  RawClient fresh(server_->port());
+  fresh.Send("{\"op\":\"ping\"}\n");
+  EXPECT_TRUE(ParseReply(fresh.RecvLine()).GetBool("ok"));
+}
+
+TEST_F(LineServerRobustnessTest, OversizedTerminatedLineAlsoRejected) {
+  RawClient client(server_->port());
+  // A terminated line over the cap hits the split-loop guard.
+  std::string huge(LineServer::kMaxLineBytes + 1, 'y');
+  huge += '\n';
+  client.Send(huge);
+  JsonValue error = ParseReply(client.RecvLine());
+  EXPECT_FALSE(error.GetBool("ok"));
+  EXPECT_EQ(error.GetString("code"), "InvalidArgument");
+  EXPECT_TRUE(client.AtEof());
+}
+
+TEST_F(LineServerRobustnessTest, MidRequestDisconnectLeavesServerHealthy) {
+  // Several clients send half a request (no newline) and vanish; others
+  // disappear with requests in flight awaiting their batched reply.
+  for (int i = 0; i < 4; ++i) {
+    RawClient half(server_->port());
+    half.Send("{\"op\":\"ping\"");
+    half.Close();
+  }
+  std::vector<graph::NodeId> events =
+      trail_->graph().NodesOfType(graph::NodeType::kEvent);
+  ASSERT_FALSE(events.empty());
+  for (int i = 0; i < 2; ++i) {
+    RawClient vanishing(server_->port());
+    vanishing.Send("{\"op\":\"attribute_event\",\"node\":" +
+                   std::to_string(events[0]) + "}\n");
+    vanishing.Close();  // gone before the reply lands
+  }
+
+  RawClient client(server_->port());
+  client.Send("{\"op\":\"attribute_event\",\"node\":" +
+              std::to_string(events[0]) + "}\n");
+  JsonValue reply = ParseReply(client.RecvLine());
+  EXPECT_TRUE(reply.GetBool("ok")) << reply.Dump();
+  EXPECT_GT(reply.GetNumber("trace_id", 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace trail::serve

@@ -8,6 +8,11 @@
 
 #include "serve/attribution_service.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <future>
@@ -19,6 +24,7 @@
 
 #include "osint/feed_client.h"
 #include "osint/world.h"
+#include "serve/admin.h"
 
 namespace trail::serve {
 namespace {
@@ -221,6 +227,122 @@ TEST_F(ServeConcurrencyTest, DeadlinesExpireUnderConcurrentLoad) {
   service.Shutdown();
   EXPECT_EQ(service.GetStats().deadline_expired,
             static_cast<uint64_t>(expired));
+}
+
+/// Minimal blocking GET; returns the raw response ("" on any failure).
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// The tsan acceptance case for the observability plane: admin scrapes of
+// every endpoint race submissions and checkpoint hot-swaps. Nothing may
+// crash, race, or wedge, every request still resolves, and the scrapes keep
+// answering 200 throughout.
+TEST_F(ServeConcurrencyTest, ScrapesRaceSubmissionsAndHotSwaps) {
+  const std::string path = ::testing::TempDir() + "/serve_obs_tsan.ckpt";
+  ServeOptions options;
+  options.max_batch_size = 8;
+  options.max_linger_us = 500;
+  options.queue_depth = 64;
+  options.trace_ring_capacity = 64;
+  AttributionService service(trail_, options);
+  ASSERT_TRUE(service.SaveCheckpoint(path).ok());
+
+  AdminPlane admin(&service, /*log_ring=*/nullptr);
+  ASSERT_TRUE(admin.Start(0).ok());
+  const int port = admin.port();
+
+  std::vector<graph::NodeId> events =
+      trail_->graph().NodesOfType(graph::NodeType::kEvent);
+  ASSERT_FALSE(events.empty());
+
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 30;
+  std::atomic<int> resolved{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ServeResponse response =
+            service
+                .SubmitEvent(events[static_cast<size_t>(p + i) %
+                                    events.size()])
+                .get();
+        EXPECT_GT(response.trace_id, 0u);
+        ++resolved;
+      }
+    });
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    while (!stop.load()) {
+      ASSERT_TRUE(service.HotSwapCheckpoint(path).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  std::atomic<int> scrape_failures{0};
+  std::vector<std::thread> scrapers;
+  for (const char* endpoint :
+       {"/metrics", "/statusz", "/tracez", "/healthz"}) {
+    scrapers.emplace_back([&, endpoint] {
+      while (!stop.load()) {
+        if (HttpGet(port, endpoint).find("HTTP/1.1 200") ==
+            std::string::npos) {
+          ++scrape_failures;
+        }
+      }
+    });
+  }
+  // /readyz may legitimately flip 503 during a swap's staging window, so it
+  // gets its own scraper that only demands *an* HTTP answer.
+  scrapers.emplace_back([&] {
+    while (!stop.load()) {
+      std::string response = HttpGet(port, "/readyz");
+      if (response.find("HTTP/1.1 ") == std::string::npos) ++scrape_failures;
+    }
+  });
+
+  for (auto& producer : producers) producer.join();
+  stop = true;
+  swapper.join();
+  for (auto& scraper : scrapers) scraper.join();
+  admin.Stop();
+  service.Shutdown();
+
+  EXPECT_EQ(resolved.load(), kProducers * kPerProducer);
+  EXPECT_EQ(scrape_failures.load(), 0);
+  // The ring saw every resolved request.
+  ASSERT_NE(service.trace_ring(), nullptr);
+  EXPECT_GE(service.trace_ring()->published(),
+            static_cast<uint64_t>(kProducers * kPerProducer));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,225 @@
+// Per-request tracing end to end: every submission gets a unique trace_id,
+// the id is echoed in the ServeResponse and in the LDJSON reply, the trace
+// ring records all five stage stamps in order, and failure paths (shed,
+// queue-deadline) still publish a trace with the stages they reached.
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/request_trace.h"
+#include "obs/trace.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "serve/attribution_service.h"
+#include "serve/frontend.h"
+#include "util/json.h"
+
+namespace trail::serve {
+namespace {
+
+osint::WorldConfig TinyConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 3;
+  config.min_events_per_apt = 5;
+  config.max_events_per_apt = 8;
+  config.end_day = 400;
+  config.post_days = 60;
+  config.seed = 11;
+  return config;
+}
+
+core::TrailOptions TinyOptions() {
+  core::TrailOptions options;
+  options.autoencoder.hidden = 16;
+  options.autoencoder.encoding = 8;
+  options.autoencoder.epochs = 1;
+  options.autoencoder.max_train_rows = 200;
+  options.gnn.hidden = 16;
+  options.gnn.epochs = 8;
+  options.gnn.layers = 2;
+  return options;
+}
+
+class TracePropagationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Pin the trace clock's lazy epoch before any request is stamped, so no
+    // stage stamp in this suite can legitimately be exactly 0 (trail_serve
+    // does the equivalent by tracing startup).
+    obs::TraceRecorder::NowMicros();
+    world_ = new osint::World(TinyConfig());
+    feed_ = new osint::FeedClient(world_);
+    trail_ = new core::Trail(feed_, TinyOptions());
+    ASSERT_TRUE(
+        trail_->Ingest(feed_->FetchReports(0, TinyConfig().end_day)).ok());
+    ASSERT_TRUE(trail_->TrainModels().ok());
+  }
+  static void TearDownTestSuite() {
+    delete trail_;
+    delete feed_;
+    delete world_;
+    trail_ = nullptr;
+    feed_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static std::vector<graph::NodeId> SomeEvents(size_t n) {
+    std::vector<graph::NodeId> events =
+        trail_->graph().NodesOfType(graph::NodeType::kEvent);
+    if (events.size() > n) events.resize(n);
+    return events;
+  }
+
+  /// The ring entry for `trace_id`, or a zeroed trace if absent.
+  static obs::RequestTrace FindTrace(const AttributionService& service,
+                                     uint64_t trace_id) {
+    for (const obs::RequestTrace& t : service.trace_ring()->Snapshot()) {
+      if (t.trace_id == trace_id) return t;
+    }
+    return obs::RequestTrace{};
+  }
+
+  static osint::World* world_;
+  static osint::FeedClient* feed_;
+  static core::Trail* trail_;
+};
+
+osint::World* TracePropagationTest::world_ = nullptr;
+osint::FeedClient* TracePropagationTest::feed_ = nullptr;
+core::Trail* TracePropagationTest::trail_ = nullptr;
+
+TEST_F(TracePropagationTest, EveryResponseCarriesAUniqueTraceId) {
+  AttributionService service(trail_, ServeOptions{});
+  std::vector<graph::NodeId> events = SomeEvents(4);
+  ASSERT_FALSE(events.empty());
+  std::vector<std::future<ServeResponse>> futures;
+  for (int round = 0; round < 3; ++round) {
+    for (graph::NodeId event : events) {
+      futures.push_back(service.SubmitEvent(event));
+    }
+  }
+  std::vector<uint64_t> ids;
+  for (auto& future : futures) {
+    ServeResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_GT(response.trace_id, 0u);
+    ids.push_back(response.trace_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST_F(TracePropagationTest, RingRecordsAllFiveStagesInOrder) {
+  AttributionService service(trail_, ServeOptions{});
+  std::vector<graph::NodeId> events = SomeEvents(1);
+  ServeResponse response = service.SubmitEvent(events[0]).get();
+  ASSERT_TRUE(response.status.ok());
+
+  ASSERT_NE(service.trace_ring(), nullptr);
+  obs::RequestTrace trace = FindTrace(service, response.trace_id);
+  ASSERT_EQ(trace.trace_id, response.trace_id);
+  // All five stages stamped, in pipeline order.
+  EXPECT_GT(trace.queued_us, 0);
+  EXPECT_GE(trace.admitted_us, trace.queued_us);
+  EXPECT_GE(trace.batched_us, trace.admitted_us);
+  EXPECT_GE(trace.inferred_us, trace.batched_us);
+  EXPECT_GE(trace.replied_us, trace.inferred_us);
+  EXPECT_GT(trace.wall_queued_us, 0);
+  EXPECT_EQ(trace.status_code, 0);
+  EXPECT_GT(trace.batch_id, 0u);
+  EXPECT_GE(trace.batch_size, 1u);
+  EXPECT_EQ(trace.batch_size, response.batch_size);
+}
+
+TEST_F(TracePropagationTest, FrontendEchoesTraceIdInLdjsonReply) {
+  AttributionService service(trail_, ServeOptions{});
+  Frontend frontend(&service);
+  std::vector<graph::NodeId> events = SomeEvents(1);
+  const std::string line = "{\"op\":\"attribute_event\",\"node\":" +
+                           std::to_string(events[0]) + "}";
+  auto parsed = JsonValue::Parse(frontend.Handle(line).line.get());
+  ASSERT_TRUE(parsed.ok());
+  JsonValue reply = std::move(parsed).value();
+  ASSERT_TRUE(reply.GetBool("ok")) << reply.Dump();
+  const uint64_t trace_id =
+      static_cast<uint64_t>(reply.GetNumber("trace_id", 0.0));
+  ASSERT_GT(trace_id, 0u);
+  // The wire id resolves in /tracez's backing ring.
+  EXPECT_EQ(FindTrace(service, trace_id).trace_id, trace_id);
+
+  // Error replies carry a trace_id too — failed requests must be debuggable.
+  auto error_parsed =
+      JsonValue::Parse(frontend.Handle("{\"op\":\"attribute\",\"report\":"
+                                       "\"no-such-report\"}")
+                           .line.get());
+  ASSERT_TRUE(error_parsed.ok());
+  JsonValue error_reply = std::move(error_parsed).value();
+  EXPECT_FALSE(error_reply.GetBool("ok"));
+  EXPECT_GT(error_reply.GetNumber("trace_id", 0.0), 0.0);
+}
+
+TEST_F(TracePropagationTest, ShedRequestsAreTracedWithoutAdmission) {
+  ServeOptions options;
+  options.auto_start = false;
+  options.queue_depth = 1;
+  AttributionService service(trail_, options);
+  std::vector<graph::NodeId> events = SomeEvents(1);
+  std::future<ServeResponse> admitted = service.SubmitEvent(events[0]);
+  ServeResponse shed = service.SubmitEvent(events[0]).get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kOverloaded);
+  EXPECT_GT(shed.trace_id, 0u);
+
+  obs::RequestTrace trace = FindTrace(service, shed.trace_id);
+  ASSERT_EQ(trace.trace_id, shed.trace_id);
+  EXPECT_GT(trace.queued_us, 0);
+  EXPECT_EQ(trace.admitted_us, 0);  // never made it past admission
+  EXPECT_EQ(trace.batched_us, 0);
+  EXPECT_EQ(trace.inferred_us, 0);
+  EXPECT_GE(trace.replied_us, trace.queued_us);
+  EXPECT_NE(trace.status_code, 0);
+
+  service.Start();
+  EXPECT_TRUE(admitted.get().status.ok());
+}
+
+TEST_F(TracePropagationTest, QueueDeadlineTracesStopAtTheStageReached) {
+  ServeOptions options;
+  options.auto_start = false;
+  AttributionService service(trail_, options);
+  std::vector<graph::NodeId> events = SomeEvents(1);
+  std::future<ServeResponse> doomed =
+      service.SubmitEvent(events[0], /*deadline_ms=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Start();
+  ServeResponse response = doomed.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(response.trace_id, 0u);
+
+  obs::RequestTrace trace = FindTrace(service, response.trace_id);
+  ASSERT_EQ(trace.trace_id, response.trace_id);
+  EXPECT_GT(trace.queued_us, 0);
+  EXPECT_GT(trace.admitted_us, 0);
+  EXPECT_EQ(trace.inferred_us, 0);  // expired before inference ran
+  EXPECT_GE(trace.replied_us, trace.queued_us);
+  EXPECT_NE(trace.status_code, 0);
+}
+
+TEST_F(TracePropagationTest, DisabledRingStillIssuesTraceIds) {
+  ServeOptions options;
+  options.trace_ring_capacity = 0;
+  AttributionService service(trail_, options);
+  EXPECT_EQ(service.trace_ring(), nullptr);
+  std::vector<graph::NodeId> events = SomeEvents(1);
+  ServeResponse response = service.SubmitEvent(events[0]).get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_GT(response.trace_id, 0u);
+}
+
+}  // namespace
+}  // namespace trail::serve

@@ -3,8 +3,12 @@
 # trail_serve on an ephemeral port with a small world, drives the LDJSON
 # protocol over real TCP with trail_loadgen (ping, closed-loop load,
 # checkpoint save + hot-swap, stats, shutdown), and checks that the
-# serve.* metrics made it into the Prometheus dump. Fast enough to run on
-# every change; the statistical bench lives in tools/bench_serving.sh.
+# serve.* metrics made it into the Prometheus dump. Also exercises the live
+# observability plane (docs/OBSERVABILITY.md): scrapes every --admin-port
+# endpoint while the server runs, validates /metrics and /tracez with
+# tools/json_verify, and pins the model-generation bump across a hot swap.
+# Fast enough to run on every change; the statistical bench lives in
+# tools/bench_serving.sh (latency overhead: tools/bench_observability.sh).
 #
 # Usage: tools/check_serving.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -24,16 +28,24 @@ trap cleanup EXIT
 
 echo "== building serving binaries =="
 cmake -S "$SOURCE_DIR" -B "$BUILD_DIR" >/dev/null
-cmake --build "$BUILD_DIR" -j --target trail_serve_bin trail_loadgen >/dev/null
+cmake --build "$BUILD_DIR" -j --target trail_serve_bin trail_loadgen \
+    json_verify >/dev/null
 
 SERVE="$BUILD_DIR/tools/trail_serve"
 LOADGEN="$BUILD_DIR/tools/trail_loadgen"
+VERIFY="$BUILD_DIR/tools/json_verify"
+
+# Fetch one admin endpoint's body into a file (exit 1 on non-200).
+scrape() {  # scrape PATH OUTFILE
+  "$LOADGEN" --port "$ADMIN_PORT" --http-get "$1" > "$2"
+}
 
 echo
 echo "== starting trail_serve (small world, ephemeral port) =="
 "$SERVE" --port 0 --apts 4 --end-day 600 --gnn-epochs 20 --ae-epochs 2 \
     --max-batch 16 --linger-us 1000 \
-    --metrics-out "$WORK_DIR/metrics.prom" \
+    --admin-port 0 --trace-ring 2048 --log-level info \
+    --metrics-out "$WORK_DIR/metrics.prom" --metrics-interval-s 1 \
     --manifest-out none \
     > "$WORK_DIR/server.out" 2> "$WORK_DIR/server.err" &
 SERVER_PID=$!
@@ -53,7 +65,12 @@ if [ -z "$PORT" ]; then
   echo "check_serving: FAIL — no READY line after 300s" >&2
   exit 1
 fi
-echo "server ready on port $PORT"
+ADMIN_PORT="$(sed -n 's/^READY .*admin_port=\([0-9]*\).*/\1/p' "$WORK_DIR/server.out")"
+if [ -z "$ADMIN_PORT" ] || [ "$ADMIN_PORT" -eq 0 ]; then
+  echo "check_serving: FAIL — no admin_port in READY line" >&2
+  exit 1
+fi
+echo "server ready on port $PORT (admin $ADMIN_PORT)"
 
 echo
 echo "== ping =="
@@ -68,6 +85,50 @@ if [ "${OK:-0}" -ne 200 ]; then
   echo "check_serving: FAIL — expected 200 ok responses, got '${OK:-0}'" >&2
   exit 1
 fi
+TRACED="$(sed -n 's/.*"with_trace_id": \([0-9]*\).*/\1/p' "$WORK_DIR/closed.json" | head -1)"
+if [ "${TRACED:-0}" -ne 200 ]; then
+  echo "check_serving: FAIL — expected 200 replies with trace_id, got '${TRACED:-0}'" >&2
+  exit 1
+fi
+
+echo
+echo "== live introspection endpoints (admin port $ADMIN_PORT) =="
+scrape /healthz "$WORK_DIR/healthz.txt"
+grep -q '^ok' "$WORK_DIR/healthz.txt" || {
+  echo "check_serving: FAIL — /healthz did not say ok" >&2
+  exit 1
+}
+scrape /readyz "$WORK_DIR/readyz.txt"
+grep -q '^ready' "$WORK_DIR/readyz.txt" || {
+  echo "check_serving: FAIL — /readyz did not say ready" >&2
+  exit 1
+}
+
+scrape /metrics "$WORK_DIR/scrape.prom"
+"$VERIFY" prom "$WORK_DIR/scrape.prom" \
+    --require-series trail_serve_requests_total \
+    --require-series trail_serve_slo_availability_1m \
+    --require-series trail_serve_slo_burn_rate_5m \
+    --require-series trail_serve_slo_p99_ms_1m
+
+scrape /statusz "$WORK_DIR/statusz.json"
+"$VERIFY" json "$WORK_DIR/statusz.json" \
+    --require-keys build.git_describe,uptime_s,service.model_generation,service.ready,service.slo.burn_rate,service.stats.completed
+GEN_BEFORE="$(sed -n 's/.*"model_generation": *\([0-9]*\).*/\1/p' "$WORK_DIR/statusz.json" | head -1)"
+
+scrape /tracez "$WORK_DIR/tracez.json"
+"$VERIFY" tracez "$WORK_DIR/tracez.json" --min-traces 100 --require-complete
+
+scrape /logz "$WORK_DIR/logz.json"
+grep -q '"entries"' "$WORK_DIR/logz.json" || {
+  echo "check_serving: FAIL — /logz has no entries array" >&2
+  exit 1
+}
+grep -q '"msg"' "$WORK_DIR/logz.json" || {
+  echo "check_serving: FAIL — /logz is empty at --log-level info" >&2
+  exit 1
+}
+echo "endpoints ok: /healthz /readyz /metrics /statusz /tracez /logz"
 
 echo
 echo "== checkpoint save + hot-swap while serving =="
@@ -76,6 +137,25 @@ echo "== checkpoint save + hot-swap while serving =="
 LOAD_PID=$!
 "$LOADGEN" --port "$PORT" --op hot_swap --path "$WORK_DIR/live.ckpt"
 wait "$LOAD_PID"
+
+scrape /statusz "$WORK_DIR/statusz_after.json"
+GEN_AFTER="$(sed -n 's/.*"model_generation": *\([0-9]*\).*/\1/p' "$WORK_DIR/statusz_after.json" | head -1)"
+if [ "${GEN_AFTER:-0}" -le "${GEN_BEFORE:-0}" ]; then
+  echo "check_serving: FAIL — hot swap did not bump model_generation ($GEN_BEFORE -> ${GEN_AFTER:-?})" >&2
+  exit 1
+fi
+echo "model generation bumped: $GEN_BEFORE -> $GEN_AFTER"
+
+echo
+echo "== periodic metrics flush (atomic rename, --metrics-interval-s 1) =="
+sleep 1.5
+if [ ! -s "$WORK_DIR/metrics.prom" ]; then
+  echo "check_serving: FAIL — no periodic flush of metrics.prom before shutdown" >&2
+  exit 1
+fi
+"$VERIFY" prom "$WORK_DIR/metrics.prom" \
+    --require-series trail_serve_requests_total \
+    --require-series trail_serve_slo_availability_1m
 
 echo
 echo "== stats + shutdown =="

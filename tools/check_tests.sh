@@ -47,6 +47,10 @@ echo
 echo "== serving tier (ctest -L serve) =="
 run_ctest -L serve
 
+echo
+echo "== observability tier (ctest -L obs) =="
+run_ctest -L obs
+
 # Kernel equivalence tier: the same suite under both dispatch targets, so a
 # host whose default is AVX2 still proves the scalar baseline (and vice
 # versa — on a host without AVX2, "native" resolves to scalar and this

@@ -11,8 +11,22 @@
 //       complete ("ph":"X") events with name/ts/dur, at least N of them.
 //   json_verify jsonl FILE
 //       Every line of FILE parses as a JSON object (structured log check).
+//   json_verify prom FILE [--require-series a,b,c]
+//       FILE is Prometheus text exposition format 0.0.4: every non-comment
+//       line is "<name>{...} <number>", every series has a # TYPE, and
+//       every named series is present.
+//   json_verify tracez FILE [--min-traces N] [--require-complete]
+//       FILE is a /tracez dump: a traces array of request traces each
+//       carrying trace_id and the five stage timestamps (queued/admitted/
+//       batched/inferred/replied _us). --require-complete additionally
+//       demands every trace reached all five stages in order (no zeros) —
+//       the shape of a run with no shed/expired requests.
+//   json_verify json FILE [--require-keys a,b.c]
+//       FILE parses as one JSON object containing every named key
+//       (dot-separated paths descend into nested objects).
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -142,12 +156,158 @@ int VerifyJsonl(const std::string& path) {
   return 0;
 }
 
+bool IsNumber(const std::string& token) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+int VerifyProm(const std::string& path,
+               const std::vector<std::string>& required) {
+  std::ifstream file(path);
+  if (!file) return Fail("cannot read " + path);
+  std::set<std::string> typed;  // names with a # TYPE line
+  std::set<std::string> series;
+  std::string line;
+  int lineno = 0, samples = 0;
+  while (std::getline(file, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <kind>" — remember the declared name.
+      std::istringstream comment(line);
+      std::string hash, keyword, name;
+      comment >> hash >> keyword >> name;
+      if (keyword == "TYPE" && !name.empty()) typed.insert(name);
+      continue;
+    }
+    // "<name>[{labels}] <value>"
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      return Fail(path + " line " + std::to_string(lineno) +
+                  ": no value separator");
+    }
+    if (!IsNumber(line.substr(space + 1))) {
+      return Fail(path + " line " + std::to_string(lineno) +
+                  ": value is not a number");
+    }
+    std::string name = line.substr(0, space);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) name = name.substr(0, brace);
+    if (name.empty()) {
+      return Fail(path + " line " + std::to_string(lineno) + ": empty name");
+    }
+    // Histogram _bucket/_sum/_count samples belong to the base TYPE name.
+    std::string base = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (base.size() > s.size() &&
+          base.compare(base.size() - s.size(), s.size(), s) == 0) {
+        const std::string stripped = base.substr(0, base.size() - s.size());
+        if (typed.count(stripped) > 0) base = stripped;
+        break;
+      }
+    }
+    if (typed.count(base) == 0) {
+      return Fail(path + " line " + std::to_string(lineno) + ": series " +
+                  name + " has no # TYPE declaration");
+    }
+    series.insert(name);
+    ++samples;
+  }
+  for (const std::string& name : required) {
+    if (series.count(name) == 0) {
+      return Fail("required series \"" + name + "\" absent from " + path);
+    }
+  }
+  std::printf("json_verify: OK prom %s (%zu series, %d samples)\n",
+              path.c_str(), series.size(), samples);
+  return 0;
+}
+
+int VerifyTracez(const std::string& path, int min_traces,
+                 bool require_complete) {
+  std::string text;
+  if (!ReadFile(path, &text)) return Fail("cannot read " + path);
+  auto parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) return Fail(path + ": " + parsed.status().ToString());
+  const JsonValue* traces = parsed->Get("traces");
+  if (traces == nullptr || !traces->is_array()) {
+    return Fail("missing \"traces\" array");
+  }
+  if (static_cast<int>(traces->size()) < min_traces) {
+    return Fail("only " + std::to_string(traces->size()) +
+                " traces, expected >= " + std::to_string(min_traces));
+  }
+  static const char* kStages[] = {"queued_us", "admitted_us", "batched_us",
+                                  "inferred_us", "replied_us"};
+  for (size_t i = 0; i < traces->size(); ++i) {
+    const JsonValue& t = (*traces)[i];
+    if (t.GetNumber("trace_id", 0.0) <= 0.0) {
+      return Fail("trace " + std::to_string(i) + " missing trace_id");
+    }
+    for (const char* stage : kStages) {
+      if (t.Get(stage) == nullptr) {
+        return Fail("trace " + std::to_string(i) + " missing " + stage);
+      }
+    }
+    if (require_complete) {
+      double prev = 0.0;
+      for (const char* stage : kStages) {
+        const double v = t.GetNumber(stage, 0.0);
+        if (v <= 0.0) {
+          return Fail("trace " + std::to_string(i) + " never reached " +
+                      stage);
+        }
+        if (v < prev) {
+          return Fail("trace " + std::to_string(i) + " stage " + stage +
+                      " precedes the previous stage");
+        }
+        prev = v;
+      }
+    }
+  }
+  std::printf("json_verify: OK tracez %s (%zu traces%s)\n", path.c_str(),
+              traces->size(), require_complete ? ", all complete" : "");
+  return 0;
+}
+
+int VerifyJson(const std::string& path,
+               const std::vector<std::string>& required_keys) {
+  std::string text;
+  if (!ReadFile(path, &text)) return Fail("cannot read " + path);
+  auto parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) return Fail(path + ": " + parsed.status().ToString());
+  if (!parsed->is_object()) return Fail(path + ": not a JSON object");
+  for (const std::string& key : required_keys) {
+    const JsonValue* node = &parsed.value();
+    for (const std::string& part : trail::Split(key, '.')) {
+      node = node->Get(part);
+      if (node == nullptr) {
+        return Fail("required key \"" + key + "\" absent from " + path);
+      }
+    }
+  }
+  std::printf("json_verify: OK json %s (%zu keys required)\n", path.c_str(),
+              required_keys.size());
+  return 0;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  for (int i = 3; i < argc; ++i) {
+    if (name == argv[i]) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: json_verify <manifest|trace|jsonl> FILE [flags]\n");
+                 "usage: json_verify <manifest|trace|jsonl|prom|tracez|json> "
+                 "FILE [flags]\n");
     return 2;
   }
   std::string mode = argv[1];
@@ -165,6 +325,23 @@ int main(int argc, char** argv) {
   }
   if (mode == "jsonl") {
     return VerifyJsonl(path);
+  }
+  if (mode == "prom") {
+    std::vector<std::string> required;
+    std::string req = GetFlag(argc, argv, "--require-series", "");
+    if (!req.empty()) required = trail::Split(req, ',');
+    return VerifyProm(path, required);
+  }
+  if (mode == "tracez") {
+    int min_traces = std::stoi(GetFlag(argc, argv, "--min-traces", "1"));
+    return VerifyTracez(path, min_traces,
+                        HasFlag(argc, argv, "--require-complete"));
+  }
+  if (mode == "json") {
+    std::vector<std::string> required;
+    std::string req = GetFlag(argc, argv, "--require-keys", "");
+    if (!req.empty()) required = trail::Split(req, ',');
+    return VerifyJson(path, required);
   }
   std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
   return 2;

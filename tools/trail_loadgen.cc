@@ -4,6 +4,16 @@
 //   trail_loadgen --port P --mode open --rate 500 --requests 2000
 //   trail_loadgen --port P --op ping|stats|hot_swap|save_checkpoint|
 //                          list_events|shutdown [--path FILE]
+//   trail_loadgen --port P --http-get /statusz [--repeat N]
+//                          [--interval-ms MS]
+//
+// `--http-get` targets the admin plane instead of the LDJSON port: it
+// issues a raw HTTP/1.1 GET for the path against 127.0.0.1:P, prints the
+// response body, and exits nonzero unless the status is 200. With
+// --repeat N it re-fetches N times (sleeping --interval-ms between
+// fetches, default 0) and prints a scrape-latency summary JSON instead of
+// the body — how tools/bench_observability.sh measures /metrics scrape
+// cost under load without curl.
 //
 // Load modes fetch a working set of event report-ids via list_events, then
 // fire {"op":"attribute"} requests and report a latency/throughput summary
@@ -37,6 +47,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -131,6 +142,20 @@ class LineClient {
     return JsonValue::Parse(reply);
   }
 
+  /// Everything until the server closes (HTTP with Connection: close —
+  /// unlike RecvLine this keeps a final unterminated line).
+  std::string RecvToEof() {
+    std::string out = std::move(pending_);
+    pending_.clear();
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return out;
+      out.append(buf, static_cast<size_t>(n));
+    }
+  }
+
  private:
   int fd_ = -1;
   std::string pending_;
@@ -141,6 +166,7 @@ struct Sample {
   double latency_ms = 0.0;
   size_t batch_size = 0;
   std::string code;  // empty when ok
+  bool has_trace_id = false;
 };
 
 struct Totals {
@@ -148,9 +174,13 @@ struct Totals {
   std::vector<size_t> batch_sizes;
   std::map<std::string, int64_t> by_code;  // "" key = ok
   int64_t ok = 0, shed = 0, expired = 0, failed = 0;
+  /// Replies (any status) carrying a nonzero "trace_id" — should equal the
+  /// reply count whenever the server runs the tracing plane.
+  int64_t with_trace_id = 0;
 
   void Add(const Sample& s) {
     ++by_code[s.code];
+    if (s.has_trace_id) ++with_trace_id;
     if (s.code.empty()) {
       ++ok;
       ok_latencies_ms.push_back(s.latency_ms);
@@ -168,6 +198,7 @@ struct Totals {
 Sample ParseReply(const JsonValue& reply, double latency_ms) {
   Sample s;
   s.latency_ms = latency_ms;
+  s.has_trace_id = reply.GetNumber("trace_id", 0.0) > 0.0;
   if (reply.GetBool("ok")) {
     s.batch_size = static_cast<size_t>(reply.GetNumber("batch_size"));
   } else {
@@ -200,6 +231,8 @@ JsonValue Summarize(const Totals& totals, double duration_s,
   out.Set("deadline_exceeded",
           JsonValue::MakeNumber(static_cast<double>(totals.expired)));
   out.Set("failed", JsonValue::MakeNumber(static_cast<double>(totals.failed)));
+  out.Set("with_trace_id",
+          JsonValue::MakeNumber(static_cast<double>(totals.with_trace_id)));
   out.Set("throughput_rps",
           JsonValue::MakeNumber(
               duration_s > 0 ? static_cast<double>(totals.ok) / duration_s
@@ -326,6 +359,7 @@ int RunClosed(const std::string& host, int port,
       totals->shed += local.shed;
       totals->expired += local.expired;
       totals->failed += local.failed;
+      totals->with_trace_id += local.with_trace_id;
     });
   }
   for (auto& w : workers) w.join();
@@ -390,6 +424,87 @@ int RunOpen(const std::string& host, int port,
   return 0;
 }
 
+/// One raw HTTP/1.1 GET against the admin plane. Returns the full response
+/// (headers + body) or an error; the caller splits out what it needs.
+Result<std::string> HttpGetRaw(const std::string& host, int port,
+                               const std::string& path) {
+  LineClient client;
+  TRAIL_RETURN_NOT_OK(client.Connect(host, port));
+  // SendLine appends the final '\n', completing the blank line that
+  // terminates the header block.
+  TRAIL_RETURN_NOT_OK(client.SendLine("GET " + path + " HTTP/1.1\r\nHost: " +
+                                      host + "\r\nConnection: close\r\n\r"));
+  // The admin plane closes after one response; drain to EOF.
+  std::string response = client.RecvToEof();
+  if (response.empty()) return Status::IoError("empty HTTP response");
+  return response;
+}
+
+int HttpStatusOf(const std::string& response) {
+  // "HTTP/1.1 200 OK"
+  const size_t sp = response.find(' ');
+  if (sp == std::string::npos) return 0;
+  return std::atoi(response.c_str() + sp + 1);
+}
+
+std::string HttpBodyOf(const std::string& response) {
+  // Headers end at the first blank line. The line-wise reader strips '\n'
+  // but keeps '\r', so the terminator is "\r\n\r\n" in the reassembled
+  // text ("\n\n" if a server ever sent bare-LF headers).
+  size_t end = response.find("\r\n\r\n");
+  if (end != std::string::npos) return response.substr(end + 4);
+  end = response.find("\n\n");
+  if (end != std::string::npos) return response.substr(end + 2);
+  return "";
+}
+
+int RunHttpGet(int argc, char** argv, const std::string& host, int port,
+               const std::string& path) {
+  const int64_t repeat = IntFlag(argc, argv, "--repeat", 1);
+  const int64_t interval_ms = IntFlag(argc, argv, "--interval-ms", 0);
+  std::vector<double> latencies_ms;
+  std::string last_body;
+  int last_status = 0;
+  for (int64_t i = 0; i < repeat; ++i) {
+    if (i > 0 && interval_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const Clock::time_point sent = Clock::now();
+    auto response = HttpGetRaw(host, port, path);
+    if (!response.ok()) {
+      std::fprintf(stderr, "GET %s failed: %s\n", path.c_str(),
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - sent)
+            .count());
+    last_status = HttpStatusOf(response.value());
+    last_body = HttpBodyOf(response.value());
+  }
+  if (repeat <= 1) {
+    std::printf("%s", last_body.c_str());
+    if (!last_body.empty() && last_body.back() != '\n') std::printf("\n");
+  } else {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    double sum = 0.0;
+    for (double v : latencies_ms) sum += v;
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("path", JsonValue::MakeString(path));
+    out.Set("fetches",
+            JsonValue::MakeNumber(static_cast<double>(repeat)));
+    out.Set("status", JsonValue::MakeNumber(static_cast<double>(last_status)));
+    out.Set("mean_ms",
+            JsonValue::MakeNumber(sum /
+                                  static_cast<double>(latencies_ms.size())));
+    out.Set("p50_ms", JsonValue::MakeNumber(Percentile(latencies_ms, 0.50)));
+    out.Set("p99_ms", JsonValue::MakeNumber(Percentile(latencies_ms, 0.99)));
+    out.Set("max_ms", JsonValue::MakeNumber(latencies_ms.back()));
+    std::printf("%s\n", out.Dump(2).c_str());
+  }
+  return last_status == 200 ? 0 : 1;
+}
+
 int RunSingleOp(int argc, char** argv, const std::string& host, int port,
                 const std::string& op) {
   JsonValue request = JsonValue::MakeObject();
@@ -426,6 +541,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string host = GetFlag(argc, argv, "--host", "127.0.0.1");
+
+  const std::string http_get = GetFlag(argc, argv, "--http-get");
+  if (!http_get.empty()) return RunHttpGet(argc, argv, host, port, http_get);
 
   const std::string op = GetFlag(argc, argv, "--op");
   if (!op.empty()) return RunSingleOp(argc, argv, host, port, op);

@@ -5,27 +5,42 @@
 //               [--max-batch N] [--linger-us N] [--queue-depth N]
 //               [--deadline-ms N] [--checkpoint FILE]
 //               [--ae-epochs N] [--gnn-epochs N]
+//               [--admin-port P] [--metrics-interval-s S]
+//               [--slo-latency-ms MS] [--slo-target F] [--trace-ring N]
 //
 // Builds the synthetic TKG, trains (or loads --checkpoint) the models, then
 // serves attribution requests on 127.0.0.1:P (0 = ephemeral). Prints one
 //
-//   READY port=<port> events=<count>
+//   READY port=<port> admin_port=<port> events=<count>
 //
-// line to stdout once accepting, which is what tools/bench_serving.sh and
-// tools/check_serving.sh wait for. Stops on {"op":"shutdown"} or SIGINT is
-// not handled — use the shutdown op for a clean exit with metrics export.
+// line to stdout once accepting (admin_port=0 when no admin plane), which
+// is what tools/bench_serving.sh and tools/check_serving.sh wait for. Stops
+// on {"op":"shutdown"} or SIGINT is not handled — use the shutdown op for a
+// clean exit with metrics export.
 //
 // Observability flags (--log-level, --trace-out, --manifest-out,
 // --metrics-out, --threads) work as in trail_cli; serve.* metrics and the
 // span.serve.batch histogram land in the --metrics-out Prometheus dump.
+// The live plane (docs/OBSERVABILITY.md):
+//
+//   --admin-port P          mount /metrics /healthz /readyz /statusz
+//                           /tracez /logz on 127.0.0.1:P (0 = ephemeral)
+//   --metrics-interval-s S  rewrite --metrics-out every S seconds via
+//                           atomic rename while serving (not just at exit)
+//   --slo-latency-ms MS     request latency objective (default 250)
+//   --slo-target F          availability objective, e.g. 0.999
+//   --trace-ring N          /tracez ring capacity (0 disables retention)
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/trail.h"
+#include "obs/log_sinks.h"
 #include "obs/manifest.h"
 #include "osint/feed_client.h"
 #include "osint/world.h"
+#include "serve/admin.h"
 #include "serve/attribution_service.h"
 #include "serve/frontend.h"
 #include "serve/line_server.h"
@@ -56,7 +71,13 @@ bool HasFlag(int argc, char** argv, const std::string& name) {
   return false;
 }
 
-int Run(int argc, char** argv) {
+double DoubleFlag(int argc, char** argv, const std::string& name,
+                  double fallback) {
+  std::string v = GetFlag(argc, argv, name);
+  return v.empty() ? fallback : std::stod(v);
+}
+
+int Run(int argc, char** argv, const obs::RunContext& run) {
   osint::WorldConfig config;
   config.seed = static_cast<uint64_t>(IntFlag(argc, argv, "--seed", 42));
   config.num_apts = static_cast<int>(IntFlag(argc, argv, "--apts", 8));
@@ -102,6 +123,24 @@ int Run(int argc, char** argv) {
   // The paper's realistic setting: the model sees no analyst labels, so
   // every request in a micro-batch shares one GNN forward.
   serve_options.hide_neighbor_labels = HasFlag(argc, argv, "--hide-labels");
+  serve_options.trace_ring_capacity =
+      static_cast<size_t>(IntFlag(argc, argv, "--trace-ring", 2048));
+  serve_options.slo.latency_ms =
+      DoubleFlag(argc, argv, "--slo-latency-ms", 250.0);
+  serve_options.slo.objective = DoubleFlag(argc, argv, "--slo-target", 0.999);
+
+  // The /logz tail. Stderr text stays on (RunContext already keeps it when
+  // --log-json is in play; otherwise we register it alongside the ring so
+  // adding a sink does not silence the console).
+  obs::RingBufferSink log_ring(512);
+  obs::ScopedLogSink ring_registration(&log_ring);
+  std::unique_ptr<obs::StderrTextSink> stderr_sink;
+  std::unique_ptr<obs::ScopedLogSink> stderr_registration;
+  if (GetFlag(argc, argv, "--log-json").empty()) {
+    stderr_sink = std::make_unique<obs::StderrTextSink>();
+    stderr_registration =
+        std::make_unique<obs::ScopedLogSink>(stderr_sink.get());
+  }
 
   serve::AttributionService service(&trail, serve_options);
   serve::Frontend frontend(&service);
@@ -111,12 +150,47 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("READY port=%d events=%zu\n", server.port(),
+
+  serve::AdminPlane admin(&service, &log_ring);
+  int admin_port = 0;
+  if (HasFlag(argc, argv, "--admin-port")) {
+    st = admin.Start(static_cast<int>(IntFlag(argc, argv, "--admin-port", 0)));
+    if (!st.ok()) {
+      std::fprintf(stderr, "admin start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    admin_port = admin.port();
+  }
+
+  // Periodic live flush of --metrics-out (atomic rename; the exit-time dump
+  // still happens in RunContext). Refresh the SLO gauges before each dump
+  // and log one structured SLO line per flush so long-running servers leave
+  // a burn-rate trail even without a scraper.
+  std::unique_ptr<obs::PeriodicMetricsFlusher> flusher;
+  const double metrics_interval_s =
+      DoubleFlag(argc, argv, "--metrics-interval-s", 0.0);
+  if (metrics_interval_s > 0 && !run.metrics_path().empty()) {
+    flusher = std::make_unique<obs::PeriodicMetricsFlusher>(
+        run.metrics_path(), metrics_interval_s, [&service] {
+          service.UpdateSloGauges();
+          const obs::SloTracker& slo = service.slo();
+          const obs::SlidingWindow::Snapshot w5m = slo.Window(300);
+          TRAIL_LOG(Info) << "slo availability_5m=" << w5m.availability
+                          << " p99_5m_ms=" << w5m.p99_s * 1e3
+                          << " burn_rate_5m=" << slo.BurnRate(300)
+                          << " burn_rate_1h=" << slo.BurnRate(3600);
+        });
+  }
+
+  std::printf("READY port=%d admin_port=%d events=%zu\n", server.port(),
+              admin_port,
               trail.graph().NodesOfType(graph::NodeType::kEvent).size());
   std::fflush(stdout);
 
   server.Wait();
   server.Stop();
+  if (flusher != nullptr) flusher->Stop();
+  admin.Stop();
   service.Shutdown();
   const serve::AttributionService::Stats stats = service.GetStats();
   std::fprintf(stderr,
@@ -136,7 +210,7 @@ int Run(int argc, char** argv) {
 int main(int argc, char** argv) {
   trail::SetLogLevel(trail::LogLevel::kWarning);
   trail::obs::RunContext run("trail_serve", argc, argv);
-  int rc = Run(argc, argv);
+  int rc = Run(argc, argv, run);
   run.set_exit_code(rc);
   return rc;
 }
