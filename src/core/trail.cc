@@ -99,6 +99,10 @@ constexpr uint32_t kCheckpointVersion = 1;
 
 Status Trail::SaveCheckpoint(const std::string& path) const {
   TRAIL_TRACE_SPAN("core.save_checkpoint");
+  // The APT roster lives in builder_, which concurrent
+  // AppendReportsAndPublish calls mutate; serialize with publishers so a
+  // live checkpoint save never reads a half-grown roster.
+  std::lock_guard<std::mutex> lock(publish_mu_);
   std::shared_ptr<ModelSlot> slot = Slot();
   if (!slot->gnn.trained() || !slot->encoders.fitted()) {
     return Status::FailedPrecondition("TrainModels before SaveCheckpoint");
@@ -223,11 +227,14 @@ Status Trail::FineTuneGnn(int epochs) {
   return Status::Ok();
 }
 
-Trail::Attribution Trail::MakeAttribution(
-    const std::vector<double>& probs) const {
-  Attribution attribution;
+namespace {
+
+Trail::Attribution MakeAttributionFrom(
+    const std::vector<std::string>& apt_names,
+    const std::vector<double>& probs) {
+  Trail::Attribution attribution;
   for (size_t c = 0; c < probs.size(); ++c) {
-    attribution.distribution.emplace_back(builder_.apt_names()[c], probs[c]);
+    attribution.distribution.emplace_back(apt_names[c], probs[c]);
   }
   std::sort(attribution.distribution.begin(), attribution.distribution.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
@@ -235,12 +242,101 @@ Trail::Attribution Trail::MakeAttribution(
     attribution.apt_name = attribution.distribution[0].first;
     attribution.confidence = attribution.distribution[0].second;
     for (size_t c = 0; c < probs.size(); ++c) {
-      if (builder_.apt_names()[c] == attribution.apt_name) {
+      if (apt_names[c] == attribution.apt_name) {
         attribution.apt = static_cast<int>(c);
       }
     }
   }
   return attribution;
+}
+
+/// The one batch-attribution implementation, shared by the classic
+/// (slot-view) path and the epoch path so the two are bit-identical by
+/// construction: both hand this function a graph, a trained GNN, and a
+/// model view of that graph — where those come from is the caller's policy.
+std::vector<Result<Trail::Attribution>> AttributeBatchImpl(
+    const graph::PropertyGraph& g, const gnn::EventGnn& gnn,
+    const gnn::GnnGraph& view, const std::vector<std::string>& apt_names,
+    const std::vector<NodeId>& events, bool hide_neighbor_labels) {
+  std::vector<Result<Trail::Attribution>> out;
+  out.reserve(events.size());
+  if (!gnn.trained()) {
+    for (size_t i = 0; i < events.size(); ++i) {
+      out.push_back(
+          Status::FailedPrecondition("TrainModels before GNN attribution"));
+    }
+    return out;
+  }
+
+  // The visible-label context every request shares: all analyst labels.
+  // AttributeWithGnn(e) removes e's own label from it — a no-op for
+  // unlabeled events (the serving case), so those share one forward pass.
+  // Labeled events genuinely see a different context and each get their
+  // own pass (one per distinct node; duplicates share).
+  std::vector<int> base(g.num_nodes(), -1);
+  {
+    TRAIL_TRACE_SPAN("core.batch_label_context");
+    if (!hide_neighbor_labels) {
+      for (NodeId v : g.NodesOfType(NodeType::kEvent)) {
+        if (g.label(v) >= 0) base[v] = g.label(v);
+      }
+    }
+  }
+
+  bool need_shared = false;
+  for (NodeId event : events) {
+    if (event < g.num_nodes() && g.type(event) == NodeType::kEvent &&
+        (hide_neighbor_labels || g.label(event) < 0)) {
+      need_shared = true;
+      break;
+    }
+  }
+  ml::Matrix shared_probs;
+  std::map<NodeId, ml::Matrix> labeled_probs;
+  {
+    // The inference stage proper, separated from the context build above so
+    // a serving trace can tell model time from bookkeeping time (the
+    // "batched -> inferred" stage in /tracez is dominated by this block).
+    TRAIL_TRACE_SPAN("core.batch_forward");
+    if (need_shared) {
+      TRAIL_METRIC_INC("core.gnn_batch_forwards");
+      shared_probs = gnn.PredictProba(view, base);
+    }
+    // Per-event forwards for already-labeled events, deduplicated by node.
+    for (NodeId event : events) {
+      if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) {
+        continue;
+      }
+      if (hide_neighbor_labels || g.label(event) < 0) continue;
+      if (labeled_probs.count(event) > 0) continue;
+      TRAIL_METRIC_INC("core.gnn_batch_forwards");
+      std::vector<int> visible = base;
+      visible[event] = -1;
+      labeled_probs.emplace(event, gnn.PredictProba(view, visible));
+    }
+  }
+
+  for (NodeId event : events) {
+    if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) {
+      out.push_back(Status::InvalidArgument("not an event node"));
+      continue;
+    }
+    const ml::Matrix& probs_matrix =
+        (hide_neighbor_labels || g.label(event) < 0)
+            ? shared_probs
+            : labeled_probs.at(event);
+    auto row = probs_matrix.Row(event);
+    std::vector<double> probs(row.begin(), row.end());
+    out.push_back(MakeAttributionFrom(apt_names, probs));
+  }
+  return out;
+}
+
+}  // namespace
+
+Trail::Attribution Trail::MakeAttribution(
+    const std::vector<double>& probs) const {
+  return MakeAttributionFrom(builder_.apt_names(), probs);
 }
 
 Result<Trail::Attribution> Trail::AttributeWithLp(NodeId event) const {
@@ -302,81 +398,101 @@ std::vector<Result<Trail::Attribution>> Trail::AttributeBatchWithGnn(
     const std::vector<NodeId>& events, bool hide_neighbor_labels) const {
   TRAIL_TRACE_SPAN("core.attribute_gnn_batch");
   TRAIL_METRIC_ADD("core.gnn_attributions", events.size());
-  std::vector<Result<Attribution>> out;
-  out.reserve(events.size());
   std::shared_ptr<ModelSlot> slot = Slot();
   if (!slot->gnn.trained()) {
+    std::vector<Result<Attribution>> out;
+    out.reserve(events.size());
     for (size_t i = 0; i < events.size(); ++i) {
       out.push_back(
           Status::FailedPrecondition("TrainModels before GNN attribution"));
     }
     return out;
   }
-  const graph::PropertyGraph& g = builder_.graph();
+  return AttributeBatchImpl(builder_.graph(), slot->gnn, ViewOf(*slot),
+                            builder_.apt_names(), events,
+                            hide_neighbor_labels);
+}
 
-  // The visible-label context every request shares: all analyst labels.
-  // AttributeWithGnn(e) removes e's own label from it — a no-op for
-  // unlabeled events (the serving case), so those share one forward pass.
-  // Labeled events genuinely see a different context and each get their
-  // own pass (one per distinct node; duplicates share).
-  std::vector<int> base(g.num_nodes(), -1);
-  {
-    TRAIL_TRACE_SPAN("core.batch_label_context");
-    if (!hide_neighbor_labels) {
-      for (NodeId v : g.NodesOfType(NodeType::kEvent)) {
-        if (g.label(v) >= 0) base[v] = g.label(v);
-      }
-    }
-  }
+std::vector<Result<Trail::Attribution>> Trail::AttributeBatchOnEpoch(
+    const Epoch& epoch, const std::vector<NodeId>& events,
+    bool hide_neighbor_labels) {
+  TRAIL_TRACE_SPAN("core.attribute_gnn_batch");
+  TRAIL_METRIC_ADD("core.gnn_attributions", events.size());
+  return AttributeBatchImpl(*epoch.graph, *epoch.gnn, *epoch.view,
+                            epoch.apt_names, events, hide_neighbor_labels);
+}
 
-  bool need_shared = false;
-  for (NodeId event : events) {
-    if (event < g.num_nodes() && g.type(event) == NodeType::kEvent &&
-        (hide_neighbor_labels || g.label(event) < 0)) {
-      need_shared = true;
-      break;
-    }
+void Trail::PublishEpochLocked(const Epoch* share_graph_from) {
+  std::shared_ptr<ModelSlot> slot = Slot();
+  auto next = std::make_shared<Epoch>();
+  next->model_generation = model_generation();
+  next->apt_names = builder_.apt_names();
+  next->retire_probe = epoch_retire_probe_;
+  if (share_graph_from != nullptr) {
+    // The TKG did not change (model hot-swap): share the immutable graph
+    // and CSR structurally with the previous epoch instead of copying.
+    next->graph = share_graph_from->graph;
+    next->csr = share_graph_from->csr;
+  } else {
+    // Deep-copy the graph + CSR off to the side. Already-pinned epochs and
+    // the classic in-place caches are untouched; the copy is the honest
+    // price of publication (O(graph) memcpy-heavy work, no re-encode —
+    // the incremental extension already happened in the mutable caches).
+    next->graph =
+        std::make_shared<const graph::PropertyGraph>(builder_.graph());
+    next->csr = std::make_shared<const graph::CsrGraph>(Csr());
   }
-  ml::Matrix shared_probs;
-  std::map<NodeId, ml::Matrix> labeled_probs;
-  {
-    // The inference stage proper, separated from the context build above so
-    // a serving trace can tell model time from bookkeeping time (the
-    // "batched -> inferred" stage in /tracez is dominated by this block).
-    TRAIL_TRACE_SPAN("core.batch_forward");
-    if (need_shared) {
-      TRAIL_METRIC_INC("core.gnn_batch_forwards");
-      shared_probs = slot->gnn.PredictProba(ViewOf(*slot), base);
-    }
-    // Per-event forwards for already-labeled events, deduplicated by node.
-    for (NodeId event : events) {
-      if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) {
-        continue;
-      }
-      if (hide_neighbor_labels || g.label(event) < 0) continue;
-      if (labeled_probs.count(event) > 0) continue;
-      TRAIL_METRIC_INC("core.gnn_batch_forwards");
-      std::vector<int> visible = base;
-      visible[event] = -1;
-      labeled_probs.emplace(event,
-                            slot->gnn.PredictProba(ViewOf(*slot), visible));
-    }
-  }
+  // Aliasing pointers into the model slot keep the whole slot alive for as
+  // long as any pin of this epoch survives — the original hot-swap
+  // drain-before-retire contract, now extended to the graph.
+  next->encoders = std::shared_ptr<const IocEncoders>(slot, &slot->encoders);
+  next->gnn = std::shared_ptr<const gnn::EventGnn>(slot, &slot->gnn);
+  // The view is always copied, never aliased: classic AppendReports extends
+  // slot->view's matrices in place, which may reallocate under a concurrent
+  // epoch reader.
+  next->view = std::make_shared<const gnn::GnnGraph>(ViewOf(*slot));
+  const uint64_t gen =
+      epoch_generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  next->epoch_generation = gen;
+  epoch_.store(std::shared_ptr<const Epoch>(std::move(next)),
+               std::memory_order_release);
+  TRAIL_METRIC_SET("core.epoch_generation", static_cast<double>(gen));
+  TRAIL_METRIC_INC("core.epochs_published");
+}
 
-  for (NodeId event : events) {
-    if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) {
-      out.push_back(Status::InvalidArgument("not an event node"));
-      continue;
-    }
-    const ml::Matrix& probs_matrix =
-        (hide_neighbor_labels || g.label(event) < 0)
-            ? shared_probs
-            : labeled_probs.at(event);
-    auto row = probs_matrix.Row(event);
-    std::vector<double> probs(row.begin(), row.end());
-    out.push_back(MakeAttribution(probs));
+Status Trail::PublishEpoch() {
+  TRAIL_TRACE_SPAN("core.publish_epoch");
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::shared_ptr<ModelSlot> slot = Slot();
+  if (!slot->gnn.trained() || !slot->encoders.fitted()) {
+    return Status::FailedPrecondition("TrainModels before PublishEpoch");
   }
-  return out;
+  PublishEpochLocked(nullptr);
+  return Status::Ok();
+}
+
+Result<TkgAppendDelta> Trail::AppendReportsAndPublish(
+    const std::vector<osint::PulseReport>& reports) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  auto delta = AppendReports(reports);
+  if (!delta.ok()) return delta;
+  // Before the first publish (models untrained) there is nothing to
+  // snapshot; the call degrades to a plain serialized append.
+  if (PinEpoch() != nullptr) PublishEpochLocked(nullptr);
+  return delta;
+}
+
+Status Trail::LoadCheckpointAndPublish(const std::string& path) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::shared_ptr<const Epoch> prev = PinEpoch();
+  TRAIL_RETURN_NOT_OK(LoadCheckpoint(path));
+  PublishEpochLocked(prev.get());
+  return Status::Ok();
+}
+
+void Trail::SetEpochRetireProbeForTest(std::function<void(uint64_t)> probe) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  epoch_retire_probe_ = std::move(probe);
 }
 
 NodeId Trail::FindEvent(const std::string& report_id) const {

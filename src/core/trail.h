@@ -2,9 +2,11 @@
 #define TRAIL_CORE_TRAIL_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/encoders.h"
@@ -26,6 +28,38 @@ struct TrailOptions {
 /// Serializes the full option tree for run manifests, so every recorded run
 /// can be reproduced from its manifest alone.
 JsonValue OptionsToJson(const TrailOptions& options);
+
+/// One immutable, atomically published snapshot of everything the inference
+/// path reads: the TKG, its CSR form, the trained models, and the encoded
+/// model view — the RCU generalization of the model hot-swap slot. Readers
+/// pin an epoch with one acquire load (Trail::PinEpoch) and hold it for the
+/// duration of a batch; publishers build the next epoch entirely off to the
+/// side and install it with one atomic store. Nothing in an epoch is ever
+/// mutated after publication, so a pinned epoch is bitwise stable no matter
+/// how many appends or hot-swaps land while a batch is in flight, and a
+/// retired epoch frees itself when the last in-flight reader drops its
+/// reference (drain-before-retire by shared_ptr refcount — no reader locks,
+/// no reader-writer convoy).
+struct Epoch {
+  /// Bumped by every publish (append, hot-swap, or explicit PublishEpoch).
+  uint64_t epoch_generation = 0;
+  /// Trail::model_generation at publish time (bumps only on model swaps).
+  uint64_t model_generation = 0;
+  std::shared_ptr<const graph::PropertyGraph> graph;
+  std::shared_ptr<const graph::CsrGraph> csr;
+  /// Alias into the owning model slot: keeps the whole slot alive.
+  std::shared_ptr<const IocEncoders> encoders;
+  std::shared_ptr<const gnn::EventGnn> gnn;
+  std::shared_ptr<const gnn::GnnGraph> view;
+  std::vector<std::string> apt_names;
+
+  /// Test-only retirement hook (SetEpochRetireProbeForTest): fires from the
+  /// destructor of the epoch, i.e. exactly when the last pin drops.
+  std::function<void(uint64_t)> retire_probe;
+  ~Epoch() {
+    if (retire_probe) retire_probe(epoch_generation);
+  }
+};
 
 /// The TRAIL system facade — the paper's full pipeline behind one object:
 /// ingest attributed OSINT reports into the TKG, train the analysis models,
@@ -119,6 +153,60 @@ class Trail {
   /// Event node for a report id; kInvalidNode when absent.
   graph::NodeId FindEvent(const std::string& report_id) const;
 
+  // --- Epoch plane (serving read path; see struct Epoch) -------------------
+  //
+  // Mutators that end in `AndPublish` serialize against each other on an
+  // internal publish mutex that readers never take: PinEpoch is one atomic
+  // acquire load, so the inference path is lock-free regardless of how many
+  // appends and hot-swaps are racing it.
+
+  /// The currently published epoch, pinned for as long as the caller holds
+  /// the returned pointer. Nullptr until the first successful PublishEpoch /
+  /// *AndPublish mutator.
+  std::shared_ptr<const Epoch> PinEpoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes an initial epoch snapshotting the current graph + models.
+  /// FailedPrecondition until TrainModels / LoadCheckpoint has succeeded.
+  /// Idempotent in effect (republishing the same state is harmless).
+  Status PublishEpoch();
+
+  /// AppendReports, then publish the resulting state as a new epoch. The
+  /// classic in-place caches (CSR cache, model-slot view) are extended
+  /// incrementally exactly as AppendReports does; the new epoch then deep-
+  /// copies graph + CSR + view off to the side so already-pinned epochs stay
+  /// bitwise stable. When no epoch is published yet (models untrained) this
+  /// degrades to plain AppendReports.
+  Result<TkgAppendDelta> AppendReportsAndPublish(
+      const std::vector<osint::PulseReport>& reports);
+
+  /// LoadCheckpoint (the model hot-swap), then publish a new epoch pairing
+  /// the freshly installed models with the current graph. The graph + CSR
+  /// are shared structurally with the previous epoch when one exists — a
+  /// hot-swap does not change the TKG, only the model view.
+  Status LoadCheckpointAndPublish(const std::string& path);
+
+  /// Generation of the most recently published epoch (0 = none yet).
+  uint64_t epoch_generation() const {
+    return epoch_generation_.load(std::memory_order_acquire);
+  }
+
+  /// Installs a hook copied into every subsequently published epoch and
+  /// fired from its destructor — i.e. at the exact moment the retired epoch's
+  /// last pin drops. Test-only (epoch_lifecycle_test uses it to prove
+  /// drain-before-retire); pass nullptr to clear.
+  void SetEpochRetireProbeForTest(std::function<void(uint64_t)> probe);
+
+  /// AttributeBatchWithGnn evaluated entirely against a pinned epoch: reads
+  /// only `epoch`, never this Trail's mutable state, so any number of
+  /// workers can run it concurrently with appends and hot-swaps. Element i
+  /// is bit-identical to what the sequential AttributeWithGnn(events[i])
+  /// loop would produce against the same snapshot.
+  static std::vector<Result<Attribution>> AttributeBatchOnEpoch(
+      const Epoch& epoch, const std::vector<graph::NodeId>& events,
+      bool hide_neighbor_labels = false);
+
   /// Writes a run manifest (build info, the option tree, graph scale, and
   /// every registry metric) to `path` — the machine-readable record of what
   /// this pipeline instance did.
@@ -171,12 +259,25 @@ class Trail {
   const gnn::GnnGraph& ViewOf(ModelSlot& slot) const;
   Attribution MakeAttribution(const std::vector<double>& probs) const;
 
+  /// Builds the next epoch from the current builder/caches/slot state and
+  /// installs it. Caller must hold publish_mu_. `share_graph_from` (may be
+  /// null) donates graph + CSR shared_ptrs when the TKG itself is unchanged
+  /// (hot-swap); otherwise both are deep-copied from the current state.
+  void PublishEpochLocked(const Epoch* share_graph_from);
+
   TrailOptions options_;
   TkgBuilder builder_;
   std::atomic<std::shared_ptr<ModelSlot>> models_;
   std::atomic<uint64_t> generation_{0};
 
   mutable std::unique_ptr<graph::CsrGraph> csr_cache_;
+
+  /// Epoch plane. Publishers (PublishEpoch, *AndPublish, SaveCheckpoint's
+  /// roster read) serialize on publish_mu_; readers only ever touch epoch_.
+  mutable std::mutex publish_mu_;
+  std::atomic<std::shared_ptr<const Epoch>> epoch_{nullptr};
+  std::atomic<uint64_t> epoch_generation_{0};
+  std::function<void(uint64_t)> epoch_retire_probe_;
 };
 
 }  // namespace trail::core

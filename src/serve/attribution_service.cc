@@ -28,6 +28,19 @@ AttributionService::AttributionService(core::Trail* trail,
     trace_ring_ = std::make_unique<obs::RequestTraceRing>(
         options_.trace_ring_capacity);
   }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.workers.resize(std::max<size_t>(1, options_.workers));
+  }
+  // The serving read path runs entirely on pinned epochs; publish a fresh
+  // one up front so the first batch never races a lazily built snapshot
+  // (and so a Trail mutated between service instances is re-snapshotted).
+  // Untrained models have no epoch to publish — batches then resolve
+  // FailedPrecondition exactly as the classic path did.
+  if (trail_->models_trained()) {
+    Status published = trail_->PublishEpoch();
+    TRAIL_CHECK(published.ok()) << published;
+  }
   if (options_.auto_start) Start();
 }
 
@@ -37,7 +50,11 @@ void AttributionService::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_ || stopping_) return;
   started_ = true;
-  worker_ = std::thread([this] { WorkerLoop(); });
+  const size_t n = std::max<size_t>(1, options_.workers);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
 }
 
 void AttributionService::Shutdown() {
@@ -45,22 +62,26 @@ void AttributionService::Shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       // A concurrent or earlier Shutdown owns the join; nothing to do here
-      // beyond waiting for the worker via the joinable check below.
+      // beyond waiting for the workers via the joinable checks below.
     }
     stopping_ = true;
   }
   cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
   // Never started: answer whatever queued (possible with auto_start=false).
-  std::deque<Request> leftover;
+  std::array<std::deque<Request>, kNumPriorities> leftover;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    leftover.swap(queue_);
+    leftover.swap(queues_);
   }
-  for (Request& request : leftover) {
-    ServeResponse response;
-    response.status = Status::Overloaded("service shut down before serving");
-    Resolve(&request, std::move(response));
+  for (std::deque<Request>& queue : leftover) {
+    for (Request& request : queue) {
+      ServeResponse response;
+      response.status = Status::Overloaded("service shut down before serving");
+      Resolve(&request, std::move(response));
+    }
   }
 }
 
@@ -103,15 +124,17 @@ std::future<ServeResponse> AttributionService::Submit(Request request,
         request.submitted_at + std::chrono::milliseconds(deadline_ms);
   }
   std::future<ServeResponse> future = request.promise.get_future();
+  const size_t cls = static_cast<size_t>(request.priority);
+  const bool bulk = request.priority == Priority::kBulk;
   bool shed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ || queue_.size() >= options_.queue_depth) {
+    if (stopping_ || queues_[cls].size() >= options_.queue_depth) {
       shed = true;
     } else {
       request.admitted_us = obs::TraceRecorder::NowMicros();
-      queue_.push_back(std::move(request));
-      TRAIL_METRIC_SET("serve.queue_depth", queue_.size());
+      queues_[cls].push_back(std::move(request));
+      TRAIL_METRIC_SET("serve.queue_depth", TotalQueuedLocked());
     }
   }
   if (shed) {
@@ -119,6 +142,7 @@ std::future<ServeResponse> AttributionService::Submit(Request request,
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.shed;
+      ++(bulk ? stats_.bulk_shed : stats_.interactive_shed);
     }
     ServeResponse response;
     response.status = Status::Overloaded(
@@ -130,63 +154,112 @@ std::future<ServeResponse> AttributionService::Submit(Request request,
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.submitted;
+    ++(bulk ? stats_.bulk_submitted : stats_.interactive_submitted);
   }
   cv_.notify_one();
   return future;
 }
 
 std::future<ServeResponse> AttributionService::SubmitEvent(
-    graph::NodeId event, int64_t deadline_ms) {
+    graph::NodeId event, int64_t deadline_ms, Priority priority) {
   Request request;
   request.kind = Request::Kind::kEvent;
+  request.priority = priority;
   request.event = event;
   return Submit(std::move(request), deadline_ms);
 }
 
 std::future<ServeResponse> AttributionService::SubmitReportId(
-    std::string report_id, int64_t deadline_ms) {
+    std::string report_id, int64_t deadline_ms, Priority priority) {
   Request request;
   request.kind = Request::Kind::kReportId;
+  request.priority = priority;
   request.payload = std::move(report_id);
   return Submit(std::move(request), deadline_ms);
 }
 
 std::future<ServeResponse> AttributionService::SubmitReportJson(
-    std::string report_json, int64_t deadline_ms) {
+    std::string report_json, int64_t deadline_ms, Priority priority) {
   Request request;
   request.kind = Request::Kind::kReportJson;
+  request.priority = priority;
   request.payload = std::move(report_json);
   return Submit(std::move(request), deadline_ms);
 }
 
-void AttributionService::WorkerLoop() {
+size_t AttributionService::PickClassLocked() const {
+  constexpr size_t kInteractiveIdx =
+      static_cast<size_t>(Priority::kInteractive);
+  constexpr size_t kBulkIdx = static_cast<size_t>(Priority::kBulk);
+  if (queues_[kBulkIdx].empty()) return kInteractiveIdx;
+  if (queues_[kInteractiveIdx].empty()) return kBulkIdx;
+  // Both classes are waiting: interactive wins, unless it has already won
+  // `bulk_starvation_bound` times in a row with bulk still waiting.
+  if (options_.bulk_starvation_bound > 0 &&
+      consecutive_interactive_ >= options_.bulk_starvation_bound) {
+    return kBulkIdx;
+  }
+  return kInteractiveIdx;
+}
+
+void AttributionService::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::vector<Request> batch;
+    bool promoted_bulk = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and fully drained
+      cv_.wait(lock,
+               [this] { return stopping_ || TotalQueuedLocked() > 0; });
+      if (TotalQueuedLocked() == 0) return;  // stopping and fully drained
       // Dynamic micro-batching: the batch opens with the first waiting
-      // request and closes on max_batch_size or max_linger_us, whichever
-      // comes first. While draining a shutdown, flush immediately.
+      // request of the picked class and closes on max_batch_size or
+      // max_linger_us, whichever comes first. Batches are homogeneous in
+      // priority so an interactive flush is never delayed by bulk work
+      // coalesced behind it. While draining a shutdown, flush immediately.
+      size_t cls = PickClassLocked();
       if (!stopping_ && options_.max_linger_us > 0) {
         const Clock::time_point flush_at =
             Clock::now() + std::chrono::microseconds(options_.max_linger_us);
-        while (queue_.size() < options_.max_batch_size && !stopping_) {
+        while (queues_[cls].size() < options_.max_batch_size && !stopping_) {
           if (cv_.wait_until(lock, flush_at) == std::cv_status::timeout) {
             break;
           }
         }
       }
-      const size_t take = std::min(queue_.size(), options_.max_batch_size);
+      if (queues_[cls].empty()) {
+        // Another worker drained this class while we lingered (or the
+        // linger admitted only the other class); re-pick from the top.
+        continue;
+      }
+      constexpr size_t kBulkIdx = static_cast<size_t>(Priority::kBulk);
+      if (cls == static_cast<size_t>(Priority::kInteractive)) {
+        // Starvation accounting: count this interactive batch only if bulk
+        // work is actually waiting behind it.
+        if (!queues_[kBulkIdx].empty()) {
+          ++consecutive_interactive_;
+        } else {
+          consecutive_interactive_ = 0;
+        }
+      } else {
+        promoted_bulk = !queues_[static_cast<size_t>(Priority::kInteractive)]
+                             .empty();
+        consecutive_interactive_ = 0;
+      }
+      const size_t take =
+          std::min(queues_[cls].size(), options_.max_batch_size);
       batch.reserve(take);
       for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+        batch.push_back(std::move(queues_[cls].front()));
+        queues_[cls].pop_front();
       }
-      TRAIL_METRIC_SET("serve.queue_depth", queue_.size());
+      TRAIL_METRIC_SET("serve.queue_depth", TotalQueuedLocked());
     }
-    RunBatch(std::move(batch));
+    if (promoted_bulk) {
+      TRAIL_METRIC_INC("serve.bulk_promotions");
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.bulk_promotions;
+    }
+    RunBatch(std::move(batch), worker_index);
   }
 }
 
@@ -210,8 +283,10 @@ void AttributionService::IngestBatchReports(std::vector<Request>* batch,
   }
   if (reports.empty()) return;
 
-  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
-  auto delta = trail_->AppendReports(reports);
+  // Serializes internally against other appending workers and hot-swaps on
+  // the Trail's publish mutex, then publishes a new epoch; batches already
+  // in flight elsewhere keep their pinned snapshot.
+  auto delta = trail_->AppendReportsAndPublish(reports);
   if (!delta.ok()) {
     for (size_t i : report_requests) {
       ServeResponse response;
@@ -221,13 +296,20 @@ void AttributionService::IngestBatchReports(std::vector<Request>* batch,
     }
     return;
   }
+  // Duplicate lookups read the epoch this append just published (it
+  // contains every event this delta touched); the builder graph itself may
+  // already be mutating under a concurrent worker's append.
+  std::shared_ptr<const core::Epoch> epoch = trail_->PinEpoch();
   for (size_t r = 0; r < report_requests.size(); ++r) {
     const size_t i = report_requests[r];
     graph::NodeId event = delta->event_nodes[r];
     if (event == graph::kInvalidNode) {
       // Duplicate delivery: the report is already in the TKG; attribute the
       // event it produced back then.
-      event = trail_->FindEvent(reports[r].id);
+      event = epoch != nullptr
+                  ? epoch->graph->FindNode(graph::NodeType::kEvent,
+                                           reports[r].id)
+                  : trail_->FindEvent(reports[r].id);
     }
     if (event == graph::kInvalidNode) {
       ServeResponse response;
@@ -242,7 +324,8 @@ void AttributionService::IngestBatchReports(std::vector<Request>* batch,
   }
 }
 
-void AttributionService::RunBatch(std::vector<Request> batch) {
+void AttributionService::RunBatch(std::vector<Request> batch,
+                                  size_t worker_index) {
   TRAIL_TRACE_SPAN("serve.batch");
   TRAIL_METRIC_INC("serve.batches");
   TRAIL_METRIC_OBSERVE("serve.batch_size", batch.size());
@@ -264,6 +347,12 @@ void AttributionService::RunBatch(std::vector<Request> batch) {
     ++stats_.batch_size_counts[batch.size()];
     stats_.max_batch_size = std::max(stats_.max_batch_size, batch.size());
     stats_.completed += batch.size();
+    if (worker_index < stats_.workers.size()) {
+      WorkerStats& ws = stats_.workers[worker_index];
+      ++ws.batches;
+      ws.requests += batch.size();
+      ws.last_batch_size = batch.size();
+    }
   }
 
   std::vector<bool> done(batch.size(), false);
@@ -286,60 +375,73 @@ void AttributionService::RunBatch(std::vector<Request> batch) {
     }
   }
 
-  // 2. Delta-append raw incident reports (the only graph mutation).
+  // 2. Delta-append raw incident reports (publishes a new epoch).
   IngestBatchReports(&batch, &done);
 
-  // 3. One batched GNN forward for everything still live.
+  // 3. Pin the current epoch — one atomic acquire load, no lock — and run
+  // one batched GNN forward for everything still live against that
+  // immutable snapshot. Appends and hot-swaps landing from here on publish
+  // later epochs and cannot perturb this batch; the pin is dropped when
+  // `epoch` goes out of scope (retiring the epoch if it was the last).
+  std::shared_ptr<const core::Epoch> epoch = trail_->PinEpoch();
   std::vector<size_t> live;
   std::vector<graph::NodeId> events;
-  {
-    std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
-    for (size_t i = 0; i < batch.size(); ++i) {
-      if (done[i]) continue;
-      if (batch[i].kind == Request::Kind::kReportId) {
-        batch[i].event = trail_->FindEvent(batch[i].payload);
-        if (batch[i].event == graph::kInvalidNode) {
-          ServeResponse response;
-          response.status =
-              Status::NotFound("no ingested report with id: " +
-                               batch[i].payload);
-          Resolve(&batch[i], std::move(response));
-          done[i] = true;
-          continue;
-        }
-      }
-      live.push_back(i);
-      events.push_back(batch[i].event);
-    }
-    if (!events.empty()) {
-      auto results = trail_->AttributeBatchWithGnn(
-          events, options_.hide_neighbor_labels);
-      const Clock::time_point finished_at = Clock::now();
-      const int64_t inferred_us = obs::TraceRecorder::NowMicros();
-      for (size_t r = 0; r < live.size(); ++r) {
-        Request& request = batch[live[r]];
-        request.inferred_us = inferred_us;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (done[i]) continue;
+    if (batch[i].kind == Request::Kind::kReportId) {
+      batch[i].event =
+          epoch != nullptr
+              ? epoch->graph->FindNode(graph::NodeType::kEvent,
+                                       batch[i].payload)
+              : trail_->FindEvent(batch[i].payload);
+      if (batch[i].event == graph::kInvalidNode) {
         ServeResponse response;
-        response.event = events[r];
-        response.batch_size = batch.size();
-        response.queue_seconds = Seconds(formed_at - request.submitted_at);
-        if (request.has_deadline && request.deadline < finished_at) {
-          // The work happened but too late to be useful; report that
-          // honestly instead of pretending the deadline held.
-          TRAIL_METRIC_INC("serve.deadline_expired");
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          ++stats_.deadline_expired;
-          response.status =
-              Status::DeadlineExceeded("batch finished after the deadline");
-        } else if (results[r].ok()) {
-          response.status = Status::Ok();
-          response.attribution = std::move(results[r]).value();
-        } else {
-          response.status = results[r].status();
-        }
-        Resolve(&request, std::move(response));
-        done[live[r]] = true;
+        response.status =
+            Status::NotFound("no ingested report with id: " +
+                             batch[i].payload);
+        Resolve(&batch[i], std::move(response));
+        done[i] = true;
+        continue;
       }
+    }
+    live.push_back(i);
+    events.push_back(batch[i].event);
+  }
+  if (!events.empty()) {
+    // No epoch means the models were never trained (nothing was ever
+    // published): answer with the same FailedPrecondition the classic
+    // batch path produces.
+    auto results =
+        epoch != nullptr
+            ? core::Trail::AttributeBatchOnEpoch(*epoch, events,
+                                                 options_.hide_neighbor_labels)
+            : trail_->AttributeBatchWithGnn(events,
+                                            options_.hide_neighbor_labels);
+    const Clock::time_point finished_at = Clock::now();
+    const int64_t inferred_us = obs::TraceRecorder::NowMicros();
+    for (size_t r = 0; r < live.size(); ++r) {
+      Request& request = batch[live[r]];
+      request.inferred_us = inferred_us;
+      ServeResponse response;
+      response.event = events[r];
+      response.batch_size = batch.size();
+      response.queue_seconds = Seconds(formed_at - request.submitted_at);
+      if (request.has_deadline && request.deadline < finished_at) {
+        // The work happened but too late to be useful; report that
+        // honestly instead of pretending the deadline held.
+        TRAIL_METRIC_INC("serve.deadline_expired");
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.deadline_expired;
+        response.status =
+            Status::DeadlineExceeded("batch finished after the deadline");
+      } else if (results[r].ok()) {
+        response.status = Status::Ok();
+        response.attribution = std::move(results[r]).value();
+      } else {
+        response.status = results[r].status();
+      }
+      Resolve(&request, std::move(response));
+      done[live[r]] = true;
     }
   }
 
@@ -353,15 +455,16 @@ void AttributionService::RunBatch(std::vector<Request> batch) {
 
 Status AttributionService::HotSwapCheckpoint(const std::string& path) {
   TRAIL_TRACE_SPAN("serve.hot_swap");
-  // Serialize swappers; share the graph with in-flight batches so staging
-  // (blob parse + EncodeAll of the new slot, inside LoadCheckpoint) never
-  // pauses serving — only appends wait, and only for the staging window.
+  // Serialize swappers here; against appending workers the swap serializes
+  // on the Trail's publish mutex inside LoadCheckpointAndPublish. Batches
+  // never wait: staging (blob parse + EncodeAll of the new slot) happens
+  // off to the side and the new epoch lands with one atomic store, while
+  // in-flight batches keep serving their pinned epoch until they drain.
   std::lock_guard<std::mutex> swap_lock(swap_mu_);
-  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
   // /readyz goes transiently not-ready for the staging window so a load
   // balancer can drain instead of racing the swap.
   swapping_.store(true, std::memory_order_release);
-  Status loaded = trail_->LoadCheckpoint(path);
+  Status loaded = trail_->LoadCheckpointAndPublish(path);
   swapping_.store(false, std::memory_order_release);
   TRAIL_RETURN_NOT_OK(loaded);
   TRAIL_METRIC_INC("serve.hot_swaps");
@@ -374,14 +477,19 @@ Status AttributionService::HotSwapCheckpoint(const std::string& path) {
 }
 
 Status AttributionService::SaveCheckpoint(const std::string& path) const {
-  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  // Trail::SaveCheckpoint serializes internally against epoch publishers.
   return trail_->SaveCheckpoint(path);
 }
 
 std::vector<std::string> AttributionService::SampleEventIds(
     size_t limit) const {
-  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
-  const graph::PropertyGraph& g = trail_->graph();
+  // Read the pinned epoch's graph — immutable under concurrent appends.
+  // Before the first publish (untrained models) the builder graph is only
+  // mutated by this service's own workers, which cannot run attribution
+  // either, so the direct read is safe in the states this is called in.
+  std::shared_ptr<const core::Epoch> epoch = trail_->PinEpoch();
+  const graph::PropertyGraph& g =
+      epoch != nullptr ? *epoch->graph : trail_->graph();
   std::vector<graph::NodeId> events =
       g.NodesOfType(graph::NodeType::kEvent);
   std::vector<std::string> out;
@@ -400,7 +508,12 @@ AttributionService::Stats AttributionService::GetStats() const {
 
 size_t AttributionService::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return TotalQueuedLocked();
+}
+
+size_t AttributionService::QueueDepth(Priority priority) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queues_[static_cast<size_t>(priority)].size();
 }
 
 bool AttributionService::Ready() const {
@@ -414,8 +527,17 @@ JsonValue AttributionService::StatusJson() const {
   out.Set("ready", JsonValue::MakeBool(Ready()));
   out.Set("model_generation",
           JsonValue::MakeNumber(static_cast<double>(ModelGeneration())));
+  out.Set("epoch_generation",
+          JsonValue::MakeNumber(static_cast<double>(EpochGeneration())));
   out.Set("queue_depth",
           JsonValue::MakeNumber(static_cast<double>(QueueDepth())));
+  JsonValue queue_json = JsonValue::MakeObject();
+  queue_json.Set("interactive",
+                 JsonValue::MakeNumber(static_cast<double>(
+                     QueueDepth(Priority::kInteractive))));
+  queue_json.Set("bulk", JsonValue::MakeNumber(static_cast<double>(
+                             QueueDepth(Priority::kBulk))));
+  out.Set("queue", std::move(queue_json));
   const Stats stats = GetStats();
   JsonValue stats_json = JsonValue::MakeObject();
   stats_json.Set("submitted",
@@ -434,7 +556,34 @@ JsonValue AttributionService::StatusJson() const {
   stats_json.Set("max_batch_size",
                  JsonValue::MakeNumber(
                      static_cast<double>(stats.max_batch_size)));
+  stats_json.Set("interactive_submitted",
+                 JsonValue::MakeNumber(
+                     static_cast<double>(stats.interactive_submitted)));
+  stats_json.Set("bulk_submitted",
+                 JsonValue::MakeNumber(
+                     static_cast<double>(stats.bulk_submitted)));
+  stats_json.Set("interactive_shed",
+                 JsonValue::MakeNumber(
+                     static_cast<double>(stats.interactive_shed)));
+  stats_json.Set("bulk_shed",
+                 JsonValue::MakeNumber(static_cast<double>(stats.bulk_shed)));
+  stats_json.Set("bulk_promotions",
+                 JsonValue::MakeNumber(
+                     static_cast<double>(stats.bulk_promotions)));
   out.Set("stats", std::move(stats_json));
+  JsonValue workers_json = JsonValue::MakeArray();
+  for (const WorkerStats& ws : stats.workers) {
+    JsonValue worker = JsonValue::MakeObject();
+    worker.Set("batches",
+               JsonValue::MakeNumber(static_cast<double>(ws.batches)));
+    worker.Set("requests",
+               JsonValue::MakeNumber(static_cast<double>(ws.requests)));
+    worker.Set("last_batch_size",
+               JsonValue::MakeNumber(
+                   static_cast<double>(ws.last_batch_size)));
+    workers_json.Append(std::move(worker));
+  }
+  out.Set("workers", std::move(workers_json));
   out.Set("slo", slo_.ToJson());
   JsonValue options_json = JsonValue::MakeObject();
   options_json.Set("max_batch_size",
@@ -446,6 +595,13 @@ JsonValue AttributionService::StatusJson() const {
   options_json.Set("queue_depth",
                    JsonValue::MakeNumber(
                        static_cast<double>(options_.queue_depth)));
+  options_json.Set("workers",
+                   JsonValue::MakeNumber(
+                       static_cast<double>(std::max<size_t>(
+                           1, options_.workers))));
+  options_json.Set("bulk_starvation_bound",
+                   JsonValue::MakeNumber(
+                       static_cast<double>(options_.bulk_starvation_bound)));
   options_json.Set("trace_ring_capacity",
                    JsonValue::MakeNumber(
                        static_cast<double>(options_.trace_ring_capacity)));

@@ -1,6 +1,7 @@
 #ifndef TRAIL_SERVE_ATTRIBUTION_SERVICE_H_
 #define TRAIL_SERVE_ATTRIBUTION_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -10,7 +11,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +22,18 @@
 
 namespace trail::serve {
 
+/// Cross-connection admission class. Interactive attributions (an analyst
+/// waiting on a verdict) are admitted ahead of bulk backfill (historical
+/// re-attribution sweeps, batch ingests), bounded by
+/// ServeOptions::bulk_starvation_bound so bulk always makes progress.
+enum class Priority : uint8_t {
+  kInteractive = 0,
+  kBulk = 1,
+};
+
+/// Number of admission classes (the two-level queue).
+inline constexpr size_t kNumPriorities = 2;
+
 /// Tuning knobs of the serving subsystem (see docs/SERVING.md).
 struct ServeOptions {
   /// Flush a micro-batch when this many requests have coalesced...
@@ -30,9 +42,21 @@ struct ServeOptions {
   /// whichever comes first. 0 flushes immediately (no coalescing beyond
   /// whatever is already queued).
   int64_t max_linger_us = 2000;
-  /// Admission bound: requests beyond this many queued are shed with an
-  /// explicit kOverloaded status instead of queueing unboundedly.
+  /// Admission bound per priority class: requests beyond this many queued
+  /// in their class are shed with an explicit kOverloaded status instead of
+  /// queueing unboundedly. (Per-class so a bulk backfill flood can never
+  /// crowd interactive traffic out of the admission queue.)
   size_t queue_depth = 256;
+  /// Number of independent inference workers. Each forms its own
+  /// micro-batches from the shared two-level admission queue and flushes
+  /// them concurrently against its pinned epoch (core::Trail::PinEpoch), so
+  /// batches overlap on multi-core hosts without any reader lock.
+  size_t workers = 1;
+  /// Starvation bound of the two-level queue: after this many consecutive
+  /// interactive batches formed while bulk requests were waiting, the next
+  /// batch is taken from the bulk queue regardless. 0 disables the bound
+  /// (bulk is served only when no interactive request waits).
+  size_t bulk_starvation_bound = 4;
   /// Deadline applied to requests that do not carry their own, in
   /// milliseconds from submission. 0 disables the default deadline.
   int64_t default_deadline_ms = 0;
@@ -73,23 +97,31 @@ struct ServeResponse {
 };
 
 /// The in-process attribution server: accepts concurrent requests from any
-/// thread, coalesces them in a dynamic micro-batcher (flush on
+/// thread, coalesces them in dynamic micro-batchers (flush on
 /// max_batch_size or max_linger_us, whichever first), and runs each batch
-/// through Trail::AttributeBatchWithGnn so the GNN forward cost is
+/// through Trail::AttributeBatchOnEpoch so the GNN forward cost is
 /// amortized over the whole batch — the PR 4 follow-up of keeping GEMM `n`
-/// large under serving traffic. Admission is bounded: beyond `queue_depth`
-/// waiting requests, submissions resolve immediately with kOverloaded (shed,
-/// never silently dropped), and per-request deadlines resolve to
-/// kDeadlineExceeded. Raw incident-report JSON is delta-appended to the TKG
-/// (Trail::AppendReports) before its batch is attributed.
+/// large under serving traffic. Admission is a two-level priority queue
+/// (interactive ahead of bulk, starvation-bounded) and bounded per class:
+/// beyond `queue_depth` waiting requests of a class, submissions resolve
+/// immediately with kOverloaded (shed, never silently dropped), and
+/// per-request deadlines resolve to kDeadlineExceeded. Raw incident-report
+/// JSON is delta-appended to the TKG (Trail::AppendReportsAndPublish)
+/// before its batch is attributed.
 ///
-/// Threading: submissions and stats are safe from any thread. One worker
-/// thread owns all Trail mutation (appends) and inference; checkpoint
-/// hot-swaps run on the caller's thread, staging the new model slot off to
-/// the side (Trail::LoadCheckpoint) under a shared graph lock so in-flight
-/// batches keep serving the old generation until they drain — zero
-/// downtime, zero failed requests. The Trail must not be mutated by other
-/// threads while the service is running (drain with Shutdown first).
+/// Threading: submissions and stats are safe from any thread. N worker
+/// threads (`options.workers`) each form micro-batches from the shared
+/// admission queue and flush them concurrently: at flush time a worker pins
+/// the current epoch (one atomic acquire load — no graph lock anywhere on
+/// the inference path) and every read of its batch happens against that
+/// immutable snapshot. Appends and checkpoint hot-swaps build the next
+/// epoch off to the side and publish it with one atomic store; in-flight
+/// batches keep serving their pinned epoch until they drain, and the
+/// retired epoch frees itself when the last pin drops — zero downtime,
+/// zero failed requests, no reader-writer convoy. The Trail may be mutated
+/// concurrently only through this service (or Trail's *AndPublish
+/// mutators); classic mutators (Ingest, TrainModels, FineTuneGnn) still
+/// require the service to be drained first.
 class AttributionService {
  public:
   AttributionService(core::Trail* trail, ServeOptions options);
@@ -98,29 +130,32 @@ class AttributionService {
   AttributionService(const AttributionService&) = delete;
   AttributionService& operator=(const AttributionService&) = delete;
 
-  /// Starts the worker thread (idempotent; the constructor already does
+  /// Starts the worker threads (idempotent; the constructor already does
   /// this unless options.auto_start is false).
   void Start();
 
   /// Stops admission (subsequent submissions are shed), drains every
-  /// queued request through the normal batch path, and joins the worker.
+  /// queued request through the normal batch path, and joins the workers.
   /// Idempotent; also run by the destructor.
   void Shutdown();
 
   /// Attribute an existing event node. `deadline_ms` < 0 applies the
   /// configured default; 0 means no deadline.
-  std::future<ServeResponse> SubmitEvent(graph::NodeId event,
-                                         int64_t deadline_ms = -1);
+  std::future<ServeResponse> SubmitEvent(
+      graph::NodeId event, int64_t deadline_ms = -1,
+      Priority priority = Priority::kInteractive);
 
   /// Attribute the event of an already-ingested report by its report id.
-  std::future<ServeResponse> SubmitReportId(std::string report_id,
-                                            int64_t deadline_ms = -1);
+  std::future<ServeResponse> SubmitReportId(
+      std::string report_id, int64_t deadline_ms = -1,
+      Priority priority = Priority::kInteractive);
 
   /// Ingest a raw incident-report JSON (the feed wire format) into the TKG
   /// via delta-append, then attribute its event in the same micro-batch.
   /// Duplicate deliveries attribute the already-ingested event.
-  std::future<ServeResponse> SubmitReportJson(std::string report_json,
-                                              int64_t deadline_ms = -1);
+  std::future<ServeResponse> SubmitReportJson(
+      std::string report_json, int64_t deadline_ms = -1,
+      Priority priority = Priority::kInteractive);
 
   /// Swaps in the models of a SaveCheckpoint blob with zero downtime: the
   /// new model slot (including its pre-encoded view of the current graph)
@@ -137,6 +172,13 @@ class AttributionService {
   /// graph — the load generator's working set.
   std::vector<std::string> SampleEventIds(size_t limit) const;
 
+  /// Per-worker counters (index = worker number).
+  struct WorkerStats {
+    uint64_t batches = 0;
+    uint64_t requests = 0;
+    size_t last_batch_size = 0;
+  };
+
   /// Point-in-time serving counters (also exported via the serve.* metrics;
   /// this struct is for in-process callers like the stats op and tests).
   struct Stats {
@@ -147,13 +189,30 @@ class AttributionService {
     uint64_t batches = 0;
     uint64_t hot_swaps = 0;
     size_t max_batch_size = 0;
+    /// Admission split by class (submitted + shed partition per class).
+    uint64_t interactive_submitted = 0;
+    uint64_t bulk_submitted = 0;
+    uint64_t interactive_shed = 0;
+    uint64_t bulk_shed = 0;
+    /// Bulk batches forced by the starvation bound while interactive
+    /// requests were still waiting (the anti-starvation promotions).
+    uint64_t bulk_promotions = 0;
     /// batch size -> number of batches of that size.
     std::map<size_t, uint64_t> batch_size_counts;
+    /// One entry per inference worker.
+    std::vector<WorkerStats> workers;
   };
   Stats GetStats() const;
 
-  /// Requests currently waiting for a batch (excludes the batch in flight).
+  /// Requests currently waiting for a batch (excludes batches in flight),
+  /// summed over both priority classes.
   size_t QueueDepth() const;
+  /// Waiting requests of one priority class.
+  size_t QueueDepth(Priority priority) const;
+
+  /// Generation of the epoch new batches pin (core::Trail::epoch_generation)
+  /// — bumps on every append publish and hot-swap; surfaced in /statusz.
+  uint64_t EpochGeneration() const { return trail_->epoch_generation(); }
 
   /// True while the service is accepting and the model plane is stable:
   /// started, not shutting down, and no hot-swap staging in flight. /readyz
@@ -189,6 +248,7 @@ class AttributionService {
   struct Request {
     enum class Kind { kEvent, kReportId, kReportJson };
     Kind kind = Kind::kEvent;
+    Priority priority = Priority::kInteractive;
     graph::NodeId event = graph::kInvalidNode;
     std::string payload;  // report id or raw report JSON
     std::chrono::steady_clock::time_point submitted_at;
@@ -211,28 +271,36 @@ class AttributionService {
   /// publishes the trace to the ring, records the SLO sample, and resolves
   /// the promise. Every promise.set_value in this class goes through here.
   void Resolve(Request* request, ServeResponse response);
-  void WorkerLoop();
-  void RunBatch(std::vector<Request> batch);
-  /// Delta-appends the batch's raw-JSON requests and resolves their event
-  /// nodes; failed requests are answered and marked done.
+  void WorkerLoop(size_t worker_index);
+  void RunBatch(std::vector<Request> batch, size_t worker_index);
+  /// Delta-appends the batch's raw-JSON requests (publishing a new epoch)
+  /// and resolves their event nodes; failed requests are answered and
+  /// marked done.
   void IngestBatchReports(std::vector<Request>* batch,
                           std::vector<bool>* done);
+
+  size_t TotalQueuedLocked() const {
+    return queues_[0].size() + queues_[1].size();
+  }
+  /// Which class the next batch should be formed from; requires at least
+  /// one non-empty queue. Implements interactive-first with the bulk
+  /// starvation bound. Caller must hold mu_.
+  size_t PickClassLocked() const;
 
   core::Trail* trail_;
   const ServeOptions options_;
 
-  mutable std::mutex mu_;  // guards queue_, stopping_, started_
+  mutable std::mutex mu_;  // guards queues_, stopping_, started_, counters
   std::condition_variable cv_;
-  std::deque<Request> queue_;
+  /// Two-level admission queue, indexed by Priority.
+  std::array<std::deque<Request>, kNumPriorities> queues_;
+  /// Consecutive interactive batches formed while bulk requests waited;
+  /// reset whenever a bulk batch is formed or the bulk queue drains.
+  size_t consecutive_interactive_ = 0;
   bool started_ = false;
   bool stopping_ = false;
-  std::thread worker_;
+  std::vector<std::thread> workers_;
 
-  /// Appends (worker) take this exclusively; batch inference (worker) and
-  /// hot-swap staging / checkpoint saves / event sampling (any thread) take
-  /// it shared. This is what lets a hot-swap stage its slot while batches
-  /// keep flowing, yet never observe a half-appended graph.
-  mutable std::shared_mutex graph_mu_;
   /// Serializes concurrent HotSwapCheckpoint callers.
   std::mutex swap_mu_;
 

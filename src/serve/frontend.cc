@@ -96,6 +96,12 @@ Reply Frontend::Handle(const std::string& line) {
   const std::string op = request.GetString("op");
   const int64_t deadline_ms =
       static_cast<int64_t>(request.GetNumber("deadline_ms", -1.0));
+  // Cross-connection admission class; anything but "bulk" (including the
+  // absent default) is interactive — an analyst waiting on a verdict should
+  // not need to say so.
+  const Priority priority = request.GetString("priority") == "bulk"
+                                ? Priority::kBulk
+                                : Priority::kInteractive;
 
   if (op == "ping") {
     JsonValue out = BaseResponse(request);
@@ -111,7 +117,8 @@ Reply Frontend::Handle(const std::string& line) {
                                           "attribute needs a \"report\" id"))
                        .Dump());
     }
-    return Deferred(request, service_->SubmitReportId(report, deadline_ms));
+    return Deferred(request,
+                    service_->SubmitReportId(report, deadline_ms, priority));
   }
 
   if (op == "attribute_event") {
@@ -125,7 +132,7 @@ Reply Frontend::Handle(const std::string& line) {
     return Deferred(request,
                     service_->SubmitEvent(
                         static_cast<graph::NodeId>(node->AsInt()),
-                        deadline_ms));
+                        deadline_ms, priority));
   }
 
   if (op == "ingest") {
@@ -137,7 +144,8 @@ Reply Frontend::Handle(const std::string& line) {
                        .Dump());
     }
     return Deferred(request,
-                    service_->SubmitReportJson(report->Dump(), deadline_ms));
+                    service_->SubmitReportJson(report->Dump(), deadline_ms,
+                                               priority));
   }
 
   if (op == "list_events") {
@@ -171,6 +179,16 @@ Reply Frontend::Handle(const std::string& line) {
             JsonValue::MakeNumber(static_cast<double>(stats.hot_swaps)));
     out.Set("max_batch_size",
             JsonValue::MakeNumber(static_cast<double>(stats.max_batch_size)));
+    out.Set("interactive_submitted",
+            JsonValue::MakeNumber(
+                static_cast<double>(stats.interactive_submitted)));
+    out.Set("bulk_submitted",
+            JsonValue::MakeNumber(static_cast<double>(stats.bulk_submitted)));
+    out.Set("bulk_promotions",
+            JsonValue::MakeNumber(static_cast<double>(stats.bulk_promotions)));
+    out.Set("epoch_generation",
+            JsonValue::MakeNumber(
+                static_cast<double>(service_->EpochGeneration())));
     out.Set("queue_depth",
             JsonValue::MakeNumber(
                 static_cast<double>(service_->QueueDepth())));

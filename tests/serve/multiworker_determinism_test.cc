@@ -1,0 +1,201 @@
+// serve-mt tier: determinism of the multi-worker serving plane. The epoch
+// scheme only earns its keep if fanning the micro-batcher out to N workers
+// changes throughput and nothing else — so this suite pins that every
+// reply produced under --workers 1/2/4, at 1/2/8 compute threads, is
+// bit-identical to the sequential single-caller Trail::AttributeWithGnn
+// loop. Submission order is shuffled with seeded generators across several
+// producer threads so the epoch pinning is exercised under real
+// interleavings, not assumed from a quiet queue.
+
+#include "serve/attribution_service.h"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "util/parallel.h"
+
+namespace trail::serve {
+namespace {
+
+osint::WorldConfig TinyConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 3;
+  config.min_events_per_apt = 5;
+  config.max_events_per_apt = 8;
+  config.end_day = 400;
+  config.post_days = 60;
+  config.seed = 29;
+  return config;
+}
+
+core::TrailOptions TinyOptions() {
+  core::TrailOptions options;
+  options.autoencoder.hidden = 16;
+  options.autoencoder.encoding = 8;
+  options.autoencoder.epochs = 1;
+  options.autoencoder.max_train_rows = 200;
+  options.gnn.hidden = 16;
+  options.gnn.epochs = 8;
+  options.gnn.layers = 2;
+  return options;
+}
+
+class ScopedWorkers {
+ public:
+  explicit ScopedWorkers(int n) { SetParallelWorkers(n); }
+  ~ScopedWorkers() { SetParallelWorkers(0); }
+};
+
+class MultiWorkerDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new osint::World(TinyConfig());
+    feed_ = new osint::FeedClient(world_);
+    trail_ = new core::Trail(feed_, TinyOptions());
+    ASSERT_TRUE(
+        trail_->Ingest(feed_->FetchReports(0, TinyConfig().end_day)).ok());
+    ASSERT_TRUE(trail_->TrainModels().ok());
+    events_ = trail_->graph().NodesOfType(graph::NodeType::kEvent);
+    ASSERT_GE(events_.size(), 8u);
+    // The reference: the sequential, single-caller, no-service loop.
+    for (graph::NodeId event : events_) {
+      auto sequential = trail_->AttributeWithGnn(event);
+      ASSERT_TRUE(sequential.ok()) << sequential.status();
+      baseline_[event] = std::move(sequential).value();
+    }
+  }
+  static void TearDownTestSuite() {
+    delete trail_;
+    delete feed_;
+    delete world_;
+    trail_ = nullptr;
+    feed_ = nullptr;
+    world_ = nullptr;
+    events_.clear();
+    baseline_.clear();
+  }
+
+  static void ExpectMatchesBaseline(graph::NodeId event,
+                                    const ServeResponse& response) {
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    const core::Trail::Attribution& expected = baseline_.at(event);
+    EXPECT_EQ(response.attribution.apt, expected.apt);
+    EXPECT_EQ(response.attribution.apt_name, expected.apt_name);
+    // Exact double equality — the bar is bit-identical, not "close".
+    EXPECT_EQ(response.attribution.confidence, expected.confidence);
+    ASSERT_EQ(response.attribution.distribution.size(),
+              expected.distribution.size());
+    for (size_t k = 0; k < expected.distribution.size(); ++k) {
+      EXPECT_EQ(response.attribution.distribution[k].first,
+                expected.distribution[k].first);
+      EXPECT_EQ(response.attribution.distribution[k].second,
+                expected.distribution[k].second);
+    }
+  }
+
+  /// Submits every event (plus duplicates) to a `workers`-worker service
+  /// from `producers` threads, each walking its own seeded shuffle, and
+  /// checks every reply against the sequential baseline.
+  static void RunShuffledLoad(size_t workers, int producers, uint32_t seed) {
+    ServeOptions options;
+    options.max_batch_size = 8;
+    options.max_linger_us = 500;
+    options.queue_depth = 1024;  // nothing sheds; this suite is about bits
+    options.workers = workers;
+    AttributionService service(trail_, options);
+
+    // Three passes over the event set so duplicates land in-flight
+    // together and batches overlap across workers.
+    std::vector<graph::NodeId> work;
+    for (int pass = 0; pass < 3; ++pass) {
+      work.insert(work.end(), events_.begin(), events_.end());
+    }
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        std::vector<graph::NodeId> order = work;
+        std::mt19937 rng(seed + static_cast<uint32_t>(p));
+        std::shuffle(order.begin(), order.end(), rng);
+        std::vector<std::pair<graph::NodeId,
+                              std::future<ServeResponse>>> inflight;
+        for (graph::NodeId event : order) {
+          inflight.emplace_back(event, service.SubmitEvent(event));
+        }
+        for (auto& [event, future] : inflight) {
+          ExpectMatchesBaseline(event, future.get());
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    service.Shutdown();
+
+    AttributionService::Stats stats = service.GetStats();
+    const uint64_t expected_requests =
+        static_cast<uint64_t>(work.size()) * producers;
+    EXPECT_EQ(stats.completed, expected_requests);
+    ASSERT_EQ(stats.workers.size(), workers);
+    // Per-worker accounting partitions the totals exactly.
+    uint64_t worker_requests = 0, worker_batches = 0;
+    for (const AttributionService::WorkerStats& w : stats.workers) {
+      worker_requests += w.requests;
+      worker_batches += w.batches;
+    }
+    EXPECT_EQ(worker_requests, expected_requests);
+    EXPECT_EQ(worker_batches, stats.batches);
+  }
+
+  static osint::World* world_;
+  static osint::FeedClient* feed_;
+  static core::Trail* trail_;
+  static std::vector<graph::NodeId> events_;
+  static std::map<graph::NodeId, core::Trail::Attribution> baseline_;
+};
+
+osint::World* MultiWorkerDeterminismTest::world_ = nullptr;
+osint::FeedClient* MultiWorkerDeterminismTest::feed_ = nullptr;
+core::Trail* MultiWorkerDeterminismTest::trail_ = nullptr;
+std::vector<graph::NodeId> MultiWorkerDeterminismTest::events_;
+std::map<graph::NodeId, core::Trail::Attribution>
+    MultiWorkerDeterminismTest::baseline_;
+
+TEST_F(MultiWorkerDeterminismTest, BitIdenticalAcrossWorkersAndThreads) {
+  // The acceptance matrix: worker fan-out × compute-thread count. Every
+  // combination must reproduce the sequential loop bit for bit (and
+  // tools/check_tests.sh re-runs this under TRAIL_KERNELS=scalar|native).
+  for (size_t workers : {1u, 2u, 4u}) {
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " threads=" + std::to_string(threads));
+      ScopedWorkers scoped(threads);
+      RunShuffledLoad(workers, /*producers=*/2, /*seed=*/17);
+    }
+  }
+}
+
+TEST_F(MultiWorkerDeterminismTest, SeededInterleavingsDoNotChangeReplies) {
+  // Distinct shuffles of the submission order — different batch
+  // compositions, different worker/batch boundaries, same bits.
+  for (uint32_t seed : {1u, 97u, 4099u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    RunShuffledLoad(/*workers=*/4, /*producers=*/3, seed);
+  }
+}
+
+TEST_F(MultiWorkerDeterminismTest, SingleWorkerIsTheDegenerateCase) {
+  // workers=1 must behave exactly like the pre-epoch single micro-batcher:
+  // one worker accounts for every batch.
+  RunShuffledLoad(/*workers=*/1, /*producers=*/2, /*seed=*/5);
+}
+
+}  // namespace
+}  // namespace trail::serve

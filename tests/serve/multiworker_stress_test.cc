@@ -1,0 +1,234 @@
+// tsan + serve-mt tier: the full epoch plane under fire. N inference
+// workers drain mixed-priority traffic while (a) raw-report ingests
+// delta-append to the TKG and publish new epochs, (b) checkpoints hot-swap
+// the model generation, and (c) admin scrapes walk every observability
+// endpoint — all at once. The acceptance bar is the serving plane's
+// headline claim: zero failed requests, zero crashes, zero wedges, with
+// the epoch generation marching forward the whole time. Tiny world/model
+// on purpose: tsan multiplies runtime ~10x and this suite is about
+// interleavings, not accuracy.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "osint/feed_client.h"
+#include "osint/report.h"
+#include "osint/world.h"
+#include "serve/admin.h"
+#include "serve/attribution_service.h"
+
+namespace trail::serve {
+namespace {
+
+osint::WorldConfig TinyConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 3;
+  config.min_events_per_apt = 5;
+  config.max_events_per_apt = 8;
+  config.end_day = 400;
+  config.post_days = 60;
+  config.seed = 37;
+  return config;
+}
+
+core::TrailOptions TinyOptions() {
+  core::TrailOptions options;
+  options.autoencoder.hidden = 16;
+  options.autoencoder.encoding = 8;
+  options.autoencoder.epochs = 1;
+  options.autoencoder.max_train_rows = 200;
+  options.gnn.hidden = 16;
+  options.gnn.epochs = 8;
+  options.gnn.layers = 2;
+  return options;
+}
+
+/// A fresh unlabeled incident report on the feed wire format; `n` must be
+/// unique per submission (duplicate ids short-circuit to attribution).
+std::string SyntheticReportJson(int n) {
+  osint::PulseReport report;
+  report.id = "stress-synth-" + std::to_string(n);
+  report.day = 500 + n;
+  report.indicators.push_back(
+      {"IPv4", "203.0.113." + std::to_string(n % 250 + 1)});
+  report.indicators.push_back(
+      {"domain", "stress-" + std::to_string(n) + ".test"});
+  return report.ToJsonString();
+}
+
+/// Minimal blocking GET; returns the raw response ("" on any failure).
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MultiWorkerStressTest, WorkersAppendsSwapsAndScrapesAllAtOnce) {
+  osint::World world(TinyConfig());
+  osint::FeedClient feed(&world);
+  core::Trail trail(&feed, TinyOptions());
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, TinyConfig().end_day)).ok());
+  ASSERT_TRUE(trail.TrainModels().ok());
+
+  const std::string path = ::testing::TempDir() + "/serve_mt_stress.ckpt";
+  ServeOptions options;
+  options.workers = 4;
+  options.max_batch_size = 8;
+  options.max_linger_us = 500;
+  options.queue_depth = 64;
+  options.trace_ring_capacity = 64;
+  AttributionService service(&trail, options);
+  ASSERT_TRUE(service.SaveCheckpoint(path).ok());
+  const uint64_t start_generation = service.EpochGeneration();
+
+  AdminPlane admin(&service, /*log_ring=*/nullptr);
+  ASSERT_TRUE(admin.Start(0).ok());
+  const int port = admin.port();
+
+  std::vector<graph::NodeId> events =
+      trail.graph().NodesOfType(graph::NodeType::kEvent);
+  ASSERT_FALSE(events.empty());
+
+  // Closed-loop producers: 3 attribution threads with alternating admission
+  // classes, 1 ingest thread delta-appending fresh reports (each append
+  // publishes an epoch). Closed loops never outrun the queue, so every
+  // single request must serve — zero failed requests is the bar.
+  constexpr int kAttributeProducers = 3;
+  constexpr int kPerProducer = 30;
+  constexpr int kIngests = 20;
+  std::atomic<int> failures{0};
+  std::atomic<int> resolved{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kAttributeProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const Priority priority =
+            (p + i) % 3 == 0 ? Priority::kBulk : Priority::kInteractive;
+        ServeResponse response =
+            service
+                .SubmitEvent(events[static_cast<size_t>(p + i) %
+                                    events.size()],
+                             /*deadline_ms=*/0, priority)
+                .get();
+        if (!response.status.ok()) ++failures;
+        ++resolved;
+      }
+    });
+  }
+  producers.emplace_back([&] {
+    for (int i = 0; i < kIngests; ++i) {
+      ServeResponse response =
+          service
+              .SubmitReportJson(SyntheticReportJson(i), /*deadline_ms=*/0,
+                                Priority::kBulk)
+              .get();
+      if (!response.status.ok()) ++failures;
+      ++resolved;
+    }
+  });
+
+  // Paced but promptly-stoppable background churn: condvar waits, not
+  // bare sleeps, so shutdown never trails a sleeping thread.
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  bool stop = false;
+  auto stopped_within = [&](std::chrono::milliseconds pace) {
+    std::unique_lock<std::mutex> lock(stop_mu);
+    return stop_cv.wait_for(lock, pace, [&] { return stop; });
+  };
+  std::thread swapper([&] {
+    int swaps = 0;
+    while (!stopped_within(std::chrono::milliseconds(5))) {
+      ASSERT_TRUE(service.HotSwapCheckpoint(path).ok());
+      ++swaps;
+    }
+    EXPECT_GT(swaps, 0);
+  });
+  std::atomic<int> scrape_failures{0};
+  std::vector<std::thread> scrapers;
+  for (const char* endpoint :
+       {"/metrics", "/statusz", "/tracez", "/healthz"}) {
+    scrapers.emplace_back([&, endpoint] {
+      while (!stopped_within(std::chrono::milliseconds(1))) {
+        if (HttpGet(port, endpoint).find("HTTP/1.1 200") ==
+            std::string::npos) {
+          ++scrape_failures;
+        }
+      }
+    });
+  }
+
+  for (auto& producer : producers) producer.join();
+  {
+    std::lock_guard<std::mutex> lock(stop_mu);
+    stop = true;
+  }
+  stop_cv.notify_all();
+  swapper.join();
+  for (auto& scraper : scrapers) scraper.join();
+  admin.Stop();
+  service.Shutdown();
+
+  EXPECT_EQ(resolved.load(),
+            kAttributeProducers * kPerProducer + kIngests);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(scrape_failures.load(), 0);
+  // Every ingest published at least one epoch on top of the start state,
+  // and the hot-swaps published theirs.
+  EXPECT_GT(service.EpochGeneration(), start_generation);
+  AttributionService::Stats stats = service.GetStats();
+  EXPECT_EQ(stats.completed,
+            static_cast<uint64_t>(kAttributeProducers * kPerProducer +
+                                  kIngests));
+  EXPECT_GT(stats.hot_swaps, 0u);
+  EXPECT_GT(stats.bulk_submitted, 0u);
+  EXPECT_GT(stats.interactive_submitted, 0u);
+  ASSERT_EQ(stats.workers.size(), 4u);
+  uint64_t worker_requests = 0;
+  for (const AttributionService::WorkerStats& w : stats.workers) {
+    worker_requests += w.requests;
+  }
+  EXPECT_EQ(worker_requests, stats.completed);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace trail::serve

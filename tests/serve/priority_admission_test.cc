@@ -1,0 +1,250 @@
+// serve-mt tier: the two-level admission queue (docs/SERVING.md).
+// Interactive attributions overtake queued bulk backfill, the starvation
+// bound guarantees bulk forward progress under sustained interactive
+// pressure, and the per-class accounting (submitted / shed / queue depth)
+// partitions exactly. Ordering is observed through the trace ring's
+// batch_id stamps: with one worker, batch ids are formation order.
+
+#include "serve/attribution_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/request_trace.h"
+#include "obs/trace.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+
+namespace trail::serve {
+namespace {
+
+osint::WorldConfig TinyConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 3;
+  config.min_events_per_apt = 5;
+  config.max_events_per_apt = 8;
+  config.end_day = 400;
+  config.post_days = 60;
+  config.seed = 31;
+  return config;
+}
+
+core::TrailOptions TinyOptions() {
+  core::TrailOptions options;
+  options.autoencoder.hidden = 16;
+  options.autoencoder.encoding = 8;
+  options.autoencoder.epochs = 1;
+  options.autoencoder.max_train_rows = 200;
+  options.gnn.hidden = 16;
+  options.gnn.epochs = 8;
+  options.gnn.layers = 2;
+  return options;
+}
+
+class PriorityAdmissionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    obs::TraceRecorder::NowMicros();  // pin the trace clock epoch
+    world_ = new osint::World(TinyConfig());
+    feed_ = new osint::FeedClient(world_);
+    trail_ = new core::Trail(feed_, TinyOptions());
+    ASSERT_TRUE(
+        trail_->Ingest(feed_->FetchReports(0, TinyConfig().end_day)).ok());
+    ASSERT_TRUE(trail_->TrainModels().ok());
+    events_ = trail_->graph().NodesOfType(graph::NodeType::kEvent);
+    ASSERT_FALSE(events_.empty());
+  }
+  static void TearDownTestSuite() {
+    delete trail_;
+    delete feed_;
+    delete world_;
+    trail_ = nullptr;
+    feed_ = nullptr;
+    world_ = nullptr;
+    events_.clear();
+  }
+
+  static graph::NodeId Event(size_t i) { return events_[i % events_.size()]; }
+
+  /// batch_id the request was served in, looked up in the trace ring.
+  static uint64_t BatchIdOf(const AttributionService& service,
+                            uint64_t trace_id) {
+    for (const obs::RequestTrace& t : service.trace_ring()->Snapshot()) {
+      if (t.trace_id == trace_id) return t.batch_id;
+    }
+    return 0;
+  }
+
+  static osint::World* world_;
+  static osint::FeedClient* feed_;
+  static core::Trail* trail_;
+  static std::vector<graph::NodeId> events_;
+};
+
+osint::World* PriorityAdmissionTest::world_ = nullptr;
+osint::FeedClient* PriorityAdmissionTest::feed_ = nullptr;
+core::Trail* PriorityAdmissionTest::trail_ = nullptr;
+std::vector<graph::NodeId> PriorityAdmissionTest::events_;
+
+TEST_F(PriorityAdmissionTest, InteractiveOvertakesQueuedBulk) {
+  ServeOptions options;
+  options.auto_start = false;  // stage both queues deterministically
+  options.workers = 1;
+  options.max_batch_size = 16;
+  options.max_linger_us = 0;
+  options.bulk_starvation_bound = 0;  // strict interactive-first
+  AttributionService service(trail_, options);
+
+  // Bulk backfill arrives first and queues up...
+  std::vector<std::future<ServeResponse>> bulk;
+  for (int i = 0; i < 8; ++i) {
+    bulk.push_back(service.SubmitEvent(Event(i), /*deadline_ms=*/0,
+                                       Priority::kBulk));
+  }
+  // ...then an analyst asks. The analyst must not wait behind the sweep.
+  std::vector<std::future<ServeResponse>> interactive;
+  for (int i = 0; i < 4; ++i) {
+    interactive.push_back(service.SubmitEvent(Event(i)));
+  }
+  EXPECT_EQ(service.QueueDepth(Priority::kBulk), 8u);
+  EXPECT_EQ(service.QueueDepth(Priority::kInteractive), 4u);
+  service.Start();
+
+  uint64_t max_interactive_batch = 0, min_bulk_batch = UINT64_MAX;
+  for (auto& f : interactive) {
+    ServeResponse response = f.get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    max_interactive_batch = std::max(
+        max_interactive_batch, BatchIdOf(service, response.trace_id));
+  }
+  for (auto& f : bulk) {
+    ServeResponse response = f.get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    min_bulk_batch =
+        std::min(min_bulk_batch, BatchIdOf(service, response.trace_id));
+  }
+  service.Shutdown();
+  // Every interactive batch formed before any bulk batch, despite bulk
+  // being submitted first. Batches are class-homogeneous by construction.
+  EXPECT_LT(max_interactive_batch, min_bulk_batch);
+
+  AttributionService::Stats stats = service.GetStats();
+  EXPECT_EQ(stats.interactive_submitted, 4u);
+  EXPECT_EQ(stats.bulk_submitted, 8u);
+  EXPECT_EQ(stats.bulk_promotions, 0u);
+}
+
+TEST_F(PriorityAdmissionTest, BulkIsNeverStarvedPastTheBound) {
+  constexpr size_t kBound = 2;
+  ServeOptions options;
+  options.auto_start = false;
+  options.workers = 1;
+  options.max_batch_size = 1;  // one request per batch: exact ordering
+  options.max_linger_us = 0;
+  options.bulk_starvation_bound = kBound;
+  AttributionService service(trail_, options);
+
+  std::vector<std::future<ServeResponse>> interactive, bulk;
+  for (int i = 0; i < 10; ++i) {
+    interactive.push_back(service.SubmitEvent(Event(i)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    bulk.push_back(service.SubmitEvent(Event(i), /*deadline_ms=*/0,
+                                       Priority::kBulk));
+  }
+  service.Start();
+
+  std::vector<uint64_t> interactive_batches, bulk_batches;
+  for (auto& f : interactive) {
+    ServeResponse response = f.get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    interactive_batches.push_back(BatchIdOf(service, response.trace_id));
+  }
+  for (auto& f : bulk) {
+    ServeResponse response = f.get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    bulk_batches.push_back(BatchIdOf(service, response.trace_id));
+  }
+  service.Shutdown();
+
+  // The k-th bulk batch waits behind at most (k+1) * bound interactive
+  // batches — the starvation bound, exactly.
+  std::sort(bulk_batches.begin(), bulk_batches.end());
+  for (size_t k = 0; k < bulk_batches.size(); ++k) {
+    size_t interactive_before = 0;
+    for (uint64_t b : interactive_batches) {
+      if (b < bulk_batches[k]) ++interactive_before;
+    }
+    EXPECT_LE(interactive_before, (k + 1) * kBound)
+        << "bulk batch " << k << " starved";
+  }
+  // Both promotions happened while interactive requests were still waiting.
+  EXPECT_EQ(service.GetStats().bulk_promotions, 2u);
+}
+
+TEST_F(PriorityAdmissionTest, SheddingIsPerClass) {
+  ServeOptions options;
+  options.auto_start = false;
+  options.queue_depth = 2;  // per class
+  AttributionService service(trail_, options);
+
+  std::vector<std::future<ServeResponse>> admitted;
+  // Fill the interactive class; the 3rd interactive sheds...
+  admitted.push_back(service.SubmitEvent(Event(0)));
+  admitted.push_back(service.SubmitEvent(Event(1)));
+  ServeResponse shed_interactive = service.SubmitEvent(Event(2)).get();
+  EXPECT_EQ(shed_interactive.status.code(), StatusCode::kOverloaded);
+  // ...but the bulk class has its own budget and still admits.
+  admitted.push_back(service.SubmitEvent(Event(0), /*deadline_ms=*/0,
+                                         Priority::kBulk));
+  admitted.push_back(service.SubmitEvent(Event(1), /*deadline_ms=*/0,
+                                         Priority::kBulk));
+  ServeResponse shed_bulk =
+      service.SubmitEvent(Event(2), /*deadline_ms=*/0, Priority::kBulk)
+          .get();
+  EXPECT_EQ(shed_bulk.status.code(), StatusCode::kOverloaded);
+
+  EXPECT_EQ(service.QueueDepth(Priority::kInteractive), 2u);
+  EXPECT_EQ(service.QueueDepth(Priority::kBulk), 2u);
+  EXPECT_EQ(service.QueueDepth(), 4u);
+  service.Start();
+  for (auto& f : admitted) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+  service.Shutdown();
+
+  AttributionService::Stats stats = service.GetStats();
+  EXPECT_EQ(stats.interactive_submitted, 2u);
+  EXPECT_EQ(stats.interactive_shed, 1u);
+  EXPECT_EQ(stats.bulk_submitted, 2u);
+  EXPECT_EQ(stats.bulk_shed, 1u);
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.submitted, 4u);
+}
+
+TEST_F(PriorityAdmissionTest, DeadlineCodesApplyToBothClasses) {
+  ServeOptions options;
+  options.auto_start = false;
+  AttributionService service(trail_, options);
+  std::future<ServeResponse> doomed_interactive =
+      service.SubmitEvent(Event(0), /*deadline_ms=*/1);
+  std::future<ServeResponse> doomed_bulk =
+      service.SubmitEvent(Event(1), /*deadline_ms=*/1, Priority::kBulk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Start();
+  EXPECT_EQ(doomed_interactive.get().status.code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(doomed_bulk.get().status.code(), StatusCode::kDeadlineExceeded);
+  service.Shutdown();
+  EXPECT_EQ(service.GetStats().deadline_expired, 2u);
+}
+
+}  // namespace
+}  // namespace trail::serve

@@ -14,8 +14,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -115,18 +118,32 @@ TEST_F(ServeConcurrencyTest, ProducersAndHotSwapsMidTraffic) {
   }
   // Hot-swap continuously while traffic flows: zero failed requests is the
   // acceptance bar — the old generation must serve until its batches drain.
-  std::atomic<bool> stop_swapping{false};
+  // The pacing wait is a condvar, not a sleep, so stopping the swapper is
+  // immediate instead of trailing by a sleep quantum.
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  bool stop_swapping = false;
   std::thread swapper([&] {
     int swaps = 0;
-    while (!stop_swapping.load()) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(stop_mu);
+        if (stop_cv.wait_for(lock, std::chrono::milliseconds(2),
+                             [&] { return stop_swapping; })) {
+          break;
+        }
+      }
       ASSERT_TRUE(service.HotSwapCheckpoint(path).ok());
       ++swaps;
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
     EXPECT_GT(swaps, 0);
   });
   for (auto& producer : producers) producer.join();
-  stop_swapping = true;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu);
+    stop_swapping = true;
+  }
+  stop_cv.notify_all();
   swapper.join();
   service.Shutdown();
 
@@ -300,11 +317,18 @@ TEST_F(ServeConcurrencyTest, ScrapesRaceSubmissionsAndHotSwaps) {
     });
   }
 
-  std::atomic<bool> stop{false};
+  // Condvar-paced churn (see ProducersAndHotSwapsMidTraffic): promptly
+  // stoppable, no sleep-quantum flake at shutdown.
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  bool stop_flag = false;
+  auto stopped_within = [&](std::chrono::milliseconds pace) {
+    std::unique_lock<std::mutex> lock(stop_mu);
+    return stop_cv.wait_for(lock, pace, [&] { return stop_flag; });
+  };
   std::thread swapper([&] {
-    while (!stop.load()) {
+    while (!stopped_within(std::chrono::milliseconds(5))) {
       ASSERT_TRUE(service.HotSwapCheckpoint(path).ok());
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
   });
   std::atomic<int> scrape_failures{0};
@@ -312,7 +336,7 @@ TEST_F(ServeConcurrencyTest, ScrapesRaceSubmissionsAndHotSwaps) {
   for (const char* endpoint :
        {"/metrics", "/statusz", "/tracez", "/healthz"}) {
     scrapers.emplace_back([&, endpoint] {
-      while (!stop.load()) {
+      while (!stopped_within(std::chrono::milliseconds(0))) {
         if (HttpGet(port, endpoint).find("HTTP/1.1 200") ==
             std::string::npos) {
           ++scrape_failures;
@@ -323,14 +347,18 @@ TEST_F(ServeConcurrencyTest, ScrapesRaceSubmissionsAndHotSwaps) {
   // /readyz may legitimately flip 503 during a swap's staging window, so it
   // gets its own scraper that only demands *an* HTTP answer.
   scrapers.emplace_back([&] {
-    while (!stop.load()) {
+    while (!stopped_within(std::chrono::milliseconds(0))) {
       std::string response = HttpGet(port, "/readyz");
       if (response.find("HTTP/1.1 ") == std::string::npos) ++scrape_failures;
     }
   });
 
   for (auto& producer : producers) producer.join();
-  stop = true;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu);
+    stop_flag = true;
+  }
+  stop_cv.notify_all();
   swapper.join();
   for (auto& scraper : scrapers) scraper.join();
   admin.Stop();

@@ -210,6 +210,56 @@ TEST_F(TracePropagationTest, QueueDeadlineTracesStopAtTheStageReached) {
   EXPECT_NE(trace.status_code, 0);
 }
 
+TEST_F(TracePropagationTest, BulkClassRequestsCarryFullTraces) {
+  // The admission class must not change what tracing records: a served
+  // bulk request gets the same five ordered stage stamps as interactive.
+  AttributionService service(trail_, ServeOptions{});
+  std::vector<graph::NodeId> events = SomeEvents(1);
+  ServeResponse response =
+      service.SubmitEvent(events[0], /*deadline_ms=*/0, Priority::kBulk)
+          .get();
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  obs::RequestTrace trace = FindTrace(service, response.trace_id);
+  ASSERT_EQ(trace.trace_id, response.trace_id);
+  EXPECT_GT(trace.queued_us, 0);
+  EXPECT_GE(trace.admitted_us, trace.queued_us);
+  EXPECT_GE(trace.batched_us, trace.admitted_us);
+  EXPECT_GE(trace.inferred_us, trace.batched_us);
+  EXPECT_GE(trace.replied_us, trace.inferred_us);
+  EXPECT_EQ(trace.status_code, 0);
+}
+
+TEST_F(TracePropagationTest, BulkShedTracesMatchInteractiveShedShape) {
+  // Per-class admission: overflowing the bulk class sheds with the same
+  // explicit kOverloaded + stage-truncated trace as the interactive path,
+  // while the interactive class stays open.
+  ServeOptions options;
+  options.auto_start = false;
+  options.queue_depth = 1;
+  AttributionService service(trail_, options);
+  std::vector<graph::NodeId> events = SomeEvents(1);
+  std::future<ServeResponse> admitted_bulk =
+      service.SubmitEvent(events[0], /*deadline_ms=*/0, Priority::kBulk);
+  ServeResponse shed =
+      service.SubmitEvent(events[0], /*deadline_ms=*/0, Priority::kBulk)
+          .get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kOverloaded);
+  EXPECT_GT(shed.trace_id, 0u);
+  obs::RequestTrace trace = FindTrace(service, shed.trace_id);
+  ASSERT_EQ(trace.trace_id, shed.trace_id);
+  EXPECT_GT(trace.queued_us, 0);
+  EXPECT_EQ(trace.admitted_us, 0);  // shed at admission, never queued
+  EXPECT_EQ(trace.batched_us, 0);
+  EXPECT_NE(trace.status_code, 0);
+  // The other class is unaffected by this class being full.
+  std::future<ServeResponse> admitted_interactive =
+      service.SubmitEvent(events[0]);
+  service.Start();
+  EXPECT_TRUE(admitted_bulk.get().status.ok());
+  EXPECT_TRUE(admitted_interactive.get().status.ok());
+  EXPECT_EQ(service.GetStats().bulk_shed, 1u);
+}
+
 TEST_F(TracePropagationTest, DisabledRingStillIssuesTraceIds) {
   ServeOptions options;
   options.trace_ring_capacity = 0;

@@ -43,7 +43,7 @@ scrape() {  # scrape PATH OUTFILE
 echo
 echo "== starting trail_serve (small world, ephemeral port) =="
 "$SERVE" --port 0 --apts 4 --end-day 600 --gnn-epochs 20 --ae-epochs 2 \
-    --max-batch 16 --linger-us 1000 \
+    --max-batch 16 --linger-us 1000 --workers 2 \
     --admin-port 0 --trace-ring 2048 --log-level info \
     --metrics-out "$WORK_DIR/metrics.prom" --metrics-interval-s 1 \
     --manifest-out none \
@@ -70,16 +70,21 @@ if [ -z "$ADMIN_PORT" ] || [ "$ADMIN_PORT" -eq 0 ]; then
   echo "check_serving: FAIL — no admin_port in READY line" >&2
   exit 1
 fi
-echo "server ready on port $PORT (admin $ADMIN_PORT)"
+WORKERS="$(sed -n 's/^READY .*workers=\([0-9]*\).*/\1/p' "$WORK_DIR/server.out")"
+if [ "${WORKERS:-0}" -ne 2 ]; then
+  echo "check_serving: FAIL — READY line does not report workers=2" >&2
+  exit 1
+fi
+echo "server ready on port $PORT (admin $ADMIN_PORT, $WORKERS workers)"
 
 echo
 echo "== ping =="
 "$LOADGEN" --port "$PORT" --op ping
 
 echo
-echo "== closed-loop load (200 requests, 2 connections) =="
+echo "== closed-loop load (200 requests, 2 connections, mixed priority) =="
 "$LOADGEN" --port "$PORT" --mode closed --conns 2 --requests 200 \
-    --out "$WORK_DIR/closed.json"
+    --priority mix --out "$WORK_DIR/closed.json"
 OK="$(sed -n 's/.*"ok": \([0-9]*\).*/\1/p' "$WORK_DIR/closed.json" | head -1)"
 if [ "${OK:-0}" -ne 200 ]; then
   echo "check_serving: FAIL — expected 200 ok responses, got '${OK:-0}'" >&2
@@ -113,8 +118,9 @@ scrape /metrics "$WORK_DIR/scrape.prom"
 
 scrape /statusz "$WORK_DIR/statusz.json"
 "$VERIFY" json "$WORK_DIR/statusz.json" \
-    --require-keys build.git_describe,uptime_s,service.model_generation,service.ready,service.slo.burn_rate,service.stats.completed
+    --require-keys build.git_describe,uptime_s,service.model_generation,service.epoch_generation,service.queue.interactive,service.queue.bulk,service.ready,service.slo.burn_rate,service.stats.completed,service.stats.bulk_submitted
 GEN_BEFORE="$(sed -n 's/.*"model_generation": *\([0-9]*\).*/\1/p' "$WORK_DIR/statusz.json" | head -1)"
+EPOCH_BEFORE="$(sed -n 's/.*"epoch_generation": *\([0-9]*\).*/\1/p' "$WORK_DIR/statusz.json" | head -1)"
 
 scrape /tracez "$WORK_DIR/tracez.json"
 "$VERIFY" tracez "$WORK_DIR/tracez.json" --min-traces 100 --require-complete
@@ -144,7 +150,12 @@ if [ "${GEN_AFTER:-0}" -le "${GEN_BEFORE:-0}" ]; then
   echo "check_serving: FAIL — hot swap did not bump model_generation ($GEN_BEFORE -> ${GEN_AFTER:-?})" >&2
   exit 1
 fi
-echo "model generation bumped: $GEN_BEFORE -> $GEN_AFTER"
+EPOCH_AFTER="$(sed -n 's/.*"epoch_generation": *\([0-9]*\).*/\1/p' "$WORK_DIR/statusz_after.json" | head -1)"
+if [ "${EPOCH_AFTER:-0}" -le "${EPOCH_BEFORE:-0}" ]; then
+  echo "check_serving: FAIL — hot swap did not publish a new epoch ($EPOCH_BEFORE -> ${EPOCH_AFTER:-?})" >&2
+  exit 1
+fi
+echo "model generation bumped: $GEN_BEFORE -> $GEN_AFTER (epoch $EPOCH_BEFORE -> $EPOCH_AFTER)"
 
 echo
 echo "== periodic metrics flush (atomic rename, --metrics-interval-s 1) =="
@@ -163,6 +174,16 @@ STATS="$("$LOADGEN" --port "$PORT" --op stats)"
 echo "$STATS"
 echo "$STATS" | grep -q '"hot_swaps": *1' || {
   echo "check_serving: FAIL — stats does not show the hot swap" >&2
+  exit 1
+}
+# The --priority mix leg sent a 3:1 interactive:bulk blend; both admission
+# classes must show up in the per-class counters.
+echo "$STATS" | grep -q '"interactive_submitted": *[1-9]' || {
+  echo "check_serving: FAIL — stats shows no interactive submissions" >&2
+  exit 1
+}
+echo "$STATS" | grep -q '"bulk_submitted": *[1-9]' || {
+  echo "check_serving: FAIL — stats shows no bulk submissions" >&2
   exit 1
 }
 "$LOADGEN" --port "$PORT" --op shutdown

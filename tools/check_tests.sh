@@ -51,6 +51,14 @@ echo
 echo "== observability tier (ctest -L obs) =="
 run_ctest -L obs
 
+# Multi-worker serving tier: epoch lifecycle (pin/publish/retire),
+# N-worker determinism vs the sequential loop, and two-level priority
+# admission. -L matches labels by regex, so this also picks up the
+# compound serve-mt-kernels / serve-mt-tsan labels.
+echo
+echo "== multi-worker serving tier (ctest -L serve-mt) =="
+run_ctest -L serve-mt
+
 # Kernel equivalence tier: the same suite under both dispatch targets, so a
 # host whose default is AVX2 still proves the scalar baseline (and vice
 # versa — on a host without AVX2, "native" resolves to scalar and this

@@ -2,6 +2,8 @@
 //
 //   trail_loadgen --port P --mode closed --conns 4 --requests 2000
 //   trail_loadgen --port P --mode open --rate 500 --requests 2000
+//   trail_loadgen --port P --mode ingest --conns 1 --requests 50
+//                          [--ingest-prefix NAME]
 //   trail_loadgen --port P --op ping|stats|hot_swap|save_checkpoint|
 //                          list_events|shutdown [--path FILE]
 //   trail_loadgen --port P --http-get /statusz [--repeat N]
@@ -26,6 +28,19 @@
 //            time, so queueing delay under overload is not hidden
 //            (no coordinated omission). The knob that produces honest
 //            overload: offered load does not slow down when the server does.
+//
+// `--priority interactive|bulk|mix` tags requests with an admission class
+// (docs/SERVING.md): "bulk" marks everything bulk backfill, "mix" sends a
+// deterministic 3:1 interactive:bulk blend (request index % 4 == 3 is
+// bulk), and the default "interactive" sends untagged lines (the wire
+// default). Works in every load mode.
+//
+// `--mode ingest` streams `--requests` freshly synthesized unlabeled
+// incident reports through {"op":"ingest"} — each one delta-appends to the
+// live TKG (publishing a new serving epoch) and is attributed in the same
+// micro-batch. tools/bench_serving.sh uses it as the concurrent-append
+// load riding alongside the attribution sweep. `--ingest-prefix` keeps ids
+// unique across invocations (duplicate ids are attributed, not re-added).
 //
 // `--deadline-ms` attaches a per-request deadline; shed (Overloaded) and
 // expired (DeadlineExceeded) replies are counted separately from failures,
@@ -283,13 +298,65 @@ JsonValue Summarize(const Totals& totals, double duration_s,
   return out;
 }
 
-std::string AttributeLine(const std::string& report_id, int64_t deadline_ms) {
+/// Admission class for request `i` under --priority mode ("" = leave the
+/// line untagged, i.e. the server-side interactive default). "mix" is a
+/// deterministic 3:1 interactive:bulk blend so runs are reproducible.
+std::string PriorityFor(const std::string& priority_mode, int64_t i) {
+  if (priority_mode == "bulk") return "bulk";
+  if (priority_mode == "mix") return i % 4 == 3 ? "bulk" : "";
+  return "";
+}
+
+std::string AttributeLine(const std::string& report_id, int64_t deadline_ms,
+                          const std::string& priority) {
   JsonValue request = JsonValue::MakeObject();
   request.Set("op", JsonValue::MakeString("attribute"));
   request.Set("report", JsonValue::MakeString(report_id));
   if (deadline_ms > 0) {
     request.Set("deadline_ms",
                 JsonValue::MakeNumber(static_cast<double>(deadline_ms)));
+  }
+  if (!priority.empty()) {
+    request.Set("priority", JsonValue::MakeString(priority));
+  }
+  return request.Dump();
+}
+
+/// A synthesized unlabeled incident report (the feed wire format) with a
+/// unique id under `prefix`, wrapped in an {"op":"ingest"} line. Indicators
+/// deliberately collide across nearby indices so appended events share some
+/// infrastructure (the attribution signal), while the domain stays unique.
+std::string IngestLine(const std::string& prefix, int64_t i,
+                       int64_t deadline_ms, const std::string& priority) {
+  JsonValue report = JsonValue::MakeObject();
+  report.Set("id",
+             JsonValue::MakeString(prefix + "-" + std::to_string(i)));
+  report.Set("adversary", JsonValue::MakeString(""));  // unlabeled
+  report.Set("created_day",
+             JsonValue::MakeNumber(static_cast<double>(4000 + i)));
+  JsonValue indicators = JsonValue::MakeArray();
+  JsonValue ip = JsonValue::MakeObject();
+  ip.Set("type", JsonValue::MakeString("IPv4"));
+  ip.Set("indicator",
+         JsonValue::MakeString("203.0.113." + std::to_string(i % 254 + 1)));
+  indicators.Append(std::move(ip));
+  JsonValue domain = JsonValue::MakeObject();
+  domain.Set("type", JsonValue::MakeString("domain"));
+  domain.Set("indicator",
+             JsonValue::MakeString(prefix + "-" + std::to_string(i) +
+                                   ".example.net"));
+  indicators.Append(std::move(domain));
+  report.Set("indicators", std::move(indicators));
+
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("op", JsonValue::MakeString("ingest"));
+  request.Set("report", std::move(report));
+  if (deadline_ms > 0) {
+    request.Set("deadline_ms",
+                JsonValue::MakeNumber(static_cast<double>(deadline_ms)));
+  }
+  if (!priority.empty()) {
+    request.Set("priority", JsonValue::MakeString(priority));
   }
   return request.Dump();
 }
@@ -318,7 +385,9 @@ Result<std::vector<std::string>> FetchWorkingSet(const std::string& host,
 
 int RunClosed(const std::string& host, int port,
               const std::vector<std::string>& ids, int64_t requests,
-              int conns, int64_t deadline_ms, Totals* totals,
+              int conns, int64_t deadline_ms,
+              const std::string& priority_mode,
+              const std::string& ingest_prefix, Totals* totals,
               double* duration_s) {
   std::atomic<int64_t> next{0};
   std::mutex totals_mu;
@@ -335,9 +404,13 @@ int RunClosed(const std::string& host, int port,
       Totals local;
       for (int64_t i = next.fetch_add(1); i < requests;
            i = next.fetch_add(1)) {
-        const std::string& id = ids[static_cast<size_t>(i) % ids.size()];
+        const std::string priority = PriorityFor(priority_mode, i);
         const Clock::time_point sent = Clock::now();
-        auto reply = client.Call(AttributeLine(id, deadline_ms));
+        auto reply = client.Call(
+            ingest_prefix.empty()
+                ? AttributeLine(ids[static_cast<size_t>(i) % ids.size()],
+                                deadline_ms, priority)
+                : IngestLine(ingest_prefix, i, deadline_ms, priority));
         if (!reply.ok()) {
           failed = true;
           return;
@@ -374,7 +447,8 @@ int RunClosed(const std::string& host, int port,
 
 int RunOpen(const std::string& host, int port,
             const std::vector<std::string>& ids, int64_t requests,
-            double rate, int64_t deadline_ms, Totals* totals,
+            double rate, int64_t deadline_ms,
+            const std::string& priority_mode, Totals* totals,
             double* duration_s) {
   if (rate <= 0) {
     std::fprintf(stderr, "open mode requires --rate > 0\n");
@@ -411,7 +485,8 @@ int RunOpen(const std::string& host, int port,
   for (int64_t i = 0; i < requests; ++i) {
     std::this_thread::sleep_until(scheduled[static_cast<size_t>(i)]);
     const std::string& id = ids[static_cast<size_t>(i) % ids.size()];
-    st = client.SendLine(AttributeLine(id, deadline_ms));
+    st = client.SendLine(
+        AttributeLine(id, deadline_ms, PriorityFor(priority_mode, i)));
     if (!st.ok()) break;
   }
   reader.join();
@@ -551,26 +626,46 @@ int main(int argc, char** argv) {
   const std::string mode = GetFlag(argc, argv, "--mode", "closed");
   const int64_t requests = IntFlag(argc, argv, "--requests", 2000);
   const int64_t deadline_ms = IntFlag(argc, argv, "--deadline-ms", 0);
-  auto ids = FetchWorkingSet(host, port,
-                             static_cast<size_t>(
-                                 IntFlag(argc, argv, "--working-set", 256)));
-  if (!ids.ok()) {
-    std::fprintf(stderr, "working set fetch failed: %s\n",
-                 ids.status().ToString().c_str());
-    return 1;
+  const std::string priority_mode =
+      GetFlag(argc, argv, "--priority", "interactive");
+  if (priority_mode != "interactive" && priority_mode != "bulk" &&
+      priority_mode != "mix") {
+    std::fprintf(stderr, "unknown --priority: %s\n", priority_mode.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> ids;
+  if (mode != "ingest") {
+    auto fetched =
+        FetchWorkingSet(host, port,
+                        static_cast<size_t>(
+                            IntFlag(argc, argv, "--working-set", 256)));
+    if (!fetched.ok()) {
+      std::fprintf(stderr, "working set fetch failed: %s\n",
+                   fetched.status().ToString().c_str());
+      return 1;
+    }
+    ids = std::move(fetched).value();
   }
 
   Totals totals;
   double duration_s = 0.0;
   int rc;
   if (mode == "closed") {
-    rc = RunClosed(host, port, ids.value(), requests,
+    rc = RunClosed(host, port, ids, requests,
                    static_cast<int>(IntFlag(argc, argv, "--conns", 4)),
-                   deadline_ms, &totals, &duration_s);
+                   deadline_ms, priority_mode, /*ingest_prefix=*/"",
+                   &totals, &duration_s);
+  } else if (mode == "ingest") {
+    rc = RunClosed(host, port, ids, requests,
+                   static_cast<int>(IntFlag(argc, argv, "--conns", 1)),
+                   deadline_ms, priority_mode,
+                   GetFlag(argc, argv, "--ingest-prefix", "loadgen"),
+                   &totals, &duration_s);
   } else if (mode == "open") {
-    rc = RunOpen(host, port, ids.value(), requests,
+    rc = RunOpen(host, port, ids, requests,
                  std::stod(GetFlag(argc, argv, "--rate", "200")),
-                 deadline_ms, &totals, &duration_s);
+                 deadline_ms, priority_mode, &totals, &duration_s);
   } else {
     std::fprintf(stderr, "unknown --mode: %s\n", mode.c_str());
     return 2;

@@ -3,6 +3,7 @@
 //
 //   trail_serve [--port P] [--seed N] [--end-day D] [--apts N]
 //               [--max-batch N] [--linger-us N] [--queue-depth N]
+//               [--workers N] [--bulk-bound N]
 //               [--deadline-ms N] [--checkpoint FILE]
 //               [--ae-epochs N] [--gnn-epochs N]
 //               [--admin-port P] [--metrics-interval-s S]
@@ -31,6 +32,7 @@
 //   --slo-target F          availability objective, e.g. 0.999
 //   --trace-ring N          /tracez ring capacity (0 disables retention)
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -120,6 +122,12 @@ int Run(int argc, char** argv, const obs::RunContext& run) {
   serve_options.queue_depth =
       static_cast<size_t>(IntFlag(argc, argv, "--queue-depth", 256));
   serve_options.default_deadline_ms = IntFlag(argc, argv, "--deadline-ms", 0);
+  // Epoch-based multi-worker inference: N micro-batchers flush concurrently
+  // against their pinned epochs (docs/SERVING.md).
+  serve_options.workers =
+      static_cast<size_t>(IntFlag(argc, argv, "--workers", 1));
+  serve_options.bulk_starvation_bound =
+      static_cast<size_t>(IntFlag(argc, argv, "--bulk-bound", 4));
   // The paper's realistic setting: the model sees no analyst labels, so
   // every request in a micro-batch shares one GNN forward.
   serve_options.hide_neighbor_labels = HasFlag(argc, argv, "--hide-labels");
@@ -182,9 +190,10 @@ int Run(int argc, char** argv, const obs::RunContext& run) {
         });
   }
 
-  std::printf("READY port=%d admin_port=%d events=%zu\n", server.port(),
-              admin_port,
-              trail.graph().NodesOfType(graph::NodeType::kEvent).size());
+  std::printf("READY port=%d admin_port=%d events=%zu workers=%zu\n",
+              server.port(), admin_port,
+              trail.graph().NodesOfType(graph::NodeType::kEvent).size(),
+              std::max<size_t>(1, serve_options.workers));
   std::fflush(stdout);
 
   server.Wait();
