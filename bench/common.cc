@@ -71,6 +71,37 @@ BenchEnv BuildEnv() {
   return env;
 }
 
+JsonValue MonthOutcomeToJson(const core::MonthOutcome& outcome) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("month", JsonValue::MakeNumber(outcome.month_index));
+  out.Set("reports",
+          JsonValue::MakeNumber(static_cast<double>(outcome.num_reports)));
+  out.Set("accuracy", JsonValue::MakeNumber(outcome.accuracy));
+  out.Set("balanced_accuracy",
+          JsonValue::MakeNumber(outcome.balanced_accuracy));
+  out.Set("macro_f1", JsonValue::MakeNumber(outcome.macro_f1));
+  JsonValue per_class = JsonValue::MakeArray();
+  for (double f1 : outcome.per_class_f1) {
+    per_class.Append(JsonValue::MakeNumber(f1));
+  }
+  out.Set("per_class_f1", std::move(per_class));
+  out.Set("abstention_rate", JsonValue::MakeNumber(outcome.abstention_rate));
+  out.Set("open_set_precision",
+          JsonValue::MakeNumber(outcome.open_set_precision));
+  out.Set("open_set_recall", JsonValue::MakeNumber(outcome.open_set_recall));
+  out.Set("open_set_auroc", JsonValue::MakeNumber(outcome.open_set_auroc));
+  out.Set("open_set_macro_f1",
+          JsonValue::MakeNumber(outcome.open_set_macro_f1));
+  out.Set("forced_open_set_macro_f1",
+          JsonValue::MakeNumber(outcome.forced_open_set_macro_f1));
+  out.Set("wall_ms", JsonValue::MakeNumber(outcome.wall_ms));
+  out.Set("retrain_wall_ms", JsonValue::MakeNumber(outcome.retrain_wall_ms));
+  out.Set("mode_used",
+          JsonValue::MakeString(core::RetrainModeName(outcome.mode_used)));
+  out.Set("scratch_fallback", JsonValue::MakeBool(outcome.scratch_fallback));
+  return out;
+}
+
 void PrintHeader(const std::string& title, const BenchEnv& env) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf(

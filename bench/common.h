@@ -4,10 +4,12 @@
 #include <memory>
 #include <string>
 
+#include "core/study.h"
 #include "core/tkg_builder.h"
 #include "core/trail.h"
 #include "osint/feed_client.h"
 #include "osint/world.h"
+#include "util/json.h"
 
 namespace trail::bench {
 
@@ -39,6 +41,12 @@ BenchEnv BuildEnv();
 
 /// Prints the standard bench header with world scale and mode.
 void PrintHeader(const std::string& title, const BenchEnv& env);
+
+/// One Study month in the JSON schema shared by fig8_degradation and
+/// bench/scenario_matrix: closed-set metrics, per-class F1, and the
+/// open-set (abstention) block, so degradation curves from both benches
+/// line up field-for-field.
+JsonValue MonthOutcomeToJson(const core::MonthOutcome& outcome);
 
 }  // namespace trail::bench
 

@@ -10,10 +10,13 @@
 // by roughly 3.5% per additional month; both start at the same point.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common.h"
 #include "core/study.h"
 #include "core/trail.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -33,7 +36,17 @@ core::TrailOptions ModelOptions() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional per-month JSON dump in the schema shared with
+  // bench/scenario_matrix (per-class F1 included); the table and its
+  // existing columns are unchanged.
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
   bench::BenchEnv env = bench::BuildEnv();
   bench::PrintHeader("Fig. 8 — degradation without monthly retraining", env);
   const auto config = bench::BenchWorldConfig();
@@ -63,6 +76,8 @@ int main() {
   TablePrinter table({"Month", "Reports", "Stale Acc", "Stale B-Acc",
                       "Fresh Acc", "Fresh B-Acc", "Fresh F1",
                       "Update ms"});
+  JsonValue stale_months = JsonValue::MakeArray();
+  JsonValue fresh_months = JsonValue::MakeArray();
   for (int m = 0; m < months; ++m) {
     int lo = config.end_day + 30 * m;
     auto month = env.world->ReportsBetween(lo, lo + 30);
@@ -72,6 +87,8 @@ int main() {
     auto fresh_outcome = fresh_study.RunMonth(month);
     TRAIL_CHECK(stale_outcome.ok()) << stale_outcome.status();
     TRAIL_CHECK(fresh_outcome.ok()) << fresh_outcome.status();
+    stale_months.Append(bench::MonthOutcomeToJson(*stale_outcome));
+    fresh_months.Append(bench::MonthOutcomeToJson(*fresh_outcome));
 
     table.AddRow({
         std::to_string(m + 1),
@@ -91,5 +108,22 @@ int main() {
               "accuracy. The fresh track's update column is the warm-start "
               "cost (delta-append + fine-tune), not a scratch retrain — "
               "see bench/longitudinal_incremental for the comparison.\n");
+
+  if (!out_path.empty()) {
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("bench", JsonValue::MakeString("fig8_degradation"));
+    out.Set("quick_mode", JsonValue::MakeBool(bench::QuickMode()));
+    JsonValue tracks = JsonValue::MakeObject();
+    tracks.Set("stale", std::move(stale_months));
+    tracks.Set("fresh", std::move(fresh_months));
+    out.Set("tracks", std::move(tracks));
+    std::FILE* f = std::fopen(out_path.c_str(), "wb");
+    TRAIL_CHECK(f != nullptr) << "cannot write " << out_path;
+    const std::string text = out.Dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
   return 0;
 }

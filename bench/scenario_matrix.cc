@@ -1,0 +1,300 @@
+// Adversarial & open-world scenario matrix (docs/SCENARIOS.md): sweeps four
+// scenario families over dedicated worlds and reports per-level degradation
+// curves in the same per-month JSON schema as fig8_degradation:
+//
+//   * false_flag  — campaigns plant a victim APT's infrastructure at
+//                   increasing rates (attribution misdirection);
+//   * churn       — infrastructure lifetimes shrink, so post-cutoff months
+//                   reuse less and less of the trained TKG's IOC surface;
+//   * novel_actor — actors absent from training appear post-cutoff; the
+//                   calibrated abstention head is scored against the
+//                   forced-label baseline in the K+1 open-set space;
+//   * mixed_feed  — duplicate, mislabeled, and unlabeled reports blend in
+//                   (multi-feed OSINT quality degradation).
+//
+// Each level builds its own world, trains to the cutoff, calibrates the
+// abstention thresholds on a sample of training events, then runs the
+// post-cutoff months through core::Study with the calibrated policy.
+//
+// Run: ./build/bench/scenario_matrix [--out BENCH_scenarios.json]
+// Honors TRAIL_BENCH_QUICK=1 and TRAIL_SCENARIO_OUT (output path override).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/study.h"
+#include "core/trail.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace trail;
+
+/// Base world for every level: small enough that 14 independent trainings
+/// stay tractable, big enough that per-class F1 is meaningful. post_days
+/// covers 4 evaluation months (novel actors need >= 90).
+osint::WorldConfig BaseConfig() {
+  osint::WorldConfig config;
+  config.seed = 7;
+  config.num_apts = bench::QuickMode() ? 5 : 6;
+  config.min_events_per_apt = 10;
+  config.max_events_per_apt = 20;
+  config.end_day = bench::QuickMode() ? 700 : 900;
+  config.post_days = 120;
+  return config;
+}
+
+core::TrailOptions ModelOptions() {
+  core::TrailOptions options;
+  options.autoencoder.hidden = 64;
+  options.autoencoder.epochs = bench::QuickMode() ? 2 : 6;
+  options.autoencoder.max_train_rows = 2000;
+  options.gnn.epochs = bench::QuickMode() ? 12 : 60;
+  return options;
+}
+
+/// One swept scenario level: a labeled WorldConfig mutation.
+struct Level {
+  std::string label;
+  osint::WorldConfig config;
+};
+
+struct LevelResult {
+  std::string label;
+  core::AbstentionPolicy policy;
+  std::vector<core::MonthOutcome> months;
+
+  double Mean(double core::MonthOutcome::*field) const {
+    if (months.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& m : months) sum += m.*field;
+    return sum / static_cast<double>(months.size());
+  }
+};
+
+/// Trains a fresh system on the level's world and runs every post-cutoff
+/// month through a Study with the calibrated abstention policy.
+LevelResult RunLevel(const Level& level) {
+  LevelResult result;
+  result.label = level.label;
+
+  osint::World world(level.config);
+  osint::FeedClient feed(&world);
+  core::Trail trail(&feed, ModelOptions());
+  TRAIL_CHECK(trail.Ingest(feed.FetchReports(0, level.config.end_day)).ok());
+  TRAIL_CHECK(trail.TrainModels().ok());
+
+  // Calibrate on a spread sample of training events: the thresholds are the
+  // tail quantiles of what the model considers "recognizable" traffic.
+  const std::vector<graph::NodeId> events =
+      trail.graph().NodesOfType(graph::NodeType::kEvent);
+  std::vector<graph::NodeId> holdout;
+  const size_t stride = std::max<size_t>(1, events.size() / 256);
+  for (size_t i = 0; i < events.size(); i += stride) {
+    holdout.push_back(events[i]);
+  }
+  auto policy = trail.CalibrateAbstention(holdout, 0.02);
+  TRAIL_CHECK(policy.ok()) << policy.status();
+  result.policy = *policy;
+
+  core::StudyOptions study_options;
+  study_options.retrain_monthly = true;
+  study_options.retrain_mode = core::RetrainMode::kIncremental;
+  study_options.fine_tune_epochs = bench::QuickMode() ? 3 : 6;
+  study_options.abstention = *policy;
+  core::Study study(&trail, study_options);
+
+  const int months =
+      bench::QuickMode() ? 2 : std::max(1, level.config.post_days / 30);
+  for (int m = 0; m < months; ++m) {
+    const int lo = level.config.end_day + 30 * m;
+    auto month = world.ReportsBetween(lo, lo + 30);
+    if (month.empty()) continue;
+    auto outcome = study.RunMonth(month);
+    TRAIL_CHECK(outcome.ok()) << outcome.status();
+    result.months.push_back(*outcome);
+  }
+  return result;
+}
+
+JsonValue LevelToJson(const LevelResult& result) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("level", JsonValue::MakeString(result.label));
+  JsonValue calibrated = JsonValue::MakeObject();
+  calibrated.Set("min_confidence",
+                 JsonValue::MakeNumber(result.policy.min_confidence));
+  calibrated.Set("max_energy",
+                 JsonValue::MakeNumber(result.policy.max_energy));
+  out.Set("calibrated", std::move(calibrated));
+  out.Set("mean_accuracy", JsonValue::MakeNumber(
+                               result.Mean(&core::MonthOutcome::accuracy)));
+  out.Set("mean_macro_f1", JsonValue::MakeNumber(
+                               result.Mean(&core::MonthOutcome::macro_f1)));
+  out.Set("mean_abstention_rate",
+          JsonValue::MakeNumber(
+              result.Mean(&core::MonthOutcome::abstention_rate)));
+  out.Set("mean_open_set_auroc",
+          JsonValue::MakeNumber(
+              result.Mean(&core::MonthOutcome::open_set_auroc)));
+  out.Set("mean_open_set_macro_f1",
+          JsonValue::MakeNumber(
+              result.Mean(&core::MonthOutcome::open_set_macro_f1)));
+  out.Set("mean_forced_open_set_macro_f1",
+          JsonValue::MakeNumber(
+              result.Mean(&core::MonthOutcome::forced_open_set_macro_f1)));
+  JsonValue months = JsonValue::MakeArray();
+  for (const auto& m : result.months) {
+    months.Append(bench::MonthOutcomeToJson(m));
+  }
+  out.Set("months", std::move(months));
+  return out;
+}
+
+void PrintLevelRow(TablePrinter* table, const std::string& family,
+                   const LevelResult& result) {
+  table->AddRow({
+      family,
+      result.label,
+      FormatDouble(result.Mean(&core::MonthOutcome::macro_f1), 4),
+      FormatDouble(result.Mean(&core::MonthOutcome::abstention_rate), 4),
+      FormatDouble(result.Mean(&core::MonthOutcome::open_set_auroc), 4),
+      FormatDouble(result.Mean(&core::MonthOutcome::open_set_macro_f1), 4),
+      FormatDouble(
+          result.Mean(&core::MonthOutcome::forced_open_set_macro_f1), 4),
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_scenarios.json";
+  if (const char* env = std::getenv("TRAIL_SCENARIO_OUT")) {
+    if (env[0] != '\0') out_path = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  SetLogLevel(LogLevel::kWarning);
+
+  const osint::WorldConfig base = BaseConfig();
+  std::printf("=== Scenario matrix — adversarial & open-world degradation "
+              "===\n");
+  std::printf("base world: %d APTs, end_day %d, %d post days, %d threads%s\n\n",
+              base.num_apts, base.end_day, base.post_days, ParallelWorkers(),
+              bench::QuickMode() ? " [QUICK MODE]" : "");
+
+  // The four families. Each family's first level is the clean baseline so
+  // every curve starts from the same kind of world.
+  std::vector<std::pair<std::string, std::vector<Level>>> families;
+  {
+    std::vector<Level> levels;
+    for (double rate : {0.0, 0.15, 0.3, 0.5}) {
+      osint::WorldConfig config = base;
+      config.false_flag_rate = rate;
+      levels.push_back({"rate=" + FormatDouble(rate, 2), config});
+    }
+    families.emplace_back("false_flag", std::move(levels));
+  }
+  {
+    std::vector<Level> levels;
+    for (int lifetime : {0, 360, 180, 90}) {
+      osint::WorldConfig config = base;
+      config.infra_lifetime_days = lifetime;
+      levels.push_back({"lifetime=" + std::to_string(lifetime), config});
+    }
+    families.emplace_back("churn", std::move(levels));
+  }
+  {
+    std::vector<Level> levels;
+    for (int novel : {0, 2, 4}) {
+      osint::WorldConfig config = base;
+      config.num_novel_apts = novel;
+      levels.push_back({"novel=" + std::to_string(novel), config});
+    }
+    families.emplace_back("novel_actor", std::move(levels));
+  }
+  {
+    struct Feed {
+      const char* label;
+      double duplicate, conflicting, unlabeled;
+    };
+    std::vector<Level> levels;
+    for (const Feed& f : {Feed{"clean", 0.0, 0.0, 0.0},
+                          Feed{"moderate", 0.15, 0.05, 0.10},
+                          Feed{"heavy", 0.30, 0.12, 0.25}}) {
+      osint::WorldConfig config = base;
+      config.duplicate_report_rate = f.duplicate;
+      config.conflicting_label_rate = f.conflicting;
+      config.unlabeled_report_rate = f.unlabeled;
+      levels.push_back({f.label, config});
+    }
+    families.emplace_back("mixed_feed", std::move(levels));
+  }
+
+  TablePrinter table({"Family", "Level", "Macro-F1", "Abstain", "AUROC",
+                      "Open-set F1", "Forced F1"});
+  JsonValue families_json = JsonValue::MakeObject();
+  bool abstention_beats_forced = true;
+  bool open_set_seen = false;
+  for (const auto& [family, levels] : families) {
+    JsonValue level_array = JsonValue::MakeArray();
+    for (const Level& level : levels) {
+      LevelResult result = RunLevel(level);
+      PrintLevelRow(&table, family, result);
+      level_array.Append(LevelToJson(result));
+      if (family == "novel_actor" && level.config.num_novel_apts > 0) {
+        open_set_seen = true;
+        const double open =
+            result.Mean(&core::MonthOutcome::open_set_macro_f1);
+        const double forced =
+            result.Mean(&core::MonthOutcome::forced_open_set_macro_f1);
+        if (open <= forced) abstention_beats_forced = false;
+      }
+    }
+    families_json.Set(family, std::move(level_array));
+  }
+  table.Print();
+  if (open_set_seen) {
+    std::printf("\nopen-set: abstention head %s the forced-label baseline "
+                "at the calibrated threshold\n",
+                abstention_beats_forced ? "beats" : "does NOT beat");
+  }
+
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("bench", JsonValue::MakeString("scenario_matrix"));
+  out.Set("quick_mode", JsonValue::MakeBool(bench::QuickMode()));
+  // Honest wall-clock provenance: a 1-core container trains and attributes
+  // slower, and its numbers should never be compared against parallel hosts.
+  out.Set("threads", JsonValue::MakeNumber(ParallelWorkers()));
+  out.Set("host_hardware_threads",
+          JsonValue::MakeNumber(
+              static_cast<double>(std::thread::hardware_concurrency())));
+  out.Set("single_core",
+          JsonValue::MakeBool(std::thread::hardware_concurrency() <= 1));
+  out.Set("abstention_beats_forced",
+          JsonValue::MakeBool(open_set_seen && abstention_beats_forced));
+  out.Set("families", std::move(families_json));
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  TRAIL_CHECK(f != nullptr) << "cannot write " << out_path;
+  const std::string text = out.Dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ml/calibration.h"
 #include "ml/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -20,6 +21,48 @@ const char* RetrainModeName(RetrainMode mode) {
   }
   return "unknown";
 }
+
+namespace {
+
+// Fills the open-set block of `outcome` from truth/predicted/forced/novelty.
+// "Novel" means truth < 0: the report's actor tag was unknown to the roster.
+// Open-set scoring maps both novel truth and abstentions onto an extra
+// "unknown" class K and evaluates macro-F1 over K+1 classes; the forced
+// variant scores the argmax predictions in the same K+1 space, where a
+// forced-label classifier can never be right about a novel event.
+void ComputeOpenSetMetrics(MonthOutcome* outcome, int num_classes) {
+  const size_t n = outcome->truth.size();
+  size_t attributable = 0, abstained = 0, novel = 0, abstained_novel = 0;
+  std::vector<uint8_t> is_novel(n, 0);
+  std::vector<int> open_truth(n), open_predicted(n), open_forced(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int truth = outcome->truth[i];
+    const int predicted = outcome->predicted[i];
+    const int forced = outcome->forced[i];
+    const bool did_abstain = forced >= 0 && predicted < 0;
+    is_novel[i] = truth < 0 ? 1 : 0;
+    if (forced >= 0) ++attributable;
+    if (did_abstain) ++abstained;
+    if (truth < 0) ++novel;
+    if (did_abstain && truth < 0) ++abstained_novel;
+    open_truth[i] = truth < 0 ? num_classes : truth;
+    open_predicted[i] = predicted < 0 ? num_classes : predicted;
+    open_forced[i] = forced < 0 ? num_classes : forced;
+  }
+  outcome->abstention_rate =
+      attributable > 0 ? static_cast<double>(abstained) / attributable : 0.0;
+  outcome->open_set_precision =
+      abstained > 0 ? static_cast<double>(abstained_novel) / abstained : 0.0;
+  outcome->open_set_recall =
+      novel > 0 ? static_cast<double>(abstained_novel) / novel : 0.0;
+  outcome->open_set_auroc = ml::Auroc(outcome->novelty, is_novel);
+  outcome->open_set_macro_f1 =
+      ml::MacroF1(open_truth, open_predicted, num_classes + 1);
+  outcome->forced_open_set_macro_f1 =
+      ml::MacroF1(open_truth, open_forced, num_classes + 1);
+}
+
+}  // namespace
 
 Result<MonthOutcome> Study::RunMonth(
     const std::vector<const osint::PulseReport*>& reports) {
@@ -56,10 +99,26 @@ Result<MonthOutcome> Study::RunMonth(
   for (size_t i = 0; i < delta->event_nodes.size(); ++i) {
     graph::NodeId event = delta->event_nodes[i];
     if (event == graph::kInvalidNode) continue;  // duplicate delivery
-    auto attribution = trail_->AttributeWithGnn(event);
     outcome.event_nodes.push_back(event);
     outcome.truth.push_back(truth[i]);
-    outcome.predicted.push_back(attribution.ok() ? attribution->apt : -1);
+  }
+  // One shared forward for the whole month: every appended event is
+  // unlabeled (tags were stripped above, labels merge only after scoring),
+  // so the batch is bit-identical to the old per-event AttributeWithGnn
+  // loop — just one GNN pass instead of N.
+  auto attributions = trail_->AttributeBatchWithGnn(outcome.event_nodes);
+  for (size_t i = 0; i < attributions.size(); ++i) {
+    const auto& attribution = attributions[i];
+    const int forced = attribution.ok() ? attribution->apt : -1;
+    const bool abstain =
+        attribution.ok() &&
+        options_.abstention.ShouldAbstain(attribution->confidence,
+                                          attribution->energy);
+    outcome.forced.push_back(forced);
+    outcome.predicted.push_back(abstain ? -1 : forced);
+    outcome.novelty.push_back(attribution.ok() ? attribution->novelty_score
+                                               : 0.0);
+    outcome.energy.push_back(attribution.ok() ? attribution->energy : 0.0);
   }
   outcome.num_reports = outcome.truth.size();
   const int num_classes = static_cast<int>(trail_->apt_names().size());
@@ -67,6 +126,9 @@ Result<MonthOutcome> Study::RunMonth(
   outcome.balanced_accuracy =
       ml::BalancedAccuracy(outcome.truth, outcome.predicted, num_classes);
   outcome.macro_f1 = ml::MacroF1(outcome.truth, outcome.predicted, num_classes);
+  outcome.per_class_f1 =
+      ml::PerClassF1(outcome.truth, outcome.predicted, num_classes);
+  ComputeOpenSetMetrics(&outcome, num_classes);
 
   if (options_.retrain_monthly && outcome.num_reports > 0) {
     for (size_t i = 0; i < outcome.event_nodes.size(); ++i) {
@@ -102,6 +164,14 @@ Status Study::Retrain(MonthOutcome* outcome) {
       mode = RetrainMode::kScratch;
       fallback = true;
       TRAIL_METRIC_INC("study.auto_scratch_fallbacks");
+    } else if (options_.abstention.enabled &&
+               outcome->abstention_rate > options_.auto_scratch_abstention) {
+      // The model stopped recognizing the stream: a surge of abstentions is
+      // drift even when macro-F1 over the events it *did* label holds up
+      // (novel actors and churned infrastructure don't dent closed-set F1).
+      mode = RetrainMode::kScratch;
+      fallback = true;
+      TRAIL_METRIC_INC("study.abstention_scratch_fallbacks");
     } else {
       mode = RetrainMode::kIncremental;
     }

@@ -44,7 +44,31 @@ struct MonthOutcome {
   bool scratch_fallback = false;
   std::vector<graph::NodeId> event_nodes;
   std::vector<int> truth;       // APT ids (-1 unknown actor tag)
-  std::vector<int> predicted;   // -1 = unattributable
+  std::vector<int> predicted;   // -1 = unattributable OR abstained
+  /// Forced-label (argmax) predictions, ignoring the abstention policy —
+  /// the pre-open-set behavior, kept so every month can compare the two.
+  std::vector<int> forced;
+  /// Per-event novelty score (1 - max softmax) and energy, aligned with
+  /// `truth`; NaN-free (0 for failed attributions).
+  std::vector<double> novelty;
+  std::vector<double> energy;
+  /// Per-class F1 of `predicted` (abstentions count as misses), one entry
+  /// per known class — the schema shared by fig8 and the scenario matrix.
+  std::vector<double> per_class_f1;
+
+  // Open-set quality of the abstention head. "Novel" = truth < 0 (the actor
+  // tag was unknown to the training roster).
+  double abstention_rate = 0.0;   // abstained / attributable events
+  double open_set_precision = 0.0;  // of abstained: fraction truly novel
+  double open_set_recall = 0.0;     // of novel: fraction abstained
+  double open_set_auroc = 0.5;      // novelty score ranks novel above known
+  /// Macro-F1 over K+1 classes (novel truth and abstentions both map to the
+  /// extra "unknown" class K) — the honest open-set score.
+  double open_set_macro_f1 = 0.0;
+  /// Same K+1 scoring applied to `forced`: a forced-label classifier never
+  /// predicts "unknown", so novel events are always wrong. The gap to
+  /// open_set_macro_f1 is what the abstention head buys.
+  double forced_open_set_macro_f1 = 0.0;
 };
 
 struct StudyOptions {
@@ -57,6 +81,15 @@ struct StudyOptions {
   /// kAuto falls back to scratch when a month's macro-F1 is more than this
   /// far below the best month observed so far.
   double auto_scratch_drop = 0.15;
+  /// Study-side abstention operating point applied to each month's
+  /// attributions. Independent of the Trail-installed serving policy so a
+  /// study can sweep thresholds without mutating the serving plane;
+  /// disabled by default (predicted == forced, the pre-open-set behavior).
+  AbstentionPolicy abstention;
+  /// kAuto also falls back to scratch when a month's abstention rate
+  /// exceeds this — "the model stopped recognizing the stream" is concept
+  /// drift even when macro-F1 hasn't cratered yet. > 1 disables (default).
+  double auto_scratch_abstention = 1.1;
 };
 
 /// Drives the paper's Section VII-C months-long investigation over one

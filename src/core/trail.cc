@@ -1,9 +1,11 @@
 #include "core/trail.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "gnn/label_propagation.h"
+#include "ml/calibration.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -17,6 +19,9 @@ using graph::NodeType;
 Trail::Trail(const osint::FeedClient* feed, TrailOptions options)
     : options_(options), builder_(feed, options.build) {
   models_.store(std::make_shared<ModelSlot>(), std::memory_order_release);
+  abstention_.store(std::make_shared<const AbstentionPolicy>(
+                        options_.abstention),
+                    std::memory_order_release);
 }
 
 void Trail::InvalidateCaches() {
@@ -231,7 +236,8 @@ namespace {
 
 Trail::Attribution MakeAttributionFrom(
     const std::vector<std::string>& apt_names,
-    const std::vector<double>& probs) {
+    const std::vector<double>& probs, double energy,
+    const AbstentionPolicy& policy) {
   Trail::Attribution attribution;
   for (size_t c = 0; c < probs.size(); ++c) {
     attribution.distribution.emplace_back(apt_names[c], probs[c]);
@@ -247,7 +253,19 @@ Trail::Attribution MakeAttributionFrom(
       }
     }
   }
+  attribution.novelty_score = 1.0 - attribution.confidence;
+  attribution.energy = energy;
+  attribution.unknown =
+      policy.ShouldAbstain(attribution.confidence, attribution.energy);
   return attribution;
+}
+
+/// Energy score of one node row of a logits matrix: a sequential double
+/// loop (via ml::EnergyScore), deterministic at any thread count.
+double RowEnergy(const ml::Matrix& logits, NodeId row) {
+  auto r = logits.Row(row);
+  std::vector<double> vals(r.begin(), r.end());
+  return ml::EnergyScore(vals);
 }
 
 /// The one batch-attribution implementation, shared by the classic
@@ -257,7 +275,8 @@ Trail::Attribution MakeAttributionFrom(
 std::vector<Result<Trail::Attribution>> AttributeBatchImpl(
     const graph::PropertyGraph& g, const gnn::EventGnn& gnn,
     const gnn::GnnGraph& view, const std::vector<std::string>& apt_names,
-    const std::vector<NodeId>& events, bool hide_neighbor_labels) {
+    const std::vector<NodeId>& events, bool hide_neighbor_labels,
+    const AbstentionPolicy& policy) {
   std::vector<Result<Trail::Attribution>> out;
   out.reserve(events.size());
   if (!gnn.trained()) {
@@ -291,8 +310,11 @@ std::vector<Result<Trail::Attribution>> AttributeBatchImpl(
       break;
     }
   }
-  ml::Matrix shared_probs;
-  std::map<NodeId, ml::Matrix> labeled_probs;
+  // Logits are kept alongside the softmax probabilities: the abstention
+  // head's energy score needs the pre-softmax row, and PredictProba is
+  // exactly RowSoftmax(PredictLogits) so the probabilities are unchanged.
+  ml::Matrix shared_logits, shared_probs;
+  std::map<NodeId, std::pair<ml::Matrix, ml::Matrix>> labeled;  // logits,probs
   {
     // The inference stage proper, separated from the context build above so
     // a serving trace can tell model time from bookkeeping time (the
@@ -300,7 +322,8 @@ std::vector<Result<Trail::Attribution>> AttributeBatchImpl(
     TRAIL_TRACE_SPAN("core.batch_forward");
     if (need_shared) {
       TRAIL_METRIC_INC("core.gnn_batch_forwards");
-      shared_probs = gnn.PredictProba(view, base);
+      shared_logits = gnn.PredictLogits(view, base);
+      shared_probs = ml::RowSoftmax(shared_logits);
     }
     // Per-event forwards for already-labeled events, deduplicated by node.
     for (NodeId event : events) {
@@ -308,11 +331,14 @@ std::vector<Result<Trail::Attribution>> AttributeBatchImpl(
         continue;
       }
       if (hide_neighbor_labels || g.label(event) < 0) continue;
-      if (labeled_probs.count(event) > 0) continue;
+      if (labeled.count(event) > 0) continue;
       TRAIL_METRIC_INC("core.gnn_batch_forwards");
       std::vector<int> visible = base;
       visible[event] = -1;
-      labeled_probs.emplace(event, gnn.PredictProba(view, visible));
+      ml::Matrix logits = gnn.PredictLogits(view, visible);
+      ml::Matrix probs = ml::RowSoftmax(logits);
+      labeled.emplace(event,
+                      std::make_pair(std::move(logits), std::move(probs)));
     }
   }
 
@@ -321,13 +347,16 @@ std::vector<Result<Trail::Attribution>> AttributeBatchImpl(
       out.push_back(Status::InvalidArgument("not an event node"));
       continue;
     }
+    const bool shared = hide_neighbor_labels || g.label(event) < 0;
+    const ml::Matrix& logits_matrix =
+        shared ? shared_logits : labeled.at(event).first;
     const ml::Matrix& probs_matrix =
-        (hide_neighbor_labels || g.label(event) < 0)
-            ? shared_probs
-            : labeled_probs.at(event);
+        shared ? shared_probs : labeled.at(event).second;
     auto row = probs_matrix.Row(event);
     std::vector<double> probs(row.begin(), row.end());
-    out.push_back(MakeAttributionFrom(apt_names, probs));
+    out.push_back(MakeAttributionFrom(apt_names, probs,
+                                      RowEnergy(logits_matrix, event),
+                                      policy));
   }
   return out;
 }
@@ -336,7 +365,11 @@ std::vector<Result<Trail::Attribution>> AttributeBatchImpl(
 
 Trail::Attribution Trail::MakeAttribution(
     const std::vector<double>& probs) const {
-  return MakeAttributionFrom(builder_.apt_names(), probs);
+  // Label propagation carries no logits: energy stays 0 and the abstention
+  // policy is not applied (the LP path predates — and sidesteps — the
+  // novelty head; novelty_score is still populated from the confidence).
+  return MakeAttributionFrom(builder_.apt_names(), probs, /*energy=*/0.0,
+                             AbstentionPolicy());
 }
 
 Result<Trail::Attribution> Trail::AttributeWithLp(NodeId event) const {
@@ -388,10 +421,12 @@ Result<Trail::Attribution> Trail::AttributeWithGnn(
       if (v != event && g.label(v) >= 0) visible[v] = g.label(v);
     }
   }
-  ml::Matrix prob_matrix = slot->gnn.PredictProba(ViewOf(*slot), visible);
+  ml::Matrix logits = slot->gnn.PredictLogits(ViewOf(*slot), visible);
+  ml::Matrix prob_matrix = ml::RowSoftmax(logits);
   auto row = prob_matrix.Row(event);
   std::vector<double> probs(row.begin(), row.end());
-  return MakeAttribution(probs);
+  return MakeAttributionFrom(builder_.apt_names(), probs,
+                             RowEnergy(logits, event), *Abstention());
 }
 
 std::vector<Result<Trail::Attribution>> Trail::AttributeBatchWithGnn(
@@ -410,7 +445,7 @@ std::vector<Result<Trail::Attribution>> Trail::AttributeBatchWithGnn(
   }
   return AttributeBatchImpl(builder_.graph(), slot->gnn, ViewOf(*slot),
                             builder_.apt_names(), events,
-                            hide_neighbor_labels);
+                            hide_neighbor_labels, *Abstention());
 }
 
 std::vector<Result<Trail::Attribution>> Trail::AttributeBatchOnEpoch(
@@ -419,7 +454,8 @@ std::vector<Result<Trail::Attribution>> Trail::AttributeBatchOnEpoch(
   TRAIL_TRACE_SPAN("core.attribute_gnn_batch");
   TRAIL_METRIC_ADD("core.gnn_attributions", events.size());
   return AttributeBatchImpl(*epoch.graph, *epoch.gnn, *epoch.view,
-                            epoch.apt_names, events, hide_neighbor_labels);
+                            epoch.apt_names, events, hide_neighbor_labels,
+                            epoch.abstention);
 }
 
 void Trail::PublishEpochLocked(const Epoch* share_graph_from) {
@@ -427,6 +463,7 @@ void Trail::PublishEpochLocked(const Epoch* share_graph_from) {
   auto next = std::make_shared<Epoch>();
   next->model_generation = model_generation();
   next->apt_names = builder_.apt_names();
+  next->abstention = *Abstention();
   next->retire_probe = epoch_retire_probe_;
   if (share_graph_from != nullptr) {
     // The TKG did not change (model hot-swap): share the immutable graph
@@ -499,6 +536,52 @@ NodeId Trail::FindEvent(const std::string& report_id) const {
   return builder_.graph().FindNode(NodeType::kEvent, report_id);
 }
 
+void Trail::SetAbstentionPolicy(const AbstentionPolicy& policy) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  abstention_.store(std::make_shared<const AbstentionPolicy>(policy),
+                    std::memory_order_release);
+  // Re-publish so epoch-pinned workers pick up the new policy. Neither the
+  // TKG nor the models changed, so the fresh epoch shares the graph and CSR
+  // structurally with the previous one (the cheap hot-swap path).
+  std::shared_ptr<const Epoch> prev = PinEpoch();
+  if (prev != nullptr) PublishEpochLocked(prev.get());
+  TRAIL_METRIC_SET("core.abstention_enabled", policy.enabled ? 1.0 : 0.0);
+}
+
+Result<AbstentionPolicy> Trail::CalibrateAbstention(
+    const std::vector<NodeId>& holdout_events, double target_abstain_rate,
+    bool hide_neighbor_labels) {
+  TRAIL_TRACE_SPAN("core.calibrate_abstention");
+  if (holdout_events.empty()) {
+    return Status::InvalidArgument("no holdout events to calibrate on");
+  }
+  auto results = AttributeBatchWithGnn(holdout_events, hide_neighbor_labels);
+  std::vector<double> confidences, energies;
+  for (const auto& result : results) {
+    if (!result.ok()) continue;
+    confidences.push_back(result->confidence);
+    energies.push_back(result->energy);
+  }
+  if (confidences.empty()) {
+    return Status::FailedPrecondition(
+        "no holdout event was attributable; train models first");
+  }
+  // Each detector gets half the abstention budget: known-actor traffic
+  // abstains at most ≈ target_abstain_rate (the two tails can overlap, so
+  // usually less), while events outside both tails — the novel actors this
+  // is for — trip at least one threshold.
+  const double tail =
+      std::min(0.5, std::max(0.0, target_abstain_rate * 0.5));
+  AbstentionPolicy policy;
+  policy.enabled = true;
+  policy.min_confidence = ml::Quantile(confidences, tail);
+  policy.max_energy = ml::Quantile(energies, 1.0 - tail);
+  SetAbstentionPolicy(policy);
+  TRAIL_METRIC_SET("core.abstention_min_confidence", policy.min_confidence);
+  TRAIL_METRIC_SET("core.abstention_max_energy", policy.max_energy);
+  return policy;
+}
+
 JsonValue OptionsToJson(const TrailOptions& options) {
   JsonValue build = JsonValue::MakeObject();
   build.Set("enrichment_hops",
@@ -537,11 +620,23 @@ JsonValue OptionsToJson(const TrailOptions& options) {
   gnn.Set("label_propagation_features",
           JsonValue::MakeBool(options.gnn.label_propagation_features));
 
+  JsonValue abstention = JsonValue::MakeObject();
+  abstention.Set("enabled", JsonValue::MakeBool(options.abstention.enabled));
+  abstention.Set("min_confidence",
+                 JsonValue::MakeNumber(options.abstention.min_confidence));
+  // +inf is not representable in JSON; the disabled sentinel maps to 0.
+  abstention.Set("max_energy",
+                 JsonValue::MakeNumber(
+                     std::isfinite(options.abstention.max_energy)
+                         ? options.abstention.max_energy
+                         : 0.0));
+
   JsonValue out = JsonValue::MakeObject();
   out.Set("build", std::move(build));
   out.Set("autoencoder", std::move(ae));
   out.Set("gnn", std::move(gnn));
   out.Set("lp_layers", JsonValue::MakeNumber(options.lp_layers));
+  out.Set("abstention", std::move(abstention));
   return out;
 }
 

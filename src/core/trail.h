@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -17,12 +18,35 @@
 
 namespace trail::core {
 
+/// The abstention (open-set) operating point: when attribution should say
+/// "unknown" instead of forcing a label. Two complementary detectors —
+/// max-softmax confidence (novelty_score = 1 - confidence) and the energy
+/// score E = -logsumexp(logits) — each with its own threshold; either one
+/// firing abstains. Thresholds come from Trail::CalibrateAbstention, which
+/// pins them to quantiles of held-out known-actor events (docs/SCENARIOS.md).
+/// Disabled by default: every reply then carries novelty_score/energy but
+/// `unknown` stays false, preserving pre-abstention behavior bit for bit.
+struct AbstentionPolicy {
+  bool enabled = false;
+  /// Abstain when max-softmax confidence falls strictly below this.
+  double min_confidence = 0.0;
+  /// Abstain when the energy score rises strictly above this.
+  double max_energy = std::numeric_limits<double>::infinity();
+
+  bool ShouldAbstain(double confidence, double energy) const {
+    return enabled && (confidence < min_confidence || energy > max_energy);
+  }
+};
+
 struct TrailOptions {
   TkgBuildOptions build;
   gnn::AutoencoderOptions autoencoder;
   gnn::EventGnnOptions gnn;
   /// Label-propagation depth used by AttributeWithLp.
   int lp_layers = 4;
+  /// Initial abstention operating point (usually recalibrated at runtime via
+  /// Trail::CalibrateAbstention).
+  AbstentionPolicy abstention;
 };
 
 /// Serializes the full option tree for run manifests, so every recorded run
@@ -52,6 +76,9 @@ struct Epoch {
   std::shared_ptr<const gnn::EventGnn> gnn;
   std::shared_ptr<const gnn::GnnGraph> view;
   std::vector<std::string> apt_names;
+  /// Abstention operating point at publish time: a pinned batch applies one
+  /// consistent policy even while SetAbstentionPolicy races it.
+  AbstentionPolicy abstention;
 
   /// Test-only retirement hook (SetEpochRetireProbeForTest): fires from the
   /// destructor of the epoch, i.e. exactly when the last pin drops.
@@ -124,6 +151,16 @@ class Trail {
     double confidence = 0.0;
     /// Full class distribution, descending by probability.
     std::vector<std::pair<std::string, double>> distribution;
+    /// 1 - max-softmax: always populated, policy or not — the cheap novelty
+    /// signal every reply carries.
+    double novelty_score = 0.0;
+    /// Energy score -logsumexp(logits); 0 on paths without logits (LP).
+    double energy = 0.0;
+    /// True when the active AbstentionPolicy abstained: the caller should
+    /// treat the event as an unknown (possibly novel) actor. `apt`,
+    /// `apt_name`, and `distribution` still carry the forced-label answer so
+    /// downstream consumers can compare the two policies.
+    bool unknown = false;
   };
 
   /// Attributes an event node via label propagation, seeding from every
@@ -152,6 +189,28 @@ class Trail {
 
   /// Event node for a report id; kInvalidNode when absent.
   graph::NodeId FindEvent(const std::string& report_id) const;
+
+  // --- Abstention / novelty head ------------------------------------------
+
+  /// Installs the abstention operating point. Takes effect immediately on
+  /// the classic attribution paths; the epoch plane picks it up at the next
+  /// publish (PublishEpoch / *AndPublish), so pinned batches stay internally
+  /// consistent. Safe to call concurrently with attribution reads.
+  void SetAbstentionPolicy(const AbstentionPolicy& policy);
+
+  /// The currently installed operating point.
+  AbstentionPolicy abstention_policy() const { return *Abstention(); }
+
+  /// Calibrates confidence/energy thresholds on held-out known-actor events
+  /// (typically the most recent training months): attributes them with the
+  /// GNN, then pins min_confidence to the (rate/2)-quantile of their
+  /// confidences and max_energy to the (1 - rate/2)-quantile of their
+  /// energies — a known-actor stream abstains at most ≈`target_abstain_rate`
+  /// while novel actors, landing outside both tails, trip the thresholds.
+  /// Installs the policy via SetAbstentionPolicy and returns it.
+  Result<AbstentionPolicy> CalibrateAbstention(
+      const std::vector<graph::NodeId>& holdout_events,
+      double target_abstain_rate = 0.02, bool hide_neighbor_labels = false);
 
   // --- Epoch plane (serving read path; see struct Epoch) -------------------
   //
@@ -253,6 +312,9 @@ class Trail {
   std::shared_ptr<ModelSlot> Slot() const {
     return models_.load(std::memory_order_acquire);
   }
+  std::shared_ptr<const AbstentionPolicy> Abstention() const {
+    return abstention_.load(std::memory_order_acquire);
+  }
   void InvalidateCaches();
   const graph::CsrGraph& Csr() const;
   /// The slot's model view, built lazily from the current graph.
@@ -268,6 +330,7 @@ class Trail {
   TrailOptions options_;
   TkgBuilder builder_;
   std::atomic<std::shared_ptr<ModelSlot>> models_;
+  std::atomic<std::shared_ptr<const AbstentionPolicy>> abstention_;
   std::atomic<uint64_t> generation_{0};
 
   mutable std::unique_ptr<graph::CsrGraph> csr_cache_;

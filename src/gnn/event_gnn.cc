@@ -368,12 +368,17 @@ Status EventGnn::LoadState(const std::string& path) {
 
 ml::Matrix EventGnn::PredictProba(const GnnGraph& g,
                                   const std::vector<int>& visible_labels) const {
+  return ml::RowSoftmax(PredictLogits(g, visible_labels));
+}
+
+ml::Matrix EventGnn::PredictLogits(
+    const GnnGraph& g, const std::vector<int>& visible_labels) const {
   TRAIL_TRACE_SPAN("gnn.predict");
   TRAIL_CHECK(trained_) << "predict before train";
   Rng rng(0);
   ag::VarPtr logits = ForwardLogits(g, visible_labels, /*edge_mask=*/nullptr,
                                     /*training=*/false, &rng);
-  return ml::RowSoftmax(logits->value);
+  return logits->value;
 }
 
 std::vector<int> EventGnn::PredictEvents(

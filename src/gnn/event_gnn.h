@@ -71,6 +71,12 @@ class EventGnn {
   ml::Matrix PredictProba(const GnnGraph& g,
                           const std::vector<int>& visible_labels) const;
 
+  /// Raw (pre-softmax) class logits for every node row — PredictProba is
+  /// exactly RowSoftmax of this. The abstention head needs the logits for
+  /// the energy score, which softmax normalization destroys.
+  ml::Matrix PredictLogits(const GnnGraph& g,
+                           const std::vector<int>& visible_labels) const;
+
   /// Argmax prediction restricted to event rows; others get -1.
   std::vector<int> PredictEvents(const GnnGraph& g,
                                  const std::vector<int>& visible_labels) const;

@@ -114,4 +114,58 @@ double ExpectedCalibrationError(const Matrix& probs,
   return ece;
 }
 
+double EnergyScore(const double* logits, size_t n) {
+  TRAIL_CHECK(n > 0) << "energy of an empty logit row";
+  double max_logit = logits[0];
+  for (size_t c = 1; c < n; ++c) max_logit = std::max(max_logit, logits[c]);
+  double sum = 0.0;
+  for (size_t c = 0; c < n; ++c) sum += std::exp(logits[c] - max_logit);
+  return -(max_logit + std::log(sum));
+}
+
+double EnergyScore(const std::vector<double>& logits) {
+  return EnergyScore(logits.data(), logits.size());
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::min(1.0, std::max(0.0, q));
+  const double pos = q * (values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double Auroc(const std::vector<double>& scores,
+             const std::vector<uint8_t>& is_positive) {
+  TRAIL_CHECK(scores.size() == is_positive.size());
+  size_t num_pos = 0;
+  for (uint8_t p : is_positive) num_pos += p ? 1 : 0;
+  const size_t num_neg = scores.size() - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  // Average ranks (1-based), ties sharing the mean rank of their run.
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  double pos_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    const double mean_rank = 0.5 * (static_cast<double>(i + 1) +
+                                    static_cast<double>(j));
+    for (size_t k = i; k < j; ++k) {
+      if (is_positive[order[k]]) pos_rank_sum += mean_rank;
+    }
+    i = j;
+  }
+  const double u = pos_rank_sum -
+                   static_cast<double>(num_pos) * (num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
 }  // namespace trail::ml

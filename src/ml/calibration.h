@@ -1,6 +1,7 @@
 #ifndef TRAIL_ML_CALIBRATION_H_
 #define TRAIL_ML_CALIBRATION_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "ml/matrix.h"
@@ -36,6 +37,26 @@ class TemperatureScaler {
 double ExpectedCalibrationError(const Matrix& probs,
                                 const std::vector<int>& labels,
                                 int bins = 10);
+
+// -- Abstention / open-set helpers (docs/SCENARIOS.md, "Abstention math").
+// All of these are sequential double-precision loops: results are
+// bit-identical at any thread count and on every kernel backend.
+
+/// Energy score E(x) = -log Σ_c exp(logit_c), computed with a max shift for
+/// stability. Lower energy = the model recognizes the input; high energy =
+/// out-of-distribution (Liu et al., 2020). `n` must be > 0.
+double EnergyScore(const double* logits, size_t n);
+double EnergyScore(const std::vector<double>& logits);
+
+/// q-quantile (q in [0,1]) of `values` with linear interpolation between
+/// order statistics (the "linear" / type-7 convention). Empty input -> 0.
+double Quantile(std::vector<double> values, double q);
+
+/// Rank-based AUROC (Mann-Whitney U with average ranks on ties) of `scores`
+/// separating positives from negatives: the probability a random positive
+/// scores higher than a random negative. 0.5 when either side is empty.
+double Auroc(const std::vector<double>& scores,
+             const std::vector<uint8_t>& is_positive);
 
 }  // namespace trail::ml
 

@@ -76,6 +76,29 @@ double MacroF1(const std::vector<int>& truth, const std::vector<int>& predicted,
   return present == 0 ? 0.0 : f1_total / present;
 }
 
+std::vector<double> PerClassF1(const std::vector<int>& truth,
+                               const std::vector<int>& predicted,
+                               int num_classes) {
+  auto cm = ConfusionMatrix(truth, predicted, num_classes);
+  std::vector<double> f1(num_classes, 0.0);
+  for (int c = 0; c < num_classes; ++c) {
+    double tp = cm[c][c];
+    double fn = 0.0, fp = 0.0;
+    for (int o = 0; o < num_classes; ++o) {
+      if (o == c) continue;
+      fn += cm[c][o];
+      fp += cm[o][c];
+    }
+    // Count abstentions (predicted < 0) as misses.
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (truth[i] == c && predicted[i] < 0) fn += 1.0;
+    }
+    const double denom = 2.0 * tp + fp + fn;
+    f1[c] = denom > 0.0 ? 2.0 * tp / denom : 0.0;
+  }
+  return f1;
+}
+
 MeanStd ComputeMeanStd(const std::vector<double>& values) {
   MeanStd ms;
   if (values.empty()) return ms;

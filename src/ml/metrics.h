@@ -25,6 +25,14 @@ std::vector<std::vector<int>> ConfusionMatrix(const std::vector<int>& truth,
 double MacroF1(const std::vector<int>& truth, const std::vector<int>& predicted,
                int num_classes);
 
+/// Per-class F1 (one entry per class). Unlike ConfusionMatrix/MacroF1,
+/// abstentions (predicted < 0) count as false negatives for the true class —
+/// an abstaining classifier pays for the events it refuses to label. Classes
+/// absent from `truth` get F1 = 0.
+std::vector<double> PerClassF1(const std::vector<int>& truth,
+                               const std::vector<int>& predicted,
+                               int num_classes);
+
 /// Mean and (population) standard deviation of a sample, for the
 /// "acc ± std over folds" rows of Table IV.
 struct MeanStd {

@@ -56,8 +56,16 @@ WorldConfig WorldConfig::ScaledUp() {
 
 World::World(const WorldConfig& config) : config_(config), rng_(config.seed) {
   TRAIL_CHECK(config.num_apts >= 2) << "need at least two groups";
-  apts_ = AptProfile::BuildRoster(config.num_apts, config.feature_sharpness,
-                                  config.num_asns, &rng_);
+  TRAIL_CHECK(config.num_novel_apts >= 0);
+  if (config.num_novel_apts > 0) {
+    TRAIL_CHECK(config.post_days >= 90)
+        << "novel actors land post-cutoff; need a post window";
+  }
+  // Novel (open-set) actors extend the roster; BuildRoster forks the rng per
+  // profile, so the first num_apts profiles are unchanged by the extension.
+  apts_ = AptProfile::BuildRoster(config.num_apts + config.num_novel_apts,
+                                  config.feature_sharpness, config.num_asns,
+                                  &rng_);
   apt_ip_pool_.resize(apts_.size());
   apt_domain_pool_.resize(apts_.size());
   apt_url_pool_.resize(apts_.size());
@@ -160,6 +168,10 @@ uint32_t World::CreateIp(int apt, int day, Rng* rng) {
   ip.first_day = day;
   ip.last_day = std::min(day + 30 + static_cast<int>(rng->NextBounded(400)),
                          config_.end_day + config_.post_days);
+  if (config_.infra_lifetime_days > 0) {
+    // Churn worlds retire infrastructure: lifetimes cap at the churn window.
+    ip.last_day = std::min(ip.last_day, day + config_.infra_lifetime_days);
+  }
 
   uint32_t id = static_cast<uint32_t>(ips_.size());
   ip_index_.emplace(addr, id);
@@ -181,6 +193,11 @@ void World::AttachParkedDomains(uint32_t ip_id, int apt, int day, Rng* rng) {
     domain.first_day = std::max(config_.start_day, day - 600 +
                                 static_cast<int>(rng->NextBounded(600)));
     domain.last_day = day + static_cast<int>(rng->NextBounded(200));
+    if (config_.infra_lifetime_days > 0) {
+      // Churn worlds retire parked infrastructure too.
+      domain.last_day = std::min(domain.last_day,
+                                 domain.first_day + config_.infra_lifetime_days);
+    }
     domain.nxdomain = rng->Bernoulli(0.5);  // most parked infra is dead
     domain.a_records.push_back(ip_id);
     domain.record_counts[static_cast<int>(ioc::DnsRecordType::kA)] = 1;
@@ -305,6 +322,10 @@ uint32_t World::CreateDomain(int apt, int day,
   domain.first_day = day;
   domain.last_day = std::min(day + 20 + static_cast<int>(rng->NextBounded(300)),
                              config_.end_day + config_.post_days);
+  if (config_.infra_lifetime_days > 0) {
+    domain.last_day =
+        std::min(domain.last_day, day + config_.infra_lifetime_days);
+  }
   domain.nxdomain = rng->Bernoulli(0.25);
 
   size_t record_count =
@@ -376,18 +397,25 @@ uint32_t World::CreateUrl(int apt, uint32_t domain_id, Rng* rng) {
 void World::BuildTimeline() {
   // Event counts per APT: rank-decayed between max and min.
   const int total_days = config_.end_day + config_.post_days;
+  const bool churn = config_.infra_lifetime_days > 0;
   int pulse_counter = 0;
   for (int apt = 0; apt < num_apts(); ++apt) {
-    double t = num_apts() > 1
-                   ? static_cast<double>(apt) / (num_apts() - 1)
-                   : 0.0;
-    int events = static_cast<int>(
-        config_.max_events_per_apt -
-        t * (config_.max_events_per_apt - config_.min_events_per_apt));
-    // Scale event volume so the post-cutoff window also gets coverage.
-    events = static_cast<int>(events * (1.0 + static_cast<double>(
-                                                  config_.post_days) /
-                                                  config_.end_day));
+    const bool novel = IsNovelApt(apt);
+    int events;
+    if (novel) {
+      events = config_.novel_apt_events;
+    } else {
+      double t = config_.num_apts > 1
+                     ? static_cast<double>(apt) / (config_.num_apts - 1)
+                     : 0.0;
+      events = static_cast<int>(
+          config_.max_events_per_apt -
+          t * (config_.max_events_per_apt - config_.min_events_per_apt));
+      // Scale event volume so the post-cutoff window also gets coverage.
+      events = static_cast<int>(events * (1.0 + static_cast<double>(
+                                                    config_.post_days) /
+                                                    config_.end_day));
+    }
 
     int produced = 0;
     while (produced < events) {
@@ -395,11 +423,35 @@ void World::BuildTimeline() {
       int campaign_events =
           1 + rng_.Poisson(config_.mean_events_per_campaign - 1.0);
       campaign_events = std::min(campaign_events, events - produced);
-      int campaign_start =
-          config_.start_day +
-          static_cast<int>(rng_.NextBounded(
-              static_cast<uint64_t>(total_days - config_.start_day - 60)));
+      int campaign_start;
+      if (novel) {
+        // Open-set actors only ever operate after the training cutoff.
+        campaign_start =
+            config_.end_day +
+            static_cast<int>(rng_.NextBounded(
+                static_cast<uint64_t>(std::max(1, config_.post_days - 60))));
+      } else {
+        campaign_start =
+            config_.start_day +
+            static_cast<int>(rng_.NextBounded(
+                static_cast<uint64_t>(total_days - config_.start_day - 60)));
+      }
       int campaign_span = 30 + static_cast<int>(rng_.NextBounded(180));
+
+      // False-flag campaigns plant a victim group's infrastructure; the
+      // victim must already have an established pool to steal from.
+      int flag_victim = -1;
+      if (config_.false_flag_rate > 0 &&
+          rng_.Bernoulli(config_.false_flag_rate)) {
+        std::vector<int> victims;
+        for (int v = 0; v < config_.num_apts; ++v) {
+          if (v != apt && !apt_ip_pool_[v].empty()) victims.push_back(v);
+        }
+        if (!victims.empty()) {
+          flag_victim =
+              victims[rng_.NextBounded(victims.size())];
+        }
+      }
 
       Campaign campaign;
       campaign.apt = apt;
@@ -409,15 +461,18 @@ void World::BuildTimeline() {
       // Seed infrastructure for the campaign. More IPs are stood up than
       // ever get reported — the unreported ones surface only as secondary
       // IOCs through domain A records (paper: only ~52% of IPs are
-      // first-order).
+      // first-order). Under churn, reuse only considers infrastructure
+      // still alive at the campaign start — old servers are gone.
+      std::vector<uint32_t> reuse_ips = apt_ip_pool_[apt];
+      if (churn) reuse_ips = FreshIps(reuse_ips, campaign_start);
       int seed_ips = 4 + rng_.Poisson(3.0);
       for (int i = 0; i < seed_ips; ++i) {
         // Cross-campaign indirect reuse: sometimes rent the same server the
         // group used before instead of standing up a new one.
-        if (!apt_ip_pool_[apt].empty() &&
+        if (!reuse_ips.empty() &&
             rng_.Bernoulli(config_.cross_campaign_ip_reuse * 0.4)) {
           campaign.ips.push_back(
-              apt_ip_pool_[apt][rng_.NextBounded(apt_ip_pool_[apt].size())]);
+              reuse_ips[rng_.NextBounded(reuse_ips.size())]);
         } else {
           campaign.ips.push_back(CreateIp(apt, campaign_start, &rng_));
         }
@@ -425,12 +480,12 @@ void World::BuildTimeline() {
       int seed_domains = 3 + rng_.Poisson(3.0);
       for (int i = 0; i < seed_domains; ++i) {
         std::vector<uint32_t> ip_pool = campaign.ips;
-        if (!apt_ip_pool_[apt].empty() &&
+        if (!reuse_ips.empty() &&
             rng_.Bernoulli(config_.cross_campaign_ip_reuse)) {
           // One historic A record to an APT-pool IP creates the indirect
           // (>2-hop) linkage the enrichment step surfaces.
           ip_pool.push_back(
-              apt_ip_pool_[apt][rng_.NextBounded(apt_ip_pool_[apt].size())]);
+              reuse_ips[rng_.NextBounded(reuse_ips.size())]);
         }
         campaign.domains.push_back(
             CreateDomain(apt, campaign_start, ip_pool, &rng_));
@@ -447,11 +502,49 @@ void World::BuildTimeline() {
         int day = campaign.start_day +
                   static_cast<int>(rng_.NextBounded(
                       static_cast<uint64_t>(campaign_span + 1)));
+        // Novel-actor events must stay inside the observable post window.
+        if (novel) day = std::min(day, total_days - 1);
         bool isolated = rng_.Bernoulli(config_.isolated_event_rate);
         PulseReport report =
-            MakeReport(campaign, apt, day, isolated, &campaign.ips,
-                       &campaign.domains, &campaign.urls, &rng_);
+            MakeReport(campaign, apt, day, isolated, flag_victim,
+                       &campaign.ips, &campaign.domains, &campaign.urls,
+                       &rng_);
         report.id = "PULSE-" + std::to_string(pulse_counter++);
+        report_truth_.emplace(report.id, apt);
+        if (flag_victim >= 0) {
+          report_flag_target_.emplace(report.id, flag_victim);
+        }
+        // Partially-labeled feeds: the actor tag is stripped before the
+        // report ever reaches the system (ground truth stays in the maps).
+        if (config_.unlabeled_report_rate > 0 &&
+            rng_.Bernoulli(config_.unlabeled_report_rate)) {
+          report.apt.clear();
+        }
+        // Secondary feeds republish: a near-duplicate lands a little later,
+        // truncated, and sometimes carrying the wrong actor tag.
+        if (config_.duplicate_report_rate > 0 &&
+            rng_.Bernoulli(config_.duplicate_report_rate)) {
+          PulseReport dup = report;
+          dup.id = report.id + "-B";
+          dup.day = report.day + static_cast<int>(rng_.NextBounded(4));
+          if (dup.indicators.size() > 3) {
+            size_t drop =
+                rng_.NextBounded(dup.indicators.size() / 3 + 1);
+            dup.indicators.resize(dup.indicators.size() - drop);
+          }
+          if (config_.conflicting_label_rate > 0 &&
+              rng_.Bernoulli(config_.conflicting_label_rate)) {
+            int wrong = static_cast<int>(rng_.NextBounded(
+                static_cast<uint64_t>(config_.num_apts)));
+            if (wrong == apt) wrong = (wrong + 1) % config_.num_apts;
+            dup.apt = apts_[wrong].name;
+          }
+          report_truth_.emplace(dup.id, apt);
+          if (flag_victim >= 0) {
+            report_flag_target_.emplace(dup.id, flag_victim);
+          }
+          reports_.push_back(std::move(dup));
+        }
         reports_.push_back(std::move(report));
         ++produced;
       }
@@ -470,7 +563,7 @@ void World::BuildTimeline() {
 }
 
 PulseReport World::MakeReport(const Campaign& /*campaign*/, int apt, int day,
-                              bool isolated,
+                              bool isolated, int flag_victim,
                               std::vector<uint32_t>* campaign_ips,
                               std::vector<uint32_t>* campaign_domains,
                               std::vector<uint32_t>* campaign_urls,
@@ -479,14 +572,50 @@ PulseReport World::MakeReport(const Campaign& /*campaign*/, int apt, int day,
   report.apt = apts_[apt].name;
   report.day = day;
 
-  // Confusable borrowing source (one of the other cluster members).
+  // Borrowing source: a false-flag victim takes precedence over the
+  // confusable-cluster neighbor (one of the other cluster members).
   int borrow_from = -1;
-  if (std::find(confusable_.begin(), confusable_.end(), apt) !=
-      confusable_.end()) {
+  if (flag_victim >= 0) {
+    borrow_from = flag_victim;
+  } else if (std::find(confusable_.begin(), confusable_.end(), apt) !=
+             confusable_.end()) {
     do {
       borrow_from = confusable_[rng->NextBounded(confusable_.size())];
     } while (borrow_from == apt);
   }
+
+  // Under churn, pool reuse only sees infrastructure still alive today.
+  const bool churn = config_.infra_lifetime_days > 0;
+  const std::vector<uint32_t>* own_ips = &apt_ip_pool_[apt];
+  const std::vector<uint32_t>* own_domains = &apt_domain_pool_[apt];
+  const std::vector<uint32_t>* own_urls = &apt_url_pool_[apt];
+  const std::vector<uint32_t>* other_ips =
+      borrow_from >= 0 ? &apt_ip_pool_[borrow_from] : nullptr;
+  const std::vector<uint32_t>* other_domains =
+      borrow_from >= 0 ? &apt_domain_pool_[borrow_from] : nullptr;
+  const std::vector<uint32_t>* other_urls =
+      borrow_from >= 0 ? &apt_url_pool_[borrow_from] : nullptr;
+  std::vector<uint32_t> f_own_ips, f_own_domains, f_own_urls;
+  std::vector<uint32_t> f_other_ips, f_other_domains, f_other_urls;
+  if (churn) {
+    f_own_ips = FreshIps(*own_ips, day);
+    f_own_domains = FreshDomains(*own_domains, day);
+    f_own_urls = FreshUrls(*own_urls, day);
+    own_ips = &f_own_ips;
+    own_domains = &f_own_domains;
+    own_urls = &f_own_urls;
+    if (borrow_from >= 0) {
+      f_other_ips = FreshIps(*other_ips, day);
+      f_other_domains = FreshDomains(*other_domains, day);
+      f_other_urls = FreshUrls(*other_urls, day);
+      other_ips = &f_other_ips;
+      other_domains = &f_other_domains;
+      other_urls = &f_other_urls;
+    }
+  }
+  // Did this report actually reference the victim's pool? (FlagTarget's
+  // consistency guarantee — force-planted below if no draw landed.)
+  bool planted = false;
 
   // Isolated events draw only from a private fresh infrastructure set.
   std::vector<uint32_t> private_ips;
@@ -504,8 +633,17 @@ PulseReport World::MakeReport(const Campaign& /*campaign*/, int apt, int day,
   };
 
   enum Source { kCampaign, kAptPool, kNoise, kFresh, kBorrow };
+  // A false-flag report redirects a large share of its draws to the
+  // victim's pools; otherwise borrowing is the confusable-cluster trickle.
+  const double borrow_rate = flag_victim >= 0
+                                 ? config_.false_flag_plant_rate
+                                 : config_.confusable_borrow_rate;
   auto roll_source = [&]() -> Source {
-    if (isolated) return kFresh;
+    if (isolated && flag_victim < 0) return kFresh;
+    if (isolated) {
+      // Flagged isolated events still plant victim IOCs amid fresh infra.
+      return rng->Bernoulli(borrow_rate) ? kBorrow : kFresh;
+    }
     double r = rng->UniformDouble();
     if (r < config_.campaign_reuse) return kCampaign;
     r -= config_.campaign_reuse;
@@ -513,7 +651,7 @@ PulseReport World::MakeReport(const Campaign& /*campaign*/, int apt, int day,
     r -= config_.apt_reuse;
     if (r < config_.global_noise) return kNoise;
     r -= config_.global_noise;
-    if (borrow_from >= 0 && r < config_.confusable_borrow_rate) return kBorrow;
+    if (borrow_from >= 0 && r < borrow_rate) return kBorrow;
     return kFresh;
   };
 
@@ -525,16 +663,16 @@ PulseReport World::MakeReport(const Campaign& /*campaign*/, int apt, int day,
         id = (*campaign_ips)[rng->NextBounded(campaign_ips->size())];
         break;
       case kAptPool:
-        if (apt_ip_pool_[apt].empty()) continue;
-        id = apt_ip_pool_[apt][rng->NextBounded(apt_ip_pool_[apt].size())];
+        if (own_ips->empty()) continue;
+        id = (*own_ips)[rng->NextBounded(own_ips->size())];
         break;
       case kNoise:
         id = noise_ips_[rng->NextBounded(noise_ips_.size())];
         break;
       case kBorrow:
-        if (apt_ip_pool_[borrow_from].empty()) continue;
-        id = apt_ip_pool_[borrow_from][rng->NextBounded(
-            apt_ip_pool_[borrow_from].size())];
+        if (other_ips->empty()) continue;
+        id = (*other_ips)[rng->NextBounded(other_ips->size())];
+        if (flag_victim >= 0) planted = true;
         break;
       default:
         if (isolated) {
@@ -555,17 +693,16 @@ PulseReport World::MakeReport(const Campaign& /*campaign*/, int apt, int day,
         id = (*campaign_domains)[rng->NextBounded(campaign_domains->size())];
         break;
       case kAptPool:
-        if (apt_domain_pool_[apt].empty()) continue;
-        id = apt_domain_pool_[apt][rng->NextBounded(
-            apt_domain_pool_[apt].size())];
+        if (own_domains->empty()) continue;
+        id = (*own_domains)[rng->NextBounded(own_domains->size())];
         break;
       case kNoise:
         id = noise_domains_[rng->NextBounded(noise_domains_.size())];
         break;
       case kBorrow:
-        if (apt_domain_pool_[borrow_from].empty()) continue;
-        id = apt_domain_pool_[borrow_from][rng->NextBounded(
-            apt_domain_pool_[borrow_from].size())];
+        if (other_domains->empty()) continue;
+        id = (*other_domains)[rng->NextBounded(other_domains->size())];
+        if (flag_victim >= 0) planted = true;
         break;
       default:
         if (isolated) {
@@ -586,8 +723,8 @@ PulseReport World::MakeReport(const Campaign& /*campaign*/, int apt, int day,
         id = (*campaign_urls)[rng->NextBounded(campaign_urls->size())];
         break;
       case kAptPool:
-        if (apt_url_pool_[apt].empty()) continue;
-        id = apt_url_pool_[apt][rng->NextBounded(apt_url_pool_[apt].size())];
+        if (own_urls->empty()) continue;
+        id = (*own_urls)[rng->NextBounded(own_urls->size())];
         break;
       case kNoise: {
         // Benign URLs are rare; host one on a noise domain on demand.
@@ -597,9 +734,9 @@ PulseReport World::MakeReport(const Campaign& /*campaign*/, int apt, int day,
         break;
       }
       case kBorrow:
-        if (apt_url_pool_[borrow_from].empty()) continue;
-        id = apt_url_pool_[borrow_from][rng->NextBounded(
-            apt_url_pool_[borrow_from].size())];
+        if (other_urls->empty()) continue;
+        id = (*other_urls)[rng->NextBounded(other_urls->size())];
+        if (flag_victim >= 0) planted = true;
         break;
       default: {
         uint32_t domain;
@@ -624,7 +761,54 @@ PulseReport World::MakeReport(const Campaign& /*campaign*/, int apt, int day,
     report.indicators.push_back(
         ReportedIndicator{"URL", "javascript:void(window.location)"});
   }
+
+  // FlagTarget guarantee: a flagged report always references the victim's
+  // pool. If none of the probabilistic draws landed, plant one victim IP
+  // (falling back past the churn filter — the victim pool is non-empty by
+  // the caller's victim selection).
+  if (flag_victim >= 0 && !planted) {
+    const std::vector<uint32_t>& pool = other_ips->empty()
+                                            ? apt_ip_pool_[flag_victim]
+                                            : *other_ips;
+    uint32_t id = pool[rng->NextBounded(pool.size())];
+    add_indicator("IPv4", ips_[id].addr);
+  }
   return report;
+}
+
+std::vector<uint32_t> World::FreshIps(const std::vector<uint32_t>& pool,
+                                      int day) const {
+  std::vector<uint32_t> out;
+  for (uint32_t id : pool) {
+    if (ips_[id].first_day >= day - config_.infra_lifetime_days) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> World::FreshDomains(const std::vector<uint32_t>& pool,
+                                          int day) const {
+  std::vector<uint32_t> out;
+  for (uint32_t id : pool) {
+    if (domains_[id].first_day >= day - config_.infra_lifetime_days) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> World::FreshUrls(const std::vector<uint32_t>& pool,
+                                       int day) const {
+  // URLs carry no timestamp of their own; they age with their domain.
+  std::vector<uint32_t> out;
+  for (uint32_t id : pool) {
+    if (domains_[urls_[id].domain].first_day >=
+        day - config_.infra_lifetime_days) {
+      out.push_back(id);
+    }
+  }
+  return out;
 }
 
 bool World::AnalyzeIp(const std::string& addr, ioc::IpAnalysis* out) const {
@@ -717,6 +901,16 @@ bool World::AnalyzeUrl(const std::string& url, ioc::UrlAnalysis* out) const {
   }
   out->resolved_ip = ips_[entity.ip].addr;
   return true;
+}
+
+int World::TrueAptOfReport(const std::string& report_id) const {
+  auto it = report_truth_.find(report_id);
+  return it == report_truth_.end() ? -1 : it->second;
+}
+
+int World::FlagTarget(const std::string& report_id) const {
+  auto it = report_flag_target_.find(report_id);
+  return it == report_flag_target_.end() ? -1 : it->second;
 }
 
 int World::TrueApt(ioc::IocType type, const std::string& value) const {

@@ -97,6 +97,47 @@ struct WorldConfig {
   /// Chance of a junk (non-IOC) indicator row in a report.
   double junk_indicator_rate = 0.02;
 
+  // -- Adversarial & open-world knobs (docs/SCENARIOS.md). Every knob
+  // defaults to *off* and every draw it adds is gated behind the knob, so a
+  // default config replays the exact rng stream of older releases (the
+  // golden fixtures depend on this).
+
+  /// Chance a campaign is a false-flag operation: the acting APT plants
+  /// indicators drawn from a victim group's established pools. The victim is
+  /// recorded per report — ground truth via `FlagTarget()`; every flagged
+  /// report is guaranteed to reference at least one victim-pool IOC.
+  double false_flag_rate = 0.0;
+
+  /// Share of a flagged report's reuse draws redirected to the victim's
+  /// pools (only meaningful when `false_flag_rate > 0`).
+  double false_flag_plant_rate = 0.45;
+
+  /// When > 0, infrastructure is retired after this many days: cross-campaign
+  /// reuse (APT pools and indirect A records) only considers entities first
+  /// seen within the window, and entity lifetimes are capped to it. Small
+  /// values starve the reuse signal attribution depends on.
+  int infra_lifetime_days = 0;
+
+  /// Number of extra "novel" actors appended to the roster whose campaigns
+  /// occur only after `end_day` — i.e. absent from any training window, the
+  /// open-set months. Their ids are `num_apts .. num_apts+num_novel_apts-1`
+  /// (see `World::IsNovelApt`).
+  int num_novel_apts = 0;
+
+  /// Events per novel actor (all landing in the post-cutoff window).
+  int novel_apt_events = 18;
+
+  // Mixed-quality multi-feed ingestion: secondary feeds republish reports.
+  /// Chance a report is re-published as a near-duplicate (id suffixed
+  /// "-B", slightly delayed, a few indicators dropped).
+  double duplicate_report_rate = 0.0;
+  /// Given a duplicate, chance its actor tag is swapped to a wrong group
+  /// (ground truth preserved via `TrueAptOfReport`).
+  double conflicting_label_rate = 0.0;
+  /// Chance a report's actor tag is stripped entirely (partially-labeled
+  /// feeds; ground truth preserved via `TrueAptOfReport`).
+  double unlabeled_report_rate = 0.0;
+
   /// A configuration ~6x larger, nearer the paper's event count.
   static WorldConfig ScaledUp();
 };
@@ -177,6 +218,26 @@ class World {
   /// Ground-truth owner of an IOC (-1 for shared/unknown). Test hook.
   int TrueApt(ioc::IocType type, const std::string& value) const;
 
+  // -- Adversarial / open-world ground truth (evaluation-side only; none of
+  // this leaks onto the PulseReport wire format the system ingests). --
+
+  /// True acting APT behind a report id — survives label stripping
+  /// (`unlabeled_report_rate`) and wrong tags (`conflicting_label_rate`).
+  /// -1 for an unknown id.
+  int TrueAptOfReport(const std::string& report_id) const;
+
+  /// False-flag victim whose infrastructure a report deliberately planted;
+  /// -1 when the report is not part of a false-flag campaign.
+  int FlagTarget(const std::string& report_id) const;
+
+  /// True when `apt` is an open-set actor absent before `end_day`.
+  bool IsNovelApt(int apt) const {
+    return apt >= config_.num_apts && apt < num_apts();
+  }
+
+  /// Actors present in training windows (novel actors excluded).
+  int num_known_apts() const { return config_.num_apts; }
+
   // Entity registries (dataset statistics + tests).
   const std::vector<IpEntity>& ips() const { return ips_; }
   const std::vector<DomainEntity>& domains() const { return domains_; }
@@ -203,9 +264,19 @@ class World {
   std::string GenerateUrlString(const AptProfile& apt,
                                 const std::string& host, Rng* rng);
   PulseReport MakeReport(const Campaign& campaign, int apt, int day,
-                         bool isolated, std::vector<uint32_t>* campaign_ips,
+                         bool isolated, int flag_victim,
+                         std::vector<uint32_t>* campaign_ips,
                          std::vector<uint32_t>* campaign_domains,
                          std::vector<uint32_t>* campaign_urls, Rng* rng);
+
+  /// `pool` restricted to entities first seen within the churn window ending
+  /// at `day`. Callers only invoke this when `infra_lifetime_days > 0`.
+  std::vector<uint32_t> FreshIps(const std::vector<uint32_t>& pool,
+                                 int day) const;
+  std::vector<uint32_t> FreshDomains(const std::vector<uint32_t>& pool,
+                                     int day) const;
+  std::vector<uint32_t> FreshUrls(const std::vector<uint32_t>& pool,
+                                  int day) const;
 
   WorldConfig config_;
   std::vector<AptProfile> apts_;
@@ -229,6 +300,10 @@ class World {
 
   // Confusable cluster (indices of mutually-borrowing groups).
   std::vector<int> confusable_;
+
+  // Evaluation-side ground truth keyed by report id (see accessors above).
+  std::unordered_map<std::string, int> report_truth_;
+  std::unordered_map<std::string, int> report_flag_target_;
 
   Rng rng_;
 };

@@ -47,6 +47,14 @@ std::string RenderServeResponse(const JsonValue& request,
           JsonValue::MakeNumber(static_cast<double>(response.trace_id)));
   out.Set("apt", JsonValue::MakeString(response.attribution.apt_name));
   out.Set("confidence", JsonValue::MakeNumber(response.attribution.confidence));
+  // Open-set fields: `verdict` is "unknown" when the epoch's abstention
+  // policy fired (apt/confidence still carry the forced-label answer for
+  // comparison); novelty_score and energy are always populated.
+  out.Set("verdict", JsonValue::MakeString(
+                         response.attribution.unknown ? "unknown" : "known"));
+  out.Set("novelty_score",
+          JsonValue::MakeNumber(response.attribution.novelty_score));
+  out.Set("energy", JsonValue::MakeNumber(response.attribution.energy));
   out.Set("event", JsonValue::MakeNumber(static_cast<double>(response.event)));
   out.Set("batch_size",
           JsonValue::MakeNumber(static_cast<double>(response.batch_size)));

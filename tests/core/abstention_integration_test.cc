@@ -1,0 +1,202 @@
+// scenarios tier: the abstention head end to end — calibration on a
+// known-actor world keeps the abstention rate near the target, open-set
+// months score better with abstention than with forced labels, and the
+// longitudinal kAuto policy treats an abstention surge as concept drift.
+
+#include "core/study.h"
+#include "core/trail.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "osint/feed_client.h"
+#include "osint/world.h"
+
+namespace trail::core {
+namespace {
+
+osint::WorldConfig KnownConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 4;
+  config.min_events_per_apt = 10;
+  config.max_events_per_apt = 14;
+  config.end_day = 800;
+  config.post_days = 90;
+  config.seed = 61;
+  return config;
+}
+
+osint::WorldConfig OpenSetConfig() {
+  osint::WorldConfig config = KnownConfig();
+  config.seed = 47;
+  config.post_days = 120;
+  config.num_novel_apts = 2;
+  config.novel_apt_events = 10;
+  return config;
+}
+
+TrailOptions FastOptions() {
+  TrailOptions options;
+  options.autoencoder.hidden = 32;
+  options.autoencoder.encoding = 16;
+  options.autoencoder.epochs = 2;
+  options.autoencoder.max_train_rows = 400;
+  options.gnn.hidden = 32;
+  options.gnn.epochs = 25;
+  return options;
+}
+
+std::vector<graph::NodeId> SampleEvents(const Trail& trail, size_t limit) {
+  const std::vector<graph::NodeId> events =
+      trail.graph().NodesOfType(graph::NodeType::kEvent);
+  std::vector<graph::NodeId> holdout;
+  const size_t stride = std::max<size_t>(1, events.size() / limit);
+  for (size_t i = 0; i < events.size(); i += stride) {
+    holdout.push_back(events[i]);
+  }
+  return holdout;
+}
+
+TEST(AbstentionIntegrationTest, CalibrationBoundsKnownActorAbstention) {
+  osint::World world(KnownConfig());
+  osint::FeedClient feed(&world);
+  Trail trail(&feed, FastOptions());
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, 800)).ok());
+  ASSERT_TRUE(trail.TrainModels().ok());
+
+  EXPECT_FALSE(trail.abstention_policy().enabled);
+  auto policy = trail.CalibrateAbstention(SampleEvents(trail, 256), 0.02);
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  EXPECT_TRUE(policy->enabled);
+  EXPECT_TRUE(trail.abstention_policy().enabled);
+
+  // On the calibration traffic itself the tail-quantile thresholds abstain
+  // at most ~the target rate (strict inequalities keep the quantile points
+  // themselves in-distribution).
+  const std::vector<graph::NodeId> holdout = SampleEvents(trail, 256);
+  auto results = trail.AttributeBatchWithGnn(holdout);
+  size_t ok = 0, abstained = 0;
+  for (const auto& result : results) {
+    if (!result.ok()) continue;
+    ++ok;
+    abstained += result->unknown;
+    // Every reply carries the novelty block, abstaining or not.
+    EXPECT_GE(result->novelty_score, 0.0);
+    EXPECT_LE(result->novelty_score, 1.0);
+    EXPECT_EQ(result->novelty_score, 1.0 - result->confidence);
+  }
+  ASSERT_GT(ok, 0u);
+  // ≈0%: the known-actor world stays almost entirely above threshold.
+  EXPECT_LE(static_cast<double>(abstained) / ok, 0.05);
+}
+
+TEST(AbstentionIntegrationTest, CalibrationFailsWithoutSignal) {
+  osint::World world(KnownConfig());
+  osint::FeedClient feed(&world);
+  Trail trail(&feed, FastOptions());
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, 800)).ok());
+  ASSERT_TRUE(trail.TrainModels().ok());
+  auto empty = trail.CalibrateAbstention({});
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AbstentionIntegrationTest, OpenSetMonthsBeatForcedLabels) {
+  const osint::WorldConfig config = OpenSetConfig();
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  Trail trail(&feed, FastOptions());
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, config.end_day)).ok());
+  ASSERT_TRUE(trail.TrainModels().ok());
+  auto policy = trail.CalibrateAbstention(SampleEvents(trail, 256), 0.02);
+  ASSERT_TRUE(policy.ok()) << policy.status();
+
+  StudyOptions options;
+  options.fine_tune_epochs = 2;
+  options.abstention = *policy;
+  Study study(&trail, options);
+
+  double open_sum = 0.0, forced_sum = 0.0, recall_sum = 0.0;
+  int novel_months = 0;
+  for (int month = 0; month < 4; ++month) {
+    const int lo = config.end_day + 30 * month;
+    auto reports = world.ReportsBetween(lo, lo + 30);
+    if (reports.empty()) continue;
+    auto outcome = study.RunMonth(reports);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    ASSERT_EQ(outcome->forced.size(), outcome->predicted.size());
+    ASSERT_EQ(outcome->novelty.size(), outcome->predicted.size());
+    EXPECT_EQ(outcome->per_class_f1.size(),
+              trail.apt_names().size());
+    // Abstentions only ever turn a forced answer into -1.
+    for (size_t i = 0; i < outcome->predicted.size(); ++i) {
+      if (outcome->predicted[i] >= 0) {
+        EXPECT_EQ(outcome->predicted[i], outcome->forced[i]);
+      }
+    }
+    const bool has_novel =
+        std::any_of(outcome->truth.begin(), outcome->truth.end(),
+                    [](int t) { return t < 0; });
+    if (!has_novel) continue;
+    ++novel_months;
+    open_sum += outcome->open_set_macro_f1;
+    forced_sum += outcome->forced_open_set_macro_f1;
+    recall_sum += outcome->open_set_recall;
+  }
+  ASSERT_GT(novel_months, 0) << "open-set world produced no novel months";
+  // The acceptance bar: at the calibrated operating point the abstention
+  // head beats forcing a known label on every event.
+  EXPECT_GT(open_sum / novel_months, forced_sum / novel_months);
+  EXPECT_GT(recall_sum / novel_months, 0.0);
+}
+
+TEST(AbstentionIntegrationTest, AbstentionSurgeTriggersScratchFallback) {
+  const osint::WorldConfig config = KnownConfig();
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  Trail trail(&feed, FastOptions());
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, config.end_day)).ok());
+  ASSERT_TRUE(trail.TrainModels().ok());
+
+  // A pathological operating point that abstains on everything: the drift
+  // detector must escalate the incremental update to a scratch retrain.
+  StudyOptions options;
+  options.retrain_mode = RetrainMode::kAuto;
+  options.fine_tune_epochs = 2;
+  options.auto_scratch_drop = 10.0;  // never trip on macro-F1 in this test
+  options.abstention.enabled = true;
+  options.abstention.min_confidence = 1.1;
+  options.auto_scratch_abstention = 0.5;
+  Study study(&trail, options);
+
+  auto outcome = study.RunMonth(
+      world.ReportsBetween(config.end_day, config.end_day + 30));
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_DOUBLE_EQ(outcome->abstention_rate, 1.0);
+  EXPECT_TRUE(outcome->retrained);
+  EXPECT_TRUE(outcome->scratch_fallback);
+  EXPECT_EQ(outcome->mode_used, RetrainMode::kScratch);
+
+  // With the surge detector disabled (default), the same month fine-tunes.
+  osint::World world2(config);
+  osint::FeedClient feed2(&world2);
+  Trail trail2(&feed2, FastOptions());
+  ASSERT_TRUE(trail2.Ingest(feed2.FetchReports(0, config.end_day)).ok());
+  ASSERT_TRUE(trail2.TrainModels().ok());
+  StudyOptions defaults;
+  defaults.retrain_mode = RetrainMode::kAuto;
+  defaults.fine_tune_epochs = 2;
+  defaults.auto_scratch_drop = 10.0;
+  defaults.abstention.enabled = true;
+  defaults.abstention.min_confidence = 1.1;
+  Study study2(&trail2, defaults);
+  auto outcome2 = study2.RunMonth(
+      world2.ReportsBetween(config.end_day, config.end_day + 30));
+  ASSERT_TRUE(outcome2.ok()) << outcome2.status();
+  EXPECT_EQ(outcome2->mode_used, RetrainMode::kIncremental);
+  EXPECT_FALSE(outcome2->scratch_fallback);
+}
+
+}  // namespace
+}  // namespace trail::core

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -36,6 +37,11 @@ constexpr double kFloatTolerance = 1e-9;
 struct FixtureWorld {
   const char* name;        // goldens/<name>.json
   osint::WorldConfig config;
+  /// Scenario fixtures (false flags / open-set actors) additionally pin a
+  /// "scenario" section — generator ground-truth counts plus the calibrated
+  /// abstention thresholds. Gated per fixture so the legacy goldens' JSON
+  /// gains no new keys (DiffJson flags unexpected keys in either direction).
+  bool scenario = false;
 };
 
 std::vector<FixtureWorld> FixtureWorlds() {
@@ -60,6 +66,33 @@ std::vector<FixtureWorld> FixtureWorlds() {
     w.config.end_day = 900;
     w.config.post_days = 60;
     w.config.seed = 19;
+    worlds.push_back(w);
+  }
+  {
+    FixtureWorld w;
+    w.name = "world_falseflag_seed23";
+    w.config.num_apts = 4;
+    w.config.min_events_per_apt = 10;
+    w.config.max_events_per_apt = 14;
+    w.config.end_day = 700;
+    w.config.post_days = 60;
+    w.config.seed = 23;
+    w.config.false_flag_rate = 0.35;
+    w.scenario = true;
+    worlds.push_back(w);
+  }
+  {
+    FixtureWorld w;
+    w.name = "world_openset_seed47";
+    w.config.num_apts = 4;
+    w.config.min_events_per_apt = 10;
+    w.config.max_events_per_apt = 14;
+    w.config.end_day = 600;
+    w.config.post_days = 120;
+    w.config.seed = 47;
+    w.config.num_novel_apts = 2;
+    w.config.novel_apt_events = 8;
+    w.scenario = true;
     worlds.push_back(w);
   }
   return worlds;
@@ -158,6 +191,52 @@ JsonValue RunFixture(const FixtureWorld& fixture) {
   actual.Set("tkg", std::move(tkg));
   actual.Set("lp", metrics_json(lp_pred));
   actual.Set("gnn", metrics_json(gnn_pred));
+
+  if (fixture.scenario) {
+    // Pin the adversarial generator's ground truth (false-flag plants,
+    // open-set actors) and the abstention calibration on top of it. Any rng
+    // stream drift in the new world knobs, or any change to the quantile
+    // calibration, shows up here as a field diff.
+    int flagged = 0, novel = 0, post_cutoff = 0;
+    for (const osint::PulseReport& report : world.reports()) {
+      flagged += world.FlagTarget(report.id) >= 0;
+      novel += world.IsNovelApt(world.TrueAptOfReport(report.id));
+      post_cutoff += report.day >= fixture.config.end_day;
+    }
+    JsonValue scenario = JsonValue::MakeObject();
+    scenario.Set("num_reports", JsonValue::MakeNumber(
+        static_cast<double>(world.reports().size())));
+    scenario.Set("num_flagged_reports",
+                 JsonValue::MakeNumber(static_cast<double>(flagged)));
+    scenario.Set("num_novel_reports",
+                 JsonValue::MakeNumber(static_cast<double>(novel)));
+    scenario.Set("num_post_cutoff_reports",
+                 JsonValue::MakeNumber(static_cast<double>(post_cutoff)));
+
+    std::vector<graph::NodeId> holdout;
+    const size_t stride = std::max<size_t>(1, events.size() / 256);
+    for (size_t i = 0; i < events.size(); i += stride) {
+      holdout.push_back(events[i]);
+    }
+    auto policy = trail.CalibrateAbstention(holdout, 0.02);
+    EXPECT_TRUE(policy.ok()) << policy.status();
+    JsonValue abstention = JsonValue::MakeObject();
+    if (policy.ok()) {
+      abstention.Set("min_confidence",
+                     JsonValue::MakeNumber(policy->min_confidence));
+      abstention.Set("max_energy", JsonValue::MakeNumber(policy->max_energy));
+      int abstained = 0;
+      for (const auto& result : trail.AttributeBatchWithGnn(holdout)) {
+        abstained += result.ok() && result->unknown;
+      }
+      abstention.Set("holdout_events", JsonValue::MakeNumber(
+          static_cast<double>(holdout.size())));
+      abstention.Set("holdout_abstained",
+                     JsonValue::MakeNumber(static_cast<double>(abstained)));
+    }
+    scenario.Set("abstention", std::move(abstention));
+    actual.Set("scenario", std::move(scenario));
+  }
   return actual;
 }
 

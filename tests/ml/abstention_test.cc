@@ -1,0 +1,159 @@
+// scenarios tier: the abstention/novelty math — energy scores, quantile
+// calibration, AUROC ranking, the AbstentionPolicy predicate, and the
+// monotonicity properties the open-set evaluation depends on.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/trail.h"
+#include "ml/calibration.h"
+#include "ml/metrics.h"
+
+namespace trail {
+namespace {
+
+TEST(EnergyScoreTest, MatchesClosedForm) {
+  // E = -logsumexp(logits).
+  EXPECT_DOUBLE_EQ(ml::EnergyScore({0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ml::EnergyScore({3.5}), -3.5);
+  EXPECT_DOUBLE_EQ(ml::EnergyScore({0.0, 0.0}), -std::log(2.0));
+  const double expected =
+      -std::log(std::exp(1.0) + std::exp(2.0) + std::exp(3.0));
+  EXPECT_NEAR(ml::EnergyScore({1.0, 2.0, 3.0}), expected, 1e-12);
+}
+
+TEST(EnergyScoreTest, MaxShiftSurvivesHugeLogits) {
+  // Naive exp() overflows at ~710; the max-shifted form must not.
+  const double e = ml::EnergyScore({1000.0, 1000.0});
+  EXPECT_TRUE(std::isfinite(e));
+  EXPECT_NEAR(e, -(1000.0 + std::log(2.0)), 1e-9);
+  // A confident (peaked) distribution has lower energy than a flat one at
+  // the same scale — the signal the detector thresholds.
+  EXPECT_LT(ml::EnergyScore({10.0, 0.0, 0.0}),
+            ml::EnergyScore({1.0, 1.0, 1.0}));
+}
+
+TEST(QuantileTest, LinearInterpolation) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(ml::Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ml::Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(ml::Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(ml::Quantile(v, 0.25), 2.0);
+  EXPECT_NEAR(ml::Quantile(v, 0.1), 1.4, 1e-12);
+  // Order-independent (sorts internally) and total on edge cases.
+  EXPECT_DOUBLE_EQ(ml::Quantile({5.0, 1.0, 3.0, 2.0, 4.0}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(ml::Quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ml::Quantile({7.0}, 0.99), 7.0);
+}
+
+TEST(AurocTest, RanksNovelAboveKnown) {
+  // Perfect separation, reversed separation, and chance.
+  EXPECT_DOUBLE_EQ(
+      ml::Auroc({0.9, 0.8, 0.1, 0.2}, {1, 1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ml::Auroc({0.1, 0.2, 0.9, 0.8}, {1, 1, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      ml::Auroc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+  // Degenerate: one side empty -> chance by convention.
+  EXPECT_DOUBLE_EQ(ml::Auroc({0.4, 0.6}, {0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(ml::Auroc({0.4, 0.6}, {1, 1}), 0.5);
+  // Partial overlap: 3 of 4 (novel, known) pairs correctly ordered.
+  EXPECT_DOUBLE_EQ(
+      ml::Auroc({0.9, 0.3, 0.5, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(AbstentionPolicyTest, PredicateAndDisabledDefault) {
+  core::AbstentionPolicy off;
+  EXPECT_FALSE(off.enabled);
+  EXPECT_FALSE(off.ShouldAbstain(0.0, 1e9));  // disabled never abstains
+
+  core::AbstentionPolicy policy;
+  policy.enabled = true;
+  policy.min_confidence = 0.6;
+  policy.max_energy = -2.0;
+  EXPECT_TRUE(policy.ShouldAbstain(0.5, -5.0));   // low confidence
+  EXPECT_TRUE(policy.ShouldAbstain(0.9, -1.0));   // high energy
+  EXPECT_TRUE(policy.ShouldAbstain(0.5, -1.0));   // both
+  EXPECT_FALSE(policy.ShouldAbstain(0.9, -5.0));  // confidently known
+}
+
+TEST(AbstentionPolicyTest, RaisingThresholdNeverShrinksTheAbstainSet) {
+  // The monotonicity the calibration sweep depends on: a stricter
+  // confidence threshold (or energy cap) abstains on a superset of events,
+  // so open-set recall is non-decreasing in the threshold.
+  std::vector<std::pair<double, double>> samples;  // (confidence, energy)
+  for (int i = 0; i < 100; ++i) {
+    samples.emplace_back(0.01 * i, -0.07 * ((i * 37) % 100));
+  }
+  std::vector<uint8_t> is_novel(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    is_novel[i] = samples[i].first < 0.4 ? 1 : 0;  // low confidence = novel
+  }
+
+  auto abstained = [&](const core::AbstentionPolicy& policy) {
+    std::vector<uint8_t> out(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+      out[i] = policy.ShouldAbstain(samples[i].first, samples[i].second);
+    }
+    return out;
+  };
+  auto recall = [&](const std::vector<uint8_t>& abstain) {
+    int caught = 0, novel = 0;
+    for (size_t i = 0; i < abstain.size(); ++i) {
+      novel += is_novel[i];
+      caught += is_novel[i] && abstain[i];
+    }
+    return novel == 0 ? 0.0 : static_cast<double>(caught) / novel;
+  };
+
+  core::AbstentionPolicy policy;
+  policy.enabled = true;
+  std::vector<uint8_t> previous(samples.size(), 0);
+  double previous_recall = 0.0;
+  for (double threshold = 0.0; threshold <= 1.0; threshold += 0.05) {
+    policy.min_confidence = threshold;
+    const std::vector<uint8_t> current = abstained(policy);
+    for (size_t i = 0; i < current.size(); ++i) {
+      // Superset: anything abstained at the lower threshold stays abstained.
+      EXPECT_LE(previous[i], current[i]) << "threshold=" << threshold;
+    }
+    const double r = recall(current);
+    EXPECT_GE(r, previous_recall) << "threshold=" << threshold;
+    previous = current;
+    previous_recall = r;
+  }
+  // Same monotonicity in the energy cap (tightening downward).
+  policy.min_confidence = 0.0;
+  std::fill(previous.begin(), previous.end(), 0);
+  for (double cap = 0.0; cap >= -7.0; cap -= 0.5) {
+    policy.max_energy = cap;
+    const std::vector<uint8_t> current = abstained(policy);
+    for (size_t i = 0; i < current.size(); ++i) {
+      EXPECT_LE(previous[i], current[i]) << "cap=" << cap;
+    }
+    previous = current;
+  }
+}
+
+TEST(PerClassF1Test, AbstentionsCountAsFalseNegatives) {
+  const std::vector<int> truth{0, 0, 1, 1};
+  const std::vector<int> predicted{0, -1, 1, 1};
+  const std::vector<double> f1 = ml::PerClassF1(truth, predicted, 2);
+  ASSERT_EQ(f1.size(), 2u);
+  // Class 0: tp=1, fn=1 (the abstention), fp=0 -> 2/3.
+  EXPECT_DOUBLE_EQ(f1[0], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(f1[1], 1.0);
+  // An all-abstaining classifier scores zero everywhere.
+  const std::vector<double> zero =
+      ml::PerClassF1(truth, {-1, -1, -1, -1}, 2);
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+  EXPECT_DOUBLE_EQ(zero[1], 0.0);
+}
+
+}  // namespace
+}  // namespace trail

@@ -1,0 +1,266 @@
+// scenarios tier: adversarial & open-world scenario generation. Pins the
+// determinism of the extended world generator (false flags, IOC churn,
+// novel actors, mixed-quality feeds) across repeated builds and compute
+// thread counts, and the internal consistency of the evaluation-side ground
+// truth (TrueAptOfReport / FlagTarget / IsNovelApt) those scenarios expose.
+
+#include "osint/world.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ioc/ioc.h"
+#include "util/parallel.h"
+
+namespace trail::osint {
+namespace {
+
+/// A small world with every adversarial knob turned on at once.
+WorldConfig AdversarialConfig() {
+  WorldConfig config;
+  config.seed = 77;
+  config.num_apts = 4;
+  config.min_events_per_apt = 8;
+  config.max_events_per_apt = 12;
+  config.end_day = 600;
+  config.post_days = 120;
+  config.false_flag_rate = 0.4;
+  config.infra_lifetime_days = 180;
+  config.num_novel_apts = 2;
+  config.novel_apt_events = 6;
+  config.duplicate_report_rate = 0.35;
+  config.conflicting_label_rate = 0.5;
+  config.unlabeled_report_rate = 0.25;
+  return config;
+}
+
+/// Every report flattened to one comparable line: id, day, tag, and the
+/// full indicator sequence. Bit-identical worlds produce identical vectors.
+std::vector<std::string> Fingerprint(const World& world) {
+  std::vector<std::string> lines;
+  lines.reserve(world.reports().size());
+  for (const PulseReport& report : world.reports()) {
+    std::string line =
+        report.id + "|" + std::to_string(report.day) + "|" + report.apt +
+        "|t=" + std::to_string(world.TrueAptOfReport(report.id)) +
+        "|f=" + std::to_string(world.FlagTarget(report.id));
+    for (const ReportedIndicator& indicator : report.indicators) {
+      line += "|" + indicator.type + "=" + indicator.value;
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+class ScopedWorkers {
+ public:
+  explicit ScopedWorkers(int n) { SetParallelWorkers(n); }
+  ~ScopedWorkers() { SetParallelWorkers(0); }
+};
+
+TEST(ScenarioWorldTest, BitIdenticalAcrossRebuildsAndThreadCounts) {
+  const WorldConfig config = AdversarialConfig();
+  const std::vector<std::string> reference = Fingerprint(World(config));
+  ASSERT_FALSE(reference.empty());
+  // Same seed, same bits — regardless of how many compute threads the
+  // process runs (generation is rng-stream-driven, never work-stealing).
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ScopedWorkers scoped(threads);
+    EXPECT_EQ(Fingerprint(World(config)), reference);
+  }
+  // And a different seed genuinely changes the world.
+  WorldConfig reseeded = config;
+  reseeded.seed = 78;
+  EXPECT_NE(Fingerprint(World(reseeded)), reference);
+}
+
+TEST(ScenarioWorldTest, FlagTargetsAreInternallyConsistent) {
+  WorldConfig config;
+  config.seed = 31;
+  config.num_apts = 5;
+  config.min_events_per_apt = 10;
+  config.max_events_per_apt = 16;
+  config.end_day = 700;
+  config.post_days = 90;
+  config.false_flag_rate = 0.5;
+  config.defang_rate = 0.0;  // so indicators look up in TrueApt directly
+  World world(config);
+
+  int flagged = 0;
+  for (const PulseReport& report : world.reports()) {
+    const int truth = world.TrueAptOfReport(report.id);
+    ASSERT_GE(truth, 0) << report.id;
+    // The wire tag names the true actor (the misdirection is in the
+    // indicators, not the analyst label).
+    EXPECT_EQ(world.AptIdByName(report.apt), truth) << report.id;
+
+    const int victim = world.FlagTarget(report.id);
+    if (victim < 0) continue;
+    ++flagged;
+    EXPECT_NE(victim, truth) << report.id;
+    EXPECT_LT(victim, world.num_known_apts()) << report.id;
+    // Every flagged report is guaranteed to reference at least one IOC
+    // truly owned by the victim — the planted evidence.
+    bool planted = false;
+    for (const ReportedIndicator& indicator : report.indicators) {
+      const std::string value = ioc::Refang(indicator.value);
+      const ioc::IocType type = ioc::ClassifyIoc(value);
+      if (world.TrueApt(type, value) == victim) {
+        planted = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(planted) << report.id << " has no victim-pool indicator";
+  }
+  EXPECT_GT(flagged, 0) << "false_flag_rate=0.5 produced no flagged reports";
+}
+
+TEST(ScenarioWorldTest, NovelActorsAppearOnlyAfterCutoff) {
+  WorldConfig config;
+  config.seed = 13;
+  config.num_apts = 4;
+  config.min_events_per_apt = 8;
+  config.max_events_per_apt = 12;
+  config.end_day = 600;
+  config.post_days = 120;
+  config.num_novel_apts = 2;
+  config.novel_apt_events = 8;
+  World world(config);
+
+  EXPECT_EQ(world.num_known_apts(), 4);
+  EXPECT_EQ(world.num_apts(), 6);
+  EXPECT_FALSE(world.IsNovelApt(3));
+  EXPECT_TRUE(world.IsNovelApt(4));
+  EXPECT_TRUE(world.IsNovelApt(5));
+  EXPECT_FALSE(world.IsNovelApt(6));
+
+  int novel_reports = 0;
+  for (const PulseReport& report : world.reports()) {
+    const int truth = world.TrueAptOfReport(report.id);
+    ASSERT_GE(truth, 0);
+    if (world.IsNovelApt(truth)) {
+      ++novel_reports;
+      // Open-set actors never contaminate a training window.
+      EXPECT_GE(report.day, config.end_day) << report.id;
+      EXPECT_LT(report.day, config.end_day + config.post_days) << report.id;
+    }
+  }
+  EXPECT_GT(novel_reports, 0);
+}
+
+TEST(ScenarioWorldTest, ChurnCapsInfrastructureLifetimes) {
+  WorldConfig config;
+  config.seed = 19;
+  config.num_apts = 4;
+  config.min_events_per_apt = 8;
+  config.max_events_per_apt = 12;
+  config.end_day = 600;
+  config.post_days = 60;
+  config.infra_lifetime_days = 180;
+  World world(config);
+
+  // The cap applies to APT-owned infrastructure; shared/noise entities
+  // (apt = -1) deliberately persist for the whole simulation.
+  for (const IpEntity& ip : world.ips()) {
+    if (ip.apt < 0) continue;
+    EXPECT_LE(ip.last_day - ip.first_day, config.infra_lifetime_days)
+        << ip.addr;
+  }
+  for (const DomainEntity& domain : world.domains()) {
+    if (domain.apt < 0) continue;
+    EXPECT_LE(domain.last_day - domain.first_day, config.infra_lifetime_days)
+        << domain.name;
+  }
+
+  // Retiring infrastructure forces re-minting: the churn world needs more
+  // distinct APT-owned IPs than the identical world without churn.
+  WorldConfig no_churn = config;
+  no_churn.infra_lifetime_days = 0;
+  World stable(no_churn);
+  size_t churn_owned = 0, stable_owned = 0;
+  for (const IpEntity& ip : world.ips()) churn_owned += ip.apt >= 0;
+  for (const IpEntity& ip : stable.ips()) stable_owned += ip.apt >= 0;
+  EXPECT_GT(churn_owned, stable_owned);
+}
+
+TEST(ScenarioWorldTest, MixedFeedDuplicatesConflictsAndUnlabeled) {
+  WorldConfig config;
+  config.seed = 23;
+  config.num_apts = 4;
+  config.min_events_per_apt = 10;
+  config.max_events_per_apt = 16;
+  config.end_day = 700;
+  config.post_days = 60;
+  config.duplicate_report_rate = 0.4;
+  config.conflicting_label_rate = 0.5;
+  config.unlabeled_report_rate = 0.3;
+  World world(config);
+
+  std::unordered_map<std::string, const PulseReport*> by_id;
+  for (const PulseReport& report : world.reports()) {
+    by_id.emplace(report.id, &report);
+  }
+
+  int duplicates = 0, conflicting = 0, unlabeled = 0;
+  for (const PulseReport& report : world.reports()) {
+    const int truth = world.TrueAptOfReport(report.id);
+    ASSERT_GE(truth, 0) << report.id;
+
+    if (report.apt.empty()) {
+      // Stripped tag, ground truth preserved.
+      ++unlabeled;
+      continue;
+    }
+    const bool is_duplicate =
+        report.id.size() > 2 &&
+        report.id.compare(report.id.size() - 2, 2, "-B") == 0;
+    if (!is_duplicate) {
+      // Primary-feed tags are always honest.
+      EXPECT_EQ(world.AptIdByName(report.apt), truth) << report.id;
+      continue;
+    }
+    ++duplicates;
+    if (world.AptIdByName(report.apt) != truth) ++conflicting;
+
+    // The duplicate mirrors its original: same true actor, republished no
+    // earlier, and its indicators are a subset of the original's.
+    const std::string original_id =
+        report.id.substr(0, report.id.size() - 2);
+    auto it = by_id.find(original_id);
+    ASSERT_NE(it, by_id.end()) << report.id;
+    const PulseReport& original = *it->second;
+    EXPECT_EQ(world.TrueAptOfReport(original_id), truth);
+    EXPECT_GE(report.day, original.day);
+    EXPECT_LE(report.indicators.size(), original.indicators.size());
+    for (size_t i = 0; i < report.indicators.size(); ++i) {
+      EXPECT_EQ(report.indicators[i].value, original.indicators[i].value);
+    }
+  }
+  EXPECT_GT(duplicates, 0);
+  EXPECT_GT(conflicting, 0);
+  EXPECT_GT(unlabeled, 0);
+}
+
+TEST(ScenarioWorldTest, DefaultConfigHasNoScenarioArtifacts) {
+  WorldConfig config;
+  config.seed = 11;
+  config.num_apts = 3;
+  config.min_events_per_apt = 5;
+  config.max_events_per_apt = 8;
+  config.end_day = 400;
+  World world(config);
+  for (const PulseReport& report : world.reports()) {
+    EXPECT_GE(world.TrueAptOfReport(report.id), 0);
+    EXPECT_EQ(world.FlagTarget(report.id), -1);
+    EXPECT_FALSE(report.apt.empty());
+    EXPECT_EQ(report.id.find("-B"), std::string::npos);
+  }
+  EXPECT_EQ(world.num_apts(), world.num_known_apts());
+}
+
+}  // namespace
+}  // namespace trail::osint

@@ -1,0 +1,270 @@
+// scenarios-serve-mt-kernels tier: the abstention head on the serving
+// plane. With an AbstentionPolicy installed, every multi-worker reply must
+// carry the same verdict/novelty_score/energy bits as the sequential
+// single-caller loop — across worker fan-out, compute-thread counts, and
+// (via tools/check_tests.sh) kernel backends — and the LDJSON frontend
+// must round-trip "verdict":"unknown" exactly as tools/trail_loadgen
+// parses it.
+
+#include "serve/attribution_service.h"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "serve/frontend.h"
+#include "util/json.h"
+#include "util/parallel.h"
+
+namespace trail::serve {
+namespace {
+
+osint::WorldConfig TinyConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 3;
+  config.min_events_per_apt = 5;
+  config.max_events_per_apt = 8;
+  config.end_day = 400;
+  config.post_days = 60;
+  config.seed = 29;
+  return config;
+}
+
+core::TrailOptions TinyOptions() {
+  core::TrailOptions options;
+  options.autoencoder.hidden = 16;
+  options.autoencoder.encoding = 8;
+  options.autoencoder.epochs = 1;
+  options.autoencoder.max_train_rows = 200;
+  options.gnn.hidden = 16;
+  options.gnn.epochs = 8;
+  options.gnn.layers = 2;
+  return options;
+}
+
+class ScopedWorkers {
+ public:
+  explicit ScopedWorkers(int n) { SetParallelWorkers(n); }
+  ~ScopedWorkers() { SetParallelWorkers(0); }
+};
+
+class AbstentionServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new osint::World(TinyConfig());
+    feed_ = new osint::FeedClient(world_);
+    trail_ = new core::Trail(feed_, TinyOptions());
+    ASSERT_TRUE(
+        trail_->Ingest(feed_->FetchReports(0, TinyConfig().end_day)).ok());
+    ASSERT_TRUE(trail_->TrainModels().ok());
+    events_ = trail_->graph().NodesOfType(graph::NodeType::kEvent);
+    ASSERT_GE(events_.size(), 8u);
+
+    // Pick an operating point that splits the event set: the median
+    // confidence as min_confidence abstains on roughly half the events, so
+    // both branches of the verdict are exercised under load.
+    std::vector<double> confidences;
+    for (graph::NodeId event : events_) {
+      auto plain = trail_->AttributeWithGnn(event);
+      ASSERT_TRUE(plain.ok()) << plain.status();
+      confidences.push_back(plain->confidence);
+    }
+    std::sort(confidences.begin(), confidences.end());
+    core::AbstentionPolicy policy;
+    policy.enabled = true;
+    policy.min_confidence = confidences[confidences.size() / 2];
+    trail_->SetAbstentionPolicy(policy);
+
+    // The reference: the sequential, single-caller, no-service loop — run
+    // AFTER the policy install, so the baseline carries the verdicts the
+    // epoch-pinned workers must reproduce.
+    size_t abstained = 0;
+    for (graph::NodeId event : events_) {
+      auto sequential = trail_->AttributeWithGnn(event);
+      ASSERT_TRUE(sequential.ok()) << sequential.status();
+      abstained += sequential->unknown;
+      baseline_[event] = std::move(sequential).value();
+    }
+    // The threshold really is mid-range: some abstain, some do not.
+    ASSERT_GT(abstained, 0u);
+    ASSERT_LT(abstained, events_.size());
+  }
+  static void TearDownTestSuite() {
+    delete trail_;
+    delete feed_;
+    delete world_;
+    trail_ = nullptr;
+    feed_ = nullptr;
+    world_ = nullptr;
+    events_.clear();
+    baseline_.clear();
+  }
+
+  static void ExpectMatchesBaseline(graph::NodeId event,
+                                    const ServeResponse& response) {
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    const core::Trail::Attribution& expected = baseline_.at(event);
+    EXPECT_EQ(response.attribution.apt, expected.apt);
+    EXPECT_EQ(response.attribution.apt_name, expected.apt_name);
+    // Exact double equality — the bar is bit-identical, not "close".
+    EXPECT_EQ(response.attribution.confidence, expected.confidence);
+    EXPECT_EQ(response.attribution.novelty_score, expected.novelty_score);
+    EXPECT_EQ(response.attribution.energy, expected.energy);
+    EXPECT_EQ(response.attribution.unknown, expected.unknown);
+    ASSERT_EQ(response.attribution.distribution.size(),
+              expected.distribution.size());
+    for (size_t k = 0; k < expected.distribution.size(); ++k) {
+      EXPECT_EQ(response.attribution.distribution[k].first,
+                expected.distribution[k].first);
+      EXPECT_EQ(response.attribution.distribution[k].second,
+                expected.distribution[k].second);
+    }
+  }
+
+  /// Submits every event (plus duplicates) to a `workers`-worker service
+  /// from `producers` threads, each walking its own seeded shuffle, and
+  /// checks every reply — verdict bits included — against the baseline.
+  static void RunShuffledLoad(size_t workers, int producers, uint32_t seed) {
+    ServeOptions options;
+    options.max_batch_size = 8;
+    options.max_linger_us = 500;
+    options.queue_depth = 1024;  // nothing sheds; this suite is about bits
+    options.workers = workers;
+    AttributionService service(trail_, options);
+
+    std::vector<graph::NodeId> work;
+    for (int pass = 0; pass < 3; ++pass) {
+      work.insert(work.end(), events_.begin(), events_.end());
+    }
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        std::vector<graph::NodeId> order = work;
+        std::mt19937 rng(seed + static_cast<uint32_t>(p));
+        std::shuffle(order.begin(), order.end(), rng);
+        std::vector<std::pair<graph::NodeId,
+                              std::future<ServeResponse>>> inflight;
+        for (graph::NodeId event : order) {
+          inflight.emplace_back(event, service.SubmitEvent(event));
+        }
+        for (auto& [event, future] : inflight) {
+          ExpectMatchesBaseline(event, future.get());
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    service.Shutdown();
+  }
+
+  static osint::World* world_;
+  static osint::FeedClient* feed_;
+  static core::Trail* trail_;
+  static std::vector<graph::NodeId> events_;
+  static std::map<graph::NodeId, core::Trail::Attribution> baseline_;
+};
+
+osint::World* AbstentionServingTest::world_ = nullptr;
+osint::FeedClient* AbstentionServingTest::feed_ = nullptr;
+core::Trail* AbstentionServingTest::trail_ = nullptr;
+std::vector<graph::NodeId> AbstentionServingTest::events_;
+std::map<graph::NodeId, core::Trail::Attribution>
+    AbstentionServingTest::baseline_;
+
+TEST_F(AbstentionServingTest, VerdictsBitIdenticalAcrossWorkersAndThreads) {
+  // The acceptance matrix: worker fan-out × compute-thread count, with the
+  // abstention policy live. tools/check_tests.sh re-runs this suite under
+  // TRAIL_KERNELS=scalar|native to cover the kernel axis.
+  for (size_t workers : {1u, 2u, 4u}) {
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " threads=" + std::to_string(threads));
+      ScopedWorkers scoped(threads);
+      RunShuffledLoad(workers, /*producers=*/2, /*seed=*/17);
+    }
+  }
+}
+
+TEST_F(AbstentionServingTest, SeededInterleavingsDoNotChangeVerdicts) {
+  for (uint32_t seed : {1u, 97u, 4099u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    RunShuffledLoad(/*workers=*/4, /*producers=*/3, seed);
+  }
+}
+
+TEST_F(AbstentionServingTest, PolicyUpdateReachesAlreadyRunningWorkers) {
+  // SetAbstentionPolicy re-publishes the epoch, so a service started before
+  // a policy change must serve the new verdicts, not a stale snapshot.
+  ServeOptions options;
+  options.workers = 2;
+  options.queue_depth = 1024;
+  AttributionService service(trail_, options);
+
+  const core::AbstentionPolicy installed = trail_->abstention_policy();
+  core::AbstentionPolicy off;  // disabled: nothing abstains
+  trail_->SetAbstentionPolicy(off);
+  for (graph::NodeId event : events_) {
+    ServeResponse response = service.SubmitEvent(event).get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_FALSE(response.attribution.unknown);
+    // The underlying scores are policy-independent bits.
+    EXPECT_EQ(response.attribution.novelty_score,
+              baseline_.at(event).novelty_score);
+    EXPECT_EQ(response.attribution.energy, baseline_.at(event).energy);
+  }
+  // Restore and confirm the verdict split comes back through the service.
+  trail_->SetAbstentionPolicy(installed);
+  size_t abstained = 0;
+  for (graph::NodeId event : events_) {
+    ServeResponse response = service.SubmitEvent(event).get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_EQ(response.attribution.unknown, baseline_.at(event).unknown);
+    abstained += response.attribution.unknown;
+  }
+  EXPECT_GT(abstained, 0u);
+  service.Shutdown();
+}
+
+TEST_F(AbstentionServingTest, LdjsonRepliesRoundTripTheVerdict) {
+  // The wire path tools/trail_loadgen consumes: every ok attribute_event
+  // reply carries verdict/novelty_score/energy, "unknown" events parse back
+  // as abstentions, and the JSON numbers match the baseline doubles.
+  ServeOptions options;
+  options.workers = 1;
+  options.queue_depth = 1024;
+  AttributionService service(trail_, options);
+  Frontend frontend(&service);
+
+  size_t unknown_verdicts = 0;
+  for (graph::NodeId event : events_) {
+    Reply reply = frontend.Handle("{\"op\":\"attribute_event\",\"node\":" +
+                                  std::to_string(event) + "}");
+    auto parsed = JsonValue::Parse(reply.line.get());
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    ASSERT_TRUE(parsed->GetBool("ok"));
+
+    const core::Trail::Attribution& expected = baseline_.at(event);
+    const std::string verdict = parsed->GetString("verdict");
+    EXPECT_EQ(verdict, expected.unknown ? "unknown" : "known");
+    unknown_verdicts += verdict == "unknown";
+    EXPECT_EQ(parsed->GetString("apt"), expected.apt_name);
+    EXPECT_DOUBLE_EQ(parsed->GetNumber("confidence"), expected.confidence);
+    EXPECT_DOUBLE_EQ(parsed->GetNumber("novelty_score"),
+                     expected.novelty_score);
+    EXPECT_DOUBLE_EQ(parsed->GetNumber("energy"), expected.energy);
+  }
+  EXPECT_GT(unknown_verdicts, 0u);
+  EXPECT_LT(unknown_verdicts, events_.size());
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace trail::serve

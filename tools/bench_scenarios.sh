@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Sweeps the four adversarial/open-world scenario families — false-flag
+# campaigns, IOC churn, novel-actor open-set months, and mixed-quality
+# feeds — via bench/scenario_matrix, which trains one system per stress
+# level and drives it through the post-cutoff months with the calibrated
+# abstention head live. Writes per-scenario degradation curves (the same
+# month-JSON schema as bench/fig8_degradation) to BENCH_scenarios.json.
+# Honest numbers only — the JSON carries the host's core count, and a
+# 1-core container will show different wall-times than a parallel host.
+#
+# Usage: tools/bench_scenarios.sh [BUILD_DIR]
+#   BUILD_DIR  default: build
+# Honors TRAIL_BENCH_QUICK=1 for the fast calibration sizes and
+# TRAIL_SCENARIO_OUT for the output path.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${TRAIL_SCENARIO_OUT:-BENCH_scenarios.json}"
+
+if [[ ! -x "$BUILD_DIR/bench/scenario_matrix" ]]; then
+  echo "bench_scenarios: build 'scenario_matrix' first" \
+       "(cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+TRAIL_RUN_MANIFEST=none \
+    "$BUILD_DIR/bench/scenario_matrix" --out "$OUT"
+
+if [[ -x "$BUILD_DIR/tools/json_verify" ]]; then
+  "$BUILD_DIR/tools/json_verify" json "$OUT"
+fi
+
+echo
+echo "bench_scenarios: wrote $OUT"

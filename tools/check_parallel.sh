@@ -13,6 +13,11 @@ set -euo pipefail
 BUILD_DIR="${1:-build-tsan}"
 SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 
+# libstdc++ atomic<shared_ptr> internals trip TSan on the epoch publish/pin
+# protocol (relaxed unlock in _Sp_atomic::load — see tools/tsan.supp); the
+# suppression is scoped to those library frames only.
+export TSAN_OPTIONS="suppressions=$SOURCE_DIR/tools/tsan.supp ${TSAN_OPTIONS:-}"
+
 echo "== configuring ThreadSanitizer build in $BUILD_DIR =="
 cmake -S "$SOURCE_DIR" -B "$BUILD_DIR" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -44,6 +44,7 @@ echo
 echo "== starting trail_serve (small world, ephemeral port) =="
 "$SERVE" --port 0 --apts 4 --end-day 600 --gnn-epochs 20 --ae-epochs 2 \
     --max-batch 16 --linger-us 1000 --workers 2 \
+    --abstain-calibrate 0.02 \
     --admin-port 0 --trace-ring 2048 --log-level info \
     --metrics-out "$WORK_DIR/metrics.prom" --metrics-interval-s 1 \
     --manifest-out none \
@@ -76,6 +77,10 @@ if [ "${WORKERS:-0}" -ne 2 ]; then
   exit 1
 fi
 echo "server ready on port $PORT (admin $ADMIN_PORT, $WORKERS workers)"
+grep -q 'abstention calibrated' "$WORK_DIR/server.err" || {
+  echo "check_serving: FAIL — --abstain-calibrate did not calibrate" >&2
+  exit 1
+}
 
 echo
 echo "== ping =="
@@ -95,6 +100,13 @@ if [ "${TRACED:-0}" -ne 200 ]; then
   echo "check_serving: FAIL — expected 200 replies with trace_id, got '${TRACED:-0}'" >&2
   exit 1
 fi
+# The open-set fields ride every reply; the summary counts "verdict":
+# "unknown" abstentions (a calibrated known-actor world abstains on at most
+# a few tail events, so the key must exist but its value is unpinned).
+grep -q '"unknown_verdicts":' "$WORK_DIR/closed.json" || {
+  echo "check_serving: FAIL — loadgen summary lacks unknown_verdicts" >&2
+  exit 1
+}
 
 echo
 echo "== live introspection endpoints (admin port $ADMIN_PORT) =="

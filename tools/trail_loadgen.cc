@@ -182,6 +182,9 @@ struct Sample {
   size_t batch_size = 0;
   std::string code;  // empty when ok
   bool has_trace_id = false;
+  /// Reply carried `"verdict":"unknown"` — the server's abstention head
+  /// declined to name an actor (still an ok reply, not a failure).
+  bool unknown_verdict = false;
 };
 
 struct Totals {
@@ -192,12 +195,15 @@ struct Totals {
   /// Replies (any status) carrying a nonzero "trace_id" — should equal the
   /// reply count whenever the server runs the tracing plane.
   int64_t with_trace_id = 0;
+  /// Ok replies whose verdict was "unknown" (abstentions).
+  int64_t unknown_verdicts = 0;
 
   void Add(const Sample& s) {
     ++by_code[s.code];
     if (s.has_trace_id) ++with_trace_id;
     if (s.code.empty()) {
       ++ok;
+      if (s.unknown_verdict) ++unknown_verdicts;
       ok_latencies_ms.push_back(s.latency_ms);
       batch_sizes.push_back(s.batch_size);
     } else if (s.code == "Overloaded") {
@@ -216,6 +222,7 @@ Sample ParseReply(const JsonValue& reply, double latency_ms) {
   s.has_trace_id = reply.GetNumber("trace_id", 0.0) > 0.0;
   if (reply.GetBool("ok")) {
     s.batch_size = static_cast<size_t>(reply.GetNumber("batch_size"));
+    s.unknown_verdict = reply.GetString("verdict") == "unknown";
   } else {
     s.code = reply.GetString("code", "ProtocolError");
   }
@@ -248,6 +255,8 @@ JsonValue Summarize(const Totals& totals, double duration_s,
   out.Set("failed", JsonValue::MakeNumber(static_cast<double>(totals.failed)));
   out.Set("with_trace_id",
           JsonValue::MakeNumber(static_cast<double>(totals.with_trace_id)));
+  out.Set("unknown_verdicts",
+          JsonValue::MakeNumber(static_cast<double>(totals.unknown_verdicts)));
   out.Set("throughput_rps",
           JsonValue::MakeNumber(
               duration_s > 0 ? static_cast<double>(totals.ok) / duration_s

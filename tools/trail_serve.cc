@@ -8,6 +8,8 @@
 //               [--ae-epochs N] [--gnn-epochs N]
 //               [--admin-port P] [--metrics-interval-s S]
 //               [--slo-latency-ms MS] [--slo-target F] [--trace-ring N]
+//               [--abstain-calibrate RATE | --abstain-confidence T
+//                [--abstain-energy E]]
 //
 // Builds the synthetic TKG, trains (or loads --checkpoint) the models, then
 // serves attribution requests on 127.0.0.1:P (0 = ephemeral). Prints one
@@ -113,6 +115,41 @@ int Run(int argc, char** argv, const obs::RunContext& run) {
   if (!st.ok()) {
     std::fprintf(stderr, "model setup failed: %s\n", st.ToString().c_str());
     return 1;
+  }
+
+  // Open-set abstention head (docs/SCENARIOS.md): either a fixed operating
+  // point (--abstain-confidence / --abstain-energy) or startup calibration
+  // against a sample of the training events (--abstain-calibrate RATE).
+  // Replies then carry "verdict":"unknown" when the policy fires.
+  if (HasFlag(argc, argv, "--abstain-calibrate")) {
+    const std::vector<graph::NodeId> events =
+        trail.graph().NodesOfType(graph::NodeType::kEvent);
+    std::vector<graph::NodeId> holdout;
+    const size_t stride = std::max<size_t>(1, events.size() / 256);
+    for (size_t i = 0; i < events.size(); i += stride) {
+      holdout.push_back(events[i]);
+    }
+    auto policy = trail.CalibrateAbstention(
+        holdout, DoubleFlag(argc, argv, "--abstain-calibrate", 0.02),
+        HasFlag(argc, argv, "--hide-labels"));
+    if (!policy.ok()) {
+      std::fprintf(stderr, "abstention calibration failed: %s\n",
+                   policy.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "abstention calibrated: min_confidence=%.6f max_energy=%.6f\n",
+                 policy->min_confidence, policy->max_energy);
+  } else if (HasFlag(argc, argv, "--abstain-confidence") ||
+             HasFlag(argc, argv, "--abstain-energy")) {
+    core::AbstentionPolicy policy;
+    policy.enabled = true;
+    policy.min_confidence =
+        DoubleFlag(argc, argv, "--abstain-confidence", 0.0);
+    if (HasFlag(argc, argv, "--abstain-energy")) {
+      policy.max_energy = DoubleFlag(argc, argv, "--abstain-energy", 0.0);
+    }
+    trail.SetAbstentionPolicy(policy);
   }
 
   serve::ServeOptions serve_options;
