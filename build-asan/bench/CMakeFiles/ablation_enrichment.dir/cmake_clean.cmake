@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_enrichment.dir/ablation_enrichment.cc.o"
+  "CMakeFiles/ablation_enrichment.dir/ablation_enrichment.cc.o.d"
+  "ablation_enrichment"
+  "ablation_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

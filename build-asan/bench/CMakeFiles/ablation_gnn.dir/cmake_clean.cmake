@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gnn.dir/ablation_gnn.cc.o"
+  "CMakeFiles/ablation_gnn.dir/ablation_gnn.cc.o.d"
+  "ablation_gnn"
+  "ablation_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smote.dir/ablation_smote.cc.o"
+  "CMakeFiles/ablation_smote.dir/ablation_smote.cc.o.d"
+  "ablation_smote"
+  "ablation_smote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tpe.dir/ablation_tpe.cc.o"
+  "CMakeFiles/ablation_tpe.dir/ablation_tpe.cc.o.d"
+  "ablation_tpe"
+  "ablation_tpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

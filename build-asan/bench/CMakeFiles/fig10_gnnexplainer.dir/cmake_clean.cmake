@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gnnexplainer.dir/fig10_gnnexplainer.cc.o"
+  "CMakeFiles/fig10_gnnexplainer.dir/fig10_gnnexplainer.cc.o.d"
+  "fig10_gnnexplainer"
+  "fig10_gnnexplainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gnnexplainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_egonet.dir/fig3_egonet.cc.o"
+  "CMakeFiles/fig3_egonet.dir/fig3_egonet.cc.o.d"
+  "fig3_egonet"
+  "fig3_egonet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_egonet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

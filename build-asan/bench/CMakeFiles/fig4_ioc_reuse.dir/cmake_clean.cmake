@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ioc_reuse.dir/fig4_ioc_reuse.cc.o"
+  "CMakeFiles/fig4_ioc_reuse.dir/fig4_ioc_reuse.cc.o.d"
+  "fig4_ioc_reuse"
+  "fig4_ioc_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ioc_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_confusion.dir/fig7_confusion.cc.o"
+  "CMakeFiles/fig7_confusion.dir/fig7_confusion.cc.o.d"
+  "fig7_confusion"
+  "fig7_confusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_confusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_degradation.dir/fig8_degradation.cc.o"
+  "CMakeFiles/fig8_degradation.dir/fig8_degradation.cc.o.d"
+  "fig8_degradation"
+  "fig8_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

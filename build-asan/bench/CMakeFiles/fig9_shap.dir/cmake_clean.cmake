@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_shap.dir/fig9_shap.cc.o"
+  "CMakeFiles/fig9_shap.dir/fig9_shap.cc.o.d"
+  "fig9_shap"
+  "fig9_shap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_shap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_thresholding.dir/future_thresholding.cc.o"
+  "CMakeFiles/future_thresholding.dir/future_thresholding.cc.o.d"
+  "future_thresholding"
+  "future_thresholding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_thresholding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

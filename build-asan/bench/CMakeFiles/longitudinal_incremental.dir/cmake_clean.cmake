@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longitudinal_incremental.dir/longitudinal_incremental.cc.o"
+  "CMakeFiles/longitudinal_incremental.dir/longitudinal_incremental.cc.o.d"
+  "longitudinal_incremental"
+  "longitudinal_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longitudinal_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_matrix.dir/scenario_matrix.cc.o"
+  "CMakeFiles/scenario_matrix.dir/scenario_matrix.cc.o.d"
+  "scenario_matrix"
+  "scenario_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section5_connectivity.dir/section5_connectivity.cc.o"
+  "CMakeFiles/section5_connectivity.dir/section5_connectivity.cc.o.d"
+  "section5_connectivity"
+  "section5_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section5_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ioc_attribution.dir/table3_ioc_attribution.cc.o"
+  "CMakeFiles/table3_ioc_attribution.dir/table3_ioc_attribution.cc.o.d"
+  "table3_ioc_attribution"
+  "table3_ioc_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ioc_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

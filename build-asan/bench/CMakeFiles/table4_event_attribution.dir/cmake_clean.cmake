@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_event_attribution.dir/table4_event_attribution.cc.o"
+  "CMakeFiles/table4_event_attribution.dir/table4_event_attribution.cc.o.d"
+  "table4_event_attribution"
+  "table4_event_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_event_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

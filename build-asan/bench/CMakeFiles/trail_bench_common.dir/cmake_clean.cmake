@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_bench_common.dir/common.cc.o"
+  "CMakeFiles/trail_bench_common.dir/common.cc.o.d"
+  "libtrail_bench_common.a"
+  "libtrail_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

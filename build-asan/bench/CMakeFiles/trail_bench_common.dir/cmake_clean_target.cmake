@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrail_bench_common.a"
+)

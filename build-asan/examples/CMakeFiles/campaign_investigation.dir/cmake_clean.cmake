@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_investigation.dir/campaign_investigation.cpp.o"
+  "CMakeFiles/campaign_investigation.dir/campaign_investigation.cpp.o.d"
+  "campaign_investigation"
+  "campaign_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_attribution.dir/explain_attribution.cpp.o"
+  "CMakeFiles/explain_attribution.dir/explain_attribution.cpp.o.d"
+  "explain_attribution"
+  "explain_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

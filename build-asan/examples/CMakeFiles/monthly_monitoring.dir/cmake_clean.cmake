@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monthly_monitoring.dir/monthly_monitoring.cpp.o"
+  "CMakeFiles/monthly_monitoring.dir/monthly_monitoring.cpp.o.d"
+  "monthly_monitoring"
+  "monthly_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monthly_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_pipeline.dir/soc_pipeline.cpp.o"
+  "CMakeFiles/soc_pipeline.dir/soc_pipeline.cpp.o.d"
+  "soc_pipeline"
+  "soc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

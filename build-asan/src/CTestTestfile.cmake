@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("graph")
+subdirs("ioc")
+subdirs("osint")
+subdirs("ml")
+subdirs("gnn")
+subdirs("core")
+subdirs("serve")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attribution_report.cc" "src/core/CMakeFiles/trail_core.dir/attribution_report.cc.o" "gcc" "src/core/CMakeFiles/trail_core.dir/attribution_report.cc.o.d"
+  "/root/repo/src/core/encoders.cc" "src/core/CMakeFiles/trail_core.dir/encoders.cc.o" "gcc" "src/core/CMakeFiles/trail_core.dir/encoders.cc.o.d"
+  "/root/repo/src/core/ioc_dataset.cc" "src/core/CMakeFiles/trail_core.dir/ioc_dataset.cc.o" "gcc" "src/core/CMakeFiles/trail_core.dir/ioc_dataset.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/trail_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/trail_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/core/CMakeFiles/trail_core.dir/study.cc.o" "gcc" "src/core/CMakeFiles/trail_core.dir/study.cc.o.d"
+  "/root/repo/src/core/tkg_builder.cc" "src/core/CMakeFiles/trail_core.dir/tkg_builder.cc.o" "gcc" "src/core/CMakeFiles/trail_core.dir/tkg_builder.cc.o.d"
+  "/root/repo/src/core/trail.cc" "src/core/CMakeFiles/trail_core.dir/trail.cc.o" "gcc" "src/core/CMakeFiles/trail_core.dir/trail.cc.o.d"
+  "/root/repo/src/core/triage.cc" "src/core/CMakeFiles/trail_core.dir/triage.cc.o" "gcc" "src/core/CMakeFiles/trail_core.dir/triage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/trail_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/trail_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/trail_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ioc/CMakeFiles/trail_ioc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/osint/CMakeFiles/trail_osint.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/trail_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gnn/CMakeFiles/trail_gnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_core.dir/attribution_report.cc.o"
+  "CMakeFiles/trail_core.dir/attribution_report.cc.o.d"
+  "CMakeFiles/trail_core.dir/encoders.cc.o"
+  "CMakeFiles/trail_core.dir/encoders.cc.o.d"
+  "CMakeFiles/trail_core.dir/ioc_dataset.cc.o"
+  "CMakeFiles/trail_core.dir/ioc_dataset.cc.o.d"
+  "CMakeFiles/trail_core.dir/stats.cc.o"
+  "CMakeFiles/trail_core.dir/stats.cc.o.d"
+  "CMakeFiles/trail_core.dir/study.cc.o"
+  "CMakeFiles/trail_core.dir/study.cc.o.d"
+  "CMakeFiles/trail_core.dir/tkg_builder.cc.o"
+  "CMakeFiles/trail_core.dir/tkg_builder.cc.o.d"
+  "CMakeFiles/trail_core.dir/trail.cc.o"
+  "CMakeFiles/trail_core.dir/trail.cc.o.d"
+  "CMakeFiles/trail_core.dir/triage.cc.o"
+  "CMakeFiles/trail_core.dir/triage.cc.o.d"
+  "libtrail_core.a"
+  "libtrail_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/autoencoder.cc" "src/gnn/CMakeFiles/trail_gnn.dir/autoencoder.cc.o" "gcc" "src/gnn/CMakeFiles/trail_gnn.dir/autoencoder.cc.o.d"
+  "/root/repo/src/gnn/event_gnn.cc" "src/gnn/CMakeFiles/trail_gnn.dir/event_gnn.cc.o" "gcc" "src/gnn/CMakeFiles/trail_gnn.dir/event_gnn.cc.o.d"
+  "/root/repo/src/gnn/explainer.cc" "src/gnn/CMakeFiles/trail_gnn.dir/explainer.cc.o" "gcc" "src/gnn/CMakeFiles/trail_gnn.dir/explainer.cc.o.d"
+  "/root/repo/src/gnn/label_propagation.cc" "src/gnn/CMakeFiles/trail_gnn.dir/label_propagation.cc.o" "gcc" "src/gnn/CMakeFiles/trail_gnn.dir/label_propagation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/trail_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/trail_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/trail_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/trail_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

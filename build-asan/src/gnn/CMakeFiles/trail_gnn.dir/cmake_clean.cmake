@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_gnn.dir/autoencoder.cc.o"
+  "CMakeFiles/trail_gnn.dir/autoencoder.cc.o.d"
+  "CMakeFiles/trail_gnn.dir/event_gnn.cc.o"
+  "CMakeFiles/trail_gnn.dir/event_gnn.cc.o.d"
+  "CMakeFiles/trail_gnn.dir/explainer.cc.o"
+  "CMakeFiles/trail_gnn.dir/explainer.cc.o.d"
+  "CMakeFiles/trail_gnn.dir/label_propagation.cc.o"
+  "CMakeFiles/trail_gnn.dir/label_propagation.cc.o.d"
+  "libtrail_gnn.a"
+  "libtrail_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/graph/CMakeFiles/trail_graph.dir/algorithms.cc.o" "gcc" "src/graph/CMakeFiles/trail_graph.dir/algorithms.cc.o.d"
+  "/root/repo/src/graph/analytics.cc" "src/graph/CMakeFiles/trail_graph.dir/analytics.cc.o" "gcc" "src/graph/CMakeFiles/trail_graph.dir/analytics.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/trail_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/trail_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/property_graph.cc" "src/graph/CMakeFiles/trail_graph.dir/property_graph.cc.o" "gcc" "src/graph/CMakeFiles/trail_graph.dir/property_graph.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/graph/CMakeFiles/trail_graph.dir/serialization.cc.o" "gcc" "src/graph/CMakeFiles/trail_graph.dir/serialization.cc.o.d"
+  "/root/repo/src/graph/types.cc" "src/graph/CMakeFiles/trail_graph.dir/types.cc.o" "gcc" "src/graph/CMakeFiles/trail_graph.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/trail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_graph.dir/algorithms.cc.o"
+  "CMakeFiles/trail_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/trail_graph.dir/analytics.cc.o"
+  "CMakeFiles/trail_graph.dir/analytics.cc.o.d"
+  "CMakeFiles/trail_graph.dir/csr.cc.o"
+  "CMakeFiles/trail_graph.dir/csr.cc.o.d"
+  "CMakeFiles/trail_graph.dir/property_graph.cc.o"
+  "CMakeFiles/trail_graph.dir/property_graph.cc.o.d"
+  "CMakeFiles/trail_graph.dir/serialization.cc.o"
+  "CMakeFiles/trail_graph.dir/serialization.cc.o.d"
+  "CMakeFiles/trail_graph.dir/types.cc.o"
+  "CMakeFiles/trail_graph.dir/types.cc.o.d"
+  "libtrail_graph.a"
+  "libtrail_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ioc/feature_schema.cc" "src/ioc/CMakeFiles/trail_ioc.dir/feature_schema.cc.o" "gcc" "src/ioc/CMakeFiles/trail_ioc.dir/feature_schema.cc.o.d"
+  "/root/repo/src/ioc/ioc.cc" "src/ioc/CMakeFiles/trail_ioc.dir/ioc.cc.o" "gcc" "src/ioc/CMakeFiles/trail_ioc.dir/ioc.cc.o.d"
+  "/root/repo/src/ioc/url.cc" "src/ioc/CMakeFiles/trail_ioc.dir/url.cc.o" "gcc" "src/ioc/CMakeFiles/trail_ioc.dir/url.cc.o.d"
+  "/root/repo/src/ioc/vectorizers.cc" "src/ioc/CMakeFiles/trail_ioc.dir/vectorizers.cc.o" "gcc" "src/ioc/CMakeFiles/trail_ioc.dir/vectorizers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/trail_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/trail_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

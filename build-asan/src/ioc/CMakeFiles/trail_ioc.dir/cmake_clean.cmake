@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_ioc.dir/feature_schema.cc.o"
+  "CMakeFiles/trail_ioc.dir/feature_schema.cc.o.d"
+  "CMakeFiles/trail_ioc.dir/ioc.cc.o"
+  "CMakeFiles/trail_ioc.dir/ioc.cc.o.d"
+  "CMakeFiles/trail_ioc.dir/url.cc.o"
+  "CMakeFiles/trail_ioc.dir/url.cc.o.d"
+  "CMakeFiles/trail_ioc.dir/vectorizers.cc.o"
+  "CMakeFiles/trail_ioc.dir/vectorizers.cc.o.d"
+  "libtrail_ioc.a"
+  "libtrail_ioc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_ioc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/autograd.cc" "src/ml/CMakeFiles/trail_ml.dir/autograd.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/autograd.cc.o.d"
+  "/root/repo/src/ml/calibration.cc" "src/ml/CMakeFiles/trail_ml.dir/calibration.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/calibration.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/trail_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/trail_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gbt.cc" "src/ml/CMakeFiles/trail_ml.dir/gbt.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/gbt.cc.o.d"
+  "/root/repo/src/ml/kernels.cc" "src/ml/CMakeFiles/trail_ml.dir/kernels.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/kernels.cc.o.d"
+  "/root/repo/src/ml/kernels_avx2.cc" "src/ml/CMakeFiles/trail_ml.dir/kernels_avx2.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/kernels_avx2.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/trail_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/trail_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/trail_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/trail_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/trail_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/smote.cc" "src/ml/CMakeFiles/trail_ml.dir/smote.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/smote.cc.o.d"
+  "/root/repo/src/ml/tpe.cc" "src/ml/CMakeFiles/trail_ml.dir/tpe.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/tpe.cc.o.d"
+  "/root/repo/src/ml/treeshap.cc" "src/ml/CMakeFiles/trail_ml.dir/treeshap.cc.o" "gcc" "src/ml/CMakeFiles/trail_ml.dir/treeshap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/trail_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/trail_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

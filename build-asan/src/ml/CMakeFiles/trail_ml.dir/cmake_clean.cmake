@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_ml.dir/autograd.cc.o"
+  "CMakeFiles/trail_ml.dir/autograd.cc.o.d"
+  "CMakeFiles/trail_ml.dir/calibration.cc.o"
+  "CMakeFiles/trail_ml.dir/calibration.cc.o.d"
+  "CMakeFiles/trail_ml.dir/dataset.cc.o"
+  "CMakeFiles/trail_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/trail_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/trail_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/trail_ml.dir/gbt.cc.o"
+  "CMakeFiles/trail_ml.dir/gbt.cc.o.d"
+  "CMakeFiles/trail_ml.dir/kernels.cc.o"
+  "CMakeFiles/trail_ml.dir/kernels.cc.o.d"
+  "CMakeFiles/trail_ml.dir/kernels_avx2.cc.o"
+  "CMakeFiles/trail_ml.dir/kernels_avx2.cc.o.d"
+  "CMakeFiles/trail_ml.dir/matrix.cc.o"
+  "CMakeFiles/trail_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/trail_ml.dir/metrics.cc.o"
+  "CMakeFiles/trail_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/trail_ml.dir/mlp.cc.o"
+  "CMakeFiles/trail_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/trail_ml.dir/random_forest.cc.o"
+  "CMakeFiles/trail_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/trail_ml.dir/scaler.cc.o"
+  "CMakeFiles/trail_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/trail_ml.dir/smote.cc.o"
+  "CMakeFiles/trail_ml.dir/smote.cc.o.d"
+  "CMakeFiles/trail_ml.dir/tpe.cc.o"
+  "CMakeFiles/trail_ml.dir/tpe.cc.o.d"
+  "CMakeFiles/trail_ml.dir/treeshap.cc.o"
+  "CMakeFiles/trail_ml.dir/treeshap.cc.o.d"
+  "libtrail_ml.a"
+  "libtrail_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

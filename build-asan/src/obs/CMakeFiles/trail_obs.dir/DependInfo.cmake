@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/http_introspect.cc" "src/obs/CMakeFiles/trail_obs.dir/http_introspect.cc.o" "gcc" "src/obs/CMakeFiles/trail_obs.dir/http_introspect.cc.o.d"
+  "/root/repo/src/obs/log_sinks.cc" "src/obs/CMakeFiles/trail_obs.dir/log_sinks.cc.o" "gcc" "src/obs/CMakeFiles/trail_obs.dir/log_sinks.cc.o.d"
+  "/root/repo/src/obs/manifest.cc" "src/obs/CMakeFiles/trail_obs.dir/manifest.cc.o" "gcc" "src/obs/CMakeFiles/trail_obs.dir/manifest.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/obs/CMakeFiles/trail_obs.dir/metrics.cc.o" "gcc" "src/obs/CMakeFiles/trail_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/obs/request_trace.cc" "src/obs/CMakeFiles/trail_obs.dir/request_trace.cc.o" "gcc" "src/obs/CMakeFiles/trail_obs.dir/request_trace.cc.o.d"
+  "/root/repo/src/obs/sliding_window.cc" "src/obs/CMakeFiles/trail_obs.dir/sliding_window.cc.o" "gcc" "src/obs/CMakeFiles/trail_obs.dir/sliding_window.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/obs/CMakeFiles/trail_obs.dir/trace.cc.o" "gcc" "src/obs/CMakeFiles/trail_obs.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/trail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

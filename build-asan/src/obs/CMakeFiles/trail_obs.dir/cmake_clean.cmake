@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_obs.dir/http_introspect.cc.o"
+  "CMakeFiles/trail_obs.dir/http_introspect.cc.o.d"
+  "CMakeFiles/trail_obs.dir/log_sinks.cc.o"
+  "CMakeFiles/trail_obs.dir/log_sinks.cc.o.d"
+  "CMakeFiles/trail_obs.dir/manifest.cc.o"
+  "CMakeFiles/trail_obs.dir/manifest.cc.o.d"
+  "CMakeFiles/trail_obs.dir/metrics.cc.o"
+  "CMakeFiles/trail_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/trail_obs.dir/request_trace.cc.o"
+  "CMakeFiles/trail_obs.dir/request_trace.cc.o.d"
+  "CMakeFiles/trail_obs.dir/sliding_window.cc.o"
+  "CMakeFiles/trail_obs.dir/sliding_window.cc.o.d"
+  "CMakeFiles/trail_obs.dir/trace.cc.o"
+  "CMakeFiles/trail_obs.dir/trace.cc.o.d"
+  "libtrail_obs.a"
+  "libtrail_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osint/apt_profile.cc" "src/osint/CMakeFiles/trail_osint.dir/apt_profile.cc.o" "gcc" "src/osint/CMakeFiles/trail_osint.dir/apt_profile.cc.o.d"
+  "/root/repo/src/osint/feed_client.cc" "src/osint/CMakeFiles/trail_osint.dir/feed_client.cc.o" "gcc" "src/osint/CMakeFiles/trail_osint.dir/feed_client.cc.o.d"
+  "/root/repo/src/osint/misp_export.cc" "src/osint/CMakeFiles/trail_osint.dir/misp_export.cc.o" "gcc" "src/osint/CMakeFiles/trail_osint.dir/misp_export.cc.o.d"
+  "/root/repo/src/osint/report.cc" "src/osint/CMakeFiles/trail_osint.dir/report.cc.o" "gcc" "src/osint/CMakeFiles/trail_osint.dir/report.cc.o.d"
+  "/root/repo/src/osint/world.cc" "src/osint/CMakeFiles/trail_osint.dir/world.cc.o" "gcc" "src/osint/CMakeFiles/trail_osint.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/trail_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/trail_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ioc/CMakeFiles/trail_ioc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/trail_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

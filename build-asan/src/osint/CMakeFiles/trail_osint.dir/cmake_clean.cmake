@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_osint.dir/apt_profile.cc.o"
+  "CMakeFiles/trail_osint.dir/apt_profile.cc.o.d"
+  "CMakeFiles/trail_osint.dir/feed_client.cc.o"
+  "CMakeFiles/trail_osint.dir/feed_client.cc.o.d"
+  "CMakeFiles/trail_osint.dir/misp_export.cc.o"
+  "CMakeFiles/trail_osint.dir/misp_export.cc.o.d"
+  "CMakeFiles/trail_osint.dir/report.cc.o"
+  "CMakeFiles/trail_osint.dir/report.cc.o.d"
+  "CMakeFiles/trail_osint.dir/world.cc.o"
+  "CMakeFiles/trail_osint.dir/world.cc.o.d"
+  "libtrail_osint.a"
+  "libtrail_osint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_osint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

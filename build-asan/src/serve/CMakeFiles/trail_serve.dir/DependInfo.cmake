@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/admin.cc" "src/serve/CMakeFiles/trail_serve.dir/admin.cc.o" "gcc" "src/serve/CMakeFiles/trail_serve.dir/admin.cc.o.d"
+  "/root/repo/src/serve/attribution_service.cc" "src/serve/CMakeFiles/trail_serve.dir/attribution_service.cc.o" "gcc" "src/serve/CMakeFiles/trail_serve.dir/attribution_service.cc.o.d"
+  "/root/repo/src/serve/frontend.cc" "src/serve/CMakeFiles/trail_serve.dir/frontend.cc.o" "gcc" "src/serve/CMakeFiles/trail_serve.dir/frontend.cc.o.d"
+  "/root/repo/src/serve/line_server.cc" "src/serve/CMakeFiles/trail_serve.dir/line_server.cc.o" "gcc" "src/serve/CMakeFiles/trail_serve.dir/line_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/trail_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/osint/CMakeFiles/trail_osint.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/trail_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/trail_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ioc/CMakeFiles/trail_ioc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gnn/CMakeFiles/trail_gnn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/trail_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/trail_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_serve.dir/admin.cc.o"
+  "CMakeFiles/trail_serve.dir/admin.cc.o.d"
+  "CMakeFiles/trail_serve.dir/attribution_service.cc.o"
+  "CMakeFiles/trail_serve.dir/attribution_service.cc.o.d"
+  "CMakeFiles/trail_serve.dir/frontend.cc.o"
+  "CMakeFiles/trail_serve.dir/frontend.cc.o.d"
+  "CMakeFiles/trail_serve.dir/line_server.cc.o"
+  "CMakeFiles/trail_serve.dir/line_server.cc.o.d"
+  "libtrail_serve.a"
+  "libtrail_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

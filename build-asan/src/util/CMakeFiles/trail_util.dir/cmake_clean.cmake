@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_util.dir/json.cc.o"
+  "CMakeFiles/trail_util.dir/json.cc.o.d"
+  "CMakeFiles/trail_util.dir/logging.cc.o"
+  "CMakeFiles/trail_util.dir/logging.cc.o.d"
+  "CMakeFiles/trail_util.dir/parallel.cc.o"
+  "CMakeFiles/trail_util.dir/parallel.cc.o.d"
+  "CMakeFiles/trail_util.dir/random.cc.o"
+  "CMakeFiles/trail_util.dir/random.cc.o.d"
+  "CMakeFiles/trail_util.dir/status.cc.o"
+  "CMakeFiles/trail_util.dir/status.cc.o.d"
+  "CMakeFiles/trail_util.dir/string_util.cc.o"
+  "CMakeFiles/trail_util.dir/string_util.cc.o.d"
+  "CMakeFiles/trail_util.dir/table_printer.cc.o"
+  "CMakeFiles/trail_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/trail_util.dir/thread_pool.cc.o"
+  "CMakeFiles/trail_util.dir/thread_pool.cc.o.d"
+  "libtrail_util.a"
+  "libtrail_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrail_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_checkpoint_test.dir/core/checkpoint_test.cc.o"
+  "CMakeFiles/core_checkpoint_test.dir/core/checkpoint_test.cc.o.d"
+  "core_checkpoint_test"
+  "core_checkpoint_test.pdb"
+  "core_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

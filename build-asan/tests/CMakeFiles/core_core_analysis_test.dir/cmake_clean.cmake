@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_core_analysis_test.dir/core/core_analysis_test.cc.o"
+  "CMakeFiles/core_core_analysis_test.dir/core/core_analysis_test.cc.o.d"
+  "core_core_analysis_test"
+  "core_core_analysis_test.pdb"
+  "core_core_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_core_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

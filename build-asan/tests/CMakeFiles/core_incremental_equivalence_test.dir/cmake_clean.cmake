@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_incremental_equivalence_test.dir/core/incremental_equivalence_test.cc.o"
+  "CMakeFiles/core_incremental_equivalence_test.dir/core/incremental_equivalence_test.cc.o.d"
+  "core_incremental_equivalence_test"
+  "core_incremental_equivalence_test.pdb"
+  "core_incremental_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_incremental_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

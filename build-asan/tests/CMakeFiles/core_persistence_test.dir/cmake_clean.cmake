@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_persistence_test.dir/core/persistence_test.cc.o"
+  "CMakeFiles/core_persistence_test.dir/core/persistence_test.cc.o.d"
+  "core_persistence_test"
+  "core_persistence_test.pdb"
+  "core_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

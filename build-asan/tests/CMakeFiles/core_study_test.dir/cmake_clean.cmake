@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_study_test.dir/core/study_test.cc.o"
+  "CMakeFiles/core_study_test.dir/core/study_test.cc.o.d"
+  "core_study_test"
+  "core_study_test.pdb"
+  "core_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tkg_builder_test.dir/core/tkg_builder_test.cc.o"
+  "CMakeFiles/core_tkg_builder_test.dir/core/tkg_builder_test.cc.o.d"
+  "core_tkg_builder_test"
+  "core_tkg_builder_test.pdb"
+  "core_tkg_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tkg_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

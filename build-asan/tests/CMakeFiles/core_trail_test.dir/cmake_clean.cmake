@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_trail_test.dir/core/trail_test.cc.o"
+  "CMakeFiles/core_trail_test.dir/core/trail_test.cc.o.d"
+  "core_trail_test"
+  "core_trail_test.pdb"
+  "core_trail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_trail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_triage_test.dir/core/triage_test.cc.o"
+  "CMakeFiles/core_triage_test.dir/core/triage_test.cc.o.d"
+  "core_triage_test"
+  "core_triage_test.pdb"
+  "core_triage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_triage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_autoencoder_test.dir/gnn/autoencoder_test.cc.o"
+  "CMakeFiles/gnn_autoencoder_test.dir/gnn/autoencoder_test.cc.o.d"
+  "gnn_autoencoder_test"
+  "gnn_autoencoder_test.pdb"
+  "gnn_autoencoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_autoencoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_event_gnn_test.dir/gnn/event_gnn_test.cc.o"
+  "CMakeFiles/gnn_event_gnn_test.dir/gnn/event_gnn_test.cc.o.d"
+  "gnn_event_gnn_test"
+  "gnn_event_gnn_test.pdb"
+  "gnn_event_gnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_event_gnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

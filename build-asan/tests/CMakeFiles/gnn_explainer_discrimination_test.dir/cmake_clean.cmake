@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_explainer_discrimination_test.dir/gnn/explainer_discrimination_test.cc.o"
+  "CMakeFiles/gnn_explainer_discrimination_test.dir/gnn/explainer_discrimination_test.cc.o.d"
+  "gnn_explainer_discrimination_test"
+  "gnn_explainer_discrimination_test.pdb"
+  "gnn_explainer_discrimination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_explainer_discrimination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_label_propagation_test.dir/gnn/label_propagation_test.cc.o"
+  "CMakeFiles/gnn_label_propagation_test.dir/gnn/label_propagation_test.cc.o.d"
+  "gnn_label_propagation_test"
+  "gnn_label_propagation_test.pdb"
+  "gnn_label_propagation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_label_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_golden_regression_test.dir/golden/golden_regression_test.cc.o"
+  "CMakeFiles/golden_golden_regression_test.dir/golden/golden_regression_test.cc.o.d"
+  "golden_golden_regression_test"
+  "golden_golden_regression_test.pdb"
+  "golden_golden_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_golden_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_analytics_test.dir/graph/analytics_test.cc.o"
+  "CMakeFiles/graph_analytics_test.dir/graph/analytics_test.cc.o.d"
+  "graph_analytics_test"
+  "graph_analytics_test.pdb"
+  "graph_analytics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_analytics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_csr_append_test.dir/graph/csr_append_test.cc.o"
+  "CMakeFiles/graph_csr_append_test.dir/graph/csr_append_test.cc.o.d"
+  "graph_csr_append_test"
+  "graph_csr_append_test.pdb"
+  "graph_csr_append_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_csr_append_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_serialization_test.dir/graph/serialization_test.cc.o"
+  "CMakeFiles/graph_serialization_test.dir/graph/serialization_test.cc.o.d"
+  "graph_serialization_test"
+  "graph_serialization_test.pdb"
+  "graph_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

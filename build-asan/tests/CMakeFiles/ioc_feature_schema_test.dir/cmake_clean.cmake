@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_feature_schema_test.dir/ioc/feature_schema_test.cc.o"
+  "CMakeFiles/ioc_feature_schema_test.dir/ioc/feature_schema_test.cc.o.d"
+  "ioc_feature_schema_test"
+  "ioc_feature_schema_test.pdb"
+  "ioc_feature_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_feature_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

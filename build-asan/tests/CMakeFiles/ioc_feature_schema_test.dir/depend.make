@@ -1,0 +1,2 @@
+# Empty dependencies file for ioc_feature_schema_test.
+# This may be replaced when dependencies are built.

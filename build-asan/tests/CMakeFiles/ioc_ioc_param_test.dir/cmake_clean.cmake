@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_ioc_param_test.dir/ioc/ioc_param_test.cc.o"
+  "CMakeFiles/ioc_ioc_param_test.dir/ioc/ioc_param_test.cc.o.d"
+  "ioc_ioc_param_test"
+  "ioc_ioc_param_test.pdb"
+  "ioc_ioc_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_ioc_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

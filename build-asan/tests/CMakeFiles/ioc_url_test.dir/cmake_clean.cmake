@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_url_test.dir/ioc/url_test.cc.o"
+  "CMakeFiles/ioc_url_test.dir/ioc/url_test.cc.o.d"
+  "ioc_url_test"
+  "ioc_url_test.pdb"
+  "ioc_url_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_url_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_vectorizers_test.dir/ioc/vectorizers_test.cc.o"
+  "CMakeFiles/ioc_vectorizers_test.dir/ioc/vectorizers_test.cc.o.d"
+  "ioc_vectorizers_test"
+  "ioc_vectorizers_test.pdb"
+  "ioc_vectorizers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_vectorizers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

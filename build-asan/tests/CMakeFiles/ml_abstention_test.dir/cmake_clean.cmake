@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_abstention_test.dir/ml/abstention_test.cc.o"
+  "CMakeFiles/ml_abstention_test.dir/ml/abstention_test.cc.o.d"
+  "ml_abstention_test"
+  "ml_abstention_test.pdb"
+  "ml_abstention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_abstention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_autograd_test.dir/ml/autograd_test.cc.o"
+  "CMakeFiles/ml_autograd_test.dir/ml/autograd_test.cc.o.d"
+  "ml_autograd_test"
+  "ml_autograd_test.pdb"
+  "ml_autograd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_autograd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

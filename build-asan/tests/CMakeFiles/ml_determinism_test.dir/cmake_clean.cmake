@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_determinism_test.dir/ml/determinism_test.cc.o"
+  "CMakeFiles/ml_determinism_test.dir/ml/determinism_test.cc.o.d"
+  "ml_determinism_test"
+  "ml_determinism_test.pdb"
+  "ml_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

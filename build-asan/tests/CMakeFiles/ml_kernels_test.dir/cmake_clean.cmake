@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_kernels_test.dir/ml/kernels_test.cc.o"
+  "CMakeFiles/ml_kernels_test.dir/ml/kernels_test.cc.o.d"
+  "ml_kernels_test"
+  "ml_kernels_test.pdb"
+  "ml_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

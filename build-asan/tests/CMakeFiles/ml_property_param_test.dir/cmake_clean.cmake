@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_property_param_test.dir/ml/property_param_test.cc.o"
+  "CMakeFiles/ml_property_param_test.dir/ml/property_param_test.cc.o.d"
+  "ml_property_param_test"
+  "ml_property_param_test.pdb"
+  "ml_property_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_property_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

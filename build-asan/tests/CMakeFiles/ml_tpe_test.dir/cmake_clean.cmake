@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tpe_test.dir/ml/tpe_test.cc.o"
+  "CMakeFiles/ml_tpe_test.dir/ml/tpe_test.cc.o.d"
+  "ml_tpe_test"
+  "ml_tpe_test.pdb"
+  "ml_tpe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tpe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

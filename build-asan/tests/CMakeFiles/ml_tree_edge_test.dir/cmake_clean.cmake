@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tree_edge_test.dir/ml/tree_edge_test.cc.o"
+  "CMakeFiles/ml_tree_edge_test.dir/ml/tree_edge_test.cc.o.d"
+  "ml_tree_edge_test"
+  "ml_tree_edge_test.pdb"
+  "ml_tree_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tree_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

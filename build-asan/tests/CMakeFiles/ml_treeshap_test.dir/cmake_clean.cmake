@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_treeshap_test.dir/ml/treeshap_test.cc.o"
+  "CMakeFiles/ml_treeshap_test.dir/ml/treeshap_test.cc.o.d"
+  "ml_treeshap_test"
+  "ml_treeshap_test.pdb"
+  "ml_treeshap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_treeshap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

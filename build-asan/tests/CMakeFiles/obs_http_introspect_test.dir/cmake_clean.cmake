@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_http_introspect_test.dir/obs/http_introspect_test.cc.o"
+  "CMakeFiles/obs_http_introspect_test.dir/obs/http_introspect_test.cc.o.d"
+  "obs_http_introspect_test"
+  "obs_http_introspect_test.pdb"
+  "obs_http_introspect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_http_introspect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_log_sinks_test.dir/obs/log_sinks_test.cc.o"
+  "CMakeFiles/obs_log_sinks_test.dir/obs/log_sinks_test.cc.o.d"
+  "obs_log_sinks_test"
+  "obs_log_sinks_test.pdb"
+  "obs_log_sinks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_log_sinks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_manifest_test.dir/obs/manifest_test.cc.o"
+  "CMakeFiles/obs_manifest_test.dir/obs/manifest_test.cc.o.d"
+  "obs_manifest_test"
+  "obs_manifest_test.pdb"
+  "obs_manifest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_manifest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

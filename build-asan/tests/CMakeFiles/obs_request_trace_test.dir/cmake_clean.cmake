@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_request_trace_test.dir/obs/request_trace_test.cc.o"
+  "CMakeFiles/obs_request_trace_test.dir/obs/request_trace_test.cc.o.d"
+  "obs_request_trace_test"
+  "obs_request_trace_test.pdb"
+  "obs_request_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_request_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_sliding_window_test.dir/obs/sliding_window_test.cc.o"
+  "CMakeFiles/obs_sliding_window_test.dir/obs/sliding_window_test.cc.o.d"
+  "obs_sliding_window_test"
+  "obs_sliding_window_test.pdb"
+  "obs_sliding_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_sliding_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osint_misp_export_test.dir/osint/misp_export_test.cc.o"
+  "CMakeFiles/osint_misp_export_test.dir/osint/misp_export_test.cc.o.d"
+  "osint_misp_export_test"
+  "osint_misp_export_test.pdb"
+  "osint_misp_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osint_misp_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

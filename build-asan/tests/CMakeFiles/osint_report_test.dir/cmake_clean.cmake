@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osint_report_test.dir/osint/report_test.cc.o"
+  "CMakeFiles/osint_report_test.dir/osint/report_test.cc.o.d"
+  "osint_report_test"
+  "osint_report_test.pdb"
+  "osint_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osint_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

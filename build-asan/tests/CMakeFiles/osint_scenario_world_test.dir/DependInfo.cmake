@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/osint/scenario_world_test.cc" "tests/CMakeFiles/osint_scenario_world_test.dir/osint/scenario_world_test.cc.o" "gcc" "tests/CMakeFiles/osint_scenario_world_test.dir/osint/scenario_world_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/serve/CMakeFiles/trail_serve.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/trail_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gnn/CMakeFiles/trail_gnn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/osint/CMakeFiles/trail_osint.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/trail_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ioc/CMakeFiles/trail_ioc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/trail_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/trail_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/trail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osint_scenario_world_test.dir/osint/scenario_world_test.cc.o"
+  "CMakeFiles/osint_scenario_world_test.dir/osint/scenario_world_test.cc.o.d"
+  "osint_scenario_world_test"
+  "osint_scenario_world_test.pdb"
+  "osint_scenario_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osint_scenario_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osint_world_test.dir/osint/world_test.cc.o"
+  "CMakeFiles/osint_world_test.dir/osint/world_test.cc.o.d"
+  "osint_world_test"
+  "osint_world_test.pdb"
+  "osint_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osint_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

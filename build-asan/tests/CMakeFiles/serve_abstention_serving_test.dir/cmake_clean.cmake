@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_abstention_serving_test.dir/serve/abstention_serving_test.cc.o"
+  "CMakeFiles/serve_abstention_serving_test.dir/serve/abstention_serving_test.cc.o.d"
+  "serve_abstention_serving_test"
+  "serve_abstention_serving_test.pdb"
+  "serve_abstention_serving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_abstention_serving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_attribution_service_test.dir/serve/attribution_service_test.cc.o"
+  "CMakeFiles/serve_attribution_service_test.dir/serve/attribution_service_test.cc.o.d"
+  "serve_attribution_service_test"
+  "serve_attribution_service_test.pdb"
+  "serve_attribution_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_attribution_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

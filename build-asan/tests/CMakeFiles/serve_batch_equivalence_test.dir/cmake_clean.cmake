@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_batch_equivalence_test.dir/serve/batch_equivalence_test.cc.o"
+  "CMakeFiles/serve_batch_equivalence_test.dir/serve/batch_equivalence_test.cc.o.d"
+  "serve_batch_equivalence_test"
+  "serve_batch_equivalence_test.pdb"
+  "serve_batch_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_batch_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_epoch_lifecycle_test.dir/serve/epoch_lifecycle_test.cc.o"
+  "CMakeFiles/serve_epoch_lifecycle_test.dir/serve/epoch_lifecycle_test.cc.o.d"
+  "serve_epoch_lifecycle_test"
+  "serve_epoch_lifecycle_test.pdb"
+  "serve_epoch_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_epoch_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

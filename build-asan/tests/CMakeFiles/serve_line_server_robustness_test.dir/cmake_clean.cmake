@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_line_server_robustness_test.dir/serve/line_server_robustness_test.cc.o"
+  "CMakeFiles/serve_line_server_robustness_test.dir/serve/line_server_robustness_test.cc.o.d"
+  "serve_line_server_robustness_test"
+  "serve_line_server_robustness_test.pdb"
+  "serve_line_server_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_line_server_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_multiworker_determinism_test.dir/serve/multiworker_determinism_test.cc.o"
+  "CMakeFiles/serve_multiworker_determinism_test.dir/serve/multiworker_determinism_test.cc.o.d"
+  "serve_multiworker_determinism_test"
+  "serve_multiworker_determinism_test.pdb"
+  "serve_multiworker_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_multiworker_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

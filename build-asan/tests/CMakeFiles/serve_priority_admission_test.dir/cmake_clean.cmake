@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_priority_admission_test.dir/serve/priority_admission_test.cc.o"
+  "CMakeFiles/serve_priority_admission_test.dir/serve/priority_admission_test.cc.o.d"
+  "serve_priority_admission_test"
+  "serve_priority_admission_test.pdb"
+  "serve_priority_admission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_priority_admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

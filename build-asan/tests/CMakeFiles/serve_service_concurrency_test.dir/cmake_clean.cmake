@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_service_concurrency_test.dir/serve/service_concurrency_test.cc.o"
+  "CMakeFiles/serve_service_concurrency_test.dir/serve/service_concurrency_test.cc.o.d"
+  "serve_service_concurrency_test"
+  "serve_service_concurrency_test.pdb"
+  "serve_service_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_service_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_trace_propagation_test.dir/serve/trace_propagation_test.cc.o"
+  "CMakeFiles/serve_trace_propagation_test.dir/serve/trace_propagation_test.cc.o.d"
+  "serve_trace_propagation_test"
+  "serve_trace_propagation_test.pdb"
+  "serve_trace_propagation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_trace_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

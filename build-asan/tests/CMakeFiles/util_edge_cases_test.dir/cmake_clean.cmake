@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_edge_cases_test.dir/util/edge_cases_test.cc.o"
+  "CMakeFiles/util_edge_cases_test.dir/util/edge_cases_test.cc.o.d"
+  "util_edge_cases_test"
+  "util_edge_cases_test.pdb"
+  "util_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_fuzz_robustness_test.dir/util/fuzz_robustness_test.cc.o"
+  "CMakeFiles/util_fuzz_robustness_test.dir/util/fuzz_robustness_test.cc.o.d"
+  "util_fuzz_robustness_test"
+  "util_fuzz_robustness_test.pdb"
+  "util_fuzz_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_fuzz_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

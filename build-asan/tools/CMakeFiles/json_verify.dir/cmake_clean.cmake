@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_verify.dir/json_verify.cc.o"
+  "CMakeFiles/json_verify.dir/json_verify.cc.o.d"
+  "json_verify"
+  "json_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

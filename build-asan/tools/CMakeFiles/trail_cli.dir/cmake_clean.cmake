@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_cli.dir/trail_cli.cc.o"
+  "CMakeFiles/trail_cli.dir/trail_cli.cc.o.d"
+  "trail_cli"
+  "trail_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_loadgen.dir/trail_loadgen.cc.o"
+  "CMakeFiles/trail_loadgen.dir/trail_loadgen.cc.o.d"
+  "trail_loadgen"
+  "trail_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trail_serve_bin.dir/trail_serve.cc.o"
+  "CMakeFiles/trail_serve_bin.dir/trail_serve.cc.o.d"
+  "trail_serve"
+  "trail_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trail_serve_bin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

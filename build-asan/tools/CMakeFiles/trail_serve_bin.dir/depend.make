@@ -1,0 +1,2 @@
+# Empty dependencies file for trail_serve_bin.
+# This may be replaced when dependencies are built.
