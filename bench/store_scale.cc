@@ -1,0 +1,331 @@
+// Segment-store scale benchmark: build-once / load-many economics of the
+// TKGS store at three world tiers — small (default world), paper
+// (~2.1M-node TKG, the paper's OSINT corpus scale), and 10x (gated behind
+// TRAIL_BENCH_STORE_10X=1; it needs several GiB of RAM and minutes of world
+// generation). Writes BENCH_store.json via tools/bench_store.sh.
+//
+// Per tier:
+//   * world generation and full report reparse (ingest) time — the cost the
+//     store amortizes away,
+//   * store write time / file bytes / pages,
+//   * open + materialize time and the load-vs-reparse speedup,
+//   * COLD first hop-1 query in a re-exec'd child process (true cold page
+//     cache for the mmap, honest ru_maxrss) with page-fault / pages-touched
+//     counters,
+//   * warm repeat of the same query in-process.
+//
+// Honest numbers: this container is 1-core, so every figure is
+// single-threaded wall time; RSS figures are ru_maxrss (monotonic
+// process-wide — the child re-exec isolates the cold-query figure).
+//
+// Run: ./build/bench/store_scale [--out BENCH_store.json]
+// Honors TRAIL_BENCH_QUICK=1 (small tier only) and TRAIL_BENCH_STORE_10X=1.
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tkg_builder.h"
+#include "graph/store/store_reader.h"
+#include "graph/store/store_writer.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace trail;
+using graph::store::GraphStore;
+using graph::store::StoreWriter;
+
+bool EnvFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '1';
+}
+
+const char* GetFlag(int argc, char** argv, const char* name,
+                    const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+long MaxRssKb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+/// One hop-1 query: resolve an IOC value to its node, read its record,
+/// features, and neighbors — the store-backed analog of "show me this
+/// indicator". Returns elapsed microseconds.
+Result<double> Hop1Query(const GraphStore& store, graph::NodeType type,
+                         const std::string& value, size_t* neighbors_out) {
+  Timer t;
+  auto id = store.Lookup(type, value);
+  if (!id.ok()) return id.status();
+  if (id.value() == graph::kInvalidNode) {
+    return Status::NotFound("probe value not in store: " + value);
+  }
+  auto record = store.Node(id.value());
+  if (!record.ok()) return record.status();
+  auto features = store.Features(id.value());
+  if (!features.ok()) return features.status();
+  auto neighbors = store.Neighbors(id.value());
+  if (!neighbors.ok()) return neighbors.status();
+  if (neighbors_out != nullptr) *neighbors_out = neighbors->size();
+  return t.ElapsedSeconds() * 1e6;
+}
+
+/// Child mode (--cold-query): opens the store with a genuinely cold buffer
+/// pool (fresh process), runs one hop-1 query, and prints a single JSON
+/// line with timings, page counters, and this process's peak RSS.
+int RunColdQueryChild(const std::string& path, const std::string& probe_type,
+                      const std::string& probe) {
+  SetLogLevel(LogLevel::kWarning);
+  graph::NodeType type = probe_type == "domain" ? graph::NodeType::kDomain
+                                                : graph::NodeType::kIp;
+  Timer open_timer;
+  auto store = GraphStore::Open(path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "cold-query open: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  const double open_us = open_timer.ElapsedSeconds() * 1e6;
+  auto open_stats = store.value()->buffer_stats();
+
+  size_t num_neighbors = 0;
+  auto query_us = Hop1Query(*store.value(), type, probe, &num_neighbors);
+  if (!query_us.ok()) {
+    std::fprintf(stderr, "cold-query probe: %s\n",
+                 query_us.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = store.value()->buffer_stats();
+
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("open_us", JsonValue::MakeNumber(open_us));
+  out.Set("query_us", JsonValue::MakeNumber(query_us.value()));
+  out.Set("neighbors", JsonValue::MakeNumber(
+      static_cast<double>(num_neighbors)));
+  out.Set("total_pages", JsonValue::MakeNumber(
+      static_cast<double>(stats.total_pages)));
+  out.Set("open_pages_touched", JsonValue::MakeNumber(
+      static_cast<double>(open_stats.pages_touched)));
+  out.Set("pages_touched", JsonValue::MakeNumber(
+      static_cast<double>(stats.pages_touched)));
+  out.Set("page_faults", JsonValue::MakeNumber(
+      static_cast<double>(stats.page_faults)));
+  out.Set("bytes_read", JsonValue::MakeNumber(
+      static_cast<double>(stats.bytes_read)));
+  out.Set("mmapped", JsonValue::MakeBool(store.value()->mmapped()));
+  out.Set("max_rss_kb", JsonValue::MakeNumber(
+      static_cast<double>(MaxRssKb())));
+  std::printf("%s\n", out.Dump().c_str());
+  return 0;
+}
+
+/// Re-execs this binary in --cold-query mode and parses its JSON line.
+Result<JsonValue> ColdQueryInChild(const std::string& path,
+                                   const std::string& probe_type,
+                                   const std::string& probe) {
+  char self[4096];
+  ssize_t n = readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n <= 0) return Status::IoError("cannot resolve /proc/self/exe");
+  self[n] = '\0';
+  std::string cmd = std::string(self) + " --cold-query '" + path +
+                    "' --probe-type " + probe_type + " --probe '" + probe +
+                    "' 2>/dev/null";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return Status::IoError("popen failed");
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+    text.append(buf, got);
+  int rc = pclose(pipe);
+  if (rc != 0) return Status::Internal("cold-query child failed");
+  size_t at = text.find('{');
+  if (at == std::string::npos) {
+    return Status::ParseError("cold-query child printed no JSON");
+  }
+  return JsonValue::Parse(text.substr(at));
+}
+
+struct Tier {
+  const char* name;
+  double factor;  // WorldConfig::Scaled factor; <= 1 -> default world
+};
+
+JsonValue RunTier(const Tier& tier, const std::string& store_path) {
+  osint::WorldConfig config = osint::WorldConfig::Scaled(tier.factor);
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("name", JsonValue::MakeString(tier.name));
+  out.Set("scale_factor", JsonValue::MakeNumber(tier.factor));
+
+  std::printf("[%s] generating world (factor %.0f)...\n", tier.name,
+              tier.factor);
+  Timer gen_timer;
+  osint::World world(config);
+  const double gen_seconds = gen_timer.ElapsedSeconds();
+  osint::FeedClient feed(&world);
+
+  std::printf("[%s] ingesting %zu reports (full reparse baseline)...\n",
+              tier.name, world.reports().size());
+  core::TkgBuilder builder(&feed, core::TkgBuildOptions{});
+  Timer reparse_timer;
+  {
+    Status st = builder.IngestAll(feed.FetchReports(0, config.end_day));
+    TRAIL_CHECK(st.ok()) << st;
+  }
+  const double reparse_seconds = reparse_timer.ElapsedSeconds();
+  const graph::PropertyGraph& graph = builder.graph();
+
+  JsonValue world_json = JsonValue::MakeObject();
+  world_json.Set("reports", JsonValue::MakeNumber(
+      static_cast<double>(world.reports().size())));
+  world_json.Set("events", JsonValue::MakeNumber(
+      static_cast<double>(builder.num_events())));
+  world_json.Set("nodes", JsonValue::MakeNumber(
+      static_cast<double>(graph.num_nodes())));
+  world_json.Set("edges", JsonValue::MakeNumber(
+      static_cast<double>(graph.num_edges())));
+  out.Set("world", std::move(world_json));
+  out.Set("world_gen_seconds", JsonValue::MakeNumber(gen_seconds));
+  out.Set("reparse_seconds", JsonValue::MakeNumber(reparse_seconds));
+
+  std::printf("[%s] TKG %zu nodes / %zu edges; writing store...\n", tier.name,
+              graph.num_nodes(), graph.num_edges());
+  Timer write_timer;
+  auto written = StoreWriter::Write(graph, builder.apt_names(),
+                                    builder.num_events(), store_path);
+  TRAIL_CHECK(written.ok()) << written.status();
+  const double write_seconds = write_timer.ElapsedSeconds();
+  JsonValue store_json = JsonValue::MakeObject();
+  store_json.Set("write_seconds", JsonValue::MakeNumber(write_seconds));
+  store_json.Set("file_bytes", JsonValue::MakeNumber(
+      static_cast<double>(written->file_bytes)));
+  store_json.Set("total_pages", JsonValue::MakeNumber(
+      static_cast<double>(written->total_pages)));
+  out.Set("store", std::move(store_json));
+
+  // Load path: open (O(1) pages) + full materialize, vs the reparse above.
+  std::printf("[%s] materializing store...\n", tier.name);
+  Timer open_timer;
+  auto store = GraphStore::Open(store_path);
+  TRAIL_CHECK(store.ok()) << store.status();
+  const double open_seconds = open_timer.ElapsedSeconds();
+  Timer mat_timer;
+  graph::PropertyGraph loaded;
+  {
+    Status st = store.value()->Materialize(&loaded, nullptr, nullptr);
+    TRAIL_CHECK(st.ok()) << st;
+  }
+  const double materialize_seconds = mat_timer.ElapsedSeconds();
+  TRAIL_CHECK(loaded.num_nodes() == graph.num_nodes());
+  TRAIL_CHECK(loaded.num_edges() == graph.num_edges());
+  const double load_seconds = open_seconds + materialize_seconds;
+  JsonValue load_json = JsonValue::MakeObject();
+  load_json.Set("open_seconds", JsonValue::MakeNumber(open_seconds));
+  load_json.Set("materialize_seconds",
+                JsonValue::MakeNumber(materialize_seconds));
+  load_json.Set("speedup_vs_reparse", JsonValue::MakeNumber(
+      load_seconds > 0 ? reparse_seconds / load_seconds : 0.0));
+  out.Set("load", std::move(load_json));
+
+  // Probe value: a mid-graph IP (hub-ish but not pathological).
+  std::string probe;
+  const auto ips = graph.NodesOfType(graph::NodeType::kIp);
+  TRAIL_CHECK(!ips.empty());
+  probe = graph.value(ips[ips.size() / 2]);
+
+  // Cold first query: fresh process, cold buffer pool, honest child RSS.
+  auto cold = ColdQueryInChild(store_path, "ip", probe);
+  TRAIL_CHECK(cold.ok()) << cold.status();
+  out.Set("cold_query", std::move(cold).value());
+
+  // Warm repeat in THIS process: same store object, pages already faulted.
+  {
+    auto fresh = GraphStore::Open(store_path);
+    TRAIL_CHECK(fresh.ok()) << fresh.status();
+    auto first = Hop1Query(*fresh.value(), graph::NodeType::kIp, probe,
+                           nullptr);
+    TRAIL_CHECK(first.ok()) << first.status();
+    auto warm = Hop1Query(*fresh.value(), graph::NodeType::kIp, probe,
+                          nullptr);
+    TRAIL_CHECK(warm.ok()) << warm.status();
+    out.Set("warm_query_us", JsonValue::MakeNumber(warm.value()));
+  }
+
+  // Monotonic process-wide peak — tiers run smallest-first, so this is an
+  // upper bound dominated by the in-memory TKG build, not by the store.
+  out.Set("builder_peak_rss_kb", JsonValue::MakeNumber(
+      static_cast<double>(MaxRssKb())));
+  std::remove(store_path.c_str());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* cold = GetFlag(argc, argv, "--cold-query", nullptr);
+  if (cold != nullptr) {
+    return RunColdQueryChild(cold, GetFlag(argc, argv, "--probe-type", "ip"),
+                             GetFlag(argc, argv, "--probe", ""));
+  }
+
+  SetLogLevel(LogLevel::kWarning);
+  const std::string out_path =
+      GetFlag(argc, argv, "--out", "BENCH_store.json");
+  const bool quick = EnvFlag("TRAIL_BENCH_QUICK");
+
+  std::vector<Tier> tiers;
+  tiers.push_back({"small", 1.0});
+  if (!quick) {
+    tiers.push_back({"paper", 68.0});
+    if (EnvFlag("TRAIL_BENCH_STORE_10X")) {
+      tiers.push_back({"paper_10x", 680.0});
+    } else {
+      std::printf("(10x tier skipped; set TRAIL_BENCH_STORE_10X=1)\n");
+    }
+  }
+
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("benchmark", JsonValue::MakeString("store_scale"));
+  doc.Set("quick", JsonValue::MakeBool(quick));
+  doc.Set("threads", JsonValue::MakeNumber(ParallelWorkers()));
+  doc.Set("page_size", JsonValue::MakeNumber(graph::store::kPageSize));
+  doc.Set("notes", JsonValue::MakeString(
+      "single-threaded 1-core container; cold_query runs in a re-exec'd "
+      "child (cold buffer pool, own ru_maxrss); builder_peak_rss_kb is "
+      "process-wide monotonic with tiers in ascending size order"));
+  JsonValue tiers_json = JsonValue::MakeArray();
+  for (const Tier& tier : tiers) {
+    const std::string store_path =
+        std::string("/tmp/trail_bench_store_") + tier.name + ".tkgs";
+    tiers_json.Append(RunTier(tier, store_path));
+  }
+  doc.Set("tiers", std::move(tiers_json));
+
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::string text = doc.Dump(2) + "\n";
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("store_scale: wrote %s\n", out_path.c_str());
+  return 0;
+}

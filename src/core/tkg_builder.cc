@@ -27,6 +27,43 @@ int TkgBuilder::AptIdFor(const std::string& name) {
   return id;
 }
 
+Status TkgBuilder::AdoptGraph(graph::PropertyGraph graph,
+                              std::vector<std::string> apt_names,
+                              size_t num_events) {
+  if (graph_.num_nodes() != 0 || num_events_ != 0) {
+    return Status::FailedPrecondition(
+        "AdoptGraph needs an untouched builder");
+  }
+  const int num_apts = static_cast<int>(apt_names.size());
+  std::unordered_set<NodeId> analyzed;
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    switch (graph.type(id)) {
+      case NodeType::kIp:
+      case NodeType::kDomain:
+      case NodeType::kUrl:
+        analyzed.insert(id);
+        break;
+      default:
+        break;
+    }
+    if (graph.label(id) >= num_apts) {
+      return Status::FailedPrecondition(
+          "adopted graph labels node " + std::to_string(id) +
+          " outside the APT roster");
+    }
+  }
+  graph_ = std::move(graph);
+  analyzed_ = std::move(analyzed);
+  apt_names_ = std::move(apt_names);
+  apt_ids_.clear();
+  for (int i = 0; i < num_apts; ++i) apt_ids_.emplace(apt_names_[i], i);
+  num_events_ = num_events;
+  TRAIL_LOG(Info) << "adopted TKG from store: " << graph_.num_nodes()
+                  << " nodes, " << graph_.num_edges() << " edges, "
+                  << num_events_ << " events, " << num_apts << " APTs";
+  return Status::Ok();
+}
+
 Result<NodeId> TkgBuilder::IngestReportJson(const std::string& json) {
   auto report = osint::PulseReport::FromJsonString(json);
   if (!report.ok()) return report.status();

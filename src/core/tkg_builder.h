@@ -69,6 +69,15 @@ class TkgBuilder {
   const graph::PropertyGraph& graph() const { return graph_; }
   graph::PropertyGraph& mutable_graph() { return graph_; }
 
+  /// Replaces this (empty) builder's graph with one materialized from the
+  /// segment store, rebuilding the derived ingest state the store does not
+  /// carry verbatim: the APT id map, the analyzed-IOC set (every persisted
+  /// IP/domain/URL node was analyzed when it was first ingested), and the
+  /// event counter. After adoption, AppendReports continues exactly as if
+  /// this builder had ingested the persisted reports itself.
+  Status AdoptGraph(graph::PropertyGraph graph,
+                    std::vector<std::string> apt_names, size_t num_events);
+
   /// APT-name <-> label mapping discovered from report tags, in first-seen
   /// order. Unknown adversary tags get fresh ids.
   int AptIdFor(const std::string& name);

@@ -5,6 +5,8 @@
 #include <map>
 
 #include "gnn/label_propagation.h"
+#include "graph/store/store_reader.h"
+#include "graph/store/store_writer.h"
 #include "ml/calibration.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -92,13 +94,66 @@ Result<TkgAppendDelta> Trail::AppendReports(
       }
     }
   }
+  if (!store_path_.empty()) {
+    // Persist the same delta to the attached store. A failure here means
+    // the file is now behind the in-memory TKG; detach it so a later append
+    // cannot stack a mis-anchored commit on top (see store_path() docs).
+    auto written = graph::store::StoreWriter::AppendDelta(
+        builder_.graph(), builder_.apt_names(), builder_.num_events(),
+        delta->first_new_node, delta->first_new_edge, store_path_);
+    if (written.ok()) {
+      TRAIL_METRIC_INC("core.store_delta_appends");
+    } else {
+      TRAIL_LOG(Warning) << "detaching store " << store_path_
+                         << ": delta append failed: "
+                         << written.status().message();
+      TRAIL_METRIC_INC("core.store_delta_append_failures");
+      store_path_.clear();
+    }
+  }
   return delta;
+}
+
+Status Trail::SaveStore(const std::string& path) {
+  TRAIL_TRACE_SPAN("core.save_store");
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  auto stats = graph::store::StoreWriter::Write(
+      builder_.graph(), builder_.apt_names(), builder_.num_events(), path);
+  if (!stats.ok()) return stats.status();
+  store_path_ = path;
+  TRAIL_LOG(Info) << "saved TKG store " << path << ": " << stats->num_nodes
+                  << " nodes, " << stats->num_edges << " edges, "
+                  << stats->file_bytes << " bytes";
+  TRAIL_METRIC_INC("core.store_saves");
+  return Status::Ok();
+}
+
+Status Trail::OpenStore(const std::string& path) {
+  TRAIL_TRACE_SPAN("core.open_store");
+  if (builder_.graph().num_nodes() != 0 || builder_.num_events() != 0) {
+    return Status::FailedPrecondition(
+        "OpenStore needs an empty Trail (cold start)");
+  }
+  auto store = graph::store::GraphStore::Open(path);
+  if (!store.ok()) return store.status();
+  graph::PropertyGraph g;
+  std::vector<std::string> apts;
+  uint64_t num_events = 0;
+  TRAIL_RETURN_NOT_OK(store.value()->Materialize(&g, &apts, &num_events));
+  TRAIL_RETURN_NOT_OK(builder_.AdoptGraph(std::move(g), std::move(apts),
+                                          static_cast<size_t>(num_events)));
+  store_path_ = path;
+  InvalidateCaches();
+  TRAIL_METRIC_INC("core.store_opens");
+  return Status::Ok();
 }
 
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x54434B31;  // "TCK1"
-constexpr uint32_t kCheckpointVersion = 1;
+// v2 adds the TKGS store reference after the version word; v1 blobs (no
+// store field) still load.
+constexpr uint32_t kCheckpointVersion = 2;
 
 }  // namespace
 
@@ -117,6 +172,8 @@ Status Trail::SaveCheckpoint(const std::string& path) const {
   BinaryWriter w(f.get());
   w.U32(kCheckpointMagic);
   w.U32(kCheckpointVersion);
+  w.U32(store_path_.empty() ? 0 : 1);
+  w.Str(store_path_);
   const std::vector<std::string>& apts = builder_.apt_names();
   w.U32(static_cast<uint32_t>(apts.size()));
   for (const std::string& name : apts) w.Str(name);
@@ -135,8 +192,19 @@ Status Trail::LoadCheckpoint(const std::string& path) {
   if (r.U32() != kCheckpointMagic) {
     return Status::ParseError("bad magic in " + path);
   }
-  if (r.U32() != kCheckpointVersion) {
+  const uint32_t version = r.U32();
+  if (version < 1 || version > kCheckpointVersion) {
     return Status::ParseError("unsupported checkpoint version in " + path);
+  }
+  if (version >= 2) {
+    const bool has_store = r.U32() != 0;
+    std::string store_ref = r.Str();
+    if (!r.ok()) return Status::ParseError("truncated checkpoint in " + path);
+    // A cold start (empty TKG) pulls the graph from the referenced store
+    // before restoring models; a warm instance keeps the graph it has.
+    if (has_store && builder_.graph().num_nodes() == 0) {
+      TRAIL_RETURN_NOT_OK(OpenStore(store_ref));
+    }
   }
   const uint32_t num_apts = r.U32();
   if (!r.ok() || num_apts > BinaryReader::kMaxLen) {

@@ -128,6 +128,26 @@ class Trail {
   /// refitting encoders and retraining from scratch.
   Status SaveCheckpoint(const std::string& path) const;
 
+  // --- Segment store (persistent TKG; see docs/STORE.md) -------------------
+
+  /// Writes the current TKG (graph, APT roster, event count) to `path` as a
+  /// TKGS segment store and attaches it: subsequent AppendReports calls
+  /// append a delta commit to the same file, and SaveCheckpoint records the
+  /// store reference so a cold start can restore the graph without
+  /// reparsing reports.
+  Status SaveStore(const std::string& path);
+
+  /// Opens a store file, materializes its graph into this (empty) Trail,
+  /// and attaches the store for delta appends. FailedPrecondition when this
+  /// instance has already ingested anything.
+  Status OpenStore(const std::string& path);
+
+  /// The attached store file; empty when none. A store detaches itself when
+  /// a delta append fails to reach disk (the in-memory TKG is then ahead of
+  /// the file, and silently appending later deltas would corrupt history) —
+  /// callers that need durability re-attach with SaveStore.
+  const std::string& store_path() const { return store_path_; }
+
   /// Restores models written by SaveCheckpoint. The checkpoint's APT label
   /// space must exactly match this instance's TKG (same names, same order);
   /// a corrupt, truncated, or mismatched blob fails cleanly and leaves the
@@ -334,6 +354,11 @@ class Trail {
   std::atomic<uint64_t> generation_{0};
 
   mutable std::unique_ptr<graph::CsrGraph> csr_cache_;
+
+  /// Attached TKGS store file (empty = none). Mutated only by the write
+  /// side (SaveStore/OpenStore/AppendReports), which requires external
+  /// write exclusion anyway.
+  std::string store_path_;
 
   /// Epoch plane. Publishers (PublishEpoch, *AndPublish, SaveCheckpoint's
   /// roster read) serialize on publish_mu_; readers only ever touch epoch_.

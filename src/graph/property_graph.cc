@@ -24,12 +24,97 @@ uint64_t PropertyGraph::EdgeKey(NodeId src, NodeId dst, EdgeType /*type*/) {
   return (static_cast<uint64_t>(lo) << 32) | static_cast<uint64_t>(hi);
 }
 
+PropertyGraph::PropertyGraph(const PropertyGraph& other) { *this = other; }
+
+PropertyGraph& PropertyGraph::operator=(const PropertyGraph& other) {
+  if (this == &other) return *this;
+  // Hold both index mutexes so a concurrent lazy rebuild on `other` (a const
+  // reader is allowed to trigger one) cannot be observed half-built.
+  std::scoped_lock lock(index_mu_, other.index_mu_);
+  intern_ = other.intern_;
+  types_ = other.types_;
+  values_ = other.values_;
+  labels_ = other.labels_;
+  first_order_ = other.first_order_;
+  report_counts_ = other.report_counts_;
+  timestamps_ = other.timestamps_;
+  features_ = other.features_;
+  adjacency_ = other.adjacency_;
+  edges_ = other.edges_;
+  for (int t = 0; t < kNumEdgeTypes; ++t) edge_set_[t] = other.edge_set_[t];
+  intern_built_.store(other.intern_built_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  edge_index_built_.store(
+      other.edge_index_built_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+PropertyGraph::PropertyGraph(PropertyGraph&& other) noexcept {
+  *this = std::move(other);
+}
+
+PropertyGraph& PropertyGraph::operator=(PropertyGraph&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(index_mu_, other.index_mu_);
+  intern_ = std::move(other.intern_);
+  types_ = std::move(other.types_);
+  values_ = std::move(other.values_);
+  labels_ = std::move(other.labels_);
+  first_order_ = std::move(other.first_order_);
+  report_counts_ = std::move(other.report_counts_);
+  timestamps_ = std::move(other.timestamps_);
+  features_ = std::move(other.features_);
+  adjacency_ = std::move(other.adjacency_);
+  edges_ = std::move(other.edges_);
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    edge_set_[t] = std::move(other.edge_set_[t]);
+  }
+  intern_built_.store(other.intern_built_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  edge_index_built_.store(
+      other.edge_index_built_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+void PropertyGraph::EnsureInternIndex() const {
+  if (intern_built_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (intern_built_.load(std::memory_order_relaxed)) return;
+  intern_.clear();
+  intern_.reserve(types_.size());
+  for (size_t id = 0; id < types_.size(); ++id) {
+    // First key wins on a (corrupt) duplicate; CheckConsistency reports it
+    // as "interning not bijective" via the size mismatch below.
+    intern_.emplace(MakeKey(types_[id], values_[id]),
+                    static_cast<NodeId>(id));
+  }
+  intern_built_.store(true, std::memory_order_release);
+}
+
+void PropertyGraph::EnsureEdgeIndex() const {
+  if (edge_index_built_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (edge_index_built_.load(std::memory_order_relaxed)) return;
+  size_t counts[kNumEdgeTypes] = {};
+  for (const Edge& e : edges_) counts[static_cast<int>(e.type)]++;
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    edge_set_[t].clear();
+    edge_set_[t].reserve(counts[t]);
+  }
+  for (const Edge& e : edges_) {
+    edge_set_[static_cast<int>(e.type)].insert(EdgeKey(e.src, e.dst, e.type));
+  }
+  edge_index_built_.store(true, std::memory_order_release);
+}
+
 NodeId PropertyGraph::AddNode(NodeType type, std::string_view value) {
+  EnsureInternIndex();
   std::string key = MakeKey(type, value);
-  auto it = intern_.find(key);
-  if (it != intern_.end()) return it->second;
   NodeId id = static_cast<NodeId>(types_.size());
-  intern_.emplace(std::move(key), id);
+  auto [it, inserted] = intern_.try_emplace(std::move(key), id);
+  if (!inserted) return it->second;
   types_.push_back(type);
   values_.emplace_back(value);
   labels_.push_back(kNoLabel);
@@ -42,12 +127,86 @@ NodeId PropertyGraph::AddNode(NodeType type, std::string_view value) {
 }
 
 NodeId PropertyGraph::FindNode(NodeType type, std::string_view value) const {
+  EnsureInternIndex();
   auto it = intern_.find(MakeKey(type, value));
   if (it == intern_.end()) return kInvalidNode;
   return it->second;
 }
 
+NodeId PropertyGraph::AppendNodeRow(NodeType type, std::string_view value) {
+  intern_built_.store(false, std::memory_order_relaxed);
+  NodeId id = static_cast<NodeId>(types_.size());
+  types_.push_back(type);
+  values_.emplace_back(value);
+  labels_.push_back(kNoLabel);
+  first_order_.push_back(0);
+  report_counts_.push_back(0);
+  timestamps_.push_back(0.0);
+  features_.emplace_back();
+  adjacency_.emplace_back();
+  return id;
+}
+
+Status PropertyGraph::AppendEdgeBatch(const std::vector<Edge>& batch) {
+  if (!edges_.empty()) {
+    return Status::FailedPrecondition(
+        "AppendEdgeBatch requires an edge-free graph");
+  }
+  const size_t n = types_.size();
+  std::vector<uint32_t> degree(n, 0);
+  std::vector<uint64_t> keys[kNumEdgeTypes];
+  for (const Edge& e : batch) {
+    if (e.src >= n || e.dst >= n) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (e.src == e.dst) return Status::InvalidArgument("self loop in batch");
+    int t = static_cast<int>(e.type);
+    if (t < 0 || t >= kNumEdgeTypes) {
+      return Status::InvalidArgument("edge type out of range");
+    }
+    degree[e.src]++;
+    degree[e.dst]++;
+    keys[t].push_back(EdgeKey(e.src, e.dst, e.type));
+  }
+  // Duplicate detection by sort instead of hash insert: same coverage as
+  // AddEdge's dedup sets (orientation-normalized key, per type) at a
+  // fraction of the load-path cost.
+  for (auto& k : keys) {
+    std::sort(k.begin(), k.end());
+    if (std::adjacent_find(k.begin(), k.end()) != k.end()) {
+      return Status::InvalidArgument("duplicate edge in batch");
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (degree[i] != 0) adjacency_[i].reserve(degree[i]);
+  }
+  edges_.reserve(batch.size());
+  for (const Edge& e : batch) {
+    edges_.push_back(e);
+    adjacency_[e.src].push_back(Neighbor{e.dst, e.type, /*is_outgoing=*/true});
+    adjacency_[e.dst].push_back(Neighbor{e.src, e.type, /*is_outgoing=*/false});
+  }
+  for (auto& s : edge_set_) s.clear();
+  edge_index_built_.store(false, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void PropertyGraph::Reserve(size_t nodes, size_t edges) {
+  // intern_ is deliberately not reserved: the bulk-load path never fills it
+  // (EnsureInternIndex reserves when it actually builds the index).
+  types_.reserve(nodes);
+  values_.reserve(nodes);
+  labels_.reserve(nodes);
+  first_order_.reserve(nodes);
+  report_counts_.reserve(nodes);
+  timestamps_.reserve(nodes);
+  features_.reserve(nodes);
+  adjacency_.reserve(nodes);
+  edges_.reserve(edges);
+}
+
 bool PropertyGraph::AddEdge(NodeId src, NodeId dst, EdgeType type) {
+  EnsureEdgeIndex();
   TRAIL_CHECK(src < types_.size() && dst < types_.size())
       << "edge endpoint out of range";
   if (src == dst) return false;
@@ -60,6 +219,7 @@ bool PropertyGraph::AddEdge(NodeId src, NodeId dst, EdgeType type) {
 }
 
 bool PropertyGraph::HasEdge(NodeId src, NodeId dst, EdgeType type) const {
+  EnsureEdgeIndex();
   if (src >= types_.size() || dst >= types_.size()) return false;
   return edge_set_[static_cast<int>(type)].count(EdgeKey(src, dst, type)) > 0;
 }
@@ -87,8 +247,26 @@ size_t PropertyGraph::DegreeToType(NodeId id, NodeType type) const {
 }
 
 Status PropertyGraph::CheckConsistency() const {
+  // Force both lazy indexes so a bulk load is fully cross-checked: duplicate
+  // node keys collapse into one intern entry (size mismatch below), and
+  // duplicate edges collapse in the dedup sets (set_total mismatch below).
+  EnsureInternIndex();
+  EnsureEdgeIndex();
   if (intern_.size() != types_.size()) {
     return Status::Internal("intern table size mismatch");
+  }
+  // Interning must be bijective: every node's key resolves back to its own
+  // id (equal sizes alone would not catch two keys mapping to one id).
+  for (NodeId id = 0; id < types_.size(); ++id) {
+    if (FindNode(types_[id], values_[id]) != id) {
+      return Status::Internal("interning not bijective at node " +
+                              std::to_string(id));
+    }
+  }
+  for (const auto& [key, id] : intern_) {
+    if (id >= types_.size()) {
+      return Status::Internal("interned id out of range");
+    }
   }
   size_t adjacency_total = 0;
   for (NodeId id = 0; id < types_.size(); ++id) {

@@ -1,7 +1,9 @@
 #ifndef TRAIL_GRAPH_PROPERTY_GRAPH_H_
 #define TRAIL_GRAPH_PROPERTY_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -29,12 +31,42 @@ namespace trail::graph {
 class PropertyGraph {
  public:
   PropertyGraph() = default;
+  // The interning and edge-dedup indexes are rebuilt lazily after a bulk
+  // load, so copies and moves manage that state explicitly (the mutex and
+  // atomics are not copyable). Copying is safe while other threads read the
+  // source graph; it is not safe concurrently with writes (same contract as
+  // every other method).
+  PropertyGraph(const PropertyGraph& other);
+  PropertyGraph& operator=(const PropertyGraph& other);
+  PropertyGraph(PropertyGraph&& other) noexcept;
+  PropertyGraph& operator=(PropertyGraph&& other) noexcept;
 
   /// Adds (or finds) the node keyed by (type, value). Returns its id.
   NodeId AddNode(NodeType type, std::string_view value);
 
   /// Looks up a node by key; returns kInvalidNode when absent.
   NodeId FindNode(NodeType type, std::string_view value) const;
+
+  /// Bulk-load fast path (segment-store materialization): appends a node row
+  /// WITHOUT touching the intern table and marks the interning index stale.
+  /// The index is rebuilt — one hash insert per node — on the first
+  /// AddNode / FindNode / CheckConsistency afterwards. The caller must
+  /// guarantee the (type, value) keys are unique; a duplicate slipped in here
+  /// surfaces as an "interning not bijective" CheckConsistency failure, not
+  /// as an error from this call.
+  NodeId AppendNodeRow(NodeType type, std::string_view value);
+
+  /// Bulk-load fast path for edges: requires an edge-free graph, verifies the
+  /// whole batch (endpoint range, self loops, duplicates in either direction
+  /// via a per-type sort), reserves every adjacency list to its exact final
+  /// degree, then appends in batch order. The edge-dedup hash sets are left
+  /// stale and rebuilt on the first AddEdge / HasEdge / CheckConsistency.
+  Status AppendEdgeBatch(const std::vector<Edge>& batch);
+
+  /// Pre-sizes the node/edge row arrays (not the lazy indexes — those
+  /// reserve themselves when built). Store materialization knows the final
+  /// counts up front; reserving once avoids ~20 doublings at paper scale.
+  void Reserve(size_t nodes, size_t edges);
 
   /// Adds a typed edge if it does not already exist (in either direction for
   /// the same type). Returns true when a new edge was inserted. Self loops
@@ -57,6 +89,8 @@ class PropertyGraph {
 
   int report_count(NodeId id) const { return report_counts_[id]; }
   void IncrementReportCount(NodeId id) { report_counts_[id]++; }
+  /// Restores a persisted count directly (store/snapshot load paths).
+  void SetReportCount(NodeId id, int count) { report_counts_[id] = count; }
 
   double timestamp(NodeId id) const { return timestamps_[id]; }
   void SetTimestamp(NodeId id, double ts) { timestamps_[id] = ts; }
@@ -65,6 +99,10 @@ class PropertyGraph {
   void SetFeatures(NodeId id, std::vector<float> f) {
     features_[id] = std::move(f);
   }
+  /// Mutable feature slot so the store load path can decode straight into
+  /// place instead of staging through a scratch vector (the dense feature
+  /// plane is by far the largest payload — ~3 GiB at paper scale).
+  std::vector<float>* MutableFeatures(NodeId id) { return &features_[id]; }
   bool has_features(NodeId id) const { return !features_[id].empty(); }
 
   /// Undirected neighbor view (both edge directions).
@@ -94,7 +132,16 @@ class PropertyGraph {
   static std::string MakeKey(NodeType type, std::string_view value);
   static uint64_t EdgeKey(NodeId src, NodeId dst, EdgeType type);
 
-  std::unordered_map<std::string, NodeId> intern_;
+  /// Rebuild the lazy indexes if a bulk load left them stale. Safe to call
+  /// from concurrent const readers: double-checked under index_mu_, with the
+  /// built flags providing the acquire/release edge for the fast path.
+  void EnsureInternIndex() const;
+  void EnsureEdgeIndex() const;
+
+  // The interning map and edge-dedup sets are *indexes over* the row vectors
+  // below, rebuilt on demand after AppendNodeRow / AppendEdgeBatch. mutable +
+  // the mutex lets const lookups trigger the rebuild.
+  mutable std::unordered_map<std::string, NodeId> intern_;
   std::vector<NodeType> types_;
   std::vector<std::string> values_;
   std::vector<int> labels_;
@@ -105,7 +152,10 @@ class PropertyGraph {
   std::vector<std::vector<Neighbor>> adjacency_;
   std::vector<Edge> edges_;
   // One dedup set per edge type so the (src, dst) pair key fits in 64 bits.
-  std::unordered_set<uint64_t> edge_set_[kNumEdgeTypes];
+  mutable std::unordered_set<uint64_t> edge_set_[kNumEdgeTypes];
+  mutable std::atomic<bool> intern_built_{true};
+  mutable std::atomic<bool> edge_index_built_{true};
+  mutable std::mutex index_mu_;
 };
 
 }  // namespace trail::graph

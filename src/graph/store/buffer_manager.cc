@@ -1,0 +1,147 @@
+#include "graph/store/buffer_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace trail::graph::store {
+
+Result<std::unique_ptr<BufferManager>> BufferManager::Open(
+    const std::string& path, size_t cache_pages) {
+  auto region = FileRegion::Open(path);
+  if (!region.ok()) return region.status();
+  auto manager = std::make_unique<BufferManager>();
+  manager->region_ = std::move(region).value();
+  manager->cache_pages_ = std::max<size_t>(cache_pages, 8);
+  uint64_t pages =
+      (manager->region_.size() + kPageSize - 1) / kPageSize;
+  manager->stats_.total_pages = pages;
+  manager->touched_.assign(pages, 0);
+  return manager;
+}
+
+uint64_t BufferManager::PageLength(uint64_t page_no) const {
+  uint64_t start = page_no * kPageSize;
+  return std::min<uint64_t>(kPageSize, region_.size() - start);
+}
+
+void BufferManager::TouchLocked(uint64_t page_no, bool faulted) {
+  ++stats_.pages_pinned;
+  if (faulted) ++stats_.page_faults;
+  if (touched_[page_no] == 0) {
+    touched_[page_no] = 1;
+    ++stats_.pages_touched;
+  }
+}
+
+void BufferManager::EvictLocked() {
+  while (cache_.size() > cache_pages_ && !lru_.empty()) {
+    uint64_t victim = lru_.front();
+    lru_.pop_front();
+    auto it = cache_.find(victim);
+    if (it != cache_.end() && it->second.pins == 0) cache_.erase(it);
+  }
+}
+
+Result<BufferManager::PageRef> BufferManager::Pin(uint64_t page_no) {
+  if (page_no >= stats_.total_pages) {
+    return Status::OutOfRange("page " + std::to_string(page_no) +
+                              " past end of store file");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t start = page_no * kPageSize;
+  uint64_t len = PageLength(page_no);
+  if (region_.mapped()) {
+    // The OS faults the page on first touch; our counter mirrors the first
+    // pin, which is when that touch happens on the store's access paths.
+    TouchLocked(page_no, /*faulted=*/touched_[page_no] == 0);
+    return PageRef{region_.data() + start, static_cast<uint32_t>(len),
+                   page_no};
+  }
+  auto it = cache_.find(page_no);
+  if (it != cache_.end()) {
+    CachedPage& page = it->second;
+    if (page.in_lru) {
+      lru_.erase(page.lru_pos);
+      page.in_lru = false;
+    }
+    ++page.pins;
+    TouchLocked(page_no, /*faulted=*/false);
+    return PageRef{page.bytes.data(), static_cast<uint32_t>(len), page_no};
+  }
+  std::vector<uint8_t> bytes(len);
+  Status read = region_.Read(start, len, bytes.data());
+  if (!read.ok()) return read;
+  stats_.bytes_read += len;
+  CachedPage& page = cache_[page_no];
+  page.bytes = std::move(bytes);
+  page.pins = 1;
+  TouchLocked(page_no, /*faulted=*/true);
+  EvictLocked();
+  return PageRef{page.bytes.data(), static_cast<uint32_t>(len), page_no};
+}
+
+void BufferManager::Unpin(const PageRef& ref) {
+  if (ref.data == nullptr || region_.mapped()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(ref.page);
+  if (it == cache_.end() || it->second.pins == 0) return;
+  if (--it->second.pins == 0) {
+    it->second.lru_pos = lru_.insert(lru_.end(), ref.page);
+    it->second.in_lru = true;
+    EvictLocked();
+  }
+}
+
+Status BufferManager::ReadBytes(uint64_t offset, uint64_t len, void* out) {
+  if (offset > region_.size() || len > region_.size() - offset) {
+    return Status::OutOfRange("store read past end: offset " +
+                              std::to_string(offset) + " + " +
+                              std::to_string(len));
+  }
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  uint64_t pos = offset;
+  uint64_t remaining = len;
+  while (remaining > 0) {
+    uint64_t page_no = pos / kPageSize;
+    uint64_t in_page = pos % kPageSize;
+    auto pinned = Pin(page_no);
+    if (!pinned.ok()) return pinned.status();
+    uint64_t take = std::min<uint64_t>(remaining, pinned->length - in_page);
+    std::memcpy(dst, pinned->data + in_page, take);
+    Unpin(pinned.value());
+    dst += take;
+    pos += take;
+    remaining -= take;
+  }
+  return Status::Ok();
+}
+
+Result<const uint8_t*> BufferManager::View(uint64_t offset, uint64_t len,
+                                           std::vector<uint8_t>* scratch) {
+  if (offset > region_.size() || len > region_.size() - offset) {
+    return Status::OutOfRange("store view past end: offset " +
+                              std::to_string(offset) + " + " +
+                              std::to_string(len));
+  }
+  if (region_.mapped()) {
+    // Count the touches page by page without copying.
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t first = offset / kPageSize;
+    uint64_t last = len == 0 ? first : (offset + len - 1) / kPageSize;
+    for (uint64_t p = first; p <= last && p < stats_.total_pages; ++p) {
+      TouchLocked(p, /*faulted=*/touched_[p] == 0);
+    }
+    return region_.data() + offset;
+  }
+  scratch->resize(len);
+  Status st = ReadBytes(offset, len, scratch->data());
+  if (!st.ok()) return st;
+  return static_cast<const uint8_t*>(scratch->data());
+}
+
+BufferStats BufferManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace trail::graph::store

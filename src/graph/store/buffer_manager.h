@@ -1,0 +1,103 @@
+#ifndef TRAIL_GRAPH_STORE_BUFFER_MANAGER_H_
+#define TRAIL_GRAPH_STORE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/store/format.h"
+#include "util/file_region.h"
+#include "util/status.h"
+
+namespace trail::graph::store {
+
+/// Counters the bench and the cli surface: how much of the file a workload
+/// actually touched. `page_faults` counts first-time page loads (the cold
+/// cost), `pages_pinned` every pin (the touch rate); both are monotonic.
+struct BufferStats {
+  uint64_t total_pages = 0;
+  uint64_t pages_touched = 0;  // distinct pages pinned at least once
+  uint64_t page_faults = 0;    // pins that had to load the page
+  uint64_t pages_pinned = 0;   // every pin, warm or cold
+  uint64_t bytes_read = 0;     // pread mode only: bytes actually read
+};
+
+/// Pages a store file on demand. In mmap mode (the default) the file is
+/// mapped once and a pin hands out a pointer into the mapping — the OS
+/// faults the page in on first touch, and the manager's fault counter
+/// mirrors that first touch. With TRAIL_NO_MMAP=1 (or when mmap fails) a
+/// bounded page cache served by pread stands in: pins load pages into the
+/// cache and an LRU sweep evicts unpinned pages past `cache_pages`.
+///
+/// Both modes return pointers that stay valid for the lifetime of the
+/// PageRef (mmap: lifetime of the manager). All methods are internally
+/// locked; the store reader calls them from whatever thread holds it.
+class BufferManager {
+ public:
+  /// Default pread-mode cache capacity: 1024 pages = 16 MiB.
+  static constexpr size_t kDefaultCachePages = 1024;
+
+  static Result<std::unique_ptr<BufferManager>> Open(
+      const std::string& path, size_t cache_pages = kDefaultCachePages);
+
+  BufferManager() = default;
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// A pinned page: `data` spans the page (the final page may be short).
+  /// Valid until the owning BufferManager unpins past it (pread mode
+  /// eviction never touches pages pinned by a live PageRef).
+  struct PageRef {
+    const uint8_t* data = nullptr;
+    uint32_t length = 0;
+    uint64_t page = 0;
+  };
+
+  /// Pins page `page_no`. Fails OutOfRange past EOF, IoError on read
+  /// failure. Callers pair every Pin with Unpin (ReadBytes does this
+  /// internally; the reader's decode helpers use ReadBytes).
+  Result<PageRef> Pin(uint64_t page_no);
+  void Unpin(const PageRef& ref);
+
+  /// Copies [offset, offset + len) into `out`, pinning every page the range
+  /// overlaps (so the stats see exactly which pages a decode touched).
+  Status ReadBytes(uint64_t offset, uint64_t len, void* out);
+
+  /// Like ReadBytes into a caller scratch buffer, but returns a zero-copy
+  /// pointer when the range is contiguous in memory (always, in mmap mode).
+  Result<const uint8_t*> View(uint64_t offset, uint64_t len,
+                              std::vector<uint8_t>* scratch);
+
+  uint64_t file_bytes() const { return region_.size(); }
+  bool mmapped() const { return region_.mapped(); }
+  BufferStats stats() const;
+
+ private:
+  struct CachedPage {
+    std::vector<uint8_t> bytes;
+    uint32_t pins = 0;
+    std::list<uint64_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  uint64_t PageLength(uint64_t page_no) const;
+  void TouchLocked(uint64_t page_no, bool faulted);
+  void EvictLocked();
+
+  FileRegion region_;
+  size_t cache_pages_ = kDefaultCachePages;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, CachedPage> cache_;  // pread mode only
+  std::list<uint64_t> lru_;  // unpinned cached pages, oldest first
+  std::vector<uint8_t> touched_;  // one flag per page
+  BufferStats stats_;
+};
+
+}  // namespace trail::graph::store
+
+#endif  // TRAIL_GRAPH_STORE_BUFFER_MANAGER_H_

@@ -1,0 +1,204 @@
+#ifndef TRAIL_GRAPH_STORE_FORMAT_H_
+#define TRAIL_GRAPH_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.h"
+
+// On-disk format of the TKGS segmented graph store (docs/STORE.md has the
+// full diagram). One file holds one TKG as a sequence of page-aligned
+// segments plus a directory; appends add new segments and rewrite only the
+// directory and header, never the existing data pages.
+//
+//   [header page][commit-0 segments...][page-checksums][directory]
+//   after AppendDelta:
+//   [header'][commit-0 segments...][page-checksums][commit-1 segments...]
+//            [page-checksums'][directory']
+//
+// Everything is little-endian-native, like the TKG1/TCK1 formats (single
+// architecture per deployment).
+
+namespace trail::graph::store {
+
+/// Fixed page size. Segments start on page boundaries; the buffer manager
+/// pins whole pages, and per-page checksums cover exactly one page each.
+inline constexpr uint32_t kPageSize = 16384;
+
+inline constexpr uint32_t kStoreMagic = 0x53474B54;      // "TKGS"
+inline constexpr uint32_t kDirectoryMagic = 0x52494454;  // "TDIR"
+inline constexpr uint32_t kStoreVersion = 1;
+
+/// Segment kinds. Every commit (the base build is commit 0; each
+/// AppendDelta adds one) contributes its own instances covering the node
+/// range [node_lo, node_hi) and edge range [edge_lo, edge_hi) recorded in
+/// its kMeta segment.
+enum class SegmentKind : uint32_t {
+  /// Commit watermarks, APT roster, event count.
+  kMeta = 1,
+  /// String dictionary: per-node value bytes + type, offset-indexed by id.
+  kDict = 2,
+  /// Hash-bucketed (hash, id) lookup region over this commit's dictionary.
+  kDictHash = 3,
+  /// Fixed-size typed node records (label, counters, feature reference).
+  kNodes = 4,
+  /// Sparse feature payloads referenced by kNodes records.
+  kFeatures = 5,
+  /// Directed schema edges of this commit, varint delta-encoded.
+  kEdges = 6,
+  /// Per-node entry/byte offsets into kCsrRuns (base commit only).
+  kCsrOffsets = 7,
+  /// Varint delta-compressed undirected neighbor runs (base commit only).
+  kCsrRuns = 8,
+  /// FNV-1a checksum of every data page this commit wrote.
+  kPageChecksums = 9,
+  /// Mutable-field patches for nodes of EARLIER commits (delta commits
+  /// only): re-referencing an old IOC flips first_order / bumps
+  /// report_count without creating a node, so the delta records the new
+  /// field values instead of rewriting the old kNodes page.
+  kNodePatches = 10,
+};
+
+/// File header, stored at offset 0 (rest of page 0 is zero). Rewritten at
+/// every commit to point at the new directory.
+struct StoreHeader {
+  uint32_t magic = kStoreMagic;
+  uint32_t version = kStoreVersion;
+  uint32_t page_size = kPageSize;
+  uint32_t reserved = 0;
+  uint64_t file_bytes = 0;   // committed file size
+  uint64_t dir_offset = 0;   // byte offset of the directory
+  uint64_t dir_bytes = 0;    // directory length in bytes
+  uint64_t num_commits = 0;  // base build counts as commit 0
+  uint64_t checksum = 0;     // FNV-1a over the fields above
+};
+
+/// One directory entry. The directory is the only part of the file that is
+/// rewritten on append; it lists every segment of every commit.
+struct SegmentEntry {
+  uint32_t kind = 0;    // SegmentKind
+  uint32_t commit = 0;  // which commit wrote it
+  uint64_t offset = 0;  // byte offset, page-aligned
+  uint64_t bytes = 0;   // payload length (not padded)
+  uint64_t checksum = 0;  // FNV-1a over the payload bytes
+};
+
+/// 32-byte fixed node record in kNodes (see docs/STORE.md).
+struct NodeRecord {
+  int32_t label = kNoLabel;
+  uint32_t report_count = 0;
+  double timestamp = 0.0;
+  uint64_t feature_offset = 0;  // into this commit's kFeatures payload
+  uint32_t feature_nonzeros = 0;
+  uint16_t feature_dim = 0;
+  uint8_t type = 0;
+  uint8_t first_order = 0;
+};
+static_assert(sizeof(NodeRecord) == 32, "node records must stay 32 bytes");
+
+/// One kNodePatches record: the full set of post-creation-mutable node
+/// fields (features, type, and value are immutable once analyzed, so they
+/// stay with the owning commit's record). Sorted strictly by id; ids are
+/// always below the patching commit's node_lo.
+struct NodePatch {
+  uint32_t id = 0;
+  int32_t label = kNoLabel;
+  uint32_t report_count = 0;
+  uint8_t first_order = 0;
+  uint8_t pad[3] = {0, 0, 0};
+  double timestamp = 0.0;
+};
+static_assert(sizeof(NodePatch) == 24, "node patches must stay 24 bytes");
+
+/// Hash-bucket entry in kDictHash: open bucket lists sorted by bucket,
+/// prefixed by a bucket start-index array (bucket_count + 1 entries).
+struct DictHashEntry {
+  uint64_t hash = 0;
+  uint32_t id = 0;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(DictHashEntry) == 16, "dict hash entries are 16 bytes");
+
+// --- Hashing ---------------------------------------------------------------
+
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t Fnv1a(const void* data, size_t len,
+                      uint64_t seed = kFnvOffset) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Dictionary hash of a node key: the type byte followed by the value bytes.
+inline uint64_t DictKeyHash(NodeType type, std::string_view value) {
+  uint8_t t = static_cast<uint8_t>(type);
+  uint64_t h = Fnv1a(&t, 1);
+  return Fnv1a(value.data(), value.size(), h);
+}
+
+// --- Varints ---------------------------------------------------------------
+
+inline void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Decodes one varint from [*p, end). Returns false (without advancing) on
+/// truncation or a varint wider than 64 bits — corrupt bytes fail clean.
+inline bool GetVarint(const uint8_t** p, const uint8_t* end, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  const uint8_t* q = *p;
+  while (q < end && shift < 64) {
+    uint8_t byte = *q++;
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = q;
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// --- Layout helpers --------------------------------------------------------
+
+inline uint64_t PageAlign(uint64_t offset) {
+  return (offset + kPageSize - 1) / kPageSize * kPageSize;
+}
+
+inline void AppendRaw(std::vector<uint8_t>* out, const void* data,
+                      size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + len);
+}
+
+template <typename T>
+inline void AppendPod(std::vector<uint8_t>* out, const T& v) {
+  AppendRaw(out, &v, sizeof(T));
+}
+
+}  // namespace trail::graph::store
+
+#endif  // TRAIL_GRAPH_STORE_FORMAT_H_

@@ -1,0 +1,913 @@
+#include "graph/store/store_reader.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace trail::graph::store {
+
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status::ParseError("store corrupt: " + what);
+}
+
+/// Reads a little-endian u64 at `p` (alignment-safe).
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<GraphStore>> GraphStore::Open(const std::string& path,
+                                                     size_t cache_pages) {
+  TRAIL_TRACE_SPAN("store.open");
+  auto buffers = BufferManager::Open(path, cache_pages);
+  if (!buffers.ok()) return buffers.status();
+  auto s = std::make_unique<GraphStore>();
+  s->buffers_ = std::move(buffers).value();
+  s->path_ = path;
+
+  StoreHeader header;
+  TRAIL_RETURN_NOT_OK(s->buffers_->ReadBytes(0, sizeof(header), &header));
+  if (header.magic != kStoreMagic) return Corrupt("bad magic in " + path);
+  if (header.version != kStoreVersion) {
+    return Corrupt("unsupported version in " + path);
+  }
+  if (header.page_size != kPageSize) {
+    return Corrupt("unsupported page size in " + path);
+  }
+  if (header.checksum != Fnv1a(&header, sizeof(header) - sizeof(uint64_t))) {
+    return Corrupt("header checksum mismatch in " + path);
+  }
+  uint64_t file_bytes = s->buffers_->file_bytes();
+  if (header.file_bytes > file_bytes) {
+    return Corrupt("file truncated: header claims " +
+                   std::to_string(header.file_bytes) + " bytes, file has " +
+                   std::to_string(file_bytes));
+  }
+  if (header.dir_bytes < 16 || header.dir_bytes > (1ull << 24) ||
+      header.dir_offset > header.file_bytes ||
+      header.dir_offset + header.dir_bytes != header.file_bytes) {
+    return Corrupt("directory bounds in " + path);
+  }
+
+  std::vector<uint8_t> dir(header.dir_bytes);
+  TRAIL_RETURN_NOT_OK(
+      s->buffers_->ReadBytes(header.dir_offset, dir.size(), dir.data()));
+  uint32_t dir_magic, count;
+  std::memcpy(&dir_magic, dir.data(), 4);
+  std::memcpy(&count, dir.data() + 4, 4);
+  if (dir_magic != kDirectoryMagic ||
+      8 + static_cast<uint64_t>(count) * sizeof(SegmentEntry) + 8 !=
+          dir.size()) {
+    return Corrupt("directory header in " + path);
+  }
+  if (LoadU64(dir.data() + dir.size() - 8) !=
+      Fnv1a(dir.data(), dir.size() - 8)) {
+    return Corrupt("directory checksum in " + path);
+  }
+  s->entries_.resize(count);
+  std::memcpy(s->entries_.data(), dir.data() + 8,
+              count * sizeof(SegmentEntry));
+
+  if (header.num_commits == 0 || header.num_commits > (1u << 20)) {
+    return Corrupt("commit count in " + path);
+  }
+  s->commits_.resize(header.num_commits);
+  for (size_t i = 0; i < s->entries_.size(); ++i) {
+    const SegmentEntry& entry = s->entries_[i];
+    if (entry.kind < 1 ||
+        entry.kind > static_cast<uint32_t>(SegmentKind::kNodePatches)) {
+      return Corrupt("segment kind " + std::to_string(entry.kind));
+    }
+    if (entry.commit >= header.num_commits) {
+      return Corrupt("segment commit out of range");
+    }
+    if (entry.offset % kPageSize != 0 || entry.offset < kPageSize ||
+        entry.offset > header.file_bytes ||
+        entry.bytes > header.file_bytes - entry.offset) {
+      return Corrupt("segment bounds (kind " + std::to_string(entry.kind) +
+                     ")");
+    }
+    CommitInfo& commit = s->commits_[entry.commit];
+    if (commit.seg[entry.kind] != -1) {
+      return Corrupt("duplicate segment kind " + std::to_string(entry.kind) +
+                     " in commit " + std::to_string(entry.commit));
+    }
+    commit.seg[entry.kind] = static_cast<int>(i);
+  }
+
+  // Decode every commit's meta: watermarks must chain, the roster and event
+  // count come from the newest commit.
+  for (size_t c = 0; c < s->commits_.size(); ++c) {
+    CommitInfo& commit = s->commits_[c];
+    const SegmentEntry* meta = s->Segment(commit, SegmentKind::kMeta);
+    if (meta == nullptr) {
+      return Corrupt("commit " + std::to_string(c) + " has no meta segment");
+    }
+    if (meta->bytes < 44) return Corrupt("meta segment too short");
+    std::vector<uint8_t> bytes(meta->bytes);
+    TRAIL_RETURN_NOT_OK(
+        s->buffers_->ReadBytes(meta->offset, meta->bytes, bytes.data()));
+    commit.node_lo = LoadU64(bytes.data());
+    commit.node_hi = LoadU64(bytes.data() + 8);
+    commit.edge_lo = LoadU64(bytes.data() + 16);
+    commit.edge_hi = LoadU64(bytes.data() + 24);
+    commit.num_events = LoadU64(bytes.data() + 32);
+    if (commit.node_lo > commit.node_hi || commit.edge_lo > commit.edge_hi ||
+        commit.node_hi >= kInvalidNode) {
+      return Corrupt("meta watermarks in commit " + std::to_string(c));
+    }
+    uint64_t expected_node_lo = c == 0 ? 0 : s->commits_[c - 1].node_hi;
+    uint64_t expected_edge_lo = c == 0 ? 0 : s->commits_[c - 1].edge_hi;
+    if (commit.node_lo != expected_node_lo ||
+        commit.edge_lo != expected_edge_lo) {
+      return Corrupt("commit " + std::to_string(c) +
+                     " does not continue the previous watermarks");
+    }
+    uint32_t apt_count;
+    std::memcpy(&apt_count, bytes.data() + 40, 4);
+    if (apt_count > 4096) return Corrupt("apt roster count");
+    std::vector<std::string> roster;
+    roster.reserve(apt_count);
+    uint64_t pos = 44;
+    for (uint32_t a = 0; a < apt_count; ++a) {
+      if (pos + 4 > bytes.size()) return Corrupt("apt roster truncated");
+      uint32_t len;
+      std::memcpy(&len, bytes.data() + pos, 4);
+      pos += 4;
+      if (len > 4096 || pos + len > bytes.size()) {
+        return Corrupt("apt roster entry length");
+      }
+      roster.emplace_back(reinterpret_cast<const char*>(bytes.data() + pos),
+                          len);
+      pos += len;
+    }
+    s->apt_names_ = std::move(roster);
+    s->num_events_ = commit.num_events;
+
+    const bool base = c == 0;
+    const SegmentKind required_base[] = {
+        SegmentKind::kDict,   SegmentKind::kDictHash,
+        SegmentKind::kNodes,  SegmentKind::kFeatures,
+        SegmentKind::kEdges,  SegmentKind::kCsrOffsets,
+        SegmentKind::kCsrRuns, SegmentKind::kPageChecksums};
+    const SegmentKind required_delta[] = {
+        SegmentKind::kDict,  SegmentKind::kDictHash, SegmentKind::kNodes,
+        SegmentKind::kFeatures, SegmentKind::kEdges,
+        SegmentKind::kNodePatches, SegmentKind::kPageChecksums};
+    if (base) {
+      for (SegmentKind kind : required_base) {
+        if (s->Segment(commit, kind) == nullptr) {
+          return Corrupt("base commit missing segment kind " +
+                         std::to_string(static_cast<uint32_t>(kind)));
+        }
+      }
+    } else {
+      for (SegmentKind kind : required_delta) {
+        if (s->Segment(commit, kind) == nullptr) {
+          return Corrupt("delta commit missing segment kind " +
+                         std::to_string(static_cast<uint32_t>(kind)));
+        }
+      }
+    }
+  }
+  s->num_nodes_ = s->commits_.back().node_hi;
+  s->num_edges_ = s->commits_.back().edge_hi;
+  return s;
+}
+
+const SegmentEntry* GraphStore::Segment(const CommitInfo& commit,
+                                        SegmentKind kind) const {
+  int index = commit.seg[static_cast<uint32_t>(kind)];
+  return index < 0 ? nullptr : &entries_[index];
+}
+
+Result<const GraphStore::CommitInfo*> GraphStore::CommitForNode(
+    NodeId id) const {
+  if (id >= num_nodes_) {
+    return Status::OutOfRange("node id " + std::to_string(id) +
+                              " past store size " +
+                              std::to_string(num_nodes_));
+  }
+  // Commits are sorted by node range; almost always 1-2 of them.
+  for (const CommitInfo& commit : commits_) {
+    if (id >= commit.node_lo && id < commit.node_hi) return &commit;
+  }
+  return Corrupt("node id " + std::to_string(id) + " in no commit range");
+}
+
+Result<std::string> GraphStore::Value(NodeId id) const {
+  TRAIL_ASSIGN_OR_RETURN(const CommitInfo* commit, CommitForNode(id));
+  const SegmentEntry* dict = Segment(*commit, SegmentKind::kDict);
+  uint64_t count = commit->node_hi - commit->node_lo;
+  uint64_t i = id - commit->node_lo;
+  uint64_t offsets_at = dict->offset + 16 + i * 8;
+  uint8_t raw[16];
+  TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(offsets_at, 16, raw));
+  uint64_t begin = LoadU64(raw);
+  uint64_t end = LoadU64(raw + 8);
+  uint64_t blob_start = 16 + (count + 1) * 8 + count;  // dict-relative
+  uint64_t blob_len = dict->bytes > blob_start ? dict->bytes - blob_start : 0;
+  if (begin > end || end > blob_len || end - begin > (1u << 20)) {
+    return Corrupt("dictionary offsets for node " + std::to_string(id));
+  }
+  std::string value(end - begin, '\0');
+  TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(dict->offset + blob_start + begin,
+                                          value.size(), value.data()));
+  return value;
+}
+
+Result<NodeType> GraphStore::Type(NodeId id) const {
+  TRAIL_ASSIGN_OR_RETURN(const CommitInfo* commit, CommitForNode(id));
+  const SegmentEntry* dict = Segment(*commit, SegmentKind::kDict);
+  uint64_t count = commit->node_hi - commit->node_lo;
+  uint64_t i = id - commit->node_lo;
+  uint8_t type;
+  TRAIL_RETURN_NOT_OK(
+      buffers_->ReadBytes(dict->offset + 16 + (count + 1) * 8 + i, 1, &type));
+  if (type >= kNumNodeTypes) {
+    return Corrupt("node type byte for node " + std::to_string(id));
+  }
+  return static_cast<NodeType>(type);
+}
+
+Result<NodeId> GraphStore::Lookup(NodeType type,
+                                  std::string_view value) const {
+  uint64_t hash = DictKeyHash(type, value);
+  // Newest commit first: an interned key exists in exactly one commit, but
+  // fresh IOCs are the common probe target on the append path.
+  for (auto it = commits_.rbegin(); it != commits_.rend(); ++it) {
+    const CommitInfo& commit = *it;
+    const SegmentEntry* index = Segment(commit, SegmentKind::kDictHash);
+    if (index == nullptr || index->bytes < 16) continue;
+    uint8_t head[16];
+    TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(index->offset, 16, head));
+    uint64_t bucket_count = LoadU64(head);
+    uint64_t entry_count = LoadU64(head + 8);
+    if (bucket_count == 0 || (bucket_count & (bucket_count - 1)) != 0 ||
+        bucket_count > (1ull << 32)) {
+      return Corrupt("dict hash bucket count");
+    }
+    uint64_t starts_at = index->offset + 16;
+    uint64_t entries_at = starts_at + (bucket_count + 1) * 8;
+    if (entries_at + entry_count * sizeof(DictHashEntry) >
+        index->offset + index->bytes) {
+      return Corrupt("dict hash segment bounds");
+    }
+    uint64_t bucket = hash & (bucket_count - 1);
+    uint8_t range[16];
+    TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(starts_at + bucket * 8, 16, range));
+    uint64_t begin = LoadU64(range);
+    uint64_t end = LoadU64(range + 8);
+    if (begin > end || end > entry_count) {
+      return Corrupt("dict hash bucket bounds");
+    }
+    for (uint64_t e = begin; e < end; ++e) {
+      DictHashEntry entry;
+      TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(
+          entries_at + e * sizeof(DictHashEntry), sizeof(entry), &entry));
+      if (entry.hash != hash) continue;
+      if (entry.id < commit.node_lo || entry.id >= commit.node_hi) {
+        return Corrupt("dict hash id out of commit range");
+      }
+      auto got_type = Type(entry.id);
+      if (!got_type.ok()) return got_type.status();
+      if (got_type.value() != type) continue;
+      auto got_value = Value(entry.id);
+      if (!got_value.ok()) return got_value.status();
+      if (got_value.value() == value) return static_cast<NodeId>(entry.id);
+    }
+  }
+  return kInvalidNode;
+}
+
+Result<NodeRecord> GraphStore::Node(NodeId id) const {
+  TRAIL_ASSIGN_OR_RETURN(const CommitInfo* commit, CommitForNode(id));
+  const SegmentEntry* nodes = Segment(*commit, SegmentKind::kNodes);
+  uint64_t i = id - commit->node_lo;
+  uint64_t at = 16 + i * sizeof(NodeRecord);
+  if (at + sizeof(NodeRecord) > nodes->bytes) {
+    return Corrupt("node record bounds for node " + std::to_string(id));
+  }
+  NodeRecord record;
+  TRAIL_RETURN_NOT_OK(
+      buffers_->ReadBytes(nodes->offset + at, sizeof(record), &record));
+  if (record.type >= kNumNodeTypes) {
+    return Corrupt("node record type for node " + std::to_string(id));
+  }
+  // Later delta commits may have patched the mutable fields (first_order /
+  // report_count flip when a new report re-references an old IOC). Newest
+  // patch wins; patches never cover ids at or above their commit's node_lo.
+  for (size_t c = commits_.size(); c-- > 0;) {
+    const CommitInfo& later = commits_[c];
+    if (later.node_lo <= id) break;
+    const SegmentEntry* patches = Segment(later, SegmentKind::kNodePatches);
+    if (patches == nullptr) continue;
+    if (patches->bytes < 8) return Corrupt("node patch segment too short");
+    uint8_t head[8];
+    TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(patches->offset, 8, head));
+    uint64_t patch_count = LoadU64(head);
+    if (8 + patch_count * sizeof(NodePatch) > patches->bytes) {
+      return Corrupt("node patch count");
+    }
+    uint64_t lo = 0, hi = patch_count;
+    while (lo < hi) {
+      uint64_t mid = (lo + hi) / 2;
+      NodePatch patch;
+      TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(
+          patches->offset + 8 + mid * sizeof(NodePatch), sizeof(patch),
+          &patch));
+      if (patch.id < id) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < patch_count) {
+      NodePatch patch;
+      TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(
+          patches->offset + 8 + lo * sizeof(NodePatch), sizeof(patch),
+          &patch));
+      if (patch.id == id) {
+        record.label = patch.label;
+        record.report_count = patch.report_count;
+        record.first_order = patch.first_order;
+        record.timestamp = patch.timestamp;
+        break;
+      }
+    }
+  }
+  return record;
+}
+
+Status GraphStore::FeaturesFromRecord(const CommitInfo& commit,
+                                      const NodeRecord& record,
+                                      std::vector<float>* out) const {
+  out->assign(record.feature_dim, 0.0f);
+  if (record.feature_nonzeros == 0) return Status::Ok();
+  const SegmentEntry* features = Segment(commit, SegmentKind::kFeatures);
+  if (record.feature_offset >= features->bytes) {
+    return Corrupt("feature offset out of segment");
+  }
+  // Each nonzero is at most a 10-byte varint plus 4 raw bits-bytes.
+  uint64_t max_len = std::min<uint64_t>(
+      features->bytes - record.feature_offset,
+      static_cast<uint64_t>(record.feature_nonzeros) * 14);
+  std::vector<uint8_t> scratch;
+  auto view = buffers_->View(features->offset + record.feature_offset,
+                             max_len, &scratch);
+  if (!view.ok()) return view.status();
+  const uint8_t* p = view.value();
+  const uint8_t* end = p + max_len;
+  uint64_t index = 0;
+  for (uint32_t k = 0; k < record.feature_nonzeros; ++k) {
+    uint64_t delta;
+    if (!GetVarint(&p, end, &delta) || p + 4 > end) {
+      return Corrupt("feature payload truncated");
+    }
+    index += delta;
+    if (index >= record.feature_dim) {
+      return Corrupt("feature index past dimension");
+    }
+    uint32_t bits;
+    std::memcpy(&bits, p, 4);
+    p += 4;
+    std::memcpy(&(*out)[index], &bits, 4);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<float>> GraphStore::Features(NodeId id) const {
+  auto commit = CommitForNode(id);
+  if (!commit.ok()) return commit.status();
+  auto record = Node(id);
+  if (!record.ok()) return record.status();
+  std::vector<float> out;
+  TRAIL_RETURN_NOT_OK(FeaturesFromRecord(*commit.value(), record.value(), &out));
+  return out;
+}
+
+Status GraphStore::DecodeBaseRun(NodeId id, std::vector<Neighbor>* out) const {
+  const CommitInfo& base = commits_.front();
+  const SegmentEntry* offsets = Segment(base, SegmentKind::kCsrOffsets);
+  const SegmentEntry* runs = Segment(base, SegmentKind::kCsrRuns);
+  uint8_t raw[16];
+  TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(
+      offsets->offset + 8 + static_cast<uint64_t>(id) * 8, 16, raw));
+  uint64_t begin = LoadU64(raw);
+  uint64_t end = LoadU64(raw + 8);
+  if (begin > end || end > runs->bytes) {
+    return Corrupt("csr run bounds for node " + std::to_string(id));
+  }
+  std::vector<uint8_t> scratch;
+  auto view = buffers_->View(runs->offset + begin, end - begin, &scratch);
+  if (!view.ok()) return view.status();
+  const uint8_t* p = view.value();
+  const uint8_t* stop = p + (end - begin);
+  int64_t prev = 0;
+  while (p < stop) {
+    uint64_t delta;
+    if (!GetVarint(&p, stop, &delta) || p >= stop) {
+      return Corrupt("csr run truncated for node " + std::to_string(id));
+    }
+    int64_t target = prev + ZigzagDecode(delta);
+    prev = target;
+    uint8_t meta = *p++;
+    uint8_t type = meta & 0x3F;
+    if (target < 0 || static_cast<uint64_t>(target) >= base.node_hi ||
+        type >= kNumEdgeTypes || (meta & 0x80) != 0) {
+      return Corrupt("csr run entry for node " + std::to_string(id));
+    }
+    out->push_back(Neighbor{static_cast<NodeId>(target),
+                            static_cast<EdgeType>(type),
+                            (meta & 0x40) != 0});
+  }
+  return Status::Ok();
+}
+
+Status GraphStore::DecodeEdges(const CommitInfo& commit,
+                               std::vector<Edge>* out) const {
+  const SegmentEntry* edges = Segment(commit, SegmentKind::kEdges);
+  if (edges->bytes < 16) return Corrupt("edge segment too short");
+  std::vector<uint8_t> bytes(edges->bytes);
+  TRAIL_RETURN_NOT_OK(
+      buffers_->ReadBytes(edges->offset, edges->bytes, bytes.data()));
+  uint64_t edge_lo = LoadU64(bytes.data());
+  uint64_t count = LoadU64(bytes.data() + 8);
+  if (edge_lo != commit.edge_lo || count != commit.edge_hi - commit.edge_lo) {
+    return Corrupt("edge segment watermarks");
+  }
+  const uint8_t* p = bytes.data() + 16;
+  const uint8_t* end = bytes.data() + bytes.size();
+  int64_t prev_src = 0;
+  int64_t prev_dst = 0;
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t src_delta, dst_delta;
+    if (!GetVarint(&p, end, &src_delta) || !GetVarint(&p, end, &dst_delta) ||
+        p >= end) {
+      return Corrupt("edge list truncated");
+    }
+    int64_t src = prev_src + ZigzagDecode(src_delta);
+    int64_t dst = prev_dst + ZigzagDecode(dst_delta);
+    prev_src = src;
+    prev_dst = dst;
+    uint8_t type = *p++;
+    if (src < 0 || dst < 0 ||
+        static_cast<uint64_t>(src) >= commit.node_hi ||
+        static_cast<uint64_t>(dst) >= commit.node_hi ||
+        type >= kNumEdgeTypes) {
+      return Corrupt("edge endpoints in commit");
+    }
+    out->push_back(Edge{static_cast<NodeId>(src), static_cast<NodeId>(dst),
+                        static_cast<EdgeType>(type)});
+  }
+  return Status::Ok();
+}
+
+Status GraphStore::EnsureDeltaOverlay() const {
+  std::lock_guard<std::mutex> lock(overlay_mu_);
+  if (overlay_built_) return Status::Ok();
+  for (size_t c = 1; c < commits_.size(); ++c) {
+    std::vector<Edge> edges;
+    TRAIL_RETURN_NOT_OK(DecodeEdges(commits_[c], &edges));
+    for (const Edge& e : edges) {
+      overlay_[e.src].push_back(Neighbor{e.dst, e.type, true});
+      overlay_[e.dst].push_back(Neighbor{e.src, e.type, false});
+    }
+  }
+  overlay_built_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<Neighbor>> GraphStore::Neighbors(NodeId id) const {
+  if (id >= num_nodes_) {
+    return Status::OutOfRange("node id " + std::to_string(id) +
+                              " past store size");
+  }
+  std::vector<Neighbor> out;
+  if (id < commits_.front().node_hi) {
+    TRAIL_RETURN_NOT_OK(DecodeBaseRun(id, &out));
+  }
+  if (commits_.size() > 1) {
+    TRAIL_RETURN_NOT_OK(EnsureDeltaOverlay());
+    std::lock_guard<std::mutex> lock(overlay_mu_);
+    auto it = overlay_.find(id);
+    if (it != overlay_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return out;
+}
+
+Status GraphStore::Materialize(PropertyGraph* out,
+                               std::vector<std::string>* apt_names,
+                               uint64_t* num_events) const {
+  TRAIL_TRACE_SPAN("store.materialize");
+  if (out->num_nodes() != 0) {
+    return Status::FailedPrecondition(
+        "Materialize needs an empty PropertyGraph");
+  }
+  out->Reserve(num_nodes_, num_edges_);
+  std::vector<Edge> all_edges;
+  all_edges.reserve(num_edges_);
+  for (const CommitInfo& commit : commits_) {
+    const SegmentEntry* dict = Segment(commit, SegmentKind::kDict);
+    const SegmentEntry* nodes = Segment(commit, SegmentKind::kNodes);
+    const uint64_t count = commit.node_hi - commit.node_lo;
+
+    // Dictionary replay: AddNode in id order must hand back the stored ids.
+    if (dict->bytes < 16 + (count + 1) * 8 + count) {
+      return Corrupt("dict segment too short");
+    }
+    std::vector<uint8_t> dict_scratch;
+    auto dict_view = buffers_->View(dict->offset, dict->bytes, &dict_scratch);
+    if (!dict_view.ok()) return dict_view.status();
+    const uint8_t* d = dict_view.value();
+    if (LoadU64(d) != commit.node_lo || LoadU64(d + 8) != count) {
+      return Corrupt("dict watermarks");
+    }
+    const uint8_t* offsets = d + 16;
+    const uint8_t* types = offsets + (count + 1) * 8;
+    const char* blob = reinterpret_cast<const char*>(types + count);
+    uint64_t blob_len = dict->bytes - (16 + (count + 1) * 8 + count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t begin = LoadU64(offsets + i * 8);
+      uint64_t end = LoadU64(offsets + (i + 1) * 8);
+      uint8_t type = types[i];
+      if (begin > end || end > blob_len || type >= kNumNodeTypes) {
+        return Corrupt("dict entry " + std::to_string(i));
+      }
+      // Bulk append without interning: ids are dense in dictionary order by
+      // construction. Key uniqueness (dictionary bijectivity) is enforced by
+      // StoreValidate and re-checked by any later CheckConsistency, which
+      // rebuilds the intern index; paying 2M+ hash inserts here would
+      // dominate the load path.
+      NodeId got = out->AppendNodeRow(
+          static_cast<NodeType>(type),
+          std::string_view(blob + begin, end - begin));
+      if (got != commit.node_lo + i) {
+        return Corrupt("dictionary ids not dense: id " +
+                       std::to_string(commit.node_lo + i) + " appended as " +
+                       std::to_string(got));
+      }
+    }
+
+    // Node payloads + features.
+    if (nodes->bytes < 16 + count * sizeof(NodeRecord)) {
+      return Corrupt("node segment too short");
+    }
+    std::vector<uint8_t> node_scratch;
+    auto node_view =
+        buffers_->View(nodes->offset, nodes->bytes, &node_scratch);
+    if (!node_view.ok()) return node_view.status();
+    const uint8_t* n = node_view.value();
+    if (LoadU64(n) != commit.node_lo || LoadU64(n + 8) != count) {
+      return Corrupt("node segment watermarks");
+    }
+    // One view of the whole feature segment per commit: per-node View calls
+    // each take the buffer-pool lock for touch accounting, which dominates
+    // at 2M+ nodes. The decode then runs lock-free off the base pointer,
+    // straight into each node's slot — the dense feature plane is the
+    // largest payload, and a scratch-then-copy would double its traffic.
+    const SegmentEntry* feats = Segment(commit, SegmentKind::kFeatures);
+    std::vector<uint8_t> feat_scratch;
+    auto feat_view = buffers_->View(feats->offset, feats->bytes, &feat_scratch);
+    if (!feat_view.ok()) return feat_view.status();
+    const uint8_t* feat_base = feat_view.value();
+    const uint8_t* feat_end = feat_base + feats->bytes;
+    for (uint64_t i = 0; i < count; ++i) {
+      NodeRecord record;
+      std::memcpy(&record, n + 16 + i * sizeof(NodeRecord), sizeof(record));
+      NodeId id = static_cast<NodeId>(commit.node_lo + i);
+      if (record.type >= kNumNodeTypes ||
+          static_cast<NodeType>(record.type) != out->type(id)) {
+        return Corrupt("node record type disagrees with dictionary");
+      }
+      out->SetLabel(id, record.label);
+      out->SetFirstOrder(id, record.first_order != 0);
+      out->SetReportCount(id, static_cast<int>(record.report_count));
+      out->SetTimestamp(id, record.timestamp);
+      if (record.feature_dim > 0) {
+        std::vector<float>* f = out->MutableFeatures(id);
+        f->assign(record.feature_dim, 0.0f);
+        if (record.feature_nonzeros > 0) {
+          if (record.feature_offset >= feats->bytes) {
+            return Corrupt("feature offset out of segment");
+          }
+          const uint8_t* p = feat_base + record.feature_offset;
+          uint64_t index = 0;
+          for (uint32_t k = 0; k < record.feature_nonzeros; ++k) {
+            uint64_t delta;
+            if (!GetVarint(&p, feat_end, &delta) || p + 4 > feat_end) {
+              return Corrupt("feature payload truncated");
+            }
+            index += delta;
+            if (index >= record.feature_dim) {
+              return Corrupt("feature index past dimension");
+            }
+            std::memcpy(&(*f)[index], p, 4);
+            p += 4;
+          }
+        }
+      }
+    }
+
+    // Edges across all commits are collected and appended in one batch below:
+    // concatenation in commit order is the original insertion order, and the
+    // batch path can reserve every adjacency list to its exact final degree.
+    TRAIL_RETURN_NOT_OK(DecodeEdges(commit, &all_edges));
+
+    // Replay the commit's patches to older nodes' mutable fields.
+    const SegmentEntry* patches = Segment(commit, SegmentKind::kNodePatches);
+    if (patches != nullptr) {
+      if (patches->bytes < 8) return Corrupt("node patch segment too short");
+      std::vector<uint8_t> patch_bytes(patches->bytes);
+      TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(patches->offset, patches->bytes,
+                                              patch_bytes.data()));
+      uint64_t patch_count = LoadU64(patch_bytes.data());
+      if (8 + patch_count * sizeof(NodePatch) > patches->bytes) {
+        return Corrupt("node patch count");
+      }
+      for (uint64_t i = 0; i < patch_count; ++i) {
+        NodePatch patch;
+        std::memcpy(&patch, patch_bytes.data() + 8 + i * sizeof(NodePatch),
+                    sizeof(patch));
+        if (patch.id >= commit.node_lo) {
+          return Corrupt("node patch id not older than its commit");
+        }
+        out->SetLabel(patch.id, patch.label);
+        out->SetFirstOrder(patch.id, patch.first_order != 0);
+        out->SetReportCount(patch.id, static_cast<int>(patch.report_count));
+        out->SetTimestamp(patch.id, patch.timestamp);
+      }
+    }
+  }
+  {
+    Status st = out->AppendEdgeBatch(all_edges);
+    if (!st.ok()) return Corrupt("edge replay: " + st.message());
+  }
+  if (out->num_nodes() != num_nodes_ || out->num_edges() != num_edges_) {
+    return Corrupt("materialized counts disagree with meta");
+  }
+  if (apt_names != nullptr) *apt_names = apt_names_;
+  if (num_events != nullptr) *num_events = num_events_;
+  return Status::Ok();
+}
+
+Status GraphStore::Validate() const {
+  TRAIL_TRACE_SPAN("store.validate");
+  // Segment payload checksums.
+  for (const SegmentEntry& entry : entries_) {
+    std::vector<uint8_t> scratch;
+    auto view = buffers_->View(entry.offset, entry.bytes, &scratch);
+    if (!view.ok()) return view.status();
+    if (Fnv1a(view.value(), entry.bytes) != entry.checksum) {
+      return Corrupt("segment checksum (kind " + std::to_string(entry.kind) +
+                     ", commit " + std::to_string(entry.commit) + ")");
+    }
+  }
+  // Padding between a segment payload and the next page boundary is written
+  // as zeros. Data-segment padding is already covered by page checksums, but
+  // the page-checksum segment cannot cover its own pages, so verify every
+  // pad region explicitly — no byte of the file past the header page escapes
+  // validation.
+  for (const SegmentEntry& entry : entries_) {
+    uint64_t pad_begin = entry.offset + entry.bytes;
+    uint64_t pad_end = PageAlign(pad_begin);
+    if (pad_end == pad_begin) continue;
+    std::vector<uint8_t> scratch;
+    auto view = buffers_->View(pad_begin, pad_end - pad_begin, &scratch);
+    if (!view.ok()) return view.status();
+    for (uint64_t i = 0; i < pad_end - pad_begin; ++i) {
+      if (view.value()[i] != 0) {
+        return Corrupt("segment padding not zero at byte " +
+                       std::to_string(pad_begin + i));
+      }
+    }
+  }
+  // Per-page checksums of every commit's data pages.
+  for (const CommitInfo& commit : commits_) {
+    const SegmentEntry* checks = Segment(commit, SegmentKind::kPageChecksums);
+    if (checks == nullptr) return Corrupt("missing page checksum segment");
+    if (checks->bytes < 16) return Corrupt("page checksum segment too short");
+    std::vector<uint8_t> bytes(checks->bytes);
+    TRAIL_RETURN_NOT_OK(
+        buffers_->ReadBytes(checks->offset, checks->bytes, bytes.data()));
+    uint64_t first_page = LoadU64(bytes.data());
+    uint64_t page_count = LoadU64(bytes.data() + 8);
+    if (16 + page_count * 8 > checks->bytes) {
+      return Corrupt("page checksum count");
+    }
+    for (uint64_t p = 0; p < page_count; ++p) {
+      auto pinned = buffers_->Pin(first_page + p);
+      if (!pinned.ok()) return pinned.status();
+      uint64_t sum;
+      if (pinned->length == kPageSize) {
+        sum = Fnv1a(pinned->data, kPageSize);
+      } else {
+        // Final file page may be short on disk; checksums cover the padded
+        // page the writer laid out.
+        std::vector<uint8_t> padded(kPageSize, 0);
+        std::memcpy(padded.data(), pinned->data, pinned->length);
+        sum = Fnv1a(padded.data(), kPageSize);
+      }
+      buffers_->Unpin(pinned.value());
+      if (sum != LoadU64(bytes.data() + 16 + p * 8)) {
+        return Corrupt("page checksum at page " +
+                       std::to_string(first_page + p));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status GraphStore::ValidateStructure() const {
+  TRAIL_TRACE_SPAN("store.validate_structure");
+  for (const CommitInfo& commit : commits_) {
+    const uint64_t count = commit.node_hi - commit.node_lo;
+    const SegmentEntry* dict = Segment(commit, SegmentKind::kDict);
+    const SegmentEntry* index = Segment(commit, SegmentKind::kDictHash);
+    const SegmentEntry* nodes = Segment(commit, SegmentKind::kNodes);
+    const SegmentEntry* features = Segment(commit, SegmentKind::kFeatures);
+
+    // Dictionary offsets: monotone, in bounds.
+    if (dict->bytes < 16 + (count + 1) * 8 + count) {
+      return Corrupt("dict segment too short");
+    }
+    uint64_t blob_len = dict->bytes - (16 + (count + 1) * 8 + count);
+    uint64_t prev_off = 0;
+    for (uint64_t i = 0; i <= count; ++i) {
+      uint8_t raw[8];
+      TRAIL_RETURN_NOT_OK(
+          buffers_->ReadBytes(dict->offset + 16 + i * 8, 8, raw));
+      uint64_t off = LoadU64(raw);
+      if (off < prev_off || off > blob_len) {
+        return Corrupt("dictionary offsets not monotone at entry " +
+                       std::to_string(i));
+      }
+      prev_off = off;
+    }
+    if (prev_off != blob_len) {
+      return Corrupt("dictionary blob length disagrees with offsets");
+    }
+
+    // Hash-index bijectivity: every id of the commit resolves back to
+    // itself through Lookup, and the index has exactly one entry per id.
+    if (index->bytes < 16) return Corrupt("dict hash segment too short");
+    uint8_t head[16];
+    TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(index->offset, 16, head));
+    uint64_t bucket_count = LoadU64(head);
+    uint64_t entry_count = LoadU64(head + 8);
+    if (entry_count != count) {
+      return Corrupt("dict hash entry count disagrees with node count");
+    }
+    if (bucket_count == 0 || (bucket_count & (bucket_count - 1)) != 0) {
+      return Corrupt("dict hash bucket count not a power of two");
+    }
+    uint64_t entries_at = index->offset + 16 + (bucket_count + 1) * 8;
+    if (entries_at + entry_count * sizeof(DictHashEntry) >
+        index->offset + index->bytes) {
+      return Corrupt("dict hash segment bounds");
+    }
+    std::vector<uint8_t> seen(count, 0);
+    uint64_t prev_start = 0;
+    for (uint64_t b = 0; b <= bucket_count; ++b) {
+      uint8_t raw[8];
+      TRAIL_RETURN_NOT_OK(
+          buffers_->ReadBytes(index->offset + 16 + b * 8, 8, raw));
+      uint64_t start = LoadU64(raw);
+      if (start < prev_start || start > entry_count) {
+        return Corrupt("dict hash bucket starts not monotone");
+      }
+      prev_start = start;
+    }
+    if (prev_start != entry_count) {
+      return Corrupt("dict hash bucket starts do not cover all entries");
+    }
+    for (uint64_t e = 0; e < entry_count; ++e) {
+      DictHashEntry entry;
+      TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(
+          entries_at + e * sizeof(DictHashEntry), sizeof(entry), &entry));
+      if (entry.id < commit.node_lo || entry.id >= commit.node_hi) {
+        return Corrupt("dict hash id out of range");
+      }
+      uint64_t slot = entry.id - commit.node_lo;
+      if (seen[slot] != 0) {
+        return Corrupt("dict hash lists id " + std::to_string(entry.id) +
+                       " twice");
+      }
+      seen[slot] = 1;
+      auto type = Type(entry.id);
+      if (!type.ok()) return type.status();
+      auto value = Value(entry.id);
+      if (!value.ok()) return value.status();
+      if (DictKeyHash(type.value(), value.value()) != entry.hash) {
+        return Corrupt("dict hash disagrees with dictionary for id " +
+                       std::to_string(entry.id));
+      }
+      auto found = Lookup(type.value(), value.value());
+      if (!found.ok()) return found.status();
+      if (found.value() != entry.id) {
+        return Corrupt("dictionary not bijective: Lookup(" +
+                       std::to_string(entry.id) + ") returned " +
+                       std::to_string(found.value()));
+      }
+    }
+
+    // Node records: bounds + feature references.
+    if (nodes->bytes < 16 + count * sizeof(NodeRecord)) {
+      return Corrupt("node segment too short");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      NodeRecord record;
+      TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(
+          nodes->offset + 16 + i * sizeof(NodeRecord), sizeof(record),
+          &record));
+      if (record.type >= kNumNodeTypes) return Corrupt("node record type");
+      if (record.feature_nonzeros > 0 &&
+          record.feature_offset >= features->bytes) {
+        return Corrupt("feature reference out of segment");
+      }
+      if (record.feature_nonzeros > record.feature_dim) {
+        return Corrupt("more feature nonzeros than dimensions");
+      }
+    }
+
+    // Edges decode cleanly and stay in range (DecodeEdges bounds-checks).
+    std::vector<Edge> edges;
+    TRAIL_RETURN_NOT_OK(DecodeEdges(commit, &edges));
+
+    // Node patches: sorted strictly by id, every id older than the commit.
+    const SegmentEntry* patches = Segment(commit, SegmentKind::kNodePatches);
+    if (patches != nullptr) {
+      if (patches->bytes < 8) return Corrupt("node patch segment too short");
+      uint8_t head[8];
+      TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(patches->offset, 8, head));
+      uint64_t patch_count = LoadU64(head);
+      if (8 + patch_count * sizeof(NodePatch) > patches->bytes) {
+        return Corrupt("node patch count");
+      }
+      uint64_t prev_id = 0;
+      for (uint64_t i = 0; i < patch_count; ++i) {
+        NodePatch patch;
+        TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(
+            patches->offset + 8 + i * sizeof(NodePatch), sizeof(patch),
+            &patch));
+        if (patch.id >= commit.node_lo) {
+          return Corrupt("node patch id not older than its commit");
+        }
+        if (i > 0 && patch.id <= prev_id) {
+          return Corrupt("node patches not sorted by id");
+        }
+        prev_id = patch.id;
+        if (patch.label < kNoLabel) return Corrupt("node patch label");
+      }
+    }
+  }
+
+  // Base CSR offsets: monotone byte offsets covering the runs segment.
+  const CommitInfo& base = commits_.front();
+  const SegmentEntry* offsets = Segment(base, SegmentKind::kCsrOffsets);
+  const SegmentEntry* runs = Segment(base, SegmentKind::kCsrRuns);
+  if (offsets != nullptr && runs != nullptr) {
+    uint8_t raw[8];
+    TRAIL_RETURN_NOT_OK(buffers_->ReadBytes(offsets->offset, 8, raw));
+    uint64_t node_count = LoadU64(raw);
+    if (node_count != base.node_hi - base.node_lo) {
+      return Corrupt("csr node count disagrees with meta");
+    }
+    if (offsets->bytes < 8 + (node_count + 1) * 8) {
+      return Corrupt("csr offsets segment too short");
+    }
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i <= node_count; ++i) {
+      TRAIL_RETURN_NOT_OK(
+          buffers_->ReadBytes(offsets->offset + 8 + i * 8, 8, raw));
+      uint64_t off = LoadU64(raw);
+      if (off < prev || off > runs->bytes) {
+        return Corrupt("csr offsets not monotone at node " +
+                       std::to_string(i));
+      }
+      prev = off;
+    }
+    if (prev != runs->bytes) {
+      return Corrupt("csr runs length disagrees with final offset");
+    }
+  }
+  return Status::Ok();
+}
+
+Status StoreValidate(const std::string& path) {
+  auto store = GraphStore::Open(path);
+  if (!store.ok()) return store.status();
+  TRAIL_RETURN_NOT_OK(store.value()->Validate());
+  return store.value()->ValidateStructure();
+}
+
+}  // namespace trail::graph::store

@@ -1,0 +1,131 @@
+#ifndef TRAIL_GRAPH_STORE_STORE_READER_H_
+#define TRAIL_GRAPH_STORE_STORE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "graph/store/buffer_manager.h"
+#include "graph/store/format.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace trail::graph::store {
+
+/// Read side of the TKGS segment store. `Open` touches O(1) pages — header,
+/// directory, and the per-commit meta segments — so opening a paper-scale
+/// store is instant; everything else pages in on demand through the
+/// BufferManager:
+///
+///  * `Lookup`/`Value`/`Node`/`Features`/`Neighbors` fault only the pages a
+///    query actually crosses (hash bucket, dictionary slice, CSR run).
+///  * `Materialize` streams every commit back into a PropertyGraph that is
+///    bit-identical to the one the writer saw (same ids, same adjacency
+///    order, same feature bits) — the warm path Trail uses at startup.
+///  * `Validate` re-checksums every segment and data page; `ValidateStructure`
+///    checks the structural invariants (dictionary bijectivity, CSR offset
+///    monotonicity, record bounds) without checksums, so tests can verify
+///    each layer independently. Corrupt or truncated input fails with a
+///    Status on every path — never UB.
+class GraphStore {
+ public:
+  /// Watermarks and segment handles of one commit (base build is commit 0).
+  struct CommitInfo {
+    uint64_t node_lo = 0;
+    uint64_t node_hi = 0;
+    uint64_t edge_lo = 0;
+    uint64_t edge_hi = 0;
+    uint64_t num_events = 0;
+    /// Index into segments() per SegmentKind; -1 when absent.
+    int seg[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                   -1, -1, -1, -1, -1, -1, -1, -1};
+  };
+
+  static Result<std::unique_ptr<GraphStore>> Open(
+      const std::string& path,
+      size_t cache_pages = BufferManager::kDefaultCachePages);
+
+  GraphStore() = default;
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// Point lookup by (type, value); kInvalidNode when absent. Touches the
+  /// hash bucket page(s) plus the dictionary pages of candidate ids.
+  Result<NodeId> Lookup(NodeType type, std::string_view value) const;
+
+  Result<std::string> Value(NodeId id) const;
+  Result<NodeType> Type(NodeId id) const;
+  Result<NodeRecord> Node(NodeId id) const;
+
+  /// Decodes the node's sparse feature payload back to the dense vector
+  /// (bit-exact floats; empty when the node has none).
+  Result<std::vector<float>> Features(NodeId id) const;
+
+  /// Undirected neighbors in exactly the heap graph's adjacency order: the
+  /// base commit's CSR run followed by delta-commit edges in insertion
+  /// order. First call that needs deltas builds the overlay lazily.
+  Result<std::vector<Neighbor>> Neighbors(NodeId id) const;
+
+  /// Rebuilds the full PropertyGraph (and APT roster / event count) by
+  /// replaying every commit in order. The result is bit-identical to the
+  /// graph that was written: same interning, ids, adjacency order, edge
+  /// list, feature bits.
+  Status Materialize(PropertyGraph* out, std::vector<std::string>* apt_names,
+                     uint64_t* num_events) const;
+
+  /// Deep integrity: every segment checksum and every data-page checksum.
+  Status Validate() const;
+
+  /// Structural invariants without checksums: dictionary bijectivity (every
+  /// id resolves back to itself through the hash index), CSR offset
+  /// monotonicity, node/edge record bounds, commit watermark continuity.
+  Status ValidateStructure() const;
+
+  uint64_t num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return num_edges_; }
+  uint64_t num_events() const { return num_events_; }
+  uint64_t num_commits() const { return commits_.size(); }
+  const std::vector<std::string>& apt_names() const { return apt_names_; }
+  const std::vector<SegmentEntry>& segments() const { return entries_; }
+  const std::vector<CommitInfo>& commits() const { return commits_; }
+  BufferStats buffer_stats() const { return buffers_->stats(); }
+  bool mmapped() const { return buffers_->mmapped(); }
+
+ private:
+  const SegmentEntry* Segment(const CommitInfo& commit, SegmentKind kind) const;
+  Result<const CommitInfo*> CommitForNode(NodeId id) const;
+  /// Decodes one base-CSR neighbor run into `out`.
+  Status DecodeBaseRun(NodeId id, std::vector<Neighbor>* out) const;
+  /// Decodes a commit's kEdges segment, appending to `out`.
+  Status DecodeEdges(const CommitInfo& commit, std::vector<Edge>* out) const;
+  Status EnsureDeltaOverlay() const;
+  Status FeaturesFromRecord(const CommitInfo& commit, const NodeRecord& record,
+                            std::vector<float>* out) const;
+
+  std::unique_ptr<BufferManager> buffers_;
+  std::string path_;
+  std::vector<SegmentEntry> entries_;
+  std::vector<CommitInfo> commits_;
+  std::vector<std::string> apt_names_;
+  uint64_t num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  uint64_t num_events_ = 0;
+
+  /// Lazily built adjacency overlay for delta commits (commit >= 1).
+  mutable std::mutex overlay_mu_;
+  mutable bool overlay_built_ = false;
+  mutable std::unordered_map<NodeId, std::vector<Neighbor>> overlay_;
+};
+
+/// Opens `path` and runs both validation passes; the `store-validate` cli
+/// verb and the corruption tests go through this.
+Status StoreValidate(const std::string& path);
+
+}  // namespace trail::graph::store
+
+#endif  // TRAIL_GRAPH_STORE_STORE_READER_H_

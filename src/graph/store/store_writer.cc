@@ -1,0 +1,473 @@
+#include "graph/store/store_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "graph/store/format.h"
+#include "graph/store/store_reader.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/binary_io.h"
+#include "util/logging.h"
+
+namespace trail::graph::store {
+
+namespace {
+
+struct SegmentBuf {
+  SegmentKind kind;
+  std::vector<uint8_t> bytes;
+};
+
+SegmentBuf BuildMeta(const PropertyGraph& graph,
+                     const std::vector<std::string>& apt_names,
+                     uint64_t num_events, uint64_t node_lo, uint64_t edge_lo) {
+  SegmentBuf seg{SegmentKind::kMeta, {}};
+  AppendPod(&seg.bytes, node_lo);
+  AppendPod(&seg.bytes, static_cast<uint64_t>(graph.num_nodes()));
+  AppendPod(&seg.bytes, edge_lo);
+  AppendPod(&seg.bytes, static_cast<uint64_t>(graph.num_edges()));
+  AppendPod(&seg.bytes, num_events);
+  AppendPod(&seg.bytes, static_cast<uint32_t>(apt_names.size()));
+  for (const std::string& name : apt_names) {
+    AppendPod(&seg.bytes, static_cast<uint32_t>(name.size()));
+    AppendRaw(&seg.bytes, name.data(), name.size());
+  }
+  return seg;
+}
+
+SegmentBuf BuildDict(const PropertyGraph& graph, uint64_t lo, uint64_t hi) {
+  SegmentBuf seg{SegmentKind::kDict, {}};
+  const uint64_t count = hi - lo;
+  AppendPod(&seg.bytes, lo);
+  AppendPod(&seg.bytes, count);
+  // Blob-relative value offsets, then the type bytes, then the blob.
+  uint64_t running = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    AppendPod(&seg.bytes, running);
+    running += graph.value(static_cast<NodeId>(lo + i)).size();
+  }
+  AppendPod(&seg.bytes, running);
+  for (uint64_t i = 0; i < count; ++i) {
+    seg.bytes.push_back(
+        static_cast<uint8_t>(graph.type(static_cast<NodeId>(lo + i))));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string& value = graph.value(static_cast<NodeId>(lo + i));
+    AppendRaw(&seg.bytes, value.data(), value.size());
+  }
+  return seg;
+}
+
+SegmentBuf BuildDictHash(const PropertyGraph& graph, uint64_t lo,
+                         uint64_t hi) {
+  SegmentBuf seg{SegmentKind::kDictHash, {}};
+  const uint64_t count = hi - lo;
+  uint64_t bucket_count = 1;
+  while (bucket_count < count * 2) bucket_count <<= 1;
+  std::vector<uint64_t> hashes(count);
+  std::vector<uint64_t> bucket_sizes(bucket_count, 0);
+  for (uint64_t i = 0; i < count; ++i) {
+    NodeId id = static_cast<NodeId>(lo + i);
+    hashes[i] = DictKeyHash(graph.type(id), graph.value(id));
+    ++bucket_sizes[hashes[i] & (bucket_count - 1)];
+  }
+  std::vector<uint64_t> starts(bucket_count + 1, 0);
+  for (uint64_t b = 0; b < bucket_count; ++b) {
+    starts[b + 1] = starts[b] + bucket_sizes[b];
+  }
+  // Counting sort by bucket, stable in id order.
+  std::vector<DictHashEntry> entries(count);
+  std::vector<uint64_t> cursor(starts.begin(), starts.end() - 1);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t b = hashes[i] & (bucket_count - 1);
+    entries[cursor[b]++] = DictHashEntry{hashes[i],
+                                         static_cast<uint32_t>(lo + i), 0};
+  }
+  AppendPod(&seg.bytes, bucket_count);
+  AppendPod(&seg.bytes, count);
+  AppendRaw(&seg.bytes, starts.data(), starts.size() * sizeof(uint64_t));
+  AppendRaw(&seg.bytes, entries.data(),
+            entries.size() * sizeof(DictHashEntry));
+  return seg;
+}
+
+Status BuildNodesAndFeatures(const PropertyGraph& graph, uint64_t lo,
+                             uint64_t hi, SegmentBuf* nodes,
+                             SegmentBuf* features) {
+  nodes->kind = SegmentKind::kNodes;
+  features->kind = SegmentKind::kFeatures;
+  const uint64_t count = hi - lo;
+  AppendPod(&nodes->bytes, lo);
+  AppendPod(&nodes->bytes, count);
+  for (uint64_t i = 0; i < count; ++i) {
+    NodeId id = static_cast<NodeId>(lo + i);
+    const std::vector<float>& f = graph.features(id);
+    if (f.size() > 65535) {
+      return Status::InvalidArgument(
+          "feature vector too wide for the store format: " +
+          std::to_string(f.size()));
+    }
+    NodeRecord record;
+    record.label = graph.label(id);
+    record.report_count = static_cast<uint32_t>(graph.report_count(id));
+    record.timestamp = graph.timestamp(id);
+    record.feature_offset = features->bytes.size();
+    record.feature_dim = static_cast<uint16_t>(f.size());
+    record.type = static_cast<uint8_t>(graph.type(id));
+    record.first_order = graph.first_order(id) ? 1 : 0;
+    // Sparse encoding: one-hot-heavy IOC vectors are almost all zeros, so
+    // (index-delta varint, raw f32 bits) pairs shrink the payload ~20x
+    // while round-tripping every value bit-exactly.
+    uint32_t nonzeros = 0;
+    uint64_t prev = 0;
+    for (uint64_t j = 0; j < f.size(); ++j) {
+      uint32_t bits;
+      std::memcpy(&bits, &f[j], sizeof(bits));
+      if (bits == 0) continue;  // +0.0f exactly; -0.0f has the sign bit set
+      PutVarint(&features->bytes, j - prev);
+      prev = j;
+      AppendPod(&features->bytes, bits);
+      ++nonzeros;
+    }
+    record.feature_nonzeros = nonzeros;
+    AppendPod(&nodes->bytes, record);
+  }
+  return Status::Ok();
+}
+
+SegmentBuf BuildEdges(const PropertyGraph& graph, uint64_t edge_lo,
+                      uint64_t edge_hi) {
+  SegmentBuf seg{SegmentKind::kEdges, {}};
+  AppendPod(&seg.bytes, edge_lo);
+  AppendPod(&seg.bytes, edge_hi - edge_lo);
+  int64_t prev_src = 0;
+  int64_t prev_dst = 0;
+  const std::vector<Edge>& edges = graph.edges();
+  for (uint64_t i = edge_lo; i < edge_hi; ++i) {
+    const Edge& e = edges[i];
+    PutVarint(&seg.bytes, ZigzagEncode(static_cast<int64_t>(e.src) - prev_src));
+    PutVarint(&seg.bytes, ZigzagEncode(static_cast<int64_t>(e.dst) - prev_dst));
+    seg.bytes.push_back(static_cast<uint8_t>(e.type));
+    prev_src = static_cast<int64_t>(e.src);
+    prev_dst = static_cast<int64_t>(e.dst);
+  }
+  return seg;
+}
+
+void BuildCsr(const PropertyGraph& graph, SegmentBuf* offsets,
+              SegmentBuf* runs) {
+  offsets->kind = SegmentKind::kCsrOffsets;
+  runs->kind = SegmentKind::kCsrRuns;
+  const uint64_t n = graph.num_nodes();
+  std::vector<uint64_t> byte_offsets;
+  byte_offsets.reserve(n + 1);
+  byte_offsets.push_back(0);
+  for (NodeId v = 0; v < n; ++v) {
+    int64_t prev = 0;
+    for (const Neighbor& nb : graph.neighbors(v)) {
+      PutVarint(&runs->bytes, ZigzagEncode(static_cast<int64_t>(nb.node) - prev));
+      prev = static_cast<int64_t>(nb.node);
+      runs->bytes.push_back(static_cast<uint8_t>(nb.type) |
+                            (nb.is_outgoing ? 0x40 : 0));
+    }
+    byte_offsets.push_back(runs->bytes.size());
+  }
+  AppendPod(&offsets->bytes, n);
+  AppendRaw(&offsets->bytes, byte_offsets.data(),
+            byte_offsets.size() * sizeof(uint64_t));
+}
+
+/// Writes the staged segments after `data_start`, then the page-checksum
+/// segment, the full directory (old entries + new), and finally the header.
+Result<StoreWriteStats> CommitSegments(
+    const std::string& path, bool append, uint64_t data_start,
+    uint32_t commit, std::vector<SegmentEntry> entries,
+    std::vector<SegmentBuf> segments, uint64_t num_nodes,
+    uint64_t num_edges) {
+  FilePtr f(std::fopen(path.c_str(), append ? "rb+" : "wb+"));
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+
+  auto write_at = [&](uint64_t offset, const void* data,
+                      size_t len) -> Status {
+    if (std::fseek(f.get(), static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IoError("seek failed in " + path);
+    }
+    if (len > 0 && std::fwrite(data, 1, len, f.get()) != len) {
+      return Status::IoError("short write: " + path);
+    }
+    return Status::Ok();
+  };
+
+  uint64_t commit_bytes = 0;
+  uint64_t offset = data_start;
+  for (SegmentBuf& seg : segments) {
+    SegmentEntry entry;
+    entry.kind = static_cast<uint32_t>(seg.kind);
+    entry.commit = commit;
+    entry.offset = offset;
+    entry.bytes = seg.bytes.size();
+    entry.checksum = Fnv1a(seg.bytes.data(), seg.bytes.size());
+    // Zero-pad to the page boundary so page checksums are well defined.
+    seg.bytes.resize(PageAlign(seg.bytes.size()), 0);
+    TRAIL_RETURN_NOT_OK(write_at(offset, seg.bytes.data(), seg.bytes.size()));
+    entries.push_back(entry);
+    commit_bytes += entry.bytes;
+    offset += seg.bytes.size();
+  }
+
+  // Page checksums for this commit's data pages, computed from the staged
+  // buffers (they are exactly what landed on disk, padding included).
+  SegmentBuf checks{SegmentKind::kPageChecksums, {}};
+  {
+    uint64_t first_page = data_start / kPageSize;
+    uint64_t page_count = (offset - data_start) / kPageSize;
+    AppendPod(&checks.bytes, first_page);
+    AppendPod(&checks.bytes, page_count);
+    for (const SegmentBuf& seg : segments) {
+      for (size_t p = 0; p < seg.bytes.size(); p += kPageSize) {
+        uint64_t sum = Fnv1a(seg.bytes.data() + p, kPageSize);
+        AppendPod(&checks.bytes, sum);
+      }
+    }
+  }
+  {
+    SegmentEntry entry;
+    entry.kind = static_cast<uint32_t>(SegmentKind::kPageChecksums);
+    entry.commit = commit;
+    entry.offset = offset;
+    entry.bytes = checks.bytes.size();
+    entry.checksum = Fnv1a(checks.bytes.data(), checks.bytes.size());
+    checks.bytes.resize(PageAlign(checks.bytes.size()), 0);
+    TRAIL_RETURN_NOT_OK(write_at(offset, checks.bytes.data(),
+                                 checks.bytes.size()));
+    entries.push_back(entry);
+    commit_bytes += entry.bytes;
+    offset += checks.bytes.size();
+  }
+
+  // Directory: every segment of every commit, oldest first.
+  std::vector<uint8_t> dir;
+  AppendPod(&dir, kDirectoryMagic);
+  AppendPod(&dir, static_cast<uint32_t>(entries.size()));
+  for (const SegmentEntry& entry : entries) AppendPod(&dir, entry);
+  AppendPod(&dir, Fnv1a(dir.data(), dir.size()));
+  uint64_t dir_offset = offset;
+  TRAIL_RETURN_NOT_OK(write_at(dir_offset, dir.data(), dir.size()));
+
+  StoreHeader header;
+  header.file_bytes = dir_offset + dir.size();
+  header.dir_offset = dir_offset;
+  header.dir_bytes = dir.size();
+  header.num_commits = commit + 1;
+  header.checksum = Fnv1a(&header, sizeof(header) - sizeof(uint64_t));
+  std::vector<uint8_t> header_page(kPageSize, 0);
+  std::memcpy(header_page.data(), &header, sizeof(header));
+  TRAIL_RETURN_NOT_OK(write_at(0, header_page.data(), header_page.size()));
+  if (std::fflush(f.get()) != 0) {
+    return Status::IoError("flush failed: " + path);
+  }
+
+  StoreWriteStats stats;
+  stats.file_bytes = header.file_bytes;
+  stats.total_pages = (header.file_bytes + kPageSize - 1) / kPageSize;
+  stats.commit_bytes = commit_bytes;
+  stats.num_commits = header.num_commits;
+  stats.num_nodes = num_nodes;
+  stats.num_edges = num_edges;
+  TRAIL_METRIC_INC("store.commits");
+  TRAIL_METRIC_SET("store.file_bytes", static_cast<double>(stats.file_bytes));
+  return stats;
+}
+
+/// Reads and validates just the header + directory of an existing store (the
+/// append path needs the old entries and watermarks without paging data in).
+Status ReadHeaderAndDirectory(const std::string& path, StoreHeader* header,
+                              std::vector<SegmentEntry>* entries) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  BinaryReader r(f.get());
+  r.Raw(header, sizeof(*header));
+  if (!r.ok() || header->magic != kStoreMagic) {
+    return Status::ParseError("bad store magic in " + path);
+  }
+  if (header->version != kStoreVersion) {
+    return Status::ParseError("unsupported store version in " + path);
+  }
+  if (header->page_size != kPageSize) {
+    return Status::ParseError("unsupported store page size in " + path);
+  }
+  uint64_t expected =
+      Fnv1a(header, sizeof(*header) - sizeof(uint64_t));
+  if (header->checksum != expected) {
+    return Status::ParseError("store header checksum mismatch in " + path);
+  }
+  if (header->dir_offset + header->dir_bytes != header->file_bytes ||
+      header->dir_bytes < 16 ||
+      header->dir_bytes > (1ull << 24)) {
+    return Status::ParseError("store directory bounds corrupt in " + path);
+  }
+  if (std::fseek(f.get(), static_cast<long>(header->dir_offset), SEEK_SET) !=
+      0) {
+    return Status::IoError("seek failed in " + path);
+  }
+  std::vector<uint8_t> dir(header->dir_bytes);
+  r.Raw(dir.data(), dir.size());
+  if (!r.ok()) return Status::ParseError("truncated store directory: " + path);
+  uint32_t magic, count;
+  std::memcpy(&magic, dir.data(), 4);
+  std::memcpy(&count, dir.data() + 4, 4);
+  if (magic != kDirectoryMagic ||
+      8 + count * sizeof(SegmentEntry) + 8 != dir.size()) {
+    return Status::ParseError("store directory corrupt in " + path);
+  }
+  uint64_t sum;
+  std::memcpy(&sum, dir.data() + dir.size() - 8, 8);
+  if (sum != Fnv1a(dir.data(), dir.size() - 8)) {
+    return Status::ParseError("store directory checksum mismatch in " + path);
+  }
+  entries->resize(count);
+  std::memcpy(entries->data(), dir.data() + 8,
+              count * sizeof(SegmentEntry));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<StoreWriteStats> StoreWriter::Write(
+    const PropertyGraph& graph, const std::vector<std::string>& apt_names,
+    uint64_t num_events, const std::string& path) {
+  TRAIL_TRACE_SPAN("store.write");
+  if (graph.num_nodes() >= static_cast<uint64_t>(kInvalidNode)) {
+    return Status::InvalidArgument("graph too large for 32-bit node ids");
+  }
+  std::vector<SegmentBuf> segments;
+  segments.push_back(BuildMeta(graph, apt_names, num_events, 0, 0));
+  segments.push_back(BuildDict(graph, 0, graph.num_nodes()));
+  segments.push_back(BuildDictHash(graph, 0, graph.num_nodes()));
+  {
+    SegmentBuf nodes, features;
+    TRAIL_RETURN_NOT_OK(BuildNodesAndFeatures(graph, 0, graph.num_nodes(),
+                                              &nodes, &features));
+    segments.push_back(std::move(nodes));
+    segments.push_back(std::move(features));
+  }
+  segments.push_back(BuildEdges(graph, 0, graph.num_edges()));
+  {
+    SegmentBuf offsets, runs;
+    BuildCsr(graph, &offsets, &runs);
+    segments.push_back(std::move(offsets));
+    segments.push_back(std::move(runs));
+  }
+  return CommitSegments(path, /*append=*/false, /*data_start=*/kPageSize,
+                        /*commit=*/0, {}, std::move(segments),
+                        graph.num_nodes(), graph.num_edges());
+}
+
+Result<StoreWriteStats> StoreWriter::AppendDelta(
+    const PropertyGraph& graph, const std::vector<std::string>& apt_names,
+    uint64_t num_events, uint64_t node_lo, uint64_t edge_lo,
+    const std::string& path) {
+  TRAIL_TRACE_SPAN("store.append_delta");
+  StoreHeader header;
+  std::vector<SegmentEntry> entries;
+  TRAIL_RETURN_NOT_OK(ReadHeaderAndDirectory(path, &header, &entries));
+  // The delta must continue exactly where the store's last commit stopped:
+  // find the newest meta watermarks.
+  uint64_t store_nodes = 0;
+  uint64_t store_edges = 0;
+  uint32_t last_commit = 0;
+  for (const SegmentEntry& entry : entries) {
+    if (entry.kind != static_cast<uint32_t>(SegmentKind::kMeta)) continue;
+    last_commit = std::max(last_commit, entry.commit);
+  }
+  for (const SegmentEntry& entry : entries) {
+    if (entry.kind != static_cast<uint32_t>(SegmentKind::kMeta) ||
+        entry.commit != last_commit) {
+      continue;
+    }
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (f == nullptr) return Status::IoError("cannot reopen: " + path);
+    if (std::fseek(f.get(), static_cast<long>(entry.offset), SEEK_SET) != 0) {
+      return Status::IoError("seek failed in " + path);
+    }
+    uint64_t meta[4];
+    if (std::fread(meta, sizeof(meta), 1, f.get()) != 1) {
+      return Status::ParseError("truncated store meta in " + path);
+    }
+    store_nodes = meta[1];
+    store_edges = meta[3];
+  }
+  if (store_nodes != node_lo || store_edges != edge_lo) {
+    return Status::FailedPrecondition(
+        "delta watermarks do not continue the store: store has " +
+        std::to_string(store_nodes) + " nodes / " +
+        std::to_string(store_edges) + " edges, delta starts at " +
+        std::to_string(node_lo) + " / " + std::to_string(edge_lo));
+  }
+  if (graph.num_nodes() < node_lo || graph.num_edges() < edge_lo) {
+    return Status::FailedPrecondition("graph is behind the store watermarks");
+  }
+
+  std::vector<SegmentBuf> segments;
+  segments.push_back(
+      BuildMeta(graph, apt_names, num_events, node_lo, edge_lo));
+  segments.push_back(BuildDict(graph, node_lo, graph.num_nodes()));
+  segments.push_back(BuildDictHash(graph, node_lo, graph.num_nodes()));
+  {
+    SegmentBuf nodes, features;
+    TRAIL_RETURN_NOT_OK(BuildNodesAndFeatures(graph, node_lo,
+                                              graph.num_nodes(), &nodes,
+                                              &features));
+    segments.push_back(std::move(nodes));
+    segments.push_back(std::move(features));
+  }
+  segments.push_back(BuildEdges(graph, edge_lo, graph.num_edges()));
+  // Mutable fields of pre-existing nodes: re-referencing an old IOC flips
+  // first_order / bumps report_count without creating a node. Every such
+  // mutation comes with a new incident edge (TkgBuilder invariant), so diff
+  // exactly the old endpoints of the delta's edges against their effective
+  // on-store state and record the changed ones as patches.
+  {
+    auto store = GraphStore::Open(path);
+    if (!store.ok()) return store.status();
+    std::set<NodeId> candidates;
+    for (size_t e = edge_lo; e < graph.num_edges(); ++e) {
+      const Edge& edge = graph.edges()[e];
+      if (edge.src < node_lo) candidates.insert(edge.src);
+      if (edge.dst < node_lo) candidates.insert(edge.dst);
+    }
+    SegmentBuf patches{SegmentKind::kNodePatches, {}};
+    std::vector<NodePatch> changed;
+    for (NodeId id : candidates) {
+      auto record = store.value()->Node(id);
+      if (!record.ok()) return record.status();
+      NodePatch patch;
+      patch.id = id;
+      patch.label = graph.label(id);
+      patch.report_count = static_cast<uint32_t>(graph.report_count(id));
+      patch.first_order = graph.first_order(id) ? 1 : 0;
+      patch.timestamp = graph.timestamp(id);
+      if (record->label != patch.label ||
+          record->report_count != patch.report_count ||
+          record->first_order != patch.first_order ||
+          record->timestamp != patch.timestamp) {
+        changed.push_back(patch);
+      }
+    }
+    AppendPod(&patches.bytes, static_cast<uint64_t>(changed.size()));
+    for (const NodePatch& patch : changed) AppendPod(&patches.bytes, patch);
+    segments.push_back(std::move(patches));
+  }
+  // No CSR segments in deltas: the reader overlays delta edges onto the
+  // base runs (small relative to the base; compaction = a fresh Write).
+  return CommitSegments(path, /*append=*/true,
+                        /*data_start=*/header.dir_offset,
+                        /*commit=*/last_commit + 1, std::move(entries),
+                        std::move(segments), graph.num_nodes(),
+                        graph.num_edges());
+}
+
+}  // namespace trail::graph::store

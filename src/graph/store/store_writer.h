@@ -1,0 +1,53 @@
+#ifndef TRAIL_GRAPH_STORE_STORE_WRITER_H_
+#define TRAIL_GRAPH_STORE_STORE_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "util/status.h"
+
+namespace trail::graph::store {
+
+/// What a Write/AppendDelta commit put on disk (surfaced by trail_cli and
+/// the store bench).
+struct StoreWriteStats {
+  uint64_t file_bytes = 0;
+  uint64_t total_pages = 0;
+  uint64_t commit_bytes = 0;  // segment payload bytes this commit wrote
+  uint64_t num_commits = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+};
+
+/// Serializes a PropertyGraph into the TKGS segment format (docs/STORE.md).
+/// `Write` lays down the base commit: dictionary + hash buckets, node
+/// records, sparse feature payloads, the delta/varint-compressed CSR runs,
+/// and the directed edge list. `AppendDelta` adds one commit covering only
+/// the nodes/edges past the given watermarks — the monthly AppendReports
+/// path — leaving every existing data page untouched (only the directory
+/// and header are rewritten).
+///
+/// Output is a pure function of the graph + roster, byte for byte: the
+/// committed golden fixture pins this (tools/update_goldens.sh).
+class StoreWriter {
+ public:
+  /// Writes `path` from scratch as commit 0. Existing files are replaced.
+  static Result<StoreWriteStats> Write(const PropertyGraph& graph,
+                                       const std::vector<std::string>& apt_names,
+                                       uint64_t num_events,
+                                       const std::string& path);
+
+  /// Appends one delta commit: nodes >= node_lo and edges >= edge_lo (the
+  /// TkgAppendDelta watermarks). Fails FailedPrecondition when the
+  /// watermarks do not line up with the store's current node/edge counts.
+  static Result<StoreWriteStats> AppendDelta(
+      const PropertyGraph& graph, const std::vector<std::string>& apt_names,
+      uint64_t num_events, uint64_t node_lo, uint64_t edge_lo,
+      const std::string& path);
+};
+
+}  // namespace trail::graph::store
+
+#endif  // TRAIL_GRAPH_STORE_STORE_WRITER_H_

@@ -41,6 +41,19 @@ const char* const kWordyFiles[] = {
 
 }  // namespace
 
+WorldConfig WorldConfig::Scaled(double factor) {
+  WorldConfig config;
+  if (factor <= 1.0) return config;
+  config.min_events_per_apt =
+      static_cast<int>(config.min_events_per_apt * factor);
+  config.max_events_per_apt =
+      static_cast<int>(config.max_events_per_apt * factor);
+  config.num_noise_ips = static_cast<int>(config.num_noise_ips * factor);
+  config.num_noise_domains =
+      static_cast<int>(config.num_noise_domains * factor);
+  return config;
+}
+
 WorldConfig WorldConfig::ScaledUp() {
   WorldConfig config;
   config.min_events_per_apt = 80;

@@ -140,6 +140,16 @@ struct WorldConfig {
 
   /// A configuration ~6x larger, nearer the paper's event count.
   static WorldConfig ScaledUp();
+
+  /// Default config with event volume (and shared noise infrastructure)
+  /// multiplied by `factor`, holding per-event IOC densities fixed — the
+  /// TKG grows ~linearly in `factor` (default world: ~31k nodes, so
+  /// factor 68 ≈ the paper's 2.1M-node graph). `factor <= 1` returns the
+  /// default config unchanged.
+  static WorldConfig Scaled(double factor);
+
+  /// The paper-scale world: ~2.1M TKG nodes (Scaled(68)).
+  static WorldConfig PaperScale() { return Scaled(68.0); }
 };
 
 /// Ground-truth infrastructure entities (internal but exposed for tests and

@@ -1,0 +1,109 @@
+#include "util/file_region.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace trail {
+
+namespace {
+
+bool MmapDisabled() {
+  const char* env = std::getenv("TRAIL_NO_MMAP");
+  return env != nullptr && env[0] == '1';
+}
+
+}  // namespace
+
+FileRegion::~FileRegion() { Close(); }
+
+FileRegion::FileRegion(FileRegion&& other) noexcept
+    : fd_(other.fd_), map_(other.map_), size_(other.size_) {
+  other.fd_ = -1;
+  other.map_ = nullptr;
+  other.size_ = 0;
+}
+
+FileRegion& FileRegion::operator=(FileRegion&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    map_ = std::exchange(other.map_, nullptr);
+    size_ = std::exchange(other.size_, uint64_t{0});
+  }
+  return *this;
+}
+
+void FileRegion::Close() {
+  if (map_ != nullptr) {
+    ::munmap(map_, size_);
+    map_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+}
+
+Result<FileRegion> FileRegion::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open for read: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("fstat failed: " + path + ": " +
+                           std::strerror(err));
+  }
+  FileRegion region;
+  region.fd_ = fd;
+  region.size_ = static_cast<uint64_t>(st.st_size);
+  if (region.size_ > 0 && !MmapDisabled()) {
+    void* map = ::mmap(nullptr, region.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) region.map_ = map;
+    // MAP_FAILED: fall back to pread silently — same bytes, slower path.
+  }
+  return region;
+}
+
+Status FileRegion::Read(uint64_t offset, uint64_t len, void* out) const {
+  if (offset > size_ || len > size_ - offset) {
+    return Status::OutOfRange("file read past end: offset " +
+                              std::to_string(offset) + " + " +
+                              std::to_string(len) + " > " +
+                              std::to_string(size_));
+  }
+  if (len == 0) return Status::Ok();
+  if (map_ != nullptr) {
+    std::memcpy(out, static_cast<const uint8_t*>(map_) + offset, len);
+    return Status::Ok();
+  }
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  uint64_t remaining = len;
+  uint64_t pos = offset;
+  while (remaining > 0) {
+    ssize_t n = ::pread(fd_, dst, remaining, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) return Status::IoError("pread hit unexpected EOF");
+    dst += n;
+    pos += static_cast<uint64_t>(n);
+    remaining -= static_cast<uint64_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace trail

@@ -1,0 +1,59 @@
+#ifndef TRAIL_UTIL_FILE_REGION_H_
+#define TRAIL_UTIL_FILE_REGION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace trail {
+
+/// A read-only byte view of a whole file, memory-mapped when the platform
+/// allows it and backed by pread otherwise. The store's buffer manager
+/// (src/graph/store/buffer_manager.h) pages segments through this; nothing
+/// above it needs to know which mode is active.
+///
+/// Mode selection: mmap by default; setting TRAIL_NO_MMAP=1 in the
+/// environment (checked at Open) forces the pread path, which tests use to
+/// prove both modes decode identically. When mmap itself fails (e.g. a
+/// filesystem without mapping support) Open quietly falls back to pread —
+/// the fallback is a slower equivalent, not an error.
+class FileRegion {
+ public:
+  FileRegion() = default;
+  ~FileRegion();
+
+  FileRegion(FileRegion&& other) noexcept;
+  FileRegion& operator=(FileRegion&& other) noexcept;
+  FileRegion(const FileRegion&) = delete;
+  FileRegion& operator=(const FileRegion&) = delete;
+
+  /// Opens `path` read-only and maps it (or prepares pread access).
+  /// Zero-length files open fine with size() == 0 and data() == nullptr.
+  static Result<FileRegion> Open(const std::string& path);
+
+  /// Total file size in bytes at Open time.
+  uint64_t size() const { return size_; }
+
+  /// True when the file is memory-mapped; data() is then non-null for
+  /// non-empty files and spans the whole file.
+  bool mapped() const { return map_ != nullptr; }
+
+  /// Base pointer of the mapping; nullptr in pread mode (use Read).
+  const uint8_t* data() const { return static_cast<const uint8_t*>(map_); }
+
+  /// Copies [offset, offset + len) into `out`. Works in both modes;
+  /// out-of-range reads fail with OutOfRange and copy nothing.
+  Status Read(uint64_t offset, uint64_t len, void* out) const;
+
+ private:
+  int fd_ = -1;
+  void* map_ = nullptr;
+  uint64_t size_ = 0;
+
+  void Close();
+};
+
+}  // namespace trail
+
+#endif  // TRAIL_UTIL_FILE_REGION_H_

@@ -1,0 +1,219 @@
+// End-to-end contract of the store-backed cold start: a Trail restored from
+// a TKGS segment store (directly via OpenStore, or transitively through a
+// v2 checkpoint's store reference) must attribute bit-identically to the
+// Trail that built the graph in memory — across worker counts, on both the
+// classic batch path and the epoch plane — and Trail::AppendReports must
+// keep the attached store file current via delta commits.
+//
+// Carries the "store-kernels" label: tools/check_tests.sh re-runs it under
+// TRAIL_KERNELS=scalar and TRAIL_KERNELS=native.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/trail.h"
+#include "graph/store/store_reader.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "util/parallel.h"
+
+namespace trail::core {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+class ScopedWorkerCount {
+ public:
+  explicit ScopedWorkerCount(int n) { SetParallelWorkers(n); }
+  ~ScopedWorkerCount() { SetParallelWorkers(0); }
+};
+
+// Prefixed by the running test's name: ctest schedules each TEST_F as its
+// own process, so fixture-shared filenames would collide (and SIGBUS an
+// mmap'd store) when the suite runs with -j.
+std::string TempPath(const std::string& name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return testing::TempDir() + "/" + info->name() + "_" + name;
+}
+
+osint::WorldConfig SmallConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 4;
+  config.min_events_per_apt = 10;
+  config.max_events_per_apt = 14;
+  config.end_day = 800;
+  config.post_days = 90;
+  config.seed = 61;
+  return config;
+}
+
+TrailOptions FastOptions() {
+  TrailOptions options;
+  options.autoencoder.hidden = 32;
+  options.autoencoder.encoding = 16;
+  options.autoencoder.epochs = 2;
+  options.autoencoder.max_train_rows = 400;
+  options.gnn.hidden = 32;
+  options.gnn.epochs = 20;
+  return options;
+}
+
+/// Attribution replies compared bit for bit: full distribution doubles,
+/// novelty, energy, label, statuses.
+void ExpectBatchesBitIdentical(
+    const std::vector<Result<Trail::Attribution>>& a,
+    const std::vector<Result<Trail::Attribution>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].ok(), b[i].ok())
+        << "event " << i << ": " << (a[i].ok() ? b[i].status() : a[i].status());
+    if (!a[i].ok()) continue;
+    EXPECT_EQ(a[i]->apt, b[i]->apt) << "event " << i;
+    EXPECT_EQ(a[i]->apt_name, b[i]->apt_name);
+    EXPECT_EQ(std::memcmp(&a[i]->confidence, &b[i]->confidence,
+                          sizeof(double)), 0)
+        << "event " << i;
+    EXPECT_EQ(std::memcmp(&a[i]->novelty_score, &b[i]->novelty_score,
+                          sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&a[i]->energy, &b[i]->energy, sizeof(double)), 0);
+    ASSERT_EQ(a[i]->distribution.size(), b[i]->distribution.size());
+    for (size_t c = 0; c < a[i]->distribution.size(); ++c) {
+      EXPECT_EQ(a[i]->distribution[c].first, b[i]->distribution[c].first);
+      EXPECT_EQ(std::memcmp(&a[i]->distribution[c].second,
+                            &b[i]->distribution[c].second, sizeof(double)), 0)
+          << "event " << i << " class " << c;
+    }
+  }
+}
+
+class StoreTrailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<osint::World>(SmallConfig());
+    feed_ = std::make_unique<osint::FeedClient>(world_.get());
+    heap_ = std::make_unique<Trail>(feed_.get(), FastOptions());
+    ASSERT_TRUE(heap_->Ingest(feed_->FetchReports(0, 800)).ok());
+    ASSERT_TRUE(heap_->TrainModels().ok());
+    events_ = heap_->graph().NodesOfType(graph::NodeType::kEvent);
+    ASSERT_GT(events_.size(), 10u);
+
+    store_path_ = TempPath("trail.tkgs");
+    ckpt_path_ = TempPath("trail.ckpt");
+    ASSERT_TRUE(heap_->SaveStore(store_path_).ok());
+    EXPECT_EQ(heap_->store_path(), store_path_);
+    ASSERT_TRUE(heap_->SaveCheckpoint(ckpt_path_).ok());
+  }
+
+  std::unique_ptr<osint::World> world_;
+  std::unique_ptr<osint::FeedClient> feed_;
+  std::unique_ptr<Trail> heap_;
+  std::vector<graph::NodeId> events_;
+  std::string store_path_;
+  std::string ckpt_path_;
+};
+
+TEST_F(StoreTrailTest, OpenStoreRejectsNonEmptyTrail) {
+  Status st = heap_->OpenStore(store_path_);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st;
+}
+
+TEST_F(StoreTrailTest, StoreBackedAttributionBitIdenticalAcrossWorkers) {
+  // Restore purely from disk: OpenStore rebuilds the TKG from the segment
+  // store, LoadCheckpoint installs the trained models against it.
+  Trail restored(feed_.get(), FastOptions());
+  ASSERT_TRUE(restored.OpenStore(store_path_).ok());
+  ASSERT_TRUE(restored.LoadCheckpoint(ckpt_path_).ok());
+  ASSERT_EQ(restored.graph().num_nodes(), heap_->graph().num_nodes());
+  ASSERT_EQ(restored.graph().num_edges(), heap_->graph().num_edges());
+  ASSERT_EQ(restored.apt_names(), heap_->apt_names());
+  ASSERT_TRUE(restored.graph().CheckConsistency().ok());
+
+  for (int threads : kThreadCounts) {
+    ScopedWorkerCount scoped(threads);
+    auto want = heap_->AttributeBatchWithGnn(events_);
+    auto got = restored.AttributeBatchWithGnn(events_);
+    ExpectBatchesBitIdentical(want, got);
+  }
+}
+
+TEST_F(StoreTrailTest, CheckpointCarriesStoreReferenceForColdStart) {
+  // A v2 checkpoint remembers its store: a cold-start Trail loading just the
+  // checkpoint pulls the graph from the store file before installing models.
+  Trail cold(feed_.get(), FastOptions());
+  ASSERT_EQ(cold.graph().num_nodes(), 0u);
+  ASSERT_TRUE(cold.LoadCheckpoint(ckpt_path_).ok());
+  EXPECT_EQ(cold.store_path(), store_path_);
+  ASSERT_EQ(cold.graph().num_nodes(), heap_->graph().num_nodes());
+  ASSERT_EQ(cold.graph().num_edges(), heap_->graph().num_edges());
+
+  auto want = heap_->AttributeBatchWithGnn(events_);
+  auto got = cold.AttributeBatchWithGnn(events_);
+  ExpectBatchesBitIdentical(want, got);
+}
+
+TEST_F(StoreTrailTest, EpochPlaneOnStoreBackedTrailMatchesHeap) {
+  Trail restored(feed_.get(), FastOptions());
+  ASSERT_TRUE(restored.OpenStore(store_path_).ok());
+  ASSERT_TRUE(restored.LoadCheckpoint(ckpt_path_).ok());
+  ASSERT_TRUE(heap_->PublishEpoch().ok());
+  ASSERT_TRUE(restored.PublishEpoch().ok());
+  auto heap_epoch = heap_->PinEpoch();
+  auto store_epoch = restored.PinEpoch();
+  ASSERT_NE(heap_epoch, nullptr);
+  ASSERT_NE(store_epoch, nullptr);
+
+  for (int threads : kThreadCounts) {
+    ScopedWorkerCount scoped(threads);
+    auto want = Trail::AttributeBatchOnEpoch(*heap_epoch, events_);
+    auto got = Trail::AttributeBatchOnEpoch(*store_epoch, events_);
+    ExpectBatchesBitIdentical(want, got);
+  }
+}
+
+TEST_F(StoreTrailTest, AppendReportsWritesDeltaCommitToAttachedStore) {
+  // Unlabeled tail month: the roster stays fixed, so the checkpoint still
+  // matches after the append on both instances.
+  auto month_sources = world_->ReportsBetween(800, 890);
+  ASSERT_FALSE(month_sources.empty());
+  std::vector<osint::PulseReport> month;
+  for (const osint::PulseReport* report : month_sources) {
+    month.push_back(*report);
+    month.back().apt.clear();
+  }
+
+  auto delta = heap_->AppendReports(month);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  ASSERT_GT(delta->num_new_nodes, 0u);
+  EXPECT_EQ(heap_->store_path(), store_path_)
+      << "delta append detached the store";
+
+  // The store file now holds base + delta; a fresh materialize must equal
+  // the live heap graph exactly.
+  auto store = graph::store::GraphStore::Open(store_path_);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store.value()->num_commits(), 2u);
+  EXPECT_EQ(store.value()->num_nodes(), heap_->graph().num_nodes());
+  EXPECT_EQ(store.value()->num_edges(), heap_->graph().num_edges());
+  ASSERT_TRUE(graph::store::StoreValidate(store_path_).ok());
+
+  Trail restored(feed_.get(), FastOptions());
+  ASSERT_TRUE(restored.OpenStore(store_path_).ok());
+  ASSERT_TRUE(restored.LoadCheckpoint(ckpt_path_).ok());
+  ASSERT_EQ(restored.graph().num_edges(), heap_->graph().num_edges());
+
+  // Attribute the appended events too — they only exist via the delta path.
+  std::vector<graph::NodeId> probes = events_;
+  for (graph::NodeId event : delta->event_nodes) {
+    if (event != graph::kInvalidNode) probes.push_back(event);
+  }
+  ASSERT_GT(probes.size(), events_.size());
+  auto want = heap_->AttributeBatchWithGnn(probes);
+  auto got = restored.AttributeBatchWithGnn(probes);
+  ExpectBatchesBitIdentical(want, got);
+}
+
+}  // namespace
+}  // namespace trail::core

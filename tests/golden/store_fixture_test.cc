@@ -1,0 +1,187 @@
+// Golden fixture for the TKGS segment store: a small deterministic graph is
+// written (base commit + one delta commit) and the resulting file must be
+// BYTE-identical to the pinned fixture in tests/golden/goldens/. The writer
+// is fully deterministic — no timestamps, no randomized layout — so any
+// byte diff is a real format change. Intentional format changes bump
+// kStoreVersion and regenerate via tools/update_goldens.sh
+// (TRAIL_UPDATE_GOLDENS=1), committing the new fixture as the review
+// artifact. The pinned file also exercises the reader against bytes written
+// by a PAST build: it must still validate and materialize the same graph.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "graph/store/store_reader.h"
+#include "graph/store/store_writer.h"
+
+#ifndef TRAIL_GOLDEN_DIR
+#error "TRAIL_GOLDEN_DIR must point at tests/golden/goldens"
+#endif
+
+namespace trail::graph::store {
+namespace {
+
+constexpr char kFixtureName[] = "store_fixture_v1.tkgs";
+constexpr size_t kBaseEvents = 40;
+constexpr size_t kTotalEvents = 56;
+
+/// Deterministic procedural graph: `events` controls how far the build
+/// sequence runs, so BuildGraph(kBaseEvents) is an exact prefix of
+/// BuildGraph(kTotalEvents) — the precondition for a delta append.
+PropertyGraph BuildGraph(size_t events) {
+  PropertyGraph g;
+  for (size_t i = 0; i < events; ++i) {
+    NodeId e = g.AddNode(NodeType::kEvent, "FIX-" + std::to_string(i));
+    g.SetLabel(e, static_cast<int>(i % 3));
+    g.SetTimestamp(e, 100.0 + 3.0 * static_cast<double>(i));
+    for (size_t k = 0; k < 3; ++k) {
+      size_t ioc = (i * 7 + k * 13) % 50;
+      NodeId ip = g.AddNode(NodeType::kIp, "192.0.2." + std::to_string(ioc));
+      g.IncrementReportCount(ip);
+      g.SetFirstOrder(ip, ioc % 4 == 0);
+      std::vector<float> f(48, 0.0f);
+      f[ioc % 48] = 1.0f;
+      f[(ioc * 5 + 1) % 48] = 0.25f;
+      g.SetFeatures(ip, f);
+      g.AddEdge(e, ip, EdgeType::kInReport);
+      NodeId d = g.AddNode(NodeType::kDomain,
+                           "fx" + std::to_string(ioc % 20) + ".test");
+      g.AddEdge(ip, d, EdgeType::kARecord);
+      if (ioc % 5 == 0) {
+        NodeId asn = g.AddNode(NodeType::kAsn, "AS" + std::to_string(ioc % 7));
+        g.AddEdge(ip, asn, EdgeType::kInGroup);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::string> Roster() { return {"APT-A", "APT-B", "APT-C"}; }
+
+/// Writes base commit + delta commit to `path` — the exact sequence the
+/// fixture pins.
+void WriteFixtureStore(const std::string& path) {
+  PropertyGraph base = BuildGraph(kBaseEvents);
+  auto written = StoreWriter::Write(base, Roster(), kBaseEvents, path);
+  ASSERT_TRUE(written.ok()) << written.status();
+  PropertyGraph full = BuildGraph(kTotalEvents);
+  auto delta = StoreWriter::AppendDelta(full, Roster(), kTotalEvents,
+                                        static_cast<NodeId>(base.num_nodes()),
+                                        base.num_edges(), path);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::vector<uint8_t> bytes;
+  if (f == nullptr) return bytes;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return bytes;
+}
+
+bool UpdateMode() {
+  const char* env = std::getenv("TRAIL_UPDATE_GOLDENS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string FixturePath() {
+  return std::string(TRAIL_GOLDEN_DIR) + "/" + kFixtureName;
+}
+
+void ExpectGraphsIdentical(const PropertyGraph& want,
+                           const PropertyGraph& got) {
+  ASSERT_EQ(want.num_nodes(), got.num_nodes());
+  ASSERT_EQ(want.num_edges(), got.num_edges());
+  for (NodeId id = 0; id < want.num_nodes(); ++id) {
+    EXPECT_EQ(want.type(id), got.type(id)) << "node " << id;
+    EXPECT_EQ(want.value(id), got.value(id)) << "node " << id;
+    EXPECT_EQ(want.label(id), got.label(id)) << "node " << id;
+    EXPECT_EQ(want.first_order(id), got.first_order(id)) << "node " << id;
+    EXPECT_EQ(want.report_count(id), got.report_count(id)) << "node " << id;
+    EXPECT_EQ(want.timestamp(id), got.timestamp(id)) << "node " << id;
+    const auto& fw = want.features(id);
+    const auto& fg = got.features(id);
+    ASSERT_EQ(fw.size(), fg.size()) << "node " << id;
+    if (!fw.empty()) {
+      EXPECT_EQ(std::memcmp(fw.data(), fg.data(), fw.size() * sizeof(float)),
+                0)
+          << "node " << id;
+    }
+  }
+  for (size_t i = 0; i < want.num_edges(); ++i) {
+    EXPECT_TRUE(want.edges()[i] == got.edges()[i]) << "edge " << i;
+  }
+}
+
+TEST(StoreFixtureTest, WriterBytesMatchPinnedFixture) {
+  const std::string pinned = FixturePath();
+  const std::string fresh = testing::TempDir() + "/store_fixture_fresh.tkgs";
+  WriteFixtureStore(fresh);
+
+  if (UpdateMode()) {
+    std::vector<uint8_t> bytes = ReadFileBytes(fresh);
+    ASSERT_FALSE(bytes.empty());
+    std::FILE* f = std::fopen(pinned.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << pinned;
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+    std::printf("[golden] regenerated %s (%zu bytes)\n", pinned.c_str(),
+                bytes.size());
+    return;
+  }
+
+  std::vector<uint8_t> want = ReadFileBytes(pinned);
+  ASSERT_FALSE(want.empty())
+      << "No pinned store fixture at " << pinned
+      << ". Generate it with tools/update_goldens.sh and commit the file.";
+  std::vector<uint8_t> got = ReadFileBytes(fresh);
+  ASSERT_EQ(want.size(), got.size())
+      << "store file size changed — if the format change is intentional, "
+         "regenerate with tools/update_goldens.sh";
+  size_t first_diff = want.size();
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (want[i] != got[i]) {
+      first_diff = i;
+      break;
+    }
+  }
+  EXPECT_EQ(first_diff, want.size())
+      << "store bytes diverge from the pinned fixture at offset " << first_diff
+      << " — if intentional, regenerate with tools/update_goldens.sh";
+}
+
+TEST(StoreFixtureTest, PinnedFixtureValidatesAndMaterializes) {
+  const std::string pinned = FixturePath();
+  if (UpdateMode()) GTEST_SKIP() << "update mode: fixture just rewritten";
+  ASSERT_FALSE(ReadFileBytes(pinned).empty())
+      << "No pinned store fixture at " << pinned
+      << ". Generate it with tools/update_goldens.sh and commit the file.";
+
+  ASSERT_TRUE(StoreValidate(pinned).ok());
+  auto store = GraphStore::Open(pinned);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store.value()->num_commits(), 2u);
+
+  PropertyGraph got;
+  std::vector<std::string> apt_names;
+  uint64_t num_events = 0;
+  ASSERT_TRUE(store.value()->Materialize(&got, &apt_names, &num_events).ok());
+  EXPECT_EQ(apt_names, Roster());
+  EXPECT_EQ(num_events, kTotalEvents);
+  PropertyGraph want = BuildGraph(kTotalEvents);
+  ExpectGraphsIdentical(want, got);
+  ASSERT_TRUE(got.CheckConsistency().ok());
+}
+
+}  // namespace
+}  // namespace trail::graph::store

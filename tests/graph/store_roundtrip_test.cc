@@ -1,0 +1,360 @@
+// Round-trip equivalence of the TKGS segment store (docs/STORE.md): a graph
+// written by StoreWriter and read back — whether fully materialized or
+// probed through the lazy page-faulting accessors — must be bit-identical
+// to the heap PropertyGraph it came from, under mmap and under the pread
+// fallback (TRAIL_NO_MMAP=1), and after delta appends.
+
+#include <cstdlib>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "core/tkg_builder.h"
+#include "graph/csr.h"
+#include "graph/property_graph.h"
+#include "graph/store/store_reader.h"
+#include "graph/store/store_writer.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+
+namespace trail::graph::store {
+namespace {
+
+using core::TkgBuilder;
+using core::TkgBuildOptions;
+
+// Prefixed by the running test's name: ctest schedules each TEST as its own
+// process, so shared filenames would collide under -j.
+std::string TempPath(const std::string& name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return testing::TempDir() + "/" + info->name() + "_" + name;
+}
+
+osint::WorldConfig SmallConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 5;
+  config.min_events_per_apt = 6;
+  config.max_events_per_apt = 10;
+  config.end_day = 800;
+  config.post_days = 60;
+  config.seed = 7;
+  return config;
+}
+
+/// Bit-level equality of two PropertyGraphs: every payload, every feature
+/// bit, and the exact adjacency order.
+void ExpectGraphsIdentical(const PropertyGraph& a, const PropertyGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId id = 0; id < a.num_nodes(); ++id) {
+    ASSERT_EQ(a.type(id), b.type(id)) << "node " << id;
+    ASSERT_EQ(a.value(id), b.value(id)) << "node " << id;
+    ASSERT_EQ(a.label(id), b.label(id)) << "node " << id;
+    ASSERT_EQ(a.first_order(id), b.first_order(id)) << "node " << id;
+    ASSERT_EQ(a.report_count(id), b.report_count(id)) << "node " << id;
+    ASSERT_EQ(a.timestamp(id), b.timestamp(id)) << "node " << id;
+    const std::vector<float>& fa = a.features(id);
+    const std::vector<float>& fb = b.features(id);
+    ASSERT_EQ(fa.size(), fb.size()) << "node " << id;
+    if (!fa.empty()) {
+      ASSERT_EQ(std::memcmp(fa.data(), fb.data(), fa.size() * sizeof(float)),
+                0)
+          << "feature bits differ at node " << id;
+    }
+    const std::vector<Neighbor>& na = a.neighbors(id);
+    const std::vector<Neighbor>& nb = b.neighbors(id);
+    ASSERT_EQ(na.size(), nb.size()) << "node " << id;
+    for (size_t i = 0; i < na.size(); ++i) {
+      ASSERT_EQ(na[i].node, nb[i].node) << "node " << id << " entry " << i;
+      ASSERT_EQ(na[i].type, nb[i].type) << "node " << id << " entry " << i;
+      ASSERT_EQ(na[i].is_outgoing, nb[i].is_outgoing)
+          << "node " << id << " entry " << i;
+    }
+  }
+  const std::vector<Edge>& ea = a.edges();
+  const std::vector<Edge>& eb = b.edges();
+  for (size_t i = 0; i < ea.size(); ++i) {
+    ASSERT_EQ(ea[i].src, eb[i].src) << "edge " << i;
+    ASSERT_EQ(ea[i].dst, eb[i].dst) << "edge " << i;
+    ASSERT_EQ(ea[i].type, eb[i].type) << "edge " << i;
+  }
+}
+
+void ExpectCsrIdentical(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_directed_entries(), b.num_directed_entries());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.Degree(v), b.Degree(v)) << "node " << v;
+    const NodeId* pa = a.NeighborsBegin(v);
+    const NodeId* pb = b.NeighborsBegin(v);
+    for (size_t i = 0; i < a.Degree(v); ++i) {
+      ASSERT_EQ(pa[i], pb[i]) << "node " << v << " entry " << i;
+      ASSERT_EQ(a.NeighborEdgeType(v, i), b.NeighborEdgeType(v, i))
+          << "node " << v << " entry " << i;
+    }
+  }
+}
+
+PropertyGraph HandGraph() {
+  PropertyGraph g;
+  NodeId e = g.AddNode(NodeType::kEvent, "PULSE-1");
+  NodeId ip = g.AddNode(NodeType::kIp, "9.8.7.6");
+  NodeId d = g.AddNode(NodeType::kDomain, "x.example");
+  NodeId asn = g.AddNode(NodeType::kAsn, "AS123");
+  NodeId url = g.AddNode(NodeType::kUrl, "http://x.example/a.php");
+  g.SetLabel(e, 3);
+  g.SetFirstOrder(ip, true);
+  g.IncrementReportCount(ip);
+  g.SetTimestamp(e, 99.5);
+  g.SetFeatures(ip, {0.5f, -1.0f, 0.0f, 3.25f});
+  g.SetFeatures(url, {0.0f, 0.0f, 1.0f});
+  g.AddEdge(e, ip, EdgeType::kInReport);
+  g.AddEdge(ip, d, EdgeType::kARecord);
+  g.AddEdge(ip, asn, EdgeType::kInGroup);
+  g.AddEdge(url, d, EdgeType::kHostedOn);
+  return g;
+}
+
+TEST(StoreRoundTripTest, HandGraphMaterializesIdentically) {
+  PropertyGraph g = HandGraph();
+  std::string path = TempPath("hand.tkgs");
+  auto written =
+      StoreWriter::Write(g, {"APT-A", "APT-B", "APT-C", "APT-D"}, 1, path);
+  ASSERT_TRUE(written.ok()) << written.status();
+  EXPECT_EQ(written->num_nodes, g.num_nodes());
+  EXPECT_EQ(written->num_edges, g.num_edges());
+  EXPECT_EQ(written->num_commits, 1u);
+
+  auto store = GraphStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store.value()->num_nodes(), g.num_nodes());
+  EXPECT_EQ(store.value()->num_edges(), g.num_edges());
+  EXPECT_EQ(store.value()->num_events(), 1u);
+  ASSERT_EQ(store.value()->apt_names().size(), 4u);
+  EXPECT_EQ(store.value()->apt_names()[0], "APT-A");
+
+  PropertyGraph loaded;
+  std::vector<std::string> apts;
+  uint64_t events = 0;
+  ASSERT_TRUE(store.value()->Materialize(&loaded, &apts, &events).ok());
+  EXPECT_EQ(events, 1u);
+  EXPECT_EQ(apts.size(), 4u);
+  ExpectGraphsIdentical(g, loaded);
+  EXPECT_TRUE(loaded.CheckConsistency().ok());
+}
+
+TEST(StoreRoundTripTest, EmptyGraphRoundTrips) {
+  PropertyGraph g;
+  std::string path = TempPath("empty.tkgs");
+  auto written = StoreWriter::Write(g, {}, 0, path);
+  ASSERT_TRUE(written.ok()) << written.status();
+  auto store = GraphStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  PropertyGraph loaded;
+  ASSERT_TRUE(store.value()->Materialize(&loaded, nullptr, nullptr).ok());
+  EXPECT_EQ(loaded.num_nodes(), 0u);
+  auto miss = store.value()->Lookup(NodeType::kIp, "1.2.3.4");
+  ASSERT_TRUE(miss.ok()) << miss.status();
+  EXPECT_EQ(miss.value(), kInvalidNode);
+}
+
+class StoreWorldTest : public ::testing::Test {
+ protected:
+  StoreWorldTest()
+      : world_(SmallConfig()), feed_(&world_),
+        builder_(&feed_, TkgBuildOptions{}) {}
+
+  void IngestAll() {
+    std::vector<std::string> jsons;
+    for (const osint::PulseReport& report : world_.reports()) {
+      jsons.push_back(report.ToJson().Dump());
+    }
+    ASSERT_TRUE(builder_.IngestAll(jsons).ok());
+  }
+
+  osint::World world_;
+  osint::FeedClient feed_;
+  TkgBuilder builder_;
+};
+
+TEST_F(StoreWorldTest, WorldGraphRoundTripsBitIdentically) {
+  IngestAll();
+  const PropertyGraph& g = builder_.graph();
+  std::string path = TempPath("world.tkgs");
+  auto written = StoreWriter::Write(g, builder_.apt_names(),
+                                    builder_.num_events(), path);
+  ASSERT_TRUE(written.ok()) << written.status();
+
+  auto store = GraphStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  PropertyGraph loaded;
+  std::vector<std::string> apts;
+  uint64_t events = 0;
+  ASSERT_TRUE(store.value()->Materialize(&loaded, &apts, &events).ok());
+  ExpectGraphsIdentical(g, loaded);
+  EXPECT_EQ(apts, builder_.apt_names());
+  EXPECT_EQ(events, builder_.num_events());
+  // The CSR compiled from the materialized graph matches the heap CSR
+  // layout exactly (same offsets/targets/types through the public API).
+  ExpectCsrIdentical(CsrGraph::Build(g), CsrGraph::Build(loaded));
+}
+
+TEST_F(StoreWorldTest, LazyAccessorsMatchHeapWithoutFullLoad) {
+  IngestAll();
+  const PropertyGraph& g = builder_.graph();
+  std::string path = TempPath("lazy.tkgs");
+  ASSERT_TRUE(StoreWriter::Write(g, builder_.apt_names(),
+                                 builder_.num_events(), path)
+                  .ok());
+
+  auto store = GraphStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  // Opening is O(1) pages: header + directory + meta, not the data body.
+  BufferStats after_open = store.value()->buffer_stats();
+  EXPECT_GT(after_open.total_pages, 8u);
+  EXPECT_LT(after_open.pages_touched * 4, after_open.total_pages)
+      << "Open should not touch the bulk of the file";
+
+  // Probe a spread of nodes through every lazy accessor.
+  for (NodeId id = 0; id < g.num_nodes(); id += 97) {
+    auto found = store.value()->Lookup(g.type(id), g.value(id));
+    ASSERT_TRUE(found.ok()) << found.status();
+    EXPECT_EQ(found.value(), id);
+    auto value = store.value()->Value(id);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(value.value(), g.value(id));
+    auto record = store.value()->Node(id);
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record->label, g.label(id));
+    EXPECT_EQ(record->report_count, static_cast<uint32_t>(g.report_count(id)));
+    EXPECT_EQ(record->timestamp, g.timestamp(id));
+    EXPECT_EQ(record->first_order != 0, g.first_order(id));
+    auto features = store.value()->Features(id);
+    ASSERT_TRUE(features.ok());
+    const std::vector<float>& expect = g.features(id);
+    ASSERT_EQ(features->size(), expect.size());
+    if (!expect.empty()) {
+      EXPECT_EQ(std::memcmp(features->data(), expect.data(),
+                            expect.size() * sizeof(float)),
+                0);
+    }
+    auto neighbors = store.value()->Neighbors(id);
+    ASSERT_TRUE(neighbors.ok());
+    const std::vector<Neighbor>& heap = g.neighbors(id);
+    ASSERT_EQ(neighbors->size(), heap.size());
+    for (size_t i = 0; i < heap.size(); ++i) {
+      EXPECT_EQ((*neighbors)[i].node, heap[i].node);
+      EXPECT_EQ((*neighbors)[i].type, heap[i].type);
+      EXPECT_EQ((*neighbors)[i].is_outgoing, heap[i].is_outgoing);
+    }
+  }
+  auto missing = store.value()->Lookup(NodeType::kDomain, "no.such.example");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value(), kInvalidNode);
+}
+
+TEST_F(StoreWorldTest, DeltaAppendEqualsScratchRebuild) {
+  // Ingest the first half, persist, append the second half both to the
+  // builder and (as a delta commit) to the store.
+  std::vector<osint::PulseReport> reports = world_.reports();
+  size_t half = reports.size() / 2;
+  {
+    std::vector<std::string> jsons;
+    for (size_t i = 0; i < half; ++i) jsons.push_back(reports[i].ToJson().Dump());
+    ASSERT_TRUE(builder_.IngestAll(jsons).ok());
+  }
+  std::string path = TempPath("delta.tkgs");
+  ASSERT_TRUE(StoreWriter::Write(builder_.graph(), builder_.apt_names(),
+                                 builder_.num_events(), path)
+                  .ok());
+
+  std::vector<osint::PulseReport> tail(reports.begin() + half, reports.end());
+  auto delta = builder_.AppendReports(tail);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  auto appended = StoreWriter::AppendDelta(
+      builder_.graph(), builder_.apt_names(), builder_.num_events(),
+      delta->first_new_node, delta->first_new_edge, path);
+  ASSERT_TRUE(appended.ok()) << appended.status();
+  EXPECT_EQ(appended->num_commits, 2u);
+
+  // The delta store materializes to the same graph as the full ingest...
+  auto store = GraphStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store.value()->num_commits(), 2u);
+  PropertyGraph loaded;
+  ASSERT_TRUE(store.value()->Materialize(&loaded, nullptr, nullptr).ok());
+  ExpectGraphsIdentical(builder_.graph(), loaded);
+
+  // ...and to the same bytes a scratch rebuild of the final graph yields
+  // for the lazy paths: spot-check Neighbors across the base/delta split.
+  for (NodeId id = 0; id < builder_.graph().num_nodes(); id += 131) {
+    auto neighbors = store.value()->Neighbors(id);
+    ASSERT_TRUE(neighbors.ok()) << neighbors.status();
+    const std::vector<Neighbor>& heap = builder_.graph().neighbors(id);
+    ASSERT_EQ(neighbors->size(), heap.size()) << "node " << id;
+    for (size_t i = 0; i < heap.size(); ++i) {
+      EXPECT_EQ((*neighbors)[i].node, heap[i].node);
+      EXPECT_EQ((*neighbors)[i].type, heap[i].type);
+      EXPECT_EQ((*neighbors)[i].is_outgoing, heap[i].is_outgoing);
+    }
+  }
+
+  // Mis-anchored watermarks must be rejected, not silently appended.
+  auto bad = StoreWriter::AppendDelta(builder_.graph(), builder_.apt_names(),
+                                      builder_.num_events(),
+                                      delta->first_new_node + 1,
+                                      delta->first_new_edge, path);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StoreWorldTest, PreadFallbackParity) {
+  IngestAll();
+  const PropertyGraph& g = builder_.graph();
+  std::string path = TempPath("fallback.tkgs");
+  ASSERT_TRUE(StoreWriter::Write(g, builder_.apt_names(),
+                                 builder_.num_events(), path)
+                  .ok());
+
+  ASSERT_EQ(setenv("TRAIL_NO_MMAP", "1", 1), 0);
+  auto store = GraphStore::Open(path);
+  ASSERT_EQ(unsetenv("TRAIL_NO_MMAP"), 0);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_FALSE(store.value()->mmapped());
+
+  PropertyGraph loaded;
+  ASSERT_TRUE(store.value()->Materialize(&loaded, nullptr, nullptr).ok());
+  ExpectGraphsIdentical(g, loaded);
+  EXPECT_GT(store.value()->buffer_stats().bytes_read, 0u);
+  EXPECT_TRUE(store.value()->Validate().ok());
+  EXPECT_TRUE(store.value()->ValidateStructure().ok());
+}
+
+TEST_F(StoreWorldTest, DeterministicBytes) {
+  IngestAll();
+  std::string path_a = TempPath("det_a.tkgs");
+  std::string path_b = TempPath("det_b.tkgs");
+  ASSERT_TRUE(StoreWriter::Write(builder_.graph(), builder_.apt_names(),
+                                 builder_.num_events(), path_a)
+                  .ok());
+  ASSERT_TRUE(StoreWriter::Write(builder_.graph(), builder_.apt_names(),
+                                 builder_.num_events(), path_b)
+                  .ok());
+  std::FILE* fa = std::fopen(path_a.c_str(), "rb");
+  std::FILE* fb = std::fopen(path_b.c_str(), "rb");
+  ASSERT_NE(fa, nullptr);
+  ASSERT_NE(fb, nullptr);
+  std::vector<char> ba, bb;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), fa)) > 0)
+    ba.insert(ba.end(), buf, buf + n);
+  while ((n = std::fread(buf, 1, sizeof(buf), fb)) > 0)
+    bb.insert(bb.end(), buf, buf + n);
+  std::fclose(fa);
+  std::fclose(fb);
+  EXPECT_EQ(ba, bb) << "store bytes must be a pure function of the graph";
+}
+
+}  // namespace
+}  // namespace trail::graph::store

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the segment-store scale benchmark (bench/store_scale): build-once /
+# load-many economics of the TKGS store at the small, paper (~2.1M-node),
+# and optional 10x world tiers — reparse-vs-materialize speedup, store
+# write cost, cold first-query page-fault counters (measured in a re-exec'd
+# child with a cold buffer pool), warm query latency, and peak RSS. Writes
+# BENCH_store.json. Honest numbers only: a 1-core container reports
+# single-threaded wall time and says so in the JSON.
+#
+# Usage: tools/bench_store.sh [BUILD_DIR]
+#   BUILD_DIR  default: build
+# Honors TRAIL_BENCH_QUICK=1 (small tier only), TRAIL_BENCH_STORE_10X=1
+# (adds the 10x tier; needs several GiB of RAM and minutes of generation),
+# and TRAIL_BENCH_STORE_OUT for the output path.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${TRAIL_BENCH_STORE_OUT:-BENCH_store.json}"
+
+if [[ ! -x "$BUILD_DIR/bench/store_scale" ]]; then
+  echo "bench_store: build 'store_scale' first (cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+TRAIL_RUN_MANIFEST=none "$BUILD_DIR/bench/store_scale" --out "$OUT"
+
+if [[ -x "$BUILD_DIR/tools/json_verify" ]]; then
+  "$BUILD_DIR/tools/json_verify" json "$OUT"
+fi
+
+echo
+echo "bench_store: wrote $OUT"

@@ -7,6 +7,8 @@
 # Usage: tools/check_tests.sh [BUILD_DIR]   (default: build)
 #   TRAIL_SKIP_TSAN=1   skip the ThreadSanitizer tier (e.g. no clang tsan
 #                       runtime on the host); everything else still runs.
+#   TRAIL_SKIP_ASAN=1   skip the AddressSanitizer store tier (no asan
+#                       runtime, or no time for a second build tree).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -69,6 +71,13 @@ echo
 echo "== scenario tier (ctest -L scenarios) =="
 run_ctest -L scenarios
 
+# Segment-store tier: round-trip/delta/corruption suites (-L store also
+# matches the compound store-kernels and store-golden labels, so this runs
+# the store-backed Trail equivalence and the pinned binary fixture too).
+echo
+echo "== segment-store tier (ctest -L store) =="
+run_ctest -L store
+
 # Kernel equivalence tier: the same suite under both dispatch targets, so a
 # host whose default is AVX2 still proves the scalar baseline (and vice
 # versa — on a host without AVX2, "native" resolves to scalar and this
@@ -82,6 +91,25 @@ echo "== kernels tier, TRAIL_KERNELS=native (ctest -L kernels) =="
 export TRAIL_KERNELS=native
 run_ctest -L kernels
 unset TRAIL_KERNELS
+
+# AddressSanitizer store tier: the store reader walks mmap'd bytes with
+# hand-rolled bounds checks, so the corruption/round-trip suites re-run
+# under asan in a second build tree to catch any out-of-bounds decode the
+# plain build survives by luck.
+if [ "${TRAIL_SKIP_ASAN:-0}" = "1" ]; then
+  echo
+  echo "== AddressSanitizer store tier SKIPPED by TRAIL_SKIP_ASAN=1 =="
+else
+  echo
+  echo "== AddressSanitizer store tier (ctest -L store, ${BUILD_DIR}-asan) =="
+  cmake -S "$SOURCE_DIR" -B "${BUILD_DIR}-asan" \
+    -DTRAIL_SANITIZE=address >/dev/null
+  cmake --build "${BUILD_DIR}-asan" -j --target \
+    graph_store_roundtrip_test graph_store_validate_test \
+    core_store_trail_test golden_store_fixture_test
+  (cd "${BUILD_DIR}-asan" && ctest --output-on-failure --no-tests=error \
+    -L store -j "$(nproc)")
+fi
 
 if [ "${TRAIL_SKIP_TSAN:-0}" = "1" ]; then
   echo

@@ -7,6 +7,19 @@
 //                                                   against a freshly built
 //                                                   TKG (prints the evidence
 //                                                   report as JSON)
+//   trail_cli store-build --out STORE [--seed N]    build the TKG and write it
+//                                                   as a TKGS segment store
+//                                                   (docs/STORE.md)
+//   trail_cli store-open --store FILE               open a store (O(1) pages),
+//                                                   print its shape; add
+//                                                   --materialize to time a
+//                                                   full graph rebuild
+//   trail_cli store-validate --store FILE           checksum + structural
+//                                                   validation; exit 0 = clean
+//
+// World-scale flag (generate / build / store-build):
+//   --scale F             multiply event volume by F (WorldConfig::Scaled);
+//                         "paper" = the ~2.1M-node paper-scale world
 //
 // Observability flags (any command; see docs/OBSERVABILITY.md):
 //   --log-level LEVEL     debug|info|warning|error (default warning)
@@ -35,6 +48,8 @@
 #include "core/tkg_builder.h"
 #include "core/trail.h"
 #include "graph/serialization.h"
+#include "graph/store/store_reader.h"
+#include "graph/store/store_writer.h"
 #include "obs/manifest.h"
 #include "obs/trace.h"
 #include "osint/feed_client.h"
@@ -55,8 +70,21 @@ std::string GetFlag(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  for (int i = 2; i < argc; ++i) {
+    if (name == argv[i]) return true;
+  }
+  return false;
+}
+
 osint::WorldConfig CliWorldConfig(int argc, char** argv) {
   osint::WorldConfig config;
+  std::string scale = GetFlag(argc, argv, "--scale");
+  if (scale == "paper") {
+    config = osint::WorldConfig::PaperScale();
+  } else if (!scale.empty()) {
+    config = osint::WorldConfig::Scaled(std::stod(scale));
+  }
   std::string seed = GetFlag(argc, argv, "--seed");
   if (!seed.empty()) config.seed = std::stoull(seed);
   return config;
@@ -106,6 +134,95 @@ int CmdBuild(int argc, char** argv) {
   std::printf("TKG saved to %s: %zu nodes, %zu edges, %zu events\n",
               out.c_str(), builder.graph().num_nodes(),
               builder.graph().num_edges(), builder.num_events());
+  return 0;
+}
+
+int CmdStoreBuild(int argc, char** argv) {
+  std::string out = GetFlag(argc, argv, "--out");
+  if (out.empty()) {
+    std::fprintf(stderr, "store-build requires --out FILE\n");
+    return 2;
+  }
+  osint::WorldConfig config = CliWorldConfig(argc, argv);
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  core::TkgBuilder builder(&feed, core::TkgBuildOptions{});
+  Status st = builder.IngestAll(feed.FetchReports(0, config.end_day));
+  if (!st.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto stats = graph::store::StoreWriter::Write(
+      builder.graph(), builder.apt_names(), builder.num_events(), out);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "store write failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("store written to %s: %llu nodes, %llu edges, %llu bytes "
+              "(%llu pages)\n",
+              out.c_str(), (unsigned long long)stats->num_nodes,
+              (unsigned long long)stats->num_edges,
+              (unsigned long long)stats->file_bytes,
+              (unsigned long long)stats->total_pages);
+  return 0;
+}
+
+int CmdStoreOpen(int argc, char** argv) {
+  std::string path = GetFlag(argc, argv, "--store");
+  if (path.empty()) {
+    std::fprintf(stderr, "store-open requires --store FILE\n");
+    return 2;
+  }
+  auto store = graph::store::GraphStore::Open(path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  graph::store::BufferStats buffers = store.value()->buffer_stats();
+  std::printf("store %s: %llu nodes, %llu edges, %llu events, %llu commits, "
+              "%zu APTs (%s)\n",
+              path.c_str(), (unsigned long long)store.value()->num_nodes(),
+              (unsigned long long)store.value()->num_edges(),
+              (unsigned long long)store.value()->num_events(),
+              (unsigned long long)store.value()->num_commits(),
+              store.value()->apt_names().size(),
+              store.value()->mmapped() ? "mmap" : "pread");
+  std::printf("open touched %llu of %llu pages (%llu faults)\n",
+              (unsigned long long)buffers.pages_touched,
+              (unsigned long long)buffers.total_pages,
+              (unsigned long long)buffers.page_faults);
+  if (HasFlag(argc, argv, "--materialize")) {
+    graph::PropertyGraph g;
+    Status st = store.value()->Materialize(&g, nullptr, nullptr);
+    if (!st.ok()) {
+      std::fprintf(stderr, "materialize failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    buffers = store.value()->buffer_stats();
+    std::printf("materialized %zu nodes / %zu edges; %llu of %llu pages "
+                "touched\n",
+                g.num_nodes(), g.num_edges(),
+                (unsigned long long)buffers.pages_touched,
+                (unsigned long long)buffers.total_pages);
+  }
+  return 0;
+}
+
+int CmdStoreValidate(int argc, char** argv) {
+  std::string path = GetFlag(argc, argv, "--store");
+  if (path.empty()) {
+    std::fprintf(stderr, "store-validate requires --store FILE\n");
+    return 2;
+  }
+  Status st = graph::store::StoreValidate(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "INVALID: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("store %s: all segment, page, and structural checks passed\n",
+              path.c_str());
   return 0;
 }
 
@@ -208,8 +325,8 @@ int main(int argc, char** argv) {
   trail::obs::RunContext run("trail_cli", argc, argv);
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: trail_cli <generate|build|stats|attribute> "
-                 "[flags]\n");
+                 "usage: trail_cli <generate|build|stats|attribute|"
+                 "store-build|store-open|store-validate> [flags]\n");
     run.set_exit_code(2);
     return 2;
   }
@@ -223,6 +340,12 @@ int main(int argc, char** argv) {
     rc = CmdStats(argc, argv);
   } else if (command == "attribute") {
     rc = CmdAttribute(argc, argv);
+  } else if (command == "store-build") {
+    rc = CmdStoreBuild(argc, argv);
+  } else if (command == "store-open") {
+    rc = CmdStoreOpen(argc, argv);
+  } else if (command == "store-validate") {
+    rc = CmdStoreValidate(argc, argv);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   }

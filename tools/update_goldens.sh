@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Regenerates the pinned outputs of the golden-regression harness
-# (tests/golden/goldens/*.json). Run this ONLY after verifying that a
-# behaviour change is intentional, then commit the rewritten files — the
-# diff is the review artifact.
+# (tests/golden/goldens/*.json) and the pinned binary store fixture
+# (tests/golden/goldens/store_fixture_v1.tkgs). Run this ONLY after
+# verifying that a behaviour change is intentional, then commit the
+# rewritten files — the diff is the review artifact. A store-fixture
+# rewrite means the TKGS writer's byte output changed: call that out in the
+# commit message, because old store files must still open (bump
+# kStoreVersion if they cannot).
 #
 # Usage: tools/update_goldens.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -13,15 +17,19 @@ SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 if [ ! -d "$BUILD_DIR" ]; then
   cmake -S "$SOURCE_DIR" -B "$BUILD_DIR" >/dev/null
 fi
-cmake --build "$BUILD_DIR" -j --target golden_golden_regression_test
+cmake --build "$BUILD_DIR" -j --target golden_golden_regression_test \
+    golden_store_fixture_test
 
 echo "== regenerating goldens =="
 TRAIL_UPDATE_GOLDENS=1 TRAIL_RUN_MANIFEST=none \
     "$BUILD_DIR/tests/golden_golden_regression_test"
+TRAIL_UPDATE_GOLDENS=1 TRAIL_RUN_MANIFEST=none \
+    "$BUILD_DIR/tests/golden_store_fixture_test"
 
 echo
 echo "== verifying the regenerated goldens pass =="
 TRAIL_RUN_MANIFEST=none "$BUILD_DIR/tests/golden_golden_regression_test"
+TRAIL_RUN_MANIFEST=none "$BUILD_DIR/tests/golden_store_fixture_test"
 
 echo
-echo "update_goldens: done — review and commit tests/golden/goldens/*.json"
+echo "update_goldens: done — review and commit tests/golden/goldens/*"
