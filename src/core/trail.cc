@@ -102,6 +102,9 @@ Result<TkgAppendDelta> Trail::AppendReports(
         builder_.graph(), builder_.apt_names(), builder_.num_events(),
         delta->first_new_node, delta->first_new_edge, store_path_);
     if (written.ok()) {
+      // Journaled mutations are now on disk (as this commit's node records
+      // or patches); start the next delta's journal window.
+      builder_.mutable_graph().ClearDirtyNodes();
       TRAIL_METRIC_INC("core.store_delta_appends");
     } else {
       TRAIL_LOG(Warning) << "detaching store " << store_path_
@@ -109,6 +112,7 @@ Result<TkgAppendDelta> Trail::AppendReports(
                          << written.status().message();
       TRAIL_METRIC_INC("core.store_delta_append_failures");
       store_path_.clear();
+      builder_.mutable_graph().DisableMutationJournal();
     }
   }
   return delta;
@@ -121,6 +125,10 @@ Status Trail::SaveStore(const std::string& path) {
       builder_.graph(), builder_.apt_names(), builder_.num_events(), path);
   if (!stats.ok()) return stats.status();
   store_path_ = path;
+  // Journal every later mutable-field change so the next delta commit can
+  // patch old nodes even when they gain no new incident edge (e.g. the
+  // study labeling last month's events before a retrain).
+  builder_.mutable_graph().EnableMutationJournal();
   TRAIL_LOG(Info) << "saved TKG store " << path << ": " << stats->num_nodes
                   << " nodes, " << stats->num_edges << " edges, "
                   << stats->file_bytes << " bytes";
@@ -143,6 +151,7 @@ Status Trail::OpenStore(const std::string& path) {
   TRAIL_RETURN_NOT_OK(builder_.AdoptGraph(std::move(g), std::move(apts),
                                           static_cast<size_t>(num_events)));
   store_path_ = path;
+  builder_.mutable_graph().EnableMutationJournal();
   InvalidateCaches();
   TRAIL_METRIC_INC("core.store_opens");
   return Status::Ok();

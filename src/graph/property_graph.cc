@@ -42,6 +42,8 @@ PropertyGraph& PropertyGraph::operator=(const PropertyGraph& other) {
   adjacency_ = other.adjacency_;
   edges_ = other.edges_;
   for (int t = 0; t < kNumEdgeTypes; ++t) edge_set_[t] = other.edge_set_[t];
+  journal_enabled_ = other.journal_enabled_;
+  dirty_nodes_ = other.dirty_nodes_;
   intern_built_.store(other.intern_built_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
   edge_index_built_.store(
@@ -70,6 +72,8 @@ PropertyGraph& PropertyGraph::operator=(PropertyGraph&& other) noexcept {
   for (int t = 0; t < kNumEdgeTypes; ++t) {
     edge_set_[t] = std::move(other.edge_set_[t]);
   }
+  journal_enabled_ = other.journal_enabled_;
+  dirty_nodes_ = std::move(other.dirty_nodes_);
   intern_built_.store(other.intern_built_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
   edge_index_built_.store(

@@ -82,18 +82,33 @@ class PropertyGraph {
   const std::string& value(NodeId id) const { return values_[id]; }
 
   int label(NodeId id) const { return labels_[id]; }
-  void SetLabel(NodeId id, int label) { labels_[id] = label; }
+  void SetLabel(NodeId id, int label) {
+    labels_[id] = label;
+    MarkDirty(id);
+  }
 
   bool first_order(NodeId id) const { return first_order_[id]; }
-  void SetFirstOrder(NodeId id, bool v) { first_order_[id] = v; }
+  void SetFirstOrder(NodeId id, bool v) {
+    first_order_[id] = v;
+    MarkDirty(id);
+  }
 
   int report_count(NodeId id) const { return report_counts_[id]; }
-  void IncrementReportCount(NodeId id) { report_counts_[id]++; }
+  void IncrementReportCount(NodeId id) {
+    report_counts_[id]++;
+    MarkDirty(id);
+  }
   /// Restores a persisted count directly (store/snapshot load paths).
-  void SetReportCount(NodeId id, int count) { report_counts_[id] = count; }
+  void SetReportCount(NodeId id, int count) {
+    report_counts_[id] = count;
+    MarkDirty(id);
+  }
 
   double timestamp(NodeId id) const { return timestamps_[id]; }
-  void SetTimestamp(NodeId id, double ts) { timestamps_[id] = ts; }
+  void SetTimestamp(NodeId id, double ts) {
+    timestamps_[id] = ts;
+    MarkDirty(id);
+  }
 
   const std::vector<float>& features(NodeId id) const { return features_[id]; }
   void SetFeatures(NodeId id, std::vector<float> f) {
@@ -128,6 +143,34 @@ class PropertyGraph {
   /// edge endpoints in range). Used by tests and after deserialization.
   Status CheckConsistency() const;
 
+  // --- Mutation journal (segment-store delta support) ----------------------
+  // When enabled, every mutable-field setter (label, first_order,
+  // report_count, timestamp) records the touched node id, so
+  // StoreWriter::AppendDelta can patch mutations that come with no new
+  // incident edge (e.g. the longitudinal study labeling a prior month's
+  // events). Trail enables the journal when a store is attached; enabling
+  // clears the set because a full store write has just persisted the
+  // current state. Feature vectors are not journaled — the store format
+  // treats them (with type and value) as immutable after a node's first
+  // analysis.
+
+  /// Turns the journal on and starts it empty.
+  void EnableMutationJournal() {
+    journal_enabled_ = true;
+    dirty_nodes_.clear();
+  }
+  void DisableMutationJournal() {
+    journal_enabled_ = false;
+    dirty_nodes_.clear();
+  }
+  bool mutation_journal_enabled() const { return journal_enabled_; }
+
+  /// Ids whose mutable fields changed since the journal was last cleared.
+  const std::unordered_set<NodeId>& dirty_nodes() const { return dirty_nodes_; }
+
+  /// Drops journaled ids after they have been persisted (delta committed).
+  void ClearDirtyNodes() { dirty_nodes_.clear(); }
+
  private:
   static std::string MakeKey(NodeType type, std::string_view value);
   static uint64_t EdgeKey(NodeId src, NodeId dst, EdgeType type);
@@ -137,6 +180,10 @@ class PropertyGraph {
   /// built flags providing the acquire/release edge for the fast path.
   void EnsureInternIndex() const;
   void EnsureEdgeIndex() const;
+
+  void MarkDirty(NodeId id) {
+    if (journal_enabled_) dirty_nodes_.insert(id);
+  }
 
   // The interning map and edge-dedup sets are *indexes over* the row vectors
   // below, rebuilt on demand after AppendNodeRow / AppendEdgeBatch. mutable +
@@ -153,6 +200,8 @@ class PropertyGraph {
   std::vector<Edge> edges_;
   // One dedup set per edge type so the (src, dst) pair key fits in 64 bits.
   mutable std::unordered_set<uint64_t> edge_set_[kNumEdgeTypes];
+  bool journal_enabled_ = false;
+  std::unordered_set<NodeId> dirty_nodes_;
   mutable std::atomic<bool> intern_built_{true};
   mutable std::atomic<bool> edge_index_built_{true};
   mutable std::mutex index_mu_;

@@ -11,13 +11,19 @@
 
 // On-disk format of the TKGS segmented graph store (docs/STORE.md has the
 // full diagram). One file holds one TKG as a sequence of page-aligned
-// segments plus a directory; appends add new segments and rewrite only the
-// directory and header, never the existing data pages.
+// segments plus a directory; appends write new segments and a new directory
+// strictly AFTER the old directory, then atomically switch by rewriting the
+// header (with an fsync barrier in between) — nothing the old header
+// reaches is ever overwritten, so a crash mid-append leaves the previously
+// committed store readable.
 //
 //   [header page][commit-0 segments...][page-checksums][directory]
 //   after AppendDelta:
-//   [header'][commit-0 segments...][page-checksums][commit-1 segments...]
-//            [page-checksums'][directory']
+//   [header'][commit-0 segments...][page-checksums][dead old directory]
+//            [commit-1 segments...][page-checksums'][directory']
+//
+// The superseded directory's page becomes dead space, reclaimed only by a
+// full rewrite (compaction).
 //
 // Everything is little-endian-native, like the TKG1/TCK1 formats (single
 // architecture per deployment).

@@ -1,5 +1,7 @@
 #include "graph/store/store_writer.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -180,8 +182,20 @@ void BuildCsr(const PropertyGraph& graph, SegmentBuf* offsets,
             byte_offsets.size() * sizeof(uint64_t));
 }
 
+/// Pushes stdio buffers through to stable storage. The fsync is the write
+/// barrier the commit protocol depends on: without it the kernel may
+/// persist the new header before the data and directory it points at.
+Status FlushAndSync(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) return Status::IoError("flush failed: " + path);
+  if (fsync(fileno(f)) != 0) return Status::IoError("fsync failed: " + path);
+  return Status::Ok();
+}
+
 /// Writes the staged segments after `data_start`, then the page-checksum
-/// segment, the full directory (old entries + new), and finally the header.
+/// segment, the full directory (old entries + new), and finally — behind an
+/// fsync barrier — the header. Until that header lands, the old header and
+/// directory are untouched on disk, so a crash at any point leaves the
+/// previously committed store readable.
 Result<StoreWriteStats> CommitSegments(
     const std::string& path, bool append, uint64_t data_start,
     uint32_t commit, std::vector<SegmentEntry> entries,
@@ -189,6 +203,15 @@ Result<StoreWriteStats> CommitSegments(
     uint64_t num_edges) {
   FilePtr f(std::fopen(path.c_str(), append ? "rb+" : "wb+"));
   if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  if (append) {
+    // A previous append may have crashed after writing data but before its
+    // header: drop any bytes past the committed region (data_start is the
+    // first page after the committed directory) so the new file ends
+    // exactly at its directory.
+    if (ftruncate(fileno(f.get()), static_cast<off_t>(data_start)) != 0) {
+      return Status::IoError("truncate failed: " + path);
+    }
+  }
 
   auto write_at = [&](uint64_t offset, const void* data,
                       size_t len) -> Status {
@@ -256,6 +279,9 @@ Result<StoreWriteStats> CommitSegments(
   AppendPod(&dir, Fnv1a(dir.data(), dir.size()));
   uint64_t dir_offset = offset;
   TRAIL_RETURN_NOT_OK(write_at(dir_offset, dir.data(), dir.size()));
+  // Barrier: data and directory must be durable before the header that
+  // makes them reachable. Only then does the header switch commits.
+  TRAIL_RETURN_NOT_OK(FlushAndSync(f.get(), path));
 
   StoreHeader header;
   header.file_bytes = dir_offset + dir.size();
@@ -266,9 +292,7 @@ Result<StoreWriteStats> CommitSegments(
   std::vector<uint8_t> header_page(kPageSize, 0);
   std::memcpy(header_page.data(), &header, sizeof(header));
   TRAIL_RETURN_NOT_OK(write_at(0, header_page.data(), header_page.size()));
-  if (std::fflush(f.get()) != 0) {
-    return Status::IoError("flush failed: " + path);
-  }
+  TRAIL_RETURN_NOT_OK(FlushAndSync(f.get(), path));
 
   StoreWriteStats stats;
   stats.file_bytes = header.file_bytes;
@@ -425,11 +449,16 @@ Result<StoreWriteStats> StoreWriter::AppendDelta(
     segments.push_back(std::move(features));
   }
   segments.push_back(BuildEdges(graph, edge_lo, graph.num_edges()));
-  // Mutable fields of pre-existing nodes: re-referencing an old IOC flips
-  // first_order / bumps report_count without creating a node. Every such
-  // mutation comes with a new incident edge (TkgBuilder invariant), so diff
-  // exactly the old endpoints of the delta's edges against their effective
-  // on-store state and record the changed ones as patches.
+  // Mutable fields of pre-existing nodes can change without a new node:
+  // TkgBuilder ingest flips first_order / bumps report_count when a new
+  // report re-references an old IOC (those nodes gain an incident delta
+  // edge), and other mutators — Study::RunMonth labeling a prior month's
+  // events — touch old nodes with NO new edge at all. Diff the union of
+  // both candidate sets (old endpoints of the delta's edges, plus the
+  // graph's mutation journal when enabled) against the effective on-store
+  // state and record the changed ones as patches. Callers that mutate old
+  // nodes outside report ingest must keep the journal enabled (Trail does
+  // whenever a store is attached), or those changes will not persist.
   {
     auto store = GraphStore::Open(path);
     if (!store.ok()) return store.status();
@@ -438,6 +467,9 @@ Result<StoreWriteStats> StoreWriter::AppendDelta(
       const Edge& edge = graph.edges()[e];
       if (edge.src < node_lo) candidates.insert(edge.src);
       if (edge.dst < node_lo) candidates.insert(edge.dst);
+    }
+    for (NodeId id : graph.dirty_nodes()) {
+      if (id < node_lo) candidates.insert(id);
     }
     SegmentBuf patches{SegmentKind::kNodePatches, {}};
     std::vector<NodePatch> changed;
@@ -463,11 +495,18 @@ Result<StoreWriteStats> StoreWriter::AppendDelta(
   }
   // No CSR segments in deltas: the reader overlays delta edges onto the
   // base runs (small relative to the base; compaction = a fresh Write).
-  return CommitSegments(path, /*append=*/true,
-                        /*data_start=*/header.dir_offset,
-                        /*commit=*/last_commit + 1, std::move(entries),
-                        std::move(segments), graph.num_nodes(),
-                        graph.num_edges());
+  //
+  // New data starts on the first page AFTER the old directory, never on top
+  // of it: the old header + directory must stay a valid recovery point
+  // until the new header lands, or a crash mid-append would leave the old
+  // header pointing at clobbered directory bytes and lose every committed
+  // commit. The superseded directory's page becomes dead space, reclaimed
+  // only by a full rewrite (compaction).
+  return CommitSegments(
+      path, /*append=*/true,
+      /*data_start=*/PageAlign(header.dir_offset + header.dir_bytes),
+      /*commit=*/last_commit + 1, std::move(entries), std::move(segments),
+      graph.num_nodes(), graph.num_edges());
 }
 
 }  // namespace trail::graph::store

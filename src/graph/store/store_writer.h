@@ -26,8 +26,9 @@ struct StoreWriteStats {
 /// records, sparse feature payloads, the delta/varint-compressed CSR runs,
 /// and the directed edge list. `AppendDelta` adds one commit covering only
 /// the nodes/edges past the given watermarks — the monthly AppendReports
-/// path — leaving every existing data page untouched (only the directory
-/// and header are rewritten).
+/// path — leaving every committed byte (data pages AND the old directory)
+/// untouched until an fsync'd header rewrite switches to the new commit, so
+/// a crash at any point keeps the previously committed store readable.
 ///
 /// Output is a pure function of the graph + roster, byte for byte: the
 /// committed golden fixture pins this (tools/update_goldens.sh).
@@ -42,6 +43,11 @@ class StoreWriter {
   /// Appends one delta commit: nodes >= node_lo and edges >= edge_lo (the
   /// TkgAppendDelta watermarks). Fails FailedPrecondition when the
   /// watermarks do not line up with the store's current node/edge counts.
+  /// Mutations to OLDER nodes are persisted as kNodePatches for the union
+  /// of (a) old endpoints of the delta's edges and (b) the graph's mutation
+  /// journal — callers that mutate old nodes outside report ingest must
+  /// have `PropertyGraph::EnableMutationJournal` active for those changes
+  /// to reach the file (Trail does whenever a store is attached).
   static Result<StoreWriteStats> AppendDelta(
       const PropertyGraph& graph, const std::vector<std::string>& apt_names,
       uint64_t num_events, uint64_t node_lo, uint64_t edge_lo,

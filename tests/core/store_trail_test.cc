@@ -215,5 +215,37 @@ TEST_F(StoreTrailTest, AppendReportsWritesDeltaCommitToAttachedStore) {
   ExpectBatchesBitIdentical(want, got);
 }
 
+TEST_F(StoreTrailTest, EdgeFreeLabelMutationsPersistThroughDeltaCommit) {
+  // The longitudinal study labels a prior month's event nodes via
+  // mutable_graph().SetLabel() — a mutation with no new incident edge. The
+  // mutation journal (enabled by SaveStore) must carry it into the next
+  // delta commit, or a cold start would silently restore stale labels.
+  std::vector<graph::NodeId> relabeled(events_.begin(), events_.begin() + 4);
+  const int num_classes = static_cast<int>(heap_->apt_names().size());
+  for (graph::NodeId event : relabeled) {
+    int flipped = (heap_->graph().label(event) + 1) % num_classes;
+    heap_->mutable_graph().SetLabel(event, flipped);
+  }
+
+  auto month_sources = world_->ReportsBetween(800, 890);
+  ASSERT_FALSE(month_sources.empty());
+  std::vector<osint::PulseReport> month;
+  for (const osint::PulseReport* report : month_sources) {
+    month.push_back(*report);
+    month.back().apt.clear();
+  }
+  auto delta = heap_->AppendReports(month);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  EXPECT_EQ(heap_->store_path(), store_path_);
+
+  Trail restored(feed_.get(), FastOptions());
+  ASSERT_TRUE(restored.OpenStore(store_path_).ok());
+  for (graph::NodeId event : relabeled) {
+    EXPECT_EQ(restored.graph().label(event), heap_->graph().label(event))
+        << "label mutation on node " << event << " lost by the delta commit";
+  }
+  ASSERT_TRUE(graph::store::StoreValidate(store_path_).ok());
+}
+
 }  // namespace
 }  // namespace trail::core

@@ -4,6 +4,7 @@
 // to the heap PropertyGraph it came from, under mmap and under the pread
 // fallback (TRAIL_NO_MMAP=1), and after delta appends.
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -306,6 +307,125 @@ TEST_F(StoreWorldTest, DeltaAppendEqualsScratchRebuild) {
                                       delta->first_new_edge, path);
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::vector<uint8_t> bytes;
+  if (f == nullptr) return bytes;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& b) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(b.data(), 1, b.size(), f), b.size());
+  std::fclose(f);
+}
+
+TEST_F(StoreWorldTest, CrashMidAppendKeepsCommittedStoreReadable) {
+  // The append protocol's core guarantee: until the new header lands,
+  // every byte the OLD header reaches — data pages AND the old directory —
+  // is untouched on disk, so a crash at any earlier point (simulated here
+  // as "all delta bytes written, header not yet rewritten") recovers to
+  // the previous commit.
+  std::vector<osint::PulseReport> reports = world_.reports();
+  size_t half = reports.size() / 2;
+  {
+    std::vector<std::string> jsons;
+    for (size_t i = 0; i < half; ++i)
+      jsons.push_back(reports[i].ToJson().Dump());
+    ASSERT_TRUE(builder_.IngestAll(jsons).ok());
+  }
+  std::string path = TempPath("crash.tkgs");
+  ASSERT_TRUE(StoreWriter::Write(builder_.graph(), builder_.apt_names(),
+                                 builder_.num_events(), path)
+                  .ok());
+  const std::vector<uint8_t> base_bytes = ReadFileBytes(path);
+  PropertyGraph base_graph = builder_.graph();
+
+  std::vector<osint::PulseReport> tail(reports.begin() + half, reports.end());
+  auto delta = builder_.AppendReports(tail);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  ASSERT_TRUE(StoreWriter::AppendDelta(builder_.graph(), builder_.apt_names(),
+                                       builder_.num_events(),
+                                       delta->first_new_node,
+                                       delta->first_new_edge, path)
+                  .ok());
+  const std::vector<uint8_t> appended_bytes = ReadFileBytes(path);
+  ASSERT_GT(appended_bytes.size(), base_bytes.size());
+
+  // Everything the old file held — except the rewritten header page — must
+  // be byte-identical in place, old directory included.
+  ASSERT_TRUE(std::equal(base_bytes.begin() + kPageSize, base_bytes.end(),
+                         appended_bytes.begin() + kPageSize))
+      << "append clobbered committed bytes";
+
+  // Torn append: all delta bytes on disk, header still the old one.
+  std::vector<uint8_t> torn = appended_bytes;
+  std::copy(base_bytes.begin(), base_bytes.begin() + kPageSize, torn.begin());
+  std::string torn_path = TempPath("crash_torn.tkgs");
+  WriteFileBytes(torn_path, torn);
+
+  ASSERT_TRUE(StoreValidate(torn_path).ok());
+  auto recovered = GraphStore::Open(torn_path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered.value()->num_commits(), 1u);
+  PropertyGraph loaded;
+  ASSERT_TRUE(recovered.value()->Materialize(&loaded, nullptr, nullptr).ok());
+  ExpectGraphsIdentical(base_graph, loaded);
+
+  // Re-running the append on the torn file truncates the orphaned tail and
+  // commits cleanly.
+  auto retried = StoreWriter::AppendDelta(
+      builder_.graph(), builder_.apt_names(), builder_.num_events(),
+      delta->first_new_node, delta->first_new_edge, torn_path);
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  auto reopened = GraphStore::Open(torn_path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened.value()->num_commits(), 2u);
+  PropertyGraph full;
+  ASSERT_TRUE(reopened.value()->Materialize(&full, nullptr, nullptr).ok());
+  ExpectGraphsIdentical(builder_.graph(), full);
+}
+
+TEST(StoreRoundTripTest, JournaledMutationsWithoutNewEdgesPersist) {
+  // Study-style mutation: labels change on nodes that never gain a new
+  // incident edge. Without the mutation journal the delta writer cannot
+  // see them; with it, an edge-free delta commit carries them as patches.
+  PropertyGraph g = HandGraph();
+  std::string path = TempPath("journal.tkgs");
+  ASSERT_TRUE(StoreWriter::Write(g, {"APT-A", "APT-B"}, 1, path).ok());
+
+  g.EnableMutationJournal();
+  NodeId event = g.FindNode(NodeType::kEvent, "PULSE-1");
+  NodeId domain = g.FindNode(NodeType::kDomain, "x.example");
+  ASSERT_NE(event, kInvalidNode);
+  ASSERT_NE(domain, kInvalidNode);
+  g.SetLabel(event, 1);
+  g.SetTimestamp(domain, 321.5);
+  g.SetFirstOrder(domain, true);
+  EXPECT_EQ(g.dirty_nodes().size(), 2u);
+
+  auto appended = StoreWriter::AppendDelta(
+      g, {"APT-A", "APT-B"}, 1, g.num_nodes(), g.num_edges(), path);
+  ASSERT_TRUE(appended.ok()) << appended.status();
+
+  auto store = GraphStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store.value()->num_commits(), 2u);
+  PropertyGraph loaded;
+  ASSERT_TRUE(store.value()->Materialize(&loaded, nullptr, nullptr).ok());
+  ExpectGraphsIdentical(g, loaded);
+  // The lazy record path must see the patch too.
+  auto record = store.value()->Node(event);
+  ASSERT_TRUE(record.ok()) << record.status();
+  EXPECT_EQ(record->label, 1);
 }
 
 TEST_F(StoreWorldTest, PreadFallbackParity) {

@@ -38,7 +38,10 @@
 // universe. In a production deployment `osint::FeedClient` would be backed
 // by a live exchange instead.
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -77,17 +80,41 @@ bool HasFlag(int argc, char** argv, const std::string& name) {
   return false;
 }
 
-osint::WorldConfig CliWorldConfig(int argc, char** argv) {
-  osint::WorldConfig config;
+/// Parses the world flags (--scale, --seed). Returns false after printing a
+/// usage error on a malformed value — the flags are user input, so they must
+/// fail as exit code 2, not as an uncaught std::stod/stoull exception.
+bool CliWorldConfig(int argc, char** argv, osint::WorldConfig* config) {
+  *config = osint::WorldConfig{};
   std::string scale = GetFlag(argc, argv, "--scale");
   if (scale == "paper") {
-    config = osint::WorldConfig::PaperScale();
+    *config = osint::WorldConfig::PaperScale();
   } else if (!scale.empty()) {
-    config = osint::WorldConfig::Scaled(std::stod(scale));
+    errno = 0;
+    char* end = nullptr;
+    double factor = std::strtod(scale.c_str(), &end);
+    if (errno != 0 || end == scale.c_str() || *end != '\0' ||
+        !std::isfinite(factor) || factor <= 0.0) {
+      std::fprintf(stderr,
+                   "--scale must be 'paper' or a positive number, got '%s'\n",
+                   scale.c_str());
+      return false;
+    }
+    *config = osint::WorldConfig::Scaled(factor);
   }
   std::string seed = GetFlag(argc, argv, "--seed");
-  if (!seed.empty()) config.seed = std::stoull(seed);
-  return config;
+  if (!seed.empty()) {
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(seed.c_str(), &end, 10);
+    if (errno != 0 || end == seed.c_str() || *end != '\0' ||
+        seed[0] == '-') {
+      std::fprintf(stderr, "--seed must be a non-negative integer, got '%s'\n",
+                   seed.c_str());
+      return false;
+    }
+    config->seed = value;
+  }
+  return true;
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -96,7 +123,9 @@ int CmdGenerate(int argc, char** argv) {
     std::fprintf(stderr, "generate requires --out DIR\n");
     return 2;
   }
-  osint::World world(CliWorldConfig(argc, argv));
+  osint::WorldConfig config;
+  if (!CliWorldConfig(argc, argv, &config)) return 2;
+  osint::World world(config);
   int written = 0;
   for (const osint::PulseReport& report : world.reports()) {
     std::ofstream file(out + "/" + report.id + ".json");
@@ -117,7 +146,8 @@ int CmdBuild(int argc, char** argv) {
     std::fprintf(stderr, "build requires --out FILE\n");
     return 2;
   }
-  osint::WorldConfig config = CliWorldConfig(argc, argv);
+  osint::WorldConfig config;
+  if (!CliWorldConfig(argc, argv, &config)) return 2;
   osint::World world(config);
   osint::FeedClient feed(&world);
   core::TkgBuilder builder(&feed, core::TkgBuildOptions{});
@@ -143,7 +173,8 @@ int CmdStoreBuild(int argc, char** argv) {
     std::fprintf(stderr, "store-build requires --out FILE\n");
     return 2;
   }
-  osint::WorldConfig config = CliWorldConfig(argc, argv);
+  osint::WorldConfig config;
+  if (!CliWorldConfig(argc, argv, &config)) return 2;
   osint::World world(config);
   osint::FeedClient feed(&world);
   core::TkgBuilder builder(&feed, core::TkgBuildOptions{});
@@ -283,7 +314,8 @@ int CmdAttribute(int argc, char** argv) {
     return 1;
   }
 
-  osint::WorldConfig config = CliWorldConfig(argc, argv);
+  osint::WorldConfig config;
+  if (!CliWorldConfig(argc, argv, &config)) return 2;
   osint::World world(config);
   osint::FeedClient feed(&world);
   core::TrailOptions options;
