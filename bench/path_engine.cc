@@ -1,0 +1,326 @@
+// Evidence-path plane benchmark: the economics of the reachability index
+// and the k-shortest-path explain queries at two world tiers — small (the
+// default world) and paper (~2.1M-node TKG, the paper's OSINT corpus
+// scale). Writes BENCH_paths.json via tools/bench_paths.sh.
+//
+// Per tier:
+//   * index build wall time, interval count, resident bytes,
+//   * indexed WithinHops microseconds/query vs an honest per-query capped
+//     BFS baseline (the unindexed alternative), with the two answers
+//     cross-checked on every baseline query — the ISSUE acceptance bar is
+//     >= 100x at the paper tier,
+//   * incremental Extend after appending the post-window reports vs a
+//     scratch rebuild on the same final graph, with engine equality
+//     asserted — the acceptance bar is >= 10x at the paper tier,
+//   * Explain (k=3) microseconds/reply over a sample of labeled events,
+//     i.e. the marginal serving cost of "explain": true.
+//
+// Honest numbers: this container is 1-core, so every figure is
+// single-threaded wall time; the BFS baseline reuses one distance buffer
+// so it pays traversal, not allocation.
+//
+// Run: ./build/bench/path_engine [--out BENCH_paths.json]
+// Honors TRAIL_BENCH_QUICK=1 (small tier only).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/tkg_builder.h"
+#include "graph/algorithms.h"
+#include "graph/csr.h"
+#include "graph/path/path_engine.h"
+#include "graph/property_graph.h"
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace trail;
+using graph::CsrGraph;
+using graph::NodeId;
+using graph::PropertyGraph;
+using graph::path::PathEngine;
+
+bool EnvFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '1';
+}
+
+const char* GetFlag(int argc, char** argv, const char* name,
+                    const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+struct ReachQuery {
+  NodeId node;
+  size_t apt;
+  int hops;
+};
+
+/// Per-APT infrastructure seed bitmaps, derived from the graph by the same
+/// rule the engine uses (non-event neighbors of labeled events), so the
+/// BFS baseline answers exactly the question WithinHops answers.
+std::vector<std::vector<uint8_t>> SeedBitmaps(const PropertyGraph& g,
+                                              const CsrGraph& csr,
+                                              size_t num_apts) {
+  std::vector<std::vector<uint8_t>> is_seed(
+      num_apts, std::vector<uint8_t>(g.num_nodes(), 0));
+  for (NodeId e : g.NodesOfType(graph::NodeType::kEvent)) {
+    const int apt = g.label(e);
+    if (apt < 0 || static_cast<size_t>(apt) >= num_apts) continue;
+    for (const NodeId* it = csr.NeighborsBegin(e); it != csr.NeighborsEnd(e);
+         ++it) {
+      if (g.type(*it) != graph::NodeType::kEvent) is_seed[apt][*it] = 1;
+    }
+  }
+  return is_seed;
+}
+
+/// The unindexed answer: one capped BFS from the query node, then a scan of
+/// the frontier for any of the APT's seeds. `dist` is reused across calls
+/// (the baseline pays for traversal, not allocation).
+bool BfsWithinHops(const CsrGraph& csr, const std::vector<uint8_t>& is_seed,
+                   const ReachQuery& q, std::vector<int>* dist) {
+  *dist = graph::BfsDistances(csr, q.node, q.hops);
+  for (size_t v = 0; v < dist->size(); ++v) {
+    if ((*dist)[v] >= 0 && is_seed[v]) return true;
+  }
+  return false;
+}
+
+JsonValue RunTier(const char* name, double factor) {
+  osint::WorldConfig config = osint::WorldConfig::Scaled(factor);
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("name", JsonValue::MakeString(name));
+  out.Set("scale_factor", JsonValue::MakeNumber(factor));
+
+  std::printf("[%s] generating world (factor %.0f)...\n", name, factor);
+  osint::World world(config);
+  osint::FeedClient feed(&world);
+  core::TkgBuilder builder(&feed, core::TkgBuildOptions{});
+  {
+    Status st = builder.IngestAll(feed.FetchReports(0, config.end_day));
+    TRAIL_CHECK(st.ok()) << st;
+  }
+  const PropertyGraph& g = builder.graph();
+  const size_t num_apts = static_cast<size_t>(builder.num_apts());
+  CsrGraph csr = CsrGraph::Build(g);
+  std::printf("[%s] TKG %zu nodes / %zu edges / %zu APTs\n", name,
+              g.num_nodes(), g.num_edges(), num_apts);
+
+  JsonValue world_json = JsonValue::MakeObject();
+  world_json.Set("nodes",
+                 JsonValue::MakeNumber(static_cast<double>(g.num_nodes())));
+  world_json.Set("edges",
+                 JsonValue::MakeNumber(static_cast<double>(g.num_edges())));
+  world_json.Set("apts",
+                 JsonValue::MakeNumber(static_cast<double>(num_apts)));
+  out.Set("world", std::move(world_json));
+
+  // ---- Index build -------------------------------------------------------
+  Timer build_timer;
+  PathEngine engine = PathEngine::Build(g, csr, num_apts);
+  const double build_seconds = build_timer.ElapsedSeconds();
+  std::printf("[%s] index build %.3fs (%zu intervals, %.1f MiB)\n", name,
+              build_seconds, engine.interval_count(),
+              static_cast<double>(engine.resident_bytes()) / (1 << 20));
+  JsonValue index_json = JsonValue::MakeObject();
+  index_json.Set("build_seconds", JsonValue::MakeNumber(build_seconds));
+  index_json.Set("groups", JsonValue::MakeNumber(
+      static_cast<double>(num_apts + 1)));
+  index_json.Set("max_hops",
+                 JsonValue::MakeNumber(static_cast<double>(engine.max_hops())));
+  index_json.Set("interval_count", JsonValue::MakeNumber(
+      static_cast<double>(engine.interval_count())));
+  index_json.Set("resident_bytes", JsonValue::MakeNumber(
+      static_cast<double>(engine.resident_bytes())));
+  out.Set("index", std::move(index_json));
+
+  // ---- Indexed reachability vs per-query BFS -----------------------------
+  // One fixed query sample; the first kBfsQueries of it also run through
+  // the BFS baseline, and the two answers must agree on every one.
+  const size_t kIndexedQueries = 200000;
+  const size_t kBfsQueries = factor > 1.0 ? 24 : 200;
+  trail::Rng rng(97);
+  std::vector<ReachQuery> queries(kIndexedQueries);
+  for (ReachQuery& q : queries) {
+    q.node = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    q.apt = static_cast<size_t>(rng.NextBounded(num_apts));
+    q.hops = 1 + static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(engine.max_hops())));
+  }
+
+  size_t indexed_hits = 0;
+  Timer indexed_timer;
+  for (const ReachQuery& q : queries) {
+    indexed_hits += engine.WithinHops(q.node, q.apt, q.hops) ? 1 : 0;
+  }
+  const double indexed_us =
+      indexed_timer.ElapsedSeconds() * 1e6 / static_cast<double>(queries.size());
+
+  const std::vector<std::vector<uint8_t>> is_seed =
+      SeedBitmaps(g, csr, num_apts);
+  std::vector<int> dist;
+  size_t bfs_hits = 0;
+  Timer bfs_timer;
+  for (size_t i = 0; i < kBfsQueries; ++i) {
+    bfs_hits += BfsWithinHops(csr, is_seed[queries[i].apt], queries[i], &dist)
+                    ? 1
+                    : 0;
+  }
+  const double bfs_us =
+      bfs_timer.ElapsedSeconds() * 1e6 / static_cast<double>(kBfsQueries);
+  // Agreement check outside the timed loops.
+  for (size_t i = 0; i < kBfsQueries; ++i) {
+    const bool want =
+        BfsWithinHops(csr, is_seed[queries[i].apt], queries[i], &dist);
+    const bool got = engine.WithinHops(queries[i].node, queries[i].apt,
+                                       queries[i].hops);
+    TRAIL_CHECK(got == want) << "reachability mismatch on query " << i;
+  }
+  const double reach_speedup = indexed_us > 0 ? bfs_us / indexed_us : 0.0;
+  std::printf("[%s] reachability %.3f us/query indexed vs %.1f us/query BFS "
+              "(%.0fx, hits %zu/%zu)\n",
+              name, indexed_us, bfs_us, reach_speedup, indexed_hits,
+              queries.size());
+  JsonValue reach_json = JsonValue::MakeObject();
+  reach_json.Set("indexed_queries", JsonValue::MakeNumber(
+      static_cast<double>(kIndexedQueries)));
+  reach_json.Set("bfs_queries", JsonValue::MakeNumber(
+      static_cast<double>(kBfsQueries)));
+  reach_json.Set("indexed_us_per_query", JsonValue::MakeNumber(indexed_us));
+  reach_json.Set("bfs_us_per_query", JsonValue::MakeNumber(bfs_us));
+  reach_json.Set("speedup", JsonValue::MakeNumber(reach_speedup));
+  reach_json.Set("indexed_hit_rate", JsonValue::MakeNumber(
+      static_cast<double>(indexed_hits) / static_cast<double>(queries.size())));
+  out.Set("reachability", std::move(reach_json));
+
+  // ---- Explain overhead --------------------------------------------------
+  // The marginal serving cost of "explain": true — k=3 evidence paths for
+  // labeled events against their own APT, scratch reused like a micro-batch.
+  std::vector<NodeId> explain_events;
+  for (NodeId e : g.NodesOfType(graph::NodeType::kEvent)) {
+    if (g.label(e) >= 0) explain_events.push_back(e);
+    if (explain_events.size() >= 200) break;
+  }
+  TRAIL_CHECK(!explain_events.empty());
+  graph::TraversalScratch scratch;
+  size_t explain_paths = 0;
+  Timer explain_timer;
+  for (NodeId e : explain_events) {
+    explain_paths +=
+        engine
+            .Explain(csr, e, static_cast<size_t>(g.label(e)), /*k=*/3,
+                     &scratch)
+            .size();
+  }
+  const double explain_us = explain_timer.ElapsedSeconds() * 1e6 /
+                            static_cast<double>(explain_events.size());
+  std::printf("[%s] explain %.1f us/reply (%zu events, %zu paths)\n", name,
+              explain_us, explain_events.size(), explain_paths);
+  JsonValue explain_json = JsonValue::MakeObject();
+  explain_json.Set("events", JsonValue::MakeNumber(
+      static_cast<double>(explain_events.size())));
+  explain_json.Set("paths", JsonValue::MakeNumber(
+      static_cast<double>(explain_paths)));
+  explain_json.Set("us_per_reply", JsonValue::MakeNumber(explain_us));
+  out.Set("explain", std::move(explain_json));
+
+  // ---- Incremental extend vs scratch rebuild -----------------------------
+  // Append one week of post-window reports (the longitudinal ingest
+  // cadence — serving epochs append batches of this order, not months),
+  // extend the live engine, and rebuild one from scratch on the same final
+  // graph; the two must compare equal and the extend must be much cheaper.
+  const int append_days = std::min(7, config.post_days);
+  std::vector<osint::PulseReport> post;
+  for (const osint::PulseReport* report :
+       world.ReportsBetween(config.end_day, config.end_day + append_days)) {
+    post.push_back(*report);
+  }
+  const size_t edges_before = g.num_edges();
+  if (!post.empty()) {
+    auto delta = builder.AppendReports(post);
+    TRAIL_CHECK(delta.ok()) << delta.status();
+    csr.Append(g, edges_before);
+  }
+  std::printf("[%s] appended %zu reports -> %zu nodes / %zu edges\n", name,
+              post.size(), g.num_nodes(), g.num_edges());
+
+  Timer extend_timer;
+  engine.Extend(g, csr, num_apts);
+  const double extend_seconds = extend_timer.ElapsedSeconds();
+  Timer rebuild_timer;
+  PathEngine scratch_engine = PathEngine::Build(g, csr, num_apts);
+  const double rebuild_seconds = rebuild_timer.ElapsedSeconds();
+  TRAIL_CHECK(engine == scratch_engine)
+      << "incremental extend diverged from scratch build";
+  const double extend_speedup =
+      extend_seconds > 0 ? rebuild_seconds / extend_seconds : 0.0;
+  std::printf("[%s] extend %.3fs vs scratch rebuild %.3fs (%.1fx)\n", name,
+              extend_seconds, rebuild_seconds, extend_speedup);
+  JsonValue extend_json = JsonValue::MakeObject();
+  extend_json.Set("append_days", JsonValue::MakeNumber(
+      static_cast<double>(append_days)));
+  extend_json.Set("appended_reports", JsonValue::MakeNumber(
+      static_cast<double>(post.size())));
+  extend_json.Set("final_nodes",
+                  JsonValue::MakeNumber(static_cast<double>(g.num_nodes())));
+  extend_json.Set("final_edges",
+                  JsonValue::MakeNumber(static_cast<double>(g.num_edges())));
+  extend_json.Set("extend_seconds", JsonValue::MakeNumber(extend_seconds));
+  extend_json.Set("rebuild_seconds", JsonValue::MakeNumber(rebuild_seconds));
+  extend_json.Set("speedup", JsonValue::MakeNumber(extend_speedup));
+  extend_json.Set("engines_equal", JsonValue::MakeBool(true));
+  out.Set("extend", std::move(extend_json));
+
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  const std::string out_path =
+      GetFlag(argc, argv, "--out", "BENCH_paths.json");
+  const bool quick = EnvFlag("TRAIL_BENCH_QUICK");
+
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("benchmark", JsonValue::MakeString("path_engine"));
+  doc.Set("quick", JsonValue::MakeBool(quick));
+  doc.Set("threads", JsonValue::MakeNumber(ParallelWorkers()));
+  doc.Set("notes", JsonValue::MakeString(
+      "single-threaded 1-core container; bfs_us_per_query is an honest "
+      "per-query capped BFS with a reused distance buffer, cross-checked "
+      "against the index on every baseline query; extend compares the "
+      "incremental engine to a scratch rebuild on the same final graph "
+      "and asserts engine equality"));
+  JsonValue tiers = JsonValue::MakeArray();
+  tiers.Append(RunTier("small", 1.0));
+  if (!quick) {
+    tiers.Append(RunTier("paper", 68.0));
+  }
+  doc.Set("tiers", std::move(tiers));
+
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::string text = doc.Dump(2) + "\n";
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("path_engine: wrote %s\n", out_path.c_str());
+  return 0;
+}

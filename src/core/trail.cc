@@ -28,6 +28,7 @@ Trail::Trail(const osint::FeedClient* feed, TrailOptions options)
 
 void Trail::InvalidateCaches() {
   csr_cache_.reset();
+  paths_cache_.reset();
   std::shared_ptr<ModelSlot> slot = Slot();
   std::lock_guard<std::mutex> lock(slot->view_mu);
   slot->view.reset();
@@ -39,6 +40,25 @@ const graph::CsrGraph& Trail::Csr() const {
         graph::CsrGraph::Build(builder_.graph()));
   }
   return *csr_cache_;
+}
+
+const graph::path::PathEngine& Trail::Paths() const {
+  const graph::PropertyGraph& g = builder_.graph();
+  const size_t num_apts = builder_.num_apts();
+  if (paths_cache_ == nullptr) {
+    TRAIL_TRACE_SPAN("core.build_paths");
+    paths_cache_ = std::make_unique<graph::path::PathEngine>(
+        graph::path::PathEngine::Build(g, Csr(), num_apts));
+    TRAIL_METRIC_INC("core.paths_builds");
+  } else if (!paths_cache_->Matches(g, num_apts)) {
+    // Labels moved without an append (the study labels old events in
+    // place): repair the index from the engine's watermarks — monotone
+    // seed growth patches incrementally, retractions rebuild per group.
+    TRAIL_TRACE_SPAN("core.build_paths");
+    paths_cache_->Extend(g, Csr(), num_apts);
+    TRAIL_METRIC_INC("core.paths_incremental_extends");
+  }
+  return *paths_cache_;
 }
 
 const gnn::GnnGraph& Trail::ViewOf(ModelSlot& slot) const {
@@ -79,6 +99,12 @@ Result<TkgAppendDelta> Trail::AppendReports(
   if (csr_cache_ != nullptr) {
     csr_cache_->Append(builder_.graph(), delta->first_new_edge);
     TRAIL_METRIC_INC("core.csr_incremental_extends");
+  }
+  if (paths_cache_ != nullptr) {
+    // The engine repairs its reachability index from its own watermarks
+    // (== delta->first_new_edge here) instead of re-traversing the graph.
+    paths_cache_->Extend(builder_.graph(), Csr(), builder_.num_apts());
+    TRAIL_METRIC_INC("core.paths_incremental_extends");
   }
   std::shared_ptr<ModelSlot> slot = Slot();
   {
@@ -465,8 +491,17 @@ Result<Trail::Attribution> Trail::AttributeWithLp(NodeId event) const {
       seeds[v] = 1;
     }
   }
+  // Prune the propagation frontier with the evidence plane's reachability
+  // index: Paths() just guaranteed the engine matches the current labels,
+  // so its labeled-seed distances are a valid lower bound for LP's seed set
+  // (engine seeds ⊇ LP seeds — LP only drops the queried event, and a
+  // superset can only lower distances). Bit-identical results, less work.
+  const graph::path::PathEngine& engine = Paths();
+  gnn::LpPruneHint hint;
+  hint.seed_hops = &engine.LabeledSeedHops();
+  hint.max_hops = engine.max_hops();
   auto lp = gnn::RunLabelPropagation(Csr(), labels, seeds, num_classes,
-                                     options_.lp_layers);
+                                     options_.lp_layers, &hint);
   if (lp.predictions[event] < 0) {
     TRAIL_METRIC_INC("core.lp_unattributable");
     return Status::NotFound("no label mass reached the event (unattributable"
@@ -525,6 +560,64 @@ std::vector<Result<Trail::Attribution>> Trail::AttributeBatchWithGnn(
                             hide_neighbor_labels, *Abstention());
 }
 
+namespace {
+
+/// The one explain implementation, shared by the classic and epoch planes:
+/// run the path engine, then resolve node/edge names against the graph the
+/// engine was built from.
+Result<std::vector<Trail::ExplainedPath>> ExplainImpl(
+    const graph::PropertyGraph& g, const graph::CsrGraph& csr,
+    const graph::path::PathEngine& engine, NodeId event, int apt, size_t k,
+    graph::TraversalScratch* scratch) {
+  if (event >= g.num_nodes() || g.type(event) != NodeType::kEvent) {
+    return Status::InvalidArgument("not an event node");
+  }
+  if (apt < 0 || static_cast<size_t>(apt) >= engine.num_apts()) {
+    return Status::InvalidArgument("unknown APT class");
+  }
+  std::vector<Trail::ExplainedPath> out;
+  for (const graph::path::EvidencePath& path :
+       engine.Explain(csr, event, static_cast<size_t>(apt), k, scratch)) {
+    Trail::ExplainedPath resolved;
+    resolved.cost = path.cost;
+    resolved.hops.reserve(path.nodes.size());
+    for (size_t i = 0; i < path.nodes.size(); ++i) {
+      Trail::ExplainedPath::Hop hop;
+      hop.node = path.nodes[i];
+      hop.type = graph::NodeTypeName(g.type(path.nodes[i]));
+      hop.value = g.value(path.nodes[i]);
+      if (i > 0) hop.edge = graph::EdgeTypeName(path.edges[i - 1]);
+      resolved.hops.push_back(std::move(hop));
+    }
+    out.push_back(std::move(resolved));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Trail::ExplainedPath>> Trail::ExplainAttribution(
+    NodeId event, int apt, size_t k) const {
+  TRAIL_TRACE_SPAN("core.explain_attribution");
+  std::shared_ptr<const Epoch> epoch = PinEpoch();
+  if (epoch != nullptr && epoch->paths != nullptr) {
+    return ExplainOnEpoch(*epoch, event, apt, k);
+  }
+  return ExplainImpl(builder_.graph(), Csr(), Paths(), event, apt, k,
+                     /*scratch=*/nullptr);
+}
+
+Result<std::vector<Trail::ExplainedPath>> Trail::ExplainOnEpoch(
+    const Epoch& epoch, NodeId event, int apt, size_t k,
+    graph::TraversalScratch* scratch) {
+  TRAIL_TRACE_SPAN("core.explain_attribution");
+  if (epoch.paths == nullptr) {
+    return Status::FailedPrecondition("epoch carries no path engine");
+  }
+  return ExplainImpl(*epoch.graph, *epoch.csr, *epoch.paths, event, apt, k,
+                     scratch);
+}
+
 std::vector<Result<Trail::Attribution>> Trail::AttributeBatchOnEpoch(
     const Epoch& epoch, const std::vector<NodeId>& events,
     bool hide_neighbor_labels) {
@@ -544,9 +637,11 @@ void Trail::PublishEpochLocked(const Epoch* share_graph_from) {
   next->retire_probe = epoch_retire_probe_;
   if (share_graph_from != nullptr) {
     // The TKG did not change (model hot-swap): share the immutable graph
-    // and CSR structurally with the previous epoch instead of copying.
+    // and CSR structurally with the previous epoch instead of copying. The
+    // path engine is graph-pointer-free, so it is shared the same way.
     next->graph = share_graph_from->graph;
     next->csr = share_graph_from->csr;
+    next->paths = share_graph_from->paths;
   } else {
     // Deep-copy the graph + CSR off to the side. Already-pinned epochs and
     // the classic in-place caches are untouched; the copy is the honest
@@ -555,6 +650,11 @@ void Trail::PublishEpochLocked(const Epoch* share_graph_from) {
     next->graph =
         std::make_shared<const graph::PropertyGraph>(builder_.graph());
     next->csr = std::make_shared<const graph::CsrGraph>(Csr());
+  }
+  if (next->paths == nullptr) {
+    // Ensure-fresh (build or incremental extend) and deep-copy the mutable
+    // cache engine, like the graph/CSR above.
+    next->paths = std::make_shared<const graph::path::PathEngine>(Paths());
   }
   // Aliasing pointers into the model slot keep the whole slot alive for as
   // long as any pin of this epoch survives — the original hot-swap
@@ -568,6 +668,14 @@ void Trail::PublishEpochLocked(const Epoch* share_graph_from) {
   const uint64_t gen =
       epoch_generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
   next->epoch_generation = gen;
+  // The path-index generation advances with every publish — the /statusz
+  // "did the explain plane follow the epoch?" invariant.
+  next->paths_generation = gen;
+  TRAIL_METRIC_SET("path.index_generation", static_cast<double>(gen));
+  TRAIL_METRIC_SET("path.interval_count",
+                   static_cast<double>(next->paths->interval_count()));
+  TRAIL_METRIC_SET("path.resident_bytes",
+                   static_cast<double>(next->paths->resident_bytes()));
   epoch_.store(std::shared_ptr<const Epoch>(std::move(next)),
                std::memory_order_release);
   TRAIL_METRIC_SET("core.epoch_generation", static_cast<double>(gen));

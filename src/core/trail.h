@@ -14,6 +14,7 @@
 #include "core/tkg_builder.h"
 #include "gnn/event_gnn.h"
 #include "graph/csr.h"
+#include "graph/path/path_engine.h"
 #include "util/json.h"
 
 namespace trail::core {
@@ -75,6 +76,13 @@ struct Epoch {
   std::shared_ptr<const IocEncoders> encoders;
   std::shared_ptr<const gnn::EventGnn> gnn;
   std::shared_ptr<const gnn::GnnGraph> view;
+  /// The evidence-path plane (reachability index + k-shortest-path weights)
+  /// consistent with `graph`/`csr`. Shared structurally across hot-swaps
+  /// (the TKG did not change), deep-copied on append publishes.
+  std::shared_ptr<const graph::path::PathEngine> paths;
+  /// Bumps with every publish (== epoch_generation): /statusz surfaces it
+  /// so an operator can confirm the evidence index tracked the epoch.
+  uint64_t paths_generation = 0;
   std::vector<std::string> apt_names;
   /// Abstention operating point at publish time: a pinned batch applies one
   /// consistent policy even while SetAbstentionPolicy races it.
@@ -209,6 +217,48 @@ class Trail {
 
   /// Event node for a report id; kInvalidNode when absent.
   graph::NodeId FindEvent(const std::string& report_id) const;
+
+  // --- Evidence paths (online attribution explanations; docs/PATHS.md) -----
+
+  /// One resolved IOC reuse chain backing an attribution: the node sequence
+  /// from the queried event to a piece of the APT's known infrastructure,
+  /// with types, IOC values, and the schema edge traversed into each hop
+  /// (`edge` is empty on the first hop).
+  struct ExplainedPath {
+    struct Hop {
+      graph::NodeId node = graph::kInvalidNode;
+      std::string type;
+      std::string value;
+      std::string edge;
+    };
+    std::vector<Hop> hops;
+    double cost = 0.0;
+  };
+
+  /// Up to k shortest IOC reuse chains from `event` to APT `apt`'s
+  /// infrastructure — the `explain` payload of an attribution reply.
+  /// Resolves against the pinned epoch when one is published (lock-free,
+  /// safe under concurrent appends/hot-swaps); otherwise answers from the
+  /// classic plane, lazily building the path engine. An empty vector means
+  /// the event provably shares no infrastructure with the APT within the
+  /// engine's hop horizon.
+  Result<std::vector<ExplainedPath>> ExplainAttribution(graph::NodeId event,
+                                                        int apt,
+                                                        size_t k = 3) const;
+
+  /// ExplainAttribution evaluated entirely against a pinned epoch (the
+  /// serving plane; reads nothing from the mutable Trail). `scratch` may be
+  /// shared across the calls of one micro-batch.
+  static Result<std::vector<ExplainedPath>> ExplainOnEpoch(
+      const Epoch& epoch, graph::NodeId event, int apt, size_t k,
+      graph::TraversalScratch* scratch = nullptr);
+
+  /// The classic-plane path engine, built lazily from the current graph and
+  /// kept fresh: appends extend it incrementally (AppendReports), and label
+  /// changes outside an append (the study labeling old events) trigger a
+  /// monotone repair on first use. Requires external write exclusion, like
+  /// Csr().
+  const graph::path::PathEngine& Paths() const;
 
   // --- Abstention / novelty head ------------------------------------------
 
@@ -354,6 +404,8 @@ class Trail {
   std::atomic<uint64_t> generation_{0};
 
   mutable std::unique_ptr<graph::CsrGraph> csr_cache_;
+  /// Classic-plane evidence path engine over csr_cache_ (see Paths()).
+  mutable std::unique_ptr<graph::path::PathEngine> paths_cache_;
 
   /// Attached TKGS store file (empty = none). Mutated only by the write
   /// side (SaveStore/OpenStore/AppendReports), which requires external

@@ -15,7 +15,8 @@ using graph::NodeType;
 std::vector<TriageItem> TriageEvent(const graph::PropertyGraph& g,
                                     const graph::CsrGraph& csr,
                                     NodeId event,
-                                    const TriageOptions& options) {
+                                    const TriageOptions& options,
+                                    graph::TraversalScratch* scratch) {
   TRAIL_CHECK(event < g.num_nodes() && g.type(event) == NodeType::kEvent)
       << "triage target must be an event node";
 
@@ -33,8 +34,11 @@ std::vector<TriageItem> TriageEvent(const graph::PropertyGraph& g,
     direct.insert(nb.node);
   }
 
+  graph::TraversalScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
   std::vector<TriageItem> items;
-  for (NodeId node : graph::KHopNeighborhood(csr, event, 2)) {
+  for (NodeId node :
+       graph::KHopNeighborhood(csr, std::vector<NodeId>{event}, 2, scratch)) {
     if (node == event) continue;
     NodeType type = g.type(node);
     if (type == NodeType::kEvent || type == NodeType::kAsn) continue;

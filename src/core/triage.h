@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/algorithms.h"
 #include "graph/csr.h"
 #include "graph/property_graph.h"
 
@@ -32,11 +33,14 @@ struct TriageOptions {
 /// Ranks the IOCs within two hops of `event` by a combination of report
 /// reuse (direct evidence of shared infrastructure) and PageRank centrality
 /// in the TKG (hub infrastructure worth pivoting on). Returns descending by
-/// score.
+/// score. `scratch`, when provided, is reused for the two-hop traversal so
+/// a caller triaging many events avoids an O(num_nodes) allocation per
+/// event.
 std::vector<TriageItem> TriageEvent(const graph::PropertyGraph& graph,
                                     const graph::CsrGraph& csr,
                                     graph::NodeId event,
-                                    const TriageOptions& options = {});
+                                    const TriageOptions& options = {},
+                                    graph::TraversalScratch* scratch = nullptr);
 
 }  // namespace trail::core
 

@@ -14,10 +14,15 @@ namespace trail::gnn {
 LabelPropagationResult RunLabelPropagation(const graph::CsrGraph& csr,
                                            const std::vector<int>& labels,
                                            const std::vector<uint8_t>& seed_mask,
-                                           int num_classes, int layers) {
+                                           int num_classes, int layers,
+                                           const LpPruneHint* prune) {
   TRAIL_TRACE_SPAN("gnn.label_propagation");
   TRAIL_METRIC_INC("gnn.lp_runs");
   TRAIL_METRIC_ADD("gnn.lp_iterations", layers);
+  if (prune != nullptr) {
+    TRAIL_CHECK(prune->seed_hops != nullptr &&
+                prune->seed_hops->size() == csr.num_nodes());
+  }
   // Per-layer frontier sizes cost an extra O(num_classes) row scan per node,
   // so they are collected only under detailed metrics (tools/examples).
   const bool detail = obs::DetailedMetricsEnabled();
@@ -48,9 +53,24 @@ LabelPropagationResult RunLabelPropagation(const graph::CsrGraph& csr,
   for (int layer = 0; layer < layers; ++layer) {
     next.Fill(0.0f);
     std::atomic<int64_t> frontier{0};
+    std::atomic<int64_t> pruned{0};
+    // After this layer, row v of `next` (= F_{layer+1}) can be nonzero only
+    // when a seed lies within layer+1 hops of v: skip rows the reachability
+    // hint proves are out of reach — they stay the Fill(0.0f) the dense
+    // update would have written, so the result is bit-identical.
+    const int t = layer + 1;
     ParallelFor(n, [&](size_t begin, size_t end) {
       int64_t chunk_frontier = 0;
+      int64_t chunk_pruned = 0;
       for (size_t v = begin; v < end; ++v) {
+        if (prune != nullptr) {
+          const uint8_t h = (*prune->seed_hops)[v];
+          if (h == LpPruneHint::kFar ? t <= prune->max_hops
+                                     : static_cast<int>(h) > t) {
+            ++chunk_pruned;
+            continue;
+          }
+        }
         auto dst = next.Row(v);
         const float dv = inv_sqrt_deg[v];
         if (dv == 0.0f) continue;
@@ -72,7 +92,14 @@ LabelPropagationResult RunLabelPropagation(const graph::CsrGraph& csr,
       if (chunk_frontier > 0) {
         frontier.fetch_add(chunk_frontier, std::memory_order_relaxed);
       }
+      if (chunk_pruned > 0) {
+        pruned.fetch_add(chunk_pruned, std::memory_order_relaxed);
+      }
     }, /*min_chunk=*/1024);
+    if (prune != nullptr) {
+      TRAIL_METRIC_ADD("gnn.lp_pruned_rows",
+                       pruned.load(std::memory_order_relaxed));
+    }
     if (detail) {
       TRAIL_METRIC_OBSERVE("gnn.lp_frontier_size",
                            frontier.load(std::memory_order_relaxed));

@@ -19,15 +19,33 @@ struct LabelPropagationResult {
   std::vector<double> confidence;
 };
 
+/// Frontier-pruning hint for RunLabelPropagation, derived from the evidence
+/// path plane's reachability index (path::PathEngine::LabeledSeedHops).
+/// `seed_hops[v]` must be a *lower bound* on v's hop distance to the
+/// nearest seed — kFar meaning "farther than max_hops" — for a superset of
+/// the seed mask (a superset only lowers distances, which keeps the bound
+/// admissible). After n propagation layers a node's score row is nonzero
+/// only if a seed lies within n hops, so rows provably out of reach are
+/// skipped outright; they stay exactly the 0.0f the dense update would
+/// have produced, making the pruned run bit-identical to the unpruned one.
+struct LpPruneHint {
+  static constexpr uint8_t kFar = 0xFF;
+  const std::vector<uint8_t>* seed_hops = nullptr;
+  /// The cap seed_hops was computed under (distances above it read kFar).
+  int max_hops = 0;
+};
+
 /// Label propagation over the symmetric-normalized adjacency (Zhou et al.,
 /// the paper's Eq. 1): F_n = D^-1/2 A D^-1/2 F_{n-1}, seeded with one-hot
 /// labels on `seed_mask` nodes, iterated `layers` times with mass
 /// accumulated across iterations. Labels of nodes outside the seed mask are
-/// ignored (they are what we predict).
+/// ignored (they are what we predict). `prune`, when provided, must satisfy
+/// the LpPruneHint contract; it changes no output bit, only the work done.
 LabelPropagationResult RunLabelPropagation(const graph::CsrGraph& csr,
                                            const std::vector<int>& labels,
                                            const std::vector<uint8_t>& seed_mask,
-                                           int num_classes, int layers);
+                                           int num_classes, int layers,
+                                           const LpPruneHint* prune = nullptr);
 
 }  // namespace trail::gnn
 

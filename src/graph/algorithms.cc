@@ -115,10 +115,26 @@ std::vector<NodeId> KHopNeighborhood(const CsrGraph& csr, NodeId center,
 std::vector<NodeId> KHopNeighborhood(const CsrGraph& csr,
                                      const std::vector<NodeId>& centers,
                                      int hops) {
+  TraversalScratch scratch;
+  KHopNeighborhood(csr, centers, hops, &scratch);
+  return std::move(scratch.order);
+}
+
+const std::vector<NodeId>& KHopNeighborhood(const CsrGraph& csr,
+                                            const std::vector<NodeId>& centers,
+                                            int hops,
+                                            TraversalScratch* scratch) {
   const size_t n = csr.num_nodes();
-  std::vector<int> dist(n, kUnreachable);
-  std::deque<NodeId> queue;
-  std::vector<NodeId> order;
+  std::vector<int>& dist = scratch->dist;
+  std::vector<NodeId>& order = scratch->order;
+  std::vector<NodeId>& queue = scratch->queue;
+  if (dist.size() != n) {
+    dist.assign(n, kUnreachable);
+  } else {
+    for (NodeId v : order) dist[v] = kUnreachable;
+  }
+  order.clear();
+  queue.clear();
   for (NodeId c : centers) {
     if (c < n && csr.IsKept(c) && dist[c] == kUnreachable) {
       dist[c] = 0;
@@ -126,9 +142,8 @@ std::vector<NodeId> KHopNeighborhood(const CsrGraph& csr,
       order.push_back(c);
     }
   }
-  while (!queue.empty()) {
-    NodeId v = queue.front();
-    queue.pop_front();
+  for (size_t head = 0; head < queue.size(); ++head) {
+    NodeId v = queue[head];
     if (dist[v] >= hops) continue;
     for (const NodeId* it = csr.NeighborsBegin(v); it != csr.NeighborsEnd(v);
          ++it) {
@@ -143,13 +158,24 @@ std::vector<NodeId> KHopNeighborhood(const CsrGraph& csr,
 }
 
 EgoNet ExtractEgoNet(const CsrGraph& csr, NodeId center, int hops) {
+  TraversalScratch scratch;
+  return ExtractEgoNet(csr, center, hops, &scratch);
+}
+
+EgoNet ExtractEgoNet(const CsrGraph& csr, NodeId center, int hops,
+                     TraversalScratch* scratch) {
   EgoNet ego;
-  ego.nodes = KHopNeighborhood(csr, center, hops);
-  std::vector<int> dist = BfsDistances(csr, center, hops);
-  std::vector<uint32_t> local(csr.num_nodes(), static_cast<uint32_t>(-1));
+  ego.nodes =
+      KHopNeighborhood(csr, std::vector<NodeId>{center}, hops, scratch);
+  std::vector<uint32_t>& local = scratch->local;
+  if (local.size() != csr.num_nodes()) {
+    local.assign(csr.num_nodes(), static_cast<uint32_t>(-1));
+  }
   for (uint32_t i = 0; i < ego.nodes.size(); ++i) {
     local[ego.nodes[i]] = i;
-    ego.hop.push_back(dist[ego.nodes[i]]);
+    // scratch->dist holds this traversal's hop distances, identical to
+    // BfsDistances(csr, center, hops) on the visited set.
+    ego.hop.push_back(scratch->dist[ego.nodes[i]]);
   }
   for (NodeId v : ego.nodes) {
     size_t idx = 0;
@@ -161,6 +187,9 @@ EgoNet ExtractEgoNet(const CsrGraph& csr, NodeId center, int hops) {
       ego.edge_types.push_back(csr.NeighborEdgeType(v, idx));
     }
   }
+  // Restore the all--1 remap invariant for the next ExtractEgoNet on this
+  // scratch.
+  for (NodeId v : ego.nodes) local[v] = static_cast<uint32_t>(-1);
   return ego;
 }
 

@@ -36,6 +36,24 @@ int ExactDiameter(const CsrGraph& csr, NodeId seed);
 /// the TKG diameter at scale.
 int DoubleSweepDiameter(const CsrGraph& csr, NodeId seed, int sweeps = 4);
 
+/// Reusable buffers for the traversal helpers below. KHopNeighborhood /
+/// ExtractEgoNet allocate O(num_nodes) of visited/frontier state per call;
+/// callers that traverse in a loop (event triage, the evidence-path
+/// engine, a serving micro-batch) hold one scratch and amortize the
+/// allocation to a touched-entry reset.
+///
+/// After a scratch call, `dist` holds the hop distance of every visited
+/// node (kUnreachable elsewhere) and `order` the visited nodes in BFS
+/// order — both stay valid until the next traversal using this scratch.
+/// Do not mutate the members between calls; the touched-entry reset relies
+/// on `order` naming exactly the non-kUnreachable `dist` entries.
+struct TraversalScratch {
+  std::vector<int> dist;
+  std::vector<NodeId> order;
+  std::vector<NodeId> queue;    // internal BFS queue storage
+  std::vector<uint32_t> local;  // internal local-id remap (ExtractEgoNet)
+};
+
 /// The set of nodes within `hops` of `center` (including the center), in BFS
 /// order — the paper's k-hop ego-net.
 std::vector<NodeId> KHopNeighborhood(const CsrGraph& csr, NodeId center,
@@ -46,6 +64,13 @@ std::vector<NodeId> KHopNeighborhood(const CsrGraph& csr,
                                      const std::vector<NodeId>& centers,
                                      int hops);
 
+/// Scratch-buffer variant: identical result (returned by reference to
+/// scratch->order), no per-call allocation once the scratch is warm.
+const std::vector<NodeId>& KHopNeighborhood(const CsrGraph& csr,
+                                            const std::vector<NodeId>& centers,
+                                            int hops,
+                                            TraversalScratch* scratch);
+
 /// An extracted ego-net: the induced subgraph on a k-hop neighborhood, with
 /// compact local ids and a mapping back to the parent graph.
 struct EgoNet {
@@ -55,6 +80,10 @@ struct EgoNet {
   std::vector<EdgeType> edge_types;     // parallel to `edges`
 };
 EgoNet ExtractEgoNet(const CsrGraph& csr, NodeId center, int hops);
+
+/// Scratch-buffer variant of ExtractEgoNet (identical result).
+EgoNet ExtractEgoNet(const CsrGraph& csr, NodeId center, int hops,
+                     TraversalScratch* scratch);
 
 }  // namespace trail::graph
 

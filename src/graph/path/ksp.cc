@@ -1,0 +1,228 @@
+#include "graph/path/ksp.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace trail::graph::path {
+
+namespace {
+
+constexpr uint8_t kFarDist = 0xFF;
+
+struct NodeState {
+  double cost = 0.0;
+  int hops = 0;
+  NodeId parent = kInvalidNode;
+  bool settled = false;
+};
+
+struct PqEntry {
+  double cost;
+  NodeId node;
+};
+
+/// Min-heap order: smallest cost first, ties broken toward the smaller node
+/// id so the settle order — and with it every downstream tie — is the same
+/// on every run.
+struct PqGreater {
+  bool operator()(const PqEntry& a, const PqEntry& b) const {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.node > b.node;
+  }
+};
+
+uint64_t PairKey(NodeId a, NodeId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// Bounded single-shortest-path Dijkstra from `source` to the target set.
+/// State lives in a hash map, so the cost is proportional to the explored
+/// region (bounded by `budget` hops and the A* prune), not to graph size —
+/// this runs once per Yen spur on a paper-scale CSR.
+bool BoundedDijkstra(const CsrGraph& csr, const std::vector<float>& node_cost,
+                     NodeId source, const std::vector<uint8_t>& target_dist,
+                     int target_cap, int budget,
+                     const std::unordered_set<NodeId>& banned_nodes,
+                     const std::unordered_set<uint64_t>& banned_pairs,
+                     const std::vector<int>* region, size_t max_expansions,
+                     size_t* expansions, std::vector<NodeId>* out_nodes,
+                     double* out_cost) {
+  if (budget < 0 || static_cast<size_t>(source) >= csr.num_nodes() ||
+      !csr.IsKept(source)) {
+    return false;
+  }
+  // Admissible bound from the reachability index: a node whose capped
+  // distance to the targets exceeds the hops it has left cannot finish.
+  auto can_finish = [&](NodeId v, int hops_used) {
+    const int remaining = budget - hops_used;
+    const uint8_t bound = target_dist[v];
+    if (bound == kFarDist) return remaining > target_cap;
+    return bound <= remaining;
+  };
+  if (!can_finish(source, 0)) return false;
+
+  std::unordered_map<NodeId, NodeState> state;
+  std::priority_queue<PqEntry, std::vector<PqEntry>, PqGreater> pq;
+  state[source] = NodeState{0.0, 0, kInvalidNode, false};
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    const PqEntry top = pq.top();
+    pq.pop();
+    NodeState& st = state[top.node];
+    if (st.settled || top.cost != st.cost) continue;  // stale entry
+    st.settled = true;
+    if (++*expansions > max_expansions) return false;
+    if (target_dist[top.node] == 0) {
+      out_nodes->clear();
+      for (NodeId v = top.node; v != kInvalidNode; v = state[v].parent) {
+        out_nodes->push_back(v);
+      }
+      std::reverse(out_nodes->begin(), out_nodes->end());
+      *out_cost = st.cost;
+      return true;
+    }
+    if (st.hops >= budget) continue;
+    const double base_cost = st.cost;
+    const int next_hops = st.hops + 1;
+    const NodeId u = top.node;
+    const NodeId* it = csr.NeighborsBegin(u);
+    const NodeId* end = csr.NeighborsEnd(u);
+    for (; it != end; ++it) {
+      const NodeId w = *it;
+      if (region != nullptr && (*region)[w] < 0) continue;
+      if (!can_finish(w, next_hops)) continue;
+      if (banned_nodes.count(w) != 0) continue;
+      if (!banned_pairs.empty() && banned_pairs.count(PairKey(u, w)) != 0) {
+        continue;
+      }
+      const double nc = base_cost + node_cost[w];
+      auto [slot, inserted] = state.try_emplace(w);
+      NodeState& sw = slot->second;
+      if (inserted) {
+        sw = NodeState{nc, next_hops, u, false};
+        pq.push({nc, w});
+      } else if (!sw.settled) {
+        if (nc < sw.cost) {
+          sw = NodeState{nc, next_hops, u, false};
+          pq.push({nc, w});
+        } else if (nc == sw.cost &&
+                   (next_hops < sw.hops ||
+                    (next_hops == sw.hops && u < sw.parent))) {
+          // Same cost through a canonical-smaller route: keep the queue
+          // entry (position unchanged) and just rewire the parent.
+          sw.hops = next_hops;
+          sw.parent = u;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+/// Schema type of the hop u -> w: the first matching entry in u's CSR
+/// adjacency (deterministic; parallel typed edges resolve to the one that
+/// was ingested first).
+EdgeType FirstEdgeType(const CsrGraph& csr, NodeId u, NodeId w) {
+  const NodeId* begin = csr.NeighborsBegin(u);
+  const NodeId* end = csr.NeighborsEnd(u);
+  for (const NodeId* it = begin; it != end; ++it) {
+    if (*it == w) return csr.NeighborEdgeType(u, it - begin);
+  }
+  return EdgeType::kInReport;  // unreachable for paths built from the CSR
+}
+
+/// Canonical path cost: left-to-right sum of node-entering costs. Candidate
+/// costs from different Yen spur decompositions of the same walk would
+/// otherwise differ in the last ulp (double addition is not associative).
+double CanonicalCost(const std::vector<NodeId>& nodes,
+                     const std::vector<float>& node_cost) {
+  double cost = 0.0;
+  for (size_t i = 1; i < nodes.size(); ++i) cost += node_cost[nodes[i]];
+  return cost;
+}
+
+}  // namespace
+
+std::vector<EvidencePath> KShortestPaths(
+    const CsrGraph& csr, const std::vector<float>& node_cost, NodeId source,
+    const std::vector<uint8_t>& target_dist, int target_cap,
+    const KspOptions& options, const std::vector<int>* region) {
+  std::vector<EvidencePath> result;
+  if (options.k == 0) return result;
+  size_t expansions = 0;
+  std::vector<NodeId> nodes;
+  double cost = 0.0;
+  const std::unordered_set<NodeId> no_nodes;
+  const std::unordered_set<uint64_t> no_pairs;
+  if (!BoundedDijkstra(csr, node_cost, source, target_dist, target_cap,
+                       options.max_hops, no_nodes, no_pairs, region,
+                       options.max_expansions, &expansions, &nodes, &cost)) {
+    return result;
+  }
+  EvidencePath first;
+  first.cost = CanonicalCost(nodes, node_cost);
+  first.nodes = std::move(nodes);
+  result.push_back(std::move(first));
+
+  // Yen's algorithm. `candidates` is the B set ordered by (cost, node
+  // sequence); `seen` prevents re-adding a sequence that is already a
+  // result or a pending candidate.
+  auto candidate_less = [](const EvidencePath& a, const EvidencePath& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.nodes < b.nodes;
+  };
+  std::set<EvidencePath, decltype(candidate_less)> candidates(candidate_less);
+  std::set<std::vector<NodeId>> seen;
+  seen.insert(result[0].nodes);
+
+  while (result.size() < options.k) {
+    const std::vector<NodeId> prev = result.back().nodes;
+    for (size_t i = 0; i + 1 < prev.size(); ++i) {
+      const NodeId spur = prev[i];
+      // Ban the outgoing hop of every known shortest path sharing this
+      // root, and the root's interior nodes, so the spur search can only
+      // produce a genuinely new deviation.
+      std::unordered_set<uint64_t> banned_pairs;
+      for (const EvidencePath& p : result) {
+        if (p.nodes.size() > i + 1 &&
+            std::equal(prev.begin(), prev.begin() + i + 1, p.nodes.begin())) {
+          banned_pairs.insert(PairKey(p.nodes[i], p.nodes[i + 1]));
+        }
+      }
+      std::unordered_set<NodeId> banned_nodes(prev.begin(), prev.begin() + i);
+      std::vector<NodeId> spur_nodes;
+      double spur_cost = 0.0;
+      if (!BoundedDijkstra(csr, node_cost, spur, target_dist, target_cap,
+                           options.max_hops - static_cast<int>(i),
+                           banned_nodes, banned_pairs, region,
+                           options.max_expansions, &expansions, &spur_nodes,
+                           &spur_cost)) {
+        continue;
+      }
+      EvidencePath candidate;
+      candidate.nodes.assign(prev.begin(), prev.begin() + i);
+      candidate.nodes.insert(candidate.nodes.end(), spur_nodes.begin(),
+                             spur_nodes.end());
+      if (!seen.insert(candidate.nodes).second) continue;
+      candidate.cost = CanonicalCost(candidate.nodes, node_cost);
+      candidates.insert(std::move(candidate));
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+
+  for (EvidencePath& path : result) {
+    path.edges.reserve(path.nodes.size() - 1);
+    for (size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+      path.edges.push_back(FirstEdgeType(csr, path.nodes[i], path.nodes[i + 1]));
+    }
+  }
+  return result;
+}
+
+}  // namespace trail::graph::path

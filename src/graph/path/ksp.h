@@ -1,0 +1,74 @@
+#ifndef TRAIL_GRAPH_PATH_KSP_H_
+#define TRAIL_GRAPH_PATH_KSP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace trail::graph::path {
+
+/// One IOC reuse chain: a loop-free walk from a queried event to a node of
+/// the target set (an APT's infrastructure). nodes[0] is the source,
+/// nodes.back() the reached target; edges[i] is the schema type of the hop
+/// nodes[i] -> nodes[i+1] (so edges.size() == nodes.size() - 1).
+struct EvidencePath {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeType> edges;
+  double cost = 0.0;
+
+  int hops() const { return static_cast<int>(edges.size()); }
+
+  bool operator==(const EvidencePath& other) const {
+    return nodes == other.nodes && edges == other.edges;
+  }
+};
+
+struct KspOptions {
+  /// Number of paths requested.
+  size_t k = 3;
+  /// Maximum hop count of a returned path.
+  int max_hops = 6;
+  /// Safety valve: total priority-queue pops across all Dijkstra runs of
+  /// one KShortestPaths call. Generous — the A* bound prunes long before
+  /// this fires on real worlds.
+  size_t max_expansions = 1 << 20;
+};
+
+/// Yen's k-shortest loopless paths from `source` to the *target set*
+/// {v : target_dist[v] == 0} over the undirected CSR view.
+///
+/// Path cost is the sum of node-entering costs: stepping onto v costs
+/// node_cost[v] (the source itself is free). TRAIL derives node_cost from
+/// IOC-type rarity — rare types are cheap, so paths through scarce,
+/// discriminative infrastructure (ASNs, URLs) outrank paths through
+/// commodity nodes — and keeps every cost in (1, 2] so hop count always
+/// dominates: a shorter chain is never beaten by a longer one.
+///
+/// `target_dist` doubles as the A*-style admissible bound: it must hold
+/// capped hop distances to the target set (kFar = farther than
+/// `target_cap`), exactly what ReachabilityIndex::GroupDistances provides.
+/// A node u reached in h hops is expanded only if h + target_dist[u] can
+/// still finish within max_hops.
+///
+/// Deterministic everywhere ties can arise: the priority queue breaks equal
+/// costs by node id, relaxation is strict-improvement in CSR adjacency
+/// order (tie on cost prefers fewer hops, then the smaller parent id), and
+/// Yen's candidate pool is ordered by (cost, node sequence). Results are
+/// sorted by (cost, node sequence), pairwise distinct node sequences.
+/// `region`, when non-null, restricts the search to nodes with a
+/// non-negative entry (e.g. the BfsDistances/KHopNeighborhood scratch array
+/// for the source's max_hops neighborhood). Any node on a valid path is
+/// within max_hops of the source, so the restriction is a pure prune.
+std::vector<EvidencePath> KShortestPaths(const CsrGraph& csr,
+                                         const std::vector<float>& node_cost,
+                                         NodeId source,
+                                         const std::vector<uint8_t>& target_dist,
+                                         int target_cap,
+                                         const KspOptions& options,
+                                         const std::vector<int>* region = nullptr);
+
+}  // namespace trail::graph::path
+
+#endif  // TRAIL_GRAPH_PATH_KSP_H_

@@ -1,0 +1,124 @@
+#include "graph/path/path_engine.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace trail::graph::path {
+
+std::vector<std::vector<NodeId>> PathEngine::CollectSeeds(
+    const PropertyGraph& graph, size_t num_apts,
+    std::vector<NodeId>* labeled) {
+  std::vector<std::vector<NodeId>> groups(num_apts + 1);
+  labeled->clear();
+  for (NodeId event : graph.NodesOfType(NodeType::kEvent)) {
+    const int label = graph.label(event);
+    if (label < 0 || static_cast<size_t>(label) >= num_apts) continue;
+    labeled->push_back(event);
+    groups[num_apts].push_back(event);
+    for (const Neighbor& nb : graph.neighbors(event)) {
+      if (graph.type(nb.node) != NodeType::kEvent) {
+        groups[label].push_back(nb.node);
+      }
+    }
+  }
+  // NodesOfType is id-ordered, so `labeled` is already sorted and unique.
+  return groups;
+}
+
+void PathEngine::RefreshCosts(const PropertyGraph& graph) {
+  const size_t n = graph.num_nodes();
+  const std::vector<size_t> counts = graph.TypeCounts();
+  std::array<float, kNumNodeTypes> type_cost{};
+  for (int t = 0; t < kNumNodeTypes; ++t) {
+    type_cost[t] =
+        1.0f + (n == 0 ? 0.0f
+                       : static_cast<float>(counts[t]) / static_cast<float>(n));
+  }
+  node_cost_.resize(n);
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    node_cost_[v] = type_cost[static_cast<int>(graph.type(v))];
+  }
+}
+
+PathEngine PathEngine::Build(const PropertyGraph& graph, const CsrGraph& csr,
+                             size_t num_apts, const Options& options) {
+  PathEngine engine;
+  engine.options_ = options;
+  engine.num_apts_ = num_apts;
+  engine.num_nodes_ = graph.num_nodes();
+  engine.num_edges_ = graph.num_edges();
+  std::vector<std::vector<NodeId>> groups =
+      CollectSeeds(graph, num_apts, &engine.labeled_seeds_);
+  engine.index_ = ReachabilityIndex::Build(csr, groups, options.max_hops);
+  engine.RefreshCosts(graph);
+  return engine;
+}
+
+void PathEngine::Extend(const PropertyGraph& graph, const CsrGraph& csr,
+                        size_t num_apts) {
+  // Groups can only be added (a new report naming a new APT); the index
+  // scratch-builds those and repairs the rest from the edge watermark.
+  num_apts_ = std::max(num_apts_, num_apts);
+  std::vector<std::vector<NodeId>> groups =
+      CollectSeeds(graph, num_apts_, &labeled_seeds_);
+  index_.Extend(csr, groups, graph.edges(), num_edges_);
+  num_nodes_ = graph.num_nodes();
+  num_edges_ = graph.num_edges();
+  RefreshCosts(graph);
+}
+
+bool PathEngine::Matches(const PropertyGraph& graph, size_t num_apts) const {
+  if (num_apts_ != num_apts || num_nodes_ != graph.num_nodes() ||
+      num_edges_ != graph.num_edges()) {
+    return false;
+  }
+  // Same node/edge counts: the engine is stale only if labels moved (the
+  // longitudinal study labels prior months' events in place).
+  std::vector<NodeId> labeled;
+  for (NodeId event : graph.NodesOfType(NodeType::kEvent)) {
+    const int label = graph.label(event);
+    if (label >= 0 && static_cast<size_t>(label) < num_apts_) {
+      labeled.push_back(event);
+    }
+  }
+  return labeled == labeled_seeds_;
+}
+
+bool PathEngine::WithinHops(NodeId v, size_t apt, int k) const {
+  TRAIL_METRIC_INC("path.reach_queries");
+  if (apt >= num_apts_) return false;
+  return index_.WithinHops(v, apt, k);
+}
+
+std::vector<EvidencePath> PathEngine::Explain(const CsrGraph& csr,
+                                              NodeId event, size_t apt,
+                                              size_t k,
+                                              TraversalScratch* scratch) const {
+  TRAIL_METRIC_INC("path.ksp_queries");
+  std::optional<obs::TraceSpan> span;
+  if (obs::DetailedMetricsEnabled()) {
+    static obs::Histogram* hist =
+        obs::MetricsRegistry::Global().GetHistogram("span.path.ksp");
+    span.emplace("path.ksp", hist);
+  }
+  if (apt >= num_apts_ || static_cast<size_t>(event) >= num_nodes_) return {};
+  // Fast negative from the index before any search work.
+  if (!index_.WithinHops(event, apt, options_.max_hops)) return {};
+  KspOptions ksp;
+  ksp.k = k == 0 ? options_.default_k : k;
+  ksp.max_hops = options_.max_hops;
+  ksp.max_expansions = options_.max_expansions;
+  const std::vector<int>* region = nullptr;
+  if (scratch != nullptr) {
+    KHopNeighborhood(csr, std::vector<NodeId>{event}, options_.max_hops,
+                     scratch);
+    region = &scratch->dist;
+  }
+  return KShortestPaths(csr, node_cost_, event, index_.GroupDistances(apt),
+                        options_.max_hops, ksp, region);
+}
+
+}  // namespace trail::graph::path

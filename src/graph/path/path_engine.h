@@ -1,0 +1,124 @@
+#ifndef TRAIL_GRAPH_PATH_PATH_ENGINE_H_
+#define TRAIL_GRAPH_PATH_PATH_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/csr.h"
+#include "graph/path/ksp.h"
+#include "graph/path/reachability_index.h"
+#include "graph/property_graph.h"
+#include "graph/types.h"
+
+namespace trail::graph::path {
+
+/// The online evidence-path plane: one reachability group per APT (seeds =
+/// the APT's *infrastructure*, i.e. the non-event IOC neighbors of its
+/// labeled events) plus a final group of the labeled events themselves
+/// (the label-propagation frontier-pruning hint), and the IOC-type-rarity
+/// weights the k-shortest-path queries rank reuse chains by.
+///
+/// The engine holds no pointer into the graph it was built from — query
+/// methods take the CSR to traverse — so an Epoch can share it across
+/// hot-swaps and Trail can deep-copy it into append-published epochs like
+/// the other epoch planes.
+struct PathEngineOptions {
+  /// Hop horizon of the reachability index and the evidence-path search.
+  int max_hops = 6;
+  /// Paths returned when the caller does not ask for a specific k.
+  size_t default_k = 3;
+  /// Safety valve for one Explain call (see KspOptions).
+  size_t max_expansions = 1 << 20;
+};
+
+class PathEngine {
+ public:
+  using Options = PathEngineOptions;
+
+  PathEngine() = default;
+
+  /// Builds the engine against the current graph + CSR snapshot.
+  static PathEngine Build(const PropertyGraph& graph, const CsrGraph& csr,
+                          size_t num_apts, const Options& options = Options());
+
+  /// Incrementally extends the engine after the graph/CSR were appended to
+  /// (and/or labels were added): re-collects seed groups and repairs the
+  /// reachability index from the internal node/edge watermarks. The result
+  /// is identical to Build on the current state (the index repair falls
+  /// back to a per-group scratch BFS if a seed set shrank).
+  void Extend(const PropertyGraph& graph, const CsrGraph& csr,
+              size_t num_apts);
+
+  /// True when the engine still describes `graph` exactly: watermarks match
+  /// and no event gained or lost a label since Build/Extend.
+  bool Matches(const PropertyGraph& graph, size_t num_apts) const;
+
+  /// "Is v within k hops of APT `apt`'s infrastructure?" — one interval
+  /// binary search. Counted as path.reach_queries.
+  bool WithinHops(NodeId v, size_t apt, int k) const;
+
+  /// K-shortest IOC reuse chains from `event` to APT `apt`'s
+  /// infrastructure. k == 0 means Options::default_k. `scratch`, when
+  /// provided, is reused for the source-neighborhood prune (serving reuses
+  /// one scratch across a whole micro-batch). Counted as path.ksp_queries;
+  /// emits a span.path.ksp trace span under detailed metrics.
+  std::vector<EvidencePath> Explain(const CsrGraph& csr, NodeId event,
+                                    size_t apt, size_t k,
+                                    TraversalScratch* scratch = nullptr) const;
+
+  /// Capped hop distances to the nearest *labeled* event — the LP pruning
+  /// hint (ReachabilityIndex::kFar beyond max_hops).
+  const std::vector<uint8_t>& LabeledSeedHops() const {
+    return index_.GroupDistances(num_apts_);
+  }
+  /// The labeled event ids (sorted) the engine was last built/extended
+  /// with; LP checks these against its own seed set before pruning.
+  const std::vector<NodeId>& labeled_seeds() const { return labeled_seeds_; }
+
+  const ReachabilityIndex& index() const { return index_; }
+  const std::vector<float>& node_costs() const { return node_cost_; }
+
+  size_t num_apts() const { return num_apts_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return num_edges_; }
+  int max_hops() const { return options_.max_hops; }
+  uint64_t generation() const { return index_.generation(); }
+  size_t interval_count() const { return index_.interval_count(); }
+  size_t resident_bytes() const {
+    return index_.resident_bytes() + node_cost_.capacity() * sizeof(float) +
+           labeled_seeds_.capacity() * sizeof(NodeId);
+  }
+
+  bool operator==(const PathEngine& other) const {
+    return num_apts_ == other.num_apts_ && num_nodes_ == other.num_nodes_ &&
+           num_edges_ == other.num_edges_ && index_ == other.index_ &&
+           node_cost_ == other.node_cost_ &&
+           labeled_seeds_ == other.labeled_seeds_;
+  }
+
+ private:
+  /// groups[0..num_apts): per-APT infrastructure; groups[num_apts]: the
+  /// labeled events. `labeled` collects the sorted labeled event ids.
+  static std::vector<std::vector<NodeId>> CollectSeeds(
+      const PropertyGraph& graph, size_t num_apts,
+      std::vector<NodeId>* labeled);
+  void RefreshCosts(const PropertyGraph& graph);
+
+  Options options_;
+  size_t num_apts_ = 0;
+  /// Graph watermarks at the last Build/Extend.
+  size_t num_nodes_ = 0;
+  size_t num_edges_ = 0;
+  ReachabilityIndex index_;
+  /// node_cost_[v] = 1 + frequency(type(v)) in (1, 2]: rare IOC types are
+  /// cheaper, and every hop costs more than 1, so shorter chains always
+  /// win and ties go to the chain through scarcer infrastructure.
+  std::vector<float> node_cost_;
+  std::vector<NodeId> labeled_seeds_;
+};
+
+}  // namespace trail::graph::path
+
+#endif  // TRAIL_GRAPH_PATH_PATH_ENGINE_H_

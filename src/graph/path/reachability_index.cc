@@ -1,0 +1,284 @@
+#include "graph/path/reachability_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace trail::graph::path {
+
+namespace {
+
+/// Appends id to a canonical interval list under construction (ids must
+/// arrive in strictly increasing order).
+void PushId(std::vector<IdInterval>* list, NodeId id) {
+  if (!list->empty() && list->back().hi + 1 == id) {
+    list->back().hi = id;
+  } else {
+    list->push_back({id, id});
+  }
+}
+
+/// Merges sorted, unique `added` ids into a canonical interval list. The
+/// result is the canonical list of (old set ∪ added). Linear in
+/// |old intervals| + |added|, so patching after a monthly delta never costs
+/// a full re-scan of the distance array.
+std::vector<IdInterval> MergeIds(const std::vector<IdInterval>& old,
+                                 const std::vector<NodeId>& added) {
+  std::vector<IdInterval> out;
+  out.reserve(old.size() + added.size());
+  size_t i = 0;
+  size_t j = 0;
+  auto push_interval = [&out](IdInterval iv) {
+    if (!out.empty() && out.back().hi + 1 >= iv.lo) {
+      out.back().hi = std::max(out.back().hi, iv.hi);
+    } else {
+      out.push_back(iv);
+    }
+  };
+  while (i < old.size() || j < added.size()) {
+    if (j >= added.size() ||
+        (i < old.size() && old[i].lo <= added[j])) {
+      push_interval(old[i]);
+      ++i;
+    } else {
+      push_interval({added[j], added[j]});
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void ReachabilityIndex::BfsGroup(const CsrGraph& csr,
+                                 const std::vector<NodeId>& seeds,
+                                 int max_hops, std::vector<uint8_t>* dist) {
+  const size_t n = csr.num_nodes();
+  dist->assign(n, kFar);
+  std::vector<NodeId> frontier;
+  frontier.reserve(seeds.size());
+  for (NodeId s : seeds) {
+    if (static_cast<size_t>(s) >= n || !csr.IsKept(s)) continue;
+    if ((*dist)[s] != 0) {
+      (*dist)[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<NodeId> next;
+  for (int d = 0; d < max_hops && !frontier.empty(); ++d) {
+    next.clear();
+    for (NodeId u : frontier) {
+      const NodeId* it = csr.NeighborsBegin(u);
+      const NodeId* end = csr.NeighborsEnd(u);
+      for (; it != end; ++it) {
+        if ((*dist)[*it] == kFar) {
+          (*dist)[*it] = static_cast<uint8_t>(d + 1);
+          next.push_back(*it);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+std::vector<std::vector<IdInterval>> ReachabilityIndex::CompressGroup(
+    const std::vector<uint8_t>& dist, int max_hops) {
+  std::vector<std::vector<IdInterval>> levels(max_hops + 1);
+  for (NodeId v = 0; v < static_cast<NodeId>(dist.size()); ++v) {
+    const uint8_t d = dist[v];
+    if (d == kFar) continue;
+    // A node at distance d belongs to every hop budget h >= d.
+    for (int h = d; h <= max_hops; ++h) PushId(&levels[h], v);
+  }
+  return levels;
+}
+
+ReachabilityIndex ReachabilityIndex::Build(
+    const CsrGraph& csr, const std::vector<std::vector<NodeId>>& group_seeds,
+    int max_hops) {
+  ReachabilityIndex index;
+  index.max_hops_ = max_hops;
+  index.num_nodes_ = csr.num_nodes();
+  index.generation_ = 1;
+  const size_t groups = group_seeds.size();
+  index.dist_.resize(groups);
+  index.intervals_.resize(groups);
+  index.seeds_.resize(groups);
+  // Groups are independent: each slot is written by exactly one task and the
+  // per-group BFS is serial, so the result is identical at any worker count.
+  trail::ParallelForEachIndex(groups, [&](size_t g) {
+    std::vector<NodeId> seeds = group_seeds[g];
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    BfsGroup(csr, seeds, max_hops, &index.dist_[g]);
+    index.intervals_[g] = CompressGroup(index.dist_[g], max_hops);
+    index.seeds_[g] = std::move(seeds);
+  });
+  return index;
+}
+
+bool ReachabilityIndex::RepairGroup(
+    const CsrGraph& csr, const std::vector<NodeId>& seeds,
+    const std::vector<Edge>& edges, size_t from_edge, size_t group,
+    std::vector<std::pair<NodeId, uint8_t>>* changed) {
+  std::vector<uint8_t>& dist = dist_[group];
+  const std::vector<NodeId>& old_seeds = seeds_[group];
+  // The monotone contract: seeds only ever grow (new labeled events bring
+  // new infrastructure). If a seed disappeared, distances could need to
+  // *increase*, which a repair relaxation cannot express.
+  if (!std::includes(seeds.begin(), seeds.end(), old_seeds.begin(),
+                     old_seeds.end())) {
+    return false;
+  }
+  const size_t n = csr.num_nodes();
+  dist.resize(n, kFar);
+
+  // Bucket queue over distances 0..max_hops. Every node whose distance
+  // drops is re-examined from its new level, so the relaxation reaches the
+  // same unique fixpoint a scratch BFS computes — distances only decrease
+  // under node/edge/seed growth, and the fixpoint of "dist[v] = min(seed
+  // indicator, 1 + min over neighbors)" capped at max_hops is unique.
+  std::vector<std::vector<NodeId>> buckets(max_hops_ + 1);
+  auto lower = [&](NodeId v, uint8_t d, uint8_t* old_out) {
+    if (d < dist[v]) {
+      if (old_out != nullptr) *old_out = dist[v];
+      dist[v] = d;
+      buckets[d].push_back(v);
+      return true;
+    }
+    return false;
+  };
+
+  std::vector<std::pair<NodeId, uint8_t>> touched;
+  auto record = [&](NodeId v, uint8_t old_d) { touched.push_back({v, old_d}); };
+
+  for (NodeId s : seeds) {
+    if (static_cast<size_t>(s) >= n || !csr.IsKept(s)) continue;
+    uint8_t old_d = kFar;
+    if (lower(s, 0, &old_d)) record(s, old_d);
+  }
+  // New edges can shortcut old regions: relax both endpoints once; any
+  // further consequences propagate through the bucket sweep below.
+  for (size_t e = from_edge; e < edges.size(); ++e) {
+    const Edge& edge = edges[e];
+    if (!csr.IsKept(edge.src) || !csr.IsKept(edge.dst)) continue;
+    if (dist[edge.src] != kFar && dist[edge.src] < max_hops_) {
+      uint8_t old_d = kFar;
+      if (lower(edge.dst, static_cast<uint8_t>(dist[edge.src] + 1), &old_d)) {
+        record(edge.dst, old_d);
+      }
+    }
+    if (dist[edge.dst] != kFar && dist[edge.dst] < max_hops_) {
+      uint8_t old_d = kFar;
+      if (lower(edge.src, static_cast<uint8_t>(dist[edge.dst] + 1), &old_d)) {
+        record(edge.src, old_d);
+      }
+    }
+  }
+  for (int d = 0; d < max_hops_; ++d) {
+    // lower() may append to buckets[d] while we sweep it (a neighbor drops
+    // to the current level via a different path) — index loop, not iterator.
+    for (size_t i = 0; i < buckets[d].size(); ++i) {
+      const NodeId u = buckets[d][i];
+      if (dist[u] != d) continue;  // re-lowered since enqueued
+      const NodeId* it = csr.NeighborsBegin(u);
+      const NodeId* end = csr.NeighborsEnd(u);
+      for (; it != end; ++it) {
+        uint8_t old_d = kFar;
+        if (lower(*it, static_cast<uint8_t>(d + 1), &old_d)) record(*it, old_d);
+      }
+    }
+  }
+
+  // A node touched twice keeps only its first (largest) old distance.
+  std::sort(touched.begin(), touched.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second > b.second;
+            });
+  touched.erase(std::unique(touched.begin(), touched.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first == b.first;
+                            }),
+                touched.end());
+  *changed = std::move(touched);
+  return true;
+}
+
+void ReachabilityIndex::Extend(
+    const CsrGraph& csr, const std::vector<std::vector<NodeId>>& group_seeds,
+    const std::vector<Edge>& edges, size_t from_edge) {
+  const size_t old_groups = dist_.size();
+  const size_t groups = group_seeds.size();
+  assert(groups >= old_groups);
+  dist_.resize(groups);
+  intervals_.resize(groups);
+  seeds_.resize(groups);
+  num_nodes_ = csr.num_nodes();
+  ++generation_;
+  trail::ParallelForEachIndex(groups, [&](size_t g) {
+    std::vector<NodeId> seeds = group_seeds[g];
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    if (g >= old_groups) {
+      // A brand-new group (first report naming this APT): scratch build.
+      BfsGroup(csr, seeds, max_hops_, &dist_[g]);
+      intervals_[g] = CompressGroup(dist_[g], max_hops_);
+      seeds_[g] = std::move(seeds);
+      return;
+    }
+    std::vector<std::pair<NodeId, uint8_t>> changed;
+    if (!RepairGroup(csr, seeds, edges, from_edge, g, &changed)) {
+      BfsGroup(csr, seeds, max_hops_, &dist_[g]);
+      intervals_[g] = CompressGroup(dist_[g], max_hops_);
+      seeds_[g] = std::move(seeds);
+      return;
+    }
+    // Patch interval lists: a node whose distance dropped from old_d to
+    // new_d joins every budget h in [new_d, min(old_d, max_hops_) - 1] — it
+    // was already a member of budgets >= old_d.
+    std::vector<std::vector<NodeId>> added(max_hops_ + 1);
+    for (const auto& [v, old_d] : changed) {
+      const int hi = std::min<int>(old_d, max_hops_ + 1);
+      for (int h = dist_[g][v]; h < hi; ++h) added[h].push_back(v);
+    }
+    for (int h = 0; h <= max_hops_; ++h) {
+      if (added[h].empty()) continue;
+      intervals_[g][h] = MergeIds(intervals_[g][h], added[h]);
+    }
+    seeds_[g] = std::move(seeds);
+  });
+}
+
+bool ReachabilityIndex::WithinHops(NodeId v, size_t group, int k) const {
+  if (k < 0 || group >= intervals_.size() ||
+      static_cast<size_t>(v) >= num_nodes_) {
+    return false;
+  }
+  const std::vector<IdInterval>& list =
+      intervals_[group][std::min(k, max_hops_)];
+  // First interval with lo > v; the candidate container is its predecessor.
+  auto it = std::upper_bound(
+      list.begin(), list.end(), v,
+      [](NodeId id, const IdInterval& iv) { return id < iv.lo; });
+  return it != list.begin() && std::prev(it)->hi >= v;
+}
+
+size_t ReachabilityIndex::interval_count() const {
+  size_t total = 0;
+  for (const auto& group : intervals_) {
+    for (const auto& level : group) total += level.size();
+  }
+  return total;
+}
+
+size_t ReachabilityIndex::resident_bytes() const {
+  size_t bytes = interval_count() * sizeof(IdInterval);
+  for (const auto& d : dist_) bytes += d.capacity() * sizeof(uint8_t);
+  for (const auto& s : seeds_) bytes += s.capacity() * sizeof(NodeId);
+  return bytes;
+}
+
+}  // namespace trail::graph::path

@@ -1,0 +1,139 @@
+#ifndef TRAIL_GRAPH_PATH_REACHABILITY_INDEX_H_
+#define TRAIL_GRAPH_PATH_REACHABILITY_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace trail::graph::path {
+
+/// A closed, inclusive id interval [lo, hi]. Interval lists are sorted,
+/// non-overlapping, and non-adjacent (maximal), so two lists describing the
+/// same id set are bitwise identical — the canonical form the
+/// incremental-extend-equals-scratch-build guarantee rests on.
+struct IdInterval {
+  NodeId lo;
+  NodeId hi;
+
+  bool operator==(const IdInterval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+/// A FERRARI-style interval-compressed reachability index, bounded-hop
+/// variant. For each seed *group* g (an APT's infrastructure, the labeled
+/// LP seeds, ...) and each hop budget h in [0, max_hops], the index stores
+/// the set of node ids within h hops of any seed of g as a sorted
+/// id-interval list. Node ids are assigned in ingest order, so a campaign's
+/// events and infrastructure cluster into contiguous id runs and the
+/// interval lists stay far smaller than the sets they describe.
+///
+/// Queries ("is event X within k hops of APT Y's infrastructure?") are one
+/// binary search over the (group, min(k, max_hops)) interval list —
+/// microseconds at paper scale instead of a per-query BFS.
+///
+/// The per-group capped hop-distance arrays the intervals are derived from
+/// are retained: they answer exact HopsToGroup lookups, drive the k-shortest
+/// path engine's A*-style pruning, and make Extend incremental (distances
+/// under edge/seed growth only ever decrease, so a bounded repair
+/// relaxation from the changed frontier reconverges to the unique fixpoint
+/// without re-traversing the whole graph).
+class ReachabilityIndex {
+ public:
+  /// Hop distance recorded for nodes farther than max_hops from every seed
+  /// of a group (possibly unreachable outright).
+  static constexpr uint8_t kFar = 0xFF;
+
+  ReachabilityIndex() = default;
+
+  /// Builds the index: one bounded multi-source BFS per group plus the
+  /// interval compression, parallelized over groups via the thread pool.
+  /// Groups are independent, so the result is bit-identical at any worker
+  /// count. Seed ids out of range or dropped from the CSR are ignored.
+  static ReachabilityIndex Build(
+      const CsrGraph& csr, const std::vector<std::vector<NodeId>>& group_seeds,
+      int max_hops);
+
+  /// Extends the index after the CSR was Append-ed: `new_edges` is the
+  /// appended schema-edge range (PropertyGraph::edges()[from_edge, ...)),
+  /// `group_seeds` the *current* (possibly grown) seed sets. New nodes get
+  /// kFar entries, then a repair relaxation seeded from new seeds and the
+  /// endpoints of new edges re-lowers exactly the distances that changed,
+  /// and the touched ids are merge-patched into the interval lists. The
+  /// result is bit-identical to Build on the extended inputs. A group whose
+  /// seed set shrank (labels were retracted — outside the monotone append
+  /// contract) falls back to a scratch rebuild of that group alone.
+  void Extend(const CsrGraph& csr,
+              const std::vector<std::vector<NodeId>>& group_seeds,
+              const std::vector<Edge>& edges, size_t from_edge);
+
+  /// True when v is within k hops of any seed of `group`. k is clamped to
+  /// max_hops (the index cannot see farther); negative k is always false.
+  bool WithinHops(NodeId v, size_t group, int k) const;
+
+  /// Exact hop distance from v to the nearest seed of `group`, or kFar when
+  /// farther than max_hops.
+  uint8_t HopsToGroup(NodeId v, size_t group) const {
+    return dist_[group][v];
+  }
+
+  /// The full capped distance array of one group (the LP pruning hint and
+  /// the KSP engine's A* bound).
+  const std::vector<uint8_t>& GroupDistances(size_t group) const {
+    return dist_[group];
+  }
+
+  /// Interval list of (group, hop budget h), h in [0, max_hops].
+  const std::vector<IdInterval>& Intervals(size_t group, int h) const {
+    return intervals_[group][h];
+  }
+
+  size_t num_groups() const { return dist_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
+  int max_hops() const { return max_hops_; }
+
+  /// Bumped by Build (to 1) and by every Extend.
+  uint64_t generation() const { return generation_; }
+
+  /// Total interval count across all groups and hop budgets.
+  size_t interval_count() const;
+  /// Approximate heap footprint of the index (intervals + distance arrays).
+  size_t resident_bytes() const;
+
+  bool operator==(const ReachabilityIndex& other) const {
+    return max_hops_ == other.max_hops_ && num_nodes_ == other.num_nodes_ &&
+           dist_ == other.dist_ && intervals_ == other.intervals_;
+  }
+
+ private:
+  /// Bounded multi-source BFS of one group from scratch into dist.
+  static void BfsGroup(const CsrGraph& csr, const std::vector<NodeId>& seeds,
+                       int max_hops, std::vector<uint8_t>* dist);
+  /// Canonical interval lists (one per hop budget) from a distance array.
+  static std::vector<std::vector<IdInterval>> CompressGroup(
+      const std::vector<uint8_t>& dist, int max_hops);
+  /// Repair relaxation of one group for Extend; returns the changed node
+  /// ids (sorted, unique) with their old distances for interval patching,
+  /// or false when the seed set shrank and the group needs a scratch
+  /// rebuild.
+  bool RepairGroup(const CsrGraph& csr, const std::vector<NodeId>& seeds,
+                   const std::vector<Edge>& edges, size_t from_edge,
+                   size_t group, std::vector<std::pair<NodeId, uint8_t>>* changed);
+
+  int max_hops_ = 0;
+  size_t num_nodes_ = 0;
+  uint64_t generation_ = 0;
+  /// dist_[group][node]: capped hop distance to the group's seeds.
+  std::vector<std::vector<uint8_t>> dist_;
+  /// intervals_[group][h]: ids within h hops, interval-compressed.
+  std::vector<std::vector<std::vector<IdInterval>>> intervals_;
+  /// Seed sets the index was last built/extended with (sorted, unique);
+  /// Extend uses them to detect seed growth vs retraction.
+  std::vector<std::vector<NodeId>> seeds_;
+};
+
+}  // namespace trail::graph::path
+
+#endif  // TRAIL_GRAPH_PATH_REACHABILITY_INDEX_H_

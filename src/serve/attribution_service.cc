@@ -161,29 +161,38 @@ std::future<ServeResponse> AttributionService::Submit(Request request,
 }
 
 std::future<ServeResponse> AttributionService::SubmitEvent(
-    graph::NodeId event, int64_t deadline_ms, Priority priority) {
+    graph::NodeId event, int64_t deadline_ms, Priority priority, bool explain,
+    size_t explain_k) {
   Request request;
   request.kind = Request::Kind::kEvent;
   request.priority = priority;
   request.event = event;
+  request.explain = explain;
+  request.explain_k = explain_k;
   return Submit(std::move(request), deadline_ms);
 }
 
 std::future<ServeResponse> AttributionService::SubmitReportId(
-    std::string report_id, int64_t deadline_ms, Priority priority) {
+    std::string report_id, int64_t deadline_ms, Priority priority,
+    bool explain, size_t explain_k) {
   Request request;
   request.kind = Request::Kind::kReportId;
   request.priority = priority;
   request.payload = std::move(report_id);
+  request.explain = explain;
+  request.explain_k = explain_k;
   return Submit(std::move(request), deadline_ms);
 }
 
 std::future<ServeResponse> AttributionService::SubmitReportJson(
-    std::string report_json, int64_t deadline_ms, Priority priority) {
+    std::string report_json, int64_t deadline_ms, Priority priority,
+    bool explain, size_t explain_k) {
   Request request;
   request.kind = Request::Kind::kReportJson;
   request.priority = priority;
   request.payload = std::move(report_json);
+  request.explain = explain;
+  request.explain_k = explain_k;
   return Submit(std::move(request), deadline_ms);
 }
 
@@ -419,6 +428,10 @@ void AttributionService::RunBatch(std::vector<Request> batch,
                                             options_.hide_neighbor_labels);
     const Clock::time_point finished_at = Clock::now();
     const int64_t inferred_us = obs::TraceRecorder::NowMicros();
+    // One traversal scratch serves every explain of this batch (the
+    // source-neighborhood prune buffers are reused across calls).
+    graph::TraversalScratch explain_scratch;
+    uint64_t explained_count = 0;
     for (size_t r = 0; r < live.size(); ++r) {
       Request& request = batch[live[r]];
       request.inferred_us = inferred_us;
@@ -426,7 +439,23 @@ void AttributionService::RunBatch(std::vector<Request> batch,
       response.event = events[r];
       response.batch_size = batch.size();
       response.queue_seconds = Seconds(formed_at - request.submitted_at);
-      if (request.has_deadline && request.deadline < finished_at) {
+      // Evidence paths are priced into the deadline: they are computed only
+      // while the request is still inside its budget (shed-safe — a request
+      // that already blew its deadline skips the path search entirely), and
+      // the deadline check below uses the explain-inclusive finish time.
+      Clock::time_point done_at = finished_at;
+      if (request.explain && results[r].ok() && epoch != nullptr &&
+          !(request.has_deadline && request.deadline < finished_at)) {
+        auto evidence = core::Trail::ExplainOnEpoch(
+            *epoch, events[r], results[r].value().apt, request.explain_k,
+            &explain_scratch);
+        if (evidence.ok()) {
+          response.evidence = std::move(evidence).value();
+          response.explained = true;
+        }
+        done_at = Clock::now();
+      }
+      if (request.has_deadline && request.deadline < done_at) {
         // The work happened but too late to be useful; report that
         // honestly instead of pretending the deadline held.
         TRAIL_METRIC_INC("serve.deadline_expired");
@@ -434,14 +463,22 @@ void AttributionService::RunBatch(std::vector<Request> batch,
         ++stats_.deadline_expired;
         response.status =
             Status::DeadlineExceeded("batch finished after the deadline");
+        response.evidence.clear();
+        response.explained = false;
       } else if (results[r].ok()) {
         response.status = Status::Ok();
         response.attribution = std::move(results[r]).value();
       } else {
         response.status = results[r].status();
       }
+      if (response.explained) ++explained_count;
       Resolve(&request, std::move(response));
       done[live[r]] = true;
+    }
+    if (explained_count > 0) {
+      TRAIL_METRIC_ADD("serve.explained_replies", explained_count);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.explained += explained_count;
     }
   }
 
@@ -549,6 +586,8 @@ JsonValue AttributionService::StatusJson() const {
   stats_json.Set("deadline_expired",
                  JsonValue::MakeNumber(
                      static_cast<double>(stats.deadline_expired)));
+  stats_json.Set("explained",
+                 JsonValue::MakeNumber(static_cast<double>(stats.explained)));
   stats_json.Set("batches",
                  JsonValue::MakeNumber(static_cast<double>(stats.batches)));
   stats_json.Set("hot_swaps",
@@ -584,6 +623,32 @@ JsonValue AttributionService::StatusJson() const {
     workers_json.Append(std::move(worker));
   }
   out.Set("workers", std::move(workers_json));
+  // The evidence-path plane of the epoch new batches would pin: the index
+  // generation must track epoch_generation (every publish re-stamps it), or
+  // explains are answering from a stale graph.
+  JsonValue paths_json = JsonValue::MakeObject();
+  std::shared_ptr<const core::Epoch> epoch = trail_->PinEpoch();
+  if (epoch != nullptr && epoch->paths != nullptr) {
+    paths_json.Set("present", JsonValue::MakeBool(true));
+    paths_json.Set("index_generation",
+                   JsonValue::MakeNumber(
+                       static_cast<double>(epoch->paths_generation)));
+    paths_json.Set("groups",
+                   JsonValue::MakeNumber(static_cast<double>(
+                       epoch->paths->num_apts() + 1)));
+    paths_json.Set("max_hops",
+                   JsonValue::MakeNumber(
+                       static_cast<double>(epoch->paths->max_hops())));
+    paths_json.Set("interval_count",
+                   JsonValue::MakeNumber(static_cast<double>(
+                       epoch->paths->interval_count())));
+    paths_json.Set("resident_bytes",
+                   JsonValue::MakeNumber(static_cast<double>(
+                       epoch->paths->resident_bytes())));
+  } else {
+    paths_json.Set("present", JsonValue::MakeBool(false));
+  }
+  out.Set("paths", std::move(paths_json));
   out.Set("slo", slo_.ToJson());
   JsonValue options_json = JsonValue::MakeObject();
   options_json.Set("max_batch_size",

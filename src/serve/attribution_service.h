@@ -84,6 +84,14 @@ struct ServeOptions {
 struct ServeResponse {
   Status status;
   core::Trail::Attribution attribution;
+  /// Evidence paths backing the attribution (Trail::ExplainOnEpoch), filled
+  /// only when the request asked for an explanation and the path engine
+  /// answered. May be empty even then: the event provably shares no
+  /// infrastructure with the predicted APT within the hop horizon.
+  std::vector<core::Trail::ExplainedPath> evidence;
+  /// True when the explain plane ran for this request (evidence is
+  /// meaningful, possibly empty).
+  bool explained = false;
   /// The resolved event node (also for ingest-then-attribute requests).
   graph::NodeId event = graph::kInvalidNode;
   /// Size of the micro-batch this request was served in (0 when shed).
@@ -140,22 +148,28 @@ class AttributionService {
   void Shutdown();
 
   /// Attribute an existing event node. `deadline_ms` < 0 applies the
-  /// configured default; 0 means no deadline.
+  /// configured default; 0 means no deadline. With `explain` the reply also
+  /// carries up to `explain_k` evidence paths (0 = the engine default),
+  /// computed inside the same micro-batch against the same pinned epoch —
+  /// and priced into the request's deadline.
   std::future<ServeResponse> SubmitEvent(
       graph::NodeId event, int64_t deadline_ms = -1,
-      Priority priority = Priority::kInteractive);
+      Priority priority = Priority::kInteractive, bool explain = false,
+      size_t explain_k = 0);
 
   /// Attribute the event of an already-ingested report by its report id.
   std::future<ServeResponse> SubmitReportId(
       std::string report_id, int64_t deadline_ms = -1,
-      Priority priority = Priority::kInteractive);
+      Priority priority = Priority::kInteractive, bool explain = false,
+      size_t explain_k = 0);
 
   /// Ingest a raw incident-report JSON (the feed wire format) into the TKG
   /// via delta-append, then attribute its event in the same micro-batch.
   /// Duplicate deliveries attribute the already-ingested event.
   std::future<ServeResponse> SubmitReportJson(
       std::string report_json, int64_t deadline_ms = -1,
-      Priority priority = Priority::kInteractive);
+      Priority priority = Priority::kInteractive, bool explain = false,
+      size_t explain_k = 0);
 
   /// Swaps in the models of a SaveCheckpoint blob with zero downtime: the
   /// new model slot (including its pre-encoded view of the current graph)
@@ -186,6 +200,7 @@ class AttributionService {
     uint64_t shed = 0;              // rejected with kOverloaded
     uint64_t completed = 0;         // answered via a batch (any status)
     uint64_t deadline_expired = 0;  // resolved kDeadlineExceeded
+    uint64_t explained = 0;         // replies that carried evidence paths
     uint64_t batches = 0;
     uint64_t hot_swaps = 0;
     size_t max_batch_size = 0;
@@ -254,6 +269,10 @@ class AttributionService {
     std::chrono::steady_clock::time_point submitted_at;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
+    /// Attach evidence paths to the reply (k = explain_k; 0 = engine
+    /// default).
+    bool explain = false;
+    size_t explain_k = 0;
     std::promise<ServeResponse> promise;
     /// Per-request trace state (stage stamps on the process trace clock;
     /// 0 = the request never reached that stage).

@@ -1,5 +1,6 @@
 #include "serve/frontend.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/json.h"
@@ -67,6 +68,34 @@ std::string RenderServeResponse(const JsonValue& request,
     dist.Append(std::move(entry));
   }
   out.Set("distribution", std::move(dist));
+  if (response.explained) {
+    // Evidence paths (docs/PATHS.md wire format): one object per reuse
+    // chain, cheapest first; "path" walks event -> infrastructure with the
+    // schema edge traversed into each hop ("edge" absent on the first).
+    JsonValue evidence = JsonValue::MakeArray();
+    for (const core::Trail::ExplainedPath& path : response.evidence) {
+      JsonValue path_json = JsonValue::MakeObject();
+      path_json.Set("cost", JsonValue::MakeNumber(path.cost));
+      path_json.Set("hops",
+                    JsonValue::MakeNumber(static_cast<double>(
+                        path.hops.empty() ? 0 : path.hops.size() - 1)));
+      JsonValue hops_json = JsonValue::MakeArray();
+      for (const core::Trail::ExplainedPath::Hop& hop : path.hops) {
+        JsonValue hop_json = JsonValue::MakeObject();
+        hop_json.Set("node",
+                     JsonValue::MakeNumber(static_cast<double>(hop.node)));
+        hop_json.Set("type", JsonValue::MakeString(hop.type));
+        hop_json.Set("value", JsonValue::MakeString(hop.value));
+        if (!hop.edge.empty()) {
+          hop_json.Set("edge", JsonValue::MakeString(hop.edge));
+        }
+        hops_json.Append(std::move(hop_json));
+      }
+      path_json.Set("path", std::move(hops_json));
+      evidence.Append(std::move(path_json));
+    }
+    out.Set("evidence", std::move(evidence));
+  }
   return out.Dump();
 }
 
@@ -110,6 +139,11 @@ Reply Frontend::Handle(const std::string& line) {
   const Priority priority = request.GetString("priority") == "bulk"
                                 ? Priority::kBulk
                                 : Priority::kInteractive;
+  // "explain": true asks for evidence paths in the reply; "explain_k"
+  // bounds how many (clamped to a sane ceiling; 0 = the engine default).
+  const bool explain = request.GetBool("explain");
+  const size_t explain_k = static_cast<size_t>(
+      std::min(std::max(request.GetNumber("explain_k", 0.0), 0.0), 16.0));
 
   if (op == "ping") {
     JsonValue out = BaseResponse(request);
@@ -126,7 +160,8 @@ Reply Frontend::Handle(const std::string& line) {
                        .Dump());
     }
     return Deferred(request,
-                    service_->SubmitReportId(report, deadline_ms, priority));
+                    service_->SubmitReportId(report, deadline_ms, priority,
+                                             explain, explain_k));
   }
 
   if (op == "attribute_event") {
@@ -140,7 +175,7 @@ Reply Frontend::Handle(const std::string& line) {
     return Deferred(request,
                     service_->SubmitEvent(
                         static_cast<graph::NodeId>(node->AsInt()),
-                        deadline_ms, priority));
+                        deadline_ms, priority, explain, explain_k));
   }
 
   if (op == "ingest") {
@@ -153,7 +188,7 @@ Reply Frontend::Handle(const std::string& line) {
     }
     return Deferred(request,
                     service_->SubmitReportJson(report->Dump(), deadline_ms,
-                                               priority));
+                                               priority, explain, explain_k));
   }
 
   if (op == "list_events") {
@@ -181,6 +216,8 @@ Reply Frontend::Handle(const std::string& line) {
     out.Set("deadline_expired",
             JsonValue::MakeNumber(
                 static_cast<double>(stats.deadline_expired)));
+    out.Set("explained",
+            JsonValue::MakeNumber(static_cast<double>(stats.explained)));
     out.Set("batches",
             JsonValue::MakeNumber(static_cast<double>(stats.batches)));
     out.Set("hot_swaps",

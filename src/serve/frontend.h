@@ -24,6 +24,7 @@ struct Reply {
 ///
 ///   {"op":"ping"}
 ///   {"op":"attribute","report":"<report id>","deadline_ms":50}
+///   {"op":"attribute","report":"...","explain":true,"explain_k":3}
 ///   {"op":"attribute_event","node":123}
 ///   {"op":"ingest","report":{...feed wire format...}}
 ///   {"op":"list_events","limit":64}

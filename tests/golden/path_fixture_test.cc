@@ -1,0 +1,166 @@
+// Golden fixture for the evidence-path plane: a small deterministic graph
+// is indexed by path::PathEngine and a canonical text rendering of the
+// index shape plus the k-shortest evidence paths for a fixed query set must
+// match the pinned fixture in tests/golden/goldens/ byte for byte. The
+// engine is fully deterministic (canonical intervals, id-ordered
+// tie-breaks), so any diff is a real behavior change in the reachability
+// index, the rarity weights, or the Yen search. Intentional changes
+// regenerate via tools/update_goldens.sh (TRAIL_UPDATE_GOLDENS=1) with the
+// new fixture committed as the review artifact.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/path/path_engine.h"
+#include "graph/property_graph.h"
+#include "util/parallel.h"
+
+#ifndef TRAIL_GOLDEN_DIR
+#error "TRAIL_GOLDEN_DIR must point at tests/golden/goldens"
+#endif
+
+namespace trail::graph::path {
+namespace {
+
+constexpr char kFixtureName[] = "paths_fixture_v1.txt";
+constexpr size_t kEvents = 36;
+constexpr size_t kNumApts = 3;
+
+/// Deterministic procedural TKG with heavy cross-APT IOC reuse (small
+/// shared pools), so evidence paths of several hops exist.
+PropertyGraph BuildGraph() {
+  PropertyGraph g;
+  for (size_t i = 0; i < kEvents; ++i) {
+    NodeId e = g.AddNode(NodeType::kEvent, "PFX-" + std::to_string(i));
+    g.SetLabel(e, static_cast<int>(i % kNumApts));
+    for (size_t k = 0; k < 3; ++k) {
+      size_t ioc = (i * 7 + k * 13) % 40;
+      NodeId ip = g.AddNode(NodeType::kIp, "192.0.2." + std::to_string(ioc));
+      g.AddEdge(e, ip, EdgeType::kInReport);
+      NodeId d = g.AddNode(NodeType::kDomain,
+                           "px" + std::to_string(ioc % 15) + ".test");
+      g.AddEdge(ip, d, EdgeType::kARecord);
+      if (ioc % 5 == 0) {
+        NodeId asn = g.AddNode(NodeType::kAsn, "AS" + std::to_string(ioc % 6));
+        g.AddEdge(ip, asn, EdgeType::kInGroup);
+      }
+    }
+  }
+  return g;
+}
+
+std::string Fixed(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/// The canonical rendering the fixture pins: index summary, per-group
+/// frontier sizes, then the evidence paths of every (labeled event, own
+/// APT) query at k=3.
+std::string Render(const PropertyGraph& g, const CsrGraph& csr,
+                   const PathEngine& engine) {
+  std::string out;
+  out += "paths_fixture v1\n";
+  out += "nodes=" + std::to_string(engine.num_nodes()) +
+         " edges=" + std::to_string(engine.num_edges()) +
+         " groups=" + std::to_string(engine.num_apts() + 1) +
+         " max_hops=" + std::to_string(engine.max_hops()) +
+         " intervals=" + std::to_string(engine.interval_count()) + "\n";
+  for (size_t group = 0; group <= engine.num_apts(); ++group) {
+    out += "group " + std::to_string(group) + ":";
+    for (int h = 0; h <= engine.max_hops(); ++h) {
+      out += " " + std::to_string(engine.index().Intervals(group, h).size());
+    }
+    out += "\n";
+  }
+  for (NodeId e : g.NodesOfType(NodeType::kEvent)) {
+    const int apt = g.label(e);
+    if (apt < 0 || e % 4 != 0) continue;
+    out += "explain event=" + std::to_string(e) +
+           " apt=" + std::to_string(apt) + "\n";
+    for (const EvidencePath& path :
+         engine.Explain(csr, e, static_cast<size_t>(apt), /*k=*/3)) {
+      out += "  cost=" + Fixed(path.cost) + " nodes=";
+      for (size_t i = 0; i < path.nodes.size(); ++i) {
+        if (i > 0) out += "->";
+        out += std::to_string(path.nodes[i]) + "/" +
+               g.value(path.nodes[i]);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string ReadFileText(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::string text;
+  if (f == nullptr) return text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+bool UpdateMode() {
+  const char* env = std::getenv("TRAIL_UPDATE_GOLDENS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string FixturePath() {
+  return std::string(TRAIL_GOLDEN_DIR) + "/" + kFixtureName;
+}
+
+TEST(PathFixtureTest, EvidencePathsMatchPinnedFixture) {
+  PropertyGraph g = BuildGraph();
+  CsrGraph csr = CsrGraph::Build(g);
+
+  // The rendering must not depend on the worker count the index was built
+  // with — the parallel build is deterministic by contract.
+  const int saved = ParallelWorkers();
+  std::string fresh;
+  for (int workers : {1, 2, 8}) {
+    SetParallelWorkers(workers);
+    PathEngine engine = PathEngine::Build(g, csr, kNumApts);
+    std::string rendered = Render(g, csr, engine);
+    if (fresh.empty()) {
+      fresh = std::move(rendered);
+    } else {
+      ASSERT_EQ(rendered, fresh) << "workers=" << workers;
+    }
+  }
+  SetParallelWorkers(saved);
+  ASSERT_FALSE(fresh.empty());
+  // Sanity before pinning: at least one multi-path explain rendered.
+  ASSERT_NE(fresh.find("explain event="), std::string::npos);
+  ASSERT_NE(fresh.find("cost="), std::string::npos);
+
+  const std::string pinned = FixturePath();
+  if (UpdateMode()) {
+    std::FILE* f = std::fopen(pinned.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << pinned;
+    ASSERT_EQ(std::fwrite(fresh.data(), 1, fresh.size(), f), fresh.size());
+    std::fclose(f);
+    std::printf("[golden] regenerated %s (%zu bytes)\n", pinned.c_str(),
+                fresh.size());
+    return;
+  }
+
+  const std::string want = ReadFileText(pinned);
+  ASSERT_FALSE(want.empty())
+      << "No pinned paths fixture at " << pinned
+      << ". Generate it with tools/update_goldens.sh and commit the file.";
+  EXPECT_EQ(fresh, want)
+      << "evidence paths diverge from the pinned fixture — if the change is "
+         "intentional, regenerate with tools/update_goldens.sh";
+}
+
+}  // namespace
+}  // namespace trail::graph::path

@@ -1,0 +1,270 @@
+// Paths tier: Yen's k-shortest evidence paths against exhaustive
+// enumeration of every loopless walk — cost agreement (as a multiset, to a
+// float tolerance), structural validity of every returned path, full
+// determinism of repeated calls, and the region-prune being a no-op.
+
+#include "graph/path/ksp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/csr.h"
+#include "graph/property_graph.h"
+#include "util/random.h"
+
+namespace trail::graph::path {
+namespace {
+
+constexpr uint8_t kFarDist = 0xFF;
+
+/// Random connected undirected graph over mixed node types.
+PropertyGraph RandomGraph(trail::Rng* rng, int n, int extra_edges) {
+  PropertyGraph g;
+  const NodeType types[] = {NodeType::kEvent, NodeType::kIp,
+                            NodeType::kDomain, NodeType::kUrl, NodeType::kAsn};
+  for (int i = 0; i < n; ++i) {
+    g.AddNode(types[rng->NextBounded(5)], "n" + std::to_string(i));
+  }
+  for (int i = 1; i < n; ++i) {
+    g.AddEdge(i, static_cast<NodeId>(rng->NextBounded(i)),
+              EdgeType::kARecord);
+  }
+  for (int i = 0; i < extra_edges; ++i) {
+    NodeId a = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId b = static_cast<NodeId>(rng->NextBounded(n));
+    if (a != b) g.AddEdge(a, b, EdgeType::kResolvesTo);
+  }
+  return g;
+}
+
+std::vector<float> RandomCosts(trail::Rng* rng, size_t n) {
+  std::vector<float> cost(n);
+  for (size_t v = 0; v < n; ++v) {
+    // Costs in (1, 2], like the engine's IOC-type-rarity weights.
+    cost[v] = 1.0f + static_cast<float>(rng->NextBounded(1000) + 1) / 1000.0f;
+  }
+  return cost;
+}
+
+/// Capped hop distances to the target set (the index's GroupDistances).
+std::vector<uint8_t> TargetDistances(const CsrGraph& csr,
+                                     const std::vector<NodeId>& targets,
+                                     int cap) {
+  std::vector<uint8_t> dist(csr.num_nodes(), kFarDist);
+  for (NodeId t : targets) {
+    std::vector<int> d = BfsDistances(csr, t, cap);
+    for (size_t v = 0; v < d.size(); ++v) {
+      if (d[v] >= 0 && static_cast<uint8_t>(d[v]) < dist[v]) {
+        dist[v] = static_cast<uint8_t>(d[v]);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Every loopless walk from `source` to a target within max_hops, by DFS.
+/// Deduplicated by node sequence: parallel edges (a tree edge doubled by a
+/// random extra edge) make the DFS revisit the same sequence, while the
+/// engine's paths are distinct node sequences by construction.
+void EnumeratePaths(const CsrGraph& csr, const std::vector<float>& node_cost,
+                    NodeId v, const std::vector<uint8_t>& target_dist,
+                    int max_hops, std::vector<NodeId>* walk,
+                    std::vector<uint8_t>* on_walk, double cost,
+                    std::set<std::vector<NodeId>>* recorded,
+                    std::vector<double>* out_costs) {
+  if (target_dist[v] == 0 && walk->size() > 1) {
+    // Targets are absorbing (the engine's Dijkstra stops at the first
+    // target settled), so a path never continues through one.
+    if (recorded->insert(*walk).second) out_costs->push_back(cost);
+    return;
+  }
+  if (static_cast<int>(walk->size()) - 1 >= max_hops) return;
+  for (const NodeId* it = csr.NeighborsBegin(v); it != csr.NeighborsEnd(v);
+       ++it) {
+    const NodeId u = *it;
+    if ((*on_walk)[u]) continue;
+    (*on_walk)[u] = 1;
+    walk->push_back(u);
+    EnumeratePaths(csr, node_cost, u, target_dist, max_hops, walk, on_walk,
+                   cost + static_cast<double>(node_cost[u]), recorded,
+                   out_costs);
+    walk->pop_back();
+    (*on_walk)[u] = 0;
+  }
+}
+
+std::vector<double> ExhaustiveTopK(const CsrGraph& csr,
+                                   const std::vector<float>& node_cost,
+                                   NodeId source,
+                                   const std::vector<uint8_t>& target_dist,
+                                   int max_hops, size_t k) {
+  std::vector<double> costs;
+  std::vector<NodeId> walk{source};
+  std::vector<uint8_t> on_walk(csr.num_nodes(), 0);
+  on_walk[source] = 1;
+  std::set<std::vector<NodeId>> recorded;
+  EnumeratePaths(csr, node_cost, source, target_dist, max_hops, &walk,
+                 &on_walk, 0.0, &recorded, &costs);
+  std::sort(costs.begin(), costs.end());
+  if (costs.size() > k) costs.resize(k);
+  return costs;
+}
+
+void ExpectValidPath(const CsrGraph& csr, const EvidencePath& path,
+                     NodeId source, const std::vector<uint8_t>& target_dist,
+                     int max_hops) {
+  ASSERT_GE(path.nodes.size(), 2u);
+  ASSERT_EQ(path.edges.size(), path.nodes.size() - 1);
+  EXPECT_EQ(path.nodes.front(), source);
+  EXPECT_EQ(target_dist[path.nodes.back()], 0);
+  EXPECT_LE(path.hops(), max_hops);
+  std::set<NodeId> seen(path.nodes.begin(), path.nodes.end());
+  EXPECT_EQ(seen.size(), path.nodes.size()) << "path revisits a node";
+  for (size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    bool adjacent = false;
+    for (const NodeId* it = csr.NeighborsBegin(path.nodes[i]);
+         it != csr.NeighborsEnd(path.nodes[i]); ++it) {
+      if (*it == path.nodes[i + 1]) {
+        adjacent = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(adjacent) << "hop " << i << " is not a CSR edge";
+  }
+}
+
+TEST(KspTest, MatchesExhaustiveEnumerationOnRandomGraphs) {
+  trail::Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    PropertyGraph g = RandomGraph(&rng, 14, 6);
+    CsrGraph csr = CsrGraph::Build(g);
+    std::vector<float> node_cost = RandomCosts(&rng, g.num_nodes());
+    const NodeId source = 0;
+    std::vector<NodeId> targets;
+    for (NodeId v = 5; v < 8; ++v) targets.push_back(v);
+    KspOptions options;
+    options.k = 4;
+    options.max_hops = 5;
+    std::vector<uint8_t> target_dist =
+        TargetDistances(csr, targets, options.max_hops);
+    if (target_dist[source] == 0) continue;  // source in target set: skip
+
+    std::vector<EvidencePath> got = KShortestPaths(
+        csr, node_cost, source, target_dist, options.max_hops, options);
+    std::vector<double> want = ExhaustiveTopK(
+        csr, node_cost, source, target_dist, options.max_hops, options.k);
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (size_t i = 0; i < got.size(); ++i) {
+      // Cost-multiset agreement with tolerance: equal-cost path sets may
+      // order differently than the enumeration, but sorted costs match.
+      EXPECT_NEAR(got[i].cost, want[i], 1e-9)
+          << "trial " << trial << " path " << i;
+      ExpectValidPath(csr, got[i], source, target_dist, options.max_hops);
+    }
+    // Pairwise distinct node sequences, sorted by cost.
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_GE(got[i].cost, got[i - 1].cost - 1e-12);
+      EXPECT_FALSE(got[i] == got[i - 1]);
+    }
+  }
+}
+
+TEST(KspTest, DeterministicAcrossRepeatedCalls) {
+  trail::Rng rng(19);
+  PropertyGraph g = RandomGraph(&rng, 20, 10);
+  CsrGraph csr = CsrGraph::Build(g);
+  // Uniform costs maximize ties — the tie-break rules must still produce
+  // one canonical answer.
+  std::vector<float> node_cost(g.num_nodes(), 1.5f);
+  KspOptions options;
+  options.k = 5;
+  options.max_hops = 4;
+  std::vector<uint8_t> target_dist =
+      TargetDistances(csr, {10, 11}, options.max_hops);
+  std::vector<EvidencePath> first =
+      KShortestPaths(csr, node_cost, 0, target_dist, options.max_hops,
+                     options);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    std::vector<EvidencePath> again =
+        KShortestPaths(csr, node_cost, 0, target_dist, options.max_hops,
+                       options);
+    ASSERT_EQ(again.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_TRUE(again[i] == first[i]) << "path " << i;
+      EXPECT_EQ(again[i].edges, first[i].edges) << "path " << i;
+    }
+  }
+}
+
+TEST(KspTest, RegionPruneChangesNothing) {
+  trail::Rng rng(23);
+  PropertyGraph g = RandomGraph(&rng, 18, 8);
+  CsrGraph csr = CsrGraph::Build(g);
+  std::vector<float> node_cost = RandomCosts(&rng, g.num_nodes());
+  KspOptions options;
+  options.k = 4;
+  options.max_hops = 4;
+  std::vector<uint8_t> target_dist =
+      TargetDistances(csr, {9, 12}, options.max_hops);
+  // The source's max_hops neighborhood is exactly the space of valid paths,
+  // so restricting the search to it is a pure prune.
+  std::vector<int> region = BfsDistances(csr, 0, options.max_hops);
+  std::vector<EvidencePath> plain = KShortestPaths(
+      csr, node_cost, 0, target_dist, options.max_hops, options);
+  std::vector<EvidencePath> pruned = KShortestPaths(
+      csr, node_cost, 0, target_dist, options.max_hops, options, &region);
+  ASSERT_EQ(plain.size(), pruned.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_TRUE(plain[i] == pruned[i]) << "path " << i;
+  }
+}
+
+TEST(KspTest, UnreachableTargetYieldsNoPaths) {
+  PropertyGraph g;
+  for (int i = 0; i < 4; ++i) {
+    g.AddNode(NodeType::kIp, "i" + std::to_string(i));
+  }
+  g.AddEdge(0, 1, EdgeType::kARecord);
+  g.AddEdge(2, 3, EdgeType::kARecord);  // disconnected component
+  CsrGraph csr = CsrGraph::Build(g);
+  std::vector<float> node_cost(4, 1.5f);
+  KspOptions options;
+  std::vector<uint8_t> target_dist =
+      TargetDistances(csr, {3}, options.max_hops);
+  EXPECT_TRUE(KShortestPaths(csr, node_cost, 0, target_dist,
+                             options.max_hops, options)
+                  .empty());
+}
+
+TEST(KspTest, HopBudgetExcludesLongerDetours) {
+  // 0-1-2 direct (2 hops) and 0-3-4-2 detour (3 hops): with max_hops=2 only
+  // the direct path may return, however cheap the detour nodes are.
+  PropertyGraph g;
+  for (int i = 0; i < 5; ++i) {
+    g.AddNode(NodeType::kIp, "h" + std::to_string(i));
+  }
+  g.AddEdge(0, 1, EdgeType::kARecord);
+  g.AddEdge(1, 2, EdgeType::kARecord);
+  g.AddEdge(0, 3, EdgeType::kARecord);
+  g.AddEdge(3, 4, EdgeType::kARecord);
+  g.AddEdge(4, 2, EdgeType::kARecord);
+  CsrGraph csr = CsrGraph::Build(g);
+  std::vector<float> node_cost = {1.5f, 1.9f, 1.5f, 1.01f, 1.01f};
+  KspOptions options;
+  options.k = 4;
+  options.max_hops = 2;
+  std::vector<uint8_t> target_dist = TargetDistances(csr, {2}, 2);
+  std::vector<EvidencePath> paths = KShortestPaths(
+      csr, node_cost, 0, target_dist, options.max_hops, options);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(paths[0].hops(), 2);
+}
+
+}  // namespace
+}  // namespace trail::graph::path

@@ -1,0 +1,225 @@
+// Paths tier: the interval-compressed reachability index against the
+// ground truth of per-query BfsDistances — membership, exact capped hop
+// distances, canonical interval form, bit-identical parallel builds at
+// 1/2/8 workers, and the incremental Extend == scratch Build contract
+// under CSR appends and seed growth.
+
+#include "graph/path/reachability_index.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/csr.h"
+#include "graph/property_graph.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace trail::graph::path {
+namespace {
+
+/// Deterministic procedural graph: `events` controls how far the build
+/// sequence runs, so MakeGraph(n) is an exact prefix of MakeGraph(n + k) —
+/// the precondition for exercising Append/Extend.
+PropertyGraph MakeGraph(size_t events, size_t ioc_pool = 40) {
+  PropertyGraph g;
+  for (size_t i = 0; i < events; ++i) {
+    NodeId e = g.AddNode(NodeType::kEvent, "E-" + std::to_string(i));
+    g.SetLabel(e, static_cast<int>(i % 3));
+    for (size_t k = 0; k < 3; ++k) {
+      const size_t ioc = (i * 7 + k * 11) % ioc_pool;
+      NodeId ip = g.AddNode(NodeType::kIp, "10.0.0." + std::to_string(ioc));
+      g.AddEdge(e, ip, EdgeType::kInReport);
+      NodeId d = g.AddNode(NodeType::kDomain,
+                           "d" + std::to_string(ioc % 17) + ".test");
+      g.AddEdge(ip, d, EdgeType::kARecord);
+    }
+  }
+  return g;
+}
+
+/// Ground truth: per-seed-set multi-source capped BFS via BfsDistances.
+std::vector<int> BruteDistances(const CsrGraph& csr,
+                                const std::vector<NodeId>& seeds,
+                                int max_hops) {
+  std::vector<int> best(csr.num_nodes(), kUnreachable);
+  for (NodeId s : seeds) {
+    std::vector<int> d = BfsDistances(csr, s, max_hops);
+    for (size_t v = 0; v < d.size(); ++v) {
+      if (d[v] >= 0 && (best[v] < 0 || d[v] < best[v])) best[v] = d[v];
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<NodeId>> SeedGroups(const PropertyGraph& g) {
+  std::vector<std::vector<NodeId>> groups(3);
+  for (NodeId e : g.NodesOfType(NodeType::kEvent)) {
+    const int label = g.label(e);
+    if (label < 0) continue;
+    for (const Neighbor& nb : g.neighbors(e)) {
+      groups[static_cast<size_t>(label) % 3].push_back(nb.node);
+    }
+  }
+  return groups;
+}
+
+TEST(ReachabilityIndexTest, DistancesMatchBruteForceBfs) {
+  PropertyGraph g = MakeGraph(30);
+  CsrGraph csr = CsrGraph::Build(g);
+  const int max_hops = 4;
+  auto groups = SeedGroups(g);
+  ReachabilityIndex index = ReachabilityIndex::Build(csr, groups, max_hops);
+  ASSERT_EQ(index.num_groups(), groups.size());
+  for (size_t group = 0; group < groups.size(); ++group) {
+    std::vector<int> truth = BruteDistances(csr, groups[group], max_hops);
+    for (NodeId v = 0; v < static_cast<NodeId>(csr.num_nodes()); ++v) {
+      const uint8_t got = index.HopsToGroup(v, group);
+      if (truth[v] < 0) {
+        EXPECT_EQ(got, ReachabilityIndex::kFar) << "node " << v;
+      } else {
+        EXPECT_EQ(static_cast<int>(got), truth[v]) << "node " << v;
+      }
+    }
+  }
+}
+
+TEST(ReachabilityIndexTest, WithinHopsMatchesBruteForceAtEveryBudget) {
+  PropertyGraph g = MakeGraph(24);
+  CsrGraph csr = CsrGraph::Build(g);
+  const int max_hops = 5;
+  auto groups = SeedGroups(g);
+  ReachabilityIndex index = ReachabilityIndex::Build(csr, groups, max_hops);
+  for (size_t group = 0; group < groups.size(); ++group) {
+    std::vector<int> truth = BruteDistances(csr, groups[group], max_hops);
+    for (int k = -1; k <= max_hops + 2; ++k) {
+      for (NodeId v = 0; v < static_cast<NodeId>(csr.num_nodes()); ++v) {
+        const bool want =
+            k >= 0 && truth[v] >= 0 && truth[v] <= std::min(k, max_hops);
+        EXPECT_EQ(index.WithinHops(v, group, k), want)
+            << "node " << v << " group " << group << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(ReachabilityIndexTest, IntervalListsAreCanonical) {
+  PropertyGraph g = MakeGraph(30);
+  CsrGraph csr = CsrGraph::Build(g);
+  ReachabilityIndex index =
+      ReachabilityIndex::Build(csr, SeedGroups(g), /*max_hops=*/4);
+  size_t counted = 0;
+  for (size_t group = 0; group < index.num_groups(); ++group) {
+    for (int h = 0; h <= index.max_hops(); ++h) {
+      const std::vector<IdInterval>& ivs = index.Intervals(group, h);
+      counted += ivs.size();
+      for (size_t i = 0; i < ivs.size(); ++i) {
+        EXPECT_LE(ivs[i].lo, ivs[i].hi);
+        // Sorted, non-overlapping, AND non-adjacent (maximal) — the
+        // canonical form bitwise equality rests on.
+        if (i > 0) EXPECT_GT(ivs[i].lo, ivs[i - 1].hi + 1);
+      }
+    }
+  }
+  EXPECT_EQ(index.interval_count(), counted);
+  EXPECT_GT(index.resident_bytes(), 0u);
+  EXPECT_EQ(index.generation(), 1u);
+}
+
+TEST(ReachabilityIndexTest, BuildIsBitIdenticalAcrossWorkerCounts) {
+  PropertyGraph g = MakeGraph(40);
+  CsrGraph csr = CsrGraph::Build(g);
+  auto groups = SeedGroups(g);
+  const int saved = ParallelWorkers();
+  SetParallelWorkers(1);
+  ReachabilityIndex one = ReachabilityIndex::Build(csr, groups, 4);
+  SetParallelWorkers(2);
+  ReachabilityIndex two = ReachabilityIndex::Build(csr, groups, 4);
+  SetParallelWorkers(8);
+  ReachabilityIndex eight = ReachabilityIndex::Build(csr, groups, 4);
+  SetParallelWorkers(saved);
+  EXPECT_TRUE(one == two);
+  EXPECT_TRUE(one == eight);
+}
+
+TEST(ReachabilityIndexTest, ExtendEqualsScratchBuildAfterAppend) {
+  const size_t base_events = 24, total_events = 36;
+  PropertyGraph base = MakeGraph(base_events);
+  CsrGraph csr = CsrGraph::Build(base);
+  ReachabilityIndex index =
+      ReachabilityIndex::Build(csr, SeedGroups(base), /*max_hops=*/4);
+  const size_t base_edges = base.num_edges();
+
+  PropertyGraph full = MakeGraph(total_events);
+  csr.Append(full, base_edges);
+  index.Extend(csr, SeedGroups(full), full.edges(), base_edges);
+
+  CsrGraph scratch_csr = CsrGraph::Build(full);
+  ReachabilityIndex scratch =
+      ReachabilityIndex::Build(scratch_csr, SeedGroups(full), /*max_hops=*/4);
+  EXPECT_TRUE(index == scratch)
+      << "incremental extend diverged from the scratch build";
+  EXPECT_EQ(index.generation(), 2u);
+}
+
+TEST(ReachabilityIndexTest, RepeatedExtendsStayCanonicalOnRandomGraphs) {
+  trail::Rng rng(11);
+  for (int trial = 0; trial < 3; ++trial) {
+    // Random incremental growth: nodes + random edges in three batches;
+    // after every batch the extended index must equal a scratch build.
+    PropertyGraph g;
+    const int n0 = 20;
+    for (int i = 0; i < n0; ++i) {
+      NodeId v = g.AddNode(NodeType::kIp, "r" + std::to_string(trial) + "-" +
+                                              std::to_string(i));
+      if (i % 4 == 0) g.SetLabel(v, 0);
+    }
+    for (int i = 1; i < n0; ++i) {
+      g.AddEdge(i, rng.NextBounded(i), EdgeType::kARecord);
+    }
+    std::vector<std::vector<NodeId>> seeds(1);
+    for (NodeId v = 0; v < static_cast<NodeId>(g.num_nodes()); ++v) {
+      if (g.label(v) == 0) seeds[0].push_back(v);
+    }
+    CsrGraph csr = CsrGraph::Build(g);
+    ReachabilityIndex index = ReachabilityIndex::Build(csr, seeds, 3);
+    for (int batch = 0; batch < 3; ++batch) {
+      const size_t from_edge = g.num_edges();
+      const NodeId start = static_cast<NodeId>(g.num_nodes());
+      for (int i = 0; i < 6; ++i) {
+        NodeId v = g.AddNode(NodeType::kDomain,
+                             "g" + std::to_string(trial) + "-" +
+                                 std::to_string(batch) + "-" +
+                                 std::to_string(i));
+        g.AddEdge(v, rng.NextBounded(start + i), EdgeType::kResolvesTo);
+        if (i % 5 == 0) seeds[0].push_back(v);  // seed growth mid-stream
+      }
+      std::sort(seeds[0].begin(), seeds[0].end());
+      csr.Append(g, from_edge);
+      index.Extend(csr, seeds, g.edges(), from_edge);
+      ReachabilityIndex scratch =
+          ReachabilityIndex::Build(CsrGraph::Build(g), seeds, 3);
+      ASSERT_TRUE(index == scratch)
+          << "trial " << trial << " batch " << batch;
+    }
+  }
+}
+
+TEST(ReachabilityIndexTest, SeedRetractionFallsBackToScratchRebuild) {
+  PropertyGraph g = MakeGraph(20);
+  CsrGraph csr = CsrGraph::Build(g);
+  auto groups = SeedGroups(g);
+  ReachabilityIndex index = ReachabilityIndex::Build(csr, groups, 4);
+  // Retract a seed (outside the monotone contract): Extend must still land
+  // on exactly the scratch result via the per-group rebuild path.
+  ASSERT_GT(groups[0].size(), 1u);
+  groups[0].erase(groups[0].begin());
+  index.Extend(csr, groups, g.edges(), g.num_edges());
+  ReachabilityIndex scratch = ReachabilityIndex::Build(csr, groups, 4);
+  EXPECT_TRUE(index == scratch);
+}
+
+}  // namespace
+}  // namespace trail::graph::path

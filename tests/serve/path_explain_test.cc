@@ -1,0 +1,273 @@
+// Paths tier (serve plane): "explain": true replies on the multi-worker
+// micro-batching service. The evidence arrays must be bit-identical to the
+// classic-plane Trail::ExplainAttribution baseline across worker fan-out ×
+// compute-thread counts (re-run under TRAIL_KERNELS=scalar|native by
+// tools/check_tests.sh), and the LDJSON frontend must render them in the
+// documented wire schema.
+
+#include "serve/attribution_service.h"
+
+#include <future>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "osint/feed_client.h"
+#include "osint/world.h"
+#include "serve/frontend.h"
+#include "util/json.h"
+#include "util/parallel.h"
+
+namespace trail::serve {
+namespace {
+
+osint::WorldConfig TinyConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 3;
+  config.min_events_per_apt = 5;
+  config.max_events_per_apt = 8;
+  config.end_day = 400;
+  config.post_days = 60;
+  config.seed = 29;
+  return config;
+}
+
+core::TrailOptions TinyOptions() {
+  core::TrailOptions options;
+  options.autoencoder.hidden = 16;
+  options.autoencoder.encoding = 8;
+  options.autoencoder.epochs = 1;
+  options.autoencoder.max_train_rows = 200;
+  options.gnn.hidden = 16;
+  options.gnn.epochs = 8;
+  options.gnn.layers = 2;
+  return options;
+}
+
+class ScopedWorkers {
+ public:
+  explicit ScopedWorkers(int n) { SetParallelWorkers(n); }
+  ~ScopedWorkers() { SetParallelWorkers(0); }
+};
+
+bool SamePaths(const std::vector<core::Trail::ExplainedPath>& a,
+               const std::vector<core::Trail::ExplainedPath>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].cost != b[i].cost || a[i].hops.size() != b[i].hops.size()) {
+      return false;
+    }
+    for (size_t h = 0; h < a[i].hops.size(); ++h) {
+      if (a[i].hops[h].node != b[i].hops[h].node ||
+          a[i].hops[h].type != b[i].hops[h].type ||
+          a[i].hops[h].value != b[i].hops[h].value ||
+          a[i].hops[h].edge != b[i].hops[h].edge) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+class ServeExplainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new osint::World(TinyConfig());
+    feed_ = new osint::FeedClient(world_);
+    trail_ = new core::Trail(feed_, TinyOptions());
+    ASSERT_TRUE(
+        trail_->Ingest(feed_->FetchReports(0, TinyConfig().end_day)).ok());
+    ASSERT_TRUE(trail_->TrainModels().ok());
+    events_ = trail_->graph().NodesOfType(graph::NodeType::kEvent);
+    ASSERT_GE(events_.size(), 8u);
+    // The baseline: attribute sequentially, then explain the *predicted*
+    // APT on the classic plane (no epoch is published yet, so this runs
+    // exactly the pre-serving code path).
+    for (graph::NodeId event : events_) {
+      auto attribution = trail_->AttributeWithGnn(event);
+      ASSERT_TRUE(attribution.ok()) << attribution.status();
+      auto evidence =
+          trail_->ExplainAttribution(event, attribution->apt, /*k=*/3);
+      ASSERT_TRUE(evidence.ok()) << evidence.status();
+      baseline_[event] = std::move(evidence).value();
+    }
+  }
+  static void TearDownTestSuite() {
+    delete trail_;
+    delete feed_;
+    delete world_;
+    trail_ = nullptr;
+    feed_ = nullptr;
+    world_ = nullptr;
+    events_.clear();
+    baseline_.clear();
+  }
+
+  static osint::World* world_;
+  static osint::FeedClient* feed_;
+  static core::Trail* trail_;
+  static std::vector<graph::NodeId> events_;
+  static std::map<graph::NodeId, std::vector<core::Trail::ExplainedPath>>
+      baseline_;
+};
+
+osint::World* ServeExplainTest::world_ = nullptr;
+osint::FeedClient* ServeExplainTest::feed_ = nullptr;
+core::Trail* ServeExplainTest::trail_ = nullptr;
+std::vector<graph::NodeId> ServeExplainTest::events_;
+std::map<graph::NodeId, std::vector<core::Trail::ExplainedPath>>
+    ServeExplainTest::baseline_;
+
+TEST_F(ServeExplainTest, EvidenceBitIdenticalAcrossWorkersAndThreads) {
+  for (size_t workers : {1u, 2u, 4u}) {
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " threads=" + std::to_string(threads));
+      ScopedWorkers scoped(threads);
+      ServeOptions options;
+      options.max_batch_size = 8;
+      options.max_linger_us = 500;
+      options.queue_depth = 1024;
+      options.workers = workers;
+      AttributionService service(trail_, options);
+      std::vector<std::pair<graph::NodeId, std::future<ServeResponse>>>
+          inflight;
+      for (graph::NodeId event : events_) {
+        inflight.emplace_back(
+            event, service.SubmitEvent(event, /*deadline_ms=*/0,
+                                       Priority::kInteractive,
+                                       /*explain=*/true, /*explain_k=*/3));
+      }
+      uint64_t explained = 0;
+      for (auto& [event, future] : inflight) {
+        ServeResponse response = future.get();
+        ASSERT_TRUE(response.status.ok()) << response.status;
+        ASSERT_TRUE(response.explained) << "event " << event;
+        EXPECT_TRUE(SamePaths(response.evidence, baseline_.at(event)))
+            << "event " << event;
+        ++explained;
+      }
+      service.Shutdown();
+      EXPECT_EQ(service.GetStats().explained, explained);
+      EXPECT_GT(explained, 0u);
+    }
+  }
+}
+
+TEST_F(ServeExplainTest, PlainRepliesCarryNoEvidence) {
+  ServeOptions options;
+  options.workers = 2;
+  AttributionService service(trail_, options);
+  ServeResponse response = service.SubmitEvent(events_[0]).get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.explained);
+  EXPECT_TRUE(response.evidence.empty());
+  service.Shutdown();
+  EXPECT_EQ(service.GetStats().explained, 0u);
+}
+
+TEST_F(ServeExplainTest, ExplainKBoundsTheEvidenceArray) {
+  ServeOptions options;
+  options.workers = 1;
+  AttributionService service(trail_, options);
+  ServeResponse one = service.SubmitEvent(events_[0], 0,
+                                          Priority::kInteractive,
+                                          /*explain=*/true, /*explain_k=*/1)
+                          .get();
+  ASSERT_TRUE(one.status.ok());
+  ASSERT_TRUE(one.explained);
+  EXPECT_LE(one.evidence.size(), 1u);
+  if (!baseline_.at(events_[0]).empty()) {
+    ASSERT_EQ(one.evidence.size(), 1u);
+    EXPECT_TRUE(SamePaths(one.evidence, {baseline_.at(events_[0]).front()}));
+  }
+  service.Shutdown();
+}
+
+/// Validates one frontend reply against the docs/PATHS.md wire schema and
+/// returns its evidence array.
+const JsonValue* ExpectSchemaValidEvidence(const JsonValue& reply,
+                                           graph::NodeId event) {
+  EXPECT_TRUE(reply.GetBool("ok"));
+  EXPECT_EQ(static_cast<graph::NodeId>(reply.GetNumber("event")), event);
+  const JsonValue* evidence = reply.Get("evidence");
+  EXPECT_NE(evidence, nullptr) << "explained reply without evidence";
+  if (evidence == nullptr || !evidence->is_array()) return nullptr;
+  for (size_t i = 0; i < evidence->size(); ++i) {
+    const JsonValue& path = (*evidence)[i];
+    EXPECT_TRUE(path.is_object());
+    const JsonValue* cost = path.Get("cost");
+    EXPECT_NE(cost, nullptr);
+    if (cost != nullptr) EXPECT_GT(cost->AsNumber(), 0.0);
+    const JsonValue* hops = path.Get("path");
+    EXPECT_NE(hops, nullptr);
+    if (hops == nullptr || !hops->is_array() || hops->size() < 2) {
+      ADD_FAILURE() << "path " << i << " lacks a well-formed hop array";
+      continue;
+    }
+    EXPECT_EQ(path.GetNumber("hops"), static_cast<double>(hops->size() - 1));
+    for (size_t h = 0; h < hops->size(); ++h) {
+      const JsonValue& hop = (*hops)[h];
+      EXPECT_TRUE(hop.Get("node") != nullptr && hop.Get("node")->is_number());
+      EXPECT_FALSE(hop.GetString("type").empty());
+      EXPECT_FALSE(hop.GetString("value").empty());
+      // "edge" names the schema edge traversed *into* the hop: absent on
+      // the first hop, present on every later one.
+      EXPECT_EQ(hop.Get("edge") != nullptr, h > 0) << "hop " << h;
+    }
+    EXPECT_EQ(static_cast<graph::NodeId>((*hops)[0].GetNumber("node")), event);
+  }
+  return evidence;
+}
+
+TEST_F(ServeExplainTest, FrontendRoundTripRendersTheWireSchema) {
+  ServeOptions options;
+  options.workers = 2;
+  AttributionService service(trail_, options);
+  Frontend frontend(&service);
+
+  const graph::NodeId event = events_[0];
+  Reply explained = frontend.Handle(
+      R"({"op":"attribute_event","node":)" + std::to_string(event) +
+      R"(,"explain":true,"explain_k":3,"id":"q1"})");
+  auto parsed = JsonValue::Parse(explained.line.get());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->GetString("id"), "q1");
+  const JsonValue* evidence = ExpectSchemaValidEvidence(*parsed, event);
+  ASSERT_NE(evidence, nullptr);
+  // The baseline says this event has evidence; the wire must agree.
+  EXPECT_EQ(evidence->size(), baseline_.at(event).size());
+
+  // The same request without "explain" must not carry the key at all.
+  Reply plain = frontend.Handle(
+      R"({"op":"attribute_event","node":)" + std::to_string(event) + "}");
+  auto plain_parsed = JsonValue::Parse(plain.line.get());
+  ASSERT_TRUE(plain_parsed.ok());
+  EXPECT_TRUE(plain_parsed->GetBool("ok"));
+  EXPECT_EQ(plain_parsed->Get("evidence"), nullptr);
+
+  // attribute-by-report-id takes the same flags.
+  std::vector<std::string> ids = service.SampleEventIds(1);
+  ASSERT_FALSE(ids.empty());
+  Reply by_id = frontend.Handle(R"({"op":"attribute","report":")" + ids[0] +
+                                R"(","explain":true})");
+  auto by_id_parsed = JsonValue::Parse(by_id.line.get());
+  ASSERT_TRUE(by_id_parsed.ok());
+  EXPECT_TRUE(by_id_parsed->GetBool("ok"));
+  EXPECT_NE(by_id_parsed->Get("evidence"), nullptr);
+
+  // The stats op surfaces the explained-reply counter. Shutdown first: the
+  // counter flushes after the replies resolve, so only a drained service
+  // reads deterministically.
+  service.Shutdown();
+  Reply stats = frontend.Handle(R"({"op":"stats"})");
+  auto stats_parsed = JsonValue::Parse(stats.line.get());
+  ASSERT_TRUE(stats_parsed.ok());
+  EXPECT_GE(stats_parsed->GetNumber("explained"), 2.0);
+}
+
+}  // namespace
+}  // namespace trail::serve

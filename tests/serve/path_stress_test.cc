@@ -1,0 +1,240 @@
+// tsan + paths tier: the evidence-path plane under fire. Mixed
+// explain/plain attribution traffic races raw-report ingests (each append
+// publishes a new epoch with a freshly extended path engine) and checkpoint
+// hot-swaps (which share the engine structurally), while /statusz scrapes
+// read the path-engine block off pinned epochs. The bar matches the serving
+// plane's headline: zero failed requests, every explain request answered
+// with the explain plane actually having run, generations marching forward.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "osint/feed_client.h"
+#include "osint/report.h"
+#include "osint/world.h"
+#include "serve/admin.h"
+#include "serve/attribution_service.h"
+
+namespace trail::serve {
+namespace {
+
+osint::WorldConfig TinyConfig() {
+  osint::WorldConfig config;
+  config.num_apts = 3;
+  config.min_events_per_apt = 5;
+  config.max_events_per_apt = 8;
+  config.end_day = 400;
+  config.post_days = 60;
+  config.seed = 41;
+  return config;
+}
+
+core::TrailOptions TinyOptions() {
+  core::TrailOptions options;
+  options.autoencoder.hidden = 16;
+  options.autoencoder.encoding = 8;
+  options.autoencoder.epochs = 1;
+  options.autoencoder.max_train_rows = 200;
+  options.gnn.hidden = 16;
+  options.gnn.epochs = 8;
+  options.gnn.layers = 2;
+  return options;
+}
+
+std::string SyntheticReportJson(int n) {
+  osint::PulseReport report;
+  report.id = "paths-stress-" + std::to_string(n);
+  report.day = 500 + n;
+  report.indicators.push_back(
+      {"IPv4", "198.51.100." + std::to_string(n % 250 + 1)});
+  report.indicators.push_back(
+      {"domain", "paths-stress-" + std::to_string(n) + ".test"});
+  return report.ToJsonString();
+}
+
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(PathStressTest, ExplainsAppendsAndSwapsAllAtOnce) {
+  osint::World world(TinyConfig());
+  osint::FeedClient feed(&world);
+  core::Trail trail(&feed, TinyOptions());
+  ASSERT_TRUE(trail.Ingest(feed.FetchReports(0, TinyConfig().end_day)).ok());
+  ASSERT_TRUE(trail.TrainModels().ok());
+
+  const std::string path = ::testing::TempDir() + "/paths_stress.ckpt";
+  ServeOptions options;
+  options.workers = 4;
+  options.max_batch_size = 8;
+  options.max_linger_us = 500;
+  options.queue_depth = 64;
+  options.trace_ring_capacity = 64;
+  AttributionService service(&trail, options);
+  ASSERT_TRUE(service.SaveCheckpoint(path).ok());
+  const uint64_t start_generation = service.EpochGeneration();
+
+  AdminPlane admin(&service, /*log_ring=*/nullptr);
+  ASSERT_TRUE(admin.Start(0).ok());
+  const int port = admin.port();
+
+  std::vector<graph::NodeId> events =
+      trail.graph().NodesOfType(graph::NodeType::kEvent);
+  ASSERT_FALSE(events.empty());
+
+  // Closed-loop producers: every other attribution asks for evidence, so
+  // explain-priced batches interleave with plain ones in the same queue.
+  constexpr int kAttributeProducers = 3;
+  constexpr int kPerProducer = 30;
+  constexpr int kIngests = 15;
+  std::atomic<int> failures{0};
+  std::atomic<int> resolved{0};
+  std::atomic<int> explained_replies{0};
+  std::atomic<int> evidence_shape_errors{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kAttributeProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const bool explain = (p + i) % 2 == 0;
+        const graph::NodeId event =
+            events[static_cast<size_t>(p + i) % events.size()];
+        ServeResponse response =
+            service
+                .SubmitEvent(event, /*deadline_ms=*/0,
+                             Priority::kInteractive, explain,
+                             /*explain_k=*/2)
+                .get();
+        if (!response.status.ok()) ++failures;
+        if (response.status.ok() && explain) {
+          // The explain plane must have run (zero deadline = never priced
+          // out); the array itself may legitimately be empty.
+          if (!response.explained) ++failures;
+          ++explained_replies;
+          for (const core::Trail::ExplainedPath& ev : response.evidence) {
+            if (ev.hops.size() < 2 || ev.hops.front().node != event ||
+                ev.cost <= 0.0 || response.evidence.size() > 2) {
+              ++evidence_shape_errors;
+            }
+          }
+        }
+        if (response.status.ok() && !explain && response.explained) {
+          ++evidence_shape_errors;  // unrequested evidence
+        }
+        ++resolved;
+      }
+    });
+  }
+  producers.emplace_back([&] {
+    for (int i = 0; i < kIngests; ++i) {
+      ServeResponse response =
+          service
+              .SubmitReportJson(SyntheticReportJson(i), /*deadline_ms=*/0,
+                                Priority::kBulk)
+              .get();
+      if (!response.status.ok()) ++failures;
+      ++resolved;
+    }
+  });
+
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  bool stop = false;
+  auto stopped_within = [&](std::chrono::milliseconds pace) {
+    std::unique_lock<std::mutex> lock(stop_mu);
+    return stop_cv.wait_for(lock, pace, [&] { return stop; });
+  };
+  std::thread swapper([&] {
+    int swaps = 0;
+    while (!stopped_within(std::chrono::milliseconds(5))) {
+      ASSERT_TRUE(service.HotSwapCheckpoint(path).ok());
+      ++swaps;
+    }
+    EXPECT_GT(swaps, 0);
+  });
+  // /statusz renders the path-engine block off a pinned epoch; /metrics
+  // reads the path.* gauges the publishes keep bumping.
+  std::atomic<int> scrape_failures{0};
+  std::vector<std::thread> scrapers;
+  for (const char* endpoint : {"/statusz", "/metrics"}) {
+    scrapers.emplace_back([&, endpoint] {
+      while (!stopped_within(std::chrono::milliseconds(1))) {
+        if (HttpGet(port, endpoint).find("HTTP/1.1 200") ==
+            std::string::npos) {
+          ++scrape_failures;
+        }
+      }
+    });
+  }
+
+  for (auto& producer : producers) producer.join();
+  {
+    std::lock_guard<std::mutex> lock(stop_mu);
+    stop = true;
+  }
+  stop_cv.notify_all();
+  swapper.join();
+  for (auto& scraper : scrapers) scraper.join();
+
+  // A quiesced scrape must surface the path block with the live generation.
+  const std::string statusz = HttpGet(port, "/statusz");
+  EXPECT_NE(statusz.find("\"paths\""), std::string::npos);
+  EXPECT_NE(statusz.find("\"index_generation\""), std::string::npos);
+  admin.Stop();
+  service.Shutdown();
+
+  EXPECT_EQ(resolved.load(),
+            kAttributeProducers * kPerProducer + kIngests);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(scrape_failures.load(), 0);
+  EXPECT_EQ(evidence_shape_errors.load(), 0);
+  EXPECT_GT(explained_replies.load(), 0);
+  EXPECT_GT(service.EpochGeneration(), start_generation);
+  AttributionService::Stats stats = service.GetStats();
+  EXPECT_EQ(stats.explained,
+            static_cast<uint64_t>(explained_replies.load()));
+  EXPECT_GT(stats.hot_swaps, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace trail::serve

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the evidence-path plane benchmark (bench/path_engine): reachability
+# index build cost, indexed WithinHops vs per-query BFS (the ISSUE
+# acceptance bar is >= 100x at the paper tier), incremental Extend vs a
+# scratch rebuild (>= 10x, engine equality asserted), and the per-reply
+# Explain overhead, at the small and paper (~2.1M-node) world tiers.
+# Writes BENCH_paths.json. Honest numbers only: a 1-core container reports
+# single-threaded wall time and says so in the JSON.
+#
+# Usage: tools/bench_paths.sh [BUILD_DIR]
+#   BUILD_DIR  default: build
+# Honors TRAIL_BENCH_QUICK=1 (small tier only) and TRAIL_BENCH_PATHS_OUT
+# for the output path.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${TRAIL_BENCH_PATHS_OUT:-BENCH_paths.json}"
+
+if [[ ! -x "$BUILD_DIR/bench/path_engine" ]]; then
+  echo "bench_paths: build 'path_engine' first (cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+TRAIL_RUN_MANIFEST=none "$BUILD_DIR/bench/path_engine" --out "$OUT"
+
+if [[ -x "$BUILD_DIR/tools/json_verify" ]]; then
+  "$BUILD_DIR/tools/json_verify" json "$OUT"
+fi
+
+echo
+echo "bench_paths: wrote $OUT"

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Race-checks the parallel runtime and the serving subsystem: configures a
-# ThreadSanitizer build in its own tree, builds the pool-heavy and
-# serving-concurrency test binaries, and runs the tsan-labelled ctest tier
-# (thread_pool_test + parallel_determinism_test + service_concurrency_test)
-# with several worker counts. Any data race in the pool, the chunk-claim
-# protocol, a parallelized pipeline stage, or the micro-batcher /
-# admission-queue / hot-swap paths fails the script.
+# ThreadSanitizer build in its own tree, builds every tsan-labelled test
+# binary (thread pool, parallel determinism, serving concurrency, the
+# multi-worker and evidence-path stress suites, trace ring, HTTP
+# introspection), and runs the tsan ctest tier with several worker counts.
+# Any data race in the pool, the chunk-claim protocol, a parallelized
+# pipeline stage, the micro-batcher / admission-queue / hot-swap paths, or
+# the explain x append x hot-swap interleavings fails the script.
 #
 # Usage: tools/check_parallel.sh [TSAN_BUILD_DIR]   (default: build-tsan)
 set -euo pipefail
@@ -27,7 +28,9 @@ echo
 echo "== building tsan test binaries =="
 cmake --build "$BUILD_DIR" -j \
     --target util_thread_pool_test ml_parallel_determinism_test \
-             serve_service_concurrency_test
+             serve_service_concurrency_test serve_multiworker_stress_test \
+             serve_path_stress_test obs_request_trace_test \
+             obs_http_introspect_test
 
 echo
 echo "== ctest -L tsan (auto worker count) =="

@@ -109,6 +109,39 @@ grep -q '"unknown_verdicts":' "$WORK_DIR/closed.json" || {
 }
 
 echo
+echo "== explained load (100 requests, explain:true, client-side schema check) =="
+# Live "explain": true round-trip (docs/PATHS.md): every reply must carry a
+# schema-valid "evidence" array, validated client-side by trail_loadgen
+# (evidence_schema_errors counts wire-format violations).
+"$LOADGEN" --port "$PORT" --mode closed --conns 2 --requests 100 \
+    --explain --explain-k 3 --out "$WORK_DIR/explain.json"
+EOK="$(sed -n 's/.*"ok": \([0-9]*\).*/\1/p' "$WORK_DIR/explain.json" | head -1)"
+if [ "${EOK:-0}" -ne 100 ]; then
+  echo "check_serving: FAIL — explain leg expected 100 ok, got '${EOK:-0}'" >&2
+  exit 1
+fi
+EXPLAINED="$(sed -n 's/.*"explained_replies": \([0-9]*\).*/\1/p' "$WORK_DIR/explain.json" | head -1)"
+if [ "${EXPLAINED:-0}" -lt 1 ]; then
+  echo "check_serving: FAIL — no explained replies in explain leg" >&2
+  exit 1
+fi
+SCHEMA_ERRS="$(sed -n 's/.*"evidence_schema_errors": \([0-9]*\).*/\1/p' "$WORK_DIR/explain.json" | head -1)"
+if [ "${SCHEMA_ERRS:-1}" -ne 0 ]; then
+  echo "check_serving: FAIL — evidence_schema_errors=${SCHEMA_ERRS:-?} (want 0)" >&2
+  exit 1
+fi
+EVPATHS="$(sed -n 's/.*"evidence_paths": \([0-9]*\).*/\1/p' "$WORK_DIR/explain.json" | head -1)"
+if [ "${EVPATHS:-0}" -lt 1 ]; then
+  echo "check_serving: FAIL — explained replies returned zero evidence paths" >&2
+  exit 1
+fi
+grep -q '"explain_latency":' "$WORK_DIR/explain.json" || {
+  echo "check_serving: FAIL — loadgen summary lacks explain_latency percentiles" >&2
+  exit 1
+}
+echo "explained_replies=$EXPLAINED evidence_paths=$EVPATHS schema_errors=0"
+
+echo
 echo "== live introspection endpoints (admin port $ADMIN_PORT) =="
 scrape /healthz "$WORK_DIR/healthz.txt"
 grep -q '^ok' "$WORK_DIR/healthz.txt" || {
@@ -130,7 +163,7 @@ scrape /metrics "$WORK_DIR/scrape.prom"
 
 scrape /statusz "$WORK_DIR/statusz.json"
 "$VERIFY" json "$WORK_DIR/statusz.json" \
-    --require-keys build.git_describe,uptime_s,service.model_generation,service.epoch_generation,service.queue.interactive,service.queue.bulk,service.ready,service.slo.burn_rate,service.stats.completed,service.stats.bulk_submitted
+    --require-keys build.git_describe,uptime_s,service.model_generation,service.epoch_generation,service.queue.interactive,service.queue.bulk,service.ready,service.slo.burn_rate,service.stats.completed,service.stats.bulk_submitted,service.paths.present,service.paths.index_generation,service.paths.interval_count,service.paths.resident_bytes
 GEN_BEFORE="$(sed -n 's/.*"model_generation": *\([0-9]*\).*/\1/p' "$WORK_DIR/statusz.json" | head -1)"
 EPOCH_BEFORE="$(sed -n 's/.*"epoch_generation": *\([0-9]*\).*/\1/p' "$WORK_DIR/statusz.json" | head -1)"
 
@@ -206,7 +239,8 @@ echo
 echo "== serve.* metrics in the Prometheus dump =="
 for series in trail_serve_requests_total trail_serve_batches_total \
               trail_serve_batch_size_count trail_serve_hot_swaps_total \
-              trail_span_serve_batch_count; do
+              trail_span_serve_batch_count trail_serve_explained_replies_total \
+              trail_path_ksp_queries_total trail_path_index_generation; do
   grep -q "^$series" "$WORK_DIR/metrics.prom" || {
     echo "check_serving: FAIL — $series missing from metrics dump" >&2
     exit 1

@@ -78,6 +78,17 @@ echo
 echo "== segment-store tier (ctest -L store) =="
 run_ctest -L store
 
+# Evidence-path tier (docs/PATHS.md): reachability index vs brute-force
+# BFS, Yen's k-shortest vs exhaustive enumeration, LP-prune bit-identity,
+# explained serving replies, and the pinned paths fixture. -L matches by
+# regex, so this picks up the compound paths-serve-mt-kernels /
+# paths-serve-mt-tsan / paths-golden labels too (the kernels-labelled
+# suite then reruns under both backends below, and the tsan-labelled
+# stress test again under ThreadSanitizer via tools/check_parallel.sh).
+echo
+echo "== evidence-path tier (ctest -L paths) =="
+run_ctest -L paths
+
 # Kernel equivalence tier: the same suite under both dispatch targets, so a
 # host whose default is AVX2 still proves the scalar baseline (and vice
 # versa — on a host without AVX2, "native" resolves to scalar and this

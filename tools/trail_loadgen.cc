@@ -42,6 +42,13 @@
 // load riding alongside the attribution sweep. `--ingest-prefix` keeps ids
 // unique across invocations (duplicate ids are attributed, not re-added).
 //
+// `--explain` (or `--explain-rate R` for a deterministic fraction, with
+// `--explain-k K` bounding paths per reply) tags attribute requests with
+// "explain": true. The summary then carries `explained_replies`,
+// `evidence_schema_errors` (client-side wire-format validation), the total
+// `evidence_paths` returned, and a separate `explain_latency` percentile
+// block so the path-search cost is visible on its own curve.
+//
 // `--deadline-ms` attaches a per-request deadline; shed (Overloaded) and
 // expired (DeadlineExceeded) replies are counted separately from failures,
 // and their latencies are excluded from the percentile summary (those are
@@ -91,6 +98,30 @@ int64_t IntFlag(int argc, char** argv, const std::string& name,
                 int64_t fallback) {
   std::string v = GetFlag(argc, argv, name);
   return v.empty() ? fallback : std::stoll(v);
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (name == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Fraction of requests tagged "explain": --explain alone means every
+/// request, --explain-rate R (0..1) a deterministic thinning.
+double ExplainRate(int argc, char** argv) {
+  const std::string rate = GetFlag(argc, argv, "--explain-rate");
+  if (!rate.empty()) return std::min(std::max(std::stod(rate), 0.0), 1.0);
+  return HasFlag(argc, argv, "--explain") ? 1.0 : 0.0;
+}
+
+/// Deterministic thinning: request i asks for evidence iff the cumulative
+/// quota floor advances at i — reproducible across runs and modes.
+bool ExplainFor(double rate, int64_t i) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  return std::floor(static_cast<double>(i + 1) * rate) >
+         std::floor(static_cast<double>(i) * rate);
 }
 
 /// Blocking LDJSON client: one line out, one line in, in order.
@@ -185,6 +216,12 @@ struct Sample {
   /// Reply carried `"verdict":"unknown"` — the server's abstention head
   /// declined to name an actor (still an ok reply, not a failure).
   bool unknown_verdict = false;
+  /// The request asked for evidence paths ("explain": true).
+  bool explain_requested = false;
+  /// The ok reply carried a schema-valid "evidence" array.
+  bool explained = false;
+  /// Evidence paths in the reply (0 when none / not requested).
+  size_t evidence_paths = 0;
 };
 
 struct Totals {
@@ -197,15 +234,33 @@ struct Totals {
   int64_t with_trace_id = 0;
   /// Ok replies whose verdict was "unknown" (abstentions).
   int64_t unknown_verdicts = 0;
+  /// Explain accounting: requests that asked, ok replies that carried a
+  /// schema-valid evidence array, schema violations, total paths returned.
+  /// Explained-reply latencies are kept separately — the path search rides
+  /// inside the micro-batch deadline, so its cost must be visible on its
+  /// own percentile curve, not averaged away.
+  int64_t explain_requested = 0;
+  int64_t explained = 0;
+  int64_t evidence_schema_errors = 0;
+  int64_t evidence_paths = 0;
+  std::vector<double> explain_latencies_ms;
 
   void Add(const Sample& s) {
     ++by_code[s.code];
     if (s.has_trace_id) ++with_trace_id;
+    if (s.explain_requested) ++explain_requested;
     if (s.code.empty()) {
       ++ok;
       if (s.unknown_verdict) ++unknown_verdicts;
       ok_latencies_ms.push_back(s.latency_ms);
       batch_sizes.push_back(s.batch_size);
+      if (s.explained) {
+        ++explained;
+        evidence_paths += static_cast<int64_t>(s.evidence_paths);
+        explain_latencies_ms.push_back(s.latency_ms);
+      } else if (s.explain_requested) {
+        ++evidence_schema_errors;
+      }
     } else if (s.code == "Overloaded") {
       ++shed;
     } else if (s.code == "DeadlineExceeded") {
@@ -216,13 +271,44 @@ struct Totals {
   }
 };
 
-Sample ParseReply(const JsonValue& reply, double latency_ms) {
+/// Client-side check of the docs/PATHS.md evidence wire schema. Counts the
+/// paths into `*paths` and returns false on any malformed entry.
+bool ValidEvidence(const JsonValue& evidence, size_t* paths) {
+  if (!evidence.is_array()) return false;
+  for (size_t p = 0; p < evidence.size(); ++p) {
+    const JsonValue& path = evidence[p];
+    if (!path.is_object()) return false;
+    const JsonValue* hops = path.Get("path");
+    if (path.Get("cost") == nullptr || path.Get("hops") == nullptr ||
+        hops == nullptr || !hops->is_array() || hops->size() == 0) {
+      return false;
+    }
+    for (size_t h = 0; h < hops->size(); ++h) {
+      const JsonValue& hop = (*hops)[h];
+      if (!hop.is_object() || hop.Get("node") == nullptr ||
+          hop.Get("type") == nullptr || hop.Get("value") == nullptr) {
+        return false;
+      }
+    }
+  }
+  *paths += evidence.size();
+  return true;
+}
+
+Sample ParseReply(const JsonValue& reply, double latency_ms,
+                  bool explain_requested = false) {
   Sample s;
   s.latency_ms = latency_ms;
   s.has_trace_id = reply.GetNumber("trace_id", 0.0) > 0.0;
+  s.explain_requested = explain_requested;
   if (reply.GetBool("ok")) {
     s.batch_size = static_cast<size_t>(reply.GetNumber("batch_size"));
     s.unknown_verdict = reply.GetString("verdict") == "unknown";
+    if (explain_requested) {
+      const JsonValue* evidence = reply.Get("evidence");
+      s.explained =
+          evidence != nullptr && ValidEvidence(*evidence, &s.evidence_paths);
+    }
   } else {
     s.code = reply.GetString("code", "ProtocolError");
   }
@@ -280,6 +366,39 @@ JsonValue Summarize(const Totals& totals, double duration_s,
               JsonValue::MakeNumber(lat.empty() ? 0.0 : lat.back()));
   out.Set("latency", std::move(latency));
 
+  if (totals.explain_requested > 0) {
+    out.Set("explain_requested",
+            JsonValue::MakeNumber(
+                static_cast<double>(totals.explain_requested)));
+    out.Set("explained_replies",
+            JsonValue::MakeNumber(static_cast<double>(totals.explained)));
+    out.Set("evidence_schema_errors",
+            JsonValue::MakeNumber(
+                static_cast<double>(totals.evidence_schema_errors)));
+    out.Set("evidence_paths",
+            JsonValue::MakeNumber(
+                static_cast<double>(totals.evidence_paths)));
+    std::vector<double> elat = totals.explain_latencies_ms;
+    std::sort(elat.begin(), elat.end());
+    double esum = 0.0;
+    for (double v : elat) esum += v;
+    JsonValue explain_latency = JsonValue::MakeObject();
+    explain_latency.Set(
+        "mean_ms",
+        JsonValue::MakeNumber(
+            elat.empty() ? 0.0 : esum / static_cast<double>(elat.size())));
+    explain_latency.Set("p50_ms",
+                        JsonValue::MakeNumber(Percentile(elat, 0.50)));
+    explain_latency.Set("p95_ms",
+                        JsonValue::MakeNumber(Percentile(elat, 0.95)));
+    explain_latency.Set("p99_ms",
+                        JsonValue::MakeNumber(Percentile(elat, 0.99)));
+    explain_latency.Set("max_ms",
+                        JsonValue::MakeNumber(elat.empty() ? 0.0
+                                                           : elat.back()));
+    out.Set("explain_latency", std::move(explain_latency));
+  }
+
   JsonValue batches = JsonValue::MakeObject();
   std::map<size_t, int64_t> size_counts;
   double batch_sum = 0.0;
@@ -317,7 +436,8 @@ std::string PriorityFor(const std::string& priority_mode, int64_t i) {
 }
 
 std::string AttributeLine(const std::string& report_id, int64_t deadline_ms,
-                          const std::string& priority) {
+                          const std::string& priority, bool explain = false,
+                          int64_t explain_k = 0) {
   JsonValue request = JsonValue::MakeObject();
   request.Set("op", JsonValue::MakeString("attribute"));
   request.Set("report", JsonValue::MakeString(report_id));
@@ -327,6 +447,13 @@ std::string AttributeLine(const std::string& report_id, int64_t deadline_ms,
   }
   if (!priority.empty()) {
     request.Set("priority", JsonValue::MakeString(priority));
+  }
+  if (explain) {
+    request.Set("explain", JsonValue::MakeBool(true));
+    if (explain_k > 0) {
+      request.Set("explain_k",
+                  JsonValue::MakeNumber(static_cast<double>(explain_k)));
+    }
   }
   return request.Dump();
 }
@@ -396,8 +523,8 @@ int RunClosed(const std::string& host, int port,
               const std::vector<std::string>& ids, int64_t requests,
               int conns, int64_t deadline_ms,
               const std::string& priority_mode,
-              const std::string& ingest_prefix, Totals* totals,
-              double* duration_s) {
+              const std::string& ingest_prefix, double explain_rate,
+              int64_t explain_k, Totals* totals, double* duration_s) {
   std::atomic<int64_t> next{0};
   std::mutex totals_mu;
   std::atomic<bool> failed{false};
@@ -414,11 +541,15 @@ int RunClosed(const std::string& host, int port,
       for (int64_t i = next.fetch_add(1); i < requests;
            i = next.fetch_add(1)) {
         const std::string priority = PriorityFor(priority_mode, i);
+        // Ingest lines never ask for evidence (their event is brand-new;
+        // attribute sweeps are where explains matter).
+        const bool explain =
+            ingest_prefix.empty() && ExplainFor(explain_rate, i);
         const Clock::time_point sent = Clock::now();
         auto reply = client.Call(
             ingest_prefix.empty()
                 ? AttributeLine(ids[static_cast<size_t>(i) % ids.size()],
-                                deadline_ms, priority)
+                                deadline_ms, priority, explain, explain_k)
                 : IngestLine(ingest_prefix, i, deadline_ms, priority));
         if (!reply.ok()) {
           failed = true;
@@ -427,7 +558,7 @@ int RunClosed(const std::string& host, int port,
         const double ms =
             std::chrono::duration<double, std::milli>(Clock::now() - sent)
                 .count();
-        local.Add(ParseReply(reply.value(), ms));
+        local.Add(ParseReply(reply.value(), ms, explain));
       }
       std::lock_guard<std::mutex> lock(totals_mu);
       for (double v : local.ok_latencies_ms) {
@@ -442,6 +573,14 @@ int RunClosed(const std::string& host, int port,
       totals->expired += local.expired;
       totals->failed += local.failed;
       totals->with_trace_id += local.with_trace_id;
+      totals->unknown_verdicts += local.unknown_verdicts;
+      totals->explain_requested += local.explain_requested;
+      totals->explained += local.explained;
+      totals->evidence_schema_errors += local.evidence_schema_errors;
+      totals->evidence_paths += local.evidence_paths;
+      for (double v : local.explain_latencies_ms) {
+        totals->explain_latencies_ms.push_back(v);
+      }
     });
   }
   for (auto& w : workers) w.join();
@@ -457,8 +596,8 @@ int RunClosed(const std::string& host, int port,
 int RunOpen(const std::string& host, int port,
             const std::vector<std::string>& ids, int64_t requests,
             double rate, int64_t deadline_ms,
-            const std::string& priority_mode, Totals* totals,
-            double* duration_s) {
+            const std::string& priority_mode, double explain_rate,
+            int64_t explain_k, Totals* totals, double* duration_s) {
   if (rate <= 0) {
     std::fprintf(stderr, "open mode requires --rate > 0\n");
     return 2;
@@ -488,14 +627,17 @@ int RunOpen(const std::string& host, int port,
       const double ms = std::chrono::duration<double, std::milli>(
                             Clock::now() - scheduled[static_cast<size_t>(i)])
                             .count();
-      totals->Add(ParseReply(reply.value(), ms));
+      // The thinning is deterministic in i, so the reader re-derives which
+      // requests asked for evidence without any sender->reader channel.
+      totals->Add(ParseReply(reply.value(), ms, ExplainFor(explain_rate, i)));
     }
   });
   for (int64_t i = 0; i < requests; ++i) {
     std::this_thread::sleep_until(scheduled[static_cast<size_t>(i)]);
     const std::string& id = ids[static_cast<size_t>(i) % ids.size()];
     st = client.SendLine(
-        AttributeLine(id, deadline_ms, PriorityFor(priority_mode, i)));
+        AttributeLine(id, deadline_ms, PriorityFor(priority_mode, i),
+                      ExplainFor(explain_rate, i), explain_k));
     if (!st.ok()) break;
   }
   reader.join();
@@ -657,6 +799,9 @@ int main(int argc, char** argv) {
     ids = std::move(fetched).value();
   }
 
+  const double explain_rate = ExplainRate(argc, argv);
+  const int64_t explain_k = IntFlag(argc, argv, "--explain-k", 0);
+
   Totals totals;
   double duration_s = 0.0;
   int rc;
@@ -664,17 +809,18 @@ int main(int argc, char** argv) {
     rc = RunClosed(host, port, ids, requests,
                    static_cast<int>(IntFlag(argc, argv, "--conns", 4)),
                    deadline_ms, priority_mode, /*ingest_prefix=*/"",
-                   &totals, &duration_s);
+                   explain_rate, explain_k, &totals, &duration_s);
   } else if (mode == "ingest") {
     rc = RunClosed(host, port, ids, requests,
                    static_cast<int>(IntFlag(argc, argv, "--conns", 1)),
                    deadline_ms, priority_mode,
                    GetFlag(argc, argv, "--ingest-prefix", "loadgen"),
-                   &totals, &duration_s);
+                   explain_rate, explain_k, &totals, &duration_s);
   } else if (mode == "open") {
     rc = RunOpen(host, port, ids, requests,
                  std::stod(GetFlag(argc, argv, "--rate", "200")),
-                 deadline_ms, priority_mode, &totals, &duration_s);
+                 deadline_ms, priority_mode, explain_rate, explain_k,
+                 &totals, &duration_s);
   } else {
     std::fprintf(stderr, "unknown --mode: %s\n", mode.c_str());
     return 2;

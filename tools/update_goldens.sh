@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates the pinned outputs of the golden-regression harness
-# (tests/golden/goldens/*.json) and the pinned binary store fixture
-# (tests/golden/goldens/store_fixture_v1.tkgs). Run this ONLY after
+# (tests/golden/goldens/*.json), the pinned binary store fixture
+# (tests/golden/goldens/store_fixture_v1.tkgs), and the pinned evidence-path
+# fixture (tests/golden/goldens/paths_fixture_v1.txt). Run this ONLY after
 # verifying that a behaviour change is intentional, then commit the
 # rewritten files — the diff is the review artifact. A store-fixture
 # rewrite means the TKGS writer's byte output changed: call that out in the
@@ -18,18 +19,21 @@ if [ ! -d "$BUILD_DIR" ]; then
   cmake -S "$SOURCE_DIR" -B "$BUILD_DIR" >/dev/null
 fi
 cmake --build "$BUILD_DIR" -j --target golden_golden_regression_test \
-    golden_store_fixture_test
+    golden_store_fixture_test golden_path_fixture_test
 
 echo "== regenerating goldens =="
 TRAIL_UPDATE_GOLDENS=1 TRAIL_RUN_MANIFEST=none \
     "$BUILD_DIR/tests/golden_golden_regression_test"
 TRAIL_UPDATE_GOLDENS=1 TRAIL_RUN_MANIFEST=none \
     "$BUILD_DIR/tests/golden_store_fixture_test"
+TRAIL_UPDATE_GOLDENS=1 TRAIL_RUN_MANIFEST=none \
+    "$BUILD_DIR/tests/golden_path_fixture_test"
 
 echo
 echo "== verifying the regenerated goldens pass =="
 TRAIL_RUN_MANIFEST=none "$BUILD_DIR/tests/golden_golden_regression_test"
 TRAIL_RUN_MANIFEST=none "$BUILD_DIR/tests/golden_store_fixture_test"
+TRAIL_RUN_MANIFEST=none "$BUILD_DIR/tests/golden_path_fixture_test"
 
 echo
 echo "update_goldens: done — review and commit tests/golden/goldens/*"
